@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the design choices the
+ * paper's §V calls out, plus substrate performance:
+ *
+ *  - SAT solver on classic instances;
+ *  - relational translation cost vs pipeline depth;
+ *  - transitive-closure circuit cost vs candidate-edge count;
+ *  - symmetry breaking on/off for the naive node encoding;
+ *  - enumeration projected on litmus relations vs all relations
+ *    (our §V-C-style "constraining solutions" optimization);
+ *  - simulator throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/synthesis.hh"
+#include "core/unopt.hh"
+#include "patterns/flush_reload.hh"
+#include "rmf/solve.hh"
+#include "sat/solver.hh"
+#include "sim/exploit.hh"
+#include "uarch/inorder.hh"
+#include "uarch/spec_ooo.hh"
+#include "uspec/deriver.hh"
+
+namespace
+{
+
+using namespace checkmate;
+
+// --- SAT solver --------------------------------------------------------
+
+void
+addPigeonHole(sat::Solver &s, int pigeons, int holes)
+{
+    std::vector<std::vector<sat::Var>> x(
+        pigeons, std::vector<sat::Var>(holes));
+    for (int p = 0; p < pigeons; p++)
+        for (int h = 0; h < holes; h++)
+            x[p][h] = s.newVar();
+    for (int p = 0; p < pigeons; p++) {
+        sat::Clause c;
+        for (int h = 0; h < holes; h++)
+            c.push_back(sat::mkLit(x[p][h]));
+        s.addClause(c);
+    }
+    for (int h = 0; h < holes; h++)
+        for (int p1 = 0; p1 < pigeons; p1++)
+            for (int p2 = p1 + 1; p2 < pigeons; p2++)
+                s.addClause(~sat::mkLit(x[p1][h]),
+                            ~sat::mkLit(x[p2][h]));
+}
+
+void
+BM_SatPigeonHoleUnsat(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sat::Solver s;
+        addPigeonHole(s, static_cast<int>(state.range(0)),
+                      static_cast<int>(state.range(0)) - 1);
+        benchmark::DoNotOptimize(s.solve());
+    }
+}
+BENCHMARK(BM_SatPigeonHoleUnsat)->Arg(6)->Arg(7)->Arg(8);
+
+// --- Relational translation vs pipeline depth --------------------------
+
+void
+translateMachine(const uspec::Microarchitecture &machine, int events,
+                 benchmark::State &state)
+{
+    for (auto _ : state) {
+        uspec::SynthesisBounds b;
+        b.numEvents = events;
+        b.numCores = 1;
+        b.numProcs = 2;
+        b.numVas = 2;
+        b.numPas = 2;
+        b.numIndices = 2;
+        uspec::UspecContext ctx(b, machine.locations(),
+                                machine.options());
+        uspec::EdgeDeriver d(ctx);
+        machine.applyAxioms(ctx, d);
+        d.finalize();
+        sat::Solver solver;
+        rmf::Translation t(ctx.problem(), solver, false);
+        benchmark::DoNotOptimize(t.stats().solverClauses);
+        state.counters["clauses"] = static_cast<double>(
+            t.stats().solverClauses);
+    }
+}
+
+void
+BM_Translate2Stage(benchmark::State &state)
+{
+    translateMachine(uarch::inOrder2Stage(),
+                     static_cast<int>(state.range(0)), state);
+}
+BENCHMARK(BM_Translate2Stage)->Arg(4);
+
+void
+BM_Translate5Stage(benchmark::State &state)
+{
+    translateMachine(uarch::inOrder5Stage(),
+                     static_cast<int>(state.range(0)), state);
+}
+BENCHMARK(BM_Translate5Stage)->Arg(4);
+
+void
+BM_TranslateSpecOoO(benchmark::State &state)
+{
+    uarch::SpecOoO m(false);
+    translateMachine(m, static_cast<int>(state.range(0)), state);
+}
+BENCHMARK(BM_TranslateSpecOoO)->Arg(4)->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+
+// --- Naive node encoding with/without symmetry breaking ----------------
+
+graph::UhbGraph
+chain(int n)
+{
+    std::vector<std::string> es, ls = {"L"};
+    for (int i = 0; i < n; i++)
+        es.push_back("I" + std::to_string(i));
+    graph::UhbGraph g(es, ls);
+    for (int i = 0; i + 1 < n; i++)
+        g.addEdge(i, 0, i + 1, 0, graph::EdgeKind::Other);
+    return g;
+}
+
+void
+BM_UnoptEnumeration(benchmark::State &state)
+{
+    graph::UhbGraph g = chain(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto r = core::enumerateUnoptimizedEncoding(g, 100000,
+                                                    false);
+        benchmark::DoNotOptimize(r.instances);
+        state.counters["graphs"] =
+            static_cast<double>(r.instances);
+    }
+}
+BENCHMARK(BM_UnoptEnumeration)->Arg(4)->Arg(5)->Arg(6);
+
+void
+BM_UnoptEnumerationWithSB(benchmark::State &state)
+{
+    graph::UhbGraph g = chain(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        auto r =
+            core::enumerateUnoptimizedEncoding(g, 100000, true);
+        benchmark::DoNotOptimize(r.instances);
+        state.counters["graphs"] =
+            static_cast<double>(r.instances);
+    }
+}
+BENCHMARK(BM_UnoptEnumerationWithSB)->Arg(4)->Arg(5)->Arg(6);
+
+// --- Enumeration projection ablation -----------------------------------
+
+void
+runQuickstart(bool project, benchmark::State &state)
+{
+    uarch::InOrderPipeline m = uarch::inOrder3Stage();
+    patterns::FlushReloadPattern pattern;
+    core::CheckMate tool(m, &pattern);
+    uspec::SynthesisBounds b;
+    b.numEvents = 4;
+    b.numCores = 1;
+    b.numProcs = 2;
+    b.numVas = 2;
+    b.numPas = 2;
+    b.numIndices = 2;
+    for (auto _ : state) {
+        core::SynthesisOptions opts;
+        opts.projectOnLitmusRelations = project;
+        core::SynthesisReport report;
+        auto ex = tool.synthesizeAll(b, opts, &report);
+        benchmark::DoNotOptimize(ex.size());
+        state.counters["raw_graphs"] =
+            static_cast<double>(report.rawInstances);
+        state.counters["unique"] =
+            static_cast<double>(report.uniqueTests);
+    }
+}
+
+void
+BM_SynthesisProjected(benchmark::State &state)
+{
+    runQuickstart(true, state);
+}
+BENCHMARK(BM_SynthesisProjected)->Unit(benchmark::kMillisecond);
+
+void
+BM_SynthesisUnprojected(benchmark::State &state)
+{
+    runQuickstart(false, state);
+}
+BENCHMARK(BM_SynthesisUnprojected)->Unit(benchmark::kMillisecond);
+
+// --- Simulator throughput ----------------------------------------------
+
+void
+BM_SimulatorSpectrePrimeByte(benchmark::State &state)
+{
+    sim::ExploitRunner runner;
+    sim::ExploitConfig config;
+    config.message = "A";
+    config.noiseProbability = 0.0;
+    for (auto _ : state) {
+        auto r = runner.run(sim::ExploitKind::SpectrePrime, config);
+        benchmark::DoNotOptimize(r.accuracy);
+    }
+}
+BENCHMARK(BM_SimulatorSpectrePrimeByte)
+    ->Unit(benchmark::kMillisecond);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

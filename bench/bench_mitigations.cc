@@ -1,0 +1,166 @@
+/**
+ * @file
+ * §VII-D expanded: a design-space mitigation matrix.
+ *
+ * The paper observes that software mitigations for Meltdown/Spectre
+ * carry over to the Prime variants, but *microarchitectural*
+ * mitigation of the Prime variants requires new considerations:
+ * Meltdown/Spectre arise from speculative cache pollution, while
+ * MeltdownPrime/SpectrePrime arise from speculative coherence
+ * invalidations. This harness asks CheckMate whether each canonical
+ * attack is synthesizable on a row of SpecOoO design variants:
+ *
+ *  - the baseline speculative design;
+ *  - an InvisiSpec-style variant whose speculative loads do not fill
+ *    the L1 (kills Meltdown/Spectre — but the Prime attacks survive,
+ *    because ownership requests still go out speculatively);
+ *  - a non-speculative design (kills everything).
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/synthesis.hh"
+#include "patterns/flush_reload.hh"
+#include "patterns/prime_probe.hh"
+#include "uarch/spec_ooo.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using uspec::MicroOpType;
+using uspec::UspecContext;
+using uspec::procAttacker;
+
+struct Attack
+{
+    const char *name;
+    litmus::AttackClass target;
+    bool primeProbe;
+    int cores;
+    std::vector<UspecContext::FixedOp> program;
+};
+
+std::vector<Attack>
+canonicalAttacks()
+{
+    using Op = UspecContext::FixedOp;
+    std::vector<Attack> attacks;
+    attacks.push_back(
+        {"Meltdown", litmus::AttackClass::Meltdown, false, 1,
+         {Op{MicroOpType::Read, 0, procAttacker, 0, true},
+          Op{MicroOpType::Clflush, 0, procAttacker, 0, true},
+          Op{MicroOpType::Read, 0, procAttacker, 1, true},
+          Op{MicroOpType::Read, 0, procAttacker, 0, true},
+          Op{MicroOpType::Read, 0, procAttacker, 0, true}}});
+    attacks.push_back(
+        {"Spectre", litmus::AttackClass::Spectre, false, 1,
+         {Op{MicroOpType::Read, 0, procAttacker, 0, true},
+          Op{MicroOpType::Clflush, 0, procAttacker, 0, true},
+          Op{MicroOpType::Branch, 0, procAttacker, 0, false},
+          Op{MicroOpType::Read, 0, procAttacker, 1, true},
+          Op{MicroOpType::Read, 0, procAttacker, 0, true},
+          Op{MicroOpType::Read, 0, procAttacker, 0, true}}});
+    attacks.push_back(
+        {"MeltdownPrime", litmus::AttackClass::MeltdownPrime, true,
+         2,
+         {Op{MicroOpType::Read, 0, procAttacker, 0, true},
+          Op{MicroOpType::Read, 1, procAttacker, 1, true},
+          Op{MicroOpType::Write, 1, procAttacker, 0, true},
+          Op{MicroOpType::Read, 0, procAttacker, 0, true}}});
+    attacks.push_back(
+        {"SpectrePrime", litmus::AttackClass::SpectrePrime, true, 2,
+         {Op{MicroOpType::Read, 0, procAttacker, 0, true},
+          Op{MicroOpType::Branch, 1, procAttacker, 0, false},
+          Op{MicroOpType::Read, 1, procAttacker, 1, true},
+          Op{MicroOpType::Write, 1, procAttacker, 0, true},
+          Op{MicroOpType::Read, 0, procAttacker, 0, true}}});
+    return attacks;
+}
+
+bool
+synthesizable(const uarch::SpecOoO &machine, const Attack &attack)
+{
+    patterns::FlushReloadPattern fr;
+    patterns::PrimeProbePattern pp;
+    const patterns::ExploitPattern *pattern =
+        attack.primeProbe
+            ? static_cast<const patterns::ExploitPattern *>(&pp)
+            : static_cast<const patterns::ExploitPattern *>(&fr);
+    core::CheckMate tool(machine, pattern);
+
+    uspec::SynthesisBounds bounds;
+    bounds.numEvents = static_cast<int>(attack.program.size());
+    bounds.numCores = attack.cores;
+    bounds.numProcs = 2;
+    bounds.numVas = 2;
+    bounds.numPas = 2;
+    bounds.numIndices = 2;
+
+    auto exploits =
+        tool.synthesizeExecutions(attack.program, bounds);
+    for (const auto &ex : exploits) {
+        if (ex.attackClass == attack.target)
+            return true;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::cout << "=== §VII-D design-space mitigation matrix ===\n"
+              << "(is each canonical attack synthesizable on each "
+                 "SpecOoO variant?)\n\n";
+
+    std::vector<std::pair<const char *, uarch::SpecOoOConfig>>
+        designs;
+    {
+        uarch::SpecOoOConfig base;
+        designs.emplace_back("baseline (speculative)", base);
+
+        uarch::SpecOoOConfig no_fill;
+        no_fill.speculativeFills = false;
+        designs.emplace_back("no speculative L1 fills", no_fill);
+
+        uarch::SpecOoOConfig update_coh;
+        update_coh.invalidationCoherence = false;
+        designs.emplace_back("update-based coherence", update_coh);
+
+        uarch::SpecOoOConfig no_spec;
+        no_spec.speculativeExecution = false;
+        designs.emplace_back("no speculation at all", no_spec);
+    }
+
+    auto attacks = canonicalAttacks();
+
+    std::cout << std::left << std::setw(26) << "design";
+    for (const auto &a : attacks)
+        std::cout << std::setw(15) << a.name;
+    std::cout << '\n';
+
+    for (auto &[label, config] : designs) {
+        std::cout << std::left << std::setw(26) << label;
+        for (const auto &attack : attacks) {
+            uarch::SpecOoOConfig c = config;
+            c.modelCoherence = attack.primeProbe;
+            uarch::SpecOoO machine(c);
+            bool vulnerable = synthesizable(machine, attack);
+            std::cout << std::setw(15)
+                      << (vulnerable ? "VULNERABLE" : "safe");
+        }
+        std::cout << '\n';
+    }
+
+    std::cout
+        << "\nReading: removing speculative fills stops the cache-"
+           "pollution attacks\n(Meltdown/Spectre) but NOT the "
+           "coherence-invalidation Prime attacks —\nexactly the "
+           "paper's point that the Prime variants need new "
+           "microarchitectural\nconsiderations (§VII-D).\n";
+    return 0;
+}

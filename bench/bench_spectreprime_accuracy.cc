@@ -1,0 +1,77 @@
+/**
+ * @file
+ * §VII-C reproduction: from SpectrePrime security litmus test to
+ * real exploit.
+ *
+ * The paper expanded the synthesized SpectrePrime litmus test into a
+ * C program (following the original Spectre PoC) and measured 99.95%
+ * accuracy leaking a secret message over 100 runs on an Intel Core
+ * i7. We run the analogous expansion on the simulated two-core
+ * speculative machine, with seeded ambient-noise evictions standing
+ * in for real-system interference, and report per-attack accuracy
+ * over 100 runs — plus the fenced (§VII-D) variants.
+ */
+
+#include <iomanip>
+#include <iostream>
+
+#include "sim/exploit.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace checkmate::sim;
+    int runs = argc > 1 ? std::atoi(argv[1]) : 100;
+
+    std::cout << "=== §VII-C: expanded exploits on the simulated "
+                 "2-core speculative machine ===\n"
+              << "(secret message leaked byte-by-byte; accuracy "
+                 "averaged over "
+              << runs << " runs; ambient noise p=0.001/byte)\n\n";
+
+    ExploitRunner runner;
+    ExploitConfig config;
+    config.message = "The Magic Words are Squeamish Ossifrage.";
+    config.noiseProbability = 0.001;
+
+    std::cout << std::left << std::setw(16) << "attack"
+              << std::right << std::setw(12) << "accuracy"
+              << std::setw(16) << "fenced accuracy" << '\n';
+
+    for (ExploitKind kind :
+         {ExploitKind::SpectrePrime, ExploitKind::MeltdownPrime,
+          ExploitKind::Spectre, ExploitKind::Meltdown,
+          ExploitKind::PrimeProbe, ExploitKind::EvictReload}) {
+        ExploitConfig plain = config;
+        plain.seed = 11;
+        double accuracy =
+            runner.averageAccuracy(kind, plain, runs);
+
+        ExploitConfig fenced = config;
+        fenced.seed = 11;
+        fenced.insertFence = true;
+        double mitigated =
+            runner.averageAccuracy(kind, fenced, runs);
+
+        std::cout << std::left << std::setw(16)
+                  << exploitKindName(kind) << std::right
+                  << std::fixed << std::setprecision(2)
+                  << std::setw(11) << accuracy * 100.0 << '%'
+                  << std::setw(15) << mitigated * 100.0 << "%\n";
+    }
+
+    std::cout << "\nOne SpectrePrime run in detail:\n";
+    ExploitConfig demo = config;
+    demo.seed = 3;
+    auto result = runner.run(ExploitKind::SpectrePrime, demo);
+    std::cout << "  secret:    \"" << demo.message << "\"\n"
+              << "  recovered: \"" << result.recovered << "\"\n"
+              << "  bytes correct: " << result.correctBytes << "/"
+              << result.totalBytes << " ("
+              << std::setprecision(2) << result.accuracy * 100.0
+              << "%)\n"
+              << "  squashed speculative runs: " << result.squashes
+              << "\n  invalidations observed on the attacker core: "
+              << result.invalidationsObserved << '\n';
+    return 0;
+}

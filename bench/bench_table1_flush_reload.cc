@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Table I (top half): FLUSH+RELOAD exploit synthesis on the
+ * speculative OoO processor at instruction bounds 4, 5, and 6.
+ *
+ * Paper's rows: bound 4 → traditional FLUSH+RELOAD, bound 5 →
+ * Meltdown, bound 6 → Spectre; columns report minutes-to-first,
+ * minutes-to-all, and unique litmus tests. Coherence modeling is
+ * omitted for these runs, as in the paper ("it does not produce
+ * distinct results").
+ *
+ * The enumeration at each bound can be capped (argv[1], default
+ * 600 instances) — the paper ran to completion in up to 215
+ * minutes; capped rows are marked '+'.
+ */
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <set>
+
+#include "core/synthesis.hh"
+#include "patterns/flush_reload.hh"
+#include "uarch/spec_ooo.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace checkmate;
+    uint64_t cap = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                            : 600;
+    int max_bound = argc > 2 ? std::atoi(argv[2]) : 6;
+
+    std::cout << "=== Table I (FLUSH+RELOAD pattern on SpecOoO) ===\n"
+              << "(enumeration capped at " << cap
+              << " instances per bound; '+' = cap hit)\n\n";
+
+    uarch::SpecOoO machine(/*model_coherence=*/false);
+    patterns::FlushReloadPattern pattern;
+    core::CheckMate tool(machine, &pattern);
+
+    uspec::SynthesisBounds bounds;
+    bounds.numCores = 1;
+    bounds.numProcs = 2;
+    bounds.numVas = 2;
+    bounds.numPas = 2;
+    bounds.numIndices = 2;
+
+    std::cout << std::left << std::setw(7) << "bound"
+              << std::right << std::setw(12) << "first (s)"
+              << std::setw(12) << "all (s)" << std::setw(10)
+              << "graphs" << std::setw(9) << "unique"
+              << "  per-class\n";
+
+    for (int n = 4; n <= max_bound; n++) {
+        bounds.numEvents = n;
+        core::SynthesisOptions opts;
+        opts.maxInstances = cap;
+        // Each row targets the attack class first appearing at its
+        // bound, as in the paper: 4 = traditional FLUSH+RELOAD, 5 =
+        // fault windows (Meltdown), 6 = branch windows (Spectre).
+        opts.requireWindow =
+            n == 5 ? core::WindowRequirement::FaultWindow
+            : n == 6 ? core::WindowRequirement::BranchWindow
+                     : core::WindowRequirement::None;
+        // The speculation-based attacks are single-process (§II-B:
+        // the victim need not execute between flush and reload).
+        opts.attackerOnly = n >= 5;
+        core::SynthesisReport report;
+        auto exploits = tool.synthesizeAll(bounds, opts, &report);
+
+        std::cout << std::left << std::setw(7) << n << std::right
+                  << std::fixed << std::setprecision(2)
+                  << std::setw(12) << report.secondsToFirst
+                  << std::setw(12) << report.secondsToAll
+                  << std::setw(9) << report.rawInstances
+                  << (report.rawInstances >= cap ? "+" : " ")
+                  << std::setw(8) << report.uniqueTests << "  ";
+        for (const auto &[cls, count] : report.classCounts) {
+            std::cout << litmus::attackClassName(cls) << "="
+                      << count << ' ';
+        }
+        std::cout << '\n';
+
+        // Print the first instance of each newly seen class.
+        static std::set<litmus::AttackClass> seen;
+        for (const auto &ex : exploits) {
+            if (seen.insert(ex.attackClass).second) {
+                std::cout << "\nfirst "
+                          << litmus::attackClassName(ex.attackClass)
+                          << " variant at bound " << n << ":\n"
+                          << ex.test.toString() << '\n';
+            }
+        }
+    }
+    return 0;
+}

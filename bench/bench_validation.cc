@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Cross-validation: synthesized security litmus tests, expanded to
+ * simulator programs, must reproduce their timed-access hit/miss
+ * signatures dynamically (the §VII-C litmus→exploit path, applied
+ * to whole synthesis corpora instead of one hand-expanded test).
+ *
+ * For each canonical attack shape, CheckMate synthesizes all
+ * executions; every one of the targeted class is expanded and run,
+ * and the agreement rate is reported.
+ */
+
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+#include "core/synthesis.hh"
+#include "litmus/expand.hh"
+#include "patterns/flush_reload.hh"
+#include "patterns/prime_probe.hh"
+#include "uarch/spec_ooo.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using uspec::MicroOpType;
+using uspec::UspecContext;
+using uspec::procAttacker;
+using uspec::procVictim;
+
+struct Corpus
+{
+    const char *name;
+    litmus::AttackClass target;
+    bool primeProbe;
+    bool coherence;
+    int cores;
+    std::vector<UspecContext::FixedOp> program;
+};
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::cout << "=== Dynamic validation of synthesized litmus "
+                 "tests (§VII-C) ===\n\n";
+
+    std::vector<Corpus> corpora;
+    corpora.push_back(
+        {"Meltdown", litmus::AttackClass::Meltdown, false, false, 1,
+         {{MicroOpType::Read, 0, procAttacker, 0, true},
+          {MicroOpType::Clflush, 0, procAttacker, 0, true},
+          {MicroOpType::Read, 0, procAttacker, 1, true},
+          {MicroOpType::Read, 0, procAttacker, 0, true},
+          {MicroOpType::Read, 0, procAttacker, 0, true}}});
+    corpora.push_back(
+        {"Spectre", litmus::AttackClass::Spectre, false, false, 1,
+         {{MicroOpType::Read, 0, procAttacker, 0, true},
+          {MicroOpType::Clflush, 0, procAttacker, 0, true},
+          {MicroOpType::Branch, 0, procAttacker, 0, false},
+          {MicroOpType::Read, 0, procAttacker, 1, true},
+          {MicroOpType::Read, 0, procAttacker, 0, true},
+          {MicroOpType::Read, 0, procAttacker, 0, true}}});
+    corpora.push_back(
+        {"MeltdownPrime", litmus::AttackClass::MeltdownPrime, true,
+         true, 2,
+         {{MicroOpType::Read, 0, procAttacker, 0, true},
+          {MicroOpType::Read, 1, procAttacker, 1, true},
+          {MicroOpType::Write, 1, procAttacker, 0, true},
+          {MicroOpType::Read, 0, procAttacker, 0, true}}});
+    corpora.push_back(
+        {"SpectrePrime", litmus::AttackClass::SpectrePrime, true,
+         true, 2,
+         {{MicroOpType::Read, 0, procAttacker, 0, true},
+          {MicroOpType::Branch, 1, procAttacker, 0, false},
+          {MicroOpType::Read, 1, procAttacker, 1, true},
+          {MicroOpType::Write, 1, procAttacker, 0, true},
+          {MicroOpType::Read, 0, procAttacker, 0, true}}});
+
+    std::cout << std::left << std::setw(16) << "corpus"
+              << std::right << std::setw(12) << "synthesized"
+              << std::setw(12) << "expandable" << std::setw(10)
+              << "agree" << '\n';
+
+    int disagreements = 0;
+    for (const Corpus &c : corpora) {
+        uarch::SpecOoO machine(c.coherence);
+        patterns::FlushReloadPattern fr;
+        patterns::PrimeProbePattern pp;
+        const patterns::ExploitPattern *pattern =
+            c.primeProbe
+                ? static_cast<const patterns::ExploitPattern *>(&pp)
+                : static_cast<const patterns::ExploitPattern *>(
+                      &fr);
+        core::CheckMate tool(machine, pattern);
+        uspec::SynthesisBounds bounds;
+        bounds.numEvents = static_cast<int>(c.program.size());
+        bounds.numCores = c.cores;
+        bounds.numProcs = 2;
+        bounds.numVas = 2;
+        bounds.numPas = 2;
+        bounds.numIndices = 2;
+
+        auto execs = tool.synthesizeExecutions(c.program, bounds);
+        int of_class = 0, expandable = 0, agree = 0;
+        for (const auto &ex : execs) {
+            if (ex.attackClass != c.target)
+                continue;
+            of_class++;
+            try {
+                if (litmus::simulatorAgrees(ex.test))
+                    agree++;
+                else
+                    disagreements++;
+                expandable++;
+            } catch (const std::invalid_argument &) {
+                // Interleavings the slot-order expander cannot
+                // realize are skipped, not failures.
+            }
+        }
+        std::cout << std::left << std::setw(16) << c.name
+                  << std::right << std::setw(12) << of_class
+                  << std::setw(12) << expandable << std::setw(10)
+                  << agree << '\n';
+    }
+    std::cout << (disagreements == 0
+                      ? "\nEvery expandable synthesized execution "
+                        "reproduced its hit/miss signature on the "
+                        "timing simulator.\n"
+                      : "\nDISAGREEMENTS FOUND — model/simulator "
+                        "divergence!\n");
+    return disagreements;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * The `checkmate` command-line tool entry point.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    return checkmate::core::runCli(checkmate::core::parseCli(args),
+                                   std::cout);
+}

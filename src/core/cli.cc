@@ -1,0 +1,217 @@
+/**
+ * @file
+ * CheckMate CLI implementation.
+ */
+
+#include "core/cli.hh"
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "core/synthesis.hh"
+#include "patterns/flush_reload.hh"
+#include "patterns/prime_probe.hh"
+#include "uarch/inorder.hh"
+#include "uarch/spec_ooo.hh"
+
+namespace checkmate::core
+{
+
+std::string
+cliUsage()
+{
+    return R"(checkmate — synthesize hardware exploits and security litmus tests
+
+usage: checkmate [options]
+  --uarch NAME      microarchitecture model (default specooo):
+                      specooo      speculative OoO, no coherence rows
+                      specooo-coh  speculative OoO + invalidation
+                                   coherence (for PRIME+PROBE)
+                      inorder2|inorder3|inorder5
+                                   in-order pipelines with L1 + SB
+                      inorder-spec in-order + branch prediction
+  --pattern NAME    exploit pattern: flush-reload (default),
+                    prime-probe, none
+  --events N        instruction bound (default 4)
+  --cores N         physical cores (default 1)
+  --vas N           virtual addresses (default 2)
+  --pas N           physical addresses (default 2)
+  --indices N       cache indices (default 2)
+  --max N           cap on enumerated executions (default 200)
+  --graphs          print each exploit's μhb graph
+  --dot PREFIX      write PREFIX_<i>.dot per exploit
+  --spec-flush      allow speculative CLFLUSH effects (§VII-B)
+  --no-spec         specooo variants: disable speculation entirely
+  --no-spec-fill    specooo variants: loads fill the L1 only at
+                    commit (InvisiSpec-style mitigation)
+  --update-coh      specooo variants: update-based coherence (no
+                    sharer invalidations)
+  --help            this text
+)";
+}
+
+CliOptions
+parseCli(const std::vector<std::string> &args)
+{
+    CliOptions opts;
+    for (size_t i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        auto next = [&](const char *flag) -> std::string {
+            if (i + 1 >= args.size()) {
+                opts.error = std::string(flag) +
+                             " requires an argument";
+                return "";
+            }
+            return args[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else if (arg == "--uarch") {
+            opts.uarch = next("--uarch");
+        } else if (arg == "--pattern") {
+            opts.pattern = next("--pattern");
+        } else if (arg == "--events") {
+            opts.events = std::atoi(next("--events").c_str());
+        } else if (arg == "--cores") {
+            opts.cores = std::atoi(next("--cores").c_str());
+        } else if (arg == "--vas") {
+            opts.vas = std::atoi(next("--vas").c_str());
+        } else if (arg == "--pas") {
+            opts.pas = std::atoi(next("--pas").c_str());
+        } else if (arg == "--indices") {
+            opts.indices = std::atoi(next("--indices").c_str());
+        } else if (arg == "--max") {
+            opts.maxInstances =
+                std::strtoull(next("--max").c_str(), nullptr, 10);
+        } else if (arg == "--graphs") {
+            opts.printGraphs = true;
+        } else if (arg == "--dot") {
+            opts.emitDot = true;
+            opts.dotPrefix = next("--dot");
+        } else if (arg == "--spec-flush") {
+            opts.allowSpeculativeFlush = true;
+        } else if (arg == "--no-spec") {
+            opts.noSpeculation = true;
+        } else if (arg == "--no-spec-fill") {
+            opts.noSpeculativeFills = true;
+        } else if (arg == "--update-coh") {
+            opts.updateCoherence = true;
+        } else if (opts.error.empty()) {
+            opts.error = "unknown option: " + arg;
+        }
+        if (!opts.error.empty())
+            break;
+    }
+    return opts;
+}
+
+namespace
+{
+
+std::unique_ptr<uspec::Microarchitecture>
+makeUarch(const CliOptions &opts, std::string &error)
+{
+    if (opts.uarch == "specooo" || opts.uarch == "specooo-coh") {
+        uarch::SpecOoOConfig config;
+        config.modelCoherence = opts.uarch == "specooo-coh";
+        config.allowSpeculativeFlush = opts.allowSpeculativeFlush;
+        config.speculativeExecution = !opts.noSpeculation;
+        config.speculativeFills = !opts.noSpeculativeFills;
+        config.invalidationCoherence = !opts.updateCoherence;
+        return std::make_unique<uarch::SpecOoO>(config);
+    }
+    if (opts.uarch == "inorder2") {
+        return std::make_unique<uarch::InOrderPipeline>(
+            uarch::inOrder2Stage());
+    }
+    if (opts.uarch == "inorder3") {
+        return std::make_unique<uarch::InOrderPipeline>(
+            uarch::inOrder3Stage());
+    }
+    if (opts.uarch == "inorder5") {
+        return std::make_unique<uarch::InOrderPipeline>(
+            uarch::inOrder5Stage());
+    }
+    if (opts.uarch == "inorder-spec")
+        return std::make_unique<uarch::InOrderSpec>();
+    error = "unknown microarchitecture: " + opts.uarch;
+    return nullptr;
+}
+
+std::unique_ptr<patterns::ExploitPattern>
+makePattern(const CliOptions &opts, std::string &error)
+{
+    if (opts.pattern == "flush-reload")
+        return std::make_unique<patterns::FlushReloadPattern>();
+    if (opts.pattern == "prime-probe")
+        return std::make_unique<patterns::PrimeProbePattern>();
+    if (opts.pattern == "none")
+        return nullptr;
+    error = "unknown pattern: " + opts.pattern;
+    return nullptr;
+}
+
+} // anonymous namespace
+
+int
+runCli(const CliOptions &options, std::ostream &out)
+{
+    if (options.help) {
+        out << cliUsage();
+        return 0;
+    }
+    if (!options.error.empty()) {
+        out << "error: " << options.error << "\n\n" << cliUsage();
+        return 2;
+    }
+
+    std::string error;
+    auto machine = makeUarch(options, error);
+    if (!machine) {
+        out << "error: " << error << '\n';
+        return 2;
+    }
+    auto pattern = makePattern(options, error);
+    if (!pattern && !error.empty()) {
+        out << "error: " << error << '\n';
+        return 2;
+    }
+
+    CheckMate tool(*machine, pattern.get());
+    uspec::SynthesisBounds bounds;
+    bounds.numEvents = options.events;
+    bounds.numCores = options.cores;
+    bounds.numProcs = 2;
+    bounds.numVas = options.vas;
+    bounds.numPas = options.pas;
+    bounds.numIndices = options.indices;
+
+    SynthesisOptions synth;
+    synth.maxInstances = options.maxInstances;
+
+    SynthesisReport report;
+    auto exploits = tool.synthesizeAll(bounds, synth, &report);
+    out << report.toString() << "\n\n";
+
+    for (size_t i = 0; i < exploits.size(); i++) {
+        const auto &ex = exploits[i];
+        out << "--- exploit " << i << " ["
+            << litmus::attackClassName(ex.attackClass) << "] ---\n"
+            << ex.test.toString();
+        if (options.printGraphs)
+            out << ex.graph.toAsciiGrid();
+        if (options.emitDot) {
+            std::string name = options.dotPrefix + "_" +
+                               std::to_string(i) + ".dot";
+            std::ofstream dot(name);
+            dot << ex.graph.toDot(name);
+            out << "(DOT: " << name << ")\n";
+        }
+        out << '\n';
+    }
+    return exploits.empty() ? 1 : 0;
+}
+
+} // namespace checkmate::core

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Command-line front end for the CheckMate tool.
+ *
+ * Mirrors the published tool's usage: pick a microarchitecture
+ * model, an exploit pattern, and synthesis bounds; run synthesis;
+ * print litmus tests, μhb graphs, and timing. Factored into a
+ * library function so the test suite can drive it.
+ */
+
+#ifndef CHECKMATE_CORE_CLI_HH
+#define CHECKMATE_CORE_CLI_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace checkmate::core
+{
+
+/** Parsed command-line options. */
+struct CliOptions
+{
+    std::string uarch = "specooo";   ///< specooo | specooo-coh |
+                                     ///< inorder2 | inorder3 | inorder5
+    std::string pattern = "flush-reload"; ///< or prime-probe, none
+    int events = 4;
+    int cores = 1;
+    int vas = 2;
+    int pas = 2;
+    int indices = 2;
+    uint64_t maxInstances = 200;
+    bool printGraphs = false;
+    bool emitDot = false;
+    std::string dotPrefix = "checkmate";
+    bool allowSpeculativeFlush = false;
+    bool noSpeculation = false;      ///< specooo*: disable speculation
+    bool noSpeculativeFills = false; ///< specooo*: InvisiSpec-style
+    bool updateCoherence = false;    ///< specooo*: update protocol
+    bool help = false;
+
+    /** Set when parsing failed; holds the message. */
+    std::string error;
+};
+
+/** Parse argv; returns options (check .error / .help). */
+CliOptions parseCli(const std::vector<std::string> &args);
+
+/** Usage text. */
+std::string cliUsage();
+
+/**
+ * Run synthesis per @p options, writing results to @p out.
+ *
+ * @return process exit code (0 = at least one exploit synthesized).
+ */
+int runCli(const CliOptions &options, std::ostream &out);
+
+} // namespace checkmate::core
+
+#endif // CHECKMATE_CORE_CLI_HH

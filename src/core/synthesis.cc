@@ -1,0 +1,188 @@
+/**
+ * @file
+ * CheckMate synthesis engine implementation.
+ */
+
+#include "core/synthesis.hh"
+
+#include <chrono>
+#include <set>
+#include <sstream>
+
+#include "rmf/solve.hh"
+
+namespace checkmate::core
+{
+
+using Clock = std::chrono::steady_clock;
+
+namespace
+{
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start)
+        .count();
+}
+
+} // anonymous namespace
+
+std::string
+SynthesisReport::toString() const
+{
+    std::ostringstream out;
+    out << microarch << " + " << pattern
+        << " @ bound=" << bounds.numEvents
+        << (sat ? "" : " UNSAT")
+        << " | first: " << secondsToFirst << "s, all: "
+        << secondsToAll << "s | raw graphs: " << rawInstances
+        << ", unique litmus tests: " << uniqueTests;
+    for (const auto &[cls, count] : classCounts) {
+        out << " | " << litmus::attackClassName(cls) << ": "
+            << count;
+    }
+    return out.str();
+}
+
+std::vector<SynthesizedExploit>
+CheckMate::run(
+    const uspec::SynthesisBounds &bounds,
+    const SynthesisOptions &options, SynthesisReport *report,
+    bool first_only,
+    const std::vector<uspec::UspecContext::FixedOp> *program) const
+{
+    uspec::UspecContext ctx(bounds, uarch_.locations(),
+                            uarch_.options());
+    uspec::EdgeDeriver deriver(ctx);
+    uarch_.applyAxioms(ctx, deriver);
+    deriver.finalize();
+    if (pattern_)
+        pattern_->apply(ctx, deriver);
+    if (program)
+        ctx.fixProgram(*program);
+    else if (options.attackNoiseFilters)
+        ctx.applyAttackNoiseFilters();
+
+    if (options.attackerOnly && !program) {
+        for (uspec::EventId e = 0; e < ctx.numEvents(); e++)
+            ctx.require(ctx.inProc(e, uspec::procAttacker));
+    }
+
+    if (options.requireWindow != WindowRequirement::None) {
+        rmf::Formula window = rmf::Formula::bottom();
+        for (uspec::EventId e = 0; e < ctx.numEvents(); e++) {
+            window = window ||
+                     (options.requireWindow ==
+                              WindowRequirement::FaultWindow
+                          ? ctx.faults(e)
+                          : ctx.isMispredicted(e));
+        }
+        ctx.require(window);
+    }
+
+    std::vector<SynthesizedExploit> exploits;
+    std::set<std::string> seen;
+    uint64_t raw = 0;
+    double to_first = 0.0;
+    Clock::time_point start = Clock::now();
+
+    rmf::SolveOptions solve_opts;
+    solve_opts.breakSymmetries = false; // canonicalization axioms
+                                        // already prune relabelings
+    solve_opts.maxInstances =
+        first_only ? 1 : options.maxInstances;
+    solve_opts.conflictBudget = options.conflictBudget;
+    if (options.projectOnLitmusRelations)
+        solve_opts.projectOn = ctx.litmusRelations();
+
+    rmf::SolveResult solve_result;
+    rmf::solveAll(
+        ctx.problem(),
+        [&](const rmf::Instance &inst) {
+            raw++;
+            if (raw == 1)
+                to_first = secondsSince(start);
+            litmus::LitmusTest test =
+                litmus::extractLitmus(ctx, inst);
+            std::string key = test.key();
+            if (seen.insert(key).second) {
+                SynthesizedExploit ex{
+                    test, deriver.buildGraph(inst,
+                                             test.eventLabels()),
+                    pattern_
+                        ? litmus::classify(test,
+                                           pattern_->family())
+                        : litmus::AttackClass::Unclassified};
+                exploits.push_back(std::move(ex));
+            }
+            return true;
+        },
+        solve_opts, &solve_result);
+
+    if (report) {
+        report->microarch = uarch_.name();
+        report->pattern = pattern_ ? pattern_->name() : "(none)";
+        report->bounds = bounds;
+        report->sat = raw > 0;
+        report->rawInstances = raw;
+        report->uniqueTests = exploits.size();
+        report->secondsToFirst = to_first;
+        report->secondsToAll = secondsSince(start);
+        report->classCounts.clear();
+        for (const SynthesizedExploit &ex : exploits)
+            report->classCounts[ex.attackClass]++;
+    }
+    return exploits;
+}
+
+std::vector<SynthesizedExploit>
+CheckMate::synthesizeAll(const uspec::SynthesisBounds &bounds,
+                         const SynthesisOptions &options,
+                         SynthesisReport *report) const
+{
+    return run(bounds, options, report, false, nullptr);
+}
+
+std::optional<SynthesizedExploit>
+CheckMate::synthesizeOne(const uspec::SynthesisBounds &bounds,
+                         const SynthesisOptions &options,
+                         SynthesisReport *report) const
+{
+    auto all = run(bounds, options, report, true, nullptr);
+    if (all.empty())
+        return std::nullopt;
+    return all.front();
+}
+
+std::vector<SynthesizedExploit>
+CheckMate::synthesizeExecutions(
+    const std::vector<uspec::UspecContext::FixedOp> &program,
+    const uspec::SynthesisBounds &bounds,
+    const SynthesisOptions &options, SynthesisReport *report) const
+{
+    return run(bounds, options, report, false, &program);
+}
+
+std::vector<SynthesizedExploit>
+synthesizeWithIncreasingBounds(
+    const CheckMate &tool, uspec::SynthesisBounds bounds, int lo,
+    int hi, litmus::AttackClass target,
+    const SynthesisOptions &options,
+    std::vector<SynthesisReport> *reports)
+{
+    for (int n = lo; n <= hi; n++) {
+        bounds.numEvents = n;
+        SynthesisReport report;
+        auto exploits = tool.synthesizeAll(bounds, options, &report);
+        if (reports)
+            reports->push_back(report);
+        for (const SynthesizedExploit &ex : exploits) {
+            if (ex.attackClass == target)
+                return exploits;
+        }
+    }
+    return {};
+}
+
+} // namespace checkmate::core

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * The CheckMate synthesis engine (Fig. 2's toolflow).
+ *
+ * Given a microarchitecture specification and an exploit pattern,
+ * assemble the relational problem (parse μspec → relational model),
+ * synthesize candidate executions, prune to those exhibiting the
+ * pattern (the pattern's requirements), and extract security litmus
+ * tests and μhb graphs — with timing and unique-variant accounting
+ * for the Table I methodology.
+ */
+
+#ifndef CHECKMATE_CORE_SYNTHESIS_HH
+#define CHECKMATE_CORE_SYNTHESIS_HH
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/uhb_graph.hh"
+#include "litmus/litmus.hh"
+#include "patterns/pattern.hh"
+#include "uspec/microarch.hh"
+
+namespace checkmate::core
+{
+
+/**
+ * Focus a run on attacks whose squash window is opened a specific
+ * way — the Table I methodology reports each bound's *new* attack
+ * class (bound 5: fault windows / Meltdown; bound 6: branch windows
+ * / Spectre), so the row's run requires that window kind to exist.
+ */
+enum class WindowRequirement
+{
+    None,
+    FaultWindow,  ///< some access faults (Meltdown family)
+    BranchWindow  ///< some branch mispredicts (Spectre family)
+};
+
+/** Options for one synthesis run. */
+struct SynthesisOptions
+{
+    /** Stop after this many raw solver instances. */
+    uint64_t maxInstances = std::numeric_limits<uint64_t>::max();
+
+    /** Abort the SAT search after this many conflicts (0 = off). */
+    uint64_t conflictBudget = 0;
+
+    /**
+     * Enumerate one solver model per distinct litmus test rather
+     * than per distinct interleaving (projects enumeration onto the
+     * litmus-relevant relations; §V-C). Disable to count every
+     * satisfying μhb graph, as unoptimized enumerations do.
+     */
+    bool projectOnLitmusRelations = true;
+
+    /**
+     * Apply the attack-relevance noise filters (§VI-B) to
+     * free-program synthesis: no fences, branches mispredict.
+     * Ignored for fixed-program runs.
+     */
+    bool attackNoiseFilters = true;
+
+    /** Require a specific speculation-window kind to be present. */
+    WindowRequirement requireWindow = WindowRequirement::None;
+
+    /**
+     * Restrict to single-process (attacker-only) programs — the
+     * shape of the speculation-based attacks, which need no victim
+     * execution at all (one of the paper's §II-B insights).
+     */
+    bool attackerOnly = false;
+};
+
+/** One synthesized exploit: litmus test + μhb graph + class. */
+struct SynthesizedExploit
+{
+    litmus::LitmusTest test;
+    graph::UhbGraph graph;
+    litmus::AttackClass attackClass =
+        litmus::AttackClass::Unclassified;
+};
+
+/** Accounting for one run (a Table I row). */
+struct SynthesisReport
+{
+    std::string microarch;
+    std::string pattern;
+    uspec::SynthesisBounds bounds;
+
+    bool sat = false;
+    uint64_t rawInstances = 0;  ///< solver models (μhb graphs)
+    uint64_t uniqueTests = 0;   ///< after duplicate filtering (§V-C)
+    double secondsToFirst = 0.0;
+    double secondsToAll = 0.0;
+
+    /** Unique litmus tests per attack class. */
+    std::map<litmus::AttackClass, int> classCounts;
+
+    /** Render as a Table I-style row. */
+    std::string toString() const;
+};
+
+/**
+ * The CheckMate tool: one (microarchitecture, pattern) combination.
+ */
+class CheckMate
+{
+  public:
+    /**
+     * @param uarch the microarchitecture specification
+     * @param pattern the exploit pattern; may be null to synthesize
+     *        unconstrained candidate executions (useful for testing
+     *        the μspec model itself)
+     */
+    CheckMate(const uspec::Microarchitecture &uarch,
+              const patterns::ExploitPattern *pattern)
+        : uarch_(uarch), pattern_(pattern)
+    {}
+
+    /**
+     * Enumerate every satisfying execution within @p bounds and
+     * return the unique exploits (duplicate and symmetric litmus
+     * tests filtered).
+     */
+    std::vector<SynthesizedExploit> synthesizeAll(
+        const uspec::SynthesisBounds &bounds,
+        const SynthesisOptions &options = {},
+        SynthesisReport *report = nullptr) const;
+
+    /** Find a single exploit (fast path). */
+    std::optional<SynthesizedExploit> synthesizeOne(
+        const uspec::SynthesisBounds &bounds,
+        const SynthesisOptions &options = {},
+        SynthesisReport *report = nullptr) const;
+
+    /**
+     * Run with fixed program contents (the Fig. 3c methodology:
+     * synthesize all executions of one program).
+     */
+    std::vector<SynthesizedExploit> synthesizeExecutions(
+        const std::vector<uspec::UspecContext::FixedOp> &program,
+        const uspec::SynthesisBounds &bounds,
+        const SynthesisOptions &options = {},
+        SynthesisReport *report = nullptr) const;
+
+    const uspec::Microarchitecture &uarch() const { return uarch_; }
+
+  private:
+    std::vector<SynthesizedExploit> run(
+        const uspec::SynthesisBounds &bounds,
+        const SynthesisOptions &options, SynthesisReport *report,
+        bool first_only,
+        const std::vector<uspec::UspecContext::FixedOp> *program)
+        const;
+
+    const uspec::Microarchitecture &uarch_;
+    const patterns::ExploitPattern *pattern_;
+};
+
+/**
+ * Increasing-bound search (§VI-B): run with numEvents = lo..hi until
+ * at least one exploit of @p target class is synthesized; returns the
+ * exploits of the bound that first produced one.
+ */
+std::vector<SynthesizedExploit> synthesizeWithIncreasingBounds(
+    const CheckMate &tool, uspec::SynthesisBounds bounds, int lo,
+    int hi, litmus::AttackClass target,
+    const SynthesisOptions &options = {},
+    std::vector<SynthesisReport> *reports = nullptr);
+
+} // namespace checkmate::core
+
+#endif // CHECKMATE_CORE_SYNTHESIS_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unoptimized encoding implementation.
+ */
+
+#include "core/unopt.hh"
+
+#include <chrono>
+#include <string>
+
+#include "rmf/solve.hh"
+
+namespace checkmate::core
+{
+
+using rmf::Atom;
+using rmf::Expr;
+using rmf::Formula;
+using rmf::Tuple;
+using rmf::TupleSet;
+
+UnoptResult
+enumerateUnoptimizedEncoding(const graph::UhbGraph &graph,
+                             uint64_t cap, bool break_symmetries)
+{
+    const auto &nodes = graph.nodes();
+    const size_t m = nodes.size();
+
+    // Universe: one atom per free node, one per (event, location)
+    // grid coordinate actually used.
+    rmf::Universe u;
+    std::vector<Atom> node_atoms;
+    for (size_t i = 0; i < m; i++)
+        node_atoms.push_back(u.addAtom("n" + std::to_string(i)));
+    std::vector<Atom> event_atoms(graph.numEvents(), -1);
+    std::vector<Atom> loc_atoms(graph.numLocations(), -1);
+    for (const graph::UhbNode &n : nodes) {
+        if (event_atoms[n.event] < 0) {
+            event_atoms[n.event] =
+                u.addAtom("e" + std::to_string(n.event));
+        }
+        if (loc_atoms[n.location] < 0) {
+            loc_atoms[n.location] =
+                u.addAtom("l" + std::to_string(n.location));
+        }
+    }
+
+    rmf::Problem p(u);
+    TupleSet node_event_upper(2), node_loc_upper(2), uhb_upper(2);
+    for (Atom n : node_atoms) {
+        for (Atom e : event_atoms) {
+            if (e >= 0)
+                node_event_upper.add(Tuple{n, e});
+        }
+        for (Atom l : loc_atoms) {
+            if (l >= 0)
+                node_loc_upper.add(Tuple{n, l});
+        }
+        for (Atom n2 : node_atoms) {
+            if (n != n2)
+                uhb_upper.add(Tuple{n, n2});
+        }
+    }
+    rmf::RelationId node_event =
+        p.addRelation("event", node_event_upper);
+    rmf::RelationId node_loc = p.addRelation("loc", node_loc_upper);
+    rmf::RelationId uhb = p.addRelation("uhb", uhb_upper);
+
+    auto at_cell = [&](Atom n, const graph::UhbNode &cell) {
+        TupleSet te(2), tl(2);
+        te.add(Tuple{n, event_atoms[cell.event]});
+        tl.add(Tuple{n, loc_atoms[cell.location]});
+        return rmf::in(Expr::constant(te), p.expr(node_event)) &&
+               rmf::in(Expr::constant(tl), p.expr(node_loc));
+    };
+
+    // Each node atom is assigned one event and one location.
+    for (Atom n : node_atoms) {
+        p.require(rmf::one(Expr::atom(n).join(p.expr(node_event))));
+        p.require(rmf::one(Expr::atom(n).join(p.expr(node_loc))));
+    }
+
+    // Injectivity: no two node atoms share a grid cell.
+    for (size_t i = 0; i < m; i++) {
+        for (size_t j = i + 1; j < m; j++) {
+            Expr ei = Expr::atom(node_atoms[i]).join(
+                p.expr(node_event));
+            Expr ej = Expr::atom(node_atoms[j]).join(
+                p.expr(node_event));
+            Expr li =
+                Expr::atom(node_atoms[i]).join(p.expr(node_loc));
+            Expr lj =
+                Expr::atom(node_atoms[j]).join(p.expr(node_loc));
+            p.require(rmf::no(ei & ej) || rmf::no(li & lj));
+        }
+    }
+
+    // Every grid cell of the reference graph is realized by some
+    // node atom (with injectivity and |atoms| == |cells| this makes
+    // the assignment a bijection — the free relabeling).
+    for (const graph::UhbNode &cell : nodes) {
+        Formula covered = Formula::bottom();
+        for (Atom n : node_atoms)
+            covered = covered || at_cell(n, cell);
+        p.require(covered);
+    }
+
+    // uhb(n1, n2) holds exactly when the assigned cells are joined
+    // by an edge of the reference graph.
+    for (size_t i = 0; i < m; i++) {
+        for (size_t j = 0; j < m; j++) {
+            if (i == j)
+                continue;
+            Formula matches = Formula::bottom();
+            for (const graph::UhbEdge &e : graph.edges()) {
+                matches = matches ||
+                          (at_cell(node_atoms[i],
+                                   nodes[e.src]) &&
+                           at_cell(node_atoms[j], nodes[e.dst]));
+            }
+            TupleSet t(2);
+            t.add(Tuple{node_atoms[i], node_atoms[j]});
+            p.require(
+                rmf::in(Expr::constant(t), p.expr(uhb))
+                    .iff(matches));
+        }
+    }
+
+    // Acyclicity, as in any μhb analysis.
+    p.require(rmf::no(p.expr(uhb).closure() & Expr::iden(u)));
+
+    if (break_symmetries) {
+        rmf::SymmetryClass cls(node_atoms.begin(), node_atoms.end());
+        p.addSymmetryClass(cls);
+    }
+
+    rmf::SolveOptions opts;
+    opts.breakSymmetries = break_symmetries;
+    opts.maxInstances = cap;
+
+    UnoptResult result;
+    auto start = std::chrono::steady_clock::now();
+    rmf::SolveResult solve_result;
+    result.instances = rmf::solveAll(
+        p, [](const rmf::Instance &) { return true; }, opts,
+        &solve_result);
+    result.seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    result.exhausted = result.instances < cap;
+    result.primaryVars = solve_result.translation.primaryVars;
+    result.clauses = solve_result.translation.solverClauses;
+    return result;
+}
+
+} // namespace checkmate::core

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The unoptimized μhb node encoding (§IV-B / Fig. 3a, for Fig. 3c).
+ *
+ * The naive Alloy formulation represents μhb nodes as a sig of free
+ * atoms with `event: one Event` and `loc: one Location` relations:
+ * the solver must *choose* the node labeling even though the grid
+ * layout is known a priori. Every permutation of node atoms yields a
+ * distinct but isomorphic solution — a 20-node graph admits 20!
+ * labelings (§V-A) — so enumeration explodes and never terminates
+ * within practical limits.
+ *
+ * This module reproduces that encoding: given a concrete μhb graph
+ * (one solution of the optimized encoding), it poses the
+ * free-labeling model-finding problem and enumerates its instances
+ * (capped). It also supports turning on the translator's lex-leader
+ * symmetry breaking to show how much of the blowup generic symmetry
+ * breaking can reclaim, versus the grid (NodeRel) encoding that
+ * avoids the freedom entirely (§V-A).
+ */
+
+#ifndef CHECKMATE_CORE_UNOPT_HH
+#define CHECKMATE_CORE_UNOPT_HH
+
+#include <cstdint>
+
+#include "graph/uhb_graph.hh"
+
+namespace checkmate::core
+{
+
+/** Result of one unoptimized-encoding enumeration. */
+struct UnoptResult
+{
+    uint64_t instances = 0;  ///< isomorphic solutions enumerated
+    bool exhausted = false;  ///< enumeration finished below the cap
+    double seconds = 0.0;
+    size_t primaryVars = 0;
+    size_t clauses = 0;
+};
+
+/**
+ * Enumerate instances of the naive free-node-labeling encoding of
+ * @p graph, up to @p cap.
+ *
+ * @param break_symmetries apply lex-leader symmetry breaking over
+ *        the node atoms (the generic mitigation; the paper's fix is
+ *        the NodeRel encoding, which sidesteps the problem).
+ */
+UnoptResult enumerateUnoptimizedEncoding(
+    const graph::UhbGraph &graph, uint64_t cap,
+    bool break_symmetries = false);
+
+} // namespace checkmate::core
+
+#endif // CHECKMATE_CORE_UNOPT_HH

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * μhb graph implementation.
+ */
+
+#include "graph/uhb_graph.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace checkmate::graph
+{
+
+const char *
+edgeKindName(EdgeKind kind)
+{
+    switch (kind) {
+      case EdgeKind::IntraInstruction: return "intra";
+      case EdgeKind::InterInstruction: return "inter";
+      case EdgeKind::ProgramOrder: return "po";
+      case EdgeKind::Com: return "com";
+      case EdgeKind::ViCL: return "vicl";
+      case EdgeKind::Coherence: return "coh";
+      case EdgeKind::Squash: return "squash";
+      case EdgeKind::Pattern: return "pattern";
+      case EdgeKind::Other: return "other";
+    }
+    return "?";
+}
+
+UhbGraph::UhbGraph(std::vector<std::string> event_labels,
+                   std::vector<std::string> location_labels)
+    : eventLabels_(std::move(event_labels)),
+      locationLabels_(std::move(location_labels)),
+      gridToNode_(eventLabels_.size() * locationLabels_.size(), -1)
+{}
+
+NodeId
+UhbGraph::addNode(int event, int location)
+{
+    assert(event >= 0 && event < numEvents());
+    assert(location >= 0 && location < numLocations());
+    int32_t &slot = gridToNode_[event * numLocations() + location];
+    if (slot >= 0)
+        return slot;
+    NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(UhbNode{event, location});
+    slot = id;
+    return id;
+}
+
+std::optional<NodeId>
+UhbGraph::node(int event, int location) const
+{
+    if (event < 0 || event >= numEvents() || location < 0 ||
+        location >= numLocations()) {
+        return std::nullopt;
+    }
+    int32_t slot = gridToNode_[event * numLocations() + location];
+    if (slot < 0)
+        return std::nullopt;
+    return slot;
+}
+
+void
+UhbGraph::addEdge(NodeId src, NodeId dst, EdgeKind kind)
+{
+    assert(src >= 0 && static_cast<size_t>(src) < nodes_.size());
+    assert(dst >= 0 && static_cast<size_t>(dst) < nodes_.size());
+    UhbEdge e{src, dst, kind};
+    if (std::find(edges_.begin(), edges_.end(), e) == edges_.end())
+        edges_.push_back(e);
+}
+
+void
+UhbGraph::addEdge(int src_event, int src_loc, int dst_event,
+                  int dst_loc, EdgeKind kind)
+{
+    addEdge(addNode(src_event, src_loc), addNode(dst_event, dst_loc),
+            kind);
+}
+
+bool
+UhbGraph::hasEdge(NodeId src, NodeId dst) const
+{
+    for (const UhbEdge &e : edges_) {
+        if (e.src == src && e.dst == dst)
+            return true;
+    }
+    return false;
+}
+
+std::optional<std::vector<NodeId>>
+UhbGraph::topologicalOrder() const
+{
+    std::vector<int> indegree(nodes_.size(), 0);
+    std::vector<std::vector<NodeId>> succs(nodes_.size());
+    for (const UhbEdge &e : edges_) {
+        // Parallel edges of different kinds count once for Kahn's
+        // algorithm; recompute indegree from unique pairs.
+        if (std::find(succs[e.src].begin(), succs[e.src].end(),
+                      e.dst) == succs[e.src].end()) {
+            succs[e.src].push_back(e.dst);
+            indegree[e.dst]++;
+        }
+    }
+    std::vector<NodeId> ready;
+    for (size_t i = 0; i < nodes_.size(); i++) {
+        if (indegree[i] == 0)
+            ready.push_back(static_cast<NodeId>(i));
+    }
+    std::vector<NodeId> order;
+    while (!ready.empty()) {
+        NodeId n = ready.back();
+        ready.pop_back();
+        order.push_back(n);
+        for (NodeId s : succs[n]) {
+            if (--indegree[s] == 0)
+                ready.push_back(s);
+        }
+    }
+    if (order.size() != nodes_.size())
+        return std::nullopt;
+    return order;
+}
+
+bool
+UhbGraph::hasCycle() const
+{
+    return !topologicalOrder().has_value();
+}
+
+std::vector<std::vector<bool>>
+UhbGraph::transitiveClosure() const
+{
+    size_t n = nodes_.size();
+    std::vector<std::vector<bool>> reach(n, std::vector<bool>(n));
+    for (const UhbEdge &e : edges_)
+        reach[e.src][e.dst] = true;
+    // Floyd–Warshall; n is small (tens of nodes per litmus test).
+    for (size_t k = 0; k < n; k++) {
+        for (size_t i = 0; i < n; i++) {
+            if (!reach[i][k])
+                continue;
+            for (size_t j = 0; j < n; j++) {
+                if (reach[k][j])
+                    reach[i][j] = true;
+            }
+        }
+    }
+    return reach;
+}
+
+bool
+UhbGraph::reaches(NodeId src, NodeId dst) const
+{
+    return transitiveClosure()[src][dst];
+}
+
+std::string
+UhbGraph::canonicalKey() const
+{
+    // Nodes sorted by grid coordinates, edges by (src-coord,
+    // dst-coord, kind): identical sets yield identical keys.
+    std::vector<UhbNode> ns = nodes_;
+    std::sort(ns.begin(), ns.end());
+    struct EdgeKey
+    {
+        UhbNode src, dst;
+        EdgeKind kind;
+        bool
+        operator<(const EdgeKey &o) const
+        {
+            if (!(src == o.src))
+                return src < o.src;
+            if (!(dst == o.dst))
+                return dst < o.dst;
+            return kind < o.kind;
+        }
+    };
+    std::vector<EdgeKey> es;
+    for (const UhbEdge &e : edges_)
+        es.push_back(EdgeKey{nodes_[e.src], nodes_[e.dst], e.kind});
+    std::sort(es.begin(), es.end());
+
+    std::ostringstream out;
+    out << "N:";
+    for (const UhbNode &n : ns)
+        out << n.event << ',' << n.location << ';';
+    out << "E:";
+    for (const EdgeKey &e : es) {
+        out << e.src.event << ',' << e.src.location << "->"
+            << e.dst.event << ',' << e.dst.location << ':'
+            << static_cast<int>(e.kind) << ';';
+    }
+    return out.str();
+}
+
+std::string
+UhbGraph::toDot(const std::string &title) const
+{
+    std::ostringstream out;
+    out << "digraph \"" << title << "\" {\n"
+        << "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+    for (size_t i = 0; i < nodes_.size(); i++) {
+        const UhbNode &n = nodes_[i];
+        out << "  n" << i << " [label=\"" << eventLabels_[n.event]
+            << "\\n" << locationLabels_[n.location] << "\"];\n";
+    }
+    // Rank nodes of one location together so the layout resembles the
+    // row-per-location grids in the paper.
+    for (int l = 0; l < numLocations(); l++) {
+        bool any = false;
+        std::ostringstream rank;
+        rank << "  { rank=same;";
+        for (size_t i = 0; i < nodes_.size(); i++) {
+            if (nodes_[i].location == l) {
+                rank << " n" << i << ';';
+                any = true;
+            }
+        }
+        rank << " }\n";
+        if (any)
+            out << rank.str();
+    }
+    for (const UhbEdge &e : edges_) {
+        out << "  n" << e.src << " -> n" << e.dst << " [label=\""
+            << edgeKindName(e.kind) << "\"];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+std::string
+UhbGraph::toAsciiGrid() const
+{
+    // Column width driven by the longest label.
+    size_t width = 8;
+    for (const std::string &l : eventLabels_)
+        width = std::max(width, l.size() + 2);
+    size_t row_label = 0;
+    for (const std::string &l : locationLabels_)
+        row_label = std::max(row_label, l.size() + 2);
+
+    std::ostringstream out;
+    out << std::string(row_label, ' ');
+    for (const std::string &l : eventLabels_) {
+        out << l << std::string(width - l.size(), ' ');
+    }
+    out << '\n';
+    for (int loc = 0; loc < numLocations(); loc++) {
+        const std::string &ll = locationLabels_[loc];
+        out << ll << std::string(row_label - ll.size(), ' ');
+        for (int e = 0; e < numEvents(); e++) {
+            const char *cell = hasNode(e, loc) ? "o" : ".";
+            out << cell << std::string(width - 1, ' ');
+        }
+        out << '\n';
+    }
+    out << "edges:\n";
+    for (const UhbEdge &e : edges_) {
+        const UhbNode &s = nodes_[e.src];
+        const UhbNode &d = nodes_[e.dst];
+        out << "  (" << eventLabels_[s.event] << ", "
+            << locationLabels_[s.location] << ") -> ("
+            << eventLabels_[d.event] << ", "
+            << locationLabels_[d.location] << ") ["
+            << edgeKindName(e.kind) << "]\n";
+    }
+    return out.str();
+}
+
+} // namespace checkmate::graph

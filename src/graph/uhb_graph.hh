@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Microarchitectural happens-before (μhb) graphs.
+ *
+ * A μhb graph models one execution of a program on a microarchitecture
+ * (§I of the CheckMate paper): nodes are ⟨event, location⟩ pairs — a
+ * micro-op reaching a particular hardware structure — and directed
+ * edges are temporal happens-before relationships. A cyclic μhb graph
+ * is a proof by contradiction that the execution is unobservable; an
+ * acyclic graph represents an observable execution (§III).
+ *
+ * This module provides the concrete graph datatype that synthesized
+ * instances are rendered into, along with cycle checking, transitive
+ * closure, canonical keys for duplicate filtering (§V-C), and DOT /
+ * ASCII-grid exports matching the paper's figures.
+ */
+
+#ifndef CHECKMATE_GRAPH_UHB_GRAPH_HH
+#define CHECKMATE_GRAPH_UHB_GRAPH_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace checkmate::graph
+{
+
+/** Dense node handle within one UhbGraph. */
+using NodeId = int32_t;
+
+/**
+ * Classification of μhb edges.
+ *
+ * The translator keeps edge categories separate (the sub_uhb
+ * sub-relations of §V-B) but cycle checking treats them uniformly.
+ */
+enum class EdgeKind : uint8_t
+{
+    IntraInstruction, ///< one micro-op moving through the pipeline
+    InterInstruction, ///< pipeline-enforced cross-instruction order
+    ProgramOrder,     ///< fetch-order between same-thread micro-ops
+    Com,              ///< communication: rf / co / fr
+    ViCL,             ///< cache-lifetime (create/expire/source) order
+    Coherence,        ///< coherence request/response order
+    Squash,           ///< speculation squash ordering
+    Pattern,          ///< edge contributed by an exploit pattern
+    Other
+};
+
+/** Printable name of an edge kind. */
+const char *edgeKindName(EdgeKind kind);
+
+/** A ⟨event, location⟩ μhb node. */
+struct UhbNode
+{
+    int event;    ///< micro-op (column) index
+    int location; ///< hardware structure (row) index
+
+    bool
+    operator==(const UhbNode &o) const
+    {
+        return event == o.event && location == o.location;
+    }
+    bool
+    operator<(const UhbNode &o) const
+    {
+        return event != o.event ? event < o.event
+                                : location < o.location;
+    }
+};
+
+/** A directed μhb edge between two node handles. */
+struct UhbEdge
+{
+    NodeId src;
+    NodeId dst;
+    EdgeKind kind;
+
+    bool
+    operator==(const UhbEdge &o) const
+    {
+        return src == o.src && dst == o.dst && kind == o.kind;
+    }
+};
+
+/**
+ * A μhb graph over a fixed grid of events × locations.
+ *
+ * Nodes are added explicitly (a node's absence is meaningful: e.g. a
+ * cache hit has no new ViCL-create node); edges reference node
+ * handles. Event and location display labels are owned by the graph
+ * so renderings match the paper's figures.
+ */
+class UhbGraph
+{
+  public:
+    UhbGraph(std::vector<std::string> event_labels,
+             std::vector<std::string> location_labels);
+
+    int numEvents() const
+    {
+        return static_cast<int>(eventLabels_.size());
+    }
+    int numLocations() const
+    {
+        return static_cast<int>(locationLabels_.size());
+    }
+    size_t numNodes() const { return nodes_.size(); }
+    size_t numEdges() const { return edges_.size(); }
+
+    const std::string &eventLabel(int e) const
+    {
+        return eventLabels_[e];
+    }
+    const std::string &locationLabel(int l) const
+    {
+        return locationLabels_[l];
+    }
+
+    /** Add node ⟨event, location⟩ (idempotent); returns its handle. */
+    NodeId addNode(int event, int location);
+
+    /** Handle of ⟨event, location⟩ or nullopt if absent. */
+    std::optional<NodeId> node(int event, int location) const;
+
+    bool hasNode(int event, int location) const
+    {
+        return node(event, location).has_value();
+    }
+
+    const UhbNode &nodeAt(NodeId id) const { return nodes_[id]; }
+
+    /** Add a directed edge (idempotent per (src,dst,kind)). */
+    void addEdge(NodeId src, NodeId dst, EdgeKind kind);
+
+    /** Add an edge between grid coordinates, creating the nodes. */
+    void addEdge(int src_event, int src_loc, int dst_event,
+                 int dst_loc, EdgeKind kind);
+
+    const std::vector<UhbNode> &nodes() const { return nodes_; }
+    const std::vector<UhbEdge> &edges() const { return edges_; }
+
+    /** True iff an edge (src, dst) of any kind exists. */
+    bool hasEdge(NodeId src, NodeId dst) const;
+
+    /**
+     * True iff the graph contains a directed cycle — i.e. the modeled
+     * execution is unobservable (§III).
+     */
+    bool hasCycle() const;
+
+    /**
+     * Topological order of node handles.
+     *
+     * @return nullopt when the graph is cyclic.
+     */
+    std::optional<std::vector<NodeId>> topologicalOrder() const;
+
+    /**
+     * Reachability matrix: result[a][b] iff a path a→b exists.
+     */
+    std::vector<std::vector<bool>> transitiveClosure() const;
+
+    /** True iff dst is reachable from src by a non-empty path. */
+    bool reaches(NodeId src, NodeId dst) const;
+
+    /**
+     * A canonical string key: two graphs over the same grids compare
+     * equal iff they have identical node and edge sets. Used to filter
+     * duplicate synthesis results (§V-C).
+     */
+    std::string canonicalKey() const;
+
+    /** Graphviz DOT rendering (grid-ranked like the paper figures). */
+    std::string toDot(const std::string &title = "uhb") const;
+
+    /**
+     * ASCII grid rendering: locations as rows, events as columns, a
+     * textual analogue of Fig. 5.
+     */
+    std::string toAsciiGrid() const;
+
+  private:
+    std::vector<std::string> eventLabels_;
+    std::vector<std::string> locationLabels_;
+    std::vector<UhbNode> nodes_;
+    std::vector<UhbEdge> edges_;
+    std::vector<int32_t> gridToNode_; // (event*numLoc+loc) -> NodeId
+};
+
+} // namespace checkmate::graph
+
+#endif // CHECKMATE_GRAPH_UHB_GRAPH_HH

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Litmus-to-simulator expansion implementation.
+ */
+
+#include "litmus/expand.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace checkmate::litmus
+{
+
+using sim::Instr;
+using sim::Program;
+using uspec::MicroOpType;
+
+namespace
+{
+
+// Simulator geometry used for expansion: PA picks the tag, the
+// litmus cache index picks the set, so same-index different-PA
+// addresses collide in the direct-mapped L1 exactly as in the model.
+constexpr int lineBytes = 64;
+constexpr int numSets = 64;
+
+// Register conventions.
+constexpr int rAddr = 1;       // effective address scratch
+constexpr int rScratch = 2;    // address computation scratch
+constexpr int rT0 = 14, rT1 = 15; // rdtsc pair for the timed access
+constexpr int rValueBase = 6;  // per-event loaded-value registers
+
+int
+valueReg(int event)
+{
+    return rValueBase + (event % 8);
+}
+
+uint64_t
+addressOf(const LitmusOp &op)
+{
+    // tag from PA, set from the modeled cache index.
+    return static_cast<uint64_t>(op.pa + 1) * numSets * lineBytes +
+           static_cast<uint64_t>(op.index) * lineBytes;
+}
+
+} // anonymous namespace
+
+ExpandedLitmus
+expandLitmus(const LitmusTest &test)
+{
+    ExpandedLitmus out;
+
+    // The timed access: last committed attacker read.
+    for (int i = static_cast<int>(test.ops.size()) - 1; i >= 0;
+         i--) {
+        const LitmusOp &op = test.ops[i];
+        if (op.type == MicroOpType::Read && !op.squashed &&
+            op.proc == uspec::procAttacker) {
+            out.timedEvent = i;
+            break;
+        }
+    }
+    if (out.timedEvent < 0)
+        throw std::invalid_argument(
+            "expandLitmus: no timed (final committed attacker "
+            "read) access");
+
+    // Address map per VA.
+    int max_va = -1;
+    for (const LitmusOp &op : test.ops)
+        max_va = std::max(max_va, op.va);
+    out.vaAddress.assign(max_va + 1, 0);
+    for (const LitmusOp &op : test.ops) {
+        if (op.va >= 0)
+            out.vaAddress[op.va] = addressOf(op);
+    }
+
+    // Privileged PAs: those some op faults on. A non-faulting access
+    // to the same PA cannot be expanded (the simulator's privilege
+    // check is per address, not per process).
+    std::set<int> fault_pas, benign_pas;
+    for (const LitmusOp &op : test.ops) {
+        if (op.pa < 0 || op.type == MicroOpType::Clflush)
+            continue;
+        (op.faults ? fault_pas : benign_pas).insert(op.pa);
+    }
+    for (int pa : fault_pas) {
+        if (benign_pas.count(pa)) {
+            throw std::invalid_argument(
+                "expandLitmus: PA both faults and is accessed "
+                "legally");
+        }
+    }
+
+    // Emit segments in slot order, splitting on core switches.
+    const int n = static_cast<int>(test.ops.size());
+    int i = 0;
+    while (i < n) {
+        ExpandedSegment seg;
+        seg.core = test.ops[i].core;
+        Program &p = seg.program;
+
+        // Pending branch fixups: (instruction index, window end
+        // slot) — patched once the window's instructions are out.
+        std::vector<std::pair<size_t, int>> branch_fixups;
+        int fault_handler_fixup = -1; // slot whose window ends it
+
+        int j = i;
+        for (; j < n && test.ops[j].core == seg.core; j++) {
+            const LitmusOp &op = test.ops[j];
+            bool timed = (j == out.timedEvent);
+
+            // Resolve any branch fixup whose window just ended.
+            for (auto &[pc, window_src] : branch_fixups) {
+                if (window_src >= 0 && !op.squashed) {
+                    p[pc].target = static_cast<int>(p.size());
+                    window_src = -1;
+                }
+            }
+
+            switch (op.type) {
+              case MicroOpType::Read:
+              case MicroOpType::Write:
+              case MicroOpType::Clflush: {
+                uint64_t addr = addressOf(op);
+                // Address dependency: real dataflow from the
+                // source's loaded value (contributes 0 to the
+                // address, as in the single-address abstraction).
+                if (!op.addrDepOn.empty()) {
+                    int src = op.addrDepOn.front();
+                    p.push_back(sim::andi(rScratch, valueReg(src),
+                                          0));
+                    p.push_back(sim::movi(rAddr,
+                                          static_cast<int64_t>(
+                                              addr)));
+                    p.push_back(
+                        sim::add(rAddr, rAddr, rScratch));
+                } else {
+                    p.push_back(sim::movi(
+                        rAddr, static_cast<int64_t>(addr)));
+                }
+                if (op.type == MicroOpType::Read) {
+                    if (timed)
+                        p.push_back(sim::rdtsc(rT0));
+                    p.push_back(sim::load(valueReg(j), rAddr));
+                    if (timed)
+                        p.push_back(sim::rdtsc(rT1));
+                    if (op.faults) {
+                        // The fault window ends at the first
+                        // non-squashed same-core op; handler patched
+                        // below.
+                        fault_handler_fixup = j;
+                    }
+                } else if (op.type == MicroOpType::Write) {
+                    p.push_back(sim::store(rAddr, 0, 0));
+                } else {
+                    p.push_back(sim::clflush(rAddr));
+                }
+                break;
+              }
+              case MicroOpType::Branch:
+                if (op.mispredicted) {
+                    // Always taken (r0 >= r0), predicted not-taken
+                    // by the cold 2-bit counter: the subsequent
+                    // squashed ops are the wrong path; target
+                    // patched to the window's end.
+                    branch_fixups.emplace_back(p.size(), j);
+                    p.push_back(sim::bge(0, 0, 0));
+                } // a correctly predicted branch is a no-op here
+                break;
+              case MicroOpType::Fence:
+                p.push_back(sim::fence());
+                break;
+            }
+        }
+        // Unresolved windows run to the end of the segment.
+        int end_pc = static_cast<int>(p.size());
+        for (auto &[pc, window_src] : branch_fixups) {
+            if (window_src >= 0)
+                p[pc].target = end_pc;
+        }
+        p.push_back(sim::halt());
+        seg.endsWithTimedAccess =
+            out.timedEvent >= i && out.timedEvent < j;
+        (void)fault_handler_fixup; // handler = the segment's halt
+        out.segments.push_back(std::move(seg));
+        i = j;
+    }
+
+    // Privileged ranges.
+    if (!fault_pas.empty()) {
+        // Each privileged PA's whole tag region.
+        int pa = *fault_pas.begin();
+        out.privilegedLo = static_cast<uint64_t>(pa + 1) * numSets *
+                           lineBytes;
+        out.privilegedHi = out.privilegedLo + numSets * lineBytes;
+        if (fault_pas.size() > 1) {
+            // Extend to cover all (PAs are contiguous regions).
+            int last = *fault_pas.rbegin();
+            out.privilegedHi = static_cast<uint64_t>(last + 2) *
+                               numSets * lineBytes;
+        }
+    }
+    return out;
+}
+
+LitmusRunOutcome
+runOnSimulator(const LitmusTest &test)
+{
+    ExpandedLitmus expanded = expandLitmus(test);
+
+    sim::CacheConfig cache;
+    cache.numCores = std::max(test.numCores, 2);
+    cache.numSets = numSets;
+    cache.lineBytes = lineBytes;
+    cache.memoryBytes = 1 << 20;
+    sim::CoreConfig core_config;
+    // The expanded mispredicted branch stands for a bounds check
+    // whose operands the attacker flushed (the §VII-C PoC
+    // structure), so its resolution outlasts even cold misses on
+    // the wrong path; the model's executions assume nothing about
+    // window duration, so give the expansion the window the attack
+    // programs engineer for themselves.
+    core_config.branchResolveLatency =
+        2 * cache.missLatency + 50;
+    sim::Machine machine(cache, core_config);
+
+    if (expanded.privilegedHi > expanded.privilegedLo) {
+        machine.addPrivilegedRange(expanded.privilegedLo,
+                                   expanded.privilegedHi);
+    }
+
+    // Warm every non-privileged data line on its accessing core —
+    // the attack-start state real exploits arrange (wrong-path work
+    // must fit in the speculation window, so its inputs are cached;
+    // privileged lines get their Meltdown-window head start from the
+    // late permission check instead). Flushes and invalidations
+    // inside the program still evict as the litmus test dictates.
+    for (const LitmusOp &op : test.ops) {
+        if (op.pa < 0 || op.type == MicroOpType::Clflush)
+            continue;
+        uint64_t addr = addressOf(op);
+        if (expanded.privilegedHi > expanded.privilegedLo &&
+            addr >= expanded.privilegedLo &&
+            addr < expanded.privilegedHi) {
+            continue;
+        }
+        int latency = 0;
+        machine.memory().load(op.core, addr, latency);
+    }
+
+    LitmusRunOutcome outcome;
+    for (const ExpandedSegment &seg : expanded.segments) {
+        machine.setProgram(seg.core, seg.program);
+        // On a fault, recover at the segment's trailing halt.
+        machine.setFaultHandler(
+            seg.core, static_cast<int>(seg.program.size()) - 1);
+        auto r = machine.run(seg.core);
+        outcome.squashes += r.squashes;
+        if (r.faulted)
+            outcome.faults++;
+        if (seg.endsWithTimedAccess) {
+            outcome.timedLatency =
+                machine.reg(seg.core, 15) - machine.reg(seg.core, 14);
+        }
+    }
+    outcome.ran = true;
+    int threshold =
+        (cache.hitLatency + cache.missLatency) / 2;
+    outcome.timedAccessHit = outcome.timedLatency >= 0 &&
+                             outcome.timedLatency < threshold;
+    return outcome;
+}
+
+bool
+simulatorAgrees(const LitmusTest &test)
+{
+    LitmusRunOutcome outcome = runOnSimulator(test);
+    if (!outcome.ran || outcome.timedLatency < 0)
+        return false;
+    const LitmusOp &timed = test.ops[expandLitmus(test).timedEvent];
+    return outcome.timedAccessHit == timed.hit;
+}
+
+} // namespace checkmate::litmus

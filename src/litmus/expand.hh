@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Expansion of security litmus tests into executable simulator
+ * programs (§III-B2: litmus tests "are easily transformed into full
+ * executable programs when necessary"; §VII-C does this by hand for
+ * SpectrePrime).
+ *
+ * The expander maps each micro-op of a synthesized litmus test onto
+ * the simulator ISA — loads, stores, flushes, mispredicted branches
+ * realized as never-taken-predicted always-taken branches, address
+ * dependencies realized as real register dataflow, faulting accesses
+ * mapped into a privileged address range — and the runner executes
+ * the per-core programs on the timing simulator in slot order,
+ * timing the final (reload/probe) access. This closes the loop:
+ * executions CheckMate claims observable can be watched happening,
+ * cache hit/miss signature included, on a concrete speculative
+ * machine.
+ */
+
+#ifndef CHECKMATE_LITMUS_EXPAND_HH
+#define CHECKMATE_LITMUS_EXPAND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "litmus/litmus.hh"
+#include "sim/machine.hh"
+
+namespace checkmate::litmus
+{
+
+/** One core's expanded instruction segment. */
+struct ExpandedSegment
+{
+    int core;
+    sim::Program program;
+    bool endsWithTimedAccess = false;
+};
+
+/** The expanded form of one litmus test. */
+struct ExpandedLitmus
+{
+    std::vector<ExpandedSegment> segments; ///< in global slot order
+    std::vector<uint64_t> vaAddress;       ///< VA id -> address
+    uint64_t privilegedLo = 0, privilegedHi = 0;
+    int timedEvent = -1; ///< slot of the timed access
+};
+
+/**
+ * Expand @p test into simulator programs.
+ *
+ * @throws std::invalid_argument for tests with no timed read.
+ */
+ExpandedLitmus expandLitmus(const LitmusTest &test);
+
+/** Result of running an expanded litmus test. */
+struct LitmusRunOutcome
+{
+    bool ran = false;
+    int64_t timedLatency = -1;
+    bool timedAccessHit = false;
+    uint64_t squashes = 0;
+    uint64_t faults = 0;
+};
+
+/**
+ * Run @p test on a fresh simulated machine, executing the expanded
+ * segments in slot order, and report whether the timed access hit.
+ */
+LitmusRunOutcome runOnSimulator(const LitmusTest &test);
+
+/**
+ * Validate a synthesized litmus test dynamically: the timed access's
+ * hit/miss outcome on the simulator matches the synthesized
+ * execution's hit flag.
+ */
+bool simulatorAgrees(const LitmusTest &test);
+
+} // namespace checkmate::litmus
+
+#endif // CHECKMATE_LITMUS_EXPAND_HH

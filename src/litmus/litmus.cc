@@ -1,0 +1,430 @@
+/**
+ * @file
+ * Litmus extraction, rendering, canonicalization, classification.
+ */
+
+#include "litmus/litmus.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace checkmate::litmus
+{
+
+using rmf::Tuple;
+using uspec::MicroOpType;
+using uspec::UspecContext;
+
+LitmusTest
+extractLitmus(const UspecContext &ctx, const rmf::Instance &instance)
+{
+    const auto &bounds = ctx.bounds();
+    LitmusTest test;
+    test.numCores = bounds.numCores;
+    test.ops.resize(bounds.numEvents);
+    test.paPerms.assign(bounds.numPas, PaPermissions{});
+
+    rmf::Atom first_event = ctx.eventAtom(0);
+    rmf::Atom first_core = ctx.coreAtom(0);
+    rmf::Atom first_proc = ctx.procAtom(0);
+    rmf::Atom first_va = ctx.vaAtom(0);
+    rmf::Atom first_pa = ctx.paAtom(0);
+    rmf::Atom first_idx = ctx.indexAtom(0);
+
+    auto event_of = [&](rmf::Atom a) { return a - first_event; };
+
+    // Types.
+    for (int t = 0; t < uspec::numMicroOpTypes; t++) {
+        for (const Tuple &tp : instance.value(
+                 "is" + std::string(uspec::microOpName(
+                            static_cast<MicroOpType>(t))))) {
+            test.ops[event_of(tp[0])].type =
+                static_cast<MicroOpType>(t);
+        }
+    }
+
+    for (const Tuple &tp : instance.value("eventCore"))
+        test.ops[event_of(tp[0])].core = tp[1] - first_core;
+    for (const Tuple &tp : instance.value("eventProc"))
+        test.ops[event_of(tp[0])].proc = tp[1] - first_proc;
+
+    // Addresses: VA, then PA/index through the maps.
+    std::vector<int> va_pa(bounds.numVas, -1);
+    std::vector<int> pa_idx(bounds.numPas, -1);
+    for (const Tuple &tp : instance.value("vaPa"))
+        va_pa[tp[0] - first_va] = tp[1] - first_pa;
+    for (const Tuple &tp : instance.value("paIndex"))
+        pa_idx[tp[0] - first_pa] = tp[1] - first_idx;
+    for (const Tuple &tp : instance.value("eventVa")) {
+        LitmusOp &op = test.ops[event_of(tp[0])];
+        op.va = tp[1] - first_va;
+        op.pa = va_pa[op.va];
+        if (op.pa >= 0)
+            op.index = pa_idx[op.pa];
+    }
+
+    // Permissions.
+    if (ctx.options().hasPermissions) {
+        for (auto &perm : test.paPerms)
+            perm = PaPermissions{false, false};
+        for (const Tuple &tp : instance.value("canAccess")) {
+            int proc = tp[0] - first_proc;
+            int pa = tp[1] - first_pa;
+            if (proc == uspec::procAttacker)
+                test.paPerms[pa].attacker = true;
+            else if (proc == uspec::procVictim)
+                test.paPerms[pa].victim = true;
+        }
+    }
+
+    // Execution metadata.
+    if (ctx.options().hasSpeculation) {
+        for (const Tuple &tp : instance.value("squashed"))
+            test.ops[event_of(tp[0])].squashed = true;
+        for (const Tuple &tp : instance.value("mispredicted"))
+            test.ops[event_of(tp[0])].mispredicted = true;
+        for (const Tuple &tp : instance.value("faults"))
+            test.ops[event_of(tp[0])].faults = true;
+    }
+    if (ctx.options().hasCache) {
+        for (const Tuple &tp : instance.value("cacheHit"))
+            test.ops[event_of(tp[0])].hit = true;
+        for (const Tuple &tp : instance.value("viclSrc")) {
+            test.ops[event_of(tp[1])].viclSrcOf = event_of(tp[0]);
+        }
+    }
+    for (const Tuple &tp : instance.value("addrDep")) {
+        test.ops[event_of(tp[1])].addrDepOn.push_back(
+            event_of(tp[0]));
+    }
+
+    return test;
+}
+
+namespace
+{
+
+std::string
+permTag(const PaPermissions &perm)
+{
+    if (perm.attacker && perm.victim)
+        return "AV";
+    if (perm.attacker)
+        return "A";
+    if (perm.victim)
+        return "V";
+    return "-";
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+LitmusTest::eventLabels() const
+{
+    std::vector<std::string> labels;
+    for (size_t i = 0; i < ops.size(); i++) {
+        const LitmusOp &op = ops[i];
+        std::ostringstream out;
+        out << (op.proc == uspec::procAttacker ? "A" : "V") << ".I"
+            << i << ' ' << uspec::microOpMnemonic(op.type);
+        if (op.va >= 0) {
+            out << " VA" << op.va << " (PA" << op.pa << ':'
+                << permTag(paPerms[op.pa]) << ")";
+        }
+        if (op.type == uspec::MicroOpType::Branch)
+            out << (op.mispredicted ? " mispred" : " pred");
+        labels.push_back(out.str());
+    }
+    return labels;
+}
+
+std::string
+LitmusTest::toString() const
+{
+    std::ostringstream out;
+    out << "VA to PA mapping:";
+    bool any_va = false;
+    std::map<int, int> va_to_pa;
+    for (const LitmusOp &op : ops) {
+        if (op.va >= 0)
+            va_to_pa[op.va] = op.pa;
+    }
+    for (auto [va, pa] : va_to_pa) {
+        out << " VA" << va << " (PA" << pa << ':'
+            << permTag(paPerms[pa]) << ")";
+        any_va = true;
+    }
+    if (!any_va)
+        out << " (none)";
+    out << '\n';
+    out << "VA to cache index:";
+    std::map<int, int> va_to_idx;
+    for (const LitmusOp &op : ops) {
+        if (op.va >= 0)
+            va_to_idx[op.va] = op.index;
+    }
+    for (auto [va, idx] : va_to_idx)
+        out << " VA" << va << ":IDX" << idx;
+    if (va_to_idx.empty())
+        out << " (none)";
+    out << '\n';
+
+    for (int c = 0; c < numCores; c++) {
+        out << "Core " << c << ":\n";
+        for (size_t i = 0; i < ops.size(); i++) {
+            const LitmusOp &op = ops[i];
+            if (op.core != c)
+                continue;
+            out << "  (i" << i << ") "
+                << (op.proc == uspec::procAttacker ? "A" : "V")
+                << ": " << uspec::microOpMnemonic(op.type);
+            if (op.va >= 0)
+                out << " [VA" << op.va << ']';
+            if (op.type == uspec::MicroOpType::Branch)
+                out << (op.mispredicted ? " (mispredicted)"
+                                        : " (predicted)");
+            if (op.hit)
+                out << " {hit<-i" << op.viclSrcOf << '}';
+            else if (op.type == uspec::MicroOpType::Read)
+                out << " {miss}";
+            if (op.squashed)
+                out << " [squashed]";
+            if (op.faults)
+                out << " [no-perm]";
+            for (int d : op.addrDepOn)
+                out << " addr<-i" << d;
+            out << '\n';
+        }
+    }
+    return out.str();
+}
+
+LitmusTest
+LitmusTest::canonicalized() const
+{
+    LitmusTest out = *this;
+
+    // Relabel VAs, PAs, and indices in order of first appearance in
+    // the op sequence.
+    std::map<int, int> va_map, pa_map, idx_map;
+    auto canon = [](std::map<int, int> &m, int v) {
+        if (v < 0)
+            return v;
+        auto it = m.find(v);
+        if (it != m.end())
+            return it->second;
+        int fresh = static_cast<int>(m.size());
+        m[v] = fresh;
+        return fresh;
+    };
+    for (LitmusOp &op : out.ops) {
+        op.va = canon(va_map, op.va);
+        int old_pa = op.pa;
+        op.pa = canon(pa_map, op.pa);
+        (void)old_pa;
+        op.index = canon(idx_map, op.index);
+    }
+    // Permute PA permissions to the new labels; unused PAs drop out
+    // of the canonical form entirely.
+    std::vector<PaPermissions> perms(pa_map.size());
+    for (auto [old_pa, new_pa] : pa_map)
+        perms[new_pa] = paPerms[old_pa];
+    out.paPerms = perms;
+    return out;
+}
+
+std::string
+LitmusTest::key() const
+{
+    LitmusTest c = canonicalized();
+    std::ostringstream out;
+    for (size_t i = 0; i < c.ops.size(); i++) {
+        const LitmusOp &op = c.ops[i];
+        out << static_cast<int>(op.type) << ',' << op.core << ','
+            << op.proc << ',' << op.va << ',' << op.pa << ','
+            << op.index << ',' << op.squashed << ','
+            << op.mispredicted << ',' << op.hit << ','
+            << op.viclSrcOf << ",[";
+        for (int d : op.addrDepOn)
+            out << d << ' ';
+        out << "];";
+    }
+    for (const PaPermissions &p : c.paPerms)
+        out << p.attacker << p.victim << '|';
+    return out.str();
+}
+
+const char *
+attackClassName(AttackClass c)
+{
+    switch (c) {
+      case AttackClass::FlushReload: return "FLUSH+RELOAD";
+      case AttackClass::EvictReload: return "EVICT+RELOAD";
+      case AttackClass::Meltdown: return "Meltdown";
+      case AttackClass::Spectre: return "Spectre";
+      case AttackClass::PrimeProbe: return "PRIME+PROBE";
+      case AttackClass::MeltdownPrime: return "MeltdownPrime";
+      case AttackClass::SpectrePrime: return "SpectrePrime";
+      case AttackClass::Unclassified: return "Unclassified";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/**
+ * Kind of squash window containing op @p idx: walk backwards on the
+ * same core through squashed ops to the window source.
+ *
+ * @retval 'B' mispredicted-branch window (Spectre family)
+ * @retval 'F' fault window (Meltdown family)
+ * @retval 0 not in a recognizable window
+ */
+char
+windowSource(const LitmusTest &test, int idx)
+{
+    const LitmusOp &op = test.ops[idx];
+    if (!op.squashed)
+        return 0;
+    if (op.faults)
+        return 'F';
+    for (int p = idx - 1; p >= 0; p--) {
+        const LitmusOp &prev = test.ops[p];
+        if (prev.core != op.core)
+            continue;
+        if (prev.mispredicted)
+            return 'B';
+        if (prev.squashed) {
+            if (prev.faults)
+                return 'F';
+            continue; // keep walking the window
+        }
+        return 0; // committed non-branch before a squashed op
+    }
+    return 0;
+}
+
+/**
+ * True iff op @p idx address-depends on a sensitive read: an
+ * attacker-process read of a PA only the victim may access. This is
+ * what makes a speculative filler/evictor *leak* rather than merely
+ * perturb the cache.
+ */
+bool
+dependsOnSensitiveRead(const LitmusTest &test, int idx)
+{
+    for (int s : test.ops[idx].addrDepOn) {
+        const LitmusOp &src = test.ops[s];
+        if (src.type == uspec::MicroOpType::Read &&
+            src.proc == uspec::procAttacker && src.pa >= 0 &&
+            test.paPerms[src.pa].victim &&
+            !test.paPerms[src.pa].attacker) {
+            return true;
+        }
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+AttackClass
+classify(const LitmusTest &test, PatternFamily family)
+{
+    // The timed access is the last attacker read.
+    int timed = -1;
+    for (int i = static_cast<int>(test.ops.size()) - 1; i >= 0; i--) {
+        const LitmusOp &op = test.ops[i];
+        if (op.proc == uspec::procAttacker &&
+            op.type == uspec::MicroOpType::Read && !op.squashed) {
+            timed = i;
+            break;
+        }
+    }
+    if (timed < 0)
+        return AttackClass::Unclassified;
+    const LitmusOp &probe = test.ops[timed];
+
+    if (family == PatternFamily::FlushReload) {
+        if (!probe.hit || probe.viclSrcOf < 0)
+            return AttackClass::Unclassified;
+        const LitmusOp &filler = test.ops[probe.viclSrcOf];
+
+        if (filler.squashed &&
+            filler.proc == uspec::procAttacker &&
+            dependsOnSensitiveRead(test, probe.viclSrcOf)) {
+            char src = windowSource(test, probe.viclSrcOf);
+            if (src == 'B')
+                return AttackClass::Spectre;
+            if (src == 'F')
+                return AttackClass::Meltdown;
+            return AttackClass::Unclassified;
+        }
+        if (filler.proc == uspec::procVictim) {
+            // Victim refill: flushed or evicted beforehand?
+            for (size_t i = 0; i < test.ops.size(); i++) {
+                const LitmusOp &op = test.ops[i];
+                if (static_cast<int>(i) < timed &&
+                    op.type == uspec::MicroOpType::Clflush &&
+                    op.va == probe.va) {
+                    return AttackClass::FlushReload;
+                }
+            }
+            return AttackClass::EvictReload;
+        }
+        return AttackClass::Unclassified;
+    }
+
+    // PRIME+PROBE family: the probe must miss after a same-core
+    // same-PA prime.
+    if (probe.hit)
+        return AttackClass::Unclassified;
+    int prime = -1;
+    for (int i = 0; i < timed; i++) {
+        const LitmusOp &op = test.ops[i];
+        if (op.core == probe.core && op.pa == probe.pa &&
+            (op.type == uspec::MicroOpType::Read ||
+             op.type == uspec::MicroOpType::Write) &&
+            !op.squashed) {
+            prime = i;
+            break;
+        }
+    }
+    if (prime < 0)
+        return AttackClass::Unclassified;
+
+    // Find the eviction cause between prime and probe.
+    for (int i = 0; i < static_cast<int>(test.ops.size()); i++) {
+        if (i == prime || i == timed)
+            continue;
+        const LitmusOp &op = test.ops[i];
+        bool invalidating_write =
+            op.type == uspec::MicroOpType::Write &&
+            op.core != probe.core && op.pa == probe.pa;
+        bool colliding_access =
+            (op.type == uspec::MicroOpType::Read ||
+             op.type == uspec::MicroOpType::Write) &&
+            op.core == probe.core && op.index == probe.index &&
+            op.pa != probe.pa;
+        bool flushing = op.type == uspec::MicroOpType::Clflush &&
+                        op.pa == probe.pa;
+        if (!invalidating_write && !colliding_access && !flushing)
+            continue;
+        if (op.squashed && op.proc == uspec::procAttacker &&
+            dependsOnSensitiveRead(test, i)) {
+            char src = windowSource(test, i);
+            if (src == 'B')
+                return AttackClass::SpectrePrime;
+            if (src == 'F')
+                return AttackClass::MeltdownPrime;
+        } else if (op.proc == uspec::procVictim) {
+            // Victim activity — squashed or not — observed through
+            // the set: the traditional attack.
+            return AttackClass::PrimeProbe;
+        }
+    }
+    return AttackClass::Unclassified;
+}
+
+} // namespace checkmate::litmus

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Security litmus tests (§III-B2).
+ *
+ * A security litmus test is the most compact representation of an
+ * exploit program: the minimal micro-op sequence that realizes an
+ * exploit pattern, annotated with the address-mapping, permission,
+ * and execution metadata CheckMate outputs (VA→PA maps, cache
+ * indices, process permissions, squash/misprediction/hit flags).
+ *
+ * This module extracts litmus tests from solved instances, renders
+ * them in the paper's figure style, canonicalizes them for duplicate
+ * filtering (§V-C), and classifies them into the named attack
+ * families (Meltdown, Spectre, MeltdownPrime, SpectrePrime,
+ * FLUSH+RELOAD, EVICT+RELOAD, PRIME+PROBE).
+ */
+
+#ifndef CHECKMATE_LITMUS_LITMUS_HH
+#define CHECKMATE_LITMUS_LITMUS_HH
+
+#include <string>
+#include <vector>
+
+#include "rmf/problem.hh"
+#include "uspec/context.hh"
+
+namespace checkmate::litmus
+{
+
+/** One micro-op of a litmus test, with execution metadata. */
+struct LitmusOp
+{
+    uspec::MicroOpType type = uspec::MicroOpType::Read;
+    uspec::CoreId core = 0;
+    uspec::ProcId proc = 0;
+    uspec::VaId va = -1;     ///< -1 for branch/fence
+    uspec::PaId pa = -1;
+    uspec::IndexId index = -1;
+
+    bool squashed = false;
+    bool mispredicted = false;
+    bool faults = false;       ///< access without permission
+    bool hit = false;          ///< read serviced by a live ViCL
+    int viclSrcOf = -1;        ///< sourcing event for a hit, else -1
+    std::vector<int> addrDepOn;///< reads this op's address depends on
+};
+
+/** Per-PA process permissions. */
+struct PaPermissions
+{
+    bool attacker = true;
+    bool victim = true;
+};
+
+/**
+ * A synthesized security litmus test.
+ */
+struct LitmusTest
+{
+    std::vector<LitmusOp> ops; ///< global slot order
+    int numCores = 1;
+    std::vector<PaPermissions> paPerms; ///< indexed by PaId
+
+    /** Render in the paper's listing style (Fig. 1f / Fig. 5). */
+    std::string toString() const;
+
+    /**
+     * Short per-event labels for μhb graph columns, e.g.
+     * "A.I2 R VA1 (PA0:V) L1:IDX1".
+     */
+    std::vector<std::string> eventLabels() const;
+
+    /**
+     * Relabel addresses/indices into first-use order so tests that
+     * differ only by a relabeling compare equal (§V-C's symmetric
+     * duplicate filter).
+     */
+    LitmusTest canonicalized() const;
+
+    /** Canonical dedup key. */
+    std::string key() const;
+};
+
+/**
+ * Extract the litmus test from a solved instance of a μspec context.
+ */
+LitmusTest extractLitmus(const uspec::UspecContext &ctx,
+                         const rmf::Instance &instance);
+
+/** Named attack families for classification. */
+enum class AttackClass
+{
+    FlushReload,   ///< victim fill observed via flush + reload hit
+    EvictReload,   ///< like FlushReload but evicted via collision
+    Meltdown,      ///< fault-window speculative fill, reload hit
+    Spectre,       ///< branch-window speculative fill, reload hit
+    PrimeProbe,    ///< victim collision observed via probe miss
+    MeltdownPrime, ///< fault-window speculative invalidation, miss
+    SpectrePrime,  ///< branch-window speculative invalidation, miss
+    Unclassified
+};
+
+const char *attackClassName(AttackClass c);
+
+/** Which exploit-pattern family a run used (guides classification). */
+enum class PatternFamily
+{
+    FlushReload,
+    PrimeProbe
+};
+
+/**
+ * Classify a synthesized litmus test within its pattern family.
+ */
+AttackClass classify(const LitmusTest &test, PatternFamily family);
+
+} // namespace checkmate::litmus
+
+#endif // CHECKMATE_LITMUS_LITMUS_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Litmus post-processing implementation.
+ */
+
+#include "litmus/postprocess.hh"
+
+#include <algorithm>
+
+namespace checkmate::litmus
+{
+
+using uspec::MicroOpType;
+
+std::optional<LitmusTest>
+writeProbeVariant(const LitmusTest &test)
+{
+    // Find the timed access: the last committed attacker read.
+    int timed = -1;
+    for (int i = static_cast<int>(test.ops.size()) - 1; i >= 0;
+         i--) {
+        const LitmusOp &op = test.ops[i];
+        if (op.type == MicroOpType::Read && !op.squashed &&
+            op.proc == uspec::procAttacker) {
+            timed = i;
+            break;
+        }
+    }
+    if (timed < 0)
+        return std::nullopt;
+
+    LitmusTest variant = test;
+    LitmusOp &probe = variant.ops[timed];
+    probe.type = MicroOpType::Write;
+    // Writes always produce a fresh ViCL; the timing signal moves
+    // from hit-vs-miss of a read to the allocation latency of the
+    // write, but the structural hit flag is no longer meaningful.
+    probe.hit = false;
+    probe.viclSrcOf = -1;
+    return variant;
+}
+
+LitmusTest
+expandForAssociativity(const LitmusTest &test, int ways)
+{
+    if (ways <= 1)
+        return test;
+
+    // Find the timed access to identify collision evictors.
+    int timed = -1;
+    for (int i = static_cast<int>(test.ops.size()) - 1; i >= 0;
+         i--) {
+        const LitmusOp &op = test.ops[i];
+        if (op.type == MicroOpType::Read && !op.squashed &&
+            op.proc == uspec::procAttacker) {
+            timed = i;
+            break;
+        }
+    }
+    if (timed < 0)
+        return test;
+    const LitmusOp probe = test.ops[timed];
+
+    int next_pa = static_cast<int>(test.paPerms.size());
+    LitmusTest out;
+    out.numCores = test.numCores;
+    out.paPerms = test.paPerms;
+
+    int next_va = 0;
+    for (const LitmusOp &op : test.ops)
+        next_va = std::max(next_va, op.va + 1);
+
+    for (const LitmusOp &op : test.ops) {
+        bool collision_evictor =
+            (op.type == MicroOpType::Read ||
+             op.type == MicroOpType::Write) &&
+            op.pa >= 0 && op.index == probe.index &&
+            op.pa != probe.pa && op.core == probe.core;
+        out.ops.push_back(op);
+        if (!collision_evictor)
+            continue;
+        // Displace the whole set: ways - 1 extra accesses to fresh
+        // same-set physical addresses.
+        for (int w = 1; w < ways; w++) {
+            LitmusOp extra = op;
+            extra.va = next_va++;
+            extra.pa = next_pa++;
+            extra.hit = false;
+            extra.viclSrcOf = -1;
+            out.paPerms.push_back(
+                op.pa < static_cast<int>(test.paPerms.size())
+                    ? test.paPerms[op.pa]
+                    : PaPermissions{});
+            out.ops.push_back(extra);
+        }
+    }
+    return out;
+}
+
+} // namespace checkmate::litmus

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Litmus test post-processing.
+ *
+ * Two post-processors the paper describes:
+ *
+ *  - §VI-A1: "Although writes always inherently produce new ViCLs,
+ *    we analyze them the same way we do reads, and we post-process
+ *    them to generate analogous cache-based timing attacks with a
+ *    write rather than a read as the second access."
+ *  - §III-B2: "the litmus test assumes that cache is direct mapped.
+ *    We choose to handle set-associativity with litmus test
+ *    post-processing that accounts for the cache replacement policy
+ *    of the target microarchitecture."
+ */
+
+#ifndef CHECKMATE_LITMUS_POSTPROCESS_HH
+#define CHECKMATE_LITMUS_POSTPROCESS_HH
+
+#include <optional>
+
+#include "litmus/litmus.hh"
+
+namespace checkmate::litmus
+{
+
+/**
+ * Produce the analogous attack with a *write* as the timed second
+ * access (§VI-A1). The write's allocation behavior carries the same
+ * timing signal (hit: line present; miss: allocation).
+ *
+ * @return the variant, or nullopt when the test has no timed read.
+ */
+std::optional<LitmusTest> writeProbeVariant(const LitmusTest &test);
+
+/**
+ * Expand a direct-mapped litmus test for a @p ways-associative
+ * cache with an LRU-like replacement policy (§III-B2): every access
+ * that evicts the timed line by collision is replicated @p ways
+ * times with distinct physical addresses in the same set, so the
+ * whole set is displaced.
+ *
+ * Tests whose evictions are by flush or invalidation (no collision
+ * evictor) are returned unchanged.
+ */
+LitmusTest expandForAssociativity(const LitmusTest &test, int ways);
+
+} // namespace checkmate::litmus
+
+#endif // CHECKMATE_LITMUS_POSTPROCESS_HH

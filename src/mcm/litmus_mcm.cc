@@ -1,0 +1,245 @@
+/**
+ * @file
+ * MCM litmus checking implementation and the classic TSO suite.
+ */
+
+#include "mcm/litmus_mcm.hh"
+
+#include <algorithm>
+
+#include "rmf/solve.hh"
+#include "uspec/deriver.hh"
+
+namespace checkmate::mcm
+{
+
+using rmf::Expr;
+using rmf::Formula;
+using rmf::Tuple;
+using rmf::TupleSet;
+using uspec::MicroOpType;
+using uspec::UspecContext;
+
+McmVerdict
+checkObservable(const uspec::Microarchitecture &machine,
+                const McmLitmusTest &test)
+{
+    uspec::SynthesisBounds bounds;
+    bounds.numEvents = static_cast<int>(test.program.size());
+    bounds.numCores = test.numCores;
+    bounds.numProcs = 1;
+    int max_va = 0;
+    for (const auto &op : test.program)
+        max_va = std::max(max_va, op.va);
+    bounds.numVas = max_va + 1;
+    bounds.numPas = max_va + 1;
+    bounds.numIndices = 1;
+
+    UspecContext ctx(bounds, machine.locations(), machine.options());
+    uspec::EdgeDeriver deriver(ctx);
+    machine.applyAxioms(ctx, deriver);
+    deriver.finalize();
+    ctx.fixProgram(test.program);
+
+    // MCM outcomes are architectural: every instruction retires.
+    // (Without this, a machine with permission modeling could dodge
+    // a forbidden cycle by faulting one of the accesses.)
+    for (int e = 0; e < bounds.numEvents; e++)
+        ctx.require(ctx.commits(e));
+
+    // Distinct VAs denote distinct locations in MCM litmus tests.
+    for (int v = 0; v < bounds.numVas; v++) {
+        for (int w = v + 1; w < bounds.numVas; w++) {
+            ctx.require(rmf::no(
+                Expr::atom(ctx.vaAtom(v)).join(ctx.vaPa()) &
+                Expr::atom(ctx.vaAtom(w)).join(ctx.vaPa())));
+        }
+    }
+
+    // Outcome: pin every read's reads-from assignment.
+    for (const ReadsFrom &rf : test.outcome) {
+        Expr writers =
+            ctx.rf().join(Expr::atom(ctx.eventAtom(rf.readEvent)));
+        if (rf.writerEvent < 0) {
+            ctx.require(rmf::no(writers));
+        } else {
+            TupleSet t(2);
+            t.add(Tuple{ctx.eventAtom(rf.writerEvent),
+                        ctx.eventAtom(rf.readEvent)});
+            ctx.require(rmf::in(Expr::constant(t), ctx.rf()));
+        }
+    }
+    for (const CoherenceBefore &co : test.coherence) {
+        TupleSet t(2);
+        t.add(Tuple{ctx.eventAtom(co.firstWriter),
+                    ctx.eventAtom(co.secondWriter)});
+        ctx.require(rmf::in(Expr::constant(t), ctx.co()));
+    }
+
+    McmVerdict verdict;
+    auto instance = rmf::solveOne(ctx.problem());
+    verdict.observable = instance.has_value();
+    verdict.executions = instance.has_value() ? 1 : 0;
+    return verdict;
+}
+
+namespace
+{
+
+constexpr int attacker = uspec::procAttacker; // single-process tests
+
+uspec::UspecContext::FixedOp
+op(MicroOpType type, int core, int va)
+{
+    return {type, core, attacker, va,
+            type != MicroOpType::Fence &&
+                type != MicroOpType::Branch};
+}
+
+} // anonymous namespace
+
+std::vector<McmLitmusTest>
+classicTsoSuite()
+{
+    std::vector<McmLitmusTest> suite;
+
+    // SB (store buffering): W x; R y || W y; R x with both reads
+    // observing the initial state. The canonical TSO-allowed test.
+    {
+        McmLitmusTest t;
+        t.name = "SB";
+        t.program = {op(MicroOpType::Write, 0, 0),
+                     op(MicroOpType::Read, 0, 1),
+                     op(MicroOpType::Write, 1, 1),
+                     op(MicroOpType::Read, 1, 0)};
+        t.outcome = {{1, -1}, {3, -1}};
+        t.tsoObservable = true;
+        suite.push_back(t);
+    }
+
+    // SB+fence: full fences between each core's write and read
+    // forbid the relaxed outcome.
+    {
+        McmLitmusTest t;
+        t.name = "SB+fence";
+        t.program = {op(MicroOpType::Write, 0, 0),
+                     op(MicroOpType::Fence, 0, 0),
+                     op(MicroOpType::Read, 0, 1),
+                     op(MicroOpType::Write, 1, 1),
+                     op(MicroOpType::Fence, 1, 0),
+                     op(MicroOpType::Read, 1, 0)};
+        t.outcome = {{2, -1}, {5, -1}};
+        t.tsoObservable = false;
+        suite.push_back(t);
+    }
+
+    // MP (message passing): W x; W y || R y(=1); R x(=0) — needs a
+    // store-store or load-load reordering, forbidden under TSO.
+    {
+        McmLitmusTest t;
+        t.name = "MP";
+        t.program = {op(MicroOpType::Write, 0, 0),
+                     op(MicroOpType::Write, 0, 1),
+                     op(MicroOpType::Read, 1, 1),
+                     op(MicroOpType::Read, 1, 0)};
+        t.outcome = {{2, 1}, {3, -1}};
+        t.tsoObservable = false;
+        suite.push_back(t);
+    }
+
+    // LB (load buffering): R x(=1); W y || R y(=1); W x — needs
+    // load-store reordering, forbidden under TSO.
+    {
+        McmLitmusTest t;
+        t.name = "LB";
+        t.program = {op(MicroOpType::Read, 0, 0),
+                     op(MicroOpType::Write, 0, 1),
+                     op(MicroOpType::Read, 1, 1),
+                     op(MicroOpType::Write, 1, 0)};
+        t.outcome = {{0, 3}, {2, 1}};
+        t.tsoObservable = false;
+        suite.push_back(t);
+    }
+
+    // CoRR (coherent read-read): R x(=1); R x(=0) after another
+    // core's W x — reads of one location must not go backwards.
+    {
+        McmLitmusTest t;
+        t.name = "CoRR";
+        t.program = {op(MicroOpType::Write, 0, 0),
+                     op(MicroOpType::Read, 1, 0),
+                     op(MicroOpType::Read, 1, 0)};
+        t.outcome = {{1, 0}, {2, -1}};
+        t.tsoObservable = false;
+        suite.push_back(t);
+    }
+
+    // CoWW: two same-core writes to one location must reach memory
+    // in program order (outcome requires the inverse coherence
+    // order).
+    {
+        McmLitmusTest t;
+        t.name = "CoWW";
+        t.program = {op(MicroOpType::Write, 0, 0),
+                     op(MicroOpType::Write, 0, 0)};
+        t.outcome = {};
+        t.coherence = {{1, 0}};
+        t.numCores = 1;
+        t.tsoObservable = false;
+        suite.push_back(t);
+    }
+
+    // 2+2W: W x=1; W y=2 || W y=1; W x=2 with both locations'
+    // coherence orders contradicting program order — forbidden
+    // under TSO (stores drain in order).
+    {
+        McmLitmusTest t;
+        t.name = "2+2W";
+        t.program = {op(MicroOpType::Write, 0, 0),
+                     op(MicroOpType::Write, 0, 1),
+                     op(MicroOpType::Write, 1, 1),
+                     op(MicroOpType::Write, 1, 0)};
+        // co: the *other* core's first write is coherence-after this
+        // core's second: co(1, 2) on y and co(3, 0) on x.
+        t.coherence = {{1, 2}, {3, 0}};
+        t.tsoObservable = false;
+        suite.push_back(t);
+    }
+
+    // R: W x=1; W y=1 || W y=2; R x(=0). The candidate cycle needs
+    // a write→read program order edge on the second core, which TSO
+    // relaxes (the store sits in the buffer while the read runs
+    // ahead): allowed, like SB.
+    {
+        McmLitmusTest t;
+        t.name = "R";
+        t.program = {op(MicroOpType::Write, 0, 0),
+                     op(MicroOpType::Write, 0, 1),
+                     op(MicroOpType::Write, 1, 1),
+                     op(MicroOpType::Read, 1, 0)};
+        t.outcome = {{3, -1}};
+        t.coherence = {{1, 2}};
+        t.tsoObservable = true;
+        suite.push_back(t);
+    }
+
+    // WRC (write-to-read causality): W x || R x(=1); W y || R y(=1);
+    // R x(=0) — forbidden by multi-copy atomicity plus TSO ppo.
+    {
+        McmLitmusTest t;
+        t.name = "WRC";
+        t.program = {op(MicroOpType::Write, 0, 0),
+                     op(MicroOpType::Read, 1, 0),
+                     op(MicroOpType::Write, 1, 1),
+                     op(MicroOpType::Read, 2, 1),
+                     op(MicroOpType::Read, 2, 0)};
+        t.outcome = {{1, 0}, {3, 2}, {4, -1}};
+        t.numCores = 3;
+        t.tsoObservable = false;
+        suite.push_back(t);
+    }
+
+    return suite;
+}
+
+} // namespace checkmate::mcm

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Memory-consistency-model litmus test verification.
+ *
+ * CheckMate's key observation is that hardware security analysis
+ * shares its machinery with MCM implementation verification (§III):
+ * both ask whether a specific program execution scenario is possible
+ * on a microarchitecture, via μhb cycle checks. This module closes
+ * the loop back to the MCM world (the PipeCheck [13] lineage the
+ * μspec models come from): given a classic MCM litmus test — a fixed
+ * multi-threaded program plus an outcome, expressed as the
+ * reads-from assignment each read observed — it decides whether the
+ * outcome is observable on a microarchitecture, and ships the
+ * classic TSO suite (SB, MP, LB, CoRR, CoWW, WRC, SB+fence) with
+ * their architecturally required verdicts.
+ */
+
+#ifndef CHECKMATE_MCM_LITMUS_MCM_HH
+#define CHECKMATE_MCM_LITMUS_MCM_HH
+
+#include <string>
+#include <vector>
+
+#include "uspec/microarch.hh"
+
+namespace checkmate::mcm
+{
+
+/**
+ * The outcome constraint for one read: which program event's write
+ * it observed (or the initial memory value).
+ */
+struct ReadsFrom
+{
+    int readEvent;   ///< global slot of the read
+    int writerEvent; ///< global slot of the write, or -1 for init
+};
+
+/** Required coherence order between two writes. */
+struct CoherenceBefore
+{
+    int firstWriter;
+    int secondWriter;
+};
+
+/**
+ * A classic MCM litmus test: program + outcome + the verdict the
+ * target consistency model requires.
+ */
+struct McmLitmusTest
+{
+    std::string name;
+    std::vector<uspec::UspecContext::FixedOp> program;
+    std::vector<ReadsFrom> outcome;
+    std::vector<CoherenceBefore> coherence;
+    int numCores = 2;
+
+    /** True iff the outcome must be observable under TSO. */
+    bool tsoObservable = false;
+};
+
+/** Verdict of one observability check. */
+struct McmVerdict
+{
+    bool observable = false;
+    uint64_t executions = 0; ///< witnesses found (0 or 1)
+};
+
+/**
+ * Decide whether @p test's outcome is observable on @p machine: does
+ * an acyclic μhb graph exist for the program with the required
+ * reads-from/coherence assignment?
+ */
+McmVerdict checkObservable(const uspec::Microarchitecture &machine,
+                           const McmLitmusTest &test);
+
+/**
+ * The classic TSO suite with architectural verdicts: store
+ * buffering allowed; everything that needs load-load, load-store, or
+ * multi-copy-atomicity violations forbidden.
+ */
+std::vector<McmLitmusTest> classicTsoSuite();
+
+} // namespace checkmate::mcm
+
+#endif // CHECKMATE_MCM_LITMUS_MCM_HH

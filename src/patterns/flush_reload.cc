@@ -1,0 +1,110 @@
+/**
+ * @file
+ * FLUSH+RELOAD pattern implementation.
+ */
+
+#include "patterns/flush_reload.hh"
+
+#include <stdexcept>
+
+namespace checkmate::patterns
+{
+
+using rmf::Formula;
+using uspec::EventId;
+using uspec::UspecContext;
+using uspec::procAttacker;
+using uspec::procVictim;
+
+void
+FlushReloadPattern::apply(uspec::UspecContext &ctx,
+                          uspec::EdgeDeriver &deriver) const
+{
+    (void)deriver;
+    const int n = ctx.numEvents();
+    if (n < 3)
+        throw std::invalid_argument(
+            "FLUSH+RELOAD needs at least 3 events");
+
+    // The timed reload is the final micro-op: the attacker's program
+    // ends once it has acquired the desired information (§VI-B).
+    const EventId rl = n - 1;
+    ctx.require(ctx.isRead(rl));
+    ctx.require(ctx.inProc(rl, procAttacker));
+    ctx.require(ctx.commits(rl));
+    ctx.require(ctx.hits(rl)); // hit: no new ViCL Create/Expire pair
+
+    // Existential over the filler (the ViCL sourcing the hit), the
+    // evict event, and the optional initial access.
+    Formula scenario = Formula::bottom();
+    for (EventId c = 0; c < rl; c++) {
+        // The reload is sourced by c's ViCL...
+        Formula with_filler = ctx.sourcedBy(rl, c);
+
+        // ... which was created after the line was removed:
+        Formula evicted = Formula::bottom();
+        for (EventId f = 0; f < rl; f++) {
+            if (f == c)
+                continue;
+            // (a) an explicit flush of the reload's address by the
+            //     attacker (FLUSH+RELOAD proper), ...
+            Formula flush_case =
+                ctx.isClflush(f) && ctx.inProc(f, procAttacker) &&
+                ctx.commits(f) && ctx.sameVa(f, rl) &&
+                ctx.createdAfterFlush(c, f);
+            // (b) ... or a colliding access evicting it
+            //     (EVICT+RELOAD).
+            Formula evict_case =
+                ctx.isAccess(f) && ctx.inProc(f, procAttacker) &&
+                ctx.commits(f) && ctx.sameIndex(f, rl) &&
+                ctx.differentPa(f, rl) && ctx.hasVicl(f) &&
+                ctx.viclBefore(f, c);
+
+            if (requireInitialRead_) {
+                // An initial attacker read whose ViCL the eviction
+                // removed (Fig. 1c's first Create/Expire pair; the
+                // Table I result filter).
+                Formula initial = Formula::bottom();
+                for (EventId i0 = 0; i0 < f; i0++) {
+                    if (i0 == c)
+                        continue;
+                    Formula init_read =
+                        ctx.isRead(i0) &&
+                        ctx.inProc(i0, procAttacker) &&
+                        ctx.commits(i0) && ctx.sameVa(i0, rl) &&
+                        ctx.hasVicl(i0);
+                    Formula removed_by_flush =
+                        !ctx.createdAfterFlush(i0, f);
+                    Formula removed_by_evict = ctx.viclBefore(i0, f);
+                    initial = initial ||
+                              (init_read &&
+                               ((ctx.isClflush(f) &&
+                                 removed_by_flush) ||
+                                (ctx.isAccess(f) &&
+                                 removed_by_evict)));
+                }
+                flush_case = flush_case && initial;
+                evict_case = evict_case && initial;
+            }
+            evicted = evicted || flush_case || evict_case;
+        }
+        with_filler = with_filler && evicted;
+
+        // Leak condition: the refill reveals victim state — either
+        // the victim touched the line, or a squashed speculative
+        // access address-dependent on sensitive data did (§II-B).
+        Formula dependent_fill = Formula::bottom();
+        for (EventId s = 0; s < n; s++) {
+            if (s == c)
+                continue;
+            dependent_fill = dependent_fill ||
+                             (ctx.sensitiveRead(s) &&
+                              ctx.hasAddrDep(s, c));
+        }
+        Formula leaks = ctx.inProc(c, procVictim) || dependent_fill;
+        scenario = scenario || (with_filler && leaks);
+    }
+    ctx.require(scenario);
+}
+
+} // namespace checkmate::patterns

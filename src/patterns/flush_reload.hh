@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The FLUSH+RELOAD exploit pattern (Fig. 1c).
+ *
+ * The attacker makes two timed accesses to one virtual address with
+ * an intervening eviction: an initial access brings the line in, a
+ * flush (or a colliding access — the EVICT+RELOAD generalization)
+ * removes it, and the reload is timed. The attack succeeds — leaks
+ * victim information — when the reload *hits*, i.e. the line came
+ * back through either a victim access (traditional FLUSH+RELOAD) or
+ * a squashed speculative access whose address depends on sensitive
+ * data (Meltdown and Spectre, §VII-A).
+ */
+
+#ifndef CHECKMATE_PATTERNS_FLUSH_RELOAD_HH
+#define CHECKMATE_PATTERNS_FLUSH_RELOAD_HH
+
+#include "patterns/pattern.hh"
+
+namespace checkmate::patterns
+{
+
+/** Fig. 1c's pattern, covering FLUSH+RELOAD and EVICT+RELOAD. */
+class FlushReloadPattern : public ExploitPattern
+{
+  public:
+    /**
+     * @param require_initial_read only admit scenarios with a read
+     *        preceding the flush that could have brought the target
+     *        VA into the cache initially (the Table I filter).
+     */
+    explicit FlushReloadPattern(bool require_initial_read = true)
+        : requireInitialRead_(require_initial_read)
+    {}
+
+    std::string name() const override { return "FLUSH+RELOAD"; }
+    litmus::PatternFamily family() const override
+    {
+        return litmus::PatternFamily::FlushReload;
+    }
+    void apply(uspec::UspecContext &ctx,
+               uspec::EdgeDeriver &deriver) const override;
+
+  private:
+    bool requireInitialRead_;
+};
+
+} // namespace checkmate::patterns
+
+#endif // CHECKMATE_PATTERNS_FLUSH_RELOAD_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Exploit patterns (§III-A2).
+ *
+ * An exploit pattern is a formalization of a hardware execution
+ * pattern indicative of a class of security exploits — a μhb
+ * sub-graph plus side conditions. Patterns are design-agnostic: they
+ * are written against the μspec predicate vocabulary (ViCL events,
+ * the value-binding structure, happens-before reachability) and can
+ * be superimposed on any microarchitecture that exposes those
+ * structures (Fig. 1d).
+ *
+ * In this implementation a pattern contributes requirement formulas
+ * to a finalized synthesis problem: the existential quantification
+ * over role assignments ("some event is the flush, some event fills
+ * the line after it, ...") is expanded over the bounded event set,
+ * exactly as Alloy grounds existentials over finite sigs.
+ */
+
+#ifndef CHECKMATE_PATTERNS_PATTERN_HH
+#define CHECKMATE_PATTERNS_PATTERN_HH
+
+#include <string>
+
+#include "litmus/litmus.hh"
+#include "uspec/context.hh"
+#include "uspec/deriver.hh"
+
+namespace checkmate::patterns
+{
+
+/**
+ * Abstract exploit-pattern specification.
+ */
+class ExploitPattern
+{
+  public:
+    virtual ~ExploitPattern() = default;
+
+    /** Pattern name (e.g. "FLUSH+RELOAD"). */
+    virtual std::string name() const = 0;
+
+    /** The family used to classify synthesized results. */
+    virtual litmus::PatternFamily family() const = 0;
+
+    /**
+     * Add the pattern's requirements to a context whose deriver has
+     * been finalized.
+     */
+    virtual void apply(uspec::UspecContext &ctx,
+                       uspec::EdgeDeriver &deriver) const = 0;
+};
+
+} // namespace checkmate::patterns
+
+#endif // CHECKMATE_PATTERNS_PATTERN_HH

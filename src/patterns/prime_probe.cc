@@ -1,0 +1,108 @@
+/**
+ * @file
+ * PRIME+PROBE pattern implementation.
+ */
+
+#include "patterns/prime_probe.hh"
+
+#include <stdexcept>
+
+namespace checkmate::patterns
+{
+
+using rmf::Formula;
+using uspec::EventId;
+using uspec::UspecContext;
+using uspec::procAttacker;
+using uspec::procVictim;
+
+void
+PrimeProbePattern::apply(uspec::UspecContext &ctx,
+                         uspec::EdgeDeriver &deriver) const
+{
+    (void)deriver;
+    const int n = ctx.numEvents();
+    if (n < 3)
+        throw std::invalid_argument(
+            "PRIME+PROBE needs at least 3 events");
+
+    // The probe is the final micro-op (§VI-B: the program ends after
+    // the probe step) and must *miss*: new ViCL Create/Expire nodes
+    // are the measurable signal (Fig. 4b).
+    const EventId pr = n - 1;
+    ctx.require(ctx.isRead(pr));
+    ctx.require(ctx.inProc(pr, procAttacker));
+    ctx.require(ctx.commits(pr));
+    ctx.require(!ctx.hits(pr));
+
+    Formula scenario = Formula::bottom();
+    for (EventId p = 0; p < pr; p++) {
+        // The prime: an earlier committed attacker read of the same
+        // address on the same core whose line was live and is gone
+        // by the time the probe allocates.
+        Formula prime = ctx.isRead(p) && ctx.inProc(p, procAttacker) &&
+                        ctx.commits(p) && ctx.sameVa(p, pr) &&
+                        ctx.sameCore(p, pr) && ctx.hasVicl(p) &&
+                        ctx.viclBefore(p, pr);
+
+        // The eviction cause.
+        Formula cause = Formula::bottom();
+        for (EventId ev = 0; ev < n; ev++) {
+            if (ev == p || ev == pr)
+                continue;
+
+            // (a) Invalidation: a write on another core to the
+            //     primed PA whose ownership request killed the line
+            //     — even a squashed, speculative write (§VII-B).
+            Formula invalidation = Formula::bottom();
+            if (ctx.options().hasCoherence &&
+                ctx.options().invalidationProtocol) {
+                invalidation = ctx.isWrite(ev) &&
+                               ctx.samePa(ev, pr) &&
+                               !ctx.sameCore(ev, pr) &&
+                               !ctx.createdAfterInval(p, ev);
+            }
+
+            // (b) Collision: an access on the probe's core mapping
+            //     to the same set with a different PA, whose ViCL
+            //     displaced the primed line.
+            Formula collision =
+                ctx.isAccess(ev) && ctx.sameCore(ev, pr) &&
+                ctx.sameIndex(ev, pr) && ctx.differentPa(ev, pr) &&
+                ctx.hasVicl(ev) && ctx.viclBefore(p, ev) &&
+                ctx.viclBefore(ev, pr);
+
+            // (c) Flush: a CLFLUSH of the primed PA. Only effective
+            //     when committed — unless the model implements
+            //     speculative flushes, in which case the squashed,
+            //     sensitive-dependent CLFLUSH variants of §VII-B
+            //     become synthesizable.
+            Formula flush_effective =
+                ctx.options().allowSpeculativeFlush
+                    ? ctx.isClflush(ev)
+                    : (ctx.isClflush(ev) && ctx.commits(ev));
+            Formula flush_evict =
+                flush_effective && ctx.samePa(ev, pr) &&
+                !ctx.createdAfterFlush(p, ev);
+
+            // Leak condition: the cause reveals victim state.
+            Formula dependent = Formula::bottom();
+            for (EventId s = 0; s < n; s++) {
+                if (s == ev)
+                    continue;
+                dependent = dependent || (ctx.sensitiveRead(s) &&
+                                          ctx.hasAddrDep(s, ev));
+            }
+            Formula leaks =
+                ctx.inProc(ev, procVictim) || dependent;
+
+            cause = cause ||
+                    ((invalidation || collision || flush_evict) &&
+                     leaks);
+        }
+        scenario = scenario || (prime && cause);
+    }
+    ctx.require(scenario);
+}
+
+} // namespace checkmate::patterns

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The PRIME+PROBE exploit pattern (Fig. 4b).
+ *
+ * The attacker primes a cache set with its own line and later probes
+ * the same address, timing the access. The attack succeeds when the
+ * probe *misses* (new ViCL Create/Expire nodes for the probe): the
+ * primed line was removed in between by something that reveals victim
+ * state — a victim access colliding in the set (traditional
+ * PRIME+PROBE) or a speculative, squashed operation dependent on
+ * sensitive data: a colliding access, or a write on another core
+ * whose coherence ownership request invalidated the line even though
+ * the write itself was squashed (MeltdownPrime / SpectrePrime,
+ * §VII-B).
+ */
+
+#ifndef CHECKMATE_PATTERNS_PRIME_PROBE_HH
+#define CHECKMATE_PATTERNS_PRIME_PROBE_HH
+
+#include "patterns/pattern.hh"
+
+namespace checkmate::patterns
+{
+
+/** Fig. 4b's pattern. */
+class PrimeProbePattern : public ExploitPattern
+{
+  public:
+    std::string name() const override { return "PRIME+PROBE"; }
+    litmus::PatternFamily family() const override
+    {
+        return litmus::PatternFamily::PrimeProbe;
+    }
+    void apply(uspec::UspecContext &ctx,
+               uspec::EdgeDeriver &deriver) const override;
+};
+
+} // namespace checkmate::patterns
+
+#endif // CHECKMATE_PATTERNS_PRIME_PROBE_HH

@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Relational AST construction and pretty printing.
+ */
+
+#include "rmf/ast.hh"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace checkmate::rmf
+{
+
+Expr
+Expr::rel(RelationId id, int arity)
+{
+    ExprNode n;
+    n.op = ExprOp::Relation;
+    n.arity = arity;
+    n.relation = id;
+    return Expr(std::make_shared<const ExprNode>(std::move(n)));
+}
+
+Expr
+Expr::constant(TupleSet tuples)
+{
+    ExprNode n;
+    n.op = ExprOp::Constant;
+    n.arity = tuples.arity();
+    n.tuples = std::move(tuples);
+    return Expr(std::make_shared<const ExprNode>(std::move(n)));
+}
+
+Expr
+Expr::iden(const Universe &universe)
+{
+    TupleSet ts(2);
+    for (Atom a = 0; a < universe.size(); a++)
+        ts.add(Tuple{a, a});
+    return constant(std::move(ts));
+}
+
+Expr
+Expr::univ(const Universe &universe)
+{
+    return constant(TupleSet::range(0, universe.size() - 1));
+}
+
+int
+Expr::arity() const
+{
+    assert(node_);
+    return node_->arity;
+}
+
+Expr
+Expr::unionWith(const Expr &other) const
+{
+    if (arity() != other.arity())
+        throw std::invalid_argument("union: arity mismatch");
+    ExprNode n;
+    n.op = ExprOp::Union;
+    n.arity = arity();
+    n.lhs = *this;
+    n.rhs = other;
+    return Expr(std::make_shared<const ExprNode>(std::move(n)));
+}
+
+Expr
+Expr::intersect(const Expr &other) const
+{
+    if (arity() != other.arity())
+        throw std::invalid_argument("intersect: arity mismatch");
+    ExprNode n;
+    n.op = ExprOp::Intersect;
+    n.arity = arity();
+    n.lhs = *this;
+    n.rhs = other;
+    return Expr(std::make_shared<const ExprNode>(std::move(n)));
+}
+
+Expr
+Expr::difference(const Expr &other) const
+{
+    if (arity() != other.arity())
+        throw std::invalid_argument("difference: arity mismatch");
+    ExprNode n;
+    n.op = ExprOp::Difference;
+    n.arity = arity();
+    n.lhs = *this;
+    n.rhs = other;
+    return Expr(std::make_shared<const ExprNode>(std::move(n)));
+}
+
+Expr
+Expr::join(const Expr &other) const
+{
+    int result_arity = arity() + other.arity() - 2;
+    if (result_arity < 1)
+        throw std::invalid_argument("join: resulting arity < 1");
+    ExprNode n;
+    n.op = ExprOp::Join;
+    n.arity = result_arity;
+    n.lhs = *this;
+    n.rhs = other;
+    return Expr(std::make_shared<const ExprNode>(std::move(n)));
+}
+
+Expr
+Expr::product(const Expr &other) const
+{
+    ExprNode n;
+    n.op = ExprOp::Product;
+    n.arity = arity() + other.arity();
+    n.lhs = *this;
+    n.rhs = other;
+    return Expr(std::make_shared<const ExprNode>(std::move(n)));
+}
+
+Expr
+Expr::transpose() const
+{
+    if (arity() != 2)
+        throw std::invalid_argument("transpose: arity must be 2");
+    ExprNode n;
+    n.op = ExprOp::Transpose;
+    n.arity = 2;
+    n.lhs = *this;
+    return Expr(std::make_shared<const ExprNode>(std::move(n)));
+}
+
+Expr
+Expr::closure() const
+{
+    if (arity() != 2)
+        throw std::invalid_argument("closure: arity must be 2");
+    ExprNode n;
+    n.op = ExprOp::Closure;
+    n.arity = 2;
+    n.lhs = *this;
+    return Expr(std::make_shared<const ExprNode>(std::move(n)));
+}
+
+Expr
+Expr::reflexiveClosure(const Universe &universe) const
+{
+    return closure().unionWith(Expr::iden(universe));
+}
+
+std::string
+Expr::toString() const
+{
+    if (!node_)
+        return "<invalid>";
+    const ExprNode &n = *node_;
+    std::ostringstream out;
+    switch (n.op) {
+      case ExprOp::Relation:
+        out << "r" << n.relation;
+        break;
+      case ExprOp::Constant:
+        out << "const[" << n.tuples.size() << "]";
+        break;
+      case ExprOp::Union:
+        out << '(' << n.lhs.toString() << " + " << n.rhs.toString()
+            << ')';
+        break;
+      case ExprOp::Intersect:
+        out << '(' << n.lhs.toString() << " & " << n.rhs.toString()
+            << ')';
+        break;
+      case ExprOp::Difference:
+        out << '(' << n.lhs.toString() << " - " << n.rhs.toString()
+            << ')';
+        break;
+      case ExprOp::Join:
+        out << '(' << n.lhs.toString() << " . " << n.rhs.toString()
+            << ')';
+        break;
+      case ExprOp::Product:
+        out << '(' << n.lhs.toString() << " -> " << n.rhs.toString()
+            << ')';
+        break;
+      case ExprOp::Transpose:
+        out << '~' << n.lhs.toString();
+        break;
+      case ExprOp::Closure:
+        out << '^' << n.lhs.toString();
+        break;
+    }
+    return out.str();
+}
+
+// --- Formula ---------------------------------------------------------
+
+Formula
+Formula::top()
+{
+    FormulaNode n;
+    n.op = FormulaOp::True;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+Formula::bottom()
+{
+    FormulaNode n;
+    n.op = FormulaOp::False;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+in(const Expr &lhs, const Expr &rhs)
+{
+    if (lhs.arity() != rhs.arity())
+        throw std::invalid_argument("in: arity mismatch");
+    FormulaNode n;
+    n.op = FormulaOp::Subset;
+    n.exprLhs = lhs;
+    n.exprRhs = rhs;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+eq(const Expr &lhs, const Expr &rhs)
+{
+    if (lhs.arity() != rhs.arity())
+        throw std::invalid_argument("eq: arity mismatch");
+    FormulaNode n;
+    n.op = FormulaOp::Equal;
+    n.exprLhs = lhs;
+    n.exprRhs = rhs;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+no(const Expr &e)
+{
+    FormulaNode n;
+    n.op = FormulaOp::No;
+    n.exprLhs = e;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+some(const Expr &e)
+{
+    FormulaNode n;
+    n.op = FormulaOp::Some;
+    n.exprLhs = e;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+lone(const Expr &e)
+{
+    FormulaNode n;
+    n.op = FormulaOp::Lone;
+    n.exprLhs = e;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+one(const Expr &e)
+{
+    FormulaNode n;
+    n.op = FormulaOp::One;
+    n.exprLhs = e;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+atMost(const Expr &e, int k)
+{
+    FormulaNode n;
+    n.op = FormulaOp::AtMost;
+    n.exprLhs = e;
+    n.bound = k;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+atLeast(const Expr &e, int k)
+{
+    FormulaNode n;
+    n.op = FormulaOp::AtLeast;
+    n.exprLhs = e;
+    n.bound = k;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+Formula::andWith(const Formula &other) const
+{
+    FormulaNode n;
+    n.op = FormulaOp::And;
+    n.lhs = *this;
+    n.rhs = other;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+Formula::orWith(const Formula &other) const
+{
+    FormulaNode n;
+    n.op = FormulaOp::Or;
+    n.lhs = *this;
+    n.rhs = other;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+Formula::negate() const
+{
+    FormulaNode n;
+    n.op = FormulaOp::Not;
+    n.lhs = *this;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+Formula::implies(const Formula &other) const
+{
+    FormulaNode n;
+    n.op = FormulaOp::Implies;
+    n.lhs = *this;
+    n.rhs = other;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+Formula::iff(const Formula &other) const
+{
+    FormulaNode n;
+    n.op = FormulaOp::Iff;
+    n.lhs = *this;
+    n.rhs = other;
+    return Formula(std::make_shared<const FormulaNode>(std::move(n)));
+}
+
+Formula
+Formula::conjunction(const std::vector<Formula> &fs)
+{
+    Formula acc = top();
+    for (const Formula &f : fs)
+        acc = acc.andWith(f);
+    return acc;
+}
+
+Formula
+Formula::disjunction(const std::vector<Formula> &fs)
+{
+    Formula acc = bottom();
+    for (const Formula &f : fs)
+        acc = acc.orWith(f);
+    return acc;
+}
+
+std::string
+Formula::toString() const
+{
+    if (!node_)
+        return "<invalid>";
+    const FormulaNode &n = *node_;
+    std::ostringstream out;
+    switch (n.op) {
+      case FormulaOp::True:
+        out << "true";
+        break;
+      case FormulaOp::False:
+        out << "false";
+        break;
+      case FormulaOp::Subset:
+        out << n.exprLhs.toString() << " in " << n.exprRhs.toString();
+        break;
+      case FormulaOp::Equal:
+        out << n.exprLhs.toString() << " = " << n.exprRhs.toString();
+        break;
+      case FormulaOp::No:
+        out << "no " << n.exprLhs.toString();
+        break;
+      case FormulaOp::Some:
+        out << "some " << n.exprLhs.toString();
+        break;
+      case FormulaOp::Lone:
+        out << "lone " << n.exprLhs.toString();
+        break;
+      case FormulaOp::One:
+        out << "one " << n.exprLhs.toString();
+        break;
+      case FormulaOp::AtMost:
+        out << "#" << n.exprLhs.toString() << " <= " << n.bound;
+        break;
+      case FormulaOp::AtLeast:
+        out << "#" << n.exprLhs.toString() << " >= " << n.bound;
+        break;
+      case FormulaOp::And:
+        out << '(' << n.lhs.toString() << " && " << n.rhs.toString()
+            << ')';
+        break;
+      case FormulaOp::Or:
+        out << '(' << n.lhs.toString() << " || " << n.rhs.toString()
+            << ')';
+        break;
+      case FormulaOp::Not:
+        out << '!' << n.lhs.toString();
+        break;
+      case FormulaOp::Implies:
+        out << '(' << n.lhs.toString() << " => " << n.rhs.toString()
+            << ')';
+        break;
+      case FormulaOp::Iff:
+        out << '(' << n.lhs.toString() << " <=> " << n.rhs.toString()
+            << ')';
+        break;
+    }
+    return out.str();
+}
+
+} // namespace checkmate::rmf

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Relational-algebra expression and formula ASTs.
+ *
+ * This is the language of the model finder: expressions denote sets of
+ * tuples over a finite universe (relations, constants, and the Alloy
+ * operators union/intersection/difference/join/product/transpose/
+ * transitive closure); formulas denote constraints over them (subset,
+ * equality, the multiplicities no/some/lone/one, and the boolean
+ * connectives). Quantifiers over finite atom sets are provided as
+ * macro-expansion helpers (see quant.hh), which is semantically
+ * equivalent to Kodkod's ground expansion for finite universes.
+ *
+ * Expr and Formula are cheap immutable handles (shared pointers to
+ * nodes), so they can be freely copied and composed.
+ */
+
+#ifndef CHECKMATE_RMF_AST_HH
+#define CHECKMATE_RMF_AST_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rmf/universe.hh"
+
+namespace checkmate::rmf
+{
+
+/** Handle to a declared relation within a Problem. */
+using RelationId = int32_t;
+
+enum class ExprOp
+{
+    Relation,   ///< leaf: a declared relation
+    Constant,   ///< leaf: a fixed tuple set
+    Union,
+    Intersect,
+    Difference,
+    Join,       ///< relational composition (Alloy's dot)
+    Product,    ///< cross product (Alloy's ->)
+    Transpose,  ///< ~e, binary only
+    Closure     ///< ^e, transitive closure, binary only
+};
+
+struct ExprNode;
+using ExprPtr = std::shared_ptr<const ExprNode>;
+
+/**
+ * A relational expression.
+ */
+class Expr
+{
+  public:
+    Expr() = default;
+
+    /** Leaf referring to declared relation @p id of arity @p arity. */
+    static Expr rel(RelationId id, int arity);
+
+    /** Constant tuple-set leaf. */
+    static Expr constant(TupleSet tuples);
+
+    /** The empty relation of the given arity. */
+    static Expr none(int arity) { return constant(TupleSet(arity)); }
+
+    /** Singleton unary constant {<a>}. */
+    static Expr atom(Atom a) { return constant(TupleSet::singleton(a)); }
+
+    /** Identity relation over the atoms of @p universe. */
+    static Expr iden(const Universe &universe);
+
+    /** All atoms of @p universe as a unary constant. */
+    static Expr univ(const Universe &universe);
+
+    bool valid() const { return node_ != nullptr; }
+    int arity() const;
+    const ExprNode &node() const { return *node_; }
+
+    // --- Operators ------------------------------------------------
+    Expr unionWith(const Expr &other) const;
+    Expr intersect(const Expr &other) const;
+    Expr difference(const Expr &other) const;
+    Expr join(const Expr &other) const;
+    Expr product(const Expr &other) const;
+    Expr transpose() const;
+    Expr closure() const;
+    Expr reflexiveClosure(const Universe &universe) const;
+
+    Expr operator+(const Expr &o) const { return unionWith(o); }
+    Expr operator&(const Expr &o) const { return intersect(o); }
+    Expr operator-(const Expr &o) const { return difference(o); }
+
+    /** Render for debugging. */
+    std::string toString() const;
+
+  private:
+    explicit Expr(ExprPtr node) : node_(std::move(node)) {}
+    ExprPtr node_;
+
+    friend struct ExprNode;
+};
+
+struct ExprNode
+{
+    ExprOp op;
+    int arity;
+    RelationId relation = -1; ///< for Relation leaves
+    TupleSet tuples;          ///< for Constant leaves
+    Expr lhs, rhs;            ///< operands (rhs unused for unary ops)
+};
+
+enum class FormulaOp
+{
+    True,
+    False,
+    Subset,      ///< lhs in rhs
+    Equal,
+    No,          ///< expression is empty
+    Some,        ///< expression is non-empty
+    Lone,        ///< expression has at most one tuple
+    One,         ///< expression has exactly one tuple
+    AtMost,      ///< expression has at most k tuples
+    AtLeast,     ///< expression has at least k tuples
+    And,
+    Or,
+    Not,
+    Implies,
+    Iff
+};
+
+struct FormulaNode;
+using FormulaPtr = std::shared_ptr<const FormulaNode>;
+
+/**
+ * A relational formula (constraint).
+ */
+class Formula
+{
+  public:
+    Formula() = default;
+
+    static Formula top();
+    static Formula bottom();
+
+    bool valid() const { return node_ != nullptr; }
+    const FormulaNode &node() const { return *node_; }
+
+    // --- Connectives ----------------------------------------------
+    Formula andWith(const Formula &other) const;
+    Formula orWith(const Formula &other) const;
+    Formula negate() const;
+    Formula implies(const Formula &other) const;
+    Formula iff(const Formula &other) const;
+
+    Formula operator&&(const Formula &o) const { return andWith(o); }
+    Formula operator||(const Formula &o) const { return orWith(o); }
+    Formula operator!() const { return negate(); }
+
+    /** Conjunction of a list (top() when empty). */
+    static Formula conjunction(const std::vector<Formula> &fs);
+
+    /** Disjunction of a list (bottom() when empty). */
+    static Formula disjunction(const std::vector<Formula> &fs);
+
+    std::string toString() const;
+
+  private:
+    explicit Formula(FormulaPtr node) : node_(std::move(node)) {}
+    FormulaPtr node_;
+
+    friend Formula in(const Expr &, const Expr &);
+    friend Formula eq(const Expr &, const Expr &);
+    friend Formula no(const Expr &);
+    friend Formula some(const Expr &);
+    friend Formula lone(const Expr &);
+    friend Formula one(const Expr &);
+    friend Formula atMost(const Expr &, int);
+    friend Formula atLeast(const Expr &, int);
+    friend struct FormulaNode;
+};
+
+struct FormulaNode
+{
+    FormulaOp op;
+    Expr exprLhs, exprRhs; ///< for Subset/Equal/multiplicities
+    Formula lhs, rhs;      ///< for connectives
+    int bound = 0;         ///< for AtMost/AtLeast
+};
+
+// --- Formula constructors over expressions ---------------------------
+
+/** lhs is a subset of rhs. */
+Formula in(const Expr &lhs, const Expr &rhs);
+
+/** lhs equals rhs. */
+Formula eq(const Expr &lhs, const Expr &rhs);
+
+/** e is empty. */
+Formula no(const Expr &e);
+
+/** e is non-empty. */
+Formula some(const Expr &e);
+
+/** e has at most one tuple. */
+Formula lone(const Expr &e);
+
+/** e has exactly one tuple. */
+Formula one(const Expr &e);
+
+/**
+ * e has at most @p k tuples (cardinality constraint; §V-C uses this
+ * to bound unbounded relations such as coherence-message edges).
+ */
+Formula atMost(const Expr &e, int k);
+
+/** e has at least @p k tuples. */
+Formula atLeast(const Expr &e, int k);
+
+} // namespace checkmate::rmf
+
+#endif // CHECKMATE_RMF_AST_HH

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Boolean circuit implementation.
+ */
+
+#include "rmf/bool_expr.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace checkmate::rmf
+{
+
+BoolFactory::BoolFactory() : solver_(&ownedSolver_)
+{
+    // Node 0 is the constant TRUE.
+    nodes_.push_back(Node{Kind::Const, sat::varUndef, BoolRef(),
+                          BoolRef(), sat::litUndef});
+    trueRef_ = BoolRef::fromNode(0, false);
+}
+
+BoolFactory::BoolFactory(sat::Solver &solver) : BoolFactory()
+{
+    solver_ = &solver;
+}
+
+int32_t
+BoolFactory::addNode(Node n)
+{
+    nodes_.push_back(n);
+    return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+BoolRef
+BoolFactory::freshVar()
+{
+    sat::Var v = solver_->newVar();
+    int32_t node = addNode(Node{Kind::Leaf, v, BoolRef(), BoolRef(),
+                                sat::litUndef});
+    primaryVars_.push_back(v);
+    leafByVar_[v] = node;
+    return BoolRef::fromNode(node, false);
+}
+
+sat::Var
+BoolFactory::leafVar(BoolRef r) const
+{
+    const Node &n = nodes_[r.node()];
+    return n.kind == Kind::Leaf ? n.var : sat::varUndef;
+}
+
+BoolRef
+BoolFactory::mkAnd(BoolRef a, BoolRef b)
+{
+    // Constant folding and structural simplification.
+    if (a == bottom() || b == bottom())
+        return bottom();
+    if (a == top())
+        return b;
+    if (b == top())
+        return a;
+    if (a == b)
+        return a;
+    if (a == !b)
+        return bottom();
+
+    // Canonical input order for hash-consing.
+    if (b.raw() < a.raw())
+        std::swap(a, b);
+    GateKey key{a.raw(), b.raw()};
+    auto it = gateCache_.find(key);
+    if (it != gateCache_.end())
+        return BoolRef::fromNode(it->second, false);
+
+    int32_t node = addNode(
+        Node{Kind::And, sat::varUndef, a, b, sat::litUndef});
+    gateCache_[key] = node;
+    return BoolRef::fromNode(node, false);
+}
+
+BoolRef
+BoolFactory::mkAnd(const std::vector<BoolRef> &refs)
+{
+    // Balanced reduction keeps circuit depth logarithmic.
+    if (refs.empty())
+        return top();
+    std::vector<BoolRef> layer = refs;
+    while (layer.size() > 1) {
+        std::vector<BoolRef> next;
+        next.reserve((layer.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < layer.size(); i += 2)
+            next.push_back(mkAnd(layer[i], layer[i + 1]));
+        if (layer.size() & 1)
+            next.push_back(layer.back());
+        layer = std::move(next);
+    }
+    return layer[0];
+}
+
+BoolRef
+BoolFactory::mkOr(const std::vector<BoolRef> &refs)
+{
+    std::vector<BoolRef> negated;
+    negated.reserve(refs.size());
+    for (BoolRef r : refs)
+        negated.push_back(!r);
+    return !mkAnd(negated);
+}
+
+BoolRef
+BoolFactory::mkAtMostOne(const std::vector<BoolRef> &refs)
+{
+    // Ladder: ok(i) == "at most one among refs[0..i]".
+    // amo = AND_i !(seen_before(i) & refs[i]).
+    std::vector<BoolRef> constraints;
+    BoolRef seen = bottom();
+    for (BoolRef r : refs) {
+        constraints.push_back(!mkAnd(seen, r));
+        seen = mkOr(seen, r);
+    }
+    return mkAnd(constraints);
+}
+
+BoolRef
+BoolFactory::mkExactlyOne(const std::vector<BoolRef> &refs)
+{
+    return mkAnd(mkAtMostOne(refs), mkOr(refs));
+}
+
+BoolRef
+BoolFactory::mkAtMost(const std::vector<BoolRef> &refs, int k)
+{
+    if (k < 0)
+        return bottom();
+    if (static_cast<int>(refs.size()) <= k)
+        return top();
+    // Sequential counter: count[j] == "at least j+1 of the refs seen
+    // so far are true". At-most-k holds iff count[k] is finally false.
+    std::vector<BoolRef> count(k + 1, bottom());
+    for (BoolRef r : refs) {
+        for (int j = k; j >= 1; j--)
+            count[j] = mkOr(count[j], mkAnd(count[j - 1], r));
+        count[0] = mkOr(count[0], r);
+    }
+    return !count[k];
+}
+
+sat::Lit
+BoolFactory::toLiteral(BoolRef r, sat::Solver &solver)
+{
+    assert(&solver == solver_);
+    Node &n = nodes_[r.node()];
+    switch (n.kind) {
+      case Kind::Const:
+        // Materialize a constant literal lazily.
+        if (n.tseitin == sat::litUndef) {
+            sat::Var v = solver.newVar();
+            solver.addClause(sat::mkLit(v));
+            n.tseitin = sat::mkLit(v);
+        }
+        break;
+      case Kind::Leaf:
+        n.tseitin = sat::mkLit(n.var);
+        break;
+      case Kind::And:
+        if (n.tseitin == sat::litUndef) {
+            sat::Lit a = toLiteral(n.in0, solver);
+            sat::Lit b = toLiteral(n.in1, solver);
+            sat::Var v = solver.newVar();
+            sat::Lit g = sat::mkLit(v);
+            // g <-> a & b
+            solver.addClause(~g, a);
+            solver.addClause(~g, b);
+            solver.addClause(g, ~a, ~b);
+            n.tseitin = g;
+        }
+        break;
+    }
+    return r.negated() ? ~n.tseitin : n.tseitin;
+}
+
+void
+BoolFactory::assertTrue(BoolRef r, sat::Solver &solver)
+{
+    if (r == top())
+        return;
+    if (r == bottom()) {
+        // Assert an immediate contradiction.
+        sat::Var v = solver.newVar();
+        solver.addClause(sat::mkLit(v));
+        solver.addClause(sat::mkLit(v, true));
+        return;
+    }
+    const Node &n = nodes_[r.node()];
+    if (n.kind == Kind::And && !r.negated()) {
+        // Top-level conjunction: assert both sides directly, avoiding
+        // a Tseitin gate variable for the root.
+        assertTrue(n.in0, solver);
+        assertTrue(n.in1, solver);
+        return;
+    }
+    solver.addClause(toLiteral(r, solver));
+}
+
+bool
+BoolFactory::evaluate(BoolRef r, const sat::Solver &solver) const
+{
+    // Iterative post-order evaluation with memoization so shared
+    // subcircuits are visited once.
+    std::vector<int8_t> memo(nodes_.size(), -1);
+    std::vector<int32_t> stack = {r.node()};
+    while (!stack.empty()) {
+        int32_t idx = stack.back();
+        if (memo[idx] != -1) {
+            stack.pop_back();
+            continue;
+        }
+        const Node &n = nodes_[idx];
+        if (n.kind == Kind::Const) {
+            memo[idx] = 1;
+            stack.pop_back();
+        } else if (n.kind == Kind::Leaf) {
+            memo[idx] =
+                (solver.modelValue(n.var) == sat::LBool::True);
+            stack.pop_back();
+        } else {
+            int32_t c0 = n.in0.node(), c1 = n.in1.node();
+            if (memo[c0] == -1) {
+                stack.push_back(c0);
+            } else if (memo[c1] == -1) {
+                stack.push_back(c1);
+            } else {
+                bool v0 = n.in0.negated() ? !memo[c0] : memo[c0];
+                bool v1 = n.in1.negated() ? !memo[c1] : memo[c1];
+                memo[idx] = v0 && v1;
+                stack.pop_back();
+            }
+        }
+    }
+    bool value = memo[r.node()];
+    return r.negated() ? !value : value;
+}
+
+} // namespace checkmate::rmf

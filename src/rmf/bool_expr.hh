@@ -1,0 +1,202 @@
+/**
+ * @file
+ * A hash-consed boolean circuit with Tseitin CNF conversion.
+ *
+ * The relational-to-propositional translation builds boolean matrices
+ * whose entries are gates in this circuit. Hash-consing plus local
+ * simplification keeps the circuit compact; CNF conversion introduces
+ * one auxiliary SAT variable per gate (standard Tseitin encoding, with
+ * polarity-aware clause emission).
+ */
+
+#ifndef CHECKMATE_RMF_BOOL_EXPR_HH
+#define CHECKMATE_RMF_BOOL_EXPR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sat/solver.hh"
+#include "sat/types.hh"
+
+namespace checkmate::rmf
+{
+
+/**
+ * Reference to a boolean-circuit node.
+ *
+ * Encoded as a signed index into the owning factory's node table; the
+ * low bit carries negation, so NOT is free. Constants TRUE and FALSE
+ * are reserved nodes 0 and its negation.
+ */
+class BoolRef
+{
+  public:
+    BoolRef() : value_(-2) {}
+
+    int32_t raw() const { return value_; }
+    int32_t node() const { return value_ >> 1; }
+    bool negated() const { return value_ & 1; }
+
+    BoolRef operator!() const { return fromRaw(value_ ^ 1); }
+
+    bool operator==(const BoolRef &o) const { return value_ == o.value_; }
+    bool operator!=(const BoolRef &o) const { return value_ != o.value_; }
+
+    static BoolRef
+    fromRaw(int32_t raw)
+    {
+        BoolRef r;
+        r.value_ = raw;
+        return r;
+    }
+
+    static BoolRef fromNode(int32_t node, bool negated)
+    {
+        return fromRaw(node + node + static_cast<int32_t>(negated));
+    }
+
+  private:
+    int32_t value_;
+};
+
+/**
+ * Factory owning a boolean circuit.
+ *
+ * Nodes are either SAT variables (leaves) or AND gates over two
+ * references (OR is expressed as negated AND via De Morgan). Gates are
+ * hash-consed so structurally identical subcircuits share one node.
+ */
+class BoolFactory
+{
+  public:
+    BoolFactory();
+
+    /** Constant true. */
+    BoolRef top() const { return trueRef_; }
+
+    /** Constant false. */
+    BoolRef bottom() const { return !trueRef_; }
+
+    /** A fresh primary variable leaf (allocates a SAT var). */
+    BoolRef freshVar();
+
+    /** The SAT variable behind a leaf reference; varUndef otherwise. */
+    sat::Var leafVar(BoolRef r) const;
+
+    /** Conjunction with simplification and hash-consing. */
+    BoolRef mkAnd(BoolRef a, BoolRef b);
+
+    /** Disjunction (De Morgan over mkAnd). */
+    BoolRef mkOr(BoolRef a, BoolRef b) { return !mkAnd(!a, !b); }
+
+    /** N-ary conjunction. */
+    BoolRef mkAnd(const std::vector<BoolRef> &refs);
+
+    /** N-ary disjunction. */
+    BoolRef mkOr(const std::vector<BoolRef> &refs);
+
+    /** a implies b. */
+    BoolRef mkImplies(BoolRef a, BoolRef b) { return mkOr(!a, b); }
+
+    /** a iff b. */
+    BoolRef
+    mkIff(BoolRef a, BoolRef b)
+    {
+        return mkAnd(mkImplies(a, b), mkImplies(b, a));
+    }
+
+    /** if c then t else e. */
+    BoolRef
+    mkIte(BoolRef c, BoolRef t, BoolRef e)
+    {
+        return mkOr(mkAnd(c, t), mkAnd(!c, e));
+    }
+
+    /**
+     * At-most-one over @p refs via a sequential (ladder) encoding;
+     * returns a reference that is true iff at most one ref is true.
+     */
+    BoolRef mkAtMostOne(const std::vector<BoolRef> &refs);
+
+    /** Exactly-one. */
+    BoolRef mkExactlyOne(const std::vector<BoolRef> &refs);
+
+    /**
+     * True iff at most @p k of @p refs are true (sequential counter).
+     */
+    BoolRef mkAtMost(const std::vector<BoolRef> &refs, int k);
+
+    /**
+     * Assert @p r into @p solver as a top-level fact, emitting Tseitin
+     * clauses for every gate reachable from it.
+     */
+    void assertTrue(BoolRef r, sat::Solver &solver);
+
+    /**
+     * Materialize @p r as a SAT literal in @p solver (defining clauses
+     * included), without asserting it.
+     */
+    sat::Lit toLiteral(BoolRef r, sat::Solver &solver);
+
+    /** Evaluate @p r under the model currently held by @p solver. */
+    bool evaluate(BoolRef r, const sat::Solver &solver) const;
+
+    /** Number of circuit nodes (gates + leaves + constant). */
+    size_t numNodes() const { return nodes_.size(); }
+
+    /** Primary (leaf) SAT variables created so far. */
+    const std::vector<sat::Var> &primaryVars() const
+    {
+        return primaryVars_;
+    }
+
+    /** The solver this factory allocates leaf variables in. */
+    sat::Solver &solver() { return *solver_; }
+
+    /** Bind the factory to the solver used for leaf allocation. */
+    explicit BoolFactory(sat::Solver &solver);
+
+  private:
+    enum class Kind : uint8_t { Const, Leaf, And };
+
+    struct Node
+    {
+        Kind kind;
+        sat::Var var;      // Leaf: the SAT variable
+        BoolRef in0, in1;  // And: inputs
+        sat::Lit tseitin;  // cached CNF literal (litUndef if none)
+    };
+
+    struct GateKey
+    {
+        int32_t a, b;
+        bool operator==(const GateKey &o) const
+        {
+            return a == o.a && b == o.b;
+        }
+    };
+    struct GateKeyHash
+    {
+        size_t operator()(const GateKey &k) const
+        {
+            return std::hash<int64_t>()(
+                (static_cast<int64_t>(k.a) << 32) ^
+                static_cast<uint32_t>(k.b));
+        }
+    };
+
+    int32_t addNode(Node n);
+
+    sat::Solver *solver_ = nullptr;
+    sat::Solver ownedSolver_; // used when default-constructed
+    std::vector<Node> nodes_;
+    std::unordered_map<GateKey, int32_t, GateKeyHash> gateCache_;
+    std::vector<sat::Var> primaryVars_;
+    std::unordered_map<sat::Var, int32_t> leafByVar_;
+    BoolRef trueRef_;
+};
+
+} // namespace checkmate::rmf
+
+#endif // CHECKMATE_RMF_BOOL_EXPR_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Problem and Instance implementation.
+ */
+
+#include "rmf/problem.hh"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace checkmate::rmf
+{
+
+RelationId
+Problem::addRelation(const std::string &name, TupleSet lower,
+                     TupleSet upper)
+{
+    if (relationByName(name) >= 0)
+        throw std::invalid_argument("duplicate relation: " + name);
+    if (!lower.empty() && lower.arity() != upper.arity())
+        throw std::invalid_argument("bounds arity mismatch: " + name);
+    for (const Tuple &t : lower) {
+        if (!upper.contains(t)) {
+            throw std::invalid_argument(
+                "lower bound not contained in upper bound: " + name);
+        }
+    }
+    RelationId id = static_cast<RelationId>(relations_.size());
+    TupleSet low = lower.empty() ? TupleSet(upper.arity())
+                                 : std::move(lower);
+    relations_.push_back(RelationDecl{name, upper.arity(),
+                                      std::move(low),
+                                      std::move(upper)});
+    return id;
+}
+
+RelationId
+Problem::relationByName(const std::string &name) const
+{
+    for (size_t i = 0; i < relations_.size(); i++) {
+        if (relations_[i].name == name)
+            return static_cast<RelationId>(i);
+    }
+    return -1;
+}
+
+const TupleSet &
+Instance::value(const std::string &name) const
+{
+    RelationId id = problem_->relationByName(name);
+    if (id < 0)
+        throw std::invalid_argument("unknown relation: " + name);
+    return values_[id];
+}
+
+std::string
+Instance::toString() const
+{
+    std::ostringstream out;
+    for (size_t i = 0; i < values_.size(); i++) {
+        out << problem_->relations()[i].name << " = "
+            << values_[i].toString(problem_->universe()) << '\n';
+    }
+    return out.str();
+}
+
+} // namespace checkmate::rmf

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * A relational model-finding problem: universe + bounded relations +
+ * constraint formulas, plus the extracted solution (Instance) type.
+ */
+
+#ifndef CHECKMATE_RMF_PROBLEM_HH
+#define CHECKMATE_RMF_PROBLEM_HH
+
+#include <string>
+#include <vector>
+
+#include "rmf/ast.hh"
+#include "rmf/universe.hh"
+
+namespace checkmate::rmf
+{
+
+/**
+ * Declaration of a bounded relation.
+ *
+ * Every tuple in @c lower is in all instances; only tuples in
+ * @c upper may appear. When lower == upper the relation is constant.
+ */
+struct RelationDecl
+{
+    std::string name;
+    int arity;
+    TupleSet lower;
+    TupleSet upper;
+};
+
+/**
+ * A set of atoms declared interchangeable, for symmetry breaking.
+ *
+ * The translator emits lex-leader constraints over adjacent
+ * transpositions of each class, pruning instances that are mere
+ * relabelings of one another (§V-A of the CheckMate paper explains why
+ * this matters: a 20-node μhb graph otherwise admits 20! labelings).
+ */
+using SymmetryClass = std::vector<Atom>;
+
+/**
+ * A relational model-finding problem.
+ */
+class Problem
+{
+  public:
+    explicit Problem(Universe universe) : universe_(std::move(universe))
+    {}
+
+    const Universe &universe() const { return universe_; }
+
+    /** Declare a relation bounded by [lower, upper]. */
+    RelationId addRelation(const std::string &name, TupleSet lower,
+                           TupleSet upper);
+
+    /** Declare a relation with upper bound only (empty lower). */
+    RelationId
+    addRelation(const std::string &name, TupleSet upper)
+    {
+        return addRelation(name, TupleSet(upper.arity()),
+                           std::move(upper));
+    }
+
+    /** Declare a constant relation (lower == upper). */
+    RelationId
+    addConstant(const std::string &name, TupleSet value)
+    {
+        TupleSet copy = value;
+        return addRelation(name, std::move(copy), std::move(value));
+    }
+
+    /** Expression handle for a declared relation. */
+    Expr
+    expr(RelationId id) const
+    {
+        return Expr::rel(id, relations_[id].arity);
+    }
+
+    /** Assert a constraint. */
+    void require(Formula f) { facts_.push_back(std::move(f)); }
+
+    /** Declare atoms interchangeable for symmetry breaking. */
+    void
+    addSymmetryClass(SymmetryClass atoms)
+    {
+        symmetryClasses_.push_back(std::move(atoms));
+    }
+
+    const std::vector<RelationDecl> &relations() const
+    {
+        return relations_;
+    }
+    const std::vector<Formula> &facts() const { return facts_; }
+    const std::vector<SymmetryClass> &symmetryClasses() const
+    {
+        return symmetryClasses_;
+    }
+
+    /** Look up a relation id by name; -1 if absent. */
+    RelationId relationByName(const std::string &name) const;
+
+  private:
+    Universe universe_;
+    std::vector<RelationDecl> relations_;
+    std::vector<Formula> facts_;
+    std::vector<SymmetryClass> symmetryClasses_;
+};
+
+/**
+ * A satisfying assignment: one tuple set per declared relation.
+ */
+class Instance
+{
+  public:
+    Instance() = default;
+
+    Instance(const Problem &problem, std::vector<TupleSet> values)
+        : problem_(&problem), values_(std::move(values))
+    {}
+
+    const TupleSet &value(RelationId id) const { return values_[id]; }
+
+    /** Value by relation name (throws if unknown). */
+    const TupleSet &value(const std::string &name) const;
+
+    /** Render all relations using atom names. */
+    std::string toString() const;
+
+    const Problem &problem() const { return *problem_; }
+
+  private:
+    const Problem *problem_ = nullptr;
+    std::vector<TupleSet> values_;
+};
+
+} // namespace checkmate::rmf
+
+#endif // CHECKMATE_RMF_PROBLEM_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quantifier macro-expansion helpers.
+ *
+ * Alloy-style quantified formulas (`all e : Event | F[e]`) are
+ * expanded over explicit finite atom sets at formula-construction
+ * time. Over a finite universe this is semantically identical to
+ * Kodkod's ground expansion, and it keeps the translator free of
+ * binding environments.
+ */
+
+#ifndef CHECKMATE_RMF_QUANT_HH
+#define CHECKMATE_RMF_QUANT_HH
+
+#include <functional>
+#include <vector>
+
+#include "rmf/ast.hh"
+
+namespace checkmate::rmf
+{
+
+/** `all a : atoms | body(a)` */
+inline Formula
+forAll(const std::vector<Atom> &atoms,
+       const std::function<Formula(Atom)> &body)
+{
+    Formula acc = Formula::top();
+    for (Atom a : atoms)
+        acc = acc.andWith(body(a));
+    return acc;
+}
+
+/** `some a : atoms | body(a)` */
+inline Formula
+exists(const std::vector<Atom> &atoms,
+       const std::function<Formula(Atom)> &body)
+{
+    Formula acc = Formula::bottom();
+    for (Atom a : atoms)
+        acc = acc.orWith(body(a));
+    return acc;
+}
+
+/** `all disj a, b : atoms | body(a, b)` (ordered pairs, a != b). */
+inline Formula
+forAllDisj(const std::vector<Atom> &atoms,
+           const std::function<Formula(Atom, Atom)> &body)
+{
+    Formula acc = Formula::top();
+    for (Atom a : atoms) {
+        for (Atom b : atoms) {
+            if (a != b)
+                acc = acc.andWith(body(a, b));
+        }
+    }
+    return acc;
+}
+
+/** `some disj a, b : atoms | body(a, b)` (ordered pairs, a != b). */
+inline Formula
+existsDisj(const std::vector<Atom> &atoms,
+           const std::function<Formula(Atom, Atom)> &body)
+{
+    Formula acc = Formula::bottom();
+    for (Atom a : atoms) {
+        for (Atom b : atoms) {
+            if (a != b)
+                acc = acc.orWith(body(a, b));
+        }
+    }
+    return acc;
+}
+
+} // namespace checkmate::rmf
+
+#endif // CHECKMATE_RMF_QUANT_HH

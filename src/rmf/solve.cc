@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Model-finder driver implementation.
+ */
+
+#include "rmf/solve.hh"
+
+namespace checkmate::rmf
+{
+
+std::optional<Instance>
+solveOne(const Problem &problem, const SolveOptions &options,
+         SolveResult *result)
+{
+    sat::Solver solver;
+    if (options.conflictBudget)
+        solver.setConflictBudget(options.conflictBudget);
+    Translation translation(problem, solver, options.breakSymmetries);
+
+    sat::LBool r = solver.solve();
+    if (result) {
+        result->sat = (r == sat::LBool::True);
+        result->aborted = (r == sat::LBool::Undef);
+        result->instances = (r == sat::LBool::True) ? 1 : 0;
+        result->translation = translation.stats();
+        result->solver = solver.stats();
+    }
+    if (r != sat::LBool::True)
+        return std::nullopt;
+    return translation.extract(solver);
+}
+
+uint64_t
+solveAll(const Problem &problem,
+         const std::function<bool(const Instance &)> &on_instance,
+         const SolveOptions &options, SolveResult *result)
+{
+    sat::Solver solver;
+    if (options.conflictBudget)
+        solver.setConflictBudget(options.conflictBudget);
+    Translation translation(problem, solver, options.breakSymmetries);
+
+    std::vector<sat::Var> projection;
+    if (options.projectOn.empty()) {
+        projection = translation.primaryVars();
+    } else {
+        for (RelationId id : options.projectOn) {
+            const auto &vars = translation.relationVars(id);
+            projection.insert(projection.end(), vars.begin(),
+                              vars.end());
+        }
+    }
+
+    uint64_t count = solver.enumerateModels(
+        projection,
+        [&](const sat::Solver &s) {
+            return on_instance(translation.extract(s));
+        },
+        options.maxInstances);
+
+    if (result) {
+        result->sat = count > 0;
+        result->aborted = false;
+        result->instances = count;
+        result->translation = translation.stats();
+        result->solver = solver.stats();
+    }
+    return count;
+}
+
+} // namespace checkmate::rmf

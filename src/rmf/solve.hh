@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The model-finder driver: solve a relational problem, or enumerate
+ * all of its instances.
+ */
+
+#ifndef CHECKMATE_RMF_SOLVE_HH
+#define CHECKMATE_RMF_SOLVE_HH
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+
+#include "rmf/problem.hh"
+#include "rmf/translate.hh"
+
+namespace checkmate::rmf
+{
+
+/** Options controlling one model-finding run. */
+struct SolveOptions
+{
+    /** Emit lex-leader symmetry-breaking predicates. */
+    bool breakSymmetries = true;
+
+    /** Stop enumeration after this many instances. */
+    uint64_t maxInstances = std::numeric_limits<uint64_t>::max();
+
+    /** Abort the SAT search after this many conflicts (0 = off). */
+    uint64_t conflictBudget = 0;
+
+    /**
+     * Enumerate distinct assignments of these relations only (empty
+     * = all relations). Solutions that differ only in relations
+     * outside the projection are reported once, with an arbitrary
+     * witness for the others — the "constraining solutions"
+     * optimization of §V-C.
+     */
+    std::vector<RelationId> projectOn;
+};
+
+/** Outcome of one model-finding run. */
+struct SolveResult
+{
+    bool sat = false;
+    bool aborted = false; ///< conflict budget exhausted
+    uint64_t instances = 0;
+    TranslationStats translation;
+    sat::SolverStats solver;
+};
+
+/**
+ * Find one instance of @p problem.
+ *
+ * @return the instance, or nullopt when unsatisfiable/aborted.
+ */
+std::optional<Instance> solveOne(const Problem &problem,
+                                 const SolveOptions &options = {},
+                                 SolveResult *result = nullptr);
+
+/**
+ * Enumerate instances of @p problem.
+ *
+ * Invokes @p on_instance per instance; the callback returns true to
+ * continue. Distinctness is per assignment to the primary variables
+ * (i.e., per relation valuation), exactly as in Kodkod.
+ *
+ * @return the number of instances enumerated.
+ */
+uint64_t solveAll(const Problem &problem,
+                  const std::function<bool(const Instance &)> &
+                      on_instance,
+                  const SolveOptions &options = {},
+                  SolveResult *result = nullptr);
+
+} // namespace checkmate::rmf
+
+#endif // CHECKMATE_RMF_SOLVE_HH

@@ -1,0 +1,376 @@
+/**
+ * @file
+ * Relational-to-propositional translation implementation.
+ */
+
+#include "rmf/translate.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace checkmate::rmf
+{
+
+BoolRef
+BoolMatrix::get(const Tuple &t, const BoolFactory &f) const
+{
+    auto it = cells_.find(t);
+    return it == cells_.end() ? f.bottom() : it->second;
+}
+
+void
+BoolMatrix::set(const Tuple &t, BoolRef v, const BoolFactory &f)
+{
+    if (v == f.bottom()) {
+        cells_.erase(t);
+    } else {
+        cells_[t] = v;
+    }
+}
+
+Translation::Translation(const Problem &problem, sat::Solver &solver,
+                         bool break_symmetries)
+    : problem_(problem), solver_(solver), factory_(solver)
+{
+    // Build one boolean matrix per relation from its bounds.
+    for (const RelationDecl &decl : problem.relations()) {
+        BoolMatrix m(decl.arity);
+        std::vector<sat::Var> vars;
+        for (const Tuple &t : decl.upper) {
+            if (decl.lower.contains(t)) {
+                m.set(t, factory_.top(), factory_);
+            } else {
+                BoolRef v = factory_.freshVar();
+                m.set(t, v, factory_);
+                vars.push_back(factory_.leafVar(v));
+            }
+        }
+        relationMatrices_.push_back(std::move(m));
+        relationVars_.push_back(std::move(vars));
+    }
+    stats_.primaryVars = factory_.primaryVars().size();
+
+    // Assert every fact.
+    for (const Formula &f : problem.facts())
+        factory_.assertTrue(evalFormula(f), solver_);
+
+    if (break_symmetries && !problem.symmetryClasses().empty())
+        emitSymmetryBreaking();
+
+    stats_.circuitNodes = factory_.numNodes();
+    stats_.solverVars = static_cast<size_t>(solver_.numVars());
+    stats_.solverClauses = solver_.numClauses();
+}
+
+BoolMatrix
+Translation::matrixJoin(const BoolMatrix &a, const BoolMatrix &b)
+{
+    int result_arity = a.arity() + b.arity() - 2;
+    BoolMatrix out(result_arity);
+
+    // Index b's tuples by leading atom.
+    std::unordered_map<Atom, std::vector<const Tuple *>> b_by_head;
+    for (const auto &[t, v] : b.cells())
+        b_by_head[t[0]].push_back(&t);
+
+    // result[x ++ y] |= OR_m a[x ++ m] & b[m ++ y]
+    std::map<Tuple, std::vector<BoolRef>> disjuncts;
+    for (const auto &[ta, va] : a.cells()) {
+        Atom mid = ta.back();
+        auto it = b_by_head.find(mid);
+        if (it == b_by_head.end())
+            continue;
+        for (const Tuple *tb : it->second) {
+            Tuple result(ta.begin(), ta.end() - 1);
+            result.insert(result.end(), tb->begin() + 1, tb->end());
+            disjuncts[result].push_back(
+                factory_.mkAnd(va, b.get(*tb, factory_)));
+        }
+    }
+    for (auto &[t, refs] : disjuncts)
+        out.set(t, factory_.mkOr(refs), factory_);
+    return out;
+}
+
+BoolMatrix
+Translation::matrixClosure(const BoolMatrix &a)
+{
+    assert(a.arity() == 2);
+    // Iterative squaring: after k rounds the matrix contains paths of
+    // length up to 2^k, so ceil(log2(|U|)) rounds suffice.
+    BoolMatrix acc = a;
+    int n = problem_.universe().size();
+    for (int len = 1; len < n; len *= 2) {
+        BoolMatrix sq = matrixJoin(acc, acc);
+        BoolMatrix merged(2);
+        for (const auto &[t, v] : acc.cells())
+            merged.set(t, v, factory_);
+        for (const auto &[t, v] : sq.cells()) {
+            merged.set(t, factory_.mkOr(merged.get(t, factory_), v),
+                       factory_);
+        }
+        acc = std::move(merged);
+    }
+    return acc;
+}
+
+BoolMatrix
+Translation::evalExpr(const Expr &e)
+{
+    const ExprNode *key = &e.node();
+    auto memo_it = exprMemo_.find(key);
+    if (memo_it != exprMemo_.end())
+        return memo_it->second;
+
+    const ExprNode &n = e.node();
+    BoolMatrix out(n.arity);
+    switch (n.op) {
+      case ExprOp::Relation:
+        out = relationMatrices_[n.relation];
+        break;
+      case ExprOp::Constant:
+        for (const Tuple &t : n.tuples)
+            out.set(t, factory_.top(), factory_);
+        break;
+      case ExprOp::Union: {
+        BoolMatrix a = evalExpr(n.lhs), b = evalExpr(n.rhs);
+        for (const auto &[t, v] : a.cells())
+            out.set(t, v, factory_);
+        for (const auto &[t, v] : b.cells()) {
+            out.set(t, factory_.mkOr(out.get(t, factory_), v),
+                    factory_);
+        }
+        break;
+      }
+      case ExprOp::Intersect: {
+        BoolMatrix a = evalExpr(n.lhs), b = evalExpr(n.rhs);
+        for (const auto &[t, v] : a.cells()) {
+            BoolRef bv = b.get(t, factory_);
+            out.set(t, factory_.mkAnd(v, bv), factory_);
+        }
+        break;
+      }
+      case ExprOp::Difference: {
+        BoolMatrix a = evalExpr(n.lhs), b = evalExpr(n.rhs);
+        for (const auto &[t, v] : a.cells()) {
+            BoolRef bv = b.get(t, factory_);
+            out.set(t, factory_.mkAnd(v, !bv), factory_);
+        }
+        break;
+      }
+      case ExprOp::Join:
+        out = matrixJoin(evalExpr(n.lhs), evalExpr(n.rhs));
+        break;
+      case ExprOp::Product: {
+        BoolMatrix a = evalExpr(n.lhs), b = evalExpr(n.rhs);
+        for (const auto &[ta, va] : a.cells()) {
+            for (const auto &[tb, vb] : b.cells()) {
+                Tuple t = ta;
+                t.insert(t.end(), tb.begin(), tb.end());
+                out.set(t, factory_.mkAnd(va, vb), factory_);
+            }
+        }
+        break;
+      }
+      case ExprOp::Transpose: {
+        BoolMatrix a = evalExpr(n.lhs);
+        for (const auto &[t, v] : a.cells())
+            out.set(Tuple{t[1], t[0]}, v, factory_);
+        break;
+      }
+      case ExprOp::Closure:
+        out = matrixClosure(evalExpr(n.lhs));
+        break;
+    }
+    exprMemo_.emplace(key, out);
+    return out;
+}
+
+BoolRef
+Translation::evalFormula(const Formula &f)
+{
+    const FormulaNode &n = f.node();
+    switch (n.op) {
+      case FormulaOp::True:
+        return factory_.top();
+      case FormulaOp::False:
+        return factory_.bottom();
+      case FormulaOp::Subset: {
+        BoolMatrix a = evalExpr(n.exprLhs), b = evalExpr(n.exprRhs);
+        std::vector<BoolRef> conjuncts;
+        for (const auto &[t, v] : a.cells()) {
+            conjuncts.push_back(
+                factory_.mkImplies(v, b.get(t, factory_)));
+        }
+        return factory_.mkAnd(conjuncts);
+      }
+      case FormulaOp::Equal: {
+        BoolMatrix a = evalExpr(n.exprLhs), b = evalExpr(n.exprRhs);
+        std::vector<BoolRef> conjuncts;
+        for (const auto &[t, v] : a.cells()) {
+            conjuncts.push_back(
+                factory_.mkIff(v, b.get(t, factory_)));
+        }
+        for (const auto &[t, v] : b.cells()) {
+            if (a.cells().find(t) == a.cells().end())
+                conjuncts.push_back(!v);
+        }
+        return factory_.mkAnd(conjuncts);
+      }
+      case FormulaOp::No: {
+        BoolMatrix a = evalExpr(n.exprLhs);
+        std::vector<BoolRef> conjuncts;
+        for (const auto &[t, v] : a.cells())
+            conjuncts.push_back(!v);
+        return factory_.mkAnd(conjuncts);
+      }
+      case FormulaOp::Some: {
+        BoolMatrix a = evalExpr(n.exprLhs);
+        std::vector<BoolRef> disjuncts;
+        for (const auto &[t, v] : a.cells())
+            disjuncts.push_back(v);
+        return factory_.mkOr(disjuncts);
+      }
+      case FormulaOp::Lone: {
+        BoolMatrix a = evalExpr(n.exprLhs);
+        std::vector<BoolRef> vals;
+        for (const auto &[t, v] : a.cells())
+            vals.push_back(v);
+        return factory_.mkAtMostOne(vals);
+      }
+      case FormulaOp::One: {
+        BoolMatrix a = evalExpr(n.exprLhs);
+        std::vector<BoolRef> vals;
+        for (const auto &[t, v] : a.cells())
+            vals.push_back(v);
+        return factory_.mkExactlyOne(vals);
+      }
+      case FormulaOp::AtMost: {
+        BoolMatrix a = evalExpr(n.exprLhs);
+        std::vector<BoolRef> vals;
+        for (const auto &[t, v] : a.cells())
+            vals.push_back(v);
+        return factory_.mkAtMost(vals, n.bound);
+      }
+      case FormulaOp::AtLeast: {
+        // #e >= k  <=>  NOT (#e <= k-1).
+        BoolMatrix a = evalExpr(n.exprLhs);
+        std::vector<BoolRef> vals;
+        for (const auto &[t, v] : a.cells())
+            vals.push_back(v);
+        return !factory_.mkAtMost(vals, n.bound - 1);
+      }
+      case FormulaOp::And:
+        return factory_.mkAnd(evalFormula(n.lhs), evalFormula(n.rhs));
+      case FormulaOp::Or:
+        return factory_.mkOr(evalFormula(n.lhs), evalFormula(n.rhs));
+      case FormulaOp::Not:
+        return !evalFormula(n.lhs);
+      case FormulaOp::Implies:
+        return factory_.mkImplies(evalFormula(n.lhs),
+                                  evalFormula(n.rhs));
+      case FormulaOp::Iff:
+        return factory_.mkIff(evalFormula(n.lhs), evalFormula(n.rhs));
+    }
+    return factory_.bottom(); // unreachable
+}
+
+BoolRef
+Translation::lexLeq(const std::vector<BoolRef> &x,
+                    const std::vector<BoolRef> &y)
+{
+    assert(x.size() == y.size());
+    // x <=_lex y, with FALSE < TRUE. Build from the rightmost bit:
+    // leq_i = (x_i < y_i) | (x_i == y_i) & leq_{i+1}.
+    BoolRef leq = factory_.top();
+    for (size_t i = x.size(); i-- > 0;) {
+        BoolRef less = factory_.mkAnd(!x[i], y[i]);
+        BoolRef equal = factory_.mkIff(x[i], y[i]);
+        leq = factory_.mkOr(less, factory_.mkAnd(equal, leq));
+    }
+    return leq;
+}
+
+void
+Translation::emitSymmetryBreaking()
+{
+    for (const SymmetryClass &cls : problem_.symmetryClasses()) {
+        for (size_t i = 0; i + 1 < cls.size(); i++) {
+            Atom a = cls[i], b = cls[i + 1];
+            // Build, in canonical (relation, tuple) order, the vector
+            // of membership values and the corresponding vector under
+            // the transposition (a b).
+            std::vector<BoolRef> orig, swapped;
+            for (size_t r = 0; r < problem_.relations().size(); r++) {
+                const RelationDecl &decl = problem_.relations()[r];
+                if (decl.lower == decl.upper)
+                    continue; // constants can't break symmetry
+                const BoolMatrix &m = relationMatrices_[r];
+                for (const Tuple &t : decl.upper) {
+                    bool mentions = false;
+                    Tuple perm = t;
+                    for (Atom &x : perm) {
+                        if (x == a) {
+                            x = b;
+                            mentions = true;
+                        } else if (x == b) {
+                            x = a;
+                            mentions = true;
+                        }
+                    }
+                    if (!mentions)
+                        continue;
+                    orig.push_back(m.get(t, factory_));
+                    swapped.push_back(m.get(perm, factory_));
+                }
+            }
+            if (!orig.empty()) {
+                factory_.assertTrue(lexLeq(orig, swapped), solver_);
+            }
+        }
+    }
+}
+
+Instance
+Translation::extract(const sat::Solver &solver) const
+{
+    std::vector<TupleSet> values;
+    for (size_t r = 0; r < problem_.relations().size(); r++) {
+        const RelationDecl &decl = problem_.relations()[r];
+        const BoolMatrix &m = relationMatrices_[r];
+        TupleSet ts(decl.arity);
+        for (const auto &[t, v] : m.cells()) {
+            if (v == factory_.top()) {
+                ts.add(t);
+            } else {
+                sat::Var var = factory_.leafVar(v);
+                if (var != sat::varUndef &&
+                    solver.modelValue(var) == sat::LBool::True) {
+                    ts.add(t);
+                }
+            }
+        }
+        values.push_back(std::move(ts));
+    }
+    return Instance(problem_, std::move(values));
+}
+
+TupleSet
+Translation::evaluate(const Expr &e, const sat::Solver &solver)
+{
+    BoolMatrix m = evalExpr(e);
+    TupleSet ts(m.arity());
+    for (const auto &[t, v] : m.cells()) {
+        if (factory_.evaluate(v, solver))
+            ts.add(t);
+    }
+    return ts;
+}
+
+bool
+Translation::evaluate(const Formula &f, const sat::Solver &solver)
+{
+    return factory_.evaluate(evalFormula(f), solver);
+}
+
+} // namespace checkmate::rmf

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Translation of relational problems to propositional SAT.
+ *
+ * Follows the Kodkod recipe: every declared relation becomes a sparse
+ * boolean matrix over its upper-bound tuples (lower-bound tuples are
+ * the constant TRUE, free tuples get fresh SAT variables). Relational
+ * operators become matrix operations; transitive closure is computed
+ * by iterative squaring; formulas become boolean circuit roots that
+ * are asserted into the solver via Tseitin conversion.
+ */
+
+#ifndef CHECKMATE_RMF_TRANSLATE_HH
+#define CHECKMATE_RMF_TRANSLATE_HH
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "rmf/bool_expr.hh"
+#include "rmf/problem.hh"
+
+namespace checkmate::rmf
+{
+
+/**
+ * A sparse boolean matrix: the propositional denotation of a
+ * relational expression. Tuples absent from the map denote FALSE.
+ */
+class BoolMatrix
+{
+  public:
+    explicit BoolMatrix(int arity) : arity_(arity) {}
+
+    int arity() const { return arity_; }
+
+    /** Value at @p t (FALSE when absent), given the factory. */
+    BoolRef get(const Tuple &t, const BoolFactory &f) const;
+
+    /** Set the value at @p t (dropping explicit FALSE entries). */
+    void set(const Tuple &t, BoolRef v, const BoolFactory &f);
+
+    const std::map<Tuple, BoolRef> &cells() const { return cells_; }
+
+    size_t size() const { return cells_.size(); }
+
+  private:
+    int arity_;
+    std::map<Tuple, BoolRef> cells_;
+};
+
+/** Statistics about one translation. */
+struct TranslationStats
+{
+    size_t primaryVars = 0;
+    size_t circuitNodes = 0;
+    size_t solverVars = 0;
+    size_t solverClauses = 0;
+};
+
+/**
+ * The result of translating a Problem into a solver.
+ *
+ * Holds the boolean factory (and hence the variable mapping) so that
+ * instances can be extracted from models and models can be enumerated
+ * over the primary (relation-membership) variables.
+ */
+class Translation
+{
+  public:
+    /**
+     * Translate @p problem into @p solver.
+     *
+     * Asserts all facts and, when enabled, the lex-leader symmetry-
+     * breaking predicates for the problem's symmetry classes.
+     */
+    Translation(const Problem &problem, sat::Solver &solver,
+                bool break_symmetries = true);
+
+    /** Primary variables: one per free relation tuple. */
+    const std::vector<sat::Var> &primaryVars() const
+    {
+        return factory_.primaryVars();
+    }
+
+    /** Primary variables belonging to one relation's free tuples. */
+    const std::vector<sat::Var> &relationVars(RelationId id) const
+    {
+        return relationVars_[id];
+    }
+
+    /** Extract the instance denoted by the solver's current model. */
+    Instance extract(const sat::Solver &solver) const;
+
+    /** Evaluate an arbitrary expression under the current model. */
+    TupleSet evaluate(const Expr &e, const sat::Solver &solver);
+
+    /** Evaluate a formula under the current model. */
+    bool evaluate(const Formula &f, const sat::Solver &solver);
+
+    const TranslationStats &stats() const { return stats_; }
+
+    BoolFactory &factory() { return factory_; }
+
+  private:
+    BoolMatrix evalExpr(const Expr &e);
+    BoolRef evalFormula(const Formula &f);
+
+    BoolMatrix matrixJoin(const BoolMatrix &a, const BoolMatrix &b);
+    BoolMatrix matrixClosure(const BoolMatrix &a);
+
+    void emitSymmetryBreaking();
+    BoolRef lexLeq(const std::vector<BoolRef> &x,
+                   const std::vector<BoolRef> &y);
+
+    const Problem &problem_;
+    sat::Solver &solver_;
+    BoolFactory factory_;
+    std::vector<BoolMatrix> relationMatrices_;
+    std::vector<std::vector<sat::Var>> relationVars_;
+    std::unordered_map<const ExprNode *, BoolMatrix> exprMemo_;
+    TranslationStats stats_;
+};
+
+} // namespace checkmate::rmf
+
+#endif // CHECKMATE_RMF_TRANSLATE_HH

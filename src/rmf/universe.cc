@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Universe and TupleSet implementation.
+ */
+
+#include "rmf/universe.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace checkmate::rmf
+{
+
+Atom
+Universe::addAtom(const std::string &name)
+{
+    if (index_.count(name))
+        throw std::invalid_argument("duplicate atom name: " + name);
+    Atom a = static_cast<Atom>(names_.size());
+    names_.push_back(name);
+    index_[name] = a;
+    return a;
+}
+
+Atom
+Universe::atom(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? -1 : it->second;
+}
+
+TupleSet::TupleSet(int arity, std::vector<Tuple> tuples)
+    : arity_(arity), tuples_(std::move(tuples))
+{
+    for (const Tuple &t : tuples_) {
+        assert(static_cast<int>(t.size()) == arity_);
+        (void)t;
+    }
+    std::sort(tuples_.begin(), tuples_.end());
+    tuples_.erase(std::unique(tuples_.begin(), tuples_.end()),
+                  tuples_.end());
+}
+
+void
+TupleSet::add(const Tuple &t)
+{
+    assert(static_cast<int>(t.size()) == arity_ || tuples_.empty());
+    if (tuples_.empty())
+        arity_ = static_cast<int>(t.size());
+    auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+    if (it == tuples_.end() || *it != t)
+        tuples_.insert(it, t);
+}
+
+bool
+TupleSet::contains(const Tuple &t) const
+{
+    return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+TupleSet
+TupleSet::unionWith(const TupleSet &other) const
+{
+    assert(empty() || other.empty() || arity_ == other.arity_);
+    TupleSet out(arity_ ? arity_ : other.arity_);
+    std::set_union(tuples_.begin(), tuples_.end(),
+                   other.tuples_.begin(), other.tuples_.end(),
+                   std::back_inserter(
+                       const_cast<std::vector<Tuple> &>(out.tuples_)));
+    return out;
+}
+
+TupleSet
+TupleSet::range(Atom first, Atom last)
+{
+    TupleSet out(1);
+    for (Atom a = first; a <= last; a++)
+        out.add(Tuple{a});
+    return out;
+}
+
+TupleSet
+TupleSet::singleton(Atom a)
+{
+    TupleSet out(1);
+    out.add(Tuple{a});
+    return out;
+}
+
+TupleSet
+TupleSet::product(const std::vector<TupleSet> &sets)
+{
+    assert(!sets.empty());
+    int arity = 0;
+    for (const TupleSet &s : sets)
+        arity += s.arity();
+    TupleSet out(arity);
+
+    std::vector<Tuple> acc = {Tuple{}};
+    for (const TupleSet &s : sets) {
+        std::vector<Tuple> next;
+        next.reserve(acc.size() * s.size());
+        for (const Tuple &prefix : acc) {
+            for (const Tuple &t : s) {
+                Tuple combined = prefix;
+                combined.insert(combined.end(), t.begin(), t.end());
+                next.push_back(std::move(combined));
+            }
+        }
+        acc = std::move(next);
+    }
+    for (Tuple &t : acc)
+        out.add(t);
+    return out;
+}
+
+std::string
+TupleSet::toString(const Universe &universe) const
+{
+    std::ostringstream out;
+    out << '{';
+    bool first_tuple = true;
+    for (const Tuple &t : tuples_) {
+        if (!first_tuple)
+            out << ", ";
+        first_tuple = false;
+        out << '<';
+        for (size_t i = 0; i < t.size(); i++) {
+            if (i)
+                out << ',';
+            out << universe.name(t[i]);
+        }
+        out << '>';
+    }
+    out << '}';
+    return out.str();
+}
+
+} // namespace checkmate::rmf

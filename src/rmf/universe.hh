@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Atom universes and tuple sets for the relational model finder.
+ *
+ * A relational model-finding problem (in the Kodkod sense) is posed
+ * over a finite universe of uninterpreted atoms. Relations are sets of
+ * fixed-arity tuples of atoms, and each relation is bounded below and
+ * above by tuple sets. These types implement that vocabulary.
+ */
+
+#ifndef CHECKMATE_RMF_UNIVERSE_HH
+#define CHECKMATE_RMF_UNIVERSE_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace checkmate::rmf
+{
+
+/** Index of an atom within a Universe. */
+using Atom = int32_t;
+
+/** A tuple of atoms; its size is the relation arity. */
+using Tuple = std::vector<Atom>;
+
+/**
+ * The finite set of atoms a problem is posed over.
+ *
+ * Atoms are named for readability of extracted instances; internally
+ * they are dense indices.
+ */
+class Universe
+{
+  public:
+    Universe() = default;
+
+    explicit Universe(std::initializer_list<std::string> names)
+    {
+        for (const std::string &n : names)
+            addAtom(n);
+    }
+
+    /** Add an atom; names must be unique. Returns its index. */
+    Atom addAtom(const std::string &name);
+
+    /** Number of atoms. */
+    int size() const { return static_cast<int>(names_.size()); }
+
+    /** Name of atom @p a. */
+    const std::string &name(Atom a) const { return names_[a]; }
+
+    /** Index of the atom named @p name; -1 if absent. */
+    Atom atom(const std::string &name) const;
+
+    /** True iff an atom with this name exists. */
+    bool has(const std::string &name) const { return atom(name) >= 0; }
+
+  private:
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, Atom> index_;
+};
+
+/**
+ * A sorted, duplicate-free set of same-arity tuples.
+ *
+ * Used for relation bounds and extracted relation values. An empty
+ * TupleSet carries an explicit arity so bounds of empty relations stay
+ * well-typed.
+ */
+class TupleSet
+{
+  public:
+    TupleSet() : arity_(0) {}
+
+    explicit TupleSet(int arity) : arity_(arity) {}
+
+    TupleSet(int arity, std::vector<Tuple> tuples);
+
+    /** Tuple arity; 0 only for the default-constructed empty set. */
+    int arity() const { return arity_; }
+
+    size_t size() const { return tuples_.size(); }
+    bool empty() const { return tuples_.empty(); }
+
+    /** Insert a tuple (keeps the set sorted and duplicate-free). */
+    void add(const Tuple &t);
+
+    /** Membership test. */
+    bool contains(const Tuple &t) const;
+
+    /** Set union with @p other (arity must match). */
+    TupleSet unionWith(const TupleSet &other) const;
+
+    const std::vector<Tuple> &tuples() const { return tuples_; }
+
+    auto begin() const { return tuples_.begin(); }
+    auto end() const { return tuples_.end(); }
+
+    bool operator==(const TupleSet &other) const
+    {
+        return arity_ == other.arity_ && tuples_ == other.tuples_;
+    }
+
+    /** All arity-1 tuples over atoms [first, last]. */
+    static TupleSet range(Atom first, Atom last);
+
+    /** The full cross product of @p sets of unary tuple sets. */
+    static TupleSet product(const std::vector<TupleSet> &sets);
+
+    /** Singleton unary tuple set {<a>}. */
+    static TupleSet singleton(Atom a);
+
+    /** Render using universe atom names, for debugging. */
+    std::string toString(const Universe &universe) const;
+
+  private:
+    int arity_;
+    std::vector<Tuple> tuples_;
+};
+
+} // namespace checkmate::rmf
+
+#endif // CHECKMATE_RMF_UNIVERSE_HH

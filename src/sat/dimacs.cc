@@ -1,0 +1,92 @@
+/**
+ * @file
+ * DIMACS CNF import/export implementation.
+ */
+
+#include "sat/dimacs.hh"
+
+#include <cstdlib>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "sat/solver.hh"
+
+namespace checkmate::sat
+{
+
+DimacsProblem
+parseDimacs(std::istream &in)
+{
+    DimacsProblem problem;
+    std::string token;
+    int declared_clauses = -1;
+    Clause current;
+
+    while (in >> token) {
+        if (token == "c") {
+            std::string line;
+            std::getline(in, line);
+            continue;
+        }
+        if (token == "p") {
+            std::string fmt;
+            in >> fmt;
+            if (fmt != "cnf")
+                throw std::runtime_error("dimacs: expected 'p cnf'");
+            in >> problem.numVars >> declared_clauses;
+            continue;
+        }
+        char *end = nullptr;
+        long v = std::strtol(token.c_str(), &end, 10);
+        if (end == token.c_str() || *end != '\0')
+            throw std::runtime_error("dimacs: bad token '" + token +
+                                     "'");
+        if (v == 0) {
+            problem.clauses.push_back(current);
+            current.clear();
+        } else {
+            Var var = static_cast<Var>(std::labs(v) - 1);
+            if (var >= problem.numVars)
+                problem.numVars = var + 1;
+            current.push_back(mkLit(var, v < 0));
+        }
+    }
+    if (!current.empty())
+        throw std::runtime_error("dimacs: missing terminating 0");
+    return problem;
+}
+
+DimacsProblem
+parseDimacsString(const std::string &text)
+{
+    std::istringstream in(text);
+    return parseDimacs(in);
+}
+
+bool
+loadDimacs(const DimacsProblem &problem, Solver &solver)
+{
+    while (solver.numVars() < problem.numVars)
+        solver.newVar();
+    for (const Clause &c : problem.clauses) {
+        if (!solver.addClause(c))
+            return false;
+    }
+    return true;
+}
+
+void
+writeDimacs(std::ostream &out, int num_vars,
+            const std::vector<Clause> &clauses)
+{
+    out << "p cnf " << num_vars << ' ' << clauses.size() << '\n';
+    for (const Clause &c : clauses) {
+        for (Lit p : c)
+            out << (p.sign() ? -(p.var() + 1) : (p.var() + 1)) << ' ';
+        out << "0\n";
+    }
+}
+
+} // namespace checkmate::sat

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * DIMACS CNF import/export for the checkmate SAT solver.
+ *
+ * Used by the test suite to exercise the solver on textual CNF
+ * problems, and handy for debugging relational encodings by dumping
+ * them to standard tooling.
+ */
+
+#ifndef CHECKMATE_SAT_DIMACS_HH
+#define CHECKMATE_SAT_DIMACS_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hh"
+
+namespace checkmate::sat
+{
+
+class Solver;
+
+/** A parsed DIMACS problem. */
+struct DimacsProblem
+{
+    int numVars = 0;
+    std::vector<Clause> clauses;
+};
+
+/**
+ * Parse a DIMACS CNF stream.
+ *
+ * @throws std::runtime_error on malformed input.
+ */
+DimacsProblem parseDimacs(std::istream &in);
+
+/** Parse a DIMACS CNF string. */
+DimacsProblem parseDimacsString(const std::string &text);
+
+/**
+ * Load a parsed problem into a solver, creating variables 0..n-1.
+ *
+ * @return false if the problem is trivially unsatisfiable on load.
+ */
+bool loadDimacs(const DimacsProblem &problem, Solver &solver);
+
+/** Write clauses in DIMACS format. */
+void writeDimacs(std::ostream &out, int num_vars,
+                 const std::vector<Clause> &clauses);
+
+} // namespace checkmate::sat
+
+#endif // CHECKMATE_SAT_DIMACS_HH

@@ -1,0 +1,567 @@
+/**
+ * @file
+ * CDCL SAT solver implementation. See solver.hh for the design notes.
+ */
+
+#include "sat/solver.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace checkmate::sat
+{
+
+Solver::Solver() = default;
+
+Var
+Solver::newVar()
+{
+    Var v = static_cast<Var>(assigns_.size());
+    assigns_.push_back(LBool::Undef);
+    varData_.push_back(VarData{});
+    polarity_.push_back(true);
+    decisionVar_.push_back(true);
+    activity_.push_back(0.0);
+    heapIndex_.push_back(-1);
+    seen_.push_back(0);
+    model_.push_back(LBool::Undef);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heapInsert(v);
+    return v;
+}
+
+bool
+Solver::addClause(const Clause &lits)
+{
+    assert(decisionLevel() == 0);
+    if (!ok_)
+        return false;
+
+    // Normalize: sort, remove duplicates, detect tautologies and
+    // already-satisfied / falsified literals at level 0.
+    Clause c(lits);
+    std::sort(c.begin(), c.end());
+    Clause out;
+    Lit prev = litUndef;
+    for (Lit p : c) {
+        if (value(p) == LBool::True || p == ~prev)
+            return true; // satisfied or tautology
+        if (value(p) != LBool::False && p != prev)
+            out.push_back(p);
+        prev = p;
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        if (!enqueue(out[0], crUndef)) {
+            ok_ = false;
+            return false;
+        }
+        ok_ = (propagate() == crUndef);
+        return ok_;
+    }
+
+    ClauseRef cr = static_cast<ClauseRef>(clauseStore_.size());
+    clauseStore_.push_back(ClauseData{out, 0.0, false, false});
+    clauses_.push_back(cr);
+    attachClause(cr);
+    return true;
+}
+
+void
+Solver::attachClause(ClauseRef cr)
+{
+    const ClauseData &c = clauseStore_[cr];
+    assert(c.lits.size() >= 2);
+    watches_[(~c.lits[0]).index()].push_back(Watcher{cr, c.lits[1]});
+    watches_[(~c.lits[1]).index()].push_back(Watcher{cr, c.lits[0]});
+}
+
+bool
+Solver::enqueue(Lit p, ClauseRef from)
+{
+    if (value(p) != LBool::Undef)
+        return value(p) == LBool::True;
+    assigns_[p.var()] = toLBool(!p.sign());
+    varData_[p.var()] = VarData{from, decisionLevel()};
+    trail_.push_back(p);
+    return true;
+}
+
+Solver::ClauseRef
+Solver::propagate()
+{
+    ClauseRef confl = crUndef;
+    while (qhead_ < trail_.size()) {
+        Lit p = trail_[qhead_++];
+        stats_.propagations++;
+        std::vector<Watcher> &ws = watches_[p.index()];
+        size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            Watcher w = ws[i];
+            if (value(w.blocker) == LBool::True) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            ClauseData &c = clauseStore_[w.cref];
+            if (c.deleted) {
+                i++;
+                continue;
+            }
+            // Make sure the false literal is lits[1].
+            Lit false_lit = ~p;
+            if (c.lits[0] == false_lit)
+                std::swap(c.lits[0], c.lits[1]);
+            assert(c.lits[1] == false_lit);
+            i++;
+
+            Lit first = c.lits[0];
+            if (first != w.blocker && value(first) == LBool::True) {
+                ws[j++] = Watcher{w.cref, first};
+                continue;
+            }
+
+            // Look for a new literal to watch.
+            bool found = false;
+            for (size_t k = 2; k < c.lits.size(); k++) {
+                if (value(c.lits[k]) != LBool::False) {
+                    std::swap(c.lits[1], c.lits[k]);
+                    watches_[(~c.lits[1]).index()].push_back(
+                        Watcher{w.cref, first});
+                    found = true;
+                    break;
+                }
+            }
+            if (found)
+                continue;
+
+            // Clause is unit or conflicting.
+            ws[j++] = Watcher{w.cref, first};
+            if (value(first) == LBool::False) {
+                confl = w.cref;
+                qhead_ = trail_.size();
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+            } else {
+                enqueue(first, w.cref);
+            }
+        }
+        ws.resize(j);
+        if (confl != crUndef)
+            break;
+    }
+    return confl;
+}
+
+void
+Solver::varBumpActivity(Var v)
+{
+    activity_[v] += varInc_;
+    if (activity_[v] > 1e100) {
+        for (double &a : activity_)
+            a *= 1e-100;
+        varInc_ *= 1e-100;
+    }
+    if (heapContains(v))
+        heapPercolateUp(heapIndex_[v]);
+}
+
+void
+Solver::claBumpActivity(ClauseData &c)
+{
+    c.activity += claInc_;
+    if (c.activity > 1e20) {
+        for (ClauseRef cr : learnts_)
+            clauseStore_[cr].activity *= 1e-20;
+        claInc_ *= 1e-20;
+    }
+}
+
+void
+Solver::analyze(ClauseRef confl, std::vector<Lit> &out_learned,
+                int &out_btlevel)
+{
+    int path_count = 0;
+    Lit p = litUndef;
+    out_learned.clear();
+    out_learned.push_back(litUndef); // placeholder for the asserting lit
+    size_t index = trail_.size();
+
+    do {
+        assert(confl != crUndef);
+        ClauseData &c = clauseStore_[confl];
+        if (c.learned)
+            claBumpActivity(c);
+        size_t start = (p == litUndef) ? 0 : 1;
+        for (size_t k = start; k < c.lits.size(); k++) {
+            Lit q = c.lits[k];
+            if (!seen_[q.var()] && level(q.var()) > 0) {
+                varBumpActivity(q.var());
+                seen_[q.var()] = 1;
+                if (level(q.var()) >= decisionLevel()) {
+                    path_count++;
+                } else {
+                    out_learned.push_back(q);
+                }
+            }
+        }
+        // Pick the next literal on the trail to resolve on.
+        while (!seen_[trail_[index - 1].var()])
+            index--;
+        p = trail_[--index];
+        confl = varData_[p.var()].reason;
+        seen_[p.var()] = 0;
+        path_count--;
+    } while (path_count > 0);
+    out_learned[0] = ~p;
+
+    // Clause minimization: drop literals implied by the rest.
+    analyzeToClear_.assign(out_learned.begin(), out_learned.end());
+    for (Lit q : out_learned)
+        if (q != litUndef)
+            seen_[q.var()] = 1;
+
+    uint32_t abstract_levels = 0;
+    for (size_t k = 1; k < out_learned.size(); k++)
+        abstract_levels |= 1u << (level(out_learned[k].var()) & 31);
+
+    size_t keep = 1;
+    for (size_t k = 1; k < out_learned.size(); k++) {
+        Lit q = out_learned[k];
+        if (varData_[q.var()].reason == crUndef ||
+            !litRedundant(q, abstract_levels)) {
+            out_learned[keep++] = q;
+        }
+    }
+    out_learned.resize(keep);
+
+    // Find the backtrack level: the second-highest level in the clause.
+    out_btlevel = 0;
+    if (out_learned.size() > 1) {
+        size_t max_i = 1;
+        for (size_t k = 2; k < out_learned.size(); k++) {
+            if (level(out_learned[k].var()) >
+                level(out_learned[max_i].var())) {
+                max_i = k;
+            }
+        }
+        std::swap(out_learned[1], out_learned[max_i]);
+        out_btlevel = level(out_learned[1].var());
+    }
+
+    for (Lit q : analyzeToClear_)
+        if (q != litUndef)
+            seen_[q.var()] = 0;
+    analyzeToClear_.clear();
+}
+
+bool
+Solver::litRedundant(Lit p, uint32_t abstract_levels)
+{
+    analyzeStack_.clear();
+    analyzeStack_.push_back(p);
+    size_t top = analyzeToClear_.size();
+    while (!analyzeStack_.empty()) {
+        Lit q = analyzeStack_.back();
+        analyzeStack_.pop_back();
+        assert(varData_[q.var()].reason != crUndef);
+        const ClauseData &c = clauseStore_[varData_[q.var()].reason];
+        for (size_t k = 1; k < c.lits.size(); k++) {
+            Lit r = c.lits[k];
+            if (!seen_[r.var()] && level(r.var()) > 0) {
+                if (varData_[r.var()].reason != crUndef &&
+                    ((1u << (level(r.var()) & 31)) & abstract_levels)) {
+                    seen_[r.var()] = 1;
+                    analyzeStack_.push_back(r);
+                    analyzeToClear_.push_back(r);
+                } else {
+                    // Not redundant: undo marks made in this call.
+                    for (size_t j = top; j < analyzeToClear_.size();
+                         j++) {
+                        seen_[analyzeToClear_[j].var()] = 0;
+                    }
+                    analyzeToClear_.resize(top);
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+void
+Solver::cancelUntil(int lvl)
+{
+    if (decisionLevel() <= lvl)
+        return;
+    for (size_t c = trail_.size(); c > static_cast<size_t>(
+             trailLim_[lvl]); c--) {
+        Var v = trail_[c - 1].var();
+        polarity_[v] = trail_[c - 1].sign();
+        assigns_[v] = LBool::Undef;
+        if (!heapContains(v))
+            heapInsert(v);
+    }
+    trail_.resize(trailLim_[lvl]);
+    trailLim_.resize(lvl);
+    qhead_ = trail_.size();
+}
+
+// --- Binary max-heap ordered by variable activity -------------------
+
+void
+Solver::heapInsert(Var v)
+{
+    heapIndex_[v] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    heapPercolateUp(heapIndex_[v]);
+}
+
+void
+Solver::heapPercolateUp(int i)
+{
+    Var v = heap_[i];
+    while (i > 0) {
+        int parent = (i - 1) >> 1;
+        if (activity_[heap_[parent]] >= activity_[v])
+            break;
+        heap_[i] = heap_[parent];
+        heapIndex_[heap_[i]] = i;
+        i = parent;
+    }
+    heap_[i] = v;
+    heapIndex_[v] = i;
+}
+
+void
+Solver::heapPercolateDown(int i)
+{
+    Var v = heap_[i];
+    int n = static_cast<int>(heap_.size());
+    while (2 * i + 1 < n) {
+        int child = 2 * i + 1;
+        if (child + 1 < n &&
+            activity_[heap_[child + 1]] > activity_[heap_[child]]) {
+            child++;
+        }
+        if (activity_[heap_[child]] <= activity_[v])
+            break;
+        heap_[i] = heap_[child];
+        heapIndex_[heap_[i]] = i;
+        i = child;
+    }
+    heap_[i] = v;
+    heapIndex_[v] = i;
+}
+
+Var
+Solver::heapRemoveMax()
+{
+    Var v = heap_[0];
+    heapIndex_[v] = -1;
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heapIndex_[heap_[0]] = 0;
+        heapPercolateDown(0);
+    }
+    return v;
+}
+
+Lit
+Solver::pickBranchLit()
+{
+    Var next = varUndef;
+    while (next == varUndef || value(next) != LBool::Undef ||
+           !decisionVar_[next]) {
+        if (heap_.empty())
+            return litUndef;
+        next = heapRemoveMax();
+    }
+    return mkLit(next, polarity_[next]);
+}
+
+double
+Solver::lubySequence(int i)
+{
+    // Luby et al. restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+    int size = 1, seq = 0;
+    while (size < i + 1) {
+        seq++;
+        size = 2 * size + 1;
+    }
+    while (size - 1 != i) {
+        size = (size - 1) >> 1;
+        seq--;
+        i = i % size;
+    }
+    return std::pow(2.0, seq);
+}
+
+void
+Solver::reduceDB()
+{
+    // Remove the least active half of the learned clauses (keeping
+    // reasons of current assignments).
+    std::sort(learnts_.begin(), learnts_.end(),
+              [this](ClauseRef a, ClauseRef b) {
+                  return clauseStore_[a].activity <
+                         clauseStore_[b].activity;
+              });
+    std::vector<bool> is_reason(clauseStore_.size(), false);
+    for (Lit p : trail_) {
+        ClauseRef r = varData_[p.var()].reason;
+        if (r != crUndef)
+            is_reason[r] = true;
+    }
+    size_t keep_from = learnts_.size() / 2;
+    std::vector<ClauseRef> kept;
+    for (size_t i = 0; i < learnts_.size(); i++) {
+        ClauseRef cr = learnts_[i];
+        if (i >= keep_from || is_reason[cr] ||
+            clauseStore_[cr].lits.size() <= 2) {
+            kept.push_back(cr);
+        } else {
+            clauseStore_[cr].deleted = true;
+            stats_.removedClauses++;
+        }
+    }
+    learnts_ = std::move(kept);
+}
+
+LBool
+Solver::search()
+{
+    int restart_count = 0;
+    uint64_t conflicts_until_restart =
+        static_cast<uint64_t>(100 * lubySequence(restart_count));
+    uint64_t conflicts_this_restart = 0;
+
+    for (;;) {
+        ClauseRef confl = propagate();
+        if (confl != crUndef) {
+            stats_.conflicts++;
+            conflicts_this_restart++;
+            if (conflictBudget_ &&
+                stats_.conflicts >= conflictBudget_) {
+                cancelUntil(0);
+                return LBool::Undef;
+            }
+            if (decisionLevel() == 0)
+                return LBool::False;
+
+            std::vector<Lit> learned;
+            int bt_level;
+            analyze(confl, learned, bt_level);
+            cancelUntil(bt_level);
+
+            if (learned.size() == 1) {
+                enqueue(learned[0], crUndef);
+            } else {
+                ClauseRef cr =
+                    static_cast<ClauseRef>(clauseStore_.size());
+                clauseStore_.push_back(
+                    ClauseData{learned, claInc_, true, false});
+                learnts_.push_back(cr);
+                stats_.learnedClauses++;
+                attachClause(cr);
+                enqueue(learned[0], cr);
+            }
+            varDecayActivity();
+            claDecayActivity();
+        } else {
+            if (conflicts_this_restart >= conflicts_until_restart) {
+                stats_.restarts++;
+                restart_count++;
+                conflicts_until_restart = static_cast<uint64_t>(
+                    100 * lubySequence(restart_count));
+                conflicts_this_restart = 0;
+                cancelUntil(static_cast<int>(assumptions_.size()));
+                continue;
+            }
+            if (learnts_.size() >= maxLearnts_ + trail_.size()) {
+                reduceDB();
+                maxLearnts_ = maxLearnts_ + maxLearnts_ / 10;
+            }
+
+            Lit next = litUndef;
+            while (decisionLevel() <
+                   static_cast<int>(assumptions_.size())) {
+                Lit p = assumptions_[decisionLevel()];
+                if (value(p) == LBool::True) {
+                    trailLim_.push_back(
+                        static_cast<int>(trail_.size()));
+                } else if (value(p) == LBool::False) {
+                    return LBool::False;
+                } else {
+                    next = p;
+                    break;
+                }
+            }
+            if (next == litUndef) {
+                stats_.decisions++;
+                next = pickBranchLit();
+                if (next == litUndef)
+                    return LBool::True; // all variables assigned
+            }
+            trailLim_.push_back(static_cast<int>(trail_.size()));
+            enqueue(next, crUndef);
+        }
+    }
+}
+
+LBool
+Solver::solve(const std::vector<Lit> &assumptions)
+{
+    if (!ok_)
+        return LBool::False;
+    assumptions_ = assumptions;
+    LBool result = search();
+    if (result == LBool::True) {
+        for (Var v = 0; v < numVars(); v++)
+            model_[v] = assigns_[v];
+    }
+    cancelUntil(0);
+    assumptions_.clear();
+    return result;
+}
+
+uint64_t
+Solver::enumerateModels(
+    const std::vector<Var> &projection,
+    const std::function<bool(const Solver &)> &on_model,
+    uint64_t max_models)
+{
+    uint64_t count = 0;
+    while (count < max_models) {
+        LBool r = solve();
+        if (r != LBool::True)
+            break;
+        count++;
+        stats_.modelsEnumerated++;
+        bool keep_going = on_model(*this);
+
+        // Block this projected model.
+        Clause block;
+        for (Var v : projection) {
+            LBool b = model_[v];
+            if (b == LBool::True) {
+                block.push_back(mkLit(v, true));
+            } else if (b == LBool::False) {
+                block.push_back(mkLit(v, false));
+            }
+        }
+        if (block.empty() || !addClause(block))
+            break; // projection fully covered or became UNSAT
+        if (!keep_going)
+            break;
+    }
+    return count;
+}
+
+} // namespace checkmate::sat

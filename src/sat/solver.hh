@@ -1,0 +1,235 @@
+/**
+ * @file
+ * A conflict-driven clause-learning (CDCL) SAT solver.
+ *
+ * This is the propositional backend of the checkmate relational model
+ * finder, standing in for the MiniSat instance that Kodkod drives in
+ * the original CheckMate toolflow. It implements:
+ *
+ *  - two-watched-literal unit propagation,
+ *  - first-UIP conflict analysis with clause minimization,
+ *  - VSIDS-style activity-based decision heuristics with phase saving,
+ *  - Luby-sequence restarts,
+ *  - learned-clause database reduction,
+ *  - incremental solving under assumptions, and
+ *  - model enumeration over a projection set (for "synthesize all
+ *    exploits within the bound" queries).
+ */
+
+#ifndef CHECKMATE_SAT_SOLVER_HH
+#define CHECKMATE_SAT_SOLVER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "sat/types.hh"
+
+namespace checkmate::sat
+{
+
+/** Aggregate statistics for one solver instance. */
+struct SolverStats
+{
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t conflicts = 0;
+    uint64_t restarts = 0;
+    uint64_t learnedClauses = 0;
+    uint64_t removedClauses = 0;
+    uint64_t modelsEnumerated = 0;
+};
+
+/**
+ * CDCL SAT solver.
+ *
+ * Usage: create variables with newVar(), add clauses with addClause(),
+ * then call solve(). After a satisfiable result, read the assignment
+ * with modelValue(). enumerateModels() repeatedly solves and blocks the
+ * projection of each model to produce all distinct projected models.
+ */
+class Solver
+{
+  public:
+    Solver();
+
+    /** Create a fresh variable and return it. */
+    Var newVar();
+
+    /** Number of variables created so far. */
+    int numVars() const { return static_cast<int>(assigns_.size()); }
+
+    /** Number of problem (non-learned) clauses. */
+    size_t numClauses() const { return clauses_.size(); }
+
+    /**
+     * Add a clause (disjunction of literals).
+     *
+     * @return false if the clause system is already unsatisfiable.
+     */
+    bool addClause(const Clause &lits);
+
+    /** Convenience overloads for short clauses. */
+    bool addClause(Lit a) { return addClause(Clause{a}); }
+    bool addClause(Lit a, Lit b) { return addClause(Clause{a, b}); }
+    bool
+    addClause(Lit a, Lit b, Lit c)
+    {
+        return addClause(Clause{a, b, c});
+    }
+
+    /**
+     * Solve the current clause system under the given assumptions.
+     *
+     * @retval LBool::True satisfiable (model available),
+     * @retval LBool::False unsatisfiable,
+     * @retval LBool::Undef aborted by budget/interrupt callback.
+     */
+    LBool solve(const std::vector<Lit> &assumptions = {});
+
+    /** Value of @p v in the most recent model. */
+    LBool modelValue(Var v) const { return model_[v]; }
+
+    /** Value of @p p in the most recent model. */
+    LBool
+    modelValue(Lit p) const
+    {
+        LBool b = model_[p.var()];
+        return p.sign() ? ~b : b;
+    }
+
+    /**
+     * Enumerate models projected onto @p projection.
+     *
+     * Calls @p on_model for every distinct assignment to the projection
+     * variables. The callback returns true to continue enumeration.
+     * Enumeration also stops after @p max_models models.
+     *
+     * @return the number of models enumerated.
+     */
+    uint64_t enumerateModels(
+        const std::vector<Var> &projection,
+        const std::function<bool(const Solver &)> &on_model,
+        uint64_t max_models = std::numeric_limits<uint64_t>::max());
+
+    /** True once the clause system is known unsatisfiable forever. */
+    bool inConflict() const { return !ok_; }
+
+    /** Statistics for this instance. */
+    const SolverStats &stats() const { return stats_; }
+
+    /**
+     * Install a budget: solve() gives up (returns Undef) after this
+     * many conflicts. Zero means no budget.
+     */
+    void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
+
+  private:
+    /** Reference to a stored clause. */
+    using ClauseRef = int32_t;
+    static constexpr ClauseRef crUndef = -1;
+
+    struct ClauseData
+    {
+        std::vector<Lit> lits;
+        double activity = 0.0;
+        bool learned = false;
+        bool deleted = false;
+    };
+
+    struct Watcher
+    {
+        ClauseRef cref;
+        Lit blocker;
+    };
+
+    struct VarData
+    {
+        ClauseRef reason = crUndef;
+        int level = 0;
+    };
+
+    // --- Core CDCL machinery -------------------------------------
+    bool enqueue(Lit p, ClauseRef from);
+    ClauseRef propagate();
+    void analyze(ClauseRef confl, std::vector<Lit> &out_learned,
+                 int &out_btlevel);
+    bool litRedundant(Lit p, uint32_t abstract_levels);
+    void cancelUntil(int level);
+    Lit pickBranchLit();
+    LBool search();
+    void reduceDB();
+    void attachClause(ClauseRef cr);
+
+    // --- Assignment helpers --------------------------------------
+    LBool
+    value(Var v) const
+    {
+        return assigns_[v];
+    }
+    LBool
+    value(Lit p) const
+    {
+        LBool b = assigns_[p.var()];
+        return p.sign() ? ~b : b;
+    }
+    int level(Var v) const { return varData_[v].level; }
+    int decisionLevel() const
+    {
+        return static_cast<int>(trailLim_.size());
+    }
+
+    // --- Activity heuristics -------------------------------------
+    void varBumpActivity(Var v);
+    void varDecayActivity() { varInc_ /= varDecay_; }
+    void claBumpActivity(ClauseData &c);
+    void claDecayActivity() { claInc_ /= claDecay_; }
+    void heapInsert(Var v);
+    Var heapRemoveMax();
+    void heapPercolateUp(int i);
+    void heapPercolateDown(int i);
+    bool heapContains(Var v) const { return heapIndex_[v] >= 0; }
+
+    static double lubySequence(int i);
+
+    // --- State ----------------------------------------------------
+    bool ok_ = true;
+    std::vector<ClauseData> clauseStore_;
+    std::vector<ClauseRef> clauses_;
+    std::vector<ClauseRef> learnts_;
+    std::vector<std::vector<Watcher>> watches_;
+
+    std::vector<LBool> assigns_;
+    std::vector<VarData> varData_;
+    std::vector<bool> polarity_;
+    std::vector<bool> decisionVar_;
+    std::vector<Lit> trail_;
+    std::vector<int> trailLim_;
+    size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    std::vector<Var> heap_;
+    std::vector<int> heapIndex_;
+    double varInc_ = 1.0;
+    double varDecay_ = 0.95;
+    double claInc_ = 1.0;
+    double claDecay_ = 0.999;
+
+    std::vector<Lit> assumptions_;
+    std::vector<LBool> model_;
+
+    std::vector<uint8_t> seen_;
+    std::vector<Lit> analyzeToClear_;
+    std::vector<Lit> analyzeStack_;
+
+    uint64_t maxLearnts_ = 4000;
+    uint64_t conflictBudget_ = 0;
+
+    SolverStats stats_;
+};
+
+} // namespace checkmate::sat
+
+#endif // CHECKMATE_SAT_SOLVER_HH

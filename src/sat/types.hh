@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Basic SAT solver types: variables, literals, and three-valued logic.
+ *
+ * Part of the checkmate_sat library, the CDCL backend that plays the
+ * role MiniSat plays for Kodkod in the original CheckMate toolflow.
+ */
+
+#ifndef CHECKMATE_SAT_TYPES_HH
+#define CHECKMATE_SAT_TYPES_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace checkmate::sat
+{
+
+/** A propositional variable, numbered from 0. */
+using Var = int32_t;
+
+/** Sentinel for "no variable". */
+constexpr Var varUndef = -1;
+
+/**
+ * A literal: a variable together with a sign.
+ *
+ * Encoded as 2*var + sign so literals can directly index watch lists.
+ * sign == true means the literal is the negation of the variable.
+ */
+class Lit
+{
+  public:
+    Lit() : value_(-2) {}
+
+    Lit(Var var, bool sign)
+        : value_(var + var + static_cast<int32_t>(sign))
+    {}
+
+    /** The underlying variable. */
+    Var var() const { return value_ >> 1; }
+
+    /** True iff this literal is negative (i.e. NOT var). */
+    bool sign() const { return value_ & 1; }
+
+    /** Dense non-negative index, usable as an array subscript. */
+    int32_t index() const { return value_; }
+
+    /** Negated literal. */
+    Lit operator~() const { Lit p; p.value_ = value_ ^ 1; return p; }
+
+    bool operator==(const Lit &other) const
+    {
+        return value_ == other.value_;
+    }
+    bool operator!=(const Lit &other) const
+    {
+        return value_ != other.value_;
+    }
+    bool operator<(const Lit &other) const
+    {
+        return value_ < other.value_;
+    }
+
+    /** Rebuild a literal from its dense index. */
+    static Lit
+    fromIndex(int32_t index)
+    {
+        Lit p;
+        p.value_ = index;
+        return p;
+    }
+
+  private:
+    int32_t value_;
+};
+
+/** Sentinel literal meaning "undefined". */
+const Lit litUndef;
+
+/** Positive literal of @p v. */
+inline Lit mkLit(Var v) { return Lit(v, false); }
+
+/** Literal of @p v with sign @p sign. */
+inline Lit mkLit(Var v, bool sign) { return Lit(v, sign); }
+
+/**
+ * Three-valued logic used for partial assignments.
+ */
+enum class LBool : uint8_t
+{
+    False = 0,
+    True = 1,
+    Undef = 2
+};
+
+/** Negation on LBool; Undef is a fixed point. */
+inline LBool
+operator~(LBool b)
+{
+    switch (b) {
+      case LBool::False: return LBool::True;
+      case LBool::True: return LBool::False;
+      default: return LBool::Undef;
+    }
+}
+
+/** Lift a bool into LBool. */
+inline LBool toLBool(bool b) { return b ? LBool::True : LBool::False; }
+
+/** A clause is a disjunction of literals. */
+using Clause = std::vector<Lit>;
+
+} // namespace checkmate::sat
+
+namespace std
+{
+
+template <>
+struct hash<checkmate::sat::Lit>
+{
+    size_t
+    operator()(const checkmate::sat::Lit &l) const
+    {
+        return std::hash<int32_t>()(l.index());
+    }
+};
+
+} // namespace std
+
+#endif // CHECKMATE_SAT_TYPES_HH

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Memory system implementation.
+ */
+
+#include "sim/cache.hh"
+
+#include <cassert>
+
+namespace checkmate::sim
+{
+
+MemorySystem::MemorySystem(const CacheConfig &config)
+    : config_(config),
+      lines_(config.numCores,
+             std::vector<Line>(config.numSets)),
+      memory_(config.memoryBytes, 0), stats_(config.numCores)
+{}
+
+bool
+MemorySystem::touch(int core, uint64_t addr)
+{
+    Line &line = lines_[core][setOf(addr)];
+    uint64_t tag = tagOf(addr);
+    if (line.valid && line.tag == tag)
+        return true;
+    line.valid = true;
+    line.tag = tag;
+    return false;
+}
+
+void
+MemorySystem::invalidateOthers(int requester, uint64_t addr)
+{
+    for (int c = 0; c < config_.numCores; c++) {
+        if (c == requester)
+            continue;
+        Line &line = lines_[c][setOf(addr)];
+        if (line.valid && line.tag == tagOf(addr)) {
+            line.valid = false;
+            stats_[c].invalidationsReceived++;
+            stats_[requester].invalidationsSent++;
+        }
+    }
+}
+
+uint8_t
+MemorySystem::load(int core, uint64_t addr, int &latency)
+{
+    assert(addr < memory_.size());
+    if (touch(core, addr)) {
+        latency = config_.hitLatency;
+        stats_[core].hits++;
+    } else {
+        latency = config_.missLatency;
+        stats_[core].misses++;
+    }
+    return memory_[addr];
+}
+
+void
+MemorySystem::store(int core, uint64_t addr, uint8_t value,
+                    int &latency)
+{
+    assert(addr < memory_.size());
+    invalidateOthers(core, addr);
+    if (touch(core, addr)) {
+        latency = config_.hitLatency;
+        stats_[core].hits++;
+    } else {
+        latency = config_.missLatency;
+        stats_[core].misses++;
+    }
+    memory_[addr] = value; // write-through
+}
+
+void
+MemorySystem::acquireExclusive(int core, uint64_t addr)
+{
+    // Ownership request only: invalidates sharers, no data write.
+    invalidateOthers(core, addr);
+}
+
+void
+MemorySystem::flush(uint64_t addr)
+{
+    for (int c = 0; c < config_.numCores; c++) {
+        Line &line = lines_[c][setOf(addr)];
+        if (line.valid && line.tag == tagOf(addr)) {
+            line.valid = false;
+            stats_[c].flushes++;
+        }
+    }
+}
+
+void
+MemorySystem::evictLocal(int core, uint64_t addr)
+{
+    Line &line = lines_[core][setOf(addr)];
+    if (line.valid && line.tag == tagOf(addr))
+        line.valid = false;
+}
+
+bool
+MemorySystem::present(int core, uint64_t addr) const
+{
+    const Line &line = lines_[core][setOf(addr)];
+    return line.valid && line.tag == tagOf(addr);
+}
+
+void
+MemorySystem::resetStats()
+{
+    for (auto &s : stats_)
+        s = CacheStats{};
+}
+
+} // namespace checkmate::sim

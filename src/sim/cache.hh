@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Private direct-mapped L1 caches with an invalidation-based
+ * coherence protocol — the memory system under the simulated cores.
+ *
+ * The protocol is a write-through MSI reduction: loads fetch a line
+ * in Shared state; stores acquire Exclusive ownership, which
+ * invalidates every other core's copy. Ownership acquisition happens
+ * when the store *executes* — speculatively — which is precisely the
+ * behavior MeltdownPrime/SpectrePrime exploit (§VII-B): a squashed
+ * store never writes data, but its invalidations have already
+ * reached the sharers.
+ */
+
+#ifndef CHECKMATE_SIM_CACHE_HH
+#define CHECKMATE_SIM_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace checkmate::sim
+{
+
+/** Timing and geometry parameters for the memory system. */
+struct CacheConfig
+{
+    int numCores = 2;
+    int numSets = 64;          ///< direct-mapped sets per L1
+    int lineBytes = 64;
+    uint64_t memoryBytes = 1 << 20;
+    int hitLatency = 4;        ///< cycles
+    int missLatency = 100;     ///< cycles
+};
+
+/** Per-core cache statistics. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidationsSent = 0;
+    uint64_t invalidationsReceived = 0;
+    uint64_t flushes = 0;
+};
+
+/**
+ * The coherent memory system: per-core L1s over one shared memory.
+ */
+class MemorySystem
+{
+  public:
+    explicit MemorySystem(const CacheConfig &config);
+
+    const CacheConfig &config() const { return config_; }
+
+    /**
+     * Load one byte on @p core.
+     *
+     * @param[out] latency cycles taken (hit vs miss).
+     * @return the byte read.
+     */
+    uint8_t load(int core, uint64_t addr, int &latency);
+
+    /**
+     * Store one byte on @p core (write-through). Acquires exclusive
+     * ownership, invalidating other cores' copies, and deposits the
+     * line in the local L1.
+     */
+    void store(int core, uint64_t addr, uint8_t value, int &latency);
+
+    /**
+     * Acquire exclusive ownership of @p addr's line for @p core
+     * WITHOUT writing data: the coherence side effect of a
+     * speculatively executed store (the Prime-variant lever).
+     */
+    void acquireExclusive(int core, uint64_t addr);
+
+    /** Evict the line containing @p addr from core's L1 (clflush
+     * semantics: evicts from every core). */
+    void flush(uint64_t addr);
+
+    /** Evict the line containing @p addr from one core's L1 only. */
+    void evictLocal(int core, uint64_t addr);
+
+    /** True iff core's L1 currently holds @p addr's line. */
+    bool present(int core, uint64_t addr) const;
+
+    /** Direct (non-caching) memory access for harness setup. */
+    uint8_t peek(uint64_t addr) const { return memory_[addr]; }
+    void poke(uint64_t addr, uint8_t value) { memory_[addr] = value; }
+
+    const CacheStats &stats(int core) const { return stats_[core]; }
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        uint64_t tag = 0;
+    };
+
+    int setOf(uint64_t addr) const
+    {
+        return static_cast<int>((addr / config_.lineBytes) %
+                                config_.numSets);
+    }
+    uint64_t tagOf(uint64_t addr) const
+    {
+        return addr / config_.lineBytes / config_.numSets;
+    }
+
+    /** Returns hit/miss and installs the line locally. */
+    bool touch(int core, uint64_t addr);
+
+    void invalidateOthers(int requester, uint64_t addr);
+
+    CacheConfig config_;
+    std::vector<std::vector<Line>> lines_; // [core][set]
+    std::vector<uint8_t> memory_;
+    std::vector<CacheStats> stats_;
+};
+
+} // namespace checkmate::sim
+
+#endif // CHECKMATE_SIM_CACHE_HH

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * A small RISC-like ISA for the timing simulator.
+ *
+ * The §VII-C experiment expands a synthesized security litmus test
+ * into a full exploit program and runs it on real hardware. Our
+ * stand-in substrate is a two-core speculative timing simulator (see
+ * machine.hh); this header defines the instruction set the expanded
+ * exploits are written in: loads/stores, flushes, conditional
+ * branches, fences, simple ALU ops, and a cycle-counter read (the
+ * rdtsc analogue that makes timing side channels observable to the
+ * program).
+ */
+
+#ifndef CHECKMATE_SIM_ISA_HH
+#define CHECKMATE_SIM_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace checkmate::sim
+{
+
+/** Number of general-purpose registers per core. */
+constexpr int numRegs = 16;
+
+/** Instruction opcodes. */
+enum class Op : uint8_t
+{
+    Movi,    ///< rd <- imm
+    Add,     ///< rd <- rs1 + rs2
+    Addi,    ///< rd <- rs1 + imm
+    Shli,    ///< rd <- rs1 << imm
+    Andi,    ///< rd <- rs1 & imm
+    Load,    ///< rd <- mem[rs1 + imm]
+    Store,   ///< mem[rs1 + imm] <- rs2
+    Clflush, ///< evict the line containing rs1 + imm
+    Blt,     ///< if rs1 < rs2 goto target
+    Bge,     ///< if rs1 >= rs2 goto target
+    Jmp,     ///< goto target
+    Rdtsc,   ///< rd <- current cycle
+    Fence,   ///< full fence: drains and blocks speculation
+    Halt     ///< stop the program
+};
+
+/** One instruction. */
+struct Instr
+{
+    Op op = Op::Halt;
+    int rd = 0;
+    int rs1 = 0;
+    int rs2 = 0;
+    int64_t imm = 0;
+    int target = 0; ///< branch/jump destination (instruction index)
+};
+
+/** A program is a vector of instructions addressed by index. */
+using Program = std::vector<Instr>;
+
+// --- Tiny assembler helpers ------------------------------------------
+
+inline Instr
+movi(int rd, int64_t imm)
+{
+    Instr i;
+    i.op = Op::Movi;
+    i.rd = rd;
+    i.imm = imm;
+    return i;
+}
+
+inline Instr
+add(int rd, int rs1, int rs2)
+{
+    Instr i;
+    i.op = Op::Add;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    return i;
+}
+
+inline Instr
+addi(int rd, int rs1, int64_t imm)
+{
+    Instr i;
+    i.op = Op::Addi;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+inline Instr
+shli(int rd, int rs1, int64_t imm)
+{
+    Instr i;
+    i.op = Op::Shli;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+inline Instr
+andi(int rd, int rs1, int64_t imm)
+{
+    Instr i;
+    i.op = Op::Andi;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+inline Instr
+load(int rd, int rs1, int64_t imm = 0)
+{
+    Instr i;
+    i.op = Op::Load;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+inline Instr
+store(int rs1, int64_t imm, int rs2)
+{
+    Instr i;
+    i.op = Op::Store;
+    i.rs1 = rs1;
+    i.imm = imm;
+    i.rs2 = rs2;
+    return i;
+}
+
+inline Instr
+clflush(int rs1, int64_t imm = 0)
+{
+    Instr i;
+    i.op = Op::Clflush;
+    i.rs1 = rs1;
+    i.imm = imm;
+    return i;
+}
+
+inline Instr
+blt(int rs1, int rs2, int target)
+{
+    Instr i;
+    i.op = Op::Blt;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.target = target;
+    return i;
+}
+
+inline Instr
+bge(int rs1, int rs2, int target)
+{
+    Instr i;
+    i.op = Op::Bge;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.target = target;
+    return i;
+}
+
+inline Instr
+jmp(int target)
+{
+    Instr i;
+    i.op = Op::Jmp;
+    i.target = target;
+    return i;
+}
+
+inline Instr
+rdtsc(int rd)
+{
+    Instr i;
+    i.op = Op::Rdtsc;
+    i.rd = rd;
+    return i;
+}
+
+inline Instr
+fence()
+{
+    Instr i;
+    i.op = Op::Fence;
+    return i;
+}
+
+inline Instr
+halt()
+{
+    Instr i;
+    i.op = Op::Halt;
+    return i;
+}
+
+/** Disassemble one instruction (for debugging/tests). */
+std::string disassemble(const Instr &instr);
+
+} // namespace checkmate::sim
+
+#endif // CHECKMATE_SIM_ISA_HH

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Speculative timing simulator implementation.
+ */
+
+#include "sim/machine.hh"
+
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace checkmate::sim
+{
+
+std::string
+disassemble(const Instr &i)
+{
+    std::ostringstream out;
+    switch (i.op) {
+      case Op::Movi:
+        out << "movi r" << i.rd << ", " << i.imm;
+        break;
+      case Op::Add:
+        out << "add r" << i.rd << ", r" << i.rs1 << ", r" << i.rs2;
+        break;
+      case Op::Addi:
+        out << "addi r" << i.rd << ", r" << i.rs1 << ", " << i.imm;
+        break;
+      case Op::Shli:
+        out << "shli r" << i.rd << ", r" << i.rs1 << ", " << i.imm;
+        break;
+      case Op::Andi:
+        out << "andi r" << i.rd << ", r" << i.rs1 << ", " << i.imm;
+        break;
+      case Op::Load:
+        out << "load r" << i.rd << ", [r" << i.rs1 << " + " << i.imm
+            << "]";
+        break;
+      case Op::Store:
+        out << "store [r" << i.rs1 << " + " << i.imm << "], r"
+            << i.rs2;
+        break;
+      case Op::Clflush:
+        out << "clflush [r" << i.rs1 << " + " << i.imm << "]";
+        break;
+      case Op::Blt:
+        out << "blt r" << i.rs1 << ", r" << i.rs2 << ", " << i.target;
+        break;
+      case Op::Bge:
+        out << "bge r" << i.rs1 << ", r" << i.rs2 << ", " << i.target;
+        break;
+      case Op::Jmp:
+        out << "jmp " << i.target;
+        break;
+      case Op::Rdtsc:
+        out << "rdtsc r" << i.rd;
+        break;
+      case Op::Fence:
+        out << "fence";
+        break;
+      case Op::Halt:
+        out << "halt";
+        break;
+    }
+    return out.str();
+}
+
+Machine::Machine(const CacheConfig &cache_config,
+                 const CoreConfig &core_config)
+    : memory_(cache_config), coreConfig_(core_config),
+      cores_(cache_config.numCores)
+{}
+
+void
+Machine::setProgram(int core, Program program)
+{
+    cores_[core].program = std::move(program);
+    cores_[core].pc = 0;
+    cores_[core].faultHandler = -1;
+}
+
+void
+Machine::addPrivilegedRange(uint64_t lo, uint64_t hi)
+{
+    privileged_.emplace_back(lo, hi);
+}
+
+void
+Machine::setFaultHandler(int core, int handler_pc)
+{
+    cores_[core].faultHandler = handler_pc;
+}
+
+void
+Machine::resetPredictor(int core)
+{
+    cores_[core].predictor.fill(1);
+}
+
+bool
+Machine::isPrivileged(uint64_t addr) const
+{
+    for (auto [lo, hi] : privileged_) {
+        if (addr >= lo && addr < hi)
+            return true;
+    }
+    return false;
+}
+
+bool
+Machine::predictTaken(Core &core, int pc)
+{
+    return core.predictor[pc % core.predictor.size()] >= 2;
+}
+
+void
+Machine::trainPredictor(Core &core, int pc, bool taken)
+{
+    uint8_t &counter = core.predictor[pc % core.predictor.size()];
+    if (taken && counter < 3)
+        counter++;
+    else if (!taken && counter > 0)
+        counter--;
+}
+
+bool
+Machine::forwardLoad(Core &core, uint64_t addr, uint8_t &value) const
+{
+    for (auto it = core.stores.rbegin(); it != core.stores.rend();
+         ++it) {
+        if (it->addr == addr) {
+            value = it->value;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Machine::resolveFront(Core &core, RunResult &result)
+{
+    SpecEvent event = core.events.front();
+    if (core.cycle < event.resolveCycle)
+        core.cycle = event.resolveCycle;
+    core.events.pop_front();
+
+    if (event.kind == SpecKind::Branch) {
+        trainPredictor(core, event.predictorIndex,
+                       event.actualTaken);
+    }
+
+    if (event.willSquash) {
+        // Architectural state rolls back; cache and coherence
+        // effects of the wrong path remain — the vulnerability.
+        core.regs = event.regsSnapshot;
+        core.pc = event.redirectPc;
+        core.events.clear();
+        core.stores.clear();
+        core.specInstrs = 0;
+        result.squashes++;
+        if (event.kind == SpecKind::Fault)
+            result.faulted = true;
+        return;
+    }
+
+    // Commit: speculative stores guarded only by this event drain.
+    for (auto &st : core.stores)
+        st.depth--;
+    size_t applied = 0;
+    while (applied < core.stores.size() &&
+           core.stores[applied].depth <= 0) {
+        int latency = 0;
+        memory_.store(/*core=*/static_cast<int>(&core - &cores_[0]),
+                      core.stores[applied].addr,
+                      core.stores[applied].value, latency);
+        applied++;
+    }
+    core.stores.erase(core.stores.begin(),
+                      core.stores.begin() + applied);
+    if (core.events.empty())
+        core.specInstrs = 0;
+}
+
+void
+Machine::resolveDue(Core &core, RunResult &result)
+{
+    while (!core.events.empty() &&
+           core.events.front().resolveCycle <= core.cycle) {
+        resolveFront(core, result);
+    }
+}
+
+void
+Machine::stallForOldest(Core &core, RunResult &result)
+{
+    if (core.events.empty())
+        return;
+    core.cycle = core.events.front().resolveCycle;
+    resolveFront(core, result);
+}
+
+RunResult
+Machine::run(int core_id, int start_pc, uint64_t max_instructions)
+{
+    Core &core = cores_[core_id];
+    core.pc = start_pc;
+    core.events.clear();
+    core.stores.clear();
+    core.specInstrs = 0;
+
+    RunResult result;
+    while (result.instructions < max_instructions) {
+        resolveDue(core, result);
+
+        // Wrong-path fetch may run off the program; stall for the
+        // squash that must be coming.
+        if (core.pc < 0 ||
+            core.pc >= static_cast<int>(core.program.size())) {
+            if (!core.events.empty()) {
+                stallForOldest(core, result);
+                continue;
+            }
+            throw std::out_of_range("pc out of range outside "
+                                    "speculation");
+        }
+
+        // Speculative window is bounded by the ROB.
+        if (!core.events.empty() &&
+            core.specInstrs >=
+                static_cast<uint64_t>(coreConfig_.robSize)) {
+            stallForOldest(core, result);
+            continue;
+        }
+
+        const Instr &instr = core.program[core.pc];
+        result.instructions++;
+        if (!core.events.empty())
+            core.specInstrs++;
+
+        switch (instr.op) {
+          case Op::Movi:
+            core.regs[instr.rd] = instr.imm;
+            core.cycle += coreConfig_.aluLatency;
+            core.pc++;
+            break;
+          case Op::Add:
+            core.regs[instr.rd] =
+                core.regs[instr.rs1] + core.regs[instr.rs2];
+            core.cycle += coreConfig_.aluLatency;
+            core.pc++;
+            break;
+          case Op::Addi:
+            core.regs[instr.rd] = core.regs[instr.rs1] + instr.imm;
+            core.cycle += coreConfig_.aluLatency;
+            core.pc++;
+            break;
+          case Op::Shli:
+            core.regs[instr.rd] = core.regs[instr.rs1] << instr.imm;
+            core.cycle += coreConfig_.aluLatency;
+            core.pc++;
+            break;
+          case Op::Andi:
+            core.regs[instr.rd] = core.regs[instr.rs1] & instr.imm;
+            core.cycle += coreConfig_.aluLatency;
+            core.pc++;
+            break;
+          case Op::Rdtsc:
+            core.regs[instr.rd] =
+                static_cast<int64_t>(core.cycle);
+            core.cycle += coreConfig_.aluLatency;
+            core.pc++;
+            break;
+          case Op::Load: {
+            uint64_t addr = static_cast<uint64_t>(
+                core.regs[instr.rs1] + instr.imm);
+            if (addr >= memory_.config().memoryBytes) {
+                // Wild speculative address: stall for squash.
+                if (!core.events.empty()) {
+                    stallForOldest(core, result);
+                    continue;
+                }
+                throw std::out_of_range("load out of memory range");
+            }
+            bool privileged = isPrivileged(addr);
+            std::array<int64_t, numRegs> pre_fault_regs = core.regs;
+            uint8_t value = 0;
+            int latency = memory_.config().hitLatency;
+            if (!forwardLoad(core, addr, value))
+                value = memory_.load(core_id, addr, latency);
+            core.regs[instr.rd] = value;
+            core.cycle += latency;
+            if (privileged) {
+                // The permission check fails only after the value
+                // has arrived and begun flowing to dependents
+                // (Meltdown's window, §II-B).
+                SpecEvent ev;
+                ev.kind = SpecKind::Fault;
+                ev.regsSnapshot = pre_fault_regs;
+                ev.redirectPc = core.faultHandler >= 0
+                                    ? core.faultHandler
+                                    : static_cast<int>(
+                                          core.program.size()) -
+                                          1;
+                ev.resolveCycle =
+                    core.cycle + coreConfig_.faultLatency;
+                ev.willSquash = true;
+                ev.predictorIndex = 0;
+                ev.actualTaken = false;
+                core.events.push_back(ev);
+            }
+            core.pc++;
+            break;
+          }
+          case Op::Store: {
+            uint64_t addr = static_cast<uint64_t>(
+                core.regs[instr.rs1] + instr.imm);
+            if (addr >= memory_.config().memoryBytes) {
+                if (!core.events.empty()) {
+                    stallForOldest(core, result);
+                    continue;
+                }
+                throw std::out_of_range("store out of memory range");
+            }
+            if (isPrivileged(addr)) {
+                // Privilege violation: fault window like a load's.
+                SpecEvent ev;
+                ev.kind = SpecKind::Fault;
+                ev.regsSnapshot = core.regs;
+                ev.redirectPc = core.faultHandler >= 0
+                                    ? core.faultHandler
+                                    : static_cast<int>(
+                                          core.program.size()) -
+                                          1;
+                ev.resolveCycle =
+                    core.cycle + coreConfig_.faultLatency;
+                ev.willSquash = true;
+                ev.predictorIndex = 0;
+                ev.actualTaken = false;
+                core.events.push_back(ev);
+            }
+            // The ownership request goes out NOW — even if this
+            // store is on the wrong path (§VII-B).
+            memory_.acquireExclusive(core_id, addr);
+            uint8_t value =
+                static_cast<uint8_t>(core.regs[instr.rs2]);
+            if (core.events.empty()) {
+                int latency = 0;
+                memory_.store(core_id, addr, value, latency);
+                core.cycle += latency;
+            } else {
+                core.stores.push_back(PendingStore{
+                    addr, value,
+                    static_cast<int>(core.events.size())});
+                core.cycle += coreConfig_.aluLatency;
+            }
+            core.pc++;
+            break;
+          }
+          case Op::Clflush: {
+            uint64_t addr = static_cast<uint64_t>(
+                core.regs[instr.rs1] + instr.imm);
+            if (addr < memory_.config().memoryBytes)
+                memory_.flush(addr);
+            core.cycle += memory_.config().hitLatency;
+            core.pc++;
+            break;
+          }
+          case Op::Blt:
+          case Op::Bge: {
+            bool actual =
+                instr.op == Op::Blt
+                    ? core.regs[instr.rs1] < core.regs[instr.rs2]
+                    : core.regs[instr.rs1] >= core.regs[instr.rs2];
+            bool predicted = predictTaken(core, core.pc);
+            SpecEvent ev;
+            ev.kind = SpecKind::Branch;
+            ev.regsSnapshot = core.regs;
+            ev.redirectPc = actual ? instr.target : core.pc + 1;
+            ev.resolveCycle =
+                core.cycle + coreConfig_.branchResolveLatency;
+            ev.willSquash = (predicted != actual);
+            ev.predictorIndex = core.pc;
+            ev.actualTaken = actual;
+            core.events.push_back(ev);
+            core.pc = predicted ? instr.target : core.pc + 1;
+            core.cycle += coreConfig_.aluLatency;
+            break;
+          }
+          case Op::Jmp:
+            core.pc = instr.target;
+            core.cycle += coreConfig_.aluLatency;
+            break;
+          case Op::Fence:
+            // Serialize: nothing younger executes until every older
+            // speculation resolves (the §VII-D mitigation). The
+            // fence itself re-executes if a squash redirects.
+            if (!core.events.empty()) {
+                stallForOldest(core, result);
+                continue;
+            }
+            core.cycle += coreConfig_.aluLatency;
+            core.pc++;
+            break;
+          case Op::Halt:
+            if (!core.events.empty()) {
+                // Wrong-path halt: wait for the verdict.
+                stallForOldest(core, result);
+                continue;
+            }
+            result.haltedCleanly = true;
+            result.cycles = core.cycle;
+            return result;
+        }
+    }
+    result.cycles = core.cycle;
+    return result;
+}
+
+} // namespace checkmate::sim

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * A two-core speculative timing simulator.
+ *
+ * This is the §VII-C hardware substitute: the paper expanded its
+ * synthesized SpectrePrime litmus test into a C program and measured
+ * 99.95% leak accuracy on an Intel Core i7. We stand in a simulated
+ * machine that exhibits exactly the behaviors the exploit relies on:
+ *
+ *  - branch-predicted speculative execution with delayed resolution
+ *    and architectural squash (registers restored, cache and
+ *    coherence effects NOT restored);
+ *  - loads that fault on privilege violations only after a window in
+ *    which their value feeds dependents (Meltdown);
+ *  - stores whose coherence ownership requests (invalidations) are
+ *    sent at execute time, before it is known whether they commit
+ *    (MeltdownPrime/SpectrePrime);
+ *  - a cycle counter, making cache hit/miss latencies programmer-
+ *    observable (the timing side channel);
+ *  - a full fence that blocks speculation (the §VII-D mitigation).
+ *
+ * Cores run one at a time (the harness orchestrates attack phases);
+ * the caches and coherence state are shared, which is all the Prime
+ * attacks need.
+ */
+
+#ifndef CHECKMATE_SIM_MACHINE_HH
+#define CHECKMATE_SIM_MACHINE_HH
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/isa.hh"
+
+namespace checkmate::sim
+{
+
+/** Core timing/speculation parameters. */
+struct CoreConfig
+{
+    int branchResolveLatency = 20; ///< cycles to resolve a branch
+    int faultLatency = 30;         ///< illegal access to squash
+    int aluLatency = 1;
+    int robSize = 32;              ///< speculative window cap
+};
+
+/** Outcome of one Machine::run call. */
+struct RunResult
+{
+    uint64_t cycles = 0;
+    uint64_t instructions = 0; ///< including squashed work
+    uint64_t squashes = 0;
+    bool faulted = false;      ///< a privilege fault was taken
+    bool haltedCleanly = false;
+};
+
+/**
+ * The simulated machine.
+ */
+class Machine
+{
+  public:
+    Machine(const CacheConfig &cache_config,
+            const CoreConfig &core_config);
+
+    MemorySystem &memory() { return memory_; }
+    const CoreConfig &coreConfig() const { return coreConfig_; }
+
+    /** Install a program on a core. */
+    void setProgram(int core, Program program);
+
+    /** Mark [lo, hi) as privileged: user-mode accesses fault. */
+    void addPrivilegedRange(uint64_t lo, uint64_t hi);
+
+    /**
+     * On a fault, redirect the core to this instruction index
+     * (default: the program's Halt — the harness's signal handler).
+     */
+    void setFaultHandler(int core, int handler_pc);
+
+    /** Run core @p core from @p start_pc until Halt. */
+    RunResult run(int core, int start_pc = 0,
+                  uint64_t max_instructions = 1u << 20);
+
+    int64_t reg(int core, int r) const { return cores_[core].regs[r]; }
+    void
+    setReg(int core, int r, int64_t v)
+    {
+        cores_[core].regs[r] = v;
+    }
+
+    /** Per-core cycle clock (advances across run calls). */
+    uint64_t cycle(int core) const { return cores_[core].cycle; }
+
+    /** Reset a core's branch predictor (between experiments). */
+    void resetPredictor(int core);
+
+  private:
+    enum class SpecKind : uint8_t { Branch, Fault };
+
+    struct SpecEvent
+    {
+        SpecKind kind;
+        std::array<int64_t, numRegs> regsSnapshot;
+        int redirectPc;       ///< pc on squash
+        uint64_t resolveCycle;
+        bool willSquash;
+        int predictorIndex;   ///< for predictor update
+        bool actualTaken;
+    };
+
+    struct PendingStore
+    {
+        uint64_t addr;
+        uint8_t value;
+        int depth; ///< outstanding spec events older than this store
+    };
+
+    struct Core
+    {
+        Program program;
+        std::array<int64_t, numRegs> regs{};
+        int pc = 0;
+        uint64_t cycle = 0;
+        int faultHandler = -1;
+        std::deque<SpecEvent> events;
+        std::vector<PendingStore> stores;
+        /**
+         * 2-bit counters, indexed by pc modulo the table size. The
+         * table is physical core state: it persists across programs
+         * (that is what makes cross-program predictor training — and
+         * Spectre — possible).
+         */
+        std::array<uint8_t, 64> predictor;
+        uint64_t specInstrs = 0; ///< instructions since oldest event
+
+        Core() { predictor.fill(1); }
+    };
+
+    bool isPrivileged(uint64_t addr) const;
+
+    /** Resolve every speculation event due at or before now. */
+    void resolveDue(Core &core, RunResult &result);
+
+    /** Stall until the oldest event resolves. */
+    void stallForOldest(Core &core, RunResult &result);
+
+    /** Resolve the front event (commit or squash). */
+    void resolveFront(Core &core, RunResult &result);
+
+    bool predictTaken(Core &core, int pc);
+    void trainPredictor(Core &core, int pc, bool taken);
+
+    /** Forward from the speculative store queue, if possible. */
+    bool forwardLoad(Core &core, uint64_t addr, uint8_t &value) const;
+
+    MemorySystem memory_;
+    CoreConfig coreConfig_;
+    std::vector<Core> cores_;
+    std::vector<std::pair<uint64_t, uint64_t>> privileged_;
+};
+
+} // namespace checkmate::sim
+
+#endif // CHECKMATE_SIM_MACHINE_HH

@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Reusable μspec axiom implementations.
+ */
+
+#include "uarch/axiom_lib.hh"
+
+namespace checkmate::uarch
+{
+
+using graph::EdgeKind;
+using rmf::Formula;
+
+void
+addIntraPath(UspecContext &ctx, EdgeDeriver &d,
+             const std::vector<LocId> &stages,
+             const std::function<Formula(EventId)> &cond)
+{
+    for (EventId e = 0; e < ctx.numEvents(); e++) {
+        Formula c = cond ? cond(e) : Formula::top();
+        for (size_t i = 0; i + 1 < stages.size(); i++) {
+            d.edgeCondition(e, stages[i], e, stages[i + 1], c,
+                            EdgeKind::IntraInstruction);
+        }
+    }
+}
+
+namespace
+{
+
+/** b is the next same-core event after a. */
+Formula
+consecutiveOnCore(UspecContext &ctx, EventId a, EventId b)
+{
+    Formula c = ctx.sameCore(a, b);
+    for (EventId m = a + 1; m < b; m++)
+        c = c && !ctx.sameCore(a, m);
+    return c;
+}
+
+} // anonymous namespace
+
+void
+addInOrderStage(
+    UspecContext &ctx, EdgeDeriver &d, LocId stage,
+    const std::function<Formula(EventId, EventId)> &both_cond)
+{
+    for (EventId a = 0; a < ctx.numEvents(); a++) {
+        for (EventId b = a + 1; b < ctx.numEvents(); b++) {
+            Formula c = consecutiveOnCore(ctx, a, b);
+            if (both_cond)
+                c = c && both_cond(a, b);
+            d.edgeCondition(a, stage, b, stage, c,
+                            EdgeKind::InterInstruction);
+        }
+    }
+}
+
+void
+addInOrderStageAllPairs(
+    UspecContext &ctx, EdgeDeriver &d, LocId stage,
+    const std::function<Formula(EventId, EventId)> &both_cond)
+{
+    for (EventId a = 0; a < ctx.numEvents(); a++) {
+        for (EventId b = a + 1; b < ctx.numEvents(); b++) {
+            Formula c = ctx.sameCore(a, b);
+            if (both_cond)
+                c = c && both_cond(a, b);
+            d.edgeCondition(a, stage, b, stage, c,
+                            EdgeKind::InterInstruction);
+        }
+    }
+}
+
+void
+addProcSwitch(UspecContext &ctx, EdgeDeriver &d, LocId complete,
+              LocId fetch)
+{
+    for (EventId a = 0; a < ctx.numEvents(); a++) {
+        for (EventId b = a + 1; b < ctx.numEvents(); b++) {
+            Formula c = consecutiveOnCore(ctx, a, b) &&
+                        !ctx.sameProc(a, b);
+            d.edgeCondition(a, complete, b, fetch, c,
+                            EdgeKind::InterInstruction);
+        }
+    }
+}
+
+void
+addViclAxioms(UspecContext &ctx, EdgeDeriver &d, LocId create,
+              LocId expire, LocId value_bind, LocId flush_point)
+{
+    const int n = ctx.numEvents();
+    for (EventId e = 0; e < n; e++) {
+        // A cache line is usable before it expires.
+        d.edgeCondition(e, create, e, expire, ctx.hasVicl(e),
+                        EdgeKind::ViCL);
+
+        // Read miss: the allocated line supplies the value. (When
+        // speculative fills are disabled, a squashed read has no
+        // ViCL and bypasses the cache entirely.)
+        Formula miss_fill = ctx.isRead(e) && ctx.hasVicl(e);
+        d.edgeCondition(e, create, e, value_bind, miss_fill,
+                        EdgeKind::ViCL);
+        d.edgeCondition(e, value_bind, e, expire, miss_fill,
+                        EdgeKind::ViCL);
+    }
+
+    for (EventId c = 0; c < n; c++) {
+        for (EventId e = 0; e < n; e++) {
+            if (c == e)
+                continue;
+
+            // Read hit: sourced from the creator's live ViCL.
+            Formula src = ctx.sourcedBy(e, c);
+            d.edgeCondition(c, create, e, value_bind, src,
+                            EdgeKind::ViCL);
+            d.edgeCondition(e, value_bind, c, expire, src,
+                            EdgeKind::ViCL);
+
+            // Direct-mapped contention: ordered disjoint lifetimes.
+            d.edgeCondition(c, expire, e, create,
+                            ctx.viclBefore(c, e), EdgeKind::ViCL);
+
+            // Flush effect (CLFLUSH or, for machines without a flush
+            // micro-op, unreachable because isClflush never holds).
+            Formula flush_effective =
+                ctx.options().allowSpeculativeFlush
+                    ? ctx.isClflush(e)
+                    : (ctx.isClflush(e) && ctx.commits(e));
+            Formula applies = flush_effective && ctx.hasVicl(c) &&
+                              ctx.samePa(c, e);
+            d.edgeCondition(e, flush_point, c, create,
+                            ctx.createdAfterFlush(c, e),
+                            EdgeKind::ViCL);
+            d.edgeCondition(c, expire, e, flush_point,
+                            applies && !ctx.createdAfterFlush(c, e),
+                            EdgeKind::ViCL);
+        }
+    }
+}
+
+void
+addStoreBufferAxioms(UspecContext &ctx, EdgeDeriver &d, LocId commit,
+                     LocId sb, LocId create, LocId memory)
+{
+    const int n = ctx.numEvents();
+    for (EventId w = 0; w < n; w++) {
+        Formula cw = ctx.isWrite(w) && ctx.commits(w);
+        d.edgeCondition(w, commit, w, sb, cw,
+                        EdgeKind::IntraInstruction);
+        d.edgeCondition(w, sb, w, create, cw,
+                        EdgeKind::IntraInstruction);
+        d.edgeCondition(w, create, w, memory, cw,
+                        EdgeKind::IntraInstruction);
+    }
+    for (EventId a = 0; a < n; a++) {
+        for (EventId b = a + 1; b < n; b++) {
+            Formula both = ctx.sameCore(a, b) && ctx.isWrite(a) &&
+                           ctx.isWrite(b) && ctx.commits(a) &&
+                           ctx.commits(b);
+            d.edgeCondition(a, sb, b, sb, both,
+                            EdgeKind::InterInstruction);
+            d.edgeCondition(a, memory, b, memory, both,
+                            EdgeKind::InterInstruction);
+        }
+    }
+}
+
+void
+addComAxioms(UspecContext &ctx, EdgeDeriver &d, LocId create,
+             LocId memory, LocId value_bind)
+{
+    const int n = ctx.numEvents();
+    for (EventId w = 0; w < n; w++) {
+        for (EventId r = 0; r < n; r++) {
+            if (w == r)
+                continue;
+            rmf::TupleSet t(2);
+            t.add(rmf::Tuple{ctx.eventAtom(w), ctx.eventAtom(r)});
+            Formula rf_wr =
+                rmf::in(rmf::Expr::constant(t), ctx.rf());
+
+            // rf: value flows through the shared L1 on one core, or
+            // through memory across cores.
+            d.edgeCondition(w, create, r, value_bind,
+                            rf_wr && ctx.sameCore(w, r),
+                            EdgeKind::Com);
+            d.edgeCondition(w, memory, r, value_bind,
+                            rf_wr && !ctx.sameCore(w, r),
+                            EdgeKind::Com);
+
+            // co: memory order follows coherence order.
+            rmf::TupleSet t2(2);
+            t2.add(rmf::Tuple{ctx.eventAtom(w), ctx.eventAtom(r)});
+            Formula co_wr =
+                rmf::in(rmf::Expr::constant(t2), ctx.co());
+            d.edgeCondition(w, memory, r, memory, co_wr,
+                            EdgeKind::Com);
+        }
+    }
+
+    // fr: a read is ordered before any coherence-later write.
+    rmf::Expr fr_through_rf = ctx.rf().transpose().join(ctx.co());
+    for (EventId r = 0; r < n; r++) {
+        for (EventId w = 0; w < n; w++) {
+            if (r == w)
+                continue;
+            rmf::TupleSet t(2);
+            t.add(rmf::Tuple{ctx.eventAtom(r), ctx.eventAtom(w)});
+            Formula fr_rw =
+                rmf::in(rmf::Expr::constant(t), fr_through_rf);
+            // Init-sourced reads precede every committed same-PA
+            // write.
+            Formula init_fr =
+                ctx.isRead(r) &&
+                rmf::no(ctx.rf().join(
+                    rmf::Expr::atom(ctx.eventAtom(r)))) &&
+                ctx.isWrite(w) && ctx.commits(w) && ctx.samePa(r, w);
+            d.edgeCondition(r, value_bind, w, memory,
+                            fr_rw || init_fr, EdgeKind::Com);
+        }
+    }
+}
+
+void
+addFenceAxioms(UspecContext &ctx, EdgeDeriver &d, LocId value_bind,
+               LocId memory)
+{
+    const int n = ctx.numEvents();
+    for (EventId a = 0; a < n; a++) {
+        for (EventId b = a + 1; b < n; b++) {
+            Formula same = ctx.sameCore(a, b);
+            // Earlier accesses execute before the fence.
+            d.edgeCondition(a, value_bind, b, value_bind,
+                            same && ctx.isAccess(a) && ctx.isFence(b),
+                            EdgeKind::InterInstruction);
+            // The fence executes before later accesses.
+            d.edgeCondition(a, value_bind, b, value_bind,
+                            same && ctx.isFence(a) && ctx.isAccess(b),
+                            EdgeKind::InterInstruction);
+            // Earlier committed stores drain before the fence.
+            d.edgeCondition(a, memory, b, value_bind,
+                            same && ctx.isWrite(a) && ctx.commits(a) &&
+                                ctx.isFence(b),
+                            EdgeKind::InterInstruction);
+        }
+    }
+}
+
+void
+addTsoPpoAxioms(UspecContext &ctx, EdgeDeriver &d, LocId value_bind,
+                LocId memory)
+{
+    const int n = ctx.numEvents();
+    for (EventId a = 0; a < n; a++) {
+        for (EventId b = a + 1; b < n; b++) {
+            Formula same = ctx.sameCore(a, b);
+            Formula committed = ctx.commits(a) && ctx.commits(b);
+            d.edgeCondition(a, value_bind, b, value_bind,
+                            same && committed && ctx.isRead(a) &&
+                                ctx.isRead(b),
+                            EdgeKind::InterInstruction);
+            d.edgeCondition(a, value_bind, b, memory,
+                            same && committed && ctx.isRead(a) &&
+                                ctx.isWrite(b),
+                            EdgeKind::InterInstruction);
+        }
+    }
+}
+
+void
+addDependencyAxioms(UspecContext &ctx, EdgeDeriver &d,
+                    LocId value_bind)
+{
+    const int n = ctx.numEvents();
+    for (EventId r = 0; r < n; r++) {
+        for (EventId e = r + 1; e < n; e++) {
+            d.edgeCondition(r, value_bind, e, value_bind,
+                            ctx.hasAddrDep(r, e),
+                            EdgeKind::InterInstruction);
+        }
+    }
+}
+
+void
+addSquashRefetch(UspecContext &ctx, EdgeDeriver &d, LocId execute,
+                 LocId fetch)
+{
+    const int n = ctx.numEvents();
+    for (EventId s = 0; s < n; s++) {
+        for (EventId e = s + 1; e < n; e++) {
+            // e is the first non-squashed same-core event after the
+            // window opened by s.
+            Formula c = ctx.sameCore(s, e) && ctx.squashSource(s) &&
+                        !ctx.isSquashed(e);
+            for (EventId m = s + 1; m < e; m++) {
+                c = c && ctx.sameCore(m, e).implies(
+                            ctx.isSquashed(m));
+            }
+            d.edgeCondition(s, execute, e, fetch, c,
+                            EdgeKind::Squash);
+        }
+    }
+}
+
+void
+addCoherenceAxioms(UspecContext &ctx, EdgeDeriver &d, LocId execute,
+                   LocId coh_req, LocId coh_resp, LocId create,
+                   LocId expire, LocId commit)
+{
+    const int n = ctx.numEvents();
+    for (EventId w = 0; w < n; w++) {
+        // Every executed write — squashed or not — requests
+        // ownership once it executes (§VII-B: this is the behavior
+        // MeltdownPrime/SpectrePrime exploit).
+        Formula is_w = ctx.isWrite(w);
+        d.edgeCondition(w, execute, w, coh_req, is_w,
+                        EdgeKind::Coherence);
+        d.edgeCondition(w, coh_req, w, coh_resp, is_w,
+                        EdgeKind::Coherence);
+        // Committed writes own the line before writing the L1.
+        d.edgeCondition(w, coh_resp, w, create,
+                        is_w && ctx.commits(w), EdgeKind::Coherence);
+        (void)commit;
+    }
+    // Sharer invalidation only exists in invalidation-based
+    // protocols; an update-based protocol pushes the new data to
+    // sharers and their lines stay live.
+    if (!ctx.options().invalidationProtocol)
+        return;
+    for (EventId c = 0; c < n; c++) {
+        for (EventId w = 0; w < n; w++) {
+            if (c == w)
+                continue;
+            Formula applies = ctx.isWrite(w) && ctx.hasVicl(c) &&
+                              ctx.samePa(c, w) && !ctx.sameCore(c, w);
+            // The sharer's line is invalidated before the response,
+            // or filled after it.
+            d.edgeCondition(c, expire, w, coh_resp,
+                            applies && !ctx.createdAfterInval(c, w),
+                            EdgeKind::Coherence);
+            d.edgeCondition(w, coh_resp, c, create,
+                            ctx.createdAfterInval(c, w),
+                            EdgeKind::Coherence);
+        }
+    }
+}
+
+} // namespace checkmate::uarch

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Reusable μspec axiom building blocks.
+ *
+ * Concrete microarchitecture models compose these helpers: intra-
+ * instruction pipeline paths, per-stage in-order propagation, process
+ * time-multiplexing, ViCL cache semantics (§VI-A1), flush/eviction
+ * effects, memory-communication (rf/co/fr) ordering, and fence
+ * ordering. Each helper registers edge conditions with an EdgeDeriver
+ * using the context's predicate vocabulary, exactly in the style of
+ * the paper's Alloy-embedded μspec axioms (Fig. 1b).
+ */
+
+#ifndef CHECKMATE_UARCH_AXIOM_LIB_HH
+#define CHECKMATE_UARCH_AXIOM_LIB_HH
+
+#include <functional>
+#include <vector>
+
+#include "uspec/context.hh"
+#include "uspec/deriver.hh"
+
+namespace checkmate::uarch
+{
+
+using uspec::EventId;
+using uspec::LocId;
+using uspec::UspecContext;
+using uspec::EdgeDeriver;
+
+/**
+ * Intra-instruction path: every event whose @p cond holds passes
+ * through @p stages in order (Fetch before Execute before ...).
+ */
+void addIntraPath(UspecContext &ctx, EdgeDeriver &d,
+                  const std::vector<LocId> &stages,
+                  const std::function<rmf::Formula(EventId)> &cond);
+
+/**
+ * In-order stage: consecutive same-core events pass through
+ * @p stage in program order (the InOrder_Fetch axiom of Fig. 1b).
+ * When @p both_cond is supplied the edge additionally requires it of
+ * the (earlier, later) pair.
+ */
+void addInOrderStage(
+    UspecContext &ctx, EdgeDeriver &d, LocId stage,
+    const std::function<rmf::Formula(EventId, EventId)> &both_cond =
+        nullptr);
+
+/**
+ * In-order stage over *all* same-core pairs (not just consecutive) —
+ * needed when intermediate events may not own the stage's node (e.g.
+ * Commit order among non-squashed events).
+ */
+void addInOrderStageAllPairs(
+    UspecContext &ctx, EdgeDeriver &d, LocId stage,
+    const std::function<rmf::Formula(EventId, EventId)> &both_cond);
+
+/**
+ * Process time-multiplexing: a micro-op of one process completes
+ * before a micro-op of another process is fetched on the same core
+ * (the yellow edges of Fig. 1e).
+ */
+void addProcSwitch(UspecContext &ctx, EdgeDeriver &d, LocId complete,
+                   LocId fetch);
+
+/**
+ * ViCL cache semantics for the (private, direct-mapped) L1:
+ *
+ *  - a miss allocates: Create(e) -> bind(e) -> Expire(e);
+ *  - a hit is sourced: Create(src) -> bind(e) -> Expire(src);
+ *  - every ViCL's Create precedes its Expire;
+ *  - direct-mapped contention: contending lifetimes in one L1 are
+ *    disjoint in the chosen order (collideOrder);
+ *  - flush effect: a ViCL of the flushed PA is either wholly before
+ *    the flush point or created after it (flushAfter).
+ *
+ * @param value_bind the structure where reads bind their value.
+ * @param flush_point the location at which a CLFLUSH acts.
+ */
+void addViclAxioms(UspecContext &ctx, EdgeDeriver &d, LocId create,
+                   LocId expire, LocId value_bind, LocId flush_point);
+
+/**
+ * Committed-write path through the store buffer to the memory
+ * hierarchy: Commit -> SB -> L1 Create -> Main Memory, with FIFO
+ * ordering between same-core committed writes (TSO store order).
+ */
+void addStoreBufferAxioms(UspecContext &ctx, EdgeDeriver &d,
+                          LocId commit, LocId sb, LocId create,
+                          LocId memory);
+
+/**
+ * Memory communication ordering:
+ *  - rf: the writer's value reaches the reader's bind point;
+ *  - co: coherence order drains to memory in order;
+ *  - fr: a read completes before a coherence-later write lands.
+ */
+void addComAxioms(UspecContext &ctx, EdgeDeriver &d, LocId create,
+                  LocId memory, LocId value_bind);
+
+/**
+ * Full-fence ordering at the bind/execute stage: all po-earlier
+ * memory accesses execute before the fence; the fence executes
+ * before all po-later memory accesses; po-earlier committed stores
+ * drain to memory before the fence executes (mfence semantics,
+ * §VII-D).
+ */
+void addFenceAxioms(UspecContext &ctx, EdgeDeriver &d,
+                    LocId value_bind, LocId memory);
+
+/**
+ * TSO preserved program order for committed accesses: loads appear
+ * to bind in order (R→R), loads bind before later stores become
+ * globally visible (R→W), and stores drain in order (W→W, also
+ * enforced by the store-buffer FIFO). W→R is deliberately absent —
+ * that is the store-buffering relaxation TSO permits.
+ */
+void addTsoPpoAxioms(UspecContext &ctx, EdgeDeriver &d,
+                     LocId value_bind, LocId memory);
+
+/**
+ * Address dependencies: a micro-op whose address is calculated from
+ * a read's data cannot bind its own value (or issue its request)
+ * before the read does — the ordering Meltdown/Spectre step 3 (§II-B)
+ * relies on.
+ */
+void addDependencyAxioms(UspecContext &ctx, EdgeDeriver &d,
+                         LocId value_bind);
+
+/**
+ * Speculation axioms: the squash-window re-fetch edge (the resolving
+ * Execute of the window source happens before the fetch of the first
+ * post-window micro-op).
+ */
+void addSquashRefetch(UspecContext &ctx, EdgeDeriver &d, LocId execute,
+                      LocId fetch);
+
+/**
+ * Invalidation-based coherence (§VII-B): every executed write — even
+ * a squashed, speculative one — issues a coherence request after
+ * Execute; sharer cores' ViCLs for that PA either expire before the
+ * response or are created after it (cohAfter). Committed writes gain
+ * ownership before writing the L1.
+ */
+void addCoherenceAxioms(UspecContext &ctx, EdgeDeriver &d,
+                        LocId execute, LocId coh_req, LocId coh_resp,
+                        LocId create, LocId expire, LocId commit);
+
+} // namespace checkmate::uarch
+
+#endif // CHECKMATE_UARCH_AXIOM_LIB_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * In-order pipeline family implementation.
+ */
+
+#include "uarch/inorder.hh"
+
+#include "uarch/axiom_lib.hh"
+
+namespace checkmate::uarch
+{
+
+using uspec::ModelOptions;
+using uspec::UspecContext;
+using uspec::EdgeDeriver;
+using uspec::EventId;
+using uspec::LocId;
+using rmf::Formula;
+
+InOrderPipeline::InOrderPipeline(std::string name,
+                                 std::vector<std::string> stage_names,
+                                 std::string value_bind_stage,
+                                 std::string structure)
+    : name_(std::move(name)), stages_(std::move(stage_names)),
+      valueBindStage_(std::move(value_bind_stage)),
+      structure_(std::move(structure))
+{}
+
+std::vector<std::string>
+InOrderPipeline::locations() const
+{
+    std::vector<std::string> locs = stages_;
+    locs.push_back("StoreBuffer");
+    locs.push_back(structure_ + " ViCL Create");
+    locs.push_back(structure_ + " ViCL Expire");
+    locs.push_back("MainMemory");
+    locs.push_back("Complete");
+    return locs;
+}
+
+ModelOptions
+InOrderPipeline::options() const
+{
+    ModelOptions opts;
+    opts.hasCache = true;
+    opts.hasCoherence = false;
+    opts.hasSpeculation = false;
+    opts.hasPermissions = false;
+    return opts;
+}
+
+void
+InOrderPipeline::applyAxioms(UspecContext &ctx,
+                             EdgeDeriver &d) const
+{
+    std::vector<LocId> pipe;
+    for (const std::string &s : stages_)
+        pipe.push_back(ctx.locId(s));
+    LocId complete = ctx.locId("Complete");
+    LocId sb = ctx.locId("StoreBuffer");
+    LocId create = ctx.locId(structure_ + " ViCL Create");
+    LocId expire = ctx.locId(structure_ + " ViCL Expire");
+    LocId memory = ctx.locId("MainMemory");
+    LocId bind = ctx.locId(valueBindStage_);
+    LocId fetch = pipe.front();
+    LocId last_stage = pipe.back();
+
+    // Every micro-op flows through the pipeline in stage order and
+    // completes.
+    std::vector<LocId> path = pipe;
+    path.push_back(complete);
+    addIntraPath(ctx, d, path, nullptr);
+
+    // Fully in-order pipeline: every stage preserves program order
+    // (the InOrder_Fetch / InOrder_Execute axioms of Fig. 1b,
+    // generalized to each stage).
+    for (LocId stage : pipe)
+        addInOrderStage(ctx, d, stage);
+    addInOrderStage(ctx, d, complete);
+
+    // Time-multiplexed processes.
+    addProcSwitch(ctx, d, complete, fetch);
+
+    // L1 cache with ViCLs; CLFLUSH acts where it executes (the value
+    // binding stage doubles as the flush point on these pipelines).
+    addViclAxioms(ctx, d, create, expire, bind, bind);
+
+    // Stores drain through the store buffer after the final stage.
+    addStoreBufferAxioms(ctx, d, last_stage, sb, create, memory);
+
+    // Memory communication, dependencies, and fences.
+    addComAxioms(ctx, d, create, memory, bind);
+    addDependencyAxioms(ctx, d, bind);
+    addFenceAxioms(ctx, d, bind, memory);
+}
+
+InOrderPipeline
+inOrder2Stage()
+{
+    return InOrderPipeline("InOrder-2stage", {"Fetch", "Execute"},
+                           "Execute");
+}
+
+InOrderPipeline
+inOrder3Stage()
+{
+    return InOrderPipeline("InOrder-3stage",
+                           {"Fetch", "Execute", "Commit"}, "Execute");
+}
+
+InOrderPipeline
+inOrder5Stage()
+{
+    return InOrderPipeline(
+        "InOrder-5stage",
+        {"Fetch", "Decode", "Execute", "Memory", "Writeback"},
+        "Execute");
+}
+
+InOrderPipeline
+fiveStagePrivateL1()
+{
+    return InOrderPipeline(
+        "InOrder-5stage-PrivL1",
+        {"Fetch", "Decode", "Execute", "Memory", "Writeback"},
+        "Execute");
+}
+
+InOrderPipeline
+inOrder3StageTlb()
+{
+    return InOrderPipeline("InOrder-3stage-TLB",
+                           {"Fetch", "Execute", "Commit"}, "Execute",
+                           "TLB");
+}
+
+std::vector<std::string>
+InOrderSpec::locations() const
+{
+    return {"Fetch",          "Execute",
+            "Commit",         "StoreBuffer",
+            "L1 ViCL Create", "L1 ViCL Expire",
+            "MainMemory",     "Complete"};
+}
+
+uspec::ModelOptions
+InOrderSpec::options() const
+{
+    uspec::ModelOptions opts;
+    opts.hasCache = true;
+    opts.hasCoherence = false;
+    opts.hasSpeculation = true;
+    opts.hasPermissions = true;
+    return opts;
+}
+
+void
+InOrderSpec::applyAxioms(UspecContext &ctx, EdgeDeriver &d) const
+{
+    LocId fetch = ctx.locId("Fetch");
+    LocId execute = ctx.locId("Execute");
+    LocId commit = ctx.locId("Commit");
+    LocId sb = ctx.locId("StoreBuffer");
+    LocId create = ctx.locId("L1 ViCL Create");
+    LocId expire = ctx.locId("L1 ViCL Expire");
+    LocId memory = ctx.locId("MainMemory");
+    LocId complete = ctx.locId("Complete");
+
+    // Intra-op: everything fetched executes (wrong path included);
+    // only non-squashed micro-ops commit and complete.
+    for (uspec::EventId e = 0; e < ctx.numEvents(); e++) {
+        d.edgeCondition(e, fetch, e, execute, rmf::Formula::top(),
+                        graph::EdgeKind::IntraInstruction);
+        d.edgeCondition(e, execute, e, commit, ctx.commits(e),
+                        graph::EdgeKind::IntraInstruction);
+        d.edgeCondition(e, commit, e, complete, ctx.commits(e),
+                        graph::EdgeKind::IntraInstruction);
+    }
+
+    // In-order issue: fetch and *execute* preserve program order for
+    // every micro-op (the defining in-order property). Commit order
+    // holds among the committed.
+    addInOrderStage(ctx, d, fetch);
+    addInOrderStage(ctx, d, execute);
+    addInOrderStageAllPairs(
+        ctx, d, commit, [&](uspec::EventId a, uspec::EventId b) {
+            return ctx.commits(a) && ctx.commits(b);
+        });
+
+    addProcSwitch(ctx, d, complete, fetch);
+    addSquashRefetch(ctx, d, execute, fetch);
+    addViclAxioms(ctx, d, create, expire, execute, execute);
+    addStoreBufferAxioms(ctx, d, commit, sb, create, memory);
+    addComAxioms(ctx, d, create, memory, execute);
+    addDependencyAxioms(ctx, d, execute);
+    addFenceAxioms(ctx, d, execute, memory);
+}
+
+} // namespace checkmate::uarch

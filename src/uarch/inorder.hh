@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The in-order pipeline family (the Fig. 1a pedagogical machine and
+ * the Fig. 3c scaling series).
+ *
+ * Each machine is an in-order pipeline of configurable depth with a
+ * store buffer, an L1 modeled with ViCLs, and main memory. The
+ * "private L1" variant is the same pipeline evaluated with multiple
+ * physical cores, each with its own L1 (ViCL sourcing is per-core
+ * either way; with one core the L1 is shared by time-multiplexed
+ * processes as in Fig. 1e).
+ */
+
+#ifndef CHECKMATE_UARCH_INORDER_HH
+#define CHECKMATE_UARCH_INORDER_HH
+
+#include <string>
+#include <vector>
+
+#include "uspec/microarch.hh"
+
+namespace checkmate::uarch
+{
+
+/**
+ * An N-stage in-order pipeline with L1 ViCLs, store buffer, and main
+ * memory.
+ */
+class InOrderPipeline : public uspec::Microarchitecture
+{
+  public:
+    /**
+     * @param name display name
+     * @param stage_names in-order pipeline stages, first is fetch
+     * @param value_bind_stage the stage where reads bind values
+     * @param structure display name of the ViCL-modeled structure
+     *        ("L1" by default; "TLB" turns the same machinery into a
+     *        translation-lookaside side channel — §III-A2's point
+     *        that exploit patterns only need *some* structure
+     *        modeled with ViCLs)
+     */
+    InOrderPipeline(std::string name,
+                    std::vector<std::string> stage_names,
+                    std::string value_bind_stage,
+                    std::string structure = "L1");
+
+    std::string name() const override { return name_; }
+    std::vector<std::string> locations() const override;
+    uspec::ModelOptions options() const override;
+    std::string valueBindingLocation() const override
+    {
+        return valueBindStage_;
+    }
+    void applyAxioms(uspec::UspecContext &ctx,
+                     uspec::EdgeDeriver &deriver) const override;
+
+  private:
+    std::string name_;
+    std::vector<std::string> stages_;
+    std::string valueBindStage_;
+    std::string structure_;
+};
+
+/** Fetch → Execute (Fig. 3c's 2-stage point). */
+InOrderPipeline inOrder2Stage();
+
+/** Fetch → Execute → Commit (the Fig. 1a pedagogical machine). */
+InOrderPipeline inOrder3Stage();
+
+/** Fetch → Decode → Execute → Memory → Writeback. */
+InOrderPipeline inOrder5Stage();
+
+/**
+ * The 5-stage pipeline for multi-core (private L1) runs; identical
+ * axioms, distinguished in benchmarks by running with numCores > 1.
+ */
+InOrderPipeline fiveStagePrivateL1();
+
+/**
+ * The Fig. 1a pipeline with its cache rows reinterpreted as a TLB:
+ * "ViCL Create/Expire" model translation-entry lifetimes and the
+ * flush micro-op is an INVLPG-style shootdown. The unmodified
+ * FLUSH+RELOAD pattern synthesizes TLB-timing attacks on it —
+ * §III-A2's portability claim, machine-checked.
+ */
+InOrderPipeline inOrder3StageTlb();
+
+/**
+ * An in-order pipeline *with* branch prediction, speculative
+ * execution, and per-process permissions: instructions issue in
+ * program order, but wrong-path work still executes (and pollutes
+ * the cache) before the squash. Demonstrates that speculation — not
+ * out-of-order execution — is what the 2018 attacks need: CheckMate
+ * synthesizes Spectre on this design too.
+ */
+class InOrderSpec : public uspec::Microarchitecture
+{
+  public:
+    std::string name() const override { return "InOrderSpec"; }
+    std::vector<std::string> locations() const override;
+    uspec::ModelOptions options() const override;
+    std::string valueBindingLocation() const override
+    {
+        return "Execute";
+    }
+    void applyAxioms(uspec::UspecContext &ctx,
+                     uspec::EdgeDeriver &deriver) const override;
+};
+
+} // namespace checkmate::uarch
+
+#endif // CHECKMATE_UARCH_INORDER_HH

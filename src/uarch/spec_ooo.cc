@@ -1,0 +1,158 @@
+/**
+ * @file
+ * SpecOoO axiom implementation.
+ */
+
+#include "uarch/spec_ooo.hh"
+
+#include "uarch/axiom_lib.hh"
+
+namespace checkmate::uarch
+{
+
+using graph::EdgeKind;
+using rmf::Formula;
+using uspec::EdgeDeriver;
+using uspec::EventId;
+using uspec::LocId;
+using uspec::ModelOptions;
+using uspec::UspecContext;
+
+SpecOoO::SpecOoO(bool model_coherence, bool allow_speculative_flush)
+{
+    config_.modelCoherence = model_coherence;
+    config_.allowSpeculativeFlush = allow_speculative_flush;
+}
+
+SpecOoO::SpecOoO(const SpecOoOConfig &config) : config_(config) {}
+
+std::string
+SpecOoO::name() const
+{
+    std::string name =
+        config_.modelCoherence ? "SpecOoO+Coherence" : "SpecOoO";
+    if (!config_.speculativeExecution)
+        name += "-NoSpec";
+    else if (!config_.speculativeFills)
+        name += "-NoSpecFill";
+    if (config_.allowSpeculativeFlush)
+        name += "+SpecFlush";
+    if (!config_.invalidationCoherence)
+        name += "+UpdateCoh";
+    return name;
+}
+
+std::vector<std::string>
+SpecOoO::locations() const
+{
+    std::vector<std::string> locs = {"Fetch", "Execute", "ROB",
+                                     "PC",    "Commit"};
+    locs.push_back("StoreBuffer");
+    locs.push_back("L1 ViCL Create");
+    locs.push_back("L1 ViCL Expire");
+    if (config_.modelCoherence) {
+        locs.push_back("CohReq");
+        locs.push_back("CohResp");
+    }
+    locs.push_back("MainMemory");
+    locs.push_back("Complete");
+    return locs;
+}
+
+ModelOptions
+SpecOoO::options() const
+{
+    ModelOptions opts;
+    opts.hasCache = true;
+    opts.hasCoherence = config_.modelCoherence;
+    opts.hasSpeculation = config_.speculativeExecution;
+    opts.hasPermissions = true;
+    opts.speculativeFills = config_.speculativeFills;
+    opts.allowSpeculativeFlush = config_.allowSpeculativeFlush;
+    opts.invalidationProtocol = config_.invalidationCoherence;
+    return opts;
+}
+
+void
+SpecOoO::applyAxioms(UspecContext &ctx, EdgeDeriver &d) const
+{
+    LocId fetch = ctx.locId("Fetch");
+    LocId execute = ctx.locId("Execute");
+    LocId rob = ctx.locId("ROB");
+    LocId pc = ctx.locId("PC");
+    LocId commit = ctx.locId("Commit");
+    LocId sb = ctx.locId("StoreBuffer");
+    LocId create = ctx.locId("L1 ViCL Create");
+    LocId expire = ctx.locId("L1 ViCL Expire");
+    LocId memory = ctx.locId("MainMemory");
+    LocId complete = ctx.locId("Complete");
+
+    const int n = ctx.numEvents();
+
+    // --- Intra-instruction flow ------------------------------------
+    // Every fetched micro-op executes (speculatively or not) and
+    // enters the ROB; only memory operations undergo the permission
+    // check; only non-squashed micro-ops commit and complete. The
+    // crucial Meltdown enabler: Execute is *not* ordered after PC.
+    for (EventId e = 0; e < n; e++) {
+        Formula always = Formula::top();
+        d.edgeCondition(e, fetch, e, execute, always,
+                        EdgeKind::IntraInstruction);
+        d.edgeCondition(e, execute, e, rob, always,
+                        EdgeKind::IntraInstruction);
+
+        Formula checked =
+            ctx.isMemoryEvent(e) && (ctx.commits(e) || ctx.faults(e));
+        d.edgeCondition(e, rob, e, pc, checked,
+                        EdgeKind::IntraInstruction);
+        d.edgeCondition(e, pc, e, commit,
+                        ctx.isMemoryEvent(e) && ctx.commits(e),
+                        EdgeKind::IntraInstruction);
+        d.edgeCondition(e, rob, e, commit,
+                        !ctx.isMemoryEvent(e) && ctx.commits(e),
+                        EdgeKind::IntraInstruction);
+        d.edgeCondition(e, commit, e, complete, ctx.commits(e),
+                        EdgeKind::IntraInstruction);
+    }
+
+    // --- Pipeline orderings ----------------------------------------
+    // In-order fetch; in-order ROB allocation; out-of-order execute
+    // (no axiom); in-order commit among committed micro-ops.
+    addInOrderStage(ctx, d, fetch);
+    addInOrderStage(ctx, d, rob);
+    addInOrderStageAllPairs(
+        ctx, d, commit, [&](EventId a, EventId b) {
+            return ctx.commits(a) && ctx.commits(b);
+        });
+
+    // Time multiplexing of processes on a physical core.
+    addProcSwitch(ctx, d, complete, fetch);
+
+    // Squash-window resolution: the wrong path is thrown away and
+    // the correct path is fetched after the source resolves.
+    addSquashRefetch(ctx, d, execute, fetch);
+
+    // --- Memory system ----------------------------------------------
+    // Private, direct-mapped L1s modeled with ViCLs; reads bind their
+    // value in Execute; CLFLUSH acts at Execute.
+    addViclAxioms(ctx, d, create, expire, execute, execute);
+
+    // Committed stores drain in order through the store buffer (TSO).
+    addStoreBufferAxioms(ctx, d, commit, sb, create, memory);
+
+    // Communication, TSO preserved program order, dependencies, and
+    // fences.
+    addComAxioms(ctx, d, create, memory, execute);
+    addTsoPpoAxioms(ctx, d, execute, memory);
+    addDependencyAxioms(ctx, d, execute);
+    addFenceAxioms(ctx, d, execute, memory);
+
+    // Invalidation-based coherence.
+    if (config_.modelCoherence) {
+        addCoherenceAxioms(ctx, d, execute, ctx.locId("CohReq"),
+                           ctx.locId("CohResp"), create, expire,
+                           commit);
+    }
+}
+
+} // namespace checkmate::uarch

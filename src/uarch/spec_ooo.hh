@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The speculative out-of-order case-study processor (§VI-B).
+ *
+ * A 5-stage pipeline — Fetch, Execute, Reorder Buffer (ROB),
+ * Permission Check (PC), Commit — with FIFO store buffers, private
+ * per-core L1 caches connected to main memory, an invalidation-based
+ * coherence protocol (CohReq/CohResp events), branch prediction,
+ * speculative execution, per-process virtual memory with access
+ * permissions, and TSO. Supported micro-ops: reads, writes, CLFLUSH,
+ * conditional branches, and full fences.
+ *
+ * The two vulnerabilities the paper synthesizes attacks from live in
+ * these axioms:
+ *
+ *  - value binding (Execute) is not synchronized with the permission
+ *    check (PC): a faulting read still executes, pollutes the cache,
+ *    and feeds dependents before it is squashed (Meltdown); likewise
+ *    wrong-path micro-ops after a mispredicted branch (Spectre);
+ *  - every *executed* write issues a coherence ownership request,
+ *    invalidating sharer cores' lines, even if the write is later
+ *    squashed (MeltdownPrime / SpectrePrime).
+ */
+
+#ifndef CHECKMATE_UARCH_SPEC_OOO_HH
+#define CHECKMATE_UARCH_SPEC_OOO_HH
+
+#include "uspec/microarch.hh"
+
+namespace checkmate::uarch
+{
+
+/** Design-space knobs for SpecOoO variants (mitigation studies). */
+struct SpecOoOConfig
+{
+    /**
+     * Include CohReq/CohResp rows and the invalidation axioms
+     * (omitted for FLUSH+RELOAD runs, as in Table I: "we omit
+     * RWReq/RWResp modeling as it does not produce distinct
+     * results").
+     */
+    bool modelCoherence = true;
+
+    /** Let squashed CLFLUSHes take effect (§VII-B's variant). */
+    bool allowSpeculativeFlush = false;
+
+    /**
+     * Invalidation-based coherence (the default, and what the Prime
+     * attacks exploit). False models an update-based protocol: no
+     * sharer invalidations, no invalidation side channel.
+     */
+    bool invalidationCoherence = true;
+
+    /**
+     * Execute speculatively at all. Off = a conservative design
+     * that stalls instead of speculating: the Meltdown/Spectre
+     * window never opens (the "provably secure" baseline of §IX).
+     */
+    bool speculativeExecution = true;
+
+    /**
+     * Speculative loads fill the L1 before commit. Off = an
+     * InvisiSpec-style fill mitigation; note coherence ownership
+     * requests still go out at Execute, so the Prime attacks
+     * survive (§VII-D).
+     */
+    bool speculativeFills = true;
+};
+
+/** The §VI speculative OoO processor model. */
+class SpecOoO : public uspec::Microarchitecture
+{
+  public:
+    /**
+     * @param model_coherence see SpecOoOConfig::modelCoherence
+     * @param allow_speculative_flush see
+     *        SpecOoOConfig::allowSpeculativeFlush
+     */
+    explicit SpecOoO(bool model_coherence = true,
+                     bool allow_speculative_flush = false);
+
+    /** Full design-space constructor. */
+    explicit SpecOoO(const SpecOoOConfig &config);
+
+    std::string name() const override;
+    std::vector<std::string> locations() const override;
+    uspec::ModelOptions options() const override;
+    std::string valueBindingLocation() const override
+    {
+        return "Execute";
+    }
+    void applyAxioms(uspec::UspecContext &ctx,
+                     uspec::EdgeDeriver &deriver) const override;
+
+  private:
+    SpecOoOConfig config_;
+};
+
+} // namespace checkmate::uarch
+
+#endif // CHECKMATE_UARCH_SPEC_OOO_HH

@@ -1,0 +1,902 @@
+/**
+ * @file
+ * UspecContext implementation: universe construction, candidate
+ * program relations, and the well-formedness axiom set.
+ */
+
+#include "uspec/context.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace checkmate::uspec
+{
+
+using rmf::Atom;
+using rmf::Expr;
+using rmf::Formula;
+using rmf::Tuple;
+using rmf::TupleSet;
+
+rmf::Universe
+buildUspecUniverse(const SynthesisBounds &bounds,
+                   const std::vector<std::string> &location_names)
+{
+    rmf::Universe u;
+    for (int e = 0; e < bounds.numEvents; e++)
+        u.addAtom("E" + std::to_string(e));
+    for (int c = 0; c < bounds.numCores; c++)
+        u.addAtom("C" + std::to_string(c));
+    for (int p = 0; p < bounds.numProcs; p++)
+        u.addAtom(p == procAttacker ? "Attacker"
+                  : p == procVictim ? "Victim"
+                                    : "P" + std::to_string(p));
+    for (int v = 0; v < bounds.numVas; v++)
+        u.addAtom("VA" + std::to_string(v));
+    for (int p = 0; p < bounds.numPas; p++)
+        u.addAtom("PA" + std::to_string(p));
+    for (int i = 0; i < bounds.numIndices; i++)
+        u.addAtom("IDX" + std::to_string(i));
+    for (int e = 0; e < bounds.numEvents; e++) {
+        for (size_t l = 0; l < location_names.size(); l++) {
+            u.addAtom("N_E" + std::to_string(e) + "_L" +
+                      std::to_string(l));
+        }
+    }
+    return u;
+}
+
+UspecContext::UspecContext(const SynthesisBounds &bounds,
+                           std::vector<std::string> location_names,
+                           const ModelOptions &options)
+    : bounds_(bounds), options_(options),
+      locationNames_(std::move(location_names)),
+      problem_(buildUspecUniverse(bounds, locationNames_))
+{
+    buildUniverse();
+    declareRelations();
+    assertWellFormedness();
+    if (options_.hasCache)
+        assertCacheWellFormedness();
+    assertSpeculationWellFormedness();
+    assertCanonicalization();
+}
+
+void
+UspecContext::buildUniverse()
+{
+    // Record atom indices in declaration order (matching
+    // buildUspecUniverse's layout).
+    const rmf::Universe &u = problem_.universe();
+    Atom next = 0;
+    for (int e = 0; e < bounds_.numEvents; e++)
+        eventAtoms_.push_back(next++);
+    for (int c = 0; c < bounds_.numCores; c++)
+        coreAtoms_.push_back(next++);
+    for (int p = 0; p < bounds_.numProcs; p++)
+        procAtoms_.push_back(next++);
+    for (int v = 0; v < bounds_.numVas; v++)
+        vaAtoms_.push_back(next++);
+    for (int p = 0; p < bounds_.numPas; p++)
+        paAtoms_.push_back(next++);
+    for (int i = 0; i < bounds_.numIndices; i++)
+        indexAtoms_.push_back(next++);
+    for (int e = 0; e < bounds_.numEvents; e++)
+        for (int l = 0; l < numLocations(); l++)
+            nodeAtoms_.push_back(next++);
+    assert(next == u.size());
+    (void)u;
+}
+
+namespace
+{
+
+/** Upper bound: all pairs drawn from two atom vectors. */
+TupleSet
+pairsOf(const std::vector<Atom> &as, const std::vector<Atom> &bs)
+{
+    TupleSet ts(2);
+    for (Atom a : as)
+        for (Atom b : bs)
+            ts.add(Tuple{a, b});
+    return ts;
+}
+
+/** Upper bound: ordered pairs of distinct atoms from one vector. */
+TupleSet
+distinctPairsOf(const std::vector<Atom> &as)
+{
+    TupleSet ts(2);
+    for (Atom a : as)
+        for (Atom b : as)
+            if (a != b)
+                ts.add(Tuple{a, b});
+    return ts;
+}
+
+TupleSet
+unaryOf(const std::vector<Atom> &as)
+{
+    TupleSet ts(1);
+    for (Atom a : as)
+        ts.add(Tuple{a});
+    return ts;
+}
+
+} // anonymous namespace
+
+void
+UspecContext::declareRelations()
+{
+    TupleSet events = unaryOf(eventAtoms_);
+    TupleSet event_pairs = distinctPairsOf(eventAtoms_);
+
+    for (int t = 0; t < numMicroOpTypes; t++) {
+        typeRel_[t] = problem_.addRelation(
+            std::string("is") +
+                microOpName(static_cast<MicroOpType>(t)),
+            events);
+    }
+    eventCore_ = problem_.addRelation(
+        "eventCore", pairsOf(eventAtoms_, coreAtoms_));
+    eventProc_ = problem_.addRelation(
+        "eventProc", pairsOf(eventAtoms_, procAtoms_));
+    eventVa_ = problem_.addRelation(
+        "eventVa", pairsOf(eventAtoms_, vaAtoms_));
+    vaPa_ = problem_.addRelation("vaPa",
+                                 pairsOf(vaAtoms_, paAtoms_));
+    paIndex_ = problem_.addRelation(
+        "paIndex", pairsOf(paAtoms_, indexAtoms_));
+
+    if (options_.hasPermissions) {
+        canAccess_ = problem_.addRelation(
+            "canAccess", pairsOf(procAtoms_, paAtoms_));
+    } else {
+        // Without permission modeling every process may access
+        // every PA (a constant relation contributes no variables).
+        canAccess_ = problem_.addConstant(
+            "canAccess", pairsOf(procAtoms_, paAtoms_));
+    }
+
+    rf_ = problem_.addRelation("rf", event_pairs);
+    co_ = problem_.addRelation("co", event_pairs);
+    addrDep_ = problem_.addRelation("addrDep", event_pairs);
+
+    if (options_.hasSpeculation) {
+        mispredicted_ = problem_.addRelation("mispredicted", events);
+        squashed_ = problem_.addRelation("squashed", events);
+    } else {
+        mispredicted_ =
+            problem_.addRelation("mispredicted", TupleSet(1));
+        squashed_ = problem_.addRelation("squashed", TupleSet(1));
+    }
+    if (options_.hasSpeculation && options_.hasPermissions) {
+        faults_ = problem_.addRelation("faults", events);
+    } else {
+        faults_ = problem_.addRelation("faults", TupleSet(1));
+    }
+
+    if (options_.hasCache) {
+        cacheHit_ = problem_.addRelation("cacheHit", events);
+        viclSrc_ = problem_.addRelation("viclSrc", event_pairs);
+        collideOrder_ =
+            problem_.addRelation("collideOrder", event_pairs);
+        flushAfter_ =
+            problem_.addRelation("flushAfter", event_pairs);
+    } else {
+        cacheHit_ = problem_.addRelation("cacheHit", TupleSet(1));
+        viclSrc_ = problem_.addRelation("viclSrc", TupleSet(2));
+        collideOrder_ =
+            problem_.addRelation("collideOrder", TupleSet(2));
+        flushAfter_ =
+            problem_.addRelation("flushAfter", TupleSet(2));
+    }
+
+    if (options_.hasCoherence) {
+        cohAfter_ = problem_.addRelation("cohAfter", event_pairs);
+    } else {
+        cohAfter_ = problem_.addRelation("cohAfter", TupleSet(2));
+    }
+}
+
+// --- Predicate vocabulary --------------------------------------------
+
+LocId
+UspecContext::locId(const std::string &name) const
+{
+    for (size_t l = 0; l < locationNames_.size(); l++) {
+        if (locationNames_[l] == name)
+            return static_cast<LocId>(l);
+    }
+    throw std::invalid_argument("unknown location: " + name);
+}
+
+Formula
+UspecContext::isType(EventId e, MicroOpType t) const
+{
+    return rmf::in(Expr::atom(eventAtom(e)), typeRel(t));
+}
+
+Formula
+UspecContext::isMemoryEvent(EventId e) const
+{
+    return isRead(e) || isWrite(e) || isClflush(e);
+}
+
+Formula
+UspecContext::isAccess(EventId e) const
+{
+    return isRead(e) || isWrite(e);
+}
+
+Formula
+UspecContext::onCore(EventId e, CoreId c) const
+{
+    TupleSet t(2);
+    t.add(Tuple{eventAtom(e), coreAtom(c)});
+    return rmf::in(Expr::constant(t), eventCore());
+}
+
+Formula
+UspecContext::sameCore(EventId a, EventId b) const
+{
+    // some (a.eventCore & b.eventCore)
+    return rmf::some(Expr::atom(eventAtom(a)).join(eventCore()) &
+                     Expr::atom(eventAtom(b)).join(eventCore()));
+}
+
+Formula
+UspecContext::inProc(EventId e, ProcId p) const
+{
+    TupleSet t(2);
+    t.add(Tuple{eventAtom(e), procAtom(p)});
+    return rmf::in(Expr::constant(t), eventProc());
+}
+
+Formula
+UspecContext::sameProc(EventId a, EventId b) const
+{
+    return rmf::some(Expr::atom(eventAtom(a)).join(eventProc()) &
+                     Expr::atom(eventAtom(b)).join(eventProc()));
+}
+
+Formula
+UspecContext::programOrder(EventId a, EventId b) const
+{
+    if (!slotBefore(a, b))
+        return Formula::bottom();
+    return sameCore(a, b);
+}
+
+Expr
+UspecContext::vaOf(EventId e) const
+{
+    return Expr::atom(eventAtom(e)).join(eventVa());
+}
+
+Expr
+UspecContext::paOf(EventId e) const
+{
+    return vaOf(e).join(vaPa());
+}
+
+Formula
+UspecContext::sameVa(EventId a, EventId b) const
+{
+    return rmf::some(vaOf(a) & vaOf(b));
+}
+
+Formula
+UspecContext::samePa(EventId a, EventId b) const
+{
+    return rmf::some(paOf(a) & paOf(b));
+}
+
+Formula
+UspecContext::differentPa(EventId a, EventId b) const
+{
+    return rmf::some(paOf(a)) && rmf::some(paOf(b)) && !samePa(a, b);
+}
+
+Formula
+UspecContext::sameIndex(EventId a, EventId b) const
+{
+    return rmf::some(paOf(a).join(paIndex()) &
+                     paOf(b).join(paIndex()));
+}
+
+Formula
+UspecContext::hasPermission(EventId e) const
+{
+    // The event's process can access the event's PA:
+    // pa(e) in proc(e).canAccess
+    return rmf::in(paOf(e),
+                   Expr::atom(eventAtom(e))
+                       .join(eventProc())
+                       .join(canAccess()));
+}
+
+Formula
+UspecContext::illegalAccess(EventId e) const
+{
+    if (!options_.hasPermissions)
+        return Formula::bottom();
+    return isAccess(e) && !hasPermission(e);
+}
+
+Formula
+UspecContext::faults(EventId e) const
+{
+    if (!options_.hasPermissions || !options_.hasSpeculation)
+        return Formula::bottom();
+    return rmf::in(Expr::atom(eventAtom(e)), problemExpr(faults_));
+}
+
+Formula
+UspecContext::sensitiveRead(EventId e) const
+{
+    if (!options_.hasPermissions)
+        return Formula::bottom();
+    // A read by the attacker to a PA only the victim may access.
+    Expr victim_pas =
+        Expr::atom(procAtom(procVictim)).join(canAccess());
+    Expr attacker_pas =
+        Expr::atom(procAtom(procAttacker)).join(canAccess());
+    return isRead(e) && inProc(e, procAttacker) &&
+           rmf::in(paOf(e), victim_pas - attacker_pas);
+}
+
+Formula
+UspecContext::isSquashed(EventId e) const
+{
+    if (!options_.hasSpeculation)
+        return Formula::bottom();
+    return rmf::in(Expr::atom(eventAtom(e)), squashed());
+}
+
+Formula
+UspecContext::commits(EventId e) const
+{
+    return !isSquashed(e);
+}
+
+Formula
+UspecContext::isMispredicted(EventId e) const
+{
+    if (!options_.hasSpeculation)
+        return Formula::bottom();
+    return rmf::in(Expr::atom(eventAtom(e)), mispredicted());
+}
+
+Formula
+UspecContext::squashSource(EventId e) const
+{
+    return isMispredicted(e) || faults(e);
+}
+
+Formula
+UspecContext::hits(EventId e) const
+{
+    if (!options_.hasCache)
+        return Formula::bottom();
+    return rmf::in(Expr::atom(eventAtom(e)), cacheHit());
+}
+
+Formula
+UspecContext::hasVicl(EventId e) const
+{
+    if (!options_.hasCache)
+        return Formula::bottom();
+    // A read that misses allocates a line; a committed write
+    // produces a new value-in-cache lifetime (§VI-A1). Speculative
+    // (squashed) writes send coherence requests but do not deposit
+    // data in the cache. With speculative fills disabled (an
+    // InvisiSpec-style mitigation), squashed reads leave no ViCL
+    // either.
+    Formula read_fill = isRead(e) && !hits(e);
+    if (!options_.speculativeFills)
+        read_fill = read_fill && commits(e);
+    return read_fill || (isWrite(e) && commits(e));
+}
+
+Formula
+UspecContext::sourcedBy(EventId e, EventId c) const
+{
+    TupleSet t(2);
+    t.add(Tuple{eventAtom(c), eventAtom(e)});
+    return rmf::in(Expr::constant(t), viclSrc());
+}
+
+Formula
+UspecContext::viclBefore(EventId a, EventId b) const
+{
+    TupleSet t(2);
+    t.add(Tuple{eventAtom(a), eventAtom(b)});
+    return rmf::in(Expr::constant(t), collideOrder());
+}
+
+Formula
+UspecContext::createdAfterFlush(EventId c, EventId f) const
+{
+    TupleSet t(2);
+    t.add(Tuple{eventAtom(c), eventAtom(f)});
+    return rmf::in(Expr::constant(t), flushAfter());
+}
+
+Formula
+UspecContext::createdAfterInval(EventId c, EventId w) const
+{
+    TupleSet t(2);
+    t.add(Tuple{eventAtom(c), eventAtom(w)});
+    return rmf::in(Expr::constant(t), cohAfter());
+}
+
+Formula
+UspecContext::hasAddrDep(EventId r, EventId e) const
+{
+    TupleSet t(2);
+    t.add(Tuple{eventAtom(r), eventAtom(e)});
+    return rmf::in(Expr::constant(t), addrDep());
+}
+
+Formula
+UspecContext::exactlyOneF(const std::vector<Formula> &fs)
+{
+    Formula any = Formula::bottom();
+    Formula at_most = Formula::top();
+    for (size_t i = 0; i < fs.size(); i++) {
+        any = any || fs[i];
+        for (size_t j = i + 1; j < fs.size(); j++)
+            at_most = at_most && !(fs[i] && fs[j]);
+    }
+    return any && at_most;
+}
+
+std::vector<EventId>
+UspecContext::events() const
+{
+    std::vector<EventId> out;
+    for (int e = 0; e < numEvents(); e++)
+        out.push_back(e);
+    return out;
+}
+
+std::vector<rmf::RelationId>
+UspecContext::litmusRelations() const
+{
+    std::vector<rmf::RelationId> rels;
+    for (int t = 0; t < numMicroOpTypes; t++)
+        rels.push_back(typeRel_[t]);
+    rels.push_back(eventCore_);
+    rels.push_back(eventProc_);
+    rels.push_back(eventVa_);
+    rels.push_back(vaPa_);
+    rels.push_back(paIndex_);
+    rels.push_back(canAccess_);
+    rels.push_back(addrDep_);
+    rels.push_back(mispredicted_);
+    rels.push_back(squashed_);
+    rels.push_back(faults_);
+    rels.push_back(cacheHit_);
+    rels.push_back(viclSrc_);
+    return rels;
+}
+
+// --- Well-formedness axioms -------------------------------------------
+
+void
+UspecContext::assertWellFormedness()
+{
+    const int n = numEvents();
+
+    for (EventId e = 0; e < n; e++) {
+        // Exactly one micro-op type per event.
+        std::vector<Formula> types;
+        for (int t = 0; t < numMicroOpTypes; t++)
+            types.push_back(isType(e, static_cast<MicroOpType>(t)));
+        require(exactlyOneF(types));
+
+        // Exactly one core and process per event.
+        require(rmf::one(Expr::atom(eventAtom(e)).join(eventCore())));
+        require(rmf::one(Expr::atom(eventAtom(e)).join(eventProc())));
+
+        // Memory events address exactly one VA; others none.
+        require(isMemoryEvent(e).implies(rmf::one(vaOf(e))));
+        require((!isMemoryEvent(e)).implies(rmf::no(vaOf(e))));
+    }
+
+    // Address maps are functions.
+    for (int v = 0; v < bounds_.numVas; v++) {
+        require(rmf::one(Expr::atom(vaAtom(v)).join(vaPa())));
+        if (!options_.hasVirtualMemory) {
+            // Fixed identity mapping VAi -> PAi.
+            TupleSet t(2);
+            t.add(Tuple{vaAtom(v), paAtom(v % bounds_.numPas)});
+            require(rmf::in(Expr::constant(t), vaPa()));
+        }
+    }
+    for (int p = 0; p < bounds_.numPas; p++)
+        require(rmf::one(Expr::atom(paAtom(p)).join(paIndex())));
+
+    // rf: a write sources a read of the same PA; at most one writer
+    // per read; only committed writes make data visible.
+    for (EventId w = 0; w < n; w++) {
+        for (EventId r = 0; r < n; r++) {
+            if (w == r)
+                continue;
+            TupleSet t(2);
+            t.add(Tuple{eventAtom(w), eventAtom(r)});
+            Formula rf_wr = rmf::in(Expr::constant(t), rf());
+            require(rf_wr.implies(isWrite(w) && isRead(r) &&
+                                  commits(w) && samePa(w, r)));
+        }
+    }
+    for (EventId r = 0; r < n; r++) {
+        // At most one writer sources each read.
+        require(rmf::lone(rf().join(Expr::atom(eventAtom(r)))));
+    }
+
+    // co: a total order on committed same-PA writes.
+    for (EventId a = 0; a < n; a++) {
+        for (EventId b = 0; b < n; b++) {
+            if (a == b)
+                continue;
+            TupleSet t(2);
+            t.add(Tuple{eventAtom(a), eventAtom(b)});
+            Formula co_ab = rmf::in(Expr::constant(t), co());
+            require(co_ab.implies(isWrite(a) && isWrite(b) &&
+                                  commits(a) && commits(b) &&
+                                  samePa(a, b)));
+            if (a < b) {
+                TupleSet t2(2);
+                t2.add(Tuple{eventAtom(b), eventAtom(a)});
+                Formula co_ba = rmf::in(Expr::constant(t2), co());
+                Formula both_writes =
+                    isWrite(a) && isWrite(b) && commits(a) &&
+                    commits(b) && samePa(a, b);
+                require(both_writes.implies(
+                    exactlyOneF({co_ab, co_ba})));
+            }
+        }
+    }
+
+    // addrDep: from a read to a program-order-later memory event of
+    // the same process (address calculated from the loaded data).
+    for (EventId r = 0; r < n; r++) {
+        for (EventId e = 0; e < n; e++) {
+            if (r == e)
+                continue;
+            Formula dep = hasAddrDep(r, e);
+            if (!slotBefore(r, e)) {
+                require(!dep);
+                continue;
+            }
+            // Noise filter (§VI-B): only dependencies that can carry
+            // sensitive data into an address calculation matter for
+            // exploit synthesis; gratuitous dependencies would
+            // multiply enumerated variants without changing the
+            // attack.
+            require(dep.implies(isRead(r) && isMemoryEvent(e) &&
+                                sameCore(r, e) && sameProc(r, e) &&
+                                sensitiveRead(r)));
+        }
+    }
+
+    // Context switches happen at instruction boundaries of committed
+    // work: if the next same-core event belongs to another process,
+    // the earlier event must commit.
+    for (EventId a = 0; a < n; a++) {
+        for (EventId b = a + 1; b < n; b++) {
+            // b is the next same-core event after a if all events in
+            // between are on other cores.
+            Formula between_elsewhere = Formula::top();
+            for (EventId m = a + 1; m < b; m++)
+                between_elsewhere =
+                    between_elsewhere && !sameCore(a, m);
+            Formula consecutive = sameCore(a, b) && between_elsewhere;
+            require((consecutive && !sameProc(a, b))
+                        .implies(commits(a)));
+        }
+    }
+}
+
+void
+UspecContext::assertCacheWellFormedness()
+{
+    const int n = numEvents();
+
+    for (EventId e = 0; e < n; e++) {
+        // Only reads can hit.
+        require(hits(e).implies(isRead(e)));
+
+        // hit(e) <=> e is sourced by exactly one creator.
+        Expr sources = viclSrc().join(Expr::atom(eventAtom(e)));
+        require(hits(e).iff(rmf::some(sources)));
+        require(rmf::lone(sources));
+    }
+
+    for (EventId c = 0; c < n; c++) {
+        for (EventId e = 0; e < n; e++) {
+            if (c == e)
+                continue;
+            // viclSrc(c, e): c's line (same private L1 => same core,
+            // same PA) supplies e's hit.
+            require(sourcedBy(e, c).implies(
+                hasVicl(c) && isRead(e) && samePa(c, e) &&
+                sameCore(c, e)));
+
+            // collideOrder is only meaningful between two ViCLs that
+            // contend for the same direct-mapped line of one L1.
+            Formula contend = hasVicl(c) && hasVicl(e) &&
+                              sameCore(c, e) && sameIndex(c, e);
+            require(viclBefore(c, e).implies(contend));
+            if (c < e) {
+                // Direct-mapped: contending lifetimes are totally
+                // ordered, one way or the other.
+                require(contend.implies(exactlyOneF(
+                    {viclBefore(c, e), viclBefore(e, c)})));
+            }
+
+            // flushAfter(c, f): only for an effective flush of c's
+            // PA. A squashed CLFLUSH has no effect unless the model
+            // allows speculative flushes (§VII-B).
+            Formula flush_effective =
+                options_.allowSpeculativeFlush
+                    ? isClflush(e)
+                    : (isClflush(e) && commits(e));
+            Formula applies =
+                flush_effective && hasVicl(c) && samePa(c, e);
+            require(createdAfterFlush(c, e).implies(applies));
+
+            // cohAfter(c, w): only for an invalidating write on a
+            // different core (invalidation-based protocol, §VII-B).
+            // Update-based protocols never invalidate sharers.
+            if (options_.hasCoherence &&
+                options_.invalidationProtocol) {
+                Formula coh_applies = isWrite(e) && hasVicl(c) &&
+                                      samePa(c, e) &&
+                                      !sameCore(c, e);
+                require(createdAfterInval(c, e).implies(coh_applies));
+            } else {
+                require(!createdAfterInval(c, e));
+            }
+        }
+    }
+}
+
+void
+UspecContext::assertSpeculationWellFormedness()
+{
+    const int n = numEvents();
+    if (!options_.hasSpeculation) {
+        require(rmf::no(mispredicted()));
+        require(rmf::no(squashed()));
+        require(rmf::no(problemExpr(faults_)));
+        return;
+    }
+
+    for (EventId e = 0; e < n; e++) {
+        // Only branches mispredict.
+        require(isMispredicted(e).implies(isBranch(e)));
+
+        // Fences are serializing: never squashed. This is what makes
+        // the §VII-D fence mitigation effective — a squash window
+        // cannot extend across a fence.
+        require((isFence(e) && isSquashed(e)).negate());
+
+        // Only an illegal access can fault, and illegal accesses
+        // never commit (the permission check eventually fails,
+        // §II-B) — they either fault on their own (Meltdown) or ride
+        // a mispredicted branch's wrong path (Spectre).
+        require(faults(e).implies(illegalAccess(e)));
+        require(illegalAccess(e).implies(isSquashed(e)));
+
+        // A value produced by a squashed micro-op is never
+        // architecturally available: anything address-dependent on it
+        // is squashed too (it can only exist on the wrong path).
+        for (EventId dep = e + 1; dep < n; dep++) {
+            require((hasAddrDep(e, dep) && isSquashed(e))
+                        .implies(isSquashed(dep)));
+        }
+
+        // Every squashed event lies in a contiguous same-core,
+        // same-process window opened by a mispredicted branch or a
+        // faulting access.
+        Formula has_source = Formula::bottom();
+        for (EventId s = 0; s <= e; s++) {
+            Formula src =
+                (s == e) ? faults(s)
+                         : (sameCore(s, e) && sameProc(s, e) &&
+                            squashSource(s));
+            if (s < e) {
+                for (EventId m = s + 1; m < e; m++) {
+                    src = src && (sameCore(m, e).implies(
+                                     isSquashed(m)));
+                }
+            }
+            has_source = has_source || src;
+        }
+        require(isSquashed(e).implies(has_source));
+
+        // A mispredicted branch actually fetches down the wrong
+        // path: its immediate same-core successor is squashed.
+        Formula wrong_path = Formula::bottom();
+        for (EventId x = e + 1; x < n; x++) {
+            Formula first = sameCore(e, x) && isSquashed(x);
+            for (EventId m = e + 1; m < x; m++)
+                first = first && !sameCore(e, m);
+            wrong_path = wrong_path || first;
+        }
+        require(isMispredicted(e).implies(wrong_path));
+
+        // Wrong-path work belongs to the speculating process: a
+        // squashed event shares its process with its window source —
+        // enforced by requiring same proc with the previous
+        // same-core event when that event is squashed or a source.
+        for (EventId prev = 0; prev < e; prev++) {
+            Formula adjacent = sameCore(prev, e);
+            for (EventId m = prev + 1; m < e; m++)
+                adjacent = adjacent && !sameCore(prev, m);
+            // An event that opens its own window (a faulting access)
+            // may follow a committed event of another process; only
+            // wrong-path continuations inherit the process.
+            require((adjacent && isSquashed(e) && !faults(e))
+                        .implies(sameProc(prev, e)));
+        }
+    }
+}
+
+void
+UspecContext::assertCanonicalization()
+{
+    const int n = numEvents();
+
+    // Event 0 executes on core 0; core c is only used if core c-1
+    // was used by an earlier event (restricted-growth canonical core
+    // assignment, pruning core relabelings; §V-C).
+    if (n > 0)
+        require(onCore(0, 0));
+    for (EventId e = 1; e < n; e++) {
+        for (CoreId c = 1; c < bounds_.numCores; c++) {
+            Formula earlier_prev = Formula::bottom();
+            for (EventId p = 0; p < e; p++)
+                earlier_prev =
+                    earlier_prev || onCore(p, c - 1) || onCore(p, c);
+            require(onCore(e, c).implies(earlier_prev));
+        }
+    }
+    if (bounds_.numCores > 1 && n > 0) {
+        // Event 0 cannot be on core >= 1 (implied, but stated for
+        // the solver's benefit).
+        for (CoreId c = 1; c < bounds_.numCores; c++)
+            require(!onCore(0, c));
+    }
+
+    // Restricted-growth VA usage: the first use of VAv is preceded
+    // by a use of VA(v-1).
+    auto uses_va = [&](EventId e, VaId v) {
+        TupleSet t(2);
+        t.add(Tuple{eventAtom(e), vaAtom(v)});
+        return rmf::in(Expr::constant(t), eventVa());
+    };
+    for (EventId e = 0; e < n; e++) {
+        for (VaId v = 1; v < bounds_.numVas; v++) {
+            Formula earlier = Formula::bottom();
+            for (EventId p = 0; p < e; p++)
+                earlier = earlier || uses_va(p, v) ||
+                          uses_va(p, v - 1);
+            require(uses_va(e, v).implies(earlier));
+        }
+    }
+
+    // Restricted-growth PA assignment along the VA order, pinned at
+    // VA0 -> PA0 when virtual memory is free.
+    if (options_.hasVirtualMemory) {
+        auto maps_to = [&](VaId v, PaId p) {
+            TupleSet t(2);
+            t.add(Tuple{vaAtom(v), paAtom(p)});
+            return rmf::in(Expr::constant(t), vaPa());
+        };
+        if (bounds_.numVas > 0) {
+            for (PaId p = 1; p < bounds_.numPas; p++)
+                require(!maps_to(0, p));
+        }
+        for (VaId v = 1; v < bounds_.numVas; v++) {
+            for (PaId p = 1; p < bounds_.numPas; p++) {
+                Formula earlier = Formula::bottom();
+                for (VaId v2 = 0; v2 < v; v2++)
+                    earlier = earlier || maps_to(v2, p) ||
+                              maps_to(v2, p - 1);
+                require(maps_to(v, p).implies(earlier));
+            }
+        }
+    }
+
+    // Restricted-growth cache-index assignment along the PA order.
+    auto has_index = [&](PaId p, IndexId i) {
+        TupleSet t(2);
+        t.add(Tuple{paAtom(p), indexAtom(i)});
+        return rmf::in(Expr::constant(t), paIndex());
+    };
+    if (bounds_.numPas > 0) {
+        for (IndexId i = 1; i < bounds_.numIndices; i++)
+            require(!has_index(0, i));
+    }
+    for (PaId p = 1; p < bounds_.numPas; p++) {
+        for (IndexId i = 1; i < bounds_.numIndices; i++) {
+            Formula earlier = Formula::bottom();
+            for (PaId p2 = 0; p2 < p; p2++)
+                earlier =
+                    earlier || has_index(p2, i) || has_index(p2, i - 1);
+            require(has_index(p, i).implies(earlier));
+        }
+    }
+
+    // Don't-care fixing: an unused VA maps to PA0 and permissions of
+    // PAs unreachable through any VA are fully open, so irrelevant
+    // choices do not multiply enumerated instances (§V-C).
+    if (options_.hasVirtualMemory) {
+        for (VaId v = 0; v < bounds_.numVas; v++) {
+            Formula used = Formula::bottom();
+            for (EventId e = 0; e < n; e++)
+                used = used || uses_va(e, v);
+            TupleSet t(2);
+            t.add(Tuple{vaAtom(v), paAtom(0)});
+            require(used ||
+                    rmf::in(Expr::constant(t), vaPa()));
+        }
+    }
+    for (PaId p = 0; p < bounds_.numPas; p++) {
+        Formula mapped = Formula::bottom();
+        for (VaId v = 0; v < bounds_.numVas; v++) {
+            TupleSet t(2);
+            t.add(Tuple{vaAtom(v), paAtom(p)});
+            mapped = mapped || rmf::in(Expr::constant(t), vaPa());
+        }
+        TupleSet idx0(2);
+        idx0.add(Tuple{paAtom(p), indexAtom(0)});
+        require(mapped || rmf::in(Expr::constant(idx0), paIndex()));
+        if (options_.hasPermissions) {
+            for (ProcId q = 0; q < bounds_.numProcs; q++) {
+                TupleSet acc(2);
+                acc.add(Tuple{procAtom(q), paAtom(p)});
+                require(mapped ||
+                        rmf::in(Expr::constant(acc), canAccess()));
+            }
+        }
+    }
+}
+
+void
+UspecContext::applyAttackNoiseFilters()
+{
+    for (EventId e = 0; e < numEvents(); e++) {
+        require(!isFence(e));
+        if (options_.hasSpeculation)
+            require(isBranch(e).implies(isMispredicted(e)));
+        else
+            require(!isBranch(e));
+    }
+}
+
+void
+UspecContext::fixProgram(const std::vector<FixedOp> &ops)
+{
+    if (static_cast<int>(ops.size()) != numEvents())
+        throw std::invalid_argument(
+            "fixProgram: op count must equal the event bound");
+    for (EventId e = 0; e < numEvents(); e++) {
+        const FixedOp &op = ops[e];
+        require(isType(e, op.type));
+        require(onCore(e, op.core));
+        require(inProc(e, op.proc));
+        if (op.hasVa && op.type != MicroOpType::Branch &&
+            op.type != MicroOpType::Fence) {
+            TupleSet t(2);
+            t.add(Tuple{eventAtom(e), vaAtom(op.va)});
+            require(rmf::in(Expr::constant(t), eventVa()));
+        }
+    }
+}
+
+} // namespace checkmate::uspec

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * The μspec modeling context.
+ *
+ * A UspecContext poses one bounded exploit-synthesis problem as a
+ * relational model-finding problem (§IV). It owns:
+ *
+ *  - the atom universe: micro-op slots (events), cores, processes,
+ *    virtual/physical addresses, cache indices, and one μhb-node atom
+ *    per ⟨event, location⟩ grid cell (the optimized NodeRel encoding
+ *    of §V-A);
+ *  - the free "candidate program" relations the model finder solves
+ *    for: micro-op types, core/process assignment, address
+ *    assignment, VA→PA and PA→index maps, permissions, memory
+ *    communication (rf/co), address dependencies, speculation
+ *    choices (mispredictions, squash sets), and cache-lifetime
+ *    choices (hits, ViCL sourcing, eviction/flush/invalidation
+ *    orders);
+ *  - the well-formedness axioms tying those relations together; and
+ *  - the predicate vocabulary (ProgramOrder, SameVirtualAddress,
+ *    IsRead, ...) that microarchitecture axioms and exploit patterns
+ *    are written against, mirroring the paper's μspec DSL.
+ *
+ * Microarchitecture models contribute ordering axioms through an
+ * EdgeDeriver (see deriver.hh); exploit patterns contribute
+ * requirement formulas. solve()/solveAll() then run the model finder.
+ */
+
+#ifndef CHECKMATE_USPEC_CONTEXT_HH
+#define CHECKMATE_USPEC_CONTEXT_HH
+
+#include <string>
+#include <vector>
+
+#include "rmf/problem.hh"
+#include "rmf/quant.hh"
+#include "uspec/types.hh"
+
+namespace checkmate::uspec
+{
+
+/**
+ * Feature switches for the modeled hardware/system (§VI-B lists the
+ * capabilities CheckMate adds on top of plain μspec modeling).
+ *
+ * Features that are off contribute no free relations, keeping the
+ * search space (and the enumeration count) small for simple machines.
+ */
+struct ModelOptions
+{
+    bool hasCache = true;        ///< ViCL modeling (L1 caches)
+    bool hasCoherence = false;   ///< CohReq/CohResp messages
+
+    /**
+     * Coherence is invalidation-based: a write's ownership request
+     * invalidates sharer lines (the §VII-B behavior the Prime
+     * attacks need). False models an update-based protocol, where
+     * sharers receive the new data instead of losing the line — no
+     * invalidation side channel exists.
+     */
+    bool invalidationProtocol = true;
+    bool hasSpeculation = false; ///< branch mispredict + squash
+    bool hasPermissions = false; ///< per-process access permissions
+    bool hasVirtualMemory = true;///< VA->PA mapping is solver-chosen
+
+    /**
+     * Speculatively executed loads deposit lines in the L1 before
+     * commit (the behavior Meltdown/Spectre exploit). Turning this
+     * off models an InvisiSpec-style fill mitigation: squashed reads
+     * leave no ViCL — but speculative coherence requests are a
+     * separate lever (§VII-D: mitigating the Prime variants "will
+     * require new considerations").
+     */
+    bool speculativeFills = true;
+
+    /**
+     * Allow squashed CLFLUSH micro-ops to take effect (§VII-B: the
+     * speculative-flush Prime variants; the paper's Table I
+     * microarchitecture disables this, as do we by default).
+     */
+    bool allowSpeculativeFlush = false;
+};
+
+/**
+ * One bounded synthesis problem posed over the μspec vocabulary.
+ */
+class UspecContext
+{
+  public:
+    UspecContext(const SynthesisBounds &bounds,
+                 std::vector<std::string> location_names,
+                 const ModelOptions &options);
+
+    const SynthesisBounds &bounds() const { return bounds_; }
+    const ModelOptions &options() const { return options_; }
+
+    int numEvents() const { return bounds_.numEvents; }
+    int numLocations() const
+    {
+        return static_cast<int>(locationNames_.size());
+    }
+    const std::vector<std::string> &locationNames() const
+    {
+        return locationNames_;
+    }
+
+    /** Location id by name; throws for unknown names. */
+    LocId locId(const std::string &name) const;
+
+    /** The underlying relational problem (for solving). */
+    rmf::Problem &problem() { return problem_; }
+    const rmf::Problem &problem() const { return problem_; }
+
+    // --- Atom accessors -------------------------------------------
+    rmf::Atom eventAtom(EventId e) const { return eventAtoms_[e]; }
+    rmf::Atom coreAtom(CoreId c) const { return coreAtoms_[c]; }
+    rmf::Atom procAtom(ProcId p) const { return procAtoms_[p]; }
+    rmf::Atom vaAtom(VaId v) const { return vaAtoms_[v]; }
+    rmf::Atom paAtom(PaId p) const { return paAtoms_[p]; }
+    rmf::Atom indexAtom(IndexId i) const { return indexAtoms_[i]; }
+    rmf::Atom nodeAtom(EventId e, LocId l) const
+    {
+        return nodeAtoms_[e * numLocations() + l];
+    }
+
+    // --- Relation expression handles ------------------------------
+    rmf::Expr typeRel(MicroOpType t) const
+    {
+        return problemExpr(typeRel_[static_cast<int>(t)]);
+    }
+    rmf::Expr eventCore() const { return problemExpr(eventCore_); }
+    rmf::Expr eventProc() const { return problemExpr(eventProc_); }
+    rmf::Expr eventVa() const { return problemExpr(eventVa_); }
+    rmf::Expr vaPa() const { return problemExpr(vaPa_); }
+    rmf::Expr paIndex() const { return problemExpr(paIndex_); }
+    rmf::Expr canAccess() const { return problemExpr(canAccess_); }
+    rmf::Expr rf() const { return problemExpr(rf_); }
+    rmf::Expr co() const { return problemExpr(co_); }
+    rmf::Expr addrDep() const { return problemExpr(addrDep_); }
+    rmf::Expr mispredicted() const
+    {
+        return problemExpr(mispredicted_);
+    }
+    rmf::Expr squashed() const { return problemExpr(squashed_); }
+    rmf::Expr cacheHit() const { return problemExpr(cacheHit_); }
+    rmf::Expr viclSrc() const { return problemExpr(viclSrc_); }
+    rmf::Expr collideOrder() const
+    {
+        return problemExpr(collideOrder_);
+    }
+    rmf::Expr flushAfter() const { return problemExpr(flushAfter_); }
+    rmf::Expr cohAfter() const { return problemExpr(cohAfter_); }
+
+    // --- Predicate vocabulary (the μspec DSL, §III-A1) ------------
+
+    /** Event @p e has micro-op type @p t. */
+    rmf::Formula isType(EventId e, MicroOpType t) const;
+
+    rmf::Formula isRead(EventId e) const
+    {
+        return isType(e, MicroOpType::Read);
+    }
+    rmf::Formula isWrite(EventId e) const
+    {
+        return isType(e, MicroOpType::Write);
+    }
+    rmf::Formula isClflush(EventId e) const
+    {
+        return isType(e, MicroOpType::Clflush);
+    }
+    rmf::Formula isBranch(EventId e) const
+    {
+        return isType(e, MicroOpType::Branch);
+    }
+    rmf::Formula isFence(EventId e) const
+    {
+        return isType(e, MicroOpType::Fence);
+    }
+
+    /** Read, write, or clflush (has an effective address). */
+    rmf::Formula isMemoryEvent(EventId e) const;
+
+    /** Read or write (touches data / has a cache footprint). */
+    rmf::Formula isAccess(EventId e) const;
+
+    /** Events on the same physical core. */
+    rmf::Formula sameCore(EventId a, EventId b) const;
+
+    /** Event is assigned to core @p c. */
+    rmf::Formula onCore(EventId e, CoreId c) const;
+
+    /** Events issued by the same process. */
+    rmf::Formula sameProc(EventId a, EventId b) const;
+
+    /** Event belongs to process @p p. */
+    rmf::Formula inProc(EventId e, ProcId p) const;
+
+    /**
+     * ProgramOrder[a, b]: a precedes b in the instruction stream of
+     * one physical core (slot order; time-multiplexed processes on a
+     * core are interleaved in slot order).
+     */
+    rmf::Formula programOrder(EventId a, EventId b) const;
+
+    /** Same effective virtual address. */
+    rmf::Formula sameVa(EventId a, EventId b) const;
+
+    /** Same physical address (through the VA->PA map). */
+    rmf::Formula samePa(EventId a, EventId b) const;
+
+    /** Physical addresses of a and b map to the same cache index. */
+    rmf::Formula sameIndex(EventId a, EventId b) const;
+
+    /** Event addresses a different PA than event b. */
+    rmf::Formula differentPa(EventId a, EventId b) const;
+
+    /** The PA accessed by @p e (unary expression). */
+    rmf::Expr paOf(EventId e) const;
+
+    /** The VA accessed by @p e (unary expression). */
+    rmf::Expr vaOf(EventId e) const;
+
+    /** Event's process may access event's PA. */
+    rmf::Formula hasPermission(EventId e) const;
+
+    /**
+     * Event accesses a PA its process has no permission for. Illegal
+     * accesses never commit: they either fault (Meltdown-style,
+     * opening their own squash window) or execute as wrong-path
+     * attacker-influenced code inside a mispredicted branch's window
+     * without reaching the failing check (Spectre-style; the paper's
+     * note that an "A" op may be a victim executing attacker-
+     * influenced instructions).
+     */
+    rmf::Formula illegalAccess(EventId e) const;
+
+    /**
+     * Event raises a permission fault (a squash-window source). A
+     * solver choice: every faulting access is illegal, but an
+     * illegal access inside a branch window need not fault.
+     */
+    rmf::Formula faults(EventId e) const;
+
+    /**
+     * Event reads data that should only be accessible to the victim:
+     * a read whose PA the issuing (attacker) process cannot access
+     * but the victim can (footnote 2 of the paper: "sensitive data").
+     */
+    rmf::Formula sensitiveRead(EventId e) const;
+
+    /** Event was squashed (never commits; §II-B). */
+    rmf::Formula isSquashed(EventId e) const;
+
+    /** Event commits (executes and is not squashed). */
+    rmf::Formula commits(EventId e) const;
+
+    /** Branch event is mispredicted. */
+    rmf::Formula isMispredicted(EventId e) const;
+
+    /**
+     * Event opens a speculation (squash) window: a mispredicted
+     * branch, or a faulting access.
+     */
+    rmf::Formula squashSource(EventId e) const;
+
+    /** Memory read hit in the L1 (sourced from a live ViCL). */
+    rmf::Formula hits(EventId e) const;
+
+    /**
+     * Event owns a ViCL pair (L1 ViCL Create/Expire nodes exist): a
+     * read that misses, or a committed write (§VI-A1).
+     */
+    rmf::Formula hasVicl(EventId e) const;
+
+    /** Creator @p c sources consumer @p e's cache hit. */
+    rmf::Formula sourcedBy(EventId e, EventId c) const;
+
+    /** a's ViCL expires before b's ViCL is created (choice bit). */
+    rmf::Formula viclBefore(EventId a, EventId b) const;
+
+    /** Creator c's ViCL is created after flush f completes. */
+    rmf::Formula createdAfterFlush(EventId c, EventId f) const;
+
+    /** Creator c's ViCL is created after write w's invalidation. */
+    rmf::Formula createdAfterInval(EventId c, EventId w) const;
+
+    /** Address dependency from read r to later event e. */
+    rmf::Formula hasAddrDep(EventId r, EventId e) const;
+
+    /** Slot order (static): a's slot precedes b's. */
+    static bool slotBefore(EventId a, EventId b) { return a < b; }
+
+    // --- Formula helpers -------------------------------------------
+
+    /** Exactly one of the given formulas holds. */
+    static rmf::Formula exactlyOneF(
+        const std::vector<rmf::Formula> &fs);
+
+    /** Require a constraint on the underlying problem. */
+    void require(rmf::Formula f) { problem_.require(std::move(f)); }
+
+    /** All event ids, for quantification. */
+    std::vector<EventId> events() const;
+
+    /**
+     * The relations whose assignments distinguish security litmus
+     * tests: program structure and execution outcomes, but not pure
+     * interleaving-choice relations (collideOrder / flushAfter /
+     * cohAfter / rf / co). Enumerating projected onto these reports
+     * each litmus test once instead of once per interleaving — the
+     * §V-C "constraining solutions" optimization.
+     */
+    std::vector<rmf::RelationId> litmusRelations() const;
+
+    // --- Fixed program support (Fig. 3c / quickstart) -------------
+
+    /**
+     * A concrete micro-op for fixProgram(): pins the solver's choice
+     * of type/core/proc/address for one slot, so the model finder
+     * synthesizes executions of a specific program rather than
+     * programs (the Fig. 3c methodology).
+     */
+    struct FixedOp
+    {
+        MicroOpType type;
+        CoreId core;
+        ProcId proc;
+        VaId va;       ///< ignored for branch/fence
+        bool hasVa = true;
+    };
+
+    /** Pin every slot to the given program. */
+    void fixProgram(const std::vector<FixedOp> &ops);
+
+    /**
+     * Attack-relevance noise filters (§VI-B: the attacker does not
+     * void its own exploit): no fences, and branches must be
+     * mispredicted — a fence or correctly predicted branch only
+     * restricts an attack, so admitting them merely multiplies
+     * synthesized variants. Applied by the synthesis driver for
+     * free-program runs; not used with fixed programs (mitigation
+     * studies insert fences deliberately).
+     */
+    void applyAttackNoiseFilters();
+
+  private:
+    rmf::Expr
+    problemExpr(rmf::RelationId id) const
+    {
+        return problem_.expr(id);
+    }
+
+    void buildUniverse();
+    void declareRelations();
+    void assertWellFormedness();
+    void assertCacheWellFormedness();
+    void assertSpeculationWellFormedness();
+    void assertCanonicalization();
+
+    SynthesisBounds bounds_;
+    ModelOptions options_;
+    std::vector<std::string> locationNames_;
+
+    rmf::Problem problem_;
+
+    std::vector<rmf::Atom> eventAtoms_;
+    std::vector<rmf::Atom> coreAtoms_;
+    std::vector<rmf::Atom> procAtoms_;
+    std::vector<rmf::Atom> vaAtoms_;
+    std::vector<rmf::Atom> paAtoms_;
+    std::vector<rmf::Atom> indexAtoms_;
+    std::vector<rmf::Atom> nodeAtoms_;
+
+    rmf::RelationId typeRel_[numMicroOpTypes];
+    rmf::RelationId eventCore_;
+    rmf::RelationId eventProc_;
+    rmf::RelationId eventVa_;
+    rmf::RelationId vaPa_;
+    rmf::RelationId paIndex_;
+    rmf::RelationId canAccess_;
+    rmf::RelationId rf_;
+    rmf::RelationId co_;
+    rmf::RelationId addrDep_;
+    rmf::RelationId mispredicted_;
+    rmf::RelationId squashed_;
+    rmf::RelationId faults_;
+    rmf::RelationId cacheHit_;
+    rmf::RelationId viclSrc_;
+    rmf::RelationId collideOrder_;
+    rmf::RelationId flushAfter_;
+    rmf::RelationId cohAfter_;
+
+    friend class EdgeDeriver;
+};
+
+/** Construct a Universe holding all atoms implied by the bounds. */
+rmf::Universe buildUspecUniverse(
+    const SynthesisBounds &bounds,
+    const std::vector<std::string> &location_names);
+
+} // namespace checkmate::uspec
+
+#endif // CHECKMATE_USPEC_CONTEXT_HH

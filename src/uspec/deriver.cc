@@ -1,0 +1,178 @@
+/**
+ * @file
+ * EdgeDeriver implementation.
+ */
+
+#include "uspec/deriver.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace checkmate::uspec
+{
+
+using rmf::Expr;
+using rmf::Formula;
+using rmf::Tuple;
+using rmf::TupleSet;
+
+EdgeDeriver::EdgeDeriver(UspecContext &ctx) : ctx_(ctx) {}
+
+void
+EdgeDeriver::nodeCondition(EventId e, LocId l, Formula cond)
+{
+    assert(!finalized_);
+    nodeConds_[nodeKey(e, l)].push_back(std::move(cond));
+}
+
+void
+EdgeDeriver::edgeCondition(EventId se, LocId sl, EventId de, LocId dl,
+                           Formula cond, graph::EdgeKind kind)
+{
+    assert(!finalized_);
+    int src = nodeKey(se, sl), dst = nodeKey(de, dl);
+    if (src == dst)
+        throw std::invalid_argument("edgeCondition: self edge");
+    auto key = std::make_pair(src, dst);
+    edgeConds_[key].push_back(cond);
+    edgeKinds_.emplace(key, kind); // first kind wins for rendering
+    // Endpoints of a realized edge exist.
+    nodeConds_[src].push_back(cond);
+    nodeConds_[dst].push_back(std::move(cond));
+}
+
+namespace
+{
+
+rmf::Atom
+nodeAtomOf(const UspecContext &ctx, int key)
+{
+    int num_locs = ctx.numLocations();
+    return ctx.nodeAtom(key / num_locs, key % num_locs);
+}
+
+} // anonymous namespace
+
+void
+EdgeDeriver::finalize()
+{
+    assert(!finalized_);
+    finalized_ = true;
+
+    rmf::Problem &p = ctx_.problem();
+
+    // Tight bounds: only mentioned nodes and pairs.
+    TupleSet live_upper(1);
+    for (const auto &[key, conds] : nodeConds_)
+        live_upper.add(Tuple{nodeAtomOf(ctx_, key)});
+    TupleSet uhb_upper(2);
+    for (const auto &[key, conds] : edgeConds_) {
+        uhb_upper.add(Tuple{nodeAtomOf(ctx_, key.first),
+                            nodeAtomOf(ctx_, key.second)});
+    }
+
+    liveRel_ = p.addRelation("NodeRel", live_upper);
+    uhbRel_ = p.addRelation("uhb", uhb_upper);
+
+    // Membership is exactly the disjunction of the conditions.
+    for (const auto &[key, conds] : nodeConds_) {
+        TupleSet t(1);
+        t.add(Tuple{nodeAtomOf(ctx_, key)});
+        Formula member = rmf::in(Expr::constant(t), p.expr(liveRel_));
+        p.require(member.iff(Formula::disjunction(conds)));
+    }
+    for (const auto &[key, conds] : edgeConds_) {
+        TupleSet t(2);
+        t.add(Tuple{nodeAtomOf(ctx_, key.first),
+                    nodeAtomOf(ctx_, key.second)});
+        Formula member = rmf::in(Expr::constant(t), p.expr(uhbRel_));
+        p.require(member.iff(Formula::disjunction(conds)));
+    }
+
+    // Build the closure expression once so every happensBefore query
+    // (and the acyclicity check) shares one translated matrix.
+    uhbClosure_ = p.expr(uhbRel_).closure();
+
+    // A cyclic μhb graph is a physical event happening before itself:
+    // forbid it (§III).
+    p.require(rmf::no(uhbClosure_ &
+                      Expr::iden(p.universe())));
+}
+
+Formula
+EdgeDeriver::nodeExists(EventId e, LocId l) const
+{
+    assert(finalized_);
+    TupleSet t(1);
+    t.add(Tuple{ctx_.nodeAtom(e, l)});
+    return rmf::in(Expr::constant(t),
+                   ctx_.problem().expr(liveRel_));
+}
+
+Formula
+EdgeDeriver::edgeExists(EventId se, LocId sl, EventId de,
+                        LocId dl) const
+{
+    assert(finalized_);
+    TupleSet t(2);
+    t.add(Tuple{ctx_.nodeAtom(se, sl), ctx_.nodeAtom(de, dl)});
+    return rmf::in(Expr::constant(t), ctx_.problem().expr(uhbRel_));
+}
+
+Formula
+EdgeDeriver::happensBefore(EventId se, LocId sl, EventId de,
+                           LocId dl) const
+{
+    assert(finalized_);
+    TupleSet t(2);
+    t.add(Tuple{ctx_.nodeAtom(se, sl), ctx_.nodeAtom(de, dl)});
+    return rmf::in(Expr::constant(t), uhbClosure_);
+}
+
+Expr
+EdgeDeriver::uhb() const
+{
+    assert(finalized_);
+    return ctx_.problem().expr(uhbRel_);
+}
+
+Expr
+EdgeDeriver::uhbClosure() const
+{
+    assert(finalized_);
+    return uhbClosure_;
+}
+
+graph::UhbGraph
+EdgeDeriver::buildGraph(
+    const rmf::Instance &instance,
+    const std::vector<std::string> &event_labels) const
+{
+    assert(finalized_);
+    std::vector<std::string> labels = event_labels;
+    labels.resize(ctx_.numEvents(),
+                  std::string("E?"));
+    graph::UhbGraph g(labels, ctx_.locationNames());
+
+    // Map node atoms back to grid coordinates.
+    const int num_locs = ctx_.numLocations();
+    const rmf::Atom first_node = ctx_.nodeAtom(0, 0);
+
+    for (const Tuple &t : instance.value(liveRel_)) {
+        int key = t[0] - first_node;
+        g.addNode(key / num_locs, key % num_locs);
+    }
+    for (const Tuple &t : instance.value(uhbRel_)) {
+        int src = t[0] - first_node;
+        int dst = t[1] - first_node;
+        auto kind_it = edgeKinds_.find({src, dst});
+        graph::EdgeKind kind = kind_it == edgeKinds_.end()
+                                   ? graph::EdgeKind::Other
+                                   : kind_it->second;
+        g.addEdge(src / num_locs, src % num_locs, dst / num_locs,
+                  dst % num_locs, kind);
+    }
+    return g;
+}
+
+} // namespace checkmate::uspec

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Derivation of μhb node and edge relations from ordering axioms.
+ *
+ * Microarchitecture axioms contribute *conditions*: "edge X→Y exists
+ * when formula F holds" and "node N exists when formula F holds".
+ * After all axioms are collected, finalize() declares the node
+ * (NodeRel, §V-A) and edge (sub_uhb, §V-B) relations with tight upper
+ * bounds — only grid cells and pairs some axiom mentions — and defines
+ * each tuple's membership as *exactly* the disjunction of its
+ * conditions. Because edges are fully determined by the candidate
+ * program and execution-choice relations, model enumeration counts
+ * distinct executions, never gratuitous edge subsets.
+ *
+ * finalize() also asserts the core μhb principle: the transitive
+ * closure of the happens-before union is irreflexive (acyclic graphs
+ * are observable executions, cyclic ones are not; §III).
+ */
+
+#ifndef CHECKMATE_USPEC_DERIVER_HH
+#define CHECKMATE_USPEC_DERIVER_HH
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/uhb_graph.hh"
+#include "rmf/problem.hh"
+#include "uspec/context.hh"
+
+namespace checkmate::uspec
+{
+
+/**
+ * Collects node/edge derivation conditions and lowers them into the
+ * relational problem.
+ */
+class EdgeDeriver
+{
+  public:
+    explicit EdgeDeriver(UspecContext &ctx);
+
+    /** Node ⟨e, l⟩ exists when @p cond holds (conditions are OR'd). */
+    void nodeCondition(EventId e, LocId l, rmf::Formula cond);
+
+    /**
+     * Edge ⟨se, sl⟩ → ⟨de, dl⟩ exists when @p cond holds (OR'd).
+     * Touched nodes implicitly exist under the same condition.
+     */
+    void edgeCondition(EventId se, LocId sl, EventId de, LocId dl,
+                       rmf::Formula cond, graph::EdgeKind kind);
+
+    /**
+     * Lower all conditions into relations and assert acyclicity.
+     * Must be called exactly once, after every axiom source ran.
+     */
+    void finalize();
+
+    // --- Pattern-facing predicates (valid after finalize) ----------
+
+    /** NodeExists[e, l]. */
+    rmf::Formula nodeExists(EventId e, LocId l) const;
+
+    /** EdgeExists[⟨se, sl⟩ → ⟨de, dl⟩] (direct edge). */
+    rmf::Formula edgeExists(EventId se, LocId sl, EventId de,
+                            LocId dl) const;
+
+    /**
+     * ⟨se, sl⟩ happens before ⟨de, dl⟩: a non-empty μhb path exists.
+     */
+    rmf::Formula happensBefore(EventId se, LocId sl, EventId de,
+                               LocId dl) const;
+
+    /** The derived μhb edge relation (binary over node atoms). */
+    rmf::Expr uhb() const;
+
+    /** Cached transitive closure of uhb (share it across formulas). */
+    rmf::Expr uhbClosure() const;
+
+    /** Number of distinct candidate edges mentioned by axioms. */
+    size_t numCandidateEdges() const { return edgeConds_.size(); }
+
+    /** Number of distinct candidate nodes. */
+    size_t numCandidateNodes() const { return nodeConds_.size(); }
+
+    /**
+     * Materialize the μhb graph of a solved instance.
+     *
+     * @param instance a satisfying instance of the context's problem
+     * @param event_labels per-event column labels (from the litmus
+     *        extractor)
+     */
+    graph::UhbGraph buildGraph(
+        const rmf::Instance &instance,
+        const std::vector<std::string> &event_labels) const;
+
+  private:
+    int nodeKey(EventId e, LocId l) const
+    {
+        return e * ctx_.numLocations() + l;
+    }
+
+    UspecContext &ctx_;
+    bool finalized_ = false;
+
+    std::map<int, std::vector<rmf::Formula>> nodeConds_;
+    std::map<std::pair<int, int>, std::vector<rmf::Formula>>
+        edgeConds_;
+    std::map<std::pair<int, int>, graph::EdgeKind> edgeKinds_;
+
+    rmf::RelationId liveRel_ = -1;
+    rmf::RelationId uhbRel_ = -1;
+    rmf::Expr uhbClosure_;
+};
+
+} // namespace checkmate::uspec
+
+#endif // CHECKMATE_USPEC_DERIVER_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The microarchitecture-specification interface.
+ *
+ * A Microarchitecture corresponds to one μspec model (§III-A1): it
+ * names the hardware locations micro-ops pass through, states the
+ * model features it needs (caches, coherence, speculation,
+ * permissions), and contributes its happens-before ordering axioms to
+ * an EdgeDeriver.
+ */
+
+#ifndef CHECKMATE_USPEC_MICROARCH_HH
+#define CHECKMATE_USPEC_MICROARCH_HH
+
+#include <string>
+#include <vector>
+
+#include "uspec/context.hh"
+#include "uspec/deriver.hh"
+
+namespace checkmate::uspec
+{
+
+/**
+ * Abstract axiomatic hardware model.
+ */
+class Microarchitecture
+{
+  public:
+    virtual ~Microarchitecture() = default;
+
+    /** Human-readable model name (e.g. "SpecOoO"). */
+    virtual std::string name() const = 0;
+
+    /** Ordered location (pipeline-row) names. */
+    virtual std::vector<std::string> locations() const = 0;
+
+    /** Model features this design requires. */
+    virtual ModelOptions options() const = 0;
+
+    /**
+     * The location where reads bind their value (§III-A2: exploit
+     * patterns are parameterized on this structure).
+     */
+    virtual std::string valueBindingLocation() const = 0;
+
+    /** Contribute all ordering axioms. */
+    virtual void applyAxioms(UspecContext &ctx,
+                             EdgeDeriver &deriver) const = 0;
+};
+
+} // namespace checkmate::uspec
+
+#endif // CHECKMATE_USPEC_MICROARCH_HH

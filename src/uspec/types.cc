@@ -1,0 +1,37 @@
+/**
+ * @file
+ * μspec vocabulary helpers.
+ */
+
+#include "uspec/types.hh"
+
+namespace checkmate::uspec
+{
+
+const char *
+microOpName(MicroOpType type)
+{
+    switch (type) {
+      case MicroOpType::Read: return "Read";
+      case MicroOpType::Write: return "Write";
+      case MicroOpType::Clflush: return "Clflush";
+      case MicroOpType::Branch: return "Branch";
+      case MicroOpType::Fence: return "Fence";
+    }
+    return "?";
+}
+
+const char *
+microOpMnemonic(MicroOpType type)
+{
+    switch (type) {
+      case MicroOpType::Read: return "R";
+      case MicroOpType::Write: return "W";
+      case MicroOpType::Clflush: return "CF";
+      case MicroOpType::Branch: return "B";
+      case MicroOpType::Fence: return "F";
+    }
+    return "?";
+}
+
+} // namespace checkmate::uspec

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Basic μspec vocabulary: micro-op types, synthesis bounds, and the
+ * small integer id types shared across the modeling layer.
+ */
+
+#ifndef CHECKMATE_USPEC_TYPES_HH
+#define CHECKMATE_USPEC_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace checkmate::uspec
+{
+
+/**
+ * Hardware-supported micro-ops (§VI-B).
+ *
+ * Read/Write access memory; Clflush evicts a virtual address
+ * (analogous to x86's clflush); Branch is a conditional branch (the
+ * speculation source for Spectre-class attacks); Fence is a full
+ * fence (the §VII-D mitigation).
+ */
+enum class MicroOpType : uint8_t
+{
+    Read = 0,
+    Write,
+    Clflush,
+    Branch,
+    Fence
+};
+
+constexpr int numMicroOpTypes = 5;
+
+/** Printable micro-op mnemonic matching the paper's figures. */
+const char *microOpName(MicroOpType type);
+
+/** One-letter mnemonic (R/W/CF/B/F) used in litmus listings. */
+const char *microOpMnemonic(MicroOpType type);
+
+/** Index types for the bounded synthesis universe. */
+using EventId = int;
+using CoreId = int;
+using ProcId = int;
+using VaId = int;
+using PaId = int;
+using IndexId = int;
+using LocId = int;
+
+/** The attacker and victim processes of an exploit scenario. */
+constexpr ProcId procAttacker = 0;
+constexpr ProcId procVictim = 1;
+
+/**
+ * Bounds for one synthesis run (§III-B2: CheckMate conducts bounded
+ * verification; the user specifies maximum program size in terms of
+ * cores, instructions, processes, and addresses).
+ */
+struct SynthesisBounds
+{
+    int numEvents = 4;       ///< total micro-op slots
+    int numCores = 1;        ///< physical cores
+    int numProcs = 2;        ///< processes (attacker + victim)
+    int numVas = 2;          ///< virtual addresses
+    int numPas = 2;          ///< physical addresses
+    int numIndices = 2;      ///< cache indices (direct-mapped sets)
+};
+
+} // namespace checkmate::uspec
+
+#endif // CHECKMATE_USPEC_TYPES_HH

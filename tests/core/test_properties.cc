@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Property-based tests: for randomly generated fixed programs,
+ * every execution CheckMate synthesizes must satisfy the μspec
+ * well-formedness invariants, and every μhb graph must be acyclic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/synthesis.hh"
+#include "uarch/inorder.hh"
+#include "uarch/spec_ooo.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using litmus::LitmusOp;
+using litmus::LitmusTest;
+using uspec::MicroOpType;
+using uspec::UspecContext;
+
+std::vector<UspecContext::FixedOp>
+randomProgram(std::mt19937 &rng, int events, int cores)
+{
+    std::uniform_int_distribution<int> type_pick(0, 4);
+    std::uniform_int_distribution<int> core_pick(0, cores - 1);
+    std::uniform_int_distribution<int> proc_pick(0, 1);
+    std::uniform_int_distribution<int> va_pick(0, 1);
+
+    std::vector<UspecContext::FixedOp> prog;
+    int used_vas = 0;
+    int used_cores = 0;
+    for (int i = 0; i < events; i++) {
+        UspecContext::FixedOp op;
+        op.type = static_cast<MicroOpType>(type_pick(rng));
+        // Respect the canonicalization axioms: core and VA ids grow
+        // by first use.
+        int c = i == 0 ? 0 : core_pick(rng);
+        if (c > used_cores)
+            c = used_cores;
+        used_cores = std::max(used_cores, c + 1);
+        op.core = c;
+        op.proc = proc_pick(rng);
+        int v = va_pick(rng);
+        if (v > used_vas)
+            v = used_vas;
+        op.va = v;
+        if (op.type != MicroOpType::Branch &&
+            op.type != MicroOpType::Fence) {
+            used_vas = std::max(used_vas, v + 1);
+        }
+        prog.push_back(op);
+    }
+    return prog;
+}
+
+/** Check all structural invariants of one synthesized execution. */
+void
+checkInvariants(const core::SynthesizedExploit &ex,
+                const std::string &context)
+{
+    const LitmusTest &t = ex.test;
+    EXPECT_FALSE(ex.graph.hasCycle()) << context;
+
+    for (size_t i = 0; i < t.ops.size(); i++) {
+        const LitmusOp &op = t.ops[i];
+
+        // Hits are sourced by a same-core, same-PA creator that
+        // itself produced a ViCL.
+        if (op.hit) {
+            EXPECT_EQ(op.type, MicroOpType::Read) << context;
+            ASSERT_GE(op.viclSrcOf, 0) << context;
+            const LitmusOp &src = t.ops[op.viclSrcOf];
+            EXPECT_EQ(src.core, op.core) << context;
+            EXPECT_EQ(src.pa, op.pa) << context;
+            bool src_has_vicl =
+                (src.type == MicroOpType::Read && !src.hit) ||
+                (src.type == MicroOpType::Write && !src.squashed);
+            EXPECT_TRUE(src_has_vicl) << context;
+        } else {
+            EXPECT_EQ(op.viclSrcOf, -1) << context;
+        }
+
+        // Faults only on accesses the process may not perform.
+        if (op.faults) {
+            ASSERT_GE(op.pa, 0) << context;
+            bool allowed = op.proc == uspec::procAttacker
+                               ? t.paPerms[op.pa].attacker
+                               : t.paPerms[op.pa].victim;
+            EXPECT_FALSE(allowed) << context;
+            EXPECT_TRUE(op.squashed) << context;
+        }
+
+        // Illegal accesses never commit.
+        if (op.pa >= 0 &&
+            (op.type == MicroOpType::Read ||
+             op.type == MicroOpType::Write)) {
+            bool allowed = op.proc == uspec::procAttacker
+                               ? t.paPerms[op.pa].attacker
+                               : t.paPerms[op.pa].victim;
+            if (!allowed)
+                EXPECT_TRUE(op.squashed) << context;
+        }
+
+        // Only branches mispredict; fences never squash.
+        if (op.mispredicted)
+            EXPECT_EQ(op.type, MicroOpType::Branch) << context;
+        if (op.type == MicroOpType::Fence)
+            EXPECT_FALSE(op.squashed) << context;
+
+        // Every squashed op sits in a contiguous same-core window
+        // whose source is a fault or a mispredicted branch.
+        if (op.squashed && !op.faults) {
+            bool found_source = false;
+            for (int p = static_cast<int>(i) - 1; p >= 0; p--) {
+                const LitmusOp &prev = t.ops[p];
+                if (prev.core != op.core)
+                    continue;
+                if (prev.mispredicted || prev.faults) {
+                    found_source = true;
+                    break;
+                }
+                if (!prev.squashed)
+                    break;
+            }
+            EXPECT_TRUE(found_source) << context << " op " << i;
+        }
+
+        // Dependencies come from earlier sensitive attacker reads.
+        for (int d : op.addrDepOn) {
+            EXPECT_LT(d, static_cast<int>(i)) << context;
+            const LitmusOp &src = t.ops[d];
+            EXPECT_EQ(src.type, MicroOpType::Read) << context;
+            EXPECT_EQ(src.core, op.core) << context;
+        }
+
+        // Address metadata is consistent.
+        if (op.type == MicroOpType::Branch ||
+            op.type == MicroOpType::Fence) {
+            EXPECT_EQ(op.va, -1) << context;
+        } else {
+            EXPECT_GE(op.va, 0) << context;
+            EXPECT_GE(op.pa, 0) << context;
+            EXPECT_GE(op.index, 0) << context;
+        }
+
+        // Graph/litmus agreement: committed ops have Commit nodes,
+        // squashed ops do not.
+        const graph::UhbGraph &g = ex.graph;
+        int commit_loc = -1;
+        for (int l = 0; l < g.numLocations(); l++) {
+            if (g.locationLabel(l) == "Commit")
+                commit_loc = l;
+        }
+        if (commit_loc >= 0) {
+            EXPECT_EQ(g.hasNode(static_cast<int>(i), commit_loc),
+                      !op.squashed)
+                << context << " op " << i;
+        }
+    }
+}
+
+class RandomProgramProperty : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RandomProgramProperty, SpecOoOExecutionsAreWellFormed)
+{
+    std::mt19937 rng(GetParam());
+    uarch::SpecOoO machine(GetParam() % 2 == 0);
+    core::CheckMate tool(machine, nullptr);
+
+    int cores = 1 + (GetParam() % 2);
+    auto prog = randomProgram(rng, 4, cores);
+    uspec::SynthesisBounds bounds;
+    bounds.numEvents = 4;
+    bounds.numCores = cores;
+    bounds.numProcs = 2;
+    bounds.numVas = 2;
+    bounds.numPas = 2;
+    bounds.numIndices = 2;
+
+    core::SynthesisOptions opts;
+    opts.maxInstances = 40;
+    auto execs =
+        tool.synthesizeExecutions(prog, bounds, opts, nullptr);
+    for (const auto &ex : execs)
+        checkInvariants(ex, "seed " + std::to_string(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramProperty,
+                         ::testing::Range(0, 12));
+
+class RandomProgramInOrder : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RandomProgramInOrder, ExecutionsAreWellFormed)
+{
+    std::mt19937 rng(GetParam() + 1000);
+    uarch::InOrderPipeline machine = uarch::inOrder3Stage();
+    core::CheckMate tool(machine, nullptr);
+
+    auto prog = randomProgram(rng, 4, 1);
+    // In-order machines have no speculation: drop branches to
+    // something legal (they would be fine, just uninteresting).
+    uspec::SynthesisBounds bounds;
+    bounds.numEvents = 4;
+    bounds.numCores = 1;
+    bounds.numProcs = 2;
+    bounds.numVas = 2;
+    bounds.numPas = 2;
+    bounds.numIndices = 2;
+
+    core::SynthesisOptions opts;
+    opts.maxInstances = 40;
+    auto execs =
+        tool.synthesizeExecutions(prog, bounds, opts, nullptr);
+    for (const auto &ex : execs) {
+        checkInvariants(ex, "seed " + std::to_string(GetParam()));
+        // No speculation: nothing squashes or mispredicts.
+        for (const auto &op : ex.test.ops) {
+            EXPECT_FALSE(op.squashed);
+            EXPECT_FALSE(op.mispredicted);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgramInOrder,
+                         ::testing::Range(0, 8));
+
+} // anonymous namespace

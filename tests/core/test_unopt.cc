@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Tests for the unoptimized (free node labeling) encoding used in
+ * the Fig. 3c reproduction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/unopt.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using graph::EdgeKind;
+using graph::UhbGraph;
+
+UhbGraph
+chainGraph(int n)
+{
+    std::vector<std::string> es, ls;
+    for (int i = 0; i < n; i++)
+        es.push_back("I" + std::to_string(i));
+    ls.push_back("L");
+    UhbGraph g(es, ls);
+    for (int i = 0; i + 1 < n; i++)
+        g.addEdge(i, 0, i + 1, 0, EdgeKind::Other);
+    return g;
+}
+
+TEST(Unopt, FreeLabelingExplodesFactorially)
+{
+    // A 4-node chain admits 4! = 24 relabelings, every one a
+    // distinct (isomorphic) solution of the naive encoding (§V-A).
+    auto result = core::enumerateUnoptimizedEncoding(chainGraph(4),
+                                                     1000, false);
+    EXPECT_EQ(result.instances, 24u);
+    EXPECT_TRUE(result.exhausted);
+}
+
+TEST(Unopt, FiveNodeChainIs120)
+{
+    auto result = core::enumerateUnoptimizedEncoding(chainGraph(5),
+                                                     1000, false);
+    EXPECT_EQ(result.instances, 120u);
+    EXPECT_TRUE(result.exhausted);
+}
+
+TEST(Unopt, CapStopsEnumeration)
+{
+    auto result = core::enumerateUnoptimizedEncoding(chainGraph(5),
+                                                     50, false);
+    EXPECT_EQ(result.instances, 50u);
+    EXPECT_FALSE(result.exhausted);
+}
+
+TEST(Unopt, SymmetryBreakingPrunesRelabelings)
+{
+    auto raw = core::enumerateUnoptimizedEncoding(chainGraph(4),
+                                                  1000, false);
+    auto broken = core::enumerateUnoptimizedEncoding(chainGraph(4),
+                                                     1000, true);
+    EXPECT_LT(broken.instances, raw.instances);
+    EXPECT_GE(broken.instances, 1u);
+    EXPECT_TRUE(broken.exhausted);
+}
+
+TEST(Unopt, SingleNodeGraphHasOneInstance)
+{
+    std::vector<std::string> es = {"I0"}, ls = {"L"};
+    UhbGraph g(es, ls);
+    g.addNode(0, 0);
+    auto result =
+        core::enumerateUnoptimizedEncoding(g, 100, false);
+    EXPECT_EQ(result.instances, 1u);
+}
+
+TEST(Unopt, TwoByTwoGridCounts)
+{
+    // 2 events x 2 locations, edges forming the intra-instruction
+    // chains: 4 nodes, 4! = 24 labelings, all acyclic.
+    std::vector<std::string> es = {"I0", "I1"}, ls = {"A", "B"};
+    UhbGraph g(es, ls);
+    g.addEdge(0, 0, 0, 1, EdgeKind::IntraInstruction);
+    g.addEdge(1, 0, 1, 1, EdgeKind::IntraInstruction);
+    g.addEdge(0, 0, 1, 0, EdgeKind::ProgramOrder);
+    auto result =
+        core::enumerateUnoptimizedEncoding(g, 1000, false);
+    EXPECT_EQ(result.instances, 24u);
+    EXPECT_GT(result.primaryVars, 0u);
+    EXPECT_GT(result.clauses, 0u);
+}
+
+} // anonymous namespace

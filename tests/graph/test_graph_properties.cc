@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Randomized property tests for μhb graph algorithms: the
+ * Floyd–Warshall closure agrees with per-pair DFS, topological
+ * orders linearize every edge, and cycle detection agrees with
+ * closure reflexivity.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+#include "graph/uhb_graph.hh"
+
+namespace
+{
+
+using namespace checkmate::graph;
+
+UhbGraph
+randomGraph(std::mt19937 &rng, int nodes, double edge_prob)
+{
+    std::vector<std::string> es, ls = {"L"};
+    for (int i = 0; i < nodes; i++)
+        es.push_back("I" + std::to_string(i));
+    UhbGraph g(es, ls);
+    for (int i = 0; i < nodes; i++)
+        g.addNode(i, 0);
+    std::uniform_real_distribution<double> draw(0.0, 1.0);
+    for (int i = 0; i < nodes; i++) {
+        for (int j = 0; j < nodes; j++) {
+            if (i != j && draw(rng) < edge_prob)
+                g.addEdge(i, 0, j, 0, EdgeKind::Other);
+        }
+    }
+    return g;
+}
+
+/** Reference reachability by DFS. */
+bool
+dfsReaches(const UhbGraph &g, NodeId src, NodeId dst)
+{
+    std::vector<bool> seen(g.numNodes(), false);
+    std::function<bool(NodeId)> go = [&](NodeId n) -> bool {
+        for (const UhbEdge &e : g.edges()) {
+            if (e.src != n)
+                continue;
+            if (e.dst == dst)
+                return true;
+            if (!seen[e.dst]) {
+                seen[e.dst] = true;
+                if (go(e.dst))
+                    return true;
+            }
+        }
+        return false;
+    };
+    return go(src);
+}
+
+class GraphRandom : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(GraphRandom, ClosureMatchesDfs)
+{
+    std::mt19937 rng(GetParam());
+    UhbGraph g = randomGraph(rng, 8, 0.2);
+    auto closure = g.transitiveClosure();
+    for (size_t i = 0; i < g.numNodes(); i++) {
+        for (size_t j = 0; j < g.numNodes(); j++) {
+            EXPECT_EQ(closure[i][j],
+                      dfsReaches(g, static_cast<NodeId>(i),
+                                 static_cast<NodeId>(j)))
+                << i << "->" << j << " seed " << GetParam();
+        }
+    }
+}
+
+TEST_P(GraphRandom, TopoOrderLinearizesEdgesOrGraphIsCyclic)
+{
+    std::mt19937 rng(GetParam() + 100);
+    UhbGraph g = randomGraph(rng, 10, 0.15);
+    auto order = g.topologicalOrder();
+    if (!order.has_value()) {
+        // Cyclic: the closure must witness a self-reachable node.
+        auto closure = g.transitiveClosure();
+        bool reflexive = false;
+        for (size_t i = 0; i < g.numNodes(); i++)
+            reflexive |= closure[i][i];
+        EXPECT_TRUE(reflexive);
+        EXPECT_TRUE(g.hasCycle());
+        return;
+    }
+    EXPECT_FALSE(g.hasCycle());
+    std::vector<int> pos(g.numNodes());
+    for (size_t i = 0; i < order->size(); i++)
+        pos[(*order)[i]] = static_cast<int>(i);
+    for (const UhbEdge &e : g.edges())
+        EXPECT_LT(pos[e.src], pos[e.dst]);
+}
+
+TEST_P(GraphRandom, CanonicalKeyIsOrderInsensitive)
+{
+    std::mt19937 rng(GetParam() + 200);
+    UhbGraph g = randomGraph(rng, 6, 0.3);
+
+    // Rebuild with edges inserted in shuffled order.
+    std::vector<UhbEdge> edges = g.edges();
+    std::shuffle(edges.begin(), edges.end(), rng);
+    std::vector<std::string> es, ls = {"L"};
+    for (int i = 0; i < g.numEvents(); i++)
+        es.push_back(g.eventLabel(i));
+    UhbGraph h(es, ls);
+    // Insert nodes in reverse order.
+    for (int i = g.numEvents() - 1; i >= 0; i--) {
+        if (g.hasNode(i, 0))
+            h.addNode(i, 0);
+    }
+    for (const UhbEdge &e : edges) {
+        h.addEdge(g.nodeAt(e.src).event, 0, g.nodeAt(e.dst).event,
+                  0, e.kind);
+    }
+    EXPECT_EQ(g.canonicalKey(), h.canonicalKey());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphRandom,
+                         ::testing::Range(0, 15));
+
+} // anonymous namespace

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for μhb graph structures: cycle detection, closure, keys,
+ * and renderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/uhb_graph.hh"
+
+namespace
+{
+
+using namespace checkmate::graph;
+
+UhbGraph
+makeGrid(int events, int locs)
+{
+    std::vector<std::string> es, ls;
+    for (int e = 0; e < events; e++)
+        es.push_back("I" + std::to_string(e));
+    for (int l = 0; l < locs; l++)
+        ls.push_back("L" + std::to_string(l));
+    return UhbGraph(es, ls);
+}
+
+TEST(UhbGraph, AddNodeIsIdempotent)
+{
+    UhbGraph g = makeGrid(2, 2);
+    NodeId a = g.addNode(0, 0);
+    NodeId b = g.addNode(0, 0);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(g.numNodes(), 1u);
+}
+
+TEST(UhbGraph, NodeLookup)
+{
+    UhbGraph g = makeGrid(2, 2);
+    g.addNode(1, 0);
+    EXPECT_TRUE(g.hasNode(1, 0));
+    EXPECT_FALSE(g.hasNode(0, 1));
+    EXPECT_FALSE(g.node(5, 5).has_value());
+}
+
+TEST(UhbGraph, AddEdgeCreatesNodes)
+{
+    UhbGraph g = makeGrid(2, 2);
+    g.addEdge(0, 0, 1, 1, EdgeKind::ProgramOrder);
+    EXPECT_EQ(g.numNodes(), 2u);
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(UhbGraph, DuplicateEdgesCollapsed)
+{
+    UhbGraph g = makeGrid(2, 2);
+    g.addEdge(0, 0, 1, 1, EdgeKind::ProgramOrder);
+    g.addEdge(0, 0, 1, 1, EdgeKind::ProgramOrder);
+    EXPECT_EQ(g.numEdges(), 1u);
+    // A different kind on the same pair is a distinct edge.
+    g.addEdge(0, 0, 1, 1, EdgeKind::Com);
+    EXPECT_EQ(g.numEdges(), 2u);
+}
+
+TEST(UhbGraph, AcyclicGraphHasNoCycle)
+{
+    UhbGraph g = makeGrid(3, 1);
+    g.addEdge(0, 0, 1, 0, EdgeKind::ProgramOrder);
+    g.addEdge(1, 0, 2, 0, EdgeKind::ProgramOrder);
+    EXPECT_FALSE(g.hasCycle());
+    auto order = g.topologicalOrder();
+    ASSERT_TRUE(order.has_value());
+    EXPECT_EQ(order->size(), 3u);
+}
+
+TEST(UhbGraph, CycleDetected)
+{
+    UhbGraph g = makeGrid(2, 1);
+    g.addEdge(0, 0, 1, 0, EdgeKind::ProgramOrder);
+    g.addEdge(1, 0, 0, 0, EdgeKind::Com);
+    EXPECT_TRUE(g.hasCycle());
+    EXPECT_FALSE(g.topologicalOrder().has_value());
+}
+
+TEST(UhbGraph, SelfLoopIsCycle)
+{
+    UhbGraph g = makeGrid(1, 2);
+    NodeId a = g.addNode(0, 0);
+    g.addEdge(a, a, EdgeKind::Other);
+    EXPECT_TRUE(g.hasCycle());
+}
+
+TEST(UhbGraph, TransitiveClosureAndReaches)
+{
+    UhbGraph g = makeGrid(3, 1);
+    NodeId a = g.addNode(0, 0);
+    NodeId b = g.addNode(1, 0);
+    NodeId c = g.addNode(2, 0);
+    g.addEdge(a, b, EdgeKind::ProgramOrder);
+    g.addEdge(b, c, EdgeKind::ProgramOrder);
+    auto tc = g.transitiveClosure();
+    EXPECT_TRUE(tc[a][c]);
+    EXPECT_FALSE(tc[c][a]);
+    EXPECT_TRUE(g.reaches(a, c));
+    EXPECT_FALSE(g.reaches(c, a));
+    EXPECT_FALSE(g.reaches(a, a));
+}
+
+TEST(UhbGraph, CanonicalKeyEquality)
+{
+    UhbGraph g1 = makeGrid(2, 2);
+    g1.addEdge(0, 0, 1, 1, EdgeKind::Com);
+    g1.addNode(1, 0);
+
+    // Same content added in a different order.
+    UhbGraph g2 = makeGrid(2, 2);
+    g2.addNode(1, 0);
+    g2.addEdge(0, 0, 1, 1, EdgeKind::Com);
+
+    EXPECT_EQ(g1.canonicalKey(), g2.canonicalKey());
+
+    UhbGraph g3 = makeGrid(2, 2);
+    g3.addEdge(0, 0, 1, 1, EdgeKind::ViCL);
+    g3.addNode(1, 0);
+    EXPECT_NE(g1.canonicalKey(), g3.canonicalKey());
+}
+
+TEST(UhbGraph, DotOutputContainsNodesAndEdges)
+{
+    UhbGraph g = makeGrid(2, 2);
+    g.addEdge(0, 0, 1, 1, EdgeKind::ProgramOrder);
+    std::string dot = g.toDot("t");
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("I0"), std::string::npos);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_NE(dot.find("po"), std::string::npos);
+}
+
+TEST(UhbGraph, AsciiGridMarksNodes)
+{
+    UhbGraph g = makeGrid(2, 2);
+    g.addNode(0, 0);
+    std::string grid = g.toAsciiGrid();
+    EXPECT_NE(grid.find('o'), std::string::npos);
+    EXPECT_NE(grid.find("edges:"), std::string::npos);
+}
+
+TEST(UhbGraph, EdgeKindNames)
+{
+    EXPECT_STREQ(edgeKindName(EdgeKind::ProgramOrder), "po");
+    EXPECT_STREQ(edgeKindName(EdgeKind::ViCL), "vicl");
+    EXPECT_STREQ(edgeKindName(EdgeKind::Coherence), "coh");
+}
+
+TEST(UhbGraph, DiamondTopologicalOrderRespectsEdges)
+{
+    UhbGraph g = makeGrid(4, 1);
+    NodeId a = g.addNode(0, 0), b = g.addNode(1, 0);
+    NodeId c = g.addNode(2, 0), d = g.addNode(3, 0);
+    g.addEdge(a, b, EdgeKind::Other);
+    g.addEdge(a, c, EdgeKind::Other);
+    g.addEdge(b, d, EdgeKind::Other);
+    g.addEdge(c, d, EdgeKind::Other);
+    auto order = g.topologicalOrder();
+    ASSERT_TRUE(order.has_value());
+    std::vector<int> pos(4);
+    for (size_t i = 0; i < order->size(); i++)
+        pos[(*order)[i]] = static_cast<int>(i);
+    EXPECT_LT(pos[a], pos[b]);
+    EXPECT_LT(pos[a], pos[c]);
+    EXPECT_LT(pos[b], pos[d]);
+    EXPECT_LT(pos[c], pos[d]);
+}
+
+} // anonymous namespace

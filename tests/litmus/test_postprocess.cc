@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Tests for the litmus post-processors (§VI-A1 write variants,
+ * §III-B2 set-associativity expansion).
+ */
+
+#include <gtest/gtest.h>
+
+#include "litmus/postprocess.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using litmus::LitmusOp;
+using litmus::LitmusTest;
+using uspec::MicroOpType;
+using uspec::procAttacker;
+using uspec::procVictim;
+
+LitmusOp
+op(MicroOpType t, int core, int proc, int va, int pa, int idx)
+{
+    LitmusOp o;
+    o.type = t;
+    o.core = core;
+    o.proc = proc;
+    o.va = va;
+    o.pa = pa;
+    o.index = idx;
+    return o;
+}
+
+LitmusTest
+evictReload()
+{
+    LitmusTest t;
+    t.numCores = 1;
+    t.paPerms = {{true, true}, {true, true}};
+    t.ops = {op(MicroOpType::Read, 0, procAttacker, 0, 0, 0),
+             op(MicroOpType::Read, 0, procAttacker, 1, 1, 0),
+             op(MicroOpType::Read, 0, procVictim, 0, 0, 0),
+             op(MicroOpType::Read, 0, procAttacker, 0, 0, 0)};
+    t.ops[3].hit = true;
+    t.ops[3].viclSrcOf = 2;
+    return t;
+}
+
+TEST(Postprocess, WriteProbeVariantFlipsTimedAccess)
+{
+    LitmusTest t = evictReload();
+    auto variant = litmus::writeProbeVariant(t);
+    ASSERT_TRUE(variant.has_value());
+    EXPECT_EQ(variant->ops[3].type, MicroOpType::Write);
+    EXPECT_FALSE(variant->ops[3].hit);
+    EXPECT_EQ(variant->ops[3].viclSrcOf, -1);
+    // Everything else unchanged.
+    EXPECT_EQ(variant->ops[0].type, MicroOpType::Read);
+    EXPECT_EQ(variant->ops.size(), t.ops.size());
+}
+
+TEST(Postprocess, WriteProbeVariantNeedsTimedRead)
+{
+    LitmusTest t;
+    t.numCores = 1;
+    t.paPerms = {{true, true}};
+    t.ops = {op(MicroOpType::Write, 0, procAttacker, 0, 0, 0)};
+    EXPECT_FALSE(litmus::writeProbeVariant(t).has_value());
+}
+
+TEST(Postprocess, AssociativityExpandsCollidingEvictor)
+{
+    LitmusTest t = evictReload();
+    LitmusTest two_way = litmus::expandForAssociativity(t, 2);
+    // The colliding access (i1) is duplicated once; others are not.
+    EXPECT_EQ(two_way.ops.size(), t.ops.size() + 1);
+    // The duplicate targets a fresh PA in the same set.
+    const LitmusOp &dup = two_way.ops[2];
+    EXPECT_EQ(dup.index, 0);
+    EXPECT_EQ(dup.pa, 2);
+    EXPECT_EQ(dup.type, MicroOpType::Read);
+    EXPECT_EQ(two_way.paPerms.size(), 3u);
+}
+
+TEST(Postprocess, AssociativityFourWay)
+{
+    LitmusTest t = evictReload();
+    LitmusTest four_way = litmus::expandForAssociativity(t, 4);
+    EXPECT_EQ(four_way.ops.size(), t.ops.size() + 3);
+}
+
+TEST(Postprocess, AssociativityLeavesFlushTestsAlone)
+{
+    // A FLUSH+RELOAD test has no collision evictor: unchanged.
+    LitmusTest t;
+    t.numCores = 1;
+    t.paPerms = {{true, true}};
+    t.ops = {op(MicroOpType::Read, 0, procAttacker, 0, 0, 0),
+             op(MicroOpType::Clflush, 0, procAttacker, 0, 0, 0),
+             op(MicroOpType::Read, 0, procVictim, 0, 0, 0),
+             op(MicroOpType::Read, 0, procAttacker, 0, 0, 0)};
+    t.ops[3].hit = true;
+    t.ops[3].viclSrcOf = 2;
+    LitmusTest expanded = litmus::expandForAssociativity(t, 8);
+    EXPECT_EQ(expanded.ops.size(), t.ops.size());
+}
+
+TEST(Postprocess, WaysOneIsIdentity)
+{
+    LitmusTest t = evictReload();
+    LitmusTest same = litmus::expandForAssociativity(t, 1);
+    EXPECT_EQ(same.key(), t.key());
+}
+
+} // anonymous namespace

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for relational AST construction and arity checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmf/ast.hh"
+
+namespace
+{
+
+using namespace checkmate::rmf;
+
+TEST(Ast, RelationLeafArity)
+{
+    Expr r = Expr::rel(0, 2);
+    EXPECT_EQ(r.arity(), 2);
+}
+
+TEST(Ast, ConstantArityFromTuples)
+{
+    TupleSet ts(3);
+    ts.add({0, 1, 2});
+    Expr c = Expr::constant(ts);
+    EXPECT_EQ(c.arity(), 3);
+}
+
+TEST(Ast, JoinArity)
+{
+    Expr a = Expr::rel(0, 2), b = Expr::rel(1, 3);
+    EXPECT_EQ(a.join(b).arity(), 3);
+    EXPECT_EQ(Expr::rel(0, 1).join(Expr::rel(1, 2)).arity(), 1);
+}
+
+TEST(Ast, JoinRejectsScalarResult)
+{
+    Expr a = Expr::rel(0, 1), b = Expr::rel(1, 1);
+    EXPECT_THROW(a.join(b), std::invalid_argument);
+}
+
+TEST(Ast, ProductArity)
+{
+    Expr a = Expr::rel(0, 2), b = Expr::rel(1, 1);
+    EXPECT_EQ(a.product(b).arity(), 3);
+}
+
+TEST(Ast, UnionRequiresSameArity)
+{
+    Expr a = Expr::rel(0, 2), b = Expr::rel(1, 1);
+    EXPECT_THROW(a.unionWith(b), std::invalid_argument);
+    EXPECT_THROW(a.intersect(b), std::invalid_argument);
+    EXPECT_THROW(a.difference(b), std::invalid_argument);
+}
+
+TEST(Ast, TransposeRequiresBinary)
+{
+    EXPECT_THROW(Expr::rel(0, 3).transpose(), std::invalid_argument);
+    EXPECT_EQ(Expr::rel(0, 2).transpose().arity(), 2);
+}
+
+TEST(Ast, ClosureRequiresBinary)
+{
+    EXPECT_THROW(Expr::rel(0, 1).closure(), std::invalid_argument);
+    EXPECT_EQ(Expr::rel(0, 2).closure().arity(), 2);
+}
+
+TEST(Ast, FormulaConstructorsCheckArity)
+{
+    Expr a = Expr::rel(0, 2), b = Expr::rel(1, 1);
+    EXPECT_THROW(in(a, b), std::invalid_argument);
+    EXPECT_THROW(eq(a, b), std::invalid_argument);
+}
+
+TEST(Ast, IdenAndUniv)
+{
+    Universe u({"a", "b"});
+    EXPECT_EQ(Expr::iden(u).arity(), 2);
+    EXPECT_EQ(Expr::univ(u).arity(), 1);
+}
+
+TEST(Ast, OperatorSugar)
+{
+    Expr a = Expr::rel(0, 2), b = Expr::rel(1, 2);
+    EXPECT_EQ((a + b).arity(), 2);
+    EXPECT_EQ((a & b).arity(), 2);
+    EXPECT_EQ((a - b).arity(), 2);
+}
+
+TEST(Ast, ToStringSmoke)
+{
+    Expr a = Expr::rel(0, 2), b = Expr::rel(1, 2);
+    EXPECT_EQ((a + b).toString(), "(r0 + r1)");
+    EXPECT_EQ(a.closure().toString(), "^r0");
+    Formula f = some(a) && no(b);
+    EXPECT_NE(f.toString().find("some"), std::string::npos);
+}
+
+} // anonymous namespace

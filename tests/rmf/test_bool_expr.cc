@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the hash-consed boolean circuit and its CNF conversion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rmf/bool_expr.hh"
+
+namespace
+{
+
+using namespace checkmate::rmf;
+using checkmate::sat::LBool;
+using checkmate::sat::Solver;
+
+TEST(BoolExpr, ConstantsFold)
+{
+    Solver s;
+    BoolFactory f(s);
+    BoolRef a = f.freshVar();
+    EXPECT_EQ(f.mkAnd(a, f.top()), a);
+    EXPECT_EQ(f.mkAnd(a, f.bottom()), f.bottom());
+    EXPECT_EQ(f.mkOr(a, f.top()), f.top());
+    EXPECT_EQ(f.mkOr(a, f.bottom()), a);
+}
+
+TEST(BoolExpr, Idempotence)
+{
+    Solver s;
+    BoolFactory f(s);
+    BoolRef a = f.freshVar();
+    EXPECT_EQ(f.mkAnd(a, a), a);
+    EXPECT_EQ(f.mkAnd(a, !a), f.bottom());
+    EXPECT_EQ(f.mkOr(a, !a), f.top());
+}
+
+TEST(BoolExpr, HashConsing)
+{
+    Solver s;
+    BoolFactory f(s);
+    BoolRef a = f.freshVar(), b = f.freshVar();
+    BoolRef g1 = f.mkAnd(a, b);
+    BoolRef g2 = f.mkAnd(b, a); // commuted
+    EXPECT_EQ(g1, g2);
+}
+
+TEST(BoolExpr, DoubleNegation)
+{
+    Solver s;
+    BoolFactory f(s);
+    BoolRef a = f.freshVar();
+    EXPECT_EQ(!!a, a);
+}
+
+TEST(BoolExpr, AssertAndSolve)
+{
+    Solver s;
+    BoolFactory f(s);
+    BoolRef a = f.freshVar(), b = f.freshVar();
+    f.assertTrue(f.mkAnd(a, !b), s);
+    ASSERT_EQ(s.solve(), LBool::True);
+    EXPECT_TRUE(f.evaluate(a, s));
+    EXPECT_FALSE(f.evaluate(b, s));
+}
+
+TEST(BoolExpr, AssertContradictionIsUnsat)
+{
+    Solver s;
+    BoolFactory f(s);
+    BoolRef a = f.freshVar();
+    f.assertTrue(a, s);
+    f.assertTrue(!a, s);
+    EXPECT_EQ(s.solve(), LBool::False);
+}
+
+TEST(BoolExpr, AssertBottomIsUnsat)
+{
+    Solver s;
+    BoolFactory f(s);
+    f.assertTrue(f.bottom(), s);
+    EXPECT_EQ(s.solve(), LBool::False);
+}
+
+TEST(BoolExpr, IteSelectsBranch)
+{
+    Solver s;
+    BoolFactory f(s);
+    BoolRef c = f.freshVar(), t = f.freshVar(), e = f.freshVar();
+    f.assertTrue(c, s);
+    f.assertTrue(f.mkIte(c, t, e), s);
+    f.assertTrue(!e, s);
+    ASSERT_EQ(s.solve(), LBool::True);
+    EXPECT_TRUE(f.evaluate(t, s));
+}
+
+TEST(BoolExpr, ExactlyOneEnumeration)
+{
+    Solver s;
+    BoolFactory f(s);
+    std::vector<BoolRef> xs = {f.freshVar(), f.freshVar(),
+                               f.freshVar()};
+    f.assertTrue(f.mkExactlyOne(xs), s);
+    std::vector<checkmate::sat::Var> vars;
+    for (BoolRef x : xs)
+        vars.push_back(f.leafVar(x));
+    uint64_t n = s.enumerateModels(
+        vars, [](const Solver &) { return true; });
+    EXPECT_EQ(n, 3u);
+}
+
+TEST(BoolExpr, AtMostOneAllowsEmpty)
+{
+    Solver s;
+    BoolFactory f(s);
+    std::vector<BoolRef> xs = {f.freshVar(), f.freshVar()};
+    f.assertTrue(f.mkAtMostOne(xs), s);
+    std::vector<checkmate::sat::Var> vars;
+    for (BoolRef x : xs)
+        vars.push_back(f.leafVar(x));
+    uint64_t n = s.enumerateModels(
+        vars, [](const Solver &) { return true; });
+    EXPECT_EQ(n, 3u); // 00, 01, 10
+}
+
+class AtMostKTest : public ::testing::TestWithParam<std::pair<int, int>>
+{};
+
+TEST_P(AtMostKTest, CountsMatchBinomialSums)
+{
+    auto [n_vars, k] = GetParam();
+    Solver s;
+    BoolFactory f(s);
+    std::vector<BoolRef> xs;
+    std::vector<checkmate::sat::Var> vars;
+    for (int i = 0; i < n_vars; i++) {
+        xs.push_back(f.freshVar());
+        vars.push_back(f.leafVar(xs.back()));
+    }
+    f.assertTrue(f.mkAtMost(xs, k), s);
+    uint64_t n = s.enumerateModels(
+        vars, [](const Solver &) { return true; });
+
+    // Expected: sum_{i<=k} C(n_vars, i).
+    uint64_t expected = 0;
+    for (int i = 0; i <= k && i <= n_vars; i++) {
+        uint64_t c = 1;
+        for (int j = 0; j < i; j++)
+            c = c * (n_vars - j) / (j + 1);
+        expected += c;
+    }
+    EXPECT_EQ(n, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, AtMostKTest,
+    ::testing::Values(std::make_pair(4, 0), std::make_pair(4, 1),
+                      std::make_pair(4, 2), std::make_pair(5, 3),
+                      std::make_pair(6, 2), std::make_pair(3, 3)));
+
+TEST(BoolExpr, EvaluateSharedSubcircuits)
+{
+    // Deep shared circuit: evaluation must be linear, not exponential.
+    Solver s;
+    BoolFactory f(s);
+    BoolRef x = f.freshVar();
+    BoolRef acc = x;
+    for (int i = 0; i < 2000; i++)
+        acc = f.mkOr(f.mkAnd(acc, acc), f.mkAnd(acc, x));
+    f.assertTrue(x, s);
+    ASSERT_EQ(s.solve(), LBool::True);
+    EXPECT_TRUE(f.evaluate(acc, s));
+}
+
+TEST(BoolExpr, NaryHelpers)
+{
+    Solver s;
+    BoolFactory f(s);
+    std::vector<BoolRef> xs = {f.freshVar(), f.freshVar(),
+                               f.freshVar()};
+    EXPECT_EQ(f.mkAnd(std::vector<BoolRef>{}), f.top());
+    EXPECT_EQ(f.mkOr(std::vector<BoolRef>{}), f.bottom());
+    f.assertTrue(f.mkAnd(xs), s);
+    ASSERT_EQ(s.solve(), LBool::True);
+    for (BoolRef x : xs)
+        EXPECT_TRUE(f.evaluate(x, s));
+}
+
+} // anonymous namespace

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Differential testing of the relational translator: random
+ * expressions over random *constant* relations must evaluate (via
+ * the boolean-matrix translation and SAT model) to exactly what a
+ * reference set-based evaluator computes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "rmf/solve.hh"
+#include "rmf/translate.hh"
+
+namespace
+{
+
+using namespace checkmate::rmf;
+
+// --- Reference evaluator over concrete tuple sets --------------------
+
+TupleSet
+refUnion(const TupleSet &a, const TupleSet &b)
+{
+    return a.unionWith(b);
+}
+
+TupleSet
+refIntersect(const TupleSet &a, const TupleSet &b)
+{
+    TupleSet out(a.arity());
+    for (const Tuple &t : a) {
+        if (b.contains(t))
+            out.add(t);
+    }
+    return out;
+}
+
+TupleSet
+refDifference(const TupleSet &a, const TupleSet &b)
+{
+    TupleSet out(a.arity());
+    for (const Tuple &t : a) {
+        if (!b.contains(t))
+            out.add(t);
+    }
+    return out;
+}
+
+TupleSet
+refJoin(const TupleSet &a, const TupleSet &b)
+{
+    TupleSet out(a.arity() + b.arity() - 2);
+    for (const Tuple &ta : a) {
+        for (const Tuple &tb : b) {
+            if (ta.back() != tb.front())
+                continue;
+            Tuple t(ta.begin(), ta.end() - 1);
+            t.insert(t.end(), tb.begin() + 1, tb.end());
+            out.add(t);
+        }
+    }
+    return out;
+}
+
+TupleSet
+refProduct(const TupleSet &a, const TupleSet &b)
+{
+    TupleSet out(a.arity() + b.arity());
+    for (const Tuple &ta : a) {
+        for (const Tuple &tb : b) {
+            Tuple t = ta;
+            t.insert(t.end(), tb.begin(), tb.end());
+            out.add(t);
+        }
+    }
+    return out;
+}
+
+TupleSet
+refTranspose(const TupleSet &a)
+{
+    TupleSet out(2);
+    for (const Tuple &t : a)
+        out.add({t[1], t[0]});
+    return out;
+}
+
+TupleSet
+refClosure(const TupleSet &a)
+{
+    TupleSet acc = a;
+    for (;;) {
+        TupleSet next = refUnion(acc, refJoin(acc, a));
+        if (next == acc)
+            return acc;
+        acc = next;
+    }
+}
+
+/** A random expression tree plus its reference value. */
+struct RandomExpr
+{
+    Expr expr;
+    TupleSet value;
+};
+
+RandomExpr
+randomExpr(std::mt19937 &rng, const Universe &u,
+           const std::vector<std::pair<RelationId, TupleSet>> &rels,
+           Problem &p, int depth)
+{
+    std::uniform_int_distribution<int> op_pick(0, depth <= 0 ? 0 : 7);
+    std::uniform_int_distribution<size_t> rel_pick(0,
+                                                   rels.size() - 1);
+    int op = op_pick(rng);
+    if (op == 0) {
+        auto [id, value] = rels[rel_pick(rng)];
+        return {p.expr(id), value};
+    }
+    RandomExpr a = randomExpr(rng, u, rels, p, depth - 1);
+    switch (op) {
+      case 1: {
+        // Union with a same-arity operand (retry until matching).
+        for (int tries = 0; tries < 8; tries++) {
+            RandomExpr b = randomExpr(rng, u, rels, p, depth - 1);
+            if (b.value.arity() == a.value.arity()) {
+                return {a.expr + b.expr,
+                        refUnion(a.value, b.value)};
+            }
+        }
+        return a;
+      }
+      case 2: {
+        for (int tries = 0; tries < 8; tries++) {
+            RandomExpr b = randomExpr(rng, u, rels, p, depth - 1);
+            if (b.value.arity() == a.value.arity()) {
+                return {a.expr & b.expr,
+                        refIntersect(a.value, b.value)};
+            }
+        }
+        return a;
+      }
+      case 3: {
+        for (int tries = 0; tries < 8; tries++) {
+            RandomExpr b = randomExpr(rng, u, rels, p, depth - 1);
+            if (b.value.arity() == a.value.arity()) {
+                return {a.expr - b.expr,
+                        refDifference(a.value, b.value)};
+            }
+        }
+        return a;
+      }
+      case 4: {
+        RandomExpr b = randomExpr(rng, u, rels, p, depth - 1);
+        if (a.value.arity() + b.value.arity() - 2 >= 1) {
+            return {a.expr.join(b.expr),
+                    refJoin(a.value, b.value)};
+        }
+        return a;
+      }
+      case 5: {
+        RandomExpr b = randomExpr(rng, u, rels, p, depth - 1);
+        if (a.value.arity() + b.value.arity() <= 3) {
+            return {a.expr.product(b.expr),
+                    refProduct(a.value, b.value)};
+        }
+        return a;
+      }
+      case 6:
+        if (a.value.arity() == 2)
+            return {a.expr.transpose(), refTranspose(a.value)};
+        return a;
+      case 7:
+      default:
+        if (a.value.arity() == 2)
+            return {a.expr.closure(), refClosure(a.value)};
+        return a;
+    }
+}
+
+class RmfDifferential : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(RmfDifferential, TranslatorMatchesReferenceEvaluator)
+{
+    std::mt19937 rng(GetParam());
+    Universe u({"a", "b", "c", "d"});
+    Problem p(u);
+
+    // A few random constant relations of arity 1 and 2.
+    std::uniform_int_distribution<int> coin(0, 1);
+    std::vector<std::pair<RelationId, TupleSet>> rels;
+    for (int r = 0; r < 3; r++) {
+        int arity = 1 + (r % 2);
+        TupleSet value(arity);
+        if (arity == 1) {
+            for (Atom x = 0; x < u.size(); x++) {
+                if (coin(rng))
+                    value.add({x});
+            }
+        } else {
+            for (Atom x = 0; x < u.size(); x++) {
+                for (Atom y = 0; y < u.size(); y++) {
+                    if (coin(rng) && coin(rng))
+                        value.add({x, y});
+                }
+            }
+        }
+        RelationId id = p.addConstant(
+            "r" + std::to_string(r), value);
+        rels.emplace_back(id, value);
+    }
+
+    std::vector<RandomExpr> exprs;
+    for (int i = 0; i < 5; i++)
+        exprs.push_back(randomExpr(rng, u, rels, p, 3));
+
+    checkmate::sat::Solver solver;
+    Translation t(p, solver);
+    ASSERT_EQ(solver.solve(), checkmate::sat::LBool::True);
+
+    for (const RandomExpr &e : exprs) {
+        TupleSet got = t.evaluate(e.expr, solver);
+        EXPECT_EQ(got, e.value)
+            << "expr " << e.expr.toString() << " seed "
+            << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RmfDifferential,
+                         ::testing::Range(0, 30));
+
+// Algebraic identities over free relations: satisfiability-level
+// checks that laws hold for every instance.
+
+TEST(RmfIdentities, DeMorganOverMembership)
+{
+    Universe u({"a", "b"});
+    Problem p(u);
+    RelationId r = p.addRelation("r", TupleSet::range(0, 1));
+    RelationId s = p.addRelation("s", TupleSet::range(0, 1));
+    Expr univ = Expr::univ(u);
+    // (univ - (r + s)) == (univ - r) & (univ - s) must hold in every
+    // instance: its negation is UNSAT.
+    Formula law = eq(univ - (p.expr(r) + p.expr(s)),
+                     (univ - p.expr(r)) & (univ - p.expr(s)));
+    p.require(!law);
+    EXPECT_FALSE(solveOne(p).has_value());
+}
+
+TEST(RmfIdentities, TransposeInvolution)
+{
+    Universe u({"a", "b", "c"});
+    Problem p(u);
+    TupleSet full = TupleSet::product(
+        {TupleSet::range(0, 2), TupleSet::range(0, 2)});
+    RelationId r = p.addRelation("r", full);
+    Formula law =
+        eq(p.expr(r).transpose().transpose(), p.expr(r));
+    p.require(!law);
+    EXPECT_FALSE(solveOne(p).has_value());
+}
+
+TEST(RmfIdentities, ClosureIsIdempotent)
+{
+    Universe u({"a", "b", "c"});
+    Problem p(u);
+    TupleSet full = TupleSet::product(
+        {TupleSet::range(0, 2), TupleSet::range(0, 2)});
+    RelationId r = p.addRelation("r", full);
+    Formula law = eq(p.expr(r).closure().closure(),
+                     p.expr(r).closure());
+    p.require(!law);
+    EXPECT_FALSE(solveOne(p).has_value());
+}
+
+TEST(RmfIdentities, JoinDistributesOverUnion)
+{
+    Universe u({"a", "b", "c"});
+    Problem p(u);
+    TupleSet full = TupleSet::product(
+        {TupleSet::range(0, 2), TupleSet::range(0, 2)});
+    RelationId r = p.addRelation("r", full);
+    RelationId s = p.addRelation("s", full);
+    RelationId q = p.addRelation("q", full);
+    Formula law =
+        eq(p.expr(q).join(p.expr(r) + p.expr(s)),
+           p.expr(q).join(p.expr(r)) + p.expr(q).join(p.expr(s)));
+    p.require(!law);
+    EXPECT_FALSE(solveOne(p).has_value());
+}
+
+} // anonymous namespace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the quantifier macro-expansion helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmf/quant.hh"
+#include "rmf/solve.hh"
+
+namespace
+{
+
+using namespace checkmate::rmf;
+
+class QuantFixture : public ::testing::Test
+{
+  protected:
+    QuantFixture() : u({"a", "b", "c"}), p(u) {}
+
+    Universe u;
+    Problem p;
+};
+
+TEST_F(QuantFixture, ForAllOverEmptySetIsTrue)
+{
+    RelationId r = p.addRelation("r", TupleSet::range(0, 2));
+    p.require(forAll({}, [&](Atom) { return Formula::bottom(); }));
+    p.require(some(p.expr(r)));
+    EXPECT_TRUE(solveOne(p).has_value());
+}
+
+TEST_F(QuantFixture, ExistsOverEmptySetIsFalse)
+{
+    p.addRelation("r", TupleSet::range(0, 2));
+    p.require(exists({}, [&](Atom) { return Formula::top(); }));
+    EXPECT_FALSE(solveOne(p).has_value());
+}
+
+TEST_F(QuantFixture, ForAllDisjCountsOrderedPairs)
+{
+    // r must contain <x,y> for every ordered pair of distinct atoms:
+    // exactly the 6 off-diagonal pairs.
+    TupleSet full = TupleSet::product(
+        {TupleSet::range(0, 2), TupleSet::range(0, 2)});
+    RelationId r = p.addRelation("r", full);
+    std::vector<Atom> atoms = {0, 1, 2};
+    p.require(forAllDisj(atoms, [&](Atom x, Atom y) {
+        TupleSet t(2);
+        t.add({x, y});
+        return in(Expr::constant(t), p.expr(r));
+    }));
+    p.require(atMost(p.expr(r), 6));
+    auto inst = solveOne(p);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_EQ(inst->value(r).size(), 6u);
+    EXPECT_FALSE(inst->value(r).contains({0, 0}));
+}
+
+TEST_F(QuantFixture, ExistsDisjFindsWitness)
+{
+    TupleSet full = TupleSet::product(
+        {TupleSet::range(0, 2), TupleSet::range(0, 2)});
+    RelationId r = p.addRelation("r", full);
+    std::vector<Atom> atoms = {0, 1, 2};
+    p.require(existsDisj(atoms, [&](Atom x, Atom y) {
+        TupleSet t(2);
+        t.add({x, y});
+        return in(Expr::constant(t), p.expr(r));
+    }));
+    p.require(atMost(p.expr(r), 1));
+    uint64_t n = solveAll(
+        p, [](const Instance &) { return true; });
+    EXPECT_EQ(n, 6u); // one of the 6 off-diagonal singletons
+}
+
+TEST_F(QuantFixture, NestedQuantifiers)
+{
+    // all x: some y != x: <x,y> in r — every atom has an outgoing
+    // edge to a different atom.
+    TupleSet full = TupleSet::product(
+        {TupleSet::range(0, 2), TupleSet::range(0, 2)});
+    RelationId r = p.addRelation("r", full);
+    std::vector<Atom> atoms = {0, 1, 2};
+    p.require(forAll(atoms, [&](Atom x) {
+        std::vector<Atom> others;
+        for (Atom y : atoms) {
+            if (y != x)
+                others.push_back(y);
+        }
+        return exists(others, [&](Atom y) {
+            TupleSet t(2);
+            t.add({x, y});
+            return in(Expr::constant(t), p.expr(r));
+        });
+    }));
+    auto inst = solveOne(p);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_GE(inst->value(r).size(), 3u);
+    // Every atom has an off-diagonal successor.
+    for (Atom x : {0, 1, 2}) {
+        bool found = false;
+        for (const Tuple &t : inst->value(r))
+            found |= (t[0] == x && t[1] != x);
+        EXPECT_TRUE(found) << "atom " << x;
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for the relational-to-SAT translation: operator semantics,
+ * bounds handling, and instance extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmf/quant.hh"
+#include "rmf/solve.hh"
+#include "rmf/translate.hh"
+
+namespace
+{
+
+using namespace checkmate::rmf;
+
+/** A 3-atom universe fixture with one free binary relation. */
+class TranslateFixture : public ::testing::Test
+{
+  protected:
+    TranslateFixture() : u({"a", "b", "c"}), p(u) {}
+
+    Universe u;
+    Problem p;
+};
+
+TEST_F(TranslateFixture, LowerBoundIsForced)
+{
+    TupleSet lower(2), upper(2);
+    lower.add({0, 1});
+    upper.add({0, 1});
+    upper.add({1, 2});
+    RelationId r = p.addRelation("r", lower, upper);
+    auto inst = solveOne(p);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_TRUE(inst->value(r).contains({0, 1}));
+}
+
+TEST_F(TranslateFixture, UpperBoundIsRespected)
+{
+    TupleSet upper(2);
+    upper.add({0, 1});
+    RelationId r = p.addRelation("r", upper);
+    p.require(some(p.expr(r)));
+    auto inst = solveOne(p);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_EQ(inst->value(r).size(), 1u);
+    EXPECT_TRUE(inst->value(r).contains({0, 1}));
+}
+
+TEST_F(TranslateFixture, NoForcesEmpty)
+{
+    TupleSet upper = TupleSet::product(
+        {TupleSet::range(0, 2), TupleSet::range(0, 2)});
+    RelationId r = p.addRelation("r", upper);
+    p.require(no(p.expr(r)));
+    auto inst = solveOne(p);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_TRUE(inst->value(r).empty());
+}
+
+TEST_F(TranslateFixture, LowerBoundConflictsWithNo)
+{
+    TupleSet lower(2), upper(2);
+    lower.add({0, 1});
+    upper.add({0, 1});
+    RelationId r = p.addRelation("r", lower, upper);
+    p.require(no(p.expr(r)));
+    EXPECT_FALSE(solveOne(p).has_value());
+}
+
+TEST_F(TranslateFixture, UnionSemantics)
+{
+    TupleSet ua(1), ub(1);
+    ua.add({0});
+    ub.add({1});
+    RelationId a = p.addRelation("a", ua);
+    RelationId b = p.addRelation("b", ub);
+    p.require(eq(p.expr(a) + p.expr(b),
+                 Expr::constant(TupleSet::range(0, 1))));
+    auto inst = solveOne(p);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_TRUE(inst->value(a).contains({0}));
+    EXPECT_TRUE(inst->value(b).contains({1}));
+}
+
+TEST_F(TranslateFixture, IntersectAndDifference)
+{
+    TupleSet full = TupleSet::range(0, 2);
+    RelationId a = p.addRelation("a", full);
+    RelationId b = p.addRelation("b", full);
+    // a & b empty, a - b = {0}, b = {1, 2}
+    p.require(no(p.expr(a) & p.expr(b)));
+    p.require(eq(p.expr(a) - p.expr(b),
+                 Expr::constant(TupleSet::singleton(0))));
+    p.require(eq(p.expr(b), Expr::constant(TupleSet::range(1, 2))));
+    auto inst = solveOne(p);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_EQ(inst->value(a), TupleSet::singleton(0));
+}
+
+TEST_F(TranslateFixture, JoinSemantics)
+{
+    // edge = {<a,b>, <b,c>}; edge.edge = {<a,c>}.
+    TupleSet edges(2);
+    edges.add({0, 1});
+    edges.add({1, 2});
+    RelationId e = p.addConstant("edge", edges);
+    TupleSet expect(2);
+    expect.add({0, 2});
+    p.require(eq(p.expr(e).join(p.expr(e)),
+                 Expr::constant(expect)));
+    EXPECT_TRUE(solveOne(p).has_value());
+}
+
+TEST_F(TranslateFixture, UnaryBinaryJoin)
+{
+    // {<a>} . {<a,b>} = {<b>}
+    TupleSet point(1);
+    point.add({0});
+    TupleSet edge(2);
+    edge.add({0, 1});
+    RelationId pt = p.addConstant("pt", point);
+    RelationId e = p.addConstant("e", edge);
+    p.require(eq(p.expr(pt).join(p.expr(e)),
+                 Expr::constant(TupleSet::singleton(1))));
+    EXPECT_TRUE(solveOne(p).has_value());
+}
+
+TEST_F(TranslateFixture, TransposeSemantics)
+{
+    TupleSet edge(2);
+    edge.add({0, 1});
+    RelationId e = p.addConstant("e", edge);
+    TupleSet expect(2);
+    expect.add({1, 0});
+    p.require(eq(p.expr(e).transpose(), Expr::constant(expect)));
+    EXPECT_TRUE(solveOne(p).has_value());
+}
+
+TEST_F(TranslateFixture, ClosureSemantics)
+{
+    // Chain a->b->c: closure adds a->c.
+    TupleSet edge(2);
+    edge.add({0, 1});
+    edge.add({1, 2});
+    RelationId e = p.addConstant("e", edge);
+    TupleSet expect(2);
+    expect.add({0, 1});
+    expect.add({1, 2});
+    expect.add({0, 2});
+    p.require(eq(p.expr(e).closure(), Expr::constant(expect)));
+    EXPECT_TRUE(solveOne(p).has_value());
+}
+
+TEST_F(TranslateFixture, AcyclicityViaClosure)
+{
+    // Free binary relation over 3 atoms required to be a superset of
+    // a->b and acyclic: satisfiable. Then force a cycle: UNSAT.
+    TupleSet full = TupleSet::product(
+        {TupleSet::range(0, 2), TupleSet::range(0, 2)});
+    RelationId e = p.addRelation("e", full);
+    TupleSet ab(2);
+    ab.add({0, 1});
+    p.require(in(Expr::constant(ab), p.expr(e)));
+    p.require(no(p.expr(e).closure() & Expr::iden(u)));
+    EXPECT_TRUE(solveOne(p).has_value());
+
+    TupleSet ba(2);
+    ba.add({1, 0});
+    p.require(in(Expr::constant(ba), p.expr(e)));
+    EXPECT_FALSE(solveOne(p).has_value());
+}
+
+TEST_F(TranslateFixture, MultiplicityOne)
+{
+    TupleSet full = TupleSet::range(0, 2);
+    RelationId r = p.addRelation("r", full);
+    p.require(one(p.expr(r)));
+    uint64_t n = solveAll(
+        p, [](const Instance &) { return true; });
+    EXPECT_EQ(n, 3u);
+}
+
+TEST_F(TranslateFixture, MultiplicityLone)
+{
+    TupleSet full = TupleSet::range(0, 2);
+    RelationId r = p.addRelation("r", full);
+    p.require(lone(p.expr(r)));
+    uint64_t n = solveAll(
+        p, [](const Instance &) { return true; });
+    EXPECT_EQ(n, 4u); // empty + 3 singletons
+}
+
+TEST_F(TranslateFixture, ProductSemantics)
+{
+    TupleSet s0 = TupleSet::singleton(0);
+    TupleSet s1 = TupleSet::singleton(1);
+    RelationId a = p.addConstant("a", s0);
+    RelationId b = p.addConstant("b", s1);
+    TupleSet expect(2);
+    expect.add({0, 1});
+    p.require(eq(p.expr(a).product(p.expr(b)),
+                 Expr::constant(expect)));
+    EXPECT_TRUE(solveOne(p).has_value());
+}
+
+TEST_F(TranslateFixture, QuantifierExpansion)
+{
+    // all x in {a,b,c}: x in r  ==> r must be the full unary set.
+    TupleSet full = TupleSet::range(0, 2);
+    RelationId r = p.addRelation("r", full);
+    std::vector<Atom> atoms = {0, 1, 2};
+    p.require(forAll(atoms, [&](Atom x) {
+        return in(Expr::atom(x), p.expr(r));
+    }));
+    auto inst = solveOne(p);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_EQ(inst->value(r).size(), 3u);
+}
+
+TEST_F(TranslateFixture, ExistsExpansion)
+{
+    TupleSet full = TupleSet::range(0, 2);
+    RelationId r = p.addRelation("r", full);
+    std::vector<Atom> atoms = {0, 1, 2};
+    p.require(exists(atoms, [&](Atom x) {
+        return in(Expr::atom(x), p.expr(r));
+    }));
+    p.require(lone(p.expr(r)));
+    uint64_t n = solveAll(
+        p, [](const Instance &) { return true; });
+    EXPECT_EQ(n, 3u); // exactly the three singletons
+}
+
+TEST_F(TranslateFixture, EvaluateExpressionUnderModel)
+{
+    TupleSet full = TupleSet::range(0, 2);
+    RelationId r = p.addRelation("r", full);
+    p.require(eq(p.expr(r), Expr::constant(TupleSet::range(0, 1))));
+
+    checkmate::sat::Solver solver;
+    Translation t(p, solver);
+    ASSERT_EQ(solver.solve(), checkmate::sat::LBool::True);
+    TupleSet v = t.evaluate(p.expr(r), solver);
+    EXPECT_EQ(v, TupleSet::range(0, 1));
+    EXPECT_TRUE(t.evaluate(some(p.expr(r)), solver));
+    EXPECT_FALSE(t.evaluate(no(p.expr(r)), solver));
+}
+
+TEST_F(TranslateFixture, AtMostCardinality)
+{
+    TupleSet full = TupleSet::range(0, 2);
+    RelationId r = p.addRelation("r", full);
+    p.require(atMost(p.expr(r), 2));
+    uint64_t n = solveAll(
+        p, [](const Instance &) { return true; });
+    EXPECT_EQ(n, 7u); // all subsets except the full set
+}
+
+TEST_F(TranslateFixture, AtLeastCardinality)
+{
+    TupleSet full = TupleSet::range(0, 2);
+    RelationId r = p.addRelation("r", full);
+    p.require(atLeast(p.expr(r), 2));
+    uint64_t n = solveAll(
+        p, [](const Instance &) { return true; });
+    EXPECT_EQ(n, 4u); // 3 two-element subsets + the full set
+}
+
+TEST_F(TranslateFixture, CardinalityConjunction)
+{
+    TupleSet full = TupleSet::range(0, 2);
+    RelationId r = p.addRelation("r", full);
+    p.require(atLeast(p.expr(r), 1) && atMost(p.expr(r), 1));
+    uint64_t n = solveAll(
+        p, [](const Instance &) { return true; });
+    EXPECT_EQ(n, 3u); // exactly-one, expressed via cardinalities
+}
+
+TEST_F(TranslateFixture, AtLeastZeroIsTrivial)
+{
+    TupleSet full = TupleSet::range(0, 1);
+    RelationId r = p.addRelation("r", full);
+    p.require(atLeast(p.expr(r), 0));
+    uint64_t n = solveAll(
+        p, [](const Instance &) { return true; });
+    EXPECT_EQ(n, 4u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Tests for universes and tuple sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmf/universe.hh"
+
+namespace
+{
+
+using namespace checkmate::rmf;
+
+TEST(Universe, AtomNamesRoundTrip)
+{
+    Universe u({"a", "b", "c"});
+    EXPECT_EQ(u.size(), 3);
+    EXPECT_EQ(u.atom("b"), 1);
+    EXPECT_EQ(u.name(2), "c");
+    EXPECT_TRUE(u.has("a"));
+    EXPECT_FALSE(u.has("z"));
+    EXPECT_EQ(u.atom("z"), -1);
+}
+
+TEST(Universe, RejectsDuplicateNames)
+{
+    Universe u;
+    u.addAtom("x");
+    EXPECT_THROW(u.addAtom("x"), std::invalid_argument);
+}
+
+TEST(TupleSet, AddKeepsSortedUnique)
+{
+    TupleSet ts(2);
+    ts.add({1, 0});
+    ts.add({0, 1});
+    ts.add({1, 0});
+    EXPECT_EQ(ts.size(), 2u);
+    EXPECT_EQ(ts.tuples()[0], (Tuple{0, 1}));
+    EXPECT_EQ(ts.tuples()[1], (Tuple{1, 0}));
+}
+
+TEST(TupleSet, Contains)
+{
+    TupleSet ts(1);
+    ts.add({2});
+    EXPECT_TRUE(ts.contains({2}));
+    EXPECT_FALSE(ts.contains({3}));
+}
+
+TEST(TupleSet, Range)
+{
+    TupleSet ts = TupleSet::range(1, 3);
+    EXPECT_EQ(ts.size(), 3u);
+    EXPECT_TRUE(ts.contains({1}));
+    EXPECT_TRUE(ts.contains({3}));
+    EXPECT_FALSE(ts.contains({0}));
+}
+
+TEST(TupleSet, Product)
+{
+    TupleSet a = TupleSet::range(0, 1);
+    TupleSet b = TupleSet::range(2, 3);
+    TupleSet p = TupleSet::product({a, b});
+    EXPECT_EQ(p.arity(), 2);
+    EXPECT_EQ(p.size(), 4u);
+    EXPECT_TRUE(p.contains({0, 2}));
+    EXPECT_TRUE(p.contains({1, 3}));
+}
+
+TEST(TupleSet, TripleProduct)
+{
+    TupleSet a = TupleSet::range(0, 1);
+    TupleSet p = TupleSet::product({a, a, a});
+    EXPECT_EQ(p.arity(), 3);
+    EXPECT_EQ(p.size(), 8u);
+}
+
+TEST(TupleSet, UnionWith)
+{
+    TupleSet a(1), b(1);
+    a.add({0});
+    a.add({1});
+    b.add({1});
+    b.add({2});
+    TupleSet u = a.unionWith(b);
+    EXPECT_EQ(u.size(), 3u);
+}
+
+TEST(TupleSet, ToStringUsesAtomNames)
+{
+    Universe u({"x", "y"});
+    TupleSet ts(2);
+    ts.add({0, 1});
+    EXPECT_EQ(ts.toString(u), "{<x,y>}");
+}
+
+TEST(TupleSet, EmptySetHasRequestedArity)
+{
+    TupleSet ts(3);
+    EXPECT_EQ(ts.arity(), 3);
+    EXPECT_TRUE(ts.empty());
+}
+
+} // anonymous namespace

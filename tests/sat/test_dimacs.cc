@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tests for DIMACS parsing/emission round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sat/dimacs.hh"
+#include "sat/solver.hh"
+
+namespace
+{
+
+using namespace checkmate::sat;
+
+TEST(Dimacs, ParsesSimpleProblem)
+{
+    auto p = parseDimacsString("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+    EXPECT_EQ(p.numVars, 3);
+    ASSERT_EQ(p.clauses.size(), 2u);
+    EXPECT_EQ(p.clauses[0].size(), 2u);
+    EXPECT_EQ(p.clauses[0][0], mkLit(0));
+    EXPECT_EQ(p.clauses[0][1], mkLit(1, true));
+}
+
+TEST(Dimacs, GrowsVarCountFromLiterals)
+{
+    auto p = parseDimacsString("p cnf 1 1\n5 0\n");
+    EXPECT_EQ(p.numVars, 5);
+}
+
+TEST(Dimacs, ThrowsOnMissingTerminator)
+{
+    EXPECT_THROW(parseDimacsString("p cnf 2 1\n1 2\n"),
+                 std::runtime_error);
+}
+
+TEST(Dimacs, ThrowsOnBadHeader)
+{
+    EXPECT_THROW(parseDimacsString("p sat 2 1\n1 0\n"),
+                 std::runtime_error);
+}
+
+TEST(Dimacs, ThrowsOnGarbageToken)
+{
+    EXPECT_THROW(parseDimacsString("p cnf 2 1\n1 x 0\n"),
+                 std::runtime_error);
+}
+
+TEST(Dimacs, LoadAndSolve)
+{
+    auto p = parseDimacsString("p cnf 2 2\n1 2 0\n-1 0\n");
+    Solver s;
+    ASSERT_TRUE(loadDimacs(p, s));
+    EXPECT_EQ(s.solve(), LBool::True);
+    EXPECT_EQ(s.modelValue(Var(1)), LBool::True);
+}
+
+TEST(Dimacs, RoundTrip)
+{
+    auto p = parseDimacsString("p cnf 3 2\n1 -2 0\n2 3 0\n");
+    std::ostringstream out;
+    writeDimacs(out, p.numVars, p.clauses);
+    auto p2 = parseDimacsString(out.str());
+    EXPECT_EQ(p2.numVars, p.numVars);
+    EXPECT_EQ(p2.clauses, p.clauses);
+}
+
+} // anonymous namespace

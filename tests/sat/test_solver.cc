@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Unit and property tests for the CDCL SAT solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "sat/solver.hh"
+
+namespace
+{
+
+using namespace checkmate::sat;
+
+TEST(Solver, EmptyProblemIsSat)
+{
+    Solver s;
+    EXPECT_EQ(s.solve(), LBool::True);
+}
+
+TEST(Solver, SingleUnitClause)
+{
+    Solver s;
+    Var a = s.newVar();
+    ASSERT_TRUE(s.addClause(mkLit(a)));
+    EXPECT_EQ(s.solve(), LBool::True);
+    EXPECT_EQ(s.modelValue(a), LBool::True);
+}
+
+TEST(Solver, ConflictingUnits)
+{
+    Solver s;
+    Var a = s.newVar();
+    s.addClause(mkLit(a));
+    EXPECT_FALSE(s.addClause(mkLit(a, true)));
+    EXPECT_EQ(s.solve(), LBool::False);
+    EXPECT_TRUE(s.inConflict());
+}
+
+TEST(Solver, SimpleImplicationChain)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+    s.addClause(~mkLit(a), mkLit(b)); // a -> b
+    s.addClause(~mkLit(b), mkLit(c)); // b -> c
+    s.addClause(mkLit(a));
+    EXPECT_EQ(s.solve(), LBool::True);
+    EXPECT_EQ(s.modelValue(c), LBool::True);
+}
+
+TEST(Solver, TautologyIsIgnored)
+{
+    Solver s;
+    Var a = s.newVar();
+    EXPECT_TRUE(s.addClause(Clause{mkLit(a), mkLit(a, true)}));
+    EXPECT_EQ(s.solve(), LBool::True);
+}
+
+TEST(Solver, DuplicateLiteralsCollapsed)
+{
+    Solver s;
+    Var a = s.newVar();
+    EXPECT_TRUE(s.addClause(Clause{mkLit(a), mkLit(a)}));
+    EXPECT_EQ(s.solve(), LBool::True);
+    EXPECT_EQ(s.modelValue(a), LBool::True);
+}
+
+TEST(Solver, UnsatTriangle)
+{
+    // (a|b) & (a|~b) & (~a|b) & (~a|~b) is UNSAT.
+    Solver s;
+    Var a = s.newVar(), b = s.newVar();
+    s.addClause(mkLit(a), mkLit(b));
+    s.addClause(mkLit(a), ~mkLit(b));
+    s.addClause(~mkLit(a), mkLit(b));
+    s.addClause(~mkLit(a), ~mkLit(b));
+    EXPECT_EQ(s.solve(), LBool::False);
+}
+
+TEST(Solver, PigeonHole43IsUnsat)
+{
+    // 4 pigeons into 3 holes: classic small UNSAT instance that
+    // requires real conflict analysis.
+    const int pigeons = 4, holes = 3;
+    Solver s;
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; p++)
+        for (int h = 0; h < holes; h++)
+            x[p][h] = s.newVar();
+    for (int p = 0; p < pigeons; p++) {
+        Clause c;
+        for (int h = 0; h < holes; h++)
+            c.push_back(mkLit(x[p][h]));
+        s.addClause(c);
+    }
+    for (int h = 0; h < holes; h++)
+        for (int p1 = 0; p1 < pigeons; p1++)
+            for (int p2 = p1 + 1; p2 < pigeons; p2++)
+                s.addClause(~mkLit(x[p1][h]), ~mkLit(x[p2][h]));
+    EXPECT_EQ(s.solve(), LBool::False);
+}
+
+TEST(Solver, PigeonHole44IsSat)
+{
+    const int pigeons = 4, holes = 4;
+    Solver s;
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; p++)
+        for (int h = 0; h < holes; h++)
+            x[p][h] = s.newVar();
+    for (int p = 0; p < pigeons; p++) {
+        Clause c;
+        for (int h = 0; h < holes; h++)
+            c.push_back(mkLit(x[p][h]));
+        s.addClause(c);
+    }
+    for (int h = 0; h < holes; h++)
+        for (int p1 = 0; p1 < pigeons; p1++)
+            for (int p2 = p1 + 1; p2 < pigeons; p2++)
+                s.addClause(~mkLit(x[p1][h]), ~mkLit(x[p2][h]));
+    EXPECT_EQ(s.solve(), LBool::True);
+}
+
+TEST(Solver, AssumptionsRestrictSolutions)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar();
+    s.addClause(mkLit(a), mkLit(b));
+    EXPECT_EQ(s.solve({~mkLit(a)}), LBool::True);
+    EXPECT_EQ(s.modelValue(b), LBool::True);
+    EXPECT_EQ(s.solve({~mkLit(a), ~mkLit(b)}), LBool::False);
+    // The solver must remain usable after an UNSAT-under-assumptions.
+    EXPECT_EQ(s.solve(), LBool::True);
+}
+
+TEST(Solver, EnumerateAllModelsOfFreeVars)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+    s.addClause(mkLit(a), mkLit(b), mkLit(c));
+    std::set<std::vector<int>> models;
+    uint64_t n = s.enumerateModels({a, b, c}, [&](const Solver &m) {
+        models.insert({m.modelValue(a) == LBool::True,
+                       m.modelValue(b) == LBool::True,
+                       m.modelValue(c) == LBool::True});
+        return true;
+    });
+    EXPECT_EQ(n, 7u); // 2^3 - 1 (all-false excluded)
+    EXPECT_EQ(models.size(), 7u);
+    EXPECT_FALSE(models.count({0, 0, 0}));
+}
+
+TEST(Solver, EnumerateRespectsMaxModels)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar();
+    (void)a;
+    (void)b;
+    uint64_t n = s.enumerateModels(
+        {a, b}, [](const Solver &) { return true; }, 2);
+    EXPECT_EQ(n, 2u);
+}
+
+TEST(Solver, EnumerateCallbackCanStop)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar();
+    (void)b;
+    uint64_t n = s.enumerateModels(
+        {a, b}, [](const Solver &) { return false; });
+    EXPECT_EQ(n, 1u);
+}
+
+TEST(Solver, ProjectedEnumerationCollapsesDontCares)
+{
+    // Projecting on {a} only: b is free, but each projected model is
+    // reported once.
+    Solver s;
+    Var a = s.newVar(), b = s.newVar();
+    (void)b;
+    uint64_t n = s.enumerateModels(
+        {a}, [](const Solver &) { return true; });
+    EXPECT_EQ(n, 2u);
+}
+
+TEST(Solver, ConflictBudgetAborts)
+{
+    // A hard pigeon-hole instance with a tiny budget should abort.
+    const int pigeons = 9, holes = 8;
+    Solver s;
+    std::vector<std::vector<Var>> x(pigeons, std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; p++)
+        for (int h = 0; h < holes; h++)
+            x[p][h] = s.newVar();
+    for (int p = 0; p < pigeons; p++) {
+        Clause c;
+        for (int h = 0; h < holes; h++)
+            c.push_back(mkLit(x[p][h]));
+        s.addClause(c);
+    }
+    for (int h = 0; h < holes; h++)
+        for (int p1 = 0; p1 < pigeons; p1++)
+            for (int p2 = p1 + 1; p2 < pigeons; p2++)
+                s.addClause(~mkLit(x[p1][h]), ~mkLit(x[p2][h]));
+    s.setConflictBudget(10);
+    EXPECT_EQ(s.solve(), LBool::Undef);
+}
+
+// --- Property test: agreement with a brute-force model counter ------
+
+/** Count models of a clause set by brute force (up to 20 vars). */
+uint64_t
+bruteForceCount(int num_vars, const std::vector<Clause> &clauses)
+{
+    uint64_t count = 0;
+    for (uint32_t bits = 0; bits < (1u << num_vars); bits++) {
+        bool ok = true;
+        for (const Clause &c : clauses) {
+            bool sat_clause = false;
+            for (Lit p : c) {
+                bool v = (bits >> p.var()) & 1;
+                if (p.sign() ? !v : v) {
+                    sat_clause = true;
+                    break;
+                }
+            }
+            if (!sat_clause) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok)
+            count++;
+    }
+    return count;
+}
+
+class SolverRandomCnf : public ::testing::TestWithParam<int>
+{};
+
+TEST_P(SolverRandomCnf, ModelCountMatchesBruteForce)
+{
+    std::mt19937 rng(GetParam());
+    std::uniform_int_distribution<int> var_count(3, 10);
+    const int num_vars = var_count(rng);
+    std::uniform_int_distribution<int> clause_count(2, 25);
+    std::uniform_int_distribution<int> clause_len(1, 4);
+    std::uniform_int_distribution<int> var_pick(0, num_vars - 1);
+    std::uniform_int_distribution<int> coin(0, 1);
+
+    std::vector<Clause> clauses;
+    const int n_clauses = clause_count(rng);
+    for (int i = 0; i < n_clauses; i++) {
+        Clause c;
+        int len = clause_len(rng);
+        for (int j = 0; j < len; j++)
+            c.push_back(mkLit(var_pick(rng), coin(rng)));
+        clauses.push_back(c);
+    }
+
+    Solver s;
+    std::vector<Var> all_vars;
+    for (int v = 0; v < num_vars; v++)
+        all_vars.push_back(s.newVar());
+    bool load_ok = true;
+    for (const Clause &c : clauses)
+        load_ok = s.addClause(c) && load_ok;
+
+    uint64_t expected = bruteForceCount(num_vars, clauses);
+    if (!load_ok) {
+        EXPECT_EQ(expected, 0u);
+        return;
+    }
+    uint64_t got = s.enumerateModels(
+        all_vars, [](const Solver &) { return true; });
+    EXPECT_EQ(got, expected) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, SolverRandomCnf,
+                         ::testing::Range(0, 40));
+
+} // anonymous namespace

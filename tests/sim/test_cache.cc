@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for the coherent memory system.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+namespace
+{
+
+using namespace checkmate::sim;
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig c;
+    c.numCores = 2;
+    c.numSets = 4;
+    c.lineBytes = 64;
+    c.memoryBytes = 1 << 16;
+    return c;
+}
+
+TEST(Cache, ColdLoadMissesThenHits)
+{
+    MemorySystem mem(smallConfig());
+    int latency = 0;
+    mem.load(0, 0x100, latency);
+    EXPECT_EQ(latency, mem.config().missLatency);
+    mem.load(0, 0x100, latency);
+    EXPECT_EQ(latency, mem.config().hitLatency);
+    EXPECT_EQ(mem.stats(0).hits, 1u);
+    EXPECT_EQ(mem.stats(0).misses, 1u);
+}
+
+TEST(Cache, SameLineDifferentByteHits)
+{
+    MemorySystem mem(smallConfig());
+    int latency = 0;
+    mem.load(0, 0x100, latency);
+    mem.load(0, 0x13f, latency); // last byte of the same 64B line
+    EXPECT_EQ(latency, mem.config().hitLatency);
+}
+
+TEST(Cache, DirectMappedConflictEvicts)
+{
+    MemorySystem mem(smallConfig());
+    int latency = 0;
+    // 4 sets * 64B = 256B stride collides.
+    mem.load(0, 0x000, latency);
+    mem.load(0, 0x100, latency); // same set, different tag
+    EXPECT_FALSE(mem.present(0, 0x000));
+    EXPECT_TRUE(mem.present(0, 0x100));
+}
+
+TEST(Cache, LoadValueComesFromMemory)
+{
+    MemorySystem mem(smallConfig());
+    mem.poke(0x42, 0xab);
+    int latency = 0;
+    EXPECT_EQ(mem.load(0, 0x42, latency), 0xab);
+}
+
+TEST(Cache, StoreWritesThroughAndFills)
+{
+    MemorySystem mem(smallConfig());
+    int latency = 0;
+    mem.store(0, 0x80, 0x7f, latency);
+    EXPECT_EQ(mem.peek(0x80), 0x7f);
+    EXPECT_TRUE(mem.present(0, 0x80));
+}
+
+TEST(Cache, StoreInvalidatesOtherCore)
+{
+    MemorySystem mem(smallConfig());
+    int latency = 0;
+    mem.load(1, 0x80, latency);
+    ASSERT_TRUE(mem.present(1, 0x80));
+    mem.store(0, 0x80, 1, latency);
+    EXPECT_FALSE(mem.present(1, 0x80));
+    EXPECT_EQ(mem.stats(0).invalidationsSent, 1u);
+    EXPECT_EQ(mem.stats(1).invalidationsReceived, 1u);
+}
+
+TEST(Cache, AcquireExclusiveInvalidatesWithoutWriting)
+{
+    // The MeltdownPrime lever: ownership without data movement.
+    MemorySystem mem(smallConfig());
+    mem.poke(0x80, 0x11);
+    int latency = 0;
+    mem.load(1, 0x80, latency);
+    mem.acquireExclusive(0, 0x80);
+    EXPECT_FALSE(mem.present(1, 0x80));
+    EXPECT_EQ(mem.peek(0x80), 0x11); // no data write
+    // The requester did not even fill its own cache.
+    EXPECT_FALSE(mem.present(0, 0x80));
+}
+
+TEST(Cache, FlushEvictsEverywhere)
+{
+    MemorySystem mem(smallConfig());
+    int latency = 0;
+    mem.load(0, 0x80, latency);
+    mem.load(1, 0x80, latency);
+    mem.flush(0x80);
+    EXPECT_FALSE(mem.present(0, 0x80));
+    EXPECT_FALSE(mem.present(1, 0x80));
+    EXPECT_EQ(mem.stats(0).flushes, 1u);
+}
+
+TEST(Cache, EvictLocalIsPerCore)
+{
+    MemorySystem mem(smallConfig());
+    int latency = 0;
+    mem.load(0, 0x80, latency);
+    mem.load(1, 0x80, latency);
+    mem.evictLocal(0, 0x80);
+    EXPECT_FALSE(mem.present(0, 0x80));
+    EXPECT_TRUE(mem.present(1, 0x80));
+}
+
+TEST(Cache, LoadsDoNotInvalidateSharers)
+{
+    MemorySystem mem(smallConfig());
+    int latency = 0;
+    mem.load(0, 0x80, latency);
+    mem.load(1, 0x80, latency);
+    EXPECT_TRUE(mem.present(0, 0x80));
+    EXPECT_TRUE(mem.present(1, 0x80));
+}
+
+TEST(Cache, ResetStatsClears)
+{
+    MemorySystem mem(smallConfig());
+    int latency = 0;
+    mem.load(0, 0x80, latency);
+    mem.resetStats();
+    EXPECT_EQ(mem.stats(0).misses, 0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the speculative timing simulator core model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+
+namespace
+{
+
+using namespace checkmate::sim;
+
+Machine
+makeMachine()
+{
+    CacheConfig cache;
+    cache.numCores = 2;
+    cache.numSets = 64;
+    cache.memoryBytes = 1 << 18;
+    CoreConfig core;
+    return Machine(cache, core);
+}
+
+TEST(Machine, AluAndHalt)
+{
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 5), addi(2, 1, 7), add(3, 1, 2),
+                     shli(4, 3, 2), andi(5, 4, 0xf), halt()});
+    auto r = m.run(0);
+    EXPECT_TRUE(r.haltedCleanly);
+    EXPECT_EQ(m.reg(0, 3), 17);
+    EXPECT_EQ(m.reg(0, 4), 68);
+    EXPECT_EQ(m.reg(0, 5), 4);
+}
+
+TEST(Machine, LoadStoreRoundTrip)
+{
+    Machine m = makeMachine();
+    m.memory().poke(0x200, 0x5a);
+    m.setProgram(0, {movi(1, 0x200), load(2, 1), movi(3, 0x33),
+                     store(1, 64, 3), load(4, 1, 64), halt()});
+    m.run(0);
+    EXPECT_EQ(m.reg(0, 2), 0x5a);
+    EXPECT_EQ(m.reg(0, 4), 0x33);
+    EXPECT_EQ(m.memory().peek(0x240), 0x33);
+}
+
+TEST(Machine, RdtscObservesMissVsHitLatency)
+{
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 0x400),
+                     rdtsc(2), load(3, 1), rdtsc(4),  // miss
+                     rdtsc(5), load(6, 1), rdtsc(7),  // hit
+                     halt()});
+    m.run(0);
+    int64_t miss = m.reg(0, 4) - m.reg(0, 2);
+    int64_t hit = m.reg(0, 7) - m.reg(0, 5);
+    EXPECT_GT(miss, hit);
+    EXPECT_GE(miss, m.memory().config().missLatency);
+    EXPECT_LT(hit, m.memory().config().missLatency);
+}
+
+TEST(Machine, TakenBranchFollowsTarget)
+{
+    Machine m = makeMachine();
+    // if (r1 < r2) r3 = 1 else r3 = 2
+    m.setProgram(0, {movi(1, 1), movi(2, 5), blt(1, 2, 5),
+                     movi(3, 2), halt(), movi(3, 1), halt()});
+    auto r = m.run(0);
+    EXPECT_EQ(m.reg(0, 3), 1);
+    EXPECT_TRUE(r.haltedCleanly);
+}
+
+TEST(Machine, MispredictionSquashesArchitecturalState)
+{
+    Machine m = makeMachine();
+    // Predictor starts weakly-not-taken: a taken branch mispredicts,
+    // the wrong path sets r3, the squash must undo it.
+    m.setProgram(0, {movi(1, 1), movi(2, 5), movi(3, 0),
+                     blt(1, 2, 6), movi(3, 99), halt(),
+                     halt()});
+    auto r = m.run(0);
+    EXPECT_EQ(m.reg(0, 3), 0) << "wrong-path write survived";
+    EXPECT_EQ(r.squashes, 1u);
+}
+
+TEST(Machine, WrongPathLoadPollutesCache)
+{
+    // The Spectre lever: a squashed load's line remains cached.
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 1), movi(2, 5), movi(4, 0x800),
+                     blt(1, 2, 6), load(5, 4), halt(),
+                     halt()});
+    auto r = m.run(0);
+    EXPECT_EQ(r.squashes, 1u);
+    EXPECT_TRUE(m.memory().present(0, 0x800))
+        << "squashed load should still fill the cache";
+}
+
+TEST(Machine, WrongPathStoreDoesNotWriteMemory)
+{
+    Machine m = makeMachine();
+    m.memory().poke(0x800, 7);
+    m.setProgram(0, {movi(1, 1), movi(2, 5), movi(4, 0x800),
+                     movi(5, 42),
+                     blt(1, 2, 7), store(4, 0, 5), halt(),
+                     halt()});
+    auto r = m.run(0);
+    EXPECT_EQ(r.squashes, 1u);
+    EXPECT_EQ(m.memory().peek(0x800), 7)
+        << "speculative store data must not commit";
+}
+
+TEST(Machine, WrongPathStoreStillInvalidatesSharers)
+{
+    // The SpectrePrime lever: the squashed store's ownership request
+    // already invalidated the other core's line.
+    Machine m = makeMachine();
+    int latency = 0;
+    m.memory().load(1, 0x800, latency);
+    ASSERT_TRUE(m.memory().present(1, 0x800));
+    m.setProgram(0, {movi(1, 1), movi(2, 5), movi(4, 0x800),
+                     movi(5, 42),
+                     blt(1, 2, 7), store(4, 0, 5), halt(),
+                     halt()});
+    m.run(0);
+    EXPECT_FALSE(m.memory().present(1, 0x800))
+        << "speculative invalidation should have reached core 1";
+}
+
+TEST(Machine, CommittedSpeculativeStoreDrains)
+{
+    // A correctly predicted branch: the store under it commits.
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 1), movi(2, 5), movi(4, 0x800),
+                     movi(5, 42),
+                     bge(1, 2, 7), store(4, 0, 5), halt(),
+                     halt()});
+    // bge 1,5 is not taken; initial prediction is weakly-not-taken,
+    // so the prediction is correct and the store commits.
+    auto r = m.run(0);
+    EXPECT_EQ(r.squashes, 0u);
+    EXPECT_EQ(m.memory().peek(0x800), 42);
+}
+
+TEST(Machine, StoreToLoadForwardingInWindow)
+{
+    Machine m = makeMachine();
+    m.memory().poke(0x800, 7);
+    // Speculative store followed by a load of the same address in
+    // the same window: the load must see the store's value.
+    m.setProgram(0, {movi(1, 1), movi(2, 5), movi(4, 0x800),
+                     movi(5, 42),
+                     bge(1, 2, 8), // not taken, predicted correctly
+                     store(4, 0, 5), load(6, 4), halt(),
+                     halt()});
+    m.run(0);
+    EXPECT_EQ(m.reg(0, 6), 42);
+}
+
+TEST(Machine, PredictorTrainsWithRepetition)
+{
+    Machine m = makeMachine();
+    // Run a taken branch repeatedly; after training, no squashes.
+    m.setProgram(0, {movi(1, 1), movi(2, 5), blt(1, 2, 4),
+                     halt(), halt()});
+    uint64_t first = m.run(0).squashes;
+    m.run(0);
+    uint64_t trained = m.run(0).squashes;
+    EXPECT_EQ(first, 1u);
+    EXPECT_EQ(trained, 0u);
+}
+
+TEST(Machine, PredictorPersistsAcrossPrograms)
+{
+    Machine m = makeMachine();
+    Program p = {movi(1, 1), movi(2, 5), blt(1, 2, 4), halt(),
+                 halt()};
+    m.setProgram(0, p);
+    m.run(0);
+    m.run(0);
+    m.setProgram(0, {movi(3, 9), halt()}); // unrelated program
+    m.run(0);
+    m.setProgram(0, p);
+    EXPECT_EQ(m.run(0).squashes, 0u)
+        << "training should survive program swaps";
+}
+
+TEST(Machine, PrivilegedLoadFaultsAndSquashes)
+{
+    Machine m = makeMachine();
+    m.addPrivilegedRange(0x1000, 0x1100);
+    m.memory().poke(0x1000, 0x77);
+    m.setProgram(0, {movi(1, 0x1000), movi(3, 0), load(2, 1),
+                     movi(3, 1), halt()});
+    m.setFaultHandler(0, 4);
+    auto r = m.run(0);
+    EXPECT_TRUE(r.faulted);
+    EXPECT_EQ(m.reg(0, 2), 0) << "faulting load's value must not "
+                                 "survive architecturally";
+    EXPECT_EQ(m.reg(0, 3), 0) << "window work must squash";
+}
+
+TEST(Machine, MeltdownWindowLeaksThroughCache)
+{
+    // The Meltdown lever: a dependent access in the fault window
+    // fills a cache line indexed by the secret.
+    Machine m = makeMachine();
+    m.addPrivilegedRange(0x1000, 0x1100);
+    m.memory().poke(0x1000, 3); // secret = 3
+    m.setProgram(0, {movi(1, 0x1000), load(2, 1), shli(3, 2, 6),
+                     load(4, 3, 0x2000), halt()});
+    m.setFaultHandler(0, 4);
+    auto r = m.run(0);
+    EXPECT_TRUE(r.faulted);
+    EXPECT_TRUE(m.memory().present(0, 0x2000 + 3 * 64))
+        << "dependent fill should expose the secret";
+}
+
+TEST(Machine, FenceBlocksSpeculativeWindow)
+{
+    // With a fence between the branch and the body, the wrong path
+    // never executes: no pollution.
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 1), movi(2, 5), movi(4, 0x800),
+                     blt(1, 2, 7), fence(), load(5, 4), halt(),
+                     halt()});
+    auto r = m.run(0);
+    EXPECT_EQ(r.squashes, 1u);
+    EXPECT_FALSE(m.memory().present(0, 0x800))
+        << "fence must stop the wrong-path load";
+}
+
+TEST(Machine, FenceBlocksMeltdownWindow)
+{
+    Machine m = makeMachine();
+    m.addPrivilegedRange(0x1000, 0x1100);
+    m.memory().poke(0x1000, 3);
+    m.setProgram(0, {movi(1, 0x1000), load(2, 1), fence(),
+                     shli(3, 2, 6), load(4, 3, 0x2000), halt()});
+    m.setFaultHandler(0, 5);
+    auto r = m.run(0);
+    EXPECT_TRUE(r.faulted);
+    EXPECT_FALSE(m.memory().present(0, 0x2000 + 3 * 64));
+}
+
+TEST(Machine, RobBoundsSpeculativeWindow)
+{
+    // More wrong-path instructions than the ROB holds: the core
+    // stalls and resolves rather than running ahead forever.
+    CacheConfig cache;
+    cache.memoryBytes = 1 << 16;
+    CoreConfig core;
+    core.robSize = 4;
+    Machine m(cache, core);
+    Program p = {movi(1, 1), movi(2, 5), blt(1, 2, 12)};
+    for (int i = 0; i < 8; i++)
+        p.push_back(addi(3, 3, 1)); // wrong path
+    p.push_back(halt());
+    p.push_back(halt()); // target
+    m.setProgram(0, p);
+    auto r = m.run(0);
+    EXPECT_EQ(r.squashes, 1u);
+    EXPECT_EQ(m.reg(0, 3), 0);
+    // At most robSize wrong-path instructions executed.
+    EXPECT_LE(r.instructions, 3u + 4u + 2u);
+}
+
+TEST(Machine, JumpWorks)
+{
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 1), jmp(3), movi(1, 99), halt()});
+    m.run(0);
+    EXPECT_EQ(m.reg(0, 1), 1);
+}
+
+TEST(Machine, DisassembleSmoke)
+{
+    EXPECT_EQ(disassemble(movi(1, 5)), "movi r1, 5");
+    EXPECT_EQ(disassemble(load(2, 1, 8)), "load r2, [r1 + 8]");
+    EXPECT_EQ(disassemble(fence()), "fence");
+    EXPECT_EQ(disassemble(blt(1, 2, 7)), "blt r1, r2, 7");
+}
+
+} // anonymous namespace

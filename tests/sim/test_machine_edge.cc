@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Edge-case tests for the speculative simulator: nested windows,
+ * faults inside branch windows, store-buffer chains, and predictor
+ * aliasing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/machine.hh"
+
+namespace
+{
+
+using namespace checkmate::sim;
+
+Machine
+makeMachine()
+{
+    CacheConfig cache;
+    cache.numCores = 2;
+    cache.numSets = 64;
+    cache.memoryBytes = 1 << 18;
+    CoreConfig core;
+    return Machine(cache, core);
+}
+
+TEST(MachineEdge, NestedMispredictionsUnwindToOldest)
+{
+    Machine m = makeMachine();
+    // Two mispredicted branches back to back: the squash of the
+    // older must discard the younger's window too.
+    m.setProgram(0, {movi(1, 1), movi(2, 5),
+                     blt(1, 2, 7),  // taken, predicted not-taken
+                     blt(1, 2, 7),  // wrong path: nested branch
+                     movi(3, 99),   // deep wrong path
+                     halt(),
+                     halt(),
+                     halt()}); // 7: target
+    auto r = m.run(0);
+    EXPECT_EQ(m.reg(0, 3), 0);
+    EXPECT_GE(r.squashes, 1u);
+    EXPECT_TRUE(r.haltedCleanly);
+}
+
+TEST(MachineEdge, FaultInsideBranchWindowIsDiscarded)
+{
+    // A wrong-path privileged load must not take an architectural
+    // fault: the branch squash wins (it is older).
+    Machine m = makeMachine();
+    m.addPrivilegedRange(0x1000, 0x1100);
+    m.setProgram(0, {movi(1, 1), movi(2, 5), movi(4, 0x1000),
+                     blt(1, 2, 6),  // taken, mispredicted
+                     load(5, 4),    // wrong path: illegal load
+                     halt(),
+                     halt()}); // 6: target
+    auto r = m.run(0);
+    EXPECT_FALSE(r.faulted)
+        << "wrong-path fault must never become architectural";
+    EXPECT_EQ(m.reg(0, 5), 0);
+}
+
+TEST(MachineEdge, CommittedStoreChainDrainsInOrder)
+{
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 1), movi(2, 5), movi(4, 0x800),
+                     movi(5, 7), movi(6, 9),
+                     bge(1, 2, 9), // not taken, predicted correctly
+                     store(4, 0, 5), store(4, 1, 6), halt(),
+                     halt()});
+    auto r = m.run(0);
+    EXPECT_EQ(r.squashes, 0u);
+    EXPECT_EQ(m.memory().peek(0x800), 7);
+    EXPECT_EQ(m.memory().peek(0x801), 9);
+}
+
+TEST(MachineEdge, ForwardingPrefersYoungestStore)
+{
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 1), movi(2, 5), movi(4, 0x800),
+                     movi(5, 7), movi(6, 9),
+                     bge(1, 2, 10), // correctly predicted not-taken
+                     store(4, 0, 5), store(4, 0, 6), load(7, 4),
+                     halt(), halt()});
+    m.run(0);
+    EXPECT_EQ(m.reg(0, 7), 9) << "latest pending store forwards";
+}
+
+TEST(MachineEdge, PredictorAliasingAcrossPcs)
+{
+    // Two branches aliasing to one counter (pc % 64): training one
+    // trains the other.
+    Machine m = makeMachine();
+    Program p;
+    p.push_back(movi(1, 1));              // 0
+    p.push_back(movi(2, 5));              // 1
+    p.push_back(blt(1, 2, 4));            // 2: taken
+    p.push_back(halt());                  // 3 (skipped)
+    p.push_back(halt());                  // 4
+    m.setProgram(0, p);
+    m.run(0);
+    m.run(0); // train pc=2 toward taken
+    // A different program whose branch lands on an aliasing slot
+    // (pc = 2 again here) starts off predicted taken.
+    m.setProgram(0, {movi(1, 9), movi(2, 5), blt(1, 2, 4), halt(),
+                     halt()});
+    auto r = m.run(0); // 9 < 5 false: actual not-taken, predicted
+                       // taken -> mispredict
+    EXPECT_EQ(r.squashes, 1u);
+}
+
+TEST(MachineEdge, CyclesMonotonicallyIncrease)
+{
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 0x400), load(2, 1), halt()});
+    uint64_t before = m.cycle(0);
+    m.run(0);
+    uint64_t after = m.cycle(0);
+    EXPECT_GT(after, before);
+    m.run(0);
+    EXPECT_GT(m.cycle(0), after) << "clock persists across runs";
+}
+
+TEST(MachineEdge, OutOfRangeLoadThrowsOutsideSpeculation)
+{
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 1 << 20), load(2, 1), halt()});
+    EXPECT_THROW(m.run(0), std::out_of_range);
+}
+
+TEST(MachineEdge, WildSpeculativeLoadIsSquashedSilently)
+{
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 1), movi(2, 5), movi(4, 1 << 20),
+                     blt(1, 2, 6), load(5, 4), halt(),
+                     halt()});
+    auto r = m.run(0);
+    EXPECT_TRUE(r.haltedCleanly);
+    EXPECT_EQ(r.squashes, 1u);
+}
+
+TEST(MachineEdge, MaxInstructionBudgetStopsRunawayLoops)
+{
+    Machine m = makeMachine();
+    m.setProgram(0, {movi(1, 0), jmp(0), halt()});
+    auto r = m.run(0, 0, 1000);
+    EXPECT_FALSE(r.haltedCleanly);
+    EXPECT_EQ(r.instructions, 1000u);
+}
+
+} // anonymous namespace

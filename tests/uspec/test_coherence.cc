@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the coherence/flush/eviction choice relations and
+ * the speculative-fill model option.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmf/solve.hh"
+#include "uspec/context.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using namespace checkmate::uspec;
+
+SynthesisBounds
+twoCoreBounds(int events)
+{
+    SynthesisBounds b;
+    b.numEvents = events;
+    b.numCores = 2;
+    b.numProcs = 2;
+    b.numVas = 2;
+    b.numPas = 2;
+    b.numIndices = 2;
+    return b;
+}
+
+ModelOptions
+cohOptions()
+{
+    ModelOptions o;
+    o.hasCache = true;
+    o.hasCoherence = true;
+    o.hasSpeculation = true;
+    o.hasPermissions = true;
+    return o;
+}
+
+std::vector<std::string>
+locs()
+{
+    return {"Fetch", "Execute", "Complete"};
+}
+
+TEST(Coherence, CohAfterRequiresCrossCoreWrite)
+{
+    // cohAfter(c, w) demands w is a write on another core to c's PA.
+    UspecContext ctx(twoCoreBounds(2), locs(), cohOptions());
+    ctx.require(ctx.createdAfterInval(0, 1));
+    ctx.require(ctx.isRead(0) && ctx.isRead(1)); // not a write
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(Coherence, CohAfterSatisfiableForRealInvalidation)
+{
+    UspecContext ctx(twoCoreBounds(2), locs(), cohOptions());
+    ctx.require(ctx.createdAfterInval(0, 1));
+    ctx.require(ctx.isRead(0) && ctx.isWrite(1));
+    ctx.require(!ctx.sameCore(0, 1));
+    ctx.require(ctx.samePa(0, 1));
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+}
+
+TEST(Coherence, CohAfterForbiddenSameCore)
+{
+    UspecContext ctx(twoCoreBounds(2), locs(), cohOptions());
+    ctx.require(ctx.createdAfterInval(0, 1));
+    ctx.require(ctx.isRead(0) && ctx.isWrite(1));
+    ctx.require(ctx.sameCore(0, 1));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(Coherence, NoCoherenceOptionEmptiesRelation)
+{
+    ModelOptions o = cohOptions();
+    o.hasCoherence = false;
+    UspecContext ctx(twoCoreBounds(2), locs(), o);
+    ctx.require(ctx.createdAfterInval(0, 1));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(Coherence, FlushAfterRequiresEffectiveFlush)
+{
+    // A squashed CLFLUSH has no effect by default.
+    UspecContext ctx(twoCoreBounds(3), locs(), cohOptions());
+    ctx.require(ctx.isRead(0));
+    ctx.require(ctx.isClflush(2) && ctx.isSquashed(2));
+    ctx.require(ctx.createdAfterFlush(0, 2));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(Coherence, SpeculativeFlushOptionEnablesIt)
+{
+    ModelOptions o = cohOptions();
+    o.allowSpeculativeFlush = true;
+    UspecContext ctx(twoCoreBounds(3), locs(), o);
+    ctx.require(ctx.isRead(0));
+    ctx.require(ctx.isClflush(2) && ctx.isSquashed(2));
+    ctx.require(ctx.createdAfterFlush(0, 2));
+    ctx.require(ctx.samePa(0, 2));
+    EXPECT_TRUE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(Coherence, CollideOrderNeedsContention)
+{
+    UspecContext ctx(twoCoreBounds(2), locs(), cohOptions());
+    ctx.require(ctx.viclBefore(0, 1));
+    ctx.require(!ctx.sameCore(0, 1)); // different L1s: no contention
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(Coherence, ContendingViclsAreTotallyOrdered)
+{
+    UspecContext ctx(twoCoreBounds(2), locs(), cohOptions());
+    ctx.require(ctx.isRead(0) && !ctx.hits(0));
+    ctx.require(ctx.isRead(1) && !ctx.hits(1));
+    ctx.require(ctx.sameCore(0, 1) && ctx.sameIndex(0, 1));
+    ctx.require(ctx.commits(0) && ctx.commits(1));
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    bool ab = inst->value("collideOrder")
+                  .contains({ctx.eventAtom(0), ctx.eventAtom(1)});
+    bool ba = inst->value("collideOrder")
+                  .contains({ctx.eventAtom(1), ctx.eventAtom(0)});
+    EXPECT_NE(ab, ba) << "exactly one order must be chosen";
+}
+
+TEST(Coherence, NoSpeculativeFillsKillsSquashedViCLs)
+{
+    // With the InvisiSpec-style option, a squashed read cannot
+    // source a later hit.
+    ModelOptions o = cohOptions();
+    o.speculativeFills = false;
+    UspecContext ctx(twoCoreBounds(2), locs(), o);
+    ctx.require(ctx.isRead(0) && ctx.isSquashed(0));
+    ctx.require(ctx.isRead(1) && ctx.hits(1));
+    ctx.require(ctx.sourcedBy(1, 0));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(Coherence, SpeculativeFillsAllowSquashedSourcing)
+{
+    UspecContext ctx(twoCoreBounds(2), locs(), cohOptions());
+    ctx.require(ctx.isRead(0) && ctx.isSquashed(0) &&
+                ctx.faults(0));
+    ctx.require(ctx.isRead(1) && ctx.hits(1));
+    ctx.require(ctx.sourcedBy(1, 0));
+    EXPECT_TRUE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+} // anonymous namespace

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Tests for the μspec context: universe layout, well-formedness
+ * axioms, and predicate semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmf/solve.hh"
+#include "rmf/translate.hh"
+#include "uspec/context.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using namespace checkmate::uspec;
+
+SynthesisBounds
+smallBounds(int events = 2)
+{
+    SynthesisBounds b;
+    b.numEvents = events;
+    b.numCores = 2;
+    b.numProcs = 2;
+    b.numVas = 2;
+    b.numPas = 2;
+    b.numIndices = 2;
+    return b;
+}
+
+ModelOptions
+fullOptions()
+{
+    ModelOptions o;
+    o.hasCache = true;
+    o.hasCoherence = true;
+    o.hasSpeculation = true;
+    o.hasPermissions = true;
+    return o;
+}
+
+std::vector<std::string>
+locs()
+{
+    return {"Fetch", "Execute", "Complete"};
+}
+
+TEST(UspecContext, UniverseLayout)
+{
+    UspecContext ctx(smallBounds(), locs(), fullOptions());
+    const rmf::Universe &u = ctx.problem().universe();
+    EXPECT_EQ(u.name(ctx.eventAtom(0)), "E0");
+    EXPECT_EQ(u.name(ctx.coreAtom(1)), "C1");
+    EXPECT_EQ(u.name(ctx.procAtom(procAttacker)), "Attacker");
+    EXPECT_EQ(u.name(ctx.procAtom(procVictim)), "Victim");
+    EXPECT_EQ(u.name(ctx.vaAtom(0)), "VA0");
+    EXPECT_EQ(u.name(ctx.paAtom(1)), "PA1");
+    EXPECT_EQ(u.name(ctx.indexAtom(0)), "IDX0");
+    // Node atoms are row-major: (e, l) contiguous.
+    EXPECT_EQ(ctx.nodeAtom(1, 0), ctx.nodeAtom(0, 0) +
+                                      ctx.numLocations());
+}
+
+TEST(UspecContext, LocIdLookup)
+{
+    UspecContext ctx(smallBounds(), locs(), fullOptions());
+    EXPECT_EQ(ctx.locId("Fetch"), 0);
+    EXPECT_EQ(ctx.locId("Complete"), 2);
+    EXPECT_THROW(ctx.locId("Nope"), std::invalid_argument);
+}
+
+TEST(UspecContext, EveryEventHasExactlyOneType)
+{
+    UspecContext ctx(smallBounds(1), locs(), fullOptions());
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    int type_count = 0;
+    for (int t = 0; t < numMicroOpTypes; t++) {
+        type_count += static_cast<int>(
+            inst->value("is" + std::string(microOpName(
+                                   static_cast<MicroOpType>(t))))
+                .size());
+    }
+    EXPECT_EQ(type_count, 1);
+}
+
+TEST(UspecContext, MemoryEventsHaveAddresses)
+{
+    UspecContext ctx(smallBounds(1), locs(), fullOptions());
+    ctx.require(ctx.isRead(0));
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_EQ(inst->value("eventVa").size(), 1u);
+}
+
+TEST(UspecContext, BranchesHaveNoAddress)
+{
+    UspecContext ctx(smallBounds(1), locs(), fullOptions());
+    ctx.require(ctx.isBranch(0));
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_TRUE(inst->value("eventVa").empty());
+}
+
+TEST(UspecContext, VaMapsAreFunctions)
+{
+    UspecContext ctx(smallBounds(2), locs(), fullOptions());
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_EQ(inst->value("vaPa").size(), 2u);     // one per VA
+    EXPECT_EQ(inst->value("paIndex").size(), 2u);  // one per PA
+}
+
+TEST(UspecContext, Event0OnCore0Canonicalization)
+{
+    UspecContext ctx(smallBounds(2), locs(), fullOptions());
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    rmf::Tuple expect{ctx.eventAtom(0), ctx.coreAtom(0)};
+    EXPECT_TRUE(inst->value("eventCore").contains(expect));
+}
+
+TEST(UspecContext, MispredictedImpliesBranch)
+{
+    UspecContext ctx(smallBounds(2), locs(), fullOptions());
+    ctx.require(ctx.isMispredicted(0));
+    ctx.require(ctx.isRead(0));
+    // A mispredicted read is contradictory.
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(UspecContext, MispredictedBranchNeedsWrongPath)
+{
+    // A mispredicted branch as the final event has nothing to fetch
+    // down the wrong path: unsatisfiable.
+    UspecContext ctx(smallBounds(1), locs(), fullOptions());
+    ctx.require(ctx.isBranch(0));
+    ctx.require(ctx.isMispredicted(0));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(UspecContext, MispredictedBranchSquashesSuccessor)
+{
+    UspecContext ctx(smallBounds(2), locs(), fullOptions());
+    ctx.require(ctx.isBranch(0));
+    ctx.require(ctx.isMispredicted(0));
+    ctx.require(ctx.sameCore(0, 1));
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    rmf::Tuple e1{ctx.eventAtom(1)};
+    EXPECT_TRUE(inst->value("squashed").contains(e1));
+}
+
+TEST(UspecContext, FaultingAccessIsSquashed)
+{
+    UspecContext ctx(smallBounds(1), locs(), fullOptions());
+    ctx.require(ctx.isRead(0));
+    ctx.require(ctx.faults(0));
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    rmf::Tuple e0{ctx.eventAtom(0)};
+    EXPECT_TRUE(inst->value("squashed").contains(e0));
+}
+
+TEST(UspecContext, SquashedNeedsASource)
+{
+    // A lone committed-looking read cannot be squashed without a
+    // fault or an earlier mispredicted branch.
+    UspecContext ctx(smallBounds(1), locs(), fullOptions());
+    ctx.require(ctx.isRead(0));
+    ctx.require(ctx.isSquashed(0));
+    ctx.require(ctx.hasPermission(0));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(UspecContext, FencesNeverSquash)
+{
+    UspecContext ctx(smallBounds(2), locs(), fullOptions());
+    ctx.require(ctx.isFence(1));
+    ctx.require(ctx.isSquashed(1));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(UspecContext, FenceBlocksSquashWindow)
+{
+    // branch(mispredicted) ; fence ; read — the read cannot be in
+    // the branch's window because the window would have to include
+    // the fence.
+    UspecContext ctx(smallBounds(3), locs(), fullOptions());
+    ctx.require(ctx.isBranch(0) && ctx.isMispredicted(0));
+    ctx.require(ctx.isFence(1));
+    ctx.require(ctx.isRead(2) && ctx.isSquashed(2));
+    ctx.require(ctx.sameCore(0, 1) && ctx.sameCore(1, 2));
+    ctx.require(ctx.hasPermission(2));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(UspecContext, HitRequiresSource)
+{
+    UspecContext ctx(smallBounds(1), locs(), fullOptions());
+    ctx.require(ctx.isRead(0));
+    ctx.require(ctx.hits(0));
+    // No other event can source the hit.
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(UspecContext, HitSourcedBySamePaSameCoreCreator)
+{
+    UspecContext ctx(smallBounds(2), locs(), fullOptions());
+    ctx.require(ctx.isRead(0) && ctx.isRead(1));
+    ctx.require(ctx.hits(1));
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    rmf::Tuple src{ctx.eventAtom(0), ctx.eventAtom(1)};
+    EXPECT_TRUE(inst->value("viclSrc").contains(src));
+    // The creator itself must have missed.
+    rmf::Tuple e0{ctx.eventAtom(0)};
+    EXPECT_FALSE(inst->value("cacheHit").contains(e0));
+}
+
+TEST(UspecContext, WritesNeverHit)
+{
+    UspecContext ctx(smallBounds(1), locs(), fullOptions());
+    ctx.require(ctx.isWrite(0));
+    ctx.require(ctx.hits(0));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(UspecContext, SquashedDependencyPropagates)
+{
+    // addrDep from a squashed (faulting) read forces the dependent
+    // op to squash too.
+    UspecContext ctx(smallBounds(2), locs(), fullOptions());
+    ctx.require(ctx.isRead(0) && ctx.faults(0));
+    ctx.require(ctx.isRead(1) && ctx.hasAddrDep(0, 1));
+    ctx.require(ctx.sameCore(0, 1) && ctx.sameProc(0, 1));
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    rmf::Tuple e1{ctx.eventAtom(1)};
+    EXPECT_TRUE(inst->value("squashed").contains(e1));
+}
+
+TEST(UspecContext, AddrDepRequiresSensitiveSource)
+{
+    // The §VI-B noise filter: dependencies only from sensitive reads.
+    UspecContext ctx(smallBounds(2), locs(), fullOptions());
+    ctx.require(ctx.isRead(0) && ctx.hasPermission(0));
+    ctx.require(ctx.isRead(1) && ctx.hasAddrDep(0, 1));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(UspecContext, FixProgramPinsSlots)
+{
+    UspecContext ctx(smallBounds(2), locs(), fullOptions());
+    std::vector<UspecContext::FixedOp> prog = {
+        {MicroOpType::Read, 0, procVictim, 0, true},
+        {MicroOpType::Clflush, 0, procAttacker, 1, true},
+    };
+    ctx.fixProgram(prog);
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_TRUE(inst->value("isRead").contains(
+        rmf::Tuple{ctx.eventAtom(0)}));
+    EXPECT_TRUE(inst->value("isClflush").contains(
+        rmf::Tuple{ctx.eventAtom(1)}));
+    EXPECT_TRUE(inst->value("eventProc").contains(rmf::Tuple{
+        ctx.eventAtom(1), ctx.procAtom(procAttacker)}));
+}
+
+TEST(UspecContext, FixProgramRejectsWrongLength)
+{
+    UspecContext ctx(smallBounds(2), locs(), fullOptions());
+    EXPECT_THROW(ctx.fixProgram({}), std::invalid_argument);
+}
+
+TEST(UspecContext, NoSpeculationMeansNoSquash)
+{
+    ModelOptions opts = fullOptions();
+    opts.hasSpeculation = false;
+    opts.hasPermissions = false;
+    UspecContext ctx(smallBounds(2), locs(), opts);
+    ctx.require(ctx.isSquashed(1));
+    // isSquashed is identically false without speculation.
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(UspecContext, ContextSwitchRequiresCommit)
+{
+    // On one core, a squashed event cannot be followed by another
+    // process's event.
+    UspecContext ctx(smallBounds(2), locs(), fullOptions());
+    ctx.require(ctx.isRead(0) && ctx.faults(0));
+    ctx.require(ctx.sameCore(0, 1));
+    ctx.require(!ctx.sameProc(0, 1));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+} // anonymous namespace

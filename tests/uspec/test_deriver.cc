@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Tests for the EdgeDeriver: derived membership, acyclicity, and
+ * graph extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "rmf/solve.hh"
+#include "uspec/deriver.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using namespace checkmate::uspec;
+
+SynthesisBounds
+tiny(int events)
+{
+    SynthesisBounds b;
+    b.numEvents = events;
+    b.numCores = 1;
+    b.numProcs = 1;
+    b.numVas = 1;
+    b.numPas = 1;
+    b.numIndices = 1;
+    return b;
+}
+
+ModelOptions
+bare()
+{
+    ModelOptions o;
+    o.hasCache = false;
+    o.hasCoherence = false;
+    o.hasSpeculation = false;
+    o.hasPermissions = false;
+    return o;
+}
+
+TEST(EdgeDeriver, UnconditionalEdgeAlwaysPresent)
+{
+    UspecContext ctx(tiny(1), {"A", "B"}, bare());
+    EdgeDeriver d(ctx);
+    d.edgeCondition(0, 0, 0, 1, rmf::Formula::top(),
+                    graph::EdgeKind::IntraInstruction);
+    d.finalize();
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_EQ(inst->value("uhb").size(), 1u);
+    EXPECT_EQ(inst->value("NodeRel").size(), 2u);
+}
+
+TEST(EdgeDeriver, ConditionalEdgeTracksCondition)
+{
+    UspecContext ctx(tiny(1), {"A", "B"}, bare());
+    EdgeDeriver d(ctx);
+    d.edgeCondition(0, 0, 0, 1, ctx.isRead(0),
+                    graph::EdgeKind::IntraInstruction);
+    d.finalize();
+    ctx.require(ctx.isWrite(0));
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_TRUE(inst->value("uhb").empty());
+    EXPECT_TRUE(inst->value("NodeRel").empty());
+}
+
+TEST(EdgeDeriver, CycleMakesUnsat)
+{
+    UspecContext ctx(tiny(1), {"A", "B"}, bare());
+    EdgeDeriver d(ctx);
+    d.edgeCondition(0, 0, 0, 1, rmf::Formula::top(),
+                    graph::EdgeKind::Other);
+    d.edgeCondition(0, 1, 0, 0, rmf::Formula::top(),
+                    graph::EdgeKind::Other);
+    d.finalize();
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(EdgeDeriver, ConditionalCycleForcesChoice)
+{
+    // Edge A->B always; edge B->A iff event is a read. The solver
+    // must avoid the read type to stay acyclic.
+    UspecContext ctx(tiny(1), {"A", "B"}, bare());
+    EdgeDeriver d(ctx);
+    d.edgeCondition(0, 0, 0, 1, rmf::Formula::top(),
+                    graph::EdgeKind::Other);
+    d.edgeCondition(0, 1, 0, 0, ctx.isRead(0),
+                    graph::EdgeKind::Other);
+    d.finalize();
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_TRUE(inst->value("isRead").empty());
+}
+
+TEST(EdgeDeriver, HappensBeforeIsTransitive)
+{
+    UspecContext ctx(tiny(1), {"A", "B", "C"}, bare());
+    EdgeDeriver d(ctx);
+    d.edgeCondition(0, 0, 0, 1, rmf::Formula::top(),
+                    graph::EdgeKind::Other);
+    d.edgeCondition(0, 1, 0, 2, rmf::Formula::top(),
+                    graph::EdgeKind::Other);
+    d.finalize();
+    // Require A happens-before C through the chain: satisfiable.
+    ctx.require(d.happensBefore(0, 0, 0, 2));
+    EXPECT_TRUE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(EdgeDeriver, HappensBeforeCannotBeFabricated)
+{
+    // No edge into C: requiring reachability is unsatisfiable —
+    // derived edges cannot appear out of thin air.
+    UspecContext ctx(tiny(1), {"A", "B", "C"}, bare());
+    EdgeDeriver d(ctx);
+    d.edgeCondition(0, 0, 0, 1, rmf::Formula::top(),
+                    graph::EdgeKind::Other);
+    d.finalize();
+    ctx.require(d.happensBefore(0, 0, 0, 2));
+    EXPECT_FALSE(rmf::solveOne(ctx.problem()).has_value());
+}
+
+TEST(EdgeDeriver, SelfEdgeRejected)
+{
+    UspecContext ctx(tiny(1), {"A"}, bare());
+    EdgeDeriver d(ctx);
+    EXPECT_THROW(d.edgeCondition(0, 0, 0, 0, rmf::Formula::top(),
+                                 graph::EdgeKind::Other),
+                 std::invalid_argument);
+}
+
+TEST(EdgeDeriver, BuildGraphRoundTrip)
+{
+    UspecContext ctx(tiny(2), {"A", "B"}, bare());
+    EdgeDeriver d(ctx);
+    d.edgeCondition(0, 0, 0, 1, rmf::Formula::top(),
+                    graph::EdgeKind::IntraInstruction);
+    d.edgeCondition(0, 1, 1, 0, rmf::Formula::top(),
+                    graph::EdgeKind::ProgramOrder);
+    d.finalize();
+    auto inst = rmf::solveOne(ctx.problem());
+    ASSERT_TRUE(inst.has_value());
+    graph::UhbGraph g = d.buildGraph(*inst, {"I0", "I1"});
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_FALSE(g.hasCycle());
+    EXPECT_TRUE(g.hasNode(0, 0));
+    EXPECT_TRUE(g.hasNode(0, 1));
+    EXPECT_TRUE(g.hasNode(1, 0));
+    // Edge kinds survive the round trip.
+    bool found_po = false;
+    for (const auto &e : g.edges())
+        found_po |= (e.kind == graph::EdgeKind::ProgramOrder);
+    EXPECT_TRUE(found_po);
+}
+
+TEST(EdgeDeriver, CandidateCountsReflectConditions)
+{
+    UspecContext ctx(tiny(2), {"A", "B"}, bare());
+    EdgeDeriver d(ctx);
+    d.edgeCondition(0, 0, 0, 1, rmf::Formula::top(),
+                    graph::EdgeKind::Other);
+    d.edgeCondition(0, 0, 0, 1, ctx.isRead(0),
+                    graph::EdgeKind::Other); // same pair, OR'd
+    d.edgeCondition(1, 0, 1, 1, rmf::Formula::top(),
+                    graph::EdgeKind::Other);
+    EXPECT_EQ(d.numCandidateEdges(), 2u);
+    EXPECT_EQ(d.numCandidateNodes(), 4u);
+}
+
+} // anonymous namespace
