@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_pedagogical.dir/bench_fig1_pedagogical.cc.o"
+  "CMakeFiles/bench_fig1_pedagogical.dir/bench_fig1_pedagogical.cc.o.d"
+  "bench_fig1_pedagogical"
+  "bench_fig1_pedagogical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_pedagogical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

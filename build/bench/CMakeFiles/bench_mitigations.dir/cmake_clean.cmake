@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mitigations.dir/bench_mitigations.cc.o"
+  "CMakeFiles/bench_mitigations.dir/bench_mitigations.cc.o.d"
+  "bench_mitigations"
+  "bench_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

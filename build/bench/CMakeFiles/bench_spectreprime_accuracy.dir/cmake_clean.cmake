@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spectreprime_accuracy.dir/bench_spectreprime_accuracy.cc.o"
+  "CMakeFiles/bench_spectreprime_accuracy.dir/bench_spectreprime_accuracy.cc.o.d"
+  "bench_spectreprime_accuracy"
+  "bench_spectreprime_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spectreprime_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

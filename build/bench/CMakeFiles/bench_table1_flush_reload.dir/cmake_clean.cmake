@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_flush_reload.dir/bench_table1_flush_reload.cc.o"
+  "CMakeFiles/bench_table1_flush_reload.dir/bench_table1_flush_reload.cc.o.d"
+  "bench_table1_flush_reload"
+  "bench_table1_flush_reload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_flush_reload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

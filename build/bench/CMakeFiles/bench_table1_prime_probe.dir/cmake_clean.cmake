@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_prime_probe.dir/bench_table1_prime_probe.cc.o"
+  "CMakeFiles/bench_table1_prime_probe.dir/bench_table1_prime_probe.cc.o.d"
+  "bench_table1_prime_probe"
+  "bench_table1_prime_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_prime_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meltdown_spectre.dir/meltdown_spectre.cpp.o"
+  "CMakeFiles/meltdown_spectre.dir/meltdown_spectre.cpp.o.d"
+  "meltdown_spectre"
+  "meltdown_spectre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meltdown_spectre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for meltdown_spectre.
+# This may be replaced when dependencies are built.

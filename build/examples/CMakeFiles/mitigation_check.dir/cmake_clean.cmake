@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mitigation_check.dir/mitigation_check.cpp.o"
+  "CMakeFiles/mitigation_check.dir/mitigation_check.cpp.o.d"
+  "mitigation_check"
+  "mitigation_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mitigation_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

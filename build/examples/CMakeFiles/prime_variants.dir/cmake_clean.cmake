@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_variants.dir/prime_variants.cpp.o"
+  "CMakeFiles/prime_variants.dir/prime_variants.cpp.o.d"
+  "prime_variants"
+  "prime_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/verify_consistency.cpp" "examples/CMakeFiles/verify_consistency.dir/verify_consistency.cpp.o" "gcc" "examples/CMakeFiles/verify_consistency.dir/verify_consistency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mcm/CMakeFiles/checkmate_mcm.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/checkmate_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/uspec/CMakeFiles/checkmate_uspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmf/CMakeFiles/checkmate_rmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/checkmate_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/checkmate_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

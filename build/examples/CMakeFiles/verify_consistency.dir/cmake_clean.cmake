@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_consistency.dir/verify_consistency.cpp.o"
+  "CMakeFiles/verify_consistency.dir/verify_consistency.cpp.o.d"
+  "verify_consistency"
+  "verify_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

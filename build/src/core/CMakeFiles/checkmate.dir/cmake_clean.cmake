@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkmate.dir/checkmate_main.cc.o"
+  "CMakeFiles/checkmate.dir/checkmate_main.cc.o.d"
+  "checkmate"
+  "checkmate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkmate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

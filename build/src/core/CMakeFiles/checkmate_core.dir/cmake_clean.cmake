@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkmate_core.dir/cli.cc.o"
+  "CMakeFiles/checkmate_core.dir/cli.cc.o.d"
+  "CMakeFiles/checkmate_core.dir/synthesis.cc.o"
+  "CMakeFiles/checkmate_core.dir/synthesis.cc.o.d"
+  "CMakeFiles/checkmate_core.dir/unopt.cc.o"
+  "CMakeFiles/checkmate_core.dir/unopt.cc.o.d"
+  "libcheckmate_core.a"
+  "libcheckmate_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkmate_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkmate_graph.dir/uhb_graph.cc.o"
+  "CMakeFiles/checkmate_graph.dir/uhb_graph.cc.o.d"
+  "libcheckmate_graph.a"
+  "libcheckmate_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkmate_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

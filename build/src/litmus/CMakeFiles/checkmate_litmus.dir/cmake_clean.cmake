@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkmate_litmus.dir/expand.cc.o"
+  "CMakeFiles/checkmate_litmus.dir/expand.cc.o.d"
+  "CMakeFiles/checkmate_litmus.dir/litmus.cc.o"
+  "CMakeFiles/checkmate_litmus.dir/litmus.cc.o.d"
+  "CMakeFiles/checkmate_litmus.dir/postprocess.cc.o"
+  "CMakeFiles/checkmate_litmus.dir/postprocess.cc.o.d"
+  "libcheckmate_litmus.a"
+  "libcheckmate_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkmate_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

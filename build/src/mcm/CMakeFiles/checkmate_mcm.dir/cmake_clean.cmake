@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkmate_mcm.dir/litmus_mcm.cc.o"
+  "CMakeFiles/checkmate_mcm.dir/litmus_mcm.cc.o.d"
+  "libcheckmate_mcm.a"
+  "libcheckmate_mcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkmate_mcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

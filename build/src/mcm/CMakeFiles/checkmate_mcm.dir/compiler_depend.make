@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for checkmate_mcm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkmate_patterns.dir/flush_reload.cc.o"
+  "CMakeFiles/checkmate_patterns.dir/flush_reload.cc.o.d"
+  "CMakeFiles/checkmate_patterns.dir/prime_probe.cc.o"
+  "CMakeFiles/checkmate_patterns.dir/prime_probe.cc.o.d"
+  "libcheckmate_patterns.a"
+  "libcheckmate_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkmate_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rmf/ast.cc" "src/rmf/CMakeFiles/checkmate_rmf.dir/ast.cc.o" "gcc" "src/rmf/CMakeFiles/checkmate_rmf.dir/ast.cc.o.d"
+  "/root/repo/src/rmf/bool_expr.cc" "src/rmf/CMakeFiles/checkmate_rmf.dir/bool_expr.cc.o" "gcc" "src/rmf/CMakeFiles/checkmate_rmf.dir/bool_expr.cc.o.d"
+  "/root/repo/src/rmf/problem.cc" "src/rmf/CMakeFiles/checkmate_rmf.dir/problem.cc.o" "gcc" "src/rmf/CMakeFiles/checkmate_rmf.dir/problem.cc.o.d"
+  "/root/repo/src/rmf/solve.cc" "src/rmf/CMakeFiles/checkmate_rmf.dir/solve.cc.o" "gcc" "src/rmf/CMakeFiles/checkmate_rmf.dir/solve.cc.o.d"
+  "/root/repo/src/rmf/translate.cc" "src/rmf/CMakeFiles/checkmate_rmf.dir/translate.cc.o" "gcc" "src/rmf/CMakeFiles/checkmate_rmf.dir/translate.cc.o.d"
+  "/root/repo/src/rmf/universe.cc" "src/rmf/CMakeFiles/checkmate_rmf.dir/universe.cc.o" "gcc" "src/rmf/CMakeFiles/checkmate_rmf.dir/universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sat/CMakeFiles/checkmate_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

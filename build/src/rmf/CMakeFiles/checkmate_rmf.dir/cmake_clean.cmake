@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkmate_rmf.dir/ast.cc.o"
+  "CMakeFiles/checkmate_rmf.dir/ast.cc.o.d"
+  "CMakeFiles/checkmate_rmf.dir/bool_expr.cc.o"
+  "CMakeFiles/checkmate_rmf.dir/bool_expr.cc.o.d"
+  "CMakeFiles/checkmate_rmf.dir/problem.cc.o"
+  "CMakeFiles/checkmate_rmf.dir/problem.cc.o.d"
+  "CMakeFiles/checkmate_rmf.dir/solve.cc.o"
+  "CMakeFiles/checkmate_rmf.dir/solve.cc.o.d"
+  "CMakeFiles/checkmate_rmf.dir/translate.cc.o"
+  "CMakeFiles/checkmate_rmf.dir/translate.cc.o.d"
+  "CMakeFiles/checkmate_rmf.dir/universe.cc.o"
+  "CMakeFiles/checkmate_rmf.dir/universe.cc.o.d"
+  "libcheckmate_rmf.a"
+  "libcheckmate_rmf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkmate_rmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcheckmate_rmf.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkmate_sat.dir/dimacs.cc.o"
+  "CMakeFiles/checkmate_sat.dir/dimacs.cc.o.d"
+  "CMakeFiles/checkmate_sat.dir/solver.cc.o"
+  "CMakeFiles/checkmate_sat.dir/solver.cc.o.d"
+  "libcheckmate_sat.a"
+  "libcheckmate_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkmate_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkmate_sim.dir/cache.cc.o"
+  "CMakeFiles/checkmate_sim.dir/cache.cc.o.d"
+  "CMakeFiles/checkmate_sim.dir/exploit.cc.o"
+  "CMakeFiles/checkmate_sim.dir/exploit.cc.o.d"
+  "CMakeFiles/checkmate_sim.dir/machine.cc.o"
+  "CMakeFiles/checkmate_sim.dir/machine.cc.o.d"
+  "libcheckmate_sim.a"
+  "libcheckmate_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkmate_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/axiom_lib.cc" "src/uarch/CMakeFiles/checkmate_uarch.dir/axiom_lib.cc.o" "gcc" "src/uarch/CMakeFiles/checkmate_uarch.dir/axiom_lib.cc.o.d"
+  "/root/repo/src/uarch/inorder.cc" "src/uarch/CMakeFiles/checkmate_uarch.dir/inorder.cc.o" "gcc" "src/uarch/CMakeFiles/checkmate_uarch.dir/inorder.cc.o.d"
+  "/root/repo/src/uarch/spec_ooo.cc" "src/uarch/CMakeFiles/checkmate_uarch.dir/spec_ooo.cc.o" "gcc" "src/uarch/CMakeFiles/checkmate_uarch.dir/spec_ooo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uspec/CMakeFiles/checkmate_uspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmf/CMakeFiles/checkmate_rmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/checkmate_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/checkmate_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

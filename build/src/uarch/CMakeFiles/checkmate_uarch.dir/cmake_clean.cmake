@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkmate_uarch.dir/axiom_lib.cc.o"
+  "CMakeFiles/checkmate_uarch.dir/axiom_lib.cc.o.d"
+  "CMakeFiles/checkmate_uarch.dir/inorder.cc.o"
+  "CMakeFiles/checkmate_uarch.dir/inorder.cc.o.d"
+  "CMakeFiles/checkmate_uarch.dir/spec_ooo.cc.o"
+  "CMakeFiles/checkmate_uarch.dir/spec_ooo.cc.o.d"
+  "libcheckmate_uarch.a"
+  "libcheckmate_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkmate_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uspec/context.cc" "src/uspec/CMakeFiles/checkmate_uspec.dir/context.cc.o" "gcc" "src/uspec/CMakeFiles/checkmate_uspec.dir/context.cc.o.d"
+  "/root/repo/src/uspec/deriver.cc" "src/uspec/CMakeFiles/checkmate_uspec.dir/deriver.cc.o" "gcc" "src/uspec/CMakeFiles/checkmate_uspec.dir/deriver.cc.o.d"
+  "/root/repo/src/uspec/types.cc" "src/uspec/CMakeFiles/checkmate_uspec.dir/types.cc.o" "gcc" "src/uspec/CMakeFiles/checkmate_uspec.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rmf/CMakeFiles/checkmate_rmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/checkmate_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/checkmate_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

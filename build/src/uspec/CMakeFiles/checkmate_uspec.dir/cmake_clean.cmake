@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkmate_uspec.dir/context.cc.o"
+  "CMakeFiles/checkmate_uspec.dir/context.cc.o.d"
+  "CMakeFiles/checkmate_uspec.dir/deriver.cc.o"
+  "CMakeFiles/checkmate_uspec.dir/deriver.cc.o.d"
+  "CMakeFiles/checkmate_uspec.dir/types.cc.o"
+  "CMakeFiles/checkmate_uspec.dir/types.cc.o.d"
+  "libcheckmate_uspec.a"
+  "libcheckmate_uspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkmate_uspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/litmus/test_expand.cc" "tests/CMakeFiles/test_litmus.dir/litmus/test_expand.cc.o" "gcc" "tests/CMakeFiles/test_litmus.dir/litmus/test_expand.cc.o.d"
+  "/root/repo/tests/litmus/test_litmus.cc" "tests/CMakeFiles/test_litmus.dir/litmus/test_litmus.cc.o" "gcc" "tests/CMakeFiles/test_litmus.dir/litmus/test_litmus.cc.o.d"
+  "/root/repo/tests/litmus/test_postprocess.cc" "tests/CMakeFiles/test_litmus.dir/litmus/test_postprocess.cc.o" "gcc" "tests/CMakeFiles/test_litmus.dir/litmus/test_postprocess.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/litmus/CMakeFiles/checkmate_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/checkmate_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/checkmate_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/patterns/CMakeFiles/checkmate_patterns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/checkmate_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/uspec/CMakeFiles/checkmate_uspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmf/CMakeFiles/checkmate_rmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/checkmate_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/checkmate_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

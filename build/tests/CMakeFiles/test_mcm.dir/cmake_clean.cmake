@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcm.dir/mcm/test_tso.cc.o"
+  "CMakeFiles/test_mcm.dir/mcm/test_tso.cc.o.d"
+  "test_mcm"
+  "test_mcm.pdb"
+  "test_mcm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

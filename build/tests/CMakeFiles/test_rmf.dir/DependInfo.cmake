@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rmf/test_ast.cc" "tests/CMakeFiles/test_rmf.dir/rmf/test_ast.cc.o" "gcc" "tests/CMakeFiles/test_rmf.dir/rmf/test_ast.cc.o.d"
+  "/root/repo/tests/rmf/test_bool_expr.cc" "tests/CMakeFiles/test_rmf.dir/rmf/test_bool_expr.cc.o" "gcc" "tests/CMakeFiles/test_rmf.dir/rmf/test_bool_expr.cc.o.d"
+  "/root/repo/tests/rmf/test_differential.cc" "tests/CMakeFiles/test_rmf.dir/rmf/test_differential.cc.o" "gcc" "tests/CMakeFiles/test_rmf.dir/rmf/test_differential.cc.o.d"
+  "/root/repo/tests/rmf/test_quant.cc" "tests/CMakeFiles/test_rmf.dir/rmf/test_quant.cc.o" "gcc" "tests/CMakeFiles/test_rmf.dir/rmf/test_quant.cc.o.d"
+  "/root/repo/tests/rmf/test_solve.cc" "tests/CMakeFiles/test_rmf.dir/rmf/test_solve.cc.o" "gcc" "tests/CMakeFiles/test_rmf.dir/rmf/test_solve.cc.o.d"
+  "/root/repo/tests/rmf/test_translate.cc" "tests/CMakeFiles/test_rmf.dir/rmf/test_translate.cc.o" "gcc" "tests/CMakeFiles/test_rmf.dir/rmf/test_translate.cc.o.d"
+  "/root/repo/tests/rmf/test_universe.cc" "tests/CMakeFiles/test_rmf.dir/rmf/test_universe.cc.o" "gcc" "tests/CMakeFiles/test_rmf.dir/rmf/test_universe.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rmf/CMakeFiles/checkmate_rmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/checkmate_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

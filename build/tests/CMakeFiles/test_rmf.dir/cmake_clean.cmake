@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmf.dir/rmf/test_ast.cc.o"
+  "CMakeFiles/test_rmf.dir/rmf/test_ast.cc.o.d"
+  "CMakeFiles/test_rmf.dir/rmf/test_bool_expr.cc.o"
+  "CMakeFiles/test_rmf.dir/rmf/test_bool_expr.cc.o.d"
+  "CMakeFiles/test_rmf.dir/rmf/test_differential.cc.o"
+  "CMakeFiles/test_rmf.dir/rmf/test_differential.cc.o.d"
+  "CMakeFiles/test_rmf.dir/rmf/test_quant.cc.o"
+  "CMakeFiles/test_rmf.dir/rmf/test_quant.cc.o.d"
+  "CMakeFiles/test_rmf.dir/rmf/test_solve.cc.o"
+  "CMakeFiles/test_rmf.dir/rmf/test_solve.cc.o.d"
+  "CMakeFiles/test_rmf.dir/rmf/test_translate.cc.o"
+  "CMakeFiles/test_rmf.dir/rmf/test_translate.cc.o.d"
+  "CMakeFiles/test_rmf.dir/rmf/test_universe.cc.o"
+  "CMakeFiles/test_rmf.dir/rmf/test_universe.cc.o.d"
+  "test_rmf"
+  "test_rmf.pdb"
+  "test_rmf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

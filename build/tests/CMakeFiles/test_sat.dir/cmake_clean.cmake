@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sat.dir/sat/test_dimacs.cc.o"
+  "CMakeFiles/test_sat.dir/sat/test_dimacs.cc.o.d"
+  "CMakeFiles/test_sat.dir/sat/test_properties.cc.o"
+  "CMakeFiles/test_sat.dir/sat/test_properties.cc.o.d"
+  "CMakeFiles/test_sat.dir/sat/test_solver.cc.o"
+  "CMakeFiles/test_sat.dir/sat/test_solver.cc.o.d"
+  "test_sat"
+  "test_sat.pdb"
+  "test_sat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

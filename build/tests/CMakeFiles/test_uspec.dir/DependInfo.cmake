@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/uspec/test_coherence.cc" "tests/CMakeFiles/test_uspec.dir/uspec/test_coherence.cc.o" "gcc" "tests/CMakeFiles/test_uspec.dir/uspec/test_coherence.cc.o.d"
+  "/root/repo/tests/uspec/test_context.cc" "tests/CMakeFiles/test_uspec.dir/uspec/test_context.cc.o" "gcc" "tests/CMakeFiles/test_uspec.dir/uspec/test_context.cc.o.d"
+  "/root/repo/tests/uspec/test_deriver.cc" "tests/CMakeFiles/test_uspec.dir/uspec/test_deriver.cc.o" "gcc" "tests/CMakeFiles/test_uspec.dir/uspec/test_deriver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/uspec/CMakeFiles/checkmate_uspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmf/CMakeFiles/checkmate_rmf.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/checkmate_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/checkmate_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uspec.dir/uspec/test_coherence.cc.o"
+  "CMakeFiles/test_uspec.dir/uspec/test_coherence.cc.o.d"
+  "CMakeFiles/test_uspec.dir/uspec/test_context.cc.o"
+  "CMakeFiles/test_uspec.dir/uspec/test_context.cc.o.d"
+  "CMakeFiles/test_uspec.dir/uspec/test_deriver.cc.o"
+  "CMakeFiles/test_uspec.dir/uspec/test_deriver.cc.o.d"
+  "test_uspec"
+  "test_uspec.pdb"
+  "test_uspec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
