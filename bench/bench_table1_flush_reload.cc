@@ -9,42 +9,63 @@
  * omitted for these runs, as in the paper ("it does not produce
  * distinct results").
  *
- * The enumeration at each bound can be capped (argv[1], default
- * 600 instances) — the paper ran to completion in up to 215
- * minutes; capped rows are marked '+'.
+ * usage: bench_table1_flush_reload [cap] [max_bound]
+ *                                  [--jobs N] [--report out.json]
+ *
+ * The enumeration at each bound can be capped (default 600
+ * instances) — the paper ran to completion in up to 215 minutes;
+ * capped rows are marked '+'. `--jobs N` runs the bounds in
+ * parallel on N engine workers (row output is merge-ordered, so it
+ * is identical for any N); `--report` writes the JSON run report
+ * for serial-vs-parallel wall-time tracking.
  */
 
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <set>
+#include <string>
+#include <vector>
 
-#include "core/synthesis.hh"
-#include "patterns/flush_reload.hh"
-#include "uarch/spec_ooo.hh"
+#include "engine/job.hh"
+#include "engine/report.hh"
+#include "engine/scheduler.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace checkmate;
-    uint64_t cap = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                            : 600;
-    int max_bound = argc > 2 ? std::atoi(argv[2]) : 6;
+    uint64_t cap = 600;
+    int max_bound = 6;
+    int jobs = 1;
+    std::string report_path;
+
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobs = std::atoi(argv[++i]);
+        } else if (arg == "--report" && i + 1 < argc) {
+            report_path = argv[++i];
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() > 0)
+        cap = std::strtoull(positional[0].c_str(), nullptr, 10);
+    if (positional.size() > 1)
+        max_bound = std::atoi(positional[1].c_str());
 
     std::cout << "=== Table I (FLUSH+RELOAD pattern on SpecOoO) ===\n"
               << "(enumeration capped at " << cap
-              << " instances per bound; '+' = cap hit)\n\n";
+              << " instances per bound; '+' = cap hit; " << jobs
+              << " engine worker(s))\n\n";
 
-    uarch::SpecOoO machine(/*model_coherence=*/false);
-    patterns::FlushReloadPattern pattern;
-    core::CheckMate tool(machine, &pattern);
-
-    uspec::SynthesisBounds bounds;
-    bounds.numCores = 1;
-    bounds.numProcs = 2;
-    bounds.numVas = 2;
-    bounds.numPas = 2;
-    bounds.numIndices = 2;
+    engine::EngineOptions engine_opts;
+    engine_opts.threads = jobs;
+    engine::RunResult run = engine::runJobs(
+        engine::tableOneJobs("flush-reload", 4, max_bound, cap),
+        engine_opts);
 
     std::cout << std::left << std::setw(7) << "bound"
               << std::right << std::setw(12) << "first (s)"
@@ -52,24 +73,11 @@ main(int argc, char **argv)
               << "graphs" << std::setw(9) << "unique"
               << "  per-class\n";
 
-    for (int n = 4; n <= max_bound; n++) {
-        bounds.numEvents = n;
-        core::SynthesisOptions opts;
-        opts.maxInstances = cap;
-        // Each row targets the attack class first appearing at its
-        // bound, as in the paper: 4 = traditional FLUSH+RELOAD, 5 =
-        // fault windows (Meltdown), 6 = branch windows (Spectre).
-        opts.requireWindow =
-            n == 5 ? core::WindowRequirement::FaultWindow
-            : n == 6 ? core::WindowRequirement::BranchWindow
-                     : core::WindowRequirement::None;
-        // The speculation-based attacks are single-process (§II-B:
-        // the victim need not execute between flush and reload).
-        opts.attackerOnly = n >= 5;
-        core::SynthesisReport report;
-        auto exploits = tool.synthesizeAll(bounds, opts, &report);
-
-        std::cout << std::left << std::setw(7) << n << std::right
+    std::set<litmus::AttackClass> seen;
+    for (const engine::JobResult &result : run.jobs) {
+        const core::SynthesisReport &report = result.report;
+        std::cout << std::left << std::setw(7)
+                  << report.bounds.numEvents << std::right
                   << std::fixed << std::setprecision(2)
                   << std::setw(12) << report.secondsToFirst
                   << std::setw(12) << report.secondsToAll
@@ -83,15 +91,25 @@ main(int argc, char **argv)
         std::cout << '\n';
 
         // Print the first instance of each newly seen class.
-        static std::set<litmus::AttackClass> seen;
-        for (const auto &ex : exploits) {
+        for (const auto &ex : result.exploits) {
             if (seen.insert(ex.attackClass).second) {
                 std::cout << "\nfirst "
                           << litmus::attackClassName(ex.attackClass)
-                          << " variant at bound " << n << ":\n"
+                          << " variant at bound "
+                          << report.bounds.numEvents << ":\n"
                           << ex.test.toString() << '\n';
             }
         }
+    }
+    std::cout << "\ntotal wall time: " << std::fixed
+              << std::setprecision(2) << run.wallSeconds << "s on "
+              << run.threads << " worker(s)\n";
+
+    if (!report_path.empty()) {
+        if (engine::writeRunReport(run, engine_opts, report_path))
+            std::cout << "run report: " << report_path << '\n';
+        else
+            std::cerr << "cannot write " << report_path << '\n';
     }
     return 0;
 }

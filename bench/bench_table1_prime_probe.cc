@@ -6,40 +6,62 @@
  *
  * Paper's rows: bound 3 → traditional PRIME+PROBE, bound 4 →
  * MeltdownPrime, bound 5 → SpectrePrime.
+ *
+ * usage: bench_table1_prime_probe [cap] [max_bound]
+ *                                 [--jobs N] [--report out.json]
+ *
+ * `--jobs N` runs the bounds in parallel on N engine workers (row
+ * output is merge-ordered, so it is identical for any N);
+ * `--report` writes the JSON run report.
  */
 
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <set>
+#include <string>
+#include <vector>
 
-#include "core/synthesis.hh"
-#include "patterns/prime_probe.hh"
-#include "uarch/spec_ooo.hh"
+#include "engine/job.hh"
+#include "engine/report.hh"
+#include "engine/scheduler.hh"
 
 int
 main(int argc, char **argv)
 {
     using namespace checkmate;
-    uint64_t cap = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
-                            : 600;
-    int max_bound = argc > 2 ? std::atoi(argv[2]) : 5;
+    uint64_t cap = 600;
+    int max_bound = 5;
+    int jobs = 1;
+    std::string report_path;
+
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            jobs = std::atoi(argv[++i]);
+        } else if (arg == "--report" && i + 1 < argc) {
+            report_path = argv[++i];
+        } else {
+            positional.push_back(arg);
+        }
+    }
+    if (positional.size() > 0)
+        cap = std::strtoull(positional[0].c_str(), nullptr, 10);
+    if (positional.size() > 1)
+        max_bound = std::atoi(positional[1].c_str());
 
     std::cout << "=== Table I (PRIME+PROBE pattern on SpecOoO + "
                  "coherence) ===\n"
               << "(two cores; enumeration capped at " << cap
-              << " instances per bound; '+' = cap hit)\n\n";
+              << " instances per bound; '+' = cap hit; " << jobs
+              << " engine worker(s))\n\n";
 
-    uarch::SpecOoO machine(/*model_coherence=*/true);
-    patterns::PrimeProbePattern pattern;
-    core::CheckMate tool(machine, &pattern);
-
-    uspec::SynthesisBounds bounds;
-    bounds.numCores = 2;
-    bounds.numProcs = 2;
-    bounds.numVas = 2;
-    bounds.numPas = 2;
-    bounds.numIndices = 2;
+    engine::EngineOptions engine_opts;
+    engine_opts.threads = jobs;
+    engine::RunResult run = engine::runJobs(
+        engine::tableOneJobs("prime-probe", 3, max_bound, cap),
+        engine_opts);
 
     std::cout << std::left << std::setw(7) << "bound"
               << std::right << std::setw(12) << "first (s)"
@@ -48,23 +70,10 @@ main(int argc, char **argv)
               << "  per-class\n";
 
     std::set<litmus::AttackClass> seen;
-    for (int n = 3; n <= max_bound; n++) {
-        bounds.numEvents = n;
-        core::SynthesisOptions opts;
-        opts.maxInstances = cap;
-        // Row targets: 3 = traditional PRIME+PROBE, 4 = fault
-        // windows (MeltdownPrime), 5 = branch windows
-        // (SpectrePrime).
-        opts.requireWindow =
-            n == 4 ? core::WindowRequirement::FaultWindow
-            : n == 5 ? core::WindowRequirement::BranchWindow
-                     : core::WindowRequirement::None;
-        // The Prime attacks are single-process two-core exploits.
-        opts.attackerOnly = n >= 4;
-        core::SynthesisReport report;
-        auto exploits = tool.synthesizeAll(bounds, opts, &report);
-
-        std::cout << std::left << std::setw(7) << n << std::right
+    for (const engine::JobResult &result : run.jobs) {
+        const core::SynthesisReport &report = result.report;
+        std::cout << std::left << std::setw(7)
+                  << report.bounds.numEvents << std::right
                   << std::fixed << std::setprecision(2)
                   << std::setw(12) << report.secondsToFirst
                   << std::setw(12) << report.secondsToAll
@@ -77,14 +86,25 @@ main(int argc, char **argv)
         }
         std::cout << '\n';
 
-        for (const auto &ex : exploits) {
+        for (const auto &ex : result.exploits) {
             if (seen.insert(ex.attackClass).second) {
                 std::cout << "\nfirst "
                           << litmus::attackClassName(ex.attackClass)
-                          << " variant at bound " << n << ":\n"
+                          << " variant at bound "
+                          << report.bounds.numEvents << ":\n"
                           << ex.test.toString() << '\n';
             }
         }
+    }
+    std::cout << "\ntotal wall time: " << std::fixed
+              << std::setprecision(2) << run.wallSeconds << "s on "
+              << run.threads << " worker(s)\n";
+
+    if (!report_path.empty()) {
+        if (engine::writeRunReport(run, engine_opts, report_path))
+            std::cout << "run report: " << report_path << '\n';
+        else
+            std::cerr << "cannot write " << report_path << '\n';
     }
     return 0;
 }

@@ -1,20 +1,26 @@
 /**
  * @file
  * CheckMate CLI implementation.
+ *
+ * Every run — a single (uarch, pattern, bound) combination or a
+ * Table I bound sweep — is decomposed into SynthesisJobs and routed
+ * through the parallel engine; `--jobs 1` (the default) degenerates
+ * to the serial behavior. Results are merged in stable job-key
+ * order, so the litmus output is byte-identical for any `--jobs N`.
  */
 
 #include "core/cli.hh"
 
+#include <algorithm>
+#include <cstdlib>
 #include <fstream>
-#include <memory>
 #include <ostream>
 #include <sstream>
 
 #include "core/synthesis.hh"
-#include "patterns/flush_reload.hh"
-#include "patterns/prime_probe.hh"
-#include "uarch/inorder.hh"
-#include "uarch/spec_ooo.hh"
+#include "engine/job.hh"
+#include "engine/report.hh"
+#include "engine/scheduler.hh"
 
 namespace checkmate::core
 {
@@ -48,6 +54,17 @@ usage: checkmate [options]
                     commit (InvisiSpec-style mitigation)
   --update-coh      specooo variants: update-based coherence (no
                     sharer invalidations)
+  --sweep           run the Table I bound sweep for the chosen
+                    pattern (bounds 4..max(--events,6) for
+                    flush-reload, 3..max(--events,5) for
+                    prime-probe), one engine job per bound
+  --jobs N          worker threads for the engine (default 1);
+                    litmus output is byte-identical for any N
+  --timeout SEC     global wall-clock budget; jobs still queued
+                    when it expires are skipped, running ones abort
+  --job-timeout SEC per-job wall-clock budget
+  --report FILE     write a machine-readable JSON run report (see
+                    docs/ENGINE.md for the schema)
   --help            this text
 )";
 }
@@ -98,6 +115,29 @@ parseCli(const std::vector<std::string> &args)
             opts.noSpeculativeFills = true;
         } else if (arg == "--update-coh") {
             opts.updateCoherence = true;
+        } else if (arg == "--sweep") {
+            opts.sweep = true;
+        } else if (arg == "--jobs") {
+            opts.jobs = std::atoi(next("--jobs").c_str());
+            if (opts.jobs < 1 && opts.error.empty())
+                opts.error = "--jobs requires a positive count";
+        } else if (arg == "--timeout" || arg == "--job-timeout") {
+            const bool global = arg == "--timeout";
+            std::string value = next(arg.c_str());
+            char *end = nullptr;
+            double seconds = std::strtod(value.c_str(), &end);
+            if (opts.error.empty() &&
+                (end == value.c_str() || *end != '\0' ||
+                 seconds < 0)) {
+                opts.error = arg + " requires a non-negative " +
+                             "number of seconds";
+            } else if (global) {
+                opts.timeoutSeconds = seconds;
+            } else {
+                opts.jobTimeoutSeconds = seconds;
+            }
+        } else if (arg == "--report") {
+            opts.reportPath = next("--report");
         } else if (opts.error.empty()) {
             opts.error = "unknown option: " + arg;
         }
@@ -110,47 +150,45 @@ parseCli(const std::vector<std::string> &args)
 namespace
 {
 
-std::unique_ptr<uspec::Microarchitecture>
-makeUarch(const CliOptions &opts, std::string &error)
+uarch::SpecOoOConfig
+specConfigFromCli(const CliOptions &opts)
 {
-    if (opts.uarch == "specooo" || opts.uarch == "specooo-coh") {
-        uarch::SpecOoOConfig config;
-        config.modelCoherence = opts.uarch == "specooo-coh";
-        config.allowSpeculativeFlush = opts.allowSpeculativeFlush;
-        config.speculativeExecution = !opts.noSpeculation;
-        config.speculativeFills = !opts.noSpeculativeFills;
-        config.invalidationCoherence = !opts.updateCoherence;
-        return std::make_unique<uarch::SpecOoO>(config);
-    }
-    if (opts.uarch == "inorder2") {
-        return std::make_unique<uarch::InOrderPipeline>(
-            uarch::inOrder2Stage());
-    }
-    if (opts.uarch == "inorder3") {
-        return std::make_unique<uarch::InOrderPipeline>(
-            uarch::inOrder3Stage());
-    }
-    if (opts.uarch == "inorder5") {
-        return std::make_unique<uarch::InOrderPipeline>(
-            uarch::inOrder5Stage());
-    }
-    if (opts.uarch == "inorder-spec")
-        return std::make_unique<uarch::InOrderSpec>();
-    error = "unknown microarchitecture: " + opts.uarch;
-    return nullptr;
+    uarch::SpecOoOConfig config;
+    config.modelCoherence = opts.uarch == "specooo-coh";
+    config.allowSpeculativeFlush = opts.allowSpeculativeFlush;
+    config.speculativeExecution = !opts.noSpeculation;
+    config.speculativeFills = !opts.noSpeculativeFills;
+    config.invalidationCoherence = !opts.updateCoherence;
+    return config;
 }
 
-std::unique_ptr<patterns::ExploitPattern>
-makePattern(const CliOptions &opts, std::string &error)
+std::vector<engine::SynthesisJob>
+buildJobs(const CliOptions &options)
 {
-    if (opts.pattern == "flush-reload")
-        return std::make_unique<patterns::FlushReloadPattern>();
-    if (opts.pattern == "prime-probe")
-        return std::make_unique<patterns::PrimeProbePattern>();
-    if (opts.pattern == "none")
-        return nullptr;
-    error = "unknown pattern: " + opts.pattern;
-    return nullptr;
+    const uarch::SpecOoOConfig config = specConfigFromCli(options);
+
+    if (options.sweep) {
+        int lo = options.pattern == "prime-probe" ? 3 : 4;
+        int hi = std::max(options.events, lo + 2);
+        auto jobs = engine::tableOneJobs(options.pattern, lo, hi,
+                                         options.maxInstances);
+        for (engine::SynthesisJob &job : jobs)
+            job.specConfig = config;
+        return jobs;
+    }
+
+    engine::SynthesisJob job;
+    job.uarch = options.uarch;
+    job.specConfig = config;
+    job.pattern = options.pattern;
+    job.bounds.numEvents = options.events;
+    job.bounds.numCores = options.cores;
+    job.bounds.numProcs = 2;
+    job.bounds.numVas = options.vas;
+    job.bounds.numPas = options.pas;
+    job.bounds.numIndices = options.indices;
+    job.options.budget.maxInstances = options.maxInstances;
+    return {job};
 }
 
 } // anonymous namespace
@@ -167,51 +205,71 @@ runCli(const CliOptions &options, std::ostream &out)
         return 2;
     }
 
+    // Validate the configuration up front so a bad name fails the
+    // whole run rather than each job individually.
     std::string error;
-    auto machine = makeUarch(options, error);
-    if (!machine) {
+    if (!engine::makeMicroarch(options.uarch,
+                               specConfigFromCli(options), error)) {
         out << "error: " << error << '\n';
         return 2;
     }
-    auto pattern = makePattern(options, error);
-    if (!pattern && !error.empty()) {
+    if (!engine::makeExploitPattern(options.pattern, error) &&
+        !error.empty()) {
         out << "error: " << error << '\n';
         return 2;
     }
 
-    CheckMate tool(*machine, pattern.get());
-    uspec::SynthesisBounds bounds;
-    bounds.numEvents = options.events;
-    bounds.numCores = options.cores;
-    bounds.numProcs = 2;
-    bounds.numVas = options.vas;
-    bounds.numPas = options.pas;
-    bounds.numIndices = options.indices;
+    std::vector<engine::SynthesisJob> jobs = buildJobs(options);
 
-    SynthesisOptions synth;
-    synth.maxInstances = options.maxInstances;
+    engine::EngineOptions engine_opts;
+    engine_opts.threads = options.jobs;
+    engine_opts.timeoutSeconds = options.timeoutSeconds;
+    engine_opts.jobTimeoutSeconds = options.jobTimeoutSeconds;
 
-    SynthesisReport report;
-    auto exploits = tool.synthesizeAll(bounds, synth, &report);
-    out << report.toString() << "\n\n";
+    engine::RunResult run = engine::runJobs(jobs, engine_opts);
 
-    for (size_t i = 0; i < exploits.size(); i++) {
-        const auto &ex = exploits[i];
-        out << "--- exploit " << i << " ["
-            << litmus::attackClassName(ex.attackClass) << "] ---\n"
-            << ex.test.toString();
-        if (options.printGraphs)
-            out << ex.graph.toAsciiGrid();
-        if (options.emitDot) {
-            std::string name = options.dotPrefix + "_" +
-                               std::to_string(i) + ".dot";
-            std::ofstream dot(name);
-            dot << ex.graph.toDot(name);
-            out << "(DOT: " << name << ")\n";
+    if (!options.reportPath.empty() &&
+        !engine::writeRunReport(run, engine_opts,
+                                options.reportPath)) {
+        out << "error: cannot write report to "
+            << options.reportPath << '\n';
+        return 2;
+    }
+
+    size_t total_exploits = 0;
+    size_t exploit_index = 0;
+    for (const engine::JobResult &result : run.jobs) {
+        if (result.skipped) {
+            out << result.key << " SKIPPED (engine deadline)\n\n";
+            continue;
         }
-        out << '\n';
+        if (!result.error.empty()) {
+            out << result.key << " ERROR: " << result.error
+                << "\n\n";
+            continue;
+        }
+        out << result.report.toString() << "\n\n";
+        for (const auto &ex : result.exploits) {
+            out << "--- exploit " << exploit_index << " ["
+                << litmus::attackClassName(ex.attackClass)
+                << "] ---\n"
+                << ex.test.toString();
+            if (options.printGraphs)
+                out << ex.graph.toAsciiGrid();
+            if (options.emitDot) {
+                std::string name =
+                    options.dotPrefix + "_" +
+                    std::to_string(exploit_index) + ".dot";
+                std::ofstream dot(name);
+                dot << ex.graph.toDot(name);
+                out << "(DOT: " << name << ")\n";
+            }
+            out << '\n';
+            exploit_index++;
+        }
+        total_exploits += result.exploits.size();
     }
-    return exploits.empty() ? 1 : 0;
+    return total_exploits == 0 ? 1 : 0;
 }
 
 } // namespace checkmate::core

@@ -39,6 +39,13 @@ struct CliOptions
     bool updateCoherence = false;    ///< specooo*: update protocol
     bool help = false;
 
+    // Parallel synthesis engine controls.
+    int jobs = 1;                  ///< worker threads
+    double timeoutSeconds = 0.0;   ///< global wall clock (0 = none)
+    double jobTimeoutSeconds = 0.0; ///< per-job wall clock (0 = none)
+    std::string reportPath;        ///< JSON run report ("" = none)
+    bool sweep = false;            ///< run the Table I bound sweep
+
     /** Set when parsing failed; holds the message. */
     std::string error;
 };

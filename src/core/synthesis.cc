@@ -34,7 +34,11 @@ SynthesisReport::toString() const
     std::ostringstream out;
     out << microarch << " + " << pattern
         << " @ bound=" << bounds.numEvents
-        << (sat ? "" : " UNSAT")
+        << (sat ? "" : " UNSAT");
+    if (aborted)
+        out << " ABORTED(" << engine::abortReasonName(abortReason)
+            << ")";
+    out
         << " | first: " << secondsToFirst << "s, all: "
         << secondsToAll << "s | raw graphs: " << rawInstances
         << ", unique litmus tests: " << uniqueTests;
@@ -90,9 +94,9 @@ CheckMate::run(
     rmf::SolveOptions solve_opts;
     solve_opts.breakSymmetries = false; // canonicalization axioms
                                         // already prune relabelings
-    solve_opts.maxInstances =
-        first_only ? 1 : options.maxInstances;
-    solve_opts.conflictBudget = options.conflictBudget;
+    solve_opts.budget = options.budget;
+    if (first_only)
+        solve_opts.budget.maxInstances = 1;
     if (options.projectOnLitmusRelations)
         solve_opts.projectOn = ctx.litmusRelations();
 
@@ -129,6 +133,10 @@ CheckMate::run(
         report->uniqueTests = exploits.size();
         report->secondsToFirst = to_first;
         report->secondsToAll = secondsSince(start);
+        report->aborted = solve_result.aborted;
+        report->abortReason = solve_result.abortReason;
+        report->translation = solve_result.translation;
+        report->solver = solve_result.solver;
         report->classCounts.clear();
         for (const SynthesizedExploit &ex : exploits)
             report->classCounts[ex.attackClass]++;

@@ -14,15 +14,16 @@
 #define CHECKMATE_CORE_SYNTHESIS_HH
 
 #include <cstdint>
-#include <limits>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "engine/budget.hh"
 #include "graph/uhb_graph.hh"
 #include "litmus/litmus.hh"
 #include "patterns/pattern.hh"
+#include "rmf/solve.hh"
 #include "uspec/microarch.hh"
 
 namespace checkmate::core
@@ -44,11 +45,11 @@ enum class WindowRequirement
 /** Options for one synthesis run. */
 struct SynthesisOptions
 {
-    /** Stop after this many raw solver instances. */
-    uint64_t maxInstances = std::numeric_limits<uint64_t>::max();
-
-    /** Abort the SAT search after this many conflicts (0 = off). */
-    uint64_t conflictBudget = 0;
+    /**
+     * Search limits (instance cap, conflict budget, deadline, stop
+     * token), passed through to the model finder unchanged.
+     */
+    engine::Budget budget;
 
     /**
      * Enumerate one solver model per distinct litmus test rather
@@ -97,6 +98,16 @@ struct SynthesisReport
     uint64_t uniqueTests = 0;   ///< after duplicate filtering (§V-C)
     double secondsToFirst = 0.0;
     double secondsToAll = 0.0;
+
+    /** True when the run gave up before exhausting the space. */
+    bool aborted = false;
+    /** What cut the search short when aborted. */
+    engine::AbortReason abortReason = engine::AbortReason::None;
+
+    /** Problem-to-CNF translation statistics. */
+    rmf::TranslationStats translation;
+    /** SAT search statistics. */
+    sat::SolverStats solver;
 
     /** Unique litmus tests per attack class. */
     std::map<litmus::AttackClass, int> classCounts;

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The search budget threaded through every layer of the stack.
+ *
+ * One struct carries the instance cap, conflict budget, wall-clock
+ * deadline and stop token from the engine's job scheduler down
+ * through `core::SynthesisOptions` and `rmf::SolveOptions` to the
+ * SAT solver, so limits are declared once instead of being copied
+ * field-by-field at each layer boundary.
+ */
+
+#ifndef CHECKMATE_ENGINE_BUDGET_HH
+#define CHECKMATE_ENGINE_BUDGET_HH
+
+#include <cstdint>
+#include <limits>
+
+#include "engine/stop_token.hh"
+
+namespace checkmate::engine
+{
+
+/** Limits on one model-finding run. All default to "unlimited". */
+struct Budget
+{
+    /** Stop enumeration after this many instances. */
+    uint64_t maxInstances = std::numeric_limits<uint64_t>::max();
+
+    /** Abort the SAT search after this many conflicts (0 = off). */
+    uint64_t maxConflicts = 0;
+
+    /** Abort once this wall-clock instant passes. */
+    Deadline deadline;
+
+    /** Abort when this token's source requests a stop. */
+    StopToken stop;
+
+    /** True if the deadline has already passed. */
+    bool
+    deadlineExpired() const
+    {
+        return deadline &&
+               std::chrono::steady_clock::now() >= *deadline;
+    }
+
+    /** Copy with the deadline clamped to an earlier one. */
+    Budget
+    withDeadline(const Deadline &other) const
+    {
+        Budget b = *this;
+        b.deadline = earlierDeadline(deadline, other);
+        return b;
+    }
+};
+
+} // namespace checkmate::engine
+
+#endif // CHECKMATE_ENGINE_BUDGET_HH

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Job construction and execution.
+ */
+
+#include "engine/job.hh"
+
+#include <chrono>
+#include <sstream>
+
+#include "patterns/flush_reload.hh"
+#include "patterns/prime_probe.hh"
+#include "uarch/inorder.hh"
+
+namespace checkmate::engine
+{
+
+namespace
+{
+
+const char *
+windowName(core::WindowRequirement w)
+{
+    switch (w) {
+    case core::WindowRequirement::FaultWindow: return "fault";
+    case core::WindowRequirement::BranchWindow: return "branch";
+    case core::WindowRequirement::None: break;
+    }
+    return "none";
+}
+
+} // anonymous namespace
+
+std::string
+jobKey(const SynthesisJob &job)
+{
+    std::ostringstream key;
+    key << job.uarch;
+    if (job.uarch.rfind("specooo", 0) == 0) {
+        // Distinguish configuration variants of the same model.
+        key << ':' << (job.specConfig.modelCoherence ? 'c' : '-')
+            << (job.specConfig.allowSpeculativeFlush ? 'f' : '-')
+            << (job.specConfig.invalidationCoherence ? 'i' : '-')
+            << (job.specConfig.speculativeExecution ? 's' : '-')
+            << (job.specConfig.speculativeFills ? 'l' : '-');
+    }
+    key << '|' << job.pattern << "|e";
+    key.fill('0');
+    key.width(2);
+    key << job.bounds.numEvents;
+    key << "c" << job.bounds.numCores << "p" << job.bounds.numProcs
+        << "v" << job.bounds.numVas << "a" << job.bounds.numPas
+        << "i" << job.bounds.numIndices;
+    key << "|w=" << windowName(job.options.requireWindow)
+        << "|ao=" << (job.options.attackerOnly ? 1 : 0)
+        << "|nf=" << (job.options.attackNoiseFilters ? 1 : 0)
+        << "|pj=" << (job.options.projectOnLitmusRelations ? 1 : 0);
+    if (job.options.budget.maxInstances !=
+        std::numeric_limits<uint64_t>::max())
+        key << "|max=" << job.options.budget.maxInstances;
+    if (job.options.budget.maxConflicts)
+        key << "|cb=" << job.options.budget.maxConflicts;
+    return key.str();
+}
+
+std::unique_ptr<uspec::Microarchitecture>
+makeMicroarch(const std::string &name,
+              const uarch::SpecOoOConfig &config, std::string &error)
+{
+    if (name == "specooo" || name == "specooo-coh") {
+        uarch::SpecOoOConfig c = config;
+        c.modelCoherence = name == "specooo-coh";
+        return std::make_unique<uarch::SpecOoO>(c);
+    }
+    if (name == "inorder2") {
+        return std::make_unique<uarch::InOrderPipeline>(
+            uarch::inOrder2Stage());
+    }
+    if (name == "inorder3") {
+        return std::make_unique<uarch::InOrderPipeline>(
+            uarch::inOrder3Stage());
+    }
+    if (name == "inorder5") {
+        return std::make_unique<uarch::InOrderPipeline>(
+            uarch::inOrder5Stage());
+    }
+    if (name == "inorder-spec")
+        return std::make_unique<uarch::InOrderSpec>();
+    error = "unknown microarchitecture: " + name;
+    return nullptr;
+}
+
+std::unique_ptr<patterns::ExploitPattern>
+makeExploitPattern(const std::string &name, std::string &error)
+{
+    if (name == "flush-reload")
+        return std::make_unique<patterns::FlushReloadPattern>();
+    if (name == "prime-probe")
+        return std::make_unique<patterns::PrimeProbePattern>();
+    if (name == "none")
+        return nullptr;
+    error = "unknown pattern: " + name;
+    return nullptr;
+}
+
+std::vector<SynthesisJob>
+tableOneJobs(const std::string &pattern, int lo_bound, int hi_bound,
+             uint64_t cap)
+{
+    const bool prime = pattern == "prime-probe";
+    // The bound where the traditional (non-speculative) attack
+    // first appears; speculative rows sit above it.
+    const int traditional = prime ? 3 : 4;
+
+    std::vector<SynthesisJob> jobs;
+    for (int n = lo_bound; n <= hi_bound; n++) {
+        SynthesisJob job;
+        job.uarch = prime ? "specooo-coh" : "specooo";
+        job.pattern = pattern;
+        job.bounds.numCores = prime ? 2 : 1;
+        job.bounds.numProcs = 2;
+        job.bounds.numVas = 2;
+        job.bounds.numPas = 2;
+        job.bounds.numIndices = 2;
+        job.bounds.numEvents = n;
+        job.options.budget.maxInstances = cap;
+        job.options.requireWindow =
+            n == traditional + 1
+                ? core::WindowRequirement::FaultWindow
+            : n == traditional + 2
+                ? core::WindowRequirement::BranchWindow
+                : core::WindowRequirement::None;
+        job.options.attackerOnly = n > traditional;
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+JobResult
+runJob(const SynthesisJob &job, size_t index, const Budget &shared)
+{
+    JobResult result;
+    result.index = index;
+    result.key = jobKey(job);
+
+    auto start = std::chrono::steady_clock::now();
+
+    std::unique_ptr<uspec::Microarchitecture> machine =
+        makeMicroarch(job.uarch, job.specConfig, result.error);
+    if (!machine)
+        return result;
+    std::unique_ptr<patterns::ExploitPattern> pattern =
+        makeExploitPattern(job.pattern, result.error);
+    if (!pattern && !result.error.empty())
+        return result;
+
+    // Tighten the job's budget to whatever ends first: its own
+    // timeout, its own deadline, or the scheduler's global one.
+    core::SynthesisOptions options = job.options;
+    options.budget = options.budget.withDeadline(
+        earlierDeadline(deadlineIn(job.timeoutSeconds),
+                        shared.deadline));
+    if (shared.stop.stoppable())
+        options.budget.stop = shared.stop;
+
+    core::CheckMate tool(*machine, pattern.get());
+    result.exploits =
+        tool.synthesizeAll(job.bounds, options, &result.report);
+    result.wallSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+} // namespace checkmate::engine

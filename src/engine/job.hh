@@ -1,0 +1,135 @@
+/**
+ * @file
+ * The unit of work of the parallel synthesis engine.
+ *
+ * A sweep (e.g. the Table I methodology) decomposes into independent
+ * SynthesisJobs — one (microarchitecture, pattern, bound,
+ * window-requirement) combination each, with its own budgets. Jobs
+ * are plain data: the microarchitecture and pattern are named, not
+ * held as objects, so each worker thread constructs its own
+ * instances and nothing is shared across threads.
+ */
+
+#ifndef CHECKMATE_ENGINE_JOB_HH
+#define CHECKMATE_ENGINE_JOB_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/synthesis.hh"
+#include "engine/budget.hh"
+#include "uarch/spec_ooo.hh"
+
+namespace checkmate::engine
+{
+
+/** One independent synthesis run. */
+struct SynthesisJob
+{
+    /**
+     * Microarchitecture model name, CLI-style: specooo,
+     * specooo-coh, inorder2, inorder3, inorder5, inorder-spec.
+     */
+    std::string uarch = "specooo";
+
+    /** Configuration knobs honored by the specooo variants. */
+    uarch::SpecOoOConfig specConfig;
+
+    /** Exploit pattern: flush-reload, prime-probe, or none. */
+    std::string pattern = "flush-reload";
+
+    uspec::SynthesisBounds bounds;
+
+    /** Per-run synthesis options, including the job's own budget. */
+    core::SynthesisOptions options;
+
+    /**
+     * Per-job wall-clock allowance in seconds (0 = none). Combined
+     * with the scheduler's global deadline at job start; whichever
+     * is earlier wins.
+     */
+    double timeoutSeconds = 0.0;
+};
+
+/**
+ * Stable sort key for a job: encodes every field that
+ * distinguishes runs, with numbers zero-padded so lexicographic
+ * order matches numeric order. Results merged in key order are
+ * byte-identical regardless of worker count or completion order.
+ */
+std::string jobKey(const SynthesisJob &job);
+
+/** Outcome of one job. */
+struct JobResult
+{
+    /** Index of the job in the submitted batch. */
+    size_t index = 0;
+
+    /** The job's stable key (see jobKey()). */
+    std::string key;
+
+    core::SynthesisReport report;
+    std::vector<core::SynthesizedExploit> exploits;
+
+    /** Wall time of this job alone, seconds. */
+    double wallSeconds = 0.0;
+
+    /**
+     * True when the scheduler's deadline or stop request arrived
+     * before the job even started; report/exploits are empty.
+     */
+    bool skipped = false;
+
+    /** Non-empty on configuration errors (unknown uarch/pattern). */
+    std::string error;
+};
+
+/**
+ * Instantiate the named microarchitecture model.
+ *
+ * @return nullptr and set @p error on an unknown name.
+ */
+std::unique_ptr<uspec::Microarchitecture>
+makeMicroarch(const std::string &name,
+              const uarch::SpecOoOConfig &config, std::string &error);
+
+/**
+ * Instantiate the named exploit pattern.
+ *
+ * @return nullptr for "none" (error stays empty) or on an unknown
+ * name (error set).
+ */
+std::unique_ptr<patterns::ExploitPattern>
+makeExploitPattern(const std::string &name, std::string &error);
+
+/**
+ * Decompose a Table I sweep into jobs, one per instruction bound.
+ *
+ * Encodes the paper's row methodology for the given pattern family:
+ * FLUSH+RELOAD runs on specooo over one core with the traditional
+ * attack at bound 4, fault windows (Meltdown) required at bound 5
+ * and branch windows (Spectre) at bound 6; PRIME+PROBE runs on
+ * specooo-coh over two cores with rows at bounds 3/4/5. Bounds
+ * above the traditional one are attacker-only (§II-B). Every job
+ * caps enumeration at @p cap instances.
+ */
+std::vector<SynthesisJob> tableOneJobs(const std::string &pattern,
+                                       int lo_bound, int hi_bound,
+                                       uint64_t cap);
+
+/**
+ * Run one job to completion on the calling thread.
+ *
+ * @param job the job; its budget is tightened to the earlier of the
+ *        job's own timeout and @p shared's deadline, and @p shared's
+ *        stop token is installed.
+ * @param index submission index, echoed into the result.
+ * @param shared scheduler-level budget (global deadline + stop).
+ */
+JobResult runJob(const SynthesisJob &job, size_t index,
+                 const Budget &shared);
+
+} // namespace checkmate::engine
+
+#endif // CHECKMATE_ENGINE_JOB_HH

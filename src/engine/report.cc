@@ -1,0 +1,240 @@
+/**
+ * @file
+ * JSON run-report serialization.
+ */
+
+#include "engine/report.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace checkmate::engine
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream out;
+    for (char c : s) {
+        switch (c) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\n': out << "\\n"; break;
+        case '\r': out << "\\r"; break;
+        case '\t': out << "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                out << "\\u" << std::hex << std::setw(4)
+                    << std::setfill('0') << static_cast<int>(c)
+                    << std::dec;
+            } else {
+                out << c;
+            }
+        }
+    }
+    return out.str();
+}
+
+/**
+ * Minimal streaming JSON writer. Tracks whether the last token was
+ * a key so that container openers know when to skip the separating
+ * comma ("a":{ ... ) versus emit one ( },{ ... ).
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &out) : out_(out) {}
+
+    void
+    beginObject()
+    {
+        separator();
+        out_ << '{';
+        first_ = true;
+    }
+    void
+    endObject()
+    {
+        out_ << '}';
+        first_ = false;
+    }
+    void
+    beginArray(const std::string &name)
+    {
+        key(name);
+        separator();
+        out_ << '[';
+        first_ = true;
+    }
+    void
+    endArray()
+    {
+        out_ << ']';
+        first_ = false;
+    }
+    void
+    field(const std::string &name, const std::string &value)
+    {
+        key(name);
+        separator();
+        out_ << '"' << jsonEscape(value) << '"';
+    }
+    void
+    field(const std::string &name, const char *value)
+    {
+        field(name, std::string(value));
+    }
+    void
+    field(const std::string &name, bool value)
+    {
+        key(name);
+        separator();
+        out_ << (value ? "true" : "false");
+    }
+    void
+    field(const std::string &name, uint64_t value)
+    {
+        key(name);
+        separator();
+        out_ << value;
+    }
+    void
+    field(const std::string &name, int value)
+    {
+        key(name);
+        separator();
+        out_ << value;
+    }
+    void
+    field(const std::string &name, double value)
+    {
+        key(name);
+        separator();
+        out_ << std::setprecision(6) << std::fixed << value
+             << std::defaultfloat;
+    }
+    void
+    key(const std::string &name)
+    {
+        separator();
+        out_ << '"' << jsonEscape(name) << "\":";
+        afterKey_ = true;
+    }
+
+  private:
+    /** Emit "," where the grammar needs one; no-op after a key or
+     * at a container's first element. */
+    void
+    separator()
+    {
+        if (!first_ && !afterKey_)
+            out_ << ',';
+        first_ = false;
+        afterKey_ = false;
+    }
+
+    std::ostream &out_;
+    bool first_ = true;
+    bool afterKey_ = false;
+};
+
+void
+writeJob(JsonWriter &json, const JobResult &job)
+{
+    const core::SynthesisReport &rep = job.report;
+    json.beginObject();
+    json.field("key", job.key);
+    json.field("index", static_cast<uint64_t>(job.index));
+    json.field("uarch", rep.microarch);
+    json.field("pattern", rep.pattern);
+    json.field("bound", rep.bounds.numEvents);
+    json.field("wall_seconds", job.wallSeconds);
+    json.field("seconds_to_first", rep.secondsToFirst);
+    json.field("sat", rep.sat);
+    json.field("aborted", rep.aborted);
+    json.field("abort_reason",
+               job.skipped ? "skipped"
+                           : abortReasonName(rep.abortReason));
+    json.field("skipped", job.skipped);
+    if (!job.error.empty())
+        json.field("error", job.error);
+    json.field("raw_instances", rep.rawInstances);
+    json.field("unique_tests", rep.uniqueTests);
+
+    json.key("class_counts");
+    json.beginObject();
+    for (const auto &[cls, count] : rep.classCounts)
+        json.field(litmus::attackClassName(cls), count);
+    json.endObject();
+
+    json.key("translation");
+    json.beginObject();
+    json.field("primary_vars",
+               static_cast<uint64_t>(rep.translation.primaryVars));
+    json.field("circuit_nodes",
+               static_cast<uint64_t>(rep.translation.circuitNodes));
+    json.field("solver_vars",
+               static_cast<uint64_t>(rep.translation.solverVars));
+    json.field("solver_clauses",
+               static_cast<uint64_t>(rep.translation.solverClauses));
+    json.endObject();
+
+    json.key("solver");
+    json.beginObject();
+    json.field("decisions", rep.solver.decisions);
+    json.field("propagations", rep.solver.propagations);
+    json.field("conflicts", rep.solver.conflicts);
+    json.field("restarts", rep.solver.restarts);
+    json.field("learned_clauses", rep.solver.learnedClauses);
+    json.field("removed_clauses", rep.solver.removedClauses);
+    json.field("models_enumerated", rep.solver.modelsEnumerated);
+    json.endObject();
+
+    json.endObject();
+}
+
+} // anonymous namespace
+
+std::string
+runReportToJson(const RunResult &run, const EngineOptions &options)
+{
+    std::ostringstream out;
+    JsonWriter json(out);
+    json.beginObject();
+
+    json.key("engine");
+    json.beginObject();
+    json.field("threads", run.threads);
+    json.field("timeout_seconds", options.timeoutSeconds);
+    json.field("job_timeout_seconds", options.jobTimeoutSeconds);
+    json.field("wall_seconds", run.wallSeconds);
+    json.field("aborted", run.aborted);
+    json.field("jobs", static_cast<uint64_t>(run.jobs.size()));
+    json.endObject();
+
+    json.beginArray("jobs");
+    for (const JobResult &job : run.jobs)
+        writeJob(json, job);
+    json.endArray();
+
+    json.endObject();
+    out << '\n';
+    return out.str();
+}
+
+bool
+writeRunReport(const RunResult &run, const EngineOptions &options,
+               const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << runReportToJson(run, options);
+    return static_cast<bool>(out);
+}
+
+} // namespace checkmate::engine

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * Serializes a batch's RunResult into JSON so sweep outcomes —
+ * per-job wall time, translation and solver statistics, instance
+ * counts, abort reasons — can be archived and diffed across runs
+ * (e.g. serial-vs-parallel wall-time tracking in BENCH_*.json).
+ * The schema is documented in docs/ENGINE.md.
+ */
+
+#ifndef CHECKMATE_ENGINE_REPORT_HH
+#define CHECKMATE_ENGINE_REPORT_HH
+
+#include <string>
+
+#include "engine/scheduler.hh"
+
+namespace checkmate::engine
+{
+
+/**
+ * Render @p run as a JSON document (object with "engine" metadata
+ * and a "jobs" array, one element per job in merged order).
+ */
+std::string runReportToJson(const RunResult &run,
+                            const EngineOptions &options);
+
+/**
+ * Write the JSON report to @p path.
+ *
+ * @return false (and leave no partial file behind beyond what the
+ * filesystem allows) when the file cannot be opened.
+ */
+bool writeRunReport(const RunResult &run,
+                    const EngineOptions &options,
+                    const std::string &path);
+
+} // namespace checkmate::engine
+
+#endif // CHECKMATE_ENGINE_REPORT_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Thread-pool scheduler implementation.
+ */
+
+#include "engine/scheduler.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <queue>
+#include <thread>
+
+namespace checkmate::engine
+{
+
+RunResult
+runJobs(const std::vector<SynthesisJob> &jobs,
+        const EngineOptions &options, StopSource *stop)
+{
+    RunResult run;
+    run.threads = std::max(1, options.threads);
+    run.jobs.resize(jobs.size());
+
+    auto start = std::chrono::steady_clock::now();
+
+    Budget shared;
+    shared.deadline = deadlineIn(options.timeoutSeconds);
+    if (stop)
+        shared.stop = stop->token();
+
+    std::mutex queue_mutex;
+    std::queue<size_t> pending;
+    for (size_t i = 0; i < jobs.size(); i++)
+        pending.push(i);
+
+    auto worker = [&]() {
+        for (;;) {
+            size_t index;
+            {
+                std::lock_guard<std::mutex> lock(queue_mutex);
+                if (pending.empty())
+                    return;
+                index = pending.front();
+                pending.pop();
+            }
+            if (shared.stop.stopRequested() ||
+                shared.deadlineExpired()) {
+                JobResult &slot = run.jobs[index];
+                slot.index = index;
+                slot.key = jobKey(jobs[index]);
+                slot.skipped = true;
+                // Identity fields for the report; the run itself
+                // never happened.
+                slot.report.microarch = jobs[index].uarch;
+                slot.report.pattern = jobs[index].pattern;
+                slot.report.bounds = jobs[index].bounds;
+                continue;
+            }
+            SynthesisJob job = jobs[index];
+            if (job.timeoutSeconds <= 0.0)
+                job.timeoutSeconds = options.jobTimeoutSeconds;
+            run.jobs[index] = runJob(job, index, shared);
+        }
+    };
+
+    size_t n_workers = std::min<size_t>(
+        static_cast<size_t>(run.threads),
+        std::max<size_t>(jobs.size(), 1));
+    if (n_workers <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(n_workers);
+        for (size_t t = 0; t < n_workers; t++)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    run.wallSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    for (const JobResult &r : run.jobs) {
+        if (r.skipped || r.report.aborted) {
+            run.aborted = true;
+            break;
+        }
+    }
+
+    // Deterministic merge: stable order by job key, submission
+    // index breaking ties between identical jobs.
+    std::sort(run.jobs.begin(), run.jobs.end(),
+              [](const JobResult &a, const JobResult &b) {
+                  if (a.key != b.key)
+                      return a.key < b.key;
+                  return a.index < b.index;
+              });
+    return run;
+}
+
+} // namespace checkmate::engine

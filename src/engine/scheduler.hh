@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fixed-thread-pool scheduler for synthesis jobs.
+ *
+ * Workers pull job indices from a lock-guarded queue and write each
+ * result into its submission slot, so the merged result vector —
+ * sorted by stable job key — is identical no matter how many
+ * threads ran or in which order jobs finished.
+ *
+ * Cancellation is cooperative and two-level: a global wall-clock
+ * deadline (applied to every job's budget, and checked before each
+ * job starts so queued work is skipped rather than started late)
+ * and an externally triggerable stop source.
+ */
+
+#ifndef CHECKMATE_ENGINE_SCHEDULER_HH
+#define CHECKMATE_ENGINE_SCHEDULER_HH
+
+#include <vector>
+
+#include "engine/job.hh"
+
+namespace checkmate::engine
+{
+
+/** Scheduler-level configuration. */
+struct EngineOptions
+{
+    /** Worker threads (values < 1 are clamped to 1). */
+    int threads = 1;
+
+    /** Global wall-clock allowance, seconds (0 = none). */
+    double timeoutSeconds = 0.0;
+
+    /**
+     * Default per-job allowance, seconds (0 = none). A job's own
+     * timeoutSeconds, when set, takes precedence.
+     */
+    double jobTimeoutSeconds = 0.0;
+};
+
+/** Outcome of a whole batch. */
+struct RunResult
+{
+    /** Per-job results, sorted by (key, submission index). */
+    std::vector<JobResult> jobs;
+
+    /** Wall time of the whole batch, seconds. */
+    double wallSeconds = 0.0;
+
+    /** Worker threads actually used. */
+    int threads = 1;
+
+    /** True when the global deadline or a stop request cut it short. */
+    bool aborted = false;
+};
+
+/**
+ * Run every job and merge the results deterministically.
+ *
+ * Blocks until all jobs finish, abort, or are skipped. @p stop, when
+ * non-null, allows an external party to cancel the batch.
+ */
+RunResult runJobs(const std::vector<SynthesisJob> &jobs,
+                  const EngineOptions &options,
+                  StopSource *stop = nullptr);
+
+} // namespace checkmate::engine
+
+#endif // CHECKMATE_ENGINE_SCHEDULER_HH

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Cooperative cancellation primitives for the synthesis engine.
+ *
+ * A StopSource owns a shared atomic flag; StopTokens are cheap
+ * copyable views of it. The flag is polled — never thrown across —
+ * so a cancelled SAT search unwinds through its normal Undef path
+ * and every layer gets to record partial statistics.
+ *
+ * Header-only and dependency-free on purpose: the SAT solver (the
+ * lowest layer of the stack) polls tokens inside its conflict loop,
+ * so this header must not pull in anything above `<atomic>`.
+ */
+
+#ifndef CHECKMATE_ENGINE_STOP_TOKEN_HH
+#define CHECKMATE_ENGINE_STOP_TOKEN_HH
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+
+namespace checkmate::engine
+{
+
+/** Why a search gave up before reaching SAT/UNSAT. */
+enum class AbortReason
+{
+    None,           ///< ran to completion
+    ConflictBudget, ///< conflict budget exhausted
+    Deadline,       ///< wall-clock deadline passed
+    Stopped         ///< stop token was triggered
+};
+
+/** Human-readable name for an abort reason. */
+inline const char *
+abortReasonName(AbortReason r)
+{
+    switch (r) {
+    case AbortReason::ConflictBudget: return "conflict-budget";
+    case AbortReason::Deadline: return "deadline";
+    case AbortReason::Stopped: return "stopped";
+    case AbortReason::None: break;
+    }
+    return "none";
+}
+
+/**
+ * A view of a cancellation flag. Default-constructed tokens are
+ * empty and never report a stop request.
+ */
+class StopToken
+{
+  public:
+    StopToken() = default;
+
+    /** True once the owning StopSource requested a stop. */
+    bool
+    stopRequested() const
+    {
+        return flag_ && flag_->load(std::memory_order_relaxed);
+    }
+
+    /** True when connected to a StopSource (worth polling). */
+    bool stoppable() const { return flag_ != nullptr; }
+
+  private:
+    friend class StopSource;
+    explicit StopToken(std::shared_ptr<std::atomic<bool>> flag)
+        : flag_(std::move(flag))
+    {}
+
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/** Owner of a cancellation flag; hands out StopTokens. */
+class StopSource
+{
+  public:
+    StopSource()
+        : flag_(std::make_shared<std::atomic<bool>>(false))
+    {}
+
+    /** Ask every holder of a token to stop at the next poll. */
+    void
+    requestStop()
+    {
+        flag_->store(true, std::memory_order_relaxed);
+    }
+
+    bool
+    stopRequested() const
+    {
+        return flag_->load(std::memory_order_relaxed);
+    }
+
+    StopToken token() const { return StopToken(flag_); }
+
+  private:
+    std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/** Wall-clock deadline, absent = none. */
+using Deadline =
+    std::optional<std::chrono::steady_clock::time_point>;
+
+/** Deadline @p seconds from now (non-positive = none). */
+inline Deadline
+deadlineIn(double seconds)
+{
+    if (seconds <= 0.0)
+        return std::nullopt;
+    return std::chrono::steady_clock::now() +
+           std::chrono::duration_cast<
+               std::chrono::steady_clock::duration>(
+               std::chrono::duration<double>(seconds));
+}
+
+/** The earlier of two optional deadlines. */
+inline Deadline
+earlierDeadline(const Deadline &a, const Deadline &b)
+{
+    if (!a)
+        return b;
+    if (!b)
+        return a;
+    return std::min(*a, *b);
+}
+
+} // namespace checkmate::engine
+
+#endif // CHECKMATE_ENGINE_STOP_TOKEN_HH

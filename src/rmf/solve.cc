@@ -8,19 +8,33 @@
 namespace checkmate::rmf
 {
 
+namespace
+{
+
+void
+applyBudget(sat::Solver &solver, const engine::Budget &budget)
+{
+    if (budget.maxConflicts)
+        solver.setConflictBudget(budget.maxConflicts);
+    solver.setDeadline(budget.deadline);
+    solver.setStopToken(budget.stop);
+}
+
+} // anonymous namespace
+
 std::optional<Instance>
 solveOne(const Problem &problem, const SolveOptions &options,
          SolveResult *result)
 {
     sat::Solver solver;
-    if (options.conflictBudget)
-        solver.setConflictBudget(options.conflictBudget);
+    applyBudget(solver, options.budget);
     Translation translation(problem, solver, options.breakSymmetries);
 
     sat::LBool r = solver.solve();
     if (result) {
         result->sat = (r == sat::LBool::True);
         result->aborted = (r == sat::LBool::Undef);
+        result->abortReason = solver.abortReason();
         result->instances = (r == sat::LBool::True) ? 1 : 0;
         result->translation = translation.stats();
         result->solver = solver.stats();
@@ -36,8 +50,7 @@ solveAll(const Problem &problem,
          const SolveOptions &options, SolveResult *result)
 {
     sat::Solver solver;
-    if (options.conflictBudget)
-        solver.setConflictBudget(options.conflictBudget);
+    applyBudget(solver, options.budget);
     Translation translation(problem, solver, options.breakSymmetries);
 
     std::vector<sat::Var> projection;
@@ -56,11 +69,13 @@ solveAll(const Problem &problem,
         [&](const sat::Solver &s) {
             return on_instance(translation.extract(s));
         },
-        options.maxInstances);
+        options.budget.maxInstances);
 
     if (result) {
         result->sat = count > 0;
-        result->aborted = false;
+        result->aborted =
+            solver.abortReason() != engine::AbortReason::None;
+        result->abortReason = solver.abortReason();
         result->instances = count;
         result->translation = translation.stats();
         result->solver = solver.stats();

@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <functional>
-#include <limits>
 #include <optional>
 
+#include "engine/budget.hh"
 #include "rmf/problem.hh"
 #include "rmf/translate.hh"
 
@@ -24,11 +24,11 @@ struct SolveOptions
     /** Emit lex-leader symmetry-breaking predicates. */
     bool breakSymmetries = true;
 
-    /** Stop enumeration after this many instances. */
-    uint64_t maxInstances = std::numeric_limits<uint64_t>::max();
-
-    /** Abort the SAT search after this many conflicts (0 = off). */
-    uint64_t conflictBudget = 0;
+    /**
+     * Search limits: instance cap, conflict budget, wall-clock
+     * deadline and stop token, threaded down to the SAT solver.
+     */
+    engine::Budget budget;
 
     /**
      * Enumerate distinct assignments of these relations only (empty
@@ -44,7 +44,9 @@ struct SolveOptions
 struct SolveResult
 {
     bool sat = false;
-    bool aborted = false; ///< conflict budget exhausted
+    bool aborted = false; ///< gave up before a decided answer
+    /** What cut the search short when aborted. */
+    engine::AbortReason abortReason = engine::AbortReason::None;
     uint64_t instances = 0;
     TranslationStats translation;
     sat::SolverStats solver;

@@ -434,9 +434,27 @@ Solver::reduceDB()
     learnts_ = std::move(kept);
 }
 
+engine::AbortReason
+Solver::pollInterrupts() const
+{
+    if (stop_.stopRequested())
+        return engine::AbortReason::Stopped;
+    if (deadline_ &&
+        std::chrono::steady_clock::now() >= *deadline_)
+        return engine::AbortReason::Deadline;
+    return engine::AbortReason::None;
+}
+
 LBool
 Solver::search()
 {
+    // Poll cadence for the decision branch: conflicts already check
+    // every iteration, but a propagation-heavy search can run long
+    // decision streaks without conflicting, so check the wall clock
+    // there too — often enough to honor deadlines promptly, rarely
+    // enough that steady_clock::now() stays off the profile.
+    constexpr uint64_t kDecisionPollMask = 255;
+
     int restart_count = 0;
     uint64_t conflicts_until_restart =
         static_cast<uint64_t>(100 * lubySequence(restart_count));
@@ -449,6 +467,13 @@ Solver::search()
             conflicts_this_restart++;
             if (conflictBudget_ &&
                 stats_.conflicts >= conflictBudget_) {
+                abortReason_ = engine::AbortReason::ConflictBudget;
+                cancelUntil(0);
+                return LBool::Undef;
+            }
+            if (engine::AbortReason r = pollInterrupts();
+                r != engine::AbortReason::None) {
+                abortReason_ = r;
                 cancelUntil(0);
                 return LBool::Undef;
             }
@@ -505,6 +530,14 @@ Solver::search()
             }
             if (next == litUndef) {
                 stats_.decisions++;
+                if ((stats_.decisions & kDecisionPollMask) == 0) {
+                    if (engine::AbortReason r = pollInterrupts();
+                        r != engine::AbortReason::None) {
+                        abortReason_ = r;
+                        cancelUntil(0);
+                        return LBool::Undef;
+                    }
+                }
                 next = pickBranchLit();
                 if (next == litUndef)
                     return LBool::True; // all variables assigned
@@ -520,6 +553,14 @@ Solver::solve(const std::vector<Lit> &assumptions)
 {
     if (!ok_)
         return LBool::False;
+    abortReason_ = engine::AbortReason::None;
+    // A search that finishes entirely by top-level propagation never
+    // reaches the in-loop polls, so check once up front too.
+    if (engine::AbortReason r = pollInterrupts();
+        r != engine::AbortReason::None) {
+        abortReason_ = r;
+        return LBool::Undef;
+    }
     assumptions_ = assumptions;
     LBool result = search();
     if (result == LBool::True) {

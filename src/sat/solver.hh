@@ -19,12 +19,14 @@
 #ifndef CHECKMATE_SAT_SOLVER_HH
 #define CHECKMATE_SAT_SOLVER_HH
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <vector>
 
+#include "engine/stop_token.hh"
 #include "sat/types.hh"
 
 namespace checkmate::sat
@@ -126,6 +128,23 @@ class Solver
      */
     void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
 
+    /**
+     * Install a wall-clock deadline: solve() gives up (returns
+     * Undef) once it passes. Polled in the conflict loop and every
+     * few hundred decisions, so responsiveness is bounded by search
+     * progress, not instruction count.
+     */
+    void setDeadline(engine::Deadline deadline) { deadline_ = deadline; }
+
+    /** Install a cooperative stop token, polled like the deadline. */
+    void setStopToken(engine::StopToken token) { stop_ = token; }
+
+    /**
+     * Why the most recent solve() returned Undef
+     * (AbortReason::None after a decided SAT/UNSAT result).
+     */
+    engine::AbortReason abortReason() const { return abortReason_; }
+
   private:
     /** Reference to a stored clause. */
     using ClauseRef = int32_t;
@@ -160,6 +179,7 @@ class Solver
     void cancelUntil(int level);
     Lit pickBranchLit();
     LBool search();
+    engine::AbortReason pollInterrupts() const;
     void reduceDB();
     void attachClause(ClauseRef cr);
 
@@ -226,6 +246,9 @@ class Solver
 
     uint64_t maxLearnts_ = 4000;
     uint64_t conflictBudget_ = 0;
+    engine::Deadline deadline_;
+    engine::StopToken stop_;
+    engine::AbortReason abortReason_ = engine::AbortReason::None;
 
     SolverStats stats_;
 };

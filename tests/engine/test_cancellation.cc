@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Cooperative cancellation tests: wall-clock deadlines and stop
+ * tokens must cut short searches at every layer — the raw CDCL
+ * solver, the relational model finder, a synthesis run, and a
+ * whole scheduled batch — and each must report why it gave up.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/synthesis.hh"
+#include "engine/scheduler.hh"
+#include "engine/stop_token.hh"
+#include "rmf/solve.hh"
+#include "sat/solver.hh"
+#include "uarch/spec_ooo.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using Clock = std::chrono::steady_clock;
+
+/**
+ * Encode the pigeonhole principle PHP(pigeons, holes): every
+ * pigeon roosts somewhere, no two share a hole. UNSAT whenever
+ * pigeons > holes, and famously exponential for resolution-based
+ * solvers — at 10 pigeons the search runs far beyond any test
+ * deadline, making it the deliberately hard instance for
+ * cancellation tests.
+ */
+void
+encodePigeonhole(sat::Solver &solver, int pigeons, int holes)
+{
+    std::vector<std::vector<sat::Var>> at(pigeons);
+    for (int p = 0; p < pigeons; p++)
+        for (int h = 0; h < holes; h++)
+            at[p].push_back(solver.newVar());
+
+    for (int p = 0; p < pigeons; p++) {
+        sat::Clause roost;
+        for (int h = 0; h < holes; h++)
+            roost.push_back(sat::mkLit(at[p][h]));
+        solver.addClause(roost);
+    }
+    for (int h = 0; h < holes; h++)
+        for (int p = 0; p < pigeons; p++)
+            for (int q = p + 1; q < pigeons; q++)
+                solver.addClause(sat::mkLit(at[p][h], true),
+                                 sat::mkLit(at[q][h], true));
+}
+
+TEST(Cancellation, SolverHonorsDeadlineOnHardUnsat)
+{
+    sat::Solver solver;
+    encodePigeonhole(solver, 10, 9);
+    solver.setDeadline(engine::deadlineIn(0.2));
+
+    auto start = Clock::now();
+    sat::LBool r = solver.solve();
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - start)
+            .count();
+
+    EXPECT_EQ(r, sat::LBool::Undef);
+    EXPECT_EQ(solver.abortReason(), engine::AbortReason::Deadline);
+    // Generous margin for slow CI machines; the point is that it
+    // did not run the hours PHP(10,9) needs.
+    EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(Cancellation, SolverDistinguishesConflictBudget)
+{
+    sat::Solver solver;
+    encodePigeonhole(solver, 8, 7);
+    solver.setConflictBudget(50);
+
+    EXPECT_EQ(solver.solve(), sat::LBool::Undef);
+    EXPECT_EQ(solver.abortReason(),
+              engine::AbortReason::ConflictBudget);
+}
+
+TEST(Cancellation, SolverHonorsStopTokenFromAnotherThread)
+{
+    sat::Solver solver;
+    encodePigeonhole(solver, 10, 9);
+    engine::StopSource stop;
+    solver.setStopToken(stop.token());
+
+    std::thread canceller([&stop]() {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(100));
+        stop.requestStop();
+    });
+    sat::LBool r = solver.solve();
+    canceller.join();
+
+    EXPECT_EQ(r, sat::LBool::Undef);
+    EXPECT_EQ(solver.abortReason(), engine::AbortReason::Stopped);
+}
+
+TEST(Cancellation, SolverChecksInterruptsBeforeSearching)
+{
+    sat::Solver solver;
+    sat::Var v = solver.newVar();
+    solver.addClause(sat::mkLit(v));
+
+    engine::StopSource stop;
+    stop.requestStop();
+    solver.setStopToken(stop.token());
+    EXPECT_EQ(solver.solve(), sat::LBool::Undef);
+    EXPECT_EQ(solver.abortReason(), engine::AbortReason::Stopped);
+}
+
+TEST(Cancellation, SolveResultCarriesAbortReason)
+{
+    // The rmf layer reports deadline aborts distinctly from
+    // conflict-budget aborts (SolveResult.aborted + abortReason).
+    uarch::SpecOoO machine(/*model_coherence=*/false);
+    core::CheckMate tool(machine, nullptr);
+    uspec::SynthesisBounds bounds;
+    bounds.numEvents = 4;
+
+    core::SynthesisOptions options;
+    options.budget.deadline = engine::deadlineIn(1e-9);
+
+    core::SynthesisReport report;
+    auto exploits = tool.synthesizeAll(bounds, options, &report);
+    EXPECT_TRUE(exploits.empty());
+    EXPECT_TRUE(report.aborted);
+    EXPECT_EQ(report.abortReason, engine::AbortReason::Deadline);
+}
+
+TEST(Cancellation, SynthesisHonorsStopToken)
+{
+    engine::StopSource stop;
+    stop.requestStop();
+
+    uarch::SpecOoO machine(/*model_coherence=*/false);
+    core::CheckMate tool(machine, nullptr);
+    uspec::SynthesisBounds bounds;
+    bounds.numEvents = 4;
+
+    core::SynthesisOptions options;
+    options.budget.stop = stop.token();
+
+    core::SynthesisReport report;
+    auto exploits = tool.synthesizeAll(bounds, options, &report);
+    EXPECT_TRUE(exploits.empty());
+    EXPECT_TRUE(report.aborted);
+    EXPECT_EQ(report.abortReason, engine::AbortReason::Stopped);
+}
+
+TEST(Cancellation, SchedulerSkipsQueuedJobsPastDeadline)
+{
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 6, 50);
+    engine::EngineOptions options;
+    options.threads = 1;
+    options.timeoutSeconds = 1e-9; // expired before any job starts
+    engine::RunResult run = engine::runJobs(jobs, options);
+
+    ASSERT_EQ(run.jobs.size(), 3u);
+    EXPECT_TRUE(run.aborted);
+    for (const auto &job : run.jobs) {
+        // Either skipped outright or aborted on its first poll.
+        EXPECT_TRUE(job.skipped || job.report.aborted);
+        EXPECT_TRUE(job.exploits.empty());
+    }
+}
+
+TEST(Cancellation, SchedulerStopSourceCancelsBatch)
+{
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 5, 50);
+    engine::EngineOptions options;
+    options.threads = 1;
+    engine::StopSource stop;
+    stop.requestStop();
+    engine::RunResult run = engine::runJobs(jobs, options, &stop);
+
+    EXPECT_TRUE(run.aborted);
+    for (const auto &job : run.jobs)
+        EXPECT_TRUE(job.skipped || job.report.aborted);
+}
+
+TEST(Cancellation, PerJobTimeoutTightensBudget)
+{
+    // A job whose own timeout already expired aborts with the
+    // deadline reason even though the batch has no global timeout.
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 4, 50);
+    jobs[0].timeoutSeconds = 1e-9;
+    engine::RunResult run = engine::runJobs(jobs, {});
+    ASSERT_EQ(run.jobs.size(), 1u);
+    EXPECT_TRUE(run.jobs[0].report.aborted);
+    EXPECT_EQ(run.jobs[0].report.abortReason,
+              engine::AbortReason::Deadline);
+}
+
+} // anonymous namespace

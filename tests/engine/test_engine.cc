@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Tests for the parallel synthesis engine: job decomposition,
+ * scheduler determinism, and the JSON run report.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hh"
+#include "engine/job.hh"
+#include "engine/report.hh"
+#include "engine/scheduler.hh"
+
+namespace
+{
+
+using namespace checkmate;
+
+// --- A minimal JSON syntax checker ------------------------------
+//
+// Enough of a parser to assert the run report is well-formed
+// without pulling in a JSON dependency: validates the value
+// grammar and balanced containers, ignores number formats beyond
+// the characters they may use.
+
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        skipSpace();
+        if (!value())
+            return false;
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '{')
+            return object();
+        if (c == '[')
+            return array();
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+
+    bool
+    object()
+    {
+        pos_++; // '{'
+        skipSpace();
+        if (peek() == '}') {
+            pos_++;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            if (!string())
+                return false;
+            skipSpace();
+            if (peek() != ':')
+                return false;
+            pos_++;
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            if (peek() == '}') {
+                pos_++;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        pos_++; // '['
+        skipSpace();
+        if (peek() == ']') {
+            pos_++;
+            return true;
+        }
+        for (;;) {
+            skipSpace();
+            if (!value())
+                return false;
+            skipSpace();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            if (peek() == ']') {
+                pos_++;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        pos_++;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\')
+                pos_++;
+            pos_++;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        pos_++; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '-' || text_[pos_] == '+' ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E'))
+            pos_++;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(
+                   static_cast<unsigned char>(text_[pos_])))
+            pos_++;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+// --- Job decomposition ------------------------------------------
+
+TEST(EngineJob, TableOneFlushReloadRows)
+{
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 6, 100);
+    ASSERT_EQ(jobs.size(), 3u);
+    EXPECT_EQ(jobs[0].uarch, "specooo");
+    EXPECT_EQ(jobs[0].bounds.numCores, 1);
+    EXPECT_EQ(jobs[0].options.requireWindow,
+              core::WindowRequirement::None);
+    EXPECT_FALSE(jobs[0].options.attackerOnly);
+    EXPECT_EQ(jobs[1].options.requireWindow,
+              core::WindowRequirement::FaultWindow);
+    EXPECT_TRUE(jobs[1].options.attackerOnly);
+    EXPECT_EQ(jobs[2].options.requireWindow,
+              core::WindowRequirement::BranchWindow);
+    EXPECT_EQ(jobs[0].options.budget.maxInstances, 100u);
+}
+
+TEST(EngineJob, TableOnePrimeProbeRows)
+{
+    auto jobs = engine::tableOneJobs("prime-probe", 3, 5, 100);
+    ASSERT_EQ(jobs.size(), 3u);
+    EXPECT_EQ(jobs[0].uarch, "specooo-coh");
+    EXPECT_EQ(jobs[0].bounds.numCores, 2);
+    EXPECT_EQ(jobs[1].options.requireWindow,
+              core::WindowRequirement::FaultWindow);
+    EXPECT_EQ(jobs[2].options.requireWindow,
+              core::WindowRequirement::BranchWindow);
+}
+
+TEST(EngineJob, KeysOrderByBound)
+{
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 6, 100);
+    std::vector<std::string> keys;
+    for (const auto &job : jobs)
+        keys.push_back(engine::jobKey(job));
+    for (size_t i = 1; i < keys.size(); i++)
+        EXPECT_LT(keys[i - 1], keys[i]);
+}
+
+TEST(EngineJob, KeyDistinguishesConfigVariants)
+{
+    engine::SynthesisJob a, b;
+    b.specConfig.speculativeExecution = false;
+    EXPECT_NE(engine::jobKey(a), engine::jobKey(b));
+
+    engine::SynthesisJob c, d;
+    d.options.attackerOnly = true;
+    EXPECT_NE(engine::jobKey(c), engine::jobKey(d));
+}
+
+TEST(EngineJob, UnknownUarchReportsError)
+{
+    engine::SynthesisJob job;
+    job.uarch = "zen5";
+    engine::JobResult result =
+        engine::runJob(job, 0, engine::Budget{});
+    EXPECT_FALSE(result.error.empty());
+    EXPECT_TRUE(result.exploits.empty());
+}
+
+// --- Scheduler determinism --------------------------------------
+
+std::vector<std::string>
+litmusKeys(const engine::RunResult &run)
+{
+    std::vector<std::string> keys;
+    for (const auto &job : run.jobs) {
+        for (const auto &ex : job.exploits)
+            keys.push_back(job.key + "#" + ex.test.key());
+    }
+    return keys;
+}
+
+TEST(EngineScheduler, ParallelMatchesSerial)
+{
+    // A small Table I slice: flush-reload at bounds 4 and 5,
+    // capped, plus the prime-probe traditional row. Identical
+    // litmus output regardless of worker count is the engine's
+    // core guarantee.
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 5, 25);
+    auto pp = engine::tableOneJobs("prime-probe", 3, 3, 25);
+    jobs.insert(jobs.end(), pp.begin(), pp.end());
+
+    engine::EngineOptions serial;
+    serial.threads = 1;
+    engine::RunResult serial_run = engine::runJobs(jobs, serial);
+
+    engine::EngineOptions parallel;
+    parallel.threads = 4;
+    engine::RunResult parallel_run =
+        engine::runJobs(jobs, parallel);
+
+    EXPECT_EQ(serial_run.threads, 1);
+    EXPECT_EQ(parallel_run.threads, 4);
+    ASSERT_EQ(serial_run.jobs.size(), parallel_run.jobs.size());
+    for (size_t i = 0; i < serial_run.jobs.size(); i++) {
+        EXPECT_EQ(serial_run.jobs[i].key,
+                  parallel_run.jobs[i].key);
+        EXPECT_EQ(serial_run.jobs[i].report.uniqueTests,
+                  parallel_run.jobs[i].report.uniqueTests);
+    }
+    EXPECT_EQ(litmusKeys(serial_run), litmusKeys(parallel_run));
+    EXPECT_FALSE(litmusKeys(serial_run).empty());
+}
+
+TEST(EngineScheduler, MergeOrderIsByKey)
+{
+    // Submit out of order; results come back key-sorted.
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 5, 5);
+    std::swap(jobs[0], jobs[1]);
+    engine::RunResult run = engine::runJobs(jobs, {});
+    ASSERT_EQ(run.jobs.size(), 2u);
+    EXPECT_LT(run.jobs[0].key, run.jobs[1].key);
+    EXPECT_EQ(run.jobs[0].report.bounds.numEvents, 4);
+}
+
+// --- Run report --------------------------------------------------
+
+TEST(EngineReport, EmitsValidJson)
+{
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 4, 10);
+    engine::EngineOptions options;
+    options.threads = 2;
+    engine::RunResult run = engine::runJobs(jobs, options);
+
+    std::string json = engine::runReportToJson(run, options);
+    EXPECT_TRUE(JsonChecker(json).valid()) << json;
+
+    EXPECT_NE(json.find("\"engine\""), std::string::npos);
+    EXPECT_NE(json.find("\"jobs\""), std::string::npos);
+    EXPECT_NE(json.find("\"wall_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"abort_reason\""), std::string::npos);
+    EXPECT_NE(json.find("\"solver\""), std::string::npos);
+    EXPECT_NE(json.find("\"translation\""), std::string::npos);
+    EXPECT_NE(json.find("\"decisions\""), std::string::npos);
+    EXPECT_NE(json.find("\"raw_instances\""), std::string::npos);
+}
+
+TEST(EngineReport, CliWritesReportFile)
+{
+    std::ostringstream out;
+    std::string path = "test_cli_report.json";
+    core::CliOptions opts = core::parseCli(
+        {"--uarch", "inorder3", "--events", "4", "--max", "10",
+         "--report", path});
+    ASSERT_TRUE(opts.error.empty()) << opts.error;
+    EXPECT_EQ(core::runCli(opts, out), 0);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream content;
+    content << in.rdbuf();
+    EXPECT_TRUE(JsonChecker(content.str()).valid())
+        << content.str();
+    std::remove(path.c_str());
+}
+
+// --- CLI integration --------------------------------------------
+
+std::string
+litmusSections(const std::string &cli_output)
+{
+    // Strip report lines (they carry timings); keep exploit blocks.
+    std::istringstream in(cli_output);
+    std::ostringstream kept;
+    std::string line;
+    bool in_exploit = false;
+    while (std::getline(in, line)) {
+        if (line.rfind("--- exploit", 0) == 0)
+            in_exploit = true;
+        else if (line.empty())
+            in_exploit = false;
+        if (in_exploit)
+            kept << line << '\n';
+    }
+    return kept.str();
+}
+
+TEST(EngineCli, SweepParallelLitmusOutputIdentical)
+{
+    // The acceptance check: the Table I flush+reload sweep (kept
+    // small: bounds 4..6 capped at 15) emits byte-identical litmus
+    // output under --jobs 1 and --jobs 4.
+    std::ostringstream serial_out, parallel_out;
+    std::vector<std::string> base = {
+        "--sweep", "--pattern", "flush-reload", "--max", "15"};
+
+    auto serial_args = base;
+    serial_args.push_back("--jobs");
+    serial_args.push_back("1");
+    auto parallel_args = base;
+    parallel_args.push_back("--jobs");
+    parallel_args.push_back("4");
+
+    int serial_rc =
+        core::runCli(core::parseCli(serial_args), serial_out);
+    int parallel_rc =
+        core::runCli(core::parseCli(parallel_args), parallel_out);
+
+    EXPECT_EQ(serial_rc, parallel_rc);
+    std::string serial_litmus = litmusSections(serial_out.str());
+    EXPECT_EQ(serial_litmus, litmusSections(parallel_out.str()));
+    EXPECT_FALSE(serial_litmus.empty());
+}
+
+TEST(EngineCli, ParsesEngineFlags)
+{
+    core::CliOptions opts = core::parseCli(
+        {"--jobs", "8", "--timeout", "2.5", "--job-timeout", "1",
+         "--report", "r.json", "--sweep"});
+    EXPECT_TRUE(opts.error.empty());
+    EXPECT_EQ(opts.jobs, 8);
+    EXPECT_DOUBLE_EQ(opts.timeoutSeconds, 2.5);
+    EXPECT_DOUBLE_EQ(opts.jobTimeoutSeconds, 1.0);
+    EXPECT_EQ(opts.reportPath, "r.json");
+    EXPECT_TRUE(opts.sweep);
+}
+
+TEST(EngineCli, RejectsNonPositiveJobs)
+{
+    core::CliOptions opts = core::parseCli({"--jobs", "0"});
+    EXPECT_FALSE(opts.error.empty());
+}
+
+} // anonymous namespace
