@@ -11,13 +11,16 @@
  *
  * usage: bench_table1_flush_reload [cap] [max_bound]
  *                                  [--jobs N] [--report out.json]
+ *                                  [--trace out.trace.json]
+ *                                  [--heartbeat-ms N]
  *
  * The enumeration at each bound can be capped (default 600
  * instances) — the paper ran to completion in up to 215 minutes;
  * capped rows are marked '+'. `--jobs N` runs the bounds in
  * parallel on N engine workers (row output is merge-ordered, so it
  * is identical for any N); `--report` writes the JSON run report
- * for serial-vs-parallel wall-time tracking.
+ * for serial-vs-parallel wall-time tracking; `--trace` records a
+ * Chrome trace_event profile of the run (docs/OBSERVABILITY.md).
  */
 
 #include <cstdlib>
@@ -30,6 +33,7 @@
 #include "engine/job.hh"
 #include "engine/report.hh"
 #include "engine/scheduler.hh"
+#include "obs/trace.hh"
 
 int
 main(int argc, char **argv)
@@ -38,7 +42,9 @@ main(int argc, char **argv)
     uint64_t cap = 600;
     int max_bound = 6;
     int jobs = 1;
+    int heartbeat_ms = 0;
     std::string report_path;
+    std::string trace_path;
 
     std::vector<std::string> positional;
     for (int i = 1; i < argc; i++) {
@@ -47,6 +53,10 @@ main(int argc, char **argv)
             jobs = std::atoi(argv[++i]);
         } else if (arg == "--report" && i + 1 < argc) {
             report_path = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (arg == "--heartbeat-ms" && i + 1 < argc) {
+            heartbeat_ms = std::atoi(argv[++i]);
         } else {
             positional.push_back(arg);
         }
@@ -61,11 +71,22 @@ main(int argc, char **argv)
               << " instances per bound; '+' = cap hit; " << jobs
               << " engine worker(s))\n\n";
 
+    if (!trace_path.empty()) {
+        auto &rec = obs::TraceRecorder::instance();
+        rec.clear();
+        rec.setEnabled(true);
+        rec.nameCurrentThread("main");
+    }
+
+    std::vector<engine::SynthesisJob> bench_jobs =
+        engine::tableOneJobs("flush-reload", 4, max_bound, cap);
+    for (engine::SynthesisJob &job : bench_jobs)
+        job.options.heartbeatMs = heartbeat_ms;
+
     engine::EngineOptions engine_opts;
     engine_opts.threads = jobs;
-    engine::RunResult run = engine::runJobs(
-        engine::tableOneJobs("flush-reload", 4, max_bound, cap),
-        engine_opts);
+    engine::RunResult run = engine::runJobs(bench_jobs, engine_opts);
+    obs::TraceRecorder::instance().setEnabled(false);
 
     std::cout << std::left << std::setw(7) << "bound"
               << std::right << std::setw(12) << "first (s)"
@@ -110,6 +131,13 @@ main(int argc, char **argv)
             std::cout << "run report: " << report_path << '\n';
         else
             std::cerr << "cannot write " << report_path << '\n';
+    }
+    if (!trace_path.empty()) {
+        auto &rec = obs::TraceRecorder::instance();
+        if (rec.writeChromeTrace(trace_path))
+            std::cout << "trace: " << trace_path << '\n';
+        else
+            std::cerr << "cannot write " << trace_path << '\n';
     }
     return 0;
 }

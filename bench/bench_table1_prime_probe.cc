@@ -9,10 +9,13 @@
  *
  * usage: bench_table1_prime_probe [cap] [max_bound]
  *                                 [--jobs N] [--report out.json]
+ *                                 [--trace out.trace.json]
+ *                                 [--heartbeat-ms N]
  *
  * `--jobs N` runs the bounds in parallel on N engine workers (row
  * output is merge-ordered, so it is identical for any N);
- * `--report` writes the JSON run report.
+ * `--report` writes the JSON run report; `--trace` records a
+ * Chrome trace_event profile of the run (docs/OBSERVABILITY.md).
  */
 
 #include <cstdlib>
@@ -25,6 +28,7 @@
 #include "engine/job.hh"
 #include "engine/report.hh"
 #include "engine/scheduler.hh"
+#include "obs/trace.hh"
 
 int
 main(int argc, char **argv)
@@ -33,7 +37,9 @@ main(int argc, char **argv)
     uint64_t cap = 600;
     int max_bound = 5;
     int jobs = 1;
+    int heartbeat_ms = 0;
     std::string report_path;
+    std::string trace_path;
 
     std::vector<std::string> positional;
     for (int i = 1; i < argc; i++) {
@@ -42,6 +48,10 @@ main(int argc, char **argv)
             jobs = std::atoi(argv[++i]);
         } else if (arg == "--report" && i + 1 < argc) {
             report_path = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else if (arg == "--heartbeat-ms" && i + 1 < argc) {
+            heartbeat_ms = std::atoi(argv[++i]);
         } else {
             positional.push_back(arg);
         }
@@ -57,11 +67,22 @@ main(int argc, char **argv)
               << " instances per bound; '+' = cap hit; " << jobs
               << " engine worker(s))\n\n";
 
+    if (!trace_path.empty()) {
+        auto &rec = obs::TraceRecorder::instance();
+        rec.clear();
+        rec.setEnabled(true);
+        rec.nameCurrentThread("main");
+    }
+
+    std::vector<engine::SynthesisJob> bench_jobs =
+        engine::tableOneJobs("prime-probe", 3, max_bound, cap);
+    for (engine::SynthesisJob &job : bench_jobs)
+        job.options.heartbeatMs = heartbeat_ms;
+
     engine::EngineOptions engine_opts;
     engine_opts.threads = jobs;
-    engine::RunResult run = engine::runJobs(
-        engine::tableOneJobs("prime-probe", 3, max_bound, cap),
-        engine_opts);
+    engine::RunResult run = engine::runJobs(bench_jobs, engine_opts);
+    obs::TraceRecorder::instance().setEnabled(false);
 
     std::cout << std::left << std::setw(7) << "bound"
               << std::right << std::setw(12) << "first (s)"
@@ -105,6 +126,13 @@ main(int argc, char **argv)
             std::cout << "run report: " << report_path << '\n';
         else
             std::cerr << "cannot write " << report_path << '\n';
+    }
+    if (!trace_path.empty()) {
+        auto &rec = obs::TraceRecorder::instance();
+        if (rec.writeChromeTrace(trace_path))
+            std::cout << "trace: " << trace_path << '\n';
+        else
+            std::cerr << "cannot write " << trace_path << '\n';
     }
     return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -21,6 +22,8 @@
 #include "engine/job.hh"
 #include "engine/report.hh"
 #include "engine/scheduler.hh"
+#include "obs/log.hh"
+#include "obs/trace.hh"
 
 namespace checkmate::core
 {
@@ -65,6 +68,16 @@ usage: checkmate [options]
   --job-timeout SEC per-job wall-clock budget
   --report FILE     write a machine-readable JSON run report (see
                     docs/ENGINE.md for the schema)
+  --trace FILE      write a Chrome trace_event JSON of the whole
+                    run (open in chrome://tracing or Perfetto; see
+                    docs/OBSERVABILITY.md)
+  --log-json FILE   write a structured JSONL log
+  --log-level LVL   log threshold: debug|info|warn|error
+                    (default info)
+  --heartbeat-ms N  solver progress heartbeat every N ms
+                    (0 = off; emitted to the log/trace/metrics)
+  --dump-dimacs DIR write each job's translated CNF to
+                    DIR/<job-key>.cnf for offline reproduction
   --help            this text
 )";
 }
@@ -138,6 +151,25 @@ parseCli(const std::vector<std::string> &args)
             }
         } else if (arg == "--report") {
             opts.reportPath = next("--report");
+        } else if (arg == "--trace") {
+            opts.tracePath = next("--trace");
+        } else if (arg == "--log-json") {
+            opts.logJsonPath = next("--log-json");
+        } else if (arg == "--log-level") {
+            opts.logLevel = next("--log-level");
+            if (opts.error.empty() &&
+                !obs::parseLogLevel(opts.logLevel)) {
+                opts.error = "--log-level must be one of "
+                             "debug|info|warn|error";
+            }
+        } else if (arg == "--heartbeat-ms") {
+            opts.heartbeatMs =
+                std::atoi(next("--heartbeat-ms").c_str());
+            if (opts.heartbeatMs < 0 && opts.error.empty())
+                opts.error = "--heartbeat-ms requires a "
+                             "non-negative interval";
+        } else if (arg == "--dump-dimacs") {
+            opts.dumpDimacsDir = next("--dump-dimacs");
         } else if (opts.error.empty()) {
             opts.error = "unknown option: " + arg;
         }
@@ -162,6 +194,21 @@ specConfigFromCli(const CliOptions &opts)
     return config;
 }
 
+/** Apply per-job observability options from the CLI flags. */
+void
+applyObservability(std::vector<engine::SynthesisJob> &jobs,
+                   const CliOptions &options)
+{
+    for (engine::SynthesisJob &job : jobs) {
+        job.options.heartbeatMs = options.heartbeatMs;
+        if (!options.dumpDimacsDir.empty()) {
+            job.options.dumpDimacsPath =
+                options.dumpDimacsDir + "/" +
+                engine::jobFileStem(job) + ".cnf";
+        }
+    }
+}
+
 std::vector<engine::SynthesisJob>
 buildJobs(const CliOptions &options)
 {
@@ -174,6 +221,7 @@ buildJobs(const CliOptions &options)
                                          options.maxInstances);
         for (engine::SynthesisJob &job : jobs)
             job.specConfig = config;
+        applyObservability(jobs, options);
         return jobs;
     }
 
@@ -188,8 +236,65 @@ buildJobs(const CliOptions &options)
     job.bounds.numPas = options.pas;
     job.bounds.numIndices = options.indices;
     job.options.budget.maxInstances = options.maxInstances;
-    return {job};
+    std::vector<engine::SynthesisJob> jobs = {job};
+    applyObservability(jobs, options);
+    return jobs;
 }
+
+/**
+ * RAII setup/teardown for the process-global observability sinks.
+ *
+ * Sinks are global singletons, so they are configured for the
+ * duration of one runCli() call and fully disabled afterwards —
+ * tests drive runCli() repeatedly in-process and must not leak
+ * tracing state between invocations.
+ */
+class ObservabilityScope
+{
+  public:
+    explicit ObservabilityScope(const CliOptions &options)
+        : options_(options)
+    {
+        if (!options_.tracePath.empty()) {
+            auto &rec = obs::TraceRecorder::instance();
+            rec.clear();
+            rec.setEnabled(true);
+            rec.nameCurrentThread("main");
+        }
+        if (!options_.logJsonPath.empty()) {
+            auto &log = obs::Logger::instance();
+            if (auto level = obs::parseLogLevel(options_.logLevel))
+                log.setLevel(*level);
+            logOpen_ = log.openFile(options_.logJsonPath);
+        }
+    }
+
+    bool logFailed() const
+    {
+        return !options_.logJsonPath.empty() && !logOpen_;
+    }
+
+    /** Write the Chrome trace (if requested). False on I/O error. */
+    bool writeTrace()
+    {
+        if (options_.tracePath.empty())
+            return true;
+        return obs::TraceRecorder::instance().writeChromeTrace(
+            options_.tracePath);
+    }
+
+    ~ObservabilityScope()
+    {
+        if (!options_.tracePath.empty())
+            obs::TraceRecorder::instance().setEnabled(false);
+        if (!options_.logJsonPath.empty())
+            obs::Logger::instance().close();
+    }
+
+  private:
+    const CliOptions &options_;
+    bool logOpen_ = false;
+};
 
 } // anonymous namespace
 
@@ -219,6 +324,25 @@ runCli(const CliOptions &options, std::ostream &out)
         return 2;
     }
 
+    if (!options.dumpDimacsDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.dumpDimacsDir,
+                                            ec);
+        if (ec) {
+            out << "error: cannot create DIMACS directory "
+                << options.dumpDimacsDir << ": " << ec.message()
+                << '\n';
+            return 2;
+        }
+    }
+
+    ObservabilityScope obs_scope(options);
+    if (obs_scope.logFailed()) {
+        out << "error: cannot open log file "
+            << options.logJsonPath << '\n';
+        return 2;
+    }
+
     std::vector<engine::SynthesisJob> jobs = buildJobs(options);
 
     engine::EngineOptions engine_opts;
@@ -227,6 +351,12 @@ runCli(const CliOptions &options, std::ostream &out)
     engine_opts.jobTimeoutSeconds = options.jobTimeoutSeconds;
 
     engine::RunResult run = engine::runJobs(jobs, engine_opts);
+
+    if (!obs_scope.writeTrace()) {
+        out << "error: cannot write trace to " << options.tracePath
+            << '\n';
+        return 2;
+    }
 
     if (!options.reportPath.empty() &&
         !engine::writeRunReport(run, engine_opts,

@@ -46,6 +46,13 @@ struct CliOptions
     std::string reportPath;        ///< JSON run report ("" = none)
     bool sweep = false;            ///< run the Table I bound sweep
 
+    // Observability controls (docs/OBSERVABILITY.md).
+    std::string tracePath;   ///< Chrome trace_event JSON ("" = off)
+    std::string logJsonPath; ///< JSONL structured log ("" = off)
+    std::string logLevel = "info"; ///< debug|info|warn|error
+    int heartbeatMs = 0;     ///< solver heartbeat cadence (0 = off)
+    std::string dumpDimacsDir; ///< per-job CNF dumps ("" = off)
+
     /** Set when parsing failed; holds the message. */
     std::string error;
 };

@@ -5,10 +5,12 @@
 
 #include "core/synthesis.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <set>
 #include <sstream>
 
+#include "obs/trace.hh"
 #include "rmf/solve.hh"
 
 namespace checkmate::core
@@ -56,6 +58,13 @@ CheckMate::run(
     bool first_only,
     const std::vector<uspec::UspecContext::FixedOp> *program) const
 {
+    obs::Span run_span("core.synthesize", "core");
+    run_span.arg("uarch", uarch_.name());
+    run_span.arg("pattern",
+                 pattern_ ? pattern_->name() : "(none)");
+    run_span.arg("bound", bounds.numEvents);
+
+    obs::Span load_span("uspec.load", "uspec");
     uspec::UspecContext ctx(bounds, uarch_.locations(),
                             uarch_.options());
     uspec::EdgeDeriver deriver(ctx);
@@ -84,6 +93,7 @@ CheckMate::run(
         }
         ctx.require(window);
     }
+    load_span.close();
 
     std::vector<SynthesizedExploit> exploits;
     std::set<std::string> seen;
@@ -95,12 +105,19 @@ CheckMate::run(
     solve_opts.breakSymmetries = false; // canonicalization axioms
                                         // already prune relabelings
     solve_opts.budget = options.budget;
+    solve_opts.heartbeatMs = options.heartbeatMs;
+    solve_opts.dumpDimacsPath = options.dumpDimacsPath;
     if (first_only)
         solve_opts.budget.maxInstances = 1;
     if (options.projectOnLitmusRelations)
         solve_opts.projectOn = ctx.litmusRelations();
 
     rmf::SolveResult solve_result;
+    // Covers the whole model-finding call, including the solver and
+    // translation teardown after enumeration (circuit + clause-store
+    // destruction is size-dependent and shows up at bound >= 5), so
+    // the trace accounts for the job's full solve time.
+    obs::Span solve_span("rmf.solve", "rmf");
     rmf::solveAll(
         ctx.problem(),
         [&](const rmf::Instance &inst) {
@@ -123,6 +140,7 @@ CheckMate::run(
             return true;
         },
         solve_opts, &solve_result);
+    solve_span.close();
 
     if (report) {
         report->microarch = uarch_.name();
@@ -137,6 +155,23 @@ CheckMate::run(
         report->abortReason = solve_result.abortReason;
         report->translation = solve_result.translation;
         report->solver = solve_result.solver;
+        report->heartbeats = solve_result.heartbeats;
+        report->phaseSeconds.clear();
+        report->phaseSeconds["uspec.load"] = load_span.seconds();
+        report->phaseSeconds["rmf.translate"] =
+            solve_result.translateSeconds;
+        report->phaseSeconds["sat.search"] =
+            solve_result.searchSeconds;
+        report->phaseSeconds["rmf.extract"] =
+            solve_result.extractSeconds;
+        report->phaseSeconds["litmus.emit"] =
+            solve_result.callbackSeconds;
+        double accounted = solve_result.translateSeconds +
+                           solve_result.searchSeconds +
+                           solve_result.extractSeconds +
+                           solve_result.callbackSeconds;
+        report->phaseSeconds["rmf.teardown"] = std::max(
+            0.0, solve_span.seconds() - accounted);
         report->classCounts.clear();
         for (const SynthesizedExploit &ex : exploits)
             report->classCounts[ex.attackClass]++;

@@ -75,6 +75,18 @@ struct SynthesisOptions
      * execution at all (one of the paper's §II-B insights).
      */
     bool attackerOnly = false;
+
+    /**
+     * Solver heartbeat cadence in milliseconds (0 = off), passed
+     * through to the model finder (see rmf::SolveOptions).
+     */
+    int heartbeatMs = 0;
+
+    /**
+     * When non-empty, dump this run's translated CNF here in DIMACS
+     * format for offline reproduction (`--dump-dimacs`).
+     */
+    std::string dumpDimacsPath;
 };
 
 /** One synthesized exploit: litmus test + μhb graph + class. */
@@ -108,6 +120,17 @@ struct SynthesisReport
     rmf::TranslationStats translation;
     /** SAT search statistics. */
     sat::SolverStats solver;
+
+    /**
+     * Per-phase wall-time breakdown of this run, keyed by span name
+     * (see docs/OBSERVABILITY.md for the taxonomy): "uspec.load",
+     * "rmf.translate", "sat.search", "rmf.extract", "litmus.emit".
+     * Filled whether or not tracing is enabled.
+     */
+    std::map<std::string, double> phaseSeconds;
+
+    /** Solver heartbeats emitted during this run. */
+    uint64_t heartbeats = 0;
 
     /** Unique litmus tests per attack class. */
     std::map<litmus::AttackClass, int> classCounts;

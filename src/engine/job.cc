@@ -5,9 +5,13 @@
 
 #include "engine/job.hh"
 
+#include <cctype>
 #include <chrono>
 #include <sstream>
 
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "patterns/flush_reload.hh"
 #include "patterns/prime_probe.hh"
 #include "uarch/inorder.hh"
@@ -61,6 +65,19 @@ jobKey(const SynthesisJob &job)
     if (job.options.budget.maxConflicts)
         key << "|cb=" << job.options.budget.maxConflicts;
     return key.str();
+}
+
+std::string
+jobFileStem(const SynthesisJob &job)
+{
+    std::string stem = jobKey(job);
+    for (char &c : stem) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '.' && c != '_' && c != '-') {
+            c = '_';
+        }
+    }
+    return stem;
 }
 
 std::unique_ptr<uspec::Microarchitecture>
@@ -143,6 +160,16 @@ runJob(const SynthesisJob &job, size_t index, const Budget &shared)
     result.index = index;
     result.key = jobKey(job);
 
+    // The job's top-level span: everything the job does nests under
+    // it on the worker thread's trace track.
+    obs::Span span("job " + result.key, "engine");
+
+    auto &log = obs::Logger::instance();
+    if (log.enabled(obs::LogLevel::Info)) {
+        log.log(obs::LogLevel::Info, "engine", "job start",
+                obs::JsonFields().add("key", result.key).str());
+    }
+
     auto start = std::chrono::steady_clock::now();
 
     std::unique_ptr<uspec::Microarchitecture> machine =
@@ -170,6 +197,23 @@ runJob(const SynthesisJob &job, size_t index, const Budget &shared)
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
+
+    auto &metrics = obs::MetricsRegistry::instance();
+    metrics.counter("engine.jobs_completed").add(1);
+    if (result.report.aborted)
+        metrics.counter("engine.jobs_aborted").add(1);
+
+    span.arg("unique_tests", result.report.uniqueTests);
+    span.arg("raw_instances", result.report.rawInstances);
+    if (log.enabled(obs::LogLevel::Info)) {
+        log.log(obs::LogLevel::Info, "engine", "job done",
+                obs::JsonFields()
+                    .add("key", result.key)
+                    .add("wall_seconds", result.wallSeconds)
+                    .add("unique_tests", result.report.uniqueTests)
+                    .add("aborted", result.report.aborted)
+                    .str());
+    }
     return result;
 }
 

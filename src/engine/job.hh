@@ -60,6 +60,13 @@ struct SynthesisJob
  */
 std::string jobKey(const SynthesisJob &job);
 
+/**
+ * jobKey() mangled to a filesystem-safe stem: every character
+ * outside [A-Za-z0-9._-] becomes '_'. Used to name per-job artifact
+ * files (`--dump-dimacs DIR` writes DIR/<stem>.cnf).
+ */
+std::string jobFileStem(const SynthesisJob &job);
+
 /** Outcome of one job. */
 struct JobResult
 {

@@ -164,6 +164,15 @@ writeJob(JsonWriter &json, const JobResult &job)
         json.field("error", job.error);
     json.field("raw_instances", rep.rawInstances);
     json.field("unique_tests", rep.uniqueTests);
+    json.field("heartbeats", rep.heartbeats);
+
+    // Per-phase wall-time breakdown (seconds), keyed by span name;
+    // see docs/OBSERVABILITY.md for the taxonomy.
+    json.key("phases");
+    json.beginObject();
+    for (const auto &[phase, seconds] : rep.phaseSeconds)
+        json.field(phase, seconds);
+    json.endObject();
 
     json.key("class_counts");
     json.beginObject();
@@ -181,6 +190,11 @@ writeJob(JsonWriter &json, const JobResult &job)
                static_cast<uint64_t>(rep.translation.solverVars));
     json.field("solver_clauses",
                static_cast<uint64_t>(rep.translation.solverClauses));
+    json.field("bounds_seconds", rep.translation.boundsSeconds);
+    json.field("formula_seconds", rep.translation.formulaSeconds);
+    json.field("symmetry_seconds",
+               rep.translation.symmetrySeconds);
+    json.field("total_seconds", rep.translation.totalSeconds);
     json.endObject();
 
     json.key("solver");

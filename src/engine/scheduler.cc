@@ -11,6 +11,9 @@
 #include <queue>
 #include <thread>
 
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace checkmate::engine
 {
 
@@ -55,6 +58,9 @@ runJobs(const std::vector<SynthesisJob> &jobs,
                 slot.report.microarch = jobs[index].uarch;
                 slot.report.pattern = jobs[index].pattern;
                 slot.report.bounds = jobs[index].bounds;
+                obs::MetricsRegistry::instance()
+                    .counter("engine.jobs_skipped")
+                    .add(1);
                 continue;
             }
             SynthesisJob job = jobs[index];
@@ -68,12 +74,19 @@ runJobs(const std::vector<SynthesisJob> &jobs,
         static_cast<size_t>(run.threads),
         std::max<size_t>(jobs.size(), 1));
     if (n_workers <= 1) {
+        // Serial batches run on the caller's thread, whose trace
+        // track keeps its existing name.
         worker();
     } else {
         std::vector<std::thread> pool;
         pool.reserve(n_workers);
-        for (size_t t = 0; t < n_workers; t++)
-            pool.emplace_back(worker);
+        for (size_t t = 0; t < n_workers; t++) {
+            pool.emplace_back([&worker, t]() {
+                obs::TraceRecorder::instance().nameCurrentThread(
+                    "worker-" + std::to_string(t));
+                worker();
+            });
+        }
         for (std::thread &t : pool)
             t.join();
     }

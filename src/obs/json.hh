@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Minimal JSON rendering helpers shared by the observability sinks.
+ *
+ * Every obs exporter (Chrome trace, JSONL log, metrics snapshot)
+ * emits JSON by string concatenation — there is deliberately no
+ * external JSON dependency anywhere in this repository — so the
+ * escaping and field-list plumbing lives here once.
+ *
+ * Header-only and dependency-free on purpose, like
+ * engine/stop_token.hh: the lowest layers must be able to include
+ * it without linking anything.
+ */
+
+#ifndef CHECKMATE_OBS_JSON_HH
+#define CHECKMATE_OBS_JSON_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace checkmate::obs
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+inline std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** Render a double the way JSON expects (no inf/nan, no locale). */
+inline std::string
+jsonNumber(double v)
+{
+    if (!(v == v) || v > 1.7e308 || v < -1.7e308)
+        return "0";
+    std::ostringstream out;
+    out.precision(9);
+    out << v;
+    return out.str();
+}
+
+/**
+ * Incremental builder for a comma-separated `"key":value` field
+ * list — the body of a JSON object, without the surrounding braces,
+ * so callers can splice lists together (trace args, log fields).
+ */
+class JsonFields
+{
+  public:
+    JsonFields &
+    add(std::string_view key, std::string_view value)
+    {
+        sep();
+        out_ += '"';
+        out_ += jsonEscape(key);
+        out_ += "\":\"";
+        out_ += jsonEscape(value);
+        out_ += '"';
+        return *this;
+    }
+
+    JsonFields &
+    add(std::string_view key, const char *value)
+    {
+        return add(key, std::string_view(value));
+    }
+
+    JsonFields &
+    add(std::string_view key, double value)
+    {
+        return addRaw(key, jsonNumber(value));
+    }
+
+    JsonFields &
+    add(std::string_view key, uint64_t value)
+    {
+        return addRaw(key, std::to_string(value));
+    }
+
+    JsonFields &
+    add(std::string_view key, int64_t value)
+    {
+        return addRaw(key, std::to_string(value));
+    }
+
+    JsonFields &
+    add(std::string_view key, int value)
+    {
+        return add(key, static_cast<int64_t>(value));
+    }
+
+    JsonFields &
+    add(std::string_view key, bool value)
+    {
+        return addRaw(key, value ? "true" : "false");
+    }
+
+    /** Append an already-rendered JSON value under @p key. */
+    JsonFields &
+    addRaw(std::string_view key, std::string_view json)
+    {
+        sep();
+        out_ += '"';
+        out_ += jsonEscape(key);
+        out_ += "\":";
+        out_ += json;
+        return *this;
+    }
+
+    /** Append another field list verbatim. */
+    JsonFields &
+    splice(std::string_view fields)
+    {
+        if (fields.empty())
+            return *this;
+        sep();
+        out_ += fields;
+        return *this;
+    }
+
+    bool empty() const { return out_.empty(); }
+
+    /** The field list, without braces. */
+    const std::string &str() const { return out_; }
+
+    /** The field list wrapped into a JSON object. */
+    std::string object() const { return "{" + out_ + "}"; }
+
+  private:
+    void
+    sep()
+    {
+        if (!out_.empty())
+            out_ += ',';
+    }
+
+    std::string out_;
+};
+
+} // namespace checkmate::obs
+
+#endif // CHECKMATE_OBS_JSON_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * JSONL logger implementation.
+ */
+
+#include "obs/log.hh"
+
+#include "obs/json.hh"
+#include "obs/trace.hh"
+
+namespace checkmate::obs
+{
+
+const char *
+logLevelName(LogLevel level)
+{
+    switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info";
+    case LogLevel::Warn: return "warn";
+    case LogLevel::Error: return "error";
+    }
+    return "info";
+}
+
+std::optional<LogLevel>
+parseLogLevel(std::string_view name)
+{
+    if (name == "debug")
+        return LogLevel::Debug;
+    if (name == "info")
+        return LogLevel::Info;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "error")
+        return LogLevel::Error;
+    return std::nullopt;
+}
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+bool
+Logger::openFile(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stream_ = nullptr;
+    file_.close();
+    file_.clear();
+    file_.open(path, std::ios::trunc);
+    active_.store(static_cast<bool>(file_),
+                  std::memory_order_relaxed);
+    return static_cast<bool>(file_);
+}
+
+void
+Logger::attachStream(std::ostream *out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    file_.close();
+    stream_ = out;
+    active_.store(out != nullptr, std::memory_order_relaxed);
+}
+
+void
+Logger::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    file_.close();
+    stream_ = nullptr;
+    active_.store(false, std::memory_order_relaxed);
+}
+
+void
+Logger::log(LogLevel level, std::string_view component,
+            std::string_view message, const std::string &fieldsJson)
+{
+    if (!enabled(level))
+        return;
+    JsonFields record;
+    record.add("ts_us", nowMicros())
+        .add("level", logLevelName(level))
+        .add("tid",
+             static_cast<uint64_t>(TraceRecorder::currentThreadId()))
+        .add("component", component)
+        .add("msg", message)
+        .splice(fieldsJson);
+    std::string line = record.object();
+    line += '\n';
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostream *out = stream_ ? stream_
+                        : file_.is_open()
+                            ? static_cast<std::ostream *>(&file_)
+                            : nullptr;
+    if (!out)
+        return;
+    (*out) << line;
+    out->flush();
+}
+
+} // namespace checkmate::obs

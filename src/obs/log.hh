@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Structured JSONL logging with levels.
+ *
+ * One JSON object per line: timestamp (trace-epoch microseconds, so
+ * log lines correlate with trace spans), level, thread track id,
+ * component, message, and arbitrary extra fields. The sink is a
+ * file (`--log-json`) or any ostream (tests); with no sink attached
+ * the logger is disabled and `log()` is a cheap early return, so
+ * instrumented hot paths cost two relaxed atomic loads when logging
+ * is off.
+ *
+ * Check `enabled(level)` before building expensive field lists:
+ *
+ *     auto &log = obs::Logger::instance();
+ *     if (log.enabled(obs::LogLevel::Info))
+ *         log.log(obs::LogLevel::Info, "sat", "heartbeat",
+ *                 obs::JsonFields().add("conflicts", n).str());
+ */
+
+#ifndef CHECKMATE_OBS_LOG_HH
+#define CHECKMATE_OBS_LOG_HH
+
+#include <atomic>
+#include <fstream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace checkmate::obs
+{
+
+/** Severity levels, in increasing order. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info = 1,
+    Warn = 2,
+    Error = 3
+};
+
+/** Lowercase name, as emitted in the "level" field. */
+const char *logLevelName(LogLevel level);
+
+/** Parse "debug" | "info" | "warn" | "error" (case-sensitive). */
+std::optional<LogLevel> parseLogLevel(std::string_view name);
+
+/** The process-wide logger. */
+class Logger
+{
+  public:
+    static Logger &instance();
+
+    /**
+     * Open @p path as the JSONL sink (truncating).
+     *
+     * @return false when the file cannot be opened.
+     */
+    bool openFile(const std::string &path);
+
+    /** Attach a caller-owned stream as the sink (tests). */
+    void attachStream(std::ostream *out);
+
+    /** Detach the sink; the logger goes back to disabled. */
+    void close();
+
+    void
+    setLevel(LogLevel level)
+    {
+        level_.store(static_cast<int>(level),
+                     std::memory_order_relaxed);
+    }
+
+    LogLevel
+    level() const
+    {
+        return static_cast<LogLevel>(
+            level_.load(std::memory_order_relaxed));
+    }
+
+    /** True when a record at @p level would actually be written. */
+    bool
+    enabled(LogLevel level) const
+    {
+        return active_.load(std::memory_order_relaxed) &&
+               level >= this->level();
+    }
+
+    /**
+     * Emit one record. @p fieldsJson is a rendered JSON field list
+     * (no braces; see obs::JsonFields), spliced into the object.
+     */
+    void log(LogLevel level, std::string_view component,
+             std::string_view message,
+             const std::string &fieldsJson = "");
+
+  private:
+    Logger() = default;
+
+    std::mutex mutex_;
+    std::ofstream file_;
+    std::ostream *stream_ = nullptr;
+    std::atomic<bool> active_{false};
+    std::atomic<int> level_{static_cast<int>(LogLevel::Info)};
+};
+
+} // namespace checkmate::obs
+
+#endif // CHECKMATE_OBS_LOG_HH

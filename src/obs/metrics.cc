@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Metrics registry implementation.
+ */
+
+#include "obs/metrics.hh"
+
+#include "obs/json.hh"
+
+namespace checkmate::obs
+{
+
+MetricsRegistry &
+MetricsRegistry::instance()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Counter> &slot = counters_[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Gauge &
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Gauge> &slot = gauges_[name];
+    if (!slot)
+        slot = std::make_unique<Gauge>();
+    return *slot;
+}
+
+std::map<std::string, uint64_t>
+MetricsRegistry::counterValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, uint64_t> out;
+    for (const auto &[name, counter] : counters_)
+        out[name] = counter->value();
+    return out;
+}
+
+std::map<std::string, double>
+MetricsRegistry::gaugeValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, double> out;
+    for (const auto &[name, gauge] : gauges_)
+        out[name] = gauge->value();
+    return out;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter->reset();
+    for (auto &[name, gauge] : gauges_)
+        gauge->reset();
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    JsonFields counters;
+    for (const auto &[name, value] : counterValues())
+        counters.add(name, value);
+    JsonFields gauges;
+    for (const auto &[name, value] : gaugeValues())
+        gauges.add(name, value);
+    JsonFields out;
+    out.addRaw("counters", counters.object());
+    out.addRaw("gauges", gauges.object());
+    return out.object();
+}
+
+} // namespace checkmate::obs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters and gauges.
+ *
+ * Counters are monotonic atomic totals (e.g. `sat.conflicts`
+ * accumulated across every solve in the process); gauges hold the
+ * most recent sample of an instantaneous quantity (e.g.
+ * `sat.heartbeat.conflicts_per_sec`). SolverStats and
+ * TranslationStats publish into the registry at the end of each
+ * model-finding call (see rmf/solve.cc), and the solver heartbeat
+ * refreshes the heartbeat gauges while a search is running.
+ *
+ * Metric handles are stable for the life of the process: look one
+ * up once (mutex-guarded map insert) and update it lock-free
+ * thereafter. Names are documented in docs/OBSERVABILITY.md.
+ */
+
+#ifndef CHECKMATE_OBS_METRICS_HH
+#define CHECKMATE_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace checkmate::obs
+{
+
+/** Monotonic counter. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-sample-wins gauge. */
+class Gauge
+{
+  public:
+    void
+    set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/** The process-wide registry. */
+class MetricsRegistry
+{
+  public:
+    static MetricsRegistry &instance();
+
+    /** Find or create; the reference stays valid forever. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+
+    /** Snapshots, sorted by name. */
+    std::map<std::string, uint64_t> counterValues() const;
+    std::map<std::string, double> gaugeValues() const;
+
+    /** Zero every metric (tests; handles stay valid). */
+    void reset();
+
+    /** Render a snapshot as one JSON object. */
+    std::string toJson() const;
+
+  private:
+    MetricsRegistry() = default;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+};
+
+} // namespace checkmate::obs
+
+#endif // CHECKMATE_OBS_METRICS_HH

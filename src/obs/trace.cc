@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Trace recorder and Chrome trace_event export implementation.
+ */
+
+#include "obs/trace.hh"
+
+#include <fstream>
+
+namespace checkmate::obs
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point
+traceEpoch()
+{
+    static const Clock::time_point epoch = Clock::now();
+    return epoch;
+}
+
+/** Per-thread track state: assigned id + live span depth. */
+struct ThreadTrack
+{
+    uint32_t tid;
+    int depth = 0;
+};
+
+ThreadTrack &
+threadTrack()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local ThreadTrack track{
+        next.fetch_add(1, std::memory_order_relaxed)};
+    return track;
+}
+
+} // anonymous namespace
+
+uint64_t
+nowMicros()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            Clock::now() - traceEpoch())
+            .count());
+}
+
+TraceRecorder &
+TraceRecorder::instance()
+{
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+uint32_t
+TraceRecorder::currentThreadId()
+{
+    return threadTrack().tid;
+}
+
+int
+TraceRecorder::currentDepth()
+{
+    return threadTrack().depth;
+}
+
+void
+TraceRecorder::nameCurrentThread(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    threadNames_[currentThreadId()] = name;
+}
+
+void
+TraceRecorder::recordSpan(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(event));
+}
+
+void
+TraceRecorder::recordCounter(CounterEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counters_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+TraceRecorder::spans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::vector<CounterEvent>
+TraceRecorder::counters() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_;
+}
+
+std::map<uint32_t, std::string>
+TraceRecorder::threadNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return threadNames_;
+}
+
+size_t
+TraceRecorder::spanCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+void
+TraceRecorder::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.clear();
+    counters_.clear();
+    threadNames_.clear();
+}
+
+std::string
+TraceRecorder::toChromeJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    out.reserve(spans_.size() * 128 + counters_.size() * 96 + 256);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+    bool first = true;
+    auto emit = [&](const std::string &event) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += event;
+    };
+
+    {
+        JsonFields f;
+        f.add("ph", "M").add("pid", 1).add("name", "process_name");
+        f.addRaw("args", "{\"name\":\"checkmate\"}");
+        emit(f.object());
+    }
+    for (const auto &[tid, name] : threadNames_) {
+        JsonFields f;
+        f.add("ph", "M")
+            .add("pid", 1)
+            .add("tid", static_cast<uint64_t>(tid))
+            .add("name", "thread_name");
+        f.addRaw("args",
+                 "{\"name\":\"" + jsonEscape(name) + "\"}");
+        emit(f.object());
+    }
+
+    for (const TraceEvent &s : spans_) {
+        JsonFields args;
+        args.add("depth", s.depth).splice(s.argsJson);
+        JsonFields f;
+        f.add("ph", "X")
+            .add("pid", 1)
+            .add("tid", static_cast<uint64_t>(s.tid))
+            .add("ts", s.startUs)
+            .add("dur", s.durUs)
+            .add("name", s.name)
+            .add("cat", s.category)
+            .addRaw("args", args.object());
+        emit(f.object());
+    }
+
+    for (const CounterEvent &c : counters_) {
+        JsonFields series;
+        for (const auto &[key, value] : c.series)
+            series.add(key, value);
+        JsonFields f;
+        f.add("ph", "C")
+            .add("pid", 1)
+            .add("tid", static_cast<uint64_t>(c.tid))
+            .add("ts", c.tsUs)
+            .add("name", c.name)
+            .addRaw("args", series.object());
+        emit(f.object());
+    }
+
+    out += "]}\n";
+    return out;
+}
+
+bool
+TraceRecorder::writeChromeTrace(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << toChromeJson();
+    return static_cast<bool>(out);
+}
+
+Span::Span(std::string name, std::string category)
+    : name_(std::move(name)), category_(std::move(category)),
+      startUs_(nowMicros()), depth_(threadTrack().depth++)
+{}
+
+void
+Span::close()
+{
+    if (!open_)
+        return;
+    open_ = false;
+    endUs_ = nowMicros();
+    threadTrack().depth--;
+    TraceRecorder &recorder = TraceRecorder::instance();
+    if (!recorder.enabled())
+        return;
+    TraceEvent event;
+    event.name = std::move(name_);
+    event.category = std::move(category_);
+    event.startUs = startUs_;
+    event.durUs = endUs_ - startUs_;
+    event.tid = TraceRecorder::currentThreadId();
+    event.depth = depth_;
+    event.argsJson = args_.str();
+    recorder.recordSpan(std::move(event));
+}
+
+double
+Span::seconds() const
+{
+    uint64_t end = open_ ? nowMicros() : endUs_;
+    return static_cast<double>(end - startUs_) * 1e-6;
+}
+
+} // namespace checkmate::obs

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Span-based tracing for the synthesis pipeline.
+ *
+ * An obs::Span is an RAII phase timer: construction stamps the
+ * start, destruction (or close()) stamps the end and — when the
+ * process-wide TraceRecorder is enabled — records a completed span
+ * on the calling thread's track. Spans always measure wall time
+ * even when recording is disabled, so call sites can use one object
+ * both for the Chrome trace and for per-phase accounting in run
+ * reports; the disabled-path cost is two clock reads per phase.
+ *
+ * Nesting is tracked per thread: each span notes its depth on the
+ * thread's stack at open time, which lets tests (and trace viewers)
+ * verify containment. Spans must close in LIFO order on their
+ * thread — guaranteed by RAII scoping.
+ *
+ * The recorder buffers events in memory and exports them as Chrome
+ * `trace_event` JSON (load in chrome://tracing or
+ * https://ui.perfetto.dev), with one track per registered thread —
+ * the engine scheduler names its workers, so a parallel sweep shows
+ * per-worker job lanes. See docs/OBSERVABILITY.md for the span
+ * taxonomy.
+ */
+
+#ifndef CHECKMATE_OBS_TRACE_HH
+#define CHECKMATE_OBS_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace checkmate::obs
+{
+
+/**
+ * Microseconds since the process trace epoch (fixed at first use).
+ * All trace timestamps share this origin so tracks line up.
+ */
+uint64_t nowMicros();
+
+/** One completed span, as recorded. */
+struct TraceEvent
+{
+    std::string name;
+    std::string category;
+    uint64_t startUs = 0;
+    uint64_t durUs = 0;
+    uint32_t tid = 0;
+    /** Nesting depth on the owning thread at open time (0 = top). */
+    int depth = 0;
+    /** Extra args: rendered JSON field list (no braces). */
+    std::string argsJson;
+};
+
+/** One counter sample (a Chrome "C" event; e.g. a heartbeat). */
+struct CounterEvent
+{
+    std::string name;
+    uint64_t tsUs = 0;
+    uint32_t tid = 0;
+    std::vector<std::pair<std::string, double>> series;
+};
+
+/**
+ * Process-wide trace buffer.
+ *
+ * Disabled by default; enabling costs one relaxed atomic load per
+ * span close. All mutation is mutex-guarded, so spans may complete
+ * on any number of threads concurrently.
+ */
+class TraceRecorder
+{
+  public:
+    static TraceRecorder &instance();
+
+    void
+    setEnabled(bool on)
+    {
+        enabled_.store(on, std::memory_order_relaxed);
+    }
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Stable per-thread track id (assigned on first use from a
+     * process-wide counter, not the OS tid, so exports are
+     * deterministic-ish and compact).
+     */
+    static uint32_t currentThreadId();
+
+    /** Current span nesting depth on the calling thread. */
+    static int currentDepth();
+
+    /** Name the calling thread's track in the exported trace. */
+    void nameCurrentThread(const std::string &name);
+
+    void recordSpan(TraceEvent event);
+    void recordCounter(CounterEvent event);
+
+    /** Snapshots for tests and exporters. */
+    std::vector<TraceEvent> spans() const;
+    std::vector<CounterEvent> counters() const;
+    std::map<uint32_t, std::string> threadNames() const;
+
+    size_t spanCount() const;
+
+    /** Drop all buffered events and thread names. */
+    void clear();
+
+    /** Render the buffer as a Chrome trace_event JSON document. */
+    std::string toChromeJson() const;
+
+    /**
+     * Write the Chrome trace to @p path.
+     *
+     * @return false when the file cannot be opened/written.
+     */
+    bool writeChromeTrace(const std::string &path) const;
+
+  private:
+    TraceRecorder() = default;
+
+    std::atomic<bool> enabled_{false};
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> spans_;
+    std::vector<CounterEvent> counters_;
+    std::map<uint32_t, std::string> threadNames_;
+};
+
+/** RAII phase timer; see the file comment. */
+class Span
+{
+  public:
+    explicit Span(std::string name,
+                  std::string category = "checkmate");
+    ~Span() { close(); }
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /** Attach an extra arg shown in the trace viewer. */
+    void
+    arg(std::string_view key, std::string_view value)
+    {
+        args_.add(key, value);
+    }
+    void
+    arg(std::string_view key, double value)
+    {
+        args_.add(key, value);
+    }
+    void
+    arg(std::string_view key, uint64_t value)
+    {
+        args_.add(key, value);
+    }
+    void
+    arg(std::string_view key, int value)
+    {
+        args_.add(key, value);
+    }
+
+    /** Stamp the end and record; idempotent. */
+    void close();
+
+    /** Elapsed seconds: so far while open, total once closed. */
+    double seconds() const;
+
+  private:
+    std::string name_;
+    std::string category_;
+    JsonFields args_;
+    uint64_t startUs_;
+    uint64_t endUs_ = 0;
+    int depth_;
+    bool open_ = true;
+};
+
+} // namespace checkmate::obs
+
+#endif // CHECKMATE_OBS_TRACE_HH

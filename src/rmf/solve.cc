@@ -1,15 +1,32 @@
 /**
  * @file
  * Model-finder driver implementation.
+ *
+ * Besides driving translation and search, this layer is where the
+ * observability substrate gets wired in: phase spans around the
+ * solve, the solver heartbeat fanned out to the log/trace/metrics
+ * sinks, per-call SolverStats and TranslationStats published into
+ * the metrics registry, and the optional DIMACS dump of the
+ * translated CNF.
  */
 
 #include "rmf/solve.hh"
+
+#include <chrono>
+#include <fstream>
+
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sat/dimacs.hh"
 
 namespace checkmate::rmf
 {
 
 namespace
 {
+
+using Clock = std::chrono::steady_clock;
 
 void
 applyBudget(sat::Solver &solver, const engine::Budget &budget)
@@ -20,6 +37,109 @@ applyBudget(sat::Solver &solver, const engine::Budget &budget)
     solver.setStopToken(budget.stop);
 }
 
+/**
+ * Route solver heartbeats to the obs sinks. Returns the number of
+ * beats via @p count, for the run report.
+ */
+void
+installHeartbeat(sat::Solver &solver, const SolveOptions &options,
+                 uint64_t *count)
+{
+    if (options.heartbeatMs <= 0)
+        return;
+    solver.setHeartbeat(
+        std::chrono::milliseconds(options.heartbeatMs),
+        [count](const sat::HeartbeatData &beat) {
+            (*count)++;
+
+            auto &metrics = obs::MetricsRegistry::instance();
+            metrics.gauge("sat.heartbeat.conflicts_per_sec")
+                .set(beat.conflictsPerSec);
+            metrics.gauge("sat.heartbeat.learnt_db")
+                .set(static_cast<double>(beat.learntDbSize));
+            metrics.gauge("sat.heartbeat.restarts")
+                .set(static_cast<double>(beat.restarts));
+            metrics.gauge("sat.heartbeat.decision_level")
+                .set(static_cast<double>(beat.decisionLevel));
+
+            auto &recorder = obs::TraceRecorder::instance();
+            if (recorder.enabled()) {
+                obs::CounterEvent event;
+                event.name = "solver.heartbeat";
+                event.tsUs = obs::nowMicros();
+                event.tid = obs::TraceRecorder::currentThreadId();
+                event.series = {
+                    {"conflicts_per_sec", beat.conflictsPerSec},
+                    {"learnt_db",
+                     static_cast<double>(beat.learntDbSize)},
+                    {"decision_level",
+                     static_cast<double>(beat.decisionLevel)},
+                };
+                recorder.recordCounter(std::move(event));
+            }
+
+            auto &log = obs::Logger::instance();
+            if (log.enabled(obs::LogLevel::Info)) {
+                log.log(obs::LogLevel::Info, "sat", "heartbeat",
+                        obs::JsonFields()
+                            .add("t_seconds", beat.tSeconds)
+                            .add("conflicts", beat.conflicts)
+                            .add("conflicts_per_sec",
+                                 beat.conflictsPerSec)
+                            .add("decisions", beat.decisions)
+                            .add("propagations", beat.propagations)
+                            .add("restarts", beat.restarts)
+                            .add("learned_clauses",
+                                 beat.learnedClauses)
+                            .add("learnt_db",
+                                 static_cast<uint64_t>(
+                                     beat.learntDbSize))
+                            .add("decision_level",
+                                 beat.decisionLevel)
+                            .str());
+            }
+        });
+}
+
+/** Dump the translated CNF for offline reproduction. */
+void
+maybeDumpDimacs(const sat::Solver &solver,
+                const SolveOptions &options)
+{
+    if (options.dumpDimacsPath.empty())
+        return;
+    std::ofstream out(options.dumpDimacsPath);
+    if (!out) {
+        obs::Logger::instance().log(
+            obs::LogLevel::Warn, "rmf", "cannot write DIMACS dump",
+            obs::JsonFields()
+                .add("path", options.dumpDimacsPath)
+                .str());
+        return;
+    }
+    sat::writeDimacs(out, solver);
+}
+
+/** Publish per-call statistics into the metrics registry. */
+void
+publishStats(const TranslationStats &translation,
+             const sat::SolverStats &solver)
+{
+    auto &m = obs::MetricsRegistry::instance();
+    m.counter("rmf.translations").add(1);
+    m.counter("rmf.primary_vars").add(translation.primaryVars);
+    m.counter("rmf.circuit_nodes").add(translation.circuitNodes);
+    m.counter("rmf.solver_vars").add(translation.solverVars);
+    m.counter("rmf.solver_clauses").add(translation.solverClauses);
+    m.counter("sat.decisions").add(solver.decisions);
+    m.counter("sat.propagations").add(solver.propagations);
+    m.counter("sat.conflicts").add(solver.conflicts);
+    m.counter("sat.restarts").add(solver.restarts);
+    m.counter("sat.learned_clauses").add(solver.learnedClauses);
+    m.counter("sat.removed_clauses").add(solver.removedClauses);
+    m.counter("sat.models_enumerated").add(solver.modelsEnumerated);
+}
+
 } // anonymous namespace
 
 std::optional<Instance>
@@ -28,20 +148,37 @@ solveOne(const Problem &problem, const SolveOptions &options,
 {
     sat::Solver solver;
     applyBudget(solver, options.budget);
+    uint64_t heartbeats = 0;
+    installHeartbeat(solver, options, &heartbeats);
     Translation translation(problem, solver, options.breakSymmetries);
+    maybeDumpDimacs(solver, options);
 
+    obs::Span search("sat.search", "sat");
     sat::LBool r = solver.solve();
+    search.close();
+
+    publishStats(translation.stats(), solver.lastCallStats());
     if (result) {
         result->sat = (r == sat::LBool::True);
         result->aborted = (r == sat::LBool::Undef);
         result->abortReason = solver.abortReason();
         result->instances = (r == sat::LBool::True) ? 1 : 0;
         result->translation = translation.stats();
-        result->solver = solver.stats();
+        result->solver = solver.lastCallStats();
+        result->translateSeconds =
+            translation.stats().totalSeconds;
+        result->searchSeconds = search.seconds();
+        result->heartbeats = heartbeats;
     }
     if (r != sat::LBool::True)
         return std::nullopt;
-    return translation.extract(solver);
+
+    obs::Span extract("rmf.extract", "rmf");
+    Instance instance = translation.extract(solver);
+    extract.close();
+    if (result)
+        result->extractSeconds = extract.seconds();
+    return instance;
 }
 
 uint64_t
@@ -51,7 +188,10 @@ solveAll(const Problem &problem,
 {
     sat::Solver solver;
     applyBudget(solver, options.budget);
+    uint64_t heartbeats = 0;
+    installHeartbeat(solver, options, &heartbeats);
     Translation translation(problem, solver, options.breakSymmetries);
+    maybeDumpDimacs(solver, options);
 
     std::vector<sat::Var> projection;
     if (options.projectOn.empty()) {
@@ -64,13 +204,34 @@ solveAll(const Problem &problem,
         }
     }
 
+    // One span covers search + extraction + the caller's callback;
+    // the extract/callback shares are timed inside the loop (they
+    // interleave with search per model, so they cannot be separate
+    // contiguous spans), and search time is the remainder.
+    obs::Span enumerate("sat.enumerate", "sat");
+    double extract_seconds = 0.0;
+    double callback_seconds = 0.0;
+
     uint64_t count = solver.enumerateModels(
         projection,
         [&](const sat::Solver &s) {
-            return on_instance(translation.extract(s));
+            Clock::time_point t0 = Clock::now();
+            Instance instance = translation.extract(s);
+            Clock::time_point t1 = Clock::now();
+            bool keep_going = on_instance(instance);
+            Clock::time_point t2 = Clock::now();
+            extract_seconds +=
+                std::chrono::duration<double>(t1 - t0).count();
+            callback_seconds +=
+                std::chrono::duration<double>(t2 - t1).count();
+            return keep_going;
         },
         options.budget.maxInstances);
 
+    enumerate.arg("models", count);
+    enumerate.close();
+
+    publishStats(translation.stats(), solver.lastCallStats());
     if (result) {
         result->sat = count > 0;
         result->aborted =
@@ -78,7 +239,14 @@ solveAll(const Problem &problem,
         result->abortReason = solver.abortReason();
         result->instances = count;
         result->translation = translation.stats();
-        result->solver = solver.stats();
+        result->solver = solver.lastCallStats();
+        result->translateSeconds =
+            translation.stats().totalSeconds;
+        result->extractSeconds = extract_seconds;
+        result->callbackSeconds = callback_seconds;
+        result->searchSeconds = enumerate.seconds() -
+                                extract_seconds - callback_seconds;
+        result->heartbeats = heartbeats;
     }
     return count;
 }

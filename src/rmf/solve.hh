@@ -38,6 +38,21 @@ struct SolveOptions
      * optimization of §V-C.
      */
     std::vector<RelationId> projectOn;
+
+    /**
+     * Solver heartbeat cadence in milliseconds (0 = off). Beats are
+     * emitted from inside the CDCL loop to the obs sinks: a JSONL
+     * log record, a Chrome-trace counter track, and the
+     * `sat.heartbeat.*` gauges.
+     */
+    int heartbeatMs = 0;
+
+    /**
+     * When non-empty, write the translated CNF here in DIMACS
+     * format (before solving), for offline reproduction of slow
+     * instances.
+     */
+    std::string dumpDimacsPath;
 };
 
 /** Outcome of one model-finding run. */
@@ -50,6 +65,19 @@ struct SolveResult
     uint64_t instances = 0;
     TranslationStats translation;
     sat::SolverStats solver;
+
+    // Per-phase wall-time breakdown of this call (seconds).
+    /** Relational→CNF translation (all of Translation's work). */
+    double translateSeconds = 0.0;
+    /** CDCL search, net of extraction and callback time. */
+    double searchSeconds = 0.0;
+    /** Model → relational Instance extraction. */
+    double extractSeconds = 0.0;
+    /** Caller's on_instance callback (litmus/graph emission). */
+    double callbackSeconds = 0.0;
+
+    /** Heartbeats emitted during this call. */
+    uint64_t heartbeats = 0;
 };
 
 /**

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/trace.hh"
+
 namespace checkmate::rmf
 {
 
@@ -32,34 +34,58 @@ Translation::Translation(const Problem &problem, sat::Solver &solver,
                          bool break_symmetries)
     : problem_(problem), solver_(solver), factory_(solver)
 {
-    // Build one boolean matrix per relation from its bounds.
-    for (const RelationDecl &decl : problem.relations()) {
-        BoolMatrix m(decl.arity);
-        std::vector<sat::Var> vars;
-        for (const Tuple &t : decl.upper) {
-            if (decl.lower.contains(t)) {
-                m.set(t, factory_.top(), factory_);
-            } else {
-                BoolRef v = factory_.freshVar();
-                m.set(t, v, factory_);
-                vars.push_back(factory_.leafVar(v));
+    obs::Span translate("rmf.translate", "rmf");
+
+    {
+        // Build one boolean matrix per relation from its bounds.
+        obs::Span bounds("translate.bounds", "rmf");
+        for (const RelationDecl &decl : problem.relations()) {
+            BoolMatrix m(decl.arity);
+            std::vector<sat::Var> vars;
+            for (const Tuple &t : decl.upper) {
+                if (decl.lower.contains(t)) {
+                    m.set(t, factory_.top(), factory_);
+                } else {
+                    BoolRef v = factory_.freshVar();
+                    m.set(t, v, factory_);
+                    vars.push_back(factory_.leafVar(v));
+                }
             }
+            relationMatrices_.push_back(std::move(m));
+            relationVars_.push_back(std::move(vars));
         }
-        relationMatrices_.push_back(std::move(m));
-        relationVars_.push_back(std::move(vars));
+        stats_.primaryVars = factory_.primaryVars().size();
+        bounds.close();
+        stats_.boundsSeconds = bounds.seconds();
     }
-    stats_.primaryVars = factory_.primaryVars().size();
 
-    // Assert every fact.
-    for (const Formula &f : problem.facts())
-        factory_.assertTrue(evalFormula(f), solver_);
+    {
+        // Assert every fact: relational → boolean circuit, asserted
+        // into the solver via Tseitin CNF conversion.
+        obs::Span facts("translate.facts", "rmf");
+        for (const Formula &f : problem.facts())
+            factory_.assertTrue(evalFormula(f), solver_);
+        facts.close();
+        stats_.formulaSeconds = facts.seconds();
+    }
 
-    if (break_symmetries && !problem.symmetryClasses().empty())
+    if (break_symmetries && !problem.symmetryClasses().empty()) {
+        obs::Span symmetry("translate.symmetry", "rmf");
         emitSymmetryBreaking();
+        symmetry.close();
+        stats_.symmetrySeconds = symmetry.seconds();
+    }
 
     stats_.circuitNodes = factory_.numNodes();
     stats_.solverVars = static_cast<size_t>(solver_.numVars());
     stats_.solverClauses = solver_.numClauses();
+
+    translate.arg("solver_vars",
+                  static_cast<uint64_t>(stats_.solverVars));
+    translate.arg("solver_clauses",
+                  static_cast<uint64_t>(stats_.solverClauses));
+    translate.close();
+    stats_.totalSeconds = translate.seconds();
 }
 
 BoolMatrix

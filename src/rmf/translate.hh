@@ -56,6 +56,15 @@ struct TranslationStats
     size_t circuitNodes = 0;
     size_t solverVars = 0;
     size_t solverClauses = 0;
+
+    /** Bound-matrix construction (universe/bounds phase). */
+    double boundsSeconds = 0.0;
+    /** Relational→circuit evaluation + Tseitin CNF of the facts. */
+    double formulaSeconds = 0.0;
+    /** Lex-leader symmetry-breaking emission. */
+    double symmetrySeconds = 0.0;
+    /** Whole translation, wall. */
+    double totalSeconds = 0.0;
 };
 
 /**

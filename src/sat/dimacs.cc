@@ -89,4 +89,10 @@ writeDimacs(std::ostream &out, int num_vars,
     }
 }
 
+void
+writeDimacs(std::ostream &out, const Solver &solver)
+{
+    writeDimacs(out, solver.numVars(), solver.problemClauses());
+}
+
 } // namespace checkmate::sat

@@ -49,6 +49,13 @@ bool loadDimacs(const DimacsProblem &problem, Solver &solver);
 void writeDimacs(std::ostream &out, int num_vars,
                  const std::vector<Clause> &clauses);
 
+/**
+ * Write @p solver's current problem clauses (including top-level
+ * unit assignments) in DIMACS format — the `--dump-dimacs` debug
+ * path for reproducing slow instances offline.
+ */
+void writeDimacs(std::ostream &out, const Solver &solver);
+
 } // namespace checkmate::sat
 
 #endif // CHECKMATE_SAT_DIMACS_HH

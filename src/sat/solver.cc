@@ -434,6 +434,69 @@ Solver::reduceDB()
     learnts_ = std::move(kept);
 }
 
+void
+Solver::setHeartbeat(std::chrono::milliseconds interval,
+                     std::function<void(const HeartbeatData &)>
+                         callback)
+{
+    heartbeatInterval_ = interval;
+    heartbeat_ = std::move(callback);
+    heartbeatStart_ = std::chrono::steady_clock::now();
+    lastBeatTime_ = heartbeatStart_;
+    nextBeat_ = heartbeatStart_ + interval;
+    lastBeatConflicts_ = stats_.conflicts;
+}
+
+void
+Solver::maybeHeartbeat()
+{
+    if (heartbeatInterval_.count() <= 0 || !heartbeat_)
+        return;
+    auto now = std::chrono::steady_clock::now();
+    if (now < nextBeat_)
+        return;
+    double interval =
+        std::chrono::duration<double>(now - lastBeatTime_).count();
+    HeartbeatData beat;
+    beat.tSeconds =
+        std::chrono::duration<double>(now - heartbeatStart_)
+            .count();
+    beat.conflicts = stats_.conflicts;
+    beat.decisions = stats_.decisions;
+    beat.propagations = stats_.propagations;
+    beat.restarts = stats_.restarts;
+    beat.learnedClauses = stats_.learnedClauses;
+    beat.learntDbSize = learnts_.size();
+    beat.decisionLevel = decisionLevel();
+    beat.conflictsPerSec =
+        interval > 0.0
+            ? static_cast<double>(stats_.conflicts -
+                                  lastBeatConflicts_) /
+                  interval
+            : 0.0;
+    heartbeat_(beat);
+    lastBeatTime_ = now;
+    lastBeatConflicts_ = stats_.conflicts;
+    nextBeat_ = now + heartbeatInterval_;
+}
+
+std::vector<Clause>
+Solver::problemClauses() const
+{
+    std::vector<Clause> out;
+    // Top-level units live on the trail, not in the clause store.
+    size_t level0 =
+        trailLim_.empty() ? trail_.size()
+                          : static_cast<size_t>(trailLim_[0]);
+    for (size_t i = 0; i < level0; i++)
+        out.push_back(Clause{trail_[i]});
+    for (ClauseRef cr : clauses_) {
+        if (!clauseStore_[cr].deleted)
+            out.push_back(clauseStore_[cr].lits);
+    }
+    return out;
+}
+
 engine::AbortReason
 Solver::pollInterrupts() const
 {
@@ -465,8 +528,10 @@ Solver::search()
         if (confl != crUndef) {
             stats_.conflicts++;
             conflicts_this_restart++;
+            maybeHeartbeat();
             if (conflictBudget_ &&
-                stats_.conflicts >= conflictBudget_) {
+                stats_.conflicts - callBase_.conflicts >=
+                    conflictBudget_) {
                 abortReason_ = engine::AbortReason::ConflictBudget;
                 cancelUntil(0);
                 return LBool::Undef;
@@ -477,8 +542,15 @@ Solver::search()
                 cancelUntil(0);
                 return LBool::Undef;
             }
-            if (decisionLevel() == 0)
+            if (decisionLevel() == 0) {
+                // A top-level conflict proves global UNSAT. Latch it:
+                // the trail may hold units enqueued past qhead_ that
+                // contradict each other, and a later solve() would
+                // resume propagation beyond the conflict and invent
+                // a bogus model.
+                ok_ = false;
                 return LBool::False;
+            }
 
             std::vector<Lit> learned;
             int bt_level;
@@ -486,7 +558,10 @@ Solver::search()
             cancelUntil(bt_level);
 
             if (learned.size() == 1) {
-                enqueue(learned[0], crUndef);
+                if (!enqueue(learned[0], crUndef)) {
+                    ok_ = false;
+                    return LBool::False;
+                }
             } else {
                 ClauseRef cr =
                     static_cast<ClauseRef>(clauseStore_.size());
@@ -531,6 +606,7 @@ Solver::search()
             if (next == litUndef) {
                 stats_.decisions++;
                 if ((stats_.decisions & kDecisionPollMask) == 0) {
+                    maybeHeartbeat();
                     if (engine::AbortReason r = pollInterrupts();
                         r != engine::AbortReason::None) {
                         abortReason_ = r;
@@ -551,14 +627,24 @@ Solver::search()
 LBool
 Solver::solve(const std::vector<Lit> &assumptions)
 {
-    if (!ok_)
+    // Start a fresh per-call stats/budget epoch — unless this solve
+    // is one step of an enumeration, whose epoch spans the whole
+    // enumerateModels() call.
+    if (!inEnumeration_)
+        callBase_ = stats_;
+    if (!ok_) {
+        if (!inEnumeration_)
+            lastCall_ = SolverStats{};
         return LBool::False;
+    }
     abortReason_ = engine::AbortReason::None;
     // A search that finishes entirely by top-level propagation never
     // reaches the in-loop polls, so check once up front too.
     if (engine::AbortReason r = pollInterrupts();
         r != engine::AbortReason::None) {
         abortReason_ = r;
+        if (!inEnumeration_)
+            lastCall_ = stats_ - callBase_;
         return LBool::Undef;
     }
     assumptions_ = assumptions;
@@ -569,6 +655,8 @@ Solver::solve(const std::vector<Lit> &assumptions)
     }
     cancelUntil(0);
     assumptions_.clear();
+    if (!inEnumeration_)
+        lastCall_ = stats_ - callBase_;
     return result;
 }
 
@@ -579,6 +667,8 @@ Solver::enumerateModels(
     uint64_t max_models)
 {
     uint64_t count = 0;
+    callBase_ = stats_;
+    inEnumeration_ = true;
     while (count < max_models) {
         LBool r = solve();
         if (r != LBool::True)
@@ -602,6 +692,8 @@ Solver::enumerateModels(
         if (!keep_going)
             break;
     }
+    inEnumeration_ = false;
+    lastCall_ = stats_ - callBase_;
     return count;
 }
 

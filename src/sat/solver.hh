@@ -44,6 +44,44 @@ struct SolverStats
     uint64_t modelsEnumerated = 0;
 };
 
+/** Component-wise difference (for per-call deltas). */
+inline SolverStats
+operator-(const SolverStats &a, const SolverStats &b)
+{
+    SolverStats d;
+    d.decisions = a.decisions - b.decisions;
+    d.propagations = a.propagations - b.propagations;
+    d.conflicts = a.conflicts - b.conflicts;
+    d.restarts = a.restarts - b.restarts;
+    d.learnedClauses = a.learnedClauses - b.learnedClauses;
+    d.removedClauses = a.removedClauses - b.removedClauses;
+    d.modelsEnumerated = a.modelsEnumerated - b.modelsEnumerated;
+    return d;
+}
+
+/**
+ * One solver-progress sample, emitted from inside the CDCL loop at
+ * the configured heartbeat interval (see Solver::setHeartbeat).
+ * Totals are lifetime values at sample time; the rate covers the
+ * interval since the previous beat.
+ */
+struct HeartbeatData
+{
+    /** Seconds since the heartbeat was installed. */
+    double tSeconds = 0.0;
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t restarts = 0;
+    uint64_t learnedClauses = 0;
+    /** Live learned-clause DB size (after reductions). */
+    size_t learntDbSize = 0;
+    /** Decision depth at sample time. */
+    int decisionLevel = 0;
+    /** Conflicts per second over the last interval. */
+    double conflictsPerSec = 0.0;
+};
+
 /**
  * CDCL SAT solver.
  *
@@ -119,12 +157,44 @@ class Solver
     /** True once the clause system is known unsatisfiable forever. */
     bool inConflict() const { return !ok_; }
 
-    /** Statistics for this instance. */
+    /** Lifetime statistics for this instance (cumulative). */
     const SolverStats &stats() const { return stats_; }
 
     /**
-     * Install a budget: solve() gives up (returns Undef) after this
-     * many conflicts. Zero means no budget.
+     * Statistics for the most recent top-level solve() or
+     * enumerateModels() call alone. Unlike stats(), these are
+     * per-call deltas, so successive calls on one solver report
+     * accurate numbers instead of ever-growing totals.
+     */
+    const SolverStats &lastCallStats() const { return lastCall_; }
+
+    /**
+     * Snapshot of the problem (non-learned) clauses plus the
+     * top-level unit assignments, suitable for a DIMACS dump.
+     * Blocking clauses added by enumerateModels() count as problem
+     * clauses, so dump before enumerating to capture the translated
+     * CNF alone.
+     */
+    std::vector<Clause> problemClauses() const;
+
+    /**
+     * Emit a progress heartbeat from inside the search loop every
+     * @p interval (0 disables, the default). The callback runs on
+     * the searching thread; beats stop as soon as the search
+     * returns — including aborts via budget, deadline, or stop
+     * token. The interval clock starts now, so beats span the
+     * successive solve() calls of one enumeration.
+     */
+    void setHeartbeat(std::chrono::milliseconds interval,
+                      std::function<void(const HeartbeatData &)>
+                          callback);
+
+    /**
+     * Install a budget: a top-level call gives up (returns Undef)
+     * after this many conflicts. Zero means no budget. The budget
+     * is per call — each solve() (or whole enumerateModels())
+     * starts a fresh count, so a solver that exhausted its budget
+     * once is not permanently aborted.
      */
     void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
 
@@ -180,6 +250,7 @@ class Solver
     Lit pickBranchLit();
     LBool search();
     engine::AbortReason pollInterrupts() const;
+    void maybeHeartbeat();
     void reduceDB();
     void attachClause(ClauseRef cr);
 
@@ -250,7 +321,19 @@ class Solver
     engine::StopToken stop_;
     engine::AbortReason abortReason_ = engine::AbortReason::None;
 
+    std::chrono::milliseconds heartbeatInterval_{0};
+    std::function<void(const HeartbeatData &)> heartbeat_;
+    std::chrono::steady_clock::time_point heartbeatStart_;
+    std::chrono::steady_clock::time_point nextBeat_;
+    std::chrono::steady_clock::time_point lastBeatTime_;
+    uint64_t lastBeatConflicts_ = 0;
+
     SolverStats stats_;
+    /** stats_ snapshot at the top-level call's entry; the conflict
+     * budget and lastCall_ are measured against it. */
+    SolverStats callBase_;
+    SolverStats lastCall_;
+    bool inEnumeration_ = false;
 };
 
 } // namespace checkmate::sat

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * End-to-end observability tests through the CLI: a real synthesis
+ * run must produce a loadable Chrome trace whose spans cover the
+ * job, a run report with the per-phase breakdown, a parsable JSONL
+ * log, and `--dump-dimacs` CNF files that round-trip through the
+ * DIMACS reader.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../obs/mini_json.hh"
+#include "core/cli.hh"
+#include "sat/dimacs.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using checkmate::testjson::parseJson;
+using checkmate::testjson::ValuePtr;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream content;
+    content << in.rdbuf();
+    return content.str();
+}
+
+TEST(Observability, CliProducesTraceReportAndLog)
+{
+    const std::string trace_path = "test_obs_trace.json";
+    const std::string report_path = "test_obs_report.json";
+    const std::string log_path = "test_obs_log.jsonl";
+
+    std::ostringstream out;
+    core::CliOptions opts = core::parseCli(
+        {"--uarch", "inorder3", "--events", "4", "--max", "10",
+         "--trace", trace_path, "--report", report_path,
+         "--log-json", log_path, "--log-level", "debug",
+         "--heartbeat-ms", "1"});
+    ASSERT_TRUE(opts.error.empty()) << opts.error;
+    EXPECT_EQ(core::runCli(opts, out), 0);
+
+    // --- Chrome trace: valid JSON, named spans on the main track.
+    ValuePtr trace = parseJson(slurp(trace_path));
+    ASSERT_TRUE(trace && trace->isObject());
+    ValuePtr events = trace->get("traceEvents");
+    ASSERT_TRUE(events && events->isArray());
+
+    double job_dur = 0.0, phase_dur = 0.0;
+    bool saw_load = false, saw_translate = false,
+         saw_solve = false, saw_thread_name = false;
+    for (const ValuePtr &ev : events->array) {
+        ASSERT_TRUE(ev->isObject());
+        const std::string ph = ev->get("ph")->string;
+        if (ph == "M") {
+            if (ev->get("name")->string == "thread_name")
+                saw_thread_name = true;
+            continue;
+        }
+        if (ph != "X")
+            continue;
+        const std::string name = ev->get("name")->string;
+        const double dur = ev->get("dur")->number;
+        if (name.rfind("job ", 0) == 0)
+            job_dur += dur;
+        if (name == "uspec.load") {
+            saw_load = true;
+            phase_dur += dur;
+        } else if (name == "rmf.solve") {
+            // Parent of translate/search/enumerate/extract and the
+            // solver+translation teardown; counted instead of its
+            // children so phase_dur never double-counts.
+            phase_dur += dur;
+        } else if (name == "rmf.translate") {
+            saw_translate = true;
+        } else if (name == "sat.enumerate" ||
+                   name == "sat.search") {
+            saw_solve = true;
+        }
+    }
+    EXPECT_TRUE(saw_load);
+    EXPECT_TRUE(saw_translate);
+    EXPECT_TRUE(saw_solve);
+    EXPECT_TRUE(saw_thread_name);
+    ASSERT_GT(job_dur, 0.0);
+    // The named phases must account for (nearly) all of the job
+    // span — the acceptance bar is 95%.
+    EXPECT_GE(phase_dur / job_dur, 0.95)
+        << "phases cover only " << 100.0 * phase_dur / job_dur
+        << "% of the job span";
+
+    // --- Run report: per-phase breakdown present and consistent.
+    ValuePtr report = parseJson(slurp(report_path));
+    ASSERT_TRUE(report && report->isObject());
+    ValuePtr jobs = report->get("jobs");
+    ASSERT_TRUE(jobs && jobs->isArray());
+    ASSERT_EQ(jobs->array.size(), 1u);
+    ValuePtr job = jobs->array[0];
+    ValuePtr phases = job->get("phases");
+    ASSERT_TRUE(phases && phases->isObject());
+    for (const char *key :
+         {"uspec.load", "rmf.translate", "sat.search",
+          "rmf.extract", "litmus.emit", "rmf.teardown"}) {
+        ValuePtr v = phases->get(key);
+        ASSERT_TRUE(v && v->isNumber()) << key;
+        EXPECT_GE(v->number, 0.0) << key;
+    }
+    ASSERT_TRUE(job->get("heartbeats") &&
+                job->get("heartbeats")->isNumber());
+    ValuePtr translation = job->get("translation");
+    ASSERT_TRUE(translation && translation->isObject());
+    EXPECT_TRUE(translation->get("total_seconds")->isNumber());
+
+    // --- JSONL log: every line is one valid record; the 1ms
+    // heartbeat cadence guarantees at least the job records.
+    std::istringstream log_in(slurp(log_path));
+    std::string line;
+    size_t records = 0;
+    bool saw_job_done = false;
+    while (std::getline(log_in, line)) {
+        if (line.empty())
+            continue;
+        ValuePtr rec = parseJson(line);
+        ASSERT_TRUE(rec && rec->isObject()) << line;
+        records++;
+        if (rec->get("msg")->string == "job done")
+            saw_job_done = true;
+    }
+    EXPECT_GE(records, 2u);
+    EXPECT_TRUE(saw_job_done);
+
+    std::remove(trace_path.c_str());
+    std::remove(report_path.c_str());
+    std::remove(log_path.c_str());
+}
+
+TEST(Observability, TraceStateDoesNotLeakAcrossRuns)
+{
+    // runCli() must fully tear down the global sinks: a second run
+    // without --trace records nothing, and a second run with
+    // --trace starts from an empty buffer (no spans from run one).
+    const std::string trace_path = "test_obs_trace2.json";
+
+    std::ostringstream out;
+    core::CliOptions traced = core::parseCli(
+        {"--uarch", "inorder2", "--events", "4", "--max", "5",
+         "--trace", trace_path});
+    ASSERT_TRUE(traced.error.empty());
+    core::runCli(traced, out);
+    ValuePtr first = parseJson(slurp(trace_path));
+    ASSERT_TRUE(first);
+    size_t first_events = first->get("traceEvents")->array.size();
+
+    core::runCli(traced, out); // overwrites the trace file
+    ValuePtr second = parseJson(slurp(trace_path));
+    ASSERT_TRUE(second);
+    // Same workload, same span structure: the buffer was cleared
+    // between runs rather than accumulating.
+    EXPECT_EQ(second->get("traceEvents")->array.size(),
+              first_events);
+
+    std::remove(trace_path.c_str());
+}
+
+TEST(Observability, DumpDimacsRoundTrips)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = "test_obs_dimacs";
+
+    std::ostringstream out;
+    core::CliOptions opts = core::parseCli(
+        {"--sweep", "--pattern", "flush-reload", "--max", "5",
+         "--dump-dimacs", dir});
+    ASSERT_TRUE(opts.error.empty()) << opts.error;
+    core::runCli(opts, out);
+
+    // One CNF per sweep job, each parsable by the DIMACS reader.
+    size_t cnf_files = 0;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(dir)) {
+        ASSERT_EQ(entry.path().extension(), ".cnf");
+        std::ifstream in(entry.path());
+        ASSERT_TRUE(in.good());
+        sat::DimacsProblem problem = sat::parseDimacs(in);
+        EXPECT_GT(problem.numVars, 0) << entry.path();
+        EXPECT_FALSE(problem.clauses.empty()) << entry.path();
+        cnf_files++;
+    }
+    EXPECT_EQ(cnf_files, 3u); // bounds 4..6 → three sweep jobs
+
+    fs::remove_all(dir);
+}
+
+} // anonymous namespace

@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for test assertions.
+ *
+ * The production code emits JSON by string concatenation (no JSON
+ * library in the dependency set), so the tests need an independent
+ * reader to prove the output is well-formed and carries the right
+ * values. This parser accepts strict JSON — objects, arrays,
+ * strings with escapes, numbers, booleans, null — and nothing more;
+ * any syntax error surfaces as a parse failure, which is exactly
+ * what the exporter tests want to catch.
+ */
+
+#ifndef CHECKMATE_TESTS_OBS_MINI_JSON_HH
+#define CHECKMATE_TESTS_OBS_MINI_JSON_HH
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace checkmate::testjson
+{
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+/** A parsed JSON value (tagged union, shared_ptr tree). */
+struct Value
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<ValuePtr> array;
+    std::map<std::string, ValuePtr> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isString() const { return type == Type::String; }
+    bool isNumber() const { return type == Type::Number; }
+
+    /** Object member or nullptr. */
+    ValuePtr
+    get(const std::string &key) const
+    {
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : it->second;
+    }
+};
+
+/** Strict parser; `ok` stays false on any syntax error. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    /** Parse the whole document; nullptr on error/trailing junk. */
+    ValuePtr
+    parse()
+    {
+        ValuePtr v = parseValue();
+        skipWs();
+        if (!v || pos_ != text_.size())
+            return nullptr;
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            pos_++;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            pos_++;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::string(word).size();
+        if (text_.compare(pos_, n, word) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    ValuePtr
+    parseValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return nullptr;
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject();
+        if (c == '[')
+            return parseArray();
+        if (c == '"')
+            return parseString();
+        if (c == 't' || c == 'f')
+            return parseBool();
+        if (c == 'n') {
+            if (!literal("null"))
+                return nullptr;
+            auto v = std::make_shared<Value>();
+            v->type = Value::Type::Null;
+            return v;
+        }
+        return parseNumber();
+    }
+
+    ValuePtr
+    parseObject()
+    {
+        if (!consume('{'))
+            return nullptr;
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Object;
+        skipWs();
+        if (consume('}'))
+            return v;
+        for (;;) {
+            ValuePtr key = parseString();
+            if (!key || !consume(':'))
+                return nullptr;
+            ValuePtr member = parseValue();
+            if (!member)
+                return nullptr;
+            v->object[key->string] = member;
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return v;
+            return nullptr;
+        }
+    }
+
+    ValuePtr
+    parseArray()
+    {
+        if (!consume('['))
+            return nullptr;
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Array;
+        skipWs();
+        if (consume(']'))
+            return v;
+        for (;;) {
+            ValuePtr element = parseValue();
+            if (!element)
+                return nullptr;
+            v->array.push_back(element);
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return v;
+            return nullptr;
+        }
+    }
+
+    ValuePtr
+    parseString()
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return nullptr;
+        pos_++;
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::String;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return v;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    return nullptr;
+                char esc = text_[pos_++];
+                switch (esc) {
+                case '"': v->string += '"'; break;
+                case '\\': v->string += '\\'; break;
+                case '/': v->string += '/'; break;
+                case 'b': v->string += '\b'; break;
+                case 'f': v->string += '\f'; break;
+                case 'n': v->string += '\n'; break;
+                case 'r': v->string += '\r'; break;
+                case 't': v->string += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return nullptr;
+                    int code = 0;
+                    for (int i = 0; i < 4; i++) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code += h - '0';
+                        else if (h >= 'a' && h <= 'f')
+                            code += h - 'a' + 10;
+                        else if (h >= 'A' && h <= 'F')
+                            code += h - 'A' + 10;
+                        else
+                            return nullptr;
+                    }
+                    // Tests only emit ASCII control escapes.
+                    v->string += static_cast<char>(code);
+                    break;
+                }
+                default: return nullptr;
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                return nullptr; // raw control chars are invalid JSON
+            } else {
+                v->string += c;
+            }
+        }
+        return nullptr; // unterminated
+    }
+
+    ValuePtr
+    parseBool()
+    {
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Bool;
+        if (literal("true")) {
+            v->boolean = true;
+            return v;
+        }
+        if (literal("false")) {
+            v->boolean = false;
+            return v;
+        }
+        return nullptr;
+    }
+
+    ValuePtr
+    parseNumber()
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            pos_++;
+        while (pos_ < text_.size() &&
+               (std::isdigit(
+                    static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            pos_++;
+        if (pos_ == start)
+            return nullptr;
+        auto v = std::make_shared<Value>();
+        v->type = Value::Type::Number;
+        try {
+            v->number =
+                std::stod(text_.substr(start, pos_ - start));
+        } catch (...) {
+            return nullptr;
+        }
+        return v;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+/** Parse a document; nullptr on any error. */
+inline ValuePtr
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace checkmate::testjson
+
+#endif // CHECKMATE_TESTS_OBS_MINI_JSON_HH

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Metrics registry and JSONL logger unit tests.
+ */
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mini_json.hh"
+#include "obs/json.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+
+using namespace checkmate;
+using checkmate::testjson::parseJson;
+using checkmate::testjson::ValuePtr;
+
+namespace
+{
+
+TEST(Metrics, CounterAccumulatesAcrossThreads)
+{
+    auto &registry = obs::MetricsRegistry::instance();
+    registry.reset();
+    obs::Counter &counter = registry.counter("test.concurrent");
+
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&counter]() {
+            for (int i = 0; i < kAdds; i++)
+                counter.add(1);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_EQ(counter.value(),
+              static_cast<uint64_t>(kThreads) * kAdds);
+    EXPECT_EQ(registry.counterValues().at("test.concurrent"),
+              static_cast<uint64_t>(kThreads) * kAdds);
+}
+
+TEST(Metrics, HandleIsStableAndGaugeHoldsLastSample)
+{
+    auto &registry = obs::MetricsRegistry::instance();
+    registry.reset();
+    obs::Gauge &g1 = registry.gauge("test.gauge");
+    obs::Gauge &g2 = registry.gauge("test.gauge");
+    EXPECT_EQ(&g1, &g2);
+
+    g1.set(1.5);
+    g1.set(2.5);
+    EXPECT_EQ(g2.value(), 2.5);
+    EXPECT_EQ(registry.gaugeValues().at("test.gauge"), 2.5);
+
+    registry.reset();
+    EXPECT_EQ(g1.value(), 0.0); // handles survive reset
+}
+
+TEST(Metrics, JsonSnapshotParses)
+{
+    auto &registry = obs::MetricsRegistry::instance();
+    registry.reset();
+    registry.counter("test.count").add(7);
+    registry.gauge("test.rate").set(3.25);
+
+    ValuePtr doc = parseJson(registry.toJson());
+    ASSERT_TRUE(doc && doc->isObject());
+    EXPECT_EQ(doc->get("counters")->get("test.count")->number, 7.0);
+    EXPECT_EQ(doc->get("gauges")->get("test.rate")->number, 3.25);
+}
+
+TEST(Log, ParseLogLevel)
+{
+    EXPECT_EQ(obs::parseLogLevel("debug"), obs::LogLevel::Debug);
+    EXPECT_EQ(obs::parseLogLevel("info"), obs::LogLevel::Info);
+    EXPECT_EQ(obs::parseLogLevel("warn"), obs::LogLevel::Warn);
+    EXPECT_EQ(obs::parseLogLevel("error"), obs::LogLevel::Error);
+    EXPECT_FALSE(obs::parseLogLevel("verbose"));
+    EXPECT_FALSE(obs::parseLogLevel(""));
+}
+
+/** Split a JSONL buffer into parsed records. */
+std::vector<ValuePtr>
+parseLines(const std::string &text)
+{
+    std::vector<ValuePtr> records;
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        ValuePtr v = parseJson(line);
+        EXPECT_TRUE(v) << line;
+        records.push_back(v);
+    }
+    return records;
+}
+
+TEST(Log, WritesOneParsableJsonObjectPerLine)
+{
+    auto &log = obs::Logger::instance();
+    std::ostringstream sink;
+    log.attachStream(&sink);
+    log.setLevel(obs::LogLevel::Debug);
+
+    log.log(obs::LogLevel::Info, "test", "hello \"world\"",
+            obs::JsonFields().add("n", static_cast<uint64_t>(3))
+                .add("note", "a\nb")
+                .str());
+    log.log(obs::LogLevel::Error, "test", "boom");
+    log.close();
+
+    std::vector<ValuePtr> records = parseLines(sink.str());
+    ASSERT_EQ(records.size(), 2u);
+
+    EXPECT_EQ(records[0]->get("level")->string, "info");
+    EXPECT_EQ(records[0]->get("component")->string, "test");
+    EXPECT_EQ(records[0]->get("msg")->string, "hello \"world\"");
+    EXPECT_EQ(records[0]->get("n")->number, 3.0);
+    EXPECT_EQ(records[0]->get("note")->string, "a\nb");
+    EXPECT_TRUE(records[0]->get("ts_us")->isNumber());
+    EXPECT_TRUE(records[0]->get("tid")->isNumber());
+
+    EXPECT_EQ(records[1]->get("level")->string, "error");
+}
+
+TEST(Log, LevelThresholdFilters)
+{
+    auto &log = obs::Logger::instance();
+    std::ostringstream sink;
+    log.attachStream(&sink);
+    log.setLevel(obs::LogLevel::Warn);
+
+    EXPECT_FALSE(log.enabled(obs::LogLevel::Debug));
+    EXPECT_FALSE(log.enabled(obs::LogLevel::Info));
+    EXPECT_TRUE(log.enabled(obs::LogLevel::Warn));
+    EXPECT_TRUE(log.enabled(obs::LogLevel::Error));
+
+    log.log(obs::LogLevel::Debug, "test", "dropped");
+    log.log(obs::LogLevel::Info, "test", "dropped");
+    log.log(obs::LogLevel::Warn, "test", "kept");
+    log.log(obs::LogLevel::Error, "test", "kept");
+    log.close();
+
+    std::vector<ValuePtr> records = parseLines(sink.str());
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0]->get("level")->string, "warn");
+    EXPECT_EQ(records[1]->get("level")->string, "error");
+    // Restore default for other tests running in this process.
+    log.setLevel(obs::LogLevel::Info);
+}
+
+TEST(Log, DisabledAfterClose)
+{
+    auto &log = obs::Logger::instance();
+    std::ostringstream sink;
+    log.attachStream(&sink);
+    log.setLevel(obs::LogLevel::Info);
+    log.close();
+    EXPECT_FALSE(log.enabled(obs::LogLevel::Error));
+    log.log(obs::LogLevel::Error, "test", "nowhere to go");
+    EXPECT_TRUE(sink.str().empty());
+}
+
+TEST(Log, ConcurrentWritersProduceIntactLines)
+{
+    auto &log = obs::Logger::instance();
+    std::ostringstream sink;
+    log.attachStream(&sink);
+    log.setLevel(obs::LogLevel::Info);
+
+    constexpr int kThreads = 4;
+    constexpr int kLines = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([&log, t]() {
+            for (int i = 0; i < kLines; i++) {
+                log.log(obs::LogLevel::Info, "test", "line",
+                        obs::JsonFields()
+                            .add("thread", static_cast<uint64_t>(t))
+                            .add("i", static_cast<uint64_t>(i))
+                            .str());
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    log.close();
+
+    // Every line parses — no interleaved/torn records.
+    std::vector<ValuePtr> records = parseLines(sink.str());
+    EXPECT_EQ(records.size(),
+              static_cast<size_t>(kThreads) * kLines);
+}
+
+} // anonymous namespace

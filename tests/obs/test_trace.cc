@@ -1,0 +1,253 @@
+/**
+ * @file
+ * Span/TraceRecorder unit tests: nesting under concurrency, the
+ * enabled gate, and the Chrome trace_event export (parsed back with
+ * the independent mini JSON reader).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mini_json.hh"
+#include "obs/trace.hh"
+
+using namespace checkmate;
+using checkmate::testjson::parseJson;
+using checkmate::testjson::ValuePtr;
+
+namespace
+{
+
+/** Fresh, enabled recorder for each test. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        auto &rec = obs::TraceRecorder::instance();
+        rec.clear();
+        rec.setEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        auto &rec = obs::TraceRecorder::instance();
+        rec.setEnabled(false);
+        rec.clear();
+    }
+};
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndContainment)
+{
+    {
+        obs::Span outer("outer", "test");
+        {
+            obs::Span inner("inner", "test");
+            {
+                obs::Span leaf("leaf", "test");
+            }
+        }
+    }
+
+    auto spans = obs::TraceRecorder::instance().spans();
+    ASSERT_EQ(spans.size(), 3u);
+
+    // Spans close leaf-first; find each by name.
+    auto find = [&](const std::string &name) {
+        auto it = std::find_if(spans.begin(), spans.end(),
+                               [&](const obs::TraceEvent &e) {
+                                   return e.name == name;
+                               });
+        EXPECT_NE(it, spans.end()) << name;
+        return *it;
+    };
+    obs::TraceEvent outer = find("outer");
+    obs::TraceEvent inner = find("inner");
+    obs::TraceEvent leaf = find("leaf");
+
+    EXPECT_EQ(outer.depth, 0);
+    EXPECT_EQ(inner.depth, 1);
+    EXPECT_EQ(leaf.depth, 2);
+
+    // All on the same thread track.
+    EXPECT_EQ(outer.tid, inner.tid);
+    EXPECT_EQ(inner.tid, leaf.tid);
+
+    // Interval containment: parent brackets child.
+    EXPECT_LE(outer.startUs, inner.startUs);
+    EXPECT_GE(outer.startUs + outer.durUs,
+              inner.startUs + inner.durUs);
+    EXPECT_LE(inner.startUs, leaf.startUs);
+    EXPECT_GE(inner.startUs + inner.durUs,
+              leaf.startUs + leaf.durUs);
+}
+
+TEST_F(TraceTest, DepthIsPerThreadUnderConcurrency)
+{
+    constexpr int kThreads = 8;
+    constexpr int kSpansPerThread = 25;
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; t++) {
+        threads.emplace_back([t]() {
+            obs::TraceRecorder::instance().nameCurrentThread(
+                "t" + std::to_string(t));
+            for (int i = 0; i < kSpansPerThread; i++) {
+                obs::Span a("a", "test");
+                EXPECT_EQ(obs::TraceRecorder::currentDepth(), 1);
+                {
+                    obs::Span b("b", "test");
+                    EXPECT_EQ(obs::TraceRecorder::currentDepth(),
+                              2);
+                }
+                EXPECT_EQ(obs::TraceRecorder::currentDepth(), 1);
+            }
+            EXPECT_EQ(obs::TraceRecorder::currentDepth(), 0);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    auto &rec = obs::TraceRecorder::instance();
+    auto spans = rec.spans();
+    EXPECT_EQ(spans.size(),
+              static_cast<size_t>(kThreads * kSpansPerThread * 2));
+
+    // Every span's depth is consistent with its name, regardless of
+    // how the threads interleaved.
+    for (const obs::TraceEvent &e : spans)
+        EXPECT_EQ(e.depth, e.name == "a" ? 0 : 1) << e.name;
+
+    // Each named track got its own tid.
+    EXPECT_EQ(rec.threadNames().size(),
+              static_cast<size_t>(kThreads));
+}
+
+TEST_F(TraceTest, DisabledRecorderStillTimesButRecordsNothing)
+{
+    auto &rec = obs::TraceRecorder::instance();
+    rec.setEnabled(false);
+
+    obs::Span span("quiet", "test");
+    span.close();
+    EXPECT_GE(span.seconds(), 0.0);
+    EXPECT_EQ(rec.spanCount(), 0u);
+}
+
+TEST_F(TraceTest, CloseIsIdempotent)
+{
+    obs::Span span("once", "test");
+    span.close();
+    double t = span.seconds();
+    span.close();
+    EXPECT_EQ(span.seconds(), t);
+    EXPECT_EQ(obs::TraceRecorder::instance().spanCount(), 1u);
+}
+
+TEST_F(TraceTest, ChromeExportIsValidJson)
+{
+    obs::TraceRecorder::instance().nameCurrentThread("main");
+    {
+        obs::Span span("phase \"quoted\"\nname", "test");
+        span.arg("note", "line1\nline2\ttab\\slash");
+        span.arg("count", static_cast<uint64_t>(42));
+    }
+    obs::CounterEvent beat;
+    beat.name = "solver.heartbeat";
+    beat.tsUs = obs::nowMicros();
+    beat.tid = obs::TraceRecorder::currentThreadId();
+    beat.series = {{"conflicts_per_sec", 123.5}, {"learnt_db", 7.0}};
+    obs::TraceRecorder::instance().recordCounter(beat);
+
+    std::string json = obs::TraceRecorder::instance().toChromeJson();
+    ValuePtr doc = parseJson(json);
+    ASSERT_TRUE(doc) << json;
+    ASSERT_TRUE(doc->isObject());
+
+    ValuePtr events = doc->get("traceEvents");
+    ASSERT_TRUE(events && events->isArray());
+
+    // Expect: process_name metadata, thread_name metadata, the X
+    // span, and the C counter.
+    bool saw_process = false, saw_thread = false, saw_span = false,
+         saw_counter = false;
+    for (const ValuePtr &ev : events->array) {
+        ASSERT_TRUE(ev->isObject());
+        ValuePtr ph = ev->get("ph");
+        ASSERT_TRUE(ph && ph->isString());
+        if (ph->string == "M") {
+            ValuePtr name = ev->get("name");
+            ASSERT_TRUE(name && name->isString());
+            if (name->string == "process_name")
+                saw_process = true;
+            if (name->string == "thread_name") {
+                saw_thread = true;
+                ValuePtr args = ev->get("args");
+                ASSERT_TRUE(args && args->isObject());
+                EXPECT_EQ(args->get("name")->string, "main");
+            }
+        } else if (ph->string == "X") {
+            saw_span = true;
+            // The escaped name round-trips exactly.
+            EXPECT_EQ(ev->get("name")->string,
+                      "phase \"quoted\"\nname");
+            ValuePtr args = ev->get("args");
+            ASSERT_TRUE(args && args->isObject());
+            EXPECT_EQ(args->get("note")->string,
+                      "line1\nline2\ttab\\slash");
+            EXPECT_EQ(args->get("count")->number, 42.0);
+            EXPECT_TRUE(ev->get("dur")->isNumber());
+            EXPECT_TRUE(ev->get("ts")->isNumber());
+        } else if (ph->string == "C") {
+            saw_counter = true;
+            EXPECT_EQ(ev->get("name")->string, "solver.heartbeat");
+            ValuePtr args = ev->get("args");
+            ASSERT_TRUE(args && args->isObject());
+            EXPECT_EQ(args->get("conflicts_per_sec")->number, 123.5);
+            EXPECT_EQ(args->get("learnt_db")->number, 7.0);
+        }
+    }
+    EXPECT_TRUE(saw_process);
+    EXPECT_TRUE(saw_thread);
+    EXPECT_TRUE(saw_span);
+    EXPECT_TRUE(saw_counter);
+}
+
+TEST_F(TraceTest, ConcurrentExportSurvivesActiveWriters)
+{
+    // Exercise export-under-load: writer threads record a bounded
+    // number of spans while the reader repeatedly serializes the
+    // buffer. This is a data-race check (meaningful under
+    // TSan/ASan) plus a does-not-crash test. The writers must be
+    // bounded — unbounded spinners starve the reader on small
+    // hosts and grow the buffer without limit.
+    constexpr int kWriters = 4;
+    constexpr int kSpansPerWriter = 500;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kWriters; t++) {
+        writers.emplace_back([]() {
+            for (int i = 0; i < kSpansPerWriter; i++) {
+                obs::Span s("w", "test");
+            }
+        });
+    }
+    for (int i = 0; i < 10; i++) {
+        std::string json =
+            obs::TraceRecorder::instance().toChromeJson();
+        EXPECT_TRUE(parseJson(json));
+    }
+    for (std::thread &t : writers)
+        t.join();
+    std::string json = obs::TraceRecorder::instance().toChromeJson();
+    EXPECT_TRUE(parseJson(json));
+    EXPECT_EQ(obs::TraceRecorder::instance().spanCount(),
+              static_cast<size_t>(kWriters) * kSpansPerWriter);
+}
+
+} // anonymous namespace

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Solver heartbeat and per-call statistics tests.
+ *
+ * The heartbeat is sampled from inside the CDCL search loop, so the
+ * tests drive the solver with pigeonhole instances — hard enough
+ * that the search provably outlives several beat intervals (PHP at
+ * 10 pigeons runs for hours without a deadline).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+#include "engine/stop_token.hh"
+#include "sat/solver.hh"
+
+namespace
+{
+
+using namespace checkmate;
+
+/** PHP(pigeons, holes): UNSAT and exponentially hard for CDCL. */
+void
+encodePigeonhole(sat::Solver &solver, int pigeons, int holes)
+{
+    std::vector<std::vector<sat::Var>> at(pigeons);
+    for (int p = 0; p < pigeons; p++)
+        for (int h = 0; h < holes; h++)
+            at[p].push_back(solver.newVar());
+
+    for (int p = 0; p < pigeons; p++) {
+        sat::Clause roost;
+        for (int h = 0; h < holes; h++)
+            roost.push_back(sat::mkLit(at[p][h]));
+        solver.addClause(roost);
+    }
+    for (int h = 0; h < holes; h++)
+        for (int p = 0; p < pigeons; p++)
+            for (int q = p + 1; q < pigeons; q++)
+                solver.addClause(sat::mkLit(at[p][h], true),
+                                 sat::mkLit(at[q][h], true));
+}
+
+TEST(Heartbeat, RespectsInterval)
+{
+    sat::Solver solver;
+    encodePigeonhole(solver, 10, 9);
+    solver.setDeadline(engine::deadlineIn(0.4));
+
+    std::vector<sat::HeartbeatData> beats;
+    solver.setHeartbeat(std::chrono::milliseconds(50),
+                        [&beats](const sat::HeartbeatData &hb) {
+                            beats.push_back(hb);
+                        });
+
+    EXPECT_EQ(solver.solve(), sat::LBool::Undef);
+    EXPECT_EQ(solver.abortReason(), engine::AbortReason::Deadline);
+
+    // ~0.4s of search at a 50ms cadence: several beats, none early.
+    ASSERT_GE(beats.size(), 2u);
+    for (size_t i = 1; i < beats.size(); i++) {
+        EXPECT_GE(beats[i].tSeconds - beats[i - 1].tSeconds, 0.035)
+            << "beat " << i << " fired early";
+        EXPECT_GE(beats[i].conflicts, beats[i - 1].conflicts);
+    }
+    for (const sat::HeartbeatData &hb : beats) {
+        EXPECT_GE(hb.tSeconds, 0.0);
+        EXPECT_GE(hb.conflictsPerSec, 0.0);
+        EXPECT_GT(hb.decisions, 0u);
+    }
+}
+
+TEST(Heartbeat, StopsOnCancellation)
+{
+    sat::Solver solver;
+    encodePigeonhole(solver, 10, 9);
+
+    engine::StopSource stop;
+    solver.setStopToken(stop.token());
+    // Safety net so the test terminates even if cancellation broke.
+    solver.setDeadline(engine::deadlineIn(5.0));
+
+    size_t beats = 0;
+    solver.setHeartbeat(std::chrono::milliseconds(20),
+                        [&beats, &stop](const sat::HeartbeatData &) {
+                            if (++beats == 2)
+                                stop.requestStop();
+                        });
+
+    EXPECT_EQ(solver.solve(), sat::LBool::Undef);
+    EXPECT_EQ(solver.abortReason(), engine::AbortReason::Stopped);
+    // The search aborts at the next interrupt poll after the stop
+    // request, so at most a beat or two can slip in after it.
+    EXPECT_LE(beats, 4u);
+    EXPECT_GE(beats, 2u);
+}
+
+TEST(Heartbeat, DisabledByDefaultAndWithZeroInterval)
+{
+    sat::Solver solver;
+    encodePigeonhole(solver, 8, 7);
+    solver.setConflictBudget(200);
+
+    size_t beats = 0;
+    // Never installed: nothing can fire.
+    EXPECT_EQ(solver.solve(), sat::LBool::Undef);
+
+    solver.setHeartbeat(std::chrono::milliseconds(0),
+                        [&beats](const sat::HeartbeatData &) {
+                            beats++;
+                        });
+    EXPECT_EQ(solver.solve(), sat::LBool::Undef);
+    EXPECT_EQ(beats, 0u);
+}
+
+TEST(PerCallStats, ConflictBudgetIsPerCall)
+{
+    // Regression: the budget used to compare lifetime conflict
+    // totals, so a solver that ever exhausted it aborted every later
+    // call instantly. Each top-level call must get a fresh count.
+    sat::Solver solver;
+    encodePigeonhole(solver, 8, 7);
+    solver.setConflictBudget(50);
+
+    EXPECT_EQ(solver.solve(), sat::LBool::Undef);
+    EXPECT_EQ(solver.abortReason(),
+              engine::AbortReason::ConflictBudget);
+    uint64_t first_call = solver.lastCallStats().conflicts;
+    EXPECT_GE(first_call, 50u);
+
+    EXPECT_EQ(solver.solve(), sat::LBool::Undef);
+    EXPECT_EQ(solver.abortReason(),
+              engine::AbortReason::ConflictBudget);
+    uint64_t second_call = solver.lastCallStats().conflicts;
+    // The second call did real work again (≥ the budget), rather
+    // than aborting at zero conflicts.
+    EXPECT_GE(second_call, 50u);
+
+    // Lifetime stats keep accumulating across calls.
+    EXPECT_GE(solver.stats().conflicts, first_call + second_call);
+}
+
+TEST(PerCallStats, LastCallStatsAreDeltas)
+{
+    sat::Solver solver;
+    // No unit clauses: units propagate when added, so this keeps
+    // all the work (decisions and their propagations) inside
+    // solve(), and the level-0 trail stays empty between calls.
+    sat::Var a = solver.newVar();
+    sat::Var b = solver.newVar();
+    sat::Var c = solver.newVar();
+    solver.addClause(sat::mkLit(a), sat::mkLit(b));
+    solver.addClause(sat::mkLit(a, true), sat::mkLit(b));
+    solver.addClause(sat::mkLit(b, true), sat::mkLit(c));
+
+    ASSERT_EQ(solver.solve(), sat::LBool::True);
+    sat::SolverStats first = solver.lastCallStats();
+    EXPECT_GT(first.decisions, 0u);
+
+    ASSERT_EQ(solver.solve(), sat::LBool::True);
+    sat::SolverStats second = solver.lastCallStats();
+    EXPECT_GT(second.decisions, 0u);
+
+    // Each delta covers only its own call's work; the lifetime
+    // totals keep accumulating across calls.
+    EXPECT_EQ(solver.stats().decisions,
+              first.decisions + second.decisions);
+    EXPECT_EQ(solver.stats().propagations,
+              first.propagations + second.propagations);
+}
+
+TEST(PerCallStats, EnumerationCountsAsOneCall)
+{
+    // x free, y free: 4 models projected on {x, y}.
+    sat::Solver solver;
+    sat::Var x = solver.newVar();
+    sat::Var y = solver.newVar();
+    sat::Var z = solver.newVar();
+    solver.addClause(sat::mkLit(z)); // force z so the CNF is nonempty
+
+    uint64_t n = solver.enumerateModels(
+        {x, y}, [](const sat::Solver &) { return true; });
+    EXPECT_EQ(n, 4u);
+    EXPECT_EQ(solver.lastCallStats().modelsEnumerated, 4u);
+
+    // A second enumeration is blocked by the first one's blocking
+    // clauses, but its per-call delta still starts at zero.
+    uint64_t again = solver.enumerateModels(
+        {x, y}, [](const sat::Solver &) { return true; });
+    EXPECT_EQ(again, 0u);
+    EXPECT_EQ(solver.lastCallStats().modelsEnumerated, 0u);
+}
+
+} // anonymous namespace
