@@ -1,18 +1,51 @@
 /**
  * @file
  * The `checkmate` command-line tool entry point.
+ *
+ * Installs SIGINT/SIGTERM handlers that trip the engine's stop
+ * token: the first signal requests a cooperative stop (running
+ * solvers unwind at their next poll, checkpoints/trace/report are
+ * flushed, and the process exits with code 130); a second signal
+ * force-exits immediately with the conventional 128+signo.
  */
 
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/cli.hh"
+#include "engine/stop_token.hh"
+
+namespace
+{
+
+// Constructed before the handlers are installed; the handler only
+// touches the atomic flag inside, which is async-signal-safe.
+checkmate::engine::StopSource g_stop;
+std::atomic<int> g_signals{0};
+
+void
+onSignal(int sig)
+{
+    if (g_signals.fetch_add(1, std::memory_order_relaxed) > 0) {
+        // Second signal: the user insists. Skip all cleanup.
+        std::_Exit(128 + sig);
+    }
+    g_stop.requestStop();
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
 {
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+
     std::vector<std::string> args(argv + 1, argv + argc);
     return checkmate::core::runCli(checkmate::core::parseCli(args),
-                                   std::cout);
+                                   std::cout, std::cerr, &g_stop);
 }

@@ -19,6 +19,7 @@
 #include <sstream>
 
 #include "core/synthesis.hh"
+#include "engine/fault_injector.hh"
 #include "engine/job.hh"
 #include "engine/report.hh"
 #include "engine/scheduler.hh"
@@ -78,7 +79,34 @@ usage: checkmate [options]
                     (0 = off; emitted to the log/trace/metrics)
   --dump-dimacs DIR write each job's translated CNF to
                     DIR/<job-key>.cnf for offline reproduction
+  --checkpoint DIR  persist each job's enumeration frontier to
+                    DIR/<job-key>.ckpt (crash-safe atomic writes;
+                    see docs/ROBUSTNESS.md)
+  --resume DIR      resume from the checkpoints in DIR: completed
+                    jobs replay without searching, interrupted ones
+                    re-seed and continue; implies --checkpoint DIR
+  --checkpoint-interval SEC
+                    min seconds between checkpoint saves
+                    (default 1; 0 = save on every model)
+  --retries N       retry a job up to N times after a retriable
+                    abort (conflict budget, memory limit, per-job
+                    timeout), with exponential backoff and a
+                    perturbed solver seed per retry
+  --retry-backoff SEC
+                    base backoff before the first retry
+                    (default 0.25; doubles each retry)
+  --mem-limit-mb N  per-job solver memory ceiling; the solver sheds
+                    learned clauses first and aborts the job with
+                    reason memory-limit only if still over
+  --inject SPEC     fault injection (testing): comma-separated
+                    site:N pairs, firing on the Nth hit of each
+                    site (e.g. sat.oom:1,engine.checkpoint.write:2)
+  --inject-seed N   seed recorded by the fault injector
   --help            this text
+
+exit status: 0 = exploits synthesized, 1 = none found,
+2 = configuration or job error, 130 = interrupted (checkpoints,
+trace, and report are still flushed; rerun with --resume)
 )";
 }
 
@@ -170,6 +198,43 @@ parseCli(const std::vector<std::string> &args)
                              "non-negative interval";
         } else if (arg == "--dump-dimacs") {
             opts.dumpDimacsDir = next("--dump-dimacs");
+        } else if (arg == "--checkpoint") {
+            opts.checkpointDir = next("--checkpoint");
+        } else if (arg == "--resume") {
+            opts.checkpointDir = next("--resume");
+            opts.resume = true;
+        } else if (arg == "--checkpoint-interval" ||
+                   arg == "--retry-backoff") {
+            const bool interval = arg == "--checkpoint-interval";
+            std::string value = next(arg.c_str());
+            char *end = nullptr;
+            double seconds = std::strtod(value.c_str(), &end);
+            if (opts.error.empty() &&
+                (end == value.c_str() || *end != '\0' ||
+                 seconds < 0)) {
+                opts.error = arg + " requires a non-negative " +
+                             "number of seconds";
+            } else if (interval) {
+                opts.checkpointIntervalSeconds = seconds;
+            } else {
+                opts.retryBackoffSeconds = seconds;
+            }
+        } else if (arg == "--retries") {
+            opts.retries = std::atoi(next("--retries").c_str());
+            if (opts.retries < 0 && opts.error.empty())
+                opts.error = "--retries requires a non-negative "
+                             "count";
+        } else if (arg == "--mem-limit-mb") {
+            opts.memLimitMb = std::strtoull(
+                next("--mem-limit-mb").c_str(), nullptr, 10);
+            if (opts.memLimitMb == 0 && opts.error.empty())
+                opts.error = "--mem-limit-mb requires a positive "
+                             "number of megabytes";
+        } else if (arg == "--inject") {
+            opts.injectSpec = next("--inject");
+        } else if (arg == "--inject-seed") {
+            opts.injectSeed = std::strtoull(
+                next("--inject-seed").c_str(), nullptr, 10);
         } else if (opts.error.empty()) {
             opts.error = "unknown option: " + arg;
         }
@@ -296,17 +361,50 @@ class ObservabilityScope
     bool logOpen_ = false;
 };
 
+/**
+ * RAII arming of the process-global fault injector: configured for
+ * the duration of one runCli() call, disarmed afterwards so
+ * repeated in-process invocations (tests) never leak armed sites.
+ */
+class FaultInjectionScope
+{
+  public:
+    FaultInjectionScope(const std::string &spec, uint64_t seed)
+    {
+        ok_ = engine::FaultInjector::instance().configure(spec,
+                                                          seed);
+    }
+
+    /** False when the spec string was malformed. */
+    bool ok() const { return ok_; }
+
+    ~FaultInjectionScope()
+    {
+        engine::FaultInjector::instance().reset();
+    }
+
+  private:
+    bool ok_ = false;
+};
+
 } // anonymous namespace
 
 int
 runCli(const CliOptions &options, std::ostream &out)
+{
+    return runCli(options, out, out, nullptr);
+}
+
+int
+runCli(const CliOptions &options, std::ostream &out,
+       std::ostream &err, engine::StopSource *stop)
 {
     if (options.help) {
         out << cliUsage();
         return 0;
     }
     if (!options.error.empty()) {
-        out << "error: " << options.error << "\n\n" << cliUsage();
+        err << "error: " << options.error << "\n\n" << cliUsage();
         return 2;
     }
 
@@ -315,12 +413,12 @@ runCli(const CliOptions &options, std::ostream &out)
     std::string error;
     if (!engine::makeMicroarch(options.uarch,
                                specConfigFromCli(options), error)) {
-        out << "error: " << error << '\n';
+        err << "error: " << error << '\n';
         return 2;
     }
     if (!engine::makeExploitPattern(options.pattern, error) &&
         !error.empty()) {
-        out << "error: " << error << '\n';
+        err << "error: " << error << '\n';
         return 2;
     }
 
@@ -329,16 +427,35 @@ runCli(const CliOptions &options, std::ostream &out)
         std::filesystem::create_directories(options.dumpDimacsDir,
                                             ec);
         if (ec) {
-            out << "error: cannot create DIMACS directory "
+            err << "error: cannot create DIMACS directory "
                 << options.dumpDimacsDir << ": " << ec.message()
                 << '\n';
             return 2;
         }
     }
+    if (!options.checkpointDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.checkpointDir,
+                                            ec);
+        if (ec) {
+            err << "error: cannot create checkpoint directory "
+                << options.checkpointDir << ": " << ec.message()
+                << '\n';
+            return 2;
+        }
+    }
+
+    FaultInjectionScope inject_scope(options.injectSpec,
+                                     options.injectSeed);
+    if (!inject_scope.ok()) {
+        err << "error: malformed --inject spec: "
+            << options.injectSpec << '\n';
+        return 2;
+    }
 
     ObservabilityScope obs_scope(options);
     if (obs_scope.logFailed()) {
-        out << "error: cannot open log file "
+        err << "error: cannot open log file "
             << options.logJsonPath << '\n';
         return 2;
     }
@@ -349,11 +466,19 @@ runCli(const CliOptions &options, std::ostream &out)
     engine_opts.threads = options.jobs;
     engine_opts.timeoutSeconds = options.timeoutSeconds;
     engine_opts.jobTimeoutSeconds = options.jobTimeoutSeconds;
+    engine_opts.memLimitBytes =
+        options.memLimitMb * uint64_t{1024} * 1024;
+    engine_opts.retries = options.retries;
+    engine_opts.retryBackoffSeconds = options.retryBackoffSeconds;
+    engine_opts.checkpointDir = options.checkpointDir;
+    engine_opts.resume = options.resume;
+    engine_opts.checkpointIntervalSeconds =
+        options.checkpointIntervalSeconds;
 
-    engine::RunResult run = engine::runJobs(jobs, engine_opts);
+    engine::RunResult run = engine::runJobs(jobs, engine_opts, stop);
 
     if (!obs_scope.writeTrace()) {
-        out << "error: cannot write trace to " << options.tracePath
+        err << "error: cannot write trace to " << options.tracePath
             << '\n';
         return 2;
     }
@@ -361,13 +486,14 @@ runCli(const CliOptions &options, std::ostream &out)
     if (!options.reportPath.empty() &&
         !engine::writeRunReport(run, engine_opts,
                                 options.reportPath)) {
-        out << "error: cannot write report to "
+        err << "error: cannot write report to "
             << options.reportPath << '\n';
         return 2;
     }
 
     size_t total_exploits = 0;
     size_t exploit_index = 0;
+    bool job_errors = false;
     for (const engine::JobResult &result : run.jobs) {
         if (result.skipped) {
             out << result.key << " SKIPPED (engine deadline)\n\n";
@@ -376,6 +502,9 @@ runCli(const CliOptions &options, std::ostream &out)
         if (!result.error.empty()) {
             out << result.key << " ERROR: " << result.error
                 << "\n\n";
+            err << "error: job " << result.key << ": "
+                << result.error << '\n';
+            job_errors = true;
             continue;
         }
         out << result.report.toString() << "\n\n";
@@ -399,6 +528,19 @@ runCli(const CliOptions &options, std::ostream &out)
         }
         total_exploits += result.exploits.size();
     }
+    // Precedence: an external stop beats everything (the run is
+    // incomplete but fully flushed and resumable), then job errors,
+    // then the found/not-found distinction.
+    if (stop && stop->stopRequested()) {
+        err << "interrupted: partial results flushed";
+        if (!options.checkpointDir.empty())
+            err << "; resume with --resume "
+                << options.checkpointDir;
+        err << '\n';
+        return kStoppedExitCode;
+    }
+    if (job_errors)
+        return 2;
     return total_exploits == 0 ? 1 : 0;
 }
 

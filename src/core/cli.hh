@@ -11,12 +11,18 @@
 #ifndef CHECKMATE_CORE_CLI_HH
 #define CHECKMATE_CORE_CLI_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
+#include "engine/stop_token.hh"
+
 namespace checkmate::core
 {
+
+/** Exit code when a stop request (e.g. SIGINT) cut the run short. */
+constexpr int kStoppedExitCode = 130;
 
 /** Parsed command-line options. */
 struct CliOptions
@@ -53,6 +59,16 @@ struct CliOptions
     int heartbeatMs = 0;     ///< solver heartbeat cadence (0 = off)
     std::string dumpDimacsDir; ///< per-job CNF dumps ("" = off)
 
+    // Fault-tolerance controls (docs/ROBUSTNESS.md).
+    std::string checkpointDir; ///< per-job checkpoints ("" = off)
+    bool resume = false;       ///< load checkpoints before running
+    double checkpointIntervalSeconds = 1.0; ///< save throttle
+    int retries = 0;           ///< retries after retriable aborts
+    double retryBackoffSeconds = 0.25; ///< base backoff, doubles
+    uint64_t memLimitMb = 0;   ///< solver memory ceiling (0 = none)
+    std::string injectSpec;    ///< fault-injection spec ("" = off)
+    uint64_t injectSeed = 0;   ///< fault-injection seed
+
     /** Set when parsing failed; holds the message. */
     std::string error;
 };
@@ -64,10 +80,20 @@ CliOptions parseCli(const std::vector<std::string> &args);
 std::string cliUsage();
 
 /**
- * Run synthesis per @p options, writing results to @p out.
+ * Run synthesis per @p options, writing results to @p out and
+ * diagnostics to @p err.
  *
- * @return process exit code (0 = at least one exploit synthesized).
+ * @param stop when non-null, an external stop request (e.g. a
+ *        signal handler) aborts the run cooperatively; checkpoints,
+ *        trace, and report are still flushed and the exit code is
+ *        kStoppedExitCode (130).
+ * @return process exit code: 0 = at least one exploit synthesized,
+ *         1 = none, 2 = configuration or job error, 130 = stopped.
  */
+int runCli(const CliOptions &options, std::ostream &out,
+           std::ostream &err, engine::StopSource *stop = nullptr);
+
+/** Convenience overload: diagnostics share @p out. */
 int runCli(const CliOptions &options, std::ostream &out);
 
 } // namespace checkmate::core

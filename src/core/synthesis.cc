@@ -7,7 +7,7 @@
 
 #include <algorithm>
 #include <chrono>
-#include <set>
+#include <map>
 #include <sstream>
 
 #include "obs/trace.hh"
@@ -67,6 +67,7 @@ CheckMate::run(
     obs::Span load_span("uspec.load", "uspec");
     uspec::UspecContext ctx(bounds, uarch_.locations(),
                             uarch_.options());
+    ctx.setErrorModel(uarch_.name());
     uspec::EdgeDeriver deriver(ctx);
     uarch_.applyAxioms(ctx, deriver);
     deriver.finalize();
@@ -96,7 +97,13 @@ CheckMate::run(
     load_span.close();
 
     std::vector<SynthesizedExploit> exploits;
-    std::set<std::string> seen;
+    // Key → slot in `exploits`. The representative kept for each
+    // key is the raw variant with the lexicographically smallest
+    // toString() — a choice independent of enumeration order, so a
+    // crash-resumed run (whose continued search may enumerate the
+    // remaining models in a different order) still emits
+    // byte-identical output.
+    std::map<std::string, size_t> seen;
     uint64_t raw = 0;
     double to_first = 0.0;
     Clock::time_point start = Clock::now();
@@ -107,6 +114,8 @@ CheckMate::run(
     solve_opts.budget = options.budget;
     solve_opts.heartbeatMs = options.heartbeatMs;
     solve_opts.dumpDimacsPath = options.dumpDimacsPath;
+    solve_opts.replay = options.replay;
+    solve_opts.onModelValues = options.onModelValues;
     if (first_only)
         solve_opts.budget.maxInstances = 1;
     if (options.projectOnLitmusRelations)
@@ -127,7 +136,11 @@ CheckMate::run(
             litmus::LitmusTest test =
                 litmus::extractLitmus(ctx, inst);
             std::string key = test.key();
-            if (seen.insert(key).second) {
+            auto [it, inserted] =
+                seen.emplace(key, exploits.size());
+            if (inserted ||
+                test.toString() <
+                    exploits[it->second].test.toString()) {
                 SynthesizedExploit ex{
                     test, deriver.buildGraph(inst,
                                              test.eventLabels()),
@@ -135,12 +148,25 @@ CheckMate::run(
                         ? litmus::classify(test,
                                            pattern_->family())
                         : litmus::AttackClass::Unclassified};
-                exploits.push_back(std::move(ex));
+                if (inserted)
+                    exploits.push_back(std::move(ex));
+                else
+                    exploits[it->second] = std::move(ex);
             }
             return true;
         },
         solve_opts, &solve_result);
     solve_span.close();
+
+    // Canonical output order: sort by litmus key. Keys are unique
+    // after deduplication, so this is a total order — the output is
+    // a function of the model *set*, not the enumeration order,
+    // which is what makes kill-and-resume byte-identical.
+    std::sort(exploits.begin(), exploits.end(),
+              [](const SynthesizedExploit &a,
+                 const SynthesizedExploit &b) {
+                  return a.test.key() < b.test.key();
+              });
 
     if (report) {
         report->microarch = uarch_.name();
@@ -149,6 +175,7 @@ CheckMate::run(
         report->sat = raw > 0;
         report->rawInstances = raw;
         report->uniqueTests = exploits.size();
+        report->replayedInstances = solve_result.replayedInstances;
         report->secondsToFirst = to_first;
         report->secondsToAll = secondsSince(start);
         report->aborted = solve_result.aborted;

@@ -87,6 +87,18 @@ struct SynthesisOptions
      * format for offline reproduction (`--dump-dimacs`).
      */
     std::string dumpDimacsPath;
+
+    /**
+     * Checkpointed model frontier to replay before the live search
+     * (resume), passed through to the model finder.
+     */
+    const rmf::ReplayLog *replay = nullptr;
+
+    /**
+     * Per-model primary-variable capture hook (replayed and live),
+     * wired by the engine's checkpoint writer.
+     */
+    std::function<void(const std::vector<bool> &)> onModelValues;
 };
 
 /** One synthesized exploit: litmus test + μhb graph + class. */
@@ -108,6 +120,8 @@ struct SynthesisReport
     bool sat = false;
     uint64_t rawInstances = 0;  ///< solver models (μhb graphs)
     uint64_t uniqueTests = 0;   ///< after duplicate filtering (§V-C)
+    /** Of rawInstances, how many were replayed from a checkpoint. */
+    uint64_t replayedInstances = 0;
     double secondsToFirst = 0.0;
     double secondsToAll = 0.0;
 

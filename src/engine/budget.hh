@@ -35,6 +35,19 @@ struct Budget
     /** Abort when this token's source requests a stop. */
     StopToken stop;
 
+    /**
+     * Abort (after attempting learned-clause reduction) once the
+     * solver's tracked allocation exceeds this many bytes (0 = off).
+     */
+    uint64_t memLimitBytes = 0;
+
+    /**
+     * Seed for the solver's phase-saving perturbation (0 = keep the
+     * deterministic default polarity). Retries set this so a second
+     * attempt explores the search space in a different order.
+     */
+    uint64_t solverSeed = 0;
+
     /** True if the deadline has already passed. */
     bool
     deadlineExpired() const

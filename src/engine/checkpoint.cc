@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Checkpoint persistence implementation. See checkpoint.hh for the
+ * file format.
+ */
+
+#include "engine/checkpoint.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "engine/fault_injector.hh"
+#include "obs/fsio.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace checkmate::engine
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "checkmate-checkpoint v1";
+
+/** Pack bits into hex, 4 per char, MSB first within a nibble. */
+std::string
+bitsToHex(const std::vector<bool> &bits)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve((bits.size() + 3) / 4);
+    for (size_t i = 0; i < bits.size(); i += 4) {
+        int nibble = 0;
+        for (size_t j = 0; j < 4 && i + j < bits.size(); j++) {
+            if (bits[i + j])
+                nibble |= 8 >> j;
+        }
+        out.push_back(digits[nibble]);
+    }
+    return out;
+}
+
+/** Inverse of bitsToHex; nullopt on a non-hex digit. */
+std::optional<std::vector<bool>>
+hexToBits(const std::string &hex, size_t n_bits)
+{
+    if (hex.size() != (n_bits + 3) / 4)
+        return std::nullopt;
+    std::vector<bool> bits(n_bits, false);
+    for (size_t i = 0; i < n_bits; i++) {
+        char c = hex[i / 4];
+        int nibble;
+        if (c >= '0' && c <= '9')
+            nibble = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nibble = c - 'a' + 10;
+        else
+            return std::nullopt;
+        bits[i] = (nibble & (8 >> (i % 4))) != 0;
+    }
+    return bits;
+}
+
+} // anonymous namespace
+
+uint64_t
+fnv1a64(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+checkpointPath(const std::string &dir,
+               const std::string &file_stem)
+{
+    return dir + "/" + file_stem + ".ckpt";
+}
+
+std::optional<Checkpoint>
+loadCheckpoint(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+
+    std::string line;
+    if (!std::getline(in, line) || line != kMagic)
+        return std::nullopt;
+
+    Checkpoint cp;
+    uint64_t hash = 0;
+    uint64_t n_models = 0;
+    std::string status;
+
+    auto field = [&](const char *name,
+                     std::string &out) -> bool {
+        if (!std::getline(in, line))
+            return false;
+        std::string prefix = std::string(name) + " ";
+        if (line.rfind(prefix, 0) != 0)
+            return false;
+        out = line.substr(prefix.size());
+        return true;
+    };
+
+    std::string value;
+    if (!field("key", value))
+        return std::nullopt;
+    cp.key = value;
+    try {
+        if (!field("hash", value))
+            return std::nullopt;
+        hash = std::stoull(value, nullptr, 16);
+        if (!field("primary_vars", value))
+            return std::nullopt;
+        cp.primaryVarCount = std::stoull(value);
+        if (!field("status", value))
+            return std::nullopt;
+        status = value;
+        if (!field("models", value))
+            return std::nullopt;
+        n_models = std::stoull(value);
+    } catch (const std::exception &) {
+        return std::nullopt;
+    }
+
+    if (hash != fnv1a64(cp.key))
+        return std::nullopt;
+    if (status == "complete")
+        cp.complete = true;
+    else if (status != "in-progress")
+        return std::nullopt;
+
+    cp.models.reserve(n_models);
+    for (uint64_t i = 0; i < n_models; i++) {
+        std::string model;
+        if (!field("m", model))
+            return std::nullopt;
+        auto bits = hexToBits(model, cp.primaryVarCount);
+        if (!bits)
+            return std::nullopt;
+        cp.models.push_back(std::move(*bits));
+    }
+    if (!std::getline(in, line) || line != "end")
+        return std::nullopt;
+    return cp;
+}
+
+bool
+saveCheckpoint(const std::string &path, const Checkpoint &cp)
+{
+    if (FaultInjector::fires("engine.checkpoint.write"))
+        return false; // simulated I/O failure
+    std::ostringstream out;
+    out << kMagic << "\n";
+    out << "key " << cp.key << "\n";
+    out << "hash " << std::hex << fnv1a64(cp.key) << std::dec
+        << "\n";
+    out << "primary_vars " << cp.primaryVarCount << "\n";
+    out << "status " << (cp.complete ? "complete" : "in-progress")
+        << "\n";
+    out << "models " << cp.models.size() << "\n";
+    for (const std::vector<bool> &bits : cp.models)
+        out << "m " << bitsToHex(bits) << "\n";
+    out << "end\n";
+    return obs::atomicWriteFile(path, out.str());
+}
+
+CheckpointWriter::CheckpointWriter(std::string path,
+                                   std::string key,
+                                   double interval_seconds)
+    : path_(std::move(path)), intervalSeconds_(interval_seconds),
+      lastSave_(std::chrono::steady_clock::now())
+{
+    checkpoint_.key = std::move(key);
+}
+
+void
+CheckpointWriter::onModel(const std::vector<bool> &bits)
+{
+    if (checkpoint_.models.empty())
+        checkpoint_.primaryVarCount = bits.size();
+    checkpoint_.models.push_back(bits);
+    auto now = std::chrono::steady_clock::now();
+    if (intervalSeconds_ > 0.0 &&
+        std::chrono::duration<double>(now - lastSave_).count() <
+            intervalSeconds_) {
+        return;
+    }
+    lastSave_ = now;
+    save();
+}
+
+bool
+CheckpointWriter::finalize(bool complete)
+{
+    checkpoint_.complete = complete;
+    uint64_t failures_before = ioFailures_;
+    save();
+    return ioFailures_ == failures_before;
+}
+
+void
+CheckpointWriter::save()
+{
+    obs::Span span("engine.checkpoint.save", "engine");
+    span.arg("models",
+             static_cast<uint64_t>(checkpoint_.models.size()));
+    if (saveCheckpoint(path_, checkpoint_)) {
+        obs::MetricsRegistry::instance()
+            .counter("engine.checkpoints_saved")
+            .add(1);
+        return;
+    }
+    ioFailures_++;
+    obs::MetricsRegistry::instance()
+        .counter("engine.checkpoint_failures")
+        .add(1);
+    obs::Logger::instance().log(
+        obs::LogLevel::Warn, "engine", "checkpoint save failed",
+        obs::JsonFields()
+            .add("path", path_)
+            .add("models",
+                 static_cast<uint64_t>(checkpoint_.models.size()))
+            .str());
+}
+
+} // namespace checkmate::engine

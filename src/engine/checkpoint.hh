@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Crash-safe persistence of a job's enumeration frontier.
+ *
+ * A checkpoint records every model a SynthesisJob has enumerated so
+ * far as primary-variable assignments (one bit per primary var, in
+ * `Translation::primaryVars()` order), plus the job's config key.
+ * Because the translation's variable numbering is deterministic,
+ * the stored bits mean the same thing in a fresh process: resume
+ * re-extracts each model, re-delivers it through the normal litmus
+ * pipeline, and re-adds its blocking clause, so the continued
+ * search enumerates exactly the models the killed run never
+ * reached — nothing lost, nothing duplicated.
+ *
+ * Files are written atomically (temp + rename via obs::fsio), so a
+ * crash mid-save leaves the previous complete checkpoint, never a
+ * torn one. The `end` sentinel and per-line validation make the
+ * loader reject anything malformed rather than resume from garbage.
+ *
+ * Format (text, one file per job, named `<jobFileStem>.ckpt`):
+ *
+ *     checkmate-checkpoint v1
+ *     key <jobKey>
+ *     hash <fnv1a64(jobKey), hex>
+ *     primary_vars <N>
+ *     status complete|in-progress
+ *     models <M>
+ *     m <hex bits, 4 per char, MSB first>   (M lines)
+ *     end
+ */
+
+#ifndef CHECKMATE_ENGINE_CHECKPOINT_HH
+#define CHECKMATE_ENGINE_CHECKPOINT_HH
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace checkmate::engine
+{
+
+/** FNV-1a 64-bit hash (the checkpoint's config-integrity hash). */
+uint64_t fnv1a64(const std::string &s);
+
+/** One job's persisted enumeration frontier. */
+struct Checkpoint
+{
+    /** The job's config key (jobKey()) — a resume only applies a
+     * checkpoint whose key matches the job exactly. */
+    std::string key;
+
+    /** Primary-variable count of the recorded translation. */
+    size_t primaryVarCount = 0;
+
+    /** True when the job finished enumerating (resume skips the
+     * live search and just replays). */
+    bool complete = false;
+
+    /** Per-model primary-variable assignments, oldest first. */
+    std::vector<std::vector<bool>> models;
+};
+
+/** Checkpoint file path for a job inside @p dir. */
+std::string checkpointPath(const std::string &dir,
+                           const std::string &file_stem);
+
+/**
+ * Load and validate a checkpoint.
+ *
+ * @return nullopt when the file is missing, malformed, truncated,
+ *         or fails its integrity hash.
+ */
+std::optional<Checkpoint> loadCheckpoint(const std::string &path);
+
+/**
+ * Atomically persist @p cp to @p path.
+ *
+ * Honors the `engine.checkpoint.write` fault site (simulated I/O
+ * failure). @return true on success.
+ */
+bool saveCheckpoint(const std::string &path, const Checkpoint &cp);
+
+/**
+ * Accumulates a job's models and persists them with save throttling.
+ *
+ * Wire `onModel` into `rmf::SolveOptions::onModelValues`; every
+ * delivered model (replayed and live) lands here, so after a resume
+ * the writer still holds the complete frontier. Saves are throttled
+ * to one per @p interval_seconds (0 = save on every model);
+ * finalize() always saves. A failed save is counted and the job
+ * carries on — losing a checkpoint must never lose the run.
+ */
+class CheckpointWriter
+{
+  public:
+    CheckpointWriter(std::string path, std::string key,
+                     double interval_seconds);
+
+    /** Record one model; maybe persist (throttled). */
+    void onModel(const std::vector<bool> &bits);
+
+    /** Persist the final state. @return true on success. */
+    bool finalize(bool complete);
+
+    /** Models recorded so far. */
+    size_t modelCount() const { return checkpoint_.models.size(); }
+
+    /** Saves that failed (I/O error or injected fault). */
+    uint64_t ioFailures() const { return ioFailures_; }
+
+  private:
+    void save();
+
+    std::string path_;
+    Checkpoint checkpoint_;
+    double intervalSeconds_;
+    std::chrono::steady_clock::time_point lastSave_;
+    uint64_t ioFailures_ = 0;
+};
+
+} // namespace checkmate::engine
+
+#endif // CHECKMATE_ENGINE_CHECKPOINT_HH

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Deterministic fault injection for exercising recovery paths.
+ *
+ * A process-wide registry of named fault sites. Code sprinkles
+ * `FaultInjector::fires("site.name")` at the points where a real
+ * fault could occur (allocation failure, deadline expiry, I/O
+ * error, crash); tests and the CLI arm specific sites so every
+ * abort/retry/resume path can be driven deterministically in CI.
+ *
+ * Disabled is the default and costs one relaxed atomic load per
+ * probe — no locks, no string hashing — so production runs pay
+ * nothing. When armed, a site fires exactly on its Nth hit (1-based)
+ * and never again, which is what retry tests want: the first attempt
+ * trips the fault, the retry sails past it.
+ *
+ * Header-only and dependency-free on purpose, for the same reason as
+ * stop_token.hh: the SAT solver probes sites from inside its search
+ * loop and must not link against the engine library.
+ */
+
+#ifndef CHECKMATE_ENGINE_FAULT_INJECTOR_HH
+#define CHECKMATE_ENGINE_FAULT_INJECTOR_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace checkmate::engine
+{
+
+/** Exit code used by the injected mid-enumeration crash site. */
+constexpr int kInjectedCrashExitCode = 86;
+
+/** Process-wide deterministic fault-site registry. */
+class FaultInjector
+{
+  public:
+    static FaultInjector &
+    instance()
+    {
+        static FaultInjector injector;
+        return injector;
+    }
+
+    /**
+     * Arm sites from a spec string `site:N[,site:N...]` — fire site
+     * on its Nth hit (N >= 1). Replaces any previous configuration.
+     *
+     * @return false (leaving the injector disarmed) on a malformed
+     *         spec.
+     */
+    bool
+    configure(const std::string &spec, uint64_t seed = 0)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        armed_.store(false, std::memory_order_relaxed);
+        sites_.clear();
+        seed_ = seed;
+        std::istringstream in(spec);
+        std::string entry;
+        while (std::getline(in, entry, ',')) {
+            if (entry.empty())
+                continue;
+            size_t colon = entry.rfind(':');
+            uint64_t nth = 1;
+            std::string name = entry;
+            if (colon != std::string::npos) {
+                name = entry.substr(0, colon);
+                try {
+                    nth = std::stoull(entry.substr(colon + 1));
+                } catch (const std::exception &) {
+                    sites_.clear();
+                    return false;
+                }
+            }
+            if (name.empty() || nth == 0) {
+                sites_.clear();
+                return false;
+            }
+            sites_[name] = SiteState{nth, 0};
+        }
+        if (!sites_.empty())
+            armed_.store(true, std::memory_order_relaxed);
+        return true;
+    }
+
+    /** Disarm everything and forget all hit counts. */
+    void
+    reset()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        armed_.store(false, std::memory_order_relaxed);
+        sites_.clear();
+        seed_ = 0;
+    }
+
+    /** True when at least one site is armed. */
+    bool
+    armed() const
+    {
+        return armed_.load(std::memory_order_relaxed);
+    }
+
+    /** Seed the injector was configured with (for tests). */
+    uint64_t
+    seed() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return seed_;
+    }
+
+    /** Times @p site has been probed while armed (for tests). */
+    uint64_t
+    hits(const std::string &site) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = sites_.find(site);
+        return it == sites_.end() ? 0 : it->second.hits;
+    }
+
+    /**
+     * Probe @p site: true exactly when this is the hit the site was
+     * armed to fire on. The fast path (nothing armed anywhere) is a
+     * single relaxed atomic load.
+     */
+    static bool
+    fires(const char *site)
+    {
+        FaultInjector &fi = instance();
+        if (!fi.armed_.load(std::memory_order_relaxed))
+            return false;
+        return fi.probe(site);
+    }
+
+  private:
+    struct SiteState
+    {
+        uint64_t triggerHit = 0; ///< fire on this hit (1-based)
+        uint64_t hits = 0;       ///< probes seen so far
+    };
+
+    bool
+    probe(const char *site)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = sites_.find(site);
+        if (it == sites_.end())
+            return false;
+        it->second.hits++;
+        return it->second.hits == it->second.triggerHit;
+    }
+
+    mutable std::mutex mutex_;
+    std::atomic<bool> armed_{false};
+    std::map<std::string, SiteState> sites_;
+    uint64_t seed_ = 0;
+};
+
+} // namespace checkmate::engine
+
+#endif // CHECKMATE_ENGINE_FAULT_INJECTOR_HH

@@ -7,8 +7,10 @@
 
 #include <cctype>
 #include <chrono>
+#include <memory>
 #include <sstream>
 
+#include "engine/checkpoint.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -154,7 +156,8 @@ tableOneJobs(const std::string &pattern, int lo_bound, int hi_bound,
 }
 
 JobResult
-runJob(const SynthesisJob &job, size_t index, const Budget &shared)
+runJob(const SynthesisJob &job, size_t index, const Budget &shared,
+       const JobContext &ctx)
 {
     JobResult result;
     result.index = index;
@@ -171,6 +174,12 @@ runJob(const SynthesisJob &job, size_t index, const Budget &shared)
     }
 
     auto start = std::chrono::steady_clock::now();
+
+    // Report identity up front, so an error or exception still
+    // yields a well-formed report entry.
+    result.report.microarch = job.uarch;
+    result.report.pattern = job.pattern;
+    result.report.bounds = job.bounds;
 
     std::unique_ptr<uspec::Microarchitecture> machine =
         makeMicroarch(job.uarch, job.specConfig, result.error);
@@ -189,14 +198,76 @@ runJob(const SynthesisJob &job, size_t index, const Budget &shared)
                         shared.deadline));
     if (shared.stop.stoppable())
         options.budget.stop = shared.stop;
+    if (shared.memLimitBytes && options.budget.memLimitBytes == 0)
+        options.budget.memLimitBytes = shared.memLimitBytes;
+    if (ctx.solverSeed)
+        options.budget.solverSeed = ctx.solverSeed;
+
+    // Checkpointing: resume from the job's persisted enumeration
+    // frontier (replaying its models so none is re-enumerated or
+    // lost), and record every delivered model for the next crash.
+    std::unique_ptr<CheckpointWriter> checkpoint;
+    rmf::ReplayLog replay_log;
+    if (!ctx.checkpointDir.empty()) {
+        std::string path =
+            checkpointPath(ctx.checkpointDir, jobFileStem(job));
+        if (ctx.resume) {
+            std::optional<Checkpoint> cp = loadCheckpoint(path);
+            if (cp && cp->key == result.key) {
+                replay_log.primaryVarCount = cp->primaryVarCount;
+                replay_log.complete = cp->complete;
+                replay_log.models = std::move(cp->models);
+                options.replay = &replay_log;
+                obs::MetricsRegistry::instance()
+                    .counter("engine.jobs_resumed")
+                    .add(1);
+                if (log.enabled(obs::LogLevel::Info)) {
+                    log.log(obs::LogLevel::Info, "engine",
+                            "job resume",
+                            obs::JsonFields()
+                                .add("key", result.key)
+                                .add("models",
+                                     static_cast<uint64_t>(
+                                         replay_log.models.size()))
+                                .add("complete",
+                                     replay_log.complete)
+                                .str());
+                }
+            }
+        }
+        checkpoint = std::make_unique<CheckpointWriter>(
+            std::move(path), result.key,
+            ctx.checkpointIntervalSeconds);
+        options.onModelValues =
+            [writer = checkpoint.get()](
+                const std::vector<bool> &bits) {
+                writer->onModel(bits);
+            };
+    }
 
     core::CheckMate tool(*machine, pattern.get());
-    result.exploits =
-        tool.synthesizeAll(job.bounds, options, &result.report);
+    try {
+        result.exploits =
+            tool.synthesizeAll(job.bounds, options, &result.report);
+    } catch (const std::exception &e) {
+        // A malformed model/axiom/pattern must fail this job's
+        // slot, not std::terminate a worker thread.
+        result.error = e.what();
+        obs::MetricsRegistry::instance()
+            .counter("engine.jobs_failed")
+            .add(1);
+    }
     result.wallSeconds =
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
+
+    // Persist the final frontier: complete when the enumeration
+    // finished, in-progress when aborted (so a resume continues
+    // the search instead of trusting a partial model set).
+    if (checkpoint && result.error.empty()) {
+        checkpoint->finalize(!result.report.aborted);
+    }
 
     auto &metrics = obs::MetricsRegistry::instance();
     metrics.counter("engine.jobs_completed").add(1);

@@ -67,6 +67,25 @@ std::string jobKey(const SynthesisJob &job);
  */
 std::string jobFileStem(const SynthesisJob &job);
 
+/** One try of a job: the initial run or a retry. */
+struct AttemptRecord
+{
+    /** Attempt number, 0 = the first run. */
+    int attempt = 0;
+
+    /** How this attempt ended (None = completed). */
+    AbortReason reason = AbortReason::None;
+
+    /** Wall time of this attempt, seconds. */
+    double wallSeconds = 0.0;
+
+    /** Backoff slept before this attempt, seconds. */
+    double backoffSeconds = 0.0;
+
+    /** Solver seed this attempt ran with (0 = default phases). */
+    uint64_t solverSeed = 0;
+};
+
 /** Outcome of one job. */
 struct JobResult
 {
@@ -79,7 +98,7 @@ struct JobResult
     core::SynthesisReport report;
     std::vector<core::SynthesizedExploit> exploits;
 
-    /** Wall time of this job alone, seconds. */
+    /** Wall time of this job alone (final attempt), seconds. */
     double wallSeconds = 0.0;
 
     /**
@@ -88,8 +107,36 @@ struct JobResult
      */
     bool skipped = false;
 
-    /** Non-empty on configuration errors (unknown uarch/pattern). */
+    /**
+     * Non-empty on errors: unknown uarch/pattern names, or a
+     * SpecError/exception thrown while loading the model. Worker
+     * threads never let an exception escape — a malformed job fails
+     * its slot instead of terminating the sweep.
+     */
     std::string error;
+
+    /** Every try of this job, in order (empty when skipped). */
+    std::vector<AttemptRecord> attempts;
+};
+
+/** Fault-tolerance context for one job attempt. */
+struct JobContext
+{
+    /** Checkpoint directory (empty = checkpointing off). */
+    std::string checkpointDir;
+
+    /** Load an existing checkpoint before running (resume). */
+    bool resume = false;
+
+    /** Min seconds between checkpoint saves (0 = every model). */
+    double checkpointIntervalSeconds = 1.0;
+
+    /**
+     * Solver seed for this attempt (0 = the job's own budget seed).
+     * Retries pass a perturbed value so the retried search explores
+     * in a different order.
+     */
+    uint64_t solverSeed = 0;
 };
 
 /**
@@ -133,9 +180,11 @@ std::vector<SynthesisJob> tableOneJobs(const std::string &pattern,
  *        stop token is installed.
  * @param index submission index, echoed into the result.
  * @param shared scheduler-level budget (global deadline + stop).
+ * @param ctx fault-tolerance context: checkpoint dir, resume flag,
+ *        and the attempt's solver seed.
  */
 JobResult runJob(const SynthesisJob &job, size_t index,
-                 const Budget &shared);
+                 const Budget &shared, const JobContext &ctx = {});
 
 } // namespace checkmate::engine
 

@@ -5,9 +5,10 @@
 
 #include "engine/report.hh"
 
-#include <fstream>
 #include <iomanip>
 #include <sstream>
+
+#include "obs/fsio.hh"
 
 namespace checkmate::engine
 {
@@ -164,7 +165,22 @@ writeJob(JsonWriter &json, const JobResult &job)
         json.field("error", job.error);
     json.field("raw_instances", rep.rawInstances);
     json.field("unique_tests", rep.uniqueTests);
+    json.field("resumed_models", rep.replayedInstances);
     json.field("heartbeats", rep.heartbeats);
+
+    // One element per try of the job, in order: the attempt history
+    // left by the retry-with-backoff policy.
+    json.beginArray("attempts");
+    for (const AttemptRecord &a : job.attempts) {
+        json.beginObject();
+        json.field("attempt", a.attempt);
+        json.field("reason", abortReasonName(a.reason));
+        json.field("wall_seconds", a.wallSeconds);
+        json.field("backoff_seconds", a.backoffSeconds);
+        json.field("solver_seed", a.solverSeed);
+        json.endObject();
+    }
+    json.endArray();
 
     // Per-phase wall-time breakdown (seconds), keyed by span name;
     // see docs/OBSERVABILITY.md for the taxonomy.
@@ -206,6 +222,7 @@ writeJob(JsonWriter &json, const JobResult &job)
     json.field("learned_clauses", rep.solver.learnedClauses);
     json.field("removed_clauses", rep.solver.removedClauses);
     json.field("models_enumerated", rep.solver.modelsEnumerated);
+    json.field("mem_peak_bytes", rep.solver.memPeakBytes);
     json.endObject();
 
     json.endObject();
@@ -225,6 +242,13 @@ runReportToJson(const RunResult &run, const EngineOptions &options)
     json.field("threads", run.threads);
     json.field("timeout_seconds", options.timeoutSeconds);
     json.field("job_timeout_seconds", options.jobTimeoutSeconds);
+    json.field("mem_limit_bytes", options.memLimitBytes);
+    json.field("retries", options.retries);
+    json.field("retry_backoff_seconds", options.retryBackoffSeconds);
+    json.field("checkpoint_dir", options.checkpointDir);
+    json.field("resume", options.resume);
+    json.field("checkpoint_interval_seconds",
+               options.checkpointIntervalSeconds);
     json.field("wall_seconds", run.wallSeconds);
     json.field("aborted", run.aborted);
     json.field("jobs", static_cast<uint64_t>(run.jobs.size()));
@@ -244,11 +268,9 @@ bool
 writeRunReport(const RunResult &run, const EngineOptions &options,
                const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << runReportToJson(run, options);
-    return static_cast<bool>(out);
+    // Atomic temp-file + rename: a crash mid-write leaves the
+    // previous report (or nothing), never a torn JSON document.
+    return obs::atomicWriteFile(path, runReportToJson(run, options));
 }
 
 } // namespace checkmate::engine

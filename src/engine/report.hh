@@ -27,10 +27,10 @@ std::string runReportToJson(const RunResult &run,
                             const EngineOptions &options);
 
 /**
- * Write the JSON report to @p path.
+ * Write the JSON report to @p path atomically (temp + rename).
  *
- * @return false (and leave no partial file behind beyond what the
- * filesystem allows) when the file cannot be opened.
+ * @return false — leaving the previous report, if any, intact —
+ * when the file cannot be written.
  */
 bool writeRunReport(const RunResult &run,
                     const EngineOptions &options,

@@ -11,11 +11,131 @@
 #include <queue>
 #include <thread>
 
+#include "engine/checkpoint.hh"
+#include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace checkmate::engine
 {
+
+namespace
+{
+
+/**
+ * Should this outcome be tried again? Only resource-style aborts
+ * qualify: a conflict-budget or memory-limit abort may succeed with
+ * a different search order, and a per-job deadline may succeed with
+ * a fresh allowance — but a global-deadline or stop abort means the
+ * whole batch is out of time, and errors are deterministic.
+ */
+bool
+retriable(const JobResult &r, const SynthesisJob &job,
+          const Budget &shared)
+{
+    if (r.skipped || !r.error.empty() || !r.report.aborted)
+        return false;
+    switch (r.report.abortReason) {
+    case AbortReason::ConflictBudget:
+    case AbortReason::MemoryLimit:
+        return true;
+    case AbortReason::Deadline:
+        // Only when the job's own timeout expired while the global
+        // clock still has time.
+        return job.timeoutSeconds > 0.0 && !shared.deadlineExpired();
+    default:
+        return false;
+    }
+}
+
+/** Sleep @p seconds, waking early on stop or global deadline. */
+void
+backoffSleep(double seconds, const Budget &shared)
+{
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::duration<double>(seconds);
+    while (std::chrono::steady_clock::now() < until) {
+        if (shared.stop.stopRequested() || shared.deadlineExpired())
+            return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+}
+
+/**
+ * Run a job with up to options.retries retries after retriable
+ * aborts, exponential backoff between attempts, and a perturbed
+ * solver seed per retry so the retried search explores in a
+ * different order. With checkpointing on, each retry resumes from
+ * the frontier the previous attempt persisted, so models found
+ * before the abort are never re-enumerated.
+ */
+JobResult
+runWithRetries(const SynthesisJob &job, size_t index,
+               const Budget &shared, const EngineOptions &options)
+{
+    JobContext ctx;
+    ctx.checkpointDir = options.checkpointDir;
+    ctx.resume = options.resume;
+    ctx.checkpointIntervalSeconds = options.checkpointIntervalSeconds;
+
+    const std::string key = jobKey(job);
+    std::vector<AttemptRecord> attempts;
+    double backoff = 0.0;
+    JobResult result;
+    for (int attempt = 0;; attempt++) {
+        // Attempt 0 runs with the job's own seed; retries perturb
+        // it deterministically from the job key.
+        ctx.solverSeed =
+            attempt == 0
+                ? 0
+                : fnv1a64(key) ^ static_cast<uint64_t>(attempt);
+        result = runJob(job, index, shared, ctx);
+
+        AttemptRecord rec;
+        rec.attempt = attempt;
+        rec.reason = result.report.aborted ? result.report.abortReason
+                                           : AbortReason::None;
+        rec.wallSeconds = result.wallSeconds;
+        rec.backoffSeconds = backoff;
+        rec.solverSeed = ctx.solverSeed ? ctx.solverSeed
+                                        : job.options.budget.solverSeed;
+        attempts.push_back(rec);
+
+        if (attempt >= options.retries ||
+            !retriable(result, job, shared)) {
+            break;
+        }
+
+        backoff = options.retryBackoffSeconds *
+                  static_cast<double>(uint64_t{1} << attempt);
+        auto &log = obs::Logger::instance();
+        if (log.enabled(obs::LogLevel::Info)) {
+            log.log(obs::LogLevel::Info, "engine", "job retry",
+                    obs::JsonFields()
+                        .add("key", key)
+                        .add("attempt", attempt + 1)
+                        .add("reason",
+                             abortReasonName(
+                                 result.report.abortReason))
+                        .add("backoff_seconds", backoff)
+                        .str());
+        }
+        backoffSleep(backoff, shared);
+        if (shared.stop.stopRequested() || shared.deadlineExpired())
+            break;
+        obs::MetricsRegistry::instance()
+            .counter("engine.jobs_retried")
+            .add(1);
+        // Resume from the frontier the aborted attempt persisted —
+        // even on a fresh (non --resume) run.
+        if (!ctx.checkpointDir.empty())
+            ctx.resume = true;
+    }
+    result.attempts = std::move(attempts);
+    return result;
+}
+
+} // anonymous namespace
 
 RunResult
 runJobs(const std::vector<SynthesisJob> &jobs,
@@ -29,6 +149,7 @@ runJobs(const std::vector<SynthesisJob> &jobs,
 
     Budget shared;
     shared.deadline = deadlineIn(options.timeoutSeconds);
+    shared.memLimitBytes = options.memLimitBytes;
     if (stop)
         shared.stop = stop->token();
 
@@ -66,7 +187,8 @@ runJobs(const std::vector<SynthesisJob> &jobs,
             SynthesisJob job = jobs[index];
             if (job.timeoutSeconds <= 0.0)
                 job.timeoutSeconds = options.jobTimeoutSeconds;
-            run.jobs[index] = runJob(job, index, shared);
+            run.jobs[index] =
+                runWithRetries(job, index, shared, options);
         }
     };
 

@@ -37,6 +37,34 @@ struct EngineOptions
      * timeoutSeconds, when set, takes precedence.
      */
     double jobTimeoutSeconds = 0.0;
+
+    /**
+     * Solver memory limit per job, bytes (0 = none). Applied to
+     * every job whose own budget doesn't set one.
+     */
+    uint64_t memLimitBytes = 0;
+
+    /**
+     * Retries per job after a retriable abort (conflict budget,
+     * memory limit, or a per-job deadline while the global clock
+     * still has time). 0 = run each job exactly once.
+     */
+    int retries = 0;
+
+    /**
+     * Base backoff before the first retry, seconds; doubles each
+     * retry. The sleep is interruptible by stop/global deadline.
+     */
+    double retryBackoffSeconds = 0.25;
+
+    /** Checkpoint directory (empty = checkpointing off). */
+    std::string checkpointDir;
+
+    /** Load existing checkpoints before running (resume). */
+    bool resume = false;
+
+    /** Min seconds between checkpoint saves (0 = every model). */
+    double checkpointIntervalSeconds = 1.0;
 };
 
 /** Outcome of a whole batch. */

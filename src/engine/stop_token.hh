@@ -29,7 +29,8 @@ enum class AbortReason
     None,           ///< ran to completion
     ConflictBudget, ///< conflict budget exhausted
     Deadline,       ///< wall-clock deadline passed
-    Stopped         ///< stop token was triggered
+    Stopped,        ///< stop token was triggered
+    MemoryLimit     ///< solver memory ceiling reached
 };
 
 /** Human-readable name for an abort reason. */
@@ -40,6 +41,7 @@ abortReasonName(AbortReason r)
     case AbortReason::ConflictBudget: return "conflict-budget";
     case AbortReason::Deadline: return "deadline";
     case AbortReason::Stopped: return "stopped";
+    case AbortReason::MemoryLimit: return "memory-limit";
     case AbortReason::None: break;
     }
     return "none";

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Crash-safe file output implementation.
+ */
+
+#include "obs/fsio.hh"
+
+#include <cstdio>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace checkmate::obs
+{
+
+bool
+atomicWriteFile(const std::string &path,
+                const std::string &content)
+{
+    if (path.empty())
+        return false;
+#ifndef _WIN32
+    std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+#else
+    std::string tmp = path + ".tmp";
+#endif
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    bool ok = content.empty() ||
+              std::fwrite(content.data(), 1, content.size(), f) ==
+                  content.size();
+    ok = std::fflush(f) == 0 && ok;
+#ifndef _WIN32
+    // Make the rename durable: data must reach disk before the
+    // name swap, or a power loss could expose an empty file.
+    ok = ::fsync(::fileno(f)) == 0 && ok;
+#endif
+    ok = std::fclose(f) == 0 && ok;
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    if (!ok)
+        std::remove(tmp.c_str());
+    return ok;
+}
+
+} // namespace checkmate::obs

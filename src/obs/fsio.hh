@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Crash-safe file output.
+ *
+ * Every file the engine emits (run reports, Chrome traces,
+ * checkpoints) goes through atomicWriteFile so a crash or SIGKILL
+ * mid-write can never leave a truncated or corrupt file behind: the
+ * content lands in a temp file first, is flushed to disk, and only
+ * then renamed over the destination. Readers see either the old
+ * complete file or the new complete file, never a prefix.
+ */
+
+#ifndef CHECKMATE_OBS_FSIO_HH
+#define CHECKMATE_OBS_FSIO_HH
+
+#include <string>
+
+namespace checkmate::obs
+{
+
+/**
+ * Atomically replace @p path with @p content.
+ *
+ * Writes to `<path>.tmp.<pid>`, fsyncs, then renames over @p path.
+ * On failure the temp file is removed and @p path is untouched.
+ *
+ * @return true on success.
+ */
+bool atomicWriteFile(const std::string &path,
+                     const std::string &content);
+
+} // namespace checkmate::obs
+
+#endif // CHECKMATE_OBS_FSIO_HH

@@ -7,6 +7,8 @@
 
 #include <fstream>
 
+#include "obs/fsio.hh"
+
 namespace checkmate::obs
 {
 
@@ -195,11 +197,9 @@ TraceRecorder::toChromeJson() const
 bool
 TraceRecorder::writeChromeTrace(const std::string &path) const
 {
-    std::ofstream out(path);
-    if (!out)
-        return false;
-    out << toChromeJson();
-    return static_cast<bool>(out);
+    // Atomic so a crash mid-export never leaves a truncated trace
+    // that Chrome's viewer refuses to load.
+    return atomicWriteFile(path, toChromeJson());
 }
 
 Span::Span(std::string name, std::string category)

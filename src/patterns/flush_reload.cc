@@ -5,7 +5,7 @@
 
 #include "patterns/flush_reload.hh"
 
-#include <stdexcept>
+#include "uspec/error.hh"
 
 namespace checkmate::patterns
 {
@@ -21,10 +21,12 @@ FlushReloadPattern::apply(uspec::UspecContext &ctx,
                           uspec::EdgeDeriver &deriver) const
 {
     (void)deriver;
+    ctx.setErrorEntity(name());
     const int n = ctx.numEvents();
-    if (n < 3)
-        throw std::invalid_argument(
-            "FLUSH+RELOAD needs at least 3 events");
+    if (n < 3) {
+        ctx.fail("needs at least 3 events, bound is " +
+                 std::to_string(n));
+    }
 
     // The timed reload is the final micro-op: the attacker's program
     // ends once it has acquired the desired information (§VI-B).

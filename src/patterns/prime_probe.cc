@@ -5,7 +5,7 @@
 
 #include "patterns/prime_probe.hh"
 
-#include <stdexcept>
+#include "uspec/error.hh"
 
 namespace checkmate::patterns
 {
@@ -21,10 +21,12 @@ PrimeProbePattern::apply(uspec::UspecContext &ctx,
                          uspec::EdgeDeriver &deriver) const
 {
     (void)deriver;
+    ctx.setErrorEntity(name());
     const int n = ctx.numEvents();
-    if (n < 3)
-        throw std::invalid_argument(
-            "PRIME+PROBE needs at least 3 events");
+    if (n < 3) {
+        ctx.fail("needs at least 3 events, bound is " +
+                 std::to_string(n));
+    }
 
     // The probe is the final micro-op (§VI-B: the program ends after
     // the probe step) and must *miss*: new ViCL Create/Expire nodes

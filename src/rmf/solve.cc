@@ -13,8 +13,11 @@
 #include "rmf/solve.hh"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
+#include <unordered_map>
 
+#include "engine/fault_injector.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -35,6 +38,11 @@ applyBudget(sat::Solver &solver, const engine::Budget &budget)
         solver.setConflictBudget(budget.maxConflicts);
     solver.setDeadline(budget.deadline);
     solver.setStopToken(budget.stop);
+    if (budget.memLimitBytes)
+        solver.setMemLimit(budget.memLimitBytes);
+    // Before translation creates any variables, so the perturbed
+    // polarities cover the whole problem.
+    solver.setRandomSeed(budget.solverSeed);
 }
 
 /**
@@ -204,6 +212,26 @@ solveAll(const Problem &problem,
         }
     }
 
+    const std::vector<sat::Var> &pvars = translation.primaryVars();
+
+    // Replay a checkpointed model frontier: re-extract each stored
+    // model, re-deliver it through the normal callback path, and
+    // re-add its blocking clause so the live search below picks up
+    // exactly where the interrupted run left off.
+    const ReplayLog *replay = options.replay;
+    if (replay && replay->primaryVarCount != pvars.size()) {
+        obs::Logger::instance().log(
+            obs::LogLevel::Warn, "rmf",
+            "replay log ignored: primary-var count mismatch",
+            obs::JsonFields()
+                .add("log_vars",
+                     static_cast<uint64_t>(replay->primaryVarCount))
+                .add("translation_vars",
+                     static_cast<uint64_t>(pvars.size()))
+                .str());
+        replay = nullptr;
+    }
+
     // One span covers search + extraction + the caller's callback;
     // the extract/callback shares are timed inside the loop (they
     // interleave with search per model, so they cannot be separate
@@ -212,21 +240,96 @@ solveAll(const Problem &problem,
     double extract_seconds = 0.0;
     double callback_seconds = 0.0;
 
-    uint64_t count = solver.enumerateModels(
-        projection,
-        [&](const sat::Solver &s) {
+    uint64_t replayed = 0;
+    bool keep_going = true;
+    bool blocked_out = false; // blocking clause made system UNSAT
+    if (replay) {
+        obs::Span replay_span("rmf.replay", "rmf");
+        std::unordered_map<sat::Var, size_t> index;
+        for (size_t i = 0; i < pvars.size(); i++)
+            index[pvars[i]] = i;
+        for (const std::vector<bool> &bits : replay->models) {
+            if (bits.size() != pvars.size())
+                break; // malformed entry: stop replaying
             Clock::time_point t0 = Clock::now();
-            Instance instance = translation.extract(s);
+            Instance instance = translation.extractFromValues(
+                [&](sat::Var v) {
+                    auto it = index.find(v);
+                    if (it == index.end())
+                        return sat::LBool::Undef;
+                    return bits[it->second] ? sat::LBool::True
+                                            : sat::LBool::False;
+                });
             Clock::time_point t1 = Clock::now();
-            bool keep_going = on_instance(instance);
+            keep_going = on_instance(instance);
+            if (options.onModelValues)
+                options.onModelValues(bits);
             Clock::time_point t2 = Clock::now();
             extract_seconds +=
                 std::chrono::duration<double>(t1 - t0).count();
             callback_seconds +=
                 std::chrono::duration<double>(t2 - t1).count();
-            return keep_going;
-        },
-        options.budget.maxInstances);
+            replayed++;
+
+            // Re-block exactly as enumerateModels() would have.
+            sat::Clause block;
+            for (sat::Var v : projection) {
+                auto it = index.find(v);
+                if (it == index.end())
+                    continue;
+                block.push_back(bits[it->second]
+                                    ? sat::mkLit(v, true)
+                                    : sat::mkLit(v, false));
+            }
+            if (block.empty() || !solver.addClause(block)) {
+                blocked_out = true;
+                break;
+            }
+            if (!keep_going)
+                break;
+        }
+        replay_span.arg("models", replayed);
+        obs::MetricsRegistry::instance()
+            .counter("rmf.models_replayed")
+            .add(replayed);
+    }
+
+    uint64_t remaining =
+        options.budget.maxInstances > replayed
+            ? options.budget.maxInstances - replayed
+            : 0;
+    uint64_t count = replayed;
+    if (keep_going && !blocked_out &&
+        !(replay && replay->complete) && remaining > 0) {
+        count += solver.enumerateModels(
+            projection,
+            [&](const sat::Solver &s) {
+                Clock::time_point t0 = Clock::now();
+                Instance instance = translation.extract(s);
+                Clock::time_point t1 = Clock::now();
+                bool more = on_instance(instance);
+                if (options.onModelValues) {
+                    std::vector<bool> bits(pvars.size());
+                    for (size_t i = 0; i < pvars.size(); i++)
+                        bits[i] = s.modelValue(pvars[i]) ==
+                                  sat::LBool::True;
+                    options.onModelValues(bits);
+                }
+                if (engine::FaultInjector::fires(
+                        "rmf.enumerate.crash")) {
+                    // Simulated hard crash: no unwinding, no
+                    // flushing — exactly what SIGKILL looks like.
+                    std::_Exit(engine::kInjectedCrashExitCode);
+                }
+                Clock::time_point t2 = Clock::now();
+                extract_seconds +=
+                    std::chrono::duration<double>(t1 - t0).count();
+                callback_seconds +=
+                    std::chrono::duration<double>(t2 - t1).count();
+                return more;
+            },
+            remaining);
+    }
 
     enumerate.arg("models", count);
     enumerate.close();
@@ -238,6 +341,7 @@ solveAll(const Problem &problem,
             solver.abortReason() != engine::AbortReason::None;
         result->abortReason = solver.abortReason();
         result->instances = count;
+        result->replayedInstances = replayed;
         result->translation = translation.stats();
         result->solver = solver.lastCallStats();
         result->translateSeconds =

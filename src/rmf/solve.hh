@@ -18,6 +18,33 @@
 namespace checkmate::rmf
 {
 
+/**
+ * A previously-enumerated model frontier to replay before resuming
+ * the live search (checkpoint resume).
+ *
+ * Each entry is one model's assignment to the translation's primary
+ * variables, in `Translation::primaryVars()` order. Replay
+ * re-extracts each instance (variable numbering is deterministic,
+ * so the stored bits mean the same thing in the new translation),
+ * re-delivers it through the normal callback path, and re-adds its
+ * blocking clause, so the continued search enumerates exactly the
+ * models the interrupted run had not reached yet.
+ */
+struct ReplayLog
+{
+    /** Primary-var count the log was recorded against (sanity
+     * check: a mismatch means the problem changed and the log is
+     * ignored). */
+    size_t primaryVarCount = 0;
+
+    /** True when the interrupted run had finished enumerating —
+     * replay everything and skip the live search entirely. */
+    bool complete = false;
+
+    /** Per-model primary-variable assignments, oldest first. */
+    std::vector<std::vector<bool>> models;
+};
+
 /** Options controlling one model-finding run. */
 struct SolveOptions
 {
@@ -53,6 +80,16 @@ struct SolveOptions
      * instances.
      */
     std::string dumpDimacsPath;
+
+    /** Model frontier to replay before the live search (resume). */
+    const ReplayLog *replay = nullptr;
+
+    /**
+     * Called once per delivered model (replayed and live) with its
+     * primary-variable assignment in primaryVars() order — the hook
+     * checkpoint writers record the enumeration frontier through.
+     */
+    std::function<void(const std::vector<bool> &)> onModelValues;
 };
 
 /** Outcome of one model-finding run. */
@@ -63,6 +100,8 @@ struct SolveResult
     /** What cut the search short when aborted. */
     engine::AbortReason abortReason = engine::AbortReason::None;
     uint64_t instances = 0;
+    /** Of `instances`, how many came from replaying a ReplayLog. */
+    uint64_t replayedInstances = 0;
     TranslationStats translation;
     sat::SolverStats solver;
 

@@ -381,6 +381,31 @@ Translation::extract(const sat::Solver &solver) const
     return Instance(problem_, std::move(values));
 }
 
+Instance
+Translation::extractFromValues(
+    const std::function<sat::LBool(sat::Var)> &value) const
+{
+    std::vector<TupleSet> values;
+    for (size_t r = 0; r < problem_.relations().size(); r++) {
+        const RelationDecl &decl = problem_.relations()[r];
+        const BoolMatrix &m = relationMatrices_[r];
+        TupleSet ts(decl.arity);
+        for (const auto &[t, v] : m.cells()) {
+            if (v == factory_.top()) {
+                ts.add(t);
+            } else {
+                sat::Var var = factory_.leafVar(v);
+                if (var != sat::varUndef &&
+                    value(var) == sat::LBool::True) {
+                    ts.add(t);
+                }
+            }
+        }
+        values.push_back(std::move(ts));
+    }
+    return Instance(problem_, std::move(values));
+}
+
 TupleSet
 Translation::evaluate(const Expr &e, const sat::Solver &solver)
 {

@@ -13,6 +13,7 @@
 #ifndef CHECKMATE_RMF_TRANSLATE_HH
 #define CHECKMATE_RMF_TRANSLATE_HH
 
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -100,6 +101,16 @@ class Translation
 
     /** Extract the instance denoted by the solver's current model. */
     Instance extract(const sat::Solver &solver) const;
+
+    /**
+     * Extract an instance from an external assignment of the
+     * primary variables (checkpoint replay): @p value maps a
+     * primary var to its truth value. Sound because every free
+     * relation cell is a primary variable, so a stored
+     * primary-var assignment determines the instance exactly.
+     */
+    Instance extractFromValues(
+        const std::function<sat::LBool(sat::Var)> &value) const;
 
     /** Evaluate an arbitrary expression under the current model. */
     TupleSet evaluate(const Expr &e, const sat::Solver &solver);

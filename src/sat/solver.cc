@@ -9,8 +9,25 @@
 #include <cassert>
 #include <cmath>
 
+#include "engine/fault_injector.hh"
+
 namespace checkmate::sat
 {
+
+namespace
+{
+
+/** splitmix64: tiny, deterministic, well-mixed PRNG step. */
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d4ecda7ee1585dULL;
+    return z ^ (z >> 31);
+}
+
+} // anonymous namespace
 
 Solver::Solver() = default;
 
@@ -20,7 +37,8 @@ Solver::newVar()
     Var v = static_cast<Var>(assigns_.size());
     assigns_.push_back(LBool::Undef);
     varData_.push_back(VarData{});
-    polarity_.push_back(true);
+    polarity_.push_back(seedState_ == 0 ||
+                        (splitmix64(seedState_) & 1));
     decisionVar_.push_back(true);
     activity_.push_back(0.0);
     heapIndex_.push_back(-1);
@@ -29,7 +47,18 @@ Solver::newVar()
     watches_.emplace_back();
     watches_.emplace_back();
     heapInsert(v);
+    trackAlloc(kVarBytes);
     return v;
+}
+
+void
+Solver::setRandomSeed(uint64_t seed)
+{
+    if (seed == 0)
+        return;
+    seedState_ = seed;
+    for (Var v = 0; v < numVars(); v++)
+        polarity_[v] = splitmix64(seedState_) & 1;
 }
 
 bool
@@ -67,6 +96,7 @@ Solver::addClause(const Clause &lits)
     }
 
     ClauseRef cr = static_cast<ClauseRef>(clauseStore_.size());
+    trackAlloc(clauseBytes(out.size()));
     clauseStore_.push_back(ClauseData{out, 0.0, false, false});
     clauses_.push_back(cr);
     attachClause(cr);
@@ -427,11 +457,32 @@ Solver::reduceDB()
             clauseStore_[cr].lits.size() <= 2) {
             kept.push_back(cr);
         } else {
-            clauseStore_[cr].deleted = true;
+            ClauseData &c = clauseStore_[cr];
+            c.deleted = true;
+            // Actually release the literal storage so the memory
+            // guard's graceful-degradation path frees real bytes.
+            // Safe: propagate() checks `deleted` before touching
+            // lits, and reason clauses are never deleted.
+            memBytes_ -= clauseBytes(c.lits.size());
+            c.lits.clear();
+            c.lits.shrink_to_fit();
             stats_.removedClauses++;
         }
     }
     learnts_ = std::move(kept);
+}
+
+engine::AbortReason
+Solver::checkMemory()
+{
+    if (memLimit_ == 0 || memBytes_ <= memLimit_)
+        return engine::AbortReason::None;
+    // Graceful degradation: shed learned clauses before giving up.
+    if (learnts_.size() > 16)
+        reduceDB();
+    if (memBytes_ <= memLimit_)
+        return engine::AbortReason::None;
+    return engine::AbortReason::MemoryLimit;
 }
 
 void
@@ -565,6 +616,7 @@ Solver::search()
             } else {
                 ClauseRef cr =
                     static_cast<ClauseRef>(clauseStore_.size());
+                trackAlloc(clauseBytes(learned.size()));
                 clauseStore_.push_back(
                     ClauseData{learned, claInc_, true, false});
                 learnts_.push_back(cr);
@@ -587,6 +639,16 @@ Solver::search()
             if (learnts_.size() >= maxLearnts_ + trail_.size()) {
                 reduceDB();
                 maxLearnts_ = maxLearnts_ + maxLearnts_ / 10;
+            }
+            // Memory guard, checked here (and at solve() entry)
+            // rather than in the conflict branch: reduceDB() may
+            // free any learned clause, so it must not run while a
+            // conflict clause reference is still in flight.
+            if (engine::AbortReason r = checkMemory();
+                r != engine::AbortReason::None) {
+                abortReason_ = r;
+                cancelUntil(0);
+                return LBool::Undef;
             }
 
             Lit next = litUndef;
@@ -639,10 +701,23 @@ Solver::solve(const std::vector<Lit> &assumptions)
     }
     abortReason_ = engine::AbortReason::None;
     // A search that finishes entirely by top-level propagation never
-    // reaches the in-loop polls, so check once up front too.
-    if (engine::AbortReason r = pollInterrupts();
-        r != engine::AbortReason::None) {
-        abortReason_ = r;
+    // reaches the in-loop polls, so check once up front too. The
+    // fault sites fire per solve() call, which during an enumeration
+    // means "before the Nth model" — the deterministic way to test
+    // between-models aborts.
+    engine::AbortReason up_front = engine::AbortReason::None;
+    if (engine::FaultInjector::fires("sat.oom"))
+        up_front = engine::AbortReason::MemoryLimit;
+    else if (engine::FaultInjector::fires("sat.solve.deadline"))
+        up_front = engine::AbortReason::Deadline;
+    else if (engine::AbortReason r = pollInterrupts();
+             r != engine::AbortReason::None)
+        up_front = r;
+    else if (engine::AbortReason r = checkMemory();
+             r != engine::AbortReason::None)
+        up_front = r;
+    if (up_front != engine::AbortReason::None) {
+        abortReason_ = up_front;
         if (!inEnumeration_)
             lastCall_ = stats_ - callBase_;
         return LBool::Undef;

@@ -42,6 +42,8 @@ struct SolverStats
     uint64_t learnedClauses = 0;
     uint64_t removedClauses = 0;
     uint64_t modelsEnumerated = 0;
+    /** High-water mark of tracked allocation (bytes). */
+    uint64_t memPeakBytes = 0;
 };
 
 /** Component-wise difference (for per-call deltas). */
@@ -56,6 +58,9 @@ operator-(const SolverStats &a, const SolverStats &b)
     d.learnedClauses = a.learnedClauses - b.learnedClauses;
     d.removedClauses = a.removedClauses - b.removedClauses;
     d.modelsEnumerated = a.modelsEnumerated - b.modelsEnumerated;
+    // A peak is a level, not a counter: the delta's peak is simply
+    // the lifetime peak at the end of the call.
+    d.memPeakBytes = a.memPeakBytes;
     return d;
 }
 
@@ -210,6 +215,29 @@ class Solver
     void setStopToken(engine::StopToken token) { stop_ = token; }
 
     /**
+     * Install a memory ceiling (bytes, 0 = off) on the solver's
+     * tracked allocation: variables, clauses (problem + learned)
+     * and their watcher entries. When the ceiling is crossed the
+     * solver first tries to shed learned clauses (reduceDB); only
+     * if still over does solve() give up with
+     * AbortReason::MemoryLimit — graceful degradation, then a clean
+     * abort, never a crash.
+     */
+    void setMemLimit(uint64_t bytes) { memLimit_ = bytes; }
+
+    /** Current tracked allocation in bytes (an estimate). */
+    uint64_t memBytes() const { return memBytes_; }
+
+    /**
+     * Perturb the phase-saving polarities with a deterministic PRNG
+     * (0 = keep the default all-true polarity). Retried jobs set a
+     * different seed per attempt so the search explores models in a
+     * different order instead of re-hitting the same hard region.
+     * Affects existing and future variables.
+     */
+    void setRandomSeed(uint64_t seed);
+
+    /**
      * Why the most recent solve() returned Undef
      * (AbortReason::None after a decided SAT/UNSAT result).
      */
@@ -250,9 +278,29 @@ class Solver
     Lit pickBranchLit();
     LBool search();
     engine::AbortReason pollInterrupts() const;
+    engine::AbortReason checkMemory();
     void maybeHeartbeat();
     void reduceDB();
     void attachClause(ClauseRef cr);
+
+    // --- Memory accounting ---------------------------------------
+    /** Estimated footprint of one variable across all per-var
+     * arrays (assignment, activity, heap, watch-list headers…). */
+    static constexpr uint64_t kVarBytes = 96;
+    /** Estimated footprint of an n-literal stored clause:
+     * ClauseData header + lits + two watcher entries. */
+    static constexpr uint64_t
+    clauseBytes(size_t n_lits)
+    {
+        return 64 + 4 * static_cast<uint64_t>(n_lits);
+    }
+    void
+    trackAlloc(uint64_t bytes)
+    {
+        memBytes_ += bytes;
+        if (memBytes_ > stats_.memPeakBytes)
+            stats_.memPeakBytes = memBytes_;
+    }
 
     // --- Assignment helpers --------------------------------------
     LBool
@@ -317,6 +365,9 @@ class Solver
 
     uint64_t maxLearnts_ = 4000;
     uint64_t conflictBudget_ = 0;
+    uint64_t memBytes_ = 0;
+    uint64_t memLimit_ = 0;
+    uint64_t seedState_ = 0;
     engine::Deadline deadline_;
     engine::StopToken stop_;
     engine::AbortReason abortReason_ = engine::AbortReason::None;

@@ -16,6 +16,7 @@ addIntraPath(UspecContext &ctx, EdgeDeriver &d,
              const std::vector<LocId> &stages,
              const std::function<Formula(EventId)> &cond)
 {
+    ctx.setErrorEntity("IntraPath");
     for (EventId e = 0; e < ctx.numEvents(); e++) {
         Formula c = cond ? cond(e) : Formula::top();
         for (size_t i = 0; i + 1 < stages.size(); i++) {
@@ -45,6 +46,7 @@ addInOrderStage(
     UspecContext &ctx, EdgeDeriver &d, LocId stage,
     const std::function<Formula(EventId, EventId)> &both_cond)
 {
+    ctx.setErrorEntity("InOrderStage");
     for (EventId a = 0; a < ctx.numEvents(); a++) {
         for (EventId b = a + 1; b < ctx.numEvents(); b++) {
             Formula c = consecutiveOnCore(ctx, a, b);
@@ -61,6 +63,7 @@ addInOrderStageAllPairs(
     UspecContext &ctx, EdgeDeriver &d, LocId stage,
     const std::function<Formula(EventId, EventId)> &both_cond)
 {
+    ctx.setErrorEntity("InOrderStageAllPairs");
     for (EventId a = 0; a < ctx.numEvents(); a++) {
         for (EventId b = a + 1; b < ctx.numEvents(); b++) {
             Formula c = ctx.sameCore(a, b);
@@ -76,6 +79,7 @@ void
 addProcSwitch(UspecContext &ctx, EdgeDeriver &d, LocId complete,
               LocId fetch)
 {
+    ctx.setErrorEntity("ProcSwitch");
     for (EventId a = 0; a < ctx.numEvents(); a++) {
         for (EventId b = a + 1; b < ctx.numEvents(); b++) {
             Formula c = consecutiveOnCore(ctx, a, b) &&
@@ -90,6 +94,7 @@ void
 addViclAxioms(UspecContext &ctx, EdgeDeriver &d, LocId create,
               LocId expire, LocId value_bind, LocId flush_point)
 {
+    ctx.setErrorEntity("ViclAxioms");
     const int n = ctx.numEvents();
     for (EventId e = 0; e < n; e++) {
         // A cache line is usable before it expires.
@@ -144,6 +149,7 @@ void
 addStoreBufferAxioms(UspecContext &ctx, EdgeDeriver &d, LocId commit,
                      LocId sb, LocId create, LocId memory)
 {
+    ctx.setErrorEntity("StoreBufferAxioms");
     const int n = ctx.numEvents();
     for (EventId w = 0; w < n; w++) {
         Formula cw = ctx.isWrite(w) && ctx.commits(w);
@@ -171,6 +177,7 @@ void
 addComAxioms(UspecContext &ctx, EdgeDeriver &d, LocId create,
              LocId memory, LocId value_bind)
 {
+    ctx.setErrorEntity("ComAxioms");
     const int n = ctx.numEvents();
     for (EventId w = 0; w < n; w++) {
         for (EventId r = 0; r < n; r++) {
@@ -227,6 +234,7 @@ void
 addFenceAxioms(UspecContext &ctx, EdgeDeriver &d, LocId value_bind,
                LocId memory)
 {
+    ctx.setErrorEntity("FenceAxioms");
     const int n = ctx.numEvents();
     for (EventId a = 0; a < n; a++) {
         for (EventId b = a + 1; b < n; b++) {
@@ -252,6 +260,7 @@ void
 addTsoPpoAxioms(UspecContext &ctx, EdgeDeriver &d, LocId value_bind,
                 LocId memory)
 {
+    ctx.setErrorEntity("TsoPpoAxioms");
     const int n = ctx.numEvents();
     for (EventId a = 0; a < n; a++) {
         for (EventId b = a + 1; b < n; b++) {
@@ -273,6 +282,7 @@ void
 addDependencyAxioms(UspecContext &ctx, EdgeDeriver &d,
                     LocId value_bind)
 {
+    ctx.setErrorEntity("DependencyAxioms");
     const int n = ctx.numEvents();
     for (EventId r = 0; r < n; r++) {
         for (EventId e = r + 1; e < n; e++) {
@@ -287,6 +297,7 @@ void
 addSquashRefetch(UspecContext &ctx, EdgeDeriver &d, LocId execute,
                  LocId fetch)
 {
+    ctx.setErrorEntity("SquashRefetch");
     const int n = ctx.numEvents();
     for (EventId s = 0; s < n; s++) {
         for (EventId e = s + 1; e < n; e++) {
@@ -309,6 +320,7 @@ addCoherenceAxioms(UspecContext &ctx, EdgeDeriver &d, LocId execute,
                    LocId coh_req, LocId coh_resp, LocId create,
                    LocId expire, LocId commit)
 {
+    ctx.setErrorEntity("CoherenceAxioms");
     const int n = ctx.numEvents();
     for (EventId w = 0; w < n; w++) {
         // Every executed write — squashed or not — requests

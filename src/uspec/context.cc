@@ -9,6 +9,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "uspec/error.hh"
+
 namespace checkmate::uspec
 {
 
@@ -201,6 +203,12 @@ UspecContext::declareRelations()
 
 // --- Predicate vocabulary --------------------------------------------
 
+void
+UspecContext::fail(const std::string &detail) const
+{
+    throw SpecError(errorModel_, errorEntity_, detail);
+}
+
 LocId
 UspecContext::locId(const std::string &name) const
 {
@@ -208,7 +216,7 @@ UspecContext::locId(const std::string &name) const
         if (locationNames_[l] == name)
             return static_cast<LocId>(l);
     }
-    throw std::invalid_argument("unknown location: " + name);
+    fail("unknown location: " + name);
 }
 
 Formula
@@ -882,9 +890,13 @@ UspecContext::applyAttackNoiseFilters()
 void
 UspecContext::fixProgram(const std::vector<FixedOp> &ops)
 {
-    if (static_cast<int>(ops.size()) != numEvents())
-        throw std::invalid_argument(
-            "fixProgram: op count must equal the event bound");
+    if (static_cast<int>(ops.size()) != numEvents()) {
+        throw SpecError(
+            errorModel_, "fixProgram",
+            "op count (" + std::to_string(ops.size()) +
+                ") must equal the event bound (" +
+                std::to_string(numEvents()) + ")");
+    }
     for (EventId e = 0; e < numEvents(); e++) {
         const FixedOp &op = ops[e];
         require(isType(e, op.type));

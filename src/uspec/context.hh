@@ -104,8 +104,33 @@ class UspecContext
         return locationNames_;
     }
 
-    /** Location id by name; throws for unknown names. */
+    /** Location id by name; throws SpecError for unknown names. */
     LocId locId(const std::string &name) const;
+
+    // --- Error context (see uspec/error.hh) ------------------------
+    //
+    // Loading code (microarchitecture applyAxioms, axiom helpers,
+    // pattern apply) names the model/entity it is about to build, so
+    // a failure deep inside the context reports *where* the bad
+    // input came from, not just what was wrong with it.
+
+    /** Name the microarchitecture/pattern being loaded. */
+    void setErrorModel(std::string name)
+    {
+        errorModel_ = std::move(name);
+    }
+
+    /** Name the entity (axiom, pattern, program) being built. */
+    void setErrorEntity(std::string name)
+    {
+        errorEntity_ = std::move(name);
+    }
+
+    const std::string &errorModel() const { return errorModel_; }
+    const std::string &errorEntity() const { return errorEntity_; }
+
+    /** Throw a SpecError carrying the current location context. */
+    [[noreturn]] void fail(const std::string &detail) const;
 
     /** The underlying relational problem (for solving). */
     rmf::Problem &problem() { return problem_; }
@@ -360,6 +385,8 @@ class UspecContext
     SynthesisBounds bounds_;
     ModelOptions options_;
     std::vector<std::string> locationNames_;
+    std::string errorModel_;
+    std::string errorEntity_;
 
     rmf::Problem problem_;
 

@@ -32,7 +32,9 @@ EdgeDeriver::edgeCondition(EventId se, LocId sl, EventId de, LocId dl,
     assert(!finalized_);
     int src = nodeKey(se, sl), dst = nodeKey(de, dl);
     if (src == dst)
-        throw std::invalid_argument("edgeCondition: self edge");
+        ctx_.fail("edgeCondition: self edge at event " +
+                  std::to_string(se) + ", location " +
+                  std::to_string(sl));
     auto key = std::make_pair(src, dst);
     edgeConds_[key].push_back(cond);
     edgeKinds_.emplace(key, kind); // first kind wins for rendering

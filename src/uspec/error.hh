@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Structured errors for malformed μspec input.
+ *
+ * A bad microarchitecture model, axiom, or pattern — an unknown
+ * location name, an event bound too small for the pattern, a
+ * malformed fixed program — surfaces as a SpecError that carries
+ * *where* it happened (model and entity, e.g. axiom or pattern
+ * name) alongside what went wrong, so the CLI can print
+ * "uspec error in SpecOoO::Axiom_ViCL: unknown location: CohReq"
+ * instead of a bare what() with no context. The engine's job runner
+ * catches these (and any std::exception) into JobResult::error, so
+ * one malformed job fails its slot instead of terminating a
+ * multi-threaded sweep.
+ */
+
+#ifndef CHECKMATE_USPEC_ERROR_HH
+#define CHECKMATE_USPEC_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace checkmate::uspec
+{
+
+/** A μspec loading/validation error with location context. */
+class SpecError : public std::runtime_error
+{
+  public:
+    SpecError(std::string model, std::string entity,
+              std::string detail)
+        : std::runtime_error(format(model, entity, detail)),
+          model_(std::move(model)), entity_(std::move(entity)),
+          detail_(std::move(detail))
+    {}
+
+    /** Microarchitecture/pattern the error occurred in. */
+    const std::string &model() const { return model_; }
+
+    /** Entity (axiom, pattern, program) within the model. */
+    const std::string &entity() const { return entity_; }
+
+    /** The bare error message, without location context. */
+    const std::string &detail() const { return detail_; }
+
+  private:
+    static std::string
+    format(const std::string &model, const std::string &entity,
+           const std::string &detail)
+    {
+        std::string where;
+        if (!model.empty())
+            where = model;
+        if (!entity.empty())
+            where += (where.empty() ? "" : "::") + entity;
+        if (where.empty())
+            where = "(unknown)";
+        return "uspec error in " + where + ": " + detail;
+    }
+
+    std::string model_;
+    std::string entity_;
+    std::string detail_;
+};
+
+} // namespace checkmate::uspec
+
+#endif // CHECKMATE_USPEC_ERROR_HH

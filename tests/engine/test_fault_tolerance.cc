@@ -1,0 +1,757 @@
+/**
+ * @file
+ * Fault-tolerance tests: checkpoint/resume, solver memory guards,
+ * retry with backoff, the fault-injection harness, and the CLI's
+ * recovery-oriented exit codes. The guiding property throughout is
+ * that a killed, aborted, or resumed run must never lose or
+ * duplicate a model — litmus output stays byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hh"
+#include "engine/checkpoint.hh"
+#include "engine/fault_injector.hh"
+#include "engine/job.hh"
+#include "engine/report.hh"
+#include "engine/scheduler.hh"
+#include "obs/fsio.hh"
+#include "sat/solver.hh"
+
+namespace
+{
+
+using namespace checkmate;
+
+/** A fresh, empty scratch directory under the test temp root. */
+std::string
+scratchDir(const std::string &name)
+{
+    std::filesystem::path dir =
+        std::filesystem::path(::testing::TempDir()) / name;
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Disarm the process-global injector when a test scope ends. */
+struct InjectorGuard
+{
+    ~InjectorGuard() { engine::FaultInjector::instance().reset(); }
+};
+
+/**
+ * Pigeonhole principle PHP(pigeons, holes): UNSAT when
+ * pigeons > holes and hard enough for a CDCL solver to accumulate
+ * plenty of learned clauses — the workload the memory-guard tests
+ * need.
+ */
+void
+encodePigeonhole(sat::Solver &solver, int pigeons, int holes)
+{
+    std::vector<std::vector<sat::Var>> at(pigeons);
+    for (int p = 0; p < pigeons; p++)
+        for (int h = 0; h < holes; h++)
+            at[p].push_back(solver.newVar());
+
+    for (int p = 0; p < pigeons; p++) {
+        sat::Clause roost;
+        for (int h = 0; h < holes; h++)
+            roost.push_back(sat::mkLit(at[p][h]));
+        solver.addClause(roost);
+    }
+    for (int h = 0; h < holes; h++)
+        for (int p = 0; p < pigeons; p++)
+            for (int q = p + 1; q < pigeons; q++)
+                solver.addClause(sat::mkLit(at[p][h], true),
+                                 sat::mkLit(at[q][h], true));
+}
+
+/** A fast, model-rich job: flush-reload at the traditional bound. */
+engine::SynthesisJob
+smallJob(uint64_t cap = 25)
+{
+    engine::SynthesisJob job;
+    job.uarch = "specooo";
+    job.pattern = "flush-reload";
+    job.bounds.numEvents = 4;
+    job.bounds.numCores = 1;
+    job.bounds.numProcs = 2;
+    job.bounds.numVas = 2;
+    job.bounds.numPas = 2;
+    job.bounds.numIndices = 2;
+    job.options.budget.maxInstances = cap;
+    return job;
+}
+
+std::vector<std::string>
+exploitStrings(const engine::JobResult &r)
+{
+    std::vector<std::string> out;
+    for (const auto &ex : r.exploits)
+        out.push_back(ex.test.toString());
+    return out;
+}
+
+/** Replace run-dependent timings so outputs can be diffed. */
+std::string
+scrubTiming(const std::string &s)
+{
+    static const std::regex times(
+        "first: [0-9.e+-]+s, all: [0-9.e+-]+s");
+    return std::regex_replace(s, times, "first: Xs, all: Xs");
+}
+
+// --- Fault injector ---------------------------------------------
+
+TEST(FaultInjector, FiresExactlyOnNthHit)
+{
+    InjectorGuard guard;
+    auto &fi = engine::FaultInjector::instance();
+    ASSERT_TRUE(fi.configure("site.a:3", 42));
+    EXPECT_TRUE(fi.armed());
+    EXPECT_EQ(fi.seed(), 42u);
+
+    EXPECT_FALSE(engine::FaultInjector::fires("site.a"));
+    EXPECT_FALSE(engine::FaultInjector::fires("site.a"));
+    EXPECT_TRUE(engine::FaultInjector::fires("site.a"));
+    // Never again: a retry after the fault sails past it.
+    EXPECT_FALSE(engine::FaultInjector::fires("site.a"));
+    EXPECT_EQ(fi.hits("site.a"), 4u);
+
+    // Unarmed sites never fire.
+    EXPECT_FALSE(engine::FaultInjector::fires("site.b"));
+
+    fi.reset();
+    EXPECT_FALSE(fi.armed());
+    EXPECT_FALSE(engine::FaultInjector::fires("site.a"));
+}
+
+TEST(FaultInjector, SpecParsing)
+{
+    InjectorGuard guard;
+    auto &fi = engine::FaultInjector::instance();
+
+    // Multiple sites; a bare name defaults to the first hit.
+    ASSERT_TRUE(fi.configure("a:2,b"));
+    EXPECT_FALSE(engine::FaultInjector::fires("a"));
+    EXPECT_TRUE(engine::FaultInjector::fires("a"));
+    EXPECT_TRUE(engine::FaultInjector::fires("b"));
+
+    // Malformed specs leave the injector disarmed.
+    EXPECT_FALSE(fi.configure("a:nope"));
+    EXPECT_FALSE(fi.armed());
+    EXPECT_FALSE(fi.configure("a:0"));
+    EXPECT_FALSE(fi.configure(":1"));
+
+    // An empty spec is valid and disarmed.
+    EXPECT_TRUE(fi.configure(""));
+    EXPECT_FALSE(fi.armed());
+}
+
+// --- Atomic writes ----------------------------------------------
+
+TEST(AtomicWrite, WritesAndReplacesWithoutTempResidue)
+{
+    std::string dir = scratchDir("atomic_write");
+    std::string path = dir + "/file.txt";
+
+    ASSERT_TRUE(obs::atomicWriteFile(path, "first"));
+    EXPECT_EQ(readFile(path), "first");
+    ASSERT_TRUE(obs::atomicWriteFile(path, "second"));
+    EXPECT_EQ(readFile(path), "second");
+
+    // No temp files left behind.
+    size_t entries = 0;
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir)) {
+        (void)e;
+        entries++;
+    }
+    EXPECT_EQ(entries, 1u);
+}
+
+TEST(AtomicWrite, FailsCleanly)
+{
+    EXPECT_FALSE(obs::atomicWriteFile("", "x"));
+    std::string dir = scratchDir("atomic_write_fail");
+    // Writing into a missing directory fails and leaves the old
+    // content (here: nothing) untouched.
+    std::string path = dir + "/no/such/dir/file.txt";
+    EXPECT_FALSE(obs::atomicWriteFile(path, "x"));
+    EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+// --- Checkpoint persistence -------------------------------------
+
+TEST(Checkpoint, RoundTrips)
+{
+    std::string dir = scratchDir("ckpt_roundtrip");
+    std::string path = engine::checkpointPath(dir, "job");
+
+    engine::Checkpoint cp;
+    cp.key = "specooo|flush-reload|e04";
+    cp.primaryVarCount = 5;
+    cp.complete = true;
+    cp.models = {{true, false, true, true, false},
+                 {false, false, false, false, true}};
+    ASSERT_TRUE(engine::saveCheckpoint(path, cp));
+
+    auto loaded = engine::loadCheckpoint(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->key, cp.key);
+    EXPECT_EQ(loaded->primaryVarCount, 5u);
+    EXPECT_TRUE(loaded->complete);
+    EXPECT_EQ(loaded->models, cp.models);
+}
+
+TEST(Checkpoint, RejectsCorruption)
+{
+    std::string dir = scratchDir("ckpt_corrupt");
+    std::string path = engine::checkpointPath(dir, "job");
+
+    EXPECT_FALSE(engine::loadCheckpoint(path).has_value());
+
+    engine::Checkpoint cp;
+    cp.key = "some-key";
+    cp.primaryVarCount = 4;
+    cp.models = {{true, false, true, false}};
+    ASSERT_TRUE(engine::saveCheckpoint(path, cp));
+    ASSERT_TRUE(engine::loadCheckpoint(path).has_value());
+
+    std::string good = readFile(path);
+
+    // Tampered key: the integrity hash no longer matches.
+    std::string tampered = good;
+    size_t at = tampered.find("some-key");
+    ASSERT_NE(at, std::string::npos);
+    tampered.replace(at, 8, "evil-key");
+    ASSERT_TRUE(obs::atomicWriteFile(path, tampered));
+    EXPECT_FALSE(engine::loadCheckpoint(path).has_value());
+
+    // Truncation: the `end` sentinel is gone (torn write).
+    std::string truncated = good.substr(0, good.rfind("end"));
+    ASSERT_TRUE(obs::atomicWriteFile(path, truncated));
+    EXPECT_FALSE(engine::loadCheckpoint(path).has_value());
+
+    // Garbage.
+    ASSERT_TRUE(obs::atomicWriteFile(path, "not a checkpoint\n"));
+    EXPECT_FALSE(engine::loadCheckpoint(path).has_value());
+}
+
+TEST(Checkpoint, WriterSurvivesInjectedIoFailure)
+{
+    InjectorGuard guard;
+    ASSERT_TRUE(engine::FaultInjector::instance().configure(
+        "engine.checkpoint.write:1"));
+
+    std::string dir = scratchDir("ckpt_iofail");
+    std::string path = engine::checkpointPath(dir, "job");
+    engine::CheckpointWriter writer(path, "k", 0.0);
+
+    // The first (injected-failing) save must not lose the run…
+    writer.onModel({true, false});
+    EXPECT_EQ(writer.ioFailures(), 1u);
+    EXPECT_EQ(writer.modelCount(), 1u);
+
+    // …and the next save succeeds with the full frontier.
+    writer.onModel({false, true});
+    EXPECT_TRUE(writer.finalize(true));
+    auto loaded = engine::loadCheckpoint(path);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->models.size(), 2u);
+    EXPECT_TRUE(loaded->complete);
+}
+
+// --- Solver memory guard ----------------------------------------
+
+TEST(SolverMemory, AbortsWhenLimitIsBelowBaseline)
+{
+    sat::Solver solver;
+    encodePigeonhole(solver, 8, 7);
+    solver.setMemLimit(1024); // far below the encoded problem
+    EXPECT_EQ(solver.solve(), sat::LBool::Undef);
+    EXPECT_EQ(solver.abortReason(),
+              engine::AbortReason::MemoryLimit);
+    EXPECT_GT(solver.stats().memPeakBytes, 1024u);
+}
+
+TEST(SolverMemory, ShedsLearnedClausesBeforeAborting)
+{
+    sat::Solver solver;
+    encodePigeonhole(solver, 10, 9); // far beyond any test budget
+    // Headroom for some learned clauses but not the whole search:
+    // the guard must try reduceDB() (graceful degradation) before
+    // giving up.
+    solver.setMemLimit(solver.memBytes() + 20 * 1024);
+    solver.setConflictBudget(2000);
+    EXPECT_EQ(solver.solve(), sat::LBool::Undef);
+    EXPECT_GT(solver.stats().removedClauses, 0u);
+    EXPECT_TRUE(solver.abortReason() ==
+                    engine::AbortReason::MemoryLimit ||
+                solver.abortReason() ==
+                    engine::AbortReason::ConflictBudget);
+}
+
+TEST(SolverMemory, LimitFlowsThroughEngineOptions)
+{
+    engine::EngineOptions opts;
+    opts.memLimitBytes = 1024;
+    engine::RunResult run = engine::runJobs({smallJob()}, opts);
+    ASSERT_EQ(run.jobs.size(), 1u);
+    EXPECT_TRUE(run.jobs[0].report.aborted);
+    EXPECT_EQ(run.jobs[0].report.abortReason,
+              engine::AbortReason::MemoryLimit);
+    EXPECT_TRUE(run.aborted);
+    ASSERT_EQ(run.jobs[0].attempts.size(), 1u);
+    EXPECT_EQ(run.jobs[0].attempts[0].reason,
+              engine::AbortReason::MemoryLimit);
+}
+
+// --- Abort paths yield well-formed partial reports ---------------
+
+TEST(SynthesisAbort, DeadlineBetweenModelsLeavesPartialReport)
+{
+    InjectorGuard guard;
+    // The deadline site is probed at each enumeration solve()
+    // entry: firing on the third call aborts after exactly two
+    // models.
+    ASSERT_TRUE(engine::FaultInjector::instance().configure(
+        "sat.solve.deadline:3"));
+
+    engine::JobResult r =
+        engine::runJob(smallJob(), 0, engine::Budget{});
+    EXPECT_TRUE(r.error.empty());
+    EXPECT_TRUE(r.report.aborted);
+    EXPECT_EQ(r.report.abortReason, engine::AbortReason::Deadline);
+    EXPECT_EQ(r.report.rawInstances, 2u);
+    EXPECT_TRUE(r.report.sat);
+    EXPECT_LE(r.report.uniqueTests, 2u);
+    EXPECT_EQ(r.report.uniqueTests, r.exploits.size());
+}
+
+TEST(SynthesisAbort, InjectedOomAbortsWithoutCrashing)
+{
+    InjectorGuard guard;
+    ASSERT_TRUE(
+        engine::FaultInjector::instance().configure("sat.oom:1"));
+
+    engine::JobResult r =
+        engine::runJob(smallJob(), 0, engine::Budget{});
+    EXPECT_TRUE(r.error.empty());
+    EXPECT_TRUE(r.report.aborted);
+    EXPECT_EQ(r.report.abortReason,
+              engine::AbortReason::MemoryLimit);
+    EXPECT_EQ(r.report.rawInstances, 0u);
+}
+
+// --- Checkpoint / resume ----------------------------------------
+
+TEST(CheckpointResume, CompleteCheckpointReplaysWithoutSearch)
+{
+    std::string dir = scratchDir("resume_complete");
+    engine::SynthesisJob job = smallJob();
+
+    engine::JobContext ctx;
+    ctx.checkpointDir = dir;
+    ctx.checkpointIntervalSeconds = 0.0;
+    engine::JobResult first =
+        engine::runJob(job, 0, engine::Budget{}, ctx);
+    ASSERT_TRUE(first.error.empty());
+    ASSERT_FALSE(first.report.aborted);
+    ASSERT_GT(first.report.rawInstances, 0u);
+
+    ctx.resume = true;
+    engine::JobResult second =
+        engine::runJob(job, 0, engine::Budget{}, ctx);
+    ASSERT_TRUE(second.error.empty());
+
+    // Everything came from the replay; the SAT search never ran.
+    EXPECT_EQ(second.report.replayedInstances,
+              first.report.rawInstances);
+    EXPECT_EQ(second.report.rawInstances,
+              first.report.rawInstances);
+    EXPECT_EQ(second.report.solver.decisions, 0u);
+    EXPECT_EQ(exploitStrings(second), exploitStrings(first));
+}
+
+TEST(CheckpointResume, TruncatedCheckpointContinuesSearch)
+{
+    std::string dir = scratchDir("resume_truncated");
+    engine::SynthesisJob job = smallJob();
+
+    engine::JobResult baseline =
+        engine::runJob(job, 0, engine::Budget{});
+    ASSERT_GT(baseline.report.rawInstances, 2u);
+
+    engine::JobContext ctx;
+    ctx.checkpointDir = dir;
+    ctx.checkpointIntervalSeconds = 0.0;
+    engine::runJob(job, 0, engine::Budget{}, ctx);
+
+    // Simulate a run killed mid-enumeration: keep only half the
+    // frontier and mark it in-progress.
+    std::string path = engine::checkpointPath(
+        dir, engine::jobFileStem(job));
+    auto cp = engine::loadCheckpoint(path);
+    ASSERT_TRUE(cp.has_value());
+    size_t half = cp->models.size() / 2;
+    cp->models.resize(half);
+    cp->complete = false;
+    ASSERT_TRUE(engine::saveCheckpoint(path, *cp));
+
+    ctx.resume = true;
+    engine::JobResult resumed =
+        engine::runJob(job, 0, engine::Budget{}, ctx);
+
+    // No model lost, none duplicated, identical final output.
+    EXPECT_EQ(resumed.report.replayedInstances, half);
+    EXPECT_EQ(resumed.report.rawInstances,
+              baseline.report.rawInstances);
+    EXPECT_EQ(exploitStrings(resumed), exploitStrings(baseline));
+}
+
+TEST(CheckpointResume, MismatchedKeyIsIgnored)
+{
+    std::string dir = scratchDir("resume_mismatch");
+    engine::SynthesisJob job = smallJob();
+
+    // A checkpoint for a *different* job config at this job's path
+    // must not poison the run.
+    engine::Checkpoint alien;
+    alien.key = "some-other-config";
+    alien.primaryVarCount = 3;
+    alien.models = {{true, true, false}};
+    ASSERT_TRUE(engine::saveCheckpoint(
+        engine::checkpointPath(dir, engine::jobFileStem(job)),
+        alien));
+
+    engine::JobContext ctx;
+    ctx.checkpointDir = dir;
+    ctx.resume = true;
+    engine::JobResult r =
+        engine::runJob(job, 0, engine::Budget{}, ctx);
+    EXPECT_EQ(r.report.replayedInstances, 0u);
+    EXPECT_GT(r.report.rawInstances, 0u);
+    EXPECT_FALSE(r.report.aborted);
+}
+
+// --- Retry with backoff -----------------------------------------
+
+TEST(Retry, RecoversAfterInjectedOom)
+{
+    InjectorGuard guard;
+    ASSERT_TRUE(
+        engine::FaultInjector::instance().configure("sat.oom:1"));
+
+    engine::EngineOptions opts;
+    opts.retries = 2;
+    opts.retryBackoffSeconds = 0.01;
+    engine::RunResult run = engine::runJobs({smallJob()}, opts);
+
+    ASSERT_EQ(run.jobs.size(), 1u);
+    const engine::JobResult &r = run.jobs[0];
+    EXPECT_FALSE(r.report.aborted);
+    EXPECT_GT(r.report.rawInstances, 0u);
+
+    // Attempt history: the OOM abort, then the clean retry.
+    ASSERT_EQ(r.attempts.size(), 2u);
+    EXPECT_EQ(r.attempts[0].attempt, 0);
+    EXPECT_EQ(r.attempts[0].reason,
+              engine::AbortReason::MemoryLimit);
+    EXPECT_EQ(r.attempts[0].backoffSeconds, 0.0);
+    EXPECT_EQ(r.attempts[1].reason, engine::AbortReason::None);
+    EXPECT_GT(r.attempts[1].backoffSeconds, 0.0);
+    // The retry ran with a perturbed solver seed.
+    EXPECT_NE(r.attempts[1].solverSeed, 0u);
+    EXPECT_NE(r.attempts[1].solverSeed, r.attempts[0].solverSeed);
+}
+
+TEST(Retry, ExhaustsAndRecordsEveryAttempt)
+{
+    engine::SynthesisJob job = smallJob(1000000);
+    job.bounds.numEvents = 5;
+    job.timeoutSeconds = 0.01; // every attempt times out
+
+    engine::EngineOptions opts;
+    opts.retries = 2;
+    opts.retryBackoffSeconds = 0.01;
+    engine::RunResult run = engine::runJobs({job}, opts);
+
+    ASSERT_EQ(run.jobs.size(), 1u);
+    const engine::JobResult &r = run.jobs[0];
+    EXPECT_TRUE(r.report.aborted);
+    ASSERT_EQ(r.attempts.size(), 3u);
+    for (const engine::AttemptRecord &a : r.attempts)
+        EXPECT_EQ(a.reason, engine::AbortReason::Deadline);
+    // Exponential backoff: the second wait doubles the first.
+    EXPECT_DOUBLE_EQ(r.attempts[1].backoffSeconds, 0.01);
+    EXPECT_DOUBLE_EQ(r.attempts[2].backoffSeconds, 0.02);
+}
+
+TEST(Retry, GlobalDeadlineIsNotRetried)
+{
+    engine::SynthesisJob job = smallJob(1000000);
+    job.bounds.numEvents = 5;
+
+    engine::EngineOptions opts;
+    opts.timeoutSeconds = 0.01; // the *global* clock expires
+    opts.retries = 3;
+    opts.retryBackoffSeconds = 0.01;
+    engine::RunResult run = engine::runJobs({job}, opts);
+
+    ASSERT_EQ(run.jobs.size(), 1u);
+    // Retrying cannot help once the whole batch is out of time.
+    EXPECT_LE(run.jobs[0].attempts.size(), 1u);
+    EXPECT_TRUE(run.aborted);
+}
+
+TEST(Retry, CheckpointCarriesModelsAcrossAttempts)
+{
+    InjectorGuard guard;
+    // Abort between models on the first attempt (deadline at the
+    // third enumeration solve), then retry with checkpointing on:
+    // the two models found before the abort replay instead of
+    // being searched for again.
+    ASSERT_TRUE(engine::FaultInjector::instance().configure(
+        "sat.solve.deadline:3"));
+
+    std::string dir = scratchDir("retry_resume");
+    engine::SynthesisJob job = smallJob();
+    // A per-job deadline abort is only retriable when the job has
+    // its own (generous) timeout and the global clock has time.
+    job.timeoutSeconds = 60.0;
+
+    engine::EngineOptions opts;
+    opts.retries = 1;
+    opts.retryBackoffSeconds = 0.0;
+    opts.checkpointDir = dir;
+    opts.checkpointIntervalSeconds = 0.0;
+    engine::RunResult run = engine::runJobs({job}, opts);
+
+    engine::JobResult baseline =
+        engine::runJob(smallJob(), 0, engine::Budget{});
+
+    ASSERT_EQ(run.jobs.size(), 1u);
+    const engine::JobResult &r = run.jobs[0];
+    EXPECT_FALSE(r.report.aborted);
+    ASSERT_EQ(r.attempts.size(), 2u);
+    EXPECT_EQ(r.attempts[0].reason, engine::AbortReason::Deadline);
+    EXPECT_EQ(r.report.replayedInstances, 2u);
+    EXPECT_EQ(r.report.rawInstances,
+              baseline.report.rawInstances);
+    EXPECT_EQ(exploitStrings(r), exploitStrings(baseline));
+}
+
+// --- Report schema -----------------------------------------------
+
+TEST(ReportSchema, CarriesFaultToleranceFields)
+{
+    InjectorGuard guard;
+    ASSERT_TRUE(
+        engine::FaultInjector::instance().configure("sat.oom:1"));
+
+    engine::EngineOptions opts;
+    opts.retries = 1;
+    opts.retryBackoffSeconds = 0.01;
+    opts.checkpointDir = scratchDir("report_schema");
+    opts.checkpointIntervalSeconds = 0.0;
+    engine::RunResult run = engine::runJobs({smallJob()}, opts);
+
+    std::string json = engine::runReportToJson(run, opts);
+    EXPECT_NE(json.find("\"attempts\""), std::string::npos);
+    EXPECT_NE(json.find("\"memory-limit\""), std::string::npos);
+    EXPECT_NE(json.find("\"backoff_seconds\""), std::string::npos);
+    EXPECT_NE(json.find("\"solver_seed\""), std::string::npos);
+    EXPECT_NE(json.find("\"resumed_models\""), std::string::npos);
+    EXPECT_NE(json.find("\"mem_peak_bytes\""), std::string::npos);
+    EXPECT_NE(json.find("\"retries\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"retry_backoff_seconds\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"checkpoint_dir\""), std::string::npos);
+}
+
+// --- CLI ---------------------------------------------------------
+
+TEST(CliFaultFlags, ParseAll)
+{
+    core::CliOptions opts = core::parseCli(
+        {"--checkpoint", "ckpts", "--checkpoint-interval", "0",
+         "--retries", "3", "--retry-backoff", "0.5",
+         "--mem-limit-mb", "512", "--inject", "sat.oom:1",
+         "--inject-seed", "7"});
+    EXPECT_TRUE(opts.error.empty()) << opts.error;
+    EXPECT_EQ(opts.checkpointDir, "ckpts");
+    EXPECT_FALSE(opts.resume);
+    EXPECT_EQ(opts.checkpointIntervalSeconds, 0.0);
+    EXPECT_EQ(opts.retries, 3);
+    EXPECT_EQ(opts.retryBackoffSeconds, 0.5);
+    EXPECT_EQ(opts.memLimitMb, 512u);
+    EXPECT_EQ(opts.injectSpec, "sat.oom:1");
+    EXPECT_EQ(opts.injectSeed, 7u);
+
+    core::CliOptions resume = core::parseCli({"--resume", "dir"});
+    EXPECT_TRUE(resume.error.empty());
+    EXPECT_EQ(resume.checkpointDir, "dir");
+    EXPECT_TRUE(resume.resume);
+}
+
+TEST(CliFaultFlags, RejectBadValues)
+{
+    EXPECT_FALSE(
+        core::parseCli({"--retries", "-1"}).error.empty());
+    EXPECT_FALSE(
+        core::parseCli({"--mem-limit-mb", "0"}).error.empty());
+    EXPECT_FALSE(
+        core::parseCli({"--retry-backoff", "-1"}).error.empty());
+    EXPECT_FALSE(
+        core::parseCli({"--checkpoint-interval", "x"})
+            .error.empty());
+}
+
+TEST(CliFaultFlags, MalformedInjectSpecFails)
+{
+    core::CliOptions opts =
+        core::parseCli({"--inject", "sat.oom:nope"});
+    ASSERT_TRUE(opts.error.empty());
+    std::ostringstream out, err;
+    EXPECT_EQ(core::runCli(opts, out, err), 2);
+    EXPECT_NE(err.str().find("--inject"), std::string::npos);
+}
+
+TEST(CliErrors, SpecErrorsReachStderrWithNonZeroExit)
+{
+    // flush-reload needs >= 3 events: loading the spec throws a
+    // structured SpecError, which must surface as a job error on
+    // stderr with exit code 2 — not a crash.
+    core::CliOptions opts = core::parseCli(
+        {"--events", "2", "--pattern", "flush-reload"});
+    ASSERT_TRUE(opts.error.empty());
+    std::ostringstream out, err;
+    EXPECT_EQ(core::runCli(opts, out, err), 2);
+    EXPECT_NE(err.str().find("uspec error"), std::string::npos);
+    EXPECT_NE(err.str().find("flush-reload"), std::string::npos);
+}
+
+TEST(CliErrors, WorkerThreadsSurviveSpecErrors)
+{
+    // The same malformed jobs on a multi-threaded batch: the
+    // exception is caught inside the worker (a SpecError escaping
+    // a worker thread would std::terminate the process).
+    engine::SynthesisJob bad = smallJob();
+    bad.bounds.numEvents = 2;
+    engine::EngineOptions opts;
+    opts.threads = 2;
+    engine::RunResult run = engine::runJobs({bad, bad}, opts);
+    ASSERT_EQ(run.jobs.size(), 2u);
+    for (const engine::JobResult &r : run.jobs) {
+        EXPECT_FALSE(r.error.empty());
+        EXPECT_NE(r.error.find("uspec error"), std::string::npos);
+        // Identity fields survive the failure.
+        EXPECT_EQ(r.report.pattern, "flush-reload");
+        EXPECT_EQ(r.report.bounds.numEvents, 2);
+    }
+}
+
+TEST(CliStop, StopRequestExitsWith130AndFlushes)
+{
+    std::string dir = scratchDir("cli_stop");
+    core::CliOptions opts = core::parseCli(
+        {"--checkpoint", dir, "--report", dir + "/report.json"});
+    ASSERT_TRUE(opts.error.empty());
+
+    engine::StopSource stop;
+    stop.requestStop(); // "Ctrl-C" before the batch starts
+    std::ostringstream out, err;
+    EXPECT_EQ(core::runCli(opts, out, err, &stop),
+              core::kStoppedExitCode);
+    EXPECT_NE(err.str().find("interrupted"), std::string::npos);
+    EXPECT_NE(err.str().find("--resume"), std::string::npos);
+    // The report was still written.
+    EXPECT_TRUE(
+        std::filesystem::exists(dir + "/report.json"));
+}
+
+// --- Kill and resume, end to end --------------------------------
+
+std::vector<std::string>
+cliArgs(const std::string &dir, bool resume,
+        const std::string &inject)
+{
+    std::vector<std::string> args = {
+        "--events", "4", "--max", "25", "--checkpoint-interval",
+        "0"};
+    args.push_back(resume ? "--resume" : "--checkpoint");
+    args.push_back(dir);
+    if (!inject.empty()) {
+        args.push_back("--inject");
+        args.push_back(inject);
+    }
+    return args;
+}
+
+TEST(KillAndResumeDeathTest, CrashThenResumeIsByteIdentical)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    std::string dir = scratchDir("kill_resume");
+
+    // Baseline: the uninterrupted run.
+    std::ostringstream base_out, base_err;
+    core::CliOptions base =
+        core::parseCli({"--events", "4", "--max", "25"});
+    ASSERT_EQ(core::runCli(base, base_out, base_err), 0);
+
+    // Crash the process (simulated SIGKILL via std::_Exit) in the
+    // middle of enumeration, after the second model.
+    auto crashing_run = [&dir]() {
+        std::ostringstream out;
+        std::ostringstream err;
+        core::runCli(core::parseCli(cliArgs(
+                         dir, false, "rmf.enumerate.crash:2")),
+                     out, err);
+    };
+    EXPECT_EXIT(
+        crashing_run(),
+        ::testing::ExitedWithCode(engine::kInjectedCrashExitCode),
+        "");
+
+    // The killed run left a loadable in-progress checkpoint…
+    int checkpoints = 0;
+    for (const auto &e :
+         std::filesystem::directory_iterator(dir)) {
+        auto cp = engine::loadCheckpoint(e.path().string());
+        ASSERT_TRUE(cp.has_value()) << e.path();
+        EXPECT_FALSE(cp->complete);
+        EXPECT_EQ(cp->models.size(), 2u);
+        checkpoints++;
+    }
+    ASSERT_EQ(checkpoints, 1);
+
+    // …and resuming reproduces the uninterrupted output, byte for
+    // byte (timings scrubbed — they are wall-clock, not results).
+    std::ostringstream res_out, res_err;
+    ASSERT_EQ(core::runCli(core::parseCli(cliArgs(dir, true, "")),
+                           res_out, res_err),
+              0);
+    EXPECT_EQ(scrubTiming(res_out.str()),
+              scrubTiming(base_out.str()));
+}
+
+} // anonymous namespace

@@ -9,6 +9,7 @@
 #include "rmf/solve.hh"
 #include "rmf/translate.hh"
 #include "uspec/context.hh"
+#include "uspec/error.hh"
 
 namespace
 {
@@ -67,7 +68,7 @@ TEST(UspecContext, LocIdLookup)
     UspecContext ctx(smallBounds(), locs(), fullOptions());
     EXPECT_EQ(ctx.locId("Fetch"), 0);
     EXPECT_EQ(ctx.locId("Complete"), 2);
-    EXPECT_THROW(ctx.locId("Nope"), std::invalid_argument);
+    EXPECT_THROW(ctx.locId("Nope"), SpecError);
 }
 
 TEST(UspecContext, EveryEventHasExactlyOneType)
@@ -271,7 +272,19 @@ TEST(UspecContext, FixProgramPinsSlots)
 TEST(UspecContext, FixProgramRejectsWrongLength)
 {
     UspecContext ctx(smallBounds(2), locs(), fullOptions());
-    EXPECT_THROW(ctx.fixProgram({}), std::invalid_argument);
+    ctx.setErrorModel("testmodel");
+    try {
+        ctx.fixProgram({});
+        FAIL() << "fixProgram should reject a wrong-length program";
+    } catch (const SpecError &e) {
+        // The structured error carries model and entity context so a
+        // CLI user can tell which spec is malformed.
+        EXPECT_EQ(e.model(), "testmodel");
+        EXPECT_EQ(e.entity(), "fixProgram");
+        EXPECT_NE(std::string(e.what()).find(
+                      "uspec error in testmodel::fixProgram"),
+                  std::string::npos);
+    }
 }
 
 TEST(UspecContext, NoSpeculationMeansNoSquash)

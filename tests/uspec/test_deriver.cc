@@ -8,6 +8,7 @@
 
 #include "rmf/solve.hh"
 #include "uspec/deriver.hh"
+#include "uspec/error.hh"
 
 namespace
 {
@@ -127,7 +128,7 @@ TEST(EdgeDeriver, SelfEdgeRejected)
     EdgeDeriver d(ctx);
     EXPECT_THROW(d.edgeCondition(0, 0, 0, 0, rmf::Formula::top(),
                                  graph::EdgeKind::Other),
-                 std::invalid_argument);
+                 SpecError);
 }
 
 TEST(EdgeDeriver, BuildGraphRoundTrip)
