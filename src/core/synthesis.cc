@@ -79,11 +79,13 @@ CheckMate::run(
         ctx.applyAttackNoiseFilters();
 
     if (options.attackerOnly && !program) {
+        ctx.setErrorEntity("AttackerOnly");
         for (uspec::EventId e = 0; e < ctx.numEvents(); e++)
             ctx.require(ctx.inProc(e, uspec::procAttacker));
     }
 
     if (options.requireWindow != WindowRequirement::None) {
+        ctx.setErrorEntity("WindowRequirement");
         rmf::Formula window = rmf::Formula::bottom();
         for (uspec::EventId e = 0; e < ctx.numEvents(); e++) {
             window = window ||

@@ -175,6 +175,12 @@ runJob(const SynthesisJob &job, size_t index, const Budget &shared,
 
     auto start = std::chrono::steady_clock::now();
 
+    // Counter window for per-job attribution: deltas are computed
+    // against this baseline at the end of the run, so the report
+    // shows what *this* job did rather than process totals.
+    std::map<std::string, uint64_t> counters_before =
+        obs::MetricsRegistry::instance().counterValues();
+
     // Report identity up front, so an error or exception still
     // yields a well-formed report entry.
     result.report.microarch = job.uarch;
@@ -273,6 +279,13 @@ runJob(const SynthesisJob &job, size_t index, const Budget &shared,
     metrics.counter("engine.jobs_completed").add(1);
     if (result.report.aborted)
         metrics.counter("engine.jobs_aborted").add(1);
+
+    for (const auto &[name, value] : metrics.counterValues()) {
+        auto it = counters_before.find(name);
+        uint64_t before = it == counters_before.end() ? 0 : it->second;
+        if (value > before)
+            result.counterDeltas[name] = value - before;
+    }
 
     span.arg("unique_tests", result.report.uniqueTests);
     span.arg("raw_instances", result.report.rawInstances);

@@ -13,6 +13,8 @@
 #ifndef CHECKMATE_ENGINE_JOB_HH
 #define CHECKMATE_ENGINE_JOB_HH
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -117,6 +119,15 @@ struct JobResult
 
     /** Every try of this job, in order (empty when skipped). */
     std::vector<AttemptRecord> attempts;
+
+    /**
+     * Registry counter deltas attributable to this job: the
+     * difference between each process-wide counter before and after
+     * the run, nonzero entries only. Exact at --jobs 1; under a
+     * concurrent scheduler other workers' increments can bleed into
+     * the window, so treat multi-threaded deltas as approximate.
+     */
+    std::map<std::string, uint64_t> counterDeltas;
 };
 
 /** Fault-tolerance context for one job attempt. */

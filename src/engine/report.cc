@@ -8,7 +8,9 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/build_info.hh"
 #include "obs/fsio.hh"
+#include "obs/metrics.hh"
 
 namespace checkmate::engine
 {
@@ -125,6 +127,14 @@ class JsonWriter
         out_ << '"' << jsonEscape(name) << "\":";
         afterKey_ = true;
     }
+    /** Splice a pre-rendered JSON value (obs emitters). */
+    void
+    raw(const std::string &name, const std::string &json)
+    {
+        key(name);
+        separator();
+        out_ << json;
+    }
 
   private:
     /** Emit "," where the grammar needs one; no-op after a key or
@@ -211,6 +221,40 @@ writeJob(JsonWriter &json, const JobResult &job)
     json.field("symmetry_seconds",
                rep.translation.symmetrySeconds);
     json.field("total_seconds", rep.translation.totalSeconds);
+    json.field("closure_gate_nodes",
+               static_cast<uint64_t>(
+                   rep.translation.closureGateNodes));
+
+    // Per-axiom CNF attribution: one entry per clause tag. Clause
+    // counts sum exactly to solver_clauses (the blocking entry is
+    // enumeration overhead, emitted after translation).
+    json.beginArray("provenance");
+    for (const rmf::ClauseProvenance &p : rep.translation.provenance) {
+        json.beginObject();
+        json.field("label", p.label);
+        json.field("kind", p.kind);
+        json.field("tag", static_cast<uint64_t>(p.tag));
+        json.field("facts", p.facts);
+        json.field("clauses", p.clauses);
+        json.field("conflicts", p.conflicts);
+        json.endObject();
+    }
+    json.endArray();
+
+    // Bound-matrix density per declared relation: the dominant
+    // CNF-size knob.
+    json.beginArray("relations");
+    for (const rmf::RelationDensity &r :
+         rep.translation.relationDensity) {
+        json.beginObject();
+        json.field("name", r.name);
+        json.field("upper_tuples", r.upperTuples);
+        json.field("lower_tuples", r.lowerTuples);
+        json.field("free_vars", r.freeVars);
+        json.endObject();
+    }
+    json.endArray();
+
     json.endObject();
 
     json.key("solver");
@@ -223,6 +267,26 @@ writeJob(JsonWriter &json, const JobResult &job)
     json.field("removed_clauses", rep.solver.removedClauses);
     json.field("models_enumerated", rep.solver.modelsEnumerated);
     json.field("mem_peak_bytes", rep.solver.memPeakBytes);
+
+    // Search-quality distributions (log-scale bins).
+    json.key("histograms");
+    json.beginObject();
+    json.raw("learned_clause_len",
+             obs::histogramToJson(rep.solver.learnedLenHist));
+    json.raw("backjump_depth",
+             obs::histogramToJson(rep.solver.backjumpHist));
+    json.raw("decision_level",
+             obs::histogramToJson(rep.solver.decisionLevelHist));
+    json.endObject();
+
+    json.endObject();
+
+    // Registry counter deltas over this job's window (exact at
+    // --jobs 1, approximate under a concurrent scheduler).
+    json.key("metrics_delta");
+    json.beginObject();
+    for (const auto &[name, value] : job.counterDeltas)
+        json.field(name, value);
     json.endObject();
 
     json.endObject();
@@ -252,6 +316,34 @@ runReportToJson(const RunResult &run, const EngineOptions &options)
     json.field("wall_seconds", run.wallSeconds);
     json.field("aborted", run.aborted);
     json.field("jobs", static_cast<uint64_t>(run.jobs.size()));
+    json.endObject();
+
+    // Which build produced these numbers: required context before
+    // comparing reports across machines or commits.
+    json.raw("build", obs::buildInfoJson());
+
+    // Full registry snapshot at report time: process totals across
+    // all jobs (per-job attribution lives in each job's
+    // metrics_delta).
+    obs::MetricsSnapshot metrics =
+        obs::MetricsRegistry::instance().snapshot();
+    json.key("metrics");
+    json.beginObject();
+    json.key("counters");
+    json.beginObject();
+    for (const auto &[name, value] : metrics.counters)
+        json.field(name, value);
+    json.endObject();
+    json.key("gauges");
+    json.beginObject();
+    for (const auto &[name, value] : metrics.gauges)
+        json.field(name, value);
+    json.endObject();
+    json.key("histograms");
+    json.beginObject();
+    for (const auto &[name, h] : metrics.histograms)
+        json.raw(name, obs::histogramToJson(h));
+    json.endObject();
     json.endObject();
 
     json.beginArray("jobs");

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Bench aggregation and BENCH_*.json emission.
+ */
+
+#include "obs/bench.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "obs/build_info.hh"
+#include "obs/fsio.hh"
+#include "obs/json.hh"
+
+namespace checkmate::obs
+{
+
+BenchStats
+computeStats(std::vector<double> values)
+{
+    BenchStats stats;
+    stats.samples = values;
+    if (values.empty())
+        return stats;
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    size_t n = sorted.size();
+    stats.min = sorted.front();
+    double sum = 0.0;
+    for (double v : sorted)
+        sum += v;
+    stats.mean = sum / static_cast<double>(n);
+    stats.median = (n % 2 == 1)
+                       ? sorted[n / 2]
+                       : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+    // Nearest-rank p90 (the smallest sample covering 90%).
+    size_t rank = static_cast<size_t>(
+        std::ceil(0.9 * static_cast<double>(n)));
+    stats.p90 = sorted[rank > 0 ? rank - 1 : 0];
+    return stats;
+}
+
+namespace
+{
+
+std::string
+statsJson(const BenchStats &stats)
+{
+    std::string samples = "[";
+    for (size_t i = 0; i < stats.samples.size(); i++) {
+        if (i)
+            samples += ',';
+        samples += jsonNumber(stats.samples[i]);
+    }
+    samples += ']';
+    return JsonFields()
+        .add("median", stats.median)
+        .add("min", stats.min)
+        .add("p90", stats.p90)
+        .add("mean", stats.mean)
+        .addRaw("samples", samples)
+        .object();
+}
+
+/** Stats over one keyed quantity across all samples. */
+template <typename Get>
+std::string
+perKeyStats(const BenchRun &run, const std::set<std::string> &keys,
+            Get get)
+{
+    JsonFields out;
+    for (const std::string &key : keys) {
+        std::vector<double> values;
+        values.reserve(run.samples.size());
+        for (const BenchSample &s : run.samples)
+            values.push_back(get(s, key));
+        out.addRaw(key, statsJson(computeStats(values)));
+    }
+    return out.object();
+}
+
+} // anonymous namespace
+
+std::string
+benchToJson(const BenchRun &run)
+{
+    std::set<std::string> phase_names;
+    std::set<std::string> counter_names;
+    uint64_t mem_peak = 0;
+    for (const BenchSample &s : run.samples) {
+        for (const auto &[name, seconds] : s.phaseSeconds)
+            phase_names.insert(name);
+        for (const auto &[name, value] : s.counters)
+            counter_names.insert(name);
+        mem_peak = std::max(mem_peak, s.memPeakBytes);
+    }
+
+    std::vector<double> wall;
+    wall.reserve(run.samples.size());
+    for (const BenchSample &s : run.samples)
+        wall.push_back(s.wallSeconds);
+
+    JsonFields results;
+    if (!run.samples.empty()) {
+        // Synthesis is deterministic, so instance counts agree
+        // across repetitions; record the last sample's.
+        const BenchSample &last = run.samples.back();
+        results.add("raw_instances", last.rawInstances);
+        results.add("unique_tests", last.uniqueTests);
+    }
+
+    JsonFields out;
+    out.add("schema", "checkmate-bench-v1");
+    out.add("scenario", run.scenario);
+    out.add("config", run.config);
+    out.add("reps",
+            static_cast<uint64_t>(run.samples.size()));
+    out.add("quick", run.quick);
+    out.addRaw("environment", buildInfoJson());
+    out.addRaw("wall_seconds", statsJson(computeStats(wall)));
+    out.addRaw("phases",
+               perKeyStats(run, phase_names,
+                           [](const BenchSample &s,
+                              const std::string &key) {
+                               auto it = s.phaseSeconds.find(key);
+                               return it == s.phaseSeconds.end()
+                                          ? 0.0
+                                          : it->second;
+                           }));
+    out.addRaw("metrics",
+               perKeyStats(run, counter_names,
+                           [](const BenchSample &s,
+                              const std::string &key) {
+                               auto it = s.counters.find(key);
+                               return it == s.counters.end()
+                                          ? 0.0
+                                          : static_cast<double>(
+                                                it->second);
+                           }));
+    out.add("mem_peak_bytes", mem_peak);
+    out.addRaw("results", results.object());
+    return out.object() + "\n";
+}
+
+bool
+writeBenchFile(const BenchRun &run, const std::string &path)
+{
+    return atomicWriteFile(path, benchToJson(run));
+}
+
+} // namespace checkmate::obs

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Bench-run aggregation and the canonical BENCH_<scenario>.json
+ * format.
+ *
+ * The obs layer owns the generic half of the bench harness: sample
+ * collection, median/min/p90 aggregation, and JSON emission with
+ * the build/environment stanza. What actually runs per repetition
+ * (Table I sweeps, fig5 attacks) is supplied by the driver in
+ * tools/checkmate_bench_main.cc, which links the engine — obs
+ * itself stays at the bottom of the layering and cannot.
+ *
+ * A BENCH file records wall-time statistics over N repetitions,
+ * the per-phase span breakdown, per-repetition metric deltas, and
+ * peak solver memory, all tied to the environment that produced
+ * them. docs/BENCHMARKING.md documents the schema and the baseline
+ * refresh policy.
+ */
+
+#ifndef CHECKMATE_OBS_BENCH_HH
+#define CHECKMATE_OBS_BENCH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace checkmate::obs
+{
+
+/** Measurements from one repetition of a scenario. */
+struct BenchSample
+{
+    /** End-to-end wall time of the repetition (seconds). */
+    double wallSeconds = 0.0;
+    /** Per-phase wall-time breakdown (seconds), by span name. */
+    std::map<std::string, double> phaseSeconds;
+    /** Metric counter deltas attributable to this repetition. */
+    std::map<std::string, uint64_t> counters;
+    /** Peak tracked solver allocation (bytes). */
+    uint64_t memPeakBytes = 0;
+    /** Raw models enumerated. */
+    uint64_t rawInstances = 0;
+    /** Distinct litmus tests synthesized. */
+    uint64_t uniqueTests = 0;
+};
+
+/** Order statistics over one measured quantity. */
+struct BenchStats
+{
+    double median = 0.0;
+    double min = 0.0;
+    double p90 = 0.0;
+    double mean = 0.0;
+    /** The raw samples, in chronological order. */
+    std::vector<double> samples;
+};
+
+/** Compute order statistics (empty input → all-zero stats). */
+BenchStats computeStats(std::vector<double> values);
+
+/** One complete bench run: scenario identity + all samples. */
+struct BenchRun
+{
+    std::string scenario;
+    /** Human-readable scenario configuration ("cap=40 bound=5"). */
+    std::string config;
+    bool quick = false;
+    std::vector<BenchSample> samples;
+};
+
+/**
+ * Render the run as a canonical BENCH JSON document
+ * (schema "checkmate-bench-v1", environment stanza included).
+ */
+std::string benchToJson(const BenchRun &run);
+
+/** Write the document to @p path atomically; false on failure. */
+bool writeBenchFile(const BenchRun &run, const std::string &path);
+
+} // namespace checkmate::obs
+
+#endif // CHECKMATE_OBS_BENCH_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Build/environment stanza implementation.
+ */
+
+#include "obs/build_info.hh"
+
+#include <thread>
+
+#include "obs/json.hh"
+
+// The build system injects these for this translation unit only
+// (so a new git sha recompiles one file, not the world). Fallbacks
+// keep non-CMake builds compiling.
+#ifndef CHECKMATE_GIT_DESCRIBE
+#define CHECKMATE_GIT_DESCRIBE "unknown"
+#endif
+#ifndef CHECKMATE_BUILD_TYPE
+#define CHECKMATE_BUILD_TYPE "unknown"
+#endif
+#ifndef CHECKMATE_CXX_FLAGS
+#define CHECKMATE_CXX_FLAGS ""
+#endif
+
+namespace checkmate::obs
+{
+
+namespace
+{
+
+const char *
+compilerId()
+{
+#if defined(__clang__)
+    return "clang";
+#elif defined(__GNUC__)
+    return "gcc";
+#else
+    return "unknown";
+#endif
+}
+
+const char *
+platformId()
+{
+#if defined(__linux__) && defined(__x86_64__)
+    return "linux-x86_64";
+#elif defined(__linux__) && defined(__aarch64__)
+    return "linux-aarch64";
+#elif defined(__linux__)
+    return "linux";
+#elif defined(__APPLE__)
+    return "darwin";
+#else
+    return "unknown";
+#endif
+}
+
+BuildInfo
+computeBuildInfo()
+{
+    BuildInfo info;
+    info.gitDescribe = CHECKMATE_GIT_DESCRIBE;
+    info.compiler = compilerId();
+#if defined(__VERSION__)
+    info.compilerVersion = __VERSION__;
+#else
+    info.compilerVersion = "unknown";
+#endif
+    info.buildType = CHECKMATE_BUILD_TYPE;
+    info.flags = CHECKMATE_CXX_FLAGS;
+    info.platform = platformId();
+    info.cores = std::thread::hardware_concurrency();
+    return info;
+}
+
+} // anonymous namespace
+
+const BuildInfo &
+buildInfo()
+{
+    static const BuildInfo info = computeBuildInfo();
+    return info;
+}
+
+std::string
+buildInfoJson()
+{
+    const BuildInfo &info = buildInfo();
+    return JsonFields()
+        .add("git_describe", info.gitDescribe)
+        .add("compiler", info.compiler)
+        .add("compiler_version", info.compilerVersion)
+        .add("build_type", info.buildType)
+        .add("flags", info.flags)
+        .add("platform", info.platform)
+        .add("cores", static_cast<uint64_t>(info.cores))
+        .object();
+}
+
+} // namespace checkmate::obs

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Build/environment identification for self-describing artifacts.
+ *
+ * Bench baselines and run reports are only comparable when each
+ * file records what produced it: two BENCH_*.json files from
+ * different compilers or build types must not be diffed silently.
+ * Every emitted document therefore embeds this stanza (git
+ * describe, compiler id+version, build type, flags, platform, core
+ * count), populated from compile definitions the build system
+ * injects (see src/obs/CMakeLists.txt) plus runtime probes.
+ */
+
+#ifndef CHECKMATE_OBS_BUILD_INFO_HH
+#define CHECKMATE_OBS_BUILD_INFO_HH
+
+#include <string>
+
+namespace checkmate::obs
+{
+
+/** Identity of this binary and the machine running it. */
+struct BuildInfo
+{
+    /** `git describe --always --dirty` at configure time. */
+    std::string gitDescribe;
+    /** Compiler id ("gcc", "clang", ...). */
+    std::string compiler;
+    /** Compiler version string. */
+    std::string compilerVersion;
+    /** CMake build type ("RelWithDebInfo", "Debug", ...). */
+    std::string buildType;
+    /** Compiler flags the build type implies. */
+    std::string flags;
+    /** OS/arch ("linux-x86_64", ...). */
+    std::string platform;
+    /** Hardware concurrency of the running machine. */
+    unsigned cores = 0;
+};
+
+/** The process-wide build info (computed once). */
+const BuildInfo &buildInfo();
+
+/** The stanza rendered as one JSON object. */
+std::string buildInfoJson();
+
+} // namespace checkmate::obs
+
+#endif // CHECKMATE_OBS_BUILD_INFO_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Log-scale histogram bins shared by the solver statistics and the
+ * metrics registry.
+ *
+ * Distribution-shaped solver telemetry (learned-clause length,
+ * backjump depth, decision level) is far more informative than a
+ * mean: a search that mostly learns 3-literal clauses but
+ * occasionally learns 400-literal ones is in a different regime
+ * than one learning 40-literal clauses uniformly. Power-of-two
+ * bins keep the footprint constant (32 counters) while covering
+ * the full uint64 range.
+ *
+ * Header-only and dependency-free on purpose, like
+ * engine/stop_token.hh: the SAT solver records into a plain
+ * LogHistogram from inside its conflict loop without linking the
+ * obs library; rmf/solve.cc merges the result into the registry's
+ * atomic obs::Histogram afterwards.
+ */
+
+#ifndef CHECKMATE_OBS_HISTOGRAM_HH
+#define CHECKMATE_OBS_HISTOGRAM_HH
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace checkmate::obs
+{
+
+/** Number of log2 bins (covers 0 and every uint64 value). */
+constexpr int kHistogramBins = 32;
+
+/**
+ * Bin index for @p v: bin 0 holds exactly 0, bin b >= 1 holds
+ * [2^(b-1), 2^b - 1]; values past the last bin's floor clamp into
+ * the last bin.
+ */
+inline int
+histogramBin(uint64_t v)
+{
+    if (v == 0)
+        return 0;
+    int b = std::bit_width(v);
+    return b < kHistogramBins ? b : kHistogramBins - 1;
+}
+
+/** Smallest value that lands in @p bin (its reporting floor). */
+inline uint64_t
+histogramBinFloor(int bin)
+{
+    return bin <= 0 ? 0 : uint64_t{1} << (bin - 1);
+}
+
+/**
+ * A plain (single-writer) log-scale histogram. Value semantics so
+ * it can live inside SolverStats and support per-call deltas.
+ */
+struct LogHistogram
+{
+    std::array<uint64_t, kHistogramBins> bins{};
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t max = 0;
+
+    void
+    observe(uint64_t v)
+    {
+        bins[histogramBin(v)]++;
+        count++;
+        sum += v;
+        if (v > max)
+            max = v;
+    }
+
+    void
+    merge(const LogHistogram &o)
+    {
+        for (int i = 0; i < kHistogramBins; i++)
+            bins[i] += o.bins[i];
+        count += o.count;
+        sum += o.sum;
+        if (o.max > max)
+            max = o.max;
+    }
+
+    /**
+     * Estimated @p p quantile (0..1): the floor of the first bin
+     * whose cumulative count reaches p * count. Deterministic and
+     * never above the true quantile, which is what trend tracking
+     * wants. 0 when empty.
+     */
+    uint64_t
+    percentile(double p) const
+    {
+        if (count == 0)
+            return 0;
+        if (p < 0.0)
+            p = 0.0;
+        if (p > 1.0)
+            p = 1.0;
+        uint64_t target =
+            static_cast<uint64_t>(p * static_cast<double>(count));
+        if (target == 0)
+            target = 1;
+        uint64_t seen = 0;
+        for (int i = 0; i < kHistogramBins; i++) {
+            seen += bins[i];
+            if (seen >= target)
+                return histogramBinFloor(i);
+        }
+        return histogramBinFloor(kHistogramBins - 1);
+    }
+
+    /** Mean of the observed values (0 when empty). */
+    double
+    mean() const
+    {
+        return count == 0 ? 0.0
+                          : static_cast<double>(sum) /
+                                static_cast<double>(count);
+    }
+};
+
+/** Component-wise difference (per-call deltas; max is a level). */
+inline LogHistogram
+operator-(const LogHistogram &a, const LogHistogram &b)
+{
+    LogHistogram d;
+    for (int i = 0; i < kHistogramBins; i++)
+        d.bins[i] = a.bins[i] - b.bins[i];
+    d.count = a.count - b.count;
+    d.sum = a.sum - b.sum;
+    // Like SolverStats::memPeakBytes: the delta's max is the
+    // lifetime max at the end of the call.
+    d.max = a.max;
+    return d;
+}
+
+} // namespace checkmate::obs
+
+#endif // CHECKMATE_OBS_HISTOGRAM_HH

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Strict recursive-descent JSON parser.
+ */
+
+#include "obs/json_reader.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace checkmate::obs
+{
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[name, value] : members)
+        if (name == key)
+            return &value;
+    return nullptr;
+}
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    std::unique_ptr<JsonValue>
+    parse(std::string *error)
+    {
+        JsonValue root;
+        if (!parseValue(root)) {
+            if (error)
+                *error = error_;
+            return nullptr;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            if (error)
+                *error = errorAt("trailing content");
+            return nullptr;
+        }
+        return std::make_unique<JsonValue>(std::move(root));
+    }
+
+  private:
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+        case '{': return parseObject(out);
+        case '[': return parseArray(out);
+        case '"': {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        }
+        case 't':
+            if (!literal("true"))
+                return false;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return true;
+        case 'f':
+            if (!literal("false"))
+                return false;
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return true;
+        case 'n':
+            if (!literal("null"))
+                return false;
+            out.kind = JsonValue::Kind::Null;
+            return true;
+        default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        pos_++; // '{'
+        skipWs();
+        if (peek() == '}') {
+            pos_++;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (peek() != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return fail("expected ':'");
+            pos_++;
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.members.emplace_back(std::move(key),
+                                     std::move(value));
+            skipWs();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            if (peek() == '}') {
+                pos_++;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        pos_++; // '['
+        skipWs();
+        if (peek() == ']') {
+            pos_++;
+            return true;
+        }
+        for (;;) {
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            out.items.push_back(std::move(value));
+            skipWs();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            if (peek() == ']') {
+                pos_++;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        pos_++; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                char e = text_[pos_++];
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size())
+                        return fail("truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; i++) {
+                        char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(
+                                h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(
+                                h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    // Encode the code point as UTF-8 (surrogate
+                    // pairs are passed through individually; the
+                    // emitters only escape control characters).
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xC0 |
+                                                 (code >> 6));
+                        out += static_cast<char>(0x80 |
+                                                 (code & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 |
+                                                 (code >> 12));
+                        out += static_cast<char>(
+                            0x80 | ((code >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 |
+                                                 (code & 0x3F));
+                    }
+                    break;
+                }
+                default: return fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (peek() == '-')
+            pos_++;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(
+                    text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            pos_++;
+        }
+        if (pos_ == start)
+            return fail("expected value");
+        std::string token(text_.substr(start, pos_ - start));
+        char *end = nullptr;
+        double value = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            return fail("malformed number");
+        out.kind = JsonValue::Kind::Number;
+        out.number = value;
+        return true;
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("bad literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            pos_++;
+        }
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool
+    fail(const std::string &why)
+    {
+        if (error_.empty())
+            error_ = errorAt(why);
+        return false;
+    }
+
+    std::string
+    errorAt(const std::string &why) const
+    {
+        return why + " at offset " + std::to_string(pos_);
+    }
+
+    std::string_view text_;
+    size_t pos_ = 0;
+    std::string error_;
+};
+
+} // anonymous namespace
+
+std::unique_ptr<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    return Parser(text).parse(error);
+}
+
+std::unique_ptr<JsonValue>
+parseJsonFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return nullptr;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string text = buffer.str();
+    return parseJson(text, error);
+}
+
+} // namespace checkmate::obs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A small strict JSON reader for the report/bench analysis tools.
+ *
+ * The repository deliberately has no external JSON dependency;
+ * emission is string concatenation (obs/json.hh), and the
+ * checkmate-report analyzer needs the other direction: parse run
+ * reports and BENCH files back into a navigable tree. This reader
+ * is strict (no comments, no trailing commas, UTF-8 passthrough)
+ * and keeps object member order, so diffs print in document order.
+ *
+ * The test suite keeps its own independent mini parser
+ * (tests/obs/mini_json.hh) so schema tests do not validate the
+ * emitters against the very code under test here.
+ */
+
+#ifndef CHECKMATE_OBS_JSON_READER_HH
+#define CHECKMATE_OBS_JSON_READER_HH
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace checkmate::obs
+{
+
+/** A parsed JSON value. */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> items;
+    /** Object members in document order. */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Member lookup (objects only); nullptr when absent. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Nested lookup: find("a", "b") == find("a")->find("b"). */
+    template <typename... Rest>
+    const JsonValue *
+    find(std::string_view key, Rest... rest) const
+    {
+        const JsonValue *v = find(key);
+        return v ? v->find(rest...) : nullptr;
+    }
+
+    /** Number value, or @p fallback when absent/not a number. */
+    double asNumber(double fallback = 0.0) const
+    {
+        return isNumber() ? number : fallback;
+    }
+
+    /** String value, or @p fallback. */
+    const std::string &
+    asString(const std::string &fallback = emptyString()) const
+    {
+        return isString() ? str : fallback;
+    }
+
+  private:
+    static const std::string &
+    emptyString()
+    {
+        static const std::string empty;
+        return empty;
+    }
+};
+
+/**
+ * Parse @p text as one JSON document.
+ *
+ * @return the root value, or nullptr on malformed input (with a
+ * human-readable reason in @p error when provided).
+ */
+std::unique_ptr<JsonValue> parseJson(std::string_view text,
+                                     std::string *error = nullptr);
+
+/** Parse the file at @p path (nullptr on IO or parse failure). */
+std::unique_ptr<JsonValue> parseJsonFile(const std::string &path,
+                                         std::string *error =
+                                             nullptr);
+
+} // namespace checkmate::obs
+
+#endif // CHECKMATE_OBS_JSON_READER_HH

@@ -37,6 +37,16 @@ MetricsRegistry::gauge(const std::string &name)
     return *slot;
 }
 
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<Histogram> &slot = histograms_[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
 std::map<std::string, uint64_t>
 MetricsRegistry::counterValues() const
 {
@@ -57,6 +67,42 @@ MetricsRegistry::gaugeValues() const
     return out;
 }
 
+std::map<std::string, LogHistogram>
+MetricsRegistry::histogramValues() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::map<std::string, LogHistogram> out;
+    for (const auto &[name, hist] : histograms_)
+        out[name] = hist->snapshot();
+    return out;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot out;
+    out.counters = counterValues();
+    out.gauges = gaugeValues();
+    out.histograms = histogramValues();
+    return out;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshotAndReset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot out;
+    // exchange(), not value()-then-reset(): a writer racing this
+    // loop contributes to exactly one side of the cut.
+    for (auto &[name, counter] : counters_)
+        out.counters[name] = counter->exchange();
+    for (auto &[name, gauge] : gauges_)
+        out.gauges[name] = gauge->exchange();
+    for (auto &[name, hist] : histograms_)
+        out.histograms[name] = hist->exchange();
+    return out;
+}
+
 void
 MetricsRegistry::reset()
 {
@@ -65,6 +111,28 @@ MetricsRegistry::reset()
         counter->reset();
     for (auto &[name, gauge] : gauges_)
         gauge->reset();
+    for (auto &[name, hist] : histograms_)
+        hist->reset();
+}
+
+std::string
+histogramToJson(const LogHistogram &h)
+{
+    JsonFields bins;
+    for (int i = 0; i < kHistogramBins; i++)
+        if (h.bins[i])
+            bins.add(std::to_string(histogramBinFloor(i)),
+                     h.bins[i]);
+    JsonFields out;
+    out.add("count", h.count);
+    out.add("sum", h.sum);
+    out.add("max", h.max);
+    out.add("mean", h.mean());
+    out.add("p50", h.percentile(0.50));
+    out.add("p90", h.percentile(0.90));
+    out.add("p99", h.percentile(0.99));
+    out.addRaw("bins", bins.object());
+    return out.object();
 }
 
 std::string
@@ -76,9 +144,13 @@ MetricsRegistry::toJson() const
     JsonFields gauges;
     for (const auto &[name, value] : gaugeValues())
         gauges.add(name, value);
+    JsonFields histograms;
+    for (const auto &[name, value] : histogramValues())
+        histograms.addRaw(name, histogramToJson(value));
     JsonFields out;
     out.addRaw("counters", counters.object());
     out.addRaw("gauges", gauges.object());
+    out.addRaw("histograms", histograms.object());
     return out.object();
 }
 

@@ -1,18 +1,29 @@
 /**
  * @file
- * Process-wide metrics registry: named counters and gauges.
+ * Process-wide metrics registry: named counters, gauges, and
+ * histograms.
  *
  * Counters are monotonic atomic totals (e.g. `sat.conflicts`
  * accumulated across every solve in the process); gauges hold the
  * most recent sample of an instantaneous quantity (e.g.
- * `sat.heartbeat.conflicts_per_sec`). SolverStats and
- * TranslationStats publish into the registry at the end of each
- * model-finding call (see rmf/solve.cc), and the solver heartbeat
- * refreshes the heartbeat gauges while a search is running.
+ * `sat.heartbeat.conflicts_per_sec`); histograms accumulate
+ * log-scale distributions (e.g. `sat.learned_clause_len`).
+ * SolverStats and TranslationStats publish into the registry at
+ * the end of each model-finding call (see rmf/solve.cc), and the
+ * solver heartbeat refreshes the heartbeat gauges while a search
+ * is running.
  *
  * Metric handles are stable for the life of the process: look one
  * up once (mutex-guarded map insert) and update it lock-free
  * thereafter. Names are documented in docs/OBSERVABILITY.md.
+ *
+ * Reading out a registry that concurrent writers are still
+ * updating (the end-of-run snapshot racing heartbeat threads) must
+ * go through snapshotAndReset(), which atomically *exchanges* each
+ * metric to zero: every concurrent update lands either in the
+ * returned snapshot or in the registry afterwards, never in
+ * neither. A read-then-reset sequence would drop updates that
+ * arrive between the two steps.
  */
 
 #ifndef CHECKMATE_OBS_METRICS_HH
@@ -24,6 +35,8 @@
 #include <memory>
 #include <mutex>
 #include <string>
+
+#include "obs/histogram.hh"
 
 namespace checkmate::obs
 {
@@ -45,6 +58,13 @@ class Counter
     }
 
     void reset() { value_.store(0, std::memory_order_relaxed); }
+
+    /** Read and zero in one atomic step (lossless snapshot). */
+    uint64_t
+    exchange()
+    {
+        return value_.exchange(0, std::memory_order_relaxed);
+    }
 
   private:
     std::atomic<uint64_t> value_{0};
@@ -68,8 +88,108 @@ class Gauge
 
     void reset() { value_.store(0.0, std::memory_order_relaxed); }
 
+    /** Read and zero in one atomic step (lossless snapshot). */
+    double
+    exchange()
+    {
+        return value_.exchange(0.0, std::memory_order_relaxed);
+    }
+
   private:
     std::atomic<double> value_{0.0};
+};
+
+/**
+ * Atomic log-scale histogram (bin layout shared with
+ * obs::LogHistogram; see histogram.hh). observe() is lock-free;
+ * snapshot() and exchange() read the bins relaxed, so a snapshot
+ * taken mid-observe may momentarily disagree with `count` by the
+ * in-flight sample — fine for telemetry, and exchange() still
+ * never loses a sample overall.
+ */
+class Histogram
+{
+  public:
+    void
+    observe(uint64_t v)
+    {
+        bins_[histogramBin(v)].fetch_add(1,
+                                         std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+        uint64_t prev = max_.load(std::memory_order_relaxed);
+        while (prev < v &&
+               !max_.compare_exchange_weak(
+                   prev, v, std::memory_order_relaxed))
+            ;
+    }
+
+    /** Add a whole single-threaded histogram in one go. */
+    void
+    merge(const LogHistogram &h)
+    {
+        for (int i = 0; i < kHistogramBins; i++)
+            if (h.bins[i])
+                bins_[i].fetch_add(h.bins[i],
+                                   std::memory_order_relaxed);
+        count_.fetch_add(h.count, std::memory_order_relaxed);
+        sum_.fetch_add(h.sum, std::memory_order_relaxed);
+        uint64_t prev = max_.load(std::memory_order_relaxed);
+        while (prev < h.max &&
+               !max_.compare_exchange_weak(
+                   prev, h.max, std::memory_order_relaxed))
+            ;
+    }
+
+    LogHistogram
+    snapshot() const
+    {
+        LogHistogram out;
+        for (int i = 0; i < kHistogramBins; i++)
+            out.bins[i] = bins_[i].load(std::memory_order_relaxed);
+        out.count = count_.load(std::memory_order_relaxed);
+        out.sum = sum_.load(std::memory_order_relaxed);
+        out.max = max_.load(std::memory_order_relaxed);
+        return out;
+    }
+
+    void
+    reset()
+    {
+        for (int i = 0; i < kHistogramBins; i++)
+            bins_[i].store(0, std::memory_order_relaxed);
+        count_.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+        max_.store(0, std::memory_order_relaxed);
+    }
+
+    /** Read and zero each bin atomically (lossless snapshot). */
+    LogHistogram
+    exchange()
+    {
+        LogHistogram out;
+        for (int i = 0; i < kHistogramBins; i++)
+            out.bins[i] =
+                bins_[i].exchange(0, std::memory_order_relaxed);
+        out.count = count_.exchange(0, std::memory_order_relaxed);
+        out.sum = sum_.exchange(0, std::memory_order_relaxed);
+        out.max = max_.exchange(0, std::memory_order_relaxed);
+        return out;
+    }
+
+  private:
+    std::array<std::atomic<uint64_t>, kHistogramBins> bins_{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> max_{0};
+};
+
+/** One coherent read-out of the whole registry. */
+struct MetricsSnapshot
+{
+    std::map<std::string, uint64_t> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, LogHistogram> histograms;
 };
 
 /** The process-wide registry. */
@@ -81,10 +201,23 @@ class MetricsRegistry
     /** Find or create; the reference stays valid forever. */
     Counter &counter(const std::string &name);
     Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
 
     /** Snapshots, sorted by name. */
     std::map<std::string, uint64_t> counterValues() const;
     std::map<std::string, double> gaugeValues() const;
+    std::map<std::string, LogHistogram> histogramValues() const;
+
+    /** Non-destructive snapshot of everything at once. */
+    MetricsSnapshot snapshot() const;
+
+    /**
+     * Atomically drain every metric into a snapshot and leave the
+     * registry zeroed. Safe against concurrent writers (heartbeat
+     * threads): each update lands exactly once — in this snapshot
+     * or the next.
+     */
+    MetricsSnapshot snapshotAndReset();
 
     /** Zero every metric (tests; handles stay valid). */
     void reset();
@@ -98,7 +231,15 @@ class MetricsRegistry
     mutable std::mutex mutex_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;
     std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/**
+ * Render a LogHistogram as a JSON object: count/sum/max/mean,
+ * p50/p90/p99 estimates, and the sparse non-zero bins as
+ * `{"floor": count, ...}` keyed by each bin's smallest value.
+ */
+std::string histogramToJson(const LogHistogram &h);
 
 } // namespace checkmate::obs
 

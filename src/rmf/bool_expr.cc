@@ -145,6 +145,22 @@ BoolFactory::mkAtMost(const std::vector<BoolRef> &refs, int k)
     return !count[k];
 }
 
+bool
+BoolFactory::inScaffold(int32_t node) const
+{
+    // Ranges are added in increasing order, so binary-search the
+    // last range starting at or before the node.
+    auto it = std::upper_bound(
+        scaffoldRanges_.begin(), scaffoldRanges_.end(), node,
+        [](int32_t n, const std::pair<int32_t, int32_t> &range) {
+            return n < range.first;
+        });
+    if (it == scaffoldRanges_.begin())
+        return false;
+    --it;
+    return node < it->second;
+}
+
 sat::Lit
 BoolFactory::toLiteral(BoolRef r, sat::Solver &solver)
 {
@@ -168,10 +184,21 @@ BoolFactory::toLiteral(BoolRef r, sat::Solver &solver)
             sat::Lit b = toLiteral(n.in1, solver);
             sat::Var v = solver.newVar();
             sat::Lit g = sat::mkLit(v);
+            // Scaffold gates are attributed to the closure tag, not
+            // to the fact whose assertion happened to reach them
+            // first. Save/restore keeps the recursion correct: each
+            // gate re-decides membership for its own three clauses.
+            uint32_t saved_tag = solver.clauseTag();
+            bool scaffold =
+                hasScaffoldTag_ && inScaffold(r.node());
+            if (scaffold)
+                solver.setClauseTag(scaffoldTag_);
             // g <-> a & b
             solver.addClause(~g, a);
             solver.addClause(~g, b);
             solver.addClause(g, ~a, ~b);
+            if (scaffold)
+                solver.setClauseTag(saved_tag);
             n.tseitin = g;
         }
         break;

@@ -145,6 +145,31 @@ class BoolFactory
     /** Number of circuit nodes (gates + leaves + constant). */
     size_t numNodes() const { return nodes_.size(); }
 
+    /**
+     * Mark node indices [lo, hi) as transitive-closure scaffolding.
+     * While their Tseitin clauses are emitted, the solver's clause
+     * tag is temporarily switched to the scaffold tag, so iterative-
+     * squaring helper gates are attributed to "closure-scaffolding"
+     * rather than to whichever fact happened to force their
+     * emission. Ranges must be added in increasing node order (the
+     * translator's closure calls never nest).
+     */
+    void
+    addScaffoldRange(size_t lo, size_t hi)
+    {
+        if (lo < hi)
+            scaffoldRanges_.emplace_back(
+                static_cast<int32_t>(lo), static_cast<int32_t>(hi));
+    }
+
+    /** Enable scaffold attribution under @p tag. */
+    void
+    setScaffoldTag(uint32_t tag)
+    {
+        scaffoldTag_ = tag;
+        hasScaffoldTag_ = true;
+    }
+
     /** Primary (leaf) SAT variables created so far. */
     const std::vector<sat::Var> &primaryVars() const
     {
@@ -187,6 +212,7 @@ class BoolFactory
     };
 
     int32_t addNode(Node n);
+    bool inScaffold(int32_t node) const;
 
     sat::Solver *solver_ = nullptr;
     sat::Solver ownedSolver_; // used when default-constructed
@@ -194,6 +220,9 @@ class BoolFactory
     std::unordered_map<GateKey, int32_t, GateKeyHash> gateCache_;
     std::vector<sat::Var> primaryVars_;
     std::unordered_map<sat::Var, int32_t> leafByVar_;
+    std::vector<std::pair<int32_t, int32_t>> scaffoldRanges_;
+    uint32_t scaffoldTag_ = 0;
+    bool hasScaffoldTag_ = false;
     BoolRef trueRef_;
 };
 

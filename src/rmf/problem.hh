@@ -78,8 +78,18 @@ class Problem
         return Expr::rel(id, relations_[id].arity);
     }
 
-    /** Assert a constraint. */
-    void require(Formula f) { facts_.push_back(std::move(f)); }
+    /**
+     * Assert a constraint, optionally naming its origin (the μspec
+     * axiom or well-formedness group it encodes). The label flows
+     * into the translator's per-fact clause attribution; unlabeled
+     * facts are attributed to the generic "fact" bucket.
+     */
+    void
+    require(Formula f, std::string label = {})
+    {
+        facts_.push_back(std::move(f));
+        factLabels_.push_back(std::move(label));
+    }
 
     /** Declare atoms interchangeable for symmetry breaking. */
     void
@@ -93,6 +103,11 @@ class Problem
         return relations_;
     }
     const std::vector<Formula> &facts() const { return facts_; }
+    /** Parallel to facts(): the origin label of each fact. */
+    const std::vector<std::string> &factLabels() const
+    {
+        return factLabels_;
+    }
     const std::vector<SymmetryClass> &symmetryClasses() const
     {
         return symmetryClasses_;
@@ -105,6 +120,7 @@ class Problem
     Universe universe_;
     std::vector<RelationDecl> relations_;
     std::vector<Formula> facts_;
+    std::vector<std::string> factLabels_;
     std::vector<SymmetryClass> symmetryClasses_;
 };
 

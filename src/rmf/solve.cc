@@ -12,9 +12,11 @@
 
 #include "rmf/solve.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <thread>
 #include <unordered_map>
 
 #include "engine/fault_injector.hh"
@@ -69,6 +71,8 @@ installHeartbeat(sat::Solver &solver, const SolveOptions &options,
                 .set(static_cast<double>(beat.restarts));
             metrics.gauge("sat.heartbeat.decision_level")
                 .set(static_cast<double>(beat.decisionLevel));
+            metrics.gauge("sat.heartbeat.learned_len_p50")
+                .set(static_cast<double>(beat.learnedLenP50));
 
             auto &recorder = obs::TraceRecorder::instance();
             if (recorder.enabled()) {
@@ -82,6 +86,8 @@ installHeartbeat(sat::Solver &solver, const SolveOptions &options,
                      static_cast<double>(beat.learntDbSize)},
                     {"decision_level",
                      static_cast<double>(beat.decisionLevel)},
+                    {"learned_len_p50",
+                     static_cast<double>(beat.learnedLenP50)},
                 };
                 recorder.recordCounter(std::move(event));
             }
@@ -104,6 +110,8 @@ installHeartbeat(sat::Solver &solver, const SolveOptions &options,
                                      beat.learntDbSize))
                             .add("decision_level",
                                  beat.decisionLevel)
+                            .add("learned_len_p50",
+                                 beat.learnedLenP50)
                             .str());
             }
         });
@@ -128,6 +136,52 @@ maybeDumpDimacs(const sat::Solver &solver,
     sat::writeDimacs(out, solver);
 }
 
+/**
+ * The first clause tag not used by the translation's provenance
+ * entries — free for this layer's enumeration blocking clauses.
+ */
+uint32_t
+firstFreeTag(const TranslationStats &stats)
+{
+    uint32_t tag = 1;
+    for (const ClauseProvenance &p : stats.provenance)
+        tag = std::max(tag, p.tag + 1);
+    return tag;
+}
+
+/**
+ * Copy the translation stats with conflict attribution filled in
+ * from the solver's per-tag counters, appending an entry for the
+ * enumeration blocking clauses when any were added.
+ */
+TranslationStats
+attributeProvenance(const TranslationStats &translation,
+                    const sat::Solver &solver,
+                    uint32_t blocking_tag)
+{
+    TranslationStats stats = translation;
+    const std::vector<uint64_t> &conflicts =
+        solver.conflictsByTag();
+    auto at = [](const std::vector<uint64_t> &v, uint32_t i) {
+        return i < v.size() ? v[i] : uint64_t{0};
+    };
+    for (ClauseProvenance &p : stats.provenance)
+        p.conflicts = at(conflicts, p.tag);
+    uint64_t blocking_clauses =
+        at(solver.clausesByTag(), blocking_tag);
+    uint64_t blocking_conflicts = at(conflicts, blocking_tag);
+    if (blocking_clauses || blocking_conflicts) {
+        stats.provenance.push_back(ClauseProvenance{
+            "(blocking)", "blocking", blocking_tag, 0,
+            blocking_clauses, blocking_conflicts});
+    }
+    // Refresh the clause total to include the enumeration's
+    // blocking clauses, so the provenance entries keep summing
+    // exactly to solverClauses after the search as well.
+    stats.solverClauses = solver.numClauses();
+    return stats;
+}
+
 /** Publish per-call statistics into the metrics registry. */
 void
 publishStats(const TranslationStats &translation,
@@ -139,6 +193,8 @@ publishStats(const TranslationStats &translation,
     m.counter("rmf.circuit_nodes").add(translation.circuitNodes);
     m.counter("rmf.solver_vars").add(translation.solverVars);
     m.counter("rmf.solver_clauses").add(translation.solverClauses);
+    m.counter("rmf.closure_gate_nodes")
+        .add(translation.closureGateNodes);
     m.counter("sat.decisions").add(solver.decisions);
     m.counter("sat.propagations").add(solver.propagations);
     m.counter("sat.conflicts").add(solver.conflicts);
@@ -146,6 +202,19 @@ publishStats(const TranslationStats &translation,
     m.counter("sat.learned_clauses").add(solver.learnedClauses);
     m.counter("sat.removed_clauses").add(solver.removedClauses);
     m.counter("sat.models_enumerated").add(solver.modelsEnumerated);
+    m.histogram("sat.learned_clause_len")
+        .merge(solver.learnedLenHist);
+    m.histogram("sat.backjump_depth").merge(solver.backjumpHist);
+    m.histogram("sat.decision_level")
+        .merge(solver.decisionLevelHist);
+    for (const ClauseProvenance &p : translation.provenance) {
+        if (p.clauses)
+            m.counter("rmf.clauses.by_label." + p.label)
+                .add(p.clauses);
+        if (p.conflicts)
+            m.counter("sat.conflicts.by_label." + p.label)
+                .add(p.conflicts);
+    }
 }
 
 } // anonymous namespace
@@ -165,13 +234,16 @@ solveOne(const Problem &problem, const SolveOptions &options,
     sat::LBool r = solver.solve();
     search.close();
 
-    publishStats(translation.stats(), solver.lastCallStats());
+    TranslationStats attributed = attributeProvenance(
+        translation.stats(), solver,
+        firstFreeTag(translation.stats()));
+    publishStats(attributed, solver.lastCallStats());
     if (result) {
         result->sat = (r == sat::LBool::True);
         result->aborted = (r == sat::LBool::Undef);
         result->abortReason = solver.abortReason();
         result->instances = (r == sat::LBool::True) ? 1 : 0;
-        result->translation = translation.stats();
+        result->translation = attributed;
         result->solver = solver.lastCallStats();
         result->translateSeconds =
             translation.stats().totalSeconds;
@@ -232,6 +304,12 @@ solveAll(const Problem &problem,
         replay = nullptr;
     }
 
+    // Blocking clauses added from here on (replay re-blocking and
+    // live enumeration alike) are attributed to their own tag, not
+    // to whichever axiom emitted clauses last.
+    uint32_t blocking_tag = firstFreeTag(translation.stats());
+    solver.setClauseTag(blocking_tag);
+
     // One span covers search + extraction + the caller's callback;
     // the extract/callback shares are timed inside the loop (they
     // interleave with search per model, so they cannot be separate
@@ -239,6 +317,14 @@ solveAll(const Problem &problem,
     obs::Span enumerate("sat.enumerate", "sat");
     double extract_seconds = 0.0;
     double callback_seconds = 0.0;
+
+    if (engine::FaultInjector::fires("rmf.solve.delay")) {
+        // Artificial slowdown landing in the sat.search phase —
+        // the deterministic way to exercise perf-regression
+        // detection (checkmate-report diff) end to end.
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(250));
+    }
 
     uint64_t replayed = 0;
     bool keep_going = true;
@@ -334,7 +420,9 @@ solveAll(const Problem &problem,
     enumerate.arg("models", count);
     enumerate.close();
 
-    publishStats(translation.stats(), solver.lastCallStats());
+    TranslationStats attributed = attributeProvenance(
+        translation.stats(), solver, blocking_tag);
+    publishStats(attributed, solver.lastCallStats());
     if (result) {
         result->sat = count > 0;
         result->aborted =
@@ -342,7 +430,7 @@ solveAll(const Problem &problem,
         result->abortReason = solver.abortReason();
         result->instances = count;
         result->replayedInstances = replayed;
-        result->translation = translation.stats();
+        result->translation = attributed;
         result->solver = solver.lastCallStats();
         result->translateSeconds =
             translation.stats().totalSeconds;

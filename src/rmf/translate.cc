@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 #include "obs/trace.hh"
 
@@ -51,6 +52,9 @@ Translation::Translation(const Problem &problem, sat::Solver &solver,
                     vars.push_back(factory_.leafVar(v));
                 }
             }
+            stats_.relationDensity.push_back(RelationDensity{
+                decl.name, decl.upper.size(), decl.lower.size(),
+                vars.size()});
             relationMatrices_.push_back(std::move(m));
             relationVars_.push_back(std::move(vars));
         }
@@ -59,26 +63,77 @@ Translation::Translation(const Problem &problem, sat::Solver &solver,
         stats_.boundsSeconds = bounds.seconds();
     }
 
+    // Clause tags: tag 0 stays the "untagged" catch-all; entry i of
+    // stats_.provenance carries tag i+1. The closure-scaffolding
+    // entry exists up front because scaffold gates can be reached
+    // while any fact is being asserted.
+    stats_.provenance.push_back(ClauseProvenance{
+        "(closure)", "closure-scaffolding", 1, 0, 0, 0});
+    factory_.setScaffoldTag(1);
+
     {
         // Assert every fact: relational → boolean circuit, asserted
-        // into the solver via Tseitin CNF conversion.
+        // into the solver via Tseitin CNF conversion. Facts sharing
+        // a label (one μspec axiom usually asserts several formulas)
+        // aggregate into one provenance entry, created in first-seen
+        // order so the attribution is deterministic.
         obs::Span facts("translate.facts", "rmf");
-        for (const Formula &f : problem.facts())
-            factory_.assertTrue(evalFormula(f), solver_);
+        const std::vector<std::string> &labels =
+            problem.factLabels();
+        std::unordered_map<std::string, size_t> entry_by_label;
+        for (size_t i = 0; i < problem.facts().size(); i++) {
+            const std::string &label =
+                i < labels.size() ? labels[i] : std::string();
+            size_t entry;
+            auto it = entry_by_label.find(label);
+            if (it != entry_by_label.end()) {
+                entry = it->second;
+            } else {
+                entry = stats_.provenance.size();
+                entry_by_label.emplace(label, entry);
+                stats_.provenance.push_back(ClauseProvenance{
+                    label.empty() ? "(unlabeled)" : label,
+                    label.empty() ? "fact" : "axiom",
+                    static_cast<uint32_t>(entry + 1), 0, 0, 0});
+            }
+            stats_.provenance[entry].facts++;
+            solver_.setClauseTag(stats_.provenance[entry].tag);
+            factory_.assertTrue(evalFormula(problem.facts()[i]),
+                                solver_);
+        }
         facts.close();
         stats_.formulaSeconds = facts.seconds();
     }
 
     if (break_symmetries && !problem.symmetryClasses().empty()) {
         obs::Span symmetry("translate.symmetry", "rmf");
+        size_t entry = stats_.provenance.size();
+        stats_.provenance.push_back(ClauseProvenance{
+            "(symmetry)", "symmetry-breaking",
+            static_cast<uint32_t>(entry + 1), 0, 0, 0});
+        solver_.setClauseTag(stats_.provenance[entry].tag);
         emitSymmetryBreaking();
         symmetry.close();
         stats_.symmetrySeconds = symmetry.seconds();
     }
+    // Leave the tag on the catch-all for whatever comes next
+    // (enumeration blocking clauses retag explicitly in solveAll).
+    solver_.setClauseTag(0);
 
     stats_.circuitNodes = factory_.numNodes();
     stats_.solverVars = static_cast<size_t>(solver_.numVars());
     stats_.solverClauses = solver_.numClauses();
+
+    // Harvest the per-tag clause counts. Every stored clause was
+    // counted under exactly one tag, so the entries (plus a
+    // catch-all for tag 0, if it ever fired) sum to solverClauses.
+    const std::vector<uint64_t> &by_tag = solver_.clausesByTag();
+    for (ClauseProvenance &p : stats_.provenance)
+        p.clauses = p.tag < by_tag.size() ? by_tag[p.tag] : 0;
+    if (!by_tag.empty() && by_tag[0] > 0) {
+        stats_.provenance.push_back(ClauseProvenance{
+            "(untagged)", "other", 0, 0, by_tag[0], 0});
+    }
 
     translate.arg("solver_vars",
                   static_cast<uint64_t>(stats_.solverVars));
@@ -124,6 +179,7 @@ Translation::matrixClosure(const BoolMatrix &a)
     assert(a.arity() == 2);
     // Iterative squaring: after k rounds the matrix contains paths of
     // length up to 2^k, so ceil(log2(|U|)) rounds suffice.
+    size_t nodes_before = factory_.numNodes();
     BoolMatrix acc = a;
     int n = problem_.universe().size();
     for (int len = 1; len < n; len *= 2) {
@@ -137,6 +193,9 @@ Translation::matrixClosure(const BoolMatrix &a)
         }
         acc = std::move(merged);
     }
+    size_t nodes_after = factory_.numNodes();
+    factory_.addScaffoldRange(nodes_before, nodes_after);
+    stats_.closureGateNodes += nodes_after - nodes_before;
     return acc;
 }
 

@@ -50,6 +50,45 @@ class BoolMatrix
     std::map<Tuple, BoolRef> cells_;
 };
 
+/**
+ * Provenance of one group of emitted CNF clauses: which part of the
+ * μspec model (axiom, anonymous fact, symmetry breaking, closure
+ * scaffolding) the clauses encode, how many clauses it produced,
+ * and — filled in after the search by rmf::solveAll — how many
+ * solver conflicts were attributed back to it. Clause counts over
+ * all entries of a translation sum exactly to solverClauses.
+ */
+struct ClauseProvenance
+{
+    /** Axiom / group name ("(unlabeled)" for anonymous facts). */
+    std::string label;
+    /** "axiom", "fact", "symmetry-breaking", "closure-scaffolding",
+     * "blocking" (enumeration), or "other". */
+    std::string kind;
+    /** The solver clause tag carrying this attribution. */
+    uint32_t tag = 0;
+    /** Number of source facts aggregated under this label. */
+    uint64_t facts = 0;
+    /** Stored problem clauses attributed to this entry. */
+    uint64_t clauses = 0;
+    /** Search conflicts attributed to this entry (post-solve). */
+    uint64_t conflicts = 0;
+};
+
+/**
+ * Density of one declared relation's bound matrix: how many tuples
+ * the upper bound admits, how many the lower bound forces, and how
+ * many free cells became primary SAT variables. The dominant knob
+ * for CNF size — dense bounds mean big matrices everywhere.
+ */
+struct RelationDensity
+{
+    std::string name;
+    uint64_t upperTuples = 0;
+    uint64_t lowerTuples = 0;
+    uint64_t freeVars = 0;
+};
+
 /** Statistics about one translation. */
 struct TranslationStats
 {
@@ -66,6 +105,13 @@ struct TranslationStats
     double symmetrySeconds = 0.0;
     /** Whole translation, wall. */
     double totalSeconds = 0.0;
+
+    /** Per-axiom/per-kind CNF attribution (sums to solverClauses). */
+    std::vector<ClauseProvenance> provenance;
+    /** Bound-matrix density per declared relation. */
+    std::vector<RelationDensity> relationDensity;
+    /** Circuit nodes created by iterative-squaring closures. */
+    size_t closureGateNodes = 0;
 };
 
 /**

@@ -97,8 +97,10 @@ Solver::addClause(const Clause &lits)
 
     ClauseRef cr = static_cast<ClauseRef>(clauseStore_.size());
     trackAlloc(clauseBytes(out.size()));
-    clauseStore_.push_back(ClauseData{out, 0.0, false, false});
+    clauseStore_.push_back(
+        ClauseData{out, 0.0, false, false, currentTag_});
     clauses_.push_back(cr);
+    bumpTag(clausesByTag_, currentTag_);
     attachClause(cr);
     return true;
 }
@@ -525,6 +527,7 @@ Solver::maybeHeartbeat()
                                   lastBeatConflicts_) /
                   interval
             : 0.0;
+    beat.learnedLenP50 = stats_.learnedLenHist.percentile(0.5);
     heartbeat_(beat);
     lastBeatTime_ = now;
     lastBeatConflicts_ = stats_.conflicts;
@@ -579,6 +582,11 @@ Solver::search()
         if (confl != crUndef) {
             stats_.conflicts++;
             conflicts_this_restart++;
+            // Attribute the conflict to the provenance tag of the
+            // clause that went false. Learned clauses carry the tag
+            // of their own originating conflict, so attribution
+            // survives resolution chains.
+            bumpTag(conflictsByTag_, clauseStore_[confl].tag);
             maybeHeartbeat();
             if (conflictBudget_ &&
                 stats_.conflicts - callBase_.conflicts >=
@@ -603,10 +611,18 @@ Solver::search()
                 return LBool::False;
             }
 
+            uint32_t confl_tag = clauseStore_[confl].tag;
+            int confl_level = decisionLevel();
             std::vector<Lit> learned;
             int bt_level;
             analyze(confl, learned, bt_level);
             cancelUntil(bt_level);
+
+            stats_.learnedLenHist.observe(learned.size());
+            stats_.backjumpHist.observe(
+                static_cast<uint64_t>(confl_level - bt_level));
+            stats_.decisionLevelHist.observe(
+                static_cast<uint64_t>(confl_level));
 
             if (learned.size() == 1) {
                 if (!enqueue(learned[0], crUndef)) {
@@ -617,8 +633,8 @@ Solver::search()
                 ClauseRef cr =
                     static_cast<ClauseRef>(clauseStore_.size());
                 trackAlloc(clauseBytes(learned.size()));
-                clauseStore_.push_back(
-                    ClauseData{learned, claInc_, true, false});
+                clauseStore_.push_back(ClauseData{
+                    learned, claInc_, true, false, confl_tag});
                 learnts_.push_back(cr);
                 stats_.learnedClauses++;
                 attachClause(cr);

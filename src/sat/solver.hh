@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "engine/stop_token.hh"
+#include "obs/histogram.hh"
 #include "sat/types.hh"
 
 namespace checkmate::sat
@@ -44,6 +45,12 @@ struct SolverStats
     uint64_t modelsEnumerated = 0;
     /** High-water mark of tracked allocation (bytes). */
     uint64_t memPeakBytes = 0;
+    /** Distribution of learned-clause lengths (literals). */
+    obs::LogHistogram learnedLenHist;
+    /** Distribution of backjump depths (levels unwound). */
+    obs::LogHistogram backjumpHist;
+    /** Distribution of decision levels at each conflict. */
+    obs::LogHistogram decisionLevelHist;
 };
 
 /** Component-wise difference (for per-call deltas). */
@@ -61,6 +68,9 @@ operator-(const SolverStats &a, const SolverStats &b)
     // A peak is a level, not a counter: the delta's peak is simply
     // the lifetime peak at the end of the call.
     d.memPeakBytes = a.memPeakBytes;
+    d.learnedLenHist = a.learnedLenHist - b.learnedLenHist;
+    d.backjumpHist = a.backjumpHist - b.backjumpHist;
+    d.decisionLevelHist = a.decisionLevelHist - b.decisionLevelHist;
     return d;
 }
 
@@ -85,6 +95,8 @@ struct HeartbeatData
     int decisionLevel = 0;
     /** Conflicts per second over the last interval. */
     double conflictsPerSec = 0.0;
+    /** Lifetime median learned-clause length (bin-floor estimate). */
+    uint64_t learnedLenP50 = 0;
 };
 
 /**
@@ -243,6 +255,34 @@ class Solver
      */
     engine::AbortReason abortReason() const { return abortReason_; }
 
+    /**
+     * Provenance tag applied to every subsequently added problem
+     * clause. The CNF producer (the rmf translator) switches the
+     * tag as it moves between axioms / symmetry breaking / closure
+     * scaffolding, so each stored clause remembers which part of
+     * the μspec model it encodes. Learned clauses inherit the tag
+     * of the conflicting clause they were analyzed from, which
+     * propagates attribution into the conflict statistics.
+     */
+    void setClauseTag(uint32_t tag) { currentTag_ = tag; }
+    uint32_t clauseTag() const { return currentTag_; }
+
+    /**
+     * Stored problem clauses per tag (index = tag). Sums exactly
+     * to numClauses(): every stored problem clause is counted
+     * under exactly one tag.
+     */
+    const std::vector<uint64_t> &clausesByTag() const
+    {
+        return clausesByTag_;
+    }
+
+    /** Conflicts attributed to each tag via the conflict clause. */
+    const std::vector<uint64_t> &conflictsByTag() const
+    {
+        return conflictsByTag_;
+    }
+
   private:
     /** Reference to a stored clause. */
     using ClauseRef = int32_t;
@@ -254,6 +294,8 @@ class Solver
         double activity = 0.0;
         bool learned = false;
         bool deleted = false;
+        /** Provenance tag (see setClauseTag). */
+        uint32_t tag = 0;
     };
 
     struct Watcher
@@ -362,6 +404,17 @@ class Solver
     std::vector<uint8_t> seen_;
     std::vector<Lit> analyzeToClear_;
     std::vector<Lit> analyzeStack_;
+
+    uint32_t currentTag_ = 0;
+    std::vector<uint64_t> clausesByTag_;
+    std::vector<uint64_t> conflictsByTag_;
+    static void
+    bumpTag(std::vector<uint64_t> &v, uint32_t tag)
+    {
+        if (v.size() <= tag)
+            v.resize(tag + 1, 0);
+        v[tag]++;
+    }
 
     uint64_t maxLearnts_ = 4000;
     uint64_t conflictBudget_ = 0;

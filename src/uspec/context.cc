@@ -62,6 +62,7 @@ UspecContext::UspecContext(const SynthesisBounds &bounds,
         assertCacheWellFormedness();
     assertSpeculationWellFormedness();
     assertCanonicalization();
+    setErrorEntity("");
 }
 
 void
@@ -495,6 +496,7 @@ UspecContext::litmusRelations() const
 void
 UspecContext::assertWellFormedness()
 {
+    setErrorEntity("WellFormedness");
     const int n = numEvents();
 
     for (EventId e = 0; e < n; e++) {
@@ -611,6 +613,7 @@ UspecContext::assertWellFormedness()
 void
 UspecContext::assertCacheWellFormedness()
 {
+    setErrorEntity("CacheWellFormedness");
     const int n = numEvents();
 
     for (EventId e = 0; e < n; e++) {
@@ -675,6 +678,7 @@ UspecContext::assertCacheWellFormedness()
 void
 UspecContext::assertSpeculationWellFormedness()
 {
+    setErrorEntity("SpeculationWellFormedness");
     const int n = numEvents();
     if (!options_.hasSpeculation) {
         require(rmf::no(mispredicted()));
@@ -757,6 +761,7 @@ UspecContext::assertSpeculationWellFormedness()
 void
 UspecContext::assertCanonicalization()
 {
+    setErrorEntity("Canonicalization");
     const int n = numEvents();
 
     // Event 0 executes on core 0; core c is only used if core c-1
@@ -878,6 +883,7 @@ UspecContext::assertCanonicalization()
 void
 UspecContext::applyAttackNoiseFilters()
 {
+    setErrorEntity("AttackNoiseFilters");
     for (EventId e = 0; e < numEvents(); e++) {
         require(!isFence(e));
         if (options_.hasSpeculation)
@@ -897,6 +903,7 @@ UspecContext::fixProgram(const std::vector<FixedOp> &ops)
                 ") must equal the event bound (" +
                 std::to_string(numEvents()) + ")");
     }
+    setErrorEntity("FixedProgram");
     for (EventId e = 0; e < numEvents(); e++) {
         const FixedOp &op = ops[e];
         require(isType(e, op.type));

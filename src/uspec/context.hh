@@ -321,8 +321,17 @@ class UspecContext
     static rmf::Formula exactlyOneF(
         const std::vector<rmf::Formula> &fs);
 
-    /** Require a constraint on the underlying problem. */
-    void require(rmf::Formula f) { problem_.require(std::move(f)); }
+    /**
+     * Require a constraint on the underlying problem, labeled with
+     * the entity currently being built (setErrorEntity) so the
+     * translator can attribute the resulting CNF clauses back to
+     * the axiom or pattern that produced them.
+     */
+    void
+    require(rmf::Formula f)
+    {
+        problem_.require(std::move(f), errorEntity_);
+    }
 
     /** All event ids, for quantification. */
     std::vector<EventId> events() const;

@@ -81,14 +81,16 @@ EdgeDeriver::finalize()
         TupleSet t(1);
         t.add(Tuple{nodeAtomOf(ctx_, key)});
         Formula member = rmf::in(Expr::constant(t), p.expr(liveRel_));
-        p.require(member.iff(Formula::disjunction(conds)));
+        p.require(member.iff(Formula::disjunction(conds)),
+                  "UhbNodeMembership");
     }
     for (const auto &[key, conds] : edgeConds_) {
         TupleSet t(2);
         t.add(Tuple{nodeAtomOf(ctx_, key.first),
                     nodeAtomOf(ctx_, key.second)});
         Formula member = rmf::in(Expr::constant(t), p.expr(uhbRel_));
-        p.require(member.iff(Formula::disjunction(conds)));
+        p.require(member.iff(Formula::disjunction(conds)),
+                  "UhbEdgeMembership");
     }
 
     // Build the closure expression once so every happensBefore query
@@ -97,8 +99,8 @@ EdgeDeriver::finalize()
 
     // A cyclic μhb graph is a physical event happening before itself:
     // forbid it (§III).
-    p.require(rmf::no(uhbClosure_ &
-                      Expr::iden(p.universe())));
+    p.require(rmf::no(uhbClosure_ & Expr::iden(p.universe())),
+              "UhbAcyclicity");
 }
 
 Formula

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Acceptance tests for the performance-provenance layer: a real
+ * Table I run's report must carry the build stanza, the registry
+ * snapshot, per-job counter deltas, per-axiom CNF attribution that
+ * sums exactly to the solver's clause count, relation densities,
+ * and the solver's search-quality histograms. Parsed back with the
+ * independent mini parser, as everywhere else.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "../obs/mini_json.hh"
+#include "engine/report.hh"
+#include "engine/scheduler.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using checkmate::testjson::parseJson;
+using checkmate::testjson::ValuePtr;
+
+ValuePtr
+runAndParseReport(const std::string &pattern, int bound,
+                  const std::string &path)
+{
+    std::vector<engine::SynthesisJob> jobs =
+        engine::tableOneJobs(pattern, bound, bound, /*cap=*/5);
+    engine::EngineOptions opts;
+    engine::RunResult run = engine::runJobs(jobs, opts);
+    EXPECT_TRUE(engine::writeRunReport(run, opts, path));
+
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    std::stringstream content;
+    content << in.rdbuf();
+    ValuePtr doc = parseJson(content.str());
+    EXPECT_TRUE(doc) << "report must be well-formed JSON";
+    std::remove(path.c_str());
+    return doc;
+}
+
+void
+checkReport(const ValuePtr &doc)
+{
+    ASSERT_TRUE(doc && doc->isObject());
+
+    // Build stanza: every key present and non-empty.
+    ValuePtr build = doc->get("build");
+    ASSERT_TRUE(build && build->isObject());
+    for (const char *key :
+         {"git_describe", "compiler", "compiler_version",
+          "build_type", "platform"}) {
+        ValuePtr v = build->get(key);
+        ASSERT_TRUE(v && v->isString()) << key;
+        EXPECT_FALSE(v->string.empty()) << key;
+    }
+    EXPECT_GE(build->get("cores")->number, 1.0);
+
+    // Full registry snapshot: counters, gauges, histograms.
+    ValuePtr metrics = doc->get("metrics");
+    ASSERT_TRUE(metrics && metrics->isObject());
+    ValuePtr counters = metrics->get("counters");
+    ASSERT_TRUE(counters && counters->isObject());
+    EXPECT_TRUE(counters->get("engine.jobs_completed"));
+    EXPECT_TRUE(counters->get("rmf.solver_clauses"));
+    ValuePtr hists = metrics->get("histograms");
+    ASSERT_TRUE(hists && hists->isObject());
+    ASSERT_TRUE(metrics->get("gauges"));
+
+    ValuePtr jobs = doc->get("jobs");
+    ASSERT_TRUE(jobs && jobs->isArray());
+    ASSERT_FALSE(jobs->array.empty());
+    for (const ValuePtr &job : jobs->array) {
+        // Per-axiom CNF attribution sums exactly to the solver's
+        // clause count — the headline invariant of this layer.
+        ValuePtr translation = job->get("translation");
+        ASSERT_TRUE(translation);
+        ValuePtr provenance = translation->get("provenance");
+        ASSERT_TRUE(provenance && provenance->isArray());
+        ASSERT_FALSE(provenance->array.empty());
+        double clause_sum = 0.0;
+        bool saw_axiom = false;
+        for (const ValuePtr &entry : provenance->array) {
+            clause_sum += entry->get("clauses")->number;
+            ASSERT_TRUE(entry->get("label")->isString());
+            if (entry->get("kind")->string == "axiom")
+                saw_axiom = true;
+        }
+        EXPECT_EQ(clause_sum,
+                  translation->get("solver_clauses")->number)
+            << "attribution must sum to the clause total";
+        EXPECT_TRUE(saw_axiom)
+            << "μspec axioms must appear as labeled entries";
+
+        // The μhb relations' bound densities.
+        ValuePtr relations = translation->get("relations");
+        ASSERT_TRUE(relations && relations->isArray());
+        EXPECT_FALSE(relations->array.empty());
+
+        // Search-quality histograms with plausible totals.
+        ValuePtr solver = job->get("solver");
+        ASSERT_TRUE(solver);
+        ValuePtr solver_hists = solver->get("histograms");
+        ASSERT_TRUE(solver_hists && solver_hists->isObject());
+        for (const char *name : {"learned_clause_len",
+                                 "backjump_depth",
+                                 "decision_level"}) {
+            ValuePtr h = solver_hists->get(name);
+            ASSERT_TRUE(h && h->isObject()) << name;
+            EXPECT_LE(h->get("count")->number,
+                      solver->get("conflicts")->number)
+                << name << ": one observation per learned conflict";
+        }
+
+        // Per-job counter deltas, not process totals: each job
+        // completed exactly once in its own window.
+        ValuePtr delta = job->get("metrics_delta");
+        ASSERT_TRUE(delta && delta->isObject());
+        ValuePtr completed = delta->get("engine.jobs_completed");
+        ASSERT_TRUE(completed);
+        EXPECT_EQ(completed->number, 1.0);
+    }
+}
+
+TEST(PerfProvenance, FlushReloadReportCarriesAttribution)
+{
+    checkReport(runAndParseReport(
+        "flush-reload", 4, "test_perf_prov_fr.json"));
+}
+
+TEST(PerfProvenance, PrimeProbeReportCarriesAttribution)
+{
+    checkReport(runAndParseReport(
+        "prime-probe", 3, "test_perf_prov_pp.json"));
+}
+
+} // namespace

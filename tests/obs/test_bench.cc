@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for bench aggregation (order statistics) and the
+ * BENCH_<scenario>.json schema, parsed back with the independent
+ * mini parser so the emitter is not validated against itself.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mini_json.hh"
+#include "obs/bench.hh"
+
+namespace
+{
+
+using namespace checkmate::obs;
+using checkmate::testjson::parseJson;
+using checkmate::testjson::ValuePtr;
+
+TEST(BenchStats, OddCountMedian)
+{
+    BenchStats s = computeStats({3.0, 1.0, 2.0});
+    EXPECT_DOUBLE_EQ(s.median, 2.0);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.mean, 2.0);
+    EXPECT_DOUBLE_EQ(s.p90, 3.0);
+    // Samples keep chronological (insertion) order, not sorted.
+    ASSERT_EQ(s.samples.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.samples[0], 3.0);
+}
+
+TEST(BenchStats, EvenCountMedianAveragesMiddlePair)
+{
+    BenchStats s = computeStats({4.0, 1.0, 3.0, 2.0});
+    EXPECT_DOUBLE_EQ(s.median, 2.5);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+}
+
+TEST(BenchStats, NearestRankP90)
+{
+    // Ten samples: nearest-rank p90 is the 9th smallest.
+    std::vector<double> v;
+    for (int i = 1; i <= 10; i++)
+        v.push_back(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(computeStats(v).p90, 9.0);
+    // A single sample is every percentile.
+    EXPECT_DOUBLE_EQ(computeStats({7.0}).p90, 7.0);
+}
+
+TEST(BenchStats, EmptyInputIsAllZero)
+{
+    BenchStats s = computeStats({});
+    EXPECT_DOUBLE_EQ(s.median, 0.0);
+    EXPECT_DOUBLE_EQ(s.p90, 0.0);
+    EXPECT_TRUE(s.samples.empty());
+}
+
+BenchRun
+sampleRun()
+{
+    BenchRun run;
+    run.scenario = "unit_test";
+    run.config = "cap=1";
+    run.quick = true;
+    BenchSample first;
+    first.wallSeconds = 1.0;
+    first.phaseSeconds["sat.search"] = 0.5;
+    first.phaseSeconds["rmf.translate"] = 0.25;
+    first.counters["sat.conflicts"] = 100;
+    first.memPeakBytes = 1 << 20;
+    first.rawInstances = 7;
+    first.uniqueTests = 3;
+    BenchSample second = first;
+    second.wallSeconds = 2.0;
+    second.phaseSeconds["sat.search"] = 1.5;
+    second.counters["sat.conflicts"] = 200;
+    second.memPeakBytes = 2 << 20;
+    run.samples = {first, second};
+    return run;
+}
+
+TEST(BenchJson, SchemaAndEnvironmentStanza)
+{
+    ValuePtr doc = parseJson(benchToJson(sampleRun()));
+    ASSERT_TRUE(doc) << "BENCH JSON must parse";
+    EXPECT_EQ(doc->get("schema")->string, "checkmate-bench-v1");
+    EXPECT_EQ(doc->get("scenario")->string, "unit_test");
+    EXPECT_EQ(doc->get("reps")->number, 2.0);
+    EXPECT_TRUE(doc->get("quick")->boolean);
+
+    // The environment stanza ties numbers to the build that made
+    // them; every key must be present and non-empty.
+    ValuePtr env = doc->get("environment");
+    ASSERT_TRUE(env && env->isObject());
+    for (const char *key :
+         {"git_describe", "compiler", "compiler_version",
+          "build_type", "platform"}) {
+        ValuePtr v = env->get(key);
+        ASSERT_TRUE(v && v->isString()) << key;
+        EXPECT_FALSE(v->string.empty()) << key;
+    }
+    ASSERT_TRUE(env->get("cores"));
+    EXPECT_GE(env->get("cores")->number, 1.0);
+}
+
+TEST(BenchJson, AggregatesPhasesAndMetrics)
+{
+    ValuePtr doc = parseJson(benchToJson(sampleRun()));
+    ASSERT_TRUE(doc);
+
+    ValuePtr wall = doc->get("wall_seconds");
+    ASSERT_TRUE(wall);
+    EXPECT_DOUBLE_EQ(wall->get("median")->number, 1.5);
+    EXPECT_DOUBLE_EQ(wall->get("min")->number, 1.0);
+    EXPECT_DOUBLE_EQ(wall->get("p90")->number, 2.0);
+    EXPECT_EQ(wall->get("samples")->array.size(), 2u);
+
+    ValuePtr search = doc->get("phases")->get("sat.search");
+    ASSERT_TRUE(search);
+    EXPECT_DOUBLE_EQ(search->get("median")->number, 1.0);
+
+    ValuePtr conflicts = doc->get("metrics")->get("sat.conflicts");
+    ASSERT_TRUE(conflicts);
+    EXPECT_DOUBLE_EQ(conflicts->get("median")->number, 150.0);
+
+    // mem_peak_bytes is the max across repetitions.
+    EXPECT_DOUBLE_EQ(doc->get("mem_peak_bytes")->number,
+                     2.0 * (1 << 20));
+    EXPECT_DOUBLE_EQ(doc->get("results")->get("raw_instances")->number,
+                     7.0);
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the log-scale histogram (binning, percentiles, merge)
+ * and the registry's drain-safe snapshotAndReset.
+ *
+ * The race regression at the bottom pins the Gauge::reset() bug
+ * fixed alongside the histogram work: reading metrics and then
+ * resetting them in two steps loses updates that land in between,
+ * so the registry drains via atomic exchange instead. Run under
+ * TSan, the test also proves the exchange path is data-race free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mini_json.hh"
+#include "obs/histogram.hh"
+#include "obs/metrics.hh"
+
+namespace
+{
+
+using namespace checkmate::obs;
+using checkmate::testjson::parseJson;
+using checkmate::testjson::ValuePtr;
+
+TEST(Histogram, BinLayout)
+{
+    // Bin 0 holds zero; bin b >= 1 holds [2^(b-1), 2^b - 1].
+    EXPECT_EQ(histogramBin(0), 0);
+    EXPECT_EQ(histogramBin(1), 1);
+    EXPECT_EQ(histogramBin(2), 2);
+    EXPECT_EQ(histogramBin(3), 2);
+    EXPECT_EQ(histogramBin(4), 3);
+    EXPECT_EQ(histogramBin(7), 3);
+    EXPECT_EQ(histogramBin(8), 4);
+    EXPECT_EQ(histogramBin(1023), 10);
+    EXPECT_EQ(histogramBin(1024), 11);
+    // Huge values clamp into the last bin instead of overflowing.
+    EXPECT_EQ(histogramBin(UINT64_MAX), kHistogramBins - 1);
+
+    EXPECT_EQ(histogramBinFloor(0), 0u);
+    EXPECT_EQ(histogramBinFloor(1), 1u);
+    EXPECT_EQ(histogramBinFloor(4), 8u);
+}
+
+TEST(Histogram, ObserveAndPercentile)
+{
+    LogHistogram h;
+    for (uint64_t v : {0, 1, 2, 3, 4, 8, 8, 8, 16, 100})
+        h.observe(v);
+    EXPECT_EQ(h.count, 10u);
+    EXPECT_EQ(h.max, 100u);
+    EXPECT_EQ(h.sum, 0u + 1 + 2 + 3 + 4 + 8 + 8 + 8 + 16 + 100);
+    EXPECT_DOUBLE_EQ(h.mean(), h.sum / 10.0);
+    // p50: the 5th sample (of 10) cumulates in bin [4,7] → floor 4.
+    EXPECT_EQ(h.percentile(0.5), 4u);
+    // p100 lands in the bin of the largest sample (floor 64).
+    EXPECT_EQ(h.percentile(1.0), 64u);
+    // An empty histogram reports zero for any percentile.
+    EXPECT_EQ(LogHistogram{}.percentile(0.9), 0u);
+}
+
+TEST(Histogram, MergeAndSubtract)
+{
+    LogHistogram a, b;
+    for (uint64_t v : {1, 2, 3})
+        a.observe(v);
+    for (uint64_t v : {3, 100})
+        b.observe(v);
+    LogHistogram merged = a;
+    merged.merge(b);
+    EXPECT_EQ(merged.count, 5u);
+    EXPECT_EQ(merged.max, 100u);
+    EXPECT_EQ(merged.sum, a.sum + b.sum);
+
+    // operator- recovers the second operand's deltas.
+    LogHistogram diff = merged - a;
+    EXPECT_EQ(diff.count, b.count);
+    EXPECT_EQ(diff.sum, b.sum);
+    for (int i = 0; i < kHistogramBins; i++)
+        EXPECT_EQ(diff.bins[i], b.bins[i]) << "bin " << i;
+}
+
+TEST(Histogram, AtomicHistogramMatchesPlainOne)
+{
+    Histogram atomic;
+    LogHistogram plain;
+    for (uint64_t v = 0; v < 200; v += 7) {
+        atomic.observe(v);
+        plain.observe(v);
+    }
+    LogHistogram snap = atomic.snapshot();
+    EXPECT_EQ(snap.count, plain.count);
+    EXPECT_EQ(snap.sum, plain.sum);
+    EXPECT_EQ(snap.max, plain.max);
+    for (int i = 0; i < kHistogramBins; i++)
+        EXPECT_EQ(snap.bins[i], plain.bins[i]) << "bin " << i;
+}
+
+TEST(Histogram, JsonRoundTrips)
+{
+    LogHistogram h;
+    for (uint64_t v : {1, 8, 8, 1000})
+        h.observe(v);
+    ValuePtr doc = parseJson(histogramToJson(h));
+    ASSERT_TRUE(doc) << "histogram JSON must parse";
+    EXPECT_EQ(doc->get("count")->number, 4.0);
+    EXPECT_EQ(doc->get("max")->number, 1000.0);
+    ValuePtr bins = doc->get("bins");
+    ASSERT_TRUE(bins && bins->isObject());
+    // Sparse: only the three occupied bins appear, keyed by floor.
+    EXPECT_EQ(bins->object.size(), 3u);
+    EXPECT_EQ(bins->get("1")->number, 1.0);
+    EXPECT_EQ(bins->get("8")->number, 2.0);
+    EXPECT_EQ(bins->get("512")->number, 1.0);
+}
+
+TEST(Metrics, RegistryHistogramRoundTrips)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+    registry.histogram("test.hist").observe(5);
+    registry.histogram("test.hist").observe(9);
+    auto values = registry.histogramValues();
+    ASSERT_EQ(values.count("test.hist"), 1u);
+    EXPECT_EQ(values["test.hist"].count, 2u);
+    EXPECT_EQ(values["test.hist"].max, 9u);
+    registry.reset();
+}
+
+TEST(Metrics, SnapshotAndResetDrains)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+    registry.counter("test.c").add(3);
+    registry.gauge("test.g").set(1.5);
+    registry.histogram("test.h").observe(7);
+
+    MetricsSnapshot snap = registry.snapshotAndReset();
+    EXPECT_EQ(snap.counters["test.c"], 3u);
+    EXPECT_DOUBLE_EQ(snap.gauges["test.g"], 1.5);
+    EXPECT_EQ(snap.histograms["test.h"].count, 1u);
+
+    // Drained: a second snapshot sees zeros.
+    MetricsSnapshot empty = registry.snapshot();
+    EXPECT_EQ(empty.counters["test.c"], 0u);
+    EXPECT_DOUBLE_EQ(empty.gauges["test.g"], 0.0);
+    EXPECT_EQ(empty.histograms["test.h"].count, 0u);
+    registry.reset();
+}
+
+TEST(Metrics, SnapshotAndResetNeverLosesConcurrentUpdates)
+{
+    // Regression for the reset/heartbeat race: writers hammer a
+    // counter and a histogram while the main thread repeatedly
+    // drains the registry. Every update must land in exactly one
+    // snapshot (or survive into the final drain) — the old
+    // read-then-reset sequence dropped updates arriving between
+    // the read and the reset.
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+
+    constexpr int kWriters = 4;
+    constexpr uint64_t kPerWriter = 20000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; w++) {
+        writers.emplace_back([&] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (uint64_t i = 0; i < kPerWriter; i++) {
+                registry.counter("race.c").add(1);
+                registry.histogram("race.h").observe(i & 0xFF);
+                registry.gauge("race.g").set(1.0);
+            }
+        });
+    }
+
+    uint64_t drained_count = 0;
+    uint64_t drained_hist = 0;
+    go.store(true, std::memory_order_release);
+    for (int round = 0; round < 500; round++) {
+        MetricsSnapshot snap = registry.snapshotAndReset();
+        drained_count += snap.counters["race.c"];
+        drained_hist += snap.histograms["race.h"].count;
+    }
+    for (std::thread &t : writers)
+        t.join();
+    MetricsSnapshot final_snap = registry.snapshotAndReset();
+    drained_count += final_snap.counters["race.c"];
+    drained_hist += final_snap.histograms["race.h"].count;
+
+    EXPECT_EQ(drained_count, kWriters * kPerWriter);
+    EXPECT_EQ(drained_hist, kWriters * kPerWriter);
+    registry.reset();
+}
+
+} // namespace

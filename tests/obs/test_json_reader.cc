@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Tests for the production JSON reader backing checkmate-report.
+ *
+ * Deliberately does NOT use tests/obs/mini_json.hh: the production
+ * reader is itself under test here, and elsewhere the mini parser
+ * stays the independent referee for the emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/json_reader.hh"
+
+namespace
+{
+
+using namespace checkmate::obs;
+
+TEST(JsonReader, ParsesScalars)
+{
+    EXPECT_TRUE(parseJson("null")->isNull());
+    EXPECT_TRUE(parseJson("true")->boolean);
+    EXPECT_FALSE(parseJson("false")->boolean);
+    EXPECT_DOUBLE_EQ(parseJson("-12.5e2")->number, -1250.0);
+    EXPECT_EQ(parseJson("\"hi\"")->str, "hi");
+}
+
+TEST(JsonReader, ParsesNestedDocument)
+{
+    auto doc = parseJson(
+        R"({"a":{"b":[1,2,3]},"c":"x","d":{"e":true}})");
+    ASSERT_TRUE(doc);
+    const JsonValue *b = doc->find("a", "b");
+    ASSERT_TRUE(b && b->isArray());
+    ASSERT_EQ(b->items.size(), 3u);
+    EXPECT_DOUBLE_EQ(b->items[1].asNumber(), 2.0);
+    EXPECT_EQ(doc->find("c")->asString(), "x");
+    EXPECT_TRUE(doc->find("d", "e")->boolean);
+    EXPECT_EQ(doc->find("missing"), nullptr);
+    EXPECT_EQ(doc->find("a", "missing"), nullptr);
+}
+
+TEST(JsonReader, KeepsMemberOrder)
+{
+    auto doc = parseJson(R"({"z":1,"a":2,"m":3})");
+    ASSERT_TRUE(doc);
+    ASSERT_EQ(doc->members.size(), 3u);
+    EXPECT_EQ(doc->members[0].first, "z");
+    EXPECT_EQ(doc->members[1].first, "a");
+    EXPECT_EQ(doc->members[2].first, "m");
+}
+
+TEST(JsonReader, DecodesEscapes)
+{
+    auto doc = parseJson(R"("line\nquote\"tab\tslash\\u:\u0041")");
+    ASSERT_TRUE(doc);
+    EXPECT_EQ(doc->str, "line\nquote\"tab\tslash\\u:A");
+}
+
+TEST(JsonReader, RejectsMalformedInput)
+{
+    std::string error;
+    EXPECT_EQ(parseJson("{", &error), nullptr);
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(parseJson("{\"a\":}", nullptr), nullptr);
+    EXPECT_EQ(parseJson("[1,2,]", nullptr), nullptr);
+    EXPECT_EQ(parseJson("tru", nullptr), nullptr);
+    EXPECT_EQ(parseJson("12abc", nullptr), nullptr);
+    // Trailing content after a complete value is an error.
+    EXPECT_EQ(parseJson("{} extra", nullptr), nullptr);
+    EXPECT_EQ(parseJson("", nullptr), nullptr);
+}
+
+TEST(JsonReader, MissingFileReportsError)
+{
+    std::string error;
+    EXPECT_EQ(parseJsonFile("/nonexistent/x.json", &error),
+              nullptr);
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for clause-tag provenance: per-axiom CNF attribution, the
+ * sum-to-total invariant, relation-density reporting, and conflict
+ * attribution after a search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rmf/quant.hh"
+#include "rmf/solve.hh"
+#include "rmf/translate.hh"
+#include "sat/solver.hh"
+
+namespace
+{
+
+using namespace checkmate::rmf;
+namespace sat = checkmate::sat;
+
+uint64_t
+provenanceClauseSum(const TranslationStats &stats)
+{
+    uint64_t sum = 0;
+    for (const ClauseProvenance &p : stats.provenance)
+        sum += p.clauses;
+    return sum;
+}
+
+const ClauseProvenance *
+findEntry(const TranslationStats &stats, const std::string &label)
+{
+    for (const ClauseProvenance &p : stats.provenance)
+        if (p.label == label)
+            return &p;
+    return nullptr;
+}
+
+/** A problem with labeled axioms, a closure, and a symmetry class. */
+Problem
+makeLabeledProblem(const Universe &u)
+{
+    Problem p(u);
+    TupleSet pairs = TupleSet::product(
+        {TupleSet::range(0, 3), TupleSet::range(0, 3)});
+    RelationId r = p.addRelation("r", pairs);
+    RelationId s = p.addRelation("s", TupleSet::range(0, 3));
+    p.require(no(p.expr(r).closure() & Expr::iden(u)),
+              "Acyclicity");
+    p.require(some(p.expr(s)), "NonEmpty");
+    p.require(atMost(p.expr(r), 3)); // anonymous fact
+    p.addSymmetryClass({0, 1, 2, 3});
+    return p;
+}
+
+TEST(Provenance, ClauseCountsSumToSolverTotal)
+{
+    Universe u({"a", "b", "c", "d"});
+    Problem p = makeLabeledProblem(u);
+    sat::Solver solver;
+    Translation t(p, solver);
+    const TranslationStats &stats = t.stats();
+
+    EXPECT_EQ(stats.solverClauses, solver.numClauses());
+    EXPECT_EQ(provenanceClauseSum(stats), stats.solverClauses)
+        << "every stored clause must be attributed exactly once";
+}
+
+TEST(Provenance, LabeledFactsBecomeAxiomEntries)
+{
+    Universe u({"a", "b", "c", "d"});
+    Problem p = makeLabeledProblem(u);
+    sat::Solver solver;
+    Translation t(p, solver);
+    const TranslationStats &stats = t.stats();
+
+    // The closure-scaffolding entry is pinned first (tag 1), since
+    // scaffold gates can be emitted lazily while any fact's circuit
+    // reaches the solver.
+    ASSERT_FALSE(stats.provenance.empty());
+    EXPECT_EQ(stats.provenance[0].label, "(closure)");
+    EXPECT_EQ(stats.provenance[0].kind, "closure-scaffolding");
+    EXPECT_EQ(stats.provenance[0].tag, 1u);
+    EXPECT_GT(stats.provenance[0].clauses, 0u)
+        << "the closure must have produced scaffold clauses";
+
+    // Acyclicity asserts only negated-unit literals (its gate
+    // clauses belong to the closure scaffolding), so its entry may
+    // legitimately count zero stored clauses — but it must exist.
+    const ClauseProvenance *acyclic = findEntry(stats, "Acyclicity");
+    ASSERT_NE(acyclic, nullptr);
+    EXPECT_EQ(acyclic->kind, "axiom");
+    EXPECT_EQ(acyclic->facts, 1u);
+
+    // `some s` stores a real OR clause under its own label.
+    const ClauseProvenance *nonempty = findEntry(stats, "NonEmpty");
+    ASSERT_NE(nonempty, nullptr);
+    EXPECT_EQ(nonempty->kind, "axiom");
+    EXPECT_GT(nonempty->clauses, 0u);
+
+    const ClauseProvenance *anon = findEntry(stats, "(unlabeled)");
+    ASSERT_NE(anon, nullptr);
+    EXPECT_EQ(anon->kind, "fact");
+
+    const ClauseProvenance *sym = findEntry(stats, "(symmetry)");
+    ASSERT_NE(sym, nullptr);
+    EXPECT_EQ(sym->kind, "symmetry-breaking");
+    EXPECT_GT(sym->clauses, 0u);
+
+    // Tags are unique across entries.
+    std::set<uint32_t> tags;
+    for (const ClauseProvenance &entry : stats.provenance)
+        EXPECT_TRUE(tags.insert(entry.tag).second)
+            << "duplicate tag " << entry.tag;
+
+    EXPECT_GT(stats.closureGateNodes, 0u);
+}
+
+TEST(Provenance, FactsGroupUnderOneLabel)
+{
+    Universe u({"a", "b"});
+    Problem p(u);
+    RelationId r = p.addRelation("r", TupleSet::range(0, 1));
+    p.require(some(p.expr(r)), "Grouped");
+    p.require(atMost(p.expr(r), 1), "Grouped");
+    sat::Solver solver;
+    Translation t(p, solver);
+    const ClauseProvenance *grouped =
+        findEntry(t.stats(), "Grouped");
+    ASSERT_NE(grouped, nullptr);
+    EXPECT_EQ(grouped->facts, 2u);
+    EXPECT_EQ(provenanceClauseSum(t.stats()),
+              t.stats().solverClauses);
+}
+
+TEST(Provenance, RelationDensityReported)
+{
+    Universe u({"a", "b", "c", "d"});
+    Problem p = makeLabeledProblem(u);
+    sat::Solver solver;
+    Translation t(p, solver);
+    const auto &density = t.stats().relationDensity;
+    ASSERT_EQ(density.size(), 2u);
+    EXPECT_EQ(density[0].name, "r");
+    EXPECT_EQ(density[0].upperTuples, 16u);
+    EXPECT_EQ(density[0].lowerTuples, 0u);
+    EXPECT_EQ(density[0].freeVars, 16u);
+    EXPECT_EQ(density[1].name, "s");
+    EXPECT_EQ(density[1].upperTuples, 4u);
+}
+
+TEST(Provenance, SolveAttributesConflictsAndBlockingClauses)
+{
+    Universe u({"a", "b", "c", "d"});
+    Problem p = makeLabeledProblem(u);
+
+    SolveResult result;
+    uint64_t n = solveAll(
+        p, [](const Instance &) { return true; }, {}, &result);
+    ASSERT_GT(n, 0u);
+
+    const TranslationStats &stats = result.translation;
+    // Enumerating n models adds blocking clauses; attribution must
+    // keep the sum-to-total invariant over the final clause count.
+    const ClauseProvenance *blocking =
+        findEntry(stats, "(blocking)");
+    ASSERT_NE(blocking, nullptr);
+    EXPECT_EQ(blocking->kind, "blocking");
+    EXPECT_GT(blocking->clauses, 0u);
+    EXPECT_EQ(provenanceClauseSum(stats), stats.solverClauses);
+
+    // Conflicts, when any occurred, are attributed to tagged
+    // entries; the totals must never exceed the solver's count.
+    uint64_t conflict_sum = 0;
+    for (const ClauseProvenance &entry : stats.provenance)
+        conflict_sum += entry.conflicts;
+    EXPECT_LE(conflict_sum, result.solver.conflicts);
+}
+
+TEST(Provenance, SolverTracksClausesByTag)
+{
+    sat::Solver solver;
+    sat::Var a = solver.newVar();
+    sat::Var b = solver.newVar();
+    EXPECT_EQ(solver.clauseTag(), 0u);
+    solver.addClause({sat::mkLit(a), sat::mkLit(b)});
+    solver.setClauseTag(5);
+    EXPECT_EQ(solver.clauseTag(), 5u);
+    solver.addClause({~sat::mkLit(a), sat::mkLit(b)});
+    solver.setClauseTag(0);
+
+    const std::vector<uint64_t> &by_tag = solver.clausesByTag();
+    ASSERT_GE(by_tag.size(), 6u);
+    EXPECT_EQ(by_tag[0], 1u);
+    EXPECT_EQ(by_tag[5], 1u);
+    uint64_t total = 0;
+    for (uint64_t c : by_tag)
+        total += c;
+    EXPECT_EQ(total, solver.numClauses());
+}
+
+} // namespace

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests for the checkmate-report analyzer: summarize output, diff
+ * deltas and exit codes, and — end to end — that a run slowed
+ * through the fault injector's delay site is flagged as a
+ * regression naming the slowed phase.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "engine/fault_injector.hh"
+#include "engine/report.hh"
+#include "engine/scheduler.hh"
+#include "report_tool.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using namespace checkmate::tools;
+
+/** Write @p content to @p path (plain, test-local). */
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << path;
+    out << content;
+}
+
+/** A minimal run report with one job and controllable phases. */
+std::string
+syntheticReport(double wall, double search, double translate)
+{
+    std::ostringstream out;
+    out << R"({"engine":{"threads":1,"wall_seconds":)" << wall
+        << R"(,"jobs":1},"jobs":[{"key":"j0","wall_seconds":)"
+        << wall << R"(,"phases":{"sat.search":)" << search
+        << R"(,"rmf.translate":)" << translate << "}}]}";
+    return out.str();
+}
+
+class ReportToolFixture : public ::testing::Test
+{
+  protected:
+    void
+    TearDown() override
+    {
+        for (const std::string &path : cleanup_)
+            std::remove(path.c_str());
+        engine::FaultInjector::instance().reset();
+    }
+
+    std::string
+    temp(const std::string &name, const std::string &content)
+    {
+        writeFile(name, content);
+        cleanup_.push_back(name);
+        return name;
+    }
+
+    std::vector<std::string> cleanup_;
+};
+
+TEST_F(ReportToolFixture, DiffCleanRunExitsZero)
+{
+    std::string a =
+        temp("rt_a.json", syntheticReport(1.0, 0.6, 0.3));
+    std::string b =
+        temp("rt_b.json", syntheticReport(1.02, 0.61, 0.31));
+    std::ostringstream out, err;
+    EXPECT_EQ(diffReports(a, b, {}, out, err), kReportOk);
+    EXPECT_NE(out.str().find("no regression"), std::string::npos);
+}
+
+TEST_F(ReportToolFixture, DiffNamesRegressingPhase)
+{
+    std::string a =
+        temp("rt_a.json", syntheticReport(1.0, 0.6, 0.3));
+    // sat.search doubles; rmf.translate stays put.
+    std::string b =
+        temp("rt_b.json", syntheticReport(1.6, 1.2, 0.3));
+    std::ostringstream out, err;
+    EXPECT_EQ(diffReports(a, b, {}, out, err), kReportRegression);
+    EXPECT_NE(out.str().find("REGRESSION"), std::string::npos);
+    EXPECT_NE(out.str().find("sat.search"), std::string::npos);
+    // The healthy phase is not blamed.
+    EXPECT_EQ(out.str().find("REGRESSION in wall phase sat.search "
+                             "phase rmf.translate"),
+              std::string::npos);
+}
+
+TEST_F(ReportToolFixture, ToleranceSuppressesSmallSlowdowns)
+{
+    std::string a =
+        temp("rt_a.json", syntheticReport(1.0, 0.6, 0.3));
+    std::string b =
+        temp("rt_b.json", syntheticReport(1.3, 0.78, 0.36));
+    // 30% slower overall: a regression at the default 10%
+    // tolerance, clean at 50%.
+    std::ostringstream out1, out2, err;
+    EXPECT_EQ(diffReports(a, b, {}, out1, err),
+              kReportRegression);
+    DiffOptions loose;
+    loose.tolerancePct = 50.0;
+    EXPECT_EQ(diffReports(a, b, loose, out2, err), kReportOk);
+}
+
+TEST_F(ReportToolFixture, MinSecondsFloorIgnoresMicroPhases)
+{
+    // 5ms -> 9ms is +80% but under the 10ms floor: noise.
+    std::string a =
+        temp("rt_a.json", syntheticReport(1.0, 0.005, 0.3));
+    std::string b =
+        temp("rt_b.json", syntheticReport(1.0, 0.009, 0.3));
+    std::ostringstream out, err;
+    EXPECT_EQ(diffReports(a, b, {}, out, err), kReportOk);
+}
+
+TEST_F(ReportToolFixture, ErrorsExitTwo)
+{
+    std::ostringstream out, err;
+    EXPECT_EQ(diffReports("/nonexistent_a.json",
+                          "/nonexistent_b.json", {}, out, err),
+              kReportError);
+
+    std::string good =
+        temp("rt_good.json", syntheticReport(1.0, 0.6, 0.3));
+    std::string bad = temp("rt_bad.json", "{not json");
+    EXPECT_EQ(diffReports(good, bad, {}, out, err), kReportError);
+
+    // A document that parses but is neither known kind.
+    std::string alien = temp("rt_alien.json", R"({"foo":1})");
+    EXPECT_EQ(summarizeReport(alien, 5, out, err), kReportError);
+    EXPECT_EQ(diffReports(good, alien, {}, out, err),
+              kReportError);
+}
+
+TEST_F(ReportToolFixture, SummarizePrintsPhaseTreeAndTopJobs)
+{
+    std::string path =
+        temp("rt_sum.json", syntheticReport(1.0, 0.6, 0.3));
+    std::ostringstream out, err;
+    ASSERT_EQ(summarizeReport(path, 5, out, err), kReportOk);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("run report: 1 job(s)"), std::string::npos);
+    EXPECT_NE(text.find("search"), std::string::npos);
+    EXPECT_NE(text.find("translate"), std::string::npos);
+    EXPECT_NE(text.find("top jobs:"), std::string::npos);
+    EXPECT_NE(text.find("j0"), std::string::npos);
+}
+
+TEST_F(ReportToolFixture, InjectedDelayIsFlaggedAsRegression)
+{
+    // End to end: the same tiny Table I job, run clean and run with
+    // the solver-delay fault site armed, must diff as a regression
+    // that names sat.search (where the injected sleep lands).
+    auto run_report = [&](const std::string &path) {
+        std::vector<engine::SynthesisJob> jobs =
+            engine::tableOneJobs("flush-reload", 4, 4, /*cap=*/5);
+        engine::EngineOptions opts;
+        engine::RunResult run = engine::runJobs(jobs, opts);
+        ASSERT_TRUE(engine::writeRunReport(run, opts, path));
+        cleanup_.push_back(path);
+    };
+
+    run_report("rt_clean.json");
+    ASSERT_TRUE(engine::FaultInjector::instance().configure(
+        "rmf.solve.delay:1"));
+    run_report("rt_slowed.json");
+    engine::FaultInjector::instance().reset();
+
+    std::ostringstream out, err;
+    int code = diffReports("rt_clean.json", "rt_slowed.json", {},
+                           out, err);
+    EXPECT_EQ(code, kReportRegression) << out.str() << err.str();
+    EXPECT_NE(out.str().find("phase sat.search"),
+              std::string::npos)
+        << out.str();
+}
+
+} // namespace

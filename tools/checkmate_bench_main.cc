@@ -1,0 +1,335 @@
+/**
+ * @file
+ * checkmate-bench: the performance-baseline harness.
+ *
+ * Runs named synthesis scenarios (Table I sweeps, Fig. 5 attack
+ * rows) N times each and writes one canonical BENCH_<scenario>.json
+ * per scenario: wall-time median/min/p90, per-phase span breakdown,
+ * per-repetition metric counter deltas, peak solver memory, and the
+ * environment stanza (git sha, compiler, flags, cores) — everything
+ * checkmate-report diff needs to compare runs across commits.
+ *
+ * usage: checkmate-bench [--quick] [--reps N] [--out-dir DIR]
+ *                        [--scenario NAME]... [--cap N] [--jobs N]
+ *                        [--inject SPEC] [--list]
+ *
+ * --quick trims bounds/caps/reps to CI-smoke size (the checked-in
+ * baselines under bench/baselines/ are quick-mode; refresh them
+ * with `checkmate-bench --quick --out-dir bench/baselines`, see
+ * docs/BENCHMARKING.md). --scenario selects a subset (default: the
+ * two Table I scenarios). --inject arms fault-injection sites
+ * (`site:N`, engine/fault_injector.hh) so a deliberately slowed run
+ * can exercise the regression gate. Exit codes: 0 = all scenarios
+ * ran and were written, 2 = error (unknown scenario, job failure,
+ * unwritable output).
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/fault_injector.hh"
+#include "engine/job.hh"
+#include "engine/scheduler.hh"
+#include "obs/bench.hh"
+#include "obs/metrics.hh"
+
+namespace
+{
+
+using namespace checkmate;
+
+struct BenchConfig
+{
+    bool quick = false;
+    int reps = 0;      ///< 0 = default (5 full, 3 quick)
+    uint64_t cap = 0;  ///< 0 = scenario default
+    int jobs = 1;
+    std::string outDir = ".";
+};
+
+struct Scenario
+{
+    const char *name;
+    const char *summary;
+    std::vector<engine::SynthesisJob> (*make)(const BenchConfig &);
+    std::string (*describe)(const BenchConfig &);
+};
+
+uint64_t
+scenarioCap(const BenchConfig &config, uint64_t full_default)
+{
+    if (config.cap)
+        return config.cap;
+    return config.quick ? 20 : full_default;
+}
+
+std::string
+sweepConfig(const BenchConfig &config, const char *pattern,
+            int lo, int hi, uint64_t full_cap)
+{
+    std::ostringstream out;
+    out << pattern << " bounds " << lo << ".." << hi << " cap "
+        << scenarioCap(config, full_cap);
+    return out.str();
+}
+
+// Table I sweeps: the paper's row methodology end to end. Quick
+// mode stops at the first speculative row so CI smoke stays fast.
+std::vector<engine::SynthesisJob>
+makeTable1FlushReload(const BenchConfig &c)
+{
+    return engine::tableOneJobs("flush-reload", 4, c.quick ? 5 : 6,
+                                scenarioCap(c, 100));
+}
+std::string
+describeTable1FlushReload(const BenchConfig &c)
+{
+    return sweepConfig(c, "flush-reload", 4, c.quick ? 5 : 6, 100);
+}
+
+std::vector<engine::SynthesisJob>
+makeTable1PrimeProbe(const BenchConfig &c)
+{
+    return engine::tableOneJobs("prime-probe", 3, c.quick ? 4 : 5,
+                                scenarioCap(c, 100));
+}
+std::string
+describeTable1PrimeProbe(const BenchConfig &c)
+{
+    return sweepConfig(c, "prime-probe", 3, c.quick ? 4 : 5, 100);
+}
+
+// Fig. 5 rows: one attack bound each. tableOneJobs picks the
+// window requirement from the bound (fault window one above the
+// traditional attack, branch window two above), which is exactly
+// the Meltdown/Spectre(+Prime) row definition.
+std::vector<engine::SynthesisJob>
+makeFig5Meltdown(const BenchConfig &c)
+{
+    return engine::tableOneJobs("flush-reload", 5, 5,
+                                scenarioCap(c, 100));
+}
+std::string
+describeFig5Meltdown(const BenchConfig &c)
+{
+    return sweepConfig(c, "flush-reload", 5, 5, 100);
+}
+
+std::vector<engine::SynthesisJob>
+makeFig5Spectre(const BenchConfig &c)
+{
+    return engine::tableOneJobs("flush-reload", 6, 6,
+                                scenarioCap(c, 100));
+}
+std::string
+describeFig5Spectre(const BenchConfig &c)
+{
+    return sweepConfig(c, "flush-reload", 6, 6, 100);
+}
+
+std::vector<engine::SynthesisJob>
+makeFig5MeltdownPrime(const BenchConfig &c)
+{
+    return engine::tableOneJobs("prime-probe", 4, 4,
+                                scenarioCap(c, 100));
+}
+std::string
+describeFig5MeltdownPrime(const BenchConfig &c)
+{
+    return sweepConfig(c, "prime-probe", 4, 4, 100);
+}
+
+std::vector<engine::SynthesisJob>
+makeFig5SpectrePrime(const BenchConfig &c)
+{
+    return engine::tableOneJobs("prime-probe", 5, 5,
+                                scenarioCap(c, 100));
+}
+std::string
+describeFig5SpectrePrime(const BenchConfig &c)
+{
+    return sweepConfig(c, "prime-probe", 5, 5, 100);
+}
+
+const Scenario kScenarios[] = {
+    {"table1_flush_reload",
+     "Table I top half: FLUSH+RELOAD sweep on SpecOoO",
+     makeTable1FlushReload, describeTable1FlushReload},
+    {"table1_prime_probe",
+     "Table I bottom half: PRIME+PROBE sweep on SpecOoO+coherence",
+     makeTable1PrimeProbe, describeTable1PrimeProbe},
+    {"fig5_meltdown", "Fig. 5a row: Meltdown (fault window)",
+     makeFig5Meltdown, describeFig5Meltdown},
+    {"fig5_spectre", "Fig. 5b row: Spectre (branch window)",
+     makeFig5Spectre, describeFig5Spectre},
+    {"fig5_meltdownprime",
+     "Fig. 5c row: MeltdownPrime (fault window)",
+     makeFig5MeltdownPrime, describeFig5MeltdownPrime},
+    {"fig5_spectreprime",
+     "Fig. 5d row: SpectrePrime (branch window)",
+     makeFig5SpectrePrime, describeFig5SpectrePrime},
+};
+
+const Scenario *
+findScenario(const std::string &name)
+{
+    for (const Scenario &s : kScenarios)
+        if (name == s.name)
+            return &s;
+    return nullptr;
+}
+
+/** Run one repetition and measure it into a BenchSample. */
+bool
+runRep(const Scenario &scenario, const BenchConfig &config,
+       obs::BenchSample &sample)
+{
+    auto &registry = obs::MetricsRegistry::instance();
+    std::map<std::string, uint64_t> before =
+        registry.counterValues();
+
+    std::vector<engine::SynthesisJob> jobs =
+        scenario.make(config);
+    engine::EngineOptions opts;
+    opts.threads = config.jobs;
+    engine::RunResult run = engine::runJobs(jobs, opts);
+
+    sample = obs::BenchSample{};
+    sample.wallSeconds = run.wallSeconds;
+    for (const engine::JobResult &job : run.jobs) {
+        if (!job.error.empty()) {
+            std::cerr << "checkmate-bench: job " << job.key
+                      << " failed: " << job.error << '\n';
+            return false;
+        }
+        for (const auto &[phase, seconds] :
+             job.report.phaseSeconds)
+            sample.phaseSeconds[phase] += seconds;
+        sample.memPeakBytes =
+            std::max(sample.memPeakBytes,
+                     job.report.solver.memPeakBytes);
+        sample.rawInstances += job.report.rawInstances;
+        sample.uniqueTests += job.report.uniqueTests;
+    }
+    for (const auto &[name, value] : registry.counterValues()) {
+        auto it = before.find(name);
+        uint64_t base = it == before.end() ? 0 : it->second;
+        if (value > base)
+            sample.counters[name] = value - base;
+    }
+    return true;
+}
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage: checkmate-bench [--quick] [--reps N]"
+           " [--out-dir DIR]\n"
+           "                       [--scenario NAME]... [--cap N]"
+           " [--jobs N]\n"
+           "                       [--inject SPEC] [--list]\n";
+    return code;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchConfig config;
+    std::vector<std::string> selected;
+    std::string inject;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--quick") {
+            config.quick = true;
+        } else if (arg == "--reps" && i + 1 < argc) {
+            config.reps = std::atoi(argv[++i]);
+        } else if (arg == "--out-dir" && i + 1 < argc) {
+            config.outDir = argv[++i];
+        } else if (arg == "--scenario" && i + 1 < argc) {
+            selected.push_back(argv[++i]);
+        } else if (arg == "--cap" && i + 1 < argc) {
+            config.cap = std::strtoull(argv[++i], nullptr, 10);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            config.jobs = std::atoi(argv[++i]);
+        } else if (arg == "--inject" && i + 1 < argc) {
+            inject = argv[++i];
+        } else if (arg == "--list") {
+            for (const Scenario &s : kScenarios)
+                std::cout << s.name << "\t" << s.summary << '\n';
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else {
+            std::cerr << "checkmate-bench: unknown argument " << arg
+                      << '\n';
+            return usage(std::cerr, 2);
+        }
+    }
+
+    if (!inject.empty() &&
+        !checkmate::engine::FaultInjector::instance().configure(
+            inject)) {
+        std::cerr << "checkmate-bench: malformed --inject spec: "
+                  << inject << '\n';
+        return 2;
+    }
+
+    if (selected.empty())
+        selected = {"table1_flush_reload", "table1_prime_probe"};
+
+    std::error_code ec;
+    std::filesystem::create_directories(config.outDir, ec);
+    if (ec) {
+        std::cerr << "checkmate-bench: cannot create "
+                  << config.outDir << ": " << ec.message() << '\n';
+        return 2;
+    }
+    int reps = config.reps > 0 ? config.reps
+               : config.quick ? 3
+                              : 5;
+
+    for (const std::string &name : selected) {
+        const Scenario *scenario = findScenario(name);
+        if (!scenario) {
+            std::cerr << "checkmate-bench: unknown scenario "
+                      << name << " (see --list)\n";
+            return 2;
+        }
+
+        obs::BenchRun run;
+        run.scenario = scenario->name;
+        run.config = scenario->describe(config);
+        run.quick = config.quick;
+
+        std::cout << scenario->name << " (" << run.config << "), "
+                  << reps << " rep(s):" << std::flush;
+        for (int rep = 0; rep < reps; rep++) {
+            obs::BenchSample sample;
+            if (!runRep(*scenario, config, sample))
+                return 2;
+            std::cout << ' ' << std::fixed << std::setprecision(2)
+                      << sample.wallSeconds << 's' << std::flush;
+            run.samples.push_back(std::move(sample));
+        }
+        std::cout << '\n';
+
+        std::string path =
+            config.outDir + "/BENCH_" + scenario->name + ".json";
+        if (!obs::writeBenchFile(run, path)) {
+            std::cerr << "checkmate-bench: cannot write " << path
+                      << '\n';
+            return 2;
+        }
+        std::cout << "  wrote " << path << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * checkmate-report: analyze and compare run reports and BENCH
+ * files.
+ *
+ * usage:
+ *   checkmate-report summarize FILE [--top K]
+ *   checkmate-report diff BASELINE NEW [--tolerance-pct P]
+ *                                      [--min-seconds S]
+ *
+ * summarize prints the build stanza, a flamegraph-style text tree
+ * of the phase breakdown, the top-K phases and jobs, and the
+ * per-axiom clause/conflict attribution.
+ *
+ * diff compares NEW against BASELINE per phase and per metric.
+ * Exit codes: 0 = no regression, 3 = regression beyond tolerance
+ * (regressing phases are named), 2 = tool error (unreadable or
+ * malformed input, bad usage). docs/BENCHMARKING.md describes the
+ * tolerance policy.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "report_tool.hh"
+
+namespace
+{
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage:\n"
+        << "  checkmate-report summarize FILE [--top K]\n"
+        << "  checkmate-report diff BASELINE NEW"
+           " [--tolerance-pct P] [--min-seconds S]\n";
+    return code;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace checkmate::tools;
+
+    if (argc < 2)
+        return usage(std::cerr, kReportError);
+    std::string command = argv[1];
+    if (command == "--help" || command == "-h")
+        return usage(std::cout, kReportOk);
+
+    std::vector<std::string> positional;
+    int top_k = 10;
+    DiffOptions diff_options;
+    for (int i = 2; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--top" && i + 1 < argc) {
+            top_k = std::atoi(argv[++i]);
+        } else if (arg == "--tolerance-pct" && i + 1 < argc) {
+            diff_options.tolerancePct = std::atof(argv[++i]);
+        } else if (arg == "--min-seconds" && i + 1 < argc) {
+            diff_options.minSeconds = std::atof(argv[++i]);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "checkmate-report: unknown option " << arg
+                      << '\n';
+            return usage(std::cerr, kReportError);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    if (command == "summarize") {
+        if (positional.size() != 1)
+            return usage(std::cerr, kReportError);
+        return summarizeReport(positional[0], top_k, std::cout,
+                               std::cerr);
+    }
+    if (command == "diff") {
+        if (positional.size() != 2)
+            return usage(std::cerr, kReportError);
+        return diffReports(positional[0], positional[1],
+                           diff_options, std::cout, std::cerr);
+    }
+    std::cerr << "checkmate-report: unknown command " << command
+              << '\n';
+    return usage(std::cerr, kReportError);
+}

@@ -1,0 +1,485 @@
+/**
+ * @file
+ * Summarize/diff implementation for checkmate-report.
+ */
+
+#include "report_tool.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "obs/json_reader.hh"
+
+namespace checkmate::tools
+{
+
+namespace
+{
+
+using obs::JsonValue;
+
+/**
+ * The comparable essence of either document kind: one total wall
+ * time, a flat phase breakdown (seconds), and counter-style metrics.
+ */
+struct Measures
+{
+    /** "bench" or "run-report". */
+    std::string kind;
+    /** Scenario name, or "run-report". */
+    std::string label;
+    double wallSeconds = 0.0;
+    std::map<std::string, double> phases;
+    std::map<std::string, double> counters;
+};
+
+bool
+isBenchDoc(const JsonValue &doc)
+{
+    const JsonValue *schema = doc.find("schema");
+    return schema && schema->asString() == "checkmate-bench-v1";
+}
+
+/** Pull the median out of a BENCH stats object. */
+double
+medianOf(const JsonValue *stats)
+{
+    const JsonValue *m = stats ? stats->find("median") : nullptr;
+    return m ? m->asNumber() : 0.0;
+}
+
+bool
+extractMeasures(const JsonValue &doc, Measures &out,
+                std::string &error)
+{
+    if (isBenchDoc(doc)) {
+        out.kind = "bench";
+        const JsonValue *scenario = doc.find("scenario");
+        out.label = scenario ? scenario->asString() : "?";
+        out.wallSeconds = medianOf(doc.find("wall_seconds"));
+        if (const JsonValue *phases = doc.find("phases"))
+            for (const auto &[name, stats] : phases->members)
+                out.phases[name] = medianOf(&stats);
+        if (const JsonValue *metrics = doc.find("metrics"))
+            for (const auto &[name, stats] : metrics->members)
+                out.counters[name] = medianOf(&stats);
+        return true;
+    }
+    if (const JsonValue *engine = doc.find("engine")) {
+        out.kind = "run-report";
+        out.label = "run-report";
+        if (const JsonValue *wall = engine->find("wall_seconds"))
+            out.wallSeconds = wall->asNumber();
+        // Sum each phase across jobs: the per-run breakdown.
+        if (const JsonValue *jobs = doc.find("jobs")) {
+            for (const JsonValue &job : jobs->items) {
+                const JsonValue *phases = job.find("phases");
+                if (!phases)
+                    continue;
+                for (const auto &[name, v] : phases->members)
+                    out.phases[name] += v.asNumber();
+            }
+        }
+        if (const JsonValue *counters =
+                doc.find("metrics", "counters"))
+            for (const auto &[name, v] : counters->members)
+                out.counters[name] = v.asNumber();
+        return true;
+    }
+    error = "unrecognized document (neither a checkmate-bench-v1 "
+            "file nor an engine run report)";
+    return false;
+}
+
+std::unique_ptr<JsonValue>
+loadDoc(const std::string &path, std::ostream &err)
+{
+    std::string error;
+    std::unique_ptr<JsonValue> doc =
+        obs::parseJsonFile(path, &error);
+    if (!doc)
+        err << "checkmate-report: " << path << ": " << error
+            << '\n';
+    return doc;
+}
+
+std::string
+formatSeconds(double s)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(3) << s << "s";
+    return out.str();
+}
+
+std::string
+formatPct(double pct)
+{
+    std::ostringstream out;
+    out << std::showpos << std::fixed << std::setprecision(1)
+        << pct << "%";
+    return out.str();
+}
+
+/** A node of the flamegraph-style phase tree. */
+struct PhaseNode
+{
+    double seconds = 0.0;
+    std::map<std::string, PhaseNode> children;
+};
+
+/**
+ * Build a tree from dotted phase names ("rmf.translate" hangs under
+ * "rmf") and print it indented, each node with its share of total.
+ */
+void
+printPhaseTree(const PhaseNode &node, const std::string &name,
+               double total, int depth, std::ostream &out)
+{
+    if (depth >= 0) {
+        out << "  ";
+        for (int i = 0; i < depth; i++)
+            out << "  ";
+        double share =
+            total > 0.0 ? 100.0 * node.seconds / total : 0.0;
+        out << std::left << std::setw(std::max<int>(
+                   2, 26 - 2 * depth))
+            << name << std::right << std::setw(10)
+            << formatSeconds(node.seconds) << std::setw(7)
+            << std::fixed << std::setprecision(1) << share
+            << "%\n";
+    }
+    // Children largest-first, the flamegraph reading order.
+    std::vector<std::pair<std::string, const PhaseNode *>> kids;
+    for (const auto &[child_name, child] : node.children)
+        kids.emplace_back(child_name, &child);
+    std::sort(kids.begin(), kids.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second->seconds > b.second->seconds;
+              });
+    for (const auto &[child_name, child] : kids)
+        printPhaseTree(*child, child_name, total, depth + 1, out);
+}
+
+void
+printPhases(const Measures &m, std::ostream &out)
+{
+    PhaseNode root;
+    for (const auto &[name, seconds] : m.phases) {
+        PhaseNode *node = &root;
+        std::istringstream parts(name);
+        std::string part;
+        while (std::getline(parts, part, '.')) {
+            node = &node->children[part];
+            node->seconds += seconds;
+        }
+    }
+    double phase_total = 0.0;
+    for (const auto &[name, child] : root.children)
+        phase_total += child.seconds;
+    out << "phases (total " << formatSeconds(phase_total)
+        << " across " << m.phases.size() << "):\n";
+    printPhaseTree(root, "", phase_total, -1, out);
+}
+
+void
+printTopPhases(const Measures &m, int top_k, std::ostream &out)
+{
+    std::vector<std::pair<std::string, double>> sorted(
+        m.phases.begin(), m.phases.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second > b.second;
+              });
+    out << "top phases:\n";
+    int shown = 0;
+    for (const auto &[name, seconds] : sorted) {
+        if (shown++ >= top_k)
+            break;
+        out << "  " << std::left << std::setw(26) << name
+            << std::right << std::setw(10) << formatSeconds(seconds)
+            << '\n';
+    }
+}
+
+void
+printEnvironment(const JsonValue &doc, std::ostream &out)
+{
+    // Bench files call it "environment", run reports "build".
+    const JsonValue *env = doc.find("environment");
+    if (!env)
+        env = doc.find("build");
+    if (!env)
+        return;
+    auto str = [&](const char *key) {
+        const JsonValue *v = env->find(key);
+        return v ? v->asString() : std::string("?");
+    };
+    const JsonValue *cores = env->find("cores");
+    out << "build: " << str("git_describe") << ", "
+        << str("compiler") << " " << str("compiler_version") << ", "
+        << str("build_type") << ", "
+        << (cores ? static_cast<uint64_t>(cores->asNumber()) : 0)
+        << " cores\n";
+}
+
+void
+summarizeRunReport(const JsonValue &doc, const Measures &m,
+                   int top_k, std::ostream &out)
+{
+    const JsonValue *jobs = doc.find("jobs");
+    size_t n_jobs = jobs ? jobs->items.size() : 0;
+    out << "run report: " << n_jobs << " job(s), wall "
+        << formatSeconds(m.wallSeconds) << '\n';
+    printEnvironment(doc, out);
+    printPhases(m, out);
+    printTopPhases(m, top_k, out);
+
+    if (!jobs)
+        return;
+
+    // Top jobs by wall time, each with its dominant phase.
+    std::vector<const JsonValue *> by_wall;
+    for (const JsonValue &job : jobs->items)
+        by_wall.push_back(&job);
+    std::sort(by_wall.begin(), by_wall.end(),
+              [](const JsonValue *a, const JsonValue *b) {
+                  const JsonValue *wa = a->find("wall_seconds");
+                  const JsonValue *wb = b->find("wall_seconds");
+                  return (wa ? wa->asNumber() : 0.0) >
+                         (wb ? wb->asNumber() : 0.0);
+              });
+    out << "top jobs:\n";
+    int shown = 0;
+    for (const JsonValue *job : by_wall) {
+        if (shown++ >= top_k)
+            break;
+        const JsonValue *key = job->find("key");
+        const JsonValue *wall = job->find("wall_seconds");
+        std::string dominant = "-";
+        double dominant_s = 0.0;
+        if (const JsonValue *phases = job->find("phases")) {
+            for (const auto &[name, v] : phases->members) {
+                if (v.asNumber() > dominant_s) {
+                    dominant_s = v.asNumber();
+                    dominant = name;
+                }
+            }
+        }
+        out << "  " << std::left << std::setw(44)
+            << (key ? key->asString() : "?") << std::right
+            << std::setw(10)
+            << formatSeconds(wall ? wall->asNumber() : 0.0)
+            << "  (" << dominant << ")\n";
+    }
+
+    // CNF/conflict attribution aggregated across jobs: which axiom
+    // is the formula, and which is the search actually fighting.
+    std::map<std::string, std::pair<double, double>> by_label;
+    for (const JsonValue &job : jobs->items) {
+        const JsonValue *prov =
+            job.find("translation", "provenance");
+        if (!prov)
+            continue;
+        for (const JsonValue &entry : prov->items) {
+            const JsonValue *label = entry.find("label");
+            const JsonValue *clauses = entry.find("clauses");
+            const JsonValue *conflicts = entry.find("conflicts");
+            auto &acc =
+                by_label[label ? label->asString() : "?"];
+            acc.first += clauses ? clauses->asNumber() : 0.0;
+            acc.second += conflicts ? conflicts->asNumber() : 0.0;
+        }
+    }
+    if (!by_label.empty()) {
+        std::vector<
+            std::pair<std::string, std::pair<double, double>>>
+            sorted(by_label.begin(), by_label.end());
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second.first > b.second.first;
+                  });
+        out << "clause provenance (clauses / conflicts):\n";
+        shown = 0;
+        for (const auto &[label, counts] : sorted) {
+            if (shown++ >= top_k)
+                break;
+            out << "  " << std::left << std::setw(28) << label
+                << std::right << std::setw(12)
+                << static_cast<uint64_t>(counts.first)
+                << std::setw(12)
+                << static_cast<uint64_t>(counts.second) << '\n';
+        }
+    }
+}
+
+void
+summarizeBench(const JsonValue &doc, const Measures &m, int top_k,
+               std::ostream &out)
+{
+    const JsonValue *reps = doc.find("reps");
+    const JsonValue *config = doc.find("config");
+    out << "bench: " << m.label;
+    if (config && !config->asString().empty())
+        out << " (" << config->asString() << ")";
+    if (reps)
+        out << ", " << static_cast<uint64_t>(reps->asNumber())
+            << " rep(s)";
+    out << '\n';
+    printEnvironment(doc, out);
+    const JsonValue *wall = doc.find("wall_seconds");
+    if (wall) {
+        out << "wall: median "
+            << formatSeconds(medianOf(wall)) << ", min "
+            << formatSeconds(
+                   wall->find("min") ? wall->find("min")->asNumber()
+                                     : 0.0)
+            << ", p90 "
+            << formatSeconds(
+                   wall->find("p90") ? wall->find("p90")->asNumber()
+                                     : 0.0)
+            << '\n';
+    }
+    if (const JsonValue *results = doc.find("results")) {
+        const JsonValue *raw = results->find("raw_instances");
+        const JsonValue *uniq = results->find("unique_tests");
+        out << "results: "
+            << (raw ? static_cast<uint64_t>(raw->asNumber()) : 0)
+            << " instances, "
+            << (uniq ? static_cast<uint64_t>(uniq->asNumber()) : 0)
+            << " unique tests\n";
+    }
+    printPhases(m, out);
+    printTopPhases(m, top_k, out);
+}
+
+} // anonymous namespace
+
+int
+summarizeReport(const std::string &path, int top_k,
+                std::ostream &out, std::ostream &err)
+{
+    std::unique_ptr<JsonValue> doc = loadDoc(path, err);
+    if (!doc)
+        return kReportError;
+    Measures m;
+    std::string error;
+    if (!extractMeasures(*doc, m, error)) {
+        err << "checkmate-report: " << path << ": " << error
+            << '\n';
+        return kReportError;
+    }
+    if (m.kind == "bench")
+        summarizeBench(*doc, m, top_k, out);
+    else
+        summarizeRunReport(*doc, m, top_k, out);
+    return kReportOk;
+}
+
+int
+diffReports(const std::string &path_a, const std::string &path_b,
+            const DiffOptions &options, std::ostream &out,
+            std::ostream &err)
+{
+    std::unique_ptr<JsonValue> doc_a = loadDoc(path_a, err);
+    std::unique_ptr<JsonValue> doc_b = loadDoc(path_b, err);
+    if (!doc_a || !doc_b)
+        return kReportError;
+
+    Measures a, b;
+    std::string error;
+    if (!extractMeasures(*doc_a, a, error)) {
+        err << "checkmate-report: " << path_a << ": " << error
+            << '\n';
+        return kReportError;
+    }
+    if (!extractMeasures(*doc_b, b, error)) {
+        err << "checkmate-report: " << path_b << ": " << error
+            << '\n';
+        return kReportError;
+    }
+    if (a.kind != b.kind) {
+        err << "checkmate-report: cannot diff a " << a.kind
+            << " against a " << b.kind << '\n';
+        return kReportError;
+    }
+
+    out << "diff: " << path_a << " -> " << path_b << " (tolerance "
+        << options.tolerancePct << "%, floor "
+        << options.minSeconds << "s)\n";
+
+    // A phase regresses when its slowdown clears both the relative
+    // tolerance and the absolute noise floor. The floor guards the
+    // tolerance from being meaningless on micro-phases (10% of 2ms)
+    // while still catching a large absolute jump on a phase that
+    // was near zero in the baseline.
+    std::vector<std::string> regressions;
+    auto check_time = [&](const std::string &name, double old_v,
+                          double new_v) {
+        double delta = new_v - old_v;
+        bool regressed =
+            delta > std::max(options.minSeconds,
+                             old_v * options.tolerancePct / 100.0);
+        double pct =
+            old_v > 0.0 ? 100.0 * delta / old_v
+                        : (new_v > 0.0 ? 100.0 : 0.0);
+        out << "  " << std::left << std::setw(26) << name
+            << std::right << std::setw(10) << formatSeconds(old_v)
+            << " -> " << std::setw(10) << formatSeconds(new_v)
+            << "  " << std::setw(9) << formatPct(pct)
+            << (regressed ? "  REGRESSION" : "") << '\n';
+        if (regressed)
+            regressions.push_back(name);
+    };
+
+    check_time("wall", a.wallSeconds, b.wallSeconds);
+    std::map<std::string, double> all_phases = a.phases;
+    for (const auto &[name, v] : b.phases)
+        all_phases.emplace(name, 0.0);
+    for (const auto &[name, unused] : all_phases) {
+        (void)unused;
+        auto ita = a.phases.find(name);
+        auto itb = b.phases.find(name);
+        check_time("phase " + name,
+                   ita == a.phases.end() ? 0.0 : ita->second,
+                   itb == b.phases.end() ? 0.0 : itb->second);
+    }
+
+    // Counter metrics are informational: work-count shifts explain
+    // time deltas but are not themselves pass/fail.
+    std::map<std::string, double> all_counters = a.counters;
+    for (const auto &[name, v] : b.counters)
+        all_counters.emplace(name, 0.0);
+    for (const auto &[name, unused] : all_counters) {
+        (void)unused;
+        auto ita = a.counters.find(name);
+        auto itb = b.counters.find(name);
+        double old_v = ita == a.counters.end() ? 0.0 : ita->second;
+        double new_v = itb == b.counters.end() ? 0.0 : itb->second;
+        if (old_v == new_v)
+            continue;
+        double pct =
+            old_v > 0.0 ? 100.0 * (new_v - old_v) / old_v
+                        : (new_v > 0.0 ? 100.0 : 0.0);
+        out << "  " << std::left << std::setw(26)
+            << ("metric " + name) << std::right << std::setw(12)
+            << static_cast<uint64_t>(old_v) << " -> "
+            << std::setw(12) << static_cast<uint64_t>(new_v)
+            << "  " << std::setw(9) << formatPct(pct) << '\n';
+    }
+
+    if (!regressions.empty()) {
+        out << "REGRESSION in";
+        for (const std::string &name : regressions)
+            out << ' ' << name;
+        out << '\n';
+        return kReportRegression;
+    }
+    out << "no regression\n";
+    return kReportOk;
+}
+
+} // namespace checkmate::tools

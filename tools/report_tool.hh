@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The checkmate-report analyzer: summarize and diff run reports
+ * and BENCH files.
+ *
+ * Lives in a small static library (rather than the main) so the
+ * test suite can drive summarize/diff on synthetic documents and
+ * assert on exit codes and output without spawning processes.
+ *
+ * Both document kinds produced by this repo are accepted and
+ * auto-detected: engine run reports (engine/report.cc, the
+ * `--report` JSON) and bench baselines (obs/bench.cc, schema
+ * "checkmate-bench-v1").
+ */
+
+#ifndef CHECKMATE_TOOLS_REPORT_TOOL_HH
+#define CHECKMATE_TOOLS_REPORT_TOOL_HH
+
+#include <iosfwd>
+#include <string>
+
+namespace checkmate::tools
+{
+
+/** Exit codes shared by the checkmate-report subcommands. */
+enum ReportExitCode
+{
+    /** Success; for diff: no regression beyond tolerance. */
+    kReportOk = 0,
+    /** Tool error: unreadable file, malformed JSON, bad usage. */
+    kReportError = 2,
+    /** diff only: at least one phase/metric regressed. */
+    kReportRegression = 3,
+};
+
+/** Options for the diff subcommand. */
+struct DiffOptions
+{
+    /** Slowdown beyond this percentage is a regression. */
+    double tolerancePct = 10.0;
+    /**
+     * Phases faster than this floor (seconds) never regress:
+     * sub-centisecond phases are timer noise, and a 10% tolerance
+     * on 2ms is meaningless.
+     */
+    double minSeconds = 0.01;
+};
+
+/**
+ * Summarize one document: build stanza, top-@p top_k phases and
+ * jobs, and a flamegraph-style text tree of the phase breakdown.
+ *
+ * @return kReportOk or kReportError.
+ */
+int summarizeReport(const std::string &path, int top_k,
+                    std::ostream &out, std::ostream &err);
+
+/**
+ * Compare @p path_b (new) against @p path_a (baseline): per-phase
+ * and per-metric deltas, with regressing phases named in the
+ * output.
+ *
+ * @return kReportOk, kReportRegression, or kReportError.
+ */
+int diffReports(const std::string &path_a, const std::string &path_b,
+                const DiffOptions &options, std::ostream &out,
+                std::ostream &err);
+
+} // namespace checkmate::tools
+
+#endif // CHECKMATE_TOOLS_REPORT_TOOL_HH
