@@ -81,7 +81,7 @@ main(int argc, char **argv)
     std::vector<engine::SynthesisJob> bench_jobs =
         engine::tableOneJobs("flush-reload", 4, max_bound, cap);
     for (engine::SynthesisJob &job : bench_jobs)
-        job.options.heartbeatMs = heartbeat_ms;
+        job.options.profile.heartbeatMs = heartbeat_ms;
 
     engine::EngineOptions engine_opts;
     engine_opts.threads = jobs;

@@ -33,7 +33,7 @@ main(int argc, char **argv)
 
     int max_bound = argc > 1 ? std::atoi(argv[1]) : 5;
     core::SynthesisOptions opts;
-    opts.budget.maxInstances = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
+    opts.profile.budget.maxInstances = argc > 2 ? std::strtoull(argv[2], nullptr, 10)
                                  : 300;
 
     bool found_meltdown = false, found_spectre = false;

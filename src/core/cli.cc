@@ -35,6 +35,8 @@ cliUsage()
     return R"(checkmate — synthesize hardware exploits and security litmus tests
 
 usage: checkmate [options]
+
+model and bounds:
   --uarch NAME      microarchitecture model (default specooo):
                       specooo      speculative OoO, no coherence rows
                       specooo-coh  speculative OoO + invalidation
@@ -49,24 +51,47 @@ usage: checkmate [options]
   --vas N           virtual addresses (default 2)
   --pas N           physical addresses (default 2)
   --indices N       cache indices (default 2)
-  --max N           cap on enumerated executions (default 200)
-  --graphs          print each exploit's μhb graph
-  --dot PREFIX      write PREFIX_<i>.dot per exploit
   --spec-flush      allow speculative CLFLUSH effects (§VII-B)
   --no-spec         specooo variants: disable speculation entirely
   --no-spec-fill    specooo variants: loads fill the L1 only at
                     commit (InvisiSpec-style mitigation)
   --update-coh      specooo variants: update-based coherence (no
                     sharer invalidations)
+
+synthesis and output:
   --sweep           run the Table I bound sweep for the chosen
                     pattern (bounds 4..max(--events,6) for
                     flush-reload, 3..max(--events,5) for
                     prime-probe), one engine job per bound
+  --max N           cap on enumerated executions (default 200)
+  --graphs          print each exploit's μhb graph
+  --dot PREFIX      write PREFIX_<i>.dot per exploit
+
+performance:
   --jobs N          worker threads for the engine (default 1);
                     litmus output is byte-identical for any N
+  --incremental[=off|on]
+                    solve through pooled incremental sessions:
+                    translate each problem core once and reuse the
+                    warmed solver across jobs sharing it (bench
+                    repetitions, retries). Litmus output stays
+                    byte-identical; =off for A/B comparisons (see
+                    docs/INCREMENTAL.md)
   --timeout SEC     global wall-clock budget; jobs still queued
                     when it expires are skipped, running ones abort
   --job-timeout SEC per-job wall-clock budget
+  --mem-limit-mb N  per-job solver memory ceiling; the solver sheds
+                    learned clauses first and aborts the job with
+                    reason memory-limit only if still over
+  --retries N       retry a job up to N times after a retriable
+                    abort (conflict budget, memory limit, per-job
+                    timeout), with exponential backoff and a
+                    perturbed solver seed per retry
+  --retry-backoff SEC
+                    base backoff before the first retry
+                    (default 0.25; doubles each retry)
+
+observability:
   --report FILE     write a machine-readable JSON run report (see
                     docs/ENGINE.md for the schema)
   --trace FILE      write a Chrome trace_event JSON of the whole
@@ -79,6 +104,8 @@ usage: checkmate [options]
                     (0 = off; emitted to the log/trace/metrics)
   --dump-dimacs DIR write each job's translated CNF to
                     DIR/<job-key>.cnf for offline reproduction
+
+fault tolerance:
   --checkpoint DIR  persist each job's enumeration frontier to
                     DIR/<job-key>.ckpt (crash-safe atomic writes;
                     see docs/ROBUSTNESS.md)
@@ -88,20 +115,11 @@ usage: checkmate [options]
   --checkpoint-interval SEC
                     min seconds between checkpoint saves
                     (default 1; 0 = save on every model)
-  --retries N       retry a job up to N times after a retriable
-                    abort (conflict budget, memory limit, per-job
-                    timeout), with exponential backoff and a
-                    perturbed solver seed per retry
-  --retry-backoff SEC
-                    base backoff before the first retry
-                    (default 0.25; doubles each retry)
-  --mem-limit-mb N  per-job solver memory ceiling; the solver sheds
-                    learned clauses first and aborts the job with
-                    reason memory-limit only if still over
   --inject SPEC     fault injection (testing): comma-separated
                     site:N pairs, firing on the Nth hit of each
                     site (e.g. sat.oom:1,engine.checkpoint.write:2)
   --inject-seed N   seed recorded by the fault injector
+
   --help            this text
 
 exit status: 0 = exploits synthesized, 1 = none found,
@@ -109,6 +127,69 @@ exit status: 0 = exploits synthesized, 1 = none found,
 trace, and report are still flushed; rerun with --resume)
 )";
 }
+
+namespace
+{
+
+/** Every flag parseCli knows, for near-miss suggestions. */
+const char *const kKnownFlags[] = {
+    "--help",       "--uarch",          "--pattern",
+    "--events",     "--cores",          "--vas",
+    "--pas",        "--indices",        "--max",
+    "--graphs",     "--dot",            "--spec-flush",
+    "--no-spec",    "--no-spec-fill",   "--update-coh",
+    "--sweep",      "--jobs",           "--incremental",
+    "--timeout",    "--job-timeout",    "--report",
+    "--trace",      "--log-json",       "--log-level",
+    "--heartbeat-ms", "--dump-dimacs",  "--checkpoint",
+    "--resume",     "--checkpoint-interval", "--retries",
+    "--retry-backoff", "--mem-limit-mb", "--inject",
+    "--inject-seed",
+};
+
+size_t
+editDistance(const std::string &a, const std::string &b)
+{
+    // Plain Levenshtein; flags are short, so quadratic is fine.
+    std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); j++)
+        prev[j] = j;
+    for (size_t i = 1; i <= a.size(); i++) {
+        cur[0] = i;
+        for (size_t j = 1; j <= b.size(); j++) {
+            size_t subst =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] =
+                std::min({prev[j] + 1, cur[j - 1] + 1, subst});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+/**
+ * The closest known flag to @p arg, or "" when nothing is close
+ * enough to be a plausible typo (distance > 1/3 of the flag).
+ */
+std::string
+nearestFlag(const std::string &arg)
+{
+    // Compare on the flag body (an "=value" suffix is not a typo).
+    std::string body = arg.substr(0, arg.find('='));
+    std::string best;
+    size_t best_distance = std::string::npos;
+    for (const char *flag : kKnownFlags) {
+        size_t d = editDistance(body, flag);
+        if (d < best_distance) {
+            best_distance = d;
+            best = flag;
+        }
+    }
+    size_t budget = std::max<size_t>(best.size() / 3, 1);
+    return best_distance <= budget ? best : std::string();
+}
+
+} // anonymous namespace
 
 CliOptions
 parseCli(const std::vector<std::string> &args)
@@ -162,6 +243,23 @@ parseCli(const std::vector<std::string> &args)
             opts.jobs = std::atoi(next("--jobs").c_str());
             if (opts.jobs < 1 && opts.error.empty())
                 opts.error = "--jobs requires a positive count";
+        } else if (arg == "--incremental" ||
+                   arg.rfind("--incremental=", 0) == 0) {
+            // --incremental / --incremental=on enable; =off keeps
+            // the from-scratch path for A/B comparisons.
+            std::string mode =
+                arg == "--incremental"
+                    ? "on"
+                    : arg.substr(std::string("--incremental=")
+                                     .size());
+            if (mode == "on") {
+                opts.incremental = true;
+            } else if (mode == "off") {
+                opts.incremental = false;
+            } else if (opts.error.empty()) {
+                opts.error =
+                    "--incremental accepts only =on or =off";
+            }
         } else if (arg == "--timeout" || arg == "--job-timeout") {
             const bool global = arg == "--timeout";
             std::string value = next(arg.c_str());
@@ -237,6 +335,9 @@ parseCli(const std::vector<std::string> &args)
                 next("--inject-seed").c_str(), nullptr, 10);
         } else if (opts.error.empty()) {
             opts.error = "unknown option: " + arg;
+            std::string suggestion = nearestFlag(arg);
+            if (!suggestion.empty())
+                opts.error += " (did you mean " + suggestion + "?)";
         }
         if (!opts.error.empty())
             break;
@@ -265,9 +366,9 @@ applyObservability(std::vector<engine::SynthesisJob> &jobs,
                    const CliOptions &options)
 {
     for (engine::SynthesisJob &job : jobs) {
-        job.options.heartbeatMs = options.heartbeatMs;
+        job.options.profile.heartbeatMs = options.heartbeatMs;
         if (!options.dumpDimacsDir.empty()) {
-            job.options.dumpDimacsPath =
+            job.options.profile.dumpDimacsPath =
                 options.dumpDimacsDir + "/" +
                 engine::jobFileStem(job) + ".cnf";
         }
@@ -300,7 +401,7 @@ buildJobs(const CliOptions &options)
     job.bounds.numVas = options.vas;
     job.bounds.numPas = options.pas;
     job.bounds.numIndices = options.indices;
-    job.options.budget.maxInstances = options.maxInstances;
+    job.options.profile.budget.maxInstances = options.maxInstances;
     std::vector<engine::SynthesisJob> jobs = {job};
     applyObservability(jobs, options);
     return jobs;
@@ -474,6 +575,7 @@ runCli(const CliOptions &options, std::ostream &out,
     engine_opts.resume = options.resume;
     engine_opts.checkpointIntervalSeconds =
         options.checkpointIntervalSeconds;
+    engine_opts.incremental = options.incremental;
 
     engine::RunResult run = engine::runJobs(jobs, engine_opts, stop);
 

@@ -47,6 +47,7 @@ struct CliOptions
 
     // Parallel synthesis engine controls.
     int jobs = 1;                  ///< worker threads
+    bool incremental = false;      ///< pooled incremental sessions
     double timeoutSeconds = 0.0;   ///< global wall clock (0 = none)
     double jobTimeoutSeconds = 0.0; ///< per-job wall clock (0 = none)
     std::string reportPath;        ///< JSON run report ("" = none)

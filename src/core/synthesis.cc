@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "obs/trace.hh"
+#include "rmf/session.hh"
 #include "rmf/solve.hh"
 
 namespace checkmate::core
@@ -78,14 +79,30 @@ CheckMate::run(
     else if (options.attackNoiseFilters)
         ctx.applyAttackNoiseFilters();
 
+    // The attacker-only and window-requirement facts are the
+    // bound-dependent delta of a sweep point. From-scratch runs
+    // assert them into the problem like any axiom; incremental runs
+    // keep the problem core free of them (so it matches the
+    // session's cached translation) and activate them behind the
+    // session's assumption guard instead — under the same labels,
+    // so provenance attribution is identical either way.
+    rmf::IncrementalSession *session = options.session;
+    rmf::ScopedFacts delta;
+
     if (options.attackerOnly && !program) {
-        ctx.setErrorEntity("AttackerOnly");
-        for (uspec::EventId e = 0; e < ctx.numEvents(); e++)
-            ctx.require(ctx.inProc(e, uspec::procAttacker));
+        if (session) {
+            for (uspec::EventId e = 0; e < ctx.numEvents(); e++)
+                delta.require(
+                    ctx.inProc(e, uspec::procAttacker),
+                    "AttackerOnly");
+        } else {
+            ctx.setErrorEntity("AttackerOnly");
+            for (uspec::EventId e = 0; e < ctx.numEvents(); e++)
+                ctx.require(ctx.inProc(e, uspec::procAttacker));
+        }
     }
 
     if (options.requireWindow != WindowRequirement::None) {
-        ctx.setErrorEntity("WindowRequirement");
         rmf::Formula window = rmf::Formula::bottom();
         for (uspec::EventId e = 0; e < ctx.numEvents(); e++) {
             window = window ||
@@ -94,7 +111,12 @@ CheckMate::run(
                           ? ctx.faults(e)
                           : ctx.isMispredicted(e));
         }
-        ctx.require(window);
+        if (session) {
+            delta.require(window, "WindowRequirement");
+        } else {
+            ctx.setErrorEntity("WindowRequirement");
+            ctx.require(window);
+        }
     }
     load_span.close();
 
@@ -113,13 +135,9 @@ CheckMate::run(
     rmf::SolveOptions solve_opts;
     solve_opts.breakSymmetries = false; // canonicalization axioms
                                         // already prune relabelings
-    solve_opts.budget = options.budget;
-    solve_opts.heartbeatMs = options.heartbeatMs;
-    solve_opts.dumpDimacsPath = options.dumpDimacsPath;
-    solve_opts.replay = options.replay;
-    solve_opts.onModelValues = options.onModelValues;
+    solve_opts.profile = options.profile;
     if (first_only)
-        solve_opts.budget.maxInstances = 1;
+        solve_opts.profile.budget.maxInstances = 1;
     if (options.projectOnLitmusRelations)
         solve_opts.projectOn = ctx.litmusRelations();
 
@@ -129,8 +147,7 @@ CheckMate::run(
     // destruction is size-dependent and shows up at bound >= 5), so
     // the trace accounts for the job's full solve time.
     obs::Span solve_span("rmf.solve", "rmf");
-    rmf::solveAll(
-        ctx.problem(),
+    auto on_instance =
         [&](const rmf::Instance &inst) {
             raw++;
             if (raw == 1)
@@ -156,8 +173,13 @@ CheckMate::run(
                     exploits[it->second] = std::move(ex);
             }
             return true;
-        },
-        solve_opts, &solve_result);
+        };
+    if (session)
+        session->solveAll(ctx.problem(), delta, on_instance,
+                          solve_opts, &solve_result);
+    else
+        rmf::solveAll(ctx.problem(), on_instance, solve_opts,
+                      &solve_result);
     solve_span.close();
 
     // Canonical output order: sort by litmus key. Keys are unique
@@ -185,6 +207,7 @@ CheckMate::run(
         report->translation = solve_result.translation;
         report->solver = solve_result.solver;
         report->heartbeats = solve_result.heartbeats;
+        report->warmStart = solve_result.warmStart;
         report->phaseSeconds.clear();
         report->phaseSeconds["uspec.load"] = load_span.seconds();
         report->phaseSeconds["rmf.translate"] =

@@ -26,6 +26,11 @@
 #include "rmf/solve.hh"
 #include "uspec/microarch.hh"
 
+namespace checkmate::rmf
+{
+class IncrementalSession;
+}
+
 namespace checkmate::core
 {
 
@@ -42,14 +47,50 @@ enum class WindowRequirement
     BranchWindow  ///< some branch mispredicts (Spectre family)
 };
 
-/** Options for one synthesis run. */
+/**
+ * Options for one synthesis run.
+ *
+ * Limits, solver tuning, and the observability/checkpoint hooks all
+ * live inside `profile` (rmf::SolveProfile); this struct adds only
+ * the knobs that change what is synthesized. The flat members below
+ * `session` (`budget`, `heartbeatMs`, `dumpDimacsPath`, `replay`,
+ * `onModelValues`) are deprecated aliases into `profile`, kept for
+ * one release; new code should write `profile.<field>`.
+ */
 struct SynthesisOptions
 {
+    // The constructors and the alias declarations themselves touch
+    // the deprecated members; only *caller* uses should warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    SynthesisOptions() = default;
+    SynthesisOptions(const SynthesisOptions &other)
+        : profile(other.profile),
+          projectOnLitmusRelations(other.projectOnLitmusRelations),
+          attackNoiseFilters(other.attackNoiseFilters),
+          requireWindow(other.requireWindow),
+          attackerOnly(other.attackerOnly), session(other.session)
+    {
+    }
+    SynthesisOptions &
+    operator=(const SynthesisOptions &other)
+    {
+        profile = other.profile;
+        projectOnLitmusRelations = other.projectOnLitmusRelations;
+        attackNoiseFilters = other.attackNoiseFilters;
+        requireWindow = other.requireWindow;
+        attackerOnly = other.attackerOnly;
+        session = other.session;
+        return *this;
+    }
+
     /**
      * Search limits (instance cap, conflict budget, deadline, stop
-     * token), passed through to the model finder unchanged.
+     * token), solver tuning, heartbeat cadence, DIMACS dump path,
+     * and the checkpoint replay/capture hooks — passed through to
+     * the model finder unchanged.
      */
-    engine::Budget budget;
+    rmf::SolveProfile profile;
 
     /**
      * Enumerate one solver model per distinct litmus test rather
@@ -77,28 +118,29 @@ struct SynthesisOptions
     bool attackerOnly = false;
 
     /**
-     * Solver heartbeat cadence in milliseconds (0 = off), passed
-     * through to the model finder (see rmf::SolveOptions).
+     * When set, solve through this incremental session instead of
+     * translating from scratch: the bound-independent problem core
+     * is translated once per session and the run's bound-dependent
+     * facts (attacker-only, window requirement) are activated
+     * behind an assumption guard. The caller owns the session and
+     * must not share it across threads. Null = from-scratch.
      */
-    int heartbeatMs = 0;
+    rmf::IncrementalSession *session = nullptr;
 
-    /**
-     * When non-empty, dump this run's translated CNF here in DIMACS
-     * format for offline reproduction (`--dump-dimacs`).
-     */
-    std::string dumpDimacsPath;
-
-    /**
-     * Checkpointed model frontier to replay before the live search
-     * (resume), passed through to the model finder.
-     */
-    const rmf::ReplayLog *replay = nullptr;
-
-    /**
-     * Per-model primary-variable capture hook (replayed and live),
-     * wired by the engine's checkpoint writer.
-     */
-    std::function<void(const std::vector<bool> &)> onModelValues;
+    // --- Deprecated aliases (one release; see CHANGES.md) --------
+    [[deprecated("use profile.budget")]] engine::Budget &budget =
+        profile.budget;
+    [[deprecated("use profile.heartbeatMs")]] int &heartbeatMs =
+        profile.heartbeatMs;
+    [[deprecated("use profile.dumpDimacsPath")]] std::string
+        &dumpDimacsPath = profile.dumpDimacsPath;
+    [[deprecated("use profile.replay")]] const rmf::ReplayLog
+        *&replay = profile.replay;
+    [[deprecated(
+        "use profile.onModelValues")]] std::function<void(
+        const std::vector<bool> &)> &onModelValues =
+        profile.onModelValues;
+#pragma GCC diagnostic pop
 };
 
 /** One synthesized exploit: litmus test + μhb graph + class. */
@@ -145,6 +187,12 @@ struct SynthesisReport
 
     /** Solver heartbeats emitted during this run. */
     uint64_t heartbeats = 0;
+
+    /**
+     * True when the run reused an incremental session's cached
+     * translation (warm start); always false for from-scratch runs.
+     */
+    bool warmStart = false;
 
     /** Unique litmus tests per attack class. */
     std::map<litmus::AttackClass, int> classCounts;

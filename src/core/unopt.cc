@@ -136,7 +136,7 @@ enumerateUnoptimizedEncoding(const graph::UhbGraph &graph,
 
     rmf::SolveOptions opts;
     opts.breakSymmetries = break_symmetries;
-    opts.budget.maxInstances = cap;
+    opts.profile.budget.maxInstances = cap;
 
     UnoptResult result;
     auto start = std::chrono::steady_clock::now();

@@ -11,7 +11,9 @@
 #include <sstream>
 
 #include "engine/checkpoint.hh"
+#include "engine/session_pool.hh"
 #include "obs/log.hh"
+#include "rmf/session.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "patterns/flush_reload.hh"
@@ -35,12 +37,14 @@ windowName(core::WindowRequirement w)
     return "none";
 }
 
-} // anonymous namespace
-
-std::string
-jobKey(const SynthesisJob &job)
+/**
+ * The fields that shape the translated problem core: model +
+ * configuration, pattern, and bounds. Shared prefix of jobKey()
+ * and jobCoreKey().
+ */
+void
+appendCoreIdentity(std::ostringstream &key, const SynthesisJob &job)
 {
-    std::ostringstream key;
     key << job.uarch;
     if (job.uarch.rfind("specooo", 0) == 0) {
         // Distinguish configuration variants of the same model.
@@ -57,15 +61,35 @@ jobKey(const SynthesisJob &job)
     key << "c" << job.bounds.numCores << "p" << job.bounds.numProcs
         << "v" << job.bounds.numVas << "a" << job.bounds.numPas
         << "i" << job.bounds.numIndices;
+}
+
+} // anonymous namespace
+
+std::string
+jobKey(const SynthesisJob &job)
+{
+    std::ostringstream key;
+    appendCoreIdentity(key, job);
     key << "|w=" << windowName(job.options.requireWindow)
         << "|ao=" << (job.options.attackerOnly ? 1 : 0)
         << "|nf=" << (job.options.attackNoiseFilters ? 1 : 0)
         << "|pj=" << (job.options.projectOnLitmusRelations ? 1 : 0);
-    if (job.options.budget.maxInstances !=
+    if (job.options.profile.budget.maxInstances !=
         std::numeric_limits<uint64_t>::max())
-        key << "|max=" << job.options.budget.maxInstances;
-    if (job.options.budget.maxConflicts)
-        key << "|cb=" << job.options.budget.maxConflicts;
+        key << "|max=" << job.options.profile.budget.maxInstances;
+    if (job.options.profile.budget.maxConflicts)
+        key << "|cb=" << job.options.profile.budget.maxConflicts;
+    return key.str();
+}
+
+std::string
+jobCoreKey(const SynthesisJob &job)
+{
+    std::ostringstream key;
+    appendCoreIdentity(key, job);
+    // Noise filters add facts to the core problem (they are not
+    // part of the per-point delta), so they split the core key.
+    key << "|nf=" << (job.options.attackNoiseFilters ? 1 : 0);
     return key.str();
 }
 
@@ -142,7 +166,7 @@ tableOneJobs(const std::string &pattern, int lo_bound, int hi_bound,
         job.bounds.numPas = 2;
         job.bounds.numIndices = 2;
         job.bounds.numEvents = n;
-        job.options.budget.maxInstances = cap;
+        job.options.profile.budget.maxInstances = cap;
         job.options.requireWindow =
             n == traditional + 1
                 ? core::WindowRequirement::FaultWindow
@@ -199,15 +223,30 @@ runJob(const SynthesisJob &job, size_t index, const Budget &shared,
     // Tighten the job's budget to whatever ends first: its own
     // timeout, its own deadline, or the scheduler's global one.
     core::SynthesisOptions options = job.options;
-    options.budget = options.budget.withDeadline(
+    engine::Budget &budget = options.profile.budget;
+    budget = budget.withDeadline(
         earlierDeadline(deadlineIn(job.timeoutSeconds),
                         shared.deadline));
     if (shared.stop.stoppable())
-        options.budget.stop = shared.stop;
-    if (shared.memLimitBytes && options.budget.memLimitBytes == 0)
-        options.budget.memLimitBytes = shared.memLimitBytes;
+        budget.stop = shared.stop;
+    if (shared.memLimitBytes && budget.memLimitBytes == 0)
+        budget.memLimitBytes = shared.memLimitBytes;
     if (ctx.solverSeed)
-        options.budget.solverSeed = ctx.solverSeed;
+        budget.solverSeed = ctx.solverSeed;
+
+    // Incremental solving: lease a session keyed by the job's core
+    // identity. A pool hit whose cached core matches this job's
+    // gives a warm start (translation + learned clauses reused);
+    // either way the session goes back to the pool afterwards —
+    // unless the job errored, in which case the lease is dropped
+    // and the session destroyed rather than trusted.
+    std::unique_ptr<rmf::IncrementalSession> session;
+    std::string session_key;
+    if (ctx.incremental) {
+        session_key = jobCoreKey(job);
+        session = SessionPool::instance().checkOut(session_key);
+        options.session = session.get();
+    }
 
     // Checkpointing: resume from the job's persisted enumeration
     // frontier (replaying its models so none is re-enumerated or
@@ -223,7 +262,7 @@ runJob(const SynthesisJob &job, size_t index, const Budget &shared,
                 replay_log.primaryVarCount = cp->primaryVarCount;
                 replay_log.complete = cp->complete;
                 replay_log.models = std::move(cp->models);
-                options.replay = &replay_log;
+                options.profile.replay = &replay_log;
                 obs::MetricsRegistry::instance()
                     .counter("engine.jobs_resumed")
                     .add(1);
@@ -244,7 +283,7 @@ runJob(const SynthesisJob &job, size_t index, const Budget &shared,
         checkpoint = std::make_unique<CheckpointWriter>(
             std::move(path), result.key,
             ctx.checkpointIntervalSeconds);
-        options.onModelValues =
+        options.profile.onModelValues =
             [writer = checkpoint.get()](
                 const std::vector<bool> &bits) {
                 writer->onModel(bits);
@@ -267,6 +306,10 @@ runJob(const SynthesisJob &job, size_t index, const Budget &shared,
         std::chrono::duration<double>(
             std::chrono::steady_clock::now() - start)
             .count();
+
+    if (session && result.error.empty())
+        SessionPool::instance().checkIn(session_key,
+                                        std::move(session));
 
     // Persist the final frontier: complete when the enumeration
     // finished, in-progress when aborted (so a resume continues

@@ -63,6 +63,16 @@ struct SynthesisJob
 std::string jobKey(const SynthesisJob &job);
 
 /**
+ * The job's *core* identity: the jobKey fields that shape the
+ * translated problem core (microarchitecture + configuration,
+ * pattern, bounds, noise filters) without the per-sweep-point delta
+ * (window requirement, attacker-only) or the budget caps. Jobs
+ * sharing a core key can reuse one incremental session's cached
+ * translation (see engine/session_pool.hh).
+ */
+std::string jobCoreKey(const SynthesisJob &job);
+
+/**
  * jobKey() mangled to a filesystem-safe stem: every character
  * outside [A-Za-z0-9._-] becomes '_'. Used to name per-job artifact
  * files (`--dump-dimacs DIR` writes DIR/<stem>.cnf).
@@ -148,6 +158,14 @@ struct JobContext
      * in a different order.
      */
     uint64_t solverSeed = 0;
+
+    /**
+     * Solve through a pooled incremental session (translation
+     * reuse across jobs sharing a core key; see
+     * engine/session_pool.hh). Off by default; enabled by the
+     * scheduler when EngineOptions::incremental is set.
+     */
+    bool incremental = false;
 };
 
 /**

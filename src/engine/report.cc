@@ -177,6 +177,7 @@ writeJob(JsonWriter &json, const JobResult &job)
     json.field("unique_tests", rep.uniqueTests);
     json.field("resumed_models", rep.replayedInstances);
     json.field("heartbeats", rep.heartbeats);
+    json.field("warm_start", rep.warmStart);
 
     // One element per try of the job, in order: the attempt history
     // left by the retry-with-backoff policy.
@@ -313,6 +314,7 @@ runReportToJson(const RunResult &run, const EngineOptions &options)
     json.field("resume", options.resume);
     json.field("checkpoint_interval_seconds",
                options.checkpointIntervalSeconds);
+    json.field("incremental", options.incremental);
     json.field("wall_seconds", run.wallSeconds);
     json.field("aborted", run.aborted);
     json.field("jobs", static_cast<uint64_t>(run.jobs.size()));

@@ -77,6 +77,7 @@ runWithRetries(const SynthesisJob &job, size_t index,
     ctx.checkpointDir = options.checkpointDir;
     ctx.resume = options.resume;
     ctx.checkpointIntervalSeconds = options.checkpointIntervalSeconds;
+    ctx.incremental = options.incremental;
 
     const std::string key = jobKey(job);
     std::vector<AttemptRecord> attempts;
@@ -97,8 +98,9 @@ runWithRetries(const SynthesisJob &job, size_t index,
                                            : AbortReason::None;
         rec.wallSeconds = result.wallSeconds;
         rec.backoffSeconds = backoff;
-        rec.solverSeed = ctx.solverSeed ? ctx.solverSeed
-                                        : job.options.budget.solverSeed;
+        rec.solverSeed = ctx.solverSeed
+                             ? ctx.solverSeed
+                             : job.options.profile.budget.solverSeed;
         attempts.push_back(rec);
 
         if (attempt >= options.retries ||

@@ -65,6 +65,16 @@ struct EngineOptions
 
     /** Min seconds between checkpoint saves (0 = every model). */
     double checkpointIntervalSeconds = 1.0;
+
+    /**
+     * Solve through pooled incremental sessions: each worker leases
+     * a session keyed by the job's core identity, so jobs sharing a
+     * problem core (bench repetitions, retries, repeated sweeps in
+     * one process) reuse the translation and the warmed solver.
+     * Litmus output is byte-identical either way; see
+     * docs/INCREMENTAL.md.
+     */
+    bool incremental = false;
 };
 
 /** Outcome of a whole batch. */

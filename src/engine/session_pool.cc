@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Incremental-session pool implementation.
+ */
+
+#include "engine/session_pool.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "rmf/session.hh"
+
+namespace checkmate::engine
+{
+
+SessionPool &
+SessionPool::instance()
+{
+    static SessionPool pool;
+    return pool;
+}
+
+// Out-of-line so the header can forward-declare IncrementalSession.
+SessionPool::~SessionPool() = default;
+
+std::unique_ptr<rmf::IncrementalSession>
+SessionPool::checkOut(const std::string &key)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = idle_.find(key);
+        if (it != idle_.end()) {
+            std::unique_ptr<rmf::IncrementalSession> session =
+                std::move(it->second.session);
+            idle_.erase(it);
+            hits_++;
+            obs::MetricsRegistry::instance()
+                .counter("engine.session_pool.hits")
+                .add(1);
+            return session;
+        }
+    }
+    obs::MetricsRegistry::instance()
+        .counter("engine.session_pool.misses")
+        .add(1);
+    return std::make_unique<rmf::IncrementalSession>();
+}
+
+void
+SessionPool::checkIn(const std::string &key,
+                     std::unique_ptr<rmf::IncrementalSession> session)
+{
+    if (!session)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &entry = idle_[key];
+    entry.session = std::move(session);
+    entry.lastUsed = ++tick_;
+    while (idle_.size() > capacity_) {
+        auto oldest = std::min_element(
+            idle_.begin(), idle_.end(),
+            [](const auto &a, const auto &b) {
+                return a.second.lastUsed < b.second.lastUsed;
+            });
+        idle_.erase(oldest);
+    }
+}
+
+size_t
+SessionPool::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return idle_.size();
+}
+
+uint64_t
+SessionPool::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+void
+SessionPool::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.clear();
+}
+
+void
+SessionPool::setCapacity(size_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = std::max<size_t>(capacity, 1);
+    while (idle_.size() > capacity_) {
+        auto oldest = std::min_element(
+            idle_.begin(), idle_.end(),
+            [](const auto &a, const auto &b) {
+                return a.second.lastUsed < b.second.lastUsed;
+            });
+        idle_.erase(oldest);
+    }
+}
+
+size_t
+SessionPool::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+} // namespace checkmate::engine

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Process-wide pool of incremental solving sessions.
+ *
+ * The scheduler's workers lease sessions keyed by the job's *core*
+ * identity (jobCoreKey: microarchitecture + configuration + pattern
+ * + bounds + noise filters — everything that shapes the translated
+ * problem core, nothing that only shapes a sweep point's delta or
+ * budget). A job that leases a session whose cached core matches
+ * gets a warm start: the translation and the solver's learned
+ * clauses survive from the previous run of an equivalent core —
+ * across bench repetitions, retries of an aborted job, and repeated
+ * sweeps within one process.
+ *
+ * Leasing checks a session *out* of the pool, so concurrent workers
+ * never share one (IncrementalSession is not thread-safe); checking
+ * back in returns it for the next lease. The pool holds at most
+ * `capacity()` idle sessions, evicting least-recently-used ones —
+ * a translation pins boolean matrices and a full clause database,
+ * so unbounded retention would look like a leak on long sweeps.
+ */
+
+#ifndef CHECKMATE_ENGINE_SESSION_POOL_HH
+#define CHECKMATE_ENGINE_SESSION_POOL_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace checkmate::rmf
+{
+class IncrementalSession;
+}
+
+namespace checkmate::engine
+{
+
+/** Keyed check-out/check-in store for IncrementalSessions. */
+class SessionPool
+{
+  public:
+    /** The process-wide pool used by the scheduler's workers. */
+    static SessionPool &instance();
+
+    SessionPool() = default;
+    SessionPool(const SessionPool &) = delete;
+    SessionPool &operator=(const SessionPool &) = delete;
+    ~SessionPool();
+
+    /**
+     * Lease the session cached under @p key, or a fresh one when
+     * none is idle. The caller owns it until checkIn; dropping it
+     * instead (e.g. after a failed job) simply discards the cache.
+     */
+    std::unique_ptr<rmf::IncrementalSession> checkOut(
+        const std::string &key);
+
+    /** Return a leased (or new) session for future checkOut calls. */
+    void checkIn(const std::string &key,
+                 std::unique_ptr<rmf::IncrementalSession> session);
+
+    /** Idle sessions currently held. */
+    size_t size() const;
+
+    /** Cached-hit count: checkOut calls served from the pool. */
+    uint64_t hits() const;
+
+    /** Drop every idle session. */
+    void clear();
+
+    /** Max idle sessions retained (extra check-ins evict LRU). */
+    void setCapacity(size_t capacity);
+    size_t capacity() const;
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<rmf::IncrementalSession> session;
+        uint64_t lastUsed = 0;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> idle_;
+    size_t capacity_ = 8;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+};
+
+} // namespace checkmate::engine
+
+#endif // CHECKMATE_ENGINE_SESSION_POOL_HH

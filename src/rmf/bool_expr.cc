@@ -229,6 +229,38 @@ BoolFactory::assertTrue(BoolRef r, sat::Solver &solver)
     solver.addClause(toLiteral(r, solver));
 }
 
+void
+BoolFactory::assertTrueGuarded(BoolRef r, sat::Solver &solver,
+                               sat::Lit guard, uint32_t root_tag)
+{
+    if (r == top())
+        return;
+    uint32_t saved_tag = solver.clauseTag();
+    if (r == bottom()) {
+        // The scope (not the whole system) is unsatisfiable: assert
+        // the guard itself, which falsifies the scope's activation
+        // assumption while leaving other scopes untouched.
+        solver.setClauseTag(root_tag);
+        solver.addClause(guard);
+        solver.setClauseTag(saved_tag);
+        return;
+    }
+    const Node &n = nodes_[r.node()];
+    if (n.kind == Kind::And && !r.negated()) {
+        // Split top-level conjunctions exactly like assertTrue, so
+        // each conjunct becomes its own guarded root clause.
+        assertTrueGuarded(n.in0, solver, guard, root_tag);
+        assertTrueGuarded(n.in1, solver, guard, root_tag);
+        return;
+    }
+    // Gate clauses (inside toLiteral) run under the current tag;
+    // only the root assertion gets the guard and the scoped tag.
+    sat::Lit lit = toLiteral(r, solver);
+    solver.setClauseTag(root_tag);
+    solver.addClause(lit, guard);
+    solver.setClauseTag(saved_tag);
+}
+
 bool
 BoolFactory::evaluate(BoolRef r, const sat::Solver &solver) const
 {

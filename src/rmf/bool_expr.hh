@@ -134,6 +134,19 @@ class BoolFactory
     void assertTrue(BoolRef r, sat::Solver &solver);
 
     /**
+     * Assert @p r behind an assumption guard: every root clause
+     * additionally carries @p guard and is tagged @p root_tag, so
+     * the assertion binds only while ¬guard is falsified by an
+     * assumption and `sat::Solver::retireGuard(guard.var())` can
+     * purge it. Tseitin gate clauses for subcircuits are emitted
+     * unguarded under the solver's current tag — they are
+     * definitional (a conservative extension) and are shared with
+     * other facts through the gate cache.
+     */
+    void assertTrueGuarded(BoolRef r, sat::Solver &solver,
+                           sat::Lit guard, uint32_t root_tag);
+
+    /**
      * Materialize @p r as a SAT literal in @p solver (defining clauses
      * included), without asserting it.
      */

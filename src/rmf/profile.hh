@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The layered solve configuration shared by every entry point into
+ * the model finder (rmf::solveOne/solveAll, rmf::IncrementalSession,
+ * core::CheckMate).
+ *
+ * Historically each layer copied budget/limit/callback fields
+ * field-by-field into the next layer's options struct. SolveProfile
+ * collapses that plumbing into one value that is handed down
+ * unchanged: the engine owns one engine::Budget, solver tuning
+ * lives in one sat::SolverConfig, and the observability and
+ * checkpoint hooks ride along beside them.
+ */
+
+#ifndef CHECKMATE_RMF_PROFILE_HH
+#define CHECKMATE_RMF_PROFILE_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "engine/budget.hh"
+#include "sat/solver_config.hh"
+
+namespace checkmate::rmf
+{
+
+/**
+ * A previously-enumerated model frontier to replay before resuming
+ * the live search (checkpoint resume).
+ *
+ * Each entry is one model's assignment to the translation's primary
+ * variables, in `Translation::primaryVars()` order. Replay
+ * re-extracts each instance (variable numbering is deterministic,
+ * so the stored bits mean the same thing in the new translation),
+ * re-delivers it through the normal callback path, and re-adds its
+ * blocking clause, so the continued search enumerates exactly the
+ * models the interrupted run had not reached yet.
+ */
+struct ReplayLog
+{
+    /** Primary-var count the log was recorded against (sanity
+     * check: a mismatch means the problem changed and the log is
+     * ignored). */
+    size_t primaryVarCount = 0;
+
+    /** True when the interrupted run had finished enumerating —
+     * replay everything and skip the live search entirely. */
+    bool complete = false;
+
+    /** Per-model primary-variable assignments, oldest first. */
+    std::vector<std::vector<bool>> models;
+};
+
+/**
+ * Everything one model-finding call needs beyond the problem
+ * itself: limits, solver tuning, observability cadence, and the
+ * checkpoint hooks. Layered so each concern is declared exactly
+ * once:
+ *
+ *  - `budget` — the engine-owned limits (instances, conflicts,
+ *    deadline, stop token, memory, seed),
+ *  - `solver` — construction-time CDCL tuning,
+ *  - the rest — per-call observability / resume plumbing.
+ */
+struct SolveProfile
+{
+    /**
+     * Search limits: instance cap, conflict budget, wall-clock
+     * deadline and stop token, threaded down to the SAT solver.
+     */
+    engine::Budget budget;
+
+    /** CDCL tuning applied when the solver is constructed. */
+    sat::SolverConfig solver;
+
+    /**
+     * Solver heartbeat cadence in milliseconds (0 = off). Beats are
+     * emitted from inside the CDCL loop to the obs sinks: a JSONL
+     * log record, a Chrome-trace counter track, and the
+     * `sat.heartbeat.*` gauges.
+     */
+    int heartbeatMs = 0;
+
+    /**
+     * When non-empty, write the translated CNF here in DIMACS
+     * format (before solving), for offline reproduction of slow
+     * instances.
+     */
+    std::string dumpDimacsPath;
+
+    /** Model frontier to replay before the live search (resume). */
+    const ReplayLog *replay = nullptr;
+
+    /**
+     * Called once per delivered model (replayed and live) with its
+     * primary-variable assignment in primaryVars() order — the hook
+     * checkpoint writers record the enumeration frontier through.
+     */
+    std::function<void(const std::vector<bool> &)> onModelValues;
+};
+
+} // namespace checkmate::rmf
+
+#endif // CHECKMATE_RMF_PROFILE_HH

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Incremental solving session implementation.
+ */
+
+#include "rmf/session.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "rmf/solve_detail.hh"
+
+namespace checkmate::rmf
+{
+
+namespace
+{
+
+using PointerPair = std::pair<const void *, const void *>;
+
+struct PointerPairHash
+{
+    size_t
+    operator()(const PointerPair &p) const
+    {
+        size_t a = std::hash<const void *>()(p.first);
+        size_t b = std::hash<const void *>()(p.second);
+        return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+    }
+};
+
+using EqMemo = std::unordered_set<PointerPair, PointerPairHash>;
+
+bool exprEq(const Expr &a, const Expr &b, EqMemo &memo);
+
+bool
+formulaEq(const Formula &a, const Formula &b, EqMemo &memo)
+{
+    if (a.valid() != b.valid())
+        return false;
+    if (!a.valid())
+        return true;
+    const FormulaNode &na = a.node();
+    const FormulaNode &nb = b.node();
+    if (&na == &nb)
+        return true;
+    // Insert before recursing: formula trees share subterms (they
+    // are DAGs), and the memo collapses re-encounters of an already
+    // compared pair to O(1). There are no cycles, so a memo hit can
+    // only be a pair whose comparison already succeeded.
+    if (!memo.insert({&na, &nb}).second)
+        return true;
+    return na.op == nb.op && na.bound == nb.bound &&
+           exprEq(na.exprLhs, nb.exprLhs, memo) &&
+           exprEq(na.exprRhs, nb.exprRhs, memo) &&
+           formulaEq(na.lhs, nb.lhs, memo) &&
+           formulaEq(na.rhs, nb.rhs, memo);
+}
+
+bool
+exprEq(const Expr &a, const Expr &b, EqMemo &memo)
+{
+    if (a.valid() != b.valid())
+        return false;
+    if (!a.valid())
+        return true;
+    const ExprNode &na = a.node();
+    const ExprNode &nb = b.node();
+    if (&na == &nb)
+        return true;
+    if (!memo.insert({&na, &nb}).second)
+        return true;
+    return na.op == nb.op && na.arity == nb.arity &&
+           na.relation == nb.relation && na.tuples == nb.tuples &&
+           exprEq(na.lhs, nb.lhs, memo) &&
+           exprEq(na.rhs, nb.rhs, memo);
+}
+
+uint64_t
+tagCount(const std::vector<uint64_t> &by_tag, uint32_t tag)
+{
+    return tag < by_tag.size() ? by_tag[tag] : 0;
+}
+
+} // anonymous namespace
+
+bool
+problemsEquivalent(const Problem &a, const Problem &b)
+{
+    const Universe &ua = a.universe();
+    const Universe &ub = b.universe();
+    if (ua.size() != ub.size())
+        return false;
+    for (Atom at = 0; at < ua.size(); at++) {
+        if (ua.name(at) != ub.name(at))
+            return false;
+    }
+
+    const auto &ra = a.relations();
+    const auto &rb = b.relations();
+    if (ra.size() != rb.size())
+        return false;
+    for (size_t i = 0; i < ra.size(); i++) {
+        if (ra[i].name != rb[i].name || ra[i].arity != rb[i].arity ||
+            !(ra[i].lower == rb[i].lower) ||
+            !(ra[i].upper == rb[i].upper))
+            return false;
+    }
+
+    if (a.factLabels() != b.factLabels())
+        return false;
+    if (a.facts().size() != b.facts().size())
+        return false;
+    EqMemo memo;
+    for (size_t i = 0; i < a.facts().size(); i++) {
+        if (!formulaEq(a.facts()[i], b.facts()[i], memo))
+            return false;
+    }
+
+    return a.symmetryClasses() == b.symmetryClasses();
+}
+
+void
+IncrementalSession::reset(const Problem &core,
+                          const SolveOptions &options)
+{
+    problem_ = std::make_unique<Problem>(core);
+    solver_ =
+        std::make_unique<sat::Solver>(options.profile.solver);
+    // Seed before translation allocates variables, so polarity
+    // perturbation covers the whole problem (matches solveAll).
+    detail::applyBudget(*solver_, options.profile.budget);
+    translation_ = std::make_unique<Translation>(
+        *problem_, *solver_, options.breakSymmetries);
+    breakSymmetries_ = options.breakSymmetries;
+    coreStats_ = translation_->stats();
+    // Tseitin definitions of delta facts are conservative
+    // extensions shared across scopes (the gate cache may hand the
+    // same literal to several scopes), so they get one permanent
+    // session-wide tag rather than a per-scope tag that retirement
+    // would falsify.
+    gateTag_ = detail::firstFreeTag(coreStats_);
+    coreStats_.provenance.push_back(ClauseProvenance{
+        "(incremental-shared)", "other", gateTag_, 0, 0, 0});
+    nextTag_ = gateTag_ + 1;
+    scopes_ = 0;
+    warmHits_ = 0;
+}
+
+uint64_t
+IncrementalSession::solveAll(
+    const Problem &core, const ScopedFacts &delta,
+    const std::function<bool(const Instance &)> &on_instance,
+    const SolveOptions &options, SolveResult *result)
+{
+    auto &metrics = obs::MetricsRegistry::instance();
+    bool warm = matches(core, options.breakSymmetries);
+    if (warm) {
+        warmHits_++;
+        metrics.counter("rmf.session.reused").add(1);
+    } else {
+        reset(core, options);
+        metrics.counter("rmf.session.created").add(1);
+    }
+
+    sat::Solver &solver = *solver_;
+    Translation &translation = *translation_;
+
+    // Fresh limits every call: 0 means off, so a reused solver does
+    // not inherit the previous call's budget.
+    detail::applyBudget(solver, options.profile.budget);
+    uint64_t heartbeats = 0;
+    detail::installHeartbeat(solver, options.profile, &heartbeats);
+
+    // Per-call conflict attribution needs deltas against the
+    // solver's lifetime counters.
+    std::vector<uint64_t> conflicts_before = solver.conflictsByTag();
+
+    // The scope guard: delta root clauses carry ¬act, the search
+    // assumes act, and retirement below asserts ¬act permanently
+    // and purges everything that mentions it.
+    sat::Var act = solver.newVar();
+    solver.freeze(act);
+    sat::Lit guard = sat::mkLit(act, true);
+    sat::Lit assume = sat::mkLit(act, false);
+
+    // Translate the delta facts behind the guard. Same label
+    // aggregation as the core translation, so provenance entries
+    // match the from-scratch driver's names.
+    obs::Span delta_span("rmf.translate", "rmf");
+    delta_span.arg("delta_facts",
+                   static_cast<uint64_t>(delta.size()));
+    std::vector<ClauseProvenance> scope_entries;
+    {
+        std::unordered_map<std::string, size_t> entry_by_label;
+        for (size_t i = 0; i < delta.facts().size(); i++) {
+            const std::string &label = delta.labels()[i];
+            size_t entry;
+            auto it = entry_by_label.find(label);
+            if (it != entry_by_label.end()) {
+                entry = it->second;
+            } else {
+                entry = scope_entries.size();
+                entry_by_label.emplace(label, entry);
+                scope_entries.push_back(ClauseProvenance{
+                    label.empty() ? "(unlabeled)" : label,
+                    label.empty() ? "fact" : "axiom", nextTag_++, 0,
+                    0, 0});
+            }
+            scope_entries[entry].facts++;
+            translation.assertGuardedFact(delta.facts()[i], guard,
+                                          scope_entries[entry].tag,
+                                          gateTag_);
+        }
+    }
+    delta_span.close();
+
+    detail::maybeDumpDimacs(solver, options.profile);
+
+    // Blocking clauses (replay re-blocking and live enumeration)
+    // get their own per-scope tag; they carry ¬act too, via the
+    // assumption widening in enumerateModels, so retirement purges
+    // them along with the delta.
+    uint32_t blocking_tag = nextTag_++;
+    solver.setClauseTag(blocking_tag);
+
+    std::vector<sat::Var> projection =
+        detail::buildProjection(translation, options.projectOn);
+
+    detail::EnumerationOutcome outcome = detail::driveEnumeration(
+        solver, translation, options.profile, projection,
+        on_instance, {assume});
+
+    // Harvest per-call provenance before retirement rewinds the
+    // per-tag clause counts. Core entries keep their construction-
+    // time clause counts (core clauses are never purged); their
+    // conflicts — and the shared gate tag's — are this call's
+    // attribution deltas. Every learned clause derived from a
+    // retired scope contained that scope's guard literal and was
+    // purged with it, so conflicts observed during this call can
+    // only land on tags present in this call's provenance; the
+    // deltas sum to lastCallStats().conflicts.
+    TranslationStats stats = coreStats_;
+    const std::vector<uint64_t> &clauses_by_tag =
+        solver.clausesByTag();
+    const std::vector<uint64_t> &conflicts_by_tag =
+        solver.conflictsByTag();
+    for (ClauseProvenance &entry : scope_entries)
+        stats.provenance.push_back(entry);
+    stats.provenance.push_back(ClauseProvenance{
+        "(blocking)", "blocking", blocking_tag, 0, 0, 0});
+    bool saw_untagged = false;
+    for (ClauseProvenance &p : stats.provenance) {
+        p.clauses = tagCount(clauses_by_tag, p.tag);
+        p.conflicts = tagCount(conflicts_by_tag, p.tag) -
+                      tagCount(conflicts_before, p.tag);
+        saw_untagged |= p.tag == 0;
+    }
+    if (!saw_untagged && tagCount(clauses_by_tag, 0) > 0) {
+        stats.provenance.push_back(ClauseProvenance{
+            "(untagged)", "other", 0, 0, tagCount(clauses_by_tag, 0),
+            tagCount(conflicts_by_tag, 0) -
+                tagCount(conflicts_before, 0)});
+    }
+    // Drop entries that contributed nothing this call (e.g. a
+    // blocking tag under an UNSAT scope), keeping the sums exact
+    // without noise rows.
+    stats.provenance.erase(
+        std::remove_if(stats.provenance.begin(),
+                       stats.provenance.end(),
+                       [](const ClauseProvenance &p) {
+                           return p.clauses == 0 &&
+                                  p.conflicts == 0 && p.facts == 0;
+                       }),
+        stats.provenance.end());
+    stats.solverVars = static_cast<size_t>(solver.numVars());
+    stats.solverClauses = solver.numClauses();
+    stats.circuitNodes = translation.factory().numNodes();
+    // A warm call's translation cost is just the delta; the core
+    // translation was paid (and reported) by the call that built it.
+    stats.totalSeconds = delta_span.seconds() +
+                         (warm ? 0.0 : coreStats_.totalSeconds);
+
+    sat::SolverStats call_stats = solver.lastCallStats();
+    engine::AbortReason abort_reason = solver.abortReason();
+
+    // Retire the scope: ¬act becomes a permanent unit and every
+    // clause mentioning the guard (delta roots, blocking clauses,
+    // scope-derived learned clauses) is purged, with tag accounting
+    // rewound for the problem clauses.
+    solver.retireGuard(act);
+    solver.setClauseTag(0);
+
+    detail::publishStats(stats, call_stats);
+    if (result) {
+        result->sat = outcome.count > 0;
+        result->aborted = abort_reason != engine::AbortReason::None;
+        result->abortReason = abort_reason;
+        result->instances = outcome.count;
+        result->replayedInstances = outcome.replayed;
+        result->translation = stats;
+        result->solver = call_stats;
+        result->translateSeconds = stats.totalSeconds;
+        result->extractSeconds = outcome.extractSeconds;
+        result->callbackSeconds = outcome.callbackSeconds;
+        result->searchSeconds = outcome.enumerateSeconds -
+                                outcome.extractSeconds -
+                                outcome.callbackSeconds;
+        result->heartbeats = heartbeats;
+        result->warmStart = warm;
+    }
+    scopes_++;
+    return outcome.count;
+}
+
+} // namespace checkmate::rmf

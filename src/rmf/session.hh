@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Incremental sweep solving: translate the shared problem core once,
+ * then solve many bound-dependent variants against the same solver.
+ *
+ * A bound sweep (Table I methodology) solves a sequence of problems
+ * that share almost everything: the universe, the relation bounds,
+ * and the μspec axioms are identical across sweep points; only a
+ * handful of per-point facts (the attacker-only restriction, the
+ * window requirement) differ. The from-scratch driver (rmf::solveAll)
+ * rebuilds the boolean matrices and re-emits the full CNF for every
+ * point. An IncrementalSession instead:
+ *
+ *  - translates the core Problem once, keeping the Translation (and
+ *    hence the boolean matrices, the hash-consed circuit and the
+ *    Tseitin literal cache) alive across calls;
+ *  - asserts each call's extra facts behind a fresh activation
+ *    guard (Translation::assertGuardedFact) and solves under the
+ *    activation assumption, so the solver keeps its clause database,
+ *    variable activities and saved phases warm between calls;
+ *  - retires the guard afterwards (sat::Solver::retireGuard), which
+ *    permanently falsifies the activation literal and physically
+ *    purges every clause mentioning it — including all learned
+ *    clauses derived from the scope, which necessarily contain the
+ *    retired literal — so later calls never observe a stale scope.
+ *
+ * See docs/INCREMENTAL.md for the lifecycle and the learned-clause
+ * retention policy.
+ */
+
+#ifndef CHECKMATE_RMF_SESSION_HH
+#define CHECKMATE_RMF_SESSION_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rmf/solve.hh"
+#include "rmf/translate.hh"
+#include "sat/solver.hh"
+
+namespace checkmate::rmf
+{
+
+/**
+ * The bound-dependent facts of one sweep point, kept separate from
+ * the shared core Problem so they can be activated behind a guard.
+ *
+ * Labels play the same role as Problem::require's: facts sharing a
+ * label aggregate into one clause-provenance entry, so incremental
+ * runs attribute CNF and conflicts under the same axiom names as
+ * from-scratch runs.
+ */
+class ScopedFacts
+{
+  public:
+    /** Add @p f to the scope under @p label ("" = anonymous). */
+    void
+    require(Formula f, std::string label = {})
+    {
+        facts_.push_back(std::move(f));
+        labels_.push_back(std::move(label));
+    }
+
+    bool empty() const { return facts_.empty(); }
+    size_t size() const { return facts_.size(); }
+    const std::vector<Formula> &facts() const { return facts_; }
+    const std::vector<std::string> &labels() const { return labels_; }
+
+  private:
+    std::vector<Formula> facts_;
+    std::vector<std::string> labels_;
+};
+
+/**
+ * Structural equivalence of two relational problems: same universe
+ * (size and atom names), same relation declarations (name, arity and
+ * bounds), structurally identical fact formulas with the same
+ * labels, and the same symmetry classes. This is the reuse criterion
+ * for IncrementalSession — it deliberately compares structure, not
+ * object identity, so a Problem rebuilt from the same μspec inputs
+ * (each engine job constructs its own UspecContext) still matches.
+ */
+bool problemsEquivalent(const Problem &a, const Problem &b);
+
+/**
+ * A reusable solving session over one problem core.
+ *
+ * Call solveAll() per sweep point. The first call (or any call whose
+ * core fails problemsEquivalent against the cached one) pays the
+ * full translation; subsequent calls with an equivalent core reuse
+ * the translation and the warmed solver, translating only the
+ * delta facts. Model enumeration, replay, budgets, heartbeats,
+ * DIMACS dumps and per-axiom provenance behave exactly as in
+ * rmf::solveAll — equivalence tests assert the enumerated model set
+ * and the provenance sums match the from-scratch driver.
+ *
+ * Not thread-safe: one session per worker thread (the engine keeps
+ * a pool keyed by core problem; see engine/session_pool.hh).
+ */
+class IncrementalSession
+{
+  public:
+    IncrementalSession() = default;
+
+    // The session owns a solver with internal pointers; moving it
+    // would be safe but copying never is.
+    IncrementalSession(const IncrementalSession &) = delete;
+    IncrementalSession &operator=(const IncrementalSession &) = delete;
+
+    /**
+     * True when a call with this core (and the session's cached
+     * symmetry-breaking mode) would reuse the cached translation.
+     */
+    bool
+    matches(const Problem &core, bool break_symmetries) const
+    {
+        return translation_ != nullptr &&
+               breakSymmetries_ == break_symmetries &&
+               problemsEquivalent(*problem_, core);
+    }
+
+    /** Number of solveAll calls served so far (warm or cold). */
+    uint64_t scopes() const { return scopes_; }
+
+    /** Calls served from a warm translation. */
+    uint64_t warmHits() const { return warmHits_; }
+
+    /**
+     * Enumerate all models of @p core ∧ @p delta, reusing the cached
+     * translation when @p core matches. Semantics mirror
+     * rmf::solveAll: @p on_instance is invoked per model (return
+     * false to stop), options.profile carries budget / heartbeat /
+     * replay / dump settings, and @p result (optional) receives
+     * per-call statistics — with result->warmStart set when the
+     * translation was reused and translateSeconds covering only the
+     * delta translation in that case.
+     */
+    uint64_t solveAll(
+        const Problem &core, const ScopedFacts &delta,
+        const std::function<bool(const Instance &)> &on_instance,
+        const SolveOptions &options, SolveResult *result = nullptr);
+
+  private:
+    void reset(const Problem &core, const SolveOptions &options);
+
+    std::unique_ptr<Problem> problem_; // stable address for the
+                                       // Translation's back-pointer
+    std::unique_ptr<sat::Solver> solver_;
+    std::unique_ptr<Translation> translation_;
+    TranslationStats coreStats_;
+    bool breakSymmetries_ = true;
+    uint32_t gateTag_ = 0;  // shared Tseitin definitions of deltas
+    uint32_t nextTag_ = 0;  // next per-scope provenance tag
+    uint64_t scopes_ = 0;
+    uint64_t warmHits_ = 0;
+};
+
+} // namespace checkmate::rmf
+
+#endif // CHECKMATE_RMF_SESSION_HH

@@ -8,6 +8,10 @@
  * sinks, per-call SolverStats and TranslationStats published into
  * the metrics registry, and the optional DIMACS dump of the
  * translated CNF.
+ *
+ * The helpers shared with the incremental session driver
+ * (rmf/session.cc) live in the checkmate::rmf::detail namespace;
+ * see rmf/solve_detail.hh.
  */
 
 #include "rmf/solve.hh"
@@ -23,12 +27,13 @@
 #include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "rmf/solve_detail.hh"
 #include "sat/dimacs.hh"
 
 namespace checkmate::rmf
 {
 
-namespace
+namespace detail
 {
 
 using Clock = std::chrono::steady_clock;
@@ -36,29 +41,31 @@ using Clock = std::chrono::steady_clock;
 void
 applyBudget(sat::Solver &solver, const engine::Budget &budget)
 {
-    if (budget.maxConflicts)
-        solver.setConflictBudget(budget.maxConflicts);
+    // Unconditional: a reused session solver must not keep a
+    // previous call's limits when this call has none (0 = off for
+    // every setter).
+    solver.setConflictBudget(budget.maxConflicts);
     solver.setDeadline(budget.deadline);
     solver.setStopToken(budget.stop);
-    if (budget.memLimitBytes)
-        solver.setMemLimit(budget.memLimitBytes);
+    solver.setMemLimit(budget.memLimitBytes);
     // Before translation creates any variables, so the perturbed
     // polarities cover the whole problem.
     solver.setRandomSeed(budget.solverSeed);
 }
 
-/**
- * Route solver heartbeats to the obs sinks. Returns the number of
- * beats via @p count, for the run report.
- */
 void
-installHeartbeat(sat::Solver &solver, const SolveOptions &options,
+installHeartbeat(sat::Solver &solver, const SolveProfile &profile,
                  uint64_t *count)
 {
-    if (options.heartbeatMs <= 0)
+    if (profile.heartbeatMs <= 0) {
+        // Clear a previously installed callback: on a reused
+        // session solver it would still capture the prior call's
+        // (dead) beat counter.
+        solver.setHeartbeat(std::chrono::milliseconds(0), {});
         return;
+    }
     solver.setHeartbeat(
-        std::chrono::milliseconds(options.heartbeatMs),
+        std::chrono::milliseconds(profile.heartbeatMs),
         [count](const sat::HeartbeatData &beat) {
             (*count)++;
 
@@ -117,29 +124,24 @@ installHeartbeat(sat::Solver &solver, const SolveOptions &options,
         });
 }
 
-/** Dump the translated CNF for offline reproduction. */
 void
 maybeDumpDimacs(const sat::Solver &solver,
-                const SolveOptions &options)
+                const SolveProfile &profile)
 {
-    if (options.dumpDimacsPath.empty())
+    if (profile.dumpDimacsPath.empty())
         return;
-    std::ofstream out(options.dumpDimacsPath);
+    std::ofstream out(profile.dumpDimacsPath);
     if (!out) {
         obs::Logger::instance().log(
             obs::LogLevel::Warn, "rmf", "cannot write DIMACS dump",
             obs::JsonFields()
-                .add("path", options.dumpDimacsPath)
+                .add("path", profile.dumpDimacsPath)
                 .str());
         return;
     }
     sat::writeDimacs(out, solver);
 }
 
-/**
- * The first clause tag not used by the translation's provenance
- * entries — free for this layer's enumeration blocking clauses.
- */
 uint32_t
 firstFreeTag(const TranslationStats &stats)
 {
@@ -149,40 +151,6 @@ firstFreeTag(const TranslationStats &stats)
     return tag;
 }
 
-/**
- * Copy the translation stats with conflict attribution filled in
- * from the solver's per-tag counters, appending an entry for the
- * enumeration blocking clauses when any were added.
- */
-TranslationStats
-attributeProvenance(const TranslationStats &translation,
-                    const sat::Solver &solver,
-                    uint32_t blocking_tag)
-{
-    TranslationStats stats = translation;
-    const std::vector<uint64_t> &conflicts =
-        solver.conflictsByTag();
-    auto at = [](const std::vector<uint64_t> &v, uint32_t i) {
-        return i < v.size() ? v[i] : uint64_t{0};
-    };
-    for (ClauseProvenance &p : stats.provenance)
-        p.conflicts = at(conflicts, p.tag);
-    uint64_t blocking_clauses =
-        at(solver.clausesByTag(), blocking_tag);
-    uint64_t blocking_conflicts = at(conflicts, blocking_tag);
-    if (blocking_clauses || blocking_conflicts) {
-        stats.provenance.push_back(ClauseProvenance{
-            "(blocking)", "blocking", blocking_tag, 0,
-            blocking_clauses, blocking_conflicts});
-    }
-    // Refresh the clause total to include the enumeration's
-    // blocking clauses, so the provenance entries keep summing
-    // exactly to solverClauses after the search as well.
-    stats.solverClauses = solver.numClauses();
-    return stats;
-}
-
-/** Publish per-call statistics into the metrics registry. */
 void
 publishStats(const TranslationStats &translation,
              const sat::SolverStats &solver)
@@ -217,80 +185,37 @@ publishStats(const TranslationStats &translation,
     }
 }
 
-} // anonymous namespace
-
-std::optional<Instance>
-solveOne(const Problem &problem, const SolveOptions &options,
-         SolveResult *result)
+std::vector<sat::Var>
+buildProjection(const Translation &translation,
+                const std::vector<RelationId> &project_on)
 {
-    sat::Solver solver;
-    applyBudget(solver, options.budget);
-    uint64_t heartbeats = 0;
-    installHeartbeat(solver, options, &heartbeats);
-    Translation translation(problem, solver, options.breakSymmetries);
-    maybeDumpDimacs(solver, options);
-
-    obs::Span search("sat.search", "sat");
-    sat::LBool r = solver.solve();
-    search.close();
-
-    TranslationStats attributed = attributeProvenance(
-        translation.stats(), solver,
-        firstFreeTag(translation.stats()));
-    publishStats(attributed, solver.lastCallStats());
-    if (result) {
-        result->sat = (r == sat::LBool::True);
-        result->aborted = (r == sat::LBool::Undef);
-        result->abortReason = solver.abortReason();
-        result->instances = (r == sat::LBool::True) ? 1 : 0;
-        result->translation = attributed;
-        result->solver = solver.lastCallStats();
-        result->translateSeconds =
-            translation.stats().totalSeconds;
-        result->searchSeconds = search.seconds();
-        result->heartbeats = heartbeats;
+    std::vector<sat::Var> projection;
+    if (project_on.empty())
+        return translation.primaryVars();
+    for (RelationId id : project_on) {
+        const auto &vars = translation.relationVars(id);
+        projection.insert(projection.end(), vars.begin(),
+                          vars.end());
     }
-    if (r != sat::LBool::True)
-        return std::nullopt;
-
-    obs::Span extract("rmf.extract", "rmf");
-    Instance instance = translation.extract(solver);
-    extract.close();
-    if (result)
-        result->extractSeconds = extract.seconds();
-    return instance;
+    return projection;
 }
 
-uint64_t
-solveAll(const Problem &problem,
-         const std::function<bool(const Instance &)> &on_instance,
-         const SolveOptions &options, SolveResult *result)
+EnumerationOutcome
+driveEnumeration(
+    sat::Solver &solver, Translation &translation,
+    const SolveProfile &profile,
+    const std::vector<sat::Var> &projection,
+    const std::function<bool(const Instance &)> &on_instance,
+    const std::vector<sat::Lit> &assumptions)
 {
-    sat::Solver solver;
-    applyBudget(solver, options.budget);
-    uint64_t heartbeats = 0;
-    installHeartbeat(solver, options, &heartbeats);
-    Translation translation(problem, solver, options.breakSymmetries);
-    maybeDumpDimacs(solver, options);
-
-    std::vector<sat::Var> projection;
-    if (options.projectOn.empty()) {
-        projection = translation.primaryVars();
-    } else {
-        for (RelationId id : options.projectOn) {
-            const auto &vars = translation.relationVars(id);
-            projection.insert(projection.end(), vars.begin(),
-                              vars.end());
-        }
-    }
-
+    EnumerationOutcome out;
     const std::vector<sat::Var> &pvars = translation.primaryVars();
 
     // Replay a checkpointed model frontier: re-extract each stored
     // model, re-deliver it through the normal callback path, and
     // re-add its blocking clause so the live search below picks up
     // exactly where the interrupted run left off.
-    const ReplayLog *replay = options.replay;
+    const ReplayLog *replay = profile.replay;
     if (replay && replay->primaryVarCount != pvars.size()) {
         obs::Logger::instance().log(
             obs::LogLevel::Warn, "rmf",
@@ -304,19 +229,11 @@ solveAll(const Problem &problem,
         replay = nullptr;
     }
 
-    // Blocking clauses added from here on (replay re-blocking and
-    // live enumeration alike) are attributed to their own tag, not
-    // to whichever axiom emitted clauses last.
-    uint32_t blocking_tag = firstFreeTag(translation.stats());
-    solver.setClauseTag(blocking_tag);
-
     // One span covers search + extraction + the caller's callback;
     // the extract/callback shares are timed inside the loop (they
     // interleave with search per model, so they cannot be separate
     // contiguous spans), and search time is the remainder.
     obs::Span enumerate("sat.enumerate", "sat");
-    double extract_seconds = 0.0;
-    double callback_seconds = 0.0;
 
     if (engine::FaultInjector::fires("rmf.solve.delay")) {
         // Artificial slowdown landing in the sat.search phase —
@@ -348,16 +265,17 @@ solveAll(const Problem &problem,
                 });
             Clock::time_point t1 = Clock::now();
             keep_going = on_instance(instance);
-            if (options.onModelValues)
-                options.onModelValues(bits);
+            if (profile.onModelValues)
+                profile.onModelValues(bits);
             Clock::time_point t2 = Clock::now();
-            extract_seconds +=
+            out.extractSeconds +=
                 std::chrono::duration<double>(t1 - t0).count();
-            callback_seconds +=
+            out.callbackSeconds +=
                 std::chrono::duration<double>(t2 - t1).count();
             replayed++;
 
-            // Re-block exactly as enumerateModels() would have.
+            // Re-block exactly as enumerateModels() would have —
+            // including the guard widening under assumptions.
             sat::Clause block;
             for (sat::Var v : projection) {
                 auto it = index.find(v);
@@ -367,7 +285,10 @@ solveAll(const Problem &problem,
                                     ? sat::mkLit(v, true)
                                     : sat::mkLit(v, false));
             }
-            if (block.empty() || !solver.addClause(block)) {
+            bool had_projection = !block.empty();
+            for (sat::Lit a : assumptions)
+                block.push_back(~a);
+            if (!had_projection || !solver.addClause(block)) {
                 blocked_out = true;
                 break;
             }
@@ -381,8 +302,8 @@ solveAll(const Problem &problem,
     }
 
     uint64_t remaining =
-        options.budget.maxInstances > replayed
-            ? options.budget.maxInstances - replayed
+        profile.budget.maxInstances > replayed
+            ? profile.budget.maxInstances - replayed
             : 0;
     uint64_t count = replayed;
     if (keep_going && !blocked_out &&
@@ -394,12 +315,12 @@ solveAll(const Problem &problem,
                 Instance instance = translation.extract(s);
                 Clock::time_point t1 = Clock::now();
                 bool more = on_instance(instance);
-                if (options.onModelValues) {
+                if (profile.onModelValues) {
                     std::vector<bool> bits(pvars.size());
                     for (size_t i = 0; i < pvars.size(); i++)
                         bits[i] = s.modelValue(pvars[i]) ==
                                   sat::LBool::True;
-                    options.onModelValues(bits);
+                    profile.onModelValues(bits);
                 }
                 if (engine::FaultInjector::fires(
                         "rmf.enumerate.crash")) {
@@ -408,39 +329,154 @@ solveAll(const Problem &problem,
                     std::_Exit(engine::kInjectedCrashExitCode);
                 }
                 Clock::time_point t2 = Clock::now();
-                extract_seconds +=
+                out.extractSeconds +=
                     std::chrono::duration<double>(t1 - t0).count();
-                callback_seconds +=
+                out.callbackSeconds +=
                     std::chrono::duration<double>(t2 - t1).count();
                 return more;
             },
-            remaining);
+            remaining, assumptions);
     }
 
     enumerate.arg("models", count);
     enumerate.close();
 
+    out.count = count;
+    out.replayed = replayed;
+    out.enumerateSeconds = enumerate.seconds();
+    return out;
+}
+
+} // namespace detail
+
+namespace
+{
+
+/**
+ * Copy the translation stats with conflict attribution filled in
+ * from the solver's per-tag counters, appending an entry for the
+ * enumeration blocking clauses when any were added.
+ */
+TranslationStats
+attributeProvenance(const TranslationStats &translation,
+                    const sat::Solver &solver,
+                    uint32_t blocking_tag)
+{
+    TranslationStats stats = translation;
+    const std::vector<uint64_t> &conflicts =
+        solver.conflictsByTag();
+    auto at = [](const std::vector<uint64_t> &v, uint32_t i) {
+        return i < v.size() ? v[i] : uint64_t{0};
+    };
+    for (ClauseProvenance &p : stats.provenance)
+        p.conflicts = at(conflicts, p.tag);
+    uint64_t blocking_clauses =
+        at(solver.clausesByTag(), blocking_tag);
+    uint64_t blocking_conflicts = at(conflicts, blocking_tag);
+    if (blocking_clauses || blocking_conflicts) {
+        stats.provenance.push_back(ClauseProvenance{
+            "(blocking)", "blocking", blocking_tag, 0,
+            blocking_clauses, blocking_conflicts});
+    }
+    // Refresh the clause total to include the enumeration's
+    // blocking clauses, so the provenance entries keep summing
+    // exactly to solverClauses after the search as well.
+    stats.solverClauses = solver.numClauses();
+    return stats;
+}
+
+} // anonymous namespace
+
+std::optional<Instance>
+solveOne(const Problem &problem, const SolveOptions &options,
+         SolveResult *result)
+{
+    sat::Solver solver(options.profile.solver);
+    detail::applyBudget(solver, options.profile.budget);
+    uint64_t heartbeats = 0;
+    detail::installHeartbeat(solver, options.profile, &heartbeats);
+    Translation translation(problem, solver, options.breakSymmetries);
+    detail::maybeDumpDimacs(solver, options.profile);
+
+    obs::Span search("sat.search", "sat");
+    sat::LBool r = solver.solve();
+    search.close();
+
     TranslationStats attributed = attributeProvenance(
-        translation.stats(), solver, blocking_tag);
-    publishStats(attributed, solver.lastCallStats());
+        translation.stats(), solver,
+        detail::firstFreeTag(translation.stats()));
+    detail::publishStats(attributed, solver.lastCallStats());
     if (result) {
-        result->sat = count > 0;
-        result->aborted =
-            solver.abortReason() != engine::AbortReason::None;
+        result->sat = (r == sat::LBool::True);
+        result->aborted = (r == sat::LBool::Undef);
         result->abortReason = solver.abortReason();
-        result->instances = count;
-        result->replayedInstances = replayed;
+        result->instances = (r == sat::LBool::True) ? 1 : 0;
         result->translation = attributed;
         result->solver = solver.lastCallStats();
         result->translateSeconds =
             translation.stats().totalSeconds;
-        result->extractSeconds = extract_seconds;
-        result->callbackSeconds = callback_seconds;
-        result->searchSeconds = enumerate.seconds() -
-                                extract_seconds - callback_seconds;
+        result->searchSeconds = search.seconds();
         result->heartbeats = heartbeats;
     }
-    return count;
+    if (r != sat::LBool::True)
+        return std::nullopt;
+
+    obs::Span extract("rmf.extract", "rmf");
+    Instance instance = translation.extract(solver);
+    extract.close();
+    if (result)
+        result->extractSeconds = extract.seconds();
+    return instance;
+}
+
+uint64_t
+solveAll(const Problem &problem,
+         const std::function<bool(const Instance &)> &on_instance,
+         const SolveOptions &options, SolveResult *result)
+{
+    sat::Solver solver(options.profile.solver);
+    detail::applyBudget(solver, options.profile.budget);
+    uint64_t heartbeats = 0;
+    detail::installHeartbeat(solver, options.profile, &heartbeats);
+    Translation translation(problem, solver, options.breakSymmetries);
+    detail::maybeDumpDimacs(solver, options.profile);
+
+    std::vector<sat::Var> projection =
+        detail::buildProjection(translation, options.projectOn);
+
+    // Blocking clauses added from here on (replay re-blocking and
+    // live enumeration alike) are attributed to their own tag, not
+    // to whichever axiom emitted clauses last.
+    uint32_t blocking_tag =
+        detail::firstFreeTag(translation.stats());
+    solver.setClauseTag(blocking_tag);
+
+    detail::EnumerationOutcome outcome = detail::driveEnumeration(
+        solver, translation, options.profile, projection,
+        on_instance, {});
+
+    TranslationStats attributed = attributeProvenance(
+        translation.stats(), solver, blocking_tag);
+    detail::publishStats(attributed, solver.lastCallStats());
+    if (result) {
+        result->sat = outcome.count > 0;
+        result->aborted =
+            solver.abortReason() != engine::AbortReason::None;
+        result->abortReason = solver.abortReason();
+        result->instances = outcome.count;
+        result->replayedInstances = outcome.replayed;
+        result->translation = attributed;
+        result->solver = solver.lastCallStats();
+        result->translateSeconds =
+            translation.stats().totalSeconds;
+        result->extractSeconds = outcome.extractSeconds;
+        result->callbackSeconds = outcome.callbackSeconds;
+        result->searchSeconds = outcome.enumerateSeconds -
+                                outcome.extractSeconds -
+                                outcome.callbackSeconds;
+        result->heartbeats = heartbeats;
+    }
+    return outcome.count;
 }
 
 } // namespace checkmate::rmf

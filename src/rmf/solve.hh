@@ -13,49 +13,50 @@
 
 #include "engine/budget.hh"
 #include "rmf/problem.hh"
+#include "rmf/profile.hh"
 #include "rmf/translate.hh"
 
 namespace checkmate::rmf
 {
 
 /**
- * A previously-enumerated model frontier to replay before resuming
- * the live search (checkpoint resume).
+ * Options controlling one model-finding run.
  *
- * Each entry is one model's assignment to the translation's primary
- * variables, in `Translation::primaryVars()` order. Replay
- * re-extracts each instance (variable numbering is deterministic,
- * so the stored bits mean the same thing in the new translation),
- * re-delivers it through the normal callback path, and re-adds its
- * blocking clause, so the continued search enumerates exactly the
- * models the interrupted run had not reached yet.
+ * Limits, solver tuning, and the observability/checkpoint hooks
+ * all live inside `profile` (see rmf/profile.hh); this struct adds
+ * only the knobs that change what is solved, not how hard.
+ *
+ * The flat members below `profile` (`budget`, `heartbeatMs`,
+ * `dumpDimacsPath`, `replay`, `onModelValues`) are deprecated
+ * aliases into it, kept for one release so existing callers keep
+ * compiling; new code should write `profile.<field>`.
  */
-struct ReplayLog
-{
-    /** Primary-var count the log was recorded against (sanity
-     * check: a mismatch means the problem changed and the log is
-     * ignored). */
-    size_t primaryVarCount = 0;
-
-    /** True when the interrupted run had finished enumerating —
-     * replay everything and skip the live search entirely. */
-    bool complete = false;
-
-    /** Per-model primary-variable assignments, oldest first. */
-    std::vector<std::vector<bool>> models;
-};
-
-/** Options controlling one model-finding run. */
 struct SolveOptions
 {
+    // The constructors and the alias declarations themselves touch
+    // the deprecated members; only *caller* uses should warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    SolveOptions() = default;
+    SolveOptions(const SolveOptions &other)
+        : breakSymmetries(other.breakSymmetries),
+          profile(other.profile), projectOn(other.projectOn)
+    {
+    }
+    SolveOptions &
+    operator=(const SolveOptions &other)
+    {
+        breakSymmetries = other.breakSymmetries;
+        profile = other.profile;
+        projectOn = other.projectOn;
+        return *this;
+    }
+
     /** Emit lex-leader symmetry-breaking predicates. */
     bool breakSymmetries = true;
 
-    /**
-     * Search limits: instance cap, conflict budget, wall-clock
-     * deadline and stop token, threaded down to the SAT solver.
-     */
-    engine::Budget budget;
+    /** Limits, solver tuning, observability and resume plumbing. */
+    SolveProfile profile;
 
     /**
      * Enumerate distinct assignments of these relations only (empty
@@ -66,30 +67,20 @@ struct SolveOptions
      */
     std::vector<RelationId> projectOn;
 
-    /**
-     * Solver heartbeat cadence in milliseconds (0 = off). Beats are
-     * emitted from inside the CDCL loop to the obs sinks: a JSONL
-     * log record, a Chrome-trace counter track, and the
-     * `sat.heartbeat.*` gauges.
-     */
-    int heartbeatMs = 0;
-
-    /**
-     * When non-empty, write the translated CNF here in DIMACS
-     * format (before solving), for offline reproduction of slow
-     * instances.
-     */
-    std::string dumpDimacsPath;
-
-    /** Model frontier to replay before the live search (resume). */
-    const ReplayLog *replay = nullptr;
-
-    /**
-     * Called once per delivered model (replayed and live) with its
-     * primary-variable assignment in primaryVars() order — the hook
-     * checkpoint writers record the enumeration frontier through.
-     */
-    std::function<void(const std::vector<bool> &)> onModelValues;
+    // --- Deprecated aliases (one release; see CHANGES.md) --------
+    [[deprecated("use profile.budget")]] engine::Budget &budget =
+        profile.budget;
+    [[deprecated("use profile.heartbeatMs")]] int &heartbeatMs =
+        profile.heartbeatMs;
+    [[deprecated("use profile.dumpDimacsPath")]] std::string
+        &dumpDimacsPath = profile.dumpDimacsPath;
+    [[deprecated("use profile.replay")]] const ReplayLog *&replay =
+        profile.replay;
+    [[deprecated(
+        "use profile.onModelValues")]] std::function<void(
+        const std::vector<bool> &)> &onModelValues =
+        profile.onModelValues;
+#pragma GCC diagnostic pop
 };
 
 /** Outcome of one model-finding run. */
@@ -117,6 +108,13 @@ struct SolveResult
 
     /** Heartbeats emitted during this call. */
     uint64_t heartbeats = 0;
+
+    /**
+     * True when the call reused an IncrementalSession's cached
+     * translation instead of translating from scratch (always false
+     * for the from-scratch solveOne/solveAll entry points).
+     */
+    bool warmStart = false;
 };
 
 /**

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Internals shared by the from-scratch solve driver (rmf/solve.cc)
+ * and the incremental session driver (rmf/session.cc): budget and
+ * heartbeat wiring, DIMACS dumps, provenance-tag allocation,
+ * metrics publication, and the replay+enumerate loop itself.
+ *
+ * This header is private to the rmf library; nothing outside
+ * src/rmf should include it.
+ */
+
+#ifndef CHECKMATE_RMF_SOLVE_DETAIL_HH
+#define CHECKMATE_RMF_SOLVE_DETAIL_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "rmf/profile.hh"
+#include "rmf/translate.hh"
+#include "sat/solver.hh"
+
+namespace checkmate::rmf::detail
+{
+
+/**
+ * Push the budget's limits into the solver. Applied before every
+ * call — including on a reused session solver — so a previous
+ * call's limits never leak into the next (all setters treat 0 /
+ * empty as "off").
+ */
+void applyBudget(sat::Solver &solver, const engine::Budget &budget);
+
+/**
+ * Route solver heartbeats to the obs sinks, counting beats into
+ * @p count. A non-positive cadence clears any previously installed
+ * callback (a reused session solver must not keep beating into a
+ * dead counter).
+ */
+void installHeartbeat(sat::Solver &solver,
+                      const SolveProfile &profile, uint64_t *count);
+
+/** Dump the translated CNF for offline reproduction. */
+void maybeDumpDimacs(const sat::Solver &solver,
+                     const SolveProfile &profile);
+
+/**
+ * The first clause tag not used by the translation's provenance
+ * entries — free for enumeration blocking clauses or a session's
+ * scoped facts.
+ */
+uint32_t firstFreeTag(const TranslationStats &stats);
+
+/** Publish per-call statistics into the metrics registry. */
+void publishStats(const TranslationStats &translation,
+                  const sat::SolverStats &solver);
+
+/** The enumeration projection: the requested relations' primary
+ *  variables, or all primary variables when none are requested. */
+std::vector<sat::Var>
+buildProjection(const Translation &translation,
+                const std::vector<RelationId> &project_on);
+
+/** What one replay+enumerate pass produced. */
+struct EnumerationOutcome
+{
+    /** Instances delivered (replayed + live). */
+    uint64_t count = 0;
+    /** Of `count`, how many came from the replay log. */
+    uint64_t replayed = 0;
+    /** Wall time of the whole pass (sat.enumerate span). */
+    double enumerateSeconds = 0.0;
+    /** Model → Instance extraction share of the pass. */
+    double extractSeconds = 0.0;
+    /** Caller-callback share of the pass. */
+    double callbackSeconds = 0.0;
+};
+
+/**
+ * The model-delivery loop shared by cold and incremental solves:
+ * replay the profile's checkpoint frontier (if any), then enumerate
+ * live models up to the budget's instance cap, timing the
+ * extraction and callback shares and honoring the fault-injection
+ * sites. Blocking clauses — replayed and live alike — are widened
+ * with the negations of @p assumptions, so under a session guard
+ * they are scoped to the guard's lifetime.
+ *
+ * The caller must have set the solver's clause tag to the tag the
+ * blocking clauses should be attributed to.
+ */
+EnumerationOutcome driveEnumeration(
+    sat::Solver &solver, Translation &translation,
+    const SolveProfile &profile,
+    const std::vector<sat::Var> &projection,
+    const std::function<bool(const Instance &)> &on_instance,
+    const std::vector<sat::Lit> &assumptions);
+
+} // namespace checkmate::rmf::detail
+
+#endif // CHECKMATE_RMF_SOLVE_DETAIL_HH

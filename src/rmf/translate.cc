@@ -203,8 +203,8 @@ BoolMatrix
 Translation::evalExpr(const Expr &e)
 {
     const ExprNode *key = &e.node();
-    auto memo_it = exprMemo_.find(key);
-    if (memo_it != exprMemo_.end())
+    auto memo_it = activeMemo_->find(key);
+    if (memo_it != activeMemo_->end())
         return memo_it->second;
 
     const ExprNode &n = e.node();
@@ -267,8 +267,27 @@ Translation::evalExpr(const Expr &e)
         out = matrixClosure(evalExpr(n.lhs));
         break;
     }
-    exprMemo_.emplace(key, out);
+    activeMemo_->emplace(key, out);
     return out;
+}
+
+void
+Translation::assertGuardedFact(const Formula &f, sat::Lit guard,
+                               uint32_t root_tag, uint32_t gate_tag)
+{
+    // Evaluate under a call-local memo (see the header): the
+    // fact's AST is caller-owned and may not outlive this call.
+    std::unordered_map<const ExprNode *, BoolMatrix> local;
+    activeMemo_ = &local;
+    uint32_t saved_tag = solver_.clauseTag();
+    // Gate (Tseitin definitional) clauses emitted while building
+    // the circuit are conservative extensions: they stay behind
+    // after the guard retires, under the session's shared tag.
+    solver_.setClauseTag(gate_tag);
+    BoolRef r = evalFormula(f);
+    factory_.assertTrueGuarded(r, solver_, guard, root_tag);
+    solver_.setClauseTag(saved_tag);
+    activeMemo_ = &exprMemo_;
 }
 
 BoolRef

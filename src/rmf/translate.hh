@@ -164,6 +164,31 @@ class Translation
     /** Evaluate a formula under the current model. */
     bool evaluate(const Formula &f, const sat::Solver &solver);
 
+    /**
+     * Assert @p f behind an assumption guard (incremental
+     * sessions): every root clause of the fact's CNF additionally
+     * carries @p guard, so the fact only binds while ¬guard is
+     * assumed false — i.e. while the session assumes the guard's
+     * activation literal — and `sat::Solver::retireGuard` can purge
+     * it later.
+     *
+     * Root-level clauses are tagged @p root_tag (per-scope, retired
+     * with the guard); Tseitin gate definitions are tagged
+     * @p gate_tag (they are definitional — a conservative extension
+     * — and stay behind permanently, shared across scopes via the
+     * factory's gate cache).
+     *
+     * The expression memo for @p f is transient: it lives only for
+     * this call, because the formula's AST nodes are owned by the
+     * caller and may die afterwards, unlike the session-owned core
+     * problem whose nodes back the persistent memo. Gate-level
+     * hash-consing in the BoolFactory still applies, so repeated
+     * structurally-identical facts re-materialize to cached
+     * literals instead of fresh CNF.
+     */
+    void assertGuardedFact(const Formula &f, sat::Lit guard,
+                           uint32_t root_tag, uint32_t gate_tag);
+
     const TranslationStats &stats() const { return stats_; }
 
     BoolFactory &factory() { return factory_; }
@@ -185,6 +210,12 @@ class Translation
     std::vector<BoolMatrix> relationMatrices_;
     std::vector<std::vector<sat::Var>> relationVars_;
     std::unordered_map<const ExprNode *, BoolMatrix> exprMemo_;
+    /** The memo evalExpr consults: normally &exprMemo_, swapped to
+     * a call-local map by assertGuardedFact (whose AST nodes do
+     * not outlive the call, so caching by node address would leave
+     * dangling keys behind). */
+    std::unordered_map<const ExprNode *, BoolMatrix> *activeMemo_ =
+        &exprMemo_;
     TranslationStats stats_;
 };
 

@@ -31,6 +31,8 @@ splitmix64(uint64_t &state)
 
 Solver::Solver() = default;
 
+Solver::Solver(const SolverConfig &config) : config_(config) {}
+
 Var
 Solver::newVar()
 {
@@ -755,20 +757,23 @@ uint64_t
 Solver::enumerateModels(
     const std::vector<Var> &projection,
     const std::function<bool(const Solver &)> &on_model,
-    uint64_t max_models)
+    uint64_t max_models, const std::vector<Lit> &assumptions)
 {
     uint64_t count = 0;
     callBase_ = stats_;
     inEnumeration_ = true;
     while (count < max_models) {
-        LBool r = solve();
+        LBool r = solve(assumptions);
         if (r != LBool::True)
             break;
         count++;
         stats_.modelsEnumerated++;
         bool keep_going = on_model(*this);
 
-        // Block this projected model.
+        // Block this projected model. Under assumptions the block
+        // is widened with their negations, so it constrains the
+        // system only while the same assumptions hold and is purged
+        // when an assumption guard is retired.
         Clause block;
         for (Var v : projection) {
             LBool b = model_[v];
@@ -778,7 +783,10 @@ Solver::enumerateModels(
                 block.push_back(mkLit(v, false));
             }
         }
-        if (block.empty() || !addClause(block))
+        bool had_projection = !block.empty();
+        for (Lit a : assumptions)
+            block.push_back(~a);
+        if (!had_projection || !addClause(block))
             break; // projection fully covered or became UNSAT
         if (!keep_going)
             break;
@@ -786,6 +794,58 @@ Solver::enumerateModels(
     inEnumeration_ = false;
     lastCall_ = stats_ - callBase_;
     return count;
+}
+
+void
+Solver::retireGuard(Var g)
+{
+    assert(decisionLevel() == 0);
+    // ¬g holds forever from here on: every clause the guard was
+    // appended to is permanently satisfied.
+    const Lit retired = mkLit(g, true);
+    addClause(retired);
+
+    auto purge = [&](std::vector<ClauseRef> &list, bool problem) {
+        size_t out = 0;
+        for (ClauseRef cr : list) {
+            ClauseData &c = clauseStore_[cr];
+            bool has_guard =
+                !c.deleted &&
+                std::find(c.lits.begin(), c.lits.end(), retired) !=
+                    c.lits.end();
+            if (!has_guard) {
+                if (!c.deleted)
+                    list[out++] = cr;
+                continue;
+            }
+            c.deleted = true;
+            memBytes_ -= clauseBytes(c.lits.size());
+            c.lits.clear();
+            c.lits.shrink_to_fit();
+            if (problem) {
+                // Keep the per-tag accounting exact so that
+                // clausesByTag() still sums to numClauses().
+                if (c.tag < clausesByTag_.size() &&
+                    clausesByTag_[c.tag] > 0)
+                    clausesByTag_[c.tag]--;
+            } else {
+                stats_.removedClauses++;
+            }
+        }
+        list.resize(out);
+    };
+    purge(clauses_, true);
+    purge(learnts_, false);
+
+    // A purged clause may have been the recorded reason of a
+    // level-0 trail literal (it propagated before retirement).
+    // Level-0 reasons are never dereferenced by conflict analysis,
+    // but clear them anyway so no dangling reference survives.
+    for (Lit p : trail_) {
+        ClauseRef r = varData_[p.var()].reason;
+        if (r != crUndef && clauseStore_[r].deleted)
+            varData_[p.var()].reason = crUndef;
+    }
 }
 
 } // namespace checkmate::sat

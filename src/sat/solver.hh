@@ -28,6 +28,7 @@
 
 #include "engine/stop_token.hh"
 #include "obs/histogram.hh"
+#include "sat/solver_config.hh"
 #include "sat/types.hh"
 
 namespace checkmate::sat
@@ -106,14 +107,73 @@ struct HeartbeatData
  * then call solve(). After a satisfiable result, read the assignment
  * with modelValue(). enumerateModels() repeatedly solves and blocks the
  * projection of each model to produce all distinct projected models.
+ *
+ * ## Stable public surface
+ *
+ * The supported, stable API for building on this solver is:
+ *
+ *  - construction: `Solver()` / `Solver(const SolverConfig &)`,
+ *  - variables: `newVar()`, `numVars()`, `freeze(Var)`,
+ *  - clauses: `addClause(...)` (all overloads), `numClauses()`,
+ *  - solving: `solve(assumptions)`, `modelValue(...)`,
+ *    `inConflict()`, `abortReason()`,
+ *  - limits: `setConflictBudget`, `setDeadline`, `setStopToken`,
+ *    `setMemLimit`, `setRandomSeed`, `setHeartbeat`, `memBytes()`,
+ *  - statistics: `stats()`, `lastCallStats()`.
+ *
+ * Everything in the "enumeration / translation interface" section
+ * below — model enumeration, clause-tag provenance, guard
+ * retirement, and DIMACS snapshots — exists for the rmf translator
+ * (the CNF producer) and the tooling built on top of it. Those
+ * entry points may change shape between releases; layers other
+ * than `rmf` and `sat` tooling should not reach into them.
+ *
+ * ## Incremental sessions
+ *
+ * The solver is incremental: `solve(assumptions)` may be called
+ * any number of times, clauses may be added between calls, and
+ * learned clauses are retained across calls (see
+ * docs/INCREMENTAL.md for the session protocol built on top:
+ * assumption-guarded clause groups activated per call and retired
+ * with `retireGuard()`).
  */
 class Solver
 {
   public:
     Solver();
 
+    /** Construct with explicit tuning (see sat/solver_config.hh). */
+    explicit Solver(const SolverConfig &config);
+
+    /** The tuning this solver was constructed with. */
+    const SolverConfig &config() const { return config_; }
+
     /** Create a fresh variable and return it. */
     Var newVar();
+
+    /**
+     * Mark @p v as frozen: the variable is promised to stay
+     * meaningful across solve() calls (assumption guards, variables
+     * referenced by later clause additions). This solver performs
+     * no variable elimination, so freezing is currently a recorded
+     * no-op — but callers building incremental sessions must still
+     * declare their guard variables so that adding elimination
+     * later cannot silently break them.
+     */
+    void
+    freeze(Var v)
+    {
+        if (static_cast<size_t>(v) >= frozen_.size())
+            frozen_.resize(v + 1, false);
+        frozen_[v] = true;
+    }
+
+    /** True if @p v was frozen with freeze(). */
+    bool
+    frozen(Var v) const
+    {
+        return static_cast<size_t>(v) < frozen_.size() && frozen_[v];
+    }
 
     /** Number of variables created so far. */
     int numVars() const { return static_cast<int>(assigns_.size()); }
@@ -157,20 +217,6 @@ class Solver
         return p.sign() ? ~b : b;
     }
 
-    /**
-     * Enumerate models projected onto @p projection.
-     *
-     * Calls @p on_model for every distinct assignment to the projection
-     * variables. The callback returns true to continue enumeration.
-     * Enumeration also stops after @p max_models models.
-     *
-     * @return the number of models enumerated.
-     */
-    uint64_t enumerateModels(
-        const std::vector<Var> &projection,
-        const std::function<bool(const Solver &)> &on_model,
-        uint64_t max_models = std::numeric_limits<uint64_t>::max());
-
     /** True once the clause system is known unsatisfiable forever. */
     bool inConflict() const { return !ok_; }
 
@@ -184,15 +230,6 @@ class Solver
      * accurate numbers instead of ever-growing totals.
      */
     const SolverStats &lastCallStats() const { return lastCall_; }
-
-    /**
-     * Snapshot of the problem (non-learned) clauses plus the
-     * top-level unit assignments, suitable for a DIMACS dump.
-     * Blocking clauses added by enumerateModels() count as problem
-     * clauses, so dump before enumerating to capture the translated
-     * CNF alone.
-     */
-    std::vector<Clause> problemClauses() const;
 
     /**
      * Emit a progress heartbeat from inside the search loop every
@@ -254,6 +291,61 @@ class Solver
      * (AbortReason::None after a decided SAT/UNSAT result).
      */
     engine::AbortReason abortReason() const { return abortReason_; }
+
+    // =============================================================
+    // Enumeration / translation interface.
+    //
+    // Everything below this line exists for the rmf translator and
+    // the provenance/bench tooling, not for general consumers; it
+    // is NOT part of the stable surface documented in the class
+    // comment and may change shape between releases.
+    // =============================================================
+
+    /**
+     * Enumerate models projected onto @p projection.
+     *
+     * Calls @p on_model for every distinct assignment to the projection
+     * variables. The callback returns true to continue enumeration.
+     * Enumeration also stops after @p max_models models.
+     *
+     * When @p assumptions are given, every underlying solve() runs
+     * under them and each blocking clause also carries their
+     * negations — so the blocks only constrain the solver while the
+     * same assumptions hold, and retireGuard() on an assumption
+     * guard purges them. This is how an incremental session scopes
+     * one sweep point's enumeration.
+     *
+     * @return the number of models enumerated.
+     */
+    uint64_t enumerateModels(
+        const std::vector<Var> &projection,
+        const std::function<bool(const Solver &)> &on_model,
+        uint64_t max_models = std::numeric_limits<uint64_t>::max(),
+        const std::vector<Lit> &assumptions = {});
+
+    /**
+     * Permanently retire an assumption guard variable @p g (see
+     * docs/INCREMENTAL.md): asserts the unit ¬g and then physically
+     * removes every clause — problem and learned — that contains
+     * ¬g, since such clauses are satisfied forever and would only
+     * occupy memory and watcher lists. Per-tag clause accounting is
+     * kept exact (purged problem clauses are subtracted from their
+     * tag), so clausesByTag() keeps summing to numClauses().
+     *
+     * Learned clauses that do NOT mention ¬g are retained: they
+     * were derived from clauses implied by the remaining system
+     * plus the retire units, so they stay sound for future calls.
+     */
+    void retireGuard(Var g);
+
+    /**
+     * Snapshot of the problem (non-learned) clauses plus the
+     * top-level unit assignments, suitable for a DIMACS dump.
+     * Blocking clauses added by enumerateModels() count as problem
+     * clauses, so dump before enumerating to capture the translated
+     * CNF alone.
+     */
+    std::vector<Clause> problemClauses() const;
 
     /**
      * Provenance tag applied to every subsequently added problem
@@ -376,6 +468,7 @@ class Solver
     static double lubySequence(int i);
 
     // --- State ----------------------------------------------------
+    SolverConfig config_;
     bool ok_ = true;
     std::vector<ClauseData> clauseStore_;
     std::vector<ClauseRef> clauses_;
@@ -394,12 +487,13 @@ class Solver
     std::vector<Var> heap_;
     std::vector<int> heapIndex_;
     double varInc_ = 1.0;
-    double varDecay_ = 0.95;
+    double varDecay_ = config_.varDecay;
     double claInc_ = 1.0;
-    double claDecay_ = 0.999;
+    double claDecay_ = config_.claDecay;
 
     std::vector<Lit> assumptions_;
     std::vector<LBool> model_;
+    std::vector<bool> frozen_;
 
     std::vector<uint8_t> seen_;
     std::vector<Lit> analyzeToClear_;
@@ -416,7 +510,7 @@ class Solver
         v[tag]++;
     }
 
-    uint64_t maxLearnts_ = 4000;
+    uint64_t maxLearnts_ = config_.maxLearnts;
     uint64_t conflictBudget_ = 0;
     uint64_t memBytes_ = 0;
     uint64_t memLimit_ = 0;

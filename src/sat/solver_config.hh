@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Tuning knobs for the CDCL solver, separated from the search
+ * budget (engine::Budget) so that "how hard may the solver work"
+ * and "how the solver works" are configured independently.
+ *
+ * A SolverConfig is construction-time state: it is consumed by
+ * Solver's constructor and does not change over the solver's
+ * lifetime. Budgets, deadlines and seeds remain per-call state and
+ * keep flowing through engine::Budget.
+ */
+
+#ifndef CHECKMATE_SAT_SOLVER_CONFIG_HH
+#define CHECKMATE_SAT_SOLVER_CONFIG_HH
+
+#include <cstdint>
+
+namespace checkmate::sat
+{
+
+/** Construction-time solver tuning. Defaults match the classic
+ *  MiniSat-style parameters the solver has always used. */
+struct SolverConfig
+{
+    /** VSIDS variable-activity decay factor per conflict. */
+    double varDecay = 0.95;
+
+    /** Learned-clause activity decay factor per conflict. */
+    double claDecay = 0.999;
+
+    /** Initial learned-clause DB size that triggers reduceDB()
+     *  (grows 10% on each reduction). */
+    uint64_t maxLearnts = 4000;
+};
+
+} // namespace checkmate::sat
+
+#endif // CHECKMATE_SAT_SOLVER_CONFIG_HH

@@ -183,7 +183,7 @@ TEST_P(RandomProgramProperty, SpecOoOExecutionsAreWellFormed)
     bounds.numIndices = 2;
 
     core::SynthesisOptions opts;
-    opts.budget.maxInstances = 40;
+    opts.profile.budget.maxInstances = 40;
     auto execs =
         tool.synthesizeExecutions(prog, bounds, opts, nullptr);
     for (const auto &ex : execs)
@@ -214,7 +214,7 @@ TEST_P(RandomProgramInOrder, ExecutionsAreWellFormed)
     bounds.numIndices = 2;
 
     core::SynthesisOptions opts;
-    opts.budget.maxInstances = 40;
+    opts.profile.budget.maxInstances = 40;
     auto execs =
         tool.synthesizeExecutions(prog, bounds, opts, nullptr);
     for (const auto &ex : execs) {

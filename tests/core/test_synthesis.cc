@@ -364,7 +364,7 @@ TEST(Synthesis, MaxInstancesCapRespected)
     patterns::FlushReloadPattern pattern;
     core::CheckMate tool(m, &pattern);
     core::SynthesisOptions opts;
-    opts.budget.maxInstances = 3;
+    opts.profile.budget.maxInstances = 3;
     core::SynthesisReport report;
     tool.synthesizeAll(bounds(4), opts, &report);
     EXPECT_EQ(report.rawInstances, 3u);

@@ -125,7 +125,7 @@ TEST(Cancellation, SolveResultCarriesAbortReason)
     bounds.numEvents = 4;
 
     core::SynthesisOptions options;
-    options.budget.deadline = engine::deadlineIn(1e-9);
+    options.profile.budget.deadline = engine::deadlineIn(1e-9);
 
     core::SynthesisReport report;
     auto exploits = tool.synthesizeAll(bounds, options, &report);
@@ -145,7 +145,7 @@ TEST(Cancellation, SynthesisHonorsStopToken)
     bounds.numEvents = 4;
 
     core::SynthesisOptions options;
-    options.budget.stop = stop.token();
+    options.profile.budget.stop = stop.token();
 
     core::SynthesisReport report;
     auto exploits = tool.synthesizeAll(bounds, options, &report);

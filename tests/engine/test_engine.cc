@@ -202,7 +202,7 @@ TEST(EngineJob, TableOneFlushReloadRows)
     EXPECT_TRUE(jobs[1].options.attackerOnly);
     EXPECT_EQ(jobs[2].options.requireWindow,
               core::WindowRequirement::BranchWindow);
-    EXPECT_EQ(jobs[0].options.budget.maxInstances, 100u);
+    EXPECT_EQ(jobs[0].options.profile.budget.maxInstances, 100u);
 }
 
 TEST(EngineJob, TableOnePrimeProbeRows)

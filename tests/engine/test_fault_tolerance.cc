@@ -97,7 +97,7 @@ smallJob(uint64_t cap = 25)
     job.bounds.numVas = 2;
     job.bounds.numPas = 2;
     job.bounds.numIndices = 2;
-    job.options.budget.maxInstances = cap;
+    job.options.profile.budget.maxInstances = cap;
     return job;
 }
 

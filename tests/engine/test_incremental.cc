@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests for incremental sweep solving at the engine and CLI layers:
+ * the session pool, the core-key grouping, `--incremental` parsing,
+ * and the acceptance guarantee that incremental and from-scratch
+ * runs emit byte-identical litmus output.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hh"
+#include "engine/job.hh"
+#include "engine/scheduler.hh"
+#include "engine/session_pool.hh"
+#include "rmf/session.hh"
+
+namespace
+{
+
+using namespace checkmate;
+
+// ---------------------------------------------------------------
+// SessionPool
+// ---------------------------------------------------------------
+
+TEST(SessionPool, MissCreatesFreshSession)
+{
+    engine::SessionPool pool;
+    auto s = pool.checkOut("k");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(pool.hits(), 0u);
+    EXPECT_EQ(pool.size(), 0u); // leased, not idle
+}
+
+TEST(SessionPool, CheckInThenCheckOutReturnsSameSession)
+{
+    engine::SessionPool pool;
+    auto s = pool.checkOut("k");
+    rmf::IncrementalSession *raw = s.get();
+    pool.checkIn("k", std::move(s));
+    EXPECT_EQ(pool.size(), 1u);
+
+    auto again = pool.checkOut("k");
+    EXPECT_EQ(again.get(), raw);
+    EXPECT_EQ(pool.hits(), 1u);
+    EXPECT_EQ(pool.size(), 0u);
+
+    // A different key misses even while "k"'s session is leased.
+    auto other = pool.checkOut("other");
+    EXPECT_NE(other.get(), raw);
+    EXPECT_EQ(pool.hits(), 1u);
+}
+
+TEST(SessionPool, EvictsLeastRecentlyUsedAtCapacity)
+{
+    engine::SessionPool pool;
+    pool.setCapacity(2);
+    EXPECT_EQ(pool.capacity(), 2u);
+
+    pool.checkIn("a", pool.checkOut("a"));
+    pool.checkIn("b", pool.checkOut("b"));
+    // Touch "a" so "b" becomes the LRU entry.
+    pool.checkIn("a", pool.checkOut("a"));
+    pool.checkIn("c", pool.checkOut("c")); // evicts "b"
+    EXPECT_EQ(pool.size(), 2u);
+
+    uint64_t hits_before = pool.hits();
+    pool.checkOut("b"); // must miss: evicted
+    EXPECT_EQ(pool.hits(), hits_before);
+    pool.checkOut("a"); // still cached
+    EXPECT_EQ(pool.hits(), hits_before + 1);
+}
+
+TEST(SessionPool, ClearDropsIdleSessions)
+{
+    engine::SessionPool pool;
+    pool.checkIn("a", pool.checkOut("a"));
+    pool.checkIn("b", pool.checkOut("b"));
+    EXPECT_EQ(pool.size(), 2u);
+    pool.clear();
+    EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(SessionPool, NullCheckInIsIgnored)
+{
+    engine::SessionPool pool;
+    pool.checkIn("a", nullptr);
+    EXPECT_EQ(pool.size(), 0u);
+}
+
+// ---------------------------------------------------------------
+// Core-key grouping
+// ---------------------------------------------------------------
+
+TEST(JobCoreKey, SweepPointsOfOneCoreShareTheKey)
+{
+    // Two bound-4 flush-reload jobs differing only in the
+    // per-sweep-point delta (window requirement, attacker-only) and
+    // the cap: distinct jobKeys, one core key.
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 4, 50);
+    engine::SynthesisJob plain = jobs[0];
+    engine::SynthesisJob windowed = jobs[0];
+    windowed.options.requireWindow =
+        core::WindowRequirement::FaultWindow;
+    windowed.options.attackerOnly = true;
+    windowed.options.profile.budget.maxInstances = 7;
+
+    EXPECT_NE(engine::jobKey(plain), engine::jobKey(windowed));
+    EXPECT_EQ(engine::jobCoreKey(plain),
+              engine::jobCoreKey(windowed));
+}
+
+TEST(JobCoreKey, CoreShapingFieldsChangeTheKey)
+{
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 5, 50);
+    EXPECT_NE(engine::jobCoreKey(jobs[0]),
+              engine::jobCoreKey(jobs[1])); // different bound
+
+    engine::SynthesisJob other_pattern = jobs[0];
+    other_pattern.pattern = "prime-probe";
+    EXPECT_NE(engine::jobCoreKey(jobs[0]),
+              engine::jobCoreKey(other_pattern));
+
+    engine::SynthesisJob other_uarch = jobs[0];
+    other_uarch.uarch = "inorder3";
+    EXPECT_NE(engine::jobCoreKey(jobs[0]),
+              engine::jobCoreKey(other_uarch));
+}
+
+// ---------------------------------------------------------------
+// CLI flag
+// ---------------------------------------------------------------
+
+TEST(IncrementalCli, ParsesIncrementalFlag)
+{
+    EXPECT_FALSE(core::parseCli({}).incremental);
+    EXPECT_TRUE(core::parseCli({"--incremental"}).incremental);
+    EXPECT_TRUE(core::parseCli({"--incremental=on"}).incremental);
+
+    core::CliOptions off = core::parseCli({"--incremental=off"});
+    EXPECT_TRUE(off.error.empty());
+    EXPECT_FALSE(off.incremental);
+
+    EXPECT_FALSE(
+        core::parseCli({"--incremental=sometimes"}).error.empty());
+}
+
+TEST(IncrementalCli, UnknownFlagSuggestsNearestValidFlag)
+{
+    core::CliOptions opts = core::parseCli({"--incrmental"});
+    ASSERT_FALSE(opts.error.empty());
+    EXPECT_NE(opts.error.find("did you mean --incremental"),
+              std::string::npos)
+        << opts.error;
+
+    // Suggestions also fire on misspelled --flag=value forms.
+    core::CliOptions eq = core::parseCli({"--incrementl=off"});
+    ASSERT_FALSE(eq.error.empty());
+    EXPECT_NE(eq.error.find("did you mean --incremental"),
+              std::string::npos)
+        << eq.error;
+
+    // Nothing near: no bogus suggestion.
+    core::CliOptions far = core::parseCli({"--zzzzqqqq"});
+    ASSERT_FALSE(far.error.empty());
+    EXPECT_EQ(far.error.find("did you mean"), std::string::npos)
+        << far.error;
+}
+
+TEST(IncrementalCli, HelpGroupsIncrementalUnderPerformance)
+{
+    std::string usage = core::cliUsage();
+    size_t perf = usage.find("performance:");
+    size_t inc = usage.find("--incremental");
+    ASSERT_NE(perf, std::string::npos);
+    ASSERT_NE(inc, std::string::npos);
+    EXPECT_LT(perf, inc);
+}
+
+// ---------------------------------------------------------------
+// Byte-identical litmus output, incremental vs from-scratch
+// ---------------------------------------------------------------
+
+/** All synthesized litmus tests of a run, in merged (key) order. */
+std::string
+litmusText(const engine::RunResult &run)
+{
+    std::ostringstream out;
+    for (const engine::JobResult &job : run.jobs) {
+        EXPECT_TRUE(job.error.empty()) << job.error;
+        out << "== " << job.key << " ==\n";
+        for (const core::SynthesizedExploit &e : job.exploits)
+            out << e.test.toString() << '\n';
+    }
+    return out.str();
+}
+
+TEST(IncrementalEquivalence, WarmAndColdJobsEmitIdenticalLitmus)
+{
+    // Two sweep points over one problem core (bound-4 flush-reload,
+    // with and without the speculative-row delta), uncapped so
+    // enumeration completes and output is a function of the model
+    // set, not the enumeration order.
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 4, 100000);
+    engine::SynthesisJob windowed = jobs[0];
+    windowed.options.requireWindow =
+        core::WindowRequirement::FaultWindow;
+    windowed.options.attackerOnly = true;
+    jobs.push_back(windowed);
+
+    engine::EngineOptions cold;
+    cold.threads = 1;
+    std::string reference = litmusText(engine::runJobs(jobs, cold));
+    EXPECT_FALSE(reference.empty());
+
+    // --jobs 1 incremental: the second job leases the session the
+    // first one warmed (same core key), so this run exercises the
+    // warm path end to end.
+    auto &pool = engine::SessionPool::instance();
+    pool.clear();
+    uint64_t hits_before = pool.hits();
+    engine::EngineOptions inc1;
+    inc1.threads = 1;
+    inc1.incremental = true;
+    engine::RunResult inc1_run = engine::runJobs(jobs, inc1);
+    EXPECT_EQ(litmusText(inc1_run), reference);
+    EXPECT_GT(pool.hits(), hits_before) << "no warm lease happened";
+
+    // --jobs 2 incremental: both jobs run concurrently, each on its
+    // own session (the pool never shares a leased session).
+    pool.clear();
+    engine::EngineOptions inc2;
+    inc2.threads = 2;
+    inc2.incremental = true;
+    EXPECT_EQ(litmusText(engine::runJobs(jobs, inc2)), reference);
+
+    // Reports must flag the reuse for run-report consumers.
+    bool any_warm = false;
+    for (const engine::JobResult &job : inc1_run.jobs)
+        any_warm = any_warm || job.report.warmStart;
+    EXPECT_TRUE(any_warm);
+    pool.clear();
+}
+
+TEST(IncrementalEquivalence, CliOutputByteIdenticalAcrossModes)
+{
+    // The full CLI surface: identical bytes (litmus text, class
+    // counts, timings aside) from --incremental=off, a cold
+    // --incremental run, and a warm --incremental rerun.
+    std::vector<std::string> base = {"--uarch", "specooo",
+                                     "--events", "4", "--max",
+                                     "100000"};
+    auto with = [&](const char *flag) {
+        auto args = base;
+        args.push_back(flag);
+        return core::parseCli(args);
+    };
+
+    std::ostringstream cold_out, inc_cold_out, inc_warm_out;
+    int rc_cold = core::runCli(with("--incremental=off"), cold_out);
+
+    engine::SessionPool::instance().clear();
+    int rc_inc = core::runCli(with("--incremental"), inc_cold_out);
+    int rc_warm = core::runCli(with("--incremental"), inc_warm_out);
+
+    EXPECT_EQ(rc_cold, 0);
+    EXPECT_EQ(rc_inc, rc_cold);
+    EXPECT_EQ(rc_warm, rc_cold);
+
+    // Strip the timing line ("first: ...s, all: ...s"): wall times
+    // legitimately differ; everything else must not.
+    auto stripTimes = [](const std::string &s) {
+        std::istringstream in(s);
+        std::ostringstream kept;
+        std::string line;
+        while (std::getline(in, line))
+            if (line.find("first:") == std::string::npos)
+                kept << line << '\n';
+        return kept.str();
+    };
+    EXPECT_EQ(stripTimes(inc_cold_out.str()),
+              stripTimes(cold_out.str()));
+    EXPECT_EQ(stripTimes(inc_warm_out.str()),
+              stripTimes(cold_out.str()));
+    EXPECT_NE(cold_out.str().find("FLUSH+RELOAD"),
+              std::string::npos);
+    engine::SessionPool::instance().clear();
+}
+
+} // anonymous namespace

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Tests for incremental sweep sessions: warm-vs-cold model-set
+ * equivalence, structural problem equivalence, and per-call
+ * provenance accounting across a multi-call session.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rmf/quant.hh"
+#include "rmf/session.hh"
+#include "rmf/solve.hh"
+
+namespace
+{
+
+using namespace checkmate::rmf;
+
+/** A small shared core: one free binary relation over three atoms. */
+Problem
+makeCore(const Universe &u)
+{
+    Problem p(u);
+    RelationId r = p.addRelation(
+        "r", TupleSet::product(
+                 {TupleSet::range(0, 2), TupleSet::range(0, 2)}));
+    p.require(no(p.expr(r) & Expr::iden(u)), "Irreflexive");
+    return p;
+}
+
+/** Enumerate the full model set of a problem as relation tuples. */
+std::set<std::vector<Tuple>>
+fromScratchModels(const Problem &p)
+{
+    std::set<std::vector<Tuple>> models;
+    solveAll(p, [&](const Instance &inst) {
+        models.insert(inst.value("r").tuples());
+        return true;
+    });
+    return models;
+}
+
+/** Enumerate core ∧ delta through a session. */
+std::set<std::vector<Tuple>>
+sessionModels(IncrementalSession &session, const Problem &core,
+              const ScopedFacts &delta, SolveResult *result = nullptr)
+{
+    std::set<std::vector<Tuple>> models;
+    SolveOptions opts;
+    session.solveAll(
+        core, delta,
+        [&](const Instance &inst) {
+            models.insert(inst.value("r").tuples());
+            return true;
+        },
+        opts, result);
+    return models;
+}
+
+TEST(Session, WarmCallsEnumerateSameModelSetAsFromScratch)
+{
+    Universe u({"a", "b", "c"});
+    Problem core = makeCore(u);
+    RelationId r = 0;
+
+    // Three sweep points: no extra fact, "some r", "one r". Each is
+    // checked against a from-scratch problem carrying the same fact
+    // directly. No instance cap, so enumeration is complete and the
+    // model *sets* must match exactly.
+    IncrementalSession session;
+    {
+        ScopedFacts empty_delta;
+        Problem direct = makeCore(u);
+        EXPECT_EQ(sessionModels(session, core, empty_delta),
+                  fromScratchModels(direct));
+    }
+    {
+        ScopedFacts delta;
+        delta.require(some(core.expr(r)), "SomePairs");
+        Problem direct = makeCore(u);
+        direct.require(some(direct.expr(r)), "SomePairs");
+        EXPECT_EQ(sessionModels(session, core, delta),
+                  fromScratchModels(direct));
+    }
+    {
+        ScopedFacts delta;
+        delta.require(one(core.expr(r)), "ExactlyOnePair");
+        Problem direct = makeCore(u);
+        direct.require(one(direct.expr(r)), "ExactlyOnePair");
+        EXPECT_EQ(sessionModels(session, core, delta),
+                  fromScratchModels(direct));
+    }
+
+    EXPECT_EQ(session.scopes(), 3u);
+    EXPECT_EQ(session.warmHits(), 2u); // first call was cold
+}
+
+TEST(Session, RepeatedIdenticalDeltaStaysCorrect)
+{
+    // The same delta formula re-asserted in a later scope must not
+    // collide with its retired predecessor: the shared Tseitin gates
+    // are reused, but the root activation is always fresh.
+    Universe u({"a", "b", "c"});
+    Problem core = makeCore(u);
+    ScopedFacts delta;
+    delta.require(some(core.expr(0)), "SomePairs");
+
+    IncrementalSession session;
+    auto first = sessionModels(session, core, delta);
+    auto second = sessionModels(session, core, delta);
+    auto third = sessionModels(session, core, delta);
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+    EXPECT_EQ(second, third);
+    EXPECT_EQ(session.warmHits(), 2u);
+}
+
+TEST(Session, ChangedCoreRetranslates)
+{
+    Universe u({"a", "b", "c"});
+    Problem core1 = makeCore(u);
+    Problem core2 = makeCore(u);
+    core2.require(some(core2.expr(0)), "ExtraCoreFact");
+
+    IncrementalSession session;
+    ScopedFacts empty_delta;
+    sessionModels(session, core1, empty_delta);
+    EXPECT_TRUE(session.matches(core1, true));
+    EXPECT_FALSE(session.matches(core2, true));
+    EXPECT_FALSE(session.matches(core1, false)); // sb mode differs
+
+    sessionModels(session, core2, empty_delta);
+    EXPECT_EQ(session.warmHits(), 0u); // both calls were cold
+    EXPECT_TRUE(session.matches(core2, true));
+}
+
+TEST(Session, ProvenanceSumsHoldPerCallAcrossWarmCalls)
+{
+    Universe u({"a", "b", "c"});
+    Problem core = makeCore(u);
+
+    IncrementalSession session;
+    for (int call = 0; call < 3; call++) {
+        ScopedFacts delta;
+        delta.require(some(core.expr(0)), "SomePairs");
+        SolveResult res;
+        sessionModels(session, core, delta, &res);
+
+        // Per-axiom clause counts must sum exactly to the stored
+        // clause total, and per-axiom conflicts to this *call's*
+        // conflicts — the invariant checkmate-report relies on,
+        // preserved across retireGuard purges and warm reuse.
+        uint64_t clause_sum = 0;
+        uint64_t conflict_sum = 0;
+        bool saw_delta_label = false;
+        for (const ClauseProvenance &p : res.translation.provenance) {
+            clause_sum += p.clauses;
+            conflict_sum += p.conflicts;
+            if (p.label == "SomePairs")
+                saw_delta_label = true;
+        }
+        EXPECT_EQ(clause_sum, res.translation.solverClauses)
+            << "call " << call;
+        EXPECT_EQ(conflict_sum, res.solver.conflicts)
+            << "call " << call;
+        EXPECT_TRUE(saw_delta_label) << "call " << call;
+        EXPECT_EQ(res.warmStart, call > 0) << "call " << call;
+    }
+}
+
+TEST(Session, WarmTranslateCoversOnlyTheDelta)
+{
+    Universe u({"a", "b", "c"});
+    Problem core = makeCore(u);
+    IncrementalSession session;
+
+    ScopedFacts delta;
+    delta.require(some(core.expr(0)), "SomePairs");
+    SolveResult cold;
+    sessionModels(session, core, delta, &cold);
+    SolveResult warm;
+    sessionModels(session, core, delta, &warm);
+
+    EXPECT_FALSE(cold.warmStart);
+    EXPECT_TRUE(warm.warmStart);
+    // The cold call's translation stats include the full core
+    // translation; the warm call reports only the delta.
+    EXPECT_LE(warm.translation.totalSeconds,
+              cold.translation.totalSeconds);
+    EXPECT_GT(cold.translation.totalSeconds, 0.0);
+}
+
+TEST(Session, RespectsInstanceBudget)
+{
+    Universe u({"a", "b", "c"});
+    Problem core = makeCore(u);
+    IncrementalSession session;
+
+    SolveOptions opts;
+    opts.profile.budget.maxInstances = 2;
+    uint64_t n = session.solveAll(
+        core, {}, [](const Instance &) { return true; }, opts);
+    EXPECT_EQ(n, 2u);
+
+    // The budget must not leak into the next (uncapped) warm call.
+    SolveOptions uncapped;
+    uint64_t all = session.solveAll(
+        core, {}, [](const Instance &) { return true; }, uncapped);
+    EXPECT_GT(all, 2u);
+}
+
+TEST(ProblemsEquivalent, MatchesStructurallyIdenticalRebuilds)
+{
+    Universe u1({"a", "b", "c"});
+    Universe u2({"a", "b", "c"});
+    Problem p1 = makeCore(u1);
+    Problem p2 = makeCore(u2); // distinct objects, same structure
+    EXPECT_TRUE(problemsEquivalent(p1, p2));
+    EXPECT_TRUE(problemsEquivalent(p1, p1));
+}
+
+TEST(ProblemsEquivalent, DetectsStructuralDifferences)
+{
+    Universe u({"a", "b", "c"});
+    Problem base = makeCore(u);
+
+    { // different atom names
+        Universe u2({"a", "b", "z"});
+        Problem p = makeCore(u2);
+        EXPECT_FALSE(problemsEquivalent(base, p));
+    }
+    { // different universe size
+        Universe u2({"a", "b"});
+        Problem p(u2);
+        p.addRelation("r",
+                      TupleSet::product({TupleSet::range(0, 1),
+                                         TupleSet::range(0, 1)}));
+        p.require(no(p.expr(0) & Expr::iden(u2)), "Irreflexive");
+        EXPECT_FALSE(problemsEquivalent(base, p));
+    }
+    { // different relation bounds
+        Problem p(u);
+        p.addRelation("r",
+                      TupleSet::product({TupleSet::range(0, 1),
+                                         TupleSet::range(0, 2)}));
+        p.require(no(p.expr(0) & Expr::iden(u)), "Irreflexive");
+        EXPECT_FALSE(problemsEquivalent(base, p));
+    }
+    { // extra fact
+        Problem p = makeCore(u);
+        p.require(some(p.expr(0)), "Extra");
+        EXPECT_FALSE(problemsEquivalent(base, p));
+    }
+    { // same formulas, different fact label
+        Problem p(u);
+        p.addRelation("r",
+                      TupleSet::product({TupleSet::range(0, 2),
+                                         TupleSet::range(0, 2)}));
+        p.require(no(p.expr(0) & Expr::iden(u)), "RenamedAxiom");
+        EXPECT_FALSE(problemsEquivalent(base, p));
+    }
+    { // different symmetry classes
+        Problem p = makeCore(u);
+        p.addSymmetryClass({0, 1, 2});
+        EXPECT_FALSE(problemsEquivalent(base, p));
+    }
+}
+
+TEST(ProblemsEquivalent, DistinguishesFormulaStructure)
+{
+    Universe u({"a", "b", "c"});
+    Problem p1(u);
+    p1.addRelation("r", TupleSet::range(0, 2));
+    p1.require(some(p1.expr(0)), "F");
+
+    Problem p2(u);
+    p2.addRelation("r", TupleSet::range(0, 2));
+    p2.require(one(p2.expr(0)), "F");
+
+    EXPECT_FALSE(problemsEquivalent(p1, p2));
+}
+
+} // anonymous namespace

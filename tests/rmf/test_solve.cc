@@ -58,7 +58,7 @@ TEST(Solve, MaxInstancesCap)
     Problem p(u);
     p.addRelation("r", TupleSet::range(0, 2));
     SolveOptions opts;
-    opts.budget.maxInstances = 3;
+    opts.profile.budget.maxInstances = 3;
     uint64_t n = solveAll(
         p, [](const Instance &) { return true; }, opts);
     EXPECT_EQ(n, 3u);

@@ -36,6 +36,7 @@
 #include "engine/fault_injector.hh"
 #include "engine/job.hh"
 #include "engine/scheduler.hh"
+#include "engine/session_pool.hh"
 #include "obs/bench.hh"
 #include "obs/metrics.hh"
 
@@ -59,6 +60,13 @@ struct Scenario
     const char *summary;
     std::vector<engine::SynthesisJob> (*make)(const BenchConfig &);
     std::string (*describe)(const BenchConfig &);
+    /**
+     * Run through pooled incremental sessions (--incremental).
+     * Repetition 1 translates each job's core cold; later reps
+     * lease the warmed sessions, so the scenario's medians measure
+     * the warm path against its cold twin scenario.
+     */
+    bool incremental = false;
 };
 
 uint64_t
@@ -157,10 +165,22 @@ describeFig5SpectrePrime(const BenchConfig &c)
     return sweepConfig(c, "prime-probe", 5, 5, 100);
 }
 
+std::string
+describeTable1FlushReloadIncremental(const BenchConfig &c)
+{
+    return describeTable1FlushReload(c) + " incremental";
+}
+
 const Scenario kScenarios[] = {
     {"table1_flush_reload",
      "Table I top half: FLUSH+RELOAD sweep on SpecOoO",
      makeTable1FlushReload, describeTable1FlushReload},
+    {"table1_fr_incremental",
+     "Table I FLUSH+RELOAD sweep through pooled incremental "
+     "sessions (warm from rep 2 on; A/B twin of "
+     "table1_flush_reload)",
+     makeTable1FlushReload, describeTable1FlushReloadIncremental,
+     /*incremental=*/true},
     {"table1_prime_probe",
      "Table I bottom half: PRIME+PROBE sweep on SpecOoO+coherence",
      makeTable1PrimeProbe, describeTable1PrimeProbe},
@@ -198,6 +218,7 @@ runRep(const Scenario &scenario, const BenchConfig &config,
         scenario.make(config);
     engine::EngineOptions opts;
     opts.threads = config.jobs;
+    opts.incremental = scenario.incremental;
     engine::RunResult run = engine::runJobs(jobs, opts);
 
     sample = obs::BenchSample{};
@@ -284,7 +305,8 @@ main(int argc, char **argv)
     }
 
     if (selected.empty())
-        selected = {"table1_flush_reload", "table1_prime_probe"};
+        selected = {"table1_flush_reload", "table1_fr_incremental",
+                    "table1_prime_probe"};
 
     std::error_code ec;
     std::filesystem::create_directories(config.outDir, ec);
@@ -304,6 +326,12 @@ main(int argc, char **argv)
                       << name << " (see --list)\n";
             return 2;
         }
+
+        // Each scenario starts with a cold pool, so its samples are
+        // self-contained: rep 1 translates cold, reps 2+ lease the
+        // sessions rep 1 warmed.
+        if (scenario->incremental)
+            engine::SessionPool::instance().clear();
 
         obs::BenchRun run;
         run.scenario = scenario->name;
