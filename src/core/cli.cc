@@ -23,6 +23,7 @@
 #include "engine/job.hh"
 #include "engine/report.hh"
 #include "engine/scheduler.hh"
+#include "engine/session_pool.hh"
 #include "obs/log.hh"
 #include "obs/trace.hh"
 
@@ -77,6 +78,10 @@ performance:
                     repetitions, retries). Litmus output stays
                     byte-identical; =off for A/B comparisons (see
                     docs/INCREMENTAL.md)
+  --session-pool-cap N
+                    max idle incremental sessions retained by the
+                    process-wide pool (default 8); extra check-ins
+                    evict the least recently used session
   --timeout SEC     global wall-clock budget; jobs still queued
                     when it expires are skipped, running ones abort
   --job-timeout SEC per-job wall-clock budget
@@ -139,6 +144,7 @@ const char *const kKnownFlags[] = {
     "--graphs",     "--dot",            "--spec-flush",
     "--no-spec",    "--no-spec-fill",   "--update-coh",
     "--sweep",      "--jobs",           "--incremental",
+    "--session-pool-cap",
     "--timeout",    "--job-timeout",    "--report",
     "--trace",      "--log-json",       "--log-level",
     "--heartbeat-ms", "--dump-dimacs",  "--checkpoint",
@@ -260,6 +266,13 @@ parseCli(const std::vector<std::string> &args)
                 opts.error =
                     "--incremental accepts only =on or =off";
             }
+        } else if (arg == "--session-pool-cap") {
+            opts.sessionPoolCap = static_cast<size_t>(
+                std::strtoull(next("--session-pool-cap").c_str(),
+                              nullptr, 10));
+            if (opts.sessionPoolCap == 0 && opts.error.empty())
+                opts.error = "--session-pool-cap requires a "
+                             "positive count";
         } else if (arg == "--timeout" || arg == "--job-timeout") {
             const bool global = arg == "--timeout";
             std::string value = next(arg.c_str());
@@ -375,6 +388,8 @@ applyObservability(std::vector<engine::SynthesisJob> &jobs,
     }
 }
 
+} // anonymous namespace
+
 std::vector<engine::SynthesisJob>
 buildJobs(const CliOptions &options)
 {
@@ -406,6 +421,87 @@ buildJobs(const CliOptions &options)
     applyObservability(jobs, options);
     return jobs;
 }
+
+engine::EngineOptions
+engineOptionsFromCli(const CliOptions &options)
+{
+    engine::EngineOptions engine_opts;
+    engine_opts.threads = options.jobs;
+    engine_opts.timeoutSeconds = options.timeoutSeconds;
+    engine_opts.jobTimeoutSeconds = options.jobTimeoutSeconds;
+    engine_opts.memLimitBytes =
+        options.memLimitMb * uint64_t{1024} * 1024;
+    engine_opts.retries = options.retries;
+    engine_opts.retryBackoffSeconds = options.retryBackoffSeconds;
+    engine_opts.checkpointDir = options.checkpointDir;
+    engine_opts.resume = options.resume;
+    engine_opts.checkpointIntervalSeconds =
+        options.checkpointIntervalSeconds;
+    engine_opts.incremental = options.incremental;
+    return engine_opts;
+}
+
+RenderSummary
+renderRunResults(const engine::RunResult &run,
+                 const CliOptions &options, std::ostream &out,
+                 std::ostream *err)
+{
+    RenderSummary summary;
+    size_t exploit_index = 0;
+    for (const engine::JobResult &result : run.jobs) {
+        if (result.skipped) {
+            out << result.key << " SKIPPED (engine deadline)\n\n";
+            continue;
+        }
+        if (!result.error.empty()) {
+            out << result.key << " ERROR: " << result.error
+                << "\n\n";
+            if (err) {
+                *err << "error: job " << result.key << ": "
+                     << result.error << '\n';
+            }
+            summary.jobErrors = true;
+            continue;
+        }
+        out << result.report.toString() << "\n\n";
+        for (const auto &ex : result.exploits) {
+            out << "--- exploit " << exploit_index << " ["
+                << litmus::attackClassName(ex.attackClass)
+                << "] ---\n"
+                << ex.test.toString();
+            if (options.printGraphs)
+                out << ex.graph.toAsciiGrid();
+            if (options.emitDot) {
+                std::string name =
+                    options.dotPrefix + "_" +
+                    std::to_string(exploit_index) + ".dot";
+                std::ofstream dot(name);
+                dot << ex.graph.toDot(name);
+                out << "(DOT: " << name << ")\n";
+            }
+            out << '\n';
+            exploit_index++;
+        }
+        summary.totalExploits += result.exploits.size();
+    }
+    return summary;
+}
+
+int
+runExitCode(const RenderSummary &summary, bool stopped)
+{
+    // Precedence: an external stop beats everything (the run is
+    // incomplete but fully flushed and resumable), then job errors,
+    // then the found/not-found distinction.
+    if (stopped)
+        return kStoppedExitCode;
+    if (summary.jobErrors)
+        return 2;
+    return summary.totalExploits == 0 ? 1 : 0;
+}
+
+namespace
+{
 
 /**
  * RAII setup/teardown for the process-global observability sinks.
@@ -562,20 +658,11 @@ runCli(const CliOptions &options, std::ostream &out,
     }
 
     std::vector<engine::SynthesisJob> jobs = buildJobs(options);
-
-    engine::EngineOptions engine_opts;
-    engine_opts.threads = options.jobs;
-    engine_opts.timeoutSeconds = options.timeoutSeconds;
-    engine_opts.jobTimeoutSeconds = options.jobTimeoutSeconds;
-    engine_opts.memLimitBytes =
-        options.memLimitMb * uint64_t{1024} * 1024;
-    engine_opts.retries = options.retries;
-    engine_opts.retryBackoffSeconds = options.retryBackoffSeconds;
-    engine_opts.checkpointDir = options.checkpointDir;
-    engine_opts.resume = options.resume;
-    engine_opts.checkpointIntervalSeconds =
-        options.checkpointIntervalSeconds;
-    engine_opts.incremental = options.incremental;
+    engine::EngineOptions engine_opts =
+        engineOptionsFromCli(options);
+    if (options.sessionPoolCap)
+        engine::SessionPool::instance().setCapacity(
+            options.sessionPoolCap);
 
     engine::RunResult run = engine::runJobs(jobs, engine_opts, stop);
 
@@ -593,57 +680,17 @@ runCli(const CliOptions &options, std::ostream &out,
         return 2;
     }
 
-    size_t total_exploits = 0;
-    size_t exploit_index = 0;
-    bool job_errors = false;
-    for (const engine::JobResult &result : run.jobs) {
-        if (result.skipped) {
-            out << result.key << " SKIPPED (engine deadline)\n\n";
-            continue;
-        }
-        if (!result.error.empty()) {
-            out << result.key << " ERROR: " << result.error
-                << "\n\n";
-            err << "error: job " << result.key << ": "
-                << result.error << '\n';
-            job_errors = true;
-            continue;
-        }
-        out << result.report.toString() << "\n\n";
-        for (const auto &ex : result.exploits) {
-            out << "--- exploit " << exploit_index << " ["
-                << litmus::attackClassName(ex.attackClass)
-                << "] ---\n"
-                << ex.test.toString();
-            if (options.printGraphs)
-                out << ex.graph.toAsciiGrid();
-            if (options.emitDot) {
-                std::string name =
-                    options.dotPrefix + "_" +
-                    std::to_string(exploit_index) + ".dot";
-                std::ofstream dot(name);
-                dot << ex.graph.toDot(name);
-                out << "(DOT: " << name << ")\n";
-            }
-            out << '\n';
-            exploit_index++;
-        }
-        total_exploits += result.exploits.size();
-    }
-    // Precedence: an external stop beats everything (the run is
-    // incomplete but fully flushed and resumable), then job errors,
-    // then the found/not-found distinction.
-    if (stop && stop->stopRequested()) {
+    RenderSummary summary =
+        renderRunResults(run, options, out, &err);
+    const bool stopped = stop && stop->stopRequested();
+    if (stopped) {
         err << "interrupted: partial results flushed";
         if (!options.checkpointDir.empty())
             err << "; resume with --resume "
                 << options.checkpointDir;
         err << '\n';
-        return kStoppedExitCode;
     }
-    if (job_errors)
-        return 2;
-    return total_exploits == 0 ? 1 : 0;
+    return runExitCode(summary, stopped);
 }
 
 } // namespace checkmate::core

@@ -11,12 +11,20 @@
 #ifndef CHECKMATE_CORE_CLI_HH
 #define CHECKMATE_CORE_CLI_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
 
 #include "engine/stop_token.hh"
+
+namespace checkmate::engine
+{
+struct EngineOptions;
+struct RunResult;
+struct SynthesisJob;
+}
 
 namespace checkmate::core
 {
@@ -48,6 +56,7 @@ struct CliOptions
     // Parallel synthesis engine controls.
     int jobs = 1;                  ///< worker threads
     bool incremental = false;      ///< pooled incremental sessions
+    size_t sessionPoolCap = 0;     ///< idle-session cap (0 = default)
     double timeoutSeconds = 0.0;   ///< global wall clock (0 = none)
     double jobTimeoutSeconds = 0.0; ///< per-job wall clock (0 = none)
     std::string reportPath;        ///< JSON run report ("" = none)
@@ -79,6 +88,46 @@ CliOptions parseCli(const std::vector<std::string> &args);
 
 /** Usage text. */
 std::string cliUsage();
+
+/**
+ * Decompose one CLI invocation into engine jobs: the Table I bound
+ * sweep under --sweep, a single (uarch, pattern, bound) job
+ * otherwise, with the observability knobs (heartbeat, DIMACS dumps)
+ * already applied. Shared by runCli() and checkmate-serve, so a
+ * served request runs exactly the jobs the CLI would.
+ */
+std::vector<engine::SynthesisJob> buildJobs(
+    const CliOptions &options);
+
+/** Map parsed CLI options onto scheduler options. */
+engine::EngineOptions engineOptionsFromCli(
+    const CliOptions &options);
+
+/** Totals from rendering a run's merged results. */
+struct RenderSummary
+{
+    size_t totalExploits = 0;
+    bool jobErrors = false;
+};
+
+/**
+ * Print a run's merged results exactly as `checkmate` does —
+ * per-job Table I rows, litmus tests, μhb graphs/DOT when requested
+ * — to @p out (job errors additionally go to @p err when non-null).
+ * checkmate-serve renders responses through this same function, so
+ * a served request's text is byte-identical to a direct CLI run's
+ * stdout.
+ */
+RenderSummary renderRunResults(const engine::RunResult &run,
+                               const CliOptions &options,
+                               std::ostream &out,
+                               std::ostream *err = nullptr);
+
+/**
+ * Exit code for a finished run: kStoppedExitCode when @p stopped,
+ * 2 on job errors, 1 when nothing synthesized, 0 otherwise.
+ */
+int runExitCode(const RenderSummary &summary, bool stopped);
 
 /**
  * Run synthesis per @p options, writing results to @p out and

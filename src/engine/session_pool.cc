@@ -21,6 +21,11 @@ SessionPool::instance()
     return pool;
 }
 
+SessionPool::SessionPool(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1))
+{
+}
+
 // Out-of-line so the header can forward-declare IncrementalSession.
 SessionPool::~SessionPool() = default;
 
@@ -40,6 +45,7 @@ SessionPool::checkOut(const std::string &key)
                 .add(1);
             return session;
         }
+        misses_++;
     }
     obs::MetricsRegistry::instance()
         .counter("engine.session_pool.misses")
@@ -57,6 +63,12 @@ SessionPool::checkIn(const std::string &key,
     Entry &entry = idle_[key];
     entry.session = std::move(session);
     entry.lastUsed = ++tick_;
+    evictOverCapacityLocked();
+}
+
+void
+SessionPool::evictOverCapacityLocked()
+{
     while (idle_.size() > capacity_) {
         auto oldest = std::min_element(
             idle_.begin(), idle_.end(),
@@ -64,6 +76,10 @@ SessionPool::checkIn(const std::string &key,
                 return a.second.lastUsed < b.second.lastUsed;
             });
         idle_.erase(oldest);
+        evictions_++;
+        obs::MetricsRegistry::instance()
+            .counter("engine.session_pool.evictions")
+            .add(1);
     }
 }
 
@@ -81,6 +97,20 @@ SessionPool::hits() const
     return hits_;
 }
 
+uint64_t
+SessionPool::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+uint64_t
+SessionPool::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
 void
 SessionPool::clear()
 {
@@ -89,18 +119,17 @@ SessionPool::clear()
 }
 
 void
+SessionPool::shutdown()
+{
+    clear();
+}
+
+void
 SessionPool::setCapacity(size_t capacity)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     capacity_ = std::max<size_t>(capacity, 1);
-    while (idle_.size() > capacity_) {
-        auto oldest = std::min_element(
-            idle_.begin(), idle_.end(),
-            [](const auto &a, const auto &b) {
-                return a.second.lastUsed < b.second.lastUsed;
-            });
-        idle_.erase(oldest);
-    }
+    evictOverCapacityLocked();
 }
 
 size_t

@@ -9,8 +9,10 @@
  * budget). A job that leases a session whose cached core matches
  * gets a warm start: the translation and the solver's learned
  * clauses survive from the previous run of an equivalent core —
- * across bench repetitions, retries of an aborted job, and repeated
- * sweeps within one process.
+ * across bench repetitions, retries of an aborted job, repeated
+ * sweeps within one process, and (under checkmate-serve) across
+ * client requests, where the pool finally outlives a single
+ * invocation.
  *
  * Leasing checks a session *out* of the pool, so concurrent workers
  * never share one (IncrementalSession is not thread-safe); checking
@@ -18,6 +20,10 @@
  * `capacity()` idle sessions, evicting least-recently-used ones —
  * a translation pins boolean matrices and a full clause database,
  * so unbounded retention would look like a leak on long sweeps.
+ *
+ * Every checkOut/checkIn publishes into the metrics registry:
+ * `engine.session_pool.hits`, `engine.session_pool.misses`, and
+ * `engine.session_pool.evictions` (docs/OBSERVABILITY.md).
  */
 
 #ifndef CHECKMATE_ENGINE_SESSION_POOL_HH
@@ -45,6 +51,8 @@ class SessionPool
     static SessionPool &instance();
 
     SessionPool() = default;
+    /** A pool holding at most @p capacity idle sessions (min 1). */
+    explicit SessionPool(size_t capacity);
     SessionPool(const SessionPool &) = delete;
     SessionPool &operator=(const SessionPool &) = delete;
     ~SessionPool();
@@ -67,8 +75,24 @@ class SessionPool
     /** Cached-hit count: checkOut calls served from the pool. */
     uint64_t hits() const;
 
+    /** Miss count: checkOut calls that built a fresh session. */
+    uint64_t misses() const;
+
+    /** Idle sessions evicted to stay within capacity. */
+    uint64_t evictions() const;
+
     /** Drop every idle session. */
     void clear();
+
+    /**
+     * Drop every idle session and release their translations —
+     * the explicit end-of-life call for owners of the process-wide
+     * pool: checkmate-serve's drain path runs it before exit, and
+     * tests run it between cases so no warm state leaks across
+     * them. (Today equivalent to clear(); the distinct name marks
+     * intent and is the hook for any future teardown work.)
+     */
+    void shutdown();
 
     /** Max idle sessions retained (extra check-ins evict LRU). */
     void setCapacity(size_t capacity);
@@ -81,11 +105,16 @@ class SessionPool
         uint64_t lastUsed = 0;
     };
 
+    /** Evict LRU entries until size() <= capacity(). */
+    void evictOverCapacityLocked();
+
     mutable std::mutex mutex_;
     std::map<std::string, Entry> idle_;
     size_t capacity_ = 8;
     uint64_t tick_ = 0;
     uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 } // namespace checkmate::engine

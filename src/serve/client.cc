@@ -1,0 +1,102 @@
+/**
+ * @file
+ * serve-v1 client implementation.
+ */
+
+#include "serve/client.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace checkmate::serve
+{
+
+bool
+Client::connect(const std::string &path, std::string *error)
+{
+    close();
+    fd_ = connectUnix(path, error);
+    if (fd_ < 0)
+        return false;
+    // Responses carry whole litmus suites; no length ceiling.
+    reader_ = std::make_unique<LineReader>(fd_, 0);
+    return true;
+}
+
+bool
+Client::send(const Request &request)
+{
+    return sendRaw(requestFrame(request));
+}
+
+bool
+Client::sendRaw(const std::string &frame)
+{
+    if (fd_ < 0)
+        return false;
+    return writeAll(fd_, frame);
+}
+
+Client::ReadStatus
+Client::readFrame(std::unique_ptr<obs::JsonValue> *frame,
+                  int timeoutMs)
+{
+    if (fd_ < 0)
+        return ReadStatus::Error;
+    std::string line;
+    switch (reader_->readLine(&line, timeoutMs)) {
+    case LineReader::Status::Line: break;
+    case LineReader::Status::Timeout: return ReadStatus::Timeout;
+    case LineReader::Status::Eof: return ReadStatus::Eof;
+    default: return ReadStatus::Error;
+    }
+    std::unique_ptr<obs::JsonValue> parsed = obs::parseJson(line);
+    if (!parsed || !parsed->isObject())
+        return ReadStatus::Error;
+    *frame = std::move(parsed);
+    return ReadStatus::Frame;
+}
+
+std::unique_ptr<obs::JsonValue>
+Client::readUntilTerminal(
+    int timeoutMs,
+    const std::function<void(const obs::JsonValue &)> &onFrame)
+{
+    for (;;) {
+        std::unique_ptr<obs::JsonValue> frame;
+        ReadStatus status = readFrame(&frame, timeoutMs);
+        if (status != ReadStatus::Frame)
+            return nullptr;
+        if (onFrame)
+            onFrame(*frame);
+        const obs::JsonValue *event = frame->find("event");
+        if (event && isTerminalEvent(event->asString()))
+            return frame;
+    }
+}
+
+void
+Client::shutdownWrites()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_WR);
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    reader_.reset();
+}
+
+bool
+isTerminalEvent(const std::string &event)
+{
+    return event == "done" || event == "error" ||
+           event == "rejected" || event == "cancelled";
+}
+
+} // namespace checkmate::serve

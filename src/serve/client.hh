@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Client-side library for the serve-v1 protocol.
+ *
+ * A Client owns one connection to a checkmate-serve socket and
+ * exchanges frames: send a Request, then read response frames (each
+ * already parsed into an obs::JsonValue) until the terminal event
+ * for the verb arrives. Shared by the checkmate-client tool and the
+ * serve test suite, so both speak exactly the wire dialect the
+ * daemon does.
+ */
+
+#ifndef CHECKMATE_SERVE_CLIENT_HH
+#define CHECKMATE_SERVE_CLIENT_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "obs/json_reader.hh"
+#include "serve/net.hh"
+#include "serve/protocol.hh"
+
+namespace checkmate::serve
+{
+
+/** One connection to a checkmate-serve daemon. */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client() { close(); }
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    Client(Client &&other) noexcept
+        : fd_(other.fd_), reader_(std::move(other.reader_))
+    {
+        other.fd_ = -1;
+    }
+    Client &
+    operator=(Client &&other) noexcept
+    {
+        if (this != &other) {
+            close();
+            fd_ = other.fd_;
+            other.fd_ = -1;
+            reader_ = std::move(other.reader_);
+        }
+        return *this;
+    }
+
+    /** Connect to the daemon socket at @p path. */
+    bool connect(const std::string &path, std::string *error);
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** Encode and send @p request. */
+    bool send(const Request &request);
+
+    /** Send a pre-encoded frame (tests: malformed input). */
+    bool sendRaw(const std::string &frame);
+
+    enum class ReadStatus
+    {
+        Frame,   ///< a parsed frame was returned
+        Timeout, ///< nothing arrived within the window
+        Eof,     ///< daemon closed the connection
+        Error    ///< transport failure or unparseable frame
+    };
+
+    /**
+     * Read and parse the next response frame.
+     *
+     * @param frame receives the parsed JSON object on Frame.
+     * @param timeoutMs per-call window; negative blocks.
+     */
+    ReadStatus readFrame(std::unique_ptr<obs::JsonValue> *frame,
+                         int timeoutMs);
+
+    /**
+     * Read frames until one carries a terminal event for a synth
+     * request (done / error / rejected / cancelled), calling
+     * @p onFrame — when provided — for every frame including the
+     * terminal one.
+     *
+     * @return the terminal frame, or nullptr on timeout/EOF/error.
+     */
+    std::unique_ptr<obs::JsonValue> readUntilTerminal(
+        int timeoutMs,
+        const std::function<void(const obs::JsonValue &)> &onFrame =
+            nullptr);
+
+    /** Half-close: no more requests (daemon sees EOF). */
+    void shutdownWrites();
+
+    void close();
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    std::unique_ptr<LineReader> reader_;
+};
+
+/** True when @p event ends a synth request's frame stream. */
+bool isTerminalEvent(const std::string &event);
+
+} // namespace checkmate::serve
+
+#endif // CHECKMATE_SERVE_CLIENT_HH

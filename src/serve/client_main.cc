@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The `checkmate-client` tool entry point.
+ *
+ * Sends one serve-v1 request to a checkmate-serve daemon and
+ * relays the response. For synth requests the served litmus text
+ * goes to stdout verbatim — byte-identical to the `checkmate` CLI's
+ * stdout for the same flags — while lifecycle frames and the
+ * done-summary (cache_hit, timings) go to stderr, so scripts can
+ * compare or pipe the payload cleanly. The exit code mirrors the
+ * CLI's for synth (0 = exploits found, 1 = none, 2 = error,
+ * 130 = stopped); transport and protocol failures exit 2, a
+ * rejected admission exits 3.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/client.hh"
+
+namespace
+{
+
+const char *const kUsage =
+    R"(usage: checkmate-client --socket PATH [options] [-- CLI-FLAGS...]
+
+One-shot serve-v1 client for a checkmate-serve daemon
+(docs/SERVING.md). Everything after `--` is forwarded as the synth
+request's checkmate CLI flags.
+
+  --socket PATH       daemon socket (required)
+  --verb VERB         synth|status|cancel|drain|ping (default synth)
+  --id ID             request id (default: daemon-assigned)
+  --client NAME       client name, the fairness unit (default anon)
+  --target ID         request to cancel (verb cancel)
+  --timeout-ms N      response wait ceiling (default 600000)
+  --quiet             suppress lifecycle frames on stderr
+  --help              this text
+
+Exit status (synth): the served run's exit code — 0 exploits found,
+1 none, 2 error, 130 stopped; 3 when the daemon rejected admission;
+2 on transport failure. Other verbs: 0 on the expected response.
+)";
+
+struct ClientCli
+{
+    std::string socketPath;
+    checkmate::serve::Request request;
+    int timeoutMs = 600000;
+    bool quiet = false;
+    bool help = false;
+    std::string error;
+};
+
+ClientCli
+parseClientCli(const std::vector<std::string> &args)
+{
+    ClientCli opts;
+    opts.request.verb = checkmate::serve::Verb::Synth;
+    auto needValue = [&](size_t &i,
+                         const std::string &flag) -> std::string {
+        if (i + 1 >= args.size()) {
+            opts.error = flag + " requires a value";
+            return "";
+        }
+        return args[++i];
+    };
+    for (size_t i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        if (arg == "--") {
+            opts.request.args.assign(args.begin() +
+                                         static_cast<long>(i) + 1,
+                                     args.end());
+            break;
+        } else if (arg == "--socket") {
+            opts.socketPath = needValue(i, arg);
+        } else if (arg == "--verb") {
+            std::string name = needValue(i, arg);
+            if (name == "synth") {
+                opts.request.verb = checkmate::serve::Verb::Synth;
+            } else if (name == "status") {
+                opts.request.verb = checkmate::serve::Verb::Status;
+            } else if (name == "cancel") {
+                opts.request.verb = checkmate::serve::Verb::Cancel;
+            } else if (name == "drain") {
+                opts.request.verb = checkmate::serve::Verb::Drain;
+            } else if (name == "ping") {
+                opts.request.verb = checkmate::serve::Verb::Ping;
+            } else if (opts.error.empty()) {
+                opts.error = "unknown verb: " + name;
+            }
+        } else if (arg == "--id") {
+            opts.request.id = needValue(i, arg);
+        } else if (arg == "--client") {
+            opts.request.client = needValue(i, arg);
+        } else if (arg == "--target") {
+            opts.request.target = needValue(i, arg);
+        } else if (arg == "--timeout-ms") {
+            opts.timeoutMs = std::atoi(needValue(i, arg).c_str());
+        } else if (arg == "--quiet") {
+            opts.quiet = true;
+        } else if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else {
+            opts.error = "unknown flag: " + arg +
+                         " (forward CLI flags after --)";
+        }
+        if (!opts.error.empty())
+            break;
+    }
+    if (opts.error.empty() && !opts.help && opts.socketPath.empty())
+        opts.error = "--socket is required";
+    return opts;
+}
+
+/** Re-render a frame minus its bulky payload for the stderr log. */
+std::string
+frameSummary(const checkmate::obs::JsonValue &frame)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &member : frame.members) {
+        if (member.first == "text" || member.first == "report" ||
+            member.first == "stderr")
+            continue;
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"' + member.first + "\":";
+        const checkmate::obs::JsonValue &v = member.second;
+        if (v.isString())
+            out += '"' + checkmate::obs::jsonEscape(v.str) + '"';
+        else if (v.isBool())
+            out += v.boolean ? "true" : "false";
+        else if (v.isNumber())
+            out += checkmate::obs::jsonNumber(v.number);
+        else
+            out += "...";
+    }
+    return out + "}";
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    ClientCli opts = parseClientCli(args);
+    if (opts.help) {
+        std::cout << kUsage;
+        return 0;
+    }
+    if (!opts.error.empty()) {
+        std::cerr << "checkmate-client: " << opts.error << "\n"
+                  << kUsage;
+        return 2;
+    }
+
+    checkmate::serve::Client client;
+    std::string error;
+    if (!client.connect(opts.socketPath, &error)) {
+        std::cerr << "checkmate-client: " << error << "\n";
+        return 2;
+    }
+    if (!client.send(opts.request)) {
+        std::cerr << "checkmate-client: send failed\n";
+        return 2;
+    }
+
+    using checkmate::serve::Verb;
+    if (opts.request.verb != Verb::Synth) {
+        // Control verbs: exactly one response frame, printed raw.
+        std::unique_ptr<checkmate::obs::JsonValue> frame;
+        auto status = client.readFrame(&frame, opts.timeoutMs);
+        if (status != checkmate::serve::Client::ReadStatus::Frame) {
+            std::cerr << "checkmate-client: no response\n";
+            return 2;
+        }
+        std::cout << frameSummary(*frame) << "\n";
+        const checkmate::obs::JsonValue *event =
+            frame->find("event");
+        return event && event->asString() != "error" ? 0 : 2;
+    }
+
+    std::unique_ptr<checkmate::obs::JsonValue> terminal =
+        client.readUntilTerminal(
+            opts.timeoutMs,
+            [&](const checkmate::obs::JsonValue &frame) {
+                if (!opts.quiet)
+                    std::cerr << frameSummary(frame) << "\n";
+            });
+    if (!terminal) {
+        std::cerr << "checkmate-client: connection lost before a "
+                     "terminal frame\n";
+        return 2;
+    }
+
+    const std::string &event =
+        terminal->find("event")->asString();
+    if (event == "rejected")
+        return 3;
+    if (event == "error")
+        return 2;
+    if (event == "cancelled")
+        return 130;
+
+    // done: payload to stdout, forwarded stderr to stderr.
+    if (const checkmate::obs::JsonValue *text =
+            terminal->find("text"))
+        std::cout << text->asString();
+    if (const checkmate::obs::JsonValue *err =
+            terminal->find("stderr"))
+        std::cerr << err->asString();
+    const checkmate::obs::JsonValue *exit = terminal->find("exit");
+    return exit ? static_cast<int>(exit->asNumber(2.0)) : 2;
+}

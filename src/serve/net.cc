@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unix-domain socket helpers.
+ */
+
+#include "serve/net.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace checkmate::serve
+{
+
+namespace
+{
+
+bool
+fillAddress(const std::string &path, sockaddr_un *addr,
+            std::string *error)
+{
+    if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+        if (error) {
+            *error = "socket path must be 1.." +
+                     std::to_string(sizeof(addr->sun_path) - 1) +
+                     " bytes: " + path;
+        }
+        return false;
+    }
+    std::memset(addr, 0, sizeof(*addr));
+    addr->sun_family = AF_UNIX;
+    std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+void
+setError(std::string *error, const std::string &what)
+{
+    if (error)
+        *error = what + ": " + std::strerror(errno);
+}
+
+} // anonymous namespace
+
+int
+listenUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, &addr, error))
+        return -1;
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, "socket");
+        return -1;
+    }
+    // A stale socket file from a crashed daemon would make bind
+    // fail with EADDRINUSE; a fresh daemon owns the path.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        setError(error, "bind " + path);
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        setError(error, "listen " + path);
+        ::close(fd);
+        ::unlink(path.c_str());
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string *error)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, &addr, error))
+        return -1;
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        setError(error, "socket");
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        setError(error, "connect " + path);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    size_t sent = 0;
+    while (sent < data.size()) {
+        ssize_t n = ::send(fd, data.data() + sent,
+                           data.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+LineReader::Status
+LineReader::readLine(std::string *line, int timeoutMs)
+{
+    for (;;) {
+        // Serve a buffered frame first: pipelined clients can put
+        // several frames into one recv.
+        size_t pos = buffer_.find('\n');
+        if (pos != std::string::npos) {
+            if (maxFrameBytes_ && pos > maxFrameBytes_) {
+                buffer_.erase(0, pos + 1);
+                return Status::TooLong;
+            }
+            line->assign(buffer_, 0, pos);
+            buffer_.erase(0, pos + 1);
+            return Status::Line;
+        }
+        if (maxFrameBytes_ && buffer_.size() > maxFrameBytes_) {
+            // No newline within the ceiling: the frame can only
+            // grow longer. Report abuse without waiting for it.
+            buffer_.clear();
+            return Status::TooLong;
+        }
+        if (eof_)
+            return Status::Eof;
+
+        pollfd pfd{fd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, timeoutMs);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::Error;
+        }
+        if (ready == 0)
+            return Status::Timeout;
+
+        char chunk[4096];
+        ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::Error;
+        }
+        if (n == 0) {
+            // Orderly shutdown; a final unterminated fragment is
+            // not a frame.
+            eof_ = true;
+            continue;
+        }
+        buffer_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+} // namespace checkmate::serve

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unix-domain socket plumbing for the serve subsystem.
+ *
+ * Thin wrappers over the POSIX socket API shared by the daemon, the
+ * client library, and the tests: listen/connect on a filesystem
+ * path, a write-everything helper that never raises SIGPIPE, and a
+ * buffered newline-frame reader with poll-based timeouts so every
+ * blocking loop in the daemon stays interruptible (threads poll a
+ * few times a second and re-check their stop flags rather than
+ * parking forever inside recv/accept).
+ */
+
+#ifndef CHECKMATE_SERVE_NET_HH
+#define CHECKMATE_SERVE_NET_HH
+
+#include <cstddef>
+#include <string>
+
+namespace checkmate::serve
+{
+
+/**
+ * Create, bind, and listen on a Unix socket at @p path. A stale
+ * socket file from a previous run is unlinked first.
+ *
+ * @return the listening fd, or -1 with @p error set.
+ */
+int listenUnix(const std::string &path, std::string *error);
+
+/**
+ * Connect to the Unix socket at @p path.
+ *
+ * @return the connected fd, or -1 with @p error set.
+ */
+int connectUnix(const std::string &path, std::string *error);
+
+/**
+ * Write all of @p data to @p fd, retrying partial writes. SIGPIPE
+ * is suppressed (MSG_NOSIGNAL): a vanished peer makes this return
+ * false, never kills the process.
+ */
+bool writeAll(int fd, const std::string &data);
+
+/**
+ * Buffered reader of newline-terminated frames.
+ *
+ * Handles pipelined input (multiple frames in one recv) and
+ * enforces an optional per-frame length ceiling. Not thread-safe;
+ * one reader per connection.
+ */
+class LineReader
+{
+  public:
+    enum class Status
+    {
+        Line,    ///< a complete frame was returned
+        Timeout, ///< nothing arrived within the poll window
+        Eof,     ///< orderly peer shutdown
+        Error,   ///< recv/poll failure
+        TooLong  ///< frame exceeded maxFrameBytes (protocol abuse)
+    };
+
+    /** @param maxFrameBytes ceiling per frame; 0 = unlimited. */
+    explicit LineReader(int fd, size_t maxFrameBytes = 0)
+        : fd_(fd), maxFrameBytes_(maxFrameBytes)
+    {}
+
+    /**
+     * Return the next frame (without its newline) in @p line.
+     *
+     * @param timeoutMs poll window per call; negative blocks until
+     *        data, EOF, or error.
+     */
+    Status readLine(std::string *line, int timeoutMs);
+
+  private:
+    int fd_;
+    size_t maxFrameBytes_;
+    std::string buffer_;
+    bool eof_ = false;
+};
+
+} // namespace checkmate::serve
+
+#endif // CHECKMATE_SERVE_NET_HH

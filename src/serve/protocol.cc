@@ -1,0 +1,172 @@
+/**
+ * @file
+ * serve-v1 request parsing and response-frame encoding.
+ */
+
+#include "serve/protocol.hh"
+
+#include "obs/json_reader.hh"
+
+namespace checkmate::serve
+{
+
+const char *
+verbName(Verb verb)
+{
+    switch (verb) {
+    case Verb::Synth: return "synth";
+    case Verb::Status: return "status";
+    case Verb::Cancel: return "cancel";
+    case Verb::Drain: return "drain";
+    case Verb::Ping: break;
+    }
+    return "ping";
+}
+
+namespace
+{
+
+bool
+parseVerb(const std::string &name, Verb *verb)
+{
+    if (name == "synth") {
+        *verb = Verb::Synth;
+    } else if (name == "status") {
+        *verb = Verb::Status;
+    } else if (name == "cancel") {
+        *verb = Verb::Cancel;
+    } else if (name == "drain") {
+        *verb = Verb::Drain;
+    } else if (name == "ping") {
+        *verb = Verb::Ping;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+fail(std::string *error, const std::string &reason)
+{
+    if (error)
+        *error = reason;
+    return false;
+}
+
+} // anonymous namespace
+
+bool
+parseRequest(const std::string &line, Request *request,
+             std::string *error)
+{
+    std::string parse_error;
+    std::unique_ptr<obs::JsonValue> root =
+        obs::parseJson(line, &parse_error);
+    if (!root)
+        return fail(error, "parse-error: " + parse_error);
+    if (!root->isObject())
+        return fail(error, "request must be a JSON object");
+
+    const obs::JsonValue *v = root->find("v");
+    if (!v || !v->isString())
+        return fail(error, "missing protocol version \"v\"");
+    if (v->str != kProtocolVersion) {
+        return fail(error, "unsupported protocol version: " +
+                               v->str + " (this daemon speaks " +
+                               kProtocolVersion + ")");
+    }
+    request->version = v->str;
+
+    const obs::JsonValue *verb = root->find("verb");
+    if (!verb || !verb->isString())
+        return fail(error, "missing \"verb\"");
+    if (!parseVerb(verb->str, &request->verb))
+        return fail(error, "unknown verb: " + verb->str);
+
+    if (const obs::JsonValue *id = root->find("id")) {
+        if (!id->isString())
+            return fail(error, "\"id\" must be a string");
+        request->id = id->str;
+    }
+    if (const obs::JsonValue *client = root->find("client")) {
+        if (!client->isString())
+            return fail(error, "\"client\" must be a string");
+        if (!client->str.empty())
+            request->client = client->str;
+    }
+    if (const obs::JsonValue *target = root->find("target")) {
+        if (!target->isString())
+            return fail(error, "\"target\" must be a string");
+        request->target = target->str;
+    }
+
+    request->args.clear();
+    if (const obs::JsonValue *args = root->find("args")) {
+        if (!args->isArray())
+            return fail(error, "\"args\" must be an array");
+        for (const obs::JsonValue &arg : args->items) {
+            if (!arg.isString()) {
+                return fail(error,
+                            "\"args\" must contain only strings");
+            }
+            request->args.push_back(arg.str);
+        }
+    }
+
+    if (request->verb == Verb::Cancel && request->target.empty())
+        return fail(error, "cancel requires a \"target\" id");
+
+    return true;
+}
+
+std::string
+requestFrame(const Request &request)
+{
+    obs::JsonFields fields;
+    fields.add("v", kProtocolVersion);
+    fields.add("verb", verbName(request.verb));
+    if (!request.id.empty())
+        fields.add("id", request.id);
+    fields.add("client", request.client);
+    if (!request.target.empty())
+        fields.add("target", request.target);
+    if (!request.args.empty()) {
+        std::string array = "[";
+        for (size_t i = 0; i < request.args.size(); i++) {
+            if (i)
+                array += ',';
+            array += '"' + obs::jsonEscape(request.args[i]) + '"';
+        }
+        array += ']';
+        fields.addRaw("args", array);
+    }
+    return fields.object() + "\n";
+}
+
+std::string
+responseFrame(const std::string &id, const std::string &event,
+              const obs::JsonFields &extra)
+{
+    obs::JsonFields fields;
+    fields.add("v", kProtocolVersion);
+    fields.add("id", id);
+    fields.add("event", event);
+    fields.splice(extra.str());
+    return fields.object() + "\n";
+}
+
+std::string
+errorFrame(const std::string &id, const std::string &reason)
+{
+    return responseFrame(id, "error",
+                         obs::JsonFields().add("reason", reason));
+}
+
+std::string
+rejectedFrame(const std::string &id, const std::string &reason)
+{
+    return responseFrame(id, "rejected",
+                         obs::JsonFields().add("reason", reason));
+}
+
+} // namespace checkmate::serve

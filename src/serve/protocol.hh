@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The serve-v1 wire protocol.
+ *
+ * checkmate-serve speaks newline-delimited JSON over a Unix-domain
+ * socket: every frame is one JSON object on one line. Requests
+ * carry a protocol version (`"v":"serve-v1"`), a verb, a client
+ * name (the fairness unit for admission control), and a
+ * client-chosen request id; responses echo the id and tag each
+ * frame with an `event`. A synth request produces a stream of
+ * events (`accepted` → `started` → `done`), every other verb one
+ * response frame. docs/SERVING.md is the protocol reference.
+ *
+ * This header owns the request parser and the response-frame
+ * builders so the server, the client tool, and the tests all agree
+ * on one encoding.
+ */
+
+#ifndef CHECKMATE_SERVE_PROTOCOL_HH
+#define CHECKMATE_SERVE_PROTOCOL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/json.hh"
+
+namespace checkmate::serve
+{
+
+/** The protocol version tag every frame carries. */
+inline constexpr const char *kProtocolVersion = "serve-v1";
+
+/**
+ * Default ceiling on one request frame's length, bytes. Responses
+ * are unbounded (litmus output can be large); requests are flag
+ * lists and never legitimately approach this.
+ */
+inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
+
+/** Request verbs. */
+enum class Verb
+{
+    Synth,  ///< run a synthesis request (streamed response)
+    Status, ///< one frame of daemon statistics
+    Cancel, ///< cancel a queued or in-flight request by id
+    Drain,  ///< stop admissions; exit once in-flight work ends
+    Ping    ///< liveness probe
+};
+
+/** Wire name of a verb. */
+const char *verbName(Verb verb);
+
+/** One parsed request frame. */
+struct Request
+{
+    /** Protocol version (always kProtocolVersion after parsing). */
+    std::string version;
+
+    /**
+     * Client-chosen request id, echoed on every response frame.
+     * May be empty (the server assigns one for synth requests).
+     */
+    std::string id;
+
+    /** Client name: the admission-control fairness unit. */
+    std::string client = "anon";
+
+    Verb verb = Verb::Ping;
+
+    /** Synth: checkmate CLI flags (parsed with core::parseCli). */
+    std::vector<std::string> args;
+
+    /** Cancel: the id of the request to cancel (same client). */
+    std::string target;
+};
+
+/**
+ * Parse one request frame.
+ *
+ * Strict: the frame must be a JSON object with `v` equal to
+ * kProtocolVersion and a known `verb`; `args` must be an array of
+ * strings when present.
+ *
+ * @return false with a human-readable @p error on malformed input.
+ */
+bool parseRequest(const std::string &line, Request *request,
+                  std::string *error);
+
+/**
+ * Encode @p request as one frame (the inverse of parseRequest):
+ * `{"v":"serve-v1","verb":...,...}` plus the trailing newline.
+ */
+std::string requestFrame(const Request &request);
+
+/**
+ * Build one response frame: `{"v":"serve-v1","id":...,
+ * "event":...,<extra fields>}` plus the trailing newline.
+ */
+std::string responseFrame(const std::string &id,
+                          const std::string &event,
+                          const obs::JsonFields &extra = {});
+
+/** An `event:"error"` frame with a `reason` field. */
+std::string errorFrame(const std::string &id,
+                       const std::string &reason);
+
+/** An `event:"rejected"` frame with a `reason` field (terminal). */
+std::string rejectedFrame(const std::string &id,
+                          const std::string &reason);
+
+} // namespace checkmate::serve
+
+#endif // CHECKMATE_SERVE_PROTOCOL_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * LRU result cache implementation.
+ */
+
+#include "serve/result_cache.hh"
+
+#include "obs/metrics.hh"
+
+namespace checkmate::serve
+{
+
+ResultCache::ResultCache(size_t capacity)
+    : capacity_(capacity ? capacity : 1)
+{}
+
+bool
+ResultCache::lookup(const std::string &key, CachedResult *out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+        ++misses_;
+        obs::MetricsRegistry::instance()
+            .counter("serve.cache.misses")
+            .add(1);
+        return false;
+    }
+    ++hits_;
+    obs::MetricsRegistry::instance()
+        .counter("serve.cache.hits")
+        .add(1);
+    it->second.lastUsed = ++tick_;
+    if (out)
+        *out = it->second.value;
+    return true;
+}
+
+void
+ResultCache::insert(const std::string &key, CachedResult value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Entry &entry = entries_[key];
+    entry.value = std::move(value);
+    entry.lastUsed = ++tick_;
+    evictOverCapacityLocked();
+}
+
+void
+ResultCache::evictOverCapacityLocked()
+{
+    while (entries_.size() > capacity_) {
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+            if (it->second.lastUsed < victim->second.lastUsed)
+                victim = it;
+        }
+        entries_.erase(victim);
+        ++evictions_;
+        obs::MetricsRegistry::instance()
+            .counter("serve.cache.evictions")
+            .add(1);
+    }
+}
+
+size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+size_t
+ResultCache::capacity() const
+{
+    return capacity_;
+}
+
+uint64_t
+ResultCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+uint64_t
+ResultCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+uint64_t
+ResultCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+void
+ResultCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+} // namespace checkmate::serve

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Bounded LRU cache of completed synthesis responses.
+ *
+ * checkmate-serve's repeated-query fast path: a request whose
+ * canonical identity (the stable jobKey of every job it decomposes
+ * into — core identity plus per-point delta plus budget caps — and
+ * the render flags) matches a previously completed run is answered
+ * straight from memory, with no job, translation, or solver call.
+ *
+ * Only *complete* successful runs are cached (no job errors, not
+ * aborted, not stopped): a partial result served as authoritative
+ * would be a correctness bug, not a performance win.
+ *
+ * Hits, misses, and evictions are published to the metrics
+ * registry under `serve.cache.*` (docs/OBSERVABILITY.md).
+ */
+
+#ifndef CHECKMATE_SERVE_RESULT_CACHE_HH
+#define CHECKMATE_SERVE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace checkmate::serve
+{
+
+/** One cached response: what a synth `done` frame carries. */
+struct CachedResult
+{
+    /** Rendered litmus output (the CLI's stdout, byte-identical). */
+    std::string text;
+
+    /** The original run's JSON report document. */
+    std::string reportJson;
+
+    /** The original run's exit code (0 = found, 1 = none). */
+    int exitCode = 0;
+};
+
+/** Thread-safe bounded LRU keyed by canonical request identity. */
+class ResultCache
+{
+  public:
+    /** @param capacity max entries retained (min 1). */
+    explicit ResultCache(size_t capacity);
+
+    /**
+     * Look @p key up, counting a hit or miss.
+     *
+     * @return true and fill @p out on a hit (refreshes recency).
+     */
+    bool lookup(const std::string &key, CachedResult *out);
+
+    /** Insert (or refresh) @p key, evicting LRU entries over cap. */
+    void insert(const std::string &key, CachedResult value);
+
+    size_t size() const;
+    size_t capacity() const;
+    uint64_t hits() const;
+    uint64_t misses() const;
+    uint64_t evictions() const;
+
+    /** Drop every entry (counters keep accumulating). */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        CachedResult value;
+        uint64_t lastUsed = 0;
+    };
+
+    void evictOverCapacityLocked();
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    size_t capacity_;
+    uint64_t tick_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+} // namespace checkmate::serve
+
+#endif // CHECKMATE_SERVE_RESULT_CACHE_HH

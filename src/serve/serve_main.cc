@@ -1,0 +1,198 @@
+/**
+ * @file
+ * The `checkmate-serve` daemon entry point.
+ *
+ * Parses daemon flags, starts the Server, and then sleeps until
+ * either a drain request arrives over the protocol or a signal
+ * arrives from the operator. SIGTERM/SIGINT trigger a *hard* drain:
+ * queued requests are rejected, in-flight runs stop cooperatively
+ * (checkpointing their progress when --checkpoint is set), and the
+ * process exits 0 — the clean-shutdown contract init systems expect.
+ * A second signal force-exits with the conventional 128+signo.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+std::atomic<int> g_signals{0};
+
+void
+onSignal(int sig)
+{
+    if (g_signals.fetch_add(1, std::memory_order_relaxed) > 0)
+        std::_Exit(128 + sig);
+}
+
+const char *const kUsage = R"(usage: checkmate-serve --socket PATH [options]
+
+Long-running synthesis daemon: accepts serve-v1 requests (JSON, one
+per line) over a Unix-domain socket and multiplexes them across a
+worker pool with per-client fairness, a result cache, and warm
+incremental sessions shared across requests. docs/SERVING.md has the
+protocol reference.
+
+  --socket PATH       Unix socket to listen on (required)
+  --max-in-flight N   concurrent synthesis workers (default 2)
+  --max-queued N      admission-queue ceiling; requests beyond it
+                      are rejected with queue-full (default 32)
+  --cache-cap N       result-cache entries retained (default 128)
+  --session-pool-cap N
+                      max idle warm incremental sessions (default:
+                      the engine's own default)
+  --checkpoint DIR    checkpoint served jobs under DIR and resume
+                      them after a restart (default: off)
+  --no-incremental    do not default served requests to pooled
+                      incremental sessions
+  --max-jobs N        per-request job ceiling (default 16)
+  --log-json PATH     JSONL structured log (docs/OBSERVABILITY.md)
+  --log-level LEVEL   debug|info|warn|error (default info)
+  --help              this text
+
+Exit status: 0 after a graceful drain (drain verb or SIGTERM),
+1 on bad usage or a socket that cannot be bound.
+)";
+
+struct DaemonOptions
+{
+    checkmate::serve::ServerOptions server;
+    std::string logJsonPath;
+    std::string logLevel = "info";
+    bool help = false;
+    std::string error;
+};
+
+DaemonOptions
+parseDaemonCli(const std::vector<std::string> &args)
+{
+    DaemonOptions opts;
+    auto needValue = [&](size_t &i,
+                         const std::string &flag) -> std::string {
+        if (i + 1 >= args.size()) {
+            opts.error = flag + " requires a value";
+            return "";
+        }
+        return args[++i];
+    };
+    auto positive = [&](size_t &i, const std::string &flag) {
+        long long v = std::atoll(needValue(i, flag).c_str());
+        if (opts.error.empty() && v <= 0)
+            opts.error = flag + " requires a positive count";
+        return v;
+    };
+    for (size_t i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        if (arg == "--socket") {
+            opts.server.socketPath = needValue(i, arg);
+        } else if (arg == "--max-in-flight") {
+            opts.server.maxInFlight =
+                static_cast<int>(positive(i, arg));
+        } else if (arg == "--max-queued") {
+            opts.server.maxQueued =
+                static_cast<size_t>(positive(i, arg));
+        } else if (arg == "--cache-cap") {
+            opts.server.cacheCapacity =
+                static_cast<size_t>(positive(i, arg));
+        } else if (arg == "--session-pool-cap") {
+            opts.server.sessionPoolCapacity =
+                static_cast<size_t>(positive(i, arg));
+        } else if (arg == "--checkpoint") {
+            opts.server.checkpointDir = needValue(i, arg);
+        } else if (arg == "--no-incremental") {
+            opts.server.incrementalDefault = false;
+        } else if (arg == "--max-jobs") {
+            opts.server.maxJobsPerRequest =
+                static_cast<size_t>(positive(i, arg));
+        } else if (arg == "--log-json") {
+            opts.logJsonPath = needValue(i, arg);
+        } else if (arg == "--log-level") {
+            opts.logLevel = needValue(i, arg);
+        } else if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else {
+            opts.error = "unknown flag: " + arg;
+        }
+        if (!opts.error.empty())
+            break;
+    }
+    if (opts.error.empty() && !opts.help &&
+        opts.server.socketPath.empty())
+        opts.error = "--socket is required";
+    return opts;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    DaemonOptions opts = parseDaemonCli(args);
+    if (opts.help) {
+        std::cout << kUsage;
+        return 0;
+    }
+    if (!opts.error.empty()) {
+        std::cerr << "checkmate-serve: " << opts.error << "\n"
+                  << kUsage;
+        return 1;
+    }
+
+    if (!opts.logJsonPath.empty()) {
+        auto &logger = checkmate::obs::Logger::instance();
+        if (!logger.openFile(opts.logJsonPath)) {
+            std::cerr << "checkmate-serve: cannot open --log-json "
+                      << opts.logJsonPath << "\n";
+            return 1;
+        }
+        if (auto level =
+                checkmate::obs::parseLogLevel(opts.logLevel)) {
+            logger.setLevel(*level);
+        } else {
+            std::cerr << "checkmate-serve: unknown --log-level "
+                      << opts.logLevel << "\n";
+            return 1;
+        }
+    }
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    checkmate::serve::Server server(opts.server);
+    std::string error;
+    if (!server.start(&error)) {
+        std::cerr << "checkmate-serve: " << error << "\n";
+        return 1;
+    }
+    std::cerr << "checkmate-serve: listening on "
+              << opts.server.socketPath << "\n";
+
+    // Sleep until a drain completes (drain verb) or a signal asks
+    // for one; the poll keeps signal latency bounded.
+    bool hardDrainStarted = false;
+    while (!server.drained()) {
+        if (!hardDrainStarted &&
+            g_signals.load(std::memory_order_relaxed) > 0) {
+            hardDrainStarted = true;
+            std::cerr << "checkmate-serve: signal received, "
+                         "draining\n";
+            server.beginDrain(/*stopInFlight=*/true);
+        }
+        server.waitDrained(100);
+    }
+    server.stop();
+    std::cerr << "checkmate-serve: drained, exiting\n";
+    return 0;
+}

@@ -1,0 +1,831 @@
+/**
+ * @file
+ * checkmate-serve daemon implementation.
+ */
+
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/cli.hh"
+#include "engine/job.hh"
+#include "engine/report.hh"
+#include "engine/scheduler.hh"
+#include "engine/session_pool.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/net.hh"
+
+namespace checkmate::serve
+{
+
+namespace
+{
+
+/** Poll window of every blocking loop; the stop-flag check cadence. */
+constexpr int kPollMs = 200;
+
+obs::Counter &
+serveCounter(const char *name)
+{
+    return obs::MetricsRegistry::instance().counter(name);
+}
+
+void
+logServe(obs::LogLevel level, const char *message,
+         const std::string &fieldsJson = "")
+{
+    auto &log = obs::Logger::instance();
+    if (log.enabled(level))
+        log.log(level, "serve", message, fieldsJson);
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * The first flag of @p options that a served request may not use:
+ * flags naming daemon-side files (reports, traces, checkpoints) or
+ * altering the process (fault injection) belong to the operator, not
+ * to remote clients.
+ */
+const char *
+unsupportedServeFlag(const core::CliOptions &options)
+{
+    if (options.help)
+        return "--help";
+    if (!options.reportPath.empty())
+        return "--report";
+    if (!options.tracePath.empty())
+        return "--trace";
+    if (!options.logJsonPath.empty())
+        return "--log-json";
+    if (!options.dumpDimacsDir.empty())
+        return "--dump-dimacs";
+    if (!options.checkpointDir.empty())
+        return "--checkpoint";
+    if (options.resume)
+        return "--resume";
+    if (!options.injectSpec.empty())
+        return "--inject";
+    if (options.emitDot)
+        return "--dot";
+    if (options.sessionPoolCap)
+        return "--session-pool-cap";
+    return nullptr;
+}
+
+/** Did the request spell out --incremental[=...] itself? */
+bool
+mentionsIncremental(const std::vector<std::string> &args)
+{
+    for (const std::string &arg : args) {
+        if (arg == "--incremental" ||
+            arg.rfind("--incremental=", 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+/** One client connection; writes are serialized by writeMutex. */
+struct Server::Connection
+{
+    explicit Connection(int fd) : fd(fd) {}
+    ~Connection()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    /** Send one frame; a failed write retires the connection. */
+    bool
+    send(const std::string &frame)
+    {
+        std::lock_guard<std::mutex> lock(writeMutex);
+        if (!alive.load(std::memory_order_relaxed))
+            return false;
+        if (!writeAll(fd, frame)) {
+            alive.store(false, std::memory_order_relaxed);
+            return false;
+        }
+        return true;
+    }
+
+    int fd;
+    std::mutex writeMutex;
+    std::atomic<bool> alive{true};
+};
+
+/** One admitted synth request, queued or in flight. */
+struct Server::PendingRequest
+{
+    std::string id;
+    std::string client;
+    std::vector<std::string> args;
+    ConnPtr conn;
+    engine::StopSource stopSource;
+    std::atomic<bool> cancelled{false};
+    std::chrono::steady_clock::time_point enqueued;
+};
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), cache_(options_.cacheCapacity)
+{}
+
+Server::~Server()
+{
+    stop();
+}
+
+bool
+Server::start(std::string *error)
+{
+    if (!options_.checkpointDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.checkpointDir,
+                                            ec);
+        if (ec) {
+            if (error)
+                *error = "cannot create checkpoint directory " +
+                         options_.checkpointDir + ": " +
+                         ec.message();
+            return false;
+        }
+    }
+    listenFd_ = listenUnix(options_.socketPath, error);
+    if (listenFd_ < 0)
+        return false;
+    if (options_.sessionPoolCapacity) {
+        engine::SessionPool::instance().setCapacity(
+            options_.sessionPoolCapacity);
+    }
+    running_.store(true, std::memory_order_relaxed);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    int workers = std::max(1, options_.maxInFlight);
+    workers_.reserve(static_cast<size_t>(workers));
+    for (int i = 0; i < workers; i++)
+        workers_.emplace_back([this] { workerLoop(); });
+    logServe(obs::LogLevel::Info, "listening",
+             obs::JsonFields()
+                 .add("socket", options_.socketPath)
+                 .add("workers", workers)
+                 .add("max_queued",
+                      static_cast<uint64_t>(options_.maxQueued))
+                 .str());
+    return true;
+}
+
+void
+Server::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, kPollMs);
+        if (ready <= 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        auto conn = std::make_shared<Connection>(fd);
+        std::lock_guard<std::mutex> lock(readersMutex_);
+        readers_.emplace_back(
+            [this, conn] { readerLoop(conn); });
+    }
+}
+
+void
+Server::readerLoop(ConnPtr conn)
+{
+    LineReader reader(conn->fd, options_.maxFrameBytes);
+    std::string line;
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        LineReader::Status status = reader.readLine(&line, kPollMs);
+        if (status == LineReader::Status::Timeout)
+            continue;
+        if (status == LineReader::Status::Line) {
+            handleFrame(conn, line);
+            continue;
+        }
+        if (status == LineReader::Status::TooLong) {
+            // Framing can't be trusted once a frame is skipped;
+            // answer and hang up.
+            serveCounter("serve.requests.errors").add(1);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++errors_;
+            }
+            conn->send(errorFrame(
+                "", "frame exceeds " +
+                        std::to_string(options_.maxFrameBytes) +
+                        " bytes"));
+        }
+        break; // Eof, Error, or TooLong
+    }
+    conn->alive.store(false, std::memory_order_relaxed);
+    connectionClosed(conn);
+}
+
+void
+Server::handleFrame(const ConnPtr &conn, const std::string &line)
+{
+    Request request;
+    std::string error;
+    {
+        obs::Span span("serve.parse", "serve");
+        if (!parseRequest(line, &request, &error)) {
+            serveCounter("serve.requests.errors").add(1);
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++errors_;
+            }
+            logServe(obs::LogLevel::Warn, "bad request frame",
+                     obs::JsonFields().add("reason", error).str());
+            conn->send(errorFrame("", error));
+            return;
+        }
+    }
+
+    switch (request.verb) {
+    case Verb::Ping:
+        conn->send(responseFrame(request.id, "pong"));
+        return;
+    case Verb::Status:
+        handleStatus(conn, request);
+        return;
+    case Verb::Cancel:
+        handleCancel(conn, request);
+        return;
+    case Verb::Drain:
+        handleDrain(conn, request);
+        return;
+    case Verb::Synth:
+        handleSynth(conn, std::move(request));
+        return;
+    }
+}
+
+void
+Server::handleSynth(const ConnPtr &conn, Request request)
+{
+    serveCounter("serve.requests.received").add(1);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++received_;
+    if (draining_ || stopping_.load(std::memory_order_relaxed)) {
+        ++rejected_;
+        serveCounter("serve.requests.rejected").add(1);
+        lock.unlock();
+        conn->send(rejectedFrame(request.id, "draining"));
+        return;
+    }
+    if (queuedCount_ >= options_.maxQueued) {
+        ++rejected_;
+        serveCounter("serve.requests.rejected").add(1);
+        lock.unlock();
+        conn->send(rejectedFrame(request.id, "queue-full"));
+        return;
+    }
+    if (request.id.empty())
+        request.id = "r" + std::to_string(++nextId_);
+    if (active_.count(request.id)) {
+        ++rejected_;
+        serveCounter("serve.requests.rejected").add(1);
+        lock.unlock();
+        conn->send(rejectedFrame(request.id,
+                                 "duplicate request id"));
+        return;
+    }
+
+    auto req = std::make_shared<PendingRequest>();
+    req->id = request.id;
+    req->client = request.client;
+    req->args = std::move(request.args);
+    req->conn = conn;
+    req->enqueued = std::chrono::steady_clock::now();
+
+    std::deque<ReqPtr> &queue = queues_[req->client];
+    if (queue.empty())
+        rrOrder_.push_back(req->client);
+    queue.push_back(req);
+    active_[req->id] = req;
+    ++queuedCount_;
+    publishDepthGauges();
+
+    // `accepted` must precede `started`: send it before any worker
+    // can see the request (the lock is still held).
+    conn->send(responseFrame(
+        req->id, "accepted",
+        obs::JsonFields().add(
+            "queue_depth", static_cast<uint64_t>(queuedCount_))));
+    logServe(obs::LogLevel::Info, "request accepted",
+             obs::JsonFields()
+                 .add("id", req->id)
+                 .add("client", req->client)
+                 .add("queue_depth",
+                      static_cast<uint64_t>(queuedCount_))
+                 .str());
+    lock.unlock();
+    queueCv_.notify_one();
+}
+
+void
+Server::handleStatus(const ConnPtr &conn, const Request &request)
+{
+    ServerStats s = stats();
+    const engine::SessionPool &pool =
+        engine::SessionPool::instance();
+    obs::JsonFields fields;
+    fields.add("queued", static_cast<uint64_t>(s.queued));
+    fields.add("in_flight", static_cast<uint64_t>(s.inFlight));
+    fields.add("draining", s.draining);
+    fields.addRaw("requests",
+                  obs::JsonFields()
+                      .add("received", s.received)
+                      .add("completed", s.completed)
+                      .add("rejected", s.rejected)
+                      .add("cancelled", s.cancelled)
+                      .add("errors", s.errors)
+                      .object());
+    fields.addRaw("cache",
+                  obs::JsonFields()
+                      .add("size", static_cast<uint64_t>(s.cacheSize))
+                      .add("capacity",
+                           static_cast<uint64_t>(cache_.capacity()))
+                      .add("hits", s.cacheHits)
+                      .add("misses", s.cacheMisses)
+                      .add("evictions", s.cacheEvictions)
+                      .object());
+    fields.addRaw("session_pool",
+                  obs::JsonFields()
+                      .add("size", static_cast<uint64_t>(pool.size()))
+                      .add("capacity",
+                           static_cast<uint64_t>(pool.capacity()))
+                      .add("hits", pool.hits())
+                      .add("misses", pool.misses())
+                      .add("evictions", pool.evictions())
+                      .object());
+    conn->send(responseFrame(request.id, "status", fields));
+}
+
+void
+Server::handleCancel(const ConnPtr &conn, const Request &request)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = active_.find(request.target);
+    if (it == active_.end() ||
+        it->second->client != request.client) {
+        // Unknown — or another client's — request id. Same answer
+        // either way: ids are not discoverable across clients.
+        lock.unlock();
+        conn->send(errorFrame(request.id, "unknown request id: " +
+                                              request.target));
+        return;
+    }
+    ReqPtr req = it->second;
+    std::deque<ReqPtr> &queue = queues_[req->client];
+    auto qit = std::find(queue.begin(), queue.end(), req);
+    req->cancelled.store(true, std::memory_order_relaxed);
+    ++cancelled_;
+    serveCounter("serve.requests.cancelled").add(1);
+    if (qit != queue.end()) {
+        // Still queued: unlink it entirely; no worker will see it.
+        queue.erase(qit);
+        --queuedCount_;
+        if (queue.empty()) {
+            queues_.erase(req->client);
+            rrOrder_.erase(std::remove(rrOrder_.begin(),
+                                       rrOrder_.end(), req->client),
+                           rrOrder_.end());
+        }
+        active_.erase(req->id);
+        publishDepthGauges();
+        req->conn->send(responseFrame(req->id, "cancelled"));
+        maybeMarkDrainedLocked();
+    } else {
+        // In flight: ask the run to stop; the worker sends the
+        // terminal `cancelled` frame once it unwinds.
+        req->stopSource.requestStop();
+    }
+    logServe(obs::LogLevel::Info, "request cancelled",
+             obs::JsonFields()
+                 .add("id", req->id)
+                 .add("client", req->client)
+                 .str());
+    lock.unlock();
+    conn->send(responseFrame(
+        request.id, "cancel-ok",
+        obs::JsonFields().add("target", request.target)));
+}
+
+void
+Server::handleDrain(const ConnPtr &conn, const Request &request)
+{
+    conn->send(responseFrame(request.id, "draining"));
+    beginDrain(/*stopInFlight=*/false);
+}
+
+void
+Server::connectionClosed(const ConnPtr &conn)
+{
+    // A vanished client can't receive results: drop its queued
+    // requests and stop its in-flight ones.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = queues_.begin(); it != queues_.end();) {
+        std::deque<ReqPtr> &queue = it->second;
+        for (auto qit = queue.begin(); qit != queue.end();) {
+            if ((*qit)->conn == conn) {
+                (*qit)->cancelled.store(true,
+                                        std::memory_order_relaxed);
+                active_.erase((*qit)->id);
+                --queuedCount_;
+                ++cancelled_;
+                serveCounter("serve.requests.cancelled").add(1);
+                qit = queue.erase(qit);
+            } else {
+                ++qit;
+            }
+        }
+        if (queue.empty()) {
+            rrOrder_.erase(std::remove(rrOrder_.begin(),
+                                       rrOrder_.end(), it->first),
+                           rrOrder_.end());
+            it = queues_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    for (auto &entry : active_) {
+        if (entry.second->conn == conn) {
+            entry.second->cancelled.store(
+                true, std::memory_order_relaxed);
+            entry.second->stopSource.requestStop();
+        }
+    }
+    publishDepthGauges();
+    maybeMarkDrainedLocked();
+}
+
+Server::ReqPtr
+Server::dequeue()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (stopping_.load(std::memory_order_relaxed))
+            return nullptr;
+        if (!rrOrder_.empty()) {
+            // Round-robin across clients: serve the front client's
+            // oldest request, then rotate that client to the back.
+            std::string client = rrOrder_.front();
+            rrOrder_.pop_front();
+            std::deque<ReqPtr> &queue = queues_[client];
+            ReqPtr req = queue.front();
+            queue.pop_front();
+            if (queue.empty())
+                queues_.erase(client);
+            else
+                rrOrder_.push_back(client);
+            --queuedCount_;
+            ++inFlightCount_;
+            publishDepthGauges();
+            {
+                std::lock_guard<std::mutex> order(orderMutex_);
+                startedOrder_.push_back(req->client + "/" + req->id);
+            }
+            return req;
+        }
+        if (draining_)
+            return nullptr;
+        queueCv_.wait_for(lock, std::chrono::milliseconds(kPollMs));
+    }
+}
+
+void
+Server::workerLoop()
+{
+    obs::TraceRecorder::instance().nameCurrentThread("serve-worker");
+    while (ReqPtr req = dequeue()) {
+        runRequest(req);
+        finishRequest(req);
+    }
+}
+
+void
+Server::runRequest(const ReqPtr &req)
+{
+    obs::Span span("serve.request", "serve");
+    span.arg("id", req->id);
+    span.arg("client", req->client);
+    double queueSeconds = secondsSince(req->enqueued);
+
+    auto sendError = [&](const std::string &reason) {
+        serveCounter("serve.requests.errors").add(1);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++errors_;
+        }
+        logServe(obs::LogLevel::Warn, "request error",
+                 obs::JsonFields()
+                     .add("id", req->id)
+                     .add("reason", reason)
+                     .str());
+        req->conn->send(errorFrame(req->id, reason));
+    };
+
+    req->conn->send(responseFrame(req->id, "started"));
+
+    core::CliOptions cli = core::parseCli(req->args);
+    if (!cli.error.empty()) {
+        sendError(cli.error);
+        return;
+    }
+    if (const char *flag = unsupportedServeFlag(cli)) {
+        sendError(std::string("flag not supported over serve: ") +
+                  flag);
+        return;
+    }
+
+    std::vector<engine::SynthesisJob> jobs = core::buildJobs(cli);
+    if (jobs.size() > options_.maxJobsPerRequest) {
+        sendError("request decomposes into " +
+                  std::to_string(jobs.size()) + " jobs (limit " +
+                  std::to_string(options_.maxJobsPerRequest) + ")");
+        return;
+    }
+
+    // Canonical identity: every job's full key (core + delta +
+    // budgets) plus the render flags — everything that shapes the
+    // response text.
+    std::string cacheKey;
+    for (const engine::SynthesisJob &job : jobs) {
+        cacheKey += engine::jobKey(job);
+        cacheKey += ';';
+    }
+    cacheKey += cli.printGraphs ? "|graphs" : "|plain";
+
+    CachedResult cached;
+    if (cache_.lookup(cacheKey, &cached)) {
+        obs::JsonFields done;
+        done.add("cache_hit", true);
+        done.add("exit", cached.exitCode);
+        done.add("aborted", false);
+        done.add("wall_seconds", 0.0);
+        done.add("queue_seconds", queueSeconds);
+        done.add("text", cached.text);
+        done.addRaw("report", cached.reportJson);
+        req->conn->send(responseFrame(req->id, "done", done));
+        logServe(obs::LogLevel::Info, "request served from cache",
+                 obs::JsonFields()
+                     .add("id", req->id)
+                     .add("client", req->client)
+                     .str());
+        return;
+    }
+
+    engine::EngineOptions engineOptions =
+        core::engineOptionsFromCli(cli);
+    if (!mentionsIncremental(req->args))
+        engineOptions.incremental = options_.incrementalDefault;
+    if (!options_.checkpointDir.empty()) {
+        // Daemon-side durability: every served job checkpoints, and
+        // resume makes a restarted daemon pick interrupted
+        // enumerations back up where they stopped.
+        engineOptions.checkpointDir = options_.checkpointDir;
+        engineOptions.resume = true;
+    }
+
+    engine::RunResult run;
+    {
+        obs::Span runSpan("serve.run", "serve");
+        runSpan.arg("id", req->id);
+        runSpan.arg("jobs", static_cast<uint64_t>(jobs.size()));
+        run = engine::runJobs(jobs, engineOptions,
+                              &req->stopSource);
+    }
+
+    obs::Span respond("serve.respond", "serve");
+    std::ostringstream text, errText;
+    core::RenderSummary summary =
+        core::renderRunResults(run, cli, text, &errText);
+    bool stopped = req->stopSource.stopRequested();
+    int exitCode = core::runExitCode(summary, stopped);
+    std::string reportJson =
+        engine::runReportToJson(run, engineOptions);
+    // The report renders as a document with a trailing newline; a
+    // raw newline inside a frame would end it early.
+    while (!reportJson.empty() &&
+           (reportJson.back() == '\n' || reportJson.back() == ' '))
+        reportJson.pop_back();
+
+    if (req->cancelled.load(std::memory_order_relaxed)) {
+        req->conn->send(responseFrame(
+            req->id, "cancelled",
+            obs::JsonFields().add("wall_seconds",
+                                  run.wallSeconds)));
+        return;
+    }
+
+    if (!run.aborted && !stopped && !summary.jobErrors) {
+        cache_.insert(cacheKey,
+                      CachedResult{text.str(), reportJson,
+                                   exitCode});
+    }
+
+    obs::JsonFields done;
+    done.add("cache_hit", false);
+    done.add("exit", exitCode);
+    done.add("aborted", run.aborted);
+    done.add("exploits",
+             static_cast<uint64_t>(summary.totalExploits));
+    done.add("wall_seconds", run.wallSeconds);
+    done.add("queue_seconds", queueSeconds);
+    done.add("text", text.str());
+    if (!errText.str().empty())
+        done.add("stderr", errText.str());
+    done.addRaw("report", reportJson);
+    req->conn->send(responseFrame(req->id, "done", done));
+    logServe(obs::LogLevel::Info, "request done",
+             obs::JsonFields()
+                 .add("id", req->id)
+                 .add("client", req->client)
+                 .add("exit", exitCode)
+                 .add("wall_seconds", run.wallSeconds)
+                 .str());
+}
+
+void
+Server::finishRequest(const ReqPtr &req)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_.erase(req->id);
+    --inFlightCount_;
+    if (!req->cancelled.load(std::memory_order_relaxed)) {
+        ++completed_;
+        serveCounter("serve.requests.completed").add(1);
+    }
+    publishDepthGauges();
+    maybeMarkDrainedLocked();
+}
+
+void
+Server::publishDepthGauges()
+{
+    // Caller holds mutex_.
+    obs::MetricsRegistry::instance()
+        .gauge("serve.queue_depth")
+        .set(static_cast<double>(queuedCount_));
+    obs::MetricsRegistry::instance()
+        .gauge("serve.in_flight")
+        .set(static_cast<double>(inFlightCount_));
+}
+
+void
+Server::maybeMarkDrainedLocked()
+{
+    if (draining_ && !drained_ && queuedCount_ == 0 &&
+        inFlightCount_ == 0) {
+        drained_ = true;
+        logServe(obs::LogLevel::Info, "drained");
+        drainedCv_.notify_all();
+    }
+}
+
+void
+Server::beginDrain(bool stopInFlight)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    bool first = !draining_;
+    draining_ = true;
+    if (stopInFlight) {
+        // Hard drain: queued requests are rejected (the client can
+        // resubmit elsewhere), in-flight runs get a cooperative stop
+        // so each job checkpoints its progress before unwinding.
+        for (auto &entry : queues_) {
+            for (const ReqPtr &req : entry.second) {
+                req->cancelled.store(true,
+                                     std::memory_order_relaxed);
+                active_.erase(req->id);
+                ++rejected_;
+                serveCounter("serve.requests.rejected").add(1);
+                req->conn->send(
+                    rejectedFrame(req->id, "shutting-down"));
+            }
+        }
+        queues_.clear();
+        rrOrder_.clear();
+        queuedCount_ = 0;
+        for (auto &entry : active_)
+            entry.second->stopSource.requestStop();
+        publishDepthGauges();
+    }
+    if (first || stopInFlight) {
+        logServe(obs::LogLevel::Info, "draining",
+                 obs::JsonFields()
+                     .add("hard", stopInFlight)
+                     .add("queued",
+                          static_cast<uint64_t>(queuedCount_))
+                     .add("in_flight",
+                          static_cast<uint64_t>(inFlightCount_))
+                     .str());
+    }
+    maybeMarkDrainedLocked();
+    lock.unlock();
+    queueCv_.notify_all();
+}
+
+bool
+Server::drained() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return drained_;
+}
+
+bool
+Server::waitDrained(int timeoutMs)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (timeoutMs < 0) {
+        drainedCv_.wait(lock, [this] { return drained_; });
+        return true;
+    }
+    drainedCv_.wait_for(lock, std::chrono::milliseconds(timeoutMs),
+                        [this] { return drained_; });
+    return drained_;
+}
+
+void
+Server::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    beginDrain(/*stopInFlight=*/true);
+    queueCv_.notify_all();
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    for (std::thread &worker : workers_)
+        if (worker.joinable())
+            worker.join();
+    workers_.clear();
+    std::vector<std::thread> readers;
+    {
+        std::lock_guard<std::mutex> lock(readersMutex_);
+        readers.swap(readers_);
+    }
+    for (std::thread &reader : readers)
+        if (reader.joinable())
+            reader.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        ::unlink(options_.socketPath.c_str());
+        listenFd_ = -1;
+    }
+    // Release warm sessions: the daemon is the pool's owner.
+    engine::SessionPool::instance().shutdown();
+    running_.store(false, std::memory_order_relaxed);
+    logServe(obs::LogLevel::Info, "stopped");
+}
+
+ServerStats
+Server::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ServerStats s;
+    s.queued = queuedCount_;
+    s.inFlight = inFlightCount_;
+    s.received = received_;
+    s.completed = completed_;
+    s.rejected = rejected_;
+    s.cancelled = cancelled_;
+    s.errors = errors_;
+    s.cacheHits = cache_.hits();
+    s.cacheMisses = cache_.misses();
+    s.cacheEvictions = cache_.evictions();
+    s.cacheSize = cache_.size();
+    s.draining = draining_;
+    return s;
+}
+
+std::vector<std::string>
+Server::startedOrder() const
+{
+    std::lock_guard<std::mutex> lock(orderMutex_);
+    return startedOrder_;
+}
+
+} // namespace checkmate::serve

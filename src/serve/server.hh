@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The checkmate-serve daemon core.
+ *
+ * A Server owns a listening Unix socket and three kinds of threads:
+ * one acceptor, one reader per connected client, and a fixed pool of
+ * synthesis workers. Readers parse serve-v1 frames and either answer
+ * control verbs inline (ping/status/cancel/drain) or hand synth
+ * requests to the admission queue; workers drain that queue with
+ * per-client round-robin fairness, answer repeated queries from the
+ * result cache, and run everything else through the same
+ * core::buildJobs → engine::runJobs → core::renderRunResults path
+ * the CLI uses — so a served response is byte-identical to a direct
+ * run.
+ *
+ * Shutdown is two-speed (docs/SERVING.md):
+ *  - soft drain (the `drain` verb): admissions stop, queued and
+ *    in-flight work runs to completion, then the server reports
+ *    drained;
+ *  - hard drain (SIGTERM): queued requests are rejected and
+ *    in-flight runs get a cooperative stop, so — when a checkpoint
+ *    directory is configured — each interrupted job persists its
+ *    progress and a restarted daemon resumes it.
+ *
+ * Request lifecycle observability: spans serve.request / serve.run,
+ * counters serve.requests.* and serve.cache.*, gauges
+ * serve.queue_depth / serve.in_flight, and JSONL log records from
+ * the "serve" component (docs/OBSERVABILITY.md).
+ */
+
+#ifndef CHECKMATE_SERVE_SERVER_HH
+#define CHECKMATE_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+
+namespace checkmate::serve
+{
+
+/** Daemon configuration. */
+struct ServerOptions
+{
+    /** Filesystem path of the listening Unix socket. */
+    std::string socketPath;
+
+    /** Synthesis worker threads (concurrent requests). */
+    int maxInFlight = 2;
+
+    /** Admission-queue ceiling across all clients; more → rejected. */
+    size_t maxQueued = 32;
+
+    /** Result-cache entries retained. */
+    size_t cacheCapacity = 128;
+
+    /** Idle incremental-session cap (0 = SessionPool default). */
+    size_t sessionPoolCapacity = 0;
+
+    /**
+     * Run served requests through pooled incremental sessions unless
+     * the request itself says `--incremental off`. Warm sessions are
+     * the daemon's point: repeated sweeps over one problem core skip
+     * translation and reuse learned clauses across requests.
+     */
+    bool incrementalDefault = true;
+
+    /** Per-request job ceiling (a sweep decomposes into several). */
+    size_t maxJobsPerRequest = 16;
+
+    /** Request-frame length ceiling, bytes. */
+    size_t maxFrameBytes = kDefaultMaxFrameBytes;
+
+    /**
+     * Checkpoint directory for in-flight jobs (empty = off). With a
+     * directory set, every served job checkpoints its enumeration
+     * and resumes from disk, so a hard drain loses no work.
+     */
+    std::string checkpointDir;
+};
+
+/** One point-in-time read of the daemon's state (status verb). */
+struct ServerStats
+{
+    size_t queued = 0;
+    size_t inFlight = 0;
+    uint64_t received = 0;
+    uint64_t completed = 0;
+    uint64_t rejected = 0;
+    uint64_t cancelled = 0;
+    uint64_t errors = 0;
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
+    size_t cacheSize = 0;
+    bool draining = false;
+};
+
+/** The daemon. One instance per process (but testable in-process). */
+class Server
+{
+  public:
+    explicit Server(ServerOptions options);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the socket and launch the acceptor and worker threads.
+     *
+     * @return false with @p error set when the socket can't be
+     * bound.
+     */
+    bool start(std::string *error);
+
+    /**
+     * Stop admissions and arrange for drained() to become true once
+     * outstanding work ends.
+     *
+     * @param stopInFlight hard drain: reject queued requests and
+     *        cooperatively stop in-flight runs (they checkpoint);
+     *        false = soft drain, everything admitted runs to
+     *        completion.
+     */
+    void beginDrain(bool stopInFlight);
+
+    /** True once a drain finished (queue empty, nothing in flight). */
+    bool drained() const;
+
+    /**
+     * Block until drained() or @p timeoutMs elapses (negative =
+     * forever). @return drained().
+     */
+    bool waitDrained(int timeoutMs);
+
+    /**
+     * Tear everything down: stop threads, close the socket, unlink
+     * the socket file, and release pooled sessions. Idempotent;
+     * called by the destructor.
+     */
+    void stop();
+
+    ServerStats stats() const;
+
+    const ServerOptions &options() const { return options_; }
+
+    /**
+     * Test hook: "client/id" labels in the order workers started
+     * them — the observable fairness ordering.
+     */
+    std::vector<std::string> startedOrder() const;
+
+  private:
+    struct Connection;
+    struct PendingRequest;
+    using ConnPtr = std::shared_ptr<Connection>;
+    using ReqPtr = std::shared_ptr<PendingRequest>;
+
+    void acceptLoop();
+    void readerLoop(ConnPtr conn);
+    void workerLoop();
+
+    void handleFrame(const ConnPtr &conn, const std::string &line);
+    void handleSynth(const ConnPtr &conn, Request request);
+    void handleStatus(const ConnPtr &conn, const Request &request);
+    void handleCancel(const ConnPtr &conn, const Request &request);
+    void handleDrain(const ConnPtr &conn, const Request &request);
+    void connectionClosed(const ConnPtr &conn);
+
+    /** Pop the next request round-robin; null = told to exit. */
+    ReqPtr dequeue();
+    void runRequest(const ReqPtr &req);
+    void finishRequest(const ReqPtr &req);
+    void publishDepthGauges();
+    void maybeMarkDrainedLocked();
+
+    ServerOptions options_;
+    ResultCache cache_;
+
+    int listenFd_ = -1;
+    std::thread acceptThread_;
+    std::vector<std::thread> workers_;
+    std::vector<std::thread> readers_;
+    std::mutex readersMutex_;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    mutable std::mutex mutex_;
+    std::condition_variable queueCv_;
+    std::condition_variable drainedCv_;
+    /** Per-client FIFO queues; fairness unit = client name. */
+    std::map<std::string, std::deque<ReqPtr>> queues_;
+    /** Clients with queued work, in round-robin rotation order. */
+    std::deque<std::string> rrOrder_;
+    /** Admitted-but-unfinished requests by id (cancel targets). */
+    std::map<std::string, ReqPtr> active_;
+    size_t queuedCount_ = 0;
+    size_t inFlightCount_ = 0;
+    bool draining_ = false;
+    bool drained_ = false;
+    uint64_t nextId_ = 0;
+
+    uint64_t received_ = 0;
+    uint64_t completed_ = 0;
+    uint64_t rejected_ = 0;
+    uint64_t cancelled_ = 0;
+    uint64_t errors_ = 0;
+
+    mutable std::mutex orderMutex_;
+    std::vector<std::string> startedOrder_;
+};
+
+} // namespace checkmate::serve
+
+#endif // CHECKMATE_SERVE_SERVER_HH

@@ -16,6 +16,7 @@
 #include "engine/job.hh"
 #include "engine/scheduler.hh"
 #include "engine/session_pool.hh"
+#include "obs/metrics.hh"
 #include "rmf/session.hh"
 
 namespace
@@ -90,6 +91,82 @@ TEST(SessionPool, NullCheckInIsIgnored)
     engine::SessionPool pool;
     pool.checkIn("a", nullptr);
     EXPECT_EQ(pool.size(), 0u);
+}
+
+TEST(SessionPool, ConstructorCapacityIsHonoredAndClamped)
+{
+    engine::SessionPool pool(3);
+    EXPECT_EQ(pool.capacity(), 3u);
+    engine::SessionPool clamped(0);
+    EXPECT_EQ(clamped.capacity(), 1u);
+}
+
+TEST(SessionPool, CountsMissesAndEvictions)
+{
+    engine::SessionPool pool(2);
+    pool.checkIn("a", pool.checkOut("a")); // miss
+    pool.checkIn("b", pool.checkOut("b")); // miss
+    pool.checkIn("c", pool.checkOut("c")); // miss; evicts "a"
+    EXPECT_EQ(pool.misses(), 3u);
+    EXPECT_EQ(pool.hits(), 0u);
+    EXPECT_EQ(pool.evictions(), 1u);
+    EXPECT_EQ(pool.size(), 2u);
+
+    pool.checkOut("b"); // hit, no eviction
+    EXPECT_EQ(pool.hits(), 1u);
+    EXPECT_EQ(pool.evictions(), 1u);
+}
+
+TEST(SessionPool, PublishesCountersIntoMetricsRegistry)
+{
+    auto &registry = obs::MetricsRegistry::instance();
+    uint64_t hits0 =
+        registry.counter("engine.session_pool.hits").value();
+    uint64_t misses0 =
+        registry.counter("engine.session_pool.misses").value();
+    uint64_t evict0 =
+        registry.counter("engine.session_pool.evictions").value();
+
+    engine::SessionPool pool(1);
+    pool.checkIn("a", pool.checkOut("a")); // miss
+    pool.checkIn("a", pool.checkOut("a")); // hit
+    pool.checkIn("b", pool.checkOut("b")); // miss; evicts "a"
+
+    EXPECT_EQ(registry.counter("engine.session_pool.hits").value(),
+              hits0 + 1);
+    EXPECT_EQ(
+        registry.counter("engine.session_pool.misses").value(),
+        misses0 + 2);
+    EXPECT_EQ(
+        registry.counter("engine.session_pool.evictions").value(),
+        evict0 + 1);
+}
+
+TEST(SessionPool, ShutdownDropsIdleSessionsAndKeepsCounters)
+{
+    engine::SessionPool pool;
+    pool.checkIn("a", pool.checkOut("a"));
+    pool.checkIn("b", pool.checkOut("b"));
+    EXPECT_EQ(pool.size(), 2u);
+    pool.shutdown();
+    EXPECT_EQ(pool.size(), 0u);
+    EXPECT_EQ(pool.misses(), 2u); // lifetime stats survive
+    // The pool stays usable after shutdown (a drained daemon can
+    // be restarted in-process by tests).
+    pool.checkIn("a", pool.checkOut("a"));
+    EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(SessionPoolCli, SessionPoolCapFlagParsesAndRejectsZero)
+{
+    core::CliOptions opts =
+        core::parseCli({"--session-pool-cap", "5"});
+    EXPECT_TRUE(opts.error.empty()) << opts.error;
+    EXPECT_EQ(opts.sessionPoolCap, 5u);
+
+    EXPECT_FALSE(
+        core::parseCli({"--session-pool-cap", "0"}).error.empty());
+    EXPECT_EQ(core::parseCli({}).sessionPoolCap, 0u);
 }
 
 // ---------------------------------------------------------------

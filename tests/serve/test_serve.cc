@@ -1,0 +1,710 @@
+/**
+ * @file
+ * Tests for the checkmate-serve subsystem: the serve-v1 protocol
+ * codec, the result cache, and an in-process Server exercised over
+ * real Unix sockets — malformed input, admission control and
+ * per-client fairness, cache hits, cancellation, client
+ * disconnects, drains, and the byte-identity guarantee against a
+ * direct CLI run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/cli.hh"
+#include "engine/session_pool.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/result_cache.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace checkmate;
+
+// ---------------------------------------------------------------
+// Protocol codec
+// ---------------------------------------------------------------
+
+TEST(ServeProtocol, RequestRoundTripsThroughFrameEncoding)
+{
+    serve::Request request;
+    request.verb = serve::Verb::Synth;
+    request.id = "req-1";
+    request.client = "alice";
+    request.args = {"--events", "4", "--max", "10"};
+
+    serve::Request parsed;
+    std::string error;
+    std::string frame = serve::requestFrame(request);
+    ASSERT_EQ(frame.back(), '\n');
+    ASSERT_TRUE(serve::parseRequest(
+        frame.substr(0, frame.size() - 1), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.verb, serve::Verb::Synth);
+    EXPECT_EQ(parsed.id, "req-1");
+    EXPECT_EQ(parsed.client, "alice");
+    EXPECT_EQ(parsed.args, request.args);
+}
+
+TEST(ServeProtocol, RejectsMalformedAndWrongVersionFrames)
+{
+    serve::Request parsed;
+    std::string error;
+
+    EXPECT_FALSE(serve::parseRequest("not json", &parsed, &error));
+    EXPECT_NE(error.find("parse-error"), std::string::npos);
+
+    EXPECT_FALSE(serve::parseRequest("[1,2]", &parsed, &error));
+    EXPECT_NE(error.find("object"), std::string::npos);
+
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"v":"serve-v0","verb":"ping"})", &parsed, &error));
+    EXPECT_NE(error.find("unsupported protocol version"),
+              std::string::npos);
+
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"v":"serve-v1","verb":"frobnicate"})", &parsed,
+        &error));
+    EXPECT_NE(error.find("unknown verb"), std::string::npos);
+
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"v":"serve-v1","verb":"synth","args":["--max",4]})",
+        &parsed, &error));
+    EXPECT_NE(error.find("only strings"), std::string::npos);
+
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"v":"serve-v1","verb":"cancel"})", &parsed, &error));
+    EXPECT_NE(error.find("target"), std::string::npos);
+}
+
+TEST(ServeProtocol, ResponseFramesAreOneLineJsonObjects)
+{
+    std::string frame = serve::responseFrame(
+        "id-7", "done",
+        obs::JsonFields().add("cache_hit", true).add("exit", 0));
+    ASSERT_EQ(frame.back(), '\n');
+    EXPECT_EQ(frame.find('\n'), frame.size() - 1);
+
+    auto parsed = obs::parseJson(frame);
+    ASSERT_NE(parsed, nullptr);
+    EXPECT_EQ(parsed->find("v")->asString(),
+              serve::kProtocolVersion);
+    EXPECT_EQ(parsed->find("id")->asString(), "id-7");
+    EXPECT_EQ(parsed->find("event")->asString(), "done");
+    EXPECT_TRUE(parsed->find("cache_hit")->boolean);
+}
+
+// ---------------------------------------------------------------
+// Result cache
+// ---------------------------------------------------------------
+
+TEST(ResultCache, CountsHitsAndMisses)
+{
+    serve::ResultCache cache(4);
+    serve::CachedResult out;
+    EXPECT_FALSE(cache.lookup("k", &out));
+    cache.insert("k", {"text", "{}", 0});
+    EXPECT_TRUE(cache.lookup("k", &out));
+    EXPECT_EQ(out.text, "text");
+    EXPECT_EQ(out.exitCode, 0);
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAtCapacity)
+{
+    serve::ResultCache cache(2);
+    cache.insert("a", {"A", "{}", 0});
+    cache.insert("b", {"B", "{}", 0});
+    serve::CachedResult out;
+    ASSERT_TRUE(cache.lookup("a", &out)); // refresh "a"
+    cache.insert("c", {"C", "{}", 0});    // evicts "b"
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_FALSE(cache.lookup("b", &out));
+    EXPECT_TRUE(cache.lookup("a", &out));
+    EXPECT_TRUE(cache.lookup("c", &out));
+}
+
+TEST(ResultCache, ClearDropsEntriesButKeepsCounters)
+{
+    serve::ResultCache cache(4);
+    cache.insert("a", {"A", "{}", 0});
+    serve::CachedResult out;
+    ASSERT_TRUE(cache.lookup("a", &out));
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.lookup("a", &out));
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+// ---------------------------------------------------------------
+// Server fixture
+// ---------------------------------------------------------------
+
+/** Short unique socket path (sun_path is ~108 bytes). */
+std::string
+testSocketPath()
+{
+    static int counter = 0;
+    return "/tmp/cm_serve_test_" + std::to_string(::getpid()) +
+           "_" + std::to_string(++counter) + ".sock";
+}
+
+class ServeServerTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(serve::ServerOptions options)
+    {
+        options.socketPath = testSocketPath();
+        server_ = std::make_unique<serve::Server>(options);
+        std::string error;
+        ASSERT_TRUE(server_->start(&error)) << error;
+    }
+
+    void
+    TearDown() override
+    {
+        if (server_)
+            server_->stop();
+    }
+
+    serve::Client
+    connect()
+    {
+        serve::Client client;
+        std::string error;
+        EXPECT_TRUE(
+            client.connect(server_->options().socketPath, &error))
+            << error;
+        return client;
+    }
+
+    /**
+     * Send a synth request and wait for its `accepted` frame,
+     * skipping interleaved frames of other requests sharing the
+     * connection (e.g. an earlier request's `started`).
+     */
+    void
+    sendAccepted(serve::Client &client, const std::string &id,
+                 const std::string &name,
+                 const std::vector<std::string> &args)
+    {
+        serve::Request request;
+        request.verb = serve::Verb::Synth;
+        request.id = id;
+        request.client = name;
+        request.args = args;
+        ASSERT_TRUE(client.send(request));
+        for (int i = 0; i < 50; i++) {
+            std::unique_ptr<obs::JsonValue> frame;
+            ASSERT_EQ(client.readFrame(&frame, 10000),
+                      serve::Client::ReadStatus::Frame);
+            if (frame->find("id")->asString() != id)
+                continue;
+            ASSERT_EQ(frame->find("event")->asString(), "accepted")
+                << "id " << id;
+            return;
+        }
+        FAIL() << "no accepted frame for " << id;
+    }
+
+    /** Poll until @p n requests are in flight (dequeue races). */
+    void
+    waitForInFlight(size_t n)
+    {
+        for (int i = 0; i < 200; i++) {
+            if (server_->stats().inFlight >= n)
+                return;
+            ::usleep(10000);
+        }
+        FAIL() << "never saw " << n << " requests in flight";
+    }
+
+    std::unique_ptr<serve::Server> server_;
+};
+
+/** Strip the run-dependent timing numbers from litmus output. */
+std::string
+scrubTimes(const std::string &text)
+{
+    std::istringstream in(text);
+    std::ostringstream kept;
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t at = line.find("| first:");
+        if (at != std::string::npos)
+            line.resize(at);
+        kept << line << '\n';
+    }
+    return kept.str();
+}
+
+const std::vector<std::string> kSmallRun = {"--events", "4",
+                                            "--max", "5"};
+
+// ---------------------------------------------------------------
+// Server behavior
+// ---------------------------------------------------------------
+
+TEST_F(ServeServerTest, PingPongAndStatus)
+{
+    startServer({});
+    serve::Client client = connect();
+
+    serve::Request ping;
+    ping.verb = serve::Verb::Ping;
+    ping.id = "p1";
+    ASSERT_TRUE(client.send(ping));
+    std::unique_ptr<obs::JsonValue> frame;
+    ASSERT_EQ(client.readFrame(&frame, 5000),
+              serve::Client::ReadStatus::Frame);
+    EXPECT_EQ(frame->find("event")->asString(), "pong");
+    EXPECT_EQ(frame->find("id")->asString(), "p1");
+
+    serve::Request status;
+    status.verb = serve::Verb::Status;
+    ASSERT_TRUE(client.send(status));
+    ASSERT_EQ(client.readFrame(&frame, 5000),
+              serve::Client::ReadStatus::Frame);
+    EXPECT_EQ(frame->find("event")->asString(), "status");
+    ASSERT_NE(frame->find("requests"), nullptr);
+    ASSERT_NE(frame->find("cache"), nullptr);
+    ASSERT_NE(frame->find("session_pool"), nullptr);
+    EXPECT_EQ(frame->find("queued")->asNumber(-1), 0.0);
+}
+
+TEST_F(ServeServerTest, MalformedJsonGetsErrorFrame)
+{
+    startServer({});
+    serve::Client client = connect();
+    ASSERT_TRUE(client.sendRaw("this is not json\n"));
+    std::unique_ptr<obs::JsonValue> frame;
+    ASSERT_EQ(client.readFrame(&frame, 5000),
+              serve::Client::ReadStatus::Frame);
+    EXPECT_EQ(frame->find("event")->asString(), "error");
+    EXPECT_NE(frame->find("reason")->asString().find("parse-error"),
+              std::string::npos);
+
+    // The connection survives a malformed frame.
+    serve::Request ping;
+    ping.verb = serve::Verb::Ping;
+    ASSERT_TRUE(client.send(ping));
+    ASSERT_EQ(client.readFrame(&frame, 5000),
+              serve::Client::ReadStatus::Frame);
+    EXPECT_EQ(frame->find("event")->asString(), "pong");
+}
+
+TEST_F(ServeServerTest, UnknownVerbGetsErrorFrame)
+{
+    startServer({});
+    serve::Client client = connect();
+    ASSERT_TRUE(client.sendRaw(
+        "{\"v\":\"serve-v1\",\"verb\":\"explode\"}\n"));
+    std::unique_ptr<obs::JsonValue> frame;
+    ASSERT_EQ(client.readFrame(&frame, 5000),
+              serve::Client::ReadStatus::Frame);
+    EXPECT_EQ(frame->find("event")->asString(), "error");
+    EXPECT_NE(
+        frame->find("reason")->asString().find("unknown verb"),
+        std::string::npos);
+}
+
+TEST_F(ServeServerTest, OversizedFrameGetsErrorThenDisconnect)
+{
+    serve::ServerOptions options;
+    options.maxFrameBytes = 128;
+    startServer(options);
+    serve::Client client = connect();
+    std::string big(1024, 'x');
+    ASSERT_TRUE(client.sendRaw(big + "\n"));
+    std::unique_ptr<obs::JsonValue> frame;
+    ASSERT_EQ(client.readFrame(&frame, 5000),
+              serve::Client::ReadStatus::Frame);
+    EXPECT_EQ(frame->find("event")->asString(), "error");
+    EXPECT_NE(frame->find("reason")->asString().find("exceeds"),
+              std::string::npos);
+    // Framing is untrusted after a skip: the daemon hangs up.
+    EXPECT_EQ(client.readFrame(&frame, 5000),
+              serve::Client::ReadStatus::Eof);
+}
+
+TEST_F(ServeServerTest, UnsupportedFlagsAreRefused)
+{
+    startServer({});
+    serve::Client client = connect();
+    serve::Request request;
+    request.verb = serve::Verb::Synth;
+    request.id = "bad";
+    request.args = {"--report", "/tmp/out.json"};
+    ASSERT_TRUE(client.send(request));
+    auto terminal = client.readUntilTerminal(10000);
+    ASSERT_NE(terminal, nullptr);
+    EXPECT_EQ(terminal->find("event")->asString(), "error");
+    EXPECT_NE(terminal->find("reason")->asString().find(
+                  "not supported over serve"),
+              std::string::npos);
+}
+
+TEST_F(ServeServerTest, ServedTextMatchesDirectCliRun)
+{
+    // Capped enumerations are order-stable only from a cold solver:
+    // start this comparison from an empty process-wide pool.
+    engine::SessionPool::instance().clear();
+    startServer({});
+    serve::Client client = connect();
+
+    serve::Request request;
+    request.verb = serve::Verb::Synth;
+    request.id = "match";
+    request.client = "c1";
+    request.args = kSmallRun;
+    ASSERT_TRUE(client.send(request));
+    auto terminal = client.readUntilTerminal(120000);
+    ASSERT_NE(terminal, nullptr);
+    ASSERT_EQ(terminal->find("event")->asString(), "done");
+    EXPECT_FALSE(terminal->find("cache_hit")->boolean);
+
+    std::ostringstream direct;
+    int rc = core::runCli(core::parseCli(kSmallRun), direct);
+    EXPECT_EQ(static_cast<int>(
+                  terminal->find("exit")->asNumber(-1)),
+              rc);
+    EXPECT_EQ(scrubTimes(terminal->find("text")->asString()),
+              scrubTimes(direct.str()));
+    ASSERT_NE(terminal->find("report"), nullptr);
+    EXPECT_TRUE(terminal->find("report")->isObject());
+}
+
+TEST_F(ServeServerTest, RepeatedRequestIsAnsweredFromCache)
+{
+    startServer({});
+    serve::Client client = connect();
+
+    std::string firstText;
+    for (int round = 0; round < 2; round++) {
+        serve::Request request;
+        request.verb = serve::Verb::Synth;
+        request.id = "round" + std::to_string(round);
+        request.client = "c1";
+        request.args = kSmallRun;
+        ASSERT_TRUE(client.send(request));
+        auto terminal = client.readUntilTerminal(120000);
+        ASSERT_NE(terminal, nullptr);
+        ASSERT_EQ(terminal->find("event")->asString(), "done");
+        EXPECT_EQ(terminal->find("cache_hit")->boolean,
+                  round == 1);
+        if (round == 0)
+            firstText = terminal->find("text")->asString();
+        else
+            EXPECT_EQ(terminal->find("text")->asString(),
+                      firstText);
+    }
+
+    serve::ServerStats stats = server_->stats();
+    EXPECT_EQ(stats.cacheHits, 1u);
+    EXPECT_EQ(stats.cacheMisses, 1u);
+}
+
+TEST_F(ServeServerTest,
+       ConcurrentClientsAreServedRoundRobinAndMatchCli)
+{
+    serve::ServerOptions options;
+    options.maxInFlight = 1; // serialize: ordering is observable
+    startServer(options);
+
+    serve::Client blockerConn = connect();
+    serve::Client c1 = connect();
+    serve::Client c2 = connect();
+
+    // The blocker occupies the only worker while the others queue.
+    // It runs uncapped: complete enumerations render canonically,
+    // so its text is byte-comparable against a direct CLI run even
+    // though earlier requests may have warmed the session pool.
+    const std::vector<std::string> uncapped = {
+        "--events", "4", "--max", "100000"};
+    sendAccepted(blockerConn, "blk", "blocker", uncapped);
+
+    // Interleaved admission order c1,c1,c2,c2 — fair dispatch must
+    // alternate clients: c1,c2,c1,c2.
+    sendAccepted(c1, "a1", "c1", kSmallRun);
+    sendAccepted(c1, "a2", "c1",
+                 {"--events", "4", "--max", "6"});
+    sendAccepted(c2, "b1", "c2",
+                 {"--events", "4", "--max", "7"});
+    sendAccepted(c2, "b2", "c2",
+                 {"--events", "4", "--max", "8"});
+
+    auto blockerDone = blockerConn.readUntilTerminal(120000);
+    ASSERT_NE(blockerDone, nullptr);
+    ASSERT_EQ(blockerDone->find("event")->asString(), "done");
+
+    for (int i = 0; i < 2; i++) {
+        auto done = c1.readUntilTerminal(120000);
+        ASSERT_NE(done, nullptr);
+        ASSERT_EQ(done->find("event")->asString(), "done");
+        EXPECT_NE(done->find("text")->asString().find(
+                      "FLUSH+RELOAD"),
+                  std::string::npos);
+    }
+    for (int i = 0; i < 2; i++) {
+        auto done = c2.readUntilTerminal(120000);
+        ASSERT_NE(done, nullptr);
+        ASSERT_EQ(done->find("event")->asString(), "done");
+        EXPECT_NE(done->find("text")->asString().find(
+                      "FLUSH+RELOAD"),
+                  std::string::npos);
+    }
+
+    std::vector<std::string> expected = {
+        "blocker/blk", "c1/a1", "c2/b1", "c1/a2", "c2/b2"};
+    EXPECT_EQ(server_->startedOrder(), expected);
+
+    // Byte-identity under load: the blocker's complete enumeration
+    // must match a direct CLI run of the same flags.
+    std::ostringstream direct;
+    core::runCli(core::parseCli(uncapped), direct);
+    EXPECT_EQ(
+        scrubTimes(blockerDone->find("text")->asString()),
+        scrubTimes(direct.str()));
+}
+
+TEST_F(ServeServerTest, QueueFullRequestsAreRejected)
+{
+    serve::ServerOptions options;
+    options.maxInFlight = 1;
+    options.maxQueued = 1;
+    startServer(options);
+    serve::Client client = connect();
+
+    // One in flight plus one queued fills the daemon; the third
+    // admission must bounce.
+    sendAccepted(client, "q1", "c1",
+                 {"--events", "4", "--max", "10"});
+    waitForInFlight(1);
+    sendAccepted(client, "q2", "c1", kSmallRun);
+
+    serve::Request extra;
+    extra.verb = serve::Verb::Synth;
+    extra.id = "q3";
+    extra.client = "c1";
+    extra.args = kSmallRun;
+    ASSERT_TRUE(client.send(extra));
+
+    // Collect frames for q3 only; q1/q2 proceed normally.
+    bool sawRejected = false;
+    for (int i = 0; i < 20 && !sawRejected; i++) {
+        std::unique_ptr<obs::JsonValue> frame;
+        auto status = client.readFrame(&frame, 120000);
+        ASSERT_EQ(status, serve::Client::ReadStatus::Frame);
+        if (frame->find("id")->asString() != "q3")
+            continue;
+        ASSERT_EQ(frame->find("event")->asString(), "rejected");
+        EXPECT_EQ(frame->find("reason")->asString(), "queue-full");
+        sawRejected = true;
+    }
+    EXPECT_TRUE(sawRejected);
+}
+
+TEST_F(ServeServerTest, CancelRemovesQueuedRequest)
+{
+    serve::ServerOptions options;
+    options.maxInFlight = 1;
+    startServer(options);
+    serve::Client client = connect();
+
+    sendAccepted(client, "blk", "c1",
+                 {"--events", "4", "--max", "10"});
+    sendAccepted(client, "victim", "c1", kSmallRun);
+
+    serve::Request cancel;
+    cancel.verb = serve::Verb::Cancel;
+    cancel.id = "cxl";
+    cancel.client = "c1";
+    cancel.target = "victim";
+    ASSERT_TRUE(client.send(cancel));
+
+    bool sawCancelled = false, sawCancelOk = false,
+         blockerDone = false;
+    while (!(sawCancelled && sawCancelOk && blockerDone)) {
+        std::unique_ptr<obs::JsonValue> frame;
+        ASSERT_EQ(client.readFrame(&frame, 120000),
+                  serve::Client::ReadStatus::Frame);
+        const std::string &event =
+            frame->find("event")->asString();
+        const std::string &id = frame->find("id")->asString();
+        if (id == "victim" && event == "cancelled")
+            sawCancelled = true;
+        else if (id == "cxl" && event == "cancel-ok")
+            sawCancelOk = true;
+        else if (id == "blk" && event == "done")
+            blockerDone = true;
+        else if (id == "victim")
+            FAIL() << "victim saw event " << event;
+    }
+    EXPECT_EQ(server_->stats().cancelled, 1u);
+}
+
+TEST_F(ServeServerTest, CancelUnknownIdIsAnError)
+{
+    startServer({});
+    serve::Client client = connect();
+    serve::Request cancel;
+    cancel.verb = serve::Verb::Cancel;
+    cancel.id = "cxl";
+    cancel.client = "c1";
+    cancel.target = "nope";
+    ASSERT_TRUE(client.send(cancel));
+    std::unique_ptr<obs::JsonValue> frame;
+    ASSERT_EQ(client.readFrame(&frame, 5000),
+              serve::Client::ReadStatus::Frame);
+    EXPECT_EQ(frame->find("event")->asString(), "error");
+    EXPECT_NE(
+        frame->find("reason")->asString().find("unknown request"),
+        std::string::npos);
+}
+
+TEST_F(ServeServerTest, DisconnectDropsThatClientsQueuedWork)
+{
+    serve::ServerOptions options;
+    options.maxInFlight = 1;
+    startServer(options);
+
+    serve::Client keeper = connect();
+    serve::Client leaver = connect();
+
+    sendAccepted(keeper, "blk", "keep",
+                 {"--events", "4", "--max", "10"});
+    sendAccepted(leaver, "gone1", "leave", kSmallRun);
+    sendAccepted(leaver, "gone2", "leave", kSmallRun);
+    leaver.close(); // mid-stream disconnect
+
+    auto done = keeper.readUntilTerminal(120000);
+    ASSERT_NE(done, nullptr);
+    EXPECT_EQ(done->find("event")->asString(), "done");
+
+    // The leaver's requests never started; only the blocker ran.
+    EXPECT_EQ(server_->startedOrder(),
+              std::vector<std::string>{"keep/blk"});
+    EXPECT_EQ(server_->stats().cancelled, 2u);
+    EXPECT_EQ(server_->stats().queued, 0u);
+}
+
+TEST_F(ServeServerTest, SoftDrainFinishesQueuedWorkThenRejects)
+{
+    serve::ServerOptions options;
+    options.maxInFlight = 1;
+    startServer(options);
+    serve::Client client = connect();
+
+    sendAccepted(client, "w1", "c1", kSmallRun);
+    sendAccepted(client, "w2", "c1",
+                 {"--events", "4", "--max", "6"});
+
+    serve::Request drain;
+    drain.verb = serve::Verb::Drain;
+    drain.id = "d";
+    ASSERT_TRUE(client.send(drain));
+
+    bool w1Done = false, w2Done = false, draining = false;
+    while (!(w1Done && w2Done && draining)) {
+        std::unique_ptr<obs::JsonValue> frame;
+        ASSERT_EQ(client.readFrame(&frame, 120000),
+                  serve::Client::ReadStatus::Frame);
+        const std::string &event =
+            frame->find("event")->asString();
+        const std::string &id = frame->find("id")->asString();
+        if (id == "d" && event == "draining")
+            draining = true;
+        if (id == "w1" && event == "done")
+            w1Done = true;
+        if (id == "w2" && event == "done")
+            w2Done = true;
+        ASSERT_NE(event, "rejected")
+            << "soft drain must not reject admitted work (" << id
+            << ")";
+    }
+
+    EXPECT_TRUE(server_->waitDrained(120000));
+
+    // Post-drain admissions bounce.
+    serve::Request late;
+    late.verb = serve::Verb::Synth;
+    late.id = "late";
+    late.args = kSmallRun;
+    ASSERT_TRUE(client.send(late));
+    std::unique_ptr<obs::JsonValue> frame;
+    ASSERT_EQ(client.readFrame(&frame, 5000),
+              serve::Client::ReadStatus::Frame);
+    EXPECT_EQ(frame->find("event")->asString(), "rejected");
+    EXPECT_EQ(frame->find("reason")->asString(), "draining");
+}
+
+TEST_F(ServeServerTest, HardDrainRejectsQueuedAndStopsInFlight)
+{
+    serve::ServerOptions options;
+    options.maxInFlight = 1;
+    startServer(options);
+    serve::Client client = connect();
+
+    // An uncapped bound-5 enumeration runs long enough that the
+    // hard drain reliably lands while it is in flight.
+    sendAccepted(client, "longrun", "c1",
+                 {"--events", "5", "--max", "100000"});
+    waitForInFlight(1);
+    sendAccepted(client, "queued", "c1", kSmallRun);
+
+    server_->beginDrain(/*stopInFlight=*/true);
+
+    bool longDone = false, queuedRejected = false;
+    while (!(longDone && queuedRejected)) {
+        std::unique_ptr<obs::JsonValue> frame;
+        ASSERT_EQ(client.readFrame(&frame, 120000),
+                  serve::Client::ReadStatus::Frame);
+        const std::string &event =
+            frame->find("event")->asString();
+        const std::string &id = frame->find("id")->asString();
+        if (id == "queued") {
+            ASSERT_EQ(event, "rejected");
+            EXPECT_EQ(frame->find("reason")->asString(),
+                      "shutting-down");
+            queuedRejected = true;
+        } else if (id == "longrun" && event == "done") {
+            // The in-flight run unwound cooperatively.
+            EXPECT_EQ(static_cast<int>(
+                          frame->find("exit")->asNumber(-1)),
+                      core::kStoppedExitCode);
+            longDone = true;
+        }
+    }
+    EXPECT_TRUE(server_->waitDrained(120000));
+}
+
+TEST_F(ServeServerTest, StopReleasesPooledSessions)
+{
+    startServer({});
+    serve::Client client = connect();
+    serve::Request request;
+    request.verb = serve::Verb::Synth;
+    request.id = "warm";
+    request.args = kSmallRun; // incremental by default: pools one
+    ASSERT_TRUE(client.send(request));
+    auto terminal = client.readUntilTerminal(120000);
+    ASSERT_NE(terminal, nullptr);
+    ASSERT_EQ(terminal->find("event")->asString(), "done");
+    EXPECT_GT(engine::SessionPool::instance().size(), 0u);
+
+    server_->stop();
+    EXPECT_EQ(engine::SessionPool::instance().size(), 0u);
+}
+
+} // anonymous namespace

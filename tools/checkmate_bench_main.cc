@@ -24,6 +24,9 @@
  * unwritable output).
  */
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <iomanip>
@@ -38,7 +41,11 @@
 #include "engine/scheduler.hh"
 #include "engine/session_pool.hh"
 #include "obs/bench.hh"
+#include "obs/json_reader.hh"
 #include "obs/metrics.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
 
 namespace
 {
@@ -67,6 +74,15 @@ struct Scenario
      * the warm path against its cold twin scenario.
      */
     bool incremental = false;
+
+    /**
+     * Non-engine scenario: measure through a custom harness (the
+     * serve daemon) instead of engine::runJobs. When set, make is
+     * unused and may be null; counter deltas are still collected by
+     * runRep around the call.
+     */
+    bool (*runCustom)(const BenchConfig &, obs::BenchSample &) =
+        nullptr;
 };
 
 uint64_t
@@ -171,6 +187,125 @@ describeTable1FlushReloadIncremental(const BenchConfig &c)
     return describeTable1FlushReload(c) + " incremental";
 }
 
+/**
+ * One synth request against an in-process daemon, timed from the
+ * client side (admission + queue + run + response transport).
+ *
+ * @return elapsed seconds, or a negative value on any failure.
+ */
+double
+timedServeSynth(serve::Client &client, const std::string &id,
+                const std::vector<std::string> &args, bool *cacheHit)
+{
+    serve::Request request;
+    request.version = serve::kProtocolVersion;
+    request.id = id;
+    request.client = "bench";
+    request.verb = serve::Verb::Synth;
+    request.args = args;
+
+    auto start = std::chrono::steady_clock::now();
+    if (!client.send(request))
+        return -1.0;
+    std::unique_ptr<obs::JsonValue> terminal =
+        client.readUntilTerminal(/*timeoutMs=*/600000);
+    std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+
+    if (!terminal)
+        return -1.0;
+    const obs::JsonValue *event = terminal->find("event");
+    const obs::JsonValue *exit = terminal->find("exit");
+    if (!event || event->asString() != "done" || !exit ||
+        exit->asNumber(-1) != 0)
+        return -1.0;
+    const obs::JsonValue *hit = terminal->find("cache_hit");
+    *cacheHit = hit && hit->isBool() && hit->boolean;
+    return elapsed.count();
+}
+
+/**
+ * serve_repeat_query: the daemon's three latency tiers on one
+ * problem core. Each rep boots a fresh Server (cold session pool,
+ * empty cache) and issues three synth requests over one connection:
+ *
+ *  - serve.cold:   the base request, translated and solved cold;
+ *  - serve.cached: the identical request again — must be answered
+ *                  from the result cache (cache_hit:true);
+ *  - serve.warm:   the same core with a different enumeration cap —
+ *                  a cache miss that leases the session the cold
+ *                  request warmed, so it skips translation.
+ */
+bool
+runServeRepeatQuery(const BenchConfig &config,
+                    obs::BenchSample &sample)
+{
+    static int repIndex = 0;
+    std::ostringstream sock;
+    sock << "/tmp/checkmate_bench_serve_" << ::getpid() << '_'
+         << repIndex++ << ".sock";
+
+    serve::ServerOptions options;
+    options.socketPath = sock.str();
+    options.maxInFlight = 1;
+    serve::Server server(std::move(options));
+    std::string error;
+    if (!server.start(&error)) {
+        std::cerr << "checkmate-bench: serve start failed: " << error
+                  << '\n';
+        return false;
+    }
+
+    uint64_t cap = scenarioCap(config, 100);
+    std::vector<std::string> base = {"--events", "4", "--max",
+                                     std::to_string(cap)};
+    std::vector<std::string> warm = {"--events", "4", "--max",
+                                     std::to_string(cap + 5)};
+
+    bool ok = false;
+    serve::Client client;
+    if (client.connect(sock.str(), &error)) {
+        bool hitCold = false, hitCached = false, hitWarm = false;
+        double cold = timedServeSynth(client, "cold", base, &hitCold);
+        double cached =
+            timedServeSynth(client, "cached", base, &hitCached);
+        double warmed =
+            timedServeSynth(client, "warm", warm, &hitWarm);
+        if (cold < 0 || cached < 0 || warmed < 0) {
+            std::cerr << "checkmate-bench: serve request failed\n";
+        } else if (hitCold || !hitCached || hitWarm) {
+            std::cerr << "checkmate-bench: unexpected cache "
+                         "behavior (cold hit="
+                      << hitCold << ", cached hit=" << hitCached
+                      << ", warm hit=" << hitWarm << ")\n";
+        } else {
+            sample.phaseSeconds["serve.cold"] = cold;
+            sample.phaseSeconds["serve.cached"] = cached;
+            sample.phaseSeconds["serve.warm"] = warmed;
+            sample.wallSeconds = cold + cached + warmed;
+            ok = true;
+        }
+    } else {
+        std::cerr << "checkmate-bench: serve connect failed: "
+                  << error << '\n';
+    }
+    client.close();
+    // Drops the daemon and its pooled sessions, so the next rep's
+    // cold phase is genuinely cold.
+    server.stop();
+    return ok;
+}
+
+std::string
+describeServeRepeatQuery(const BenchConfig &c)
+{
+    uint64_t cap = scenarioCap(c, 100);
+    std::ostringstream out;
+    out << "serve synth --events 4: cold cap " << cap
+        << " / cached repeat / warm cap " << cap + 5;
+    return out.str();
+}
+
 const Scenario kScenarios[] = {
     {"table1_flush_reload",
      "Table I top half: FLUSH+RELOAD sweep on SpecOoO",
@@ -194,6 +329,11 @@ const Scenario kScenarios[] = {
     {"fig5_spectreprime",
      "Fig. 5d row: SpectrePrime (branch window)",
      makeFig5SpectrePrime, describeFig5SpectrePrime},
+    {"serve_repeat_query",
+     "checkmate-serve latency tiers: cold request vs result-cache "
+     "hit vs warm-session re-sweep",
+     nullptr, describeServeRepeatQuery, /*incremental=*/false,
+     runServeRepeatQuery},
 };
 
 const Scenario *
@@ -214,29 +354,34 @@ runRep(const Scenario &scenario, const BenchConfig &config,
     std::map<std::string, uint64_t> before =
         registry.counterValues();
 
-    std::vector<engine::SynthesisJob> jobs =
-        scenario.make(config);
-    engine::EngineOptions opts;
-    opts.threads = config.jobs;
-    opts.incremental = scenario.incremental;
-    engine::RunResult run = engine::runJobs(jobs, opts);
-
     sample = obs::BenchSample{};
-    sample.wallSeconds = run.wallSeconds;
-    for (const engine::JobResult &job : run.jobs) {
-        if (!job.error.empty()) {
-            std::cerr << "checkmate-bench: job " << job.key
-                      << " failed: " << job.error << '\n';
+    if (scenario.runCustom) {
+        if (!scenario.runCustom(config, sample))
             return false;
+    } else {
+        std::vector<engine::SynthesisJob> jobs =
+            scenario.make(config);
+        engine::EngineOptions opts;
+        opts.threads = config.jobs;
+        opts.incremental = scenario.incremental;
+        engine::RunResult run = engine::runJobs(jobs, opts);
+
+        sample.wallSeconds = run.wallSeconds;
+        for (const engine::JobResult &job : run.jobs) {
+            if (!job.error.empty()) {
+                std::cerr << "checkmate-bench: job " << job.key
+                          << " failed: " << job.error << '\n';
+                return false;
+            }
+            for (const auto &[phase, seconds] :
+                 job.report.phaseSeconds)
+                sample.phaseSeconds[phase] += seconds;
+            sample.memPeakBytes =
+                std::max(sample.memPeakBytes,
+                         job.report.solver.memPeakBytes);
+            sample.rawInstances += job.report.rawInstances;
+            sample.uniqueTests += job.report.uniqueTests;
         }
-        for (const auto &[phase, seconds] :
-             job.report.phaseSeconds)
-            sample.phaseSeconds[phase] += seconds;
-        sample.memPeakBytes =
-            std::max(sample.memPeakBytes,
-                     job.report.solver.memPeakBytes);
-        sample.rawInstances += job.report.rawInstances;
-        sample.uniqueTests += job.report.uniqueTests;
     }
     for (const auto &[name, value] : registry.counterValues()) {
         auto it = before.find(name);
