@@ -187,6 +187,12 @@ runJob(const SynthesisJob &job, size_t index, const Budget &shared,
     result.index = index;
     result.key = jobKey(job);
 
+    // Correlation: direct runJob callers (tests, custom harnesses)
+    // get the same request-id tagging the scheduler installs.
+    obs::ScopedRequestId requestScope(
+        ctx.requestId.empty() ? obs::ScopedRequestId::current()
+                              : ctx.requestId);
+
     // The job's top-level span: everything the job does nests under
     // it on the worker thread's trace track.
     obs::Span span("job " + result.key, "engine");

@@ -166,6 +166,13 @@ struct JobContext
      * scheduler when EngineOptions::incremental is set.
      */
     bool incremental = false;
+
+    /**
+     * Correlation id inherited from EngineOptions::requestId
+     * ("" = none); runJob runs inside an obs::ScopedRequestId
+     * built from it, so the job's logs/heartbeats/spans carry it.
+     */
+    std::string requestId;
 };
 
 /**

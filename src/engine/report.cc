@@ -315,6 +315,7 @@ runReportToJson(const RunResult &run, const EngineOptions &options)
     json.field("checkpoint_interval_seconds",
                options.checkpointIntervalSeconds);
     json.field("incremental", options.incremental);
+    json.field("request_id", options.requestId);
     json.field("wall_seconds", run.wallSeconds);
     json.field("aborted", run.aborted);
     json.field("jobs", static_cast<uint64_t>(run.jobs.size()));

@@ -73,11 +73,17 @@ JobResult
 runWithRetries(const SynthesisJob &job, size_t index,
                const Budget &shared, const EngineOptions &options)
 {
+    // Correlation scope for the whole attempt loop: job runs,
+    // retry log records, heartbeats, and every span closed on this
+    // worker inherit the batch's request id (serve daemon).
+    obs::ScopedRequestId requestScope(options.requestId);
+
     JobContext ctx;
     ctx.checkpointDir = options.checkpointDir;
     ctx.resume = options.resume;
     ctx.checkpointIntervalSeconds = options.checkpointIntervalSeconds;
     ctx.incremental = options.incremental;
+    ctx.requestId = options.requestId;
 
     const std::string key = jobKey(job);
     std::vector<AttemptRecord> attempts;

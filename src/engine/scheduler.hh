@@ -75,6 +75,15 @@ struct EngineOptions
      * docs/INCREMENTAL.md.
      */
     bool incremental = false;
+
+    /**
+     * Correlation id for this batch ("" = none). The serve daemon
+     * sets it per request; workers run each job inside an
+     * obs::ScopedRequestId, so every log record, heartbeat, and
+     * span the batch produces — and the run report's engine
+     * stanza — carries the id (docs/OBSERVABILITY.md).
+     */
+    std::string requestId;
 };
 
 /** Outcome of a whole batch. */

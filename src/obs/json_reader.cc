@@ -10,6 +10,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/json.hh"
+
 namespace checkmate::obs
 {
 
@@ -299,6 +301,41 @@ std::unique_ptr<JsonValue>
 parseJson(std::string_view text, std::string *error)
 {
     return Parser(text).parse(error);
+}
+
+std::string
+jsonToString(const JsonValue &value)
+{
+    switch (value.kind) {
+    case JsonValue::Kind::Null:
+        return "null";
+    case JsonValue::Kind::Bool:
+        return value.boolean ? "true" : "false";
+    case JsonValue::Kind::Number:
+        return jsonNumber(value.number);
+    case JsonValue::Kind::String:
+        return '"' + jsonEscape(value.str) + '"';
+    case JsonValue::Kind::Array: {
+        std::string out = "[";
+        for (size_t i = 0; i < value.items.size(); i++) {
+            if (i)
+                out += ',';
+            out += jsonToString(value.items[i]);
+        }
+        return out + "]";
+    }
+    case JsonValue::Kind::Object: {
+        std::string out = "{";
+        for (size_t i = 0; i < value.members.size(); i++) {
+            if (i)
+                out += ',';
+            out += '"' + jsonEscape(value.members[i].first) +
+                   "\":" + jsonToString(value.members[i].second);
+        }
+        return out + "}";
+    }
+    }
+    return "null";
 }
 
 std::unique_ptr<JsonValue>

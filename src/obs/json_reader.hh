@@ -103,6 +103,14 @@ std::unique_ptr<JsonValue> parseJsonFile(const std::string &path,
                                          std::string *error =
                                              nullptr);
 
+/**
+ * Re-serialize a parsed value as compact JSON, member order
+ * preserved. Numbers render via jsonNumber (9 significant digits),
+ * so this is for display and relay (checkmate-client, checkmate-top)
+ * rather than bit-exact round-tripping.
+ */
+std::string jsonToString(const JsonValue &value);
+
 } // namespace checkmate::obs
 
 #endif // CHECKMATE_OBS_JSON_READER_HH

@@ -37,6 +37,31 @@ parseLogLevel(std::string_view name)
     return std::nullopt;
 }
 
+namespace
+{
+
+/** The calling thread's live request id ("" = none). */
+thread_local std::string t_requestId;
+
+} // anonymous namespace
+
+ScopedRequestId::ScopedRequestId(std::string id)
+    : prev_(std::move(t_requestId))
+{
+    t_requestId = std::move(id);
+}
+
+ScopedRequestId::~ScopedRequestId()
+{
+    t_requestId = std::move(prev_);
+}
+
+const std::string &
+ScopedRequestId::current()
+{
+    return t_requestId;
+}
+
 Logger &
 Logger::instance()
 {
@@ -45,13 +70,13 @@ Logger::instance()
 }
 
 bool
-Logger::openFile(const std::string &path)
+Logger::openFile(const std::string &path, bool append)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     stream_ = nullptr;
     file_.close();
     file_.clear();
-    file_.open(path, std::ios::trunc);
+    file_.open(path, append ? std::ios::app : std::ios::trunc);
     active_.store(static_cast<bool>(file_),
                   std::memory_order_relaxed);
     return static_cast<bool>(file_);
@@ -87,8 +112,10 @@ Logger::log(LogLevel level, std::string_view component,
         .add("tid",
              static_cast<uint64_t>(TraceRecorder::currentThreadId()))
         .add("component", component)
-        .add("msg", message)
-        .splice(fieldsJson);
+        .add("msg", message);
+    if (!ScopedRequestId::current().empty())
+        record.add("request_id", ScopedRequestId::current());
+    record.splice(fieldsJson);
     std::string line = record.object();
     line += '\n';
 

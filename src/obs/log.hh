@@ -46,6 +46,34 @@ const char *logLevelName(LogLevel level);
 /** Parse "debug" | "info" | "warn" | "error" (case-sensitive). */
 std::optional<LogLevel> parseLogLevel(std::string_view name);
 
+/**
+ * RAII request-id scope for correlation (docs/OBSERVABILITY.md).
+ *
+ * While a scope is live on a thread, every log record that thread
+ * emits carries a `request_id` field and every span it closes gains
+ * a `request_id` arg — so the serve daemon can tag a worker thread
+ * once per request and have the engine's job logs, the solver's
+ * heartbeats, and the whole span tree inherit the id with no
+ * plumbing through the layers below. Scopes nest (the previous id
+ * is restored on destruction), and threads without one pay a single
+ * thread-local read.
+ */
+class ScopedRequestId
+{
+  public:
+    explicit ScopedRequestId(std::string id);
+    ~ScopedRequestId();
+
+    ScopedRequestId(const ScopedRequestId &) = delete;
+    ScopedRequestId &operator=(const ScopedRequestId &) = delete;
+
+    /** The calling thread's current id ("" when unset). */
+    static const std::string &current();
+
+  private:
+    std::string prev_;
+};
+
 /** The process-wide logger. */
 class Logger
 {
@@ -53,11 +81,14 @@ class Logger
     static Logger &instance();
 
     /**
-     * Open @p path as the JSONL sink (truncating).
+     * Open @p path as the JSONL sink.
      *
+     * @param append keep existing contents and append (the daemon's
+     *        --log-file: restarts must not clobber history);
+     *        false truncates (--log-json, one file per run).
      * @return false when the file cannot be opened.
      */
-    bool openFile(const std::string &path);
+    bool openFile(const std::string &path, bool append = false);
 
     /** Attach a caller-owned stream as the sink (tests). */
     void attachStream(std::ostream *out);

@@ -135,6 +135,68 @@ histogramToJson(const LogHistogram &h)
     return out.object();
 }
 
+namespace
+{
+
+/** Prometheus metric-name charset: [A-Za-z0-9_] only. */
+std::string
+promName(const std::string &prefix, const std::string &name)
+{
+    std::string out = prefix;
+    out.reserve(prefix.size() + name.size());
+    for (char c : name) {
+        bool ok = (c >= 'a' && c <= 'z') ||
+                  (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+std::string
+prometheusText(const MetricsSnapshot &snap,
+               const std::string &prefix)
+{
+    std::string out;
+    for (const auto &[name, value] : snap.counters) {
+        std::string metric = promName(prefix, name) + "_total";
+        out += "# TYPE " + metric + " counter\n";
+        out += metric + ' ' + std::to_string(value) + '\n';
+    }
+    for (const auto &[name, value] : snap.gauges) {
+        std::string metric = promName(prefix, name);
+        out += "# TYPE " + metric + " gauge\n";
+        out += metric + ' ' + jsonNumber(value) + '\n';
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        std::string metric = promName(prefix, name);
+        out += "# TYPE " + metric + " histogram\n";
+        // Cumulative buckets over the log-scale bins: bin b holds
+        // [2^(b-1), 2^b - 1], so its upper edge is 2^b - 1 (bin 0
+        // holds exactly 0). Emit up to the highest non-empty bin.
+        int top = -1;
+        for (int i = 0; i < kHistogramBins; i++)
+            if (h.bins[i])
+                top = i;
+        uint64_t cumulative = 0;
+        for (int i = 0; i <= top; i++) {
+            cumulative += h.bins[i];
+            uint64_t edge =
+                i == 0 ? 0 : (uint64_t{1} << i) - 1;
+            out += metric + "_bucket{le=\"" +
+                   std::to_string(edge) + "\"} " +
+                   std::to_string(cumulative) + '\n';
+        }
+        out += metric + "_bucket{le=\"+Inf\"} " +
+               std::to_string(h.count) + '\n';
+        out += metric + "_sum " + std::to_string(h.sum) + '\n';
+        out += metric + "_count " + std::to_string(h.count) + '\n';
+    }
+    return out;
+}
+
 std::string
 MetricsRegistry::toJson() const
 {

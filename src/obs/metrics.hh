@@ -241,6 +241,19 @@ class MetricsRegistry
  */
 std::string histogramToJson(const LogHistogram &h);
 
+/**
+ * Render @p snap in the Prometheus text exposition format
+ * (version 0.0.4), every metric name prefixed with @p prefix and
+ * sanitized (characters outside [A-Za-z0-9_] become '_'):
+ * counters as `<prefix><name>_total` with `# TYPE ... counter`,
+ * gauges verbatim with `# TYPE ... gauge`, and histograms as
+ * cumulative `_bucket{le="..."}` lines (the log-scale bins' upper
+ * edges) plus `_sum`/`_count`, so standard scrapers ingest a
+ * daemon's registry unmodified.
+ */
+std::string prometheusText(const MetricsSnapshot &snap,
+                           const std::string &prefix = "checkmate_");
+
 } // namespace checkmate::obs
 
 #endif // CHECKMATE_OBS_METRICS_HH

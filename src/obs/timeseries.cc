@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Time-series ring buffers and the snapshot-diff aggregator.
+ */
+
+#include "obs/timeseries.hh"
+
+#include <algorithm>
+
+#include "obs/json.hh"
+#include "obs/trace.hh"
+
+namespace checkmate::obs
+{
+
+TimeSeries::TimeSeries(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1))
+{
+    ring_.resize(capacity_);
+}
+
+void
+TimeSeries::append(uint64_t tsUs, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t slot = (head_ + count_) % capacity_;
+    if (count_ == capacity_) {
+        // Full: the new point overwrites the oldest, which is
+        // exactly where head_ points; advance it.
+        slot = head_;
+        head_ = (head_ + 1) % capacity_;
+    } else {
+        count_++;
+    }
+    ring_[slot] = TimePoint{tsUs, value};
+    appended_++;
+}
+
+std::vector<TimePoint>
+TimeSeries::points() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TimePoint> out;
+    out.reserve(count_);
+    for (size_t i = 0; i < count_; i++)
+        out.push_back(ring_[(head_ + i) % capacity_]);
+    return out;
+}
+
+double
+TimeSeries::last() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == 0)
+        return 0.0;
+    return ring_[(head_ + count_ - 1) % capacity_].value;
+}
+
+size_t
+TimeSeries::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+uint64_t
+TimeSeries::appended() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return appended_;
+}
+
+TimeSeriesRegistry::TimeSeriesRegistry(size_t capacity)
+    : capacity_(std::max<size_t>(capacity, 1))
+{}
+
+TimeSeries &
+TimeSeriesRegistry::series(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_ptr<TimeSeries> &slot = series_[name];
+    if (!slot)
+        slot = std::make_unique<TimeSeries>(capacity_);
+    return *slot;
+}
+
+std::vector<std::string>
+TimeSeriesRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto &[name, s] : series_)
+        out.push_back(name);
+    return out;
+}
+
+std::string
+TimeSeriesRegistry::toJson(size_t lastN) const
+{
+    // Copy the pointers under the lock, then read each series via
+    // its own mutex: toJson must not hold the map lock while a
+    // sampler wants to create a new series.
+    std::vector<std::pair<std::string, const TimeSeries *>> list;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        list.reserve(series_.size());
+        for (const auto &[name, s] : series_)
+            list.emplace_back(name, s.get());
+    }
+    JsonFields out;
+    for (const auto &[name, s] : list) {
+        std::vector<TimePoint> pts = s->points();
+        size_t first = lastN && pts.size() > lastN
+                           ? pts.size() - lastN
+                           : 0;
+        std::string array = "[";
+        for (size_t i = first; i < pts.size(); i++) {
+            if (i > first)
+                array += ',';
+            array += '[' + std::to_string(pts[i].tsUs) + ',' +
+                     jsonNumber(pts[i].value) + ']';
+        }
+        array += ']';
+        out.addRaw(name,
+                   JsonFields().addRaw("points", array).object());
+    }
+    return out.object();
+}
+
+namespace
+{
+
+bool
+startsWith(const std::string &s, const char *prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+/** Gauges mirrored into series verbatim. */
+bool
+trackedGauge(const std::string &name)
+{
+    return name == "serve.queue_depth" ||
+           name == "serve.in_flight" ||
+           startsWith(name, "serve.in_flight.by_client.");
+}
+
+/** Counters turned into `<name>.rate` series (events/second). */
+bool
+trackedRate(const std::string &name)
+{
+    return name == "sat.conflicts" ||
+           name == "serve.requests.received" ||
+           name == "serve.requests.completed" ||
+           startsWith(name, "serve.requests.rejected.by_reason.");
+}
+
+/** Histograms turned into window-percentile series. */
+bool
+trackedPercentiles(const std::string &name)
+{
+    return name == "serve.queue_wait_us" ||
+           name == "serve.service_us";
+}
+
+uint64_t
+counterOf(const MetricsSnapshot &snap, const std::string &name)
+{
+    auto it = snap.counters.find(name);
+    return it == snap.counters.end() ? 0 : it->second;
+}
+
+/** Append hits/(hits+misses) over the window, when any happened. */
+void
+appendRatio(TimeSeriesRegistry &series, uint64_t tsUs,
+            const MetricsSnapshot &delta, const char *hitsName,
+            const char *missesName, const char *seriesName)
+{
+    uint64_t hits = counterOf(delta, hitsName);
+    uint64_t misses = counterOf(delta, missesName);
+    if (hits + misses == 0)
+        return;
+    series.series(seriesName)
+        .append(tsUs, static_cast<double>(hits) /
+                          static_cast<double>(hits + misses));
+}
+
+} // anonymous namespace
+
+MetricsAggregator::MetricsAggregator(size_t seriesCapacity)
+    : series_(seriesCapacity)
+{}
+
+void
+MetricsAggregator::sample()
+{
+    ingest(MetricsRegistry::instance().snapshot(), nowMicros());
+}
+
+void
+MetricsAggregator::ingest(const MetricsSnapshot &snap, uint64_t tsUs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    double windowSeconds =
+        !first_ && tsUs > prevTsUs_
+            ? static_cast<double>(tsUs - prevTsUs_) / 1e6
+            : 0.0;
+
+    MetricsSnapshot delta;
+    for (const auto &[name, value] : snap.counters) {
+        uint64_t base = counterOf(prev_, name);
+        delta.counters[name] = value >= base ? value - base : value;
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        auto it = prev_.histograms.find(name);
+        delta.histograms[name] =
+            it == prev_.histograms.end() ? h : h - it->second;
+    }
+    delta.gauges = snap.gauges;
+
+    for (const auto &[name, value] : snap.gauges)
+        if (trackedGauge(name))
+            series_.series(name).append(tsUs, value);
+
+    // Rates and window percentiles need a window; the first sample
+    // only establishes the baseline.
+    if (windowSeconds > 0.0) {
+        for (const auto &[name, d] : delta.counters) {
+            if (trackedRate(name)) {
+                series_.series(name + ".rate")
+                    .append(tsUs, static_cast<double>(d) /
+                                      windowSeconds);
+            }
+        }
+        for (const auto &[name, h] : delta.histograms) {
+            if (!trackedPercentiles(name) || h.count == 0)
+                continue;
+            series_.series(name + ".p50")
+                .append(tsUs, static_cast<double>(
+                                  h.percentile(0.50)));
+            series_.series(name + ".p90")
+                .append(tsUs, static_cast<double>(
+                                  h.percentile(0.90)));
+            series_.series(name + ".p99")
+                .append(tsUs, static_cast<double>(
+                                  h.percentile(0.99)));
+        }
+        appendRatio(series_, tsUs, delta, "serve.cache.hits",
+                    "serve.cache.misses", "serve.cache.hit_ratio");
+        appendRatio(series_, tsUs, delta,
+                    "engine.session_pool.hits",
+                    "engine.session_pool.misses",
+                    "engine.session_pool.hit_ratio");
+    }
+
+    prev_ = snap;
+    prevTsUs_ = tsUs;
+    first_ = false;
+    lastDelta_ = std::move(delta);
+    lastGauges_ = snap.gauges;
+    lastWindowSeconds_ = windowSeconds;
+    samples_++;
+}
+
+uint64_t
+MetricsAggregator::samples() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return samples_;
+}
+
+std::string
+MetricsAggregator::lastWindowJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonFields counters;
+    for (const auto &[name, value] : lastDelta_.counters)
+        if (value)
+            counters.add(name, value);
+    JsonFields gauges;
+    for (const auto &[name, value] : lastGauges_)
+        gauges.add(name, value);
+    JsonFields histograms;
+    for (const auto &[name, h] : lastDelta_.histograms)
+        if (h.count)
+            histograms.addRaw(name, histogramToJson(h));
+    JsonFields out;
+    out.add("window_seconds", lastWindowSeconds_);
+    out.addRaw("counters", counters.object());
+    out.addRaw("gauges", gauges.object());
+    out.addRaw("histograms", histograms.object());
+    return out.object();
+}
+
+} // namespace checkmate::obs

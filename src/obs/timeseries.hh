@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Fixed-size time-series ring buffers for operational telemetry.
+ *
+ * The metrics registry answers "what are the totals right now";
+ * a long-lived daemon also needs "how has that been trending" —
+ * queue depth over the last five minutes, the p99 service time per
+ * sampling window, the cache hit ratio as traffic shifts. A
+ * TimeSeries is a bounded ring of (timestamp, value) points:
+ * appending past capacity evicts the oldest point, so memory is
+ * constant no matter how long the daemon runs.
+ *
+ * The MetricsAggregator turns periodic registry snapshots into
+ * series points. It deliberately diffs successive *non-destructive*
+ * snapshots instead of draining the registry with
+ * snapshotAndReset(): the registry must stay the single authority
+ * for process totals — run reports splice it, and the Prometheus
+ * surface needs monotonic counters — so the sampler computes its
+ * per-window deltas (rates, window percentiles, hit ratios) on its
+ * own copy and leaves the registry untouched.
+ *
+ * Thread-safety: every TimeSeries has its own mutex, so a sampler
+ * appending races safely against readers snapshotting points (the
+ * checkmate-top poll, the metrics serve-verb).
+ */
+
+#ifndef CHECKMATE_OBS_TIMESERIES_HH
+#define CHECKMATE_OBS_TIMESERIES_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace checkmate::obs
+{
+
+/** One sample: microseconds since the trace epoch, and a value. */
+struct TimePoint
+{
+    uint64_t tsUs = 0;
+    double value = 0.0;
+};
+
+/** A bounded ring of samples; appending past capacity evicts. */
+class TimeSeries
+{
+  public:
+    /** @param capacity max points retained (min 1). */
+    explicit TimeSeries(size_t capacity);
+
+    void append(uint64_t tsUs, double value);
+
+    /** Points oldest→newest (a copy; safe against appenders). */
+    std::vector<TimePoint> points() const;
+
+    /** The newest point's value (0 when empty). */
+    double last() const;
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+
+    /** Total points ever appended (evicted ones included). */
+    uint64_t appended() const;
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::vector<TimePoint> ring_;
+    size_t head_ = 0;     ///< index of the oldest point
+    size_t count_ = 0;    ///< live points (<= capacity_)
+    uint64_t appended_ = 0;
+};
+
+/** Named TimeSeries, find-or-create, stable references. */
+class TimeSeriesRegistry
+{
+  public:
+    /** @param capacity ring size for every created series. */
+    explicit TimeSeriesRegistry(size_t capacity = 360);
+
+    /** Find or create; the reference stays valid forever. */
+    TimeSeries &series(const std::string &name);
+
+    /** Sorted names of every series created so far. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Render every series as one JSON object:
+     * `{"name": {"points": [[ts_us, value], ...]}, ...}`,
+     * keeping at most @p lastN newest points per series
+     * (0 = all retained points).
+     */
+    std::string toJson(size_t lastN = 0) const;
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<TimeSeries>> series_;
+};
+
+/**
+ * Turns periodic MetricsRegistry snapshots into time-series points.
+ *
+ * Each sample() diffs the current registry snapshot against the
+ * previous one and appends, per window:
+ *  - tracked gauges verbatim (`serve.queue_depth`,
+ *    `serve.in_flight`, `serve.in_flight.by_client.*`);
+ *  - tracked counter rates as `<name>.rate` in events/second
+ *    (`sat.conflicts`, `serve.requests.received`,
+ *    `serve.requests.completed`,
+ *    `serve.requests.rejected.by_reason.*`);
+ *  - window percentiles `<name>.p50/.p90/.p99` for the request
+ *    latency histograms (`serve.queue_wait_us`,
+ *    `serve.service_us`), from the histogram *delta*, so each
+ *    point reflects only that window's requests;
+ *  - hit ratios `serve.cache.hit_ratio` and
+ *    `engine.session_pool.hit_ratio` from the window's
+ *    hits/(hits+misses) (skipped on idle windows).
+ */
+class MetricsAggregator
+{
+  public:
+    explicit MetricsAggregator(size_t seriesCapacity = 360);
+
+    /** Snapshot the process registry and ingest at now. */
+    void sample();
+
+    /**
+     * Ingest one explicit snapshot taken at @p tsUs (tests; also
+     * the sample() implementation). Out-of-order timestamps are
+     * ingested with a zero-length window (no rate points).
+     */
+    void ingest(const MetricsSnapshot &snap, uint64_t tsUs);
+
+    TimeSeriesRegistry &series() { return series_; }
+    const TimeSeriesRegistry &series() const { return series_; }
+
+    /** Samples ingested so far. */
+    uint64_t samples() const;
+
+    /**
+     * The last window's delta (counters and histogram deltas,
+     * current gauges) rendered as one JSON object — the telemetry
+     * JSONL record body.
+     */
+    std::string lastWindowJson() const;
+
+  private:
+    TimeSeriesRegistry series_;
+
+    mutable std::mutex mutex_;
+    MetricsSnapshot prev_;
+    MetricsSnapshot lastDelta_;
+    std::map<std::string, double> lastGauges_;
+    uint64_t prevTsUs_ = 0;
+    double lastWindowSeconds_ = 0.0;
+    uint64_t samples_ = 0;
+    bool first_ = true;
+};
+
+} // namespace checkmate::obs
+
+#endif // CHECKMATE_OBS_TIMESERIES_HH

@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "obs/fsio.hh"
+#include "obs/log.hh"
 
 namespace checkmate::obs
 {
@@ -225,6 +226,10 @@ Span::close()
     event.durUs = endUs_ - startUs_;
     event.tid = TraceRecorder::currentThreadId();
     event.depth = depth_;
+    // Correlation: a span closing inside a request-id scope joins
+    // the trace to that request's log lines and run report.
+    if (!ScopedRequestId::current().empty())
+        args_.add("request_id", ScopedRequestId::current());
     event.argsJson = args_.str();
     recorder.recordSpan(std::move(event));
 }

@@ -15,9 +15,11 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/json_reader.hh"
 #include "serve/client.hh"
 
 namespace
@@ -31,7 +33,9 @@ One-shot serve-v1 client for a checkmate-serve daemon
 request's checkmate CLI flags.
 
   --socket PATH       daemon socket (required)
-  --verb VERB         synth|status|cancel|drain|ping (default synth)
+  --verb VERB         synth|status|metrics|cancel|drain|ping
+                      (default synth; metrics prints the daemon's
+                      registry and recent time series as JSON)
   --id ID             request id (default: daemon-assigned)
   --client NAME       client name, the fairness unit (default anon)
   --target ID         request to cancel (verb cancel)
@@ -82,6 +86,8 @@ parseClientCli(const std::vector<std::string> &args)
                 opts.request.verb = checkmate::serve::Verb::Synth;
             } else if (name == "status") {
                 opts.request.verb = checkmate::serve::Verb::Status;
+            } else if (name == "metrics") {
+                opts.request.verb = checkmate::serve::Verb::Metrics;
             } else if (name == "cancel") {
                 opts.request.verb = checkmate::serve::Verb::Cancel;
             } else if (name == "drain") {
@@ -179,7 +185,15 @@ main(int argc, char **argv)
             std::cerr << "checkmate-client: no response\n";
             return 2;
         }
-        std::cout << frameSummary(*frame) << "\n";
+        if (opts.request.verb == Verb::Metrics) {
+            // The metrics payload is nested (registry + series);
+            // frameSummary would elide it. Print the whole frame
+            // so dashboards can pipe it to a JSON tool.
+            std::cout << checkmate::obs::jsonToString(*frame)
+                      << "\n";
+        } else {
+            std::cout << frameSummary(*frame) << "\n";
+        }
         const checkmate::obs::JsonValue *event =
             frame->find("event");
         return event && event->asString() != "error" ? 0 : 2;
@@ -207,7 +221,34 @@ main(int argc, char **argv)
     if (event == "cancelled")
         return 130;
 
-    // done: payload to stdout, forwarded stderr to stderr.
+    // done: payload to stdout, forwarded stderr to stderr, plus one
+    // human-readable summary line so an operator watching the
+    // terminal sees how the daemon answered (cache hit? warm
+    // session?) without parsing JSON.
+    if (!opts.quiet) {
+        auto yesNo = [&](const char *field) {
+            const checkmate::obs::JsonValue *v =
+                terminal->find(field);
+            return v && v->isBool() && v->boolean ? "yes" : "no";
+        };
+        std::ostringstream line;
+        line << "checkmate-client: done";
+        if (const checkmate::obs::JsonValue *exit =
+                terminal->find("exit"))
+            line << " exit=" << static_cast<int>(exit->asNumber());
+        line << " cache_hit=" << yesNo("cache_hit")
+             << " warm_start=" << yesNo("warm_start");
+        if (const checkmate::obs::JsonValue *wall =
+                terminal->find("wall_seconds"))
+            line << " wall=" << wall->asNumber() << "s";
+        if (const checkmate::obs::JsonValue *queue =
+                terminal->find("queue_seconds"))
+            line << " queue=" << queue->asNumber() << "s";
+        if (const checkmate::obs::JsonValue *rid =
+                terminal->find("request_id"))
+            line << " request_id=" << rid->asString();
+        std::cerr << line.str() << "\n";
+    }
     if (const checkmate::obs::JsonValue *text =
             terminal->find("text"))
         std::cout << text->asString();

@@ -16,6 +16,7 @@ verbName(Verb verb)
     switch (verb) {
     case Verb::Synth: return "synth";
     case Verb::Status: return "status";
+    case Verb::Metrics: return "metrics";
     case Verb::Cancel: return "cancel";
     case Verb::Drain: return "drain";
     case Verb::Ping: break;
@@ -33,6 +34,8 @@ parseVerb(const std::string &name, Verb *verb)
         *verb = Verb::Synth;
     } else if (name == "status") {
         *verb = Verb::Status;
+    } else if (name == "metrics") {
+        *verb = Verb::Metrics;
     } else if (name == "cancel") {
         *verb = Verb::Cancel;
     } else if (name == "drain") {

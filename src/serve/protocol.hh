@@ -41,11 +41,12 @@ inline constexpr size_t kDefaultMaxFrameBytes = 1 << 20;
 /** Request verbs. */
 enum class Verb
 {
-    Synth,  ///< run a synthesis request (streamed response)
-    Status, ///< one frame of daemon statistics
-    Cancel, ///< cancel a queued or in-flight request by id
-    Drain,  ///< stop admissions; exit once in-flight work ends
-    Ping    ///< liveness probe
+    Synth,   ///< run a synthesis request (streamed response)
+    Status,  ///< one frame of daemon statistics
+    Metrics, ///< one frame: metrics registry + recent time series
+    Cancel,  ///< cancel a queued or in-flight request by id
+    Drain,   ///< stop admissions; exit once in-flight work ends
+    Ping     ///< liveness probe
 };
 
 /** Wire name of a verb. */

@@ -38,6 +38,10 @@ struct CachedResult
 
     /** The original run's exit code (0 = found, 1 = none). */
     int exitCode = 0;
+
+    /** Did the original run reuse a pooled warm session? Replayed
+     * on the `done` frame of every hit. */
+    bool warmStart = false;
 };
 
 /** Thread-safe bounded LRU keyed by canonical request identity. */

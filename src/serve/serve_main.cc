@@ -56,7 +56,20 @@ protocol reference.
   --no-incremental    do not default served requests to pooled
                       incremental sessions
   --max-jobs N        per-request job ceiling (default 16)
-  --log-json PATH     JSONL structured log (docs/OBSERVABILITY.md)
+  --metrics-port N    serve Prometheus text format on
+                      127.0.0.1:N/metrics (0 picks an ephemeral
+                      port; default: off). docs/OBSERVABILITY.md
+  --telemetry-log PATH
+                      append one JSONL telemetry snapshot per
+                      sampling interval to PATH, rotating to
+                      PATH.1 past 8 MiB (default: off)
+  --telemetry-interval-ms N
+                      telemetry sampling cadence (default 1000)
+  --log-json PATH     JSONL structured log, truncated per run
+                      (docs/OBSERVABILITY.md)
+  --log-file PATH     JSONL structured log, appended across
+                      restarts (daemon operation; keeps stderr
+                      clean)
   --log-level LEVEL   debug|info|warn|error (default info)
   --help              this text
 
@@ -68,6 +81,7 @@ struct DaemonOptions
 {
     checkmate::serve::ServerOptions server;
     std::string logJsonPath;
+    std::string logFilePath;
     std::string logLevel = "info";
     bool help = false;
     std::string error;
@@ -114,8 +128,27 @@ parseDaemonCli(const std::vector<std::string> &args)
         } else if (arg == "--max-jobs") {
             opts.server.maxJobsPerRequest =
                 static_cast<size_t>(positive(i, arg));
+        } else if (arg == "--metrics-port") {
+            // 0 is meaningful here (ephemeral port), so this flag
+            // takes any non-negative port.
+            long long port = std::atoll(needValue(i, arg).c_str());
+            if (opts.error.empty() &&
+                (port < 0 || port > 65535)) {
+                opts.error = "--metrics-port requires a port "
+                             "in [0, 65535]";
+            }
+            opts.server.telemetry.metricsPort =
+                static_cast<int>(port);
+        } else if (arg == "--telemetry-log") {
+            opts.server.telemetry.telemetryLogPath =
+                needValue(i, arg);
+        } else if (arg == "--telemetry-interval-ms") {
+            opts.server.telemetry.sampleIntervalMs =
+                static_cast<int>(positive(i, arg));
         } else if (arg == "--log-json") {
             opts.logJsonPath = needValue(i, arg);
+        } else if (arg == "--log-file") {
+            opts.logFilePath = needValue(i, arg);
         } else if (arg == "--log-level") {
             opts.logLevel = needValue(i, arg);
         } else if (arg == "--help" || arg == "-h") {
@@ -129,6 +162,10 @@ parseDaemonCli(const std::vector<std::string> &args)
     if (opts.error.empty() && !opts.help &&
         opts.server.socketPath.empty())
         opts.error = "--socket is required";
+    if (opts.error.empty() && !opts.logJsonPath.empty() &&
+        !opts.logFilePath.empty())
+        opts.error = "--log-json and --log-file are exclusive "
+                     "(one sink)";
     return opts;
 }
 
@@ -149,11 +186,17 @@ main(int argc, char **argv)
         return 1;
     }
 
-    if (!opts.logJsonPath.empty()) {
+    if (!opts.logJsonPath.empty() || !opts.logFilePath.empty()) {
         auto &logger = checkmate::obs::Logger::instance();
-        if (!logger.openFile(opts.logJsonPath)) {
-            std::cerr << "checkmate-serve: cannot open --log-json "
-                      << opts.logJsonPath << "\n";
+        // --log-json truncates (one file per run); --log-file
+        // appends, so a restarted daemon extends its own history.
+        bool append = opts.logJsonPath.empty();
+        const std::string &path =
+            append ? opts.logFilePath : opts.logJsonPath;
+        if (!logger.openFile(path, append)) {
+            std::cerr << "checkmate-serve: cannot open "
+                      << (append ? "--log-file " : "--log-json ")
+                      << path << "\n";
             return 1;
         }
         if (auto level =
@@ -178,6 +221,12 @@ main(int argc, char **argv)
     }
     std::cerr << "checkmate-serve: listening on "
               << opts.server.socketPath << "\n";
+    if (server.telemetry().port() > 0) {
+        // Printed even under --metrics-port 0: this line is how an
+        // operator (or a test harness) learns the ephemeral port.
+        std::cerr << "checkmate-serve: metrics on http://127.0.0.1:"
+                  << server.telemetry().port() << "/metrics\n";
+    }
 
     // Sleep until a drain completes (drain verb) or a signal asks
     // for one; the poll keeps signal latency bounded.

@@ -138,6 +138,8 @@ struct Server::PendingRequest
 {
     std::string id;
     std::string client;
+    /** Server-minted correlation id, unique per synth request. */
+    std::string requestId;
     std::vector<std::string> args;
     ConnPtr conn;
     engine::StopSource stopSource;
@@ -146,7 +148,8 @@ struct Server::PendingRequest
 };
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.cacheCapacity)
+    : options_(std::move(options)), cache_(options_.cacheCapacity),
+      telemetry_(options_.telemetry)
 {}
 
 Server::~Server()
@@ -172,6 +175,12 @@ Server::start(std::string *error)
     listenFd_ = listenUnix(options_.socketPath, error);
     if (listenFd_ < 0)
         return false;
+    if (!telemetry_.start(error)) {
+        ::close(listenFd_);
+        ::unlink(options_.socketPath.c_str());
+        listenFd_ = -1;
+        return false;
+    }
     if (options_.sessionPoolCapacity) {
         engine::SessionPool::instance().setCapacity(
             options_.sessionPoolCapacity);
@@ -269,6 +278,9 @@ Server::handleFrame(const ConnPtr &conn, const std::string &line)
     case Verb::Status:
         handleStatus(conn, request);
         return;
+    case Verb::Metrics:
+        handleMetrics(conn, request);
+        return;
     case Verb::Cancel:
         handleCancel(conn, request);
         return;
@@ -282,40 +294,71 @@ Server::handleFrame(const ConnPtr &conn, const std::string &line)
 }
 
 void
+Server::rejectLocked(std::unique_lock<std::mutex> &lock,
+                     const ConnPtr &conn, const std::string &id,
+                     const std::string &requestId,
+                     const std::string &reason)
+{
+    ++rejected_;
+    serveCounter("serve.requests.rejected").add(1);
+    // Per-reason attribution: a rising queue-full rate and a rising
+    // draining rate mean very different operator actions.
+    std::string key = "serve.requests.rejected.by_reason." + reason;
+    obs::MetricsRegistry::instance().counter(key).add(1);
+    lock.unlock();
+    logServe(obs::LogLevel::Warn, "request rejected",
+             obs::JsonFields()
+                 .add("id", id)
+                 .add("request_id", requestId)
+                 .add("reason", reason)
+                 .str());
+    conn->send(responseFrame(id, "rejected",
+                             obs::JsonFields()
+                                 .add("reason", reason)
+                                 .add("request_id", requestId)));
+}
+
+void
 Server::handleSynth(const ConnPtr &conn, Request request)
 {
+    // Two counters on purpose: `serve.requests` is the headline
+    // total the Prometheus surface exports as
+    // checkmate_serve_requests_total; `serve.requests.received`
+    // keeps the established dotted taxonomy alongside
+    // .completed/.rejected/....
+    serveCounter("serve.requests").add(1);
     serveCounter("serve.requests.received").add(1);
 
     std::unique_lock<std::mutex> lock(mutex_);
     ++received_;
+    // Correlation id: minted before any outcome so even rejected
+    // requests can be chased through the logs. (Built by append:
+    // GCC 12's -Wrestrict misfires on `"lit" + std::to_string()`.)
+    std::string requestId = "rq-";
+    requestId += std::to_string(++requestSeq_);
     if (draining_ || stopping_.load(std::memory_order_relaxed)) {
-        ++rejected_;
-        serveCounter("serve.requests.rejected").add(1);
-        lock.unlock();
-        conn->send(rejectedFrame(request.id, "draining"));
+        rejectLocked(lock, conn, request.id, requestId, "draining");
         return;
     }
     if (queuedCount_ >= options_.maxQueued) {
-        ++rejected_;
-        serveCounter("serve.requests.rejected").add(1);
-        lock.unlock();
-        conn->send(rejectedFrame(request.id, "queue-full"));
+        rejectLocked(lock, conn, request.id, requestId,
+                     "queue-full");
         return;
     }
-    if (request.id.empty())
-        request.id = "r" + std::to_string(++nextId_);
+    if (request.id.empty()) {
+        request.id = "r";
+        request.id += std::to_string(++nextId_);
+    }
     if (active_.count(request.id)) {
-        ++rejected_;
-        serveCounter("serve.requests.rejected").add(1);
-        lock.unlock();
-        conn->send(rejectedFrame(request.id,
-                                 "duplicate request id"));
+        rejectLocked(lock, conn, request.id, requestId,
+                     "duplicate-id");
         return;
     }
 
     auto req = std::make_shared<PendingRequest>();
     req->id = request.id;
     req->client = request.client;
+    req->requestId = requestId;
     req->args = std::move(request.args);
     req->conn = conn;
     req->enqueued = std::chrono::steady_clock::now();
@@ -332,12 +375,14 @@ Server::handleSynth(const ConnPtr &conn, Request request)
     // can see the request (the lock is still held).
     conn->send(responseFrame(
         req->id, "accepted",
-        obs::JsonFields().add(
-            "queue_depth", static_cast<uint64_t>(queuedCount_))));
+        obs::JsonFields()
+            .add("queue_depth", static_cast<uint64_t>(queuedCount_))
+            .add("request_id", req->requestId)));
     logServe(obs::LogLevel::Info, "request accepted",
              obs::JsonFields()
                  .add("id", req->id)
                  .add("client", req->client)
+                 .add("request_id", req->requestId)
                  .add("queue_depth",
                       static_cast<uint64_t>(queuedCount_))
                  .str());
@@ -382,6 +427,26 @@ Server::handleStatus(const ConnPtr &conn, const Request &request)
                       .add("evictions", pool.evictions())
                       .object());
     conn->send(responseFrame(request.id, "status", fields));
+}
+
+void
+Server::handleMetrics(const ConnPtr &conn, const Request &request)
+{
+    // Answer from this moment, not the last periodic tick: sample
+    // first, then render. Both sub-objects read the same live
+    // registry the Prometheus endpoint scrapes, so counts agree
+    // across surfaces.
+    telemetry_.sampleNow();
+    obs::JsonFields fields;
+    fields.addRaw("registry",
+                  obs::MetricsRegistry::instance().toJson());
+    fields.addRaw("series",
+                  telemetry_.aggregator().series().toJson(
+                      /*lastN=*/120));
+    fields.add("samples", telemetry_.aggregator().samples());
+    fields.add("metrics_port",
+               static_cast<uint64_t>(std::max(0, telemetry_.port())));
+    conn->send(responseFrame(request.id, "metrics", fields));
 }
 
 void
@@ -503,6 +568,7 @@ Server::dequeue()
                 rrOrder_.push_back(client);
             --queuedCount_;
             ++inFlightCount_;
+            ++inFlightByClient_[req->client];
             publishDepthGauges();
             {
                 std::lock_guard<std::mutex> order(orderMutex_);
@@ -529,10 +595,31 @@ Server::workerLoop()
 void
 Server::runRequest(const ReqPtr &req)
 {
+    // Correlation scope for the whole run: every log record and
+    // span closed on this worker (and, via EngineOptions, on the
+    // engine workers it spawns) carries this request's id.
+    obs::ScopedRequestId requestScope(req->requestId);
     obs::Span span("serve.request", "serve");
     span.arg("id", req->id);
     span.arg("client", req->client);
     double queueSeconds = secondsSince(req->enqueued);
+    obs::MetricsRegistry::instance()
+        .histogram("serve.queue_wait_us")
+        .observe(static_cast<uint64_t>(queueSeconds * 1e6));
+    auto serviceStart = std::chrono::steady_clock::now();
+    // Whatever path the request takes out of this function, its
+    // service time lands in the latency histogram.
+    struct ServiceTimer
+    {
+        std::chrono::steady_clock::time_point start;
+        ~ServiceTimer()
+        {
+            obs::MetricsRegistry::instance()
+                .histogram("serve.service_us")
+                .observe(static_cast<uint64_t>(
+                    secondsSince(start) * 1e6));
+        }
+    } serviceTimer{serviceStart};
 
     auto sendError = [&](const std::string &reason) {
         serveCounter("serve.requests.errors").add(1);
@@ -545,10 +632,13 @@ Server::runRequest(const ReqPtr &req)
                      .add("id", req->id)
                      .add("reason", reason)
                      .str());
-        req->conn->send(errorFrame(req->id, reason));
+        req->conn->send(
+            errorFrame(req->id, reason));
     };
 
-    req->conn->send(responseFrame(req->id, "started"));
+    req->conn->send(responseFrame(
+        req->id, "started",
+        obs::JsonFields().add("request_id", req->requestId)));
 
     core::CliOptions cli = core::parseCli(req->args);
     if (!cli.error.empty()) {
@@ -583,10 +673,12 @@ Server::runRequest(const ReqPtr &req)
     if (cache_.lookup(cacheKey, &cached)) {
         obs::JsonFields done;
         done.add("cache_hit", true);
+        done.add("warm_start", cached.warmStart);
         done.add("exit", cached.exitCode);
         done.add("aborted", false);
         done.add("wall_seconds", 0.0);
         done.add("queue_seconds", queueSeconds);
+        done.add("request_id", req->requestId);
         done.add("text", cached.text);
         done.addRaw("report", cached.reportJson);
         req->conn->send(responseFrame(req->id, "done", done));
@@ -600,6 +692,7 @@ Server::runRequest(const ReqPtr &req)
 
     engine::EngineOptions engineOptions =
         core::engineOptionsFromCli(cli);
+    engineOptions.requestId = req->requestId;
     if (!mentionsIncremental(req->args))
         engineOptions.incremental = options_.incrementalDefault;
     if (!options_.checkpointDir.empty()) {
@@ -636,25 +729,35 @@ Server::runRequest(const ReqPtr &req)
     if (req->cancelled.load(std::memory_order_relaxed)) {
         req->conn->send(responseFrame(
             req->id, "cancelled",
-            obs::JsonFields().add("wall_seconds",
-                                  run.wallSeconds)));
+            obs::JsonFields()
+                .add("wall_seconds", run.wallSeconds)
+                .add("request_id", req->requestId)));
         return;
     }
+
+    // Did any job reuse a pooled warm session? Surfaced on the done
+    // frame (and replayed on cache hits) so clients can tell the
+    // three response speeds apart: cold, warm-session, cached.
+    bool warmStart = false;
+    for (const engine::JobResult &job : run.jobs)
+        warmStart = warmStart || job.report.warmStart;
 
     if (!run.aborted && !stopped && !summary.jobErrors) {
         cache_.insert(cacheKey,
                       CachedResult{text.str(), reportJson,
-                                   exitCode});
+                                   exitCode, warmStart});
     }
 
     obs::JsonFields done;
     done.add("cache_hit", false);
+    done.add("warm_start", warmStart);
     done.add("exit", exitCode);
     done.add("aborted", run.aborted);
     done.add("exploits",
              static_cast<uint64_t>(summary.totalExploits));
     done.add("wall_seconds", run.wallSeconds);
     done.add("queue_seconds", queueSeconds);
+    done.add("request_id", req->requestId);
     done.add("text", text.str());
     if (!errText.str().empty())
         done.add("stderr", errText.str());
@@ -675,6 +778,9 @@ Server::finishRequest(const ReqPtr &req)
     std::lock_guard<std::mutex> lock(mutex_);
     active_.erase(req->id);
     --inFlightCount_;
+    auto clientIt = inFlightByClient_.find(req->client);
+    if (clientIt != inFlightByClient_.end() && clientIt->second > 0)
+        --clientIt->second;
     if (!req->cancelled.load(std::memory_order_relaxed)) {
         ++completed_;
         serveCounter("serve.requests.completed").add(1);
@@ -687,12 +793,18 @@ void
 Server::publishDepthGauges()
 {
     // Caller holds mutex_.
-    obs::MetricsRegistry::instance()
-        .gauge("serve.queue_depth")
+    auto &registry = obs::MetricsRegistry::instance();
+    registry.gauge("serve.queue_depth")
         .set(static_cast<double>(queuedCount_));
-    obs::MetricsRegistry::instance()
-        .gauge("serve.in_flight")
+    registry.gauge("serve.in_flight")
         .set(static_cast<double>(inFlightCount_));
+    // Per-client fairness view: entries persist at zero once a
+    // client has been seen (gauge handles are forever anyway), so
+    // a client dropping to idle is visible as 0, not as absence.
+    for (const auto &[client, count] : inFlightByClient_) {
+        registry.gauge("serve.in_flight.by_client." + client)
+            .set(static_cast<double>(count));
+    }
 }
 
 void
@@ -723,6 +835,9 @@ Server::beginDrain(bool stopInFlight)
                 active_.erase(req->id);
                 ++rejected_;
                 serveCounter("serve.requests.rejected").add(1);
+                serveCounter("serve.requests.rejected.by_reason."
+                             "shutting-down")
+                    .add(1);
                 req->conn->send(
                     rejectedFrame(req->id, "shutting-down"));
             }
@@ -795,6 +910,7 @@ Server::stop()
         ::unlink(options_.socketPath.c_str());
         listenFd_ = -1;
     }
+    telemetry_.stop();
     // Release warm sessions: the daemon is the pool's owner.
     engine::SessionPool::instance().shutdown();
     running_.store(false, std::memory_order_relaxed);

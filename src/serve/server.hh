@@ -24,8 +24,16 @@
  *
  * Request lifecycle observability: spans serve.request / serve.run,
  * counters serve.requests.* and serve.cache.*, gauges
- * serve.queue_depth / serve.in_flight, and JSONL log records from
- * the "serve" component (docs/OBSERVABILITY.md).
+ * serve.queue_depth / serve.in_flight (plus per-client
+ * serve.in_flight.by_client.*), latency histograms
+ * serve.queue_wait_us / serve.service_us, and JSONL log records
+ * from the "serve" component (docs/OBSERVABILITY.md). Every synth
+ * request gets a server-minted request_id ("rq-N") carried on all
+ * its response frames, log records, spans, and its run report, so
+ * one request can be followed across every surface. A
+ * TelemetryController (serve/telemetry.hh) samples the registry
+ * into time series for the `metrics` verb, the Prometheus
+ * endpoint, and the JSONL telemetry log.
  */
 
 #ifndef CHECKMATE_SERVE_SERVER_HH
@@ -44,6 +52,7 @@
 
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
+#include "serve/telemetry.hh"
 
 namespace checkmate::serve
 {
@@ -86,6 +95,14 @@ struct ServerOptions
      * and resumes from disk, so a hard drain loses no work.
      */
     std::string checkpointDir;
+
+    /**
+     * Operational telemetry: sampling cadence, Prometheus endpoint,
+     * JSONL telemetry log (serve/telemetry.hh). The sampler always
+     * runs while the daemon does; the endpoint and the log are
+     * opt-in.
+     */
+    TelemetryOptions telemetry;
 };
 
 /** One point-in-time read of the daemon's state (status verb). */
@@ -155,6 +172,13 @@ class Server
     const ServerOptions &options() const { return options_; }
 
     /**
+     * The telemetry sidecar (time series, Prometheus endpoint).
+     * Valid between start() and stop(); its port() is how tests
+     * and benches find an ephemeral metrics endpoint.
+     */
+    TelemetryController &telemetry() { return telemetry_; }
+
+    /**
      * Test hook: "client/id" labels in the order workers started
      * them — the observable fairness ordering.
      */
@@ -173,6 +197,7 @@ class Server
     void handleFrame(const ConnPtr &conn, const std::string &line);
     void handleSynth(const ConnPtr &conn, Request request);
     void handleStatus(const ConnPtr &conn, const Request &request);
+    void handleMetrics(const ConnPtr &conn, const Request &request);
     void handleCancel(const ConnPtr &conn, const Request &request);
     void handleDrain(const ConnPtr &conn, const Request &request);
     void connectionClosed(const ConnPtr &conn);
@@ -182,10 +207,16 @@ class Server
     void runRequest(const ReqPtr &req);
     void finishRequest(const ReqPtr &req);
     void publishDepthGauges();
+    /** Reject path: count, gauge, per-reason counter, log, frame. */
+    void rejectLocked(std::unique_lock<std::mutex> &lock,
+                      const ConnPtr &conn, const std::string &id,
+                      const std::string &requestId,
+                      const std::string &reason);
     void maybeMarkDrainedLocked();
 
     ServerOptions options_;
     ResultCache cache_;
+    TelemetryController telemetry_;
 
     int listenFd_ = -1;
     std::thread acceptThread_;
@@ -207,9 +238,13 @@ class Server
     std::map<std::string, ReqPtr> active_;
     size_t queuedCount_ = 0;
     size_t inFlightCount_ = 0;
+    /** In-flight request count per client (per-client gauges). */
+    std::map<std::string, size_t> inFlightByClient_;
     bool draining_ = false;
     bool drained_ = false;
     uint64_t nextId_ = 0;
+    /** Server-minted correlation ids ("rq-N"), one per synth. */
+    uint64_t requestSeq_ = 0;
 
     uint64_t received_ = 0;
     uint64_t completed_ = 0;

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Telemetry sidecar implementation: sampler thread, Prometheus
+ * HTTP listener, JSONL telemetry log.
+ */
+
+#include "serve/telemetry.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/json.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/net.hh"
+
+namespace checkmate::serve
+{
+
+namespace
+{
+
+/** Stop-flag poll cadence of the blocking loops. */
+constexpr int kPollMs = 200;
+
+void
+logTelemetry(obs::LogLevel level, const char *message,
+             const std::string &fieldsJson = "")
+{
+    auto &log = obs::Logger::instance();
+    if (log.enabled(level))
+        log.log(level, "telemetry", message, fieldsJson);
+}
+
+/** Bind + listen a TCP socket on 127.0.0.1:@p port (0 = any). */
+int
+listenLoopback(int port, int *boundPort, std::string *error)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        if (error)
+            *error = std::string("socket: ") + std::strerror(errno);
+        return -1;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) < 0) {
+        if (error) {
+            *error = "bind 127.0.0.1:" + std::to_string(port) +
+                     ": " + std::strerror(errno);
+        }
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 16) < 0) {
+        if (error)
+            *error = std::string("listen: ") + std::strerror(errno);
+        ::close(fd);
+        return -1;
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &len) == 0) {
+        *boundPort = ntohs(addr.sin_port);
+    }
+    return fd;
+}
+
+/** Read one HTTP request head (through the blank line). */
+bool
+readRequestHead(int fd, std::string *head)
+{
+    char buf[1024];
+    head->clear();
+    // A scrape request is tiny; bound total reads so a stalled or
+    // abusive client can't pin the listener thread.
+    for (int rounds = 0; rounds < 16; rounds++) {
+        pollfd pfd{fd, POLLIN, 0};
+        if (::poll(&pfd, 1, 1000) <= 0)
+            return false;
+        ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0)
+            return false;
+        head->append(buf, static_cast<size_t>(n));
+        if (head->find("\r\n\r\n") != std::string::npos ||
+            head->find("\n\n") != std::string::npos)
+            return true;
+        if (head->size() > 16 * 1024)
+            return false;
+    }
+    return false;
+}
+
+std::string
+httpResponse(const char *status, const std::string &contentType,
+             const std::string &body)
+{
+    std::string out = "HTTP/1.1 ";
+    out += status;
+    out += "\r\nContent-Type: " + contentType;
+    out += "\r\nContent-Length: " + std::to_string(body.size());
+    out += "\r\nConnection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+} // anonymous namespace
+
+TelemetryController::TelemetryController(TelemetryOptions options)
+    : options_(std::move(options)),
+      aggregator_(options_.seriesCapacity)
+{}
+
+TelemetryController::~TelemetryController()
+{
+    stop();
+}
+
+bool
+TelemetryController::openTelemetryLog(std::string *error)
+{
+    logFile_ = std::fopen(options_.telemetryLogPath.c_str(), "a");
+    if (!logFile_) {
+        if (error) {
+            *error = "cannot open telemetry log " +
+                     options_.telemetryLogPath + ": " +
+                     std::strerror(errno);
+        }
+        return false;
+    }
+    long pos = std::ftell(logFile_);
+    logBytes_ = pos > 0 ? static_cast<size_t>(pos) : 0;
+    return true;
+}
+
+bool
+TelemetryController::start(std::string *error)
+{
+    if (running_.load(std::memory_order_relaxed))
+        return true;
+    if (!options_.telemetryLogPath.empty() &&
+        !openTelemetryLog(error)) {
+        return false;
+    }
+    if (options_.metricsPort >= 0) {
+        listenFd_ =
+            listenLoopback(options_.metricsPort, &port_, error);
+        if (listenFd_ < 0) {
+            stop();
+            return false;
+        }
+    }
+    stopping_.store(false, std::memory_order_relaxed);
+    running_.store(true, std::memory_order_relaxed);
+    // Baseline sample: the first periodic tick then yields real
+    // window deltas instead of process-lifetime ones.
+    aggregator_.sample();
+    samplerThread_ = std::thread([this] { samplerLoop(); });
+    if (listenFd_ >= 0)
+        httpThread_ = std::thread([this] { httpLoop(); });
+    logTelemetry(
+        obs::LogLevel::Info, "telemetry started",
+        obs::JsonFields()
+            .add("interval_ms", options_.sampleIntervalMs)
+            .add("metrics_port", port_)
+            .add("telemetry_log", options_.telemetryLogPath)
+            .str());
+    return true;
+}
+
+void
+TelemetryController::stop()
+{
+    if (running_.exchange(false)) {
+        stopping_.store(true, std::memory_order_relaxed);
+        wakeCv_.notify_all();
+        if (samplerThread_.joinable())
+            samplerThread_.join();
+        if (httpThread_.joinable())
+            httpThread_.join();
+    }
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    std::lock_guard<std::mutex> lock(logMutex_);
+    if (logFile_) {
+        std::fclose(logFile_);
+        logFile_ = nullptr;
+    }
+}
+
+void
+TelemetryController::sampleNow()
+{
+    aggregator_.sample();
+}
+
+void
+TelemetryController::samplerLoop()
+{
+    obs::TraceRecorder::instance().nameCurrentThread(
+        "telemetry-sampler");
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        {
+            std::unique_lock<std::mutex> lock(wakeMutex_);
+            wakeCv_.wait_for(
+                lock,
+                std::chrono::milliseconds(std::max(
+                    1, options_.sampleIntervalMs)),
+                [this] {
+                    return stopping_.load(
+                        std::memory_order_relaxed);
+                });
+        }
+        if (stopping_.load(std::memory_order_relaxed))
+            break;
+        aggregator_.sample();
+        appendTelemetryRecord();
+    }
+}
+
+void
+TelemetryController::appendTelemetryRecord()
+{
+    std::lock_guard<std::mutex> lock(logMutex_);
+    if (!logFile_)
+        return;
+    obs::JsonFields record;
+    record.add("ts_us", obs::nowMicros());
+    // lastWindowJson() renders a complete object; splice() takes a
+    // brace-less field list, so peel the braces off.
+    std::string window = aggregator_.lastWindowJson();
+    if (window.size() >= 2 && window.front() == '{' &&
+        window.back() == '}')
+        record.splice(std::string_view(window).substr(
+            1, window.size() - 2));
+    std::string line = record.object() + "\n";
+    std::fwrite(line.data(), 1, line.size(), logFile_);
+    std::fflush(logFile_);
+    logBytes_ += line.size();
+    if (logBytes_ <= options_.telemetryLogMaxBytes)
+        return;
+    // One-deep rotation: current → .1 (replacing any previous .1),
+    // then reopen fresh. Bounded disk, and the last two windows of
+    // history survive.
+    std::fclose(logFile_);
+    logFile_ = nullptr;
+    std::string rotated = options_.telemetryLogPath + ".1";
+    std::rename(options_.telemetryLogPath.c_str(), rotated.c_str());
+    logBytes_ = 0;
+    logFile_ = std::fopen(options_.telemetryLogPath.c_str(), "a");
+    logTelemetry(obs::LogLevel::Info, "telemetry log rotated",
+                 obs::JsonFields().add("rotated_to", rotated).str());
+}
+
+void
+TelemetryController::httpLoop()
+{
+    obs::TraceRecorder::instance().nameCurrentThread(
+        "telemetry-http");
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        pollfd pfd{listenFd_, POLLIN, 0};
+        int ready = ::poll(&pfd, 1, kPollMs);
+        if (ready <= 0)
+            continue;
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        serveHttpConnection(fd);
+        ::close(fd);
+    }
+}
+
+void
+TelemetryController::serveHttpConnection(int fd)
+{
+    std::string head;
+    if (!readRequestHead(fd, &head))
+        return;
+    // First line: METHOD SP PATH SP VERSION.
+    size_t eol = head.find_first_of("\r\n");
+    std::string line =
+        eol == std::string::npos ? head : head.substr(0, eol);
+    size_t sp1 = line.find(' ');
+    size_t sp2 =
+        sp1 == std::string::npos ? sp1 : line.find(' ', sp1 + 1);
+    std::string method =
+        sp1 == std::string::npos ? "" : line.substr(0, sp1);
+    std::string path = sp1 == std::string::npos
+                           ? ""
+                           : line.substr(sp1 + 1,
+                                         sp2 == std::string::npos
+                                             ? std::string::npos
+                                             : sp2 - sp1 - 1);
+    if (method != "GET") {
+        writeAll(fd, httpResponse("405 Method Not Allowed",
+                                  "text/plain",
+                                  "method not allowed\n"));
+        return;
+    }
+    if (path != "/metrics") {
+        writeAll(fd, httpResponse("404 Not Found", "text/plain",
+                                  "not found; try /metrics\n"));
+        return;
+    }
+    obs::MetricsRegistry::instance()
+        .counter("serve.telemetry.scrapes")
+        .add(1);
+    std::string body = obs::prometheusText(
+        obs::MetricsRegistry::instance().snapshot());
+    writeAll(fd,
+             httpResponse("200 OK",
+                          "text/plain; version=0.0.4", body));
+}
+
+} // namespace checkmate::serve

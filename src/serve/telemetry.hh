@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Continuous operational telemetry for checkmate-serve.
+ *
+ * A TelemetryController runs alongside the daemon and turns the
+ * process metrics registry into three operator-facing surfaces:
+ *
+ *  - a sampler thread that feeds an obs::MetricsAggregator at a
+ *    fixed interval, building the in-memory time series the
+ *    `metrics` serve-verb (and checkmate-top) reads;
+ *  - an optional HTTP/1.1 listener on 127.0.0.1 answering
+ *    `GET /metrics` with Prometheus text format 0.0.4 (rendered by
+ *    obs::prometheusText from a live registry snapshot, so scraped
+ *    counters are monotonic process totals);
+ *  - an optional JSONL telemetry log: one line per sampling window
+ *    with the window's counter deltas, gauges, and histogram
+ *    deltas, rotated once (FILE → FILE.1) when it outgrows a size
+ *    cap, so a long-lived daemon cannot fill the disk.
+ *
+ * The controller never drains the registry — see
+ * src/obs/timeseries.hh for why the aggregator diffs snapshots
+ * instead — so run reports, per-job deltas, and the Prometheus
+ * surface all keep reading consistent totals.
+ */
+
+#ifndef CHECKMATE_SERVE_TELEMETRY_HH
+#define CHECKMATE_SERVE_TELEMETRY_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/timeseries.hh"
+
+namespace checkmate::serve
+{
+
+/** Telemetry configuration (part of ServerOptions). */
+struct TelemetryOptions
+{
+    /** Sampling cadence of the aggregator (and the JSONL log). */
+    int sampleIntervalMs = 1000;
+
+    /**
+     * Prometheus endpoint port on 127.0.0.1: negative = no
+     * endpoint, 0 = ephemeral (read the bound port back via
+     * port(); tests and benches), positive = that port.
+     */
+    int metricsPort = -1;
+
+    /** JSONL telemetry log path (empty = off). */
+    std::string telemetryLogPath;
+
+    /** Rotate the telemetry log past this many bytes. */
+    size_t telemetryLogMaxBytes = 8u << 20;
+
+    /** Ring capacity of every time series (points retained). */
+    size_t seriesCapacity = 360;
+};
+
+/** The daemon's telemetry sidecar; owned by serve::Server. */
+class TelemetryController
+{
+  public:
+    explicit TelemetryController(TelemetryOptions options);
+    ~TelemetryController();
+
+    TelemetryController(const TelemetryController &) = delete;
+    TelemetryController &
+    operator=(const TelemetryController &) = delete;
+
+    /**
+     * Take the first sample, open the telemetry log, bind the
+     * Prometheus listener (when configured), and launch the
+     * threads.
+     *
+     * @return false with @p error set when the log can't be opened
+     * or the port can't be bound.
+     */
+    bool start(std::string *error);
+
+    /** Stop threads, close the listener and the log. Idempotent. */
+    void stop();
+
+    /**
+     * Sample the registry right now (in addition to the periodic
+     * cadence). The `metrics` verb calls this so its response
+     * reflects the request's own moment, not the last tick.
+     */
+    void sampleNow();
+
+    obs::MetricsAggregator &aggregator() { return aggregator_; }
+    const obs::MetricsAggregator &
+    aggregator() const
+    {
+        return aggregator_;
+    }
+
+    /** Bound Prometheus port (0 until start, or when disabled). */
+    int port() const { return port_; }
+
+  private:
+    void samplerLoop();
+    void httpLoop();
+    /** Answer one scrape connection, then close it. */
+    void serveHttpConnection(int fd);
+    /** Append one JSONL record; rotate past the size cap. */
+    void appendTelemetryRecord();
+    bool openTelemetryLog(std::string *error);
+
+    TelemetryOptions options_;
+    obs::MetricsAggregator aggregator_;
+
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::thread samplerThread_;
+    std::thread httpThread_;
+    std::mutex wakeMutex_;
+    std::condition_variable wakeCv_;
+
+    int listenFd_ = -1;
+    int port_ = 0;
+
+    std::mutex logMutex_;
+    std::FILE *logFile_ = nullptr;
+    size_t logBytes_ = 0;
+};
+
+} // namespace checkmate::serve
+
+#endif // CHECKMATE_SERVE_TELEMETRY_HH

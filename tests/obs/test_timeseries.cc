@@ -1,0 +1,370 @@
+/**
+ * @file
+ * Tests for the telemetry time-series layer: ring-buffer
+ * wraparound, reader/writer races, the snapshot-diff aggregator,
+ * the Prometheus text rendering, and snapshotAndReset percentile
+ * math at histogram bin edges.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mini_json.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+
+namespace
+{
+
+using namespace checkmate::obs;
+using checkmate::testjson::parseJson;
+using checkmate::testjson::ValuePtr;
+
+// ---------------------------------------------------------------
+// TimeSeries ring buffer
+// ---------------------------------------------------------------
+
+TEST(TimeSeries, AppendsInOrderBelowCapacity)
+{
+    TimeSeries s(8);
+    for (uint64_t i = 0; i < 5; i++)
+        s.append(i * 10, static_cast<double>(i));
+    EXPECT_EQ(s.size(), 5u);
+    EXPECT_EQ(s.appended(), 5u);
+    EXPECT_DOUBLE_EQ(s.last(), 4.0);
+    std::vector<TimePoint> pts = s.points();
+    ASSERT_EQ(pts.size(), 5u);
+    for (size_t i = 0; i < pts.size(); i++) {
+        EXPECT_EQ(pts[i].tsUs, i * 10);
+        EXPECT_DOUBLE_EQ(pts[i].value, static_cast<double>(i));
+    }
+}
+
+TEST(TimeSeries, WraparoundEvictsOldestPoints)
+{
+    TimeSeries s(4);
+    for (uint64_t i = 0; i < 10; i++)
+        s.append(i, static_cast<double>(i));
+    // Ten points through a four-slot ring: only 6..9 survive,
+    // oldest first.
+    EXPECT_EQ(s.size(), 4u);
+    EXPECT_EQ(s.capacity(), 4u);
+    EXPECT_EQ(s.appended(), 10u);
+    std::vector<TimePoint> pts = s.points();
+    ASSERT_EQ(pts.size(), 4u);
+    for (size_t i = 0; i < 4; i++) {
+        EXPECT_EQ(pts[i].tsUs, 6 + i);
+        EXPECT_DOUBLE_EQ(pts[i].value,
+                         static_cast<double>(6 + i));
+    }
+    EXPECT_DOUBLE_EQ(s.last(), 9.0);
+}
+
+TEST(TimeSeries, CapacityFloorsAtOne)
+{
+    TimeSeries s(0);
+    s.append(1, 1.0);
+    s.append(2, 2.0);
+    EXPECT_EQ(s.capacity(), 1u);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_DOUBLE_EQ(s.last(), 2.0);
+}
+
+TEST(TimeSeries, ConcurrentAppendersAndReadersStayCoherent)
+{
+    // The checkmate-top poll (points()) races the sampler
+    // (append()) constantly in a live daemon. Under TSan this also
+    // proves the locking is complete. Readers must always see a
+    // timestamp-ordered window — a torn ring would interleave old
+    // and new points out of order.
+    TimeSeries s(64);
+    std::atomic<bool> go{false};
+    std::atomic<bool> done{false};
+    constexpr int kWriters = 4;
+    constexpr uint64_t kPerWriter = 20000;
+
+    std::vector<std::thread> writers;
+    std::atomic<uint64_t> clock{0};
+    for (int w = 0; w < kWriters; w++) {
+        writers.emplace_back([&] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (uint64_t i = 0; i < kPerWriter; i++) {
+                uint64_t ts = clock.fetch_add(1);
+                s.append(ts, static_cast<double>(ts));
+            }
+        });
+    }
+    std::thread reader([&] {
+        while (!go.load())
+            std::this_thread::yield();
+        while (!done.load()) {
+            std::vector<TimePoint> pts = s.points();
+            EXPECT_LE(pts.size(), 64u);
+            for (size_t i = 1; i < pts.size(); i++)
+                EXPECT_LE(pts[i - 1].tsUs, pts[i].tsUs);
+        }
+    });
+    go.store(true);
+    for (std::thread &t : writers)
+        t.join();
+    done.store(true);
+    reader.join();
+
+    EXPECT_EQ(s.appended(), kWriters * kPerWriter);
+    EXPECT_EQ(s.size(), 64u);
+}
+
+// ---------------------------------------------------------------
+// TimeSeriesRegistry
+// ---------------------------------------------------------------
+
+TEST(TimeSeriesRegistry, FindOrCreateReturnsStableSeries)
+{
+    TimeSeriesRegistry reg(16);
+    TimeSeries &a = reg.series("a");
+    a.append(1, 1.0);
+    EXPECT_EQ(&reg.series("a"), &a);
+    EXPECT_EQ(reg.series("a").size(), 1u);
+    reg.series("b");
+    EXPECT_EQ(reg.names(),
+              (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(TimeSeriesRegistry, ToJsonRendersPointsAndHonorsLastN)
+{
+    TimeSeriesRegistry reg(16);
+    for (uint64_t i = 0; i < 6; i++)
+        reg.series("depth").append(i * 100, static_cast<double>(i));
+    ValuePtr doc = parseJson(reg.toJson(/*lastN=*/3));
+    ASSERT_TRUE(doc) << "series JSON must parse";
+    ValuePtr points = doc->get("depth")->get("points");
+    ASSERT_TRUE(points && points->isArray());
+    ASSERT_EQ(points->array.size(), 3u);
+    // Newest three points, as [ts, value] pairs.
+    EXPECT_EQ(points->array[0]->array[0]->number, 300.0);
+    EXPECT_EQ(points->array[2]->array[1]->number, 5.0);
+}
+
+// ---------------------------------------------------------------
+// MetricsAggregator: snapshot-diff semantics
+// ---------------------------------------------------------------
+
+MetricsSnapshot
+snapAt(uint64_t conflicts, double queueDepth)
+{
+    MetricsSnapshot snap;
+    snap.counters["sat.conflicts"] = conflicts;
+    snap.gauges["serve.queue_depth"] = queueDepth;
+    return snap;
+}
+
+TEST(MetricsAggregator, FirstSampleOnlyEstablishesBaseline)
+{
+    MetricsAggregator agg(16);
+    agg.ingest(snapAt(1000, 3.0), 1'000'000);
+    EXPECT_EQ(agg.samples(), 1u);
+    // Gauges mirror immediately; rates need a window.
+    EXPECT_EQ(agg.series().series("serve.queue_depth").size(), 1u);
+    EXPECT_EQ(agg.series().series("sat.conflicts.rate").size(), 0u);
+}
+
+TEST(MetricsAggregator, RatesAreWindowDeltasPerSecond)
+{
+    MetricsAggregator agg(16);
+    agg.ingest(snapAt(1000, 0.0), 1'000'000);
+    // Two seconds later, 500 more conflicts → 250/sec.
+    agg.ingest(snapAt(1500, 2.0), 3'000'000);
+    TimeSeries &rate = agg.series().series("sat.conflicts.rate");
+    ASSERT_EQ(rate.size(), 1u);
+    EXPECT_DOUBLE_EQ(rate.last(), 250.0);
+    EXPECT_DOUBLE_EQ(
+        agg.series().series("serve.queue_depth").last(), 2.0);
+}
+
+TEST(MetricsAggregator, WindowPercentilesUseHistogramDeltas)
+{
+    MetricsAggregator agg(16);
+    MetricsSnapshot first;
+    // A skewed history: many slow requests before the window.
+    for (int i = 0; i < 100; i++)
+        first.histograms["serve.service_us"].observe(1 << 20);
+    agg.ingest(first, 1'000'000);
+
+    MetricsSnapshot second = first;
+    // The window itself only saw fast requests (~1ms): the window
+    // percentile must reflect those, not the slow history.
+    for (int i = 0; i < 10; i++)
+        second.histograms["serve.service_us"].observe(1024);
+    agg.ingest(second, 2'000'000);
+
+    TimeSeries &p99 = agg.series().series("serve.service_us.p99");
+    ASSERT_EQ(p99.size(), 1u);
+    EXPECT_EQ(p99.last(), 1024.0);
+}
+
+TEST(MetricsAggregator, HitRatiosSkipIdleWindows)
+{
+    MetricsAggregator agg(16);
+    MetricsSnapshot first;
+    first.counters["serve.cache.hits"] = 10;
+    first.counters["serve.cache.misses"] = 10;
+    agg.ingest(first, 1'000'000);
+
+    // Idle window: no new cache traffic → no ratio point.
+    agg.ingest(first, 2'000'000);
+    EXPECT_EQ(agg.series().series("serve.cache.hit_ratio").size(),
+              0u);
+
+    MetricsSnapshot second = first;
+    second.counters["serve.cache.hits"] = 13;
+    second.counters["serve.cache.misses"] = 11;
+    agg.ingest(second, 3'000'000);
+    TimeSeries &ratio =
+        agg.series().series("serve.cache.hit_ratio");
+    ASSERT_EQ(ratio.size(), 1u);
+    // 3 hits, 1 miss this window.
+    EXPECT_DOUBLE_EQ(ratio.last(), 0.75);
+}
+
+TEST(MetricsAggregator, LastWindowJsonCarriesDeltasNotTotals)
+{
+    MetricsAggregator agg(16);
+    agg.ingest(snapAt(1000, 1.0), 1'000'000);
+    agg.ingest(snapAt(1600, 4.0), 2'000'000);
+    ValuePtr doc = parseJson(agg.lastWindowJson());
+    ASSERT_TRUE(doc) << "window JSON must parse";
+    EXPECT_DOUBLE_EQ(doc->get("window_seconds")->number, 1.0);
+    EXPECT_EQ(doc->get("counters")->get("sat.conflicts")->number,
+              600.0);
+    EXPECT_EQ(doc->get("gauges")->get("serve.queue_depth")->number,
+              4.0);
+}
+
+TEST(MetricsAggregator, SampleReadsTheProcessRegistry)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+    registry.gauge("serve.queue_depth").set(7.0);
+    MetricsAggregator agg(16);
+    agg.sample();
+    EXPECT_DOUBLE_EQ(
+        agg.series().series("serve.queue_depth").last(), 7.0);
+    // sample() must NOT drain the registry: the registry stays the
+    // single authority for totals (run reports, Prometheus).
+    EXPECT_DOUBLE_EQ(registry.gauge("serve.queue_depth").value(),
+                     7.0);
+    registry.reset();
+}
+
+// ---------------------------------------------------------------
+// snapshotAndReset percentile math at bin edges
+// ---------------------------------------------------------------
+
+TEST(MetricsRegistry, SnapshotAndResetPercentilesAtBinEdges)
+{
+    auto &registry = MetricsRegistry::instance();
+    registry.reset();
+    auto &h = registry.histogram("edge.latency_us");
+    // Exact powers of two land on bin *lower* edges: bin b holds
+    // [2^(b-1), 2^b - 1], so 1024 opens bin 11 and 1023 closes
+    // bin 10. percentile() reports bin floors, so the two sides
+    // of the edge must answer differently.
+    for (int i = 0; i < 50; i++)
+        h.observe(1023);
+    for (int i = 0; i < 50; i++)
+        h.observe(1024);
+
+    MetricsSnapshot drained = registry.snapshotAndReset();
+    const LogHistogram &hist =
+        drained.histograms.at("edge.latency_us");
+    EXPECT_EQ(hist.count, 100u);
+    // p25 and p50 cumulate within the 1023 bin (floor 512);
+    // anything past the edge reports the 1024 bin's floor. The
+    // probabilities are binary-exact so p*count never rounds.
+    EXPECT_EQ(hist.percentile(0.25), 512u);
+    EXPECT_EQ(hist.percentile(0.50), 512u);
+    EXPECT_EQ(hist.percentile(0.75), 1024u);
+    EXPECT_EQ(hist.percentile(1.0), 1024u);
+
+    // The drain left the registry's histogram empty.
+    MetricsSnapshot after = registry.snapshot();
+    EXPECT_EQ(after.histograms.at("edge.latency_us").count, 0u);
+    registry.reset();
+}
+
+// ---------------------------------------------------------------
+// Prometheus text rendering
+// ---------------------------------------------------------------
+
+TEST(PrometheusText, RendersCountersGaugesAndHistograms)
+{
+    MetricsSnapshot snap;
+    snap.counters["serve.requests"] = 42;
+    snap.gauges["serve.queue_depth"] = 3.0;
+    snap.histograms["serve.service_us"].observe(0);
+    snap.histograms["serve.service_us"].observe(3);
+    snap.histograms["serve.service_us"].observe(100);
+
+    std::string text = prometheusText(snap);
+    // Counter: sanitized name, _total suffix in TYPE and sample.
+    EXPECT_NE(text.find("# TYPE checkmate_serve_requests_total "
+                        "counter\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("checkmate_serve_requests_total 42\n"),
+              std::string::npos);
+    // Gauge.
+    EXPECT_NE(text.find("# TYPE checkmate_serve_queue_depth "
+                        "gauge\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("checkmate_serve_queue_depth 3\n"),
+              std::string::npos);
+    // Histogram: cumulative buckets, +Inf, sum, count.
+    EXPECT_NE(
+        text.find("# TYPE checkmate_serve_service_us histogram\n"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find(
+            "checkmate_serve_service_us_bucket{le=\"0\"} 1\n"),
+        std::string::npos);
+    // 3 falls in bin [2,3] (upper edge 3): cumulative 2.
+    EXPECT_NE(
+        text.find(
+            "checkmate_serve_service_us_bucket{le=\"3\"} 2\n"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find(
+            "checkmate_serve_service_us_bucket{le=\"+Inf\"} 3\n"),
+        std::string::npos);
+    EXPECT_NE(text.find("checkmate_serve_service_us_sum 103\n"),
+              std::string::npos);
+    EXPECT_NE(text.find("checkmate_serve_service_us_count 3\n"),
+              std::string::npos);
+}
+
+TEST(PrometheusText, BucketsAreCumulativeAndMonotonic)
+{
+    MetricsSnapshot snap;
+    for (uint64_t v : {1, 2, 4, 8, 16, 1000})
+        snap.histograms["h"].observe(v);
+    std::string text = prometheusText(snap, "x_");
+    // Every bucket count must be >= the previous one.
+    std::istringstream in(text);
+    std::string line;
+    long prev = -1;
+    while (std::getline(in, line)) {
+        if (line.rfind("x_h_bucket", 0) != 0)
+            continue;
+        long count = std::stol(line.substr(line.rfind(' ') + 1));
+        EXPECT_GE(count, prev) << line;
+        prev = count;
+    }
+    EXPECT_EQ(prev, 6);
+}
+
+} // anonymous namespace

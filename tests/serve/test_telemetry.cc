@@ -1,0 +1,435 @@
+/**
+ * @file
+ * Tests for the daemon's telemetry surfaces: the `metrics`
+ * serve-verb, the Prometheus HTTP endpoint (consistency between the
+ * two), request_id correlation across frames, run reports, and log
+ * records, and the JSONL telemetry log with rotation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace checkmate;
+
+/** Short unique socket path (sun_path is ~108 bytes). */
+std::string
+telemetrySocketPath()
+{
+    static int counter = 0;
+    std::string path = "/tmp/cm_telem_test_";
+    path += std::to_string(::getpid());
+    path += "_";
+    path += std::to_string(++counter);
+    path += ".sock";
+    return path;
+}
+
+/** Plain-TCP HTTP GET against 127.0.0.1:@p port; "" on failure. */
+std::string
+httpGet(int port, const std::string &path)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    std::string request = "GET " + path +
+                          " HTTP/1.1\r\nHost: localhost\r\n"
+                          "Connection: close\r\n\r\n";
+    size_t sent = 0;
+    while (sent < request.size()) {
+        ssize_t n = ::send(fd, request.data() + sent,
+                           request.size() - sent, 0);
+        if (n <= 0) {
+            ::close(fd);
+            return "";
+        }
+        sent += static_cast<size_t>(n);
+    }
+    std::string response;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        response.append(buf, static_cast<size_t>(n));
+    ::close(fd);
+    return response;
+}
+
+/** The value of `<metric> <value>` in Prometheus text; -1 absent. */
+long
+promValue(const std::string &text, const std::string &metric)
+{
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind(metric + " ", 0) == 0)
+            return std::stol(line.substr(metric.size() + 1));
+    }
+    return -1;
+}
+
+const std::vector<std::string> kSmallRun = {"--events", "4",
+                                            "--max", "5"};
+
+class ServeTelemetryTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(serve::ServerOptions options)
+    {
+        // Global registry: drain the totals other tests left so
+        // scrape counts in this test are exact, not just >=.
+        obs::MetricsRegistry::instance().reset();
+        options.socketPath = telemetrySocketPath();
+        server_ = std::make_unique<serve::Server>(options);
+        std::string error;
+        ASSERT_TRUE(server_->start(&error)) << error;
+    }
+
+    void
+    TearDown() override
+    {
+        if (server_)
+            server_->stop();
+        obs::Logger::instance().close();
+    }
+
+    serve::Client
+    connect()
+    {
+        serve::Client client;
+        std::string error;
+        EXPECT_TRUE(
+            client.connect(server_->options().socketPath, &error))
+            << error;
+        return client;
+    }
+
+    /**
+     * Run one synth request to its terminal frame and return that
+     * frame (skipping accepted/started), recording the accepted
+     * frame's request_id in @p acceptedRequestId when asked.
+     */
+    std::unique_ptr<obs::JsonValue>
+    runToDone(serve::Client &client, const std::string &id,
+              std::string *acceptedRequestId = nullptr)
+    {
+        serve::Request request;
+        request.verb = serve::Verb::Synth;
+        request.id = id;
+        request.client = "telemetry-test";
+        request.args = kSmallRun;
+        if (!client.send(request)) {
+            ADD_FAILURE() << "send failed for " << id;
+            return nullptr;
+        }
+        for (int i = 0; i < 200; i++) {
+            std::unique_ptr<obs::JsonValue> frame;
+            if (client.readFrame(&frame, 30000) !=
+                serve::Client::ReadStatus::Frame) {
+                ADD_FAILURE() << "no frame for " << id;
+                return nullptr;
+            }
+            if (frame->find("id")->asString() != id)
+                continue;
+            std::string event = frame->find("event")->asString();
+            if (event == "accepted" && acceptedRequestId) {
+                const obs::JsonValue *rid =
+                    frame->find("request_id");
+                *acceptedRequestId = rid ? rid->asString() : "";
+            }
+            if (serve::isTerminalEvent(event))
+                return frame;
+        }
+        ADD_FAILURE() << "no terminal frame for " << id;
+        return nullptr;
+    }
+
+    /** Send the metrics verb and return its (parsed) frame. */
+    std::unique_ptr<obs::JsonValue>
+    fetchMetrics(serve::Client &client)
+    {
+        serve::Request request;
+        request.verb = serve::Verb::Metrics;
+        request.id = "m";
+        request.client = "telemetry-test";
+        EXPECT_TRUE(client.send(request));
+        std::unique_ptr<obs::JsonValue> frame;
+        EXPECT_EQ(client.readFrame(&frame, 10000),
+                  serve::Client::ReadStatus::Frame);
+        if (frame) {
+            EXPECT_EQ(frame->find("event")->asString(), "metrics");
+        }
+        return frame;
+    }
+
+    std::unique_ptr<serve::Server> server_;
+};
+
+// ---------------------------------------------------------------
+// metrics verb
+// ---------------------------------------------------------------
+
+TEST_F(ServeTelemetryTest, MetricsVerbReturnsRegistryAndSeries)
+{
+    serve::ServerOptions options;
+    options.telemetry.sampleIntervalMs = 50;
+    startServer(options);
+    serve::Client client = connect();
+
+    auto done = runToDone(client, "r1");
+    ASSERT_TRUE(done);
+    ASSERT_EQ(done->find("event")->asString(), "done");
+
+    auto metrics = fetchMetrics(client);
+    ASSERT_TRUE(metrics);
+    // The registry sub-object carries the process totals...
+    const obs::JsonValue *received = metrics->find(
+        "registry", "counters", "serve.requests.received");
+    ASSERT_NE(received, nullptr);
+    EXPECT_EQ(received->asNumber(), 1.0);
+    ASSERT_NE(metrics->find("registry", "counters",
+                            "serve.requests"),
+              nullptr);
+    // ...and the latency histograms the request just fed. The
+    // queue-wait observation happens before the request runs, so
+    // it is always visible by the time the done frame arrives; the
+    // service-time observation lands when the worker unwinds,
+    // which can trail the done frame by a beat — poll for it.
+    ASSERT_NE(metrics->find("registry", "histograms",
+                            "serve.queue_wait_us"),
+              nullptr);
+    const obs::JsonValue *serviceHist = nullptr;
+    for (int i = 0; i < 100 && !serviceHist; i++) {
+        auto again = fetchMetrics(client);
+        ASSERT_TRUE(again);
+        if (again->find("registry", "histograms",
+                        "serve.service_us")) {
+            serviceHist = metrics.get(); // presence confirmed
+            break;
+        }
+        ::usleep(10000);
+    }
+    EXPECT_NE(serviceHist, nullptr)
+        << "serve.service_us never appeared";
+    // The verb samples on demand, so series exist even before the
+    // first periodic tick, and queue-depth history is present.
+    EXPECT_GE(metrics->find("samples")->asNumber(), 1.0);
+    ASSERT_NE(metrics->find("series", "serve.queue_depth",
+                            "points"),
+              nullptr);
+    // No --metrics-port configured: the verb reports 0.
+    EXPECT_EQ(metrics->find("metrics_port")->asNumber(-1), 0.0);
+}
+
+// ---------------------------------------------------------------
+// Prometheus endpoint
+// ---------------------------------------------------------------
+
+TEST_F(ServeTelemetryTest, PrometheusScrapeAgreesWithMetricsVerb)
+{
+    serve::ServerOptions options;
+    options.telemetry.metricsPort = 0; // ephemeral
+    startServer(options);
+    int port = server_->telemetry().port();
+    ASSERT_GT(port, 0);
+    serve::Client client = connect();
+
+    const int kRequests = 3;
+    for (int i = 0; i < kRequests; i++) {
+        // Distinct --max per request so the result cache cannot
+        // absorb them: each one must hit the engine and count.
+        serve::Request request;
+        request.verb = serve::Verb::Synth;
+        request.id = "p" + std::to_string(i);
+        request.client = "telemetry-test";
+        request.args = {"--events", "4", "--max",
+                        std::to_string(5 + i)};
+        ASSERT_TRUE(client.send(request));
+    }
+    // Drain each request to its terminal frame.
+    int terminal = 0;
+    for (int i = 0; i < 500 && terminal < kRequests; i++) {
+        std::unique_ptr<obs::JsonValue> frame;
+        ASSERT_EQ(client.readFrame(&frame, 30000),
+                  serve::Client::ReadStatus::Frame);
+        if (serve::isTerminalEvent(
+                frame->find("event")->asString()))
+            terminal++;
+    }
+    ASSERT_EQ(terminal, kRequests);
+
+    std::string response = httpGet(port, "/metrics");
+    ASSERT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos)
+        << response.substr(0, 200);
+    ASSERT_NE(response.find("text/plain; version=0.0.4"),
+              std::string::npos);
+    long scraped =
+        promValue(response, "checkmate_serve_requests_total");
+    EXPECT_EQ(scraped, kRequests);
+    EXPECT_GE(promValue(
+                  response,
+                  "checkmate_serve_requests_completed_total"),
+              1L);
+    // Histograms render too (spot-check the service histogram).
+    EXPECT_NE(response.find("# TYPE checkmate_serve_service_us "
+                            "histogram"),
+              std::string::npos);
+
+    // The serve-verb view of the same registry must agree.
+    auto metrics = fetchMetrics(client);
+    ASSERT_TRUE(metrics);
+    EXPECT_EQ(metrics
+                  ->find("registry", "counters", "serve.requests")
+                  ->asNumber(),
+              static_cast<double>(scraped));
+    EXPECT_EQ(metrics->find("metrics_port")->asNumber(),
+              static_cast<double>(port));
+
+    // Unknown paths 404; the daemon must survive them.
+    EXPECT_NE(httpGet(port, "/nope").find("404"),
+              std::string::npos);
+    EXPECT_NE(httpGet(port, "/metrics").find("200 OK"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// request_id correlation
+// ---------------------------------------------------------------
+
+TEST_F(ServeTelemetryTest, RequestIdThreadsThroughFramesReportLogs)
+{
+    std::ostringstream logSink;
+    obs::Logger::instance().attachStream(&logSink);
+    obs::Logger::instance().setLevel(obs::LogLevel::Info);
+
+    serve::ServerOptions options;
+    startServer(options);
+    serve::Client client = connect();
+
+    std::string acceptedId;
+    auto done = runToDone(client, "r1", &acceptedId);
+    ASSERT_TRUE(done);
+    ASSERT_EQ(done->find("event")->asString(), "done");
+
+    // The accepted and done frames carry the same minted id.
+    ASSERT_FALSE(acceptedId.empty());
+    EXPECT_EQ(acceptedId.rfind("rq-", 0), 0u) << acceptedId;
+    const obs::JsonValue *doneId = done->find("request_id");
+    ASSERT_NE(doneId, nullptr);
+    EXPECT_EQ(doneId->asString(), acceptedId);
+
+    // The spliced run report's engine stanza carries it too.
+    const obs::JsonValue *reportId =
+        done->find("report", "engine", "request_id");
+    ASSERT_NE(reportId, nullptr);
+    EXPECT_EQ(reportId->asString(), acceptedId);
+
+    // First run of these args: a cache miss, flagged as such.
+    const obs::JsonValue *cacheHit = done->find("cache_hit");
+    ASSERT_NE(cacheHit, nullptr);
+    EXPECT_FALSE(cacheHit->boolean);
+    ASSERT_NE(done->find("warm_start"), nullptr);
+
+    // Detach before inspecting: server threads may still log.
+    obs::Logger::instance().close();
+    std::string logs = logSink.str();
+    std::string needle = "\"request_id\":\"" + acceptedId + "\"";
+    EXPECT_NE(logs.find(needle), std::string::npos)
+        << "no log line carries " << needle;
+
+    // A repeat of the same args is a cache hit with a *fresh*
+    // request_id and the cached run's warm_start flag.
+    std::string repeatId;
+    auto cached = runToDone(client, "r2", &repeatId);
+    ASSERT_TRUE(cached);
+    ASSERT_EQ(cached->find("event")->asString(), "done");
+    EXPECT_TRUE(cached->find("cache_hit")->boolean);
+    ASSERT_NE(cached->find("warm_start"), nullptr);
+    EXPECT_NE(repeatId, acceptedId);
+    EXPECT_EQ(cached->find("request_id")->asString(), repeatId);
+}
+
+// ---------------------------------------------------------------
+// telemetry JSONL log
+// ---------------------------------------------------------------
+
+TEST_F(ServeTelemetryTest, TelemetryLogAppendsJsonlAndRotates)
+{
+    std::string logPath = "/tmp/cm_telem_log_";
+    logPath += std::to_string(::getpid());
+    logPath += ".jsonl";
+    std::string rotated = logPath + ".1";
+    std::remove(logPath.c_str());
+    std::remove(rotated.c_str());
+
+    serve::ServerOptions options;
+    options.telemetry.sampleIntervalMs = 20;
+    options.telemetry.telemetryLogPath = logPath;
+    // Tiny cap: every record outgrows it, forcing a rotation.
+    options.telemetry.telemetryLogMaxBytes = 64;
+    startServer(options);
+    serve::Client client = connect();
+    auto done = runToDone(client, "r1");
+    ASSERT_TRUE(done);
+    // Let several sampling windows elapse.
+    ::usleep(300000);
+    server_->stop();
+
+    // With a cap this tiny every record triggers a rotation, so
+    // the newest records live in FILE.1 and the live FILE may be
+    // freshly empty: validate records across both.
+    size_t records = 0;
+    for (const std::string &path : {logPath, rotated}) {
+        std::ifstream in(path);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.empty())
+                continue;
+            auto record = obs::parseJson(line);
+            ASSERT_NE(record, nullptr) << line;
+            EXPECT_NE(record->find("ts_us"), nullptr);
+            EXPECT_NE(record->find("window_seconds"), nullptr);
+            EXPECT_NE(record->find("counters"), nullptr);
+            EXPECT_NE(record->find("gauges"), nullptr);
+            records++;
+        }
+    }
+    EXPECT_GE(records, 1u);
+
+    // The cap rotated the file at least once.
+    std::ifstream old(rotated);
+    EXPECT_TRUE(old.good()) << rotated << " missing";
+
+    std::remove(logPath.c_str());
+    std::remove(rotated.c_str());
+}
+
+} // anonymous namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for checkmate-top: sparkline rendering, dashboard layout
+ * from a synthetic metrics frame, and the poll loop against a real
+ * headless daemon over its Unix socket.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "obs/json_reader.hh"
+#include "serve/server.hh"
+#include "top_tool.hh"
+
+namespace
+{
+
+using namespace checkmate;
+
+// ---------------------------------------------------------------
+// sparkline
+// ---------------------------------------------------------------
+
+TEST(Sparkline, ScalesMinToMaxAcrossGlyphLevels)
+{
+    EXPECT_EQ(tools::sparkline({0.0, 7.0}, 2), "▁█");
+    // Monotonic input renders monotonic glyph levels.
+    std::string ramp =
+        tools::sparkline({0, 1, 2, 3, 4, 5, 6, 7}, 8);
+    EXPECT_EQ(ramp, "▁▂▃▄▅▆▇█");
+}
+
+TEST(Sparkline, PadsShortHistoryAndTruncatesLongHistory)
+{
+    // Two points into a width of 4: left-padded with spaces.
+    EXPECT_EQ(tools::sparkline({0.0, 1.0}, 4), "  ▁█");
+    // Six points into a width of 2: only the newest two shown.
+    EXPECT_EQ(tools::sparkline({9, 9, 9, 9, 0.0, 1.0}, 2), "▁█");
+}
+
+TEST(Sparkline, FlatNonZeroDrawsMidLevelNotBaseline)
+{
+    EXPECT_EQ(tools::sparkline({5.0, 5.0, 5.0}, 3), "▄▄▄");
+    // All-zero history stays at the baseline glyph.
+    EXPECT_EQ(tools::sparkline({0.0, 0.0}, 2), "▁▁");
+    // Degenerate widths and empty input are harmless.
+    EXPECT_EQ(tools::sparkline({1.0}, 0), "");
+    EXPECT_EQ(tools::sparkline({}, 3), "   ");
+}
+
+// ---------------------------------------------------------------
+// renderDashboard
+// ---------------------------------------------------------------
+
+TEST(RenderDashboard, RendersAllSectionsFromAMetricsFrame)
+{
+    // A synthetic metrics-verb frame: registry totals plus series
+    // history, shaped exactly like Server::handleMetrics output.
+    const char *json = R"({
+      "v": "serve-v1", "id": "m", "event": "metrics",
+      "registry": {
+        "counters": {
+          "serve.requests.received": 12,
+          "serve.requests.completed": 11,
+          "serve.requests.rejected": 1,
+          "serve.cache.hits": 6,
+          "serve.cache.misses": 5,
+          "engine.session_pool.hits": 3,
+          "engine.session_pool.misses": 1,
+          "sat.conflicts": 4242
+        },
+        "gauges": {"serve.queue_depth": 2,
+                   "serve.in_flight": 3}
+      },
+      "series": {
+        "serve.queue_depth":
+            {"points": [[1000, 0], [2000, 1], [3000, 2]]},
+        "serve.service_us.p99":
+            {"points": [[2000, 2048], [3000, 4096]]},
+        "serve.cache.hit_ratio": {"points": [[3000, 0.545]]}
+      },
+      "samples": 3, "metrics_port": 0
+    })";
+    std::unique_ptr<obs::JsonValue> frame = obs::parseJson(json);
+    ASSERT_NE(frame, nullptr);
+
+    std::string out = tools::renderDashboard(*frame);
+    // Section headings.
+    EXPECT_NE(out.find("queue\n"), std::string::npos);
+    EXPECT_NE(out.find("requests\n"), std::string::npos);
+    EXPECT_NE(out.find("latency (per window)\n"),
+              std::string::npos);
+    EXPECT_NE(out.find("cache & sessions\n"), std::string::npos);
+    // Values: gauges, totals, a formatted latency, hit ratios.
+    EXPECT_NE(out.find("queued"), std::string::npos);
+    EXPECT_NE(out.find("12"), std::string::npos);  // received
+    EXPECT_NE(out.find("4.1ms"), std::string::npos); // p99 4096us
+    EXPECT_NE(out.find("55%"), std::string::npos); // 6/11 cache
+    EXPECT_NE(out.find("75%"), std::string::npos); // 3/4 sessions
+    EXPECT_NE(out.find("4242"), std::string::npos); // conflicts
+    // Sparkline history made it into the queue row.
+    EXPECT_NE(out.find("▁"), std::string::npos);
+}
+
+TEST(RenderDashboard, MissingSeriesRenderDashesNotCrashes)
+{
+    std::unique_ptr<obs::JsonValue> frame = obs::parseJson(
+        R"({"v":"serve-v1","id":"m","event":"metrics",
+            "registry":{"counters":{},"gauges":{}},
+            "series":{},"samples":0,"metrics_port":0})");
+    ASSERT_NE(frame, nullptr);
+    std::string out = tools::renderDashboard(*frame);
+    EXPECT_NE(out.find("service p99"), std::string::npos);
+    EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// poll loop against a live daemon
+// ---------------------------------------------------------------
+
+TEST(TopLoop, PollsAHeadlessDaemonOverItsSocket)
+{
+    serve::ServerOptions options;
+    std::string socket = "/tmp/cm_top_test_";
+    socket += std::to_string(::getpid());
+    socket += ".sock";
+    options.socketPath = socket;
+    serve::Server server(options);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    // pollMetrics speaks the metrics verb end-to-end.
+    std::unique_ptr<obs::JsonValue> frame =
+        tools::pollMetrics(socket, &error);
+    ASSERT_NE(frame, nullptr) << error;
+    EXPECT_EQ(frame->find("event")->asString(), "metrics");
+
+    // The refresh loop renders frames and exits cleanly.
+    tools::TopOptions top;
+    top.socketPath = socket;
+    top.intervalMs = 10;
+    top.iterations = 2;
+    top.clearScreen = false;
+    std::ostringstream out;
+    EXPECT_EQ(tools::runTop(top, out), 0);
+    std::string text = out.str();
+    EXPECT_NE(text.find("checkmate-top — serve daemon telemetry"),
+              std::string::npos);
+    // Two frames rendered: the heading appears twice.
+    size_t first =
+        text.find("checkmate-top — serve daemon telemetry");
+    EXPECT_NE(text.find("checkmate-top — serve daemon telemetry",
+                        first + 1),
+              std::string::npos);
+    // --no-clear means no escape codes in the stream.
+    EXPECT_EQ(text.find("\x1b["), std::string::npos);
+
+    server.stop();
+}
+
+TEST(TopLoop, UnreachableDaemonFailsWithStatusTwo)
+{
+    tools::TopOptions top;
+    top.socketPath = "/tmp/cm_top_test_no_such.sock";
+    top.iterations = 1;
+    std::ostringstream out;
+    EXPECT_EQ(tools::runTop(top, out), 2);
+    EXPECT_NE(out.str().find("checkmate-top:"), std::string::npos);
+}
+
+} // anonymous namespace

@@ -26,6 +26,11 @@
 
 #include <unistd.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -34,6 +39,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/fault_injector.hh"
@@ -236,9 +242,38 @@ timedServeSynth(serve::Client &client, const std::string &id,
  *                  a cache miss that leases the session the cold
  *                  request warmed, so it skips translation.
  */
+/** One full GET /metrics scrape against 127.0.0.1:@p port. */
 bool
-runServeRepeatQuery(const BenchConfig &config,
-                    obs::BenchSample &sample)
+scrapeMetricsOnce(int port)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return false;
+    }
+    const char request[] = "GET /metrics HTTP/1.1\r\n"
+                           "Host: localhost\r\n"
+                           "Connection: close\r\n\r\n";
+    bool ok =
+        ::send(fd, request, sizeof(request) - 1, 0) ==
+        static_cast<ssize_t>(sizeof(request) - 1);
+    char buf[4096];
+    while (ok && ::recv(fd, buf, sizeof(buf), 0) > 0) {
+    }
+    ::close(fd);
+    return ok;
+}
+
+bool
+runServeScenario(const BenchConfig &config,
+                 obs::BenchSample &sample, bool withTelemetry)
 {
     static int repIndex = 0;
     std::ostringstream sock;
@@ -248,12 +283,31 @@ runServeRepeatQuery(const BenchConfig &config,
     serve::ServerOptions options;
     options.socketPath = sock.str();
     options.maxInFlight = 1;
+    if (withTelemetry) {
+        // The overhead twin: a live Prometheus endpoint and the
+        // sampler ticking at its default cadence while a scraper
+        // polls at 10 Hz — the gate proves this stays <2% of wall.
+        options.telemetry.metricsPort = 0;
+    }
     serve::Server server(std::move(options));
     std::string error;
     if (!server.start(&error)) {
         std::cerr << "checkmate-bench: serve start failed: " << error
                   << '\n';
         return false;
+    }
+
+    std::atomic<bool> stopScraper{false};
+    std::thread scraper;
+    if (withTelemetry) {
+        int port = server.telemetry().port();
+        scraper = std::thread([port, &stopScraper] {
+            while (!stopScraper.load(std::memory_order_relaxed)) {
+                scrapeMetricsOnce(port);
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+            }
+        });
     }
 
     uint64_t cap = scenarioCap(config, 100);
@@ -290,10 +344,30 @@ runServeRepeatQuery(const BenchConfig &config,
                   << error << '\n';
     }
     client.close();
+    if (scraper.joinable()) {
+        stopScraper.store(true, std::memory_order_relaxed);
+        scraper.join();
+    }
     // Drops the daemon and its pooled sessions, so the next rep's
     // cold phase is genuinely cold.
     server.stop();
     return ok;
+}
+
+bool
+runServeRepeatQuery(const BenchConfig &config,
+                    obs::BenchSample &sample)
+{
+    return runServeScenario(config, sample,
+                            /*withTelemetry=*/false);
+}
+
+bool
+runServeTelemetryOverhead(const BenchConfig &config,
+                          obs::BenchSample &sample)
+{
+    return runServeScenario(config, sample,
+                            /*withTelemetry=*/true);
 }
 
 std::string
@@ -304,6 +378,13 @@ describeServeRepeatQuery(const BenchConfig &c)
     out << "serve synth --events 4: cold cap " << cap
         << " / cached repeat / warm cap " << cap + 5;
     return out.str();
+}
+
+std::string
+describeServeTelemetryOverhead(const BenchConfig &c)
+{
+    return describeServeRepeatQuery(c) +
+           " with metrics endpoint + 10 Hz scraper";
 }
 
 const Scenario kScenarios[] = {
@@ -334,6 +415,13 @@ const Scenario kScenarios[] = {
      "hit vs warm-session re-sweep",
      nullptr, describeServeRepeatQuery, /*incremental=*/false,
      runServeRepeatQuery},
+    {"serve_telemetry_overhead",
+     "serve_repeat_query twin with the telemetry stack live: "
+     "Prometheus endpoint scraped at 10 Hz during the requests "
+     "(same phase names, so checkmate-report diff measures the "
+     "overhead)",
+     nullptr, describeServeTelemetryOverhead,
+     /*incremental=*/false, runServeTelemetryOverhead},
 };
 
 const Scenario *

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The `checkmate-top` entry point: argument parsing around
+ * tools::runTop (top_tool.hh).
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "top_tool.hh"
+
+namespace
+{
+
+const char *const kUsage = R"(usage: checkmate-top --socket PATH [options]
+
+Live terminal monitor for a checkmate-serve daemon: polls the
+`metrics` serve-verb and renders queue depth, request rates, latency
+percentiles, and cache/session hit ratios with sparkline history.
+docs/OBSERVABILITY.md ("Operating a daemon") has the tour.
+
+  --socket PATH       daemon socket to poll (required)
+  --interval-ms N     poll cadence (default 1000)
+  --iterations N      render N frames then exit (default: run until
+                      the daemon goes away)
+  --no-clear          do not clear the terminal between frames
+                      (append frames; for logs and tests)
+  --help              this text
+
+Exit status: 0 on a clean exit (iterations done, or the daemon
+drained away mid-watch), 2 when the daemon cannot be reached.
+)";
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    checkmate::tools::TopOptions opts;
+    for (size_t i = 0; i < args.size(); i++) {
+        const std::string &arg = args[i];
+        auto needValue = [&](const std::string &flag) -> std::string {
+            if (i + 1 >= args.size()) {
+                std::cerr << "checkmate-top: " << flag
+                          << " requires a value\n"
+                          << kUsage;
+                std::exit(2);
+            }
+            return args[++i];
+        };
+        if (arg == "--socket") {
+            opts.socketPath = needValue(arg);
+        } else if (arg == "--interval-ms") {
+            opts.intervalMs = std::atoi(needValue(arg).c_str());
+            if (opts.intervalMs <= 0) {
+                std::cerr << "checkmate-top: --interval-ms requires "
+                             "a positive count\n";
+                return 2;
+            }
+        } else if (arg == "--iterations") {
+            opts.iterations = std::atoi(needValue(arg).c_str());
+            if (opts.iterations <= 0) {
+                std::cerr << "checkmate-top: --iterations requires "
+                             "a positive count\n";
+                return 2;
+            }
+        } else if (arg == "--no-clear") {
+            opts.clearScreen = false;
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << kUsage;
+            return 0;
+        } else {
+            std::cerr << "checkmate-top: unknown flag: " << arg
+                      << "\n"
+                      << kUsage;
+            return 2;
+        }
+    }
+    if (opts.socketPath.empty()) {
+        std::cerr << "checkmate-top: --socket is required\n"
+                  << kUsage;
+        return 2;
+    }
+    return checkmate::tools::runTop(opts, std::cout);
+}

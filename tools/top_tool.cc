@@ -1,0 +1,280 @@
+/**
+ * @file
+ * checkmate-top rendering and poll loop.
+ */
+
+#include "top_tool.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "obs/json.hh"
+#include "serve/client.hh"
+
+namespace checkmate::tools
+{
+
+namespace
+{
+
+/** Eight fill levels, lowest to highest. */
+const char *const kSparkGlyphs[8] = {"▁", "▂", "▃",
+                                     "▄", "▅", "▆",
+                                     "▇", "█"};
+
+/** The newest values of the series named @p name (oldest first). */
+std::vector<double>
+seriesValues(const obs::JsonValue &frame, const std::string &name,
+             size_t lastN)
+{
+    std::vector<double> out;
+    const obs::JsonValue *points =
+        frame.find("series", name, "points");
+    if (!points || !points->isArray())
+        return out;
+    size_t first = lastN && points->items.size() > lastN
+                       ? points->items.size() - lastN
+                       : 0;
+    for (size_t i = first; i < points->items.size(); i++) {
+        const obs::JsonValue &pt = points->items[i];
+        // Each point is a [ts_us, value] pair.
+        if (pt.isArray() && pt.items.size() == 2)
+            out.push_back(pt.items[1].asNumber());
+    }
+    return out;
+}
+
+double
+counterValue(const obs::JsonValue &frame, const std::string &name)
+{
+    const obs::JsonValue *v =
+        frame.find("registry", "counters", name);
+    return v ? v->asNumber() : 0.0;
+}
+
+double
+gaugeValue(const obs::JsonValue &frame, const std::string &name)
+{
+    const obs::JsonValue *v =
+        frame.find("registry", "gauges", name);
+    return v ? v->asNumber() : 0.0;
+}
+
+std::string
+formatNumber(double v)
+{
+    std::ostringstream out;
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        out << static_cast<long long>(v);
+    } else {
+        out << std::fixed << std::setprecision(2) << v;
+    }
+    return out.str();
+}
+
+/** Format microseconds as a human latency ("3.2ms", "1.5s"). */
+std::string
+formatUs(double us)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(1);
+    if (us < 1000.0)
+        out << us << "us";
+    else if (us < 1e6)
+        out << us / 1000.0 << "ms";
+    else
+        out << std::setprecision(2) << us / 1e6 << "s";
+    return out.str();
+}
+
+/** One dashboard row: label, current value, sparkline history. */
+void
+row(std::ostringstream &out, const std::string &label,
+    const std::string &value, const std::vector<double> &history)
+{
+    out << "  " << std::left << std::setw(26) << label
+        << std::right << std::setw(12) << value << "  "
+        << sparkline(history, 24) << "\n";
+}
+
+} // anonymous namespace
+
+std::string
+sparkline(const std::vector<double> &values, size_t width)
+{
+    std::string out;
+    if (width == 0)
+        return out;
+    size_t first =
+        values.size() > width ? values.size() - width : 0;
+    size_t shown = values.size() - first;
+    for (size_t i = shown; i < width; i++)
+        out += ' ';
+    if (shown == 0)
+        return out;
+    double lo = values[first], hi = values[first];
+    for (size_t i = first; i < values.size(); i++) {
+        lo = std::min(lo, values[i]);
+        hi = std::max(hi, values[i]);
+    }
+    for (size_t i = first; i < values.size(); i++) {
+        int level = 0;
+        if (hi > lo) {
+            level = static_cast<int>(
+                std::floor((values[i] - lo) / (hi - lo) * 7.0));
+            level = std::clamp(level, 0, 7);
+        } else if (hi > 0.0) {
+            // Flat non-zero history: draw mid-level, not baseline.
+            level = 3;
+        }
+        out += kSparkGlyphs[level];
+    }
+    return out;
+}
+
+std::unique_ptr<obs::JsonValue>
+pollMetrics(const std::string &socketPath, std::string *error)
+{
+    serve::Client client;
+    if (!client.connect(socketPath, error))
+        return nullptr;
+    serve::Request request;
+    request.verb = serve::Verb::Metrics;
+    request.id = "top";
+    request.client = "checkmate-top";
+    if (!client.send(request)) {
+        if (error)
+            *error = "send failed";
+        return nullptr;
+    }
+    std::unique_ptr<obs::JsonValue> frame;
+    auto status = client.readFrame(&frame, 5000);
+    if (status != serve::Client::ReadStatus::Frame) {
+        if (error)
+            *error = "no metrics response";
+        return nullptr;
+    }
+    const obs::JsonValue *event = frame->find("event");
+    if (!event || event->asString() != "metrics") {
+        if (error)
+            *error = "unexpected event: " +
+                     (event ? event->asString() : "<none>");
+        return nullptr;
+    }
+    return frame;
+}
+
+std::string
+renderDashboard(const obs::JsonValue &frame)
+{
+    std::ostringstream out;
+    const size_t window = 24;
+
+    out << "checkmate-top — serve daemon telemetry\n\n";
+
+    out << "queue\n";
+    row(out, "queued",
+        formatNumber(gaugeValue(frame, "serve.queue_depth")),
+        seriesValues(frame, "serve.queue_depth", window));
+    row(out, "in flight",
+        formatNumber(gaugeValue(frame, "serve.in_flight")),
+        seriesValues(frame, "serve.in_flight", window));
+
+    out << "\nrequests\n";
+    row(out, "received (total)",
+        formatNumber(counterValue(frame, "serve.requests.received")),
+        seriesValues(frame, "serve.requests.received.rate",
+                     window));
+    row(out, "completed (total)",
+        formatNumber(
+            counterValue(frame, "serve.requests.completed")),
+        seriesValues(frame, "serve.requests.completed.rate",
+                     window));
+    row(out, "rejected (total)",
+        formatNumber(counterValue(frame, "serve.requests.rejected")),
+        {});
+
+    out << "\nlatency (per window)\n";
+    auto latencyRow = [&](const char *label, const char *series) {
+        std::vector<double> history =
+            seriesValues(frame, series, window);
+        row(out, label,
+            history.empty() ? "-" : formatUs(history.back()),
+            history);
+    };
+    latencyRow("queue wait p50", "serve.queue_wait_us.p50");
+    latencyRow("queue wait p99", "serve.queue_wait_us.p99");
+    latencyRow("service p50", "serve.service_us.p50");
+    latencyRow("service p90", "serve.service_us.p90");
+    latencyRow("service p99", "serve.service_us.p99");
+
+    out << "\ncache & sessions\n";
+    auto ratioRow = [&](const char *label, const char *series,
+                        const char *hitsName,
+                        const char *missesName) {
+        std::vector<double> history =
+            seriesValues(frame, series, window);
+        double hits = counterValue(frame, hitsName);
+        double misses = counterValue(frame, missesName);
+        std::string value = "-";
+        if (hits + misses > 0.0) {
+            std::ostringstream pct;
+            pct << std::fixed << std::setprecision(0)
+                << hits / (hits + misses) * 100.0 << "%";
+            value = pct.str();
+        }
+        row(out, label, value, history);
+    };
+    ratioRow("result-cache hits", "serve.cache.hit_ratio",
+             "serve.cache.hits", "serve.cache.misses");
+    ratioRow("session-pool hits",
+             "engine.session_pool.hit_ratio",
+             "engine.session_pool.hits",
+             "engine.session_pool.misses");
+    row(out, "conflicts/sec",
+        formatNumber(counterValue(frame, "sat.conflicts")),
+        seriesValues(frame, "sat.conflicts.rate", window));
+
+    return out.str();
+}
+
+int
+runTop(const TopOptions &options, std::ostream &out)
+{
+    bool everPolled = false;
+    for (int i = 0;
+         options.iterations == 0 || i < options.iterations; i++) {
+        if (i > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(
+                    std::max(1, options.intervalMs)));
+        }
+        std::string error;
+        std::unique_ptr<obs::JsonValue> frame =
+            pollMetrics(options.socketPath, &error);
+        if (!frame) {
+            if (!everPolled) {
+                out << "checkmate-top: " << error << "\n";
+                return 2;
+            }
+            // The daemon was up and went away: a drain, not an
+            // error.
+            out << "checkmate-top: daemon gone (" << error
+                << ")\n";
+            return 0;
+        }
+        everPolled = true;
+        if (options.clearScreen)
+            out << "\x1b[2J\x1b[H";
+        out << renderDashboard(*frame);
+        out.flush();
+    }
+    return 0;
+}
+
+} // namespace checkmate::tools

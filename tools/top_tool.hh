@@ -1,0 +1,79 @@
+/**
+ * @file
+ * checkmate-top: a terminal monitor for a checkmate-serve daemon.
+ *
+ * Polls the daemon's `metrics` serve-verb and renders the registry
+ * plus its recent time series as a compact dashboard: queue and
+ * in-flight state, request rates, latency percentiles, cache and
+ * session-pool hit ratios — each with a unicode sparkline of its
+ * recent history. The rendering logic lives in this library (pure
+ * string in, string out) so the test suite can drive it against an
+ * in-process daemon without a terminal.
+ */
+
+#ifndef CHECKMATE_TOOLS_TOP_TOOL_HH
+#define CHECKMATE_TOOLS_TOP_TOOL_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json_reader.hh"
+
+namespace checkmate::tools
+{
+
+/** checkmate-top configuration. */
+struct TopOptions
+{
+    /** Daemon socket to poll. */
+    std::string socketPath;
+
+    /** Poll cadence. */
+    int intervalMs = 1000;
+
+    /**
+     * Number of polls before returning (0 = run until the daemon
+     * goes away). Tests and one-shot inspection set this.
+     */
+    int iterations = 0;
+
+    /** Emit the ANSI clear-screen prelude between frames. */
+    bool clearScreen = true;
+};
+
+/**
+ * Fetch one `metrics` frame from the daemon at @p socketPath.
+ *
+ * @return the parsed frame, or nullptr with @p error set.
+ */
+std::unique_ptr<obs::JsonValue>
+pollMetrics(const std::string &socketPath, std::string *error);
+
+/**
+ * Render @p values (oldest→newest) as a @p width-column unicode
+ * sparkline (▁▂▃▄▅▆▇█), scaled to the window's min/max. Fewer
+ * values than columns left-pads with spaces; an empty window is
+ * all spaces.
+ */
+std::string sparkline(const std::vector<double> &values,
+                      size_t width);
+
+/**
+ * Render one dashboard frame from a `metrics` response: queue /
+ * request / latency / cache tables with sparkline history columns.
+ */
+std::string renderDashboard(const obs::JsonValue &frame);
+
+/**
+ * The checkmate-top main loop: poll, render to @p out, sleep,
+ * repeat per @p options.
+ *
+ * @return 0 after options.iterations polls (or a clean daemon
+ * shutdown), 2 when the first poll already fails (daemon absent).
+ */
+int runTop(const TopOptions &options, std::ostream &out);
+
+} // namespace checkmate::tools
+
+#endif // CHECKMATE_TOOLS_TOP_TOOL_HH
