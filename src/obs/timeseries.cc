@@ -143,6 +143,8 @@ trackedGauge(const std::string &name)
 {
     return name == "serve.queue_depth" ||
            name == "serve.in_flight" ||
+           name == "serve.worker.up" ||
+           name == "serve.worker.quarantined_keys" ||
            startsWith(name, "serve.in_flight.by_client.");
 }
 
@@ -153,6 +155,8 @@ trackedRate(const std::string &name)
     return name == "sat.conflicts" ||
            name == "serve.requests.received" ||
            name == "serve.requests.completed" ||
+           name == "serve.worker.crashes" ||
+           name == "serve.worker.restarts" ||
            startsWith(name, "serve.requests.rejected.by_reason.");
 }
 

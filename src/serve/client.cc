@@ -5,6 +5,10 @@
 
 #include "serve/client.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -21,6 +25,23 @@ Client::connect(const std::string &path, std::string *error)
     // Responses carry whole litmus suites; no length ceiling.
     reader_ = std::make_unique<LineReader>(fd_, 0);
     return true;
+}
+
+bool
+Client::connectWithRetry(const std::string &path, int retries,
+                         int backoffMs, std::string *error)
+{
+    constexpr int kBackoffCapMs = 10000;
+    int delay = std::max(1, backoffMs);
+    for (int attempt = 0;; attempt++) {
+        if (connect(path, error))
+            return true;
+        if (attempt >= retries)
+            return false;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay));
+        delay = std::min(delay * 2, kBackoffCapMs);
+    }
 }
 
 bool

@@ -54,6 +54,17 @@ class Client
     /** Connect to the daemon socket at @p path. */
     bool connect(const std::string &path, std::string *error);
 
+    /**
+     * connect() with up to @p retries re-attempts on failure
+     * (missing socket file, ECONNREFUSED), sleeping @p backoffMs
+     * before the first retry and doubling per attempt (capped at
+     * 10 s) — rides out a daemon restart window instead of failing
+     * the moment the old socket disappears. retries = 0 is plain
+     * connect().
+     */
+    bool connectWithRetry(const std::string &path, int retries,
+                          int backoffMs, std::string *error);
+
     bool connected() const { return fd_ >= 0; }
 
     /** Encode and send @p request. */

@@ -40,6 +40,13 @@ request's checkmate CLI flags.
   --client NAME       client name, the fairness unit (default anon)
   --target ID         request to cancel (verb cancel)
   --timeout-ms N      response wait ceiling (default 600000)
+  --connect-retries N retry a failed connect up to N times before
+                      exiting 2 — rides out a daemon restart
+                      window (default 0)
+  --connect-backoff-ms N
+                      delay before the first connect retry;
+                      doubles per attempt, capped at 10 s
+                      (default 100)
   --quiet             suppress lifecycle frames on stderr
   --help              this text
 
@@ -53,6 +60,8 @@ struct ClientCli
     std::string socketPath;
     checkmate::serve::Request request;
     int timeoutMs = 600000;
+    int connectRetries = 0;
+    int connectBackoffMs = 100;
     bool quiet = false;
     bool help = false;
     std::string error;
@@ -105,6 +114,18 @@ parseClientCli(const std::vector<std::string> &args)
             opts.request.target = needValue(i, arg);
         } else if (arg == "--timeout-ms") {
             opts.timeoutMs = std::atoi(needValue(i, arg).c_str());
+        } else if (arg == "--connect-retries") {
+            opts.connectRetries =
+                std::atoi(needValue(i, arg).c_str());
+            if (opts.error.empty() && opts.connectRetries < 0)
+                opts.error = "--connect-retries requires a "
+                             "non-negative count";
+        } else if (arg == "--connect-backoff-ms") {
+            opts.connectBackoffMs =
+                std::atoi(needValue(i, arg).c_str());
+            if (opts.error.empty() && opts.connectBackoffMs <= 0)
+                opts.error = "--connect-backoff-ms requires a "
+                             "positive delay";
         } else if (arg == "--quiet") {
             opts.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -167,7 +188,9 @@ main(int argc, char **argv)
 
     checkmate::serve::Client client;
     std::string error;
-    if (!client.connect(opts.socketPath, &error)) {
+    if (!client.connectWithRetry(opts.socketPath,
+                                 opts.connectRetries,
+                                 opts.connectBackoffMs, &error)) {
         std::cerr << "checkmate-client: " << error << "\n";
         return 2;
     }

@@ -53,7 +53,9 @@ listenUnix(const std::string &path, std::string *error)
     if (!fillAddress(path, &addr, error))
         return -1;
 
-    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    // CLOEXEC: the daemon forks worker processes; a leaked listen fd
+    // in a worker would keep the socket alive past a daemon crash.
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) {
         setError(error, "socket");
         return -1;
@@ -83,7 +85,7 @@ connectUnix(const std::string &path, std::string *error)
     if (!fillAddress(path, &addr, error))
         return -1;
 
-    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) {
         setError(error, "socket");
         return -1;

@@ -1,18 +1,250 @@
 /**
  * @file
- * LRU result cache implementation.
+ * LRU result cache implementation, with the optional append-only
+ * durability journal (see result_cache.hh for the format and the
+ * crash-safety story).
  */
 
 #include "serve/result_cache.hh"
 
+#include <algorithm>
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "engine/fault_injector.hh"
+#include "obs/fsio.hh"
+#include "obs/json.hh"
+#include "obs/json_reader.hh"
 #include "obs/metrics.hh"
 
 namespace checkmate::serve
 {
 
-ResultCache::ResultCache(size_t capacity)
-    : capacity_(capacity ? capacity : 1)
-{}
+namespace
+{
+
+obs::Counter &
+cacheCounter(const char *name)
+{
+    return obs::MetricsRegistry::instance().counter(name);
+}
+
+/**
+ * Write all of @p data to @p fd with plain write(2). The serve
+ * net.hh writeAll is socket-only (send/MSG_NOSIGNAL fails with
+ * ENOTSOCK on a regular file), so the journal has its own loop.
+ */
+bool
+writeFileAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = ::write(fd, data.data() + off,
+                            data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+/** One journal record (without the trailing newline). */
+std::string
+journalRecord(const std::string &key, const CachedResult &value)
+{
+    return obs::JsonFields()
+        .add("k", key)
+        .add("t", value.text)
+        .add("r", value.reportJson)
+        .add("e", static_cast<int64_t>(value.exitCode))
+        .add("w", value.warmStart)
+        .object();
+}
+
+} // anonymous namespace
+
+ResultCache::ResultCache(size_t capacity, std::string journalPath)
+    : capacity_(capacity ? capacity : 1),
+      journalPath_(std::move(journalPath))
+{
+    if (journalPath_.empty())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    loadJournalLocked();
+}
+
+ResultCache::~ResultCache()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (journalFd_ >= 0) {
+        ::close(journalFd_);
+        journalFd_ = -1;
+    }
+}
+
+void
+ResultCache::loadJournalLocked()
+{
+    uint64_t records = 0;
+    bool dirty = false; // journal needs a compaction rewrite
+    std::ifstream in(journalPath_, std::ios::binary);
+    if (in) {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        std::string content = buf.str();
+        size_t pos = 0;
+        while (pos < content.size()) {
+            size_t nl = content.find('\n', pos);
+            if (nl == std::string::npos) {
+                // Torn tail: a crash mid-append left a partial
+                // record. Drop it; everything before it is intact.
+                ++journalDropped_;
+                dirty = true;
+                break;
+            }
+            std::string line = content.substr(pos, nl - pos);
+            pos = nl + 1;
+            if (line.empty())
+                continue;
+            std::unique_ptr<obs::JsonValue> record =
+                obs::parseJson(line);
+            const obs::JsonValue *key =
+                record ? record->find("k") : nullptr;
+            const obs::JsonValue *text =
+                record ? record->find("t") : nullptr;
+            const obs::JsonValue *report =
+                record ? record->find("r") : nullptr;
+            const obs::JsonValue *exit =
+                record ? record->find("e") : nullptr;
+            if (!key || !key->isString() || !text ||
+                !text->isString() || !report ||
+                !report->isString() || !exit ||
+                !exit->isNumber()) {
+                ++journalDropped_;
+                dirty = true;
+                continue;
+            }
+            ++records;
+            // Replay in file order: a re-inserted key takes the
+            // newer value, and tick order reproduces recency.
+            Entry &entry = entries_[key->asString()];
+            entry.value.text = text->asString();
+            entry.value.reportJson = report->asString();
+            entry.value.exitCode =
+                static_cast<int>(exit->asNumber());
+            const obs::JsonValue *warm = record->find("w");
+            entry.value.warmStart = warm && warm->isBool() &&
+                                    warm->boolean;
+            entry.lastUsed = ++tick_;
+        }
+    }
+    while (entries_.size() > capacity_) {
+        // A journal written under a larger --cache-cap: keep the
+        // most recent entries (these are reloads, not evictions —
+        // the eviction counter tracks live operation).
+        auto victim = entries_.begin();
+        for (auto it = entries_.begin(); it != entries_.end();
+             ++it) {
+            if (it->second.lastUsed < victim->second.lastUsed)
+                victim = it;
+        }
+        entries_.erase(victim);
+        dirty = true;
+    }
+    journalLoaded_ = entries_.size();
+    journalRecords_ = records;
+    cacheCounter("serve.cache.journal.loaded")
+        .add(journalLoaded_);
+    if (journalDropped_)
+        cacheCounter("serve.cache.journal.dropped")
+            .add(journalDropped_);
+
+    if (dirty || records != entries_.size()) {
+        // Dropped or duplicate records: rewrite the journal as one
+        // clean snapshot (also reopens the append fd).
+        compactJournalLocked();
+        return;
+    }
+    journalFd_ = ::open(journalPath_.c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                        0644);
+    if (journalFd_ < 0) {
+        ++journalErrors_;
+        cacheCounter("serve.cache.journal.errors").add(1);
+    }
+}
+
+void
+ResultCache::appendJournalLocked(const std::string &key,
+                                 const CachedResult &value)
+{
+    if (journalPath_.empty())
+        return;
+    if (engine::FaultInjector::fires("serve.cache.journal.write") ||
+        journalFd_ < 0 ||
+        !writeFileAll(journalFd_, journalRecord(key, value) +
+                                      "\n")) {
+        // Durability degrades, service does not: the entry stays
+        // live in memory and only the restart survival is lost.
+        ++journalErrors_;
+        cacheCounter("serve.cache.journal.errors").add(1);
+        return;
+    }
+    ::fdatasync(journalFd_);
+    ++journalRecords_;
+    // The append-only file accumulates superseded and evicted
+    // records; rewrite it once it outgrows the live set by a few
+    // multiples.
+    if (journalRecords_ > 4 * capacity_ + 16)
+        compactJournalLocked();
+}
+
+void
+ResultCache::compactJournalLocked()
+{
+    if (journalPath_.empty())
+        return;
+    // Snapshot in ascending recency order so a reload's replay
+    // reproduces today's LRU order exactly.
+    std::vector<const std::pair<const std::string, Entry> *> order;
+    order.reserve(entries_.size());
+    for (const auto &pair : entries_)
+        order.push_back(&pair);
+    std::sort(order.begin(), order.end(),
+              [](const auto *a, const auto *b) {
+                  return a->second.lastUsed < b->second.lastUsed;
+              });
+    std::string snapshot;
+    for (const auto *pair : order) {
+        snapshot += journalRecord(pair->first, pair->second.value);
+        snapshot += '\n';
+    }
+    if (journalFd_ >= 0) {
+        ::close(journalFd_);
+        journalFd_ = -1;
+    }
+    if (!obs::atomicWriteFile(journalPath_, snapshot)) {
+        ++journalErrors_;
+        cacheCounter("serve.cache.journal.errors").add(1);
+        return;
+    }
+    journalRecords_ = entries_.size();
+    journalFd_ = ::open(journalPath_.c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                        0644);
+    if (journalFd_ < 0) {
+        ++journalErrors_;
+        cacheCounter("serve.cache.journal.errors").add(1);
+    }
+}
 
 bool
 ResultCache::lookup(const std::string &key, CachedResult *out)
@@ -43,6 +275,7 @@ ResultCache::insert(const std::string &key, CachedResult value)
     Entry &entry = entries_[key];
     entry.value = std::move(value);
     entry.lastUsed = ++tick_;
+    appendJournalLocked(key, entry.value);
     evictOverCapacityLocked();
 }
 
@@ -97,11 +330,41 @@ ResultCache::evictions() const
     return evictions_;
 }
 
+uint64_t
+ResultCache::journalLoaded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return journalLoaded_;
+}
+
+uint64_t
+ResultCache::journalDropped() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return journalDropped_;
+}
+
+uint64_t
+ResultCache::journalErrors() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return journalErrors_;
+}
+
+uint64_t
+ResultCache::journalRecords() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return journalRecords_;
+}
+
 void
 ResultCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    if (!journalPath_.empty())
+        compactJournalLocked();
 }
 
 } // namespace checkmate::serve

@@ -14,6 +14,22 @@
  *
  * Hits, misses, and evictions are published to the metrics
  * registry under `serve.cache.*` (docs/OBSERVABILITY.md).
+ *
+ * With a journal path the cache is durable: every insert appends
+ * one JSONL record (`{"k":...,"t":...,"r":...,"e":...,"w":...}`)
+ * to an append-only file and fdatasyncs it, and a restarted daemon
+ * reloads the journal before accepting connections — a repeat
+ * query is a `cache_hit` across restarts. Loading tolerates a torn
+ * tail (a crash mid-append leaves a partial last line): the
+ * damaged record is dropped and the journal compacted, never
+ * fatal. Compaction (also triggered when the append-only file
+ * grows past a few times capacity) rewrites the journal as one
+ * crash-safe obs::atomicWriteFile snapshot in LRU order, so the
+ * on-disk byte count stays proportional to the cache, not to the
+ * daemon's lifetime. Journal write failures (disk full, fault site
+ * `serve.cache.journal.write`) degrade to an in-memory cache:
+ * counted under `serve.cache.journal.errors`, never an error the
+ * client sees.
  */
 
 #ifndef CHECKMATE_SERVE_RESULT_CACHE_HH
@@ -48,8 +64,15 @@ struct CachedResult
 class ResultCache
 {
   public:
-    /** @param capacity max entries retained (min 1). */
-    explicit ResultCache(size_t capacity);
+    /**
+     * @param capacity max entries retained (min 1).
+     * @param journalPath append-only durability journal; empty =
+     *        in-memory only. An existing journal is loaded here.
+     */
+    explicit ResultCache(size_t capacity,
+                         std::string journalPath = "");
+
+    ~ResultCache();
 
     /**
      * Look @p key up, counting a hit or miss.
@@ -70,6 +93,20 @@ class ResultCache
     /** Drop every entry (counters keep accumulating). */
     void clear();
 
+    /** Entries recovered from the journal at construction. */
+    uint64_t journalLoaded() const;
+
+    /** Journal records dropped at load (torn tail, bad JSON). */
+    uint64_t journalDropped() const;
+
+    /** Failed journal appends (cache stayed in-memory only). */
+    uint64_t journalErrors() const;
+
+    /** Records in the on-disk journal right now (tests). */
+    uint64_t journalRecords() const;
+
+    const std::string &journalPath() const { return journalPath_; }
+
   private:
     struct Entry
     {
@@ -78,6 +115,10 @@ class ResultCache
     };
 
     void evictOverCapacityLocked();
+    void loadJournalLocked();
+    void appendJournalLocked(const std::string &key,
+                             const CachedResult &value);
+    void compactJournalLocked();
 
     mutable std::mutex mutex_;
     std::map<std::string, Entry> entries_;
@@ -86,6 +127,13 @@ class ResultCache
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t evictions_ = 0;
+
+    std::string journalPath_;
+    int journalFd_ = -1;
+    uint64_t journalRecords_ = 0;
+    uint64_t journalLoaded_ = 0;
+    uint64_t journalDropped_ = 0;
+    uint64_t journalErrors_ = 0;
 };
 
 } // namespace checkmate::serve

@@ -53,6 +53,38 @@ protocol reference.
                       the engine's own default)
   --checkpoint DIR    checkpoint served jobs under DIR and resume
                       them after a restart (default: off)
+  --checkpoint-interval SECONDS
+                      checkpoint flush cadence (default: the
+                      engine's own; 0 = flush every model)
+  --cache-journal PATH
+                      persist the result cache to an append-only
+                      journal at PATH, reloaded on startup so
+                      repeat queries stay cache hits across daemon
+                      restarts (default: off)
+  --workers N         run synthesis in N supervised worker child
+                      processes sharded by job core identity;
+                      crashed workers restart with exponential
+                      backoff and their in-flight requests are
+                      re-dispatched (default: 0 = in-process).
+                      docs/SERVING.md "Running a worker fleet"
+  --heartbeat-interval-ms N
+                      worker heartbeat ping cadence (default 500)
+  --heartbeat-timeout-ms N
+                      silence after which a worker is presumed hung
+                      and SIGKILLed (default 5000)
+  --restart-backoff-ms N
+                      first worker-restart delay; doubles per
+                      consecutive crash, capped at 10 s
+                      (default 250)
+  --quarantine-after N
+                      worker crashes with one core key in flight
+                      before that key is quarantined (default 3)
+  --worker-inject SPEC
+                      fault spec (site:N,...) forwarded to worker
+                      children's FaultInjector — testing only
+  --worker-inject-restarts
+                      re-arm --worker-inject on every worker
+                      restart (default: first spawn only)
   --no-incremental    do not default served requests to pooled
                       incremental sessions
   --max-jobs N        per-request job ceiling (default 16)
@@ -85,6 +117,12 @@ struct DaemonOptions
     std::string logLevel = "info";
     bool help = false;
     std::string error;
+
+    /** Worker child mode (exec'd by the supervisor, not by hand):
+     * >= 0 means serve frames on this fd instead of a socket. */
+    int workerFd = -1;
+    int workerIndex = 0;
+    std::string workerInject;
 };
 
 DaemonOptions
@@ -123,6 +161,53 @@ parseDaemonCli(const std::vector<std::string> &args)
                 static_cast<size_t>(positive(i, arg));
         } else if (arg == "--checkpoint") {
             opts.server.checkpointDir = needValue(i, arg);
+        } else if (arg == "--checkpoint-interval") {
+            std::string value = needValue(i, arg);
+            if (opts.error.empty()) {
+                double seconds = std::atof(value.c_str());
+                if (seconds < 0.0) {
+                    opts.error = "--checkpoint-interval requires "
+                                 "a non-negative duration";
+                }
+                opts.server.checkpointIntervalSeconds = seconds;
+            }
+        } else if (arg == "--cache-journal") {
+            opts.server.cacheJournalPath = needValue(i, arg);
+        } else if (arg == "--workers") {
+            opts.server.fleet.workers =
+                static_cast<int>(positive(i, arg));
+        } else if (arg == "--heartbeat-interval-ms") {
+            opts.server.fleet.heartbeatIntervalMs =
+                static_cast<int>(positive(i, arg));
+        } else if (arg == "--heartbeat-timeout-ms") {
+            opts.server.fleet.heartbeatTimeoutMs =
+                static_cast<int>(positive(i, arg));
+        } else if (arg == "--restart-backoff-ms") {
+            opts.server.fleet.restartBackoffMs =
+                static_cast<int>(positive(i, arg));
+        } else if (arg == "--quarantine-after") {
+            opts.server.fleet.quarantineAfterCrashes =
+                static_cast<int>(positive(i, arg));
+        } else if (arg == "--worker-inject") {
+            opts.server.fleet.injectSpec = needValue(i, arg);
+            opts.workerInject = opts.server.fleet.injectSpec;
+        } else if (arg == "--worker-inject-restarts") {
+            opts.server.fleet.injectOnRestart = true;
+        } else if (arg == "--worker-fd") {
+            // Internal: spawned worker children only. Not a
+            // positive() flag — fd 0 is valid in principle.
+            long long fd = std::atoll(needValue(i, arg).c_str());
+            if (opts.error.empty() && fd < 0)
+                opts.error = "--worker-fd requires a non-negative "
+                             "descriptor";
+            opts.workerFd = static_cast<int>(fd);
+        } else if (arg == "--worker-index") {
+            long long index =
+                std::atoll(needValue(i, arg).c_str());
+            if (opts.error.empty() && index < 0)
+                opts.error = "--worker-index requires a "
+                             "non-negative index";
+            opts.workerIndex = static_cast<int>(index);
         } else if (arg == "--no-incremental") {
             opts.server.incrementalDefault = false;
         } else if (arg == "--max-jobs") {
@@ -159,7 +244,7 @@ parseDaemonCli(const std::vector<std::string> &args)
         if (!opts.error.empty())
             break;
     }
-    if (opts.error.empty() && !opts.help &&
+    if (opts.error.empty() && !opts.help && opts.workerFd < 0 &&
         opts.server.socketPath.empty())
         opts.error = "--socket is required";
     if (opts.error.empty() && !opts.logJsonPath.empty() &&
@@ -184,6 +269,24 @@ main(int argc, char **argv)
         std::cerr << "checkmate-serve: " << opts.error << "\n"
                   << kUsage;
         return 1;
+    }
+
+    if (opts.workerFd >= 0) {
+        // Worker child mode: no socket, no signal handling of our
+        // own — the supervisor owns this process's lifetime
+        // through the inherited pipe fd (serve/worker.hh).
+        checkmate::serve::WorkerChildOptions child;
+        child.fd = opts.workerFd;
+        child.index = opts.workerIndex;
+        child.checkpointDir = opts.server.checkpointDir;
+        child.checkpointIntervalSeconds =
+            opts.server.checkpointIntervalSeconds;
+        child.incrementalDefault = opts.server.incrementalDefault;
+        child.maxJobsPerRequest = opts.server.maxJobsPerRequest;
+        child.sessionPoolCapacity =
+            opts.server.sessionPoolCapacity;
+        child.injectSpec = opts.workerInject;
+        return checkmate::serve::workerMain(child);
     }
 
     if (!opts.logJsonPath.empty() || !opts.logFilePath.empty()) {

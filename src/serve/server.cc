@@ -14,15 +14,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include "core/cli.hh"
-#include "engine/job.hh"
-#include "engine/report.hh"
-#include "engine/scheduler.hh"
 #include "engine/session_pool.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "obs/json_reader.hh"
 #include "serve/net.hh"
+#include "serve/synth_runner.hh"
 
 namespace checkmate::serve
 {
@@ -56,48 +54,21 @@ secondsSince(std::chrono::steady_clock::time_point start)
         .count();
 }
 
-/**
- * The first flag of @p options that a served request may not use:
- * flags naming daemon-side files (reports, traces, checkpoints) or
- * altering the process (fault injection) belong to the operator, not
- * to remote clients.
- */
-const char *
-unsupportedServeFlag(const core::CliOptions &options)
+/** Bool field of a parsed worker frame (absent = false). */
+bool
+frameBool(const obs::JsonValue &frame, const char *key)
 {
-    if (options.help)
-        return "--help";
-    if (!options.reportPath.empty())
-        return "--report";
-    if (!options.tracePath.empty())
-        return "--trace";
-    if (!options.logJsonPath.empty())
-        return "--log-json";
-    if (!options.dumpDimacsDir.empty())
-        return "--dump-dimacs";
-    if (!options.checkpointDir.empty())
-        return "--checkpoint";
-    if (options.resume)
-        return "--resume";
-    if (!options.injectSpec.empty())
-        return "--inject";
-    if (options.emitDot)
-        return "--dot";
-    if (options.sessionPoolCap)
-        return "--session-pool-cap";
-    return nullptr;
+    const obs::JsonValue *v = frame.find(key);
+    return v && v->isBool() && v->boolean;
 }
 
-/** Did the request spell out --incremental[=...] itself? */
-bool
-mentionsIncremental(const std::vector<std::string> &args)
+/** String field of a parsed worker frame (absent = ""). */
+const std::string &
+frameString(const obs::JsonValue &frame, const char *key)
 {
-    for (const std::string &arg : args) {
-        if (arg == "--incremental" ||
-            arg.rfind("--incremental=", 0) == 0)
-            return true;
-    }
-    return false;
+    static const std::string empty;
+    const obs::JsonValue *v = frame.find(key);
+    return v ? v->asString() : empty;
 }
 
 } // anonymous namespace
@@ -148,7 +119,8 @@ struct Server::PendingRequest
 };
 
 Server::Server(ServerOptions options)
-    : options_(std::move(options)), cache_(options_.cacheCapacity),
+    : options_(std::move(options)),
+      cache_(options_.cacheCapacity, options_.cacheJournalPath),
       telemetry_(options_.telemetry)
 {}
 
@@ -185,6 +157,24 @@ Server::start(std::string *error)
         engine::SessionPool::instance().setCapacity(
             options_.sessionPoolCapacity);
     }
+    if (options_.fleet.workers > 0) {
+        WorkerChildOptions child;
+        child.checkpointDir = options_.checkpointDir;
+        child.checkpointIntervalSeconds =
+            options_.checkpointIntervalSeconds;
+        child.incrementalDefault = options_.incrementalDefault;
+        child.maxJobsPerRequest = options_.maxJobsPerRequest;
+        child.sessionPoolCapacity = options_.sessionPoolCapacity;
+        pool_ = std::make_unique<WorkerPool>(options_.fleet, child);
+        if (!pool_->start(error)) {
+            pool_.reset();
+            telemetry_.stop();
+            ::close(listenFd_);
+            ::unlink(options_.socketPath.c_str());
+            listenFd_ = -1;
+            return false;
+        }
+    }
     running_.store(true, std::memory_order_relaxed);
     acceptThread_ = std::thread([this] { acceptLoop(); });
     int workers = std::max(1, options_.maxInFlight);
@@ -209,7 +199,11 @@ Server::acceptLoop()
         int ready = ::poll(&pfd, 1, kPollMs);
         if (ready <= 0)
             continue;
-        int fd = ::accept(listenFd_, nullptr, nullptr);
+        // SOCK_CLOEXEC: client connections must not leak into
+        // forked worker children (an inherited fd would hold a
+        // client's connection open past the daemon closing it).
+        int fd = ::accept4(listenFd_, nullptr, nullptr,
+                           SOCK_CLOEXEC);
         if (fd < 0)
             continue;
         auto conn = std::make_shared<Connection>(fd);
@@ -341,8 +335,13 @@ Server::handleSynth(const ConnPtr &conn, Request request)
         return;
     }
     if (queuedCount_ >= options_.maxQueued) {
+        // With part of the fleet down the ceiling is hit at reduced
+        // capacity: `degraded` tells the operator the queue filled
+        // because workers are being restarted, not because demand
+        // outgrew a healthy daemon.
         rejectLocked(lock, conn, request.id, requestId,
-                     "queue-full");
+                     pool_ && pool_->degraded() ? "degraded"
+                                                : "queue-full");
         return;
     }
     if (request.id.empty()) {
@@ -426,6 +425,10 @@ Server::handleStatus(const ConnPtr &conn, const Request &request)
                       .add("misses", pool.misses())
                       .add("evictions", pool.evictions())
                       .object());
+    if (pool_) {
+        fields.addRaw("workers", pool_->workersJson());
+        fields.addRaw("quarantined", pool_->quarantinedJson());
+    }
     conn->send(responseFrame(request.id, "status", fields));
 }
 
@@ -446,6 +449,10 @@ Server::handleMetrics(const ConnPtr &conn, const Request &request)
     fields.add("samples", telemetry_.aggregator().samples());
     fields.add("metrics_port",
                static_cast<uint64_t>(std::max(0, telemetry_.port())));
+    if (pool_) {
+        fields.addRaw("workers", pool_->workersJson());
+        fields.addRaw("quarantined", pool_->quarantinedJson());
+    }
     conn->send(responseFrame(request.id, "metrics", fields));
 }
 
@@ -640,37 +647,15 @@ Server::runRequest(const ReqPtr &req)
         req->id, "started",
         obs::JsonFields().add("request_id", req->requestId)));
 
-    core::CliOptions cli = core::parseCli(req->args);
-    if (!cli.error.empty()) {
-        sendError(cli.error);
+    SynthPlan plan = planSynth(req->args,
+                               options_.maxJobsPerRequest);
+    if (!plan.error.empty()) {
+        sendError(plan.error);
         return;
     }
-    if (const char *flag = unsupportedServeFlag(cli)) {
-        sendError(std::string("flag not supported over serve: ") +
-                  flag);
-        return;
-    }
-
-    std::vector<engine::SynthesisJob> jobs = core::buildJobs(cli);
-    if (jobs.size() > options_.maxJobsPerRequest) {
-        sendError("request decomposes into " +
-                  std::to_string(jobs.size()) + " jobs (limit " +
-                  std::to_string(options_.maxJobsPerRequest) + ")");
-        return;
-    }
-
-    // Canonical identity: every job's full key (core + delta +
-    // budgets) plus the render flags — everything that shapes the
-    // response text.
-    std::string cacheKey;
-    for (const engine::SynthesisJob &job : jobs) {
-        cacheKey += engine::jobKey(job);
-        cacheKey += ';';
-    }
-    cacheKey += cli.printGraphs ? "|graphs" : "|plain";
 
     CachedResult cached;
-    if (cache_.lookup(cacheKey, &cached)) {
+    if (cache_.lookup(plan.cacheKey, &cached)) {
         obs::JsonFields done;
         done.add("cache_hit", true);
         done.add("warm_start", cached.warmStart);
@@ -690,85 +675,121 @@ Server::runRequest(const ReqPtr &req)
         return;
     }
 
-    engine::EngineOptions engineOptions =
-        core::engineOptionsFromCli(cli);
-    engineOptions.requestId = req->requestId;
-    if (!mentionsIncremental(req->args))
-        engineOptions.incremental = options_.incrementalDefault;
-    if (!options_.checkpointDir.empty()) {
-        // Daemon-side durability: every served job checkpoints, and
-        // resume makes a restarted daemon pick interrupted
-        // enumerations back up where they stopped.
-        engineOptions.checkpointDir = options_.checkpointDir;
-        engineOptions.resume = true;
-    }
-
-    engine::RunResult run;
-    {
-        obs::Span runSpan("serve.run", "serve");
-        runSpan.arg("id", req->id);
-        runSpan.arg("jobs", static_cast<uint64_t>(jobs.size()));
-        run = engine::runJobs(jobs, engineOptions,
+    SynthExecution result;
+    if (pool_) {
+        // Fleet mode: the request runs in a worker child sharded by
+        // its coreKey; this thread blocks on the pool, which
+        // re-dispatches transparently if the worker dies.
+        WorkerPool::DispatchResult dispatch = pool_->run(
+            plan.coreKey, req->requestId, req->args,
+            &req->stopSource);
+        if (dispatch.status ==
+            WorkerPool::DispatchResult::Status::Quarantined) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            rejectLocked(lock, req->conn, req->id, req->requestId,
+                         "quarantined");
+            return;
+        }
+        if (dispatch.status ==
+            WorkerPool::DispatchResult::Status::Stopped) {
+            // Stopped before any worker produced a result: either
+            // cancelled pre-dispatch or the daemon is shutting
+            // down. Mirror the local path's terminal frames.
+            if (req->cancelled.load(std::memory_order_relaxed)) {
+                req->conn->send(responseFrame(
+                    req->id, "cancelled",
+                    obs::JsonFields()
+                        .add("wall_seconds", 0.0)
+                        .add("request_id", req->requestId)));
+                return;
+            }
+            obs::JsonFields done;
+            done.add("cache_hit", false);
+            done.add("warm_start", false);
+            done.add("exit", 130);
+            done.add("aborted", false);
+            done.add("exploits", static_cast<uint64_t>(0));
+            done.add("wall_seconds", 0.0);
+            done.add("queue_seconds", queueSeconds);
+            done.add("request_id", req->requestId);
+            done.add("text", "");
+            done.addRaw("report", "{}");
+            req->conn->send(responseFrame(req->id, "done", done));
+            return;
+        }
+        const obs::JsonValue &frame = *dispatch.frame;
+        if (frameString(frame, "event") == "error") {
+            sendError(frameString(frame, "reason"));
+            return;
+        }
+        const obs::JsonValue *exit = frame.find("exit");
+        const obs::JsonValue *exploits = frame.find("exploits");
+        const obs::JsonValue *wall = frame.find("wall_seconds");
+        result.text = frameString(frame, "text");
+        result.stderrText = frameString(frame, "stderr");
+        // The report crossed the pipe as a string of the exact
+        // bytes the worker rendered; spliced below with addRaw so
+        // the client sees them unmodified (byte-identity).
+        result.reportJson = frameString(frame, "report");
+        result.exitCode =
+            exit ? static_cast<int>(exit->asNumber()) : 2;
+        result.aborted = frameBool(frame, "aborted");
+        result.stopped = frameBool(frame, "stopped");
+        result.warmStart = frameBool(frame, "warm_start");
+        result.cacheable = frameBool(frame, "cacheable");
+        result.exploits = static_cast<uint64_t>(
+            exploits ? exploits->asNumber() : 0.0);
+        result.wallSeconds = wall ? wall->asNumber() : 0.0;
+    } else {
+        SynthExecOptions execOptions;
+        execOptions.incrementalDefault =
+            options_.incrementalDefault;
+        execOptions.checkpointDir = options_.checkpointDir;
+        execOptions.checkpointIntervalSeconds =
+            options_.checkpointIntervalSeconds;
+        execOptions.requestId = req->requestId;
+        result = executeSynth(plan, execOptions,
                               &req->stopSource);
     }
-
-    obs::Span respond("serve.respond", "serve");
-    std::ostringstream text, errText;
-    core::RenderSummary summary =
-        core::renderRunResults(run, cli, text, &errText);
-    bool stopped = req->stopSource.stopRequested();
-    int exitCode = core::runExitCode(summary, stopped);
-    std::string reportJson =
-        engine::runReportToJson(run, engineOptions);
-    // The report renders as a document with a trailing newline; a
-    // raw newline inside a frame would end it early.
-    while (!reportJson.empty() &&
-           (reportJson.back() == '\n' || reportJson.back() == ' '))
-        reportJson.pop_back();
 
     if (req->cancelled.load(std::memory_order_relaxed)) {
         req->conn->send(responseFrame(
             req->id, "cancelled",
             obs::JsonFields()
-                .add("wall_seconds", run.wallSeconds)
+                .add("wall_seconds", result.wallSeconds)
                 .add("request_id", req->requestId)));
         return;
     }
 
-    // Did any job reuse a pooled warm session? Surfaced on the done
-    // frame (and replayed on cache hits) so clients can tell the
-    // three response speeds apart: cold, warm-session, cached.
-    bool warmStart = false;
-    for (const engine::JobResult &job : run.jobs)
-        warmStart = warmStart || job.report.warmStart;
-
-    if (!run.aborted && !stopped && !summary.jobErrors) {
-        cache_.insert(cacheKey,
-                      CachedResult{text.str(), reportJson,
-                                   exitCode, warmStart});
+    if (result.cacheable) {
+        cache_.insert(plan.cacheKey,
+                      CachedResult{result.text, result.reportJson,
+                                   result.exitCode,
+                                   result.warmStart});
     }
 
     obs::JsonFields done;
     done.add("cache_hit", false);
-    done.add("warm_start", warmStart);
-    done.add("exit", exitCode);
-    done.add("aborted", run.aborted);
-    done.add("exploits",
-             static_cast<uint64_t>(summary.totalExploits));
-    done.add("wall_seconds", run.wallSeconds);
+    done.add("warm_start", result.warmStart);
+    done.add("exit", result.exitCode);
+    done.add("aborted", result.aborted);
+    done.add("exploits", result.exploits);
+    done.add("wall_seconds", result.wallSeconds);
     done.add("queue_seconds", queueSeconds);
     done.add("request_id", req->requestId);
-    done.add("text", text.str());
-    if (!errText.str().empty())
-        done.add("stderr", errText.str());
-    done.addRaw("report", reportJson);
+    done.add("text", result.text);
+    if (!result.stderrText.empty())
+        done.add("stderr", result.stderrText);
+    done.addRaw("report", result.reportJson.empty()
+                              ? "{}"
+                              : result.reportJson);
     req->conn->send(responseFrame(req->id, "done", done));
     logServe(obs::LogLevel::Info, "request done",
              obs::JsonFields()
                  .add("id", req->id)
                  .add("client", req->client)
-                 .add("exit", exitCode)
-                 .add("wall_seconds", run.wallSeconds)
+                 .add("exit", result.exitCode)
+                 .add("wall_seconds", result.wallSeconds)
                  .str());
 }
 
@@ -897,6 +918,10 @@ Server::stop()
         if (worker.joinable())
             worker.join();
     workers_.clear();
+    // The fleet goes down after the server workers: no run() caller
+    // is left to dispatch into a stopping pool.
+    if (pool_)
+        pool_->stop();
     std::vector<std::thread> readers;
     {
         std::lock_guard<std::mutex> lock(readersMutex_);

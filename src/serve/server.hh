@@ -53,6 +53,7 @@
 #include "serve/protocol.hh"
 #include "serve/result_cache.hh"
 #include "serve/telemetry.hh"
+#include "serve/worker.hh"
 
 namespace checkmate::serve
 {
@@ -95,6 +96,25 @@ struct ServerOptions
      * and resumes from disk, so a hard drain loses no work.
      */
     std::string checkpointDir;
+
+    /** Checkpoint flush cadence, seconds; negative = engine default.
+     * Tests lower it so a killed worker leaves a fresh frontier. */
+    double checkpointIntervalSeconds = -1.0;
+
+    /**
+     * Result-cache durability journal (empty = in-memory only).
+     * Loaded before the socket opens, so a restarted daemon's first
+     * repeat query is already a cache_hit (result_cache.hh).
+     */
+    std::string cacheJournalPath;
+
+    /**
+     * Worker fleet shape and supervision policy. fleet.workers > 0
+     * moves synthesis out of this process into supervised child
+     * processes sharded by jobCoreKey (serve/worker.hh); 0 keeps
+     * the single-process in-thread execution path.
+     */
+    WorkerFleetOptions fleet;
 
     /**
      * Operational telemetry: sampling cadence, Prometheus endpoint,
@@ -184,6 +204,12 @@ class Server
      */
     std::vector<std::string> startedOrder() const;
 
+    /** The worker fleet; null when fleet.workers == 0. */
+    WorkerPool *workerPool() { return pool_.get(); }
+
+    /** The result cache (journal counters for tests). */
+    const ResultCache &resultCache() const { return cache_; }
+
   private:
     struct Connection;
     struct PendingRequest;
@@ -217,6 +243,7 @@ class Server
     ServerOptions options_;
     ResultCache cache_;
     TelemetryController telemetry_;
+    std::unique_ptr<WorkerPool> pool_;
 
     int listenFd_ = -1;
     std::thread acceptThread_;

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Shared synth planning/execution implementation.
+ */
+
+#include "serve/synth_runner.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "engine/report.hh"
+#include "engine/scheduler.hh"
+#include "obs/trace.hh"
+
+namespace checkmate::serve
+{
+
+namespace
+{
+
+/**
+ * The first flag of @p options that a served request may not use:
+ * flags naming daemon-side files (reports, traces, checkpoints) or
+ * altering the process (fault injection) belong to the operator, not
+ * to remote clients.
+ */
+const char *
+unsupportedServeFlag(const core::CliOptions &options)
+{
+    if (options.help)
+        return "--help";
+    if (!options.reportPath.empty())
+        return "--report";
+    if (!options.tracePath.empty())
+        return "--trace";
+    if (!options.logJsonPath.empty())
+        return "--log-json";
+    if (!options.dumpDimacsDir.empty())
+        return "--dump-dimacs";
+    if (!options.checkpointDir.empty())
+        return "--checkpoint";
+    if (options.resume)
+        return "--resume";
+    if (!options.injectSpec.empty())
+        return "--inject";
+    if (options.emitDot)
+        return "--dot";
+    if (options.sessionPoolCap)
+        return "--session-pool-cap";
+    return nullptr;
+}
+
+/** Did the request spell out --incremental[=...] itself? */
+bool
+mentionsIncremental(const std::vector<std::string> &args)
+{
+    for (const std::string &arg : args) {
+        if (arg == "--incremental" ||
+            arg.rfind("--incremental=", 0) == 0)
+            return true;
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+SynthPlan
+planSynth(const std::vector<std::string> &args,
+          size_t maxJobsPerRequest)
+{
+    SynthPlan plan;
+    plan.args = args;
+    plan.cli = core::parseCli(args);
+    if (!plan.cli.error.empty()) {
+        plan.error = plan.cli.error;
+        return plan;
+    }
+    if (const char *flag = unsupportedServeFlag(plan.cli)) {
+        plan.error =
+            std::string("flag not supported over serve: ") + flag;
+        return plan;
+    }
+    plan.jobs = core::buildJobs(plan.cli);
+    if (plan.jobs.size() > maxJobsPerRequest) {
+        plan.error = "request decomposes into " +
+                     std::to_string(plan.jobs.size()) +
+                     " jobs (limit " +
+                     std::to_string(maxJobsPerRequest) + ")";
+        return plan;
+    }
+
+    // Canonical identity: every job's full key (core + delta +
+    // budgets) plus the render flags — everything that shapes the
+    // response text.
+    for (const engine::SynthesisJob &job : plan.jobs) {
+        plan.cacheKey += engine::jobKey(job);
+        plan.cacheKey += ';';
+    }
+    plan.cacheKey += plan.cli.printGraphs ? "|graphs" : "|plain";
+
+    // Partition identity: core keys only (no delta/budgets), so a
+    // sweep and its re-query with different caps land on the same
+    // worker and reuse its warm sessions.
+    std::vector<std::string> cores;
+    cores.reserve(plan.jobs.size());
+    for (const engine::SynthesisJob &job : plan.jobs)
+        cores.push_back(engine::jobCoreKey(job));
+    std::sort(cores.begin(), cores.end());
+    cores.erase(std::unique(cores.begin(), cores.end()),
+                cores.end());
+    for (const std::string &core : cores) {
+        if (!plan.coreKey.empty())
+            plan.coreKey += '|';
+        plan.coreKey += core;
+    }
+    return plan;
+}
+
+SynthExecution
+executeSynth(const SynthPlan &plan, const SynthExecOptions &options,
+             engine::StopSource *stop)
+{
+    engine::EngineOptions engineOptions =
+        core::engineOptionsFromCli(plan.cli);
+    engineOptions.requestId = options.requestId;
+    if (!mentionsIncremental(plan.args))
+        engineOptions.incremental = options.incrementalDefault;
+    if (!options.checkpointDir.empty()) {
+        // Daemon-side durability: every served job checkpoints, and
+        // resume makes a restarted daemon (or a re-dispatched
+        // worker) pick interrupted enumerations back up.
+        engineOptions.checkpointDir = options.checkpointDir;
+        engineOptions.resume = true;
+        if (options.checkpointIntervalSeconds >= 0.0) {
+            engineOptions.checkpointIntervalSeconds =
+                options.checkpointIntervalSeconds;
+        }
+    }
+
+    engine::RunResult run;
+    {
+        obs::Span runSpan("serve.run", "serve");
+        runSpan.arg("jobs", static_cast<uint64_t>(plan.jobs.size()));
+        run = engine::runJobs(plan.jobs, engineOptions, stop);
+    }
+
+    obs::Span respond("serve.respond", "serve");
+    std::ostringstream text, errText;
+    core::RenderSummary summary =
+        core::renderRunResults(run, plan.cli, text, &errText);
+
+    SynthExecution out;
+    out.stopped = stop && stop->stopRequested();
+    out.exitCode = core::runExitCode(summary, out.stopped);
+    out.text = text.str();
+    out.stderrText = errText.str();
+    out.reportJson = engine::runReportToJson(run, engineOptions);
+    // The report renders as a document with a trailing newline; a
+    // raw newline inside a frame would end it early.
+    while (!out.reportJson.empty() &&
+           (out.reportJson.back() == '\n' ||
+            out.reportJson.back() == ' '))
+        out.reportJson.pop_back();
+    out.aborted = run.aborted;
+    out.wallSeconds = run.wallSeconds;
+    out.exploits = static_cast<uint64_t>(summary.totalExploits);
+    for (const engine::JobResult &job : run.jobs)
+        out.warmStart = out.warmStart || job.report.warmStart;
+    out.cacheable =
+        !run.aborted && !out.stopped && !summary.jobErrors;
+    return out;
+}
+
+} // namespace checkmate::serve

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Shared synth-request planning and execution.
+ *
+ * The admission-side identity computation (cache key, partition
+ * core key) and the engine-side execution path, used by both the
+ * in-process daemon (server.cc) and the worker child process
+ * (worker.cc). Factoring them here is what keeps the fleet's
+ * byte-identity guarantee honest: a request runs through exactly
+ * the same parse → buildJobs → runJobs → render pipeline whether
+ * the daemon executes it locally or forwards it over a worker
+ * pipe, so the response text cannot drift between the two modes.
+ */
+
+#ifndef CHECKMATE_SERVE_SYNTH_RUNNER_HH
+#define CHECKMATE_SERVE_SYNTH_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cli.hh"
+#include "engine/job.hh"
+#include "engine/stop_token.hh"
+
+namespace checkmate::serve
+{
+
+/** A parsed, admission-checked synth request (no engine work). */
+struct SynthPlan
+{
+    /** Non-empty = refuse the request with this reason. */
+    std::string error;
+
+    core::CliOptions cli;
+
+    /** The raw request args (incremental-default detection). */
+    std::vector<std::string> args;
+
+    std::vector<engine::SynthesisJob> jobs;
+
+    /**
+     * Full response identity: every decomposed job's jobKey (core +
+     * delta + budgets) plus the render flags — the result-cache key.
+     */
+    std::string cacheKey;
+
+    /**
+     * Partition identity: the sorted, deduplicated jobCoreKeys of
+     * every decomposed job, '|'-joined. Requests with equal core
+     * keys shard to the same worker (session affinity); the key is
+     * also the crash-loop quarantine unit.
+     */
+    std::string coreKey;
+};
+
+/**
+ * Parse @p args and compute the request's identity.
+ *
+ * Refusals (CLI errors, operator-only flags, too many jobs) land in
+ * SynthPlan::error; nothing engine-side runs.
+ */
+SynthPlan planSynth(const std::vector<std::string> &args,
+                    size_t maxJobsPerRequest);
+
+/** Daemon-side execution knobs (ServerOptions, distilled). */
+struct SynthExecOptions
+{
+    /** Default served requests to pooled incremental sessions. */
+    bool incrementalDefault = true;
+
+    /** Checkpoint directory (empty = off); implies resume. */
+    std::string checkpointDir;
+
+    /** Checkpoint flush cadence, seconds; negative = engine default. */
+    double checkpointIntervalSeconds = -1.0;
+
+    /** Correlation id threaded through logs/spans/report. */
+    std::string requestId;
+};
+
+/** What a completed run contributes to the done frame and cache. */
+struct SynthExecution
+{
+    std::string text;
+    std::string stderrText;
+    /** Run-report JSON, trailing whitespace stripped (one line). */
+    std::string reportJson;
+    int exitCode = 0;
+    bool aborted = false;
+    bool stopped = false;
+    bool warmStart = false;
+    /** Complete successful run — eligible for the result cache. */
+    bool cacheable = false;
+    uint64_t exploits = 0;
+    double wallSeconds = 0.0;
+};
+
+/**
+ * Run @p plan through the engine (spans serve.run/serve.respond)
+ * and render the response exactly as the CLI would.
+ */
+SynthExecution executeSynth(const SynthPlan &plan,
+                            const SynthExecOptions &options,
+                            engine::StopSource *stop);
+
+} // namespace checkmate::serve
+
+#endif // CHECKMATE_SERVE_SYNTH_RUNNER_HH

@@ -46,7 +46,9 @@ logTelemetry(obs::LogLevel level, const char *message,
 int
 listenLoopback(int port, int *boundPort, std::string *error)
 {
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    // CLOEXEC: worker children fork from this process; a leaked
+    // listener would keep the scrape port bound after a restart.
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) {
         if (error)
             *error = std::string("socket: ") + std::strerror(errno);
@@ -134,7 +136,8 @@ TelemetryController::~TelemetryController()
 bool
 TelemetryController::openTelemetryLog(std::string *error)
 {
-    logFile_ = std::fopen(options_.telemetryLogPath.c_str(), "a");
+    // "e" = O_CLOEXEC; worker children must not inherit the log fd.
+    logFile_ = std::fopen(options_.telemetryLogPath.c_str(), "ae");
     if (!logFile_) {
         if (error) {
             *error = "cannot open telemetry log " +
@@ -264,7 +267,7 @@ TelemetryController::appendTelemetryRecord()
     std::string rotated = options_.telemetryLogPath + ".1";
     std::rename(options_.telemetryLogPath.c_str(), rotated.c_str());
     logBytes_ = 0;
-    logFile_ = std::fopen(options_.telemetryLogPath.c_str(), "a");
+    logFile_ = std::fopen(options_.telemetryLogPath.c_str(), "ae");
     logTelemetry(obs::LogLevel::Info, "telemetry log rotated",
                  obs::JsonFields().add("rotated_to", rotated).str());
 }
@@ -279,7 +282,8 @@ TelemetryController::httpLoop()
         int ready = ::poll(&pfd, 1, kPollMs);
         if (ready <= 0)
             continue;
-        int fd = ::accept(listenFd_, nullptr, nullptr);
+        int fd = ::accept4(listenFd_, nullptr, nullptr,
+                           SOCK_CLOEXEC);
         if (fd < 0)
             continue;
         serveHttpConnection(fd);

@@ -1,0 +1,860 @@
+/**
+ * @file
+ * Worker fleet implementation: the worker child's frame loop and
+ * the supervisor-side WorkerPool (see worker.hh for the design).
+ */
+
+#include "serve/worker.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "engine/checkpoint.hh"
+#include "engine/fault_injector.hh"
+#include "engine/session_pool.hh"
+#include "obs/json.hh"
+#include "obs/log.hh"
+#include "obs/metrics.hh"
+#include "serve/net.hh"
+#include "serve/protocol.hh"
+#include "serve/synth_runner.hh"
+
+namespace checkmate::serve
+{
+
+namespace
+{
+
+obs::Counter &
+fleetCounter(const char *name)
+{
+    return obs::MetricsRegistry::instance().counter(name);
+}
+
+void
+logFleet(obs::LogLevel level, const char *message,
+         const std::string &fieldsJson = "")
+{
+    auto &log = obs::Logger::instance();
+    if (log.enabled(level))
+        log.log(level, "serve", message, fieldsJson);
+}
+
+std::chrono::steady_clock::time_point
+now()
+{
+    return std::chrono::steady_clock::now();
+}
+
+/** The daemon's own binary (what to exec for workers). */
+std::string
+selfExecutable()
+{
+    char buf[4096];
+    ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+    if (n <= 0)
+        return "";
+    buf[n] = '\0';
+    return buf;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------------------
+// Worker child
+// ---------------------------------------------------------------
+
+int
+workerMain(const WorkerChildOptions &options)
+{
+    // The supervisor owns this process's lifetime: shutdown arrives
+    // as EOF on the pipe (or SIGKILL), never as a catchable signal —
+    // a terminal-wide SIGINT must not take workers down behind the
+    // supervisor's back.
+    std::signal(SIGINT, SIG_IGN);
+    std::signal(SIGTERM, SIG_IGN);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    if (!options.injectSpec.empty())
+        engine::FaultInjector::instance().configure(
+            options.injectSpec);
+    if (options.sessionPoolCapacity)
+        engine::SessionPool::instance().setCapacity(
+            options.sessionPoolCapacity);
+
+    SynthExecOptions execDefaults;
+    execDefaults.incrementalDefault = options.incrementalDefault;
+    execDefaults.checkpointDir = options.checkpointDir;
+    execDefaults.checkpointIntervalSeconds =
+        options.checkpointIntervalSeconds;
+
+    std::mutex writeMutex; // runner's done frames vs reader's pongs
+    std::mutex stateMutex;
+    std::string activeId;
+    std::shared_ptr<engine::StopSource> activeStop;
+    std::thread runner;
+
+    // Frames from the supervisor are trusted: no length ceiling.
+    LineReader reader(options.fd, 0);
+    std::string line;
+    for (;;) {
+        LineReader::Status status = reader.readLine(&line, 200);
+        if (status == LineReader::Status::Timeout)
+            continue;
+        if (status != LineReader::Status::Line)
+            break; // EOF: the supervisor is shutting down
+        Request request;
+        std::string parseError;
+        if (!parseRequest(line, &request, &parseError))
+            continue; // the supervisor never sends malformed frames
+
+        if (request.verb == Verb::Ping) {
+            // Answered inline from the reader even mid-synth: a busy
+            // worker heartbeats, only a wedged one goes silent.
+            obs::JsonFields fields;
+            fields.add("worker",
+                       static_cast<int64_t>(options.index));
+            std::lock_guard<std::mutex> lock(writeMutex);
+            writeAll(options.fd,
+                     responseFrame(request.id, "pong", fields));
+            continue;
+        }
+        if (request.verb == Verb::Cancel) {
+            std::lock_guard<std::mutex> lock(stateMutex);
+            if (activeStop && activeId == request.target)
+                activeStop->requestStop();
+            continue;
+        }
+        if (request.verb != Verb::Synth)
+            continue;
+
+        // Fault sites, probed at synth receipt so the dispatched
+        // request is exactly the one that observes the fault.
+        if (engine::FaultInjector::fires("serve.worker.crash"))
+            std::_Exit(engine::kInjectedCrashExitCode);
+        if (engine::FaultInjector::fires("serve.worker.hang")) {
+            // A wedged worker: alive but answering nothing. The
+            // supervisor's heartbeat deadline SIGKILLs us.
+            for (;;)
+                std::this_thread::sleep_for(
+                    std::chrono::seconds(1));
+        }
+
+        if (runner.joinable())
+            runner.join(); // the supervisor sends one at a time
+
+        // The StopSource is registered before the runner starts so
+        // a cancel racing the dispatch cannot slip past it.
+        auto stop = std::make_shared<engine::StopSource>();
+        {
+            std::lock_guard<std::mutex> lock(stateMutex);
+            activeId = request.id;
+            activeStop = stop;
+        }
+        runner = std::thread([&writeMutex, &stateMutex, &activeId,
+                              &activeStop, options, execDefaults,
+                              request, stop]() {
+            std::string frame;
+            SynthPlan plan = planSynth(request.args,
+                                       options.maxJobsPerRequest);
+            if (!plan.error.empty()) {
+                frame = errorFrame(request.id, plan.error);
+            } else {
+                SynthExecOptions execOptions = execDefaults;
+                execOptions.requestId = request.id;
+                SynthExecution result =
+                    executeSynth(plan, execOptions, stop.get());
+                obs::JsonFields fields;
+                fields.add("warm_start", result.warmStart);
+                fields.add("exit",
+                           static_cast<int64_t>(result.exitCode));
+                fields.add("aborted", result.aborted);
+                fields.add("stopped", result.stopped);
+                fields.add("cacheable", result.cacheable);
+                fields.add("exploits", result.exploits);
+                fields.add("wall_seconds", result.wallSeconds);
+                fields.add("text", result.text);
+                if (!result.stderrText.empty())
+                    fields.add("stderr", result.stderrText);
+                // The report crosses the pipe as a STRING, not a
+                // JSON object: the supervisor splices the exact
+                // bytes into the client's done frame, where a
+                // parse/re-render round trip would re-format
+                // numbers (obs::jsonToString renders at 9
+                // significant digits) and break byte-identity.
+                fields.add("report", result.reportJson);
+                frame = responseFrame(request.id, "done", fields);
+            }
+            {
+                std::lock_guard<std::mutex> lock(stateMutex);
+                activeStop.reset();
+                activeId.clear();
+            }
+            std::lock_guard<std::mutex> lock(writeMutex);
+            writeAll(options.fd, frame);
+        });
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(stateMutex);
+        if (activeStop)
+            activeStop->requestStop();
+    }
+    if (runner.joinable())
+        runner.join();
+    engine::SessionPool::instance().shutdown();
+    return 0;
+}
+
+// ---------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------
+
+WorkerPool::WorkerPool(WorkerFleetOptions fleet,
+                       WorkerChildOptions child)
+    : fleet_(std::move(fleet)), child_(std::move(child))
+{
+    executable_ = fleet_.executable.empty() ? selfExecutable()
+                                            : fleet_.executable;
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+bool
+WorkerPool::start(std::string *error)
+{
+    if (executable_.empty()) {
+        if (error)
+            *error = "worker fleet: cannot resolve own executable";
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    slots_.clear();
+    for (int i = 0; i < fleet_.workers; i++) {
+        auto slot = std::make_unique<Slot>();
+        slot->index = i;
+        if (!spawnSlotLocked(*slot, error))
+            return false;
+        slots_.push_back(std::move(slot));
+    }
+    publishWorkerGaugesLocked();
+    supervisor_ = std::thread([this]() { supervisorLoop(); });
+    return true;
+}
+
+bool
+WorkerPool::spawnSlotLocked(Slot &slot, std::string *error)
+{
+    int fds[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0,
+                     fds) != 0) {
+        if (error)
+            *error = std::string("worker fleet: socketpair: ") +
+                     std::strerror(errno);
+        return false;
+    }
+
+    // argv is assembled before fork: the parent is multithreaded,
+    // so the child may only touch async-signal-safe calls between
+    // fork and exec.
+    std::vector<std::string> argStrings;
+    argStrings.push_back(executable_);
+    argStrings.push_back("--worker-fd");
+    argStrings.push_back(std::to_string(fds[1]));
+    argStrings.push_back("--worker-index");
+    argStrings.push_back(std::to_string(slot.index));
+    if (!child_.checkpointDir.empty()) {
+        argStrings.push_back("--checkpoint");
+        argStrings.push_back(child_.checkpointDir);
+    }
+    if (child_.checkpointIntervalSeconds >= 0.0) {
+        argStrings.push_back("--checkpoint-interval");
+        argStrings.push_back(
+            std::to_string(child_.checkpointIntervalSeconds));
+    }
+    if (!child_.incrementalDefault)
+        argStrings.push_back("--no-incremental");
+    if (child_.maxJobsPerRequest) {
+        argStrings.push_back("--max-jobs");
+        argStrings.push_back(
+            std::to_string(child_.maxJobsPerRequest));
+    }
+    if (child_.sessionPoolCapacity) {
+        argStrings.push_back("--session-pool-cap");
+        argStrings.push_back(
+            std::to_string(child_.sessionPoolCapacity));
+    }
+    if (!fleet_.injectSpec.empty() &&
+        (!slot.everSpawned || fleet_.injectOnRestart)) {
+        argStrings.push_back("--worker-inject");
+        argStrings.push_back(fleet_.injectSpec);
+    }
+    std::vector<char *> argv;
+    argv.reserve(argStrings.size() + 1);
+    for (std::string &s : argStrings)
+        argv.push_back(s.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = ::fork();
+    if (pid < 0) {
+        if (error)
+            *error = std::string("worker fleet: fork: ") +
+                     std::strerror(errno);
+        ::close(fds[0]);
+        ::close(fds[1]);
+        return false;
+    }
+    if (pid == 0) {
+        // Child. The pipe end must survive exec; everything else in
+        // the daemon (listen socket, client connections, sibling
+        // pipes, telemetry fds) is CLOEXEC and vanishes here.
+        ::fcntl(fds[1], F_SETFD, 0);
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+    }
+    ::close(fds[1]);
+
+    slot.generation++;
+    slot.pid = pid;
+    slot.fd = fds[0];
+    slot.state = Slot::State::Up;
+    slot.busy = false;
+    slot.pending = nullptr;
+    slot.pendingRequest.clear();
+    slot.spawnedAt = now();
+    slot.lastPong = slot.spawnedAt;
+    slot.lastPing = slot.spawnedAt;
+    slot.killSent = false;
+    slot.everSpawned = true;
+    Slot *slotPtr = &slot;
+    uint64_t generation = slot.generation;
+    int fd = slot.fd;
+    slot.reader = std::thread([this, slotPtr, generation, fd]() {
+        readerLoop(slotPtr, generation, fd);
+    });
+    logFleet(obs::LogLevel::Info, "worker spawned",
+             obs::JsonFields()
+                 .add("worker", static_cast<int64_t>(slot.index))
+                 .add("pid", static_cast<int64_t>(pid))
+                 .str());
+    return true;
+}
+
+void
+WorkerPool::readerLoop(Slot *slot, uint64_t generation, int fd)
+{
+    LineReader reader(fd, 0);
+    std::string line;
+    for (;;) {
+        LineReader::Status status = reader.readLine(&line, 200);
+        if (status == LineReader::Status::Timeout)
+            continue;
+        if (status == LineReader::Status::Line) {
+            handleWorkerFrame(slot, generation, line);
+            continue;
+        }
+        break; // EOF or error: the worker side of the pipe is gone
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (slot->generation == generation &&
+        slot->state == Slot::State::Up)
+        markWorkerDownLocked(*slot, "pipe closed");
+}
+
+void
+WorkerPool::handleWorkerFrame(Slot *slot, uint64_t generation,
+                              const std::string &line)
+{
+    std::unique_ptr<obs::JsonValue> frame = obs::parseJson(line);
+    if (!frame || !frame->isObject())
+        return;
+    const obs::JsonValue *event = frame->find("event");
+    const obs::JsonValue *id = frame->find("id");
+    if (!event)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (slot->generation != generation)
+        return; // a stale frame from a replaced worker
+    slot->lastPong = now();
+    const std::string &name = event->asString();
+    if (name != "done" && name != "error")
+        return; // pong or a non-terminal event: liveness only
+    if (!slot->pending || !id ||
+        slot->pending->id != id->asString())
+        return; // terminal frame for a request already re-dispatched
+    slot->pending->frame = std::move(frame);
+    slot->pending = nullptr;
+    slot->pendingRequest.clear();
+    slot->busy = false;
+    cv_.notify_all();
+}
+
+void
+WorkerPool::markWorkerDownLocked(Slot &slot, const char *reason)
+{
+    if (slot.state != Slot::State::Up)
+        return;
+    slot.state = Slot::State::Backoff;
+    slot.crashes++;
+    fleetCounter("serve.worker.crashes").add(1);
+    logFleet(obs::LogLevel::Warn, "worker down",
+             obs::JsonFields()
+                 .add("worker", static_cast<int64_t>(slot.index))
+                 .add("pid", static_cast<int64_t>(slot.pid))
+                 .add("reason", reason)
+                 .add("request", slot.pendingRequest)
+                 .str());
+    if (slot.pending) {
+        // The run() stack owns the dispatch record; flagging it
+        // lost wakes that thread to re-dispatch (and to do the
+        // crash-loop accounting — it knows the coreKey).
+        slot.pending->lost = true;
+        slot.pending = nullptr;
+        slot.pendingRequest.clear();
+    }
+    slot.busy = false;
+    // Wake the reader without closing: close() would let the fd
+    // number be reused while the reader still polls it. The fd is
+    // closed by the respawn path after the reader is joined.
+    if (slot.fd >= 0)
+        ::shutdown(slot.fd, SHUT_RDWR);
+    slot.backoffMs = slot.backoffMs
+                         ? std::min(slot.backoffMs * 2,
+                                    fleet_.restartBackoffMaxMs)
+                         : fleet_.restartBackoffMs;
+    slot.respawnAt =
+        now() + std::chrono::milliseconds(slot.backoffMs);
+    publishWorkerGaugesLocked();
+    cv_.notify_all();
+}
+
+void
+WorkerPool::supervisorLoop()
+{
+    while (!stopping_.load(std::memory_order_relaxed)) {
+        std::vector<Slot *> respawn;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            auto tick = now();
+            for (auto &slotPtr : slots_) {
+                Slot &slot = *slotPtr;
+
+                // Reap exited children (crash or injected exit).
+                if (slot.pid > 0) {
+                    int status = 0;
+                    pid_t reaped =
+                        ::waitpid(slot.pid, &status, WNOHANG);
+                    if (reaped == slot.pid) {
+                        slot.pid = -1;
+                        if (slot.state == Slot::State::Up)
+                            markWorkerDownLocked(slot,
+                                                 "process exited");
+                    }
+                }
+
+                if (slot.state == Slot::State::Up) {
+                    // Heartbeat: ping on the cadence, SIGKILL past
+                    // the deadline. A busy worker still pongs from
+                    // its reader thread; only a wedged one times
+                    // out.
+                    if (tick - slot.lastPing >=
+                        std::chrono::milliseconds(
+                            fleet_.heartbeatIntervalMs)) {
+                        slot.lastPing = tick;
+                        Request ping;
+                        ping.verb = Verb::Ping;
+                        ping.id = "hb";
+                        ping.client = "supervisor";
+                        std::lock_guard<std::mutex> writeLock(
+                            slot.writeMutex);
+                        writeAll(slot.fd, requestFrame(ping));
+                    }
+                    if (!slot.killSent &&
+                        tick - slot.lastPong >
+                            std::chrono::milliseconds(
+                                fleet_.heartbeatTimeoutMs)) {
+                        slot.killSent = true;
+                        fleetCounter(
+                            "serve.worker.heartbeat_timeouts")
+                            .add(1);
+                        logFleet(
+                            obs::LogLevel::Warn,
+                            "worker heartbeat timeout",
+                            obs::JsonFields()
+                                .add("worker",
+                                     static_cast<int64_t>(
+                                         slot.index))
+                                .add("pid", static_cast<int64_t>(
+                                                slot.pid))
+                                .str());
+                        if (slot.pid > 0)
+                            ::kill(slot.pid, SIGKILL);
+                        // waitpid reaps it on a later tick, which
+                        // marks the slot down.
+                    }
+                    // A worker that survived long enough earns a
+                    // fresh backoff ladder.
+                    if (slot.backoffMs &&
+                        tick - slot.spawnedAt >
+                            std::chrono::milliseconds(
+                                fleet_.restartBackoffMaxMs))
+                        slot.backoffMs = 0;
+                } else if (slot.state == Slot::State::Backoff &&
+                           slot.pid <= 0 &&
+                           tick >= slot.respawnAt) {
+                    respawn.push_back(&slot);
+                }
+            }
+        }
+
+        // Respawns happen outside the pool lock: joining the dead
+        // worker's reader thread may take a poll interval, and
+        // nothing else touches a Backoff slot's thread/fd.
+        for (Slot *slot : respawn) {
+            if (stopping_.load(std::memory_order_relaxed))
+                break;
+            if (slot->reader.joinable())
+                slot->reader.join();
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (slot->state != Slot::State::Backoff)
+                continue;
+            if (slot->fd >= 0) {
+                ::close(slot->fd);
+                slot->fd = -1;
+            }
+            std::string error;
+            if (spawnSlotLocked(*slot, &error)) {
+                slot->restarts++;
+                fleetCounter("serve.worker.restarts").add(1);
+                publishWorkerGaugesLocked();
+                cv_.notify_all();
+            } else {
+                // Spawn failed (fork/socketpair pressure): stay in
+                // backoff and try again a step later.
+                logFleet(obs::LogLevel::Warn,
+                         "worker respawn failed",
+                         obs::JsonFields()
+                             .add("worker", static_cast<int64_t>(
+                                                slot->index))
+                             .add("error", error)
+                             .str());
+                slot->backoffMs =
+                    std::min(std::max(slot->backoffMs, 1) * 2,
+                             fleet_.restartBackoffMaxMs);
+                slot->respawnAt =
+                    now() +
+                    std::chrono::milliseconds(slot->backoffMs);
+            }
+        }
+
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(50));
+    }
+}
+
+WorkerPool::Slot *
+WorkerPool::pickWorkerLocked(const std::string &coreKey)
+{
+    // Rendezvous (highest-random-weight) hashing: stable shard
+    // assignment that redistributes only the dead worker's keys
+    // when the fleet degrades — warm sessions elsewhere survive.
+    Slot *best = nullptr;
+    uint64_t bestScore = 0;
+    for (auto &slotPtr : slots_) {
+        Slot &slot = *slotPtr;
+        if (slot.state != Slot::State::Up)
+            continue;
+        uint64_t score = engine::fnv1a64(
+            coreKey + "#" + std::to_string(slot.index));
+        if (!best || score > bestScore) {
+            best = &slot;
+            bestScore = score;
+        }
+    }
+    return best;
+}
+
+WorkerPool::DispatchResult
+WorkerPool::run(const std::string &coreKey, const std::string &id,
+                const std::vector<std::string> &args,
+                engine::StopSource *stop)
+{
+    DispatchResult result;
+    PendingDispatch pd;
+    pd.id = id;
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    Slot *dispatchedTo = nullptr;
+    bool cancelSent = false;
+    for (;;) {
+        if (pd.frame) {
+            // Terminal frame arrived; the slot was already released
+            // by handleWorkerFrame. A completed run proves the key
+            // is healthy: its crash-loop count starts over.
+            crashCounts_.erase(coreKey);
+            result.status = DispatchResult::Status::Done;
+            result.frame = std::move(pd.frame);
+            return result;
+        }
+        if (pd.lost) {
+            pd.lost = false;
+            dispatchedTo = nullptr;
+            if (cancelSent) {
+                // The worker died after a cancel was forwarded:
+                // the request is stopping anyway, don't re-run it.
+                result.status = DispatchResult::Status::Stopped;
+                return result;
+            }
+            fleetCounter("serve.worker.redispatches").add(1);
+            int crashes = ++crashCounts_[coreKey];
+            if (crashes >= fleet_.quarantineAfterCrashes) {
+                // This key keeps killing workers — fence it off
+                // instead of letting it crash-loop the fleet.
+                crashCounts_.erase(coreKey);
+                quarantined_.insert(coreKey);
+                publishWorkerGaugesLocked();
+                logFleet(obs::LogLevel::Warn, "core quarantined",
+                         obs::JsonFields()
+                             .add("core", coreKey)
+                             .add("crashes",
+                                  static_cast<int64_t>(crashes))
+                             .str());
+                result.status =
+                    DispatchResult::Status::Quarantined;
+                return result;
+            }
+            // Fall through: re-dispatch to a live worker; with
+            // checkpointing on, the retry resumes from the dead
+            // worker's last flushed frontier.
+        }
+        if (stopping_.load(std::memory_order_relaxed)) {
+            if (dispatchedTo && dispatchedTo->pending == &pd) {
+                dispatchedTo->pending = nullptr;
+                dispatchedTo->pendingRequest.clear();
+                dispatchedTo->busy = false;
+            }
+            result.status = DispatchResult::Status::Stopped;
+            return result;
+        }
+        if (!dispatchedTo) {
+            if (quarantined_.count(coreKey)) {
+                result.status =
+                    DispatchResult::Status::Quarantined;
+                return result;
+            }
+            if (stop && stop->stopRequested()) {
+                // Cancelled before it ever reached a worker.
+                result.status = DispatchResult::Status::Stopped;
+                return result;
+            }
+            Slot *slot = pickWorkerLocked(coreKey);
+            if (slot && !slot->busy) {
+                Request synth;
+                synth.verb = Verb::Synth;
+                synth.id = id;
+                synth.client = "supervisor";
+                synth.args = args;
+                std::string frame = requestFrame(synth);
+                bool sent;
+                {
+                    std::lock_guard<std::mutex> writeLock(
+                        slot->writeMutex);
+                    sent = writeAll(slot->fd, frame);
+                }
+                if (!sent) {
+                    markWorkerDownLocked(*slot, "write failed");
+                    continue; // pd was never parked on the slot
+                }
+                slot->busy = true;
+                slot->pending = &pd;
+                slot->pendingRequest = id;
+                dispatchedTo = slot;
+                result.dispatches++;
+                continue;
+            }
+            // The key's rendezvous worker is busy (or the whole
+            // fleet is down/restarting): wait for it rather than
+            // spill onto a cold worker — session affinity is the
+            // fleet's point, and requests stay re-dispatchable.
+        } else if (stop && stop->stopRequested() && !cancelSent) {
+            // Forward the cancel and keep waiting: the worker
+            // answers its in-flight synth with done/exit 130,
+            // exactly like an in-process cooperative stop.
+            cancelSent = true;
+            Request cancel;
+            cancel.verb = Verb::Cancel;
+            cancel.id = id + "-cancel";
+            cancel.client = "supervisor";
+            cancel.target = id;
+            std::lock_guard<std::mutex> writeLock(
+                dispatchedTo->writeMutex);
+            writeAll(dispatchedTo->fd, requestFrame(cancel));
+        }
+        cv_.wait_for(lock, std::chrono::milliseconds(50));
+    }
+}
+
+bool
+WorkerPool::degraded() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto &slot : slots_)
+        if (slot->state != Slot::State::Up)
+            return true;
+    return false;
+}
+
+bool
+WorkerPool::isQuarantined(const std::string &coreKey) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return quarantined_.count(coreKey) != 0;
+}
+
+std::vector<WorkerInfo>
+WorkerPool::workerInfos() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<WorkerInfo> out;
+    out.reserve(slots_.size());
+    for (const auto &slotPtr : slots_) {
+        const Slot &slot = *slotPtr;
+        WorkerInfo info;
+        info.index = slot.index;
+        info.pid = slot.pid;
+        info.state = slot.state == Slot::State::Up ? "up"
+                     : slot.state == Slot::State::Backoff
+                         ? "backoff"
+                         : "down";
+        info.inFlight = slot.busy ? 1 : 0;
+        info.request = slot.pendingRequest;
+        info.restarts = slot.restarts;
+        info.crashes = slot.crashes;
+        out.push_back(std::move(info));
+    }
+    return out;
+}
+
+std::vector<std::string>
+WorkerPool::quarantinedKeys() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<std::string>(quarantined_.begin(),
+                                    quarantined_.end());
+}
+
+std::string
+WorkerPool::workersJson() const
+{
+    std::string out = "[";
+    bool first = true;
+    for (const WorkerInfo &info : workerInfos()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += obs::JsonFields()
+                   .add("index", static_cast<int64_t>(info.index))
+                   .add("pid", static_cast<int64_t>(info.pid))
+                   .add("state", info.state)
+                   .add("in_flight",
+                        static_cast<uint64_t>(info.inFlight))
+                   .add("request", info.request)
+                   .add("restarts", info.restarts)
+                   .add("crashes", info.crashes)
+                   .object();
+    }
+    out += ']';
+    return out;
+}
+
+std::string
+WorkerPool::quarantinedJson() const
+{
+    std::string out = "[";
+    bool first = true;
+    for (const std::string &key : quarantinedKeys()) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += '"';
+        out += obs::jsonEscape(key);
+        out += '"';
+    }
+    out += ']';
+    return out;
+}
+
+void
+WorkerPool::publishWorkerGaugesLocked()
+{
+    size_t up = 0;
+    for (const auto &slot : slots_)
+        if (slot->state == Slot::State::Up)
+            up++;
+    auto &registry = obs::MetricsRegistry::instance();
+    registry.gauge("serve.worker.up")
+        .set(static_cast<double>(up));
+    registry.gauge("serve.worker.quarantined_keys")
+        .set(static_cast<double>(quarantined_.size()));
+}
+
+void
+WorkerPool::stop()
+{
+    if (stopping_.exchange(true))
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cv_.notify_all();
+        // EOF each pipe: workers stop their active run, shut their
+        // session pools down, and exit 0. shutdown() (not close)
+        // also wakes our readers without an fd-reuse race.
+        for (auto &slot : slots_)
+            if (slot->fd >= 0)
+                ::shutdown(slot->fd, SHUT_RDWR);
+    }
+    if (supervisor_.joinable())
+        supervisor_.join();
+    for (auto &slot : slots_)
+        if (slot->reader.joinable())
+            slot->reader.join();
+
+    // Give workers a bounded grace period, then SIGKILL stragglers
+    // (e.g. a hang-injected worker that ignores EOF). Holding the
+    // pool lock here keeps straggling run() callers parked until
+    // every pipe fd is closed.
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto deadline = now() + std::chrono::seconds(2);
+    for (auto &slot : slots_) {
+        while (slot->pid > 0) {
+            int status = 0;
+            pid_t reaped = ::waitpid(slot->pid, &status, WNOHANG);
+            if (reaped == slot->pid) {
+                slot->pid = -1;
+                break;
+            }
+            if (now() >= deadline) {
+                ::kill(slot->pid, SIGKILL);
+                ::waitpid(slot->pid, &status, 0);
+                slot->pid = -1;
+                break;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+        }
+        if (slot->fd >= 0) {
+            ::close(slot->fd);
+            slot->fd = -1;
+        }
+    }
+    logFleet(obs::LogLevel::Info, "worker fleet stopped");
+}
+
+} // namespace checkmate::serve

@@ -1,0 +1,266 @@
+/**
+ * @file
+ * The checkmate-serve worker fleet: child processes, supervision,
+ * and crash recovery.
+ *
+ * With `--workers N` the daemon stops running synthesis in its own
+ * address space and instead forks/execs N worker child processes
+ * (`checkmate-serve --worker-fd FD`), each owning a private warm
+ * SessionPool. Requests shard across workers by their jobCoreKey
+ * signature with rendezvous (highest-random-weight) hashing, so
+ * repeated sweeps over one problem core keep hitting the same
+ * worker's warm sessions, and a worker crash only cools one shard.
+ *
+ * Each worker is wired to the supervisor by an AF_UNIX socketpair
+ * speaking the existing serve-v1 framing: the supervisor forwards
+ * `synth` requests (one in flight per worker), probes liveness with
+ * `ping` heartbeats, and forwards `cancel` for cooperative stops.
+ * The worker answers heartbeats from its reader thread even while a
+ * run is in progress, so a hung (not merely busy) worker is
+ * distinguishable from a slow one.
+ *
+ * Supervision (docs/ROBUSTNESS.md has the recovery matrix):
+ *  - a worker that exits, is SIGKILLed, or misses its heartbeat
+ *    deadline is marked down, its in-flight request is re-dispatched
+ *    to a live worker, and the worker is restarted with exponential
+ *    backoff. With `--checkpoint` the re-dispatched job resumes from
+ *    the dead worker's checkpoint file — byte-identical output, no
+ *    model lost or duplicated.
+ *  - a jobCoreKey whose requests repeatedly kill workers is
+ *    quarantined (rejected with reason `quarantined`) instead of
+ *    crash-looping the fleet; a success on the key resets its count.
+ *  - with K of N workers down the daemon keeps serving at reduced
+ *    capacity; a full admission queue is then rejected with reason
+ *    `degraded` rather than `queue-full`.
+ *
+ * Fault sites `serve.worker.crash` (child _Exit(86) on synth
+ * receipt) and `serve.worker.hang` (child stops answering frames)
+ * make every path above deterministically testable.
+ */
+
+#ifndef CHECKMATE_SERVE_WORKER_HH
+#define CHECKMATE_SERVE_WORKER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/stop_token.hh"
+#include "obs/json_reader.hh"
+
+namespace checkmate::serve
+{
+
+/** Fleet shape and supervision policy (`--workers` and friends). */
+struct WorkerFleetOptions
+{
+    /** Worker child processes; 0 = run synthesis in-process. */
+    int workers = 0;
+
+    /**
+     * Executable to exec for worker children; empty resolves
+     * /proc/self/exe. Tests and benches point this at the real
+     * checkmate-serve binary.
+     */
+    std::string executable;
+
+    /** Fault spec forwarded to workers (their `--worker-inject`). */
+    std::string injectSpec;
+
+    /**
+     * Forward injectSpec to restarted workers too. Off by default so
+     * an injected crash recovers cleanly; on, a crash site re-arms
+     * on every respawn (the crash-loop quarantine tests).
+     */
+    bool injectOnRestart = false;
+
+    /** Heartbeat ping cadence per worker, ms. */
+    int heartbeatIntervalMs = 500;
+
+    /** Silence longer than this gets the worker SIGKILLed, ms. */
+    int heartbeatTimeoutMs = 5000;
+
+    /** First restart delay, ms; doubles per consecutive crash. */
+    int restartBackoffMs = 250;
+
+    /** Restart delay ceiling, ms. */
+    int restartBackoffMaxMs = 10000;
+
+    /** Worker deaths with one coreKey in flight before quarantine. */
+    int quarantineAfterCrashes = 3;
+};
+
+/** Configuration of one worker child (the `--worker-fd` mode). */
+struct WorkerChildOptions
+{
+    /** The supervisor pipe (serve-v1 frames both ways). */
+    int fd = -1;
+
+    /** Worker slot index (diagnostics, pong attribution). */
+    int index = 0;
+
+    std::string checkpointDir;
+    double checkpointIntervalSeconds = -1.0;
+    bool incrementalDefault = true;
+    size_t maxJobsPerRequest = 16;
+    size_t sessionPoolCapacity = 0;
+    std::string injectSpec;
+};
+
+/**
+ * Worker child entry point: answer synth/ping/cancel frames on the
+ * supervisor pipe until it closes (EOF = supervisor shutdown).
+ *
+ * @return the process exit code (0 on orderly EOF shutdown).
+ */
+int workerMain(const WorkerChildOptions &options);
+
+/** Point-in-time health of one worker slot (status/metrics). */
+struct WorkerInfo
+{
+    int index = 0;
+    int pid = -1;
+    /** "up", "backoff" (dead, restart pending), or "down". */
+    std::string state;
+    /** 0 or 1: the in-flight request count on this worker. */
+    size_t inFlight = 0;
+    /** The in-flight request's correlation id ("" when idle). */
+    std::string request;
+    uint64_t restarts = 0;
+    uint64_t crashes = 0;
+};
+
+/** The supervisor: spawns, health-checks, and restarts workers. */
+class WorkerPool
+{
+  public:
+    WorkerPool(WorkerFleetOptions fleet, WorkerChildOptions child);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Spawn the fleet and the supervisor thread. */
+    bool start(std::string *error);
+
+    /** Tear the fleet down (EOF, then SIGKILL stragglers). */
+    void stop();
+
+    /** How one dispatched request left the fleet. */
+    struct DispatchResult
+    {
+        enum class Status
+        {
+            Done,        ///< terminal frame received (done/error)
+            Quarantined, ///< the coreKey is crash-loop quarantined
+            Stopped      ///< pool shutdown or pre-dispatch cancel
+        };
+        Status status = Status::Stopped;
+        /** The worker's terminal frame (Status::Done only). */
+        std::unique_ptr<obs::JsonValue> frame;
+        /** Times the request was sent to a worker (>1 = recovery). */
+        int dispatches = 0;
+    };
+
+    /**
+     * Dispatch one synth request to the fleet and block until a
+     * terminal frame, quarantine, or shutdown. Re-dispatches
+     * transparently when the serving worker dies; forwards a cancel
+     * frame when @p stop trips mid-run (the worker then answers
+     * `done` with exit 130, exactly like an in-process stop).
+     */
+    DispatchResult run(const std::string &coreKey,
+                       const std::string &id,
+                       const std::vector<std::string> &args,
+                       engine::StopSource *stop);
+
+    /** Any worker currently not up? (the `degraded` reject gate) */
+    bool degraded() const;
+
+    bool isQuarantined(const std::string &coreKey) const;
+
+    std::vector<WorkerInfo> workerInfos() const;
+
+    std::vector<std::string> quarantinedKeys() const;
+
+    /** JSON array of per-worker objects (status/metrics verbs). */
+    std::string workersJson() const;
+
+    /** JSON array of quarantined core keys. */
+    std::string quarantinedJson() const;
+
+  private:
+    /** A request parked on a worker, owned by the run() stack. */
+    struct PendingDispatch
+    {
+        std::string id;
+        std::unique_ptr<obs::JsonValue> frame;
+        bool lost = false;
+    };
+
+    struct Slot
+    {
+        enum class State
+        {
+            Down,   ///< never spawned / spawn failed
+            Up,     ///< live (heartbeats current)
+            Backoff ///< dead; respawn scheduled
+        };
+
+        int index = 0;
+        uint64_t generation = 0;
+        int pid = -1;
+        int fd = -1;
+        State state = State::Down;
+        std::thread reader;
+        /** Serializes all writes to fd (synth/cancel/ping). */
+        std::mutex writeMutex;
+        bool busy = false;
+        PendingDispatch *pending = nullptr;
+        std::string pendingRequest;
+        std::chrono::steady_clock::time_point spawnedAt;
+        std::chrono::steady_clock::time_point lastPong;
+        std::chrono::steady_clock::time_point lastPing;
+        std::chrono::steady_clock::time_point respawnAt;
+        int backoffMs = 0;
+        bool killSent = false;
+        bool everSpawned = false;
+        uint64_t restarts = 0;
+        uint64_t crashes = 0;
+    };
+
+    bool spawnSlotLocked(Slot &slot, std::string *error);
+    void readerLoop(Slot *slot, uint64_t generation, int fd);
+    void handleWorkerFrame(Slot *slot, uint64_t generation,
+                           const std::string &line);
+    void markWorkerDownLocked(Slot &slot, const char *reason);
+    void supervisorLoop();
+    Slot *pickWorkerLocked(const std::string &coreKey);
+    void publishWorkerGaugesLocked();
+
+    WorkerFleetOptions fleet_;
+    WorkerChildOptions child_;
+    std::string executable_;
+
+    std::atomic<bool> stopping_{false};
+    std::thread supervisor_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::vector<std::unique_ptr<Slot>> slots_;
+    /** Consecutive worker deaths per in-flight coreKey. */
+    std::map<std::string, int> crashCounts_;
+    std::set<std::string> quarantined_;
+};
+
+} // namespace checkmate::serve
+
+#endif // CHECKMATE_SERVE_WORKER_HH

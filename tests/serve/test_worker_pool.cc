@@ -1,0 +1,555 @@
+/**
+ * @file
+ * Tests for the sharded worker fleet and the durable result cache:
+ * fleet-served output vs a direct CLI run, worker crash recovery
+ * (including a kill mid-sweep), crash-loop quarantine, degraded
+ * admission, drain with a dead worker, journal reload across a
+ * server restart, and journal corruption tolerance.
+ *
+ * Fleet tests exec the real checkmate-serve binary in worker mode
+ * (CHECKMATE_SERVE_BINARY, injected by the build), so they cover
+ * the fork/exec, socketpair framing, and supervision paths for
+ * real — not a mock.
+ */
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/cli.hh"
+#include "engine/fault_injector.hh"
+#include "serve/client.hh"
+#include "serve/result_cache.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace checkmate;
+
+/** Short unique socket path (sun_path is ~108 bytes). */
+std::string
+testSocketPath()
+{
+    static int counter = 0;
+    return "/tmp/cm_fleet_test_" + std::to_string(::getpid()) +
+           "_" + std::to_string(++counter) + ".sock";
+}
+
+std::string
+testJournalPath()
+{
+    static int counter = 0;
+    return "/tmp/cm_fleet_journal_" + std::to_string(::getpid()) +
+           "_" + std::to_string(++counter) + ".jsonl";
+}
+
+/** Strip the run-dependent timing numbers from litmus output. */
+std::string
+scrubTimes(const std::string &text)
+{
+    std::istringstream in(text);
+    std::ostringstream kept;
+    std::string line;
+    while (std::getline(in, line)) {
+        size_t at = line.find("| first:");
+        if (at != std::string::npos)
+            line.resize(at);
+        kept << line << '\n';
+    }
+    return kept.str();
+}
+
+const std::vector<std::string> kSmallRun = {"--events", "4",
+                                            "--max", "5"};
+
+class WorkerFleetTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(serve::ServerOptions options)
+    {
+        options.socketPath = testSocketPath();
+        if (options.fleet.workers > 0)
+            options.fleet.executable = CHECKMATE_SERVE_BINARY;
+        server_ = std::make_unique<serve::Server>(options);
+        std::string error;
+        ASSERT_TRUE(server_->start(&error)) << error;
+    }
+
+    void
+    TearDown() override
+    {
+        if (server_)
+            server_->stop();
+        engine::FaultInjector::instance().configure("");
+    }
+
+    serve::Client
+    connect()
+    {
+        serve::Client client;
+        std::string error;
+        EXPECT_TRUE(
+            client.connect(server_->options().socketPath, &error))
+            << error;
+        return client;
+    }
+
+    /** One synth request through to its terminal frame. */
+    std::unique_ptr<obs::JsonValue>
+    synth(serve::Client &client,
+          const std::vector<std::string> &args,
+          const std::string &id = "r1", int timeoutMs = 120000)
+    {
+        serve::Request request;
+        request.verb = serve::Verb::Synth;
+        request.id = id;
+        request.args = args;
+        EXPECT_TRUE(client.send(request));
+        return client.readUntilTerminal(timeoutMs);
+    }
+
+    std::unique_ptr<obs::JsonValue>
+    status(serve::Client &client)
+    {
+        serve::Request request;
+        request.verb = serve::Verb::Status;
+        request.id = "st";
+        EXPECT_TRUE(client.send(request));
+        std::unique_ptr<obs::JsonValue> frame;
+        EXPECT_EQ(client.readFrame(&frame, 10000),
+                  serve::Client::ReadStatus::Frame);
+        return frame;
+    }
+
+    std::string
+    directRun(const std::vector<std::string> &args)
+    {
+        std::ostringstream out;
+        core::runCli(core::parseCli(args), out);
+        return out.str();
+    }
+
+    std::unique_ptr<serve::Server> server_;
+};
+
+// ---------------------------------------------------------------
+// Fleet basics
+// ---------------------------------------------------------------
+
+TEST_F(WorkerFleetTest, FleetServedOutputMatchesDirectRun)
+{
+    serve::ServerOptions options;
+    options.fleet.workers = 2;
+    startServer(options);
+    serve::Client client = connect();
+
+    std::unique_ptr<obs::JsonValue> done = synth(client, kSmallRun);
+    ASSERT_NE(done, nullptr);
+    ASSERT_EQ(done->find("event")->asString(), "done");
+    EXPECT_EQ(static_cast<int>(done->find("exit")->asNumber(-1)),
+              0);
+    EXPECT_FALSE(done->find("cache_hit")->boolean);
+    EXPECT_EQ(scrubTimes(done->find("text")->asString()),
+              scrubTimes(directRun(kSmallRun)));
+
+    // The status frame lists both workers, up and idle.
+    std::unique_ptr<obs::JsonValue> st = status(client);
+    const obs::JsonValue *workers = st->find("workers");
+    ASSERT_NE(workers, nullptr);
+    ASSERT_TRUE(workers->isArray());
+    ASSERT_EQ(workers->items.size(), 2u);
+    for (const obs::JsonValue &w : workers->items) {
+        EXPECT_EQ(w.find("state")->asString(), "up");
+        EXPECT_GT(w.find("pid")->asNumber(), 0.0);
+    }
+
+    // A repeat of the same query is a cache hit with the same
+    // payload — the cache sits in the supervisor, not the workers.
+    std::unique_ptr<obs::JsonValue> again =
+        synth(client, kSmallRun, "r2");
+    ASSERT_NE(again, nullptr);
+    ASSERT_EQ(again->find("event")->asString(), "done");
+    EXPECT_TRUE(again->find("cache_hit")->boolean);
+    EXPECT_EQ(again->find("text")->asString(),
+              done->find("text")->asString());
+}
+
+TEST_F(WorkerFleetTest, WorkerKilledMidSweepIsRedispatched)
+{
+    serve::ServerOptions options;
+    options.fleet.workers = 1;
+    // The first worker dies with the injected-crash exit code in
+    // the middle of enumeration — after it has already produced
+    // partial solver state — exactly the mid-sweep kill -9 shape.
+    options.fleet.injectSpec = "rmf.enumerate.crash:2";
+    options.fleet.restartBackoffMs = 50;
+    startServer(options);
+    serve::Client client = connect();
+
+    std::unique_ptr<obs::JsonValue> done = synth(client, kSmallRun);
+    ASSERT_NE(done, nullptr);
+    ASSERT_EQ(done->find("event")->asString(), "done")
+        << (done->find("reason") ? done->find("reason")->asString()
+                                 : "");
+    EXPECT_EQ(static_cast<int>(done->find("exit")->asNumber(-1)),
+              0);
+    // Byte-identity survives the crash + redispatch.
+    EXPECT_EQ(scrubTimes(done->find("text")->asString()),
+              scrubTimes(directRun(kSmallRun)));
+
+    std::unique_ptr<obs::JsonValue> st = status(client);
+    const obs::JsonValue *workers = st->find("workers");
+    ASSERT_NE(workers, nullptr);
+    ASSERT_EQ(workers->items.size(), 1u);
+    EXPECT_GE(workers->items[0].find("restarts")->asNumber(), 1.0);
+    EXPECT_GE(workers->items[0].find("crashes")->asNumber(), 1.0);
+}
+
+TEST_F(WorkerFleetTest, HungWorkerIsKilledAndRequestRedispatched)
+{
+    serve::ServerOptions options;
+    options.fleet.workers = 1;
+    // The worker wedges on its first synth dispatch and stops
+    // answering heartbeats; the supervisor must SIGKILL it and
+    // redispatch once the respawn comes up.
+    options.fleet.injectSpec = "serve.worker.hang:1";
+    options.fleet.heartbeatIntervalMs = 100;
+    options.fleet.heartbeatTimeoutMs = 800;
+    options.fleet.restartBackoffMs = 50;
+    startServer(options);
+    serve::Client client = connect();
+
+    std::unique_ptr<obs::JsonValue> done = synth(client, kSmallRun);
+    ASSERT_NE(done, nullptr);
+    ASSERT_EQ(done->find("event")->asString(), "done");
+    EXPECT_EQ(static_cast<int>(done->find("exit")->asNumber(-1)),
+              0);
+    EXPECT_EQ(scrubTimes(done->find("text")->asString()),
+              scrubTimes(directRun(kSmallRun)));
+
+    std::unique_ptr<obs::JsonValue> st = status(client);
+    const obs::JsonValue *workers = st->find("workers");
+    ASSERT_NE(workers, nullptr);
+    ASSERT_EQ(workers->items.size(), 1u);
+    EXPECT_GE(workers->items[0].find("restarts")->asNumber(), 1.0);
+}
+
+TEST_F(WorkerFleetTest, CrashLoopingCoreKeyIsQuarantined)
+{
+    serve::ServerOptions options;
+    options.fleet.workers = 1;
+    // Every (re)spawned worker dies on its first synth dispatch:
+    // the job itself is poison, so retrying can't ever help.
+    options.fleet.injectSpec = "serve.worker.crash:1";
+    options.fleet.injectOnRestart = true;
+    options.fleet.restartBackoffMs = 50;
+    options.fleet.quarantineAfterCrashes = 2;
+    startServer(options);
+    serve::Client client = connect();
+
+    std::unique_ptr<obs::JsonValue> first =
+        synth(client, kSmallRun);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->find("event")->asString(), "rejected");
+    EXPECT_EQ(first->find("reason")->asString(), "quarantined");
+
+    // The same core key is now refused at admission, before any
+    // dispatch — no more workers die for it.
+    std::unique_ptr<obs::JsonValue> second =
+        synth(client, kSmallRun, "r2");
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(second->find("event")->asString(), "rejected");
+    EXPECT_EQ(second->find("reason")->asString(), "quarantined");
+
+    std::unique_ptr<obs::JsonValue> st = status(client);
+    const obs::JsonValue *quarantined = st->find("quarantined");
+    ASSERT_NE(quarantined, nullptr);
+    ASSERT_TRUE(quarantined->isArray());
+    EXPECT_EQ(quarantined->items.size(), 1u);
+}
+
+TEST_F(WorkerFleetTest, QueueCeilingReportsDegradedWhenWorkersDown)
+{
+    serve::ServerOptions options;
+    options.fleet.workers = 1;
+    options.fleet.injectSpec = "serve.worker.crash:1";
+    // Park the crashed worker in backoff for the whole test.
+    options.fleet.restartBackoffMs = 60000;
+    options.maxQueued = 1;
+    options.maxInFlight = 1;
+    startServer(options);
+    serve::Client client = connect();
+
+    // First request crashes the only worker and then waits for a
+    // respawn that won't come within the test window.
+    serve::Request blocked;
+    blocked.verb = serve::Verb::Synth;
+    blocked.id = "r1";
+    blocked.args = kSmallRun;
+    ASSERT_TRUE(client.send(blocked));
+    // accepted + started.
+    for (int i = 0; i < 2; i++) {
+        std::unique_ptr<obs::JsonValue> frame;
+        ASSERT_EQ(client.readFrame(&frame, 10000),
+                  serve::Client::ReadStatus::Frame);
+    }
+
+    // Wait until the supervisor has observed the crash: the only
+    // worker parked in backoff is what makes the fleet degraded.
+    bool sawBackoff = false;
+    for (int i = 0; i < 200 && !sawBackoff; i++) {
+        serve::Client prober = connect();
+        std::unique_ptr<obs::JsonValue> st = status(prober);
+        const obs::JsonValue *workers = st->find("workers");
+        ASSERT_NE(workers, nullptr);
+        sawBackoff =
+            !workers->items.empty() &&
+            workers->items[0].find("state")->asString() != "up";
+        if (!sawBackoff)
+            ::usleep(20000);
+    }
+    ASSERT_TRUE(sawBackoff) << "worker never went down";
+
+    // Second fills the queue; third overflows it. With the fleet
+    // degraded the rejection says so, instead of a generic
+    // queue-full.
+    serve::Client other = connect();
+    serve::Request filler;
+    filler.verb = serve::Verb::Synth;
+    filler.id = "r2";
+    filler.args = {"--events", "4", "--max", "3"};
+    ASSERT_TRUE(other.send(filler));
+    std::unique_ptr<obs::JsonValue> frame;
+    ASSERT_EQ(other.readFrame(&frame, 10000),
+              serve::Client::ReadStatus::Frame);
+    ASSERT_EQ(frame->find("event")->asString(), "accepted");
+
+    serve::Client third = connect();
+    serve::Request overflow;
+    overflow.verb = serve::Verb::Synth;
+    overflow.id = "r3";
+    overflow.args = {"--events", "4", "--max", "2"};
+    ASSERT_TRUE(third.send(overflow));
+    ASSERT_EQ(third.readFrame(&frame, 10000),
+              serve::Client::ReadStatus::Frame);
+    EXPECT_EQ(frame->find("event")->asString(), "rejected");
+    EXPECT_EQ(frame->find("reason")->asString(), "degraded");
+}
+
+TEST_F(WorkerFleetTest, DrainCompletesWithWorkerInBackoff)
+{
+    serve::ServerOptions options;
+    options.fleet.workers = 1;
+    options.fleet.injectSpec = "serve.worker.crash:1";
+    options.fleet.restartBackoffMs = 200;
+    startServer(options);
+    serve::Client client = connect();
+
+    serve::Request request;
+    request.verb = serve::Verb::Synth;
+    request.id = "r1";
+    request.args = kSmallRun;
+    ASSERT_TRUE(client.send(request));
+
+    // Soft drain from a second connection while the only worker is
+    // dead: the daemon must hold the door open until the respawned
+    // worker finishes the redispatched job.
+    serve::Client drainer = connect();
+    serve::Request drain;
+    drain.verb = serve::Verb::Drain;
+    drain.id = "d1";
+    ASSERT_TRUE(drainer.send(drain));
+    std::unique_ptr<obs::JsonValue> ack;
+    ASSERT_EQ(drainer.readFrame(&ack, 10000),
+              serve::Client::ReadStatus::Frame);
+    EXPECT_EQ(ack->find("event")->asString(), "draining");
+
+    std::unique_ptr<obs::JsonValue> done =
+        client.readUntilTerminal(120000);
+    ASSERT_NE(done, nullptr);
+    EXPECT_EQ(done->find("event")->asString(), "done");
+    EXPECT_EQ(static_cast<int>(done->find("exit")->asNumber(-1)),
+              0);
+    EXPECT_EQ(scrubTimes(done->find("text")->asString()),
+              scrubTimes(directRun(kSmallRun)));
+}
+
+// ---------------------------------------------------------------
+// Durable result cache
+// ---------------------------------------------------------------
+
+TEST_F(WorkerFleetTest, RestartedServerAnswersFromReloadedJournal)
+{
+    std::string journal = testJournalPath();
+    serve::ServerOptions options;
+    options.cacheJournalPath = journal;
+    startServer(options);
+    serve::Client client = connect();
+    std::unique_ptr<obs::JsonValue> done = synth(client, kSmallRun);
+    ASSERT_NE(done, nullptr);
+    ASSERT_EQ(done->find("event")->asString(), "done");
+    EXPECT_FALSE(done->find("cache_hit")->boolean);
+    std::string text = done->find("text")->asString();
+    client.close();
+    server_->stop();
+
+    // A fresh daemon process would reload the journal the same way
+    // a fresh Server instance does: cold start, warm cache.
+    serve::ServerOptions reopened;
+    reopened.cacheJournalPath = journal;
+    startServer(reopened);
+    serve::Client again = connect();
+    std::unique_ptr<obs::JsonValue> hit = synth(again, kSmallRun);
+    ASSERT_NE(hit, nullptr);
+    ASSERT_EQ(hit->find("event")->asString(), "done");
+    EXPECT_TRUE(hit->find("cache_hit")->boolean);
+    EXPECT_EQ(hit->find("text")->asString(), text);
+    ::unlink(journal.c_str());
+}
+
+TEST(ResultCacheJournal, PersistsEntriesAcrossReload)
+{
+    std::string path = testJournalPath();
+    {
+        serve::ResultCache cache(4, path);
+        cache.insert("a", {"A", "{\"n\":1}", 0});
+        cache.insert("b", {"B", "{}", 1});
+    }
+    serve::ResultCache reloaded(4, path);
+    EXPECT_EQ(reloaded.journalLoaded(), 2u);
+    EXPECT_EQ(reloaded.journalDropped(), 0u);
+    serve::CachedResult out;
+    ASSERT_TRUE(reloaded.lookup("a", &out));
+    EXPECT_EQ(out.text, "A");
+    EXPECT_EQ(out.reportJson, "{\"n\":1}");
+    EXPECT_EQ(out.exitCode, 0);
+    ASSERT_TRUE(reloaded.lookup("b", &out));
+    EXPECT_EQ(out.exitCode, 1);
+    ::unlink(path.c_str());
+}
+
+TEST(ResultCacheJournal, TruncatedTailIsDroppedNotFatal)
+{
+    std::string path = testJournalPath();
+    {
+        serve::ResultCache cache(4, path);
+        cache.insert("good", {"G", "{}", 0});
+    }
+    // Simulate a crash mid-append: a torn record with no newline.
+    {
+        std::ofstream out(path, std::ios::app);
+        out << "{\"k\":\"torn\",\"t\":\"T";
+    }
+    serve::ResultCache reloaded(4, path);
+    EXPECT_EQ(reloaded.journalLoaded(), 1u);
+    EXPECT_GE(reloaded.journalDropped(), 1u);
+    serve::CachedResult out;
+    EXPECT_TRUE(reloaded.lookup("good", &out));
+    EXPECT_FALSE(reloaded.lookup("torn", &out));
+
+    // The reload compacted the file; a third generation sees only
+    // clean records and drops nothing.
+    serve::ResultCache third(4, path);
+    EXPECT_EQ(third.journalLoaded(), 1u);
+    EXPECT_EQ(third.journalDropped(), 0u);
+    ::unlink(path.c_str());
+}
+
+TEST(ResultCacheJournal, GarbageLinesAreSkipped)
+{
+    std::string path = testJournalPath();
+    {
+        std::ofstream out(path);
+        out << "not json at all\n";
+        out << "{\"k\":\"x\"}\n"; // missing payload fields
+        out << "{\"k\":\"ok\",\"t\":\"T\",\"r\":\"{}\",\"e\":0}\n";
+    }
+    serve::ResultCache cache(4, path);
+    EXPECT_EQ(cache.journalLoaded(), 1u);
+    EXPECT_EQ(cache.journalDropped(), 2u);
+    serve::CachedResult out;
+    EXPECT_TRUE(cache.lookup("ok", &out));
+    EXPECT_EQ(out.text, "T");
+    ::unlink(path.c_str());
+}
+
+TEST(ResultCacheJournal, WriteFaultIsNonFatal)
+{
+    std::string path = testJournalPath();
+    engine::FaultInjector::instance().configure(
+        "serve.cache.journal.write:1");
+    serve::ResultCache cache(4, path);
+    cache.insert("a", {"A", "{}", 0});
+    EXPECT_EQ(cache.journalErrors(), 1u);
+    // The in-memory entry is still served.
+    serve::CachedResult out;
+    EXPECT_TRUE(cache.lookup("a", &out));
+    // Later appends succeed once the fault has fired.
+    cache.insert("b", {"B", "{}", 0});
+    EXPECT_EQ(cache.journalErrors(), 1u);
+    engine::FaultInjector::instance().configure("");
+    ::unlink(path.c_str());
+}
+
+TEST(ResultCacheJournal, EvictedEntriesStayEvictedAfterReload)
+{
+    std::string path = testJournalPath();
+    {
+        serve::ResultCache cache(2, path);
+        cache.insert("a", {"A", "{}", 0});
+        cache.insert("b", {"B", "{}", 0});
+        cache.insert("c", {"C", "{}", 0}); // evicts "a"
+    }
+    serve::ResultCache reloaded(2, path);
+    serve::CachedResult out;
+    EXPECT_FALSE(reloaded.lookup("a", &out));
+    EXPECT_TRUE(reloaded.lookup("b", &out));
+    EXPECT_TRUE(reloaded.lookup("c", &out));
+    ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------
+// Client connect retry
+// ---------------------------------------------------------------
+
+TEST(ClientConnectRetry, GivesUpAfterConfiguredRetries)
+{
+    serve::Client client;
+    std::string error;
+    EXPECT_FALSE(client.connectWithRetry(
+        "/tmp/cm_fleet_no_such.sock", 2, 1, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(WorkerFleetTest, ClientConnectRetryRidesOutLateStart)
+{
+    serve::ServerOptions options;
+    options.socketPath = testSocketPath();
+    std::string path = options.socketPath;
+
+    std::thread late([&] {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(300));
+        server_ = std::make_unique<serve::Server>(options);
+        std::string error;
+        ASSERT_TRUE(server_->start(&error)) << error;
+    });
+
+    serve::Client client;
+    std::string error;
+    EXPECT_TRUE(
+        client.connectWithRetry(path, 20, 50, &error))
+        << error;
+    late.join();
+}
+
+} // anonymous namespace

@@ -108,6 +108,47 @@ TEST(RenderDashboard, RendersAllSectionsFromAMetricsFrame)
     EXPECT_NE(out.find("▁"), std::string::npos);
 }
 
+TEST(RenderDashboard, RendersWorkerFleetSectionWhenPresent)
+{
+    const char *json = R"({
+      "v": "serve-v1", "id": "m", "event": "metrics",
+      "registry": {"counters": {}, "gauges": {}},
+      "series": {}, "samples": 0, "metrics_port": 0,
+      "workers": [
+        {"index": 0, "pid": 1234, "state": "up",
+         "in_flight": 1, "request": "rq-7",
+         "restarts": 0, "crashes": 0},
+        {"index": 1, "pid": 1240, "state": "backoff",
+         "in_flight": 0, "request": "",
+         "restarts": 2, "crashes": 3}
+      ],
+      "quarantined": ["pv2|sweep|events=6"]
+    })";
+    std::unique_ptr<obs::JsonValue> frame = obs::parseJson(json);
+    ASSERT_NE(frame, nullptr);
+
+    std::string out = tools::renderDashboard(*frame);
+    EXPECT_NE(out.find("workers\n"), std::string::npos);
+    EXPECT_NE(out.find("w0 pid 1234"), std::string::npos);
+    EXPECT_NE(out.find("w1 pid 1240"), std::string::npos);
+    EXPECT_NE(out.find("backoff"), std::string::npos);
+    EXPECT_NE(out.find("(rq-7)"), std::string::npos);
+    EXPECT_NE(out.find("restarts 2"), std::string::npos);
+    EXPECT_NE(out.find("quarantined keys: pv2|sweep|events=6"),
+              std::string::npos);
+}
+
+TEST(RenderDashboard, NoWorkersArrayKeepsSingleProcessLayout)
+{
+    std::unique_ptr<obs::JsonValue> frame = obs::parseJson(
+        R"({"v":"serve-v1","id":"m","event":"metrics",
+            "registry":{"counters":{},"gauges":{}},
+            "series":{},"samples":0,"metrics_port":0})");
+    ASSERT_NE(frame, nullptr);
+    std::string out = tools::renderDashboard(*frame);
+    EXPECT_EQ(out.find("workers\n"), std::string::npos);
+}
+
 TEST(RenderDashboard, MissingSeriesRenderDashesNotCrashes)
 {
     std::unique_ptr<obs::JsonValue> frame = obs::parseJson(

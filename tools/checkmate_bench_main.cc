@@ -273,7 +273,8 @@ scrapeMetricsOnce(int port)
 
 bool
 runServeScenario(const BenchConfig &config,
-                 obs::BenchSample &sample, bool withTelemetry)
+                 obs::BenchSample &sample, bool withTelemetry,
+                 int workers = 0)
 {
     static int repIndex = 0;
     std::ostringstream sock;
@@ -283,6 +284,13 @@ runServeScenario(const BenchConfig &config,
     serve::ServerOptions options;
     options.socketPath = sock.str();
     options.maxInFlight = 1;
+    if (workers > 0) {
+        // Fleet twin: same phases, but every synth crosses a
+        // socketpair into a worker process, so the diff against
+        // serve_repeat_query prices the supervision hop.
+        options.fleet.workers = workers;
+        options.fleet.executable = CHECKMATE_SERVE_BINARY;
+    }
     if (withTelemetry) {
         // The overhead twin: a live Prometheus endpoint and the
         // sampler ticking at its default cadence while a scraper
@@ -370,6 +378,15 @@ runServeTelemetryOverhead(const BenchConfig &config,
                             /*withTelemetry=*/true);
 }
 
+bool
+runServeFleetRepeatQuery(const BenchConfig &config,
+                         obs::BenchSample &sample)
+{
+    return runServeScenario(config, sample,
+                            /*withTelemetry=*/false,
+                            /*workers=*/2);
+}
+
 std::string
 describeServeRepeatQuery(const BenchConfig &c)
 {
@@ -385,6 +402,13 @@ describeServeTelemetryOverhead(const BenchConfig &c)
 {
     return describeServeRepeatQuery(c) +
            " with metrics endpoint + 10 Hz scraper";
+}
+
+std::string
+describeServeFleetRepeatQuery(const BenchConfig &c)
+{
+    return describeServeRepeatQuery(c) +
+           " through a 2-worker fleet";
 }
 
 const Scenario kScenarios[] = {
@@ -422,6 +446,13 @@ const Scenario kScenarios[] = {
      "overhead)",
      nullptr, describeServeTelemetryOverhead,
      /*incremental=*/false, runServeTelemetryOverhead},
+    {"serve_fleet_repeat_query",
+     "serve_repeat_query twin through a 2-worker fleet: every "
+     "synth crosses a socketpair into a worker process (same "
+     "phase names, so checkmate-report diff prices the "
+     "supervision hop)",
+     nullptr, describeServeFleetRepeatQuery,
+     /*incremental=*/false, runServeFleetRepeatQuery},
 };
 
 const Scenario *

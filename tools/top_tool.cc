@@ -240,6 +240,48 @@ renderDashboard(const obs::JsonValue &frame)
         formatNumber(counterValue(frame, "sat.conflicts")),
         seriesValues(frame, "sat.conflicts.rate", window));
 
+    // Only daemons running --workers publish a fleet; a
+    // single-process daemon's dashboard keeps its old shape.
+    const obs::JsonValue *workers = frame.find("workers");
+    if (workers && workers->isArray() && !workers->items.empty()) {
+        auto num = [](const obs::JsonValue &v, const char *name) {
+            const obs::JsonValue *m = v.find(name);
+            return m ? m->asNumber() : 0.0;
+        };
+        auto text = [](const obs::JsonValue &v, const char *name) {
+            const obs::JsonValue *m = v.find(name);
+            return m ? m->asString() : std::string();
+        };
+        out << "\nworkers\n";
+        for (const obs::JsonValue &w : workers->items) {
+            std::ostringstream label;
+            label << "w" << formatNumber(num(w, "index")) << " pid "
+                  << formatNumber(num(w, "pid"));
+            std::ostringstream detail;
+            detail << std::left << std::setw(8)
+                   << text(w, "state") << " in-flight "
+                   << formatNumber(num(w, "in_flight"))
+                   << "  restarts "
+                   << formatNumber(num(w, "restarts"))
+                   << "  crashes "
+                   << formatNumber(num(w, "crashes"));
+            std::string request = text(w, "request");
+            if (!request.empty())
+                detail << "  (" << request << ")";
+            out << "  " << std::left << std::setw(16)
+                << label.str() << detail.str() << "\n";
+        }
+        const obs::JsonValue *quarantined =
+            frame.find("quarantined");
+        if (quarantined && quarantined->isArray() &&
+            !quarantined->items.empty()) {
+            out << "  quarantined keys:";
+            for (const obs::JsonValue &key : quarantined->items)
+                out << " " << key.asString();
+            out << "\n";
+        }
+    }
+
     return out.str();
 }
 
