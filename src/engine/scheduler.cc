@@ -208,10 +208,16 @@ runJobs(const std::vector<SynthesisJob> &jobs,
         // track keeps its existing name.
         worker();
     } else {
+        // Pool threads adopt the caller's trace context so their
+        // job spans stay children of the enclosing span (e.g. a
+        // serve.run in a worker process) instead of dangling as
+        // per-thread roots.
+        const obs::TraceContext context = obs::currentTraceContext();
         std::vector<std::thread> pool;
         pool.reserve(n_workers);
         for (size_t t = 0; t < n_workers; t++) {
-            pool.emplace_back([&worker, t]() {
+            pool.emplace_back([&worker, &context, t]() {
+                obs::ScopedTraceContext traceScope(context);
                 obs::TraceRecorder::instance().nameCurrentThread(
                     "worker-" + std::to_string(t));
                 worker();

@@ -165,7 +165,12 @@ bool
 trackedPercentiles(const std::string &name)
 {
     return name == "serve.queue_wait_us" ||
-           name == "serve.service_us";
+           name == "serve.service_us" ||
+           // Per-request critical-path stages (server.cc observes
+           // them from the done-frame breakdown; checkmate-top's
+           // latency section reads these series).
+           name == "serve.request.e2e_ms" ||
+           startsWith(name, "serve.stage.");
 }
 
 uint64_t

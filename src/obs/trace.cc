@@ -5,6 +5,8 @@
 
 #include "obs/trace.hh"
 
+#include <unistd.h>
+
 #include <fstream>
 
 #include "obs/fsio.hh"
@@ -25,11 +27,18 @@ traceEpoch()
     return epoch;
 }
 
-/** Per-thread track state: assigned id + live span depth. */
+/** One span currently open on a thread (LIFO by RAII scoping). */
+struct OpenSpan
+{
+    uint64_t spanId;
+    std::string traceId;
+};
+
+/** Per-thread track state: assigned id + stack of open spans. */
 struct ThreadTrack
 {
     uint32_t tid;
-    int depth = 0;
+    std::vector<OpenSpan> open;
 };
 
 ThreadTrack &
@@ -37,11 +46,38 @@ threadTrack()
 {
     static std::atomic<uint32_t> next{1};
     thread_local ThreadTrack track{
-        next.fetch_add(1, std::memory_order_relaxed)};
+        next.fetch_add(1, std::memory_order_relaxed), {}};
     return track;
 }
 
+/** The calling thread's adopted remote trace context. */
+TraceContext &
+threadContext()
+{
+    thread_local TraceContext context;
+    return context;
+}
+
+/**
+ * Process-unique span id: the pid in the high bits keeps ids from
+ * colliding across a worker fleet, so merged traces never alias.
+ */
+uint64_t
+nextSpanId()
+{
+    static std::atomic<uint64_t> next{1};
+    static const uint64_t pidBits =
+        static_cast<uint64_t>(::getpid()) << 32;
+    return pidBits | next.fetch_add(1, std::memory_order_relaxed);
+}
+
 } // anonymous namespace
+
+uint64_t
+allocateSpanId()
+{
+    return nextSpanId();
+}
 
 uint64_t
 nowMicros()
@@ -50,6 +86,41 @@ nowMicros()
         std::chrono::duration_cast<std::chrono::microseconds>(
             Clock::now() - traceEpoch())
             .count());
+}
+
+uint64_t
+traceEpochMonotonicUs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            traceEpoch().time_since_epoch())
+            .count());
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext context)
+    : previous_(std::move(threadContext()))
+{
+    threadContext() = std::move(context);
+}
+
+ScopedTraceContext::~ScopedTraceContext()
+{
+    threadContext() = std::move(previous_);
+}
+
+const TraceContext &
+ScopedTraceContext::current()
+{
+    return threadContext();
+}
+
+TraceContext
+currentTraceContext()
+{
+    const ThreadTrack &track = threadTrack();
+    if (!track.open.empty())
+        return {track.open.back().traceId, track.open.back().spanId};
+    return threadContext();
 }
 
 TraceRecorder &
@@ -68,7 +139,7 @@ TraceRecorder::currentThreadId()
 int
 TraceRecorder::currentDepth()
 {
-    return threadTrack().depth;
+    return static_cast<int>(threadTrack().open.size());
 }
 
 void
@@ -164,7 +235,19 @@ TraceRecorder::toChromeJson() const
 
     for (const TraceEvent &s : spans_) {
         JsonFields args;
-        args.add("depth", s.depth).splice(s.argsJson);
+        args.add("depth", s.depth);
+        // Distributed-trace identity rides along as args so a span's
+        // parentage is inspectable in the Perfetto UI. Ids go out as
+        // decimal strings: they can exceed 2^53 and JSON readers
+        // (including ours) parse numbers as doubles.
+        if (s.spanId != 0)
+            args.add("span_id", std::to_string(s.spanId));
+        if (s.parentSpanId != 0)
+            args.add("parent_span_id",
+                     std::to_string(s.parentSpanId));
+        if (!s.traceId.empty())
+            args.add("trace_id", s.traceId);
+        args.splice(s.argsJson);
         JsonFields f;
         f.add("ph", "X")
             .add("pid", 1)
@@ -203,10 +286,94 @@ TraceRecorder::writeChromeTrace(const std::string &path) const
     return atomicWriteFile(path, toChromeJson());
 }
 
+std::string
+TraceRecorder::toShardJson(const std::string &processName) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string out;
+    out.reserve(spans_.size() * 192 + counters_.size() * 96 + 512);
+
+    JsonFields header;
+    header.add("checkmate_trace_shard", 1)
+        .add("pid", static_cast<uint64_t>(::getpid()))
+        .add("process_name", processName)
+        .add("anchor_monotonic_us", traceEpochMonotonicUs());
+
+    JsonFields names;
+    for (const auto &[tid, name] : threadNames_)
+        names.add(std::to_string(tid), name);
+    header.addRaw("thread_names", names.object());
+
+    out += '{';
+    out += header.str();
+    out += ",\"spans\":[";
+    bool first = true;
+    for (const TraceEvent &s : spans_) {
+        if (!first)
+            out += ',';
+        first = false;
+        JsonFields f;
+        f.add("name", s.name)
+            .add("cat", s.category)
+            .add("ts", s.startUs)
+            .add("dur", s.durUs)
+            .add("tid", static_cast<uint64_t>(s.tid))
+            .add("depth", s.depth)
+            // Decimal strings: span ids overflow a double's mantissa.
+            .add("span_id", std::to_string(s.spanId))
+            .add("parent_span_id", std::to_string(s.parentSpanId))
+            .add("trace_id", s.traceId)
+            // The rendered field list travels as a string so the
+            // merger can splice it back verbatim — no re-render.
+            .add("args", s.argsJson);
+        out += f.object();
+    }
+    out += "],\"counters\":[";
+    first = true;
+    for (const CounterEvent &c : counters_) {
+        if (!first)
+            out += ',';
+        first = false;
+        JsonFields series;
+        for (const auto &[key, value] : c.series)
+            series.add(key, value);
+        JsonFields f;
+        f.add("name", c.name)
+            .add("ts", c.tsUs)
+            .add("tid", static_cast<uint64_t>(c.tid))
+            .addRaw("series", series.object());
+        out += f.object();
+    }
+    out += "]}\n";
+    return out;
+}
+
+bool
+TraceRecorder::writeTraceShard(const std::string &path,
+                               const std::string &processName) const
+{
+    return atomicWriteFile(path, toShardJson(processName));
+}
+
 Span::Span(std::string name, std::string category)
     : name_(std::move(name)), category_(std::move(category)),
-      startUs_(nowMicros()), depth_(threadTrack().depth++)
-{}
+      startUs_(nowMicros())
+{
+    ThreadTrack &track = threadTrack();
+    depth_ = static_cast<int>(track.open.size());
+    spanId_ = nextSpanId();
+    if (!track.open.empty()) {
+        // Nested: parent is the enclosing span on this thread.
+        parentSpanId_ = track.open.back().spanId;
+        traceId_ = track.open.back().traceId;
+    } else {
+        // Thread root: adopt the remote context, if any.
+        const TraceContext &context = threadContext();
+        parentSpanId_ = context.parentSpanId;
+        traceId_ = context.traceId;
+    }
+    track.open.push_back({spanId_, traceId_});
+}
 
 void
 Span::close()
@@ -215,7 +382,9 @@ Span::close()
         return;
     open_ = false;
     endUs_ = nowMicros();
-    threadTrack().depth--;
+    ThreadTrack &track = threadTrack();
+    if (!track.open.empty())
+        track.open.pop_back();
     TraceRecorder &recorder = TraceRecorder::instance();
     if (!recorder.enabled())
         return;
@@ -226,6 +395,9 @@ Span::close()
     event.durUs = endUs_ - startUs_;
     event.tid = TraceRecorder::currentThreadId();
     event.depth = depth_;
+    event.traceId = traceId_;
+    event.spanId = spanId_;
+    event.parentSpanId = parentSpanId_;
     // Correlation: a span closing inside a request-id scope joins
     // the trace to that request's log lines and run report.
     if (!ScopedRequestId::current().empty())

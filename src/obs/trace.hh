@@ -21,6 +21,17 @@
  * the engine scheduler names its workers, so a parallel sweep shows
  * per-worker job lanes. See docs/OBSERVABILITY.md for the span
  * taxonomy.
+ *
+ * Distributed tracing: every span carries a process-unique span id
+ * and the id of its parent (the enclosing open span on the same
+ * thread, or — for a thread's outermost span — the remote parent
+ * adopted via ScopedTraceContext). A trace context (trace id +
+ * parent span id) crosses thread and process boundaries as plain
+ * data: the serve daemon forwards it to worker processes in synth
+ * frames and the engine scheduler forwards it to pool threads, so a
+ * request's spans form one connected tree no matter where they ran.
+ * Per-process shards written by writeTraceShard() are merged into a
+ * single fleet trace by tools/checkmate-trace (obs/trace_merge.hh).
  */
 
 #ifndef CHECKMATE_OBS_TRACE_HH
@@ -46,6 +57,22 @@ namespace checkmate::obs
  */
 uint64_t nowMicros();
 
+/**
+ * The process trace epoch expressed as raw CLOCK_MONOTONIC
+ * microseconds. steady_clock is shared by every process on one
+ * boot, so a trace merger can shift each shard's timestamps by
+ * (shard anchor − supervisor anchor) to land them on one timeline.
+ */
+uint64_t traceEpochMonotonicUs();
+
+/**
+ * Mint a fresh process-unique span id (pid in the high bits). For
+ * synthetic spans recorded directly via TraceRecorder::recordSpan —
+ * obs::Span allocates its own. Note ids can exceed 2^53, so transmit
+ * them as decimal strings in JSON (doubles would truncate them).
+ */
+uint64_t allocateSpanId();
+
 /** One completed span, as recorded. */
 struct TraceEvent
 {
@@ -56,9 +83,62 @@ struct TraceEvent
     uint32_t tid = 0;
     /** Nesting depth on the owning thread at open time (0 = top). */
     int depth = 0;
+    /** Distributed-trace identity: empty/0 = not part of a trace. */
+    std::string traceId;
+    uint64_t spanId = 0;
+    uint64_t parentSpanId = 0;
     /** Extra args: rendered JSON field list (no braces). */
     std::string argsJson;
 };
+
+/**
+ * Remote parentage a thread (or whole process) adopts for its
+ * outermost spans: the trace these spans belong to and the span —
+ * possibly in another process — that logically contains them.
+ */
+struct TraceContext
+{
+    std::string traceId;
+    uint64_t parentSpanId = 0;
+
+    bool
+    empty() const
+    {
+        return traceId.empty() && parentSpanId == 0;
+    }
+};
+
+/**
+ * RAII thread-local trace-context scope (the tracing analogue of
+ * ScopedRequestId). While in scope, spans opened at depth 0 on this
+ * thread inherit the context's trace id and parent to its
+ * parentSpanId instead of being roots. Scopes nest; destruction
+ * restores the previous context.
+ */
+class ScopedTraceContext
+{
+  public:
+    explicit ScopedTraceContext(TraceContext context);
+    ~ScopedTraceContext();
+
+    ScopedTraceContext(const ScopedTraceContext &) = delete;
+    ScopedTraceContext &operator=(const ScopedTraceContext &) =
+        delete;
+
+    /** The calling thread's adopted context (empty when none). */
+    static const TraceContext &current();
+
+  private:
+    TraceContext previous_;
+};
+
+/**
+ * The context a child thread or process should adopt so that its
+ * root spans become children of the innermost span currently open
+ * on this thread (falling back to the thread's adopted remote
+ * context when no span is open).
+ */
+TraceContext currentTraceContext();
 
 /** One counter sample (a Chrome "C" event; e.g. a heartbeat). */
 struct CounterEvent
@@ -129,6 +209,20 @@ class TraceRecorder
      */
     bool writeChromeTrace(const std::string &path) const;
 
+    /**
+     * Render the buffer as a per-process trace shard: a JSON
+     * document carrying this process's pid, @p processName, its
+     * monotonic anchor (traceEpochMonotonicUs), thread names, and
+     * every span with full distributed-trace identity. Shards are
+     * what worker processes drop under --trace-dir; merge them with
+     * tools/checkmate-trace (obs/trace_merge.hh).
+     */
+    std::string toShardJson(const std::string &processName) const;
+
+    /** Atomically write the shard to @p path (false on IO error). */
+    bool writeTraceShard(const std::string &path,
+                         const std::string &processName) const;
+
   private:
     TraceRecorder() = default;
 
@@ -178,12 +272,21 @@ class Span
     /** Elapsed seconds: so far while open, total once closed. */
     double seconds() const;
 
+    /** This span's process-unique id (stable from construction). */
+    uint64_t id() const { return spanId_; }
+
+    /** The trace this span belongs to (empty when untraced). */
+    const std::string &traceId() const { return traceId_; }
+
   private:
     std::string name_;
     std::string category_;
+    std::string traceId_;
     JsonFields args_;
     uint64_t startUs_;
     uint64_t endUs_ = 0;
+    uint64_t spanId_ = 0;
+    uint64_t parentSpanId_ = 0;
     int depth_;
     bool open_ = true;
 };

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Fleet trace shard merging implementation.
+ */
+
+#include "obs/trace_merge.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+
+#include "obs/json.hh"
+#include "obs/json_reader.hh"
+
+namespace checkmate::obs
+{
+
+namespace
+{
+
+/**
+ * A span id as transmitted: a decimal string (ids can exceed 2^53,
+ * so numeric JSON would truncate them). Tolerate a plain number for
+ * small ids anyway.
+ */
+uint64_t
+spanIdOf(const JsonValue *value)
+{
+    if (value == nullptr)
+        return 0;
+    if (value->isString())
+        return std::strtoull(value->str.c_str(), nullptr, 10);
+    if (value->isNumber())
+        return static_cast<uint64_t>(value->number);
+    return 0;
+}
+
+uint64_t
+u64Of(const JsonValue *value)
+{
+    return value ? static_cast<uint64_t>(value->asNumber()) : 0;
+}
+
+std::string
+strOf(const JsonValue *value)
+{
+    return value ? value->asString() : std::string();
+}
+
+/** Pull the request_id arg out of a rendered field list, if any. */
+std::string
+requestIdOfArgs(const std::string &argsJson)
+{
+    if (argsJson.find("\"request_id\"") == std::string::npos)
+        return {};
+    auto parsed = parseJson("{" + argsJson + "}");
+    if (!parsed)
+        return {};
+    return strOf(parsed->find("request_id"));
+}
+
+/** One shard as loaded, before skew normalization. */
+struct Shard
+{
+    uint32_t pid = 0;
+    std::string processName;
+    uint64_t anchorUs = 0;
+    std::map<uint32_t, std::string> threadNames;
+    std::vector<FleetSpan> spans;
+    std::vector<FleetCounter> counters;
+};
+
+bool
+loadShard(const std::string &text, Shard *shard, std::string *error)
+{
+    std::string parseError;
+    auto root = parseJson(text, &parseError);
+    if (!root || !root->isObject()) {
+        *error = parseError.empty() ? "not a JSON object" : parseError;
+        return false;
+    }
+    const JsonValue *magic = root->find("checkmate_trace_shard");
+    if (magic == nullptr || !magic->isNumber()) {
+        *error = "missing checkmate_trace_shard marker";
+        return false;
+    }
+    shard->pid = static_cast<uint32_t>(u64Of(root->find("pid")));
+    shard->processName = strOf(root->find("process_name"));
+    shard->anchorUs = u64Of(root->find("anchor_monotonic_us"));
+
+    if (const JsonValue *names = root->find("thread_names"))
+        for (const auto &[tid, name] : names->members)
+            shard->threadNames[static_cast<uint32_t>(
+                std::strtoul(tid.c_str(), nullptr, 10))] =
+                name.asString();
+
+    if (const JsonValue *spans = root->find("spans")) {
+        for (const JsonValue &s : spans->items) {
+            FleetSpan span;
+            span.name = strOf(s.find("name"));
+            span.category = strOf(s.find("cat"));
+            span.startUs = u64Of(s.find("ts"));
+            span.durUs = u64Of(s.find("dur"));
+            span.pid = shard->pid;
+            span.tid = static_cast<uint32_t>(u64Of(s.find("tid")));
+            span.depth = static_cast<int>(u64Of(s.find("depth")));
+            span.traceId = strOf(s.find("trace_id"));
+            span.spanId = spanIdOf(s.find("span_id"));
+            span.parentSpanId = spanIdOf(s.find("parent_span_id"));
+            span.argsJson = strOf(s.find("args"));
+            span.requestId = requestIdOfArgs(span.argsJson);
+            shard->spans.push_back(std::move(span));
+        }
+    }
+    if (const JsonValue *counters = root->find("counters")) {
+        for (const JsonValue &c : counters->items) {
+            FleetCounter counter;
+            counter.name = strOf(c.find("name"));
+            counter.tsUs = u64Of(c.find("ts"));
+            counter.pid = shard->pid;
+            counter.tid = static_cast<uint32_t>(u64Of(c.find("tid")));
+            if (const JsonValue *series = c.find("series"))
+                counter.seriesJson = jsonToString(*series);
+            else
+                counter.seriesJson = "{}";
+            shard->counters.push_back(std::move(counter));
+        }
+    }
+    return true;
+}
+
+} // anonymous namespace
+
+FleetTrace
+mergeTraceShardTexts(
+    const std::vector<std::pair<std::string, std::string>> &shards)
+{
+    FleetTrace trace;
+    std::vector<Shard> loaded;
+    for (const auto &[source, text] : shards) {
+        Shard shard;
+        std::string error;
+        if (!loadShard(text, &shard, &error)) {
+            trace.warnings.push_back("skipped shard " + source +
+                                     ": " + error);
+            continue;
+        }
+        loaded.push_back(std::move(shard));
+    }
+    if (loaded.empty())
+        return trace;
+
+    // The fleet timeline origin is the earliest-started process —
+    // with --trace-dir that is the supervisor, whose epoch precedes
+    // every worker fork. Shifting each shard by (anchor − base)
+    // removes per-process epoch skew: steady_clock is one clock for
+    // all processes on a boot.
+    trace.baseAnchorUs = loaded.front().anchorUs;
+    for (const Shard &shard : loaded)
+        trace.baseAnchorUs =
+            std::min(trace.baseAnchorUs, shard.anchorUs);
+
+    for (Shard &shard : loaded) {
+        const uint64_t shift = shard.anchorUs - trace.baseAnchorUs;
+        trace.processNames[shard.pid] = shard.processName;
+        for (const auto &[tid, name] : shard.threadNames)
+            trace.threadNames[{shard.pid, tid}] = name;
+        for (FleetSpan &span : shard.spans) {
+            span.startUs += shift;
+            trace.spans.push_back(std::move(span));
+        }
+        for (FleetCounter &counter : shard.counters) {
+            counter.tsUs += shift;
+            trace.counters.push_back(std::move(counter));
+        }
+    }
+
+    // Flag — never drop — spans whose parent is missing: a chaos-
+    // killed worker takes its buffered spans with it, and the
+    // surviving children are exactly what a crash postmortem needs.
+    std::unordered_set<uint64_t> known;
+    known.reserve(trace.spans.size());
+    for (const FleetSpan &span : trace.spans)
+        known.insert(span.spanId);
+    for (FleetSpan &span : trace.spans) {
+        if (span.parentSpanId != 0 &&
+            known.count(span.parentSpanId) == 0) {
+            span.orphan = true;
+            trace.orphanCount++;
+        }
+    }
+    return trace;
+}
+
+FleetTrace
+mergeTraceShards(const std::vector<std::string> &paths)
+{
+    std::vector<std::pair<std::string, std::string>> texts;
+    std::vector<std::string> unreadable;
+    for (const std::string &path : paths) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            unreadable.push_back("unreadable shard " + path);
+            continue;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        texts.emplace_back(path, buf.str());
+    }
+    FleetTrace trace = mergeTraceShardTexts(texts);
+    trace.warnings.insert(trace.warnings.begin(), unreadable.begin(),
+                          unreadable.end());
+    return trace;
+}
+
+std::string
+fleetTraceToChromeJson(const FleetTrace &trace)
+{
+    std::string out;
+    out.reserve(trace.spans.size() * 160 +
+                trace.counters.size() * 96 + 512);
+    out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+
+    bool first = true;
+    auto emit = [&](const std::string &event) {
+        if (!first)
+            out += ',';
+        first = false;
+        out += event;
+    };
+
+    for (const auto &[pid, name] : trace.processNames) {
+        JsonFields f;
+        f.add("ph", "M")
+            .add("pid", static_cast<uint64_t>(pid))
+            .add("name", "process_name");
+        f.addRaw("args", "{\"name\":\"" + jsonEscape(name) + "\"}");
+        emit(f.object());
+    }
+    for (const auto &[key, name] : trace.threadNames) {
+        JsonFields f;
+        f.add("ph", "M")
+            .add("pid", static_cast<uint64_t>(key.first))
+            .add("tid", static_cast<uint64_t>(key.second))
+            .add("name", "thread_name");
+        f.addRaw("args", "{\"name\":\"" + jsonEscape(name) + "\"}");
+        emit(f.object());
+    }
+
+    for (const FleetSpan &s : trace.spans) {
+        JsonFields args;
+        args.add("depth", s.depth);
+        if (s.spanId != 0)
+            args.add("span_id", std::to_string(s.spanId));
+        if (s.parentSpanId != 0)
+            args.add("parent_span_id",
+                     std::to_string(s.parentSpanId));
+        if (!s.traceId.empty())
+            args.add("trace_id", s.traceId);
+        if (s.orphan)
+            args.add("orphan", true);
+        args.splice(s.argsJson);
+        JsonFields f;
+        f.add("ph", "X")
+            .add("pid", static_cast<uint64_t>(s.pid))
+            .add("tid", static_cast<uint64_t>(s.tid))
+            .add("ts", s.startUs)
+            .add("dur", s.durUs)
+            .add("name", s.name)
+            .add("cat", s.category)
+            .addRaw("args", args.object());
+        emit(f.object());
+    }
+
+    for (const FleetCounter &c : trace.counters) {
+        JsonFields f;
+        f.add("ph", "C")
+            .add("pid", static_cast<uint64_t>(c.pid))
+            .add("tid", static_cast<uint64_t>(c.tid))
+            .add("ts", c.tsUs)
+            .add("name", c.name)
+            .addRaw("args", c.seriesJson);
+        emit(f.object());
+    }
+
+    out += "]}\n";
+    return out;
+}
+
+RequestBreakdown
+criticalPath(const FleetTrace &trace, const std::string &requestId)
+{
+    RequestBreakdown breakdown;
+    breakdown.requestId = requestId;
+    uint64_t dispatchUs = 0;
+    uint64_t execUs = 0;
+    uint64_t requestUs = 0;
+    for (const FleetSpan &span : trace.spans) {
+        if (span.traceId != requestId)
+            continue;
+        breakdown.spanCount++;
+        if (span.name == "serve.queue_wait")
+            breakdown.queueWaitUs += span.durUs;
+        else if (span.name == "serve.dispatch")
+            dispatchUs += span.durUs;
+        else if (span.name == "serve.exec")
+            execUs += span.durUs;
+        else if (span.name == "serve.stage.session_warm")
+            breakdown.sessionWarmUs += span.durUs;
+        else if (span.name == "serve.stage.translate")
+            breakdown.translateUs += span.durUs;
+        else if (span.name == "serve.stage.search")
+            breakdown.searchUs += span.durUs;
+        else if (span.name == "serve.respond")
+            breakdown.respondUs += span.durUs;
+        else if (span.name == "serve.request")
+            requestUs += span.durUs;
+    }
+    breakdown.found = breakdown.spanCount > 0;
+    // Dispatch cost is the fleet round-trip minus the worker's own
+    // execution — transport, scheduling, frame relay. The local
+    // (no-fleet) path records neither span, so this is 0 there.
+    breakdown.dispatchUs =
+        dispatchUs > execUs ? dispatchUs - execUs : 0;
+    breakdown.e2eUs = breakdown.queueWaitUs + requestUs;
+    return breakdown;
+}
+
+std::vector<std::string>
+traceRequestIds(const FleetTrace &trace)
+{
+    std::vector<std::pair<uint64_t, std::string>> roots;
+    for (const FleetSpan &span : trace.spans)
+        if (span.name == "serve.request" && !span.traceId.empty())
+            roots.emplace_back(span.startUs, span.traceId);
+    std::sort(roots.begin(), roots.end());
+    std::vector<std::string> ids;
+    for (auto &[ts, id] : roots)
+        if (std::find(ids.begin(), ids.end(), id) == ids.end())
+            ids.push_back(std::move(id));
+    return ids;
+}
+
+} // namespace checkmate::obs

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Fleet trace merging: combine per-process trace shards into one
+ * Chrome trace, and compute per-request critical paths.
+ *
+ * Each checkmate process participating in a traced fleet run writes
+ * a shard (TraceRecorder::writeTraceShard) carrying its pid, process
+ * name, monotonic anchor, thread names, and spans with full
+ * distributed-trace identity. This library loads any number of
+ * shards, lands them on one timeline (steady_clock is shared by all
+ * processes on a boot, so shifting each shard by
+ * `anchor − min(anchor)` removes per-process epoch skew), flags
+ * spans whose parent is missing from the merged set as orphans
+ * rather than dropping them, and exports the result as a Chrome
+ * trace_event document with one track per process.
+ *
+ * Critical-path analysis walks a request's span tree (trace id ==
+ * the daemon-minted request id) and totals the serve stage spans;
+ * the stage taxonomy deliberately mirrors the `breakdown` object the
+ * daemon attaches to `done` frames, so `checkmate-trace
+ * critical-path` and `checkmate-client --timing` agree.
+ *
+ * Used by tools/checkmate-trace; unit-tested via obs::json_reader.
+ */
+
+#ifndef CHECKMATE_OBS_TRACE_MERGE_HH
+#define CHECKMATE_OBS_TRACE_MERGE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace checkmate::obs
+{
+
+/** One span from a shard, landed on the fleet timeline. */
+struct FleetSpan
+{
+    std::string name;
+    std::string category;
+    /** Start in µs since the fleet base anchor (skew-normalized). */
+    uint64_t startUs = 0;
+    uint64_t durUs = 0;
+    uint32_t pid = 0;
+    uint32_t tid = 0;
+    int depth = 0;
+    std::string traceId;
+    uint64_t spanId = 0;
+    uint64_t parentSpanId = 0;
+    /** Extra args: rendered JSON field list (no braces). */
+    std::string argsJson;
+    /** request_id arg when present (correlation with logs/frames). */
+    std::string requestId;
+    /** Parent id set but absent from the merged span set. */
+    bool orphan = false;
+};
+
+/** One counter sample from a shard (skew-normalized). */
+struct FleetCounter
+{
+    std::string name;
+    uint64_t tsUs = 0;
+    uint32_t pid = 0;
+    uint32_t tid = 0;
+    /** Rendered JSON object of series values. */
+    std::string seriesJson;
+};
+
+/** All shards of a fleet run, merged onto one timeline. */
+struct FleetTrace
+{
+    std::vector<FleetSpan> spans;
+    std::vector<FleetCounter> counters;
+    /** pid → process name (one Chrome track group per process). */
+    std::map<uint32_t, std::string> processNames;
+    /** (pid, tid) → thread name. */
+    std::map<std::pair<uint32_t, uint32_t>, std::string> threadNames;
+    /** Smallest shard anchor: the fleet timeline origin. */
+    uint64_t baseAnchorUs = 0;
+    /** Count of spans flagged as orphans. */
+    size_t orphanCount = 0;
+    /** Human-readable load problems (bad shard, missing file, …). */
+    std::vector<std::string> warnings;
+};
+
+/**
+ * Merge shard documents given as (source name, JSON text) pairs.
+ * Malformed shards are skipped with a warning; the merge never
+ * fails outright, because a chaos-killed worker may leave no shard
+ * (or half a fleet) and the surviving trace is still useful.
+ */
+FleetTrace mergeTraceShardTexts(
+    const std::vector<std::pair<std::string, std::string>> &shards);
+
+/** Merge shard files; unreadable paths become warnings. */
+FleetTrace
+mergeTraceShards(const std::vector<std::string> &paths);
+
+/**
+ * Render the merged trace as one Chrome trace_event JSON document:
+ * per-process track groups (process_name metadata), named threads,
+ * "X" span events with distributed-trace identity in args (span ids
+ * as decimal strings), orphans flagged with `"orphan":true`.
+ */
+std::string fleetTraceToChromeJson(const FleetTrace &trace);
+
+/**
+ * Per-request stage totals, in µs — the same stages, computed from
+ * the same spans, as the `breakdown` object on `done` frames.
+ */
+struct RequestBreakdown
+{
+    std::string requestId;
+    bool found = false;
+    uint64_t queueWaitUs = 0;
+    uint64_t dispatchUs = 0;
+    uint64_t sessionWarmUs = 0;
+    uint64_t translateUs = 0;
+    uint64_t searchUs = 0;
+    uint64_t respondUs = 0;
+    uint64_t e2eUs = 0;
+    /** Spans in this request's tree (for parentage checks). */
+    size_t spanCount = 0;
+};
+
+/**
+ * Compute the critical-path breakdown for @p requestId (the trace
+ * id). Stage mapping: queue_wait ← serve.queue_wait; dispatch ←
+ * serve.dispatch − serve.exec (clamped at 0); session_warm /
+ * translate / search ← the serve.stage.* rollup spans; respond ←
+ * serve.respond; e2e ← serve.queue_wait + serve.request.
+ */
+RequestBreakdown criticalPath(const FleetTrace &trace,
+                              const std::string &requestId);
+
+/**
+ * Request ids with a `serve.request` root in the trace, in timeline
+ * order.
+ */
+std::vector<std::string> traceRequestIds(const FleetTrace &trace);
+
+} // namespace checkmate::obs
+
+#endif // CHECKMATE_OBS_TRACE_MERGE_HH

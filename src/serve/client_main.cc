@@ -13,12 +13,15 @@
  * rejected admission exits 3.
  */
 
+#include <cstdint>
 #include <cstdlib>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/fsio.hh"
 #include "obs/json_reader.hh"
 #include "serve/client.hh"
 
@@ -47,6 +50,13 @@ request's checkmate CLI flags.
                       delay before the first connect retry;
                       doubles per attempt, capped at 10 s
                       (default 100)
+  --timing            print the done frame's per-stage latency
+                      breakdown (queue wait, dispatch, session
+                      warm, translate, search, respond; µs) as a
+                      table on stderr
+  --report FILE       write the served run report to FILE, with
+                      the request's latency breakdown added as
+                      engine.request_breakdown
   --quiet             suppress lifecycle frames on stderr
   --help              this text
 
@@ -62,6 +72,8 @@ struct ClientCli
     int timeoutMs = 600000;
     int connectRetries = 0;
     int connectBackoffMs = 100;
+    bool timing = false;
+    std::string reportPath;
     bool quiet = false;
     bool help = false;
     std::string error;
@@ -126,6 +138,10 @@ parseClientCli(const std::vector<std::string> &args)
             if (opts.error.empty() && opts.connectBackoffMs <= 0)
                 opts.error = "--connect-backoff-ms requires a "
                              "positive delay";
+        } else if (arg == "--timing") {
+            opts.timing = true;
+        } else if (arg == "--report") {
+            opts.reportPath = needValue(i, arg);
         } else if (arg == "--quiet") {
             opts.quiet = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -140,6 +156,86 @@ parseClientCli(const std::vector<std::string> &args)
     if (opts.error.empty() && !opts.help && opts.socketPath.empty())
         opts.error = "--socket is required";
     return opts;
+}
+
+/** Member lookup on a mutable object (find() is const-only). */
+checkmate::obs::JsonValue *
+findMutable(checkmate::obs::JsonValue &object, std::string_view key)
+{
+    for (auto &member : object.members) {
+        if (member.first == key)
+            return &member.second;
+    }
+    return nullptr;
+}
+
+/**
+ * Print the done frame's `breakdown` object — the daemon's
+ * per-stage critical-path split of this request, in µs — as a
+ * table. The same numbers `checkmate-trace critical-path` computes
+ * from a merged fleet trace.
+ */
+void
+printTiming(const checkmate::obs::JsonValue &terminal,
+            std::ostream &err)
+{
+    const checkmate::obs::JsonValue *breakdown =
+        terminal.find("breakdown");
+    if (!breakdown || !breakdown->isObject()) {
+        err << "checkmate-client: done frame carries no timing"
+               " breakdown\n";
+        return;
+    }
+    err << "checkmate-client: request timing (us)\n";
+    for (const auto &member : breakdown->members) {
+        // Fields arrive as <stage>_us; strip the unit suffix, the
+        // header names it once.
+        std::string label = member.first;
+        if (label.size() > 3 &&
+            label.compare(label.size() - 3, 3, "_us") == 0)
+            label.resize(label.size() - 3);
+        err << "  " << std::left << std::setw(14) << label
+            << std::right << std::setw(12)
+            << static_cast<uint64_t>(member.second.asNumber())
+            << "\n";
+    }
+}
+
+/**
+ * Write the done frame's run report to @p path, with the request's
+ * latency breakdown grafted in as engine.request_breakdown so a
+ * stored report carries its serving cost alongside the synthesis
+ * phases.
+ */
+bool
+writeReport(checkmate::obs::JsonValue &terminal,
+            const std::string &path, std::ostream &err)
+{
+    checkmate::obs::JsonValue *report =
+        findMutable(terminal, "report");
+    if (!report || !report->isObject()) {
+        err << "checkmate-client: done frame carries no report\n";
+        return false;
+    }
+    if (const checkmate::obs::JsonValue *breakdown =
+            terminal.find("breakdown")) {
+        // Run reports root their summary under "engine"; a cached
+        // or empty report may lack it, then the breakdown lands at
+        // the top level rather than being dropped.
+        checkmate::obs::JsonValue *engine =
+            findMutable(*report, "engine");
+        checkmate::obs::JsonValue *target =
+            engine && engine->isObject() ? engine : report;
+        target->members.push_back(
+            {"request_breakdown", *breakdown});
+    }
+    if (!checkmate::obs::atomicWriteFile(
+            path, checkmate::obs::jsonToString(*report) + "\n")) {
+        err << "checkmate-client: cannot write report " << path
+            << "\n";
+        return false;
+    }
+    return true;
 }
 
 /** Re-render a frame minus its bulky payload for the stderr log. */
@@ -164,7 +260,10 @@ frameSummary(const checkmate::obs::JsonValue &frame)
         else if (v.isNumber())
             out += checkmate::obs::jsonNumber(v.number);
         else
-            out += "...";
+            // Nested values (e.g. the done frame's breakdown
+            // object) render verbatim, keeping the logged line
+            // valid JSON for scripts that parse it.
+            out += checkmate::obs::jsonToString(v);
     }
     return out + "}";
 }
@@ -272,12 +371,20 @@ main(int argc, char **argv)
             line << " request_id=" << rid->asString();
         std::cerr << line.str() << "\n";
     }
+    if (opts.timing)
+        printTiming(*terminal, std::cerr);
+    bool reportOk = true;
+    if (!opts.reportPath.empty())
+        reportOk = writeReport(*terminal, opts.reportPath,
+                               std::cerr);
     if (const checkmate::obs::JsonValue *text =
             terminal->find("text"))
         std::cout << text->asString();
     if (const checkmate::obs::JsonValue *err =
             terminal->find("stderr"))
         std::cerr << err->asString();
+    if (!reportOk)
+        return 2;
     const checkmate::obs::JsonValue *exit = terminal->find("exit");
     return exit ? static_cast<int>(exit->asNumber(2.0)) : 2;
 }

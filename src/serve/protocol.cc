@@ -70,6 +70,10 @@ parseRequest(const std::string &line, Request *request,
     if (!root->isObject())
         return fail(error, "request must be a JSON object");
 
+    // Start from defaults: optional fields (target, trace context)
+    // absent from this frame must not leak in from a reused struct.
+    *request = Request{};
+
     const obs::JsonValue *v = root->find("v");
     if (!v || !v->isString())
         return fail(error, "missing protocol version \"v\"");
@@ -102,6 +106,16 @@ parseRequest(const std::string &line, Request *request,
             return fail(error, "\"target\" must be a string");
         request->target = target->str;
     }
+    if (const obs::JsonValue *traceId = root->find("trace_id")) {
+        if (!traceId->isString())
+            return fail(error, "\"trace_id\" must be a string");
+        request->traceId = traceId->str;
+    }
+    if (const obs::JsonValue *parent = root->find("parent_span")) {
+        if (!parent->isString())
+            return fail(error, "\"parent_span\" must be a string");
+        request->parentSpan = parent->str;
+    }
 
     request->args.clear();
     if (const obs::JsonValue *args = root->find("args")) {
@@ -133,6 +147,10 @@ requestFrame(const Request &request)
     fields.add("client", request.client);
     if (!request.target.empty())
         fields.add("target", request.target);
+    if (!request.traceId.empty())
+        fields.add("trace_id", request.traceId);
+    if (!request.parentSpan.empty())
+        fields.add("parent_span", request.parentSpan);
     if (!request.args.empty()) {
         std::string array = "[";
         for (size_t i = 0; i < request.args.size(); i++) {

@@ -74,6 +74,16 @@ struct Request
 
     /** Cancel: the id of the request to cancel (same client). */
     std::string target;
+
+    /**
+     * Distributed-trace context (optional; daemon → worker synth
+     * frames). The trace id is the daemon-minted request id; the
+     * parent span id is a decimal string — span ids carry the pid in
+     * their high bits and can exceed 2^53, so a JSON number (parsed
+     * as a double) would silently truncate them.
+     */
+    std::string traceId;
+    std::string parentSpan;
 };
 
 /**

@@ -93,10 +93,18 @@ protocol reference.
                       port; default: off). docs/OBSERVABILITY.md
   --telemetry-log PATH
                       append one JSONL telemetry snapshot per
-                      sampling interval to PATH, rotating to
-                      PATH.1 past 8 MiB (default: off)
+                      sampling interval to PATH, rotating past
+                      8 MiB to PATH.1, PATH.2, ... (default: off)
+  --telemetry-log-rotate-count N
+                      rotated telemetry log files kept; the oldest
+                      is deleted (default 3)
   --telemetry-interval-ms N
                       telemetry sampling cadence (default 1000)
+  --trace-dir DIR     distributed tracing: daemon and worker
+                      processes write per-process trace-<pid>.json
+                      shards under DIR; merge them with
+                      `checkmate-trace merge` into one Chrome/
+                      Perfetto trace (docs/OBSERVABILITY.md)
   --log-json PATH     JSONL structured log, truncated per run
                       (docs/OBSERVABILITY.md)
   --log-file PATH     JSONL structured log, appended across
@@ -227,6 +235,11 @@ parseDaemonCli(const std::vector<std::string> &args)
         } else if (arg == "--telemetry-log") {
             opts.server.telemetry.telemetryLogPath =
                 needValue(i, arg);
+        } else if (arg == "--telemetry-log-rotate-count") {
+            opts.server.telemetry.telemetryLogRotateCount =
+                static_cast<int>(positive(i, arg));
+        } else if (arg == "--trace-dir") {
+            opts.server.traceDir = needValue(i, arg);
         } else if (arg == "--telemetry-interval-ms") {
             opts.server.telemetry.sampleIntervalMs =
                 static_cast<int>(positive(i, arg));
@@ -286,6 +299,7 @@ main(int argc, char **argv)
         child.sessionPoolCapacity =
             opts.server.sessionPoolCapacity;
         child.injectSpec = opts.workerInject;
+        child.traceDir = opts.server.traceDir;
         return checkmate::serve::workerMain(child);
     }
 

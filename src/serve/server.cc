@@ -71,6 +71,14 @@ frameString(const obs::JsonValue &frame, const char *key)
     return v ? v->asString() : empty;
 }
 
+/** Unsigned field of a parsed worker frame (absent = 0). */
+uint64_t
+frameU64(const obs::JsonValue &frame, const char *key)
+{
+    const obs::JsonValue *v = frame.find(key);
+    return v ? static_cast<uint64_t>(v->asNumber()) : 0;
+}
+
 } // anonymous namespace
 
 /** One client connection; writes are serialized by writeMutex. */
@@ -116,6 +124,9 @@ struct Server::PendingRequest
     engine::StopSource stopSource;
     std::atomic<bool> cancelled{false};
     std::chrono::steady_clock::time_point enqueued;
+    /** Enqueue time on the trace clock (obs::nowMicros), for the
+     * backdated serve.queue_wait span. */
+    uint64_t enqueuedUs = 0;
 };
 
 Server::Server(ServerOptions options)
@@ -144,6 +155,17 @@ Server::start(std::string *error)
             return false;
         }
     }
+    if (!options_.traceDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.traceDir, ec);
+        if (ec) {
+            if (error)
+                *error = "cannot create trace directory " +
+                         options_.traceDir + ": " + ec.message();
+            return false;
+        }
+        obs::TraceRecorder::instance().setEnabled(true);
+    }
     listenFd_ = listenUnix(options_.socketPath, error);
     if (listenFd_ < 0)
         return false;
@@ -165,6 +187,7 @@ Server::start(std::string *error)
         child.incrementalDefault = options_.incrementalDefault;
         child.maxJobsPerRequest = options_.maxJobsPerRequest;
         child.sessionPoolCapacity = options_.sessionPoolCapacity;
+        child.traceDir = options_.traceDir;
         pool_ = std::make_unique<WorkerPool>(options_.fleet, child);
         if (!pool_->start(error)) {
             pool_.reset();
@@ -361,6 +384,7 @@ Server::handleSynth(const ConnPtr &conn, Request request)
     req->args = std::move(request.args);
     req->conn = conn;
     req->enqueued = std::chrono::steady_clock::now();
+    req->enqueuedUs = obs::nowMicros();
 
     std::deque<ReqPtr> &queue = queues_[req->client];
     if (queue.empty())
@@ -606,13 +630,38 @@ Server::runRequest(const ReqPtr &req)
     // span closed on this worker (and, via EngineOptions, on the
     // engine workers it spawns) carries this request's id.
     obs::ScopedRequestId requestScope(req->requestId);
+    // Root the request's distributed trace: the trace id IS the
+    // request id, and serve.request (parent 0) is the tree root
+    // every daemon/worker span below descends from.
+    obs::ScopedTraceContext traceScope({req->requestId, 0});
     obs::Span span("serve.request", "serve");
     span.arg("id", req->id);
     span.arg("client", req->client);
     double queueSeconds = secondsSince(req->enqueued);
+    const uint64_t queueWaitUs =
+        static_cast<uint64_t>(queueSeconds * 1e6);
     obs::MetricsRegistry::instance()
         .histogram("serve.queue_wait_us")
-        .observe(static_cast<uint64_t>(queueSeconds * 1e6));
+        .observe(queueWaitUs);
+    // The time spent queued predates this span, so it is recorded
+    // as a synthetic child backdated to the enqueue timestamp —
+    // the trace then shows the full admission-to-done window.
+    obs::TraceRecorder &recorder = obs::TraceRecorder::instance();
+    if (recorder.enabled()) {
+        obs::TraceEvent wait;
+        wait.name = "serve.queue_wait";
+        wait.category = "serve";
+        wait.startUs = req->enqueuedUs;
+        wait.durUs = queueWaitUs;
+        wait.tid = obs::TraceRecorder::currentThreadId();
+        wait.depth = obs::TraceRecorder::currentDepth();
+        wait.traceId = req->requestId;
+        wait.spanId = obs::allocateSpanId();
+        wait.parentSpanId = span.id();
+        wait.argsJson =
+            obs::JsonFields().add("request_id", req->requestId).str();
+        recorder.recordSpan(std::move(wait));
+    }
     auto serviceStart = std::chrono::steady_clock::now();
     // Whatever path the request takes out of this function, its
     // service time lands in the latency histogram.
@@ -654,8 +703,35 @@ Server::runRequest(const ReqPtr &req)
         return;
     }
 
+    // Per-request critical-path breakdown, attached to every done
+    // frame and mirrored by `checkmate-trace critical-path` (the
+    // tool sums the very spans these numbers come from).
+    auto breakdownJson =
+        [](uint64_t queueUs, uint64_t dispatchUs, uint64_t warmUs,
+           uint64_t translateUs, uint64_t searchUs,
+           uint64_t respondUs, uint64_t e2eUs) {
+            return obs::JsonFields()
+                .add("queue_wait_us", queueUs)
+                .add("dispatch_us", dispatchUs)
+                .add("session_warm_us", warmUs)
+                .add("translate_us", translateUs)
+                .add("search_us", searchUs)
+                .add("respond_us", respondUs)
+                .add("e2e_us", e2eUs)
+                .object();
+        };
+    auto e2eMicros = [&]() {
+        return queueWaitUs +
+               static_cast<uint64_t>(secondsSince(serviceStart) *
+                                     1e6);
+    };
+
     CachedResult cached;
     if (cache_.lookup(plan.cacheKey, &cached)) {
+        const uint64_t e2eUs = e2eMicros();
+        obs::MetricsRegistry::instance()
+            .histogram("serve.request.e2e_ms")
+            .observe(e2eUs / 1000);
         obs::JsonFields done;
         done.add("cache_hit", true);
         done.add("warm_start", cached.warmStart);
@@ -664,6 +740,8 @@ Server::runRequest(const ReqPtr &req)
         done.add("wall_seconds", 0.0);
         done.add("queue_seconds", queueSeconds);
         done.add("request_id", req->requestId);
+        done.addRaw("breakdown",
+                    breakdownJson(queueWaitUs, 0, 0, 0, 0, 0, e2eUs));
         done.add("text", cached.text);
         done.addRaw("report", cached.reportJson);
         req->conn->send(responseFrame(req->id, "done", done));
@@ -676,13 +754,28 @@ Server::runRequest(const ReqPtr &req)
     }
 
     SynthExecution result;
+    uint64_t dispatchUs = 0;
+    uint64_t sessionWarmUs = 0;
+    uint64_t translateUs = 0;
+    uint64_t searchUs = 0;
+    uint64_t respondUs = 0;
     if (pool_) {
         // Fleet mode: the request runs in a worker child sharded by
         // its coreKey; this thread blocks on the pool, which
-        // re-dispatches transparently if the worker dies.
-        WorkerPool::DispatchResult dispatch = pool_->run(
-            plan.coreKey, req->requestId, req->args,
-            &req->stopSource);
+        // re-dispatches transparently if the worker dies. The synth
+        // frame carries the trace context, so the worker's spans
+        // hang off serve.dispatch across the process boundary.
+        WorkerPool::DispatchResult dispatch;
+        {
+            obs::Span dispatchSpan("serve.dispatch", "serve");
+            dispatch = pool_->run(
+                plan.coreKey, req->requestId, req->args,
+                &req->stopSource, req->requestId,
+                std::to_string(dispatchSpan.id()));
+            dispatchSpan.close();
+            dispatchUs = static_cast<uint64_t>(
+                dispatchSpan.seconds() * 1e6);
+        }
         if (dispatch.status ==
             WorkerPool::DispatchResult::Status::Quarantined) {
             std::unique_lock<std::mutex> lock(mutex_);
@@ -740,6 +833,15 @@ Server::runRequest(const ReqPtr &req)
         result.exploits = static_cast<uint64_t>(
             exploits ? exploits->asNumber() : 0.0);
         result.wallSeconds = wall ? wall->asNumber() : 0.0;
+        // Stage totals measured worker-side; the dispatch stage is
+        // what the round trip cost beyond the worker's own
+        // execution (transport, scheduling, frame relay).
+        sessionWarmUs = frameU64(frame, "session_warm_us");
+        translateUs = frameU64(frame, "translate_us");
+        searchUs = frameU64(frame, "search_us");
+        respondUs = frameU64(frame, "respond_us");
+        const uint64_t execUs = frameU64(frame, "exec_us");
+        dispatchUs = dispatchUs > execUs ? dispatchUs - execUs : 0;
     } else {
         SynthExecOptions execOptions;
         execOptions.incrementalDefault =
@@ -750,6 +852,13 @@ Server::runRequest(const ReqPtr &req)
         execOptions.requestId = req->requestId;
         result = executeSynth(plan, execOptions,
                               &req->stopSource);
+        auto micros = [](double seconds) {
+            return static_cast<uint64_t>(seconds * 1e6);
+        };
+        sessionWarmUs = micros(result.sessionWarmSeconds);
+        translateUs = micros(result.translateSeconds);
+        searchUs = micros(result.searchSeconds);
+        respondUs = micros(result.respondSeconds);
     }
 
     if (req->cancelled.load(std::memory_order_relaxed)) {
@@ -768,6 +877,25 @@ Server::runRequest(const ReqPtr &req)
                                    result.warmStart});
     }
 
+    const uint64_t e2eUs = e2eMicros();
+    {
+        auto &registry = obs::MetricsRegistry::instance();
+        registry.histogram("serve.request.e2e_ms")
+            .observe(e2eUs / 1000);
+        registry.histogram("serve.stage.queue_wait_us")
+            .observe(queueWaitUs);
+        registry.histogram("serve.stage.dispatch_us")
+            .observe(dispatchUs);
+        registry.histogram("serve.stage.session_warm_us")
+            .observe(sessionWarmUs);
+        registry.histogram("serve.stage.translate_us")
+            .observe(translateUs);
+        registry.histogram("serve.stage.search_us")
+            .observe(searchUs);
+        registry.histogram("serve.stage.respond_us")
+            .observe(respondUs);
+    }
+
     obs::JsonFields done;
     done.add("cache_hit", false);
     done.add("warm_start", result.warmStart);
@@ -777,6 +905,10 @@ Server::runRequest(const ReqPtr &req)
     done.add("wall_seconds", result.wallSeconds);
     done.add("queue_seconds", queueSeconds);
     done.add("request_id", req->requestId);
+    done.addRaw("breakdown",
+                breakdownJson(queueWaitUs, dispatchUs, sessionWarmUs,
+                              translateUs, searchUs, respondUs,
+                              e2eUs));
     done.add("text", result.text);
     if (!result.stderrText.empty())
         done.add("stderr", result.stderrText);
@@ -934,6 +1066,16 @@ Server::stop()
         ::close(listenFd_);
         ::unlink(options_.socketPath.c_str());
         listenFd_ = -1;
+    }
+    if (!options_.traceDir.empty()) {
+        // The daemon's own shard, written once the workers (which
+        // flush theirs per-request) are down. Disable afterwards so
+        // in-process test servers don't leave a global recorder on.
+        obs::TraceRecorder::instance().writeTraceShard(
+            options_.traceDir + "/trace-" +
+                std::to_string(::getpid()) + ".json",
+            "checkmate-serve");
+        obs::TraceRecorder::instance().setEnabled(false);
     }
     telemetry_.stop();
     // Release warm sessions: the daemon is the pool's owner.

@@ -123,6 +123,17 @@ struct ServerOptions
      * opt-in.
      */
     TelemetryOptions telemetry;
+
+    /**
+     * Distributed-tracing shard directory (empty = tracing off).
+     * When set, the daemon and every worker child record spans and
+     * write per-process `trace-<pid>.json` shards there (workers
+     * after each completed synth, the daemon at stop()); a trace
+     * context rides each dispatched synth frame so worker spans are
+     * children of the daemon's serve.request. Merge the shards with
+     * tools/checkmate-trace (docs/OBSERVABILITY.md).
+     */
+    std::string traceDir;
 };
 
 /** One point-in-time read of the daemon's state (status verb). */

@@ -137,11 +137,65 @@ executeSynth(const SynthPlan &plan, const SynthExecOptions &options,
         }
     }
 
+    const uint64_t runStartUs = obs::nowMicros();
+    uint64_t runSpanId = 0;
+    std::string traceId;
     engine::RunResult run;
     {
         obs::Span runSpan("serve.run", "serve");
         runSpan.arg("jobs", static_cast<uint64_t>(plan.jobs.size()));
+        runSpanId = runSpan.id();
+        traceId = runSpan.traceId();
         run = engine::runJobs(plan.jobs, engineOptions, stop);
+    }
+
+    SynthExecution out;
+    for (const engine::JobResult &job : run.jobs) {
+        const auto &phases = job.report.phaseSeconds;
+        auto phase = [&](const char *key) {
+            auto it = phases.find(key);
+            return it == phases.end() ? 0.0 : it->second;
+        };
+        out.sessionWarmSeconds += phase("uspec.load");
+        out.translateSeconds += phase("rmf.translate");
+        out.searchSeconds += phase("sat.search");
+    }
+
+    // Stage rollup spans: one synthetic child of serve.run per
+    // critical-path stage, with durations taken from the very
+    // phaseSeconds the done-frame breakdown reports. Jobs run in
+    // parallel, so the real uspec.load/rmf.translate/sat.search
+    // spans overlap across threads; the rollups give the trace
+    // tool (and the Perfetto reader) the request-level stage totals
+    // without re-deriving per-thread overlap. Laid end to end from
+    // the run start purely for readability.
+    obs::TraceRecorder &recorder = obs::TraceRecorder::instance();
+    if (recorder.enabled() && runSpanId != 0) {
+        uint64_t cursor = runStartUs;
+        const uint32_t tid = obs::TraceRecorder::currentThreadId();
+        const int depth = obs::TraceRecorder::currentDepth() + 1;
+        auto rollup = [&](const char *name, double seconds) {
+            obs::TraceEvent event;
+            event.name = name;
+            event.category = "serve";
+            event.startUs = cursor;
+            event.durUs = static_cast<uint64_t>(seconds * 1e6);
+            cursor += event.durUs;
+            event.tid = tid;
+            event.depth = depth;
+            event.traceId = traceId;
+            event.spanId = obs::allocateSpanId();
+            event.parentSpanId = runSpanId;
+            obs::JsonFields args;
+            if (!options.requestId.empty())
+                args.add("request_id", options.requestId);
+            args.add("rollup", true);
+            event.argsJson = args.str();
+            recorder.recordSpan(std::move(event));
+        };
+        rollup("serve.stage.session_warm", out.sessionWarmSeconds);
+        rollup("serve.stage.translate", out.translateSeconds);
+        rollup("serve.stage.search", out.searchSeconds);
     }
 
     obs::Span respond("serve.respond", "serve");
@@ -149,7 +203,6 @@ executeSynth(const SynthPlan &plan, const SynthExecOptions &options,
     core::RenderSummary summary =
         core::renderRunResults(run, plan.cli, text, &errText);
 
-    SynthExecution out;
     out.stopped = stop && stop->stopRequested();
     out.exitCode = core::runExitCode(summary, out.stopped);
     out.text = text.str();
@@ -161,6 +214,8 @@ executeSynth(const SynthPlan &plan, const SynthExecOptions &options,
            (out.reportJson.back() == '\n' ||
             out.reportJson.back() == ' '))
         out.reportJson.pop_back();
+    respond.close();
+    out.respondSeconds = respond.seconds();
     out.aborted = run.aborted;
     out.wallSeconds = run.wallSeconds;
     out.exploits = static_cast<uint64_t>(summary.totalExploits);

@@ -94,6 +94,18 @@ struct SynthExecution
     bool cacheable = false;
     uint64_t exploits = 0;
     double wallSeconds = 0.0;
+
+    /**
+     * Critical-path stage totals, summed across the run's jobs from
+     * the same phaseSeconds the run report carries (so the `done`
+     * frame breakdown and `checkmate-trace critical-path` agree):
+     * uspec.load → session warm, rmf.translate → translate,
+     * sat.search → search; respond is the serve.respond span.
+     */
+    double sessionWarmSeconds = 0.0;
+    double translateSeconds = 0.0;
+    double searchSeconds = 0.0;
+    double respondSeconds = 0.0;
 };
 
 /**

@@ -259,17 +259,28 @@ TelemetryController::appendTelemetryRecord()
     logBytes_ += line.size();
     if (logBytes_ <= options_.telemetryLogMaxBytes)
         return;
-    // One-deep rotation: current → .1 (replacing any previous .1),
-    // then reopen fresh. Bounded disk, and the last two windows of
-    // history survive.
+    // N-deep rotation: FILE.k shifts to FILE.k+1 from the oldest
+    // down (rename atomically replaces, so FILE.N just drops off),
+    // then current → .1 and reopen fresh. Bounded disk, N+1 files
+    // of history.
     std::fclose(logFile_);
     logFile_ = nullptr;
-    std::string rotated = options_.telemetryLogPath + ".1";
-    std::rename(options_.telemetryLogPath.c_str(), rotated.c_str());
+    const std::string &path = options_.telemetryLogPath;
+    const int keep = std::max(1, options_.telemetryLogRotateCount);
+    for (int k = keep - 1; k >= 1; k--) {
+        std::rename((path + "." + std::to_string(k)).c_str(),
+                    (path + "." + std::to_string(k + 1)).c_str());
+    }
+    std::string rotated = path + ".1";
+    std::rename(path.c_str(), rotated.c_str());
     logBytes_ = 0;
-    logFile_ = std::fopen(options_.telemetryLogPath.c_str(), "ae");
+    logFile_ = std::fopen(path.c_str(), "ae");
     logTelemetry(obs::LogLevel::Info, "telemetry log rotated",
-                 obs::JsonFields().add("rotated_to", rotated).str());
+                 obs::JsonFields()
+                     .add("rotated_to", rotated)
+                     .add("rotate_count",
+                          static_cast<int64_t>(keep))
+                     .str());
 }
 
 void

@@ -14,8 +14,9 @@
  *    counters are monotonic process totals);
  *  - an optional JSONL telemetry log: one line per sampling window
  *    with the window's counter deltas, gauges, and histogram
- *    deltas, rotated once (FILE → FILE.1) when it outgrows a size
- *    cap, so a long-lived daemon cannot fill the disk.
+ *    deltas, rotated (FILE → FILE.1 → ... → FILE.N, oldest
+ *    deleted) when it outgrows a size cap, so a long-lived daemon
+ *    cannot fill the disk.
  *
  * The controller never drains the registry — see
  * src/obs/timeseries.hh for why the aggregator diffs snapshots
@@ -56,6 +57,13 @@ struct TelemetryOptions
 
     /** Rotate the telemetry log past this many bytes. */
     size_t telemetryLogMaxBytes = 8u << 20;
+
+    /**
+     * Rotated telemetry log files kept (FILE.1 ... FILE.N; each
+     * rotation shifts FILE.k → FILE.k+1 and deletes the oldest).
+     * Clamped to at least 1.
+     */
+    int telemetryLogRotateCount = 3;
 
     /** Ring capacity of every time series (points retained). */
     size_t seriesCapacity = 360;

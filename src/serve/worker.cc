@@ -22,6 +22,7 @@
 #include "obs/json.hh"
 #include "obs/log.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "serve/net.hh"
 #include "serve/protocol.hh"
 #include "serve/synth_runner.hh"
@@ -51,6 +52,22 @@ std::chrono::steady_clock::time_point
 now()
 {
     return std::chrono::steady_clock::now();
+}
+
+/**
+ * Flush this worker's trace shard (no-op when tracing is off).
+ * Called after every completed synth — not just at exit — so the
+ * spans of completed requests survive a later crash of this worker.
+ */
+void
+writeWorkerShard(const WorkerChildOptions &options)
+{
+    if (options.traceDir.empty())
+        return;
+    obs::TraceRecorder::instance().writeTraceShard(
+        options.traceDir + "/trace-" +
+            std::to_string(::getpid()) + ".json",
+        "checkmate-serve-worker-" + std::to_string(options.index));
 }
 
 /** The daemon's own binary (what to exec for workers). */
@@ -88,6 +105,8 @@ workerMain(const WorkerChildOptions &options)
     if (options.sessionPoolCapacity)
         engine::SessionPool::instance().setCapacity(
             options.sessionPoolCapacity);
+    if (!options.traceDir.empty())
+        obs::TraceRecorder::instance().setEnabled(true);
 
     SynthExecOptions execDefaults;
     execDefaults.incrementalDefault = options.incrementalDefault;
@@ -161,16 +180,32 @@ workerMain(const WorkerChildOptions &options)
         runner = std::thread([&writeMutex, &stateMutex, &activeId,
                               &activeStop, options, execDefaults,
                               request, stop]() {
+            // Join the daemon's request trace: the forwarded
+            // context makes every span below (serve.exec,
+            // serve.run, engine/rmf/sat phases) a descendant of
+            // the daemon's serve.request span, across the process
+            // boundary.
+            obs::ScopedRequestId requestScope(request.id);
+            obs::TraceContext context;
+            context.traceId = request.traceId;
+            if (!request.parentSpan.empty())
+                context.parentSpanId = std::strtoull(
+                    request.parentSpan.c_str(), nullptr, 10);
+            obs::ScopedTraceContext traceScope(context);
+
             std::string frame;
+            obs::Span exec("serve.exec", "serve");
             SynthPlan plan = planSynth(request.args,
                                        options.maxJobsPerRequest);
             if (!plan.error.empty()) {
+                exec.close();
                 frame = errorFrame(request.id, plan.error);
             } else {
                 SynthExecOptions execOptions = execDefaults;
                 execOptions.requestId = request.id;
                 SynthExecution result =
                     executeSynth(plan, execOptions, stop.get());
+                exec.close();
                 obs::JsonFields fields;
                 fields.add("warm_start", result.warmStart);
                 fields.add("exit",
@@ -180,6 +215,20 @@ workerMain(const WorkerChildOptions &options)
                 fields.add("cacheable", result.cacheable);
                 fields.add("exploits", result.exploits);
                 fields.add("wall_seconds", result.wallSeconds);
+                // Critical-path stage totals for the daemon's
+                // done-frame breakdown, µs.
+                auto micros = [](double seconds) {
+                    return static_cast<uint64_t>(seconds * 1e6);
+                };
+                fields.add("session_warm_us",
+                           micros(result.sessionWarmSeconds));
+                fields.add("translate_us",
+                           micros(result.translateSeconds));
+                fields.add("search_us",
+                           micros(result.searchSeconds));
+                fields.add("respond_us",
+                           micros(result.respondSeconds));
+                fields.add("exec_us", micros(exec.seconds()));
                 fields.add("text", result.text);
                 if (!result.stderrText.empty())
                     fields.add("stderr", result.stderrText);
@@ -192,6 +241,9 @@ workerMain(const WorkerChildOptions &options)
                 fields.add("report", result.reportJson);
                 frame = responseFrame(request.id, "done", fields);
             }
+            // Shard before frame: when the daemon relays `done`,
+            // this request's spans are already durable on disk.
+            writeWorkerShard(options);
             {
                 std::lock_guard<std::mutex> lock(stateMutex);
                 activeStop.reset();
@@ -209,6 +261,7 @@ workerMain(const WorkerChildOptions &options)
     }
     if (runner.joinable())
         runner.join();
+    writeWorkerShard(options);
     engine::SessionPool::instance().shutdown();
     return 0;
 }
@@ -290,6 +343,10 @@ WorkerPool::spawnSlotLocked(Slot &slot, std::string *error)
         argStrings.push_back("--session-pool-cap");
         argStrings.push_back(
             std::to_string(child_.sessionPoolCapacity));
+    }
+    if (!child_.traceDir.empty()) {
+        argStrings.push_back("--trace-dir");
+        argStrings.push_back(child_.traceDir);
     }
     if (!fleet_.injectSpec.empty() &&
         (!slot.everSpawned || fleet_.injectOnRestart)) {
@@ -584,7 +641,9 @@ WorkerPool::pickWorkerLocked(const std::string &coreKey)
 WorkerPool::DispatchResult
 WorkerPool::run(const std::string &coreKey, const std::string &id,
                 const std::vector<std::string> &args,
-                engine::StopSource *stop)
+                engine::StopSource *stop,
+                const std::string &traceId,
+                const std::string &parentSpan)
 {
     DispatchResult result;
     PendingDispatch pd;
@@ -661,6 +720,8 @@ WorkerPool::run(const std::string &coreKey, const std::string &id,
                 synth.id = id;
                 synth.client = "supervisor";
                 synth.args = args;
+                synth.traceId = traceId;
+                synth.parentSpan = parentSpan;
                 std::string frame = requestFrame(synth);
                 bool sent;
                 {

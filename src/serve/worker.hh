@@ -113,6 +113,15 @@ struct WorkerChildOptions
     size_t maxJobsPerRequest = 16;
     size_t sessionPoolCapacity = 0;
     std::string injectSpec;
+
+    /**
+     * Distributed-tracing shard directory (empty = tracing off).
+     * When set the worker enables its TraceRecorder and writes
+     * `trace-<pid>.json` there after every completed synth and at
+     * orderly EOF shutdown, so completed requests survive a later
+     * crash of this worker. Merge with tools/checkmate-trace.
+     */
+    std::string traceDir;
 };
 
 /**
@@ -176,11 +185,16 @@ class WorkerPool
      * transparently when the serving worker dies; forwards a cancel
      * frame when @p stop trips mid-run (the worker then answers
      * `done` with exit 130, exactly like an in-process stop).
+     *
+     * @p traceId / @p parentSpan (a decimal span id) ride the synth
+     * frame so the worker's spans join the daemon's request trace.
      */
     DispatchResult run(const std::string &coreKey,
                        const std::string &id,
                        const std::vector<std::string> &args,
-                       engine::StopSource *stop);
+                       engine::StopSource *stop,
+                       const std::string &traceId = "",
+                       const std::string &parentSpan = "");
 
     /** Any worker currently not up? (the `degraded` reject gate) */
     bool degraded() const;

@@ -219,6 +219,106 @@ TEST_F(TraceTest, ChromeExportIsValidJson)
     EXPECT_TRUE(saw_counter);
 }
 
+TEST_F(TraceTest, SpansCarryParentIdsAndInheritTraceContext)
+{
+    obs::TraceContext remote;
+    remote.traceId = "rq-9";
+    remote.parentSpanId = 77;
+
+    uint64_t rootId = 0, childId = 0;
+    {
+        obs::ScopedTraceContext scope(remote);
+        EXPECT_EQ(obs::currentTraceContext().traceId, "rq-9");
+        EXPECT_EQ(obs::currentTraceContext().parentSpanId, 77u);
+        obs::Span root("root", "test");
+        rootId = root.id();
+        EXPECT_NE(rootId, 0u);
+        EXPECT_EQ(root.traceId(), "rq-9");
+        // With a span open, children fork from it, not the remote
+        // context.
+        EXPECT_EQ(obs::currentTraceContext().parentSpanId, rootId);
+        {
+            obs::Span child("child", "test");
+            childId = child.id();
+            EXPECT_EQ(child.traceId(), "rq-9");
+        }
+    }
+    // Scope closed: spans are plain roots again.
+    EXPECT_TRUE(obs::currentTraceContext().empty());
+    obs::Span bare("bare", "test");
+    bare.close();
+
+    auto spans = obs::TraceRecorder::instance().spans();
+    ASSERT_EQ(spans.size(), 3u);
+    for (const obs::TraceEvent &e : spans) {
+        if (e.name == "root") {
+            // Thread-root span: parented to the adopted remote
+            // context (a span in another process).
+            EXPECT_EQ(e.spanId, rootId);
+            EXPECT_EQ(e.parentSpanId, 77u);
+            EXPECT_EQ(e.traceId, "rq-9");
+        } else if (e.name == "child") {
+            EXPECT_EQ(e.spanId, childId);
+            EXPECT_EQ(e.parentSpanId, rootId);
+            EXPECT_EQ(e.traceId, "rq-9");
+        } else {
+            EXPECT_EQ(e.parentSpanId, 0u);
+            EXPECT_TRUE(e.traceId.empty());
+        }
+    }
+}
+
+TEST_F(TraceTest, AllocateSpanIdMintsDistinctNonZeroIds)
+{
+    uint64_t a = obs::allocateSpanId();
+    uint64_t b = obs::allocateSpanId();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    // Same process: same pid prefix, distinct counters.
+    EXPECT_EQ(a >> 32, b >> 32);
+    obs::Span span("s", "test");
+    EXPECT_NE(span.id(), a);
+    EXPECT_NE(span.id(), b);
+}
+
+TEST_F(TraceTest, ShardExportCarriesIdentityAsDecimalStrings)
+{
+    auto &rec = obs::TraceRecorder::instance();
+    rec.nameCurrentThread("main");
+    {
+        obs::ScopedTraceContext scope({"rq-3", 0});
+        obs::Span span("serve.request", "serve");
+        span.arg("request_id", "rq-3");
+    }
+
+    std::string json = rec.toShardJson("checkmate-serve");
+    ValuePtr doc = parseJson(json);
+    ASSERT_TRUE(doc) << json;
+    EXPECT_EQ(doc->get("checkmate_trace_shard")->number, 1.0);
+    EXPECT_TRUE(doc->get("pid")->isNumber());
+    EXPECT_EQ(doc->get("process_name")->string, "checkmate-serve");
+    // The anchor lets the merger normalize cross-process skew.
+    EXPECT_TRUE(doc->get("anchor_monotonic_us")->isNumber());
+    ValuePtr spans = doc->get("spans");
+    ASSERT_TRUE(spans && spans->isArray());
+    ASSERT_EQ(spans->array.size(), 1u);
+    const ValuePtr &entry = spans->array[0];
+    EXPECT_EQ(entry->get("name")->string, "serve.request");
+    EXPECT_EQ(entry->get("trace_id")->string, "rq-3");
+    // Ids travel as decimal strings: they can exceed a double's
+    // 2^53 mantissa, which is all JSON numbers guarantee.
+    ASSERT_TRUE(entry->get("span_id")->isString());
+    EXPECT_EQ(entry->get("span_id")->string,
+              std::to_string(rec.spans()[0].spanId));
+    ASSERT_TRUE(entry->get("parent_span_id")->isString());
+    // args travel as one escaped string for verbatim re-splicing.
+    ASSERT_TRUE(entry->get("args")->isString());
+    EXPECT_NE(entry->get("args")->string.find(
+                  "\"request_id\":\"rq-3\""),
+              std::string::npos);
+}
+
 TEST_F(TraceTest, ConcurrentExportSurvivesActiveWriters)
 {
     // Exercise export-under-load: writer threads record a bounded

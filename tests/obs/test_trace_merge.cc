@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Fleet trace merging tests: clock-skew normalization across
+ * shards, orphan-span flagging, cross-process parentage integrity
+ * (span ids as decimal strings), critical-path stage totals, and
+ * the merged Chrome export (verified via obs::json_reader — the
+ * same reader checkmate-trace's consumers use).
+ */
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_reader.hh"
+#include "obs/trace_merge.hh"
+
+using namespace checkmate;
+
+namespace
+{
+
+/** Render one shard span entry (ids as decimal strings). */
+std::string
+spanEntry(const std::string &name, uint64_t ts, uint64_t dur,
+          uint64_t spanId, uint64_t parentId,
+          const std::string &traceId, const std::string &args = "")
+{
+    std::string out = "{\"name\":\"" + name +
+                      "\",\"cat\":\"serve\",\"ts\":" +
+                      std::to_string(ts) +
+                      ",\"dur\":" + std::to_string(dur) +
+                      ",\"tid\":1,\"depth\":0,\"span_id\":\"" +
+                      std::to_string(spanId) +
+                      "\",\"parent_span_id\":\"" +
+                      std::to_string(parentId) +
+                      "\",\"trace_id\":\"" + traceId + "\"";
+    if (!args.empty()) {
+        // args travel as an escaped string of rendered fields.
+        std::string escaped;
+        for (char c : args)
+            escaped += c == '"' ? std::string("\\\"")
+                                : std::string(1, c);
+        out += ",\"args\":\"" + escaped + "\"";
+    }
+    return out + "}";
+}
+
+/** Render one complete shard document. */
+std::string
+shardDoc(uint32_t pid, const std::string &processName,
+         uint64_t anchorUs, const std::vector<std::string> &spans)
+{
+    std::string out = "{\"checkmate_trace_shard\":1,\"pid\":" +
+                      std::to_string(pid) + ",\"process_name\":\"" +
+                      processName + "\",\"anchor_monotonic_us\":" +
+                      std::to_string(anchorUs) +
+                      ",\"thread_names\":{\"1\":\"main\"},"
+                      "\"spans\":[";
+    for (size_t i = 0; i < spans.size(); i++) {
+        if (i)
+            out += ',';
+        out += spans[i];
+    }
+    return out + "],\"counters\":[]}";
+}
+
+TEST(TraceMerge, NormalizesClockSkewAgainstEarliestAnchor)
+{
+    // Daemon booted at anchor 1000, worker forked at 4000: the
+    // worker's shard timestamps are 3000 µs behind the fleet
+    // timeline and must shift forward by exactly that skew.
+    std::string daemon = shardDoc(
+        100, "checkmate-serve", 1000,
+        {spanEntry("serve.request", 100, 5000, 11, 0, "rq-1")});
+    std::string worker = shardDoc(
+        200, "checkmate-serve-worker-0", 4000,
+        {spanEntry("serve.exec", 100, 2000, 21, 11, "rq-1")});
+
+    obs::FleetTrace trace = obs::mergeTraceShardTexts(
+        {{"daemon", daemon}, {"worker", worker}});
+
+    EXPECT_EQ(trace.baseAnchorUs, 1000u);
+    ASSERT_EQ(trace.spans.size(), 2u);
+    EXPECT_TRUE(trace.warnings.empty());
+    for (const obs::FleetSpan &span : trace.spans) {
+        if (span.name == "serve.request")
+            EXPECT_EQ(span.startUs, 100u);
+        else
+            EXPECT_EQ(span.startUs, 3100u);
+    }
+    // The worker span now lands inside the daemon's request span.
+    EXPECT_GE(3100u + 2000u, 100u);
+    EXPECT_LE(3100u + 2000u, 100u + 5000u);
+}
+
+TEST(TraceMerge, FlagsOrphanedSpansInsteadOfDroppingThem)
+{
+    // A chaos-killed worker took its serve.exec span with it; the
+    // engine spans it had flushed earlier survive with a dangling
+    // parent. They must stay in the merge, flagged.
+    std::string daemon = shardDoc(
+        100, "checkmate-serve", 1000,
+        {spanEntry("serve.request", 0, 9000, 11, 0, "rq-1")});
+    std::string worker = shardDoc(
+        200, "checkmate-serve-worker-1", 1000,
+        {spanEntry("engine.run", 200, 700, 21, 999, "rq-1")});
+
+    obs::FleetTrace trace = obs::mergeTraceShardTexts(
+        {{"daemon", daemon}, {"worker", worker}});
+
+    ASSERT_EQ(trace.spans.size(), 2u);
+    EXPECT_EQ(trace.orphanCount, 1u);
+    for (const obs::FleetSpan &span : trace.spans)
+        EXPECT_EQ(span.orphan, span.name == "engine.run");
+}
+
+TEST(TraceMerge, ParentageSurvivesIdsBeyondDoublePrecision)
+{
+    // Span ids are (pid << 32) | counter and can exceed 2^53 — the
+    // decimal-string transport must round-trip them exactly, or a
+    // truncated parent id would fake an orphan.
+    const uint64_t bigId = (uint64_t{3000017} << 32) | 5;
+    ASSERT_GT(bigId, uint64_t{1} << 53);
+    std::string daemon = shardDoc(
+        100, "checkmate-serve", 1000,
+        {spanEntry("serve.dispatch", 0, 500, bigId, 0, "rq-1")});
+    std::string worker = shardDoc(
+        200, "checkmate-serve-worker-0", 1000,
+        {spanEntry("serve.exec", 10, 400, bigId + 1, bigId,
+                   "rq-1")});
+
+    obs::FleetTrace trace = obs::mergeTraceShardTexts(
+        {{"daemon", daemon}, {"worker", worker}});
+
+    ASSERT_EQ(trace.spans.size(), 2u);
+    EXPECT_EQ(trace.orphanCount, 0u);
+    for (const obs::FleetSpan &span : trace.spans) {
+        if (span.name == "serve.exec") {
+            EXPECT_EQ(span.spanId, bigId + 1);
+            EXPECT_EQ(span.parentSpanId, bigId);
+            EXPECT_FALSE(span.orphan);
+        }
+    }
+}
+
+TEST(TraceMerge, CriticalPathTotalsMatchStageSpans)
+{
+    // A full request tree with every stage the done-frame breakdown
+    // reports; the tool-side totals must reproduce them.
+    std::vector<std::string> daemonSpans = {
+        spanEntry("serve.queue_wait", 0, 100, 10, 11, "rq-1"),
+        spanEntry("serve.request", 100, 1000, 11, 0, "rq-1"),
+        spanEntry("serve.dispatch", 120, 900, 12, 11, "rq-1"),
+    };
+    std::vector<std::string> workerSpans = {
+        spanEntry("serve.exec", 150, 800, 21, 12, "rq-1"),
+        spanEntry("serve.run", 160, 780, 22, 21, "rq-1"),
+        spanEntry("serve.stage.session_warm", 160, 200, 23, 22,
+                  "rq-1", "\"request_id\":\"rq-1\",\"rollup\":true"),
+        spanEntry("serve.stage.translate", 360, 300, 24, 22, "rq-1",
+                  "\"request_id\":\"rq-1\",\"rollup\":true"),
+        spanEntry("serve.stage.search", 660, 250, 25, 22, "rq-1",
+                  "\"request_id\":\"rq-1\",\"rollup\":true"),
+        spanEntry("serve.respond", 920, 50, 26, 22, "rq-1"),
+    };
+    obs::FleetTrace trace = obs::mergeTraceShardTexts(
+        {{"daemon", shardDoc(100, "checkmate-serve", 1000,
+                             daemonSpans)},
+         {"worker", shardDoc(200, "checkmate-serve-worker-0", 1000,
+                             workerSpans)}});
+
+    obs::RequestBreakdown b = obs::criticalPath(trace, "rq-1");
+    EXPECT_TRUE(b.found);
+    EXPECT_EQ(b.spanCount, 9u);
+    EXPECT_EQ(b.queueWaitUs, 100u);
+    // Dispatch overhead = round-trip minus worker execution.
+    EXPECT_EQ(b.dispatchUs, 100u);
+    EXPECT_EQ(b.sessionWarmUs, 200u);
+    EXPECT_EQ(b.translateUs, 300u);
+    EXPECT_EQ(b.searchUs, 250u);
+    EXPECT_EQ(b.respondUs, 50u);
+    EXPECT_EQ(b.e2eUs, 1100u);
+    // The rollup args carried the request id for correlation.
+    size_t withRequestId = 0;
+    for (const obs::FleetSpan &span : trace.spans)
+        if (span.requestId == "rq-1")
+            withRequestId++;
+    EXPECT_EQ(withRequestId, 3u);
+
+    obs::RequestBreakdown missing =
+        obs::criticalPath(trace, "rq-none");
+    EXPECT_FALSE(missing.found);
+    EXPECT_EQ(missing.spanCount, 0u);
+}
+
+TEST(TraceMerge, RequestIdsListInTimelineOrderDeduped)
+{
+    std::string daemon = shardDoc(
+        100, "checkmate-serve", 1000,
+        {spanEntry("serve.request", 500, 100, 11, 0, "rq-2"),
+         spanEntry("serve.request", 10, 100, 12, 0, "rq-1"),
+         spanEntry("serve.request", 900, 100, 13, 0, "rq-2")});
+    obs::FleetTrace trace =
+        obs::mergeTraceShardTexts({{"daemon", daemon}});
+    EXPECT_EQ(obs::traceRequestIds(trace),
+              (std::vector<std::string>{"rq-1", "rq-2"}));
+}
+
+TEST(TraceMerge, MalformedShardBecomesWarningNotFailure)
+{
+    std::string good = shardDoc(
+        100, "checkmate-serve", 1000,
+        {spanEntry("serve.request", 0, 100, 11, 0, "rq-1")});
+    obs::FleetTrace trace = obs::mergeTraceShardTexts(
+        {{"good", good},
+         {"truncated", "{\"checkmate_trace_shard\":1,"},
+         {"not-a-shard", "{\"pid\":5}"}});
+    EXPECT_EQ(trace.spans.size(), 1u);
+    ASSERT_EQ(trace.warnings.size(), 2u);
+    EXPECT_NE(trace.warnings[0].find("truncated"),
+              std::string::npos);
+    EXPECT_NE(trace.warnings[1].find("not-a-shard"),
+              std::string::npos);
+}
+
+TEST(TraceMerge, ChromeExportHasPerProcessTracksAndIdentity)
+{
+    const uint64_t bigId = (uint64_t{3000017} << 32) | 5;
+    std::string daemon = shardDoc(
+        100, "checkmate-serve", 1000,
+        {spanEntry("serve.request", 0, 5000, bigId, 0, "rq-1")});
+    std::string worker = shardDoc(
+        200, "checkmate-serve-worker-0", 3000,
+        {spanEntry("engine.run", 10, 400, 21, 999, "rq-1")});
+    obs::FleetTrace trace = obs::mergeTraceShardTexts(
+        {{"daemon", daemon}, {"worker", worker}});
+
+    std::string error;
+    auto doc =
+        obs::parseJson(obs::fleetTraceToChromeJson(trace), &error);
+    ASSERT_TRUE(doc) << error;
+    const obs::JsonValue *events = doc->find("traceEvents");
+    ASSERT_TRUE(events && events->isArray());
+
+    bool sawDaemonTrack = false, sawWorkerTrack = false;
+    bool sawBigId = false, sawOrphan = false, sawThread = false;
+    for (const obs::JsonValue &event : events->items) {
+        const std::string &ph = event.find("ph")->asString();
+        if (ph == "M" &&
+            event.find("name")->asString() == "process_name") {
+            const std::string &name =
+                event.find("args", "name")->asString();
+            uint64_t pid = static_cast<uint64_t>(
+                event.find("pid")->asNumber());
+            if (pid == 100 && name == "checkmate-serve")
+                sawDaemonTrack = true;
+            if (pid == 200 && name == "checkmate-serve-worker-0")
+                sawWorkerTrack = true;
+        }
+        if (ph == "M" &&
+            event.find("name")->asString() == "thread_name")
+            sawThread = true;
+        if (ph != "X")
+            continue;
+        // Identity args ride as decimal strings.
+        const obs::JsonValue *spanId =
+            event.find("args", "span_id");
+        ASSERT_TRUE(spanId && spanId->isString());
+        if (spanId->asString() == std::to_string(bigId))
+            sawBigId = true;
+        if (const obs::JsonValue *orphan =
+                event.find("args", "orphan")) {
+            EXPECT_EQ(event.find("name")->asString(), "engine.run");
+            EXPECT_TRUE(orphan->boolean);
+            sawOrphan = true;
+            // Skew-normalized: worker ts shifted by 2000 µs.
+            EXPECT_EQ(event.find("ts")->asNumber(), 2010.0);
+        }
+        EXPECT_EQ(event.find("args", "trace_id")->asString(),
+                  "rq-1");
+    }
+    EXPECT_TRUE(sawDaemonTrack);
+    EXPECT_TRUE(sawWorkerTrack);
+    EXPECT_TRUE(sawThread);
+    EXPECT_TRUE(sawBigId);
+    EXPECT_TRUE(sawOrphan);
+}
+
+} // anonymous namespace

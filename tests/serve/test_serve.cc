@@ -53,6 +53,43 @@ TEST(ServeProtocol, RequestRoundTripsThroughFrameEncoding)
     EXPECT_EQ(parsed.args, request.args);
 }
 
+TEST(ServeProtocol, TraceContextFieldsRoundTripWhenPresent)
+{
+    serve::Request request;
+    request.verb = serve::Verb::Synth;
+    request.id = "req-2";
+    // Span ids travel as decimal strings: they can exceed 2^53, so
+    // a numeric field would truncate through double parsing.
+    request.traceId = "rq-7";
+    request.parentSpan = "12884901893";
+
+    serve::Request parsed;
+    std::string error;
+    std::string frame = serve::requestFrame(request);
+    ASSERT_TRUE(serve::parseRequest(
+        frame.substr(0, frame.size() - 1), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.traceId, "rq-7");
+    EXPECT_EQ(parsed.parentSpan, "12884901893");
+
+    // Absent fields stay empty (untraced requests carry nothing).
+    serve::Request plain;
+    plain.verb = serve::Verb::Ping;
+    std::string plainFrame = serve::requestFrame(plain);
+    EXPECT_EQ(plainFrame.find("trace_id"), std::string::npos);
+    ASSERT_TRUE(serve::parseRequest(
+        plainFrame.substr(0, plainFrame.size() - 1), &parsed,
+        &error))
+        << error;
+    EXPECT_TRUE(parsed.traceId.empty());
+    EXPECT_TRUE(parsed.parentSpan.empty());
+
+    // Wrong type is a protocol error, not a silent drop.
+    EXPECT_FALSE(serve::parseRequest(
+        R"({"v":"serve-v1","verb":"synth","trace_id":7})", &parsed,
+        &error));
+}
+
 TEST(ServeProtocol, RejectsMalformedAndWrongVersionFrames)
 {
     serve::Request parsed;

@@ -432,4 +432,39 @@ TEST_F(ServeTelemetryTest, TelemetryLogAppendsJsonlAndRotates)
     std::remove(rotated.c_str());
 }
 
+TEST_F(ServeTelemetryTest, TelemetryLogKeepsRotateCountGenerations)
+{
+    std::string logPath = "/tmp/cm_telem_rotn_";
+    logPath += std::to_string(::getpid());
+    logPath += ".jsonl";
+    auto generation = [&](int k) {
+        return logPath + "." + std::to_string(k);
+    };
+    for (int k = 1; k <= 4; k++)
+        std::remove(generation(k).c_str());
+    std::remove(logPath.c_str());
+
+    serve::ServerOptions options;
+    options.telemetry.sampleIntervalMs = 20;
+    options.telemetry.telemetryLogPath = logPath;
+    // Tiny cap: every record outgrows it, so each sampling window
+    // shifts the generations by one.
+    options.telemetry.telemetryLogMaxBytes = 64;
+    options.telemetry.telemetryLogRotateCount = 2;
+    startServer(options);
+    // Enough windows to rotate well past the retention depth.
+    ::usleep(300000);
+    server_->stop();
+
+    // Two generations survive; the third is renamed over, never
+    // left behind.
+    EXPECT_TRUE(std::ifstream(generation(1)).good());
+    EXPECT_TRUE(std::ifstream(generation(2)).good());
+    EXPECT_FALSE(std::ifstream(generation(3)).good());
+
+    std::remove(logPath.c_str());
+    for (int k = 1; k <= 4; k++)
+        std::remove(generation(k).c_str());
+}
+
 } // anonymous namespace

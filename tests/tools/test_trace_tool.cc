@@ -1,0 +1,195 @@
+/**
+ * @file
+ * checkmate-trace subcommand tests: shard discovery, merge output,
+ * critical-path rendering, and the tree parentage check's exit
+ * codes — driven through the tool library on a synthetic shard
+ * directory, no processes spawned.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "obs/json_reader.hh"
+#include "trace_tool.hh"
+
+using namespace checkmate;
+
+namespace
+{
+
+class TraceToolTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = "/tmp/cm_trace_tool_" + std::to_string(::getpid());
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+
+    void
+    TearDown() override
+    {
+        std::filesystem::remove_all(dir_);
+    }
+
+    void
+    writeShard(const std::string &name, uint32_t pid,
+               const std::string &processName,
+               const std::string &spansJson)
+    {
+        std::ofstream out(dir_ + "/" + name);
+        out << "{\"checkmate_trace_shard\":1,\"pid\":" << pid
+            << ",\"process_name\":\"" << processName
+            << "\",\"anchor_monotonic_us\":1000,"
+            << "\"thread_names\":{\"1\":\"main\"},\"spans\":["
+            << spansJson << "],\"counters\":[]}";
+    }
+
+    static std::string
+    spanEntry(const std::string &name, uint64_t ts, uint64_t dur,
+              uint64_t spanId, uint64_t parentId,
+              const std::string &traceId)
+    {
+        std::ostringstream out;
+        out << "{\"name\":\"" << name
+            << "\",\"cat\":\"serve\",\"ts\":" << ts
+            << ",\"dur\":" << dur << ",\"tid\":1,\"depth\":0,"
+            << "\"span_id\":\"" << spanId
+            << "\",\"parent_span_id\":\"" << parentId
+            << "\",\"trace_id\":\"" << traceId << "\"}";
+        return out.str();
+    }
+
+    /** A connected two-process request tree for rq-1. */
+    void
+    writeConnectedFleet()
+    {
+        writeShard(
+            "trace-100.json", 100, "checkmate-serve",
+            spanEntry("serve.queue_wait", 0, 100, 10, 11, "rq-1") +
+                "," +
+                spanEntry("serve.request", 100, 1000, 11, 0,
+                          "rq-1") +
+                "," +
+                spanEntry("serve.dispatch", 120, 900, 12, 11,
+                          "rq-1"));
+        writeShard(
+            "trace-200.json", 200, "checkmate-serve-worker-0",
+            spanEntry("serve.exec", 150, 800, 21, 12, "rq-1") +
+                "," +
+                spanEntry("serve.respond", 900, 40, 22, 21,
+                          "rq-1"));
+    }
+
+    std::string dir_;
+};
+
+TEST_F(TraceToolTest, CollectsOnlyShardFilesSorted)
+{
+    writeShard("trace-300.json", 300, "b", "");
+    writeShard("trace-100.json", 100, "a", "");
+    // Non-shard files in the directory are ignored.
+    std::ofstream(dir_ + "/trace.merged.json") << "{}";
+    std::ofstream(dir_ + "/notes.txt") << "hi";
+
+    std::string error;
+    auto shards = tools::collectTraceShards(dir_, &error);
+    EXPECT_TRUE(error.empty()) << error;
+    ASSERT_EQ(shards.size(), 2u);
+    EXPECT_NE(shards[0].find("trace-100.json"), std::string::npos);
+    EXPECT_NE(shards[1].find("trace-300.json"), std::string::npos);
+
+    auto missing =
+        tools::collectTraceShards(dir_ + "/nope", &error);
+    EXPECT_TRUE(missing.empty());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST_F(TraceToolTest, MergeWritesChromeTraceAndSummary)
+{
+    writeConnectedFleet();
+    std::string error;
+    auto shards = tools::collectTraceShards(dir_, &error);
+    ASSERT_EQ(shards.size(), 2u);
+
+    std::ostringstream out, err;
+    std::string outPath = dir_ + "/merged.json";
+    EXPECT_EQ(tools::mergeTraceCommand(shards, outPath, out, err),
+              tools::kTraceOk);
+    EXPECT_NE(err.str().find("2 shard(s)"), std::string::npos);
+    EXPECT_NE(err.str().find("rq-1"), std::string::npos);
+
+    auto doc = obs::parseJsonFile(outPath, &error);
+    ASSERT_TRUE(doc) << error;
+    const obs::JsonValue *events = doc->find("traceEvents");
+    ASSERT_TRUE(events && events->isArray());
+    EXPECT_GE(events->items.size(), 5u);
+
+    // No shards at all is a tool error.
+    std::ostringstream out2, err2;
+    EXPECT_EQ(tools::mergeTraceCommand({}, "", out2, err2),
+              tools::kTraceError);
+}
+
+TEST_F(TraceToolTest, CriticalPathPrintsStagesAndListsRequests)
+{
+    writeConnectedFleet();
+    std::string error;
+    auto shards = tools::collectTraceShards(dir_, &error);
+
+    std::ostringstream out, err;
+    EXPECT_EQ(
+        tools::criticalPathCommand(shards, "rq-1", out, err),
+        tools::kTraceOk);
+    EXPECT_NE(out.str().find("queue_wait"), std::string::npos);
+    EXPECT_NE(out.str().find("100"), std::string::npos);
+    EXPECT_NE(out.str().find("e2e"), std::string::npos);
+
+    std::ostringstream list, listErr;
+    EXPECT_EQ(tools::criticalPathCommand(shards, "", list, listErr),
+              tools::kTraceOk);
+    EXPECT_NE(list.str().find("rq-1"), std::string::npos);
+
+    std::ostringstream miss, missErr;
+    EXPECT_EQ(
+        tools::criticalPathCommand(shards, "rq-404", miss, missErr),
+        tools::kTraceNotFound);
+}
+
+TEST_F(TraceToolTest, TreeVerifiesParentageAcrossProcesses)
+{
+    writeConnectedFleet();
+    std::string error;
+    auto shards = tools::collectTraceShards(dir_, &error);
+
+    std::ostringstream out, err;
+    EXPECT_EQ(tools::spanTreeCommand(shards, "rq-1", out, err),
+              tools::kTraceOk);
+    EXPECT_NE(out.str().find("serve.request"), std::string::npos);
+    EXPECT_NE(out.str().find("serve.exec"), std::string::npos);
+    EXPECT_NE(out.str().find("connected"), std::string::npos);
+
+    // Drop the daemon shard: the worker spans lose their root and
+    // the check must fail loudly.
+    std::remove((dir_ + "/trace-100.json").c_str());
+    auto partial = tools::collectTraceShards(dir_, &error);
+    std::ostringstream out2, err2;
+    EXPECT_EQ(tools::spanTreeCommand(partial, "rq-1", out2, err2),
+              tools::kTraceDisconnected);
+
+    std::ostringstream out3, err3;
+    EXPECT_EQ(tools::spanTreeCommand(partial, "rq-404", out3, err3),
+              tools::kTraceNotFound);
+}
+
+} // anonymous namespace

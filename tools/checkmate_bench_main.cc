@@ -274,7 +274,7 @@ scrapeMetricsOnce(int port)
 bool
 runServeScenario(const BenchConfig &config,
                  obs::BenchSample &sample, bool withTelemetry,
-                 int workers = 0)
+                 int workers = 0, bool withTrace = false)
 {
     static int repIndex = 0;
     std::ostringstream sock;
@@ -290,6 +290,14 @@ runServeScenario(const BenchConfig &config,
         // serve_repeat_query prices the supervision hop.
         options.fleet.workers = workers;
         options.fleet.executable = CHECKMATE_SERVE_BINARY;
+    }
+    std::string traceDir;
+    if (withTrace) {
+        // Traced twin: distributed tracing on in every process,
+        // shards written to disk — the diff against the untraced
+        // fleet scenario prices span recording end to end.
+        traceDir = sock.str() + ".trace";
+        options.traceDir = traceDir;
     }
     if (withTelemetry) {
         // The overhead twin: a live Prometheus endpoint and the
@@ -359,6 +367,10 @@ runServeScenario(const BenchConfig &config,
     // Drops the daemon and its pooled sessions, so the next rep's
     // cold phase is genuinely cold.
     server.stop();
+    if (!traceDir.empty()) {
+        std::error_code ec;
+        std::filesystem::remove_all(traceDir, ec);
+    }
     return ok;
 }
 
@@ -387,6 +399,15 @@ runServeFleetRepeatQuery(const BenchConfig &config,
                             /*workers=*/2);
 }
 
+bool
+runServeFleetTraced(const BenchConfig &config,
+                    obs::BenchSample &sample)
+{
+    return runServeScenario(config, sample,
+                            /*withTelemetry=*/false,
+                            /*workers=*/2, /*withTrace=*/true);
+}
+
 std::string
 describeServeRepeatQuery(const BenchConfig &c)
 {
@@ -409,6 +430,13 @@ describeServeFleetRepeatQuery(const BenchConfig &c)
 {
     return describeServeRepeatQuery(c) +
            " through a 2-worker fleet";
+}
+
+std::string
+describeServeFleetTraced(const BenchConfig &c)
+{
+    return describeServeFleetRepeatQuery(c) +
+           " with --trace-dir (span shards flushed per request)";
 }
 
 const Scenario kScenarios[] = {
@@ -453,6 +481,13 @@ const Scenario kScenarios[] = {
      "supervision hop)",
      nullptr, describeServeFleetRepeatQuery,
      /*incremental=*/false, runServeFleetRepeatQuery},
+    {"serve_fleet_traced",
+     "serve_fleet_repeat_query twin with distributed tracing on "
+     "(--trace-dir): every process records spans and flushes "
+     "shards (same phase names, so checkmate-report diff prices "
+     "the tracing overhead against the untraced fleet)",
+     nullptr, describeServeFleetTraced,
+     /*incremental=*/false, runServeFleetTraced},
 };
 
 const Scenario *

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * checkmate-trace: merge fleet trace shards and analyze per-request
+ * latency.
+ *
+ * usage:
+ *   checkmate-trace merge (--trace-dir DIR | SHARD...) [-o OUT]
+ *   checkmate-trace critical-path [REQUEST_ID]
+ *                   (--trace-dir DIR | SHARD...)
+ *   checkmate-trace tree REQUEST_ID (--trace-dir DIR | SHARD...)
+ *
+ * merge combines the per-process `trace-<pid>.json` shards a traced
+ * fleet run leaves under --trace-dir into one Chrome trace_event
+ * document (load it in Perfetto / chrome://tracing): one track per
+ * process, clock skew normalized, orphaned spans flagged rather
+ * than dropped. Without -o the document goes to stdout.
+ *
+ * critical-path prints a request's per-stage latency breakdown in
+ * µs — the same stages as the `breakdown` object on the daemon's
+ * `done` frame (checkmate-client --timing). Without a REQUEST_ID it
+ * lists every request in the trace.
+ *
+ * tree prints a request's span tree and verifies parentage: exit 0
+ * only when every span is reachable from a serve.request root (CI
+ * asserts this after chaos runs).
+ *
+ * Exit codes: 0 = ok, 2 = tool error (no shards, unreadable file,
+ * bad usage), 3 = request id not found, 4 = tree disconnected.
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace_tool.hh"
+
+namespace
+{
+
+int
+usage(std::ostream &out, int code)
+{
+    out << "usage:\n"
+        << "  checkmate-trace merge (--trace-dir DIR | SHARD...)"
+           " [-o OUT]\n"
+        << "  checkmate-trace critical-path [REQUEST_ID]"
+           " (--trace-dir DIR | SHARD...)\n"
+        << "  checkmate-trace tree REQUEST_ID"
+           " (--trace-dir DIR | SHARD...)\n";
+    return code;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace checkmate::tools;
+
+    if (argc < 2)
+        return usage(std::cerr, kTraceError);
+    std::string command = argv[1];
+    if (command == "--help" || command == "-h")
+        return usage(std::cout, kTraceOk);
+
+    std::vector<std::string> positional;
+    std::string traceDir;
+    std::string outPath;
+    for (int i = 2; i < argc; i++) {
+        std::string arg = argv[i];
+        if (arg == "--trace-dir" && i + 1 < argc) {
+            traceDir = argv[++i];
+        } else if ((arg == "-o" || arg == "--out") && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "checkmate-trace: unknown option " << arg
+                      << '\n';
+            return usage(std::cerr, kTraceError);
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
+    // Shards come from --trace-dir, explicit paths, or both.
+    std::vector<std::string> shards;
+    if (!traceDir.empty()) {
+        std::string error;
+        shards = collectTraceShards(traceDir, &error);
+        if (!error.empty()) {
+            std::cerr << "checkmate-trace: " << error << '\n';
+            return kTraceError;
+        }
+    }
+    // A request id is the leading non-option argument of
+    // critical-path/tree; everything else is a shard path.
+    std::string requestId;
+    if (command == "critical-path" || command == "tree") {
+        // Shard paths name .json files; the request id doesn't.
+        if (!positional.empty() &&
+            positional.front().find(".json") == std::string::npos) {
+            requestId = positional.front();
+            positional.erase(positional.begin());
+        }
+    }
+    shards.insert(shards.end(), positional.begin(),
+                  positional.end());
+
+    if (command == "merge")
+        return mergeTraceCommand(shards, outPath, std::cout,
+                                 std::cerr);
+    if (command == "critical-path")
+        return criticalPathCommand(shards, requestId, std::cout,
+                                   std::cerr);
+    if (command == "tree") {
+        if (requestId.empty()) {
+            std::cerr << "checkmate-trace: tree needs a"
+                         " REQUEST_ID\n";
+            return usage(std::cerr, kTraceError);
+        }
+        return spanTreeCommand(shards, requestId, std::cout,
+                               std::cerr);
+    }
+    std::cerr << "checkmate-trace: unknown command " << command
+              << '\n';
+    return usage(std::cerr, kTraceError);
+}

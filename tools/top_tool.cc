@@ -213,6 +213,22 @@ renderDashboard(const obs::JsonValue &frame)
     latencyRow("service p90", "serve.service_us.p90");
     latencyRow("service p99", "serve.service_us.p99");
 
+    // Critical-path split of completed requests: the same stages
+    // the done frame's breakdown (and checkmate-trace
+    // critical-path) report. Stage histograms are only observed on
+    // executed requests, so a cache-served window shows "-".
+    out << "\nrequest breakdown (p50 per window)\n";
+    std::vector<double> e2e =
+        seriesValues(frame, "serve.request.e2e_ms.p50", window);
+    row(out, "end to end",
+        e2e.empty() ? "-" : formatUs(e2e.back() * 1000.0), e2e);
+    latencyRow("  queue wait", "serve.stage.queue_wait_us.p50");
+    latencyRow("  dispatch", "serve.stage.dispatch_us.p50");
+    latencyRow("  session warm", "serve.stage.session_warm_us.p50");
+    latencyRow("  translate", "serve.stage.translate_us.p50");
+    latencyRow("  search", "serve.stage.search_us.p50");
+    latencyRow("  respond", "serve.stage.respond_us.p50");
+
     out << "\ncache & sessions\n";
     auto ratioRow = [&](const char *label, const char *series,
                         const char *hitsName,

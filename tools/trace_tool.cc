@@ -1,0 +1,260 @@
+/**
+ * @file
+ * checkmate-trace subcommand implementation.
+ */
+
+#include "trace_tool.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <iomanip>
+#include <ostream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/fsio.hh"
+#include "obs/trace_merge.hh"
+
+namespace checkmate::tools
+{
+
+namespace
+{
+
+/** Load + merge, reporting warnings; false when nothing loaded. */
+bool
+loadTrace(const std::vector<std::string> &shardPaths,
+          obs::FleetTrace *trace, std::ostream &err)
+{
+    if (shardPaths.empty()) {
+        err << "checkmate-trace: no shards to merge\n";
+        return false;
+    }
+    *trace = obs::mergeTraceShards(shardPaths);
+    for (const std::string &warning : trace->warnings)
+        err << "warning: " << warning << '\n';
+    if (trace->spans.empty() && trace->counters.empty()) {
+        err << "checkmate-trace: no spans in "
+            << shardPaths.size() << " shard(s)\n";
+        return false;
+    }
+    return true;
+}
+
+void
+printStage(std::ostream &out, const char *name, uint64_t us)
+{
+    out << "  " << std::left << std::setw(14) << name << std::right
+        << std::setw(12) << us << " us\n";
+}
+
+/** The request's spans, timeline-ordered; empty = not found. */
+std::vector<const obs::FleetSpan *>
+requestSpans(const obs::FleetTrace &trace,
+             const std::string &requestId)
+{
+    std::vector<const obs::FleetSpan *> spans;
+    for (const obs::FleetSpan &span : trace.spans) {
+        if (span.traceId == requestId)
+            spans.push_back(&span);
+    }
+    std::sort(spans.begin(), spans.end(),
+              [](const obs::FleetSpan *a, const obs::FleetSpan *b) {
+                  if (a->startUs != b->startUs)
+                      return a->startUs < b->startUs;
+                  return a->spanId < b->spanId;
+              });
+    return spans;
+}
+
+void
+printSpanLine(std::ostream &out, const obs::FleetTrace &trace,
+              const obs::FleetSpan &span, int indent)
+{
+    for (int i = 0; i < indent; i++)
+        out << "  ";
+    out << span.name << "  " << span.durUs << " us  [pid "
+        << span.pid;
+    auto name = trace.processNames.find(span.pid);
+    if (name != trace.processNames.end() && !name->second.empty())
+        out << ' ' << name->second;
+    out << ']';
+    if (span.orphan)
+        out << "  (orphan)";
+    out << '\n';
+}
+
+} // anonymous namespace
+
+std::vector<std::string>
+collectTraceShards(const std::string &dir, std::string *error)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> paths;
+    std::error_code ec;
+    fs::directory_iterator it(dir, ec);
+    if (ec) {
+        if (error)
+            *error = dir + ": " + ec.message();
+        return paths;
+    }
+    for (const fs::directory_entry &entry : it) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("trace-", 0) == 0 && name.size() > 11 &&
+            name.compare(name.size() - 5, 5, ".json") == 0) {
+            paths.push_back(entry.path().string());
+        }
+    }
+    std::sort(paths.begin(), paths.end());
+    return paths;
+}
+
+int
+mergeTraceCommand(const std::vector<std::string> &shardPaths,
+                  const std::string &outPath, std::ostream &out,
+                  std::ostream &err)
+{
+    obs::FleetTrace trace;
+    if (!loadTrace(shardPaths, &trace, err))
+        return kTraceError;
+    const std::string chrome = obs::fleetTraceToChromeJson(trace);
+    if (outPath.empty()) {
+        out << chrome << '\n';
+    } else if (!obs::atomicWriteFile(outPath, chrome)) {
+        err << "checkmate-trace: cannot write " << outPath << '\n';
+        return kTraceError;
+    }
+    err << "merged " << shardPaths.size() << " shard(s): "
+        << trace.spans.size() << " spans across "
+        << trace.processNames.size() << " process(es), "
+        << trace.orphanCount << " orphan(s)\n";
+    const std::vector<std::string> requests =
+        obs::traceRequestIds(trace);
+    if (!requests.empty()) {
+        err << "requests:";
+        for (const std::string &id : requests)
+            err << ' ' << id;
+        err << '\n';
+    }
+    if (!outPath.empty())
+        err << "wrote " << outPath << '\n';
+    return kTraceOk;
+}
+
+int
+criticalPathCommand(const std::vector<std::string> &shardPaths,
+                    const std::string &requestId, std::ostream &out,
+                    std::ostream &err)
+{
+    obs::FleetTrace trace;
+    if (!loadTrace(shardPaths, &trace, err))
+        return kTraceError;
+
+    if (requestId.empty()) {
+        const std::vector<std::string> requests =
+            obs::traceRequestIds(trace);
+        if (requests.empty()) {
+            err << "checkmate-trace: no requests in trace\n";
+            return kTraceNotFound;
+        }
+        for (const std::string &id : requests) {
+            const obs::RequestBreakdown b =
+                obs::criticalPath(trace, id);
+            out << id << "  e2e " << b.e2eUs << " us  ("
+                << b.spanCount << " spans)\n";
+        }
+        return kTraceOk;
+    }
+
+    const obs::RequestBreakdown b =
+        obs::criticalPath(trace, requestId);
+    if (!b.found) {
+        err << "checkmate-trace: request " << requestId
+            << " not found in trace\n";
+        return kTraceNotFound;
+    }
+    out << "request " << requestId << "  (" << b.spanCount
+        << " spans)\n";
+    printStage(out, "queue_wait", b.queueWaitUs);
+    printStage(out, "dispatch", b.dispatchUs);
+    printStage(out, "session_warm", b.sessionWarmUs);
+    printStage(out, "translate", b.translateUs);
+    printStage(out, "search", b.searchUs);
+    printStage(out, "respond", b.respondUs);
+    printStage(out, "e2e", b.e2eUs);
+    return kTraceOk;
+}
+
+int
+spanTreeCommand(const std::vector<std::string> &shardPaths,
+                const std::string &requestId, std::ostream &out,
+                std::ostream &err)
+{
+    obs::FleetTrace trace;
+    if (!loadTrace(shardPaths, &trace, err))
+        return kTraceError;
+
+    const std::vector<const obs::FleetSpan *> spans =
+        requestSpans(trace, requestId);
+    if (spans.empty()) {
+        err << "checkmate-trace: request " << requestId
+            << " not found in trace\n";
+        return kTraceNotFound;
+    }
+
+    // Children in timeline order (spans are already sorted).
+    std::unordered_map<uint64_t, std::vector<const obs::FleetSpan *>>
+        children;
+    std::vector<const obs::FleetSpan *> roots;
+    for (const obs::FleetSpan *span : spans) {
+        if (span->name == "serve.request" &&
+            span->parentSpanId == 0) {
+            roots.push_back(span);
+        } else {
+            children[span->parentSpanId].push_back(span);
+        }
+    }
+
+    std::unordered_set<uint64_t> reached;
+    // Iterative DFS so a deep worker tree can't overflow the stack.
+    std::vector<std::pair<const obs::FleetSpan *, int>> stack;
+    for (auto it = roots.rbegin(); it != roots.rend(); ++it)
+        stack.push_back({*it, 0});
+    while (!stack.empty()) {
+        auto [span, indent] = stack.back();
+        stack.pop_back();
+        if (!reached.insert(span->spanId).second)
+            continue;
+        printSpanLine(out, trace, *span, indent);
+        auto kids = children.find(span->spanId);
+        if (kids == children.end())
+            continue;
+        for (auto it = kids->second.rbegin();
+             it != kids->second.rend(); ++it)
+            stack.push_back({*it, indent + 1});
+    }
+
+    std::vector<const obs::FleetSpan *> unreached;
+    for (const obs::FleetSpan *span : spans) {
+        if (!reached.count(span->spanId))
+            unreached.push_back(span);
+    }
+    if (roots.empty()) {
+        err << "checkmate-trace: request " << requestId
+            << " has no serve.request root\n";
+    }
+    if (!unreached.empty()) {
+        err << "checkmate-trace: " << unreached.size()
+            << " span(s) unreachable from the request root:\n";
+        for (const obs::FleetSpan *span : unreached)
+            printSpanLine(err, trace, *span, 1);
+    }
+    if (roots.empty() || !unreached.empty())
+        return kTraceDisconnected;
+    out << spans.size() << " spans, connected\n";
+    return kTraceOk;
+}
+
+} // namespace checkmate::tools

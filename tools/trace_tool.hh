@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The checkmate-trace analyzer: merge fleet trace shards into one
+ * Chrome trace, report per-request critical paths, and check span
+ * parentage.
+ *
+ * Lives in a small static library (rather than the main) so the
+ * test suite can drive the subcommands on synthetic shard
+ * directories and assert on exit codes and output without spawning
+ * processes.
+ *
+ * Inputs are the per-process `trace-<pid>.json` shards a traced
+ * fleet run (`checkmate-serve --trace-dir DIR`) leaves behind; the
+ * merge semantics (clock-skew normalization, orphan flagging) live
+ * in obs/trace_merge.hh.
+ */
+
+#ifndef CHECKMATE_TOOLS_TRACE_TOOL_HH
+#define CHECKMATE_TOOLS_TRACE_TOOL_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace checkmate::tools
+{
+
+/** Exit codes shared by the checkmate-trace subcommands. */
+enum TraceExitCode
+{
+    /** Success. */
+    kTraceOk = 0,
+    /** Tool error: no shards, unreadable file, bad usage. */
+    kTraceError = 2,
+    /** The named request id has no spans in the merged trace. */
+    kTraceNotFound = 3,
+    /**
+     * tree only: the request's spans do not form one tree rooted
+     * at serve.request (a crashed process lost spans, or shards
+     * are missing from the merge).
+     */
+    kTraceDisconnected = 4,
+};
+
+/**
+ * Shard paths (`trace-*.json`) in @p dir, sorted by name. Returns
+ * an empty vector with @p error set when the directory can't be
+ * read; an existing-but-empty directory is not an error.
+ */
+std::vector<std::string> collectTraceShards(const std::string &dir,
+                                            std::string *error);
+
+/**
+ * Merge @p shardPaths into one Chrome trace_event document. The
+ * document goes to @p outPath (atomic replace), or to @p out when
+ * @p outPath is empty. Warnings, the orphan count, and the request
+ * ids seen go to @p err.
+ *
+ * @return kTraceOk or kTraceError (no shards / unwritable output).
+ */
+int mergeTraceCommand(const std::vector<std::string> &shardPaths,
+                      const std::string &outPath, std::ostream &out,
+                      std::ostream &err);
+
+/**
+ * Print the critical-path stage breakdown for @p requestId — the
+ * same stages, in µs, as the `breakdown` object on the daemon's
+ * `done` frame. With an empty @p requestId, lists every request in
+ * the trace with its end-to-end time.
+ *
+ * @return kTraceOk, kTraceNotFound, or kTraceError.
+ */
+int criticalPathCommand(
+    const std::vector<std::string> &shardPaths,
+    const std::string &requestId, std::ostream &out,
+    std::ostream &err);
+
+/**
+ * Print the span tree of @p requestId (indented, one span per
+ * line with its owning pid/process) and verify parentage: every
+ * span of the request must be reachable from a serve.request root.
+ *
+ * @return kTraceOk when the tree is connected, kTraceDisconnected
+ * when spans are unreachable (they are listed), kTraceNotFound, or
+ * kTraceError.
+ */
+int spanTreeCommand(const std::vector<std::string> &shardPaths,
+                    const std::string &requestId, std::ostream &out,
+                    std::ostream &err);
+
+} // namespace checkmate::tools
+
+#endif // CHECKMATE_TOOLS_TRACE_TOOL_HH
