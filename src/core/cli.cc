@@ -71,6 +71,13 @@ synthesis and output:
 performance:
   --jobs N          worker threads for the engine (default 1);
                     litmus output is byte-identical for any N
+  --portfolio K     SAT solver threads racing inside each job
+                    (default 1): K diversified solvers share
+                    learned clauses and the first decided answer
+                    wins. Complete-enumeration litmus output is
+                    byte-identical for any K; the engine clamps K
+                    so jobs × portfolio never exceeds the machine
+                    (see docs/ENGINE.md)
   --incremental[=off|on]
                     solve through pooled incremental sessions:
                     translate each problem core once and reuse the
@@ -144,7 +151,7 @@ const char *const kKnownFlags[] = {
     "--graphs",     "--dot",            "--spec-flush",
     "--no-spec",    "--no-spec-fill",   "--update-coh",
     "--sweep",      "--jobs",           "--incremental",
-    "--session-pool-cap",
+    "--portfolio",  "--session-pool-cap",
     "--timeout",    "--job-timeout",    "--report",
     "--trace",      "--log-json",       "--log-level",
     "--heartbeat-ms", "--dump-dimacs",  "--checkpoint",
@@ -249,6 +256,11 @@ parseCli(const std::vector<std::string> &args)
             opts.jobs = std::atoi(next("--jobs").c_str());
             if (opts.jobs < 1 && opts.error.empty())
                 opts.error = "--jobs requires a positive count";
+        } else if (arg == "--portfolio") {
+            opts.portfolio = std::atoi(next("--portfolio").c_str());
+            if (opts.portfolio < 1 && opts.error.empty())
+                opts.error = "--portfolio requires a positive "
+                             "thread count";
         } else if (arg == "--incremental" ||
                    arg.rfind("--incremental=", 0) == 0) {
             // --incremental / --incremental=on enable; =off keeps
@@ -438,6 +450,7 @@ engineOptionsFromCli(const CliOptions &options)
     engine_opts.checkpointIntervalSeconds =
         options.checkpointIntervalSeconds;
     engine_opts.incremental = options.incremental;
+    engine_opts.portfolioThreads = options.portfolio;
     return engine_opts;
 }
 

@@ -55,6 +55,7 @@ struct CliOptions
 
     // Parallel synthesis engine controls.
     int jobs = 1;                  ///< worker threads
+    int portfolio = 1;             ///< SAT threads racing per job
     bool incremental = false;      ///< pooled incremental sessions
     size_t sessionPoolCap = 0;     ///< idle-session cap (0 = default)
     double timeoutSeconds = 0.0;   ///< global wall clock (0 = none)

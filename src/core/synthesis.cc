@@ -206,6 +206,8 @@ CheckMate::run(
         report->abortReason = solve_result.abortReason;
         report->translation = solve_result.translation;
         report->solver = solve_result.solver;
+        report->portfolio = solve_result.portfolio;
+        report->inprocess = solve_result.inprocess;
         report->heartbeats = solve_result.heartbeats;
         report->warmStart = solve_result.warmStart;
         report->phaseSeconds.clear();

@@ -52,38 +52,12 @@ enum class WindowRequirement
  *
  * Limits, solver tuning, and the observability/checkpoint hooks all
  * live inside `profile` (rmf::SolveProfile); this struct adds only
- * the knobs that change what is synthesized. The flat members below
- * `session` (`budget`, `heartbeatMs`, `dumpDimacsPath`, `replay`,
- * `onModelValues`) are deprecated aliases into `profile`, kept for
- * one release; new code should write `profile.<field>`.
+ * the knobs that change what is synthesized. (The deprecated flat
+ * aliases into `profile` served their one release and are gone;
+ * write `profile.<field>`.)
  */
 struct SynthesisOptions
 {
-    // The constructors and the alias declarations themselves touch
-    // the deprecated members; only *caller* uses should warn.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    SynthesisOptions() = default;
-    SynthesisOptions(const SynthesisOptions &other)
-        : profile(other.profile),
-          projectOnLitmusRelations(other.projectOnLitmusRelations),
-          attackNoiseFilters(other.attackNoiseFilters),
-          requireWindow(other.requireWindow),
-          attackerOnly(other.attackerOnly), session(other.session)
-    {
-    }
-    SynthesisOptions &
-    operator=(const SynthesisOptions &other)
-    {
-        profile = other.profile;
-        projectOnLitmusRelations = other.projectOnLitmusRelations;
-        attackNoiseFilters = other.attackNoiseFilters;
-        requireWindow = other.requireWindow;
-        attackerOnly = other.attackerOnly;
-        session = other.session;
-        return *this;
-    }
-
     /**
      * Search limits (instance cap, conflict budget, deadline, stop
      * token), solver tuning, heartbeat cadence, DIMACS dump path,
@@ -126,21 +100,6 @@ struct SynthesisOptions
      * must not share it across threads. Null = from-scratch.
      */
     rmf::IncrementalSession *session = nullptr;
-
-    // --- Deprecated aliases (one release; see CHANGES.md) --------
-    [[deprecated("use profile.budget")]] engine::Budget &budget =
-        profile.budget;
-    [[deprecated("use profile.heartbeatMs")]] int &heartbeatMs =
-        profile.heartbeatMs;
-    [[deprecated("use profile.dumpDimacsPath")]] std::string
-        &dumpDimacsPath = profile.dumpDimacsPath;
-    [[deprecated("use profile.replay")]] const rmf::ReplayLog
-        *&replay = profile.replay;
-    [[deprecated(
-        "use profile.onModelValues")]] std::function<void(
-        const std::vector<bool> &)> &onModelValues =
-        profile.onModelValues;
-#pragma GCC diagnostic pop
 };
 
 /** One synthesized exploit: litmus test + μhb graph + class. */
@@ -174,8 +133,13 @@ struct SynthesisReport
 
     /** Problem-to-CNF translation statistics. */
     rmf::TranslationStats translation;
-    /** SAT search statistics. */
+    /** SAT search statistics (rolled up across portfolio members
+     *  when a portfolio raced). */
     sat::SolverStats solver;
+    /** Portfolio winner/share accounting (threads == 1 when off). */
+    sat::PortfolioStats portfolio;
+    /** Post-call inprocessing accounting (incremental runs only). */
+    sat::InprocessResult inprocess;
 
     /**
      * Per-phase wall-time breakdown of this run, keyed by span name

@@ -267,6 +267,12 @@ writeJob(JsonWriter &json, const JobResult &job)
     json.field("learned_clauses", rep.solver.learnedClauses);
     json.field("removed_clauses", rep.solver.removedClauses);
     json.field("models_enumerated", rep.solver.modelsEnumerated);
+    json.field("shared_exported", rep.solver.sharedExported);
+    json.field("shared_imported", rep.solver.sharedImported);
+    json.field("subsumed_clauses", rep.solver.subsumedClauses);
+    json.field("strengthened_clauses",
+               rep.solver.strengthenedClauses);
+    json.field("vivified_clauses", rep.solver.vivifiedClauses);
     json.field("mem_peak_bytes", rep.solver.memPeakBytes);
 
     // Search-quality distributions (log-scale bins).
@@ -280,6 +286,36 @@ writeJob(JsonWriter &json, const JobResult &job)
              obs::histogramToJson(rep.solver.decisionLevelHist));
     json.endObject();
 
+    json.endObject();
+
+    // Portfolio race accounting: who won the rounds and how much
+    // clause traffic the exchange carried. threads == 1 means the
+    // job ran the classic single-thread search.
+    json.key("portfolio");
+    json.beginObject();
+    json.field("threads", rep.portfolio.threads);
+    json.field("rounds", rep.portfolio.rounds);
+    json.field("clauses_exported", rep.portfolio.exported);
+    json.field("clauses_rejected", rep.portfolio.rejected);
+    json.field("clauses_imported", rep.portfolio.imported);
+    {
+        // Rounds won per member, index = member id.
+        std::ostringstream wins;
+        wins << '[';
+        for (size_t k = 0; k < rep.portfolio.wins.size(); k++)
+            wins << (k ? "," : "") << rep.portfolio.wins[k];
+        wins << ']';
+        json.raw("wins", wins.str());
+    }
+    json.endObject();
+
+    // Inprocessing between sweep points (incremental sessions).
+    json.key("inprocess");
+    json.beginObject();
+    json.field("subsumed", rep.inprocess.subsumed);
+    json.field("strengthened", rep.inprocess.strengthened);
+    json.field("vivified", rep.inprocess.vivified);
+    json.field("literals_removed", rep.inprocess.literalsRemoved);
     json.endObject();
 
     // Registry counter deltas over this job's window (exact at
@@ -315,6 +351,7 @@ runReportToJson(const RunResult &run, const EngineOptions &options)
     json.field("checkpoint_interval_seconds",
                options.checkpointIntervalSeconds);
     json.field("incremental", options.incremental);
+    json.field("portfolio_threads", run.portfolioThreads);
     json.field("request_id", options.requestId);
     json.field("wall_seconds", run.wallSeconds);
     json.field("aborted", run.aborted);

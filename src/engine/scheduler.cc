@@ -6,6 +6,7 @@
 #include "engine/scheduler.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <mutex>
 #include <queue>
@@ -145,6 +146,20 @@ runWithRetries(const SynthesisJob &job, size_t index,
 
 } // anonymous namespace
 
+int
+clampPortfolioThreads(int requested, int workers,
+                      unsigned hardware_threads)
+{
+    requested = std::max(1, requested);
+    if (requested == 1)
+        return 1;
+    const int hw = hardware_threads
+                       ? static_cast<int>(hardware_threads)
+                       : 1;
+    const int budget = std::max(1, hw / std::max(1, workers));
+    return std::min(requested, budget);
+}
+
 RunResult
 runJobs(const std::vector<SynthesisJob> &jobs,
         const EngineOptions &options, StopSource *stop)
@@ -165,6 +180,20 @@ runJobs(const std::vector<SynthesisJob> &jobs,
     std::queue<size_t> pending;
     for (size_t i = 0; i < jobs.size(); i++)
         pending.push(i);
+
+    size_t n_workers = std::min<size_t>(
+        static_cast<size_t>(run.threads),
+        std::max<size_t>(jobs.size(), 1));
+
+    // Workers and portfolio members draw from the same
+    // hardware-concurrency budget: J workers × K solver threads
+    // must not exceed the machine, so K is clamped (per job, since
+    // jobs may carry their own width) and the clamp is logged once.
+    const unsigned hardware = std::thread::hardware_concurrency();
+    run.portfolioThreads = clampPortfolioThreads(
+        std::max(options.portfolioThreads, 1),
+        static_cast<int>(n_workers), hardware);
+    std::atomic<bool> clamp_warned{false};
 
     auto worker = [&]() {
         for (;;) {
@@ -195,14 +224,31 @@ runJobs(const std::vector<SynthesisJob> &jobs,
             SynthesisJob job = jobs[index];
             if (job.timeoutSeconds <= 0.0)
                 job.timeoutSeconds = options.jobTimeoutSeconds;
+            const int desired =
+                std::max(job.options.profile.portfolio.threads,
+                         std::max(options.portfolioThreads, 1));
+            const int effective = clampPortfolioThreads(
+                desired, static_cast<int>(n_workers), hardware);
+            if (effective < desired &&
+                !clamp_warned.exchange(true)) {
+                obs::Logger::instance().log(
+                    obs::LogLevel::Warn, "engine",
+                    "portfolio width clamped to fit the machine",
+                    obs::JsonFields()
+                        .add("requested", desired)
+                        .add("effective", effective)
+                        .add("workers",
+                             static_cast<uint64_t>(n_workers))
+                        .add("hardware_threads",
+                             static_cast<uint64_t>(hardware))
+                        .str());
+            }
+            job.options.profile.portfolio.threads = effective;
             run.jobs[index] =
                 runWithRetries(job, index, shared, options);
         }
     };
 
-    size_t n_workers = std::min<size_t>(
-        static_cast<size_t>(run.threads),
-        std::max<size_t>(jobs.size(), 1));
     if (n_workers <= 1) {
         // Serial batches run on the caller's thread, whose trace
         // track keeps its existing name.

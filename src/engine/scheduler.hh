@@ -84,6 +84,18 @@ struct EngineOptions
      * stanza — carries the id (docs/OBSERVABILITY.md).
      */
     std::string requestId;
+
+    /**
+     * In-job SAT portfolio width: when > 1, each job's solve races
+     * this many diversified solver threads (overrides any smaller
+     * value in the job's own profile). Workers and portfolio
+     * members share one hardware-concurrency budget — the scheduler
+     * clamps the effective width to
+     * `hardware_concurrency / worker-threads` (min 1) and logs a
+     * warning when it does, so `--jobs 4 --portfolio 4` on an
+     * 8-core machine degrades instead of oversubscribing.
+     */
+    int portfolioThreads = 1;
 };
 
 /** Outcome of a whole batch. */
@@ -98,9 +110,22 @@ struct RunResult
     /** Worker threads actually used. */
     int threads = 1;
 
+    /** Effective per-job portfolio width after clamping against the
+     *  shared hardware-concurrency budget. */
+    int portfolioThreads = 1;
+
     /** True when the global deadline or a stop request cut it short. */
     bool aborted = false;
 };
+
+/**
+ * Effective per-job portfolio width when @p workers job workers and
+ * the portfolio members share a machine with @p hardware_threads
+ * hardware threads: `min(requested, max(1, hardware / workers))`.
+ * Exposed for tests; runJobs() applies it to every job.
+ */
+int clampPortfolioThreads(int requested, int workers,
+                          unsigned hardware_threads);
 
 /**
  * Run every job and merge the results deterministically.

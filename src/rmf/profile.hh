@@ -76,6 +76,27 @@ struct SolveProfile
     sat::SolverConfig solver;
 
     /**
+     * In-job SAT portfolio: `portfolio.threads` diversified solver
+     * members race on each (re-)solve, sharing short/low-LBD learned
+     * clauses. 1 (the default) keeps the classic single-thread
+     * search, bit for bit. The engine clamps the effective thread
+     * count against the job-level worker pool so `--jobs J
+     * --portfolio K` never oversubscribes the machine; see
+     * docs/ENGINE.md, "Portfolio solving".
+     */
+    sat::PortfolioConfig portfolio;
+
+    /**
+     * Run a bounded inprocessing pass (subsumption, self-subsuming
+     * resolution, vivification) on the long-lived incremental
+     * session solver after each scope is retired. Every rewrite is
+     * equivalence-preserving and survives future clause additions,
+     * so enumeration model sets are unchanged. No effect on the
+     * from-scratch drivers (their solvers die with the call).
+     */
+    bool inprocess = true;
+
+    /**
      * Solver heartbeat cadence in milliseconds (0 = off). Beats are
      * emitted from inside the CDCL loop to the obs sinks: a JSONL
      * log record, a Chrome-trace counter track, and the

@@ -176,10 +176,6 @@ IncrementalSession::solveAll(
     uint64_t heartbeats = 0;
     detail::installHeartbeat(solver, options.profile, &heartbeats);
 
-    // Per-call conflict attribution needs deltas against the
-    // solver's lifetime counters.
-    std::vector<uint64_t> conflicts_before = solver.conflictsByTag();
-
     // The scope guard: delta root clauses carry ¬act, the search
     // assumes act, and retirement below asserts ¬act permanently
     // and purges everything that mentions it.
@@ -239,16 +235,18 @@ IncrementalSession::solveAll(
     // per-tag clause counts. Core entries keep their construction-
     // time clause counts (core clauses are never purged); their
     // conflicts — and the shared gate tag's — are this call's
-    // attribution deltas. Every learned clause derived from a
-    // retired scope contained that scope's guard literal and was
-    // purged with it, so conflicts observed during this call can
-    // only land on tags present in this call's provenance; the
-    // deltas sum to lastCallStats().conflicts.
+    // attribution deltas, summed across all portfolio members (the
+    // exchange carries provenance tags, so an imported clause's
+    // conflicts still land on the originating axiom). Every learned
+    // clause derived from a retired scope contained that scope's
+    // guard literal and was purged with it, so conflicts observed
+    // during this call can only land on tags present in this call's
+    // provenance; the deltas sum to the call's rolled-up conflicts.
     TranslationStats stats = coreStats_;
     const std::vector<uint64_t> &clauses_by_tag =
         solver.clausesByTag();
-    const std::vector<uint64_t> &conflicts_by_tag =
-        solver.conflictsByTag();
+    const std::vector<uint64_t> &conflict_deltas =
+        outcome.conflictsByTagDelta;
     for (ClauseProvenance &entry : scope_entries)
         stats.provenance.push_back(entry);
     stats.provenance.push_back(ClauseProvenance{
@@ -256,15 +254,13 @@ IncrementalSession::solveAll(
     bool saw_untagged = false;
     for (ClauseProvenance &p : stats.provenance) {
         p.clauses = tagCount(clauses_by_tag, p.tag);
-        p.conflicts = tagCount(conflicts_by_tag, p.tag) -
-                      tagCount(conflicts_before, p.tag);
+        p.conflicts = tagCount(conflict_deltas, p.tag);
         saw_untagged |= p.tag == 0;
     }
     if (!saw_untagged && tagCount(clauses_by_tag, 0) > 0) {
         stats.provenance.push_back(ClauseProvenance{
             "(untagged)", "other", 0, 0, tagCount(clauses_by_tag, 0),
-            tagCount(conflicts_by_tag, 0) -
-                tagCount(conflicts_before, 0)});
+            tagCount(conflict_deltas, 0)});
     }
     // Drop entries that contributed nothing this call (e.g. a
     // blocking tag under an UNSAT scope), keeping the sums exact
@@ -285,8 +281,8 @@ IncrementalSession::solveAll(
     stats.totalSeconds = delta_span.seconds() +
                          (warm ? 0.0 : coreStats_.totalSeconds);
 
-    sat::SolverStats call_stats = solver.lastCallStats();
-    engine::AbortReason abort_reason = solver.abortReason();
+    sat::SolverStats call_stats = outcome.callStats;
+    engine::AbortReason abort_reason = outcome.abortReason;
 
     // Retire the scope: ¬act becomes a permanent unit and every
     // clause mentioning the guard (delta roots, blocking clauses,
@@ -294,6 +290,28 @@ IncrementalSession::solveAll(
     // rewound for the problem clauses.
     solver.retireGuard(act);
     solver.setClauseTag(0);
+
+    // Inprocess the long-lived core between sweep points: every
+    // rewrite is equivalence-preserving and survives future clause
+    // additions, so later scopes see the same model sets over a
+    // smaller clause database.
+    sat::InprocessResult inprocessed;
+    if (options.profile.inprocess) {
+        obs::Span inproc_span("sat.inprocess", "sat");
+        inprocessed = solver.inprocess(sat::InprocessConfig{});
+        inproc_span.arg("subsumed", inprocessed.subsumed);
+        inproc_span.arg("strengthened", inprocessed.strengthened);
+        inproc_span.arg("vivified", inprocessed.vivified);
+        metrics.counter("sat.inprocess.passes").add(1);
+        metrics.counter("sat.inprocess.subsumed")
+            .add(inprocessed.subsumed);
+        metrics.counter("sat.inprocess.strengthened")
+            .add(inprocessed.strengthened);
+        metrics.counter("sat.inprocess.vivified")
+            .add(inprocessed.vivified);
+        metrics.counter("sat.inprocess.literals_removed")
+            .add(inprocessed.literalsRemoved);
+    }
 
     detail::publishStats(stats, call_stats);
     if (result) {
@@ -304,6 +322,8 @@ IncrementalSession::solveAll(
         result->replayedInstances = outcome.replayed;
         result->translation = stats;
         result->solver = call_stats;
+        result->portfolio = outcome.portfolio;
+        result->inprocess = inprocessed;
         result->translateSeconds = stats.totalSeconds;
         result->extractSeconds = outcome.extractSeconds;
         result->callbackSeconds = outcome.callbackSeconds;

@@ -170,6 +170,8 @@ publishStats(const TranslationStats &translation,
     m.counter("sat.learned_clauses").add(solver.learnedClauses);
     m.counter("sat.removed_clauses").add(solver.removedClauses);
     m.counter("sat.models_enumerated").add(solver.modelsEnumerated);
+    m.counter("sat.shared_exported").add(solver.sharedExported);
+    m.counter("sat.shared_imported").add(solver.sharedImported);
     m.histogram("sat.learned_clause_len")
         .merge(solver.learnedLenHist);
     m.histogram("sat.backjump_depth").merge(solver.backjumpHist);
@@ -308,7 +310,29 @@ driveEnumeration(
     uint64_t count = replayed;
     if (keep_going && !blocked_out &&
         !(replay && replay->complete) && remaining > 0) {
-        count += solver.enumerateModels(
+        // Built only now: replay re-blocking above must land in the
+        // primary before the secondaries clone its clause set.
+        sat::PortfolioSolver race(solver, profile.portfolio);
+        if (profile.portfolio.threads > 1) {
+            // Member threads adopt the caller's trace context so
+            // their spans nest under sat.enumerate instead of
+            // dangling as per-thread roots.
+            const obs::TraceContext context =
+                obs::currentTraceContext();
+            race.setThreadWrapper(
+                [context](int member,
+                          const std::function<void()> &run) {
+                    obs::ScopedTraceContext traceScope(context);
+                    obs::TraceRecorder::instance()
+                        .nameCurrentThread(
+                            "portfolio-" + std::to_string(member));
+                    obs::Span span("sat.portfolio.member", "sat");
+                    span.arg("member",
+                             static_cast<uint64_t>(member));
+                    run();
+                });
+        }
+        count += race.enumerateModels(
             projection,
             [&](const sat::Solver &s) {
                 Clock::time_point t0 = Clock::now();
@@ -336,6 +360,39 @@ driveEnumeration(
                 return more;
             },
             remaining, assumptions);
+        out.callStats = race.lastCallStats();
+        out.conflictsByTagDelta = race.conflictsByTagDelta();
+        out.abortReason = race.abortReason();
+        out.portfolio = race.portfolioStats();
+    } else {
+        // No live search ran; mirror what the pre-portfolio driver
+        // reported (the solver's last-call epoch and abort reason).
+        out.callStats = solver.lastCallStats();
+        out.abortReason = solver.abortReason();
+    }
+
+    if (out.portfolio.threads > 1) {
+        auto &m = obs::MetricsRegistry::instance();
+        m.counter("sat.portfolio.rounds").add(out.portfolio.rounds);
+        m.counter("sat.portfolio.clauses_exported")
+            .add(out.portfolio.exported);
+        m.counter("sat.portfolio.clauses_rejected")
+            .add(out.portfolio.rejected);
+        m.counter("sat.portfolio.clauses_imported")
+            .add(out.portfolio.imported);
+        auto &wins_hist =
+            m.histogram("sat.portfolio.member_wins");
+        for (size_t k = 0; k < out.portfolio.wins.size(); k++) {
+            wins_hist.observe(out.portfolio.wins[k]);
+            if (out.portfolio.wins[k]) {
+                m.counter("sat.portfolio.wins.member_" +
+                          std::to_string(k))
+                    .add(out.portfolio.wins[k]);
+            }
+        }
+        enumerate.arg("portfolio_threads",
+                      static_cast<uint64_t>(out.portfolio.threads));
+        enumerate.arg("portfolio_rounds", out.portfolio.rounds);
     }
 
     enumerate.arg("models", count);
@@ -354,17 +411,18 @@ namespace
 
 /**
  * Copy the translation stats with conflict attribution filled in
- * from the solver's per-tag counters, appending an entry for the
- * enumeration blocking clauses when any were added.
+ * from per-tag conflict counts (for a fresh solver the lifetime
+ * counters equal the call's; portfolio runs pass the cross-member
+ * rollup), appending an entry for the enumeration blocking clauses
+ * when any were added.
  */
 TranslationStats
 attributeProvenance(const TranslationStats &translation,
                     const sat::Solver &solver,
+                    const std::vector<uint64_t> &conflicts,
                     uint32_t blocking_tag)
 {
     TranslationStats stats = translation;
-    const std::vector<uint64_t> &conflicts =
-        solver.conflictsByTag();
     auto at = [](const std::vector<uint64_t> &v, uint32_t i) {
         return i < v.size() ? v[i] : uint64_t{0};
     };
@@ -398,21 +456,38 @@ solveOne(const Problem &problem, const SolveOptions &options,
     Translation translation(problem, solver, options.breakSymmetries);
     detail::maybeDumpDimacs(solver, options.profile);
 
+    // One race round over the portfolio (a strict pass-through to
+    // the primary when portfolio.threads == 1).
+    sat::PortfolioSolver race(solver, options.profile.portfolio);
+    if (options.profile.portfolio.threads > 1) {
+        const obs::TraceContext context = obs::currentTraceContext();
+        race.setThreadWrapper(
+            [context](int member,
+                      const std::function<void()> &run) {
+                obs::ScopedTraceContext traceScope(context);
+                obs::TraceRecorder::instance().nameCurrentThread(
+                    "portfolio-" + std::to_string(member));
+                obs::Span span("sat.portfolio.member", "sat");
+                span.arg("member", static_cast<uint64_t>(member));
+                run();
+            });
+    }
     obs::Span search("sat.search", "sat");
-    sat::LBool r = solver.solve();
+    sat::LBool r = race.solve();
     search.close();
 
     TranslationStats attributed = attributeProvenance(
-        translation.stats(), solver,
+        translation.stats(), solver, race.conflictsByTagDelta(),
         detail::firstFreeTag(translation.stats()));
-    detail::publishStats(attributed, solver.lastCallStats());
+    detail::publishStats(attributed, race.lastCallStats());
     if (result) {
         result->sat = (r == sat::LBool::True);
         result->aborted = (r == sat::LBool::Undef);
-        result->abortReason = solver.abortReason();
+        result->abortReason = race.abortReason();
         result->instances = (r == sat::LBool::True) ? 1 : 0;
         result->translation = attributed;
-        result->solver = solver.lastCallStats();
+        result->solver = race.lastCallStats();
+        result->portfolio = race.portfolioStats();
         result->translateSeconds =
             translation.stats().totalSeconds;
         result->searchSeconds = search.seconds();
@@ -422,7 +497,7 @@ solveOne(const Problem &problem, const SolveOptions &options,
         return std::nullopt;
 
     obs::Span extract("rmf.extract", "rmf");
-    Instance instance = translation.extract(solver);
+    Instance instance = translation.extract(race.winner());
     extract.close();
     if (result)
         result->extractSeconds = extract.seconds();
@@ -456,17 +531,19 @@ solveAll(const Problem &problem,
         on_instance, {});
 
     TranslationStats attributed = attributeProvenance(
-        translation.stats(), solver, blocking_tag);
-    detail::publishStats(attributed, solver.lastCallStats());
+        translation.stats(), solver, outcome.conflictsByTagDelta,
+        blocking_tag);
+    detail::publishStats(attributed, outcome.callStats);
     if (result) {
         result->sat = outcome.count > 0;
         result->aborted =
-            solver.abortReason() != engine::AbortReason::None;
-        result->abortReason = solver.abortReason();
+            outcome.abortReason != engine::AbortReason::None;
+        result->abortReason = outcome.abortReason;
         result->instances = outcome.count;
         result->replayedInstances = outcome.replayed;
         result->translation = attributed;
-        result->solver = solver.lastCallStats();
+        result->solver = outcome.callStats;
+        result->portfolio = outcome.portfolio;
         result->translateSeconds =
             translation.stats().totalSeconds;
         result->extractSeconds = outcome.extractSeconds;

@@ -15,6 +15,7 @@
 #include "rmf/problem.hh"
 #include "rmf/profile.hh"
 #include "rmf/translate.hh"
+#include "sat/portfolio.hh"
 
 namespace checkmate::rmf
 {
@@ -24,34 +25,12 @@ namespace checkmate::rmf
  *
  * Limits, solver tuning, and the observability/checkpoint hooks
  * all live inside `profile` (see rmf/profile.hh); this struct adds
- * only the knobs that change what is solved, not how hard.
- *
- * The flat members below `profile` (`budget`, `heartbeatMs`,
- * `dumpDimacsPath`, `replay`, `onModelValues`) are deprecated
- * aliases into it, kept for one release so existing callers keep
- * compiling; new code should write `profile.<field>`.
+ * only the knobs that change what is solved, not how hard. (The
+ * deprecated flat aliases into `profile` served their one release
+ * and are gone; write `profile.<field>`.)
  */
 struct SolveOptions
 {
-    // The constructors and the alias declarations themselves touch
-    // the deprecated members; only *caller* uses should warn.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    SolveOptions() = default;
-    SolveOptions(const SolveOptions &other)
-        : breakSymmetries(other.breakSymmetries),
-          profile(other.profile), projectOn(other.projectOn)
-    {
-    }
-    SolveOptions &
-    operator=(const SolveOptions &other)
-    {
-        breakSymmetries = other.breakSymmetries;
-        profile = other.profile;
-        projectOn = other.projectOn;
-        return *this;
-    }
-
     /** Emit lex-leader symmetry-breaking predicates. */
     bool breakSymmetries = true;
 
@@ -66,21 +45,6 @@ struct SolveOptions
      * optimization of §V-C.
      */
     std::vector<RelationId> projectOn;
-
-    // --- Deprecated aliases (one release; see CHANGES.md) --------
-    [[deprecated("use profile.budget")]] engine::Budget &budget =
-        profile.budget;
-    [[deprecated("use profile.heartbeatMs")]] int &heartbeatMs =
-        profile.heartbeatMs;
-    [[deprecated("use profile.dumpDimacsPath")]] std::string
-        &dumpDimacsPath = profile.dumpDimacsPath;
-    [[deprecated("use profile.replay")]] const ReplayLog *&replay =
-        profile.replay;
-    [[deprecated(
-        "use profile.onModelValues")]] std::function<void(
-        const std::vector<bool> &)> &onModelValues =
-        profile.onModelValues;
-#pragma GCC diagnostic pop
 };
 
 /** Outcome of one model-finding run. */
@@ -94,7 +58,15 @@ struct SolveResult
     /** Of `instances`, how many came from replaying a ReplayLog. */
     uint64_t replayedInstances = 0;
     TranslationStats translation;
+    /** Per-call solver stats; under a portfolio, the rollup across
+     *  all racing members. */
     sat::SolverStats solver;
+    /** Winner/share accounting of the portfolio race (threads == 1
+     *  when the portfolio was off or clamped away). */
+    sat::PortfolioStats portfolio;
+    /** What the post-call inprocessing pass did (all zero when
+     *  disabled or not an incremental session). */
+    sat::InprocessResult inprocess;
 
     // Per-phase wall-time breakdown of this call (seconds).
     /** Relational→CNF translation (all of Translation's work). */

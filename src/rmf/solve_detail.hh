@@ -18,6 +18,7 @@
 
 #include "rmf/profile.hh"
 #include "rmf/translate.hh"
+#include "sat/portfolio.hh"
 #include "sat/solver.hh"
 
 namespace checkmate::rmf::detail
@@ -74,6 +75,20 @@ struct EnumerationOutcome
     double extractSeconds = 0.0;
     /** Caller-callback share of the pass. */
     double callbackSeconds = 0.0;
+
+    /**
+     * Per-call solver stats rolled up across all portfolio members
+     * (equal to the primary's lastCallStats() when the portfolio is
+     * off).
+     */
+    sat::SolverStats callStats;
+    /** Per-tag conflict deltas of this call, summed across members.
+     *  Sums to callStats.conflicts with the untagged remainder. */
+    std::vector<uint64_t> conflictsByTagDelta;
+    /** Why the pass stopped early (None when it ran to the end). */
+    engine::AbortReason abortReason = engine::AbortReason::None;
+    /** Winner/share accounting when a portfolio raced. */
+    sat::PortfolioStats portfolio;
 };
 
 /**

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Inprocessing for the incremental solver core: subsumption,
+ * self-subsuming resolution, and vivification over the live problem
+ * clauses.
+ *
+ * Every rewrite performed here is equivalence-preserving and stays
+ * valid under future clause additions (the transformations are
+ * monotone: a removed clause is implied by a remaining one, a
+ * strengthened/vivified clause is implied by the formula and implies
+ * the clause it replaces). That is the property that lets an
+ * incremental session run a pass between sweep points without
+ * changing any enumeration's model set — see docs/ENGINE.md,
+ * "Inprocessing".
+ *
+ * The pass is deliberately bounded (InprocessConfig): it runs on the
+ * long-lived session solver between sweeps, where a predictable
+ * small cost beats an occasional big win.
+ */
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+
+#include "sat/solver.hh"
+
+namespace checkmate::sat
+{
+
+namespace
+{
+
+/** 64-bit clause signature: bit (var mod 64) per literal. A clause
+ *  C can only subsume D if sig(C) & ~sig(D) == 0. */
+uint64_t
+clauseSignature(const std::vector<Lit> &lits)
+{
+    uint64_t sig = 0;
+    for (Lit p : lits)
+        sig |= uint64_t{1} << (static_cast<uint64_t>(p.var()) & 63);
+    return sig;
+}
+
+} // anonymous namespace
+
+InprocessResult
+Solver::inprocess(const InprocessConfig &config)
+{
+    InprocessResult result;
+    assert(decisionLevel() == 0);
+    if (!ok_)
+        return result;
+    // Settle any pending level-0 propagation first; the probes below
+    // assume a clean fixpoint.
+    if (propagate() != crUndef) {
+        ok_ = false;
+        return result;
+    }
+
+    // Snapshot the live problem clauses. ClauseRefs are indices into
+    // clauseStore_, so they stay valid across the addClause() calls
+    // the rewrites perform.
+    std::vector<ClauseRef> live;
+    live.reserve(clauses_.size());
+    for (ClauseRef cr : clauses_) {
+        if (!clauseStore_[cr].deleted)
+            live.push_back(cr);
+    }
+    if (live.size() > config.maxClauses)
+        return result;
+
+    // ---- Subsumption + self-subsuming resolution ----------------
+    //
+    // Occurrence lists over every live problem clause; candidates
+    // (potential subsumers) are the short clauses, scanned smallest
+    // first so cheap subsumers run before they can be strengthened
+    // away themselves.
+    std::vector<std::vector<ClauseRef>> occ(2 * numVars());
+    std::vector<uint64_t> sig(clauseStore_.size(), 0);
+    for (ClauseRef cr : live) {
+        const ClauseData &c = clauseStore_[cr];
+        sig[cr] = clauseSignature(c.lits);
+        for (Lit p : c.lits)
+            occ[p.index()].push_back(cr);
+    }
+
+    std::vector<ClauseRef> candidates;
+    for (ClauseRef cr : live) {
+        if (clauseStore_[cr].lits.size() <= config.subsumeMaxLen)
+            candidates.push_back(cr);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [this](ClauseRef a, ClauseRef b) {
+                  size_t sa = clauseStore_[a].lits.size();
+                  size_t sb = clauseStore_[b].lits.size();
+                  if (sa != sb)
+                      return sa < sb;
+                  return a < b;
+              });
+
+    // Literal-indexed marks for O(1) membership tests against the
+    // current candidate.
+    std::vector<uint8_t> marked(2 * numVars(), 0);
+
+    auto removeProblemClause = [this](ClauseRef cr) {
+        ClauseData &c = clauseStore_[cr];
+        c.deleted = true;
+        memBytes_ -= clauseBytes(c.lits.size());
+        c.lits.clear();
+        c.lits.shrink_to_fit();
+        if (c.tag < clausesByTag_.size() && clausesByTag_[c.tag] > 0)
+            clausesByTag_[c.tag]--;
+    };
+
+    // Queue of (target, literal-to-drop) strengthenings, applied
+    // after each candidate's scan so occurrence lists are not
+    // mutated mid-iteration.
+    std::vector<std::pair<ClauseRef, Lit>> strengthenings;
+
+    for (ClauseRef ccr : candidates) {
+        ClauseData &cand = clauseStore_[ccr];
+        if (cand.deleted)
+            continue;
+        const size_t cand_size = cand.lits.size();
+        for (Lit p : cand.lits)
+            marked[p.index()] = 1;
+
+        // Scan the occurrence lists of the candidate's rarest
+        // literal (subsumption + strengthening on other literals)
+        // and of its negation (strengthening on the rarest literal
+        // itself).
+        Lit rare = cand.lits[0];
+        for (Lit p : cand.lits) {
+            if (occ[p.index()].size() < occ[rare.index()].size())
+                rare = p;
+        }
+        strengthenings.clear();
+        for (int side = 0; side < 2; side++) {
+            const Lit probe = side == 0 ? rare : ~rare;
+            for (ClauseRef dcr : occ[probe.index()]) {
+                if (dcr == ccr)
+                    continue;
+                const ClauseData &d = clauseStore_[dcr];
+                if (d.deleted || d.lits.size() < cand_size)
+                    continue;
+                if (sig[ccr] & ~sig[dcr])
+                    continue;
+                size_t hits = 0, flips = 0;
+                Lit flip_lit = litUndef;
+                for (Lit q : d.lits) {
+                    if (marked[q.index()]) {
+                        hits++;
+                    } else if (marked[(~q).index()]) {
+                        flips++;
+                        flip_lit = q;
+                    }
+                }
+                if (side == 0 && hits == cand_size) {
+                    // cand ⊆ d: d is redundant.
+                    removeProblemClause(dcr);
+                    stats_.subsumedClauses++;
+                    result.subsumed++;
+                } else if (hits == cand_size - 1 && flips == 1) {
+                    // cand \ {~flip_lit} ⊆ d and ~flip_lit ∈ cand:
+                    // resolving cand with d on that variable yields
+                    // d \ {flip_lit}, which subsumes d.
+                    strengthenings.emplace_back(dcr, flip_lit);
+                }
+            }
+        }
+        for (Lit p : cand.lits)
+            marked[p.index()] = 0;
+
+        for (auto &[dcr, drop] : strengthenings) {
+            ClauseData &d = clauseStore_[dcr];
+            if (d.deleted)
+                continue;
+            if (std::find(d.lits.begin(), d.lits.end(), drop) ==
+                d.lits.end())
+                continue; // already strengthened past this literal
+            Clause shorter;
+            shorter.reserve(d.lits.size() - 1);
+            for (Lit q : d.lits) {
+                if (q != drop)
+                    shorter.push_back(q);
+            }
+            const uint32_t tag = d.tag;
+            // Replace rather than edit in place: the dropped
+            // literal may be watched, and addClause() re-runs the
+            // level-0 normalization (the shorter clause may even
+            // collapse to a unit).
+            removeProblemClause(dcr);
+            stats_.strengthenedClauses++;
+            result.strengthened++;
+            result.literalsRemoved++;
+            const uint32_t saved_tag = currentTag_;
+            currentTag_ = tag;
+            bool ok = addClause(shorter);
+            currentTag_ = saved_tag;
+            if (!ok && !ok_)
+                return result;
+        }
+        if (!ok_)
+            return result;
+    }
+
+    // Compact the problem-clause list so numClauses() keeps equaling
+    // the clausesByTag() sum.
+    {
+        size_t out = 0;
+        for (ClauseRef cr : clauses_) {
+            if (!clauseStore_[cr].deleted)
+                clauses_[out++] = cr;
+        }
+        clauses_.resize(out);
+    }
+
+    // ---- Vivification -------------------------------------------
+    //
+    // Probe the longest clauses: assume the negation of a prefix of
+    // the clause literal by literal; a conflict (or an implied
+    // literal) proves a shorter clause that replaces the original.
+    std::vector<ClauseRef> vivify;
+    for (ClauseRef cr : clauses_) {
+        const ClauseData &c = clauseStore_[cr];
+        if (!c.deleted && c.lits.size() >= 3)
+            vivify.push_back(cr);
+    }
+    std::sort(vivify.begin(), vivify.end(),
+              [this](ClauseRef a, ClauseRef b) {
+                  size_t sa = clauseStore_[a].lits.size();
+                  size_t sb = clauseStore_[b].lits.size();
+                  if (sa != sb)
+                      return sa > sb;
+                  return a < b;
+              });
+    if (vivify.size() > config.vivifyMaxClauses)
+        vivify.resize(config.vivifyMaxClauses);
+
+    const uint64_t prop_base = stats_.propagations;
+    for (ClauseRef cr : vivify) {
+        if (stats_.propagations - prop_base >=
+            config.vivifyPropagationBudget)
+            break;
+        ClauseData &c = clauseStore_[cr];
+        if (c.deleted)
+            continue;
+        // Detach so the clause cannot propagate in its own probe —
+        // a self-supported probe can never shorten anything.
+        for (int k = 0; k < 2; k++) {
+            std::vector<Watcher> &ws =
+                watches_[(~c.lits[k]).index()];
+            ws.erase(std::remove_if(ws.begin(), ws.end(),
+                                    [cr](const Watcher &w) {
+                                        return w.cref == cr;
+                                    }),
+                     ws.end());
+        }
+
+        const Clause lits = c.lits; // probe over a stable copy
+        Clause kept;
+        kept.reserve(lits.size());
+        bool terminal = false;
+        for (Lit l : lits) {
+            LBool v = value(l);
+            if (v == LBool::True) {
+                // F ∧ ¬kept implies l: kept ∪ {l} is a clause of F.
+                kept.push_back(l);
+                terminal = true;
+                break;
+            }
+            if (v == LBool::False)
+                continue; // F ∧ ¬kept implies ¬l: drop l
+            trailLim_.push_back(static_cast<int>(trail_.size()));
+            enqueue(~l, crUndef);
+            if (propagate() != crUndef) {
+                // F ∧ ¬kept ∧ ¬l is contradictory by unit
+                // propagation: kept ∪ {l} is implied.
+                kept.push_back(l);
+                terminal = true;
+                break;
+            }
+            kept.push_back(l);
+        }
+        cancelUntil(0);
+        (void)terminal;
+
+        if (kept.size() < lits.size()) {
+            const uint32_t tag = c.tag;
+            removeProblemClause(cr);
+            stats_.vivifiedClauses++;
+            result.vivified++;
+            result.literalsRemoved += lits.size() - kept.size();
+            const uint32_t saved_tag = currentTag_;
+            currentTag_ = tag;
+            bool ok = addClause(kept);
+            currentTag_ = saved_tag;
+            if (!ok && !ok_)
+                break;
+        } else {
+            attachClause(cr);
+        }
+    }
+
+    // Final compaction after vivification removals.
+    {
+        size_t out = 0;
+        for (ClauseRef cr : clauses_) {
+            if (!clauseStore_[cr].deleted)
+                clauses_[out++] = cr;
+        }
+        clauses_.resize(out);
+    }
+
+    // A removed clause may be the recorded reason of a level-0
+    // trail literal. Level-0 reasons are never dereferenced by
+    // conflict analysis, but clear them anyway (same hygiene as
+    // retireGuard()).
+    for (Lit p : trail_) {
+        ClauseRef r = varData_[p.var()].reason;
+        if (r != crUndef && clauseStore_[r].deleted)
+            varData_[p.var()].reason = crUndef;
+    }
+    return result;
+}
+
+} // namespace checkmate::sat

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Portfolio race controller, clause exchange, and member factory.
+ * See portfolio.hh for the surface and the determinism contract.
+ */
+
+#include "sat/portfolio.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace checkmate::sat
+{
+
+namespace
+{
+
+/** splitmix64 step (same mixer the solver uses for phase seeds). */
+uint64_t
+mix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d4ecda7ee1585dULL;
+    return z ^ (z >> 31);
+}
+
+} // anonymous namespace
+
+// --- SolverFactory --------------------------------------------------
+
+SolverConfig
+SolverFactory::memberConfig(int member) const
+{
+    SolverConfig c = base_;
+    if (member <= 0)
+        return c;
+    // Archetype cycle (documented in docs/ENGINE.md): rapid
+    // restarts + fast decay, slow restarts + long memory with
+    // inverted polarity, base parameters with random phases, and a
+    // middle ground with inverted polarity.
+    switch (member % 4) {
+    case 1:
+        c.restartBase = std::max<uint64_t>(16, c.restartBase / 2);
+        c.varDecay = 0.90;
+        break;
+    case 2:
+        c.restartBase = c.restartBase * 4;
+        c.varDecay = 0.99;
+        c.invertPolarity = true;
+        break;
+    case 3:
+        c.varDecay = 0.85;
+        break;
+    case 0:
+        c.restartBase = c.restartBase * 2;
+        c.invertPolarity = true;
+        break;
+    }
+    return c;
+}
+
+uint64_t
+SolverFactory::memberSeed(int member) const
+{
+    if (member <= 0)
+        return 0;
+    uint64_t base =
+        seedBase_ ? seedBase_ : 0x243f6a8885a308d3ULL; // pi bits
+    uint64_t seed = mix64(base + static_cast<uint64_t>(member));
+    return seed ? seed : 1; // 0 would mean "keep default phases"
+}
+
+std::unique_ptr<Solver>
+SolverFactory::makeMember(const Solver &primary, int member) const
+{
+    auto solver = std::make_unique<Solver>(memberConfig(member));
+    // Seed before cloning so replayed variables pick up randomized
+    // polarity defaults.
+    solver->setRandomSeed(memberSeed(member));
+    primary.cloneProblemInto(*solver);
+    solver->setConflictBudget(primary.conflictBudget());
+    solver->setDeadline(primary.deadline());
+    solver->setMemLimit(primary.memLimit());
+    return solver;
+}
+
+// --- ClauseExchange -------------------------------------------------
+
+bool
+ClauseExchange::publish(int member, const Clause &lits, uint32_t tag,
+                        int lbd)
+{
+    if (lits.size() > maxLen_ && lbd > maxLbd_) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        rejected_++;
+        return false;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffer_.push_back(Entry{ImportedClause{lits, tag}, member});
+    if (buffer_.size() > capacity_) {
+        buffer_.pop_front();
+        base_++;
+    }
+    published_++;
+    return true;
+}
+
+std::vector<ImportedClause>
+ClauseExchange::collect(int member)
+{
+    std::vector<ImportedClause> out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    uint64_t &cursor = cursors_[static_cast<size_t>(member)];
+    if (cursor < base_)
+        cursor = base_; // evicted entries are gone for good
+    for (uint64_t i = cursor - base_; i < buffer_.size(); i++) {
+        const Entry &e = buffer_[static_cast<size_t>(i)];
+        if (e.exporter != member)
+            out.push_back(e.clause);
+    }
+    cursor = base_ + buffer_.size();
+    collected_ += out.size();
+    return out;
+}
+
+uint64_t
+ClauseExchange::published() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return published_;
+}
+
+uint64_t
+ClauseExchange::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+}
+
+uint64_t
+ClauseExchange::collected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return collected_;
+}
+
+// --- PortfolioSolver ------------------------------------------------
+
+PortfolioSolver::PortfolioSolver(Solver &primary,
+                                 const PortfolioConfig &config)
+    : primary_(primary), config_(config),
+      outerStop_(primary.stopToken())
+{
+    const int members = std::max(1, config_.threads);
+    config_.threads = members;
+    members_.resize(static_cast<size_t>(members));
+    members_[0].solver = &primary_;
+    if (members == 1)
+        return;
+
+    exchange_ = std::make_unique<ClauseExchange>(
+        config_.shareMaxLen, config_.shareMaxLbd,
+        config_.exchangeCapacity, members);
+    SolverFactory factory(primary_.config(), config_.seedBase);
+    for (int k = 1; k < members; k++) {
+        members_[k].owned = factory.makeMember(primary_, k);
+        members_[k].solver = members_[k].owned.get();
+        // Blocking clauses added between rounds attribute to the
+        // same provenance tag on every member.
+        members_[k].solver->setClauseTag(primary_.clauseTag());
+    }
+    for (int k = 0; k < members; k++) {
+        Solver *solver = members_[k].solver;
+        ClauseExchange *exchange = exchange_.get();
+        solver->setClauseShare(
+            [exchange, k](const Clause &lits, uint32_t tag,
+                          int lbd) {
+                return exchange->publish(k, lits, tag, lbd);
+            },
+            [exchange, k]() { return exchange->collect(k); });
+    }
+}
+
+PortfolioSolver::~PortfolioSolver()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+    // The primary outlives this controller: detach everything we
+    // installed on it.
+    primary_.setClauseShare({}, {});
+    primary_.setStopToken(outerStop_);
+}
+
+void
+PortfolioSolver::setThreadWrapper(ThreadWrapper wrapper)
+{
+    assert(threads_.empty() && "set the wrapper before racing");
+    wrapper_ = std::move(wrapper);
+}
+
+void
+PortfolioSolver::memberLoop(int index)
+{
+    Member &m = members_[static_cast<size_t>(index)];
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [&] {
+                return shutdown_ || round_ > seen;
+            });
+            if (shutdown_)
+                return;
+            seen = round_;
+        }
+        LBool r = m.solver->solve(*roundAssumptions_);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            m.result = r;
+            if (r != LBool::Undef && !roundDecided_) {
+                // First decided member wins the round; losers are
+                // stopped cooperatively.
+                roundDecided_ = true;
+                roundWinner_ = index;
+                roundStop_.requestStop();
+            }
+            pending_--;
+        }
+        cv_.notify_all();
+    }
+}
+
+void
+PortfolioSolver::startRound(const std::vector<Lit> &assumptions)
+{
+    if (threads_.empty()) {
+        threads_.reserve(members_.size());
+        for (size_t k = 0; k < members_.size(); k++) {
+            threads_.emplace_back([this, k]() {
+                const int index = static_cast<int>(k);
+                if (wrapper_) {
+                    wrapper_(index,
+                             [this, index]() { memberLoop(index); });
+                } else {
+                    memberLoop(index);
+                }
+            });
+        }
+    }
+    // All members are idle here (pending_ == 0), so the per-round
+    // stop token can be swapped in without racing their search.
+    roundStop_ = engine::StopSource();
+    for (Member &m : members_) {
+        m.result = LBool::Undef;
+        m.solver->setStopToken(roundStop_.token());
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        roundDecided_ = false;
+        roundWinner_ = -1;
+        roundAssumptions_ = &assumptions;
+        pending_ = static_cast<int>(members_.size());
+        round_++;
+    }
+    cv_.notify_all();
+}
+
+int
+PortfolioSolver::waitRound()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (pending_ > 0) {
+        cv_.wait_for(lock, std::chrono::milliseconds(10));
+        // The controller is the only thread free to watch the
+        // caller's outer stop token; forward it into the round.
+        if (outerStop_.stopRequested() &&
+            !roundStop_.stopRequested())
+            roundStop_.requestStop();
+    }
+    return roundWinner_;
+}
+
+void
+PortfolioSolver::beginCall()
+{
+    abortReason_ = engine::AbortReason::None;
+    winnerIndex_ = 0;
+    stats_ = PortfolioStats{};
+    stats_.threads = static_cast<int>(members_.size());
+    stats_.wins.assign(members_.size(), 0);
+    for (Member &m : members_) {
+        m.result = LBool::Undef;
+        m.wins = 0;
+        m.tagBase = m.solver->conflictsByTag();
+        m.solver->beginCallEpoch();
+    }
+}
+
+void
+PortfolioSolver::endCall(uint64_t models)
+{
+    lastCall_ = SolverStats{};
+    tagDelta_.clear();
+    for (size_t k = 0; k < members_.size(); k++) {
+        Member &m = members_[k];
+        m.solver->endCallEpoch();
+        lastCall_ += m.solver->lastCallStats();
+        const std::vector<uint64_t> &cur =
+            m.solver->conflictsByTag();
+        if (tagDelta_.size() < cur.size())
+            tagDelta_.resize(cur.size(), 0);
+        for (size_t i = 0; i < cur.size(); i++) {
+            uint64_t before =
+                i < m.tagBase.size() ? m.tagBase[i] : 0;
+            tagDelta_[i] += cur[i] - before;
+        }
+        stats_.wins[k] = m.wins;
+    }
+    lastCall_.modelsEnumerated = models;
+    if (exchange_) {
+        stats_.exported = exchange_->published();
+        stats_.rejected = exchange_->rejected();
+        stats_.imported = exchange_->collected();
+    }
+    // Leave the primary exactly as the caller configured it.
+    primary_.setStopToken(outerStop_);
+}
+
+uint64_t
+PortfolioSolver::enumerateModels(
+    const std::vector<Var> &projection,
+    const std::function<bool(const Solver &)> &on_model,
+    uint64_t max_models, const std::vector<Lit> &assumptions)
+{
+    if (members_.size() == 1) {
+        // Strict pass-through: identical to the pre-portfolio
+        // single-thread path, including stats epochs.
+        members_[0].tagBase = primary_.conflictsByTag();
+        uint64_t n = primary_.enumerateModels(projection, on_model,
+                                              max_models,
+                                              assumptions);
+        lastCall_ = primary_.lastCallStats();
+        abortReason_ = primary_.abortReason();
+        winnerIndex_ = 0;
+        stats_ = PortfolioStats{};
+        stats_.threads = 1;
+        stats_.rounds = n;
+        stats_.wins.assign(1, n);
+        tagDelta_.clear();
+        const std::vector<uint64_t> &cur = primary_.conflictsByTag();
+        tagDelta_.resize(cur.size(), 0);
+        for (size_t i = 0; i < cur.size(); i++) {
+            uint64_t before = i < members_[0].tagBase.size()
+                                  ? members_[0].tagBase[i]
+                                  : 0;
+            tagDelta_[i] = cur[i] - before;
+        }
+        return n;
+    }
+
+    beginCall();
+    uint64_t count = 0;
+    for (;;) {
+        if (count >= max_models)
+            break;
+        if (outerStop_.stopRequested()) {
+            abortReason_ = engine::AbortReason::Stopped;
+            break;
+        }
+        startRound(assumptions);
+        int w = waitRound();
+        stats_.rounds++;
+        if (w < 0) {
+            // No member decided: aborted. Prefer the outer stop,
+            // then any resource reason; losers merely report the
+            // round's cooperative stop.
+            abortReason_ = engine::AbortReason::Stopped;
+            if (!outerStop_.stopRequested()) {
+                for (Member &m : members_) {
+                    engine::AbortReason r =
+                        m.solver->abortReason();
+                    if (r != engine::AbortReason::None &&
+                        r != engine::AbortReason::Stopped) {
+                        abortReason_ = r;
+                        break;
+                    }
+                }
+            }
+            break;
+        }
+        winnerIndex_ = w;
+        Member &winner = members_[static_cast<size_t>(w)];
+        winner.wins++; // decided rounds credit their winner,
+                       // including the closing UNSAT round
+        if (winner.result == LBool::False)
+            break; // enumeration complete
+        count++;
+        bool keep_going = on_model(*winner.solver);
+
+        // Block the winner's projected model in EVERY member —
+        // that is what makes the enumerated set a function of the
+        // input formula alone, independent of who wins which round.
+        Clause block;
+        for (Var v : projection) {
+            LBool b = winner.solver->modelValue(v);
+            if (b == LBool::True) {
+                block.push_back(mkLit(v, true));
+            } else if (b == LBool::False) {
+                block.push_back(mkLit(v, false));
+            }
+        }
+        bool had_projection = !block.empty();
+        for (Lit a : assumptions)
+            block.push_back(~a);
+        bool still_sat = true;
+        for (Member &m : members_) {
+            if (!m.solver->addClause(block) &&
+                m.solver == &primary_)
+                still_sat = false;
+        }
+        if (!had_projection || !still_sat || !keep_going)
+            break;
+    }
+    endCall(count);
+    return count;
+}
+
+LBool
+PortfolioSolver::solve(const std::vector<Lit> &assumptions)
+{
+    if (members_.size() == 1) {
+        members_[0].tagBase = primary_.conflictsByTag();
+        LBool r = primary_.solve(assumptions);
+        lastCall_ = primary_.lastCallStats();
+        abortReason_ = primary_.abortReason();
+        winnerIndex_ = 0;
+        stats_ = PortfolioStats{};
+        stats_.threads = 1;
+        stats_.rounds = 1;
+        stats_.wins.assign(1, r == LBool::Undef ? 0 : 1);
+        tagDelta_.clear();
+        const std::vector<uint64_t> &cur = primary_.conflictsByTag();
+        tagDelta_.resize(cur.size(), 0);
+        for (size_t i = 0; i < cur.size(); i++) {
+            uint64_t before = i < members_[0].tagBase.size()
+                                  ? members_[0].tagBase[i]
+                                  : 0;
+            tagDelta_[i] = cur[i] - before;
+        }
+        return r;
+    }
+
+    beginCall();
+    startRound(assumptions);
+    int w = waitRound();
+    stats_.rounds = 1;
+    LBool result = LBool::Undef;
+    if (w < 0) {
+        abortReason_ = engine::AbortReason::Stopped;
+        if (!outerStop_.stopRequested()) {
+            for (Member &m : members_) {
+                engine::AbortReason r = m.solver->abortReason();
+                if (r != engine::AbortReason::None &&
+                    r != engine::AbortReason::Stopped) {
+                    abortReason_ = r;
+                    break;
+                }
+            }
+        }
+    } else {
+        winnerIndex_ = w;
+        members_[static_cast<size_t>(w)].wins++;
+        result = members_[static_cast<size_t>(w)].result;
+    }
+    endCall(0);
+    return result;
+}
+
+} // namespace checkmate::sat

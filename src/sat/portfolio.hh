@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Parallel SAT portfolio over the CDCL solver: K diversified solver
+ * members race on the same problem, share short/low-LBD learned
+ * clauses through a bounded exchange, and merge enumeration results
+ * deterministically.
+ *
+ * ## Surface
+ *
+ *  - SolverFactory — builds diversified portfolio members from a
+ *    base SolverConfig (restart cadence, VSIDS decay, polarity,
+ *    phase-saving seed).
+ *  - ClauseExchange — the mutex-guarded bounded buffer learned
+ *    clauses travel through (length/LBD export bounds, per-member
+ *    read cursors, no self-import).
+ *  - PortfolioSolver — the race controller layered over an existing
+ *    primary Solver. The primary keeps its identity (learned
+ *    clauses, provenance counters, incremental session state);
+ *    secondaries are per-call clones.
+ *
+ * ## Determinism contract
+ *
+ * Which member wins a race round is timing-dependent, so the ORDER
+ * models are produced in under K>1 is not reproducible. The model
+ * SET of a complete enumeration is: every round blocks exactly the
+ * winner's projected model in every member, so the portfolio
+ * enumerates precisely the models of the (fixed) input formula.
+ * Downstream canonicalization (dedup + sort by litmus key) is a
+ * function of the model set, which is why complete-enumeration
+ * litmus output is byte-identical to a single-thread run. A capped
+ * (--max) enumeration under K>1 may return a different subset per
+ * run — the same caveat warm sessions already document for capped
+ * byte-compares.
+ *
+ * With K=1 the portfolio layer is a strict pass-through to the
+ * primary solver: no threads, no exchange, no import restarts —
+ * bit-for-bit the pre-portfolio behavior.
+ *
+ * ## Stats / provenance rollup
+ *
+ * lastCallStats() sums the per-member per-call deltas (each member
+ * runs one stats epoch spanning the whole enumeration, exactly like
+ * a single-thread enumerateModels() call). conflictsByTagDelta()
+ * sums each member's per-tag conflict deltas; exported clauses carry
+ * their provenance tag across the exchange, so imported-clause
+ * conflicts still attribute to the originating axiom and the
+ * sum-to-total invariant (tag deltas + untagged = total conflicts)
+ * holds for the rollup.
+ */
+
+#ifndef CHECKMATE_SAT_PORTFOLIO_HH
+#define CHECKMATE_SAT_PORTFOLIO_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sat/solver.hh"
+
+namespace checkmate::sat
+{
+
+// PortfolioConfig lives in sat/solver_config.hh so SolveProfile can
+// carry it without this header's threading machinery.
+
+/** What a portfolio run did, for reports/metrics/traces. */
+struct PortfolioStats
+{
+    /** Members that actually raced (after engine clamping). */
+    int threads = 1;
+
+    /** Race rounds run (models delivered + the final round). */
+    uint64_t rounds = 0;
+
+    /** Rounds won per member (index = member id). */
+    std::vector<uint64_t> wins;
+
+    /** Clauses accepted into the exchange. */
+    uint64_t exported = 0;
+
+    /** Clauses rejected by the length/LBD bounds. */
+    uint64_t rejected = 0;
+
+    /** Clause pickups by importing members (one clause collected by
+     *  three members counts three). */
+    uint64_t imported = 0;
+};
+
+/**
+ * Builds diversified portfolio members. Member 0 always carries the
+ * base config and seed 0 (the primary is never perturbed — its
+ * search must stay byte-identical to the single-thread run when the
+ * portfolio is off). Members 1.. cycle through restart/decay/
+ * polarity archetypes; see memberConfig() for the table, mirrored
+ * in docs/ENGINE.md.
+ */
+class SolverFactory
+{
+  public:
+    explicit SolverFactory(const SolverConfig &base,
+                           uint64_t seed_base = 0)
+        : base_(base), seedBase_(seed_base)
+    {
+    }
+
+    /** Construction-time config for member @p member. */
+    SolverConfig memberConfig(int member) const;
+
+    /** Deterministic phase-saving seed for member @p member
+     *  (0 for member 0 — the primary keeps default phases). */
+    uint64_t memberSeed(int member) const;
+
+    /**
+     * Build secondary member @p member: a fresh solver with the
+     * diversified config and seed, @p primary's problem clauses
+     * (tags preserved) replayed into it, and @p primary's limits
+     * (budget, deadline, memory ceiling) copied.
+     */
+    std::unique_ptr<Solver> makeMember(const Solver &primary,
+                                       int member) const;
+
+  private:
+    SolverConfig base_;
+    uint64_t seedBase_ = 0;
+};
+
+/**
+ * Bounded learned-clause exchange between portfolio members.
+ * publish() applies the sharing bounds and evicts the oldest entry
+ * past capacity; collect() returns the entries a member has not
+ * seen yet, skipping its own exports. All entry points are
+ * mutex-guarded — they are called concurrently from every member's
+ * search loop.
+ */
+class ClauseExchange
+{
+  public:
+    ClauseExchange(size_t max_len, int max_lbd, size_t capacity,
+                   int members)
+        : maxLen_(max_len), maxLbd_(max_lbd), capacity_(capacity),
+          cursors_(static_cast<size_t>(members), 0)
+    {
+    }
+
+    /** Offer a learned clause; true when accepted by the bounds. */
+    bool publish(int member, const Clause &lits, uint32_t tag,
+                 int lbd);
+
+    /** Drain the clauses @p member has not imported yet. */
+    std::vector<ImportedClause> collect(int member);
+
+    uint64_t published() const;
+    uint64_t rejected() const;
+    uint64_t collected() const;
+
+  private:
+    struct Entry
+    {
+        ImportedClause clause;
+        int exporter;
+    };
+
+    mutable std::mutex mutex_;
+    size_t maxLen_;
+    int maxLbd_;
+    size_t capacity_;
+    std::deque<Entry> buffer_;
+    /** Global index of buffer_.front(). */
+    uint64_t base_ = 0;
+    /** Next global index each member will read. */
+    std::vector<uint64_t> cursors_;
+    uint64_t published_ = 0;
+    uint64_t rejected_ = 0;
+    uint64_t collected_ = 0;
+};
+
+/**
+ * Race controller: runs one enumeration (or one solve) across K
+ * members. Construct per top-level call; the constructor clones the
+ * secondaries and starts the member threads, the destructor joins
+ * them and detaches every hook it installed on the primary.
+ */
+class PortfolioSolver
+{
+  public:
+    PortfolioSolver(Solver &primary, const PortfolioConfig &config);
+    ~PortfolioSolver();
+
+    PortfolioSolver(const PortfolioSolver &) = delete;
+    PortfolioSolver &operator=(const PortfolioSolver &) = delete;
+
+    /**
+     * Wrap each member thread's whole run (the obs layer installs
+     * trace context + a member span here; the sat layer itself
+     * stays observability-free). Set before the first race call.
+     * The wrapper MUST invoke @p run exactly once.
+     */
+    using ThreadWrapper = std::function<void(
+        int member, const std::function<void()> &run)>;
+    void setThreadWrapper(ThreadWrapper wrapper);
+
+    /**
+     * Portfolio counterpart of Solver::enumerateModels(): same
+     * callback and blocking protocol, every model delivered from
+     * the round winner on the caller's thread.
+     *
+     * @return the number of models enumerated.
+     */
+    uint64_t enumerateModels(
+        const std::vector<Var> &projection,
+        const std::function<bool(const Solver &)> &on_model,
+        uint64_t max_models, const std::vector<Lit> &assumptions);
+
+    /** Portfolio counterpart of Solver::solve(): one race round.
+     *  After LBool::True, winner() holds the model. */
+    LBool solve(const std::vector<Lit> &assumptions = {});
+
+    /** The member whose result decided the last round (the primary
+     *  when the race was not run). */
+    const Solver &winner() const { return *members_[winnerIndex_].solver; }
+
+    /** Rollup of the members' per-call stats (see file comment). */
+    const SolverStats &lastCallStats() const { return lastCall_; }
+
+    /**
+     * Per-tag conflict deltas of the last call, summed across
+     * members (index = tag). Sums to lastCallStats().conflicts
+     * together with the untagged remainder.
+     */
+    const std::vector<uint64_t> &conflictsByTagDelta() const
+    {
+        return tagDelta_;
+    }
+
+    /** Why the last call returned Undef / stopped early. */
+    engine::AbortReason abortReason() const { return abortReason_; }
+
+    /** Winner/share accounting for the last call. */
+    const PortfolioStats &portfolioStats() const { return stats_; }
+
+  private:
+    struct Member
+    {
+        Solver *solver = nullptr;
+        std::unique_ptr<Solver> owned;
+        LBool result = LBool::Undef;
+        std::vector<uint64_t> tagBase;
+        uint64_t wins = 0;
+    };
+
+    void memberLoop(int index);
+    void startRound(const std::vector<Lit> &assumptions);
+    /** Wait for every member; forwards the primary's outer stop
+     *  token into the round. @return the winning member or -1. */
+    int waitRound();
+    void beginCall();
+    void endCall(uint64_t models);
+
+    Solver &primary_;
+    PortfolioConfig config_;
+    engine::StopToken outerStop_;
+    std::unique_ptr<ClauseExchange> exchange_;
+    std::vector<Member> members_;
+    std::vector<std::thread> threads_;
+    ThreadWrapper wrapper_;
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    uint64_t round_ = 0;
+    int pending_ = 0;
+    bool shutdown_ = false;
+    bool roundDecided_ = false;
+    int roundWinner_ = -1;
+    const std::vector<Lit> *roundAssumptions_ = nullptr;
+    engine::StopSource roundStop_;
+
+    int winnerIndex_ = 0;
+    SolverStats lastCall_;
+    std::vector<uint64_t> tagDelta_;
+    engine::AbortReason abortReason_ = engine::AbortReason::None;
+    PortfolioStats stats_;
+};
+
+} // namespace checkmate::sat
+
+#endif // CHECKMATE_SAT_PORTFOLIO_HH

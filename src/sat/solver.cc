@@ -39,8 +39,9 @@ Solver::newVar()
     Var v = static_cast<Var>(assigns_.size());
     assigns_.push_back(LBool::Undef);
     varData_.push_back(VarData{});
-    polarity_.push_back(seedState_ == 0 ||
-                        (splitmix64(seedState_) & 1));
+    polarity_.push_back(seedState_ == 0
+                            ? !config_.invertPolarity
+                            : (splitmix64(seedState_) & 1) != 0);
     decisionVar_.push_back(true);
     activity_.push_back(0.0);
     heapIndex_.push_back(-1);
@@ -575,8 +576,9 @@ Solver::search()
     constexpr uint64_t kDecisionPollMask = 255;
 
     int restart_count = 0;
-    uint64_t conflicts_until_restart =
-        static_cast<uint64_t>(100 * lubySequence(restart_count));
+    uint64_t conflicts_until_restart = static_cast<uint64_t>(
+        static_cast<double>(config_.restartBase) *
+        lubySequence(restart_count));
     uint64_t conflicts_this_restart = 0;
 
     for (;;) {
@@ -618,6 +620,12 @@ Solver::search()
             std::vector<Lit> learned;
             int bt_level;
             analyze(confl, learned, bt_level);
+            // Offer the clause to the exchange before unwinding:
+            // LBD needs the literals' decision levels, which
+            // cancelUntil() is about to erase.
+            if (exportFn_ &&
+                exportFn_(learned, confl_tag, computeLbd(learned)))
+                stats_.sharedExported++;
             cancelUntil(bt_level);
 
             stats_.learnedLenHist.observe(learned.size());
@@ -649,9 +657,24 @@ Solver::search()
                 stats_.restarts++;
                 restart_count++;
                 conflicts_until_restart = static_cast<uint64_t>(
-                    100 * lubySequence(restart_count));
+                    static_cast<double>(config_.restartBase) *
+                    lubySequence(restart_count));
                 conflicts_this_restart = 0;
-                cancelUntil(static_cast<int>(assumptions_.size()));
+                if (importFn_) {
+                    // Foreign learned clauses attach safely only
+                    // with no local assignment above level 0, so a
+                    // sharing restart unwinds past the assumption
+                    // prefix (portfolio members only — the K=1
+                    // search never installs an import hook).
+                    cancelUntil(0);
+                    if (!importSharedClauses()) {
+                        ok_ = false;
+                        return LBool::False;
+                    }
+                } else {
+                    cancelUntil(
+                        static_cast<int>(assumptions_.size()));
+                }
                 continue;
             }
             if (learnts_.size() >= maxLearnts_ + trail_.size()) {
@@ -794,6 +817,120 @@ Solver::enumerateModels(
     inEnumeration_ = false;
     lastCall_ = stats_ - callBase_;
     return count;
+}
+
+int
+Solver::computeLbd(const std::vector<Lit> &lits) const
+{
+    lbdLevels_.clear();
+    for (Lit p : lits) {
+        int l = varData_[p.var()].level;
+        if (l > 0)
+            lbdLevels_.push_back(l);
+    }
+    std::sort(lbdLevels_.begin(), lbdLevels_.end());
+    lbdLevels_.erase(
+        std::unique(lbdLevels_.begin(), lbdLevels_.end()),
+        lbdLevels_.end());
+    return static_cast<int>(lbdLevels_.size());
+}
+
+bool
+Solver::importSharedClauses()
+{
+    assert(decisionLevel() == 0);
+    if (!importFn_)
+        return true;
+    std::vector<ImportedClause> imports = importFn_();
+    for (ImportedClause &imp : imports) {
+        // Normalize against the level-0 assignment: shared clauses
+        // are implied by the common problem, so a clause that
+        // empties out here proves the problem UNSAT.
+        std::sort(imp.lits.begin(), imp.lits.end());
+        Clause out;
+        bool satisfied = false;
+        Lit prev = litUndef;
+        for (Lit p : imp.lits) {
+            if (static_cast<size_t>(p.var()) >= assigns_.size()) {
+                // Foreign variable the importer never created;
+                // cannot attach, drop the clause (defensive — all
+                // portfolio members share one numbering).
+                satisfied = true;
+                break;
+            }
+            if (value(p) == LBool::True || p == ~prev) {
+                satisfied = true;
+                break;
+            }
+            if (value(p) != LBool::False && p != prev)
+                out.push_back(p);
+            prev = p;
+        }
+        if (satisfied)
+            continue;
+        if (out.empty()) {
+            ok_ = false;
+            return false;
+        }
+        stats_.sharedImported++;
+        if (out.size() == 1) {
+            if (!enqueue(out[0], crUndef) ||
+                propagate() != crUndef) {
+                ok_ = false;
+                return false;
+            }
+            continue;
+        }
+        ClauseRef cr = static_cast<ClauseRef>(clauseStore_.size());
+        trackAlloc(clauseBytes(out.size()));
+        // Imported clauses are redundant (learned), carrying the
+        // exporter's provenance tag so conflict attribution keeps
+        // naming the originating axiom.
+        clauseStore_.push_back(
+            ClauseData{out, claInc_, true, false, imp.tag});
+        learnts_.push_back(cr);
+        attachClause(cr);
+    }
+    return true;
+}
+
+bool
+Solver::cloneProblemInto(Solver &dst) const
+{
+    assert(dst.numVars() == 0 && dst.numClauses() == 0);
+    if (!ok_) {
+        // Already UNSAT at level 0; no point replaying.
+        dst.ok_ = false;
+        return false;
+    }
+    for (Var v = 0; v < numVars(); v++)
+        dst.newVar();
+    for (Var v = 0; v < numVars(); v++) {
+        if (frozen(v))
+            dst.freeze(v);
+    }
+    // Units first, so replayed clauses simplify against them the
+    // same way the original incremental additions did.
+    size_t level0 = trailLim_.empty()
+                        ? trail_.size()
+                        : static_cast<size_t>(trailLim_[0]);
+    for (size_t i = 0; i < level0; i++) {
+        if (!dst.addClause(Clause{trail_[i]}))
+            return false;
+    }
+    const uint32_t saved_tag = dst.clauseTag();
+    for (ClauseRef cr : clauses_) {
+        const ClauseData &c = clauseStore_[cr];
+        if (c.deleted)
+            continue;
+        dst.setClauseTag(c.tag);
+        if (!dst.addClause(c.lits)) {
+            dst.setClauseTag(saved_tag);
+            return false;
+        }
+    }
+    dst.setClauseTag(saved_tag);
+    return true;
 }
 
 void

@@ -44,6 +44,16 @@ struct SolverStats
     uint64_t learnedClauses = 0;
     uint64_t removedClauses = 0;
     uint64_t modelsEnumerated = 0;
+    /** Learned clauses handed to a clause-exchange export hook. */
+    uint64_t sharedExported = 0;
+    /** Foreign learned clauses imported at restart boundaries. */
+    uint64_t sharedImported = 0;
+    /** Problem clauses removed by inprocessing subsumption. */
+    uint64_t subsumedClauses = 0;
+    /** Problem clauses strengthened by self-subsuming resolution. */
+    uint64_t strengthenedClauses = 0;
+    /** Problem clauses shortened by vivification. */
+    uint64_t vivifiedClauses = 0;
     /** High-water mark of tracked allocation (bytes). */
     uint64_t memPeakBytes = 0;
     /** Distribution of learned-clause lengths (literals). */
@@ -66,6 +76,12 @@ operator-(const SolverStats &a, const SolverStats &b)
     d.learnedClauses = a.learnedClauses - b.learnedClauses;
     d.removedClauses = a.removedClauses - b.removedClauses;
     d.modelsEnumerated = a.modelsEnumerated - b.modelsEnumerated;
+    d.sharedExported = a.sharedExported - b.sharedExported;
+    d.sharedImported = a.sharedImported - b.sharedImported;
+    d.subsumedClauses = a.subsumedClauses - b.subsumedClauses;
+    d.strengthenedClauses =
+        a.strengthenedClauses - b.strengthenedClauses;
+    d.vivifiedClauses = a.vivifiedClauses - b.vivifiedClauses;
     // A peak is a level, not a counter: the delta's peak is simply
     // the lifetime peak at the end of the call.
     d.memPeakBytes = a.memPeakBytes;
@@ -74,6 +90,97 @@ operator-(const SolverStats &a, const SolverStats &b)
     d.decisionLevelHist = a.decisionLevelHist - b.decisionLevelHist;
     return d;
 }
+
+/**
+ * Component-wise accumulation, used by the portfolio rollup
+ * (sat/portfolio.hh) to sum the per-member call deltas into one
+ * job-level SolverStats. memPeakBytes is summed too: the members
+ * search concurrently, so their aggregate footprint is what the
+ * memory accounting should report.
+ */
+inline SolverStats &
+operator+=(SolverStats &a, const SolverStats &b)
+{
+    a.decisions += b.decisions;
+    a.propagations += b.propagations;
+    a.conflicts += b.conflicts;
+    a.restarts += b.restarts;
+    a.learnedClauses += b.learnedClauses;
+    a.removedClauses += b.removedClauses;
+    a.modelsEnumerated += b.modelsEnumerated;
+    a.sharedExported += b.sharedExported;
+    a.sharedImported += b.sharedImported;
+    a.subsumedClauses += b.subsumedClauses;
+    a.strengthenedClauses += b.strengthenedClauses;
+    a.vivifiedClauses += b.vivifiedClauses;
+    a.memPeakBytes += b.memPeakBytes;
+    a.learnedLenHist.merge(b.learnedLenHist);
+    a.backjumpHist.merge(b.backjumpHist);
+    a.decisionLevelHist.merge(b.decisionLevelHist);
+    return a;
+}
+
+/**
+ * A learned clause crossing solver boundaries through a clause
+ * exchange (sat/portfolio.hh). Carries its provenance tag so the
+ * importer's conflict attribution keeps naming the axiom the clause
+ * was originally derived from.
+ */
+struct ImportedClause
+{
+    Clause lits;
+    uint32_t tag = 0;
+};
+
+/**
+ * Export hook: called by the search loop for every learned clause.
+ * The hook applies the sharing bounds (length/LBD) and returns
+ * whether it accepted the clause; accepted clauses count into
+ * SolverStats::sharedExported. @p lbd is the number of distinct
+ * decision levels among the clause literals at learn time.
+ */
+using ClauseExportFn =
+    std::function<bool(const Clause &, uint32_t tag, int lbd)>;
+
+/** Import hook: drained at restart boundaries; returns the foreign
+ *  learned clauses this solver has not seen yet. */
+using ClauseImportFn = std::function<std::vector<ImportedClause>()>;
+
+/** Bounds for one Solver::inprocess() pass. */
+struct InprocessConfig
+{
+    /** Skip the pass entirely above this many live problem clauses
+     *  (occurrence-list construction is linear but not free). */
+    size_t maxClauses = 200000;
+
+    /** Only clauses at most this long are subsumption candidates
+     *  (classic occurrence-list bound; long clauses rarely subsume
+     *  and make the pass quadratic). */
+    size_t subsumeMaxLen = 16;
+
+    /** At most this many clauses are vivified per pass, longest
+     *  first. */
+    size_t vivifyMaxClauses = 256;
+
+    /** Propagation budget for the whole vivification stage. */
+    uint64_t vivifyPropagationBudget = 200000;
+};
+
+/** What one Solver::inprocess() pass changed. */
+struct InprocessResult
+{
+    /** Problem clauses removed because another clause subsumes
+     *  them. */
+    uint64_t subsumed = 0;
+    /** Problem clauses with a literal removed by self-subsuming
+     *  resolution. */
+    uint64_t strengthened = 0;
+    /** Problem clauses replaced by a shorter implied clause found
+     *  by vivification. */
+    uint64_t vivified = 0;
+    /** Literals dropped across strengthening + vivification. */
+    uint64_t literalsRemoved = 0;
+};
 
 /**
  * One solver-progress sample, emitted from inside the CDCL loop at
@@ -252,6 +359,9 @@ class Solver
      */
     void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
 
+    /** The installed conflict budget (0 = none). */
+    uint64_t conflictBudget() const { return conflictBudget_; }
+
     /**
      * Install a wall-clock deadline: solve() gives up (returns
      * Undef) once it passes. Polled in the conflict loop and every
@@ -260,8 +370,14 @@ class Solver
      */
     void setDeadline(engine::Deadline deadline) { deadline_ = deadline; }
 
+    /** The installed wall-clock deadline (may be empty). */
+    engine::Deadline deadline() const { return deadline_; }
+
     /** Install a cooperative stop token, polled like the deadline. */
     void setStopToken(engine::StopToken token) { stop_ = token; }
+
+    /** The installed stop token (default-constructed = none). */
+    const engine::StopToken &stopToken() const { return stop_; }
 
     /**
      * Install a memory ceiling (bytes, 0 = off) on the solver's
@@ -273,6 +389,9 @@ class Solver
      * abort, never a crash.
      */
     void setMemLimit(uint64_t bytes) { memLimit_ = bytes; }
+
+    /** The installed memory ceiling in bytes (0 = none). */
+    uint64_t memLimit() const { return memLimit_; }
 
     /** Current tracked allocation in bytes (an estimate). */
     uint64_t memBytes() const { return memBytes_; }
@@ -375,6 +494,69 @@ class Solver
         return conflictsByTag_;
     }
 
+    // --- Portfolio hooks (see sat/portfolio.hh) ------------------
+
+    /**
+     * Install learned-clause sharing hooks. @p export_fn is invoked
+     * from the conflict loop for every learned clause (the hook
+     * applies its own length/LBD bounds); @p import_fn is drained
+     * at every restart, which then unwinds to level 0 so imported
+     * clauses can be attached safely. Pass empty functions to
+     * detach. Installing an import hook makes restarts unwind past
+     * the assumption prefix — portfolio members only, never the
+     * single-thread path, so K=1 search traces stay untouched.
+     */
+    void
+    setClauseShare(ClauseExportFn export_fn, ClauseImportFn import_fn)
+    {
+        exportFn_ = std::move(export_fn);
+        importFn_ = std::move(import_fn);
+    }
+
+    /**
+     * Open / close a per-call stats epoch explicitly. The portfolio
+     * controller calls solve() on a member many times per
+     * enumeration (one race round per model) but budgets and
+     * reports the member per whole enumeration — exactly like
+     * enumerateModels() does internally for the single-thread path.
+     */
+    void
+    beginCallEpoch()
+    {
+        callBase_ = stats_;
+        inEnumeration_ = true;
+    }
+    void
+    endCallEpoch()
+    {
+        inEnumeration_ = false;
+        lastCall_ = stats_ - callBase_;
+    }
+
+    /**
+     * Replay this solver's problem — variable count, frozen marks,
+     * top-level units, and every live problem clause with its
+     * provenance tag — into the fresh solver @p dst. Learned
+     * clauses are not copied. @p dst should carry its own (possibly
+     * diversified) config and random seed before the call so that
+     * replayed variables pick up its polarity defaults.
+     *
+     * @return false if @p dst became unsatisfiable during replay
+     * (only possible if this solver is in conflict too).
+     */
+    bool cloneProblemInto(Solver &dst) const;
+
+    /**
+     * Run one inprocessing pass over the live problem clauses at
+     * decision level 0: subsumption removal, self-subsuming
+     * resolution, and vivification of the longest clauses. Every
+     * rewrite is equivalence-preserving — the model set of the
+     * clause system is unchanged, and stays unchanged under any
+     * future clause additions — so enumeration output is not
+     * affected. Per-tag clause accounting stays exact.
+     */
+    InprocessResult inprocess(const InprocessConfig &config);
+
   private:
     /** Reference to a stored clause. */
     using ClauseRef = int32_t;
@@ -416,6 +598,11 @@ class Solver
     void maybeHeartbeat();
     void reduceDB();
     void attachClause(ClauseRef cr);
+    /** Drain importFn_ at level 0; false on a level-0 conflict. */
+    bool importSharedClauses();
+    /** LBD of a clause under the current assignment: the number of
+     * distinct nonzero decision levels among its literals. */
+    int computeLbd(const std::vector<Lit> &lits) const;
 
     // --- Memory accounting ---------------------------------------
     /** Estimated footprint of one variable across all per-var
@@ -498,6 +685,8 @@ class Solver
     std::vector<uint8_t> seen_;
     std::vector<Lit> analyzeToClear_;
     std::vector<Lit> analyzeStack_;
+    /** Scratch for computeLbd (avoids per-conflict allocation). */
+    mutable std::vector<int> lbdLevels_;
 
     uint32_t currentTag_ = 0;
     std::vector<uint64_t> clausesByTag_;
@@ -509,6 +698,9 @@ class Solver
             v.resize(tag + 1, 0);
         v[tag]++;
     }
+
+    ClauseExportFn exportFn_;
+    ClauseImportFn importFn_;
 
     uint64_t maxLearnts_ = config_.maxLearnts;
     uint64_t conflictBudget_ = 0;

@@ -13,13 +13,17 @@
 #ifndef CHECKMATE_SAT_SOLVER_CONFIG_HH
 #define CHECKMATE_SAT_SOLVER_CONFIG_HH
 
+#include <cstddef>
 #include <cstdint>
 
 namespace checkmate::sat
 {
 
 /** Construction-time solver tuning. Defaults match the classic
- *  MiniSat-style parameters the solver has always used. */
+ *  MiniSat-style parameters the solver has always used. The
+ *  restart/polarity knobs exist for portfolio diversification
+ *  (sat/portfolio.hh): each portfolio member runs the same formula
+ *  under a different point in this space. */
 struct SolverConfig
 {
     /** VSIDS variable-activity decay factor per conflict. */
@@ -31,6 +35,41 @@ struct SolverConfig
     /** Initial learned-clause DB size that triggers reduceDB()
      *  (grows 10% on each reduction). */
     uint64_t maxLearnts = 4000;
+
+    /** Luby restart unit: a restart fires after
+     *  restartBase * luby(i) conflicts. */
+    uint64_t restartBase = 100;
+
+    /** Invert the default decision polarity of fresh variables
+     *  (false = the classic all-true default). Phase saving still
+     *  overwrites polarities as the search proceeds. */
+    bool invertPolarity = false;
+};
+
+/**
+ * Portfolio tuning, carried in rmf::SolveProfile. Consumed by
+ * sat::PortfolioSolver (sat/portfolio.hh); lives here so profile
+ * plumbing does not need the full portfolio machinery.
+ */
+struct PortfolioConfig
+{
+    /** Solver threads racing per job (1 = portfolio off). */
+    int threads = 1;
+
+    /** A learned clause is exported when it has at most this many
+     *  literals ... */
+    size_t shareMaxLen = 8;
+
+    /** ... or an LBD (distinct decision levels) at most this. */
+    int shareMaxLbd = 4;
+
+    /** Exchange ring capacity; the oldest clause is evicted when a
+     *  publish would exceed it. */
+    size_t exchangeCapacity = 4096;
+
+    /** Base for the members' deterministic phase-saving seeds
+     *  (0 = the built-in default). */
+    uint64_t seedBase = 0;
 };
 
 } // namespace checkmate::sat

@@ -48,92 +48,90 @@ parseVerb(const std::string &name, Verb *verb)
     return true;
 }
 
-bool
-fail(std::string *error, const std::string &reason)
+ParsedRequest
+fail(const std::string &reason)
 {
-    if (error)
-        *error = reason;
-    return false;
+    ParsedRequest result;
+    result.error = reason;
+    return result;
 }
 
 } // anonymous namespace
 
-bool
-parseRequest(const std::string &line, Request *request,
-             std::string *error)
+ParsedRequest
+parseRequest(const std::string &line)
 {
     std::string parse_error;
     std::unique_ptr<obs::JsonValue> root =
         obs::parseJson(line, &parse_error);
     if (!root)
-        return fail(error, "parse-error: " + parse_error);
+        return fail("parse-error: " + parse_error);
     if (!root->isObject())
-        return fail(error, "request must be a JSON object");
+        return fail("request must be a JSON object");
 
-    // Start from defaults: optional fields (target, trace context)
-    // absent from this frame must not leak in from a reused struct.
-    *request = Request{};
+    // A fresh value per call: optional fields (target, trace
+    // context) absent from this frame cannot leak in from any
+    // previous frame.
+    ParsedRequest result;
+    Request &request = result.request;
 
     const obs::JsonValue *v = root->find("v");
     if (!v || !v->isString())
-        return fail(error, "missing protocol version \"v\"");
+        return fail("missing protocol version \"v\"");
     if (v->str != kProtocolVersion) {
-        return fail(error, "unsupported protocol version: " +
-                               v->str + " (this daemon speaks " +
-                               kProtocolVersion + ")");
+        return fail("unsupported protocol version: " + v->str +
+                    " (this daemon speaks " + kProtocolVersion +
+                    ")");
     }
-    request->version = v->str;
+    request.version = v->str;
 
     const obs::JsonValue *verb = root->find("verb");
     if (!verb || !verb->isString())
-        return fail(error, "missing \"verb\"");
-    if (!parseVerb(verb->str, &request->verb))
-        return fail(error, "unknown verb: " + verb->str);
+        return fail("missing \"verb\"");
+    if (!parseVerb(verb->str, &request.verb))
+        return fail("unknown verb: " + verb->str);
 
     if (const obs::JsonValue *id = root->find("id")) {
         if (!id->isString())
-            return fail(error, "\"id\" must be a string");
-        request->id = id->str;
+            return fail("\"id\" must be a string");
+        request.id = id->str;
     }
     if (const obs::JsonValue *client = root->find("client")) {
         if (!client->isString())
-            return fail(error, "\"client\" must be a string");
+            return fail("\"client\" must be a string");
         if (!client->str.empty())
-            request->client = client->str;
+            request.client = client->str;
     }
     if (const obs::JsonValue *target = root->find("target")) {
         if (!target->isString())
-            return fail(error, "\"target\" must be a string");
-        request->target = target->str;
+            return fail("\"target\" must be a string");
+        request.target = target->str;
     }
     if (const obs::JsonValue *traceId = root->find("trace_id")) {
         if (!traceId->isString())
-            return fail(error, "\"trace_id\" must be a string");
-        request->traceId = traceId->str;
+            return fail("\"trace_id\" must be a string");
+        request.traceId = traceId->str;
     }
     if (const obs::JsonValue *parent = root->find("parent_span")) {
         if (!parent->isString())
-            return fail(error, "\"parent_span\" must be a string");
-        request->parentSpan = parent->str;
+            return fail("\"parent_span\" must be a string");
+        request.parentSpan = parent->str;
     }
 
-    request->args.clear();
     if (const obs::JsonValue *args = root->find("args")) {
         if (!args->isArray())
-            return fail(error, "\"args\" must be an array");
+            return fail("\"args\" must be an array");
         for (const obs::JsonValue &arg : args->items) {
-            if (!arg.isString()) {
-                return fail(error,
-                            "\"args\" must contain only strings");
-            }
-            request->args.push_back(arg.str);
+            if (!arg.isString())
+                return fail("\"args\" must contain only strings");
+            request.args.push_back(arg.str);
         }
     }
 
-    if (request->verb == Verb::Cancel && request->target.empty())
-        return fail(error, "cancel requires a \"target\" id");
+    if (request.verb == Verb::Cancel && request.target.empty())
+        return fail("cancel requires a \"target\" id");
 
-    return true;
+    return result;
 }
 
 std::string

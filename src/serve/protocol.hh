@@ -87,16 +87,33 @@ struct Request
 };
 
 /**
- * Parse one request frame.
+ * Result of parsing one request frame: either a complete Request
+ * value or a human-readable error, never a half-filled struct. The
+ * old out-parameter parser mutated a caller-owned Request, and a
+ * reused struct could leak the previous frame's optional fields
+ * into the next one — returning by value makes that bug class
+ * unrepresentable.
+ */
+struct ParsedRequest
+{
+    /** The parsed frame; meaningful only when ok(). */
+    Request request;
+
+    /** Why parsing failed; empty on success. */
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+    explicit operator bool() const { return ok(); }
+};
+
+/**
+ * Parse one request frame into a fresh value.
  *
  * Strict: the frame must be a JSON object with `v` equal to
  * kProtocolVersion and a known `verb`; `args` must be an array of
  * strings when present.
- *
- * @return false with a human-readable @p error on malformed input.
  */
-bool parseRequest(const std::string &line, Request *request,
-                  std::string *error);
+ParsedRequest parseRequest(const std::string &line);
 
 /**
  * Encode @p request as one frame (the inverse of parseRequest):

@@ -271,22 +271,25 @@ Server::readerLoop(ConnPtr conn)
 void
 Server::handleFrame(const ConnPtr &conn, const std::string &line)
 {
-    Request request;
-    std::string error;
+    ParsedRequest parsed;
     {
         obs::Span span("serve.parse", "serve");
-        if (!parseRequest(line, &request, &error)) {
+        parsed = parseRequest(line);
+        if (!parsed) {
             serveCounter("serve.requests.errors").add(1);
             {
                 std::lock_guard<std::mutex> lock(mutex_);
                 ++errors_;
             }
             logServe(obs::LogLevel::Warn, "bad request frame",
-                     obs::JsonFields().add("reason", error).str());
-            conn->send(errorFrame("", error));
+                     obs::JsonFields()
+                         .add("reason", parsed.error)
+                         .str());
+            conn->send(errorFrame("", parsed.error));
             return;
         }
     }
+    const Request &request = parsed.request;
 
     switch (request.verb) {
     case Verb::Ping:

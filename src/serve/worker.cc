@@ -129,10 +129,10 @@ workerMain(const WorkerChildOptions &options)
             continue;
         if (status != LineReader::Status::Line)
             break; // EOF: the supervisor is shutting down
-        Request request;
-        std::string parseError;
-        if (!parseRequest(line, &request, &parseError))
+        ParsedRequest parsed = parseRequest(line);
+        if (!parsed)
             continue; // the supervisor never sends malformed frames
+        const Request &request = parsed.request;
 
         if (request.verb == Verb::Ping) {
             // Answered inline from the reader even mid-synth: a busy

@@ -304,6 +304,56 @@ TEST(EngineScheduler, MergeOrderIsByKey)
     EXPECT_EQ(run.jobs[0].report.bounds.numEvents, 4);
 }
 
+// --- Portfolio thread budget ------------------------------------
+
+TEST(EngineScheduler, ClampSharesTheHardwareBudget)
+{
+    // workers × portfolio never exceeds the machine: the budget per
+    // job is hardware / workers, floored at 1.
+    EXPECT_EQ(engine::clampPortfolioThreads(4, 4, 8), 2);
+    EXPECT_EQ(engine::clampPortfolioThreads(8, 2, 8), 4);
+    EXPECT_EQ(engine::clampPortfolioThreads(2, 2, 8), 2);
+    // Oversubscribed workers leave room for exactly one SAT thread.
+    EXPECT_EQ(engine::clampPortfolioThreads(4, 16, 8), 1);
+    EXPECT_EQ(engine::clampPortfolioThreads(4, 1, 1), 1);
+}
+
+TEST(EngineScheduler, ClampNeverTouchesWidthOne)
+{
+    // --portfolio 1 spawns no threads, so it is exempt from the
+    // budget even on a saturated machine.
+    EXPECT_EQ(engine::clampPortfolioThreads(1, 64, 1), 1);
+    EXPECT_EQ(engine::clampPortfolioThreads(1, 1, 0), 1);
+}
+
+TEST(EngineScheduler, ClampToleratesDegenerateInputs)
+{
+    // Unknown hardware concurrency (0) and non-positive requests
+    // degrade to serial, never to zero threads.
+    EXPECT_EQ(engine::clampPortfolioThreads(4, 2, 0), 1);
+    EXPECT_EQ(engine::clampPortfolioThreads(0, 2, 8), 1);
+    EXPECT_EQ(engine::clampPortfolioThreads(-3, 2, 8), 1);
+}
+
+TEST(EngineScheduler, PortfolioRunMatchesSerialOutput)
+{
+    // The determinism guarantee extends across --portfolio: a
+    // complete (uncapped within bound) sweep produces identical
+    // litmus keys whatever width the machine actually grants.
+    auto jobs = engine::tableOneJobs("flush-reload", 4, 4, 25);
+
+    engine::EngineOptions serial;
+    engine::RunResult base = engine::runJobs(jobs, serial);
+
+    engine::EngineOptions raced;
+    raced.portfolioThreads = 4;
+    engine::RunResult run = engine::runJobs(jobs, raced);
+
+    EXPECT_GE(run.portfolioThreads, 1);
+    EXPECT_EQ(litmusKeys(base), litmusKeys(run));
+    EXPECT_FALSE(litmusKeys(run).empty());
+}
+
 // --- Run report --------------------------------------------------
 
 TEST(EngineReport, EmitsValidJson)
@@ -324,6 +374,9 @@ TEST(EngineReport, EmitsValidJson)
     EXPECT_NE(json.find("\"translation\""), std::string::npos);
     EXPECT_NE(json.find("\"decisions\""), std::string::npos);
     EXPECT_NE(json.find("\"raw_instances\""), std::string::npos);
+    EXPECT_NE(json.find("\"portfolio_threads\""), std::string::npos);
+    EXPECT_NE(json.find("\"portfolio\""), std::string::npos);
+    EXPECT_NE(json.find("\"inprocess\""), std::string::npos);
 }
 
 TEST(EngineReport, CliWritesReportFile)

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Differential tests for portfolio solving at the model-finder
+ * layer: a SolveProfile with portfolio.threads > 1 must enumerate
+ * exactly the instance set of the single-thread run, report its
+ * race in SolveResult::portfolio, and agree on UNSAT. The engine's
+ * hardware clamp does not apply at this layer, so these tests
+ * exercise real multi-thread races regardless of the host's core
+ * count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "rmf/quant.hh"
+#include "rmf/solve.hh"
+
+namespace
+{
+
+using namespace checkmate::rmf;
+
+/** Constrain @p p to nonempty irreflexive binary relations over the
+ *  universe: enough search work for a real race, with an instance
+ *  count that is easy to cross-check. @return the relation id. */
+RelationId
+buildProblem(Problem &p, const Universe &u)
+{
+    RelationId r = p.addRelation(
+        "r", TupleSet::product(
+                 {TupleSet::range(0, 2), TupleSet::range(0, 2)}));
+    p.require(some(p.expr(r)));
+    p.require(no(p.expr(r) & Expr::iden(u)));
+    return r;
+}
+
+std::set<std::vector<Tuple>>
+enumerateInstances(const Problem &p, RelationId r, int threads,
+                   uint64_t *count = nullptr,
+                   SolveResult *result = nullptr)
+{
+    SolveOptions opts;
+    opts.profile.portfolio.threads = threads;
+    std::set<std::vector<Tuple>> seen;
+    uint64_t n = solveAll(
+        p,
+        [&](const Instance &inst) {
+            auto [it, fresh] = seen.insert(inst.value(r).tuples());
+            EXPECT_TRUE(fresh) << "duplicate instance enumerated";
+            return true;
+        },
+        opts, result);
+    if (count)
+        *count = n;
+    return seen;
+}
+
+TEST(PortfolioRmf, CompleteEnumerationMatchesSingleThread)
+{
+    Universe u({"a", "b", "c"});
+    Problem p(u);
+    RelationId r = buildProblem(p, u);
+
+    uint64_t n1 = 0, n4 = 0;
+    std::set<std::vector<Tuple>> single =
+        enumerateInstances(p, r, 1, &n1);
+    std::set<std::vector<Tuple>> raced =
+        enumerateInstances(p, r, 4, &n4);
+
+    EXPECT_EQ(n1, n4);
+    EXPECT_EQ(single, raced);
+    EXPECT_GT(n1, 0u);
+}
+
+TEST(PortfolioRmf, ResultCarriesPortfolioStats)
+{
+    Universe u({"a", "b", "c"});
+    Problem p(u);
+    RelationId r = buildProblem(p, u);
+
+    SolveResult result;
+    uint64_t count = 0;
+    enumerateInstances(p, r, 4, &count, &result);
+    EXPECT_EQ(result.portfolio.threads, 4);
+    // One round per delivered instance plus the closing round.
+    EXPECT_EQ(result.portfolio.rounds, count + 1);
+    ASSERT_EQ(result.portfolio.wins.size(), 4u);
+    uint64_t wins = 0;
+    for (uint64_t w : result.portfolio.wins)
+        wins += w;
+    EXPECT_EQ(wins, result.portfolio.rounds);
+    EXPECT_EQ(result.solver.modelsEnumerated, count);
+}
+
+TEST(PortfolioRmf, UnsatAgreesAcrossWidths)
+{
+    Universe u({"a"});
+    Problem p(u);
+    RelationId r = p.addRelation("r", TupleSet::range(0, 0));
+    p.require(some(p.expr(r)));
+    p.require(no(p.expr(r)));
+
+    SolveOptions opts;
+    opts.profile.portfolio.threads = 4;
+    SolveResult result;
+    EXPECT_FALSE(solveOne(p, opts, &result).has_value());
+    EXPECT_FALSE(result.sat);
+    EXPECT_FALSE(result.aborted);
+}
+
+TEST(PortfolioRmf, SolveOneFindsAModelUnderRace)
+{
+    Universe u({"a", "b", "c"});
+    Problem p(u);
+    RelationId r = buildProblem(p, u);
+    SolveOptions opts;
+    opts.profile.portfolio.threads = 3;
+    SolveResult result;
+    std::optional<Instance> inst = solveOne(p, opts, &result);
+    ASSERT_TRUE(inst.has_value());
+    EXPECT_TRUE(result.sat);
+    EXPECT_EQ(result.portfolio.threads, 3);
+    // The witness respects the problem's constraints.
+    EXPECT_FALSE(inst->value(r).tuples().empty());
+}
+
+} // anonymous namespace

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Tests for the parallel SAT portfolio (sat/portfolio.hh): the
+ * clause-exchange bounds and cursor semantics, factory
+ * diversification, the K=1 pass-through contract, real K>1 races on
+ * SAT/UNSAT problems, the complete-enumeration model-set guarantee,
+ * the cross-member stats rollup, and stop propagation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "engine/stop_token.hh"
+#include "sat/portfolio.hh"
+#include "sat/solver.hh"
+
+namespace
+{
+
+using namespace checkmate;
+using namespace checkmate::sat;
+
+// ---------------------------------------------------------------
+// ClauseExchange
+// ---------------------------------------------------------------
+
+Clause
+clauseOfSize(size_t n)
+{
+    Clause c;
+    for (size_t i = 0; i < n; i++)
+        c.push_back(mkLit(static_cast<Var>(i)));
+    return c;
+}
+
+TEST(ClauseExchange, ShortOrLowLbdClausesTravel)
+{
+    ClauseExchange ex(/*max_len=*/8, /*max_lbd=*/4,
+                      /*capacity=*/64, /*members=*/2);
+
+    // Short clause, high LBD: the length bound admits it.
+    EXPECT_TRUE(ex.publish(0, clauseOfSize(3), 0, /*lbd=*/30));
+    // Long clause, low LBD (glue): the LBD bound admits it.
+    EXPECT_TRUE(ex.publish(0, clauseOfSize(20), 0, /*lbd=*/2));
+    // Long AND high-LBD: rejected.
+    EXPECT_FALSE(ex.publish(0, clauseOfSize(20), 0, /*lbd=*/30));
+
+    EXPECT_EQ(ex.published(), 2u);
+    EXPECT_EQ(ex.rejected(), 1u);
+}
+
+TEST(ClauseExchange, MembersNeverReimportTheirOwnExports)
+{
+    ClauseExchange ex(8, 4, 64, /*members=*/2);
+    ASSERT_TRUE(ex.publish(0, clauseOfSize(2), 7, 1));
+
+    // The exporter sees nothing; the other member gets the clause
+    // with its provenance tag intact, exactly once.
+    EXPECT_TRUE(ex.collect(0).empty());
+    std::vector<ImportedClause> got = ex.collect(1);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].lits.size(), 2u);
+    EXPECT_EQ(got[0].tag, 7u);
+    EXPECT_TRUE(ex.collect(1).empty());
+    EXPECT_EQ(ex.collected(), 1u);
+}
+
+TEST(ClauseExchange, CapacityEvictsOldestForLateReaders)
+{
+    ClauseExchange ex(8, 4, /*capacity=*/2, /*members=*/2);
+    Clause a = {mkLit(0)}, b = {mkLit(1)}, c = {mkLit(2)};
+    ASSERT_TRUE(ex.publish(0, a, 0, 1));
+    ASSERT_TRUE(ex.publish(0, b, 0, 1));
+    ASSERT_TRUE(ex.publish(0, c, 0, 1)); // evicts a
+
+    // A member that never read sees only what the ring still holds.
+    std::vector<ImportedClause> got = ex.collect(1);
+    ASSERT_EQ(got.size(), 2u);
+    EXPECT_EQ(got[0].lits[0], mkLit(1));
+    EXPECT_EQ(got[1].lits[0], mkLit(2));
+}
+
+TEST(ClauseExchange, CursorResumesAfterPartialRead)
+{
+    ClauseExchange ex(8, 4, 64, /*members=*/2);
+    ASSERT_TRUE(ex.publish(0, Clause{mkLit(0)}, 0, 1));
+    ASSERT_EQ(ex.collect(1).size(), 1u);
+    ASSERT_TRUE(ex.publish(0, Clause{mkLit(1)}, 0, 1));
+    std::vector<ImportedClause> got = ex.collect(1);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].lits[0], mkLit(1));
+}
+
+// ---------------------------------------------------------------
+// SolverFactory
+// ---------------------------------------------------------------
+
+TEST(SolverFactory, MemberZeroIsNeverPerturbed)
+{
+    SolverConfig base;
+    SolverFactory factory(base, /*seed_base=*/1234);
+    SolverConfig m0 = factory.memberConfig(0);
+    EXPECT_EQ(m0.restartBase, base.restartBase);
+    EXPECT_EQ(m0.varDecay, base.varDecay);
+    EXPECT_EQ(m0.invertPolarity, base.invertPolarity);
+    EXPECT_EQ(factory.memberSeed(0), 0u);
+}
+
+TEST(SolverFactory, SecondariesAreDiversified)
+{
+    SolverConfig base;
+    SolverFactory factory(base, 1);
+
+    // Each secondary must differ from the base in at least one of
+    // the diversification axes, and seeds must be distinct and
+    // nonzero (a zero seed would mean "default phases" — that is
+    // member 0's identity).
+    std::set<uint64_t> seeds;
+    for (int m = 1; m <= 4; m++) {
+        SolverConfig c = factory.memberConfig(m);
+        EXPECT_TRUE(c.restartBase != base.restartBase ||
+                    c.varDecay != base.varDecay ||
+                    c.invertPolarity != base.invertPolarity)
+            << "member " << m << " is a clone of the base config";
+        uint64_t seed = factory.memberSeed(m);
+        EXPECT_NE(seed, 0u) << "member " << m;
+        seeds.insert(seed);
+    }
+    EXPECT_EQ(seeds.size(), 4u) << "member seeds collide";
+}
+
+TEST(SolverFactory, MakeMemberClonesProblemAndTags)
+{
+    Solver primary;
+    Var a = primary.newVar(), b = primary.newVar(),
+        c = primary.newVar();
+    primary.setClauseTag(2);
+    primary.addClause(mkLit(a), mkLit(b));
+    primary.setClauseTag(1);
+    primary.addClause(~mkLit(b), mkLit(c));
+    primary.setConflictBudget(12345);
+
+    SolverFactory factory(SolverConfig{}, 7);
+    std::unique_ptr<Solver> member =
+        factory.makeMember(primary, 1);
+    ASSERT_NE(member, nullptr);
+    EXPECT_EQ(member->numVars(), primary.numVars());
+    EXPECT_EQ(member->numClauses(), primary.numClauses());
+    EXPECT_EQ(member->clausesByTag(), primary.clausesByTag());
+    EXPECT_EQ(member->conflictBudget(), 12345u);
+    EXPECT_EQ(member->solve(), LBool::True);
+}
+
+// ---------------------------------------------------------------
+// PortfolioSolver
+// ---------------------------------------------------------------
+
+/** 4 pigeons / 3 holes: small UNSAT with real conflict work. */
+void
+addPigeonHole43(Solver &s)
+{
+    const int pigeons = 4, holes = 3;
+    std::vector<std::vector<Var>> x(pigeons,
+                                    std::vector<Var>(holes));
+    for (int p = 0; p < pigeons; p++)
+        for (int h = 0; h < holes; h++)
+            x[p][h] = s.newVar();
+    for (int p = 0; p < pigeons; p++) {
+        Clause c;
+        for (int h = 0; h < holes; h++)
+            c.push_back(mkLit(x[p][h]));
+        s.addClause(c);
+    }
+    for (int h = 0; h < holes; h++)
+        for (int p1 = 0; p1 < pigeons; p1++)
+            for (int p2 = p1 + 1; p2 < pigeons; p2++)
+                s.addClause(~mkLit(x[p1][h]), ~mkLit(x[p2][h]));
+}
+
+/**
+ * A formula with a known projected model count: projection vars
+ * p0..p2 free except p0|p1 required, each pi tied to an auxiliary
+ * chain so enumeration does real propagation.
+ */
+std::vector<Var>
+addProjectedProblem(Solver &s)
+{
+    std::vector<Var> proj;
+    for (int i = 0; i < 3; i++)
+        proj.push_back(s.newVar());
+    s.addClause(mkLit(proj[0]), mkLit(proj[1]));
+    for (Var p : proj) {
+        Var aux = s.newVar();
+        s.addClause(~mkLit(p), mkLit(aux));  // p -> aux
+        s.addClause(mkLit(p), ~mkLit(aux));  // aux -> p
+    }
+    return proj; // 2^3 - 2 = 6 projected models
+}
+
+/** Collect the projected model set via a portfolio enumeration. */
+std::set<std::vector<bool>>
+enumerateSet(int threads, uint64_t *count_out = nullptr)
+{
+    Solver s;
+    std::vector<Var> proj = addProjectedProblem(s);
+    PortfolioConfig config;
+    config.threads = threads;
+    PortfolioSolver race(s, config);
+
+    std::set<std::vector<bool>> models;
+    uint64_t count = race.enumerateModels(
+        proj,
+        [&](const Solver &winner) {
+            std::vector<bool> m;
+            for (Var v : proj)
+                m.push_back(winner.modelValue(v) == LBool::True);
+            models.insert(m);
+            return true;
+        },
+        std::numeric_limits<uint64_t>::max(), {});
+    if (count_out)
+        *count_out = count;
+    EXPECT_EQ(models.size(), count) << "duplicate models delivered";
+    return models;
+}
+
+TEST(PortfolioSolver, SingleThreadIsAPassThrough)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar();
+    s.addClause(mkLit(a), mkLit(b));
+    s.addClause(~mkLit(a));
+
+    PortfolioConfig config; // threads = 1
+    PortfolioSolver race(s, config);
+    EXPECT_EQ(race.solve(), LBool::True);
+    EXPECT_EQ(&race.winner(), &s);
+    EXPECT_EQ(race.winner().modelValue(b), LBool::True);
+    EXPECT_EQ(race.portfolioStats().threads, 1);
+    EXPECT_EQ(race.portfolioStats().exported, 0u);
+}
+
+TEST(PortfolioSolver, RaceAgreesOnSat)
+{
+    Solver s;
+    Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+    s.addClause(mkLit(a), mkLit(b));
+    s.addClause(~mkLit(a), mkLit(c));
+
+    PortfolioConfig config;
+    config.threads = 4;
+    PortfolioSolver race(s, config);
+    ASSERT_EQ(race.solve(), LBool::True);
+    // Whoever won, its model satisfies the formula.
+    const Solver &w = race.winner();
+    EXPECT_TRUE(w.modelValue(a) == LBool::True ||
+                w.modelValue(b) == LBool::True);
+    EXPECT_TRUE(w.modelValue(a) != LBool::True ||
+                w.modelValue(c) == LBool::True);
+    EXPECT_EQ(race.portfolioStats().threads, 4);
+}
+
+TEST(PortfolioSolver, RaceAgreesOnUnsat)
+{
+    Solver s;
+    addPigeonHole43(s);
+    PortfolioConfig config;
+    config.threads = 4;
+    PortfolioSolver race(s, config);
+    EXPECT_EQ(race.solve(), LBool::False);
+}
+
+TEST(PortfolioSolver, CompleteEnumerationModelSetMatchesSingle)
+{
+    uint64_t n1 = 0, n4 = 0;
+    std::set<std::vector<bool>> single = enumerateSet(1, &n1);
+    std::set<std::vector<bool>> raced = enumerateSet(4, &n4);
+    EXPECT_EQ(n1, 6u);
+    EXPECT_EQ(n4, 6u);
+    EXPECT_EQ(single, raced);
+}
+
+TEST(PortfolioSolver, EnumerationRollupInvariants)
+{
+    Solver s;
+    std::vector<Var> proj = addProjectedProblem(s);
+    PortfolioConfig config;
+    config.threads = 3;
+    PortfolioSolver race(s, config);
+    uint64_t count = race.enumerateModels(
+        proj, [](const Solver &) { return true; },
+        std::numeric_limits<uint64_t>::max(), {});
+    ASSERT_EQ(count, 6u);
+
+    const PortfolioStats &stats = race.portfolioStats();
+    EXPECT_EQ(stats.threads, 3);
+    // One round per model plus the final UNSAT round.
+    EXPECT_EQ(stats.rounds, count + 1);
+    ASSERT_EQ(stats.wins.size(), 3u);
+    EXPECT_EQ(std::accumulate(stats.wins.begin(), stats.wins.end(),
+                              uint64_t{0}),
+              stats.rounds);
+
+    // The rolled-up call stats cover the whole enumeration: the
+    // delivered-model count is authoritative, and the per-tag
+    // conflict deltas never exceed the rollup's conflict total.
+    const SolverStats &call = race.lastCallStats();
+    EXPECT_EQ(call.modelsEnumerated, count);
+    uint64_t tagged = std::accumulate(
+        race.conflictsByTagDelta().begin(),
+        race.conflictsByTagDelta().end(), uint64_t{0});
+    EXPECT_LE(tagged, call.conflicts);
+}
+
+TEST(PortfolioSolver, OuterStopPropagatesIntoTheRace)
+{
+    // Fire the primary's outer stop token from inside the model
+    // callback: the next race round must not start, and the
+    // enumeration reports Stopped. (Stopping *during* a round is
+    // inherently racy — a member may decide first, and a decided
+    // answer legitimately beats the stop.)
+    Solver s;
+    std::vector<Var> proj = addProjectedProblem(s);
+    engine::StopSource stop;
+    s.setStopToken(stop.token());
+
+    PortfolioConfig config;
+    config.threads = 4;
+    PortfolioSolver race(s, config);
+    uint64_t count = race.enumerateModels(
+        proj,
+        [&](const Solver &) {
+            stop.requestStop();
+            return true;
+        },
+        std::numeric_limits<uint64_t>::max(), {});
+    EXPECT_EQ(count, 1u);
+    EXPECT_EQ(race.abortReason(), engine::AbortReason::Stopped);
+}
+
+TEST(PortfolioSolver, SharedClausesKeepEnumerationExact)
+{
+    // A tiny exchange with aggressive bounds forces real sharing
+    // traffic through repeated races; the enumeration must still
+    // deliver exactly the formula's models.
+    Solver s;
+    std::vector<Var> proj = addProjectedProblem(s);
+    PortfolioConfig config;
+    config.threads = 4;
+    config.shareMaxLen = 32;
+    config.shareMaxLbd = 16;
+    config.exchangeCapacity = 8;
+    PortfolioSolver race(s, config);
+    std::set<std::vector<bool>> models;
+    uint64_t count = race.enumerateModels(
+        proj,
+        [&](const Solver &winner) {
+            std::vector<bool> m;
+            for (Var v : proj)
+                m.push_back(winner.modelValue(v) == LBool::True);
+            models.insert(m);
+            return true;
+        },
+        std::numeric_limits<uint64_t>::max(), {});
+    EXPECT_EQ(count, 6u);
+    EXPECT_EQ(models.size(), 6u);
+}
+
+} // anonymous namespace

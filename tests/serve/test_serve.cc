@@ -40,17 +40,67 @@ TEST(ServeProtocol, RequestRoundTripsThroughFrameEncoding)
     request.client = "alice";
     request.args = {"--events", "4", "--max", "10"};
 
-    serve::Request parsed;
-    std::string error;
     std::string frame = serve::requestFrame(request);
     ASSERT_EQ(frame.back(), '\n');
-    ASSERT_TRUE(serve::parseRequest(
-        frame.substr(0, frame.size() - 1), &parsed, &error))
-        << error;
-    EXPECT_EQ(parsed.verb, serve::Verb::Synth);
-    EXPECT_EQ(parsed.id, "req-1");
-    EXPECT_EQ(parsed.client, "alice");
-    EXPECT_EQ(parsed.args, request.args);
+    serve::ParsedRequest parsed =
+        serve::parseRequest(frame.substr(0, frame.size() - 1));
+    ASSERT_TRUE(parsed) << parsed.error;
+    EXPECT_EQ(parsed.request.verb, serve::Verb::Synth);
+    EXPECT_EQ(parsed.request.id, "req-1");
+    EXPECT_EQ(parsed.request.client, "alice");
+    EXPECT_EQ(parsed.request.args, request.args);
+}
+
+TEST(ServeProtocol, EveryOptionalFieldSurvivesARoundTrip)
+{
+    // requestFrame and parseRequest are exact inverses: a request
+    // with every optional field populated comes back field-for-field
+    // identical, so the value-returning redesign cannot have changed
+    // the wire format.
+    serve::Request request;
+    request.verb = serve::Verb::Cancel;
+    request.id = "req-9";
+    request.client = "bob";
+    request.target = "victim-3";
+    request.traceId = "rq-42";
+    request.parentSpan = "18446744073709551615";
+    request.args = {"--events", "5"};
+
+    std::string frame = serve::requestFrame(request);
+    serve::ParsedRequest parsed =
+        serve::parseRequest(frame.substr(0, frame.size() - 1));
+    ASSERT_TRUE(parsed) << parsed.error;
+    EXPECT_EQ(parsed.request.version, serve::kProtocolVersion);
+    EXPECT_EQ(parsed.request.verb, request.verb);
+    EXPECT_EQ(parsed.request.id, request.id);
+    EXPECT_EQ(parsed.request.client, request.client);
+    EXPECT_EQ(parsed.request.target, request.target);
+    EXPECT_EQ(parsed.request.traceId, request.traceId);
+    EXPECT_EQ(parsed.request.parentSpan, request.parentSpan);
+    EXPECT_EQ(parsed.request.args, request.args);
+}
+
+TEST(ServeProtocol, EachParseReturnsAFreshValue)
+{
+    // The motivating bug for the value-returning API: with an
+    // out-parameter, parsing a frame without optional fields into a
+    // reused struct kept the previous frame's values. Two
+    // back-to-back parses must be independent.
+    serve::ParsedRequest first = serve::parseRequest(
+        R"({"v":"serve-v1","verb":"cancel","target":"t1",)"
+        R"("trace_id":"rq-1","args":["--max","4"]})");
+    ASSERT_TRUE(first) << first.error;
+    EXPECT_EQ(first.request.target, "t1");
+
+    serve::ParsedRequest second = serve::parseRequest(
+        R"({"v":"serve-v1","verb":"ping"})");
+    ASSERT_TRUE(second) << second.error;
+    EXPECT_TRUE(second.request.target.empty());
+    EXPECT_TRUE(second.request.traceId.empty());
+    EXPECT_TRUE(second.request.args.empty());
+    EXPECT_EQ(second.request.client, "anon");
+    // The first result is untouched by the second parse.
+    EXPECT_EQ(first.request.target, "t1");
 }
 
 TEST(ServeProtocol, TraceContextFieldsRoundTripWhenPresent)
@@ -63,62 +113,61 @@ TEST(ServeProtocol, TraceContextFieldsRoundTripWhenPresent)
     request.traceId = "rq-7";
     request.parentSpan = "12884901893";
 
-    serve::Request parsed;
-    std::string error;
     std::string frame = serve::requestFrame(request);
-    ASSERT_TRUE(serve::parseRequest(
-        frame.substr(0, frame.size() - 1), &parsed, &error))
-        << error;
-    EXPECT_EQ(parsed.traceId, "rq-7");
-    EXPECT_EQ(parsed.parentSpan, "12884901893");
+    serve::ParsedRequest parsed =
+        serve::parseRequest(frame.substr(0, frame.size() - 1));
+    ASSERT_TRUE(parsed) << parsed.error;
+    EXPECT_EQ(parsed.request.traceId, "rq-7");
+    EXPECT_EQ(parsed.request.parentSpan, "12884901893");
 
     // Absent fields stay empty (untraced requests carry nothing).
     serve::Request plain;
     plain.verb = serve::Verb::Ping;
     std::string plainFrame = serve::requestFrame(plain);
     EXPECT_EQ(plainFrame.find("trace_id"), std::string::npos);
-    ASSERT_TRUE(serve::parseRequest(
-        plainFrame.substr(0, plainFrame.size() - 1), &parsed,
-        &error))
-        << error;
-    EXPECT_TRUE(parsed.traceId.empty());
-    EXPECT_TRUE(parsed.parentSpan.empty());
+    parsed = serve::parseRequest(
+        plainFrame.substr(0, plainFrame.size() - 1));
+    ASSERT_TRUE(parsed) << parsed.error;
+    EXPECT_TRUE(parsed.request.traceId.empty());
+    EXPECT_TRUE(parsed.request.parentSpan.empty());
 
     // Wrong type is a protocol error, not a silent drop.
     EXPECT_FALSE(serve::parseRequest(
-        R"({"v":"serve-v1","verb":"synth","trace_id":7})", &parsed,
-        &error));
+        R"({"v":"serve-v1","verb":"synth","trace_id":7})"));
 }
 
 TEST(ServeProtocol, RejectsMalformedAndWrongVersionFrames)
 {
-    serve::Request parsed;
-    std::string error;
+    serve::ParsedRequest parsed = serve::parseRequest("not json");
+    EXPECT_FALSE(parsed);
+    EXPECT_NE(parsed.error.find("parse-error"), std::string::npos);
 
-    EXPECT_FALSE(serve::parseRequest("not json", &parsed, &error));
-    EXPECT_NE(error.find("parse-error"), std::string::npos);
+    parsed = serve::parseRequest("[1,2]");
+    EXPECT_FALSE(parsed);
+    EXPECT_NE(parsed.error.find("object"), std::string::npos);
 
-    EXPECT_FALSE(serve::parseRequest("[1,2]", &parsed, &error));
-    EXPECT_NE(error.find("object"), std::string::npos);
-
-    EXPECT_FALSE(serve::parseRequest(
-        R"({"v":"serve-v0","verb":"ping"})", &parsed, &error));
-    EXPECT_NE(error.find("unsupported protocol version"),
+    parsed = serve::parseRequest(
+        R"({"v":"serve-v0","verb":"ping"})");
+    EXPECT_FALSE(parsed);
+    EXPECT_NE(parsed.error.find("unsupported protocol version"),
               std::string::npos);
 
-    EXPECT_FALSE(serve::parseRequest(
-        R"({"v":"serve-v1","verb":"frobnicate"})", &parsed,
-        &error));
-    EXPECT_NE(error.find("unknown verb"), std::string::npos);
+    parsed = serve::parseRequest(
+        R"({"v":"serve-v1","verb":"frobnicate"})");
+    EXPECT_FALSE(parsed);
+    EXPECT_NE(parsed.error.find("unknown verb"),
+              std::string::npos);
 
-    EXPECT_FALSE(serve::parseRequest(
-        R"({"v":"serve-v1","verb":"synth","args":["--max",4]})",
-        &parsed, &error));
-    EXPECT_NE(error.find("only strings"), std::string::npos);
+    parsed = serve::parseRequest(
+        R"({"v":"serve-v1","verb":"synth","args":["--max",4]})");
+    EXPECT_FALSE(parsed);
+    EXPECT_NE(parsed.error.find("only strings"),
+              std::string::npos);
 
-    EXPECT_FALSE(serve::parseRequest(
-        R"({"v":"serve-v1","verb":"cancel"})", &parsed, &error));
-    EXPECT_NE(error.find("target"), std::string::npos);
+    parsed = serve::parseRequest(
+        R"({"v":"serve-v1","verb":"cancel"})");
+    EXPECT_FALSE(parsed);
+    EXPECT_NE(parsed.error.find("target"), std::string::npos);
 }
 
 TEST(ServeProtocol, ResponseFramesAreOneLineJsonObjects)

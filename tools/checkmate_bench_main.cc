@@ -193,6 +193,26 @@ describeTable1FlushReloadIncremental(const BenchConfig &c)
     return describeTable1FlushReload(c) + " incremental";
 }
 
+// Portfolio twin of the FLUSH+RELOAD sweep: each job asks for a
+// 4-thread SAT race (the scheduler clamps to the machine's budget,
+// docs/ENGINE.md "Portfolio solving"), so a checkmate-report diff
+// against table1_flush_reload prices the portfolio win/overhead in
+// sat.search with everything else held equal.
+std::vector<engine::SynthesisJob>
+makeTable1FlushReloadPortfolio(const BenchConfig &c)
+{
+    std::vector<engine::SynthesisJob> jobs =
+        makeTable1FlushReload(c);
+    for (engine::SynthesisJob &job : jobs)
+        job.options.profile.portfolio.threads = 4;
+    return jobs;
+}
+std::string
+describeTable1FlushReloadPortfolio(const BenchConfig &c)
+{
+    return describeTable1FlushReload(c) + " portfolio 4";
+}
+
 /**
  * One synth request against an in-process daemon, timed from the
  * client side (admission + queue + run + response transport).
@@ -449,6 +469,12 @@ const Scenario kScenarios[] = {
      "table1_flush_reload)",
      makeTable1FlushReload, describeTable1FlushReloadIncremental,
      /*incremental=*/true},
+    {"table1_fr_portfolio",
+     "Table I FLUSH+RELOAD sweep with a 4-thread SAT portfolio "
+     "racing inside each job (clamped to the machine; A/B twin of "
+     "table1_flush_reload)",
+     makeTable1FlushReloadPortfolio,
+     describeTable1FlushReloadPortfolio},
     {"table1_prime_probe",
      "Table I bottom half: PRIME+PROBE sweep on SpecOoO+coherence",
      makeTable1PrimeProbe, describeTable1PrimeProbe},
